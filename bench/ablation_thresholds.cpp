@@ -1,0 +1,103 @@
+// Ablation: the paper's fixed clockability constants.
+//
+// The paper hardwires three acceptance thresholds without exploring them:
+//   * Opt1/Opt3 range bound   -- range <= mean / 2.5
+//   * Opt1/Opt3 stddev bound  -- stddev <= mean / 5
+//   * Opt2b divergence bound  -- moved/(U+M) < 1/10
+//   * Opt4 latch threshold    -- unspecified ("a certain threshold value")
+// This harness sweeps each knob on the radiosity + water analogs (the two
+// benchmarks most sensitive to O1 and O4 respectively) and reports clock
+// sites, sampled divergence, and deterministic run time -- the tradeoff the
+// constants pick a point on.
+//
+// Usage: ablation_thresholds [scale] [threads]
+#include <cstdio>
+#include <cstdlib>
+
+#include "pass/conservation.hpp"
+#include "workloads/harness.hpp"
+
+namespace {
+using namespace detlock;
+
+double max_divergence(const workloads::WorkloadSpec& spec, const workloads::WorkloadParams& params,
+                      const pass::PassOptions& options) {
+  workloads::Workload w = spec.factory(params);
+  pass::ClockAssignment assignment;
+  ir::Module module = std::move(w.module);
+  pass::compute_assignment(module, options, assignment);
+  double max_rel = 0.0;
+  for (ir::FuncId f = 0; f < module.functions().size(); ++f) {
+    if (assignment.is_clocked(f)) continue;
+    const pass::DivergenceReport r = pass::sample_clock_divergence(module, assignment, f, 64, 2048, 7);
+    max_rel = std::max(max_rel, r.max_relative);
+  }
+  return max_rel;
+}
+
+void sweep(const char* title, const workloads::WorkloadSpec& spec, const workloads::WorkloadParams& params,
+           const std::vector<std::pair<const char*, pass::PassOptions>>& configs) {
+  std::printf("%s\n", title);
+  std::printf("  %-28s %12s %12s %14s %12s\n", "config", "clock sites", "max diverg", "det time (ms)",
+              "clockups");
+  for (const auto& [label, options] : configs) {
+    workloads::MeasureOptions mo;
+    mo.mode = workloads::Mode::kDetLock;
+    mo.pass_options = options;
+    mo.repetitions = 3;
+    const workloads::Measurement m = workloads::measure(spec, params, mo);
+    const double divergence = max_divergence(spec, params, options);
+    std::printf("  %-28s %12zu %11.1f%% %14.1f %12llu\n", label, m.pass_stats.clock_sites_final,
+                divergence * 100.0, m.seconds * 1e3,
+                static_cast<unsigned long long>(m.run.clock_update_instrs));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  workloads::WorkloadParams params;
+  params.scale = argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 4;
+  params.threads = argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 4;
+
+  const auto& radiosity = workloads::all_workloads()[3];
+  const auto& water = workloads::all_workloads()[2];
+
+  // --- clockability strictness (O1+O3 enabled) -----------------------------
+  std::vector<std::pair<const char*, pass::PassOptions>> clockability;
+  for (const auto& [label, range_div, std_div] :
+       {std::tuple{"strict (range m/50, std m/100)", 50.0, 100.0},
+        std::tuple{"paper  (range m/2.5, std m/5)", 2.5, 5.0},
+        std::tuple{"loose  (range m/1.2, std m/2)", 1.2, 2.0}}) {
+    pass::PassOptions o;
+    o.opt1_function_clocking = true;
+    o.opt3_averaging = true;
+    o.criteria.range_divisor = range_div;
+    o.criteria.stddev_divisor = std_div;
+    clockability.emplace_back(label, o);
+  }
+  sweep("Clockability criteria sweep (radiosity, O1+O3)", radiosity, params, clockability);
+
+  // --- Opt2b divergence bound ----------------------------------------------
+  std::vector<std::pair<const char*, pass::PassOptions>> opt2b;
+  for (const auto& [label, bound] : {std::tuple{"precise only (0.0)", 0.0}, std::tuple{"paper (0.1)", 0.1},
+                                     std::tuple{"loose (0.3)", 0.3}}) {
+    pass::PassOptions o = pass::PassOptions::only_opt2();
+    o.opt2b_max_divergence = bound;
+    opt2b.emplace_back(label, o);
+  }
+  sweep("Opt2b divergence bound sweep (water_nsq, O2)", water, params, opt2b);
+
+  // --- Opt4 latch threshold -------------------------------------------------
+  std::vector<std::pair<const char*, pass::PassOptions>> opt4;
+  for (const auto& [label, threshold] :
+       {std::tuple{"threshold 2", std::int64_t{2}}, std::tuple{"threshold 16 (default)", std::int64_t{16}},
+        std::tuple{"threshold 64", std::int64_t{64}}}) {
+    pass::PassOptions o = pass::PassOptions::only_opt4();
+    o.opt4_threshold = threshold;
+    opt4.emplace_back(label, o);
+  }
+  sweep("Opt4 latch-threshold sweep (water_nsq, O4)", water, params, opt4);
+  return 0;
+}

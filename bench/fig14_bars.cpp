@@ -1,0 +1,63 @@
+// Figure 14: "Overhead of inserting clocks and deterministic execution".
+//
+// Two stacked bars per benchmark: no-optimization vs all-optimizations,
+// each split into the clock-insertion portion (lower) and the additional
+// deterministic-execution portion (upper).  Rendered as aligned text bars.
+//
+// Usage: fig14_bars [scale] [threads] [reps]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "workloads/harness.hpp"
+
+namespace {
+using namespace detlock;
+
+std::string bar(double percent, char fill) {
+  // 1 char per 4% overhead, capped for readability.
+  int chars = static_cast<int>(percent / 4.0 + 0.5);
+  chars = std::max(0, std::min(chars, 60));
+  return std::string(static_cast<std::size_t>(chars), fill);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  workloads::WorkloadParams params;
+  params.scale = argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 8;
+  params.threads = argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 4;
+  const int reps = argc > 3 ? std::atoi(argv[3]) : 3;
+
+  std::printf("Figure 14 -- clock-insertion ('#') + deterministic-execution ('+') overhead\n");
+  std::printf("Left bar: no optimizations.  Right bar: all optimizations.  1 char = 4%%.\n\n");
+
+  for (const auto& spec : workloads::all_workloads()) {
+    workloads::MeasureOptions base;
+    base.mode = workloads::Mode::kBaseline;
+    base.repetitions = reps;
+    const double t0 = workloads::measure(spec, params, base).seconds;
+
+    auto overheads = [&](const pass::PassOptions& options) {
+      workloads::MeasureOptions mo;
+      mo.pass_options = options;
+      mo.repetitions = reps;
+      mo.mode = workloads::Mode::kClocksOnly;
+      const double clocks = workloads::measure(spec, params, mo).seconds;
+      mo.mode = workloads::Mode::kDetLock;
+      const double det = workloads::measure(spec, params, mo).seconds;
+      const double clock_pct = std::max(0.0, (clocks / t0 - 1.0) * 100.0);
+      const double det_extra_pct = std::max(0.0, (det - clocks) / t0 * 100.0);
+      return std::make_pair(clock_pct, det_extra_pct);
+    };
+
+    const auto [unopt_clock, unopt_det] = overheads(pass::PassOptions::none());
+    const auto [opt_clock, opt_det] = overheads(pass::PassOptions::all());
+
+    std::printf("%-10s no-opt  %5.0f%% + %5.0f%%  |%s%s\n", spec.name, unopt_clock, unopt_det,
+                bar(unopt_clock, '#').c_str(), bar(unopt_det, '+').c_str());
+    std::printf("%-10s all-opt %5.0f%% + %5.0f%%  |%s%s\n\n", "", opt_clock, opt_det,
+                bar(opt_clock, '#').c_str(), bar(opt_det, '+').c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Microbenchmarks of the DetLock pass pipeline (google-benchmark): per-
+// optimization running time and clock-site reduction on each workload's
+// module, plus analysis primitives (dominators, path DP).
+#include <benchmark/benchmark.h>
+
+#include "analysis/dominators.hpp"
+#include "analysis/paths.hpp"
+#include "pass/pipeline.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+using namespace detlock;
+
+const workloads::Workload& workload_instance(std::size_t index) {
+  static std::vector<workloads::Workload> cache = [] {
+    std::vector<workloads::Workload> all;
+    workloads::WorkloadParams params;
+    for (const auto& spec : workloads::all_workloads()) all.push_back(spec.factory(params));
+    return all;
+  }();
+  return cache[index];
+}
+
+void BM_InstrumentModule(benchmark::State& state) {
+  const std::size_t index = static_cast<std::size_t>(state.range(0));
+  const bool optimize = state.range(1) != 0;
+  std::size_t sites = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    ir::Module m = workload_instance(index).module;  // copy
+    state.ResumeTiming();
+    const pass::PipelineStats stats =
+        pass::instrument_module(m, optimize ? pass::PassOptions::all() : pass::PassOptions::none());
+    sites = stats.clock_sites_final;
+    benchmark::DoNotOptimize(m);
+  }
+  state.counters["clock_sites"] = static_cast<double>(sites);
+  state.SetLabel(workloads::all_workloads()[index].name + std::string(optimize ? "/all" : "/none"));
+}
+BENCHMARK(BM_InstrumentModule)
+    ->ArgsProduct({{0, 1, 2, 3, 4}, {0, 1}})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_DominatorTree(benchmark::State& state) {
+  const ir::Module& m = workload_instance(static_cast<std::size_t>(state.range(0))).module;
+  // Largest function in the module.
+  const ir::Function* largest = &m.functions()[0];
+  for (const ir::Function& f : m.functions()) {
+    if (f.num_blocks() > largest->num_blocks()) largest = &f;
+  }
+  for (auto _ : state) {
+    analysis::Cfg cfg(*largest);
+    analysis::DominatorTree dom(cfg);
+    benchmark::DoNotOptimize(dom.idom(0));
+  }
+  state.counters["blocks"] = static_cast<double>(largest->num_blocks());
+}
+BENCHMARK(BM_DominatorTree)->Arg(0)->Arg(1)->Arg(3)->Unit(benchmark::kMicrosecond);
+
+void BM_PathStatsDp(benchmark::State& state) {
+  // Sequential-diamond chain with 2^N paths: the DP must stay linear.
+  const int diamonds = static_cast<int>(state.range(0));
+  ir::Module m;
+  ir::FunctionBuilder b(m, "f", 1);
+  for (int i = 0; i < diamonds; ++i) {
+    const ir::BlockId t = b.make_block("t" + std::to_string(i));
+    const ir::BlockId e = b.make_block("e" + std::to_string(i));
+    const ir::BlockId mg = b.make_block("m" + std::to_string(i));
+    b.condbr(b.param(0), t, e);
+    b.set_insert_point(t);
+    b.br(mg);
+    b.set_insert_point(e);
+    b.br(mg);
+    b.set_insert_point(mg);
+  }
+  b.ret();
+  const analysis::Cfg cfg(m.functions()[0]);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::function_path_stats(cfg, [](ir::BlockId blk) {
+      return static_cast<std::int64_t>(blk % 7) + 1;
+    }));
+  }
+}
+BENCHMARK(BM_PathStatsDp)->Arg(10)->Arg(100)->Arg(1000)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

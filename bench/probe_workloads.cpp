@@ -1,0 +1,32 @@
+// Calibration probe: one line per workload x mode with wall time, executed
+// instructions, lock rate and clock-update counts.  Not a paper artifact --
+// used to sanity-check that the synthetic workloads land in the intended
+// synchronization regimes before running the real table harnesses.
+#include <cstdio>
+
+#include "workloads/harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace detlock;
+  workloads::WorkloadParams params;
+  params.threads = 4;
+  params.scale = argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 1;
+
+  std::printf("%-10s %-12s %8s %12s %10s %12s %10s\n", "workload", "mode", "sec", "instrs", "locks",
+              "locks/sec", "clockups");
+  for (const auto& spec : workloads::all_workloads()) {
+    for (const workloads::Mode mode :
+         {workloads::Mode::kBaseline, workloads::Mode::kClocksOnly, workloads::Mode::kDetLock}) {
+      workloads::MeasureOptions opts;
+      opts.mode = mode;
+      opts.repetitions = 1;
+      opts.pass_options = pass::PassOptions::none();
+      const workloads::Measurement m = workloads::measure(spec, params, opts);
+      std::printf("%-10s %-12s %8.3f %12llu %10llu %12.0f %10llu\n", spec.name, workloads::mode_name(mode),
+                  m.seconds, static_cast<unsigned long long>(m.run.instructions),
+                  static_cast<unsigned long long>(m.run.sync.lock_acquires), m.locks_per_sec,
+                  static_cast<unsigned long long>(m.run.clock_update_instrs));
+    }
+  }
+  return 0;
+}

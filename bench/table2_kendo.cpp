@@ -1,0 +1,111 @@
+// Table II: "Performance results of our scheme as compared to Kendo".
+//
+// The paper compares DetLock's deterministic-execution overhead against the
+// numbers published in the Kendo paper (Kendo itself is closed source).
+// This harness runs both runtimes on the same workloads:
+//   * DetLock  -- every-update publication, start-of-block placement, all
+//                 optimizations (the paper's "our scheme" configuration);
+//   * Kendo-sim -- chunk-published clocks + end-of-block updates, modelling
+//                 a deterministic retired-instruction counter read at
+//                 overflow interrupts.  Like the real Kendo, its chunk size
+//                 is a tuning knob; the harness sweeps a few values and
+//                 reports the best ("the authors of Kendo had to manually
+//                 adjust the chunk size to get the best performance").
+// The paper's quoted Kendo/DetLock overheads are printed alongside for
+// reference.
+//
+// Usage: table2_kendo [scale] [threads] [reps]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "support/strings.hpp"
+#include "support/table.hpp"
+#include "workloads/harness.hpp"
+
+namespace {
+using namespace detlock;
+
+// Table II rows quoted from the paper, in all_workloads() order.
+constexpr double kPaperKendoOverhead[] = {1, 18, 7, 53, 7};
+constexpr double kPaperDetLockOverhead[] = {0, 11, 21, 38, 4};
+}  // namespace
+
+int main(int argc, char** argv) {
+  workloads::WorkloadParams params;
+  params.scale = argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 8;
+  params.threads = argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 4;
+  const int reps = argc > 3 ? std::atoi(argv[3]) : 3;
+
+  const auto& specs = workloads::all_workloads();
+  const std::vector<std::uint64_t> chunk_sweep = {256, 1024, 4096};
+
+  TextTable table;
+  std::vector<std::string> header{"Benchmark"};
+  for (const auto& spec : specs) header.push_back(spec.name);
+  table.add_row(header);
+  table.add_rule();
+
+  std::vector<std::string> locks_row{"Locks/sec"};
+  std::vector<std::string> kendo_row{"Kendo-sim overhead (best chunk)"};
+  std::vector<std::string> detlock_row{"DetLock overhead"};
+  std::vector<std::string> chunk_row{"Kendo-sim best chunk size"};
+  std::vector<std::string> paper_kendo_row{"Paper: Kendo overhead"};
+  std::vector<std::string> paper_detlock_row{"Paper: DetLock overhead"};
+
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    workloads::MeasureOptions base;
+    base.mode = workloads::Mode::kBaseline;
+    base.repetitions = reps;
+    const workloads::Measurement mb = workloads::measure(specs[s], params, base);
+    locks_row.push_back(str_format("%.0f", mb.locks_per_sec));
+
+    workloads::MeasureOptions det;
+    det.mode = workloads::Mode::kDetLock;
+    det.pass_options = pass::PassOptions::all();
+    det.repetitions = reps;
+    const workloads::Measurement md = workloads::measure(specs[s], params, det);
+    detlock_row.push_back(str_format("%+.0f%%", (md.seconds / mb.seconds - 1.0) * 100.0));
+
+    double best_kendo = -1.0;
+    std::uint64_t best_chunk = 0;
+    for (const std::uint64_t chunk : chunk_sweep) {
+      workloads::MeasureOptions kendo;
+      kendo.mode = workloads::Mode::kKendoSim;
+      kendo.pass_options = pass::PassOptions::all();
+      kendo.kendo_chunk_size = chunk;
+      kendo.repetitions = reps;
+      const workloads::Measurement mk = workloads::measure(specs[s], params, kendo);
+      std::fprintf(stderr, "[table2] %s kendo chunk=%llu %.3fs (detlock %.3fs, base %.3fs)\n",
+                   specs[s].name, static_cast<unsigned long long>(chunk), mk.seconds, md.seconds,
+                   mb.seconds);
+      if (best_kendo < 0.0 || mk.seconds < best_kendo) {
+        best_kendo = mk.seconds;
+        best_chunk = chunk;
+      }
+    }
+    kendo_row.push_back(str_format("%+.0f%%", (best_kendo / mb.seconds - 1.0) * 100.0));
+    chunk_row.push_back(std::to_string(best_chunk));
+    paper_kendo_row.push_back(str_format("%.0f%%", kPaperKendoOverhead[s]));
+    paper_detlock_row.push_back(str_format("%.0f%%", kPaperDetLockOverhead[s]));
+  }
+
+  table.add_row(std::move(locks_row));
+  table.add_section("Results for Kendo-sim (chunked clocks, end-of-block updates)");
+  table.add_row(std::move(kendo_row));
+  table.add_row(std::move(chunk_row));
+  table.add_section("Results for our scheme (DetLock: eager clocks, ahead-of-time updates)");
+  table.add_row(std::move(detlock_row));
+  table.add_section("Paper-reported overheads (quoted, 2.66 GHz quad core)");
+  table.add_row(std::move(paper_kendo_row));
+  table.add_row(std::move(paper_detlock_row));
+
+  std::printf("Table II -- DetLock vs Kendo-style runtime (scale=%u, threads=%u, reps=%d)\n\n", params.scale,
+              params.threads, reps);
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\nExpected shape (paper Sec. V-C): DetLock beats Kendo-sim most clearly on the\n"
+              "lock-heavy Radiosity (eager + ahead-of-time clock publication shortens lock\n"
+              "waits), roughly ties on moderate-lock-rate benchmarks, and both are free on\n"
+              "Ocean.  Absolute values are amplified by single-core thread emulation.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Clock-site / executed-update counts: the timing-free view of Table I's
+// first band.
+//
+// Wall-clock overhead on this host carries scheduler noise; the quantities
+// the optimizations actually control -- static clock-update sites in the
+// instrumented IR, and clock updates *executed* at run time -- are exactly
+// countable and deterministic.  This harness prints both per benchmark and
+// optimization level, plus the executed-update fraction of all instructions
+// (the quantity the paper's "overhead of inserting clocks" percentages are
+// made of).
+//
+// Usage: table_sites [scale] [threads]
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/strings.hpp"
+#include "support/table.hpp"
+#include "workloads/harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace detlock;
+  workloads::WorkloadParams params;
+  params.scale = argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 2;
+  params.threads = argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 4;
+
+  struct Row {
+    const char* label;
+    pass::PassOptions options;
+  };
+  const Row rows[] = {
+      {"no optimization", pass::PassOptions::none()},
+      {"O1 function clocking", pass::PassOptions::only_opt1()},
+      {"O2 conditional blocks", pass::PassOptions::only_opt2()},
+      {"O3 averaging", pass::PassOptions::only_opt3()},
+      {"O4 loops", pass::PassOptions::only_opt4()},
+      {"all optimizations", pass::PassOptions::all()},
+  };
+
+  for (const auto& spec : workloads::all_workloads()) {
+    TextTable table;
+    table.add_row({"configuration", "static sites", "clocked fns", "executed updates", "% of instrs"});
+    table.add_rule();
+    for (const Row& row : rows) {
+      workloads::Workload w = spec.factory(params);
+      const pass::PipelineStats stats = pass::instrument_module(w.module, row.options);
+      interp::EngineConfig config;
+      config.deterministic = false;  // counting only
+      config.runtime.record_trace = false;
+      config.memory_words = std::max<std::size_t>(w.memory_words, 1 << 14) * 2;
+      interp::Engine engine(w.module, config);
+      const interp::RunResult r = engine.run(w.main_func);
+      table.add_row({row.label, std::to_string(stats.clock_sites_final),
+                     std::to_string(stats.clocked_functions),
+                     std::to_string(r.clock_update_instrs),
+                     str_format("%.1f%%", 100.0 * static_cast<double>(r.clock_update_instrs) /
+                                              static_cast<double>(r.instructions))});
+    }
+    std::printf("== %s (scale=%u, threads=%u)\n%s\n", spec.name, params.scale, params.threads,
+                table.to_string().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,116 @@
+// The motivating use-case (paper Sec. I): reproducible debugging.
+//
+// A work-stealing pipeline has an order-dependent bug: the aggregation
+// applies a non-commutative fold (shift-xor), so the final digest depends
+// on which worker merged first.  Under plain locks every run may disagree;
+// under DetLock the digest -- bug included -- is identical on every run, so
+// a debugger can chase it reliably.  The example also runs the built-in
+// lockset race detector to show the program is race-FREE (the
+// nondeterminism is pure lock-ordering, exactly the class weak determinism
+// pins down).
+//
+// Build & run:  ./build/examples/heisenbug_replay
+#include <cstdio>
+
+#include "interp/engine.hpp"
+#include "ir/parser.hpp"
+#include "pass/pipeline.hpp"
+#include "racedetect/lockset.hpp"
+
+namespace {
+
+const char* kPipeline = R"(
+func @worker(1) regs=24 {
+block entry:
+  %20 = const 0
+  %21 = const 1
+  %1 = const 0
+  %2 = const 12
+  br grab.cond
+block grab.cond:
+  %3 = icmp lt %1, %2
+  condbr %3, grab, done
+block grab:
+  lock %20
+  %4 = const 64
+  %5 = load %4
+  %7 = add %5, %21
+  store %4, %7
+  unlock %20
+  %8 = mul %5, %0
+  %9 = add %8, %5
+  %10 = mul %9, %9
+  %11 = and %10, %9
+  lock %21
+  %12 = const 65
+  %13 = load %12
+  %14 = const 5
+  %15 = shl %13, %14
+  %16 = xor %15, %8
+  store %12, %16
+  unlock %21
+  %1 = add %1, %21
+  br grab.cond
+block done:
+  ret
+}
+
+func @main(0) {
+block entry:
+  %0 = const 1
+  %1 = spawn @worker(%0)
+  %2 = const 2
+  %3 = spawn @worker(%2)
+  %4 = const 3
+  %5 = spawn @worker(%4)
+  %6 = const 4
+  %7 = call @worker(%6)
+  join %1
+  join %3
+  join %5
+  %8 = const 65
+  %9 = load %8
+  ret %9
+}
+)";
+
+std::int64_t run_digest(bool deterministic, detlock::racedetect::LocksetRaceDetector* detector = nullptr) {
+  using namespace detlock;
+  ir::Module module = ir::parse_module(kPipeline);
+  pass::instrument_module(module, pass::PassOptions::all());
+  interp::EngineConfig config;
+  config.deterministic = deterministic;
+  config.observer = detector;
+  interp::Engine engine(module, config);
+  return engine.run("main").main_return;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Order-dependent digest (non-commutative fold under two locks)\n\n");
+
+  std::printf("plain locks, 4 runs:   ");
+  for (int i = 0; i < 4; ++i) std::printf("%016llx ", static_cast<unsigned long long>(run_digest(false)));
+  std::printf("\n                       (may or may not agree -- the schedule decides)\n");
+
+  std::printf("DetLock,     4 runs:   ");
+  const std::int64_t first = run_digest(true);
+  bool stable = true;
+  std::printf("%016llx ", static_cast<unsigned long long>(first));
+  for (int i = 0; i < 3; ++i) {
+    const std::int64_t d = run_digest(true);
+    std::printf("%016llx ", static_cast<unsigned long long>(d));
+    stable = stable && d == first;
+  }
+  std::printf("\n                       (pinned: every run replays the same lock order)\n\n");
+
+  detlock::racedetect::LocksetRaceDetector detector;
+  run_digest(true, &detector);
+  std::printf("lockset race detector: %s (%llu accesses checked)\n",
+              detector.race_detected() ? "RACE FOUND" : "race-free",
+              static_cast<unsigned long long>(detector.accesses_observed()));
+  std::printf("=> the divergence above is pure lock-order nondeterminism: exactly what\n");
+  std::printf("   weak determinism eliminates.\n");
+  return stable && !detector.race_detected() ? 0 : 1;
+}

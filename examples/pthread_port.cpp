@@ -1,0 +1,102 @@
+// Porting an existing pthreads program with the header-replacement shim.
+//
+// Paper Sec. III-B: "it is not necessary for the programmer to modify the
+// code to use them.  A header file is provided by us that replaces the
+// definition of these functions with ours."  The dining-philosophers code
+// below is written against the plain pthread_* API; defining
+// DETLOCK_SHIM_PTHREAD_NAMES before including the shim retargets every call
+// at the deterministic runtime.  The only DetLock-specific lines are the
+// runtime start/stop and the det_tick() calls standing in for the compiler-
+// inserted clock updates.
+//
+// Build & run:  ./build/examples/pthread_port
+#define DETLOCK_SHIM_PTHREAD_NAMES
+#include "runtime/pthread_shim.hpp"
+
+#include <cstdio>
+
+namespace {
+
+using detlock::runtime::shim::det_runtime_fingerprint;
+using detlock::runtime::shim::det_runtime_start;
+using detlock::runtime::shim::det_runtime_stop;
+using detlock::runtime::shim::det_tick;
+
+constexpr int kPhilosophers = 5;
+constexpr int kMeals = 30;
+
+pthread_mutex_t forks[kPhilosophers];
+pthread_mutex_t log_mutex;
+long eat_log[kPhilosophers * kMeals];  // who ate, in global meal order
+long meals_served;
+
+struct PhilosopherArg {
+  int seat;
+};
+
+void* philosopher(void* raw) {
+  const int seat = static_cast<PhilosopherArg*>(raw)->seat;
+  const int left = seat;
+  const int right = (seat + 1) % kPhilosophers;
+  // Ordered acquisition (lower fork index first) prevents deadlock.
+  const int first = left < right ? left : right;
+  const int second = left < right ? right : left;
+
+  for (int meal = 0; meal < kMeals; ++meal) {
+    det_tick(120 + 17 * static_cast<std::uint64_t>(seat));  // "thinking"
+    pthread_mutex_lock(&forks[first]);
+    pthread_mutex_lock(&forks[second]);
+    det_tick(60);  // "eating"
+    pthread_mutex_lock(&log_mutex);
+    eat_log[meals_served++] = seat;
+    pthread_mutex_unlock(&log_mutex);
+    pthread_mutex_unlock(&forks[second]);
+    pthread_mutex_unlock(&forks[first]);
+  }
+  return nullptr;
+}
+
+std::uint64_t run_table() {
+  det_runtime_start();
+  for (auto& fork : forks) pthread_mutex_init(&fork, nullptr);
+  pthread_mutex_init(&log_mutex, nullptr);
+  meals_served = 0;
+
+  pthread_t threads[kPhilosophers];
+  PhilosopherArg args[kPhilosophers];
+  // Philosopher 0 runs on the main thread (SPLASH-2 style); 1..4 spawned.
+  for (int p = 1; p < kPhilosophers; ++p) {
+    args[p].seat = p;
+    pthread_create(&threads[p], nullptr, philosopher, &args[p]);
+  }
+  args[0].seat = 0;
+  philosopher(&args[0]);
+  for (int p = 1; p < kPhilosophers; ++p) pthread_join(threads[p], nullptr);
+
+  // Fold the global meal order into a hash: the determinism witness.
+  std::uint64_t digest = 0xcbf29ce484222325ULL;
+  for (long i = 0; i < meals_served; ++i) {
+    digest = (digest ^ static_cast<std::uint64_t>(eat_log[i])) * 0x100000001b3ULL;
+  }
+  digest ^= det_runtime_fingerprint();
+  det_runtime_stop();
+  return digest;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Dining philosophers through the pthread shim (%d seats x %d meals)\n\n", kPhilosophers,
+              kMeals);
+  const std::uint64_t a = run_table();
+  const std::uint64_t b = run_table();
+  const std::uint64_t c = run_table();
+  std::printf("meal-order digests: %016llx %016llx %016llx\n", static_cast<unsigned long long>(a),
+              static_cast<unsigned long long>(b), static_cast<unsigned long long>(c));
+  if (a == b && b == c) {
+    std::printf("=> every table serves the meals in exactly the same global order.\n");
+    return 0;
+  }
+  std::printf("=> ERROR: runs diverged\n");
+  return 1;
+}

@@ -1,0 +1,103 @@
+// Quickstart: the full DetLock pipeline in one page.
+//
+//   1. Write a multithreaded program in the textual IR.
+//   2. Instrument it with the DetLock compiler pass (logical clock updates).
+//   3. Run it on the deterministic runtime -- twice -- and observe that the
+//      global lock-acquisition order, the final memory image, and every
+//      thread's final logical clock are identical.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "interp/engine.hpp"
+#include "ir/parser.hpp"
+#include "ir/printer.hpp"
+#include "pass/pipeline.hpp"
+
+// Four workers contend for one lock; each adds its id into a shared cell
+// and does some private work.  Which worker's update lands last -- and thus
+// the "last_writer" cell -- depends entirely on lock acquisition order.
+static const char* kProgram = R"(
+func @worker(1) {
+block entry:
+  %1 = const 0
+  %2 = const 25
+  br loop.cond
+block loop.cond:
+  %3 = icmp lt %1, %2
+  condbr %3, loop.body, done
+block loop.body:
+  lock %1
+  %4 = const 100
+  %5 = load %4
+  %6 = add %5, %0
+  store %4, %6
+  %7 = const 101
+  store %7, %0
+  unlock %1
+  %8 = mul %0, %6
+  %9 = add %8, %1
+  %10 = const 1
+  %1 = add %1, %10
+  br loop.cond
+block done:
+  ret
+}
+
+func @main(0) {
+block entry:
+  %0 = const 1
+  %1 = spawn @worker(%0)
+  %2 = const 2
+  %3 = spawn @worker(%2)
+  %4 = const 3
+  %5 = spawn @worker(%4)
+  %6 = const 0
+  %7 = call @worker(%6)
+  join %1
+  join %3
+  join %5
+  %8 = const 100
+  %9 = load %8
+  ret %9
+}
+)";
+
+int main() {
+  using namespace detlock;
+
+  auto run_once = [](bool deterministic) {
+    // 1. Parse.
+    ir::Module module = ir::parse_module(kProgram);
+    // 2. Instrument: insert logical clock updates, all four optimizations.
+    const pass::PipelineStats stats = pass::instrument_module(module, pass::PassOptions::all());
+    // 3. Execute on 4 OS threads.
+    interp::EngineConfig config;
+    config.deterministic = deterministic;
+    interp::Engine engine(module, config);
+    const interp::RunResult result = engine.run("main");
+    std::printf("  [%s] sum=%lld last_writer=%lld lock-order hash=%016llx clock-updates=%llu (%zu sites)\n",
+                deterministic ? "detlock" : "pthread", static_cast<long long>(result.main_return),
+                static_cast<long long>(engine.memory().load(101)),
+                static_cast<unsigned long long>(result.trace_fingerprint),
+                static_cast<unsigned long long>(result.clock_update_instrs),
+                stats.materialized.clock_add_sites);
+    return result.trace_fingerprint;
+  };
+
+  std::printf("Plain pthread-style runs (lock order free to vary):\n");
+  run_once(false);
+  run_once(false);
+
+  std::printf("\nDetLock runs (identical lock-order hash every time):\n");
+  const std::uint64_t a = run_once(true);
+  const std::uint64_t b = run_once(true);
+  const std::uint64_t c = run_once(true);
+
+  if (a == b && b == c) {
+    std::printf("\n=> deterministic: three runs, one schedule.\n");
+    return 0;
+  }
+  std::printf("\n=> ERROR: deterministic runs diverged!\n");
+  return 1;
+}

@@ -1,0 +1,77 @@
+#include "analysis/call_graph.hpp"
+
+#include <algorithm>
+
+namespace detlock::analysis {
+
+CallGraph::CallGraph(const ir::Module& module) {
+  const std::size_t n = module.functions().size();
+  callees_.resize(n);
+  callers_.resize(n);
+  extern_callees_.resize(n);
+  recursive_.assign(n, false);
+  has_sync_.assign(n, false);
+
+  for (std::size_t f = 0; f < n; ++f) {
+    for (const ir::BasicBlock& block : module.functions()[f].blocks()) {
+      for (const ir::Instr& instr : block.instrs()) {
+        switch (instr.op) {
+          case ir::Opcode::kCall:
+          case ir::Opcode::kSpawn: {
+            auto& list = callees_[f];
+            if (std::find(list.begin(), list.end(), instr.callee) == list.end()) {
+              list.push_back(instr.callee);
+            }
+            if (instr.op == ir::Opcode::kSpawn) has_sync_[f] = true;
+            break;
+          }
+          case ir::Opcode::kCallExtern: {
+            auto& list = extern_callees_[f];
+            if (std::find(list.begin(), list.end(), instr.callee) == list.end()) {
+              list.push_back(instr.callee);
+            }
+            break;
+          }
+          case ir::Opcode::kLock:
+          case ir::Opcode::kUnlock:
+          case ir::Opcode::kBarrier:
+          case ir::Opcode::kJoin:
+          case ir::Opcode::kCondWait:
+          case ir::Opcode::kCondSignal:
+          case ir::Opcode::kCondBroadcast:
+            has_sync_[f] = true;
+            break;
+          default:
+            break;
+        }
+      }
+    }
+  }
+
+  for (std::size_t f = 0; f < n; ++f) {
+    for (FuncId callee : callees_[f]) callers_[callee].push_back(static_cast<FuncId>(f));
+  }
+
+  // Recursion: Tarjan-free approach -- a function is recursive iff it can
+  // reach itself; with the small call graphs here an O(V*(V+E)) DFS per
+  // function is fine and obviously correct.
+  for (std::size_t f = 0; f < n; ++f) {
+    std::vector<bool> visited(n, false);
+    std::vector<FuncId> stack(callees_[f].begin(), callees_[f].end());
+    while (!stack.empty()) {
+      const FuncId g = stack.back();
+      stack.pop_back();
+      if (g == f) {
+        recursive_[f] = true;
+        break;
+      }
+      if (visited[g]) continue;
+      visited[g] = true;
+      for (FuncId h : callees_[g]) {
+        if (!visited[h]) stack.push_back(h);
+      }
+    }
+  }
+}
+
+}  // namespace detlock::analysis

@@ -1,0 +1,47 @@
+// Module call graph.
+//
+// Drives Opt1's fixed-point search over clockable functions (paper Fig. 4:
+// a function can be clocked only when everything it calls is already clocked
+// or carries a static estimate) and exposes leaf/recursion queries for tests
+// and diagnostics.
+#pragma once
+
+#include <vector>
+
+#include "ir/module.hpp"
+
+namespace detlock::analysis {
+
+using ir::ExternId;
+using ir::FuncId;
+
+class CallGraph {
+ public:
+  explicit CallGraph(const ir::Module& module);
+
+  /// Deduplicated direct callees (kCall + kSpawn targets).
+  const std::vector<FuncId>& callees(FuncId f) const { return callees_[f]; }
+  const std::vector<FuncId>& callers(FuncId f) const { return callers_[f]; }
+  const std::vector<ExternId>& extern_callees(FuncId f) const { return extern_callees_[f]; }
+
+  /// No calls to program functions at all (extern calls allowed: the paper
+  /// treats estimated built-ins as clockable leaves).
+  bool is_leaf(FuncId f) const { return callees_[f].empty(); }
+
+  /// f participates in a call-graph cycle (including self-recursion).
+  bool is_recursive(FuncId f) const { return recursive_[f]; }
+
+  /// f contains any synchronization operation (lock/unlock/barrier/spawn/
+  /// join).  Such functions are never clockable: their cost is not a pure
+  /// function of control flow.
+  bool has_sync_ops(FuncId f) const { return has_sync_[f]; }
+
+ private:
+  std::vector<std::vector<FuncId>> callees_;
+  std::vector<std::vector<FuncId>> callers_;
+  std::vector<std::vector<ExternId>> extern_callees_;
+  std::vector<bool> recursive_;
+  std::vector<bool> has_sync_;
+};
+
+}  // namespace detlock::analysis

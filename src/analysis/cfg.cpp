@@ -1,0 +1,58 @@
+#include "analysis/cfg.hpp"
+
+#include <algorithm>
+
+namespace detlock::analysis {
+
+Cfg::Cfg(const ir::Function& func) {
+  const std::size_t n = func.num_blocks();
+  succs_.resize(n);
+  preds_.resize(n);
+  reachable_.assign(n, false);
+  rpo_index_.assign(n, static_cast<std::size_t>(-1));
+
+  for (std::size_t b = 0; b < n; ++b) {
+    std::vector<BlockId> s = func.block(static_cast<BlockId>(b)).successors();
+    // Dedupe while preserving order: a condbr with both arms equal is a
+    // single CFG edge.
+    std::vector<BlockId> unique;
+    for (BlockId t : s) {
+      if (std::find(unique.begin(), unique.end(), t) == unique.end()) unique.push_back(t);
+    }
+    succs_[b] = std::move(unique);
+  }
+
+  // Iterative DFS computing post-order; recursion would overflow on the
+  // deep chain CFGs the workload generators emit.
+  std::vector<BlockId> post_order;
+  post_order.reserve(n);
+  if (n > 0) {
+    std::vector<std::size_t> next_child(n, 0);
+    std::vector<BlockId> stack;
+    stack.push_back(ir::Function::kEntry);
+    reachable_[ir::Function::kEntry] = true;
+    while (!stack.empty()) {
+      const BlockId b = stack.back();
+      if (next_child[b] < succs_[b].size()) {
+        const BlockId child = succs_[b][next_child[b]++];
+        if (!reachable_[child]) {
+          reachable_[child] = true;
+          stack.push_back(child);
+        }
+      } else {
+        post_order.push_back(b);
+        stack.pop_back();
+      }
+    }
+  }
+
+  rpo_.assign(post_order.rbegin(), post_order.rend());
+  for (std::size_t i = 0; i < rpo_.size(); ++i) rpo_index_[rpo_[i]] = i;
+
+  for (std::size_t b = 0; b < n; ++b) {
+    if (!reachable_[b]) continue;
+    for (BlockId t : succs_[b]) preds_[t].push_back(static_cast<BlockId>(b));
+  }
+}
+
+}  // namespace detlock::analysis

@@ -1,0 +1,44 @@
+// Control-flow graph view of a function.
+//
+// The IR stores only successor edges (in terminators); CFG materializes
+// predecessor lists, reverse post-order, and reachability in one pass so the
+// dominator/loop analyses and the DetLock optimizations can query them in
+// O(1).  A CFG is a snapshot: passes that mutate block structure rebuild it.
+#pragma once
+
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace detlock::analysis {
+
+using ir::BlockId;
+
+class Cfg {
+ public:
+  explicit Cfg(const ir::Function& func);
+
+  std::size_t num_blocks() const { return succs_.size(); }
+
+  const std::vector<BlockId>& successors(BlockId b) const { return succs_[b]; }
+  const std::vector<BlockId>& predecessors(BlockId b) const { return preds_[b]; }
+
+  bool reachable(BlockId b) const { return reachable_[b]; }
+
+  /// Blocks in reverse post-order of a DFS from entry (unreachable blocks
+  /// excluded).  Entry is always first.
+  const std::vector<BlockId>& rpo() const { return rpo_; }
+
+  /// Position of block in rpo(); blocks earlier in RPO dominate-or-precede
+  /// later ones along forward edges.  Unreachable blocks map to ~0.
+  std::size_t rpo_index(BlockId b) const { return rpo_index_[b]; }
+
+ private:
+  std::vector<std::vector<BlockId>> succs_;
+  std::vector<std::vector<BlockId>> preds_;
+  std::vector<bool> reachable_;
+  std::vector<BlockId> rpo_;
+  std::vector<std::size_t> rpo_index_;
+};
+
+}  // namespace detlock::analysis

@@ -1,0 +1,58 @@
+#include "analysis/dominators.hpp"
+
+namespace detlock::analysis {
+
+DominatorTree::DominatorTree(const Cfg& cfg) : cfg_(cfg) {
+  const std::size_t n = cfg.num_blocks();
+  idom_.assign(n, ir::kInvalidBlock);
+  children_.resize(n);
+  if (n == 0) return;
+
+  const std::vector<BlockId>& rpo = cfg.rpo();
+  const BlockId entry = ir::Function::kEntry;
+  idom_[entry] = entry;
+
+  auto intersect = [&](BlockId a, BlockId b) {
+    while (a != b) {
+      while (cfg_.rpo_index(a) > cfg_.rpo_index(b)) a = idom_[a];
+      while (cfg_.rpo_index(b) > cfg_.rpo_index(a)) b = idom_[b];
+    }
+    return a;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (BlockId b : rpo) {
+      if (b == entry) continue;
+      BlockId new_idom = ir::kInvalidBlock;
+      for (BlockId p : cfg_.predecessors(b)) {
+        if (idom_[p] == ir::kInvalidBlock) continue;  // not yet processed
+        new_idom = (new_idom == ir::kInvalidBlock) ? p : intersect(p, new_idom);
+      }
+      if (new_idom != ir::kInvalidBlock && idom_[b] != new_idom) {
+        idom_[b] = new_idom;
+        changed = true;
+      }
+    }
+  }
+
+  for (std::size_t b = 0; b < n; ++b) {
+    if (b == entry || idom_[b] == ir::kInvalidBlock) continue;
+    children_[idom_[b]].push_back(static_cast<BlockId>(b));
+  }
+}
+
+bool DominatorTree::dominates(BlockId a, BlockId b) const {
+  if (idom_[b] == ir::kInvalidBlock || idom_[a] == ir::kInvalidBlock) return false;
+  // Walk b's idom chain up to the entry; chains are short (tree height).
+  BlockId cur = b;
+  while (true) {
+    if (cur == a) return true;
+    const BlockId up = idom_[cur];
+    if (up == cur) return false;  // reached entry
+    cur = up;
+  }
+}
+
+}  // namespace detlock::analysis

@@ -1,0 +1,36 @@
+// Dominator tree (Cooper-Harvey-Kennedy "A Simple, Fast Dominance
+// Algorithm").
+//
+// Optimization 3 only averages paths over blocks *dominated* by the path
+// root ("execution must pass through the dominating block to reach its
+// dominated blocks" -- paper Sec. IV-C), and Optimization 2a requires the
+// conditional's successors to be dominated by it; both queries land here.
+#pragma once
+
+#include <vector>
+
+#include "analysis/cfg.hpp"
+
+namespace detlock::analysis {
+
+class DominatorTree {
+ public:
+  explicit DominatorTree(const Cfg& cfg);
+
+  /// Immediate dominator; entry's idom is itself.  Unreachable blocks map to
+  /// kInvalidBlock.
+  BlockId idom(BlockId b) const { return idom_[b]; }
+
+  /// True iff a dominates b (reflexive: dominates(x, x) == true for
+  /// reachable x).
+  bool dominates(BlockId a, BlockId b) const;
+
+  const std::vector<BlockId>& children(BlockId b) const { return children_[b]; }
+
+ private:
+  const Cfg& cfg_;
+  std::vector<BlockId> idom_;
+  std::vector<std::vector<BlockId>> children_;
+};
+
+}  // namespace detlock::analysis

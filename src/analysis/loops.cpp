@@ -1,0 +1,59 @@
+#include "analysis/loops.hpp"
+
+#include <algorithm>
+
+namespace detlock::analysis {
+
+LoopInfo::LoopInfo(const Cfg& cfg, const DominatorTree& domtree) {
+  const std::size_t n = cfg.num_blocks();
+  is_header_.assign(n, false);
+  depth_.assign(n, 0);
+
+  for (std::size_t b = 0; b < n; ++b) {
+    if (!cfg.reachable(static_cast<BlockId>(b))) continue;
+    for (BlockId succ : cfg.successors(static_cast<BlockId>(b))) {
+      if (domtree.dominates(succ, static_cast<BlockId>(b))) {
+        back_edges_.push_back(BackEdge{static_cast<BlockId>(b), succ});
+        is_header_[succ] = true;
+      }
+    }
+  }
+
+  // Collect each natural loop's body (header + all blocks that reach a
+  // latch without passing through the header) and bump depths.  Back edges
+  // sharing a header describe one loop, so bodies are unioned per header
+  // before the depth bump.
+  for (std::size_t h = 0; h < n; ++h) {
+    if (!is_header_[h]) continue;
+    const BlockId header = static_cast<BlockId>(h);
+    std::vector<bool> in_loop(n, false);
+    in_loop[header] = true;
+    std::vector<BlockId> stack;
+    for (const BackEdge& edge : back_edges_) {
+      if (edge.to == header && !in_loop[edge.from]) {
+        in_loop[edge.from] = true;
+        stack.push_back(edge.from);
+      }
+    }
+    while (!stack.empty()) {
+      const BlockId b = stack.back();
+      stack.pop_back();
+      for (BlockId p : cfg.predecessors(b)) {
+        if (!in_loop[p]) {
+          in_loop[p] = true;
+          stack.push_back(p);
+        }
+      }
+    }
+    for (std::size_t b = 0; b < n; ++b) {
+      if (in_loop[b]) ++depth_[b];
+    }
+  }
+}
+
+bool LoopInfo::is_back_edge(BlockId from, BlockId to) const {
+  return std::any_of(back_edges_.begin(), back_edges_.end(),
+                     [&](const BackEdge& e) { return e.from == from && e.to == to; });
+}
+
+}  // namespace detlock::analysis

@@ -1,0 +1,45 @@
+// Natural-loop detection.
+//
+// Optimization 4 looks at back edges ("we check for back edges and if ...
+// the clock of the block from which the backedge is originating is less than
+// a certain threshold ... we merge its clock value to that block's clock").
+// Optimization 2a refuses merge blocks that are loop headers, and
+// Optimization 2b compares *loop depth* of the two shift candidates.
+#pragma once
+
+#include <vector>
+
+#include "analysis/dominators.hpp"
+
+namespace detlock::analysis {
+
+struct BackEdge {
+  BlockId from = 0;  // latch
+  BlockId to = 0;    // header (dominates `from`)
+};
+
+class LoopInfo {
+ public:
+  LoopInfo(const Cfg& cfg, const DominatorTree& domtree);
+
+  const std::vector<BackEdge>& back_edges() const { return back_edges_; }
+
+  bool is_loop_header(BlockId b) const { return is_header_[b]; }
+
+  /// Number of natural loops containing b (0 = not in any loop).
+  unsigned loop_depth(BlockId b) const { return depth_[b]; }
+
+  /// True if edge from->to is a back edge (to dominates from).
+  bool is_back_edge(BlockId from, BlockId to) const;
+
+  /// True if any block of the function is a loop header (used by Opt1's
+  /// hasLoops check).
+  bool has_loops() const { return !back_edges_.empty(); }
+
+ private:
+  std::vector<BackEdge> back_edges_;
+  std::vector<bool> is_header_;
+  std::vector<unsigned> depth_;
+};
+
+}  // namespace detlock::analysis

@@ -1,0 +1,142 @@
+#include "analysis/paths.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace detlock::analysis {
+
+namespace {
+
+struct Moments {
+  double count = 0.0;
+  double sum = 0.0;
+  double sumsq = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Topological order of the region subgraph rooted at start; empty when the
+/// subgraph reachable from start is cyclic.
+std::vector<BlockId> region_topo_order(const Cfg& cfg, BlockId start, const std::vector<bool>& in_region) {
+  // Kahn's algorithm restricted to region blocks reachable from start.
+  const std::size_t n = cfg.num_blocks();
+  std::vector<bool> reachable(n, false);
+  std::vector<BlockId> stack{start};
+  reachable[start] = true;
+  while (!stack.empty()) {
+    const BlockId b = stack.back();
+    stack.pop_back();
+    for (BlockId s : cfg.successors(b)) {
+      if (in_region[s] && !reachable[s]) {
+        reachable[s] = true;
+        stack.push_back(s);
+      }
+    }
+  }
+
+  std::vector<std::size_t> indegree(n, 0);
+  for (std::size_t b = 0; b < n; ++b) {
+    if (!reachable[b]) continue;
+    for (BlockId s : cfg.successors(static_cast<BlockId>(b))) {
+      // An edge back into start means paths from start could revisit it:
+      // a cycle by definition, so the region is not averageable.
+      if (s == start) return {};
+      if (reachable[s] && in_region[s]) ++indegree[s];
+    }
+  }
+  std::vector<BlockId> order;
+  std::vector<BlockId> worklist{start};
+  std::vector<bool> emitted(n, false);
+  while (!worklist.empty()) {
+    const BlockId b = worklist.back();
+    worklist.pop_back();
+    if (emitted[b]) continue;
+    emitted[b] = true;
+    order.push_back(b);
+    for (BlockId s : cfg.successors(b)) {
+      if (reachable[s] && in_region[s] && !emitted[s]) {
+        if (--indegree[s] == 0) worklist.push_back(s);
+      }
+    }
+  }
+  std::size_t reachable_count = 0;
+  for (std::size_t b = 0; b < n; ++b) {
+    if (reachable[b]) ++reachable_count;
+  }
+  if (order.size() != reachable_count) return {};  // cycle
+  return order;
+}
+
+}  // namespace
+
+PathStatsResult region_path_stats(const Cfg& cfg, BlockId start, const std::vector<bool>& in_region,
+                                  const BlockCostFn& cost) {
+  PathStatsResult result;
+  if (start >= cfg.num_blocks() || !in_region[start]) return result;
+
+  const std::vector<BlockId> topo = region_topo_order(cfg, start, in_region);
+  if (topo.empty()) return result;  // cyclic
+
+  const std::size_t n = cfg.num_blocks();
+  std::vector<Moments> m(n);
+  std::vector<bool> computed(n, false);
+
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const BlockId b = *it;
+    const double c = static_cast<double>(cost(b));
+    Moments agg;  // moments of the suffix *after* b (0 per terminating edge)
+    bool first = true;
+    std::size_t out_edges = 0;
+    for (BlockId s : cfg.successors(b)) {
+      if (in_region[s]) {
+        const Moments& child = m[s];
+        agg.count += child.count;
+        agg.sum += child.sum;
+        agg.sumsq += child.sumsq;
+        if (first || child.min < agg.min) agg.min = first ? child.min : std::min(agg.min, child.min);
+        if (first || child.max > agg.max) agg.max = first ? child.max : std::max(agg.max, child.max);
+        first = false;
+      } else {
+        ++out_edges;
+      }
+    }
+    if (cfg.successors(b).empty()) out_edges = 1;  // ret terminates one path
+    if (out_edges > 0) {
+      agg.count += static_cast<double>(out_edges);
+      // Terminating edges contribute suffix total 0.
+      if (first || 0.0 < agg.min) agg.min = first ? 0.0 : std::min(agg.min, 0.0);
+      if (first || 0.0 > agg.max) agg.max = first ? 0.0 : std::max(agg.max, 0.0);
+      first = false;
+    }
+    // Shift all suffix totals by c: moments of (c + X).
+    Moments& out = m[b];
+    out.count = agg.count;
+    out.sum = agg.sum + c * agg.count;
+    out.sumsq = agg.sumsq + 2.0 * c * agg.sum + c * c * agg.count;
+    out.min = agg.min + c;
+    out.max = agg.max + c;
+    computed[b] = true;
+  }
+
+  const Moments& root = m[start];
+  if (!computed[start] || root.count <= 0.0) return result;
+  result.valid = true;
+  result.count = root.count;
+  result.mean = root.sum / root.count;
+  const double var = std::max(0.0, root.sumsq / root.count - result.mean * result.mean);
+  result.stddev = std::sqrt(var);
+  result.min = root.min;
+  result.max = root.max;
+  return result;
+}
+
+PathStatsResult function_path_stats(const Cfg& cfg, const BlockCostFn& cost) {
+  std::vector<bool> in_region(cfg.num_blocks(), false);
+  for (std::size_t b = 0; b < cfg.num_blocks(); ++b) {
+    in_region[b] = cfg.reachable(static_cast<BlockId>(b));
+  }
+  if (cfg.num_blocks() == 0) return {};
+  return region_path_stats(cfg, ir::Function::kEntry, in_region, cost);
+}
+
+}  // namespace detlock::analysis

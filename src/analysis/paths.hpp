@@ -1,0 +1,65 @@
+// Path statistics over an acyclic block region.
+//
+// Both Opt1 (Function Clocking) and Opt3 (Averaging of Clocks) ask: over all
+// control-flow paths through a region, what are the mean / stddev / range of
+// accumulated clock totals?  The paper's pseudocode enumerates paths
+// (`getClocksOfAllPaths`); path counts are exponential in the number of
+// sequential diamonds, so this implementation computes the identical
+// statistics with a dynamic program over the region DAG:
+//
+//   per block, in reverse topological order, track the tuple
+//   (path_count, sum, sum_of_squares, min, max) of path totals from that
+//   block to any terminal block; combining successors is tuple addition and
+//   adding the block's own clock shifts all moments.
+//
+// Doubles hold the moments: counts can exceed 2^64 but stay exact small
+// integers long past any realistic region, and the clockability criteria
+// only need ~6 significant digits.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "analysis/cfg.hpp"
+
+namespace detlock::analysis {
+
+struct PathStatsResult {
+  bool valid = false;   // false: region is cyclic or start has no paths
+  double count = 0.0;   // number of distinct paths
+  double mean = 0.0;
+  double stddev = 0.0;  // population stddev across paths
+  double min = 0.0;
+  double max = 0.0;
+
+  double range() const { return max - min; }
+};
+
+/// Per-block clock cost callback (the pass supplies original clock values or
+/// current assignments).
+using BlockCostFn = std::function<std::int64_t(BlockId)>;
+
+/// Computes path statistics for the region consisting of `blocks` (which
+/// must include `start`).  A path begins at `start` and follows CFG edges
+/// between region blocks; it terminates at a block none of whose successors
+/// are in the region (or with no successors at all).  Blocks in the region
+/// that can exit mid-way (some successors outside) terminate the paths that
+/// take the exiting edge at that block -- cost accounting stays exact
+/// because every region block's cost is charged exactly once per visit.
+///
+/// More precisely: the set of paths is every maximal sequence
+/// start = b0 -> b1 -> ... -> bk with all bi in the region, where the
+/// sequence is maximal if bk has no successor in the region; additionally,
+/// for blocks with a mix of region/non-region successors, the truncated
+/// path ending at that block is counted once for each exiting edge.
+///
+/// Returns invalid if the region subgraph contains a cycle.
+PathStatsResult region_path_stats(const Cfg& cfg, BlockId start, const std::vector<bool>& in_region,
+                                  const BlockCostFn& cost);
+
+/// Whole-function variant used by Opt1: region = all reachable blocks, paths
+/// run entry -> ret.  Invalid if the CFG has any cycle.
+PathStatsResult function_path_stats(const Cfg& cfg, const BlockCostFn& cost);
+
+}  // namespace detlock::analysis

@@ -1,0 +1,370 @@
+#include "interp/engine.hpp"
+
+#include <bit>
+#include <cmath>
+#include <thread>
+
+#include "runtime/det_backend.hpp"
+#include "runtime/nondet_backend.hpp"
+#include "support/error.hpp"
+
+namespace detlock::interp {
+
+namespace {
+
+std::int64_t as_i64(std::uint64_t bits) { return static_cast<std::int64_t>(bits); }
+std::uint64_t from_i64(std::int64_t v) { return static_cast<std::uint64_t>(v); }
+double as_f64(std::uint64_t bits) { return std::bit_cast<double>(bits); }
+std::uint64_t from_f64(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+bool eval_cmp(ir::CmpPred pred, std::int64_t a, std::int64_t b) {
+  switch (pred) {
+    case ir::CmpPred::kEq: return a == b;
+    case ir::CmpPred::kNe: return a != b;
+    case ir::CmpPred::kLt: return a < b;
+    case ir::CmpPred::kLe: return a <= b;
+    case ir::CmpPred::kGt: return a > b;
+    case ir::CmpPred::kGe: return a >= b;
+  }
+  DETLOCK_UNREACHABLE("bad predicate");
+}
+
+bool eval_fcmp(ir::CmpPred pred, double a, double b) {
+  switch (pred) {
+    case ir::CmpPred::kEq: return a == b;
+    case ir::CmpPred::kNe: return a != b;
+    case ir::CmpPred::kLt: return a < b;
+    case ir::CmpPred::kLe: return a <= b;
+    case ir::CmpPred::kGt: return a > b;
+    case ir::CmpPred::kGe: return a >= b;
+  }
+  DETLOCK_UNREACHABLE("bad predicate");
+}
+
+}  // namespace
+
+struct Engine::ThreadCtx {
+  runtime::ThreadId tid = 0;
+  std::uint64_t steps = 0;
+  std::uint64_t instrs = 0;
+  std::uint64_t clock_instrs = 0;
+  std::uint32_t since_yield = 0;
+  std::vector<runtime::MutexId> held;
+};
+
+Engine::Engine(const ir::Module& module, EngineConfig config)
+    : module_(module),
+      config_(config),
+      memory_(config.memory_words),
+      os_threads_(config.runtime.max_threads),
+      thread_errors_(config.runtime.max_threads),
+      records_(config.runtime.max_threads),
+      final_clocks_(config.runtime.max_threads, 0),
+      instr_counts_(config.runtime.max_threads, 0),
+      clock_instr_counts_(config.runtime.max_threads, 0) {
+  config_.runtime.abort_flag = &abort_flag_;
+  if (config_.deterministic) {
+    backend_ = std::make_unique<runtime::DetBackend>(config_.runtime);
+  } else {
+    backend_ = std::make_unique<runtime::NondetBackend>(config_.runtime);
+  }
+
+  if (config_.heap_base < 0) config_.heap_base = static_cast<std::int64_t>(config_.memory_words / 2);
+  if (config_.heap_words < 0) {
+    config_.heap_words = static_cast<std::int64_t>(config_.memory_words) - config_.heap_base;
+  }
+  if (config_.heap_words > 0) {
+    allocator_ = std::make_unique<runtime::DetAllocator>(*backend_, config_.allocator_mutex, config_.heap_base,
+                                                         config_.heap_words);
+  }
+
+  register_standard_externs(externs_);
+  externs_.register_impl("dl_malloc", [this](ExternCallContext& c) {
+    DETLOCK_CHECK(allocator_ != nullptr, "dl_malloc called but the heap is disabled");
+    return from_i64(allocator_->allocate(c.thread, as_i64(c.args[0])));
+  });
+  externs_.register_impl("dl_free", [this](ExternCallContext& c) {
+    DETLOCK_CHECK(allocator_ != nullptr, "dl_free called but the heap is disabled");
+    allocator_->deallocate(c.thread, as_i64(c.args[0]));
+    return std::uint64_t{0};
+  });
+  externs_.register_impl("record", [this](ExternCallContext& c) {
+    records_[c.thread].push_back(as_i64(c.args[0]));
+    return std::uint64_t{0};
+  });
+
+  extern_impls_.assign(module_.externs().size(), nullptr);
+}
+
+Engine::~Engine() {
+  // Defensive: never leave detached OS threads behind if run() threw.
+  abort_flag_.store(true, std::memory_order_relaxed);
+  for (std::thread& t : os_threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+std::uint64_t Engine::call_extern(ThreadCtx& ctx, ir::ExternId id, std::vector<std::uint64_t> args) {
+  const ExternImpl* impl = extern_impls_[id];
+  if (impl == nullptr) {
+    // Lazy resolution: tests may register implementations after the engine
+    // is constructed.  ExternTable guarantees stable addresses, and the
+    // first extern call happens-after run() starts, so caching is safe.
+    const std::string& name = module_.extern_decl(id).name;
+    DETLOCK_CHECK(externs_.has(name), "extern @" + name + " has no implementation");
+    impl = &externs_.lookup(name);
+    extern_impls_[id] = impl;
+  }
+  ExternCallContext call{memory_, ctx.tid, args};
+  return (*impl)(call);
+}
+
+std::uint64_t Engine::exec_function(ThreadCtx& ctx, ir::FuncId func_id, std::vector<std::uint64_t> args) {
+  const ir::Function& func = module_.function(func_id);
+  DETLOCK_CHECK(args.size() == func.num_params(), "argument count mismatch calling @" + func.name());
+  std::vector<std::uint64_t> regs(func.num_regs(), 0);
+  std::copy(args.begin(), args.end(), regs.begin());
+
+  ir::BlockId block = ir::Function::kEntry;
+  std::size_t index = 0;
+  while (true) {
+    const std::vector<ir::Instr>& instrs = func.block(block).instrs();
+    DETLOCK_CHECK(index < instrs.size(), "fell off block '" + func.block(block).name() + "' in @" + func.name());
+    const ir::Instr& in = instrs[index];
+    ++index;
+    ++ctx.instrs;
+    if (++ctx.steps > config_.max_steps_per_thread) {
+      throw Error("thread " + std::to_string(ctx.tid) + " exceeded max_steps_per_thread");
+    }
+    if ((ctx.steps & 0xffff) == 0 && abort_flag_.load(std::memory_order_relaxed)) {
+      throw Error("execution aborted (another thread failed)");
+    }
+    if (config_.yield_interval != 0 && ++ctx.since_yield >= config_.yield_interval) {
+      ctx.since_yield = 0;
+      std::this_thread::yield();
+    }
+
+    switch (in.op) {
+      case ir::Opcode::kConst: regs[in.dst] = from_i64(in.imm); break;
+      case ir::Opcode::kConstF: regs[in.dst] = from_f64(in.fimm); break;
+      case ir::Opcode::kMov: regs[in.dst] = regs[in.a]; break;
+      case ir::Opcode::kAdd: regs[in.dst] = from_i64(as_i64(regs[in.a]) + as_i64(regs[in.b])); break;
+      case ir::Opcode::kSub: regs[in.dst] = from_i64(as_i64(regs[in.a]) - as_i64(regs[in.b])); break;
+      case ir::Opcode::kMul: regs[in.dst] = from_i64(as_i64(regs[in.a]) * as_i64(regs[in.b])); break;
+      case ir::Opcode::kDiv: {
+        const std::int64_t d = as_i64(regs[in.b]);
+        DETLOCK_CHECK(d != 0, "division by zero in @" + func.name());
+        regs[in.dst] = from_i64(as_i64(regs[in.a]) / d);
+        break;
+      }
+      case ir::Opcode::kRem: {
+        const std::int64_t d = as_i64(regs[in.b]);
+        DETLOCK_CHECK(d != 0, "remainder by zero in @" + func.name());
+        regs[in.dst] = from_i64(as_i64(regs[in.a]) % d);
+        break;
+      }
+      case ir::Opcode::kAnd: regs[in.dst] = regs[in.a] & regs[in.b]; break;
+      case ir::Opcode::kOr: regs[in.dst] = regs[in.a] | regs[in.b]; break;
+      case ir::Opcode::kXor: regs[in.dst] = regs[in.a] ^ regs[in.b]; break;
+      case ir::Opcode::kShl: regs[in.dst] = regs[in.a] << (regs[in.b] & 63); break;
+      case ir::Opcode::kShr: regs[in.dst] = from_i64(as_i64(regs[in.a]) >> (regs[in.b] & 63)); break;
+      case ir::Opcode::kFAdd: regs[in.dst] = from_f64(as_f64(regs[in.a]) + as_f64(regs[in.b])); break;
+      case ir::Opcode::kFSub: regs[in.dst] = from_f64(as_f64(regs[in.a]) - as_f64(regs[in.b])); break;
+      case ir::Opcode::kFMul: regs[in.dst] = from_f64(as_f64(regs[in.a]) * as_f64(regs[in.b])); break;
+      case ir::Opcode::kFDiv: regs[in.dst] = from_f64(as_f64(regs[in.a]) / as_f64(regs[in.b])); break;
+      case ir::Opcode::kFSqrt: regs[in.dst] = from_f64(std::sqrt(as_f64(regs[in.a]))); break;
+      case ir::Opcode::kICmp:
+        regs[in.dst] = eval_cmp(in.pred, as_i64(regs[in.a]), as_i64(regs[in.b])) ? 1 : 0;
+        break;
+      case ir::Opcode::kFCmp:
+        regs[in.dst] = eval_fcmp(in.pred, as_f64(regs[in.a]), as_f64(regs[in.b])) ? 1 : 0;
+        break;
+      case ir::Opcode::kItoF: regs[in.dst] = from_f64(static_cast<double>(as_i64(regs[in.a]))); break;
+      case ir::Opcode::kFtoI: regs[in.dst] = from_i64(static_cast<std::int64_t>(as_f64(regs[in.a]))); break;
+      case ir::Opcode::kLoad:
+      case ir::Opcode::kLoadF: {
+        const std::int64_t addr = as_i64(regs[in.a]) + in.imm;
+        if (config_.observer != nullptr) config_.observer->on_access(ctx.tid, addr, false, ctx.held);
+        regs[in.dst] = from_i64(memory_.load(addr));
+        break;
+      }
+      case ir::Opcode::kStore:
+      case ir::Opcode::kStoreF: {
+        const std::int64_t addr = as_i64(regs[in.a]) + in.imm;
+        if (config_.observer != nullptr) config_.observer->on_access(ctx.tid, addr, true, ctx.held);
+        memory_.store(addr, as_i64(regs[in.b]));
+        break;
+      }
+      case ir::Opcode::kBr:
+        block = static_cast<ir::BlockId>(in.imm);
+        index = 0;
+        break;
+      case ir::Opcode::kCondBr:
+        block = regs[in.a] != 0 ? static_cast<ir::BlockId>(in.imm) : in.target2;
+        index = 0;
+        break;
+      case ir::Opcode::kSwitch: {
+        ir::BlockId target = static_cast<ir::BlockId>(in.imm);
+        const std::int64_t value = as_i64(regs[in.a]);
+        for (std::size_t i = 0; i + 1 < in.args.size(); i += 2) {
+          if (static_cast<std::int64_t>(in.args[i]) == value) {
+            target = static_cast<ir::BlockId>(in.args[i + 1]);
+            break;
+          }
+        }
+        block = target;
+        index = 0;
+        break;
+      }
+      case ir::Opcode::kRet:
+        return in.has_value ? regs[in.a] : 0;
+      case ir::Opcode::kCall: {
+        std::vector<std::uint64_t> call_args;
+        call_args.reserve(in.args.size());
+        for (ir::Reg r : in.args) call_args.push_back(regs[r]);
+        regs[in.dst] = exec_function(ctx, in.callee, std::move(call_args));
+        break;
+      }
+      case ir::Opcode::kCallExtern: {
+        std::vector<std::uint64_t> call_args;
+        call_args.reserve(in.args.size());
+        for (ir::Reg r : in.args) call_args.push_back(regs[r]);
+        regs[in.dst] = call_extern(ctx, in.callee, std::move(call_args));
+        break;
+      }
+      case ir::Opcode::kLock: {
+        const runtime::MutexId mutex = static_cast<runtime::MutexId>(as_i64(regs[in.a]));
+        backend_->lock(ctx.tid, mutex);
+        ctx.held.push_back(mutex);
+        break;
+      }
+      case ir::Opcode::kUnlock: {
+        const runtime::MutexId mutex = static_cast<runtime::MutexId>(as_i64(regs[in.a]));
+        backend_->unlock(ctx.tid, mutex);
+        auto it = std::find(ctx.held.begin(), ctx.held.end(), mutex);
+        if (it != ctx.held.end()) ctx.held.erase(it);
+        break;
+      }
+      case ir::Opcode::kBarrier:
+        backend_->barrier_wait(ctx.tid, static_cast<runtime::BarrierId>(as_i64(regs[in.a])),
+                               static_cast<std::uint32_t>(as_i64(regs[in.b])));
+        if (config_.observer != nullptr) config_.observer->on_barrier(ctx.tid);
+        break;
+      case ir::Opcode::kCondWait:
+        // The mutex is released for the duration of the wait and reacquired
+        // before return, so the engine-side lockset is unchanged on exit.
+        backend_->cond_wait(ctx.tid, static_cast<runtime::CondVarId>(as_i64(regs[in.a])),
+                            static_cast<runtime::MutexId>(as_i64(regs[in.b])));
+        break;
+      case ir::Opcode::kCondSignal:
+        backend_->cond_signal(ctx.tid, static_cast<runtime::CondVarId>(as_i64(regs[in.a])));
+        break;
+      case ir::Opcode::kCondBroadcast:
+        backend_->cond_broadcast(ctx.tid, static_cast<runtime::CondVarId>(as_i64(regs[in.a])));
+        break;
+      case ir::Opcode::kSpawn: {
+        std::vector<std::uint64_t> call_args;
+        call_args.reserve(in.args.size());
+        for (ir::Reg r : in.args) call_args.push_back(regs[r]);
+        const runtime::ThreadId child = backend_->register_spawn(ctx.tid);
+        spawned_count_.fetch_add(1, std::memory_order_relaxed);
+        os_threads_[child] =
+            std::thread(&Engine::thread_main, this, child, in.callee, std::move(call_args));
+        regs[in.dst] = from_i64(child);
+        break;
+      }
+      case ir::Opcode::kJoin: {
+        const std::int64_t handle = as_i64(regs[in.a]);
+        DETLOCK_CHECK(handle >= 0 && static_cast<std::size_t>(handle) < os_threads_.size() &&
+                          os_threads_[static_cast<std::size_t>(handle)].joinable(),
+                      "join of never-spawned or already-joined thread " + std::to_string(handle));
+        const runtime::ThreadId target = static_cast<runtime::ThreadId>(handle);
+        backend_->join(ctx.tid, target);
+        os_threads_[target].join();
+        if (config_.observer != nullptr) config_.observer->on_join(ctx.tid, target);
+        break;
+      }
+      case ir::Opcode::kClockAdd:
+        ++ctx.clock_instrs;
+        backend_->clock_add(ctx.tid, static_cast<std::uint64_t>(in.imm));
+        break;
+      case ir::Opcode::kClockAddDyn: {
+        ++ctx.clock_instrs;
+        const double scaled = in.fimm * static_cast<double>(as_i64(regs[in.a]));
+        const std::int64_t delta = in.imm + static_cast<std::int64_t>(std::llround(std::max(0.0, scaled)));
+        backend_->clock_add(ctx.tid, static_cast<std::uint64_t>(std::max<std::int64_t>(delta, 0)));
+        break;
+      }
+    }
+  }
+}
+
+void Engine::thread_main(runtime::ThreadId tid, ir::FuncId func, std::vector<std::uint64_t> args) {
+  ThreadCtx ctx;
+  ctx.tid = tid;
+  try {
+    exec_function(ctx, func, std::move(args));
+    DETLOCK_CHECK(ctx.held.empty(), "thread finished while holding a mutex");
+  } catch (...) {
+    thread_errors_[tid] = std::current_exception();
+    abort_flag_.store(true, std::memory_order_relaxed);
+  }
+  instr_counts_[tid] = ctx.instrs;
+  clock_instr_counts_[tid] = ctx.clock_instrs;
+  final_clocks_[tid] = backend_->clock_of(tid);
+  backend_->thread_finish(tid);
+}
+
+RunResult Engine::run(std::string_view entry_name, const std::vector<std::int64_t>& args) {
+  return run(module_.find_function(entry_name), args);
+}
+
+RunResult Engine::run(ir::FuncId entry, const std::vector<std::int64_t>& args) {
+  DETLOCK_CHECK(!ran_, "an Engine can only run once");
+  ran_ = true;
+
+  const runtime::ThreadId main_tid = backend_->register_main_thread();
+  ThreadCtx ctx;
+  ctx.tid = main_tid;
+
+  RunResult result;
+  std::vector<std::uint64_t> main_args;
+  main_args.reserve(args.size());
+  for (std::int64_t a : args) main_args.push_back(from_i64(a));
+
+  std::exception_ptr main_error;
+  try {
+    result.main_return = as_i64(exec_function(ctx, entry, std::move(main_args)));
+    DETLOCK_CHECK(ctx.held.empty(), "main thread finished while holding a mutex");
+  } catch (...) {
+    main_error = std::current_exception();
+    abort_flag_.store(true, std::memory_order_relaxed);
+  }
+  instr_counts_[main_tid] = ctx.instrs;
+  clock_instr_counts_[main_tid] = ctx.clock_instrs;
+  final_clocks_[main_tid] = backend_->clock_of(main_tid);
+  backend_->thread_finish(main_tid);
+
+  // Join any threads the program leaked (or that are unwinding after an
+  // abort) before touching shared state.
+  for (std::thread& t : os_threads_) {
+    if (t.joinable()) t.join();
+  }
+
+  if (main_error) std::rethrow_exception(main_error);
+  for (const std::exception_ptr& e : thread_errors_) {
+    if (e) std::rethrow_exception(e);
+  }
+
+  result.threads = 1 + spawned_count_.load(std::memory_order_relaxed);
+  for (std::uint64_t c : instr_counts_) result.instructions += c;
+  for (std::uint64_t c : clock_instr_counts_) result.clock_update_instrs += c;
+  result.trace_fingerprint = backend_->trace().fingerprint();
+  result.lock_acquires = backend_->trace().acquire_count();
+  result.memory_fingerprint = memory_.fingerprint();
+  result.sync = backend_->stats();
+  result.final_clocks.assign(final_clocks_.begin(), final_clocks_.begin() + result.threads);
+  return result;
+}
+
+}  // namespace detlock::interp

@@ -1,0 +1,125 @@
+// Execution engine: runs an (instrumented) IR module on real OS threads.
+//
+// Every IR thread is one OS thread; kSpawn/kJoin/kLock/kUnlock/kBarrier and
+// the instrumentation opcodes dispatch into the configured SyncBackend, so
+// the *same* program binary-compared runs under:
+//   * NondetBackend                      -- "Original Exec Time" baseline
+//   * DetBackend (every-update clocks)   -- DetLock
+//   * DetBackend (chunked clocks)        -- the Kendo comparison runtime
+//
+// The interpreter charges real wall time proportional to executed IR
+// instructions, so clock-update overhead (extra kClockAdd instructions) and
+// deterministic-execution overhead (turn waiting) both show up in measured
+// run time exactly as they do for natively compiled code in the paper.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "interp/externs.hpp"
+#include "interp/observer.hpp"
+#include "ir/module.hpp"
+#include "runtime/backend.hpp"
+#include "runtime/det_allocator.hpp"
+#include "runtime/shared_memory.hpp"
+
+namespace detlock::interp {
+
+struct EngineConfig {
+  /// true: DetBackend (configured by `runtime`); false: NondetBackend.
+  bool deterministic = true;
+  runtime::RuntimeConfig runtime;
+
+  std::size_t memory_words = 1 << 20;
+  /// Per-thread executed-instruction limit (runaway-loop guard).
+  std::uint64_t max_steps_per_thread = 4'000'000'000ULL;
+
+  /// Cooperative time-slicing: every thread yields the CPU after this many
+  /// executed instructions (0 disables).  On hosts with fewer cores than
+  /// program threads this is what makes logical-clock waiting behave like
+  /// it does on real parallel hardware: without it, a thread blocked on a
+  /// peer's clock donates a whole multi-millisecond scheduler quantum to
+  /// that peer, inflating deterministic-execution overhead by orders of
+  /// magnitude.  The cost is identical across all execution modes, so
+  /// overhead ratios are unaffected.
+  std::uint32_t yield_interval = 256;
+
+  /// Optional race-detection hook; when set, every load/store is reported
+  /// together with the executing thread's lockset.
+  MemoryAccessObserver* observer = nullptr;
+
+  /// Deterministic heap served by dl_malloc/dl_free; 0 words disables it.
+  /// Defaults to the upper half of memory.
+  std::int64_t heap_base = -1;  // -1 => memory_words / 2
+  std::int64_t heap_words = -1; // -1 => memory_words / 2
+  /// Reserved mutex backing the allocator's internal lock (paper: malloc's
+  /// lock replaced with a deterministic lock).
+  runtime::MutexId allocator_mutex = 4095;
+};
+
+struct RunResult {
+  std::int64_t main_return = 0;
+  std::uint64_t instructions = 0;        // all executed IR instructions
+  std::uint64_t clock_update_instrs = 0; // kClockAdd/kClockAddDyn among them
+  std::uint64_t threads = 0;
+  std::uint64_t trace_fingerprint = 0;
+  std::uint64_t lock_acquires = 0;
+  std::uint64_t memory_fingerprint = 0;
+  runtime::BackendStats sync;
+  /// Published logical clock of each thread just before it finished.
+  std::vector<std::uint64_t> final_clocks;
+};
+
+class Engine {
+ public:
+  Engine(const ir::Module& module, EngineConfig config = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Executes `entry(args...)` as the main thread; returns once every
+  /// spawned thread has been joined (unjoined threads are an error).  An
+  /// Engine runs exactly once.
+  RunResult run(ir::FuncId entry, const std::vector<std::int64_t>& args = {});
+
+  RunResult run(std::string_view entry_name, const std::vector<std::int64_t>& args = {});
+
+  runtime::SharedMemory& memory() { return memory_; }
+  runtime::SyncBackend& backend() { return *backend_; }
+  ExternTable& externs() { return externs_; }
+  runtime::DetAllocator* allocator() { return allocator_.get(); }
+
+  /// Per-thread output of the `record` extern -- deterministic per thread,
+  /// used by tests as an application-visible determinism witness.
+  const std::vector<std::vector<std::int64_t>>& records() const { return records_; }
+
+ private:
+  struct ThreadCtx;
+
+  std::uint64_t exec_function(ThreadCtx& ctx, ir::FuncId func, std::vector<std::uint64_t> args);
+  std::uint64_t call_extern(ThreadCtx& ctx, ir::ExternId id, std::vector<std::uint64_t> args);
+  void thread_main(runtime::ThreadId tid, ir::FuncId func, std::vector<std::uint64_t> args);
+
+  const ir::Module& module_;
+  EngineConfig config_;
+  runtime::SharedMemory memory_;
+  std::unique_ptr<runtime::SyncBackend> backend_;
+  std::unique_ptr<runtime::DetAllocator> allocator_;
+  ExternTable externs_;
+  std::vector<const ExternImpl*> extern_impls_;  // indexed by ExternId
+
+  std::atomic<bool> abort_flag_{false};
+  std::vector<std::thread> os_threads_;
+  std::vector<std::exception_ptr> thread_errors_;
+  std::vector<std::vector<std::int64_t>> records_;
+  std::vector<std::uint64_t> final_clocks_;
+  std::vector<std::uint64_t> instr_counts_;
+  std::vector<std::uint64_t> clock_instr_counts_;
+  std::atomic<std::uint32_t> spawned_count_{0};
+  bool ran_ = false;
+};
+
+}  // namespace detlock::interp

@@ -1,0 +1,97 @@
+#include "interp/externs.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace detlock::interp {
+
+void ExternTable::register_impl(std::string name, ExternImpl impl) {
+  impls_[std::move(name)] = std::move(impl);
+}
+
+bool ExternTable::has(const std::string& name) const { return impls_.count(name) != 0; }
+
+const ExternImpl& ExternTable::lookup(const std::string& name) const {
+  const auto it = impls_.find(name);
+  if (it == impls_.end()) throw Error("no implementation registered for extern @" + name);
+  return it->second;
+}
+
+namespace {
+
+double as_f64(std::uint64_t bits) { return std::bit_cast<double>(bits); }
+std::uint64_t from_f64(double v) { return std::bit_cast<std::uint64_t>(v); }
+std::int64_t as_i64(std::uint64_t bits) { return static_cast<std::int64_t>(bits); }
+
+std::uint64_t impl_memset(ExternCallContext& ctx) {
+  const std::int64_t dst = as_i64(ctx.args[0]);
+  const std::int64_t val = as_i64(ctx.args[1]);
+  const std::int64_t len = as_i64(ctx.args[2]);
+  DETLOCK_CHECK(len >= 0, "memset with negative length");
+  for (std::int64_t i = 0; i < len; ++i) ctx.memory.store(dst + i, val);
+  return 0;
+}
+
+std::uint64_t impl_memcpy(ExternCallContext& ctx) {
+  const std::int64_t dst = as_i64(ctx.args[0]);
+  const std::int64_t src = as_i64(ctx.args[1]);
+  const std::int64_t len = as_i64(ctx.args[2]);
+  DETLOCK_CHECK(len >= 0, "memcpy with negative length");
+  if (dst <= src) {
+    for (std::int64_t i = 0; i < len; ++i) ctx.memory.store(dst + i, ctx.memory.load(src + i));
+  } else {
+    for (std::int64_t i = len - 1; i >= 0; --i) ctx.memory.store(dst + i, ctx.memory.load(src + i));
+  }
+  return 0;
+}
+
+}  // namespace
+
+void register_standard_externs(ExternTable& table) {
+  table.register_impl("memset", impl_memset);
+  table.register_impl("memcpy", impl_memcpy);
+  table.register_impl("fsin", [](ExternCallContext& c) { return from_f64(std::sin(as_f64(c.args[0]))); });
+  table.register_impl("fcos", [](ExternCallContext& c) { return from_f64(std::cos(as_f64(c.args[0]))); });
+  table.register_impl("fexp", [](ExternCallContext& c) { return from_f64(std::exp(as_f64(c.args[0]))); });
+  table.register_impl("flog", [](ExternCallContext& c) { return from_f64(std::log(as_f64(c.args[0]))); });
+  table.register_impl("fpow", [](ExternCallContext& c) {
+    return from_f64(std::pow(as_f64(c.args[0]), as_f64(c.args[1])));
+  });
+  table.register_impl("imin", [](ExternCallContext& c) {
+    return static_cast<std::uint64_t>(std::min(as_i64(c.args[0]), as_i64(c.args[1])));
+  });
+  table.register_impl("imax", [](ExternCallContext& c) {
+    return static_cast<std::uint64_t>(std::max(as_i64(c.args[0]), as_i64(c.args[1])));
+  });
+  table.register_impl("opaque", [](ExternCallContext& c) { return c.args[0]; });
+}
+
+void declare_standard_externs(ir::Module& module) {
+  auto declare = [&](const char* name, std::uint32_t params, bool returns,
+                     std::optional<ir::ExternEstimate> estimate) {
+    if (module.has_extern(name)) return;
+    ir::ExternDecl decl;
+    decl.name = name;
+    decl.num_params = params;
+    decl.returns_value = returns;
+    decl.estimate = estimate;
+    module.add_extern(std::move(decl));
+  };
+  declare("memset", 3, false, ir::ExternEstimate{8, 2.0, 2});
+  declare("memcpy", 3, false, ir::ExternEstimate{8, 4.0, 2});
+  declare("fsin", 1, true, ir::ExternEstimate{45, 0.0, 0});
+  declare("fcos", 1, true, ir::ExternEstimate{45, 0.0, 0});
+  declare("fexp", 1, true, ir::ExternEstimate{45, 0.0, 0});
+  declare("flog", 1, true, ir::ExternEstimate{45, 0.0, 0});
+  declare("fpow", 2, true, ir::ExternEstimate{70, 0.0, 0});
+  declare("imin", 2, true, ir::ExternEstimate{4, 0.0, 0});
+  declare("imax", 2, true, ir::ExternEstimate{4, 0.0, 0});
+  declare("dl_malloc", 1, true, std::nullopt);
+  declare("dl_free", 1, false, std::nullopt);
+  declare("opaque", 1, true, std::nullopt);
+  declare("record", 1, false, ir::ExternEstimate{4, 0.0, 0});
+}
+
+}  // namespace detlock::interp

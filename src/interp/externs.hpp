@@ -1,0 +1,68 @@
+// Extern-function implementations (the "shared library" of the interpreted
+// world).
+//
+// Each implementation receives raw 64-bit argument slots (f64 arguments are
+// bit patterns) plus access to shared memory, and returns one 64-bit slot.
+// The standard library below mirrors the built-ins the paper discusses:
+// memset/memcpy (size-dependent estimates), math routines (fixed
+// estimates), and the deterministic allocator entry points dl_malloc /
+// dl_free (paper Sec. III-B's lock-replaced malloc).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/module.hpp"
+#include "runtime/config.hpp"
+#include "runtime/shared_memory.hpp"
+
+namespace detlock::interp {
+
+struct ExternCallContext {
+  runtime::SharedMemory& memory;
+  runtime::ThreadId thread;
+  const std::vector<std::uint64_t>& args;
+};
+
+using ExternImpl = std::function<std::uint64_t(ExternCallContext&)>;
+
+class ExternTable {
+ public:
+  /// Registers or replaces an implementation.  The stored ExternImpl's
+  /// address is stable across later registrations (node-based map), so the
+  /// engine may cache lookup() results.
+  void register_impl(std::string name, ExternImpl impl);
+  bool has(const std::string& name) const;
+  const ExternImpl& lookup(const std::string& name) const;
+
+ private:
+  std::unordered_map<std::string, ExternImpl> impls_;
+};
+
+/// Installs implementations for the standard extern set (everything
+/// declared by declare_standard_externs).  dl_malloc/dl_free are installed
+/// separately by the engine because they close over the allocator.
+void register_standard_externs(ExternTable& table);
+
+/// Declares the standard externs on a module with their estimate-file
+/// defaults, so workloads can call them without repeating boilerplate.
+/// Returns nothing; look ids up with module.find_extern(name).
+///
+/// Declared set:
+///   memset(dst, val, len)        estimate 8 + 2*len
+///   memcpy(dst, src, len)        estimate 8 + 4*len
+///   fsin/fcos/fexp/flog(x)       estimate 45 each
+///   fpow(x, y)                   estimate 70
+///   imin/imax(a, b)              estimate 4
+///   dl_malloc(words) -> addr     unclocked (internally uses a det lock)
+///   dl_free(addr)                unclocked
+///   opaque(x) -> x               unclocked (a library call with no
+///                                estimate: exercises the "ignore them"
+///                                path and blocks optimizations around it)
+///   record(x)                    estimate 4 (per-thread output log)
+void declare_standard_externs(ir::Module& module);
+
+}  // namespace detlock::interp

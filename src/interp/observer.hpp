@@ -1,0 +1,35 @@
+// Memory-access observation hook (consumed by the race detector).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/config.hpp"
+
+namespace detlock::interp {
+
+class MemoryAccessObserver {
+ public:
+  virtual ~MemoryAccessObserver() = default;
+
+  /// Called for every program load/store.  `held` is the calling thread's
+  /// current lockset (mutex ids, unordered).  Called concurrently from
+  /// multiple threads; implementations synchronize internally.
+  virtual void on_access(runtime::ThreadId thread, std::int64_t addr, bool is_write,
+                         const std::vector<runtime::MutexId>& held) = 0;
+
+  /// Called after a thread returns from a barrier.  Barriers establish
+  /// happens-before between all participants; lockset detectors use this to
+  /// avoid the classic Eraser false positive on barrier-phased programs.
+  virtual void on_barrier(runtime::ThreadId thread) { (void)thread; }
+
+  /// Called after `joiner` joined `child`.  Join orders every access of the
+  /// finished child before the joiner's subsequent accesses (the other
+  /// classic Eraser false-positive source: reading results after join).
+  virtual void on_join(runtime::ThreadId joiner, runtime::ThreadId child) {
+    (void)joiner;
+    (void)child;
+  }
+};
+
+}  // namespace detlock::interp

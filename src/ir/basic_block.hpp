@@ -1,0 +1,83 @@
+// Basic block: a straight-line instruction sequence ending in one terminator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/instr.hpp"
+#include "support/error.hpp"
+
+namespace detlock::ir {
+
+class BasicBlock {
+ public:
+  BasicBlock() = default;
+  explicit BasicBlock(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  std::vector<Instr>& instrs() { return instrs_; }
+  const std::vector<Instr>& instrs() const { return instrs_; }
+  bool empty() const { return instrs_.empty(); }
+
+  void append(Instr instr) { instrs_.push_back(std::move(instr)); }
+
+  bool has_terminator() const { return !instrs_.empty() && is_terminator(instrs_.back().op); }
+
+  const Instr& terminator() const {
+    DETLOCK_CHECK(has_terminator(), "block '" + name_ + "' has no terminator");
+    return instrs_.back();
+  }
+
+  Instr& terminator() {
+    DETLOCK_CHECK(has_terminator(), "block '" + name_ + "' has no terminator");
+    return instrs_.back();
+  }
+
+  /// Successor block ids in terminator order (condbr: then, else; switch:
+  /// default first, then cases).  Duplicates are preserved; callers that
+  /// need a set dedupe themselves.
+  std::vector<BlockId> successors() const {
+    std::vector<BlockId> out;
+    if (!has_terminator()) return out;
+    const Instr& t = instrs_.back();
+    switch (t.op) {
+      case Opcode::kBr:
+        out.push_back(static_cast<BlockId>(t.imm));
+        break;
+      case Opcode::kCondBr:
+        out.push_back(static_cast<BlockId>(t.imm));
+        out.push_back(t.target2);
+        break;
+      case Opcode::kSwitch: {
+        out.push_back(static_cast<BlockId>(t.imm));
+        for (std::size_t i = 1; i < t.args.size(); i += 2) {
+          out.push_back(static_cast<BlockId>(t.args[i]));
+        }
+        break;
+      }
+      case Opcode::kRet:
+        break;
+      default:
+        DETLOCK_UNREACHABLE("non-terminator at block end");
+    }
+    return out;
+  }
+
+  /// Number of kCall instructions whose callee is some program function
+  /// (externs excluded): used by the block-splitting pass.
+  std::size_t count_calls() const {
+    std::size_t n = 0;
+    for (const Instr& i : instrs_) {
+      if (is_call(i.op)) ++n;
+    }
+    return n;
+  }
+
+ private:
+  std::string name_;
+  std::vector<Instr> instrs_;
+};
+
+}  // namespace detlock::ir

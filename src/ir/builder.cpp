@@ -1,0 +1,277 @@
+#include "ir/builder.hpp"
+
+namespace detlock::ir {
+
+FunctionBuilder::FunctionBuilder(Module& module, std::string name, std::uint32_t num_params)
+    : module_(module), func_id_(module.add_function(std::move(name), num_params)) {
+  func().set_num_regs(num_params);
+  current_ = func().add_block("entry");
+}
+
+Function& FunctionBuilder::func() { return module_.function(func_id_); }
+
+Reg FunctionBuilder::param(std::uint32_t index) const {
+  DETLOCK_CHECK(index < module_.function(func_id_).num_params(), "parameter index out of range");
+  return index;
+}
+
+Reg FunctionBuilder::new_reg() { return func().alloc_reg(); }
+
+BlockId FunctionBuilder::make_block(std::string name) { return func().add_block(std::move(name)); }
+
+void FunctionBuilder::set_insert_point(BlockId block) {
+  DETLOCK_CHECK(block < func().num_blocks(), "bad insert point");
+  current_ = block;
+}
+
+BasicBlock& FunctionBuilder::cur() {
+  BasicBlock& b = func().block(current_);
+  DETLOCK_CHECK(!b.has_terminator(), "appending to terminated block '" + b.name() + "'");
+  return b;
+}
+
+void FunctionBuilder::emit(Instr instr) { cur().append(std::move(instr)); }
+
+Reg FunctionBuilder::const_i(std::int64_t v) {
+  const Reg dst = new_reg();
+  cur().append(Instr::make_const(dst, v));
+  return dst;
+}
+
+Reg FunctionBuilder::const_f(double v) {
+  const Reg dst = new_reg();
+  Instr i;
+  i.op = Opcode::kConstF;
+  i.dst = dst;
+  i.fimm = v;
+  cur().append(std::move(i));
+  return dst;
+}
+
+Reg FunctionBuilder::mov(Reg a) {
+  const Reg dst = new_reg();
+  Instr i;
+  i.op = Opcode::kMov;
+  i.dst = dst;
+  i.a = a;
+  cur().append(std::move(i));
+  return dst;
+}
+
+Reg FunctionBuilder::binary(Opcode op, Reg a, Reg b) {
+  const Reg dst = new_reg();
+  cur().append(Instr::make_binary(op, dst, a, b));
+  return dst;
+}
+
+Reg FunctionBuilder::fsqrt(Reg a) {
+  const Reg dst = new_reg();
+  Instr i;
+  i.op = Opcode::kFSqrt;
+  i.dst = dst;
+  i.a = a;
+  cur().append(std::move(i));
+  return dst;
+}
+
+Reg FunctionBuilder::icmp(CmpPred pred, Reg a, Reg b) {
+  const Reg dst = new_reg();
+  Instr i;
+  i.op = Opcode::kICmp;
+  i.pred = pred;
+  i.dst = dst;
+  i.a = a;
+  i.b = b;
+  cur().append(std::move(i));
+  return dst;
+}
+
+Reg FunctionBuilder::fcmp(CmpPred pred, Reg a, Reg b) {
+  const Reg dst = new_reg();
+  Instr i;
+  i.op = Opcode::kFCmp;
+  i.pred = pred;
+  i.dst = dst;
+  i.a = a;
+  i.b = b;
+  cur().append(std::move(i));
+  return dst;
+}
+
+Reg FunctionBuilder::itof(Reg a) {
+  const Reg dst = new_reg();
+  Instr i;
+  i.op = Opcode::kItoF;
+  i.dst = dst;
+  i.a = a;
+  cur().append(std::move(i));
+  return dst;
+}
+
+Reg FunctionBuilder::ftoi(Reg a) {
+  const Reg dst = new_reg();
+  Instr i;
+  i.op = Opcode::kFtoI;
+  i.dst = dst;
+  i.a = a;
+  cur().append(std::move(i));
+  return dst;
+}
+
+Reg FunctionBuilder::load(Reg addr, std::int64_t offset) {
+  const Reg dst = new_reg();
+  Instr i;
+  i.op = Opcode::kLoad;
+  i.dst = dst;
+  i.a = addr;
+  i.imm = offset;
+  cur().append(std::move(i));
+  return dst;
+}
+
+void FunctionBuilder::store(Reg addr, Reg value, std::int64_t offset) {
+  Instr i;
+  i.op = Opcode::kStore;
+  i.a = addr;
+  i.b = value;
+  i.imm = offset;
+  cur().append(std::move(i));
+}
+
+Reg FunctionBuilder::loadf(Reg addr, std::int64_t offset) {
+  const Reg dst = new_reg();
+  Instr i;
+  i.op = Opcode::kLoadF;
+  i.dst = dst;
+  i.a = addr;
+  i.imm = offset;
+  cur().append(std::move(i));
+  return dst;
+}
+
+void FunctionBuilder::storef(Reg addr, Reg value, std::int64_t offset) {
+  Instr i;
+  i.op = Opcode::kStoreF;
+  i.a = addr;
+  i.b = value;
+  i.imm = offset;
+  cur().append(std::move(i));
+}
+
+Reg FunctionBuilder::call(FuncId callee, std::initializer_list<Reg> args) {
+  return call(callee, std::vector<Reg>(args));
+}
+
+Reg FunctionBuilder::call(FuncId callee, const std::vector<Reg>& args) {
+  const Reg dst = new_reg();
+  Instr i;
+  i.op = Opcode::kCall;
+  i.dst = dst;
+  i.callee = callee;
+  i.args = args;
+  cur().append(std::move(i));
+  return dst;
+}
+
+Reg FunctionBuilder::call_extern(ExternId callee, std::initializer_list<Reg> args) {
+  return call_extern(callee, std::vector<Reg>(args));
+}
+
+Reg FunctionBuilder::call_extern(ExternId callee, const std::vector<Reg>& args) {
+  const Reg dst = new_reg();
+  Instr i;
+  i.op = Opcode::kCallExtern;
+  i.dst = dst;
+  i.callee = callee;
+  i.args = args;
+  cur().append(std::move(i));
+  return dst;
+}
+
+void FunctionBuilder::lock(Reg mutex_id) {
+  Instr i;
+  i.op = Opcode::kLock;
+  i.a = mutex_id;
+  cur().append(std::move(i));
+}
+
+void FunctionBuilder::unlock(Reg mutex_id) {
+  Instr i;
+  i.op = Opcode::kUnlock;
+  i.a = mutex_id;
+  cur().append(std::move(i));
+}
+
+void FunctionBuilder::barrier(Reg barrier_id, Reg participants) {
+  Instr i;
+  i.op = Opcode::kBarrier;
+  i.a = barrier_id;
+  i.b = participants;
+  cur().append(std::move(i));
+}
+
+void FunctionBuilder::cond_wait(Reg condvar_id, Reg mutex_id) {
+  Instr i;
+  i.op = Opcode::kCondWait;
+  i.a = condvar_id;
+  i.b = mutex_id;
+  cur().append(std::move(i));
+}
+
+void FunctionBuilder::cond_signal(Reg condvar_id) {
+  Instr i;
+  i.op = Opcode::kCondSignal;
+  i.a = condvar_id;
+  cur().append(std::move(i));
+}
+
+void FunctionBuilder::cond_broadcast(Reg condvar_id) {
+  Instr i;
+  i.op = Opcode::kCondBroadcast;
+  i.a = condvar_id;
+  cur().append(std::move(i));
+}
+
+Reg FunctionBuilder::spawn(FuncId callee, std::initializer_list<Reg> args) {
+  const Reg dst = new_reg();
+  Instr i;
+  i.op = Opcode::kSpawn;
+  i.dst = dst;
+  i.callee = callee;
+  i.args = std::vector<Reg>(args);
+  cur().append(std::move(i));
+  return dst;
+}
+
+void FunctionBuilder::join(Reg handle) {
+  Instr i;
+  i.op = Opcode::kJoin;
+  i.a = handle;
+  cur().append(std::move(i));
+}
+
+void FunctionBuilder::br(BlockId target) { cur().append(Instr::make_br(target)); }
+
+void FunctionBuilder::condbr(Reg cond, BlockId then_block, BlockId else_block) {
+  cur().append(Instr::make_condbr(cond, then_block, else_block));
+}
+
+void FunctionBuilder::switch_on(Reg value, BlockId default_block,
+                                const std::vector<std::pair<std::int64_t, BlockId>>& cases) {
+  Instr i;
+  i.op = Opcode::kSwitch;
+  i.a = value;
+  i.imm = default_block;
+  for (const auto& [case_value, block] : cases) {
+    DETLOCK_CHECK(case_value >= 0 && case_value <= 0xffffffffLL, "switch case value must fit in u32");
+    i.args.push_back(static_cast<Reg>(case_value));
+    i.args.push_back(block);
+  }
+  cur().append(std::move(i));
+}
+
+void FunctionBuilder::ret() { cur().append(Instr::make_ret()); }
+
+void FunctionBuilder::ret(Reg value) { cur().append(Instr::make_ret(value)); }
+
+}  // namespace detlock::ir

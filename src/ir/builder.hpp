@@ -1,0 +1,89 @@
+// Fluent construction API for IR.
+//
+// Workload generators and tests build functions through this instead of
+// hand-assembling Instr structs.  The builder tracks a current insertion
+// block; terminators switch or end blocks explicitly.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+
+#include "ir/module.hpp"
+
+namespace detlock::ir {
+
+class FunctionBuilder {
+ public:
+  FunctionBuilder(Module& module, std::string name, std::uint32_t num_params);
+
+  Module& module() { return module_; }
+  FuncId func_id() const { return func_id_; }
+  Function& func();
+
+  /// Parameter registers are 0..num_params-1.
+  Reg param(std::uint32_t index) const;
+  Reg new_reg();
+
+  BlockId make_block(std::string name);
+  void set_insert_point(BlockId block);
+  BlockId insert_point() const { return current_; }
+
+  /// Appends a hand-built instruction to the current block (the IR is not
+  /// SSA, so workload generators use this to re-assign loop registers).
+  void emit(Instr instr);
+
+  // -- straight-line instructions ------------------------------------------
+  Reg const_i(std::int64_t v);
+  Reg const_f(double v);
+  Reg mov(Reg a);
+  Reg binary(Opcode op, Reg a, Reg b);
+  Reg add(Reg a, Reg b) { return binary(Opcode::kAdd, a, b); }
+  Reg sub(Reg a, Reg b) { return binary(Opcode::kSub, a, b); }
+  Reg mul(Reg a, Reg b) { return binary(Opcode::kMul, a, b); }
+  Reg div(Reg a, Reg b) { return binary(Opcode::kDiv, a, b); }
+  Reg rem(Reg a, Reg b) { return binary(Opcode::kRem, a, b); }
+  Reg fadd(Reg a, Reg b) { return binary(Opcode::kFAdd, a, b); }
+  Reg fsub(Reg a, Reg b) { return binary(Opcode::kFSub, a, b); }
+  Reg fmul(Reg a, Reg b) { return binary(Opcode::kFMul, a, b); }
+  Reg fdiv(Reg a, Reg b) { return binary(Opcode::kFDiv, a, b); }
+  Reg fsqrt(Reg a);
+  Reg icmp(CmpPred pred, Reg a, Reg b);
+  Reg fcmp(CmpPred pred, Reg a, Reg b);
+  Reg itof(Reg a);
+  Reg ftoi(Reg a);
+
+  Reg load(Reg addr, std::int64_t offset = 0);
+  void store(Reg addr, Reg value, std::int64_t offset = 0);
+  Reg loadf(Reg addr, std::int64_t offset = 0);
+  void storef(Reg addr, Reg value, std::int64_t offset = 0);
+
+  Reg call(FuncId callee, std::initializer_list<Reg> args);
+  Reg call(FuncId callee, const std::vector<Reg>& args);
+  Reg call_extern(ExternId callee, std::initializer_list<Reg> args);
+  Reg call_extern(ExternId callee, const std::vector<Reg>& args);
+
+  void lock(Reg mutex_id);
+  void unlock(Reg mutex_id);
+  void barrier(Reg barrier_id, Reg participants);
+  void cond_wait(Reg condvar_id, Reg mutex_id);
+  void cond_signal(Reg condvar_id);
+  void cond_broadcast(Reg condvar_id);
+  Reg spawn(FuncId callee, std::initializer_list<Reg> args);
+  void join(Reg handle);
+
+  // -- terminators ----------------------------------------------------------
+  void br(BlockId target);
+  void condbr(Reg cond, BlockId then_block, BlockId else_block);
+  void switch_on(Reg value, BlockId default_block, const std::vector<std::pair<std::int64_t, BlockId>>& cases);
+  void ret();
+  void ret(Reg value);
+
+ private:
+  BasicBlock& cur();
+
+  Module& module_;
+  FuncId func_id_;
+  BlockId current_;
+};
+
+}  // namespace detlock::ir

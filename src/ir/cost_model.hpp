@@ -1,0 +1,58 @@
+// Per-opcode logical-clock costs.
+//
+// Paper Sec. III-A: "The unit of our logical clock is one instruction.  For
+// instructions which take more than one clock cycle, the logical clock is
+// updated according to the approximate number of clock cycles they take."
+// The default model charges 1 for simple ALU ops and more for divides,
+// square roots and memory, loosely following published x86 latency tables.
+// Instrumentation (clockadd*) is free by definition -- it *is* the clock.
+#pragma once
+
+#include <cstdint>
+
+#include "ir/instr.hpp"
+
+namespace detlock::ir {
+
+class CostModel {
+ public:
+  /// Static cost of one instruction.  Calls are charged their dispatch cost
+  /// only; callee bodies are accounted by the callee (or by the caller via
+  /// the clocked-function / extern-estimate machinery in the pass).
+  std::int64_t cost(const Instr& instr) const {
+    switch (instr.op) {
+      case Opcode::kDiv:
+      case Opcode::kRem:
+        return div_cost;
+      case Opcode::kFDiv:
+        return fdiv_cost;
+      case Opcode::kFSqrt:
+        return fsqrt_cost;
+      case Opcode::kLoad:
+      case Opcode::kLoadF:
+        return load_cost;
+      case Opcode::kStore:
+      case Opcode::kStoreF:
+        return store_cost;
+      case Opcode::kCall:
+      case Opcode::kCallExtern:
+      case Opcode::kSpawn:
+        return call_cost;
+      case Opcode::kClockAdd:
+      case Opcode::kClockAddDyn:
+        return 0;
+      default:
+        return 1;
+    }
+  }
+
+  /// Cost knobs, public so ablation benches can sweep them.
+  std::int64_t div_cost = 20;
+  std::int64_t fdiv_cost = 15;
+  std::int64_t fsqrt_cost = 20;
+  std::int64_t load_cost = 3;
+  std::int64_t store_cost = 2;
+  std::int64_t call_cost = 2;
+};
+
+}  // namespace detlock::ir

@@ -1,0 +1,68 @@
+// Function: parameter count, register budget, and a vector of basic blocks.
+// Block 0 is always the entry block.  Blocks are referenced by index
+// (BlockId); appending blocks never invalidates ids, which is what lets the
+// block-splitting pass run in a single sweep.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/basic_block.hpp"
+
+namespace detlock::ir {
+
+class Function {
+ public:
+  Function() = default;
+  Function(std::string name, std::uint32_t num_params) : name_(std::move(name)), num_params_(num_params) {}
+
+  const std::string& name() const { return name_; }
+  std::uint32_t num_params() const { return num_params_; }
+
+  /// Registers [0, num_params) hold the arguments on entry.
+  std::uint32_t num_regs() const { return num_regs_; }
+  void set_num_regs(std::uint32_t n) { num_regs_ = n; }
+  Reg alloc_reg() { return num_regs_++; }
+
+  std::vector<BasicBlock>& blocks() { return blocks_; }
+  const std::vector<BasicBlock>& blocks() const { return blocks_; }
+  std::size_t num_blocks() const { return blocks_.size(); }
+
+  BasicBlock& block(BlockId id) {
+    DETLOCK_CHECK(id < blocks_.size(), "bad block id in '" + name_ + "'");
+    return blocks_[id];
+  }
+  const BasicBlock& block(BlockId id) const {
+    DETLOCK_CHECK(id < blocks_.size(), "bad block id in '" + name_ + "'");
+    return blocks_[id];
+  }
+
+  BlockId add_block(std::string name) {
+    blocks_.emplace_back(std::move(name));
+    return static_cast<BlockId>(blocks_.size() - 1);
+  }
+
+  static constexpr BlockId kEntry = 0;
+
+  /// Find a block id by name; kInvalidBlock when absent.
+  BlockId find_block(std::string_view name) const {
+    for (std::size_t i = 0; i < blocks_.size(); ++i) {
+      if (blocks_[i].name() == name) return static_cast<BlockId>(i);
+    }
+    return kInvalidBlock;
+  }
+
+  std::size_t total_instr_count() const {
+    std::size_t n = 0;
+    for (const BasicBlock& b : blocks_) n += b.instrs().size();
+    return n;
+  }
+
+ private:
+  std::string name_;
+  std::uint32_t num_params_ = 0;
+  std::uint32_t num_regs_ = 0;
+  std::vector<BasicBlock> blocks_;
+};
+
+}  // namespace detlock::ir

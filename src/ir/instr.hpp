@@ -1,0 +1,92 @@
+// A single IR instruction.
+//
+// Fixed-slot encoding keeps the hot interpreter loop branch-light: most
+// instructions use only {dst, a, b, imm}; calls and switches spill their
+// variable-length operand lists into `args`.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/opcode.hpp"
+
+namespace detlock::ir {
+
+using Reg = std::uint32_t;
+using BlockId = std::uint32_t;
+using FuncId = std::uint32_t;
+using ExternId = std::uint32_t;
+
+inline constexpr BlockId kInvalidBlock = 0xffffffffu;
+
+struct Instr {
+  Opcode op{};
+  CmpPred pred{};          // kICmp / kFCmp only
+  bool has_value = false;  // kRet: returns a?
+  Reg dst = 0;
+  Reg a = 0;
+  Reg b = 0;
+  std::int64_t imm = 0;    // constant / mem offset / branch target / clock delta
+  double fimm = 0.0;       // float constant / dynamic-clock scale
+  BlockId target2 = kInvalidBlock;  // kCondBr else-target
+  std::uint32_t callee = 0;         // FuncId (kCall/kSpawn) or ExternId (kCallExtern)
+  std::vector<Reg> args;            // call arguments; kSwitch: [case,block] pairs
+
+  // -- convenience constructors used throughout tests and workloads --------
+
+  static Instr make_const(Reg dst, std::int64_t v) {
+    Instr i;
+    i.op = Opcode::kConst;
+    i.dst = dst;
+    i.imm = v;
+    return i;
+  }
+
+  static Instr make_binary(Opcode op, Reg dst, Reg a, Reg b) {
+    Instr i;
+    i.op = op;
+    i.dst = dst;
+    i.a = a;
+    i.b = b;
+    return i;
+  }
+
+  static Instr make_br(BlockId target) {
+    Instr i;
+    i.op = Opcode::kBr;
+    i.imm = target;
+    return i;
+  }
+
+  static Instr make_condbr(Reg cond, BlockId then_block, BlockId else_block) {
+    Instr i;
+    i.op = Opcode::kCondBr;
+    i.a = cond;
+    i.imm = then_block;
+    i.target2 = else_block;
+    return i;
+  }
+
+  static Instr make_ret() {
+    Instr i;
+    i.op = Opcode::kRet;
+    return i;
+  }
+
+  static Instr make_ret(Reg value) {
+    Instr i;
+    i.op = Opcode::kRet;
+    i.has_value = true;
+    i.a = value;
+    return i;
+  }
+
+  static Instr make_clock_add(std::int64_t delta) {
+    Instr i;
+    i.op = Opcode::kClockAdd;
+    i.imm = delta;
+    return i;
+  }
+};
+
+}  // namespace detlock::ir

@@ -1,0 +1,109 @@
+// Module: the unit of compilation.  Owns all functions plus the table of
+// extern (library / built-in) functions visible to the program.  Externs
+// model the paper's "functions implemented in a library": the DetLock pass
+// cannot instrument them, so each either carries an instruction estimate
+// (from the estimate file) or is treated as unclocked.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace detlock::ir {
+
+/// Static clock estimate for an extern function (paper Sec. III-B: the
+/// "instructions estimate file").  Cost = base + per_unit * value-of-arg
+/// `size_arg_index` (e.g. memset scales with its length parameter).
+struct ExternEstimate {
+  std::int64_t base = 0;
+  double per_unit = 0.0;
+  std::uint32_t size_arg_index = 0;
+
+  bool is_dynamic() const { return per_unit != 0.0; }
+};
+
+struct ExternDecl {
+  std::string name;
+  std::uint32_t num_params = 0;
+  bool returns_value = false;
+  /// nullopt => unclocked extern: the pass must not move clocks across calls
+  /// to it, exactly like an uninstrumented shared-library function.
+  std::optional<ExternEstimate> estimate;
+};
+
+class Module {
+ public:
+  std::vector<Function>& functions() { return functions_; }
+  const std::vector<Function>& functions() const { return functions_; }
+
+  Function& function(FuncId id) {
+    DETLOCK_CHECK(id < functions_.size(), "bad function id");
+    return functions_[id];
+  }
+  const Function& function(FuncId id) const {
+    DETLOCK_CHECK(id < functions_.size(), "bad function id");
+    return functions_[id];
+  }
+
+  FuncId add_function(std::string name, std::uint32_t num_params) {
+    functions_.emplace_back(std::move(name), num_params);
+    return static_cast<FuncId>(functions_.size() - 1);
+  }
+
+  FuncId find_function(std::string_view name) const {
+    for (std::size_t i = 0; i < functions_.size(); ++i) {
+      if (functions_[i].name() == name) return static_cast<FuncId>(i);
+    }
+    DETLOCK_CHECK(false, std::string("unknown function: ") + std::string(name));
+    return 0;  // unreachable
+  }
+
+  bool has_function(std::string_view name) const {
+    for (const Function& f : functions_) {
+      if (f.name() == name) return true;
+    }
+    return false;
+  }
+
+  std::vector<ExternDecl>& externs() { return externs_; }
+  const std::vector<ExternDecl>& externs() const { return externs_; }
+
+  const ExternDecl& extern_decl(ExternId id) const {
+    DETLOCK_CHECK(id < externs_.size(), "bad extern id");
+    return externs_[id];
+  }
+
+  ExternId add_extern(ExternDecl decl) {
+    externs_.push_back(std::move(decl));
+    return static_cast<ExternId>(externs_.size() - 1);
+  }
+
+  ExternId find_extern(std::string_view name) const {
+    for (std::size_t i = 0; i < externs_.size(); ++i) {
+      if (externs_[i].name == name) return static_cast<ExternId>(i);
+    }
+    DETLOCK_CHECK(false, std::string("unknown extern: ") + std::string(name));
+    return 0;  // unreachable
+  }
+
+  bool has_extern(std::string_view name) const {
+    for (const ExternDecl& e : externs_) {
+      if (e.name == name) return true;
+    }
+    return false;
+  }
+
+  std::size_t total_instr_count() const {
+    std::size_t n = 0;
+    for (const Function& f : functions_) n += f.total_instr_count();
+    return n;
+  }
+
+ private:
+  std::vector<Function> functions_;
+  std::vector<ExternDecl> externs_;
+};
+
+}  // namespace detlock::ir

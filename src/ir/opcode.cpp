@@ -1,0 +1,67 @@
+#include "ir/opcode.hpp"
+
+#include "support/error.hpp"
+
+namespace detlock::ir {
+
+std::string_view opcode_name(Opcode op) {
+  switch (op) {
+    case Opcode::kConst: return "const";
+    case Opcode::kConstF: return "constf";
+    case Opcode::kMov: return "mov";
+    case Opcode::kAdd: return "add";
+    case Opcode::kSub: return "sub";
+    case Opcode::kMul: return "mul";
+    case Opcode::kDiv: return "div";
+    case Opcode::kRem: return "rem";
+    case Opcode::kAnd: return "and";
+    case Opcode::kOr: return "or";
+    case Opcode::kXor: return "xor";
+    case Opcode::kShl: return "shl";
+    case Opcode::kShr: return "shr";
+    case Opcode::kFAdd: return "fadd";
+    case Opcode::kFSub: return "fsub";
+    case Opcode::kFMul: return "fmul";
+    case Opcode::kFDiv: return "fdiv";
+    case Opcode::kFSqrt: return "fsqrt";
+    case Opcode::kICmp: return "icmp";
+    case Opcode::kFCmp: return "fcmp";
+    case Opcode::kItoF: return "itof";
+    case Opcode::kFtoI: return "ftoi";
+    case Opcode::kLoad: return "load";
+    case Opcode::kStore: return "store";
+    case Opcode::kLoadF: return "loadf";
+    case Opcode::kStoreF: return "storef";
+    case Opcode::kBr: return "br";
+    case Opcode::kCondBr: return "condbr";
+    case Opcode::kSwitch: return "switch";
+    case Opcode::kRet: return "ret";
+    case Opcode::kCall: return "call";
+    case Opcode::kCallExtern: return "callx";
+    case Opcode::kLock: return "lock";
+    case Opcode::kUnlock: return "unlock";
+    case Opcode::kBarrier: return "barrier";
+    case Opcode::kSpawn: return "spawn";
+    case Opcode::kJoin: return "join";
+    case Opcode::kCondWait: return "condwait";
+    case Opcode::kCondSignal: return "condsignal";
+    case Opcode::kCondBroadcast: return "condbroadcast";
+    case Opcode::kClockAdd: return "clockadd";
+    case Opcode::kClockAddDyn: return "clockadddyn";
+  }
+  DETLOCK_UNREACHABLE("bad opcode");
+}
+
+std::string_view cmp_pred_name(CmpPred pred) {
+  switch (pred) {
+    case CmpPred::kEq: return "eq";
+    case CmpPred::kNe: return "ne";
+    case CmpPred::kLt: return "lt";
+    case CmpPred::kLe: return "le";
+    case CmpPred::kGt: return "gt";
+    case CmpPred::kGe: return "ge";
+  }
+  DETLOCK_UNREACHABLE("bad cmp predicate");
+}
+
+}  // namespace detlock::ir

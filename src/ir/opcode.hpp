@@ -1,0 +1,137 @@
+// Opcode set of the DetLock IR.
+//
+// The IR is a register machine (not SSA): each function owns an unbounded
+// file of virtual registers, blocks end in exactly one terminator, and the
+// only instructions with side effects outside the register file are memory,
+// call and synchronization operations.  This is deliberately the minimal
+// surface the DetLock compiler pass needs: the pass reasons about CFG shape
+// and per-block instruction *costs*, never about dataflow.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace detlock::ir {
+
+enum class Opcode : std::uint8_t {
+  // Register constants / moves.
+  kConst,   // dst = imm (i64)
+  kConstF,  // dst = fimm (f64)
+  kMov,     // dst = a
+
+  // Integer arithmetic (i64, two's complement; div/rem trap on zero).
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kRem,
+  kAnd,
+  kOr,
+  kXor,
+  kShl,
+  kShr,
+
+  // Floating point (f64).
+  kFAdd,
+  kFSub,
+  kFMul,
+  kFDiv,
+  kFSqrt,  // dst = sqrt(a) -- modeled as a (slow) instruction, not a call
+
+  // Comparisons & conversions.
+  kICmp,  // dst = pred(a, b) ? 1 : 0, signed i64
+  kFCmp,  // dst = pred(a, b) ? 1 : 0, f64 (ordered)
+  kItoF,
+  kFtoI,
+
+  // Memory: one flat shared address space of 64-bit words.
+  kLoad,   // dst = mem[a + imm]
+  kStore,  // mem[a + imm] = b
+  kLoadF,
+  kStoreF,
+
+  // Control flow (terminators).
+  kBr,      // br imm(block)
+  kCondBr,  // condbr a ? imm(block) : target2(block)
+  kSwitch,  // switch a; default imm(block); args = [case0, block0, case1, block1, ...]
+  kRet,     // ret [a if has_value]
+
+  // Calls.
+  kCall,        // dst = call callee(args...)  -- callee is a FuncId
+  kCallExtern,  // dst = callx callee(args...) -- callee is an ExternId
+
+  // Synchronization (lowered to runtime hooks by the interpreter).
+  kLock,     // lock   mutex[a]
+  kUnlock,   // unlock mutex[a]
+  kBarrier,  // barrier barrier[a], participants=reg[b]
+  kSpawn,    // dst = spawn callee(args...)  -- returns thread handle
+  kJoin,     // join a
+  kCondWait,      // condwait cv[a], mutex[b]  (mutex must be held)
+  kCondSignal,    // condsignal cv[a]          (associated mutex must be held)
+  kCondBroadcast, // condbroadcast cv[a]       (associated mutex must be held)
+
+  // Instrumentation (inserted by the DetLock pass; never written by hand).
+  kClockAdd,     // logical_clock += imm
+  kClockAddDyn,  // logical_clock += imm + fimm * reg[a]   (size-dependent extern estimates)
+};
+
+/// Signed comparison predicates shared by kICmp/kFCmp.
+enum class CmpPred : std::uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+std::string_view opcode_name(Opcode op);
+std::string_view cmp_pred_name(CmpPred pred);
+
+constexpr bool is_terminator(Opcode op) {
+  return op == Opcode::kBr || op == Opcode::kCondBr || op == Opcode::kSwitch || op == Opcode::kRet;
+}
+
+constexpr bool is_call(Opcode op) {
+  return op == Opcode::kCall || op == Opcode::kCallExtern || op == Opcode::kSpawn;
+}
+
+constexpr bool is_clock_update(Opcode op) {
+  return op == Opcode::kClockAdd || op == Opcode::kClockAddDyn;
+}
+
+/// True for instructions that read or write shared memory (race detection
+/// scope).  Synchronization ops are handled separately.
+constexpr bool is_memory_access(Opcode op) {
+  return op == Opcode::kLoad || op == Opcode::kStore || op == Opcode::kLoadF || op == Opcode::kStoreF;
+}
+
+constexpr bool has_dst(Opcode op) {
+  switch (op) {
+    case Opcode::kConst:
+    case Opcode::kConstF:
+    case Opcode::kMov:
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kMul:
+    case Opcode::kDiv:
+    case Opcode::kRem:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kShl:
+    case Opcode::kShr:
+    case Opcode::kFAdd:
+    case Opcode::kFSub:
+    case Opcode::kFMul:
+    case Opcode::kFDiv:
+    case Opcode::kFSqrt:
+    case Opcode::kICmp:
+    case Opcode::kFCmp:
+    case Opcode::kItoF:
+    case Opcode::kFtoI:
+    case Opcode::kLoad:
+    case Opcode::kLoadF:
+    case Opcode::kCall:
+    case Opcode::kCallExtern:
+    case Opcode::kSpawn:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace detlock::ir

@@ -1,0 +1,430 @@
+#include "ir/parser.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace detlock::ir {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : lines_(split(text, '\n')) {}
+
+  Module run() {
+    collect_signatures();
+    parse_bodies();
+    return std::move(module_);
+  }
+
+ private:
+  [[noreturn]] void fail(std::size_t line_index, const std::string& what) {
+    throw Error("IR parse error at line " + std::to_string(line_index + 1) + ": " + what);
+  }
+
+  static std::string_view strip_comment(std::string_view line) {
+    const std::size_t pos = line.find('#');
+    if (pos != std::string_view::npos) line = line.substr(0, pos);
+    return trim(line);
+  }
+
+  // ---- pass 1: function/extern signatures and block names -----------------
+
+  void collect_signatures() {
+    FuncId current_func = 0;
+    bool in_func = false;
+    for (std::size_t li = 0; li < lines_.size(); ++li) {
+      std::string_view line = strip_comment(lines_[li]);
+      if (line.empty()) continue;
+      if (starts_with(line, "extern ")) {
+        if (in_func) fail(li, "extern declaration inside function body");
+        parse_extern(li, line);
+      } else if (starts_with(line, "func ")) {
+        if (in_func) fail(li, "nested function");
+        current_func = parse_func_header(li, line);
+        in_func = true;
+      } else if (line == "}") {
+        if (!in_func) fail(li, "stray '}'");
+        in_func = false;
+      } else if (starts_with(line, "block ")) {
+        if (!in_func) fail(li, "block outside function");
+        std::string_view rest = trim(line.substr(6));
+        if (rest.empty() || rest.back() != ':') fail(li, "expected 'block NAME:'");
+        std::string name(trim(rest.substr(0, rest.size() - 1)));
+        if (name.empty()) fail(li, "empty block name");
+        Function& f = module_.function(current_func);
+        if (f.find_block(name) != kInvalidBlock) fail(li, "duplicate block '" + name + "'");
+        f.add_block(std::move(name));
+      }
+    }
+    if (in_func) fail(lines_.size() - 1, "unterminated function (missing '}')");
+  }
+
+  void parse_extern(std::size_t li, std::string_view line) {
+    // extern @name(N) [-> value] (estimate base=B [per_unit=P size_arg=K] | unclocked)
+    std::string_view rest = trim(line.substr(7));
+    if (rest.empty() || rest[0] != '@') fail(li, "expected '@name' after extern");
+    const std::size_t paren = rest.find('(');
+    if (paren == std::string_view::npos) fail(li, "expected '(' in extern declaration");
+    ExternDecl decl;
+    decl.name = std::string(rest.substr(1, paren - 1));
+    const std::size_t close = rest.find(')', paren);
+    if (close == std::string_view::npos) fail(li, "expected ')' in extern declaration");
+    auto params = parse_int(rest.substr(paren + 1, close - paren - 1));
+    if (!params || *params < 0) fail(li, "bad extern parameter count");
+    decl.num_params = static_cast<std::uint32_t>(*params);
+
+    std::vector<std::string_view> tokens = split_whitespace(rest.substr(close + 1));
+    std::size_t t = 0;
+    if (t < tokens.size() && tokens[t] == "->") {
+      if (t + 1 >= tokens.size() || tokens[t + 1] != "value") fail(li, "expected '-> value'");
+      decl.returns_value = true;
+      t += 2;
+    }
+    if (t < tokens.size() && tokens[t] == "estimate") {
+      ++t;
+      ExternEstimate est;
+      for (; t < tokens.size(); ++t) {
+        const auto kv = split(tokens[t], '=');
+        if (kv.size() != 2) fail(li, "bad estimate key=value token");
+        if (kv[0] == "base") {
+          auto v = parse_int(kv[1]);
+          if (!v) fail(li, "bad estimate base");
+          est.base = *v;
+        } else if (kv[0] == "per_unit") {
+          auto v = parse_double(kv[1]);
+          if (!v) fail(li, "bad estimate per_unit");
+          est.per_unit = *v;
+        } else if (kv[0] == "size_arg") {
+          auto v = parse_int(kv[1]);
+          if (!v || *v < 0) fail(li, "bad estimate size_arg");
+          est.size_arg_index = static_cast<std::uint32_t>(*v);
+        } else {
+          fail(li, "unknown estimate key '" + std::string(kv[0]) + "'");
+        }
+      }
+      decl.estimate = est;
+    } else if (t < tokens.size() && tokens[t] == "unclocked") {
+      ++t;
+      if (t != tokens.size()) fail(li, "trailing tokens after 'unclocked'");
+    } else if (t != tokens.size()) {
+      fail(li, "expected 'estimate ...' or 'unclocked'");
+    }
+    module_.add_extern(std::move(decl));
+  }
+
+  FuncId parse_func_header(std::size_t li, std::string_view line) {
+    // func @name(N) regs=M {
+    std::string_view rest = trim(line.substr(5));
+    if (rest.empty() || rest[0] != '@') fail(li, "expected '@name' after func");
+    const std::size_t paren = rest.find('(');
+    if (paren == std::string_view::npos) fail(li, "expected '(' in func header");
+    std::string name(rest.substr(1, paren - 1));
+    const std::size_t close = rest.find(')', paren);
+    if (close == std::string_view::npos) fail(li, "expected ')' in func header");
+    auto params = parse_int(rest.substr(paren + 1, close - paren - 1));
+    if (!params || *params < 0) fail(li, "bad parameter count");
+
+    std::vector<std::string_view> tokens = split_whitespace(rest.substr(close + 1));
+    std::int64_t regs = *params;
+    std::size_t t = 0;
+    if (t < tokens.size() && starts_with(tokens[t], "regs=")) {
+      auto v = parse_int(tokens[t].substr(5));
+      if (!v || *v < *params) fail(li, "bad regs count");
+      regs = *v;
+      ++t;
+    }
+    if (t >= tokens.size() || tokens[t] != "{") fail(li, "expected '{' at end of func header");
+    if (module_.has_function(name)) fail(li, "duplicate function '" + name + "'");
+    const FuncId id = module_.add_function(std::move(name), static_cast<std::uint32_t>(*params));
+    module_.function(id).set_num_regs(static_cast<std::uint32_t>(regs));
+    return id;
+  }
+
+  // ---- pass 2: instruction bodies ------------------------------------------
+
+  void parse_bodies() {
+    FuncId current_func = 0;
+    BlockId current_block = kInvalidBlock;
+    std::size_t func_counter = 0;
+    bool in_func = false;
+    for (std::size_t li = 0; li < lines_.size(); ++li) {
+      std::string_view line = strip_comment(lines_[li]);
+      if (line.empty() || starts_with(line, "extern ")) continue;
+      if (starts_with(line, "func ")) {
+        current_func = static_cast<FuncId>(func_counter++);
+        current_block = kInvalidBlock;
+        in_func = true;
+      } else if (line == "}") {
+        in_func = false;
+      } else if (starts_with(line, "block ")) {
+        std::string_view rest = trim(line.substr(6));
+        std::string name(trim(rest.substr(0, rest.size() - 1)));
+        current_block = module_.function(current_func).find_block(name);
+      } else {
+        if (!in_func || current_block == kInvalidBlock) fail(li, "instruction outside a block");
+        Instr instr = parse_instr(li, line, module_.function(current_func));
+        module_.function(current_func).block(current_block).append(std::move(instr));
+      }
+    }
+  }
+
+  Reg parse_reg(std::size_t li, std::string_view token) {
+    token = trim(token);
+    if (token.empty() || token[0] != '%') fail(li, "expected register, got '" + std::string(token) + "'");
+    auto v = parse_int(token.substr(1));
+    if (!v || *v < 0) fail(li, "bad register '" + std::string(token) + "'");
+    return static_cast<Reg>(*v);
+  }
+
+  BlockId parse_block_ref(std::size_t li, const Function& func, std::string_view token) {
+    token = trim(token);
+    const BlockId id = func.find_block(token);
+    if (id == kInvalidBlock) fail(li, "unknown block '" + std::string(token) + "'");
+    return id;
+  }
+
+  CmpPred parse_pred(std::size_t li, std::string_view token) {
+    token = trim(token);
+    if (token == "eq") return CmpPred::kEq;
+    if (token == "ne") return CmpPred::kNe;
+    if (token == "lt") return CmpPred::kLt;
+    if (token == "le") return CmpPred::kLe;
+    if (token == "gt") return CmpPred::kGt;
+    if (token == "ge") return CmpPred::kGe;
+    fail(li, "bad comparison predicate '" + std::string(token) + "'");
+  }
+
+  /// Parses "@name(%a, %b, ...)" returning {name, args}.
+  std::pair<std::string, std::vector<Reg>> parse_callee(std::size_t li, std::string_view text) {
+    text = trim(text);
+    if (text.empty() || text[0] != '@') fail(li, "expected '@callee(...)'");
+    const std::size_t paren = text.find('(');
+    if (paren == std::string_view::npos || text.back() != ')') fail(li, "malformed call argument list");
+    std::string name(text.substr(1, paren - 1));
+    std::string_view arg_text = text.substr(paren + 1, text.size() - paren - 2);
+    std::vector<Reg> args;
+    if (!trim(arg_text).empty()) {
+      for (std::string_view a : split(arg_text, ',')) args.push_back(parse_reg(li, a));
+    }
+    return {std::move(name), std::move(args)};
+  }
+
+  /// Parses "%a" or "%a + OFF" used by load/store address syntax.
+  std::pair<Reg, std::int64_t> parse_addr(std::size_t li, std::string_view text) {
+    const std::size_t plus = text.find('+');
+    if (plus == std::string_view::npos) return {parse_reg(li, text), 0};
+    auto off = parse_int(text.substr(plus + 1));
+    if (!off) fail(li, "bad address offset");
+    return {parse_reg(li, text.substr(0, plus)), *off};
+  }
+
+  Opcode binary_opcode(std::string_view name) {
+    static const std::unordered_map<std::string_view, Opcode> kMap = {
+        {"add", Opcode::kAdd}, {"sub", Opcode::kSub}, {"mul", Opcode::kMul}, {"div", Opcode::kDiv},
+        {"rem", Opcode::kRem}, {"and", Opcode::kAnd}, {"or", Opcode::kOr},   {"xor", Opcode::kXor},
+        {"shl", Opcode::kShl}, {"shr", Opcode::kShr}, {"fadd", Opcode::kFAdd}, {"fsub", Opcode::kFSub},
+        {"fmul", Opcode::kFMul}, {"fdiv", Opcode::kFDiv}};
+    const auto it = kMap.find(name);
+    return it == kMap.end() ? Opcode::kRet /*sentinel, caller checks*/ : it->second;
+  }
+
+  Instr parse_instr(std::size_t li, std::string_view line, Function& func) {
+    Instr instr;
+    std::string_view rest = line;
+    bool has_dst_reg = false;
+    Reg dst = 0;
+    const std::size_t eq = line.find('=');
+    // Careful: "base=..." can't appear here; '=' only occurs in "%d = op".
+    if (eq != std::string_view::npos && trim(line.substr(0, eq)).size() > 0 && trim(line.substr(0, eq))[0] == '%') {
+      dst = parse_reg(li, line.substr(0, eq));
+      has_dst_reg = true;
+      rest = trim(line.substr(eq + 1));
+    }
+    const std::size_t sp = rest.find_first_of(" \t");
+    std::string_view op_name = sp == std::string_view::npos ? rest : rest.substr(0, sp);
+    std::string_view operands = sp == std::string_view::npos ? std::string_view{} : trim(rest.substr(sp + 1));
+
+    auto require_dst = [&] {
+      if (!has_dst_reg) fail(li, std::string(op_name) + " requires a destination register");
+      instr.dst = dst;
+    };
+    auto forbid_dst = [&] {
+      if (has_dst_reg) fail(li, std::string(op_name) + " cannot have a destination register");
+    };
+
+    if (op_name == "const") {
+      require_dst();
+      instr.op = Opcode::kConst;
+      auto v = parse_int(operands);
+      if (!v) fail(li, "bad const literal");
+      instr.imm = *v;
+    } else if (op_name == "constf") {
+      require_dst();
+      instr.op = Opcode::kConstF;
+      auto v = parse_double(operands);
+      if (!v) fail(li, "bad constf literal");
+      instr.fimm = *v;
+    } else if (op_name == "mov" || op_name == "fsqrt" || op_name == "itof" || op_name == "ftoi") {
+      require_dst();
+      instr.op = op_name == "mov"     ? Opcode::kMov
+                 : op_name == "fsqrt" ? Opcode::kFSqrt
+                 : op_name == "itof"  ? Opcode::kItoF
+                                      : Opcode::kFtoI;
+      instr.a = parse_reg(li, operands);
+    } else if (binary_opcode(op_name) != Opcode::kRet) {
+      require_dst();
+      instr.op = binary_opcode(op_name);
+      const auto parts = split(operands, ',');
+      if (parts.size() != 2) fail(li, "binary op needs two operands");
+      instr.a = parse_reg(li, parts[0]);
+      instr.b = parse_reg(li, parts[1]);
+    } else if (op_name == "icmp" || op_name == "fcmp") {
+      require_dst();
+      instr.op = op_name == "icmp" ? Opcode::kICmp : Opcode::kFCmp;
+      const std::size_t psp = operands.find(' ');
+      if (psp == std::string_view::npos) fail(li, "cmp needs predicate");
+      instr.pred = parse_pred(li, operands.substr(0, psp));
+      const auto parts = split(operands.substr(psp + 1), ',');
+      if (parts.size() != 2) fail(li, "cmp needs two operands");
+      instr.a = parse_reg(li, parts[0]);
+      instr.b = parse_reg(li, parts[1]);
+    } else if (op_name == "load" || op_name == "loadf") {
+      require_dst();
+      instr.op = op_name == "load" ? Opcode::kLoad : Opcode::kLoadF;
+      const auto [addr, off] = parse_addr(li, operands);
+      instr.a = addr;
+      instr.imm = off;
+    } else if (op_name == "store" || op_name == "storef") {
+      forbid_dst();
+      instr.op = op_name == "store" ? Opcode::kStore : Opcode::kStoreF;
+      const auto parts = split(operands, ',');
+      if (parts.size() != 2) fail(li, "store needs address and value");
+      const auto [addr, off] = parse_addr(li, parts[0]);
+      instr.a = addr;
+      instr.imm = off;
+      instr.b = parse_reg(li, parts[1]);
+    } else if (op_name == "br") {
+      forbid_dst();
+      instr.op = Opcode::kBr;
+      instr.imm = parse_block_ref(li, func, operands);
+    } else if (op_name == "condbr") {
+      forbid_dst();
+      instr.op = Opcode::kCondBr;
+      const auto parts = split(operands, ',');
+      if (parts.size() != 3) fail(li, "condbr needs cond, then, else");
+      instr.a = parse_reg(li, parts[0]);
+      instr.imm = parse_block_ref(li, func, parts[1]);
+      instr.target2 = parse_block_ref(li, func, parts[2]);
+    } else if (op_name == "switch") {
+      forbid_dst();
+      instr.op = Opcode::kSwitch;
+      const std::size_t lb = operands.find('[');
+      if (lb == std::string_view::npos || operands.back() != ']') fail(li, "switch needs [case: block, ...]");
+      const auto head = split(operands.substr(0, lb), ',');
+      if (head.size() < 2) fail(li, "switch needs value and default");
+      instr.a = parse_reg(li, head[0]);
+      instr.imm = parse_block_ref(li, func, head[1]);
+      std::string_view case_text = operands.substr(lb + 1, operands.size() - lb - 2);
+      if (!trim(case_text).empty()) {
+        for (std::string_view c : split(case_text, ',')) {
+          const auto kv = split(c, ':');
+          if (kv.size() != 2) fail(li, "bad switch case");
+          auto v = parse_int(kv[0]);
+          if (!v || *v < 0) fail(li, "bad switch case value");
+          instr.args.push_back(static_cast<Reg>(*v));
+          instr.args.push_back(parse_block_ref(li, func, kv[1]));
+        }
+      }
+    } else if (op_name == "ret") {
+      forbid_dst();
+      instr.op = Opcode::kRet;
+      if (!operands.empty()) {
+        instr.has_value = true;
+        instr.a = parse_reg(li, operands);
+      }
+    } else if (op_name == "call" || op_name == "spawn") {
+      require_dst();
+      instr.op = op_name == "call" ? Opcode::kCall : Opcode::kSpawn;
+      auto [name, args] = parse_callee(li, operands);
+      instr.callee = module_.find_function(name);
+      instr.args = std::move(args);
+    } else if (op_name == "callx") {
+      require_dst();
+      instr.op = Opcode::kCallExtern;
+      auto [name, args] = parse_callee(li, operands);
+      instr.callee = module_.find_extern(name);
+      instr.args = std::move(args);
+    } else if (op_name == "lock" || op_name == "unlock" || op_name == "join" ||
+               op_name == "condsignal" || op_name == "condbroadcast") {
+      forbid_dst();
+      instr.op = op_name == "lock"         ? Opcode::kLock
+                 : op_name == "unlock"     ? Opcode::kUnlock
+                 : op_name == "join"       ? Opcode::kJoin
+                 : op_name == "condsignal" ? Opcode::kCondSignal
+                                           : Opcode::kCondBroadcast;
+      instr.a = parse_reg(li, operands);
+    } else if (op_name == "condwait") {
+      forbid_dst();
+      instr.op = Opcode::kCondWait;
+      const auto parts = split(operands, ',');
+      if (parts.size() != 2) fail(li, "condwait needs condvar and mutex registers");
+      instr.a = parse_reg(li, parts[0]);
+      instr.b = parse_reg(li, parts[1]);
+    } else if (op_name == "barrier") {
+      forbid_dst();
+      instr.op = Opcode::kBarrier;
+      const auto parts = split(operands, ',');
+      if (parts.size() != 2) fail(li, "barrier needs id and participant-count registers");
+      instr.a = parse_reg(li, parts[0]);
+      instr.b = parse_reg(li, parts[1]);
+    } else if (op_name == "clockadd") {
+      forbid_dst();
+      instr.op = Opcode::kClockAdd;
+      auto v = parse_int(operands);
+      if (!v) fail(li, "bad clockadd literal");
+      instr.imm = *v;
+    } else if (op_name == "clockadddyn") {
+      forbid_dst();
+      instr.op = Opcode::kClockAddDyn;
+      // Syntax: clockadddyn BASE + SCALE * %reg
+      const std::size_t plus = operands.find('+');
+      const std::size_t star = operands.find('*');
+      if (plus == std::string_view::npos || star == std::string_view::npos || star < plus) {
+        fail(li, "clockadddyn syntax: BASE + SCALE * %reg");
+      }
+      auto base = parse_int(operands.substr(0, plus));
+      auto scale = parse_double(operands.substr(plus + 1, star - plus - 1));
+      if (!base || !scale) fail(li, "bad clockadddyn literals");
+      instr.imm = *base;
+      instr.fimm = *scale;
+      instr.a = parse_reg(li, operands.substr(star + 1));
+    } else {
+      fail(li, "unknown opcode '" + std::string(op_name) + "'");
+    }
+
+    // Registers referenced in textual IR may exceed the declared count when
+    // the header omitted regs=; grow the function's register file to cover
+    // them so hand-written snippets stay terse.
+    Reg max_used = 0;
+    if (has_dst(instr.op)) max_used = std::max(max_used, instr.dst);
+    max_used = std::max({max_used, instr.a, instr.b});
+    if (instr.op == Opcode::kCall || instr.op == Opcode::kCallExtern || instr.op == Opcode::kSpawn) {
+      for (Reg r : instr.args) max_used = std::max(max_used, r);
+    }
+    if (max_used >= func.num_regs()) func.set_num_regs(max_used + 1);
+    return instr;
+  }
+
+  std::vector<std::string_view> lines_;
+  Module module_;
+};
+
+}  // namespace
+
+Module parse_module(std::string_view text) { return Parser(text).run(); }
+
+}  // namespace detlock::ir

@@ -1,0 +1,16 @@
+// Textual IR parser (inverse of printer.hpp).
+//
+// Line-oriented grammar; '#' starts a comment.  Block and function
+// references are by name and may be forward references.  Parse errors throw
+// detlock::Error carrying the 1-based line number.
+#pragma once
+
+#include <string_view>
+
+#include "ir/module.hpp"
+
+namespace detlock::ir {
+
+Module parse_module(std::string_view text);
+
+}  // namespace detlock::ir

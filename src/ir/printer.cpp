@@ -1,0 +1,177 @@
+#include "ir/printer.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "support/strings.hpp"
+
+namespace detlock::ir {
+
+namespace {
+
+std::string reg(Reg r) { return "%" + std::to_string(r); }
+
+std::string block_ref(const Function& func, BlockId id) {
+  if (id < func.num_blocks()) return func.block(id).name();
+  return "<bad-block-" + std::to_string(id) + ">";
+}
+
+void print_args(std::ostream& os, const std::vector<Reg>& args) {
+  os << '(';
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << reg(args[i]);
+  }
+  os << ')';
+}
+
+}  // namespace
+
+void print_instr(std::ostream& os, const Module& module, const Function& func, const Instr& instr) {
+  switch (instr.op) {
+    case Opcode::kConst:
+      os << reg(instr.dst) << " = const " << instr.imm;
+      return;
+    case Opcode::kConstF:
+      os << reg(instr.dst) << " = constf " << str_format("%.17g", instr.fimm);
+      return;
+    case Opcode::kMov:
+    case Opcode::kFSqrt:
+    case Opcode::kItoF:
+    case Opcode::kFtoI:
+      os << reg(instr.dst) << " = " << opcode_name(instr.op) << ' ' << reg(instr.a);
+      return;
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kMul:
+    case Opcode::kDiv:
+    case Opcode::kRem:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kShl:
+    case Opcode::kShr:
+    case Opcode::kFAdd:
+    case Opcode::kFSub:
+    case Opcode::kFMul:
+    case Opcode::kFDiv:
+      os << reg(instr.dst) << " = " << opcode_name(instr.op) << ' ' << reg(instr.a) << ", " << reg(instr.b);
+      return;
+    case Opcode::kICmp:
+    case Opcode::kFCmp:
+      os << reg(instr.dst) << " = " << opcode_name(instr.op) << ' ' << cmp_pred_name(instr.pred) << ' '
+         << reg(instr.a) << ", " << reg(instr.b);
+      return;
+    case Opcode::kLoad:
+    case Opcode::kLoadF:
+      os << reg(instr.dst) << " = " << opcode_name(instr.op) << ' ' << reg(instr.a);
+      if (instr.imm != 0) os << " + " << instr.imm;
+      return;
+    case Opcode::kStore:
+    case Opcode::kStoreF:
+      os << opcode_name(instr.op) << ' ' << reg(instr.a);
+      if (instr.imm != 0) os << " + " << instr.imm;
+      os << ", " << reg(instr.b);
+      return;
+    case Opcode::kBr:
+      os << "br " << block_ref(func, static_cast<BlockId>(instr.imm));
+      return;
+    case Opcode::kCondBr:
+      os << "condbr " << reg(instr.a) << ", " << block_ref(func, static_cast<BlockId>(instr.imm)) << ", "
+         << block_ref(func, instr.target2);
+      return;
+    case Opcode::kSwitch: {
+      os << "switch " << reg(instr.a) << ", " << block_ref(func, static_cast<BlockId>(instr.imm)) << ", [";
+      for (std::size_t i = 0; i + 1 < instr.args.size(); i += 2) {
+        if (i > 0) os << ", ";
+        os << instr.args[i] << ": " << block_ref(func, static_cast<BlockId>(instr.args[i + 1]));
+      }
+      os << ']';
+      return;
+    }
+    case Opcode::kRet:
+      os << "ret";
+      if (instr.has_value) os << ' ' << reg(instr.a);
+      return;
+    case Opcode::kCall:
+      os << reg(instr.dst) << " = call @" << module.function(instr.callee).name();
+      print_args(os, instr.args);
+      return;
+    case Opcode::kCallExtern:
+      os << reg(instr.dst) << " = callx @" << module.extern_decl(instr.callee).name;
+      print_args(os, instr.args);
+      return;
+    case Opcode::kSpawn:
+      os << reg(instr.dst) << " = spawn @" << module.function(instr.callee).name();
+      print_args(os, instr.args);
+      return;
+    case Opcode::kLock:
+    case Opcode::kUnlock:
+    case Opcode::kJoin:
+    case Opcode::kCondSignal:
+    case Opcode::kCondBroadcast:
+      os << opcode_name(instr.op) << ' ' << reg(instr.a);
+      return;
+    case Opcode::kCondWait:
+      os << "condwait " << reg(instr.a) << ", " << reg(instr.b);
+      return;
+    case Opcode::kBarrier:
+      os << "barrier " << reg(instr.a) << ", " << reg(instr.b);
+      return;
+    case Opcode::kClockAdd:
+      os << "clockadd " << instr.imm;
+      return;
+    case Opcode::kClockAddDyn:
+      os << "clockadddyn " << instr.imm << " + " << str_format("%.17g", instr.fimm) << " * " << reg(instr.a);
+      return;
+  }
+  DETLOCK_UNREACHABLE("bad opcode in printer");
+}
+
+void print_function(std::ostream& os, const Module& module, const Function& func) {
+  os << "func @" << func.name() << '(' << func.num_params() << ") regs=" << func.num_regs() << " {\n";
+  for (const BasicBlock& block : func.blocks()) {
+    os << "block " << block.name() << ":\n";
+    for (const Instr& instr : block.instrs()) {
+      os << "  ";
+      print_instr(os, module, func, instr);
+      os << '\n';
+    }
+  }
+  os << "}\n";
+}
+
+void print_module(std::ostream& os, const Module& module) {
+  for (const ExternDecl& e : module.externs()) {
+    os << "extern @" << e.name << '(' << e.num_params << ')';
+    if (e.returns_value) os << " -> value";
+    if (e.estimate.has_value()) {
+      os << " estimate base=" << e.estimate->base;
+      if (e.estimate->is_dynamic()) {
+        os << " per_unit=" << str_format("%.17g", e.estimate->per_unit) << " size_arg=" << e.estimate->size_arg_index;
+      }
+    } else {
+      os << " unclocked";
+    }
+    os << '\n';
+  }
+  if (!module.externs().empty()) os << '\n';
+  for (std::size_t i = 0; i < module.functions().size(); ++i) {
+    if (i > 0) os << '\n';
+    print_function(os, module, module.functions()[i]);
+  }
+}
+
+std::string to_string(const Module& module) {
+  std::ostringstream oss;
+  print_module(oss, module);
+  return oss.str();
+}
+
+std::string to_string(const Module& module, const Function& func) {
+  std::ostringstream oss;
+  print_function(oss, module, func);
+  return oss.str();
+}
+
+}  // namespace detlock::ir

@@ -1,0 +1,19 @@
+// Textual IR output.  The format round-trips through the parser, which the
+// test suite checks property-style on randomly generated modules.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "ir/module.hpp"
+
+namespace detlock::ir {
+
+void print_instr(std::ostream& os, const Module& module, const Function& func, const Instr& instr);
+void print_function(std::ostream& os, const Module& module, const Function& func);
+void print_module(std::ostream& os, const Module& module);
+
+std::string to_string(const Module& module);
+std::string to_string(const Module& module, const Function& func);
+
+}  // namespace detlock::ir

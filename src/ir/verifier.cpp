@@ -1,0 +1,217 @@
+#include "ir/verifier.hpp"
+
+#include <unordered_set>
+
+#include "support/error.hpp"
+
+namespace detlock::ir {
+
+std::string VerifyIssue::to_string() const {
+  std::string out = "@" + function;
+  if (!block.empty()) out += ":" + block;
+  out += ": " + message;
+  return out;
+}
+
+namespace {
+
+class Verifier {
+ public:
+  explicit Verifier(const Module& module) : module_(module) {}
+
+  std::vector<VerifyIssue> run() {
+    std::unordered_set<std::string> func_names;
+    for (const Function& f : module_.functions()) {
+      if (!func_names.insert(f.name()).second) {
+        issue(f.name(), "", "duplicate function name");
+      }
+      verify_function(f);
+    }
+    std::unordered_set<std::string> extern_names;
+    for (const ExternDecl& e : module_.externs()) {
+      if (!extern_names.insert(e.name).second) {
+        issue(e.name, "", "duplicate extern name");
+      }
+      if (e.estimate.has_value() && e.estimate->is_dynamic() && e.estimate->size_arg_index >= e.num_params) {
+        issue(e.name, "", "estimate size_arg out of range");
+      }
+    }
+    return std::move(issues_);
+  }
+
+ private:
+  void issue(std::string func, std::string block, std::string message) {
+    issues_.push_back(VerifyIssue{std::move(func), std::move(block), std::move(message)});
+  }
+
+  void verify_function(const Function& f) {
+    if (f.num_blocks() == 0) {
+      issue(f.name(), "", "function has no blocks");
+      return;
+    }
+    if (f.num_regs() < f.num_params()) {
+      issue(f.name(), "", "num_regs smaller than num_params");
+    }
+    std::unordered_set<std::string> block_names;
+    for (const BasicBlock& b : f.blocks()) {
+      if (!block_names.insert(b.name()).second) {
+        issue(f.name(), b.name(), "duplicate block name");
+      }
+      verify_block(f, b);
+    }
+  }
+
+  void verify_block(const Function& f, const BasicBlock& b) {
+    if (b.instrs().empty()) {
+      issue(f.name(), b.name(), "empty block (no terminator)");
+      return;
+    }
+    for (std::size_t i = 0; i < b.instrs().size(); ++i) {
+      const Instr& instr = b.instrs()[i];
+      const bool last = (i + 1 == b.instrs().size());
+      if (is_terminator(instr.op) != last) {
+        issue(f.name(), b.name(),
+              last ? "block does not end in a terminator"
+                   : std::string("terminator '") + std::string(opcode_name(instr.op)) + "' in block middle");
+      }
+      verify_instr(f, b, instr);
+    }
+  }
+
+  void check_reg(const Function& f, const BasicBlock& b, Reg r, const char* role) {
+    if (r >= f.num_regs()) {
+      issue(f.name(), b.name(), std::string(role) + " register %" + std::to_string(r) + " out of range");
+    }
+  }
+
+  void check_block_ref(const Function& f, const BasicBlock& b, BlockId id) {
+    if (id >= f.num_blocks()) {
+      issue(f.name(), b.name(), "branch to nonexistent block id " + std::to_string(id));
+    }
+  }
+
+  void verify_instr(const Function& f, const BasicBlock& b, const Instr& instr) {
+    if (has_dst(instr.op)) check_reg(f, b, instr.dst, "dst");
+    switch (instr.op) {
+      case Opcode::kConst:
+      case Opcode::kConstF:
+      case Opcode::kClockAdd:
+        break;
+      case Opcode::kClockAddDyn:
+        check_reg(f, b, instr.a, "src");
+        break;
+      case Opcode::kMov:
+      case Opcode::kFSqrt:
+      case Opcode::kItoF:
+      case Opcode::kFtoI:
+      case Opcode::kLoad:
+      case Opcode::kLoadF:
+      case Opcode::kLock:
+      case Opcode::kUnlock:
+      case Opcode::kJoin:
+      case Opcode::kCondSignal:
+      case Opcode::kCondBroadcast:
+        check_reg(f, b, instr.a, "src");
+        break;
+      case Opcode::kCondWait:
+      case Opcode::kBarrier:
+        check_reg(f, b, instr.a, "src");
+        check_reg(f, b, instr.b, "src");
+        break;
+      case Opcode::kAdd:
+      case Opcode::kSub:
+      case Opcode::kMul:
+      case Opcode::kDiv:
+      case Opcode::kRem:
+      case Opcode::kAnd:
+      case Opcode::kOr:
+      case Opcode::kXor:
+      case Opcode::kShl:
+      case Opcode::kShr:
+      case Opcode::kFAdd:
+      case Opcode::kFSub:
+      case Opcode::kFMul:
+      case Opcode::kFDiv:
+      case Opcode::kICmp:
+      case Opcode::kFCmp:
+      case Opcode::kStore:
+      case Opcode::kStoreF:
+        check_reg(f, b, instr.a, "src");
+        check_reg(f, b, instr.b, "src");
+        break;
+      case Opcode::kBr:
+        check_block_ref(f, b, static_cast<BlockId>(instr.imm));
+        break;
+      case Opcode::kCondBr:
+        check_reg(f, b, instr.a, "cond");
+        check_block_ref(f, b, static_cast<BlockId>(instr.imm));
+        check_block_ref(f, b, instr.target2);
+        break;
+      case Opcode::kSwitch: {
+        check_reg(f, b, instr.a, "value");
+        check_block_ref(f, b, static_cast<BlockId>(instr.imm));
+        if (instr.args.size() % 2 != 0) {
+          issue(f.name(), b.name(), "switch case list has odd length");
+          break;
+        }
+        std::unordered_set<Reg> case_values;
+        for (std::size_t i = 0; i < instr.args.size(); i += 2) {
+          if (!case_values.insert(instr.args[i]).second) {
+            issue(f.name(), b.name(), "duplicate switch case " + std::to_string(instr.args[i]));
+          }
+          check_block_ref(f, b, static_cast<BlockId>(instr.args[i + 1]));
+        }
+        break;
+      }
+      case Opcode::kRet:
+        if (instr.has_value) check_reg(f, b, instr.a, "ret value");
+        break;
+      case Opcode::kCall:
+      case Opcode::kSpawn: {
+        if (instr.callee >= module_.functions().size()) {
+          issue(f.name(), b.name(), "call to nonexistent function id " + std::to_string(instr.callee));
+          break;
+        }
+        const Function& callee = module_.function(instr.callee);
+        if (instr.args.size() != callee.num_params()) {
+          issue(f.name(), b.name(),
+                "call to @" + callee.name() + " with " + std::to_string(instr.args.size()) + " args, expected " +
+                    std::to_string(callee.num_params()));
+        }
+        for (Reg r : instr.args) check_reg(f, b, r, "arg");
+        break;
+      }
+      case Opcode::kCallExtern: {
+        if (instr.callee >= module_.externs().size()) {
+          issue(f.name(), b.name(), "call to nonexistent extern id " + std::to_string(instr.callee));
+          break;
+        }
+        const ExternDecl& callee = module_.extern_decl(instr.callee);
+        if (instr.args.size() != callee.num_params) {
+          issue(f.name(), b.name(),
+                "call to extern @" + callee.name + " with " + std::to_string(instr.args.size()) +
+                    " args, expected " + std::to_string(callee.num_params));
+        }
+        for (Reg r : instr.args) check_reg(f, b, r, "arg");
+        break;
+      }
+    }
+  }
+
+  const Module& module_;
+  std::vector<VerifyIssue> issues_;
+};
+
+}  // namespace
+
+std::vector<VerifyIssue> verify_module(const Module& module) { return Verifier(module).run(); }
+
+void verify_module_or_throw(const Module& module) {
+  const std::vector<VerifyIssue> issues = verify_module(module);
+  if (issues.empty()) return;
+  std::string message = "IR verification failed:";
+  for (const VerifyIssue& i : issues) message += "\n  " + i.to_string();
+  throw Error(message);
+}
+
+}  // namespace detlock::ir

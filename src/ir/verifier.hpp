@@ -1,0 +1,30 @@
+// Structural IR verifier.
+//
+// Every pass in the pipeline runs the verifier after mutating a module (in
+// debug/test builds unconditionally); it enforces the invariants the
+// interpreter and analyses rely on so violations fail fast with a named
+// block/function instead of corrupting a multithreaded run.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/module.hpp"
+
+namespace detlock::ir {
+
+struct VerifyIssue {
+  std::string function;
+  std::string block;  // empty for function-level issues
+  std::string message;
+
+  std::string to_string() const;
+};
+
+/// Returns all issues found (empty == valid).
+std::vector<VerifyIssue> verify_module(const Module& module);
+
+/// Throws detlock::Error listing every issue when the module is invalid.
+void verify_module_or_throw(const Module& module);
+
+}  // namespace detlock::ir

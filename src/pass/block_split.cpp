@@ -1,0 +1,68 @@
+#include "pass/block_split.hpp"
+
+namespace detlock::pass {
+
+bool is_region_boundary(const ir::Module& module, const ClockAssignment& assignment, const ir::Instr& instr) {
+  switch (instr.op) {
+    case ir::Opcode::kCall:
+      return !assignment.is_clocked(instr.callee);
+    case ir::Opcode::kCallExtern:
+      // Statically estimated externs fold into the region; dynamic ones are
+      // handled by a pinned kClockAddDyn and do not split.  Only unclocked
+      // externs are opaque.
+      return !module.extern_decl(instr.callee).estimate.has_value();
+    case ir::Opcode::kLock:
+    case ir::Opcode::kUnlock:
+    case ir::Opcode::kBarrier:
+    case ir::Opcode::kSpawn:
+    case ir::Opcode::kJoin:
+    case ir::Opcode::kCondWait:
+    case ir::Opcode::kCondSignal:
+    case ir::Opcode::kCondBroadcast:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::size_t split_function_at_boundaries(ir::Module& module, const ClockAssignment& assignment, ir::FuncId func) {
+  ir::Function& f = module.function(func);
+  std::size_t splits = 0;
+  // Appending blocks while iterating: new blocks are themselves scanned
+  // (they may contain further boundaries), which the index loop handles
+  // naturally since add_block only appends.
+  for (ir::BlockId b = 0; b < f.num_blocks(); ++b) {
+    std::vector<ir::Instr>& instrs = f.block(b).instrs();
+    // Find the first boundary that is not already at position 0.
+    std::size_t split_at = instrs.size();
+    for (std::size_t i = 1; i < instrs.size(); ++i) {
+      if (is_region_boundary(module, assignment, instrs[i])) {
+        split_at = i;
+        break;
+      }
+    }
+    if (split_at == instrs.size()) continue;
+
+    const ir::BlockId tail = f.add_block(f.block(b).name() + ".split" + std::to_string(splits));
+    // NOTE: add_block may invalidate the `instrs` reference (vector growth);
+    // re-acquire through the function.
+    std::vector<ir::Instr>& head_instrs = f.block(b).instrs();
+    std::vector<ir::Instr>& tail_instrs = f.block(tail).instrs();
+    tail_instrs.assign(head_instrs.begin() + static_cast<std::ptrdiff_t>(split_at), head_instrs.end());
+    head_instrs.erase(head_instrs.begin() + static_cast<std::ptrdiff_t>(split_at), head_instrs.end());
+    head_instrs.push_back(ir::Instr::make_br(tail));
+    ++splits;
+  }
+  return splits;
+}
+
+std::size_t split_module_at_boundaries(ir::Module& module, const ClockAssignment& assignment) {
+  std::size_t splits = 0;
+  for (ir::FuncId f = 0; f < module.functions().size(); ++f) {
+    if (assignment.is_clocked(f)) continue;  // body keeps no clocks; no need to split
+    splits += split_function_at_boundaries(module, assignment, f);
+  }
+  return splits;
+}
+
+}  // namespace detlock::pass

@@ -1,0 +1,38 @@
+// Block splitting around clock-region boundaries.
+//
+// Paper Sec. III-A: "If there is a function call inside that block, we split
+// that block, such that each block either contains no function call or
+// starts and ends with a function call. ... By splitting blocks in such a
+// way, we can more easily apply optimizations."
+//
+// A *boundary* instruction is one across which a single static clock value
+// cannot account for the block: a call to a function that maintains its own
+// clocks (not Opt1-clocked, no extern estimate), or a synchronization
+// operation (the thread's clock at a lock attempt must reflect only work
+// before the lock).  Splitting places every boundary instruction first in
+// its own block, so downstream passes reason purely per-block.
+//
+// Calls to clocked functions and estimated externs are NOT boundaries --
+// their cost folds into the surrounding region (paper Fig. 5: "no splitting
+// of the block is done and the mean number of instructions ... are added to
+// the clock").
+#pragma once
+
+#include "pass/clock_assignment.hpp"
+#include "pass/options.hpp"
+
+namespace detlock::pass {
+
+/// True when `instr` starts a new clock region.
+bool is_region_boundary(const ir::Module& module, const ClockAssignment& assignment, const ir::Instr& instr);
+
+/// Splits every reachable block of `func` so each boundary instruction is
+/// the first instruction of its block.  Appends new blocks (existing
+/// BlockIds remain valid).  Returns the number of splits performed.
+std::size_t split_function_at_boundaries(ir::Module& module, const ClockAssignment& assignment, ir::FuncId func);
+
+/// Applies split_function_at_boundaries to every function that will be
+/// instrumented (i.e. not Opt1-clocked).
+std::size_t split_module_at_boundaries(ir::Module& module, const ClockAssignment& assignment);
+
+}  // namespace detlock::pass

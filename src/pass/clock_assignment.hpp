@@ -1,0 +1,77 @@
+// Clock assignment: the mutable state the DetLock pass pipeline operates on.
+//
+// Between block splitting and materialization, clocks live in this side
+// table rather than as instructions; the four optimizations move/zero the
+// per-block values, and materialization finally emits kClockAdd only where
+// a nonzero value remains.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/module.hpp"
+
+namespace detlock::pass {
+
+using ir::BlockId;
+using ir::FuncId;
+
+struct BlockClockInfo {
+  /// Clock value to materialize for this block (moved around by opts).
+  std::int64_t clock = 0;
+  /// Exact cost of the block: instruction costs + static estimates of calls
+  /// to clocked callees.  Never changed by opts; the conservation checker
+  /// compares accumulated `clock` against accumulated `original_cost`.
+  std::int64_t original_cost = 0;
+  /// Block begins with a call to a function that updates its own clocks (or
+  /// an unclocked extern).  Optimizations must not treat this block's cost
+  /// as a complete description of what executing it adds to the clock.
+  bool has_unclocked_call = false;
+  /// Block contains a call to an extern with a size-dependent estimate; its
+  /// true cost is runtime-dependent, so it is pinned (conservatively
+  /// excluded from every optimization).
+  bool has_dynamic_estimate = false;
+  /// Block begins with a synchronization operation.  Clock regions never
+  /// span a sync op: a thread's clock at a lock attempt must reflect only
+  /// work before the lock (matching Kendo's accounting).
+  bool has_sync = false;
+
+  /// True when optimizations may freely move this block's clock.
+  bool movable() const { return !has_unclocked_call && !has_dynamic_estimate && !has_sync; }
+};
+
+struct FunctionClocks {
+  std::vector<BlockClockInfo> blocks;  // indexed by BlockId
+
+  BlockClockInfo& operator[](BlockId b) { return blocks[b]; }
+  const BlockClockInfo& operator[](BlockId b) const { return blocks[b]; }
+
+  std::int64_t total_assigned() const {
+    std::int64_t sum = 0;
+    for (const BlockClockInfo& b : blocks) sum += b.clock;
+    return sum;
+  }
+
+  std::size_t nonzero_sites() const {
+    std::size_t n = 0;
+    for (const BlockClockInfo& b : blocks) {
+      if (b.clock != 0) ++n;
+    }
+    return n;
+  }
+};
+
+struct ClockAssignment {
+  /// Per-function block clocks; clocked (Opt1) functions have empty
+  /// per-block clocks and appear in clocked_functions instead.
+  std::vector<FunctionClocks> funcs;  // indexed by FuncId
+
+  /// Functions whose whole-body cost is charged at call sites: FuncId ->
+  /// mean path cost (paper Fig. 4's clockableList).
+  std::unordered_map<FuncId, std::int64_t> clocked_functions;
+
+  bool is_clocked(FuncId f) const { return clocked_functions.count(f) != 0; }
+};
+
+}  // namespace detlock::pass

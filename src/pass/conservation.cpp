@@ -1,0 +1,43 @@
+#include "pass/conservation.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "analysis/cfg.hpp"
+#include "support/prng.hpp"
+
+namespace detlock::pass {
+
+DivergenceReport sample_clock_divergence(const ir::Module& module, const ClockAssignment& assignment,
+                                         ir::FuncId func, std::size_t walks, std::size_t max_steps,
+                                         std::uint64_t seed) {
+  const ir::Function& f = module.function(func);
+  const FunctionClocks& clocks = assignment.funcs[func];
+  const analysis::Cfg cfg(f);
+  Xoshiro256 prng(seed);
+
+  DivergenceReport report;
+  double relative_sum = 0.0;
+  for (std::size_t w = 0; w < walks; ++w) {
+    std::int64_t assigned = 0;
+    std::int64_t exact = 0;
+    ir::BlockId block = ir::Function::kEntry;
+    for (std::size_t step = 0; step < max_steps; ++step) {
+      assigned += clocks[block].clock;
+      exact += clocks[block].original_cost;
+      const auto& succs = cfg.successors(block);
+      if (succs.empty()) break;  // ret
+      block = succs[prng.next_below(succs.size())];
+    }
+    const std::int64_t abs_div = std::llabs(assigned - exact);
+    const double rel = static_cast<double>(abs_div) / static_cast<double>(std::max<std::int64_t>(exact, 1));
+    relative_sum += rel;
+    if (rel > report.max_relative) report.max_relative = rel;
+    if (abs_div > report.max_absolute) report.max_absolute = abs_div;
+    ++report.walks;
+  }
+  if (report.walks > 0) report.mean_relative = relative_sum / static_cast<double>(report.walks);
+  return report;
+}
+
+}  // namespace detlock::pass

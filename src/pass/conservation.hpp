@@ -1,0 +1,36 @@
+// Clock-conservation checker.
+//
+// The optimizations trade exactness for fewer/earlier updates; this tool
+// quantifies what they actually gave up.  It simulates random control-flow
+// walks through a function, accumulating both the assigned clocks and the
+// exact original costs, and reports the relative divergence.  Property
+// tests assert that:
+//   * with only precise transformations (Opt2a, Opt2b's precise case) the
+//     divergence is exactly zero, and
+//   * with all optimizations it stays within a small factor of the paper's
+//     acceptance thresholds.
+#pragma once
+
+#include <cstdint>
+
+#include "pass/clock_assignment.hpp"
+
+namespace detlock::pass {
+
+struct DivergenceReport {
+  std::size_t walks = 0;
+  double max_relative = 0.0;
+  double mean_relative = 0.0;
+  std::int64_t max_absolute = 0;
+};
+
+/// Random-walks `walks` executions of `func` (each at most `max_steps`
+/// blocks, branches chosen uniformly with the given seed) and compares
+/// accumulated assigned clocks against accumulated original costs.
+/// Both sides account calls identically (clocked callees via their call-site
+/// estimate), so the report isolates divergence introduced by Opt2/3/4.
+DivergenceReport sample_clock_divergence(const ir::Module& module, const ClockAssignment& assignment,
+                                         ir::FuncId func, std::size_t walks = 256,
+                                         std::size_t max_steps = 4096, std::uint64_t seed = 1);
+
+}  // namespace detlock::pass

@@ -1,0 +1,63 @@
+#include "pass/costs.hpp"
+
+namespace detlock::pass {
+
+BlockClockInfo analyze_block(const ir::Module& module, const ClockAssignment& assignment,
+                             const ir::BasicBlock& block, const ir::CostModel& cost_model) {
+  BlockClockInfo info;
+  for (const ir::Instr& instr : block.instrs()) {
+    info.original_cost += cost_model.cost(instr);
+    switch (instr.op) {
+      case ir::Opcode::kCall: {
+        const auto it = assignment.clocked_functions.find(instr.callee);
+        if (it != assignment.clocked_functions.end()) {
+          info.original_cost += it->second;
+        } else {
+          info.has_unclocked_call = true;
+        }
+        break;
+      }
+      case ir::Opcode::kCallExtern: {
+        const ir::ExternDecl& decl = module.extern_decl(instr.callee);
+        if (!decl.estimate.has_value()) {
+          info.has_unclocked_call = true;
+        } else if (decl.estimate->is_dynamic()) {
+          info.has_dynamic_estimate = true;  // base+scaled cost emitted as kClockAddDyn
+        } else {
+          info.original_cost += decl.estimate->base;
+        }
+        break;
+      }
+      case ir::Opcode::kLock:
+      case ir::Opcode::kUnlock:
+      case ir::Opcode::kBarrier:
+      case ir::Opcode::kSpawn:
+      case ir::Opcode::kJoin:
+      case ir::Opcode::kCondWait:
+      case ir::Opcode::kCondSignal:
+      case ir::Opcode::kCondBroadcast:
+        info.has_sync = true;
+        break;
+      default:
+        break;
+    }
+  }
+  return info;
+}
+
+void compute_initial_assignment(const ir::Module& module, ClockAssignment& assignment,
+                                const ir::CostModel& cost_model) {
+  assignment.funcs.assign(module.functions().size(), FunctionClocks{});
+  for (ir::FuncId f = 0; f < module.functions().size(); ++f) {
+    const ir::Function& func = module.functions()[f];
+    FunctionClocks& fc = assignment.funcs[f];
+    fc.blocks.resize(func.num_blocks());
+    if (assignment.is_clocked(f)) continue;  // body carries no clocks
+    for (ir::BlockId b = 0; b < func.num_blocks(); ++b) {
+      fc.blocks[b] = analyze_block(module, assignment, func.block(b), cost_model);
+      fc.blocks[b].clock = fc.blocks[b].original_cost;
+    }
+  }
+}
+
+}  // namespace detlock::pass

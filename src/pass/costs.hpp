@@ -1,0 +1,23 @@
+// Per-block cost analysis: the bridge between IR instructions and the clock
+// values the pipeline distributes.
+#pragma once
+
+#include "pass/clock_assignment.hpp"
+#include "pass/options.hpp"
+
+namespace detlock::pass {
+
+/// Computes a block's BlockClockInfo under the current clocked-function set:
+/// original_cost = instruction costs + static estimates of clocked callees
+/// and estimated externs (dynamic portions excluded -- those become pinned
+/// kClockAddDyn at materialization); flags as documented on BlockClockInfo.
+BlockClockInfo analyze_block(const ir::Module& module, const ClockAssignment& assignment,
+                             const ir::BasicBlock& block, const ir::CostModel& cost_model);
+
+/// Sizes assignment.funcs to the module and fills every non-clocked
+/// function's per-block info, initializing clock = original_cost (the
+/// paper's unoptimized insertion).  Call after block splitting.
+void compute_initial_assignment(const ir::Module& module, ClockAssignment& assignment,
+                                const ir::CostModel& cost_model);
+
+}  // namespace detlock::pass

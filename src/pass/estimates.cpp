@@ -1,0 +1,51 @@
+#include "pass/estimates.hpp"
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace detlock::pass {
+
+std::size_t apply_estimate_file(ir::Module& module, std::string_view text) {
+  std::size_t applied = 0;
+  std::size_t line_no = 0;
+  for (std::string_view raw_line : split(text, '\n')) {
+    ++line_no;
+    std::string_view line = raw_line;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+
+    const std::vector<std::string_view> tokens = split_whitespace(line);
+    if (tokens.size() != 2 && tokens.size() != 4) {
+      throw Error("estimate file line " + std::to_string(line_no) + ": expected 'name base' or 'name base per_unit size_arg'");
+    }
+    const auto base = parse_int(tokens[1]);
+    if (!base || *base < 0) {
+      throw Error("estimate file line " + std::to_string(line_no) + ": bad base cost");
+    }
+    ir::ExternEstimate estimate;
+    estimate.base = *base;
+    if (tokens.size() == 4) {
+      const auto per_unit = parse_double(tokens[2]);
+      const auto arg_ix = parse_int(tokens[3]);
+      if (!per_unit || *per_unit < 0.0 || !arg_ix || *arg_ix < 0) {
+        throw Error("estimate file line " + std::to_string(line_no) + ": bad per_unit/size_arg");
+      }
+      estimate.per_unit = *per_unit;
+      estimate.size_arg_index = static_cast<std::uint32_t>(*arg_ix);
+    }
+
+    const std::string name(tokens[0]);
+    if (!module.has_extern(name)) continue;  // shared estimate file, unused entry
+    ir::ExternDecl& decl = module.externs()[module.find_extern(name)];
+    if (estimate.per_unit != 0.0 && estimate.size_arg_index >= decl.num_params) {
+      throw Error("estimate file line " + std::to_string(line_no) + ": size_arg out of range for @" + name);
+    }
+    decl.estimate = estimate;
+    ++applied;
+  }
+  return applied;
+}
+
+}  // namespace detlock::pass

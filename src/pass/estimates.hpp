@@ -1,0 +1,26 @@
+// Instruction-estimate file (paper Sec. III-B).
+//
+// "We provide a text file (instructions estimate file) ... where these
+// functions can be defined with the approximate number of instructions they
+// take along with their dependency on input parameters."
+//
+// Format, one extern per line ('#' comments):
+//   <name> <base>                      # fixed-cost built-in, e.g. "sin 40"
+//   <name> <base> <per_unit> <arg_ix>  # size-dependent, e.g. "memset 10 1.0 2"
+// Unlisted externs remain unclocked (the paper's "one way is to ignore
+// them").
+#pragma once
+
+#include <string_view>
+
+#include "ir/module.hpp"
+
+namespace detlock::pass {
+
+/// Parses the estimate text and applies it to matching extern declarations
+/// in the module.  Returns the number of externs whose estimate was set.
+/// Entries naming unknown externs are ignored (estimate files are shared
+/// across programs that use different library subsets).
+std::size_t apply_estimate_file(ir::Module& module, std::string_view text);
+
+}  // namespace detlock::pass

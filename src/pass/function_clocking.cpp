@@ -1,0 +1,81 @@
+#include "pass/function_clocking.hpp"
+
+#include <cmath>
+
+#include "analysis/loops.hpp"
+#include "analysis/paths.hpp"
+#include "pass/costs.hpp"
+
+namespace detlock::pass {
+
+namespace {
+
+/// Spawn targets: functions launched as threads anywhere in the module.
+std::vector<bool> collect_spawn_targets(const ir::Module& module) {
+  std::vector<bool> is_target(module.functions().size(), false);
+  for (const ir::Function& f : module.functions()) {
+    for (const ir::BasicBlock& b : f.blocks()) {
+      for (const ir::Instr& i : b.instrs()) {
+        if (i.op == ir::Opcode::kSpawn) is_target[i.callee] = true;
+      }
+    }
+  }
+  return is_target;
+}
+
+}  // namespace
+
+bool is_clockable(const ir::Module& module, const ClockAssignment& assignment,
+                  const analysis::CallGraph& call_graph, ir::FuncId func, const PassOptions& options,
+                  std::int64_t* avg) {
+  const ir::Function& f = module.function(func);
+  if (call_graph.has_sync_ops(func)) return false;
+  if (call_graph.callers(func).empty()) return false;
+
+  const analysis::Cfg cfg(f);
+  {
+    const analysis::DominatorTree domtree(cfg);
+    const analysis::LoopInfo loops(cfg, domtree);
+    if (loops.has_loops()) return false;  // paper: hasLoops(f)
+  }
+
+  // Per-block costs under the current clocked set; any opaque block makes
+  // the function unclockable (paper: hasUnclockedFunctions(f)).
+  std::vector<std::int64_t> block_cost(f.num_blocks(), 0);
+  for (ir::BlockId b = 0; b < f.num_blocks(); ++b) {
+    if (!cfg.reachable(b)) continue;
+    const BlockClockInfo info = analyze_block(module, assignment, f.block(b), options.cost_model);
+    if (info.has_unclocked_call || info.has_dynamic_estimate || info.has_sync) return false;
+    block_cost[b] = info.original_cost;
+  }
+
+  const analysis::PathStatsResult stats =
+      analysis::function_path_stats(cfg, [&](ir::BlockId b) { return block_cost[b]; });
+  if (!stats.valid) return false;
+  if (!options.criteria.accepts(stats.mean, stats.stddev, stats.range())) return false;
+  *avg = static_cast<std::int64_t>(std::llround(stats.mean));
+  return true;
+}
+
+void run_function_clocking(const ir::Module& module, ClockAssignment& assignment, const PassOptions& options) {
+  const analysis::CallGraph call_graph(module);
+  const std::vector<bool> spawn_target = collect_spawn_targets(module);
+
+  // Paper Fig. 4 updateClockableFuncList: greedy fixed point.  Each sweep
+  // can only clock functions whose callees were clocked in earlier sweeps,
+  // so at most |functions| sweeps run.
+  bool modified = true;
+  while (modified) {
+    modified = false;
+    for (ir::FuncId f = 0; f < module.functions().size(); ++f) {
+      if (assignment.is_clocked(f) || spawn_target[f]) continue;
+      std::int64_t avg = 0;
+      if (is_clockable(module, assignment, call_graph, f, options, &avg)) {
+        assignment.clocked_functions.emplace(f, avg);
+        modified = true;
+      }
+    }
+  }
+}
+
+}  // namespace detlock::pass

@@ -1,0 +1,44 @@
+// Optimization 1: Function Clocking (paper Sec. IV-A, Fig. 4).
+//
+// A function is *clockable* when its whole-body cost can be summarized by
+// one number charged at every call site: the callee's own clock updates are
+// removed and the mean path cost is folded into the calling block.  Besides
+// reducing update sites, this advances the clock maximally ahead of time --
+// the entire function is accounted before its first instruction runs, which
+// is what lets DetLock beat Kendo on lock-heavy Radiosity (Sec. V-B).
+//
+// Clockability (isClockable): the function has no loops, calls only already-
+// clocked functions or statically-estimated externs, and its per-path cost
+// spread passes the paper's criteria (range <= mean/2.5, stddev <= mean/5).
+// The fixed point (updateClockableFuncList) keeps sweeping until no function
+// is added, so non-leaf functions whose callees became clocked are clocked
+// too.
+//
+// Additional soundness conditions this implementation enforces (implicit in
+// the paper's setting):
+//  * no synchronization operations -- a clocked body must be a pure
+//    function of control flow, and hoisting cost across a lock would change
+//    the clock the lock attempt uses;
+//  * not a spawn target -- a spawned function runs on another thread, so
+//    charging its cost to the spawner would both double-count and leave the
+//    child's clock frozen;
+//  * has at least one caller -- otherwise removing its clocks means nobody
+//    ever accounts for them.
+#pragma once
+
+#include "analysis/call_graph.hpp"
+#include "pass/clock_assignment.hpp"
+#include "pass/options.hpp"
+
+namespace detlock::pass {
+
+/// Tests one function against the current clocked set.  On success stores
+/// the mean path cost (rounded) in *avg.
+bool is_clockable(const ir::Module& module, const ClockAssignment& assignment,
+                  const analysis::CallGraph& call_graph, ir::FuncId func, const PassOptions& options,
+                  std::int64_t* avg);
+
+/// The fixed-point sweep: fills assignment.clocked_functions.
+void run_function_clocking(const ir::Module& module, ClockAssignment& assignment, const PassOptions& options);
+
+}  // namespace detlock::pass

@@ -1,0 +1,69 @@
+#include "pass/materialize.hpp"
+
+#include "pass/block_split.hpp"
+#include "support/error.hpp"
+
+namespace detlock::pass {
+
+MaterializeStats materialize_clocks(ir::Module& module, const ClockAssignment& assignment,
+                                    ClockPlacement placement) {
+  MaterializeStats stats;
+  for (ir::FuncId f = 0; f < module.functions().size(); ++f) {
+    if (assignment.is_clocked(f)) continue;
+    ir::Function& func = module.function(f);
+    const FunctionClocks& clocks = assignment.funcs[f];
+    DETLOCK_CHECK(clocks.blocks.size() == func.num_blocks(), "assignment out of sync with module");
+
+    for (ir::BlockId b = 0; b < func.num_blocks(); ++b) {
+      const BlockClockInfo& info = clocks[b];
+      DETLOCK_CHECK(info.clock >= 0, "negative clock assignment");
+      const std::vector<ir::Instr>& old_instrs = func.block(b).instrs();
+      std::vector<ir::Instr> out;
+      out.reserve(old_instrs.size() + 2);
+
+      // Static update insertion index (over the ORIGINAL instruction list).
+      std::size_t static_at = old_instrs.size();  // none
+      if (info.clock > 0) {
+        if (placement == ClockPlacement::kStart) {
+          static_at = 0;
+          if (!old_instrs.empty() && is_region_boundary(module, assignment, old_instrs.front())) {
+            static_at = 1;
+          }
+        } else {
+          // Before the terminator (blocks always have one post-verifier).
+          static_at = old_instrs.empty() ? 0 : old_instrs.size() - 1;
+        }
+      }
+
+      for (std::size_t i = 0; i < old_instrs.size(); ++i) {
+        if (i == static_at) {
+          out.push_back(ir::Instr::make_clock_add(info.clock));
+          ++stats.clock_add_sites;
+        }
+        const ir::Instr& instr = old_instrs[i];
+        if (instr.op == ir::Opcode::kCallExtern) {
+          const ir::ExternDecl& decl = module.extern_decl(instr.callee);
+          if (decl.estimate.has_value() && decl.estimate->is_dynamic()) {
+            ir::Instr dyn;
+            dyn.op = ir::Opcode::kClockAddDyn;
+            dyn.imm = decl.estimate->base;
+            dyn.fimm = decl.estimate->per_unit;
+            dyn.a = instr.args[decl.estimate->size_arg_index];
+            out.push_back(std::move(dyn));
+            ++stats.clock_dyn_sites;
+          }
+        }
+        out.push_back(instr);
+      }
+      if (static_at == old_instrs.size() && info.clock > 0) {
+        // Degenerate: empty block (verifier forbids, but stay safe).
+        out.push_back(ir::Instr::make_clock_add(info.clock));
+        ++stats.clock_add_sites;
+      }
+      func.block(b).instrs() = std::move(out);
+    }
+  }
+  return stats;
+}
+
+}  // namespace detlock::pass

@@ -1,0 +1,26 @@
+// Materialization: turning the clock assignment into kClockAdd /
+// kClockAddDyn instructions in the IR.
+//
+// Placement kStart inserts each block's update at the earliest legal point
+// (index 0, or right after the block's leading boundary instruction), so
+// the clock is advanced before the counted instructions execute; kEnd
+// inserts before the terminator (the Fig. 15 strawman).  Size-dependent
+// extern estimates always materialize as a kClockAddDyn immediately before
+// the call -- the size argument is live there, and the update still runs
+// ahead of the extern's work.
+#pragma once
+
+#include "pass/clock_assignment.hpp"
+#include "pass/options.hpp"
+
+namespace detlock::pass {
+
+struct MaterializeStats {
+  std::size_t clock_add_sites = 0;
+  std::size_t clock_dyn_sites = 0;
+};
+
+MaterializeStats materialize_clocks(ir::Module& module, const ClockAssignment& assignment,
+                                    ClockPlacement placement);
+
+}  // namespace detlock::pass

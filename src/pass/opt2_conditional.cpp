@@ -1,0 +1,235 @@
+#include "pass/opt2_conditional.hpp"
+
+#include <algorithm>
+
+#include "analysis/loops.hpp"
+
+namespace detlock::pass {
+
+namespace {
+
+using analysis::Cfg;
+using ir::BlockId;
+
+/// Shared context for one function's Opt2 run.
+struct Opt2Context {
+  const ir::Function& func;
+  FunctionClocks& clocks;
+  Cfg cfg;
+  analysis::DominatorTree domtree;
+  analysis::LoopInfo loops;
+
+  Opt2Context(const ir::Function& f, FunctionClocks& c)
+      : func(f), clocks(c), cfg(f), domtree(cfg), loops(cfg, domtree) {}
+
+  bool movable(BlockId b) const { return clocks[b].movable(); }
+};
+
+// ---- part a ---------------------------------------------------------------
+
+bool meets_cond_node_requirements(const Opt2Context& ctx, BlockId bb) {
+  const auto& succs = ctx.cfg.successors(bb);
+  if (succs.size() < 2) return false;
+  if (!ctx.movable(bb)) return false;
+  for (BlockId s : succs) {
+    if (s == bb) return false;
+    if (!ctx.movable(s)) return false;
+    // "the successors are not merge blocks": unique predecessor bb, so every
+    // entry into s comes directly out of bb and the subtraction is precise.
+    if (ctx.cfg.predecessors(s).size() != 1) return false;
+  }
+  return true;
+}
+
+bool meets_merge_node_requirements(const Opt2Context& ctx, BlockId bb) {
+  const auto& preds = ctx.cfg.predecessors(bb);
+  if (preds.size() < 2) return false;
+  if (ctx.loops.is_loop_header(bb)) return false;
+  if (!ctx.movable(bb)) return false;
+  for (BlockId p : preds) {
+    if (p == bb) return false;
+    if (!ctx.movable(p)) return false;
+    // Every predecessor exits only into bb, so charging them bb's clock is
+    // precise.
+    if (ctx.cfg.successors(p).size() != 1) return false;
+  }
+  return true;
+}
+
+void push_clock_up(Opt2Context& ctx, BlockId merge_block, std::size_t& moves) {
+  const std::int64_t clock = ctx.clocks[merge_block].clock;
+  if (clock == 0) return;
+  ctx.clocks[merge_block].clock = 0;
+  ++moves;
+  for (BlockId p : ctx.cfg.predecessors(merge_block)) {
+    ctx.clocks[p].clock += clock;
+    if (meets_merge_node_requirements(ctx, p)) push_clock_up(ctx, p, moves);
+  }
+}
+
+/// One DFS sweep (paper Fig. 6 updateOpt2aClocks); returns number of moves.
+std::size_t opt2a_sweep(Opt2Context& ctx) {
+  std::size_t moves = 0;
+  std::vector<bool> visited(ctx.func.num_blocks(), false);
+  std::vector<BlockId> stack{ir::Function::kEntry};
+  while (!stack.empty()) {
+    const BlockId bb = stack.back();
+    stack.pop_back();
+    if (visited[bb]) continue;
+    visited[bb] = true;
+
+    if (meets_cond_node_requirements(ctx, bb)) {
+      const auto& succs = ctx.cfg.successors(bb);
+      std::int64_t min_clock = ctx.clocks[succs.front()].clock;
+      for (BlockId s : succs) min_clock = std::min(min_clock, ctx.clocks[s].clock);
+      if (min_clock > 0) {
+        ctx.clocks[bb].clock += min_clock;
+        for (BlockId s : succs) ctx.clocks[s].clock -= min_clock;
+        ++moves;
+      }
+    } else if (meets_merge_node_requirements(ctx, bb)) {
+      push_clock_up(ctx, bb, moves);
+    }
+
+    for (BlockId s : ctx.cfg.successors(bb)) {
+      if (!visited[s]) stack.push_back(s);
+    }
+  }
+  return moves;
+}
+
+// ---- part b ---------------------------------------------------------------
+
+struct Opt2bPattern {
+  BlockId upper = 0;   // U (paper: if.end21)
+  BlockId middle = 0;  // M / swSucc (paper: lor.lhs.false23)
+  BlockId lower = 0;   // L / endSucc (paper: if.then28)
+  bool middle_branches = false;  // M has a second successor E (approx case)
+};
+
+bool meets_opt2b_requirements(const Opt2Context& ctx, BlockId upper, Opt2bPattern* out) {
+  const auto& succs = ctx.cfg.successors(upper);
+  if (succs.size() != 2) return false;
+  if (!ctx.movable(upper)) return false;
+  for (int flip = 0; flip < 2; ++flip) {
+    const BlockId middle = succs[flip];
+    const BlockId lower = succs[1 - flip];
+    if (middle == upper || lower == upper || middle == lower) continue;
+    if (!ctx.movable(middle) || !ctx.movable(lower)) continue;
+    // M is entered only through U.
+    if (ctx.cfg.predecessors(middle).size() != 1) continue;
+    const auto& mid_succs = ctx.cfg.successors(middle);
+    if (std::find(mid_succs.begin(), mid_succs.end(), lower) == mid_succs.end()) continue;
+    if (mid_succs.size() > 2) continue;
+    // L is entered only from U and M (required for the up-move to be
+    // accounted at most once per execution).
+    const auto& low_preds = ctx.cfg.predecessors(lower);
+    if (low_preds.size() != 2) continue;
+    if (!((low_preds[0] == upper && low_preds[1] == middle) ||
+          (low_preds[0] == middle && low_preds[1] == upper))) {
+      continue;
+    }
+    out->upper = upper;
+    out->middle = middle;
+    out->lower = lower;
+    out->middle_branches = mid_succs.size() == 2;
+    return true;
+  }
+  return false;
+}
+
+/// Applies the clock move for one matched pattern; returns true if a
+/// (nonzero) move happened.
+bool apply_opt2b(Opt2Context& ctx, const Opt2bPattern& pattern, const PassOptions& options) {
+  BlockClockInfo& upper = ctx.clocks[pattern.upper];
+  BlockClockInfo& middle = ctx.clocks[pattern.middle];
+  BlockClockInfo& lower = ctx.clocks[pattern.lower];
+
+  // Direction per the paper's three rules.
+  bool move_down = false;  // default: lift L's clock into U (ahead of time)
+  if (ctx.loops.loop_depth(pattern.upper) > ctx.loops.loop_depth(pattern.lower)) {
+    move_down = true;  // hot upper block: remove its update
+  } else if (lower.clock > upper.clock && pattern.middle_branches) {
+    move_down = true;  // the larger value moving up would diverge more
+  }
+
+  const std::int64_t moved = move_down ? upper.clock : lower.clock;
+  if (moved == 0) return false;
+
+  if (pattern.middle_branches) {
+    // Executions taking U -> M -> E mis-count by `moved`.
+    const double denom = static_cast<double>(upper.clock + middle.clock);
+    if (denom <= 0.0) return false;
+    const double divergence = static_cast<double>(moved) / denom;
+    if (divergence >= options.opt2b_max_divergence) return false;
+  }
+  // else: M's only successor is L -- every path through U reaches L exactly
+  // once, the move is precise (paper: "That optimization, like part a,
+  // would have been precise").
+
+  if (move_down) {
+    lower.clock += upper.clock;
+    upper.clock = 0;
+  } else {
+    upper.clock += lower.clock;
+    lower.clock = 0;
+  }
+  return true;
+}
+
+std::size_t opt2b_sweep(Opt2Context& ctx, const PassOptions& options) {
+  std::size_t moves = 0;
+  std::vector<bool> visited(ctx.func.num_blocks(), false);
+  std::vector<BlockId> stack{ir::Function::kEntry};
+  while (!stack.empty()) {
+    const BlockId bb = stack.back();
+    stack.pop_back();
+    if (visited[bb]) continue;
+    visited[bb] = true;
+
+    Opt2bPattern pattern;
+    if (meets_opt2b_requirements(ctx, bb, &pattern)) {
+      if (apply_opt2b(ctx, pattern, options)) ++moves;
+      // Paper Fig. 9: continue from the merge block and from M's other
+      // successors; the generic successor push below visits exactly those.
+    }
+    for (BlockId s : ctx.cfg.successors(bb)) {
+      if (!visited[s]) stack.push_back(s);
+    }
+  }
+  return moves;
+}
+
+}  // namespace
+
+std::size_t run_opt2a(const ir::Module& module, ClockAssignment& assignment, ir::FuncId func) {
+  Opt2Context ctx(module.function(func), assignment.funcs[func]);
+  // Paper Fig. 6 applyOpt2a: repeat the sweep until nothing moves.
+  std::size_t total = 0;
+  while (true) {
+    const std::size_t moves = opt2a_sweep(ctx);
+    total += moves;
+    if (moves == 0) break;
+  }
+  return total;
+}
+
+std::size_t run_opt2b(const ir::Module& module, ClockAssignment& assignment, ir::FuncId func,
+                      const PassOptions& options) {
+  Opt2Context ctx(module.function(func), assignment.funcs[func]);
+  return opt2b_sweep(ctx, options);
+}
+
+std::pair<std::size_t, std::size_t> run_opt2(const ir::Module& module, ClockAssignment& assignment,
+                                             const PassOptions& options) {
+  std::size_t a = 0;
+  std::size_t b = 0;
+  for (ir::FuncId f = 0; f < module.functions().size(); ++f) {
+    if (assignment.is_clocked(f)) continue;
+    a += run_opt2a(module, assignment, f);
+    b += run_opt2b(module, assignment, f, options);
+  }
+  return {a, b};
+}
+
+}  // namespace detlock::pass

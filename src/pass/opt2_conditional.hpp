@@ -1,0 +1,41 @@
+// Optimization 2: Conditional Blocks (paper Sec. IV-B, Figs. 6-10).
+//
+// Part a (precise -- clocks are only rearranged, never approximated):
+//  * cond node: a block whose successors each have it as their unique
+//    predecessor may absorb min(successor clocks); the min is subtracted
+//    from every successor, zeroing at least one of them and advancing the
+//    remaining cost ahead of the branch.
+//  * merge node: a merge block all of whose predecessors have it as their
+//    only successor pushes its clock up into every predecessor (recursively),
+//    unless it is a loop header (pushing a header's clock into latches would
+//    change per-iteration accounting).
+//
+// Part b (approximate, bounded by opt2b_max_divergence): the short-circuit
+// pattern  U -> {M, L},  M -> {L, E}  (M may also have L as its only
+// successor, in which case the move is precise).  The clock of one end block
+// moves to the other; executions taking U -> M -> E mis-count by
+// moved / (clock(U) + clock(M)), which must stay under the bound (paper:
+// 1/10).  Direction: prefer moving L's clock up into U (ahead of time),
+// except when U is at higher loop depth (saving updates on the hot path
+// wins) or when clock(L) > clock(U) and M really branches (the larger value
+// moving up would diverge more).
+#pragma once
+
+#include "pass/clock_assignment.hpp"
+#include "pass/options.hpp"
+
+namespace detlock::pass {
+
+/// Runs part a to a fixed point on one function; returns the number of
+/// clock moves performed.
+std::size_t run_opt2a(const ir::Module& module, ClockAssignment& assignment, ir::FuncId func);
+
+/// Runs part b (single DFS sweep, as in the paper) on one function.
+std::size_t run_opt2b(const ir::Module& module, ClockAssignment& assignment, ir::FuncId func,
+                      const PassOptions& options);
+
+/// Both parts over every instrumented function; returns {a_moves, b_moves}.
+std::pair<std::size_t, std::size_t> run_opt2(const ir::Module& module, ClockAssignment& assignment,
+                                             const PassOptions& options);
+
+}  // namespace detlock::pass

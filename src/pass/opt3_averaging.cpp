@@ -1,0 +1,147 @@
+#include "pass/opt3_averaging.hpp"
+
+#include <cmath>
+
+#include "analysis/loops.hpp"
+#include "analysis/paths.hpp"
+
+namespace detlock::pass {
+
+namespace {
+
+using analysis::Cfg;
+using ir::BlockId;
+
+struct Opt3Context {
+  const ir::Function& func;
+  FunctionClocks& clocks;
+  const PassOptions& options;
+  Cfg cfg;
+  analysis::DominatorTree domtree;
+  analysis::LoopInfo loops;
+
+  Opt3Context(const ir::Function& f, FunctionClocks& c, const PassOptions& o)
+      : func(f), clocks(c), options(o), cfg(f), domtree(cfg), loops(cfg, domtree) {}
+};
+
+/// Grows the averaging region for candidate root `b`.  Returns the region
+/// membership vector, or an empty vector when the candidate is not viable.
+///
+/// A block x in the region is *expanded* (its successors join the region)
+/// unless a stopping rule applies; un-expanded blocks terminate paths.  The
+/// rules -- every successor must be b-dominated, movable, reached by a
+/// non-back edge, and distinct from b -- mirror the paper's getClocksOf-
+/// AllOpt3Paths stops.
+std::vector<bool> grow_region(const Opt3Context& ctx, BlockId root) {
+  const std::size_t n = ctx.cfg.num_blocks();
+  std::vector<bool> in_region(n, false);
+  std::vector<bool> queued(n, false);
+  in_region[root] = true;
+  std::vector<BlockId> worklist{root};
+  queued[root] = true;
+
+  while (!worklist.empty()) {
+    const BlockId x = worklist.back();
+    worklist.pop_back();
+
+    bool expandable = !ctx.cfg.successors(x).empty();
+    for (BlockId y : ctx.cfg.successors(x)) {
+      if (y == root || !ctx.domtree.dominates(root, y) || ctx.loops.is_back_edge(x, y) ||
+          !ctx.clocks[y].movable()) {
+        expandable = false;
+        break;
+      }
+    }
+    if (!expandable) continue;  // x terminates its paths
+
+    for (BlockId y : ctx.cfg.successors(x)) {
+      if (!in_region[y]) in_region[y] = true;
+      if (!queued[y]) {
+        queued[y] = true;
+        worklist.push_back(y);
+      }
+    }
+  }
+  return in_region;
+}
+
+/// Closure: every region block except the root must be enterable only from
+/// inside the region.
+bool region_is_closed(const Opt3Context& ctx, BlockId root, const std::vector<bool>& in_region) {
+  for (std::size_t y = 0; y < in_region.size(); ++y) {
+    if (!in_region[y] || static_cast<BlockId>(y) == root) continue;
+    for (BlockId p : ctx.cfg.predecessors(static_cast<BlockId>(y))) {
+      if (!in_region[p]) return false;
+    }
+  }
+  return true;
+}
+
+std::size_t region_size(const std::vector<bool>& in_region) {
+  std::size_t n = 0;
+  for (bool b : in_region) n += b ? 1 : 0;
+  return n;
+}
+
+}  // namespace
+
+std::size_t run_opt3(const ir::Module& module, ClockAssignment& assignment, ir::FuncId func,
+                     const PassOptions& options) {
+  Opt3Context ctx(module.function(func), assignment.funcs[func], options);
+  std::size_t regions = 0;
+
+  std::vector<bool> visited(ctx.cfg.num_blocks(), false);
+  std::vector<BlockId> stack{ir::Function::kEntry};
+  while (!stack.empty()) {
+    const BlockId bb = stack.back();
+    stack.pop_back();
+    if (visited[bb]) continue;
+    visited[bb] = true;
+
+    // meetsOpt3Requirements: a genuine branch point whose own clock is
+    // movable.  (Single-successor chains are already handled precisely by
+    // Opt2a's merge push-up.)
+    if (ctx.cfg.successors(bb).size() >= 2 && ctx.clocks[bb].movable()) {
+      const std::vector<bool> in_region = grow_region(ctx, bb);
+      if (region_size(in_region) >= 2 && region_is_closed(ctx, bb, in_region)) {
+        const analysis::PathStatsResult stats = analysis::region_path_stats(
+            ctx.cfg, bb, in_region, [&](BlockId b) { return ctx.clocks[b].clock; });
+        if (stats.valid && stats.count >= 2.0 &&
+            options.criteria.accepts(stats.mean, stats.stddev, stats.range())) {
+          // setClock(bb, avg); removeClock from every other touched block.
+          for (std::size_t y = 0; y < in_region.size(); ++y) {
+            if (in_region[y]) ctx.clocks[static_cast<BlockId>(y)].clock = 0;
+          }
+          ctx.clocks[bb].clock = static_cast<std::int64_t>(std::llround(stats.mean));
+          ++regions;
+          // Resume the search at the region's frontier (paper Fig. 11
+          // lines 13-16): successors of touched blocks outside the region.
+          for (std::size_t y = 0; y < in_region.size(); ++y) {
+            if (!in_region[y]) continue;
+            visited[y] = true;  // do not re-enter the averaged region
+            for (BlockId s : ctx.cfg.successors(static_cast<BlockId>(y))) {
+              if (!in_region[s] && !visited[s]) stack.push_back(s);
+            }
+          }
+          continue;
+        }
+      }
+    }
+
+    for (BlockId s : ctx.cfg.successors(bb)) {
+      if (!visited[s]) stack.push_back(s);
+    }
+  }
+  return regions;
+}
+
+std::size_t run_opt3(const ir::Module& module, ClockAssignment& assignment, const PassOptions& options) {
+  std::size_t regions = 0;
+  for (ir::FuncId f = 0; f < module.functions().size(); ++f) {
+    if (assignment.is_clocked(f)) continue;
+    regions += run_opt3(module, assignment, f, options);
+  }
+  return regions;
+}
+
+}  // namespace detlock::pass

@@ -1,0 +1,30 @@
+// Optimization 3: Averaging of Clocks (paper Sec. IV-C, Figs. 11-12).
+//
+// A generalization of Function Clocking to sub-function regions: if every
+// control-flow path emanating from a block b (through blocks b dominates)
+// accumulates nearly the same clock total, the whole region's clock
+// collapses into one averaged update at b -- fewer update sites AND the
+// entire region counted ahead of time.
+//
+// Region construction follows the paper's stopping rules -- paths stop at
+// back edges, at blocks with unclocked calls, and at merge nodes with
+// non-dominated successors -- plus one soundness condition the pseudocode
+// leaves implicit: the region must be *closed* (no block other than b can
+// be entered from outside the region).  Without closure an execution could
+// reach a clock-stripped block without having passed b's averaged update,
+// making the divergence unbounded rather than criteria-bounded.
+#pragma once
+
+#include "pass/clock_assignment.hpp"
+#include "pass/options.hpp"
+
+namespace detlock::pass {
+
+/// Runs Opt3 on one function; returns the number of regions averaged.
+std::size_t run_opt3(const ir::Module& module, ClockAssignment& assignment, ir::FuncId func,
+                     const PassOptions& options);
+
+/// Over every instrumented function.
+std::size_t run_opt3(const ir::Module& module, ClockAssignment& assignment, const PassOptions& options);
+
+}  // namespace detlock::pass

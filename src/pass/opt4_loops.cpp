@@ -1,0 +1,42 @@
+#include "pass/opt4_loops.hpp"
+
+#include "analysis/loops.hpp"
+
+namespace detlock::pass {
+
+std::size_t run_opt4(const ir::Module& module, ClockAssignment& assignment, ir::FuncId func,
+                     const PassOptions& options) {
+  const ir::Function& f = module.function(func);
+  FunctionClocks& clocks = assignment.funcs[func];
+  const analysis::Cfg cfg(f);
+  const analysis::DominatorTree domtree(cfg);
+  const analysis::LoopInfo loops(cfg, domtree);
+
+  std::size_t merges = 0;
+  for (const analysis::BackEdge& edge : loops.back_edges()) {
+    BlockClockInfo& latch = clocks[edge.from];
+    BlockClockInfo& header = clocks[edge.to];
+    if (!latch.movable()) continue;
+    if (latch.clock <= 0) continue;
+    // Paper: "the clock of the block from which the backedge is originating
+    // is less than a certain threshold value and is also less than the clock
+    // of the block it is jumping to".
+    if (latch.clock >= options.opt4_threshold) continue;
+    if (latch.clock >= header.clock) continue;
+    header.clock += latch.clock;
+    latch.clock = 0;
+    ++merges;
+  }
+  return merges;
+}
+
+std::size_t run_opt4(const ir::Module& module, ClockAssignment& assignment, const PassOptions& options) {
+  std::size_t merges = 0;
+  for (ir::FuncId f = 0; f < module.functions().size(); ++f) {
+    if (assignment.is_clocked(f)) continue;
+    merges += run_opt4(module, assignment, f, options);
+  }
+  return merges;
+}
+
+}  // namespace detlock::pass

@@ -1,0 +1,23 @@
+// Optimization 4: Loops (paper Sec. IV-D, Fig. 13).
+//
+// A loop latch (back-edge source) with a small clock executes once per
+// iteration right before the header does; merging its clock into the header
+// removes one update site from every iteration.  The per-execution
+// divergence is at most one latch-cost (the final header evaluation that
+// does not loop back), which the threshold + smaller-than-header conditions
+// keep negligible relative to the loop's total.
+#pragma once
+
+#include "pass/clock_assignment.hpp"
+#include "pass/options.hpp"
+
+namespace detlock::pass {
+
+/// Runs Opt4 on one function; returns the number of latches merged.
+std::size_t run_opt4(const ir::Module& module, ClockAssignment& assignment, ir::FuncId func,
+                     const PassOptions& options);
+
+/// Over every instrumented function.
+std::size_t run_opt4(const ir::Module& module, ClockAssignment& assignment, const PassOptions& options);
+
+}  // namespace detlock::pass

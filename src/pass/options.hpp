@@ -1,0 +1,76 @@
+// Options controlling the DetLock instrumentation pipeline.
+//
+// Table I's six rows are exactly the combinations none() / only-O1 / only-O2
+// / only-O3 / only-O4 / all(); Fig. 15's third bar is all-O1 with
+// placement=kEnd.
+#pragma once
+
+#include "ir/cost_model.hpp"
+#include "support/stats.hpp"
+
+namespace detlock::pass {
+
+enum class ClockPlacement {
+  /// Update at the start of each clock region: the paper's default, which
+  /// advances clocks *before* the counted instructions execute (Sec. III-A's
+  /// ahead-of-time principle).
+  kStart,
+  /// Update at the end of each region: the strawman of Fig. 15 (and the
+  /// behaviour forced on Kendo by after-retirement counters).
+  kEnd,
+};
+
+struct PassOptions {
+  bool opt1_function_clocking = false;
+  bool opt2_conditional = false;  // both 2a and 2b
+  bool opt3_averaging = false;
+  bool opt4_loops = false;
+
+  ClockPlacement placement = ClockPlacement::kStart;
+
+  /// Shared clockability test for Opt1 and Opt3 (paper constants 2.5 / 5).
+  ClockabilityCriteria criteria;
+  /// Opt2b proceeds when the introduced divergence is below this (paper:
+  /// "if the divergence is less than one tenth").
+  double opt2b_max_divergence = 0.1;
+  /// Opt4 merges a latch's clock into its header only below this ("less
+  /// than a certain threshold value"; the paper does not publish the
+  /// constant, the ablation bench sweeps it).
+  std::int64_t opt4_threshold = 16;
+
+  ir::CostModel cost_model;
+
+  static PassOptions none() { return {}; }
+
+  static PassOptions all() {
+    PassOptions o;
+    o.opt1_function_clocking = true;
+    o.opt2_conditional = true;
+    o.opt3_averaging = true;
+    o.opt4_loops = true;
+    return o;
+  }
+
+  static PassOptions only_opt1() {
+    PassOptions o;
+    o.opt1_function_clocking = true;
+    return o;
+  }
+  static PassOptions only_opt2() {
+    PassOptions o;
+    o.opt2_conditional = true;
+    return o;
+  }
+  static PassOptions only_opt3() {
+    PassOptions o;
+    o.opt3_averaging = true;
+    return o;
+  }
+  static PassOptions only_opt4() {
+    PassOptions o;
+    o.opt4_loops = true;
+    return o;
+  }
+};
+
+}  // namespace detlock::pass

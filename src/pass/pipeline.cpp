@@ -1,0 +1,80 @@
+#include "pass/pipeline.hpp"
+
+#include "support/error.hpp"
+
+#include "ir/verifier.hpp"
+#include "pass/block_split.hpp"
+#include "pass/costs.hpp"
+#include "pass/function_clocking.hpp"
+#include "pass/opt2_conditional.hpp"
+#include "pass/opt3_averaging.hpp"
+#include "pass/opt4_loops.hpp"
+
+namespace detlock::pass {
+
+namespace {
+
+std::size_t count_clock_sites(const ir::Module& module, const ClockAssignment& assignment) {
+  std::size_t sites = 0;
+  for (ir::FuncId f = 0; f < module.functions().size(); ++f) {
+    if (assignment.is_clocked(f)) continue;
+    sites += assignment.funcs[f].nonzero_sites();
+  }
+  return sites;
+}
+
+}  // namespace
+
+PipelineStats compute_assignment(ir::Module& module, const PassOptions& options, ClockAssignment& assignment) {
+  PipelineStats stats;
+
+  // Refuse already-instrumented input: kClockAdd costs 0 in the cost model,
+  // so a second pass would silently insert a second layer of updates and
+  // every thread's clock would run twice as fast as its instruction count.
+  for (const ir::Function& f : module.functions()) {
+    for (const ir::BasicBlock& b : f.blocks()) {
+      for (const ir::Instr& i : b.instrs()) {
+        DETLOCK_CHECK(!ir::is_clock_update(i.op),
+                      "module already instrumented (clock update in @" + f.name() + ")");
+      }
+    }
+  }
+
+  if (options.opt1_function_clocking) {
+    run_function_clocking(module, assignment, options);
+    stats.clocked_functions = assignment.clocked_functions.size();
+  }
+
+  stats.block_splits = split_module_at_boundaries(module, assignment);
+  compute_initial_assignment(module, assignment, options.cost_model);
+  stats.clock_sites_initial = count_clock_sites(module, assignment);
+
+  if (options.opt2_conditional) {
+    const auto [a, b] = run_opt2(module, assignment, options);
+    stats.opt2a_moves = a;
+    stats.opt2b_moves = b;
+  }
+  if (options.opt3_averaging) {
+    stats.opt3_regions = run_opt3(module, assignment, options);
+  }
+  if (options.opt4_loops) {
+    stats.opt4_merges = run_opt4(module, assignment, options);
+  }
+
+  stats.clock_sites_final = count_clock_sites(module, assignment);
+  return stats;
+}
+
+PipelineStats instrument_module(ir::Module& module, const PassOptions& options, ClockAssignment& assignment) {
+  PipelineStats stats = compute_assignment(module, options, assignment);
+  stats.materialized = materialize_clocks(module, assignment, options.placement);
+  ir::verify_module_or_throw(module);
+  return stats;
+}
+
+PipelineStats instrument_module(ir::Module& module, const PassOptions& options) {
+  ClockAssignment assignment;
+  return instrument_module(module, options, assignment);
+}
+
+}  // namespace detlock::pass

@@ -1,0 +1,46 @@
+// The DetLock instrumentation pipeline (paper Fig. 1: the pass between LLVM
+// IR and the backend).
+//
+// Order of phases:
+//   1. Opt1 fixed point        -> set of clocked functions (if enabled)
+//   2. block splitting          -> every boundary instruction leads a block
+//   3. initial clock assignment -> clock(b) = exact cost of b
+//   4. Opt2a -> Opt2b -> Opt3 -> Opt4 (each if enabled)
+//   5. materialization          -> kClockAdd / kClockAddDyn instructions
+//
+// instrument_module() mutates the module in place and returns statistics
+// (Table I's "Clockable Functions" row and the per-opt reduction counts the
+// benches report).  compute_assignment() stops after phase 4, which is what
+// the unit tests and the conservation checker inspect.
+#pragma once
+
+#include "pass/clock_assignment.hpp"
+#include "pass/materialize.hpp"
+#include "pass/options.hpp"
+
+namespace detlock::pass {
+
+struct PipelineStats {
+  std::size_t clocked_functions = 0;
+  std::size_t block_splits = 0;
+  std::size_t opt2a_moves = 0;
+  std::size_t opt2b_moves = 0;
+  std::size_t opt3_regions = 0;
+  std::size_t opt4_merges = 0;
+  /// Blocks with a nonzero clock before/after the optimizations: the
+  /// "amount of clock updating code" the paper's optimizations minimize.
+  std::size_t clock_sites_initial = 0;
+  std::size_t clock_sites_final = 0;
+  MaterializeStats materialized;
+};
+
+/// Phases 1-4; fills `assignment`, mutates `module` (block splitting only).
+PipelineStats compute_assignment(ir::Module& module, const PassOptions& options, ClockAssignment& assignment);
+
+/// Full pipeline including materialization; verifies the module afterwards.
+PipelineStats instrument_module(ir::Module& module, const PassOptions& options);
+
+/// Variant that also exposes the final assignment (benches and tests).
+PipelineStats instrument_module(ir::Module& module, const PassOptions& options, ClockAssignment& assignment);
+
+}  // namespace detlock::pass

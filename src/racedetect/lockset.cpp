@@ -1,0 +1,109 @@
+#include "racedetect/lockset.hpp"
+
+#include <algorithm>
+
+namespace detlock::racedetect {
+
+std::vector<runtime::MutexId> LocksetRaceDetector::sorted(std::vector<runtime::MutexId> locks) {
+  std::sort(locks.begin(), locks.end());
+  return locks;
+}
+
+std::vector<runtime::MutexId> LocksetRaceDetector::intersect(const std::vector<runtime::MutexId>& a,
+                                                             const std::vector<runtime::MutexId>& b) {
+  std::vector<runtime::MutexId> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  return out;
+}
+
+void LocksetRaceDetector::on_access(runtime::ThreadId thread, std::int64_t addr, bool is_write,
+                                    const std::vector<runtime::MutexId>& held) {
+  const std::lock_guard<std::mutex> guard(mu_);
+  ++accesses_;
+  AddrState& st = addrs_[addr];
+  switch (st.state) {
+    case State::kVirgin:
+      st.state = State::kExclusive;
+      st.owner = thread;
+      st.owner_locks = sorted(held);
+      return;
+    case State::kExclusive:
+      if (thread == st.owner) {
+        st.owner_locks = sorted(held);  // remember the last exclusive lockset
+        return;
+      }
+      // First access by a second thread: any lock consistently protecting
+      // the location must have been held at the owner's last access AND now.
+      st.candidate_locks = intersect(st.owner_locks, sorted(held));
+      st.state = is_write ? State::kSharedModified : State::kShared;
+      break;
+    case State::kShared:
+      st.candidate_locks = intersect(st.candidate_locks, sorted(held));
+      if (is_write) st.state = State::kSharedModified;
+      break;
+    case State::kSharedModified:
+      st.candidate_locks = intersect(st.candidate_locks, sorted(held));
+      break;
+    case State::kRacy:
+      return;  // already reported
+  }
+  if (st.state == State::kSharedModified && st.candidate_locks.empty()) {
+    st.state = State::kRacy;
+    races_.push_back(RaceReport{addr, thread, is_write});
+  }
+}
+
+void LocksetRaceDetector::on_barrier(runtime::ThreadId thread) {
+  const std::lock_guard<std::mutex> guard(mu_);
+  const std::uint64_t round = ++barrier_rounds_[thread];
+  if (round > barrier_epoch_) {
+    barrier_epoch_ = round;
+    // The barrier happens-after every access of the previous phase and
+    // happens-before every access of the next: restart the state machines.
+    addrs_.clear();
+  }
+}
+
+void LocksetRaceDetector::on_join(runtime::ThreadId /*joiner*/, runtime::ThreadId child) {
+  const std::lock_guard<std::mutex> guard(mu_);
+  // The child is finished and its accesses happen-before everything the
+  // joiner does next.  Demote addresses the finished child touched: a
+  // cheap, sound-for-finished-threads approximation is to restart the state
+  // machine for addresses whose exclusive owner was the child and to drop
+  // the child's influence on shared ones by resetting them to Exclusive
+  // ownership of a synthetic "joined" epoch.  Races already reported stay
+  // reported.
+  for (auto& [addr, st] : addrs_) {
+    (void)addr;
+    if (st.state == State::kRacy) continue;
+    if (st.state == State::kExclusive && st.owner == child) {
+      st.state = State::kVirgin;
+      st.owner_locks.clear();
+    } else if (st.state == State::kShared || st.state == State::kSharedModified) {
+      // Conservative reset: treat the post-join world as a fresh phase.
+      // This can mask a same-phase race between two still-running threads
+      // on an address the child also touched; the barrier reset has the
+      // same documented tradeoff.
+      st.state = State::kVirgin;
+      st.owner_locks.clear();
+      st.candidate_locks.clear();
+    }
+  }
+}
+
+std::vector<RaceReport> LocksetRaceDetector::races() const {
+  const std::lock_guard<std::mutex> guard(mu_);
+  return races_;
+}
+
+bool LocksetRaceDetector::race_detected() const {
+  const std::lock_guard<std::mutex> guard(mu_);
+  return !races_.empty();
+}
+
+std::uint64_t LocksetRaceDetector::accesses_observed() const {
+  const std::lock_guard<std::mutex> guard(mu_);
+  return accesses_;
+}
+
+}  // namespace detlock::racedetect

@@ -1,0 +1,77 @@
+// Eraser-style lockset race detector.
+//
+// Weak determinism (paper Sec. I) only covers race-free programs; the paper
+// points users at Valgrind to establish race freedom.  This detector is the
+// in-repo equivalent for interpreted programs: it implements the classic
+// Eraser state machine (Savage et al., SOSP '97) over every load/store the
+// engine reports.
+//
+// Per address: Virgin -> Exclusive(owner) on first access; on the first
+// access by a second thread the candidate lockset C(v) is initialized to
+// the intersection of the owner's last lockset with the second thread's
+// held locks (a refinement over classic Eraser, which forgets the owner's
+// locks and misses inconsistent-lock races until the owner's next access);
+// the state becomes Shared (reads only) or SharedModified; every later
+// access refines C(v) by intersection.  An empty C(v) in SharedModified
+// state is reported as a race.
+//
+// Barrier awareness: classic Eraser reports false positives on programs
+// synchronized by barriers (write-phase / barrier / read-phase).  The
+// engine reports barrier departures via on_barrier(); the detector then
+// resets all address states once per barrier round, because the barrier
+// orders every earlier access before every later one.  The reset is
+// conservative in the benign direction only across the barrier -- races
+// *within* one phase are still caught.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "interp/observer.hpp"
+
+namespace detlock::racedetect {
+
+struct RaceReport {
+  std::int64_t addr = 0;
+  runtime::ThreadId thread = 0;  // thread whose access emptied the lockset
+  bool is_write = false;
+};
+
+class LocksetRaceDetector final : public interp::MemoryAccessObserver {
+ public:
+  void on_access(runtime::ThreadId thread, std::int64_t addr, bool is_write,
+                 const std::vector<runtime::MutexId>& held) override;
+
+  void on_barrier(runtime::ThreadId thread) override;
+  void on_join(runtime::ThreadId joiner, runtime::ThreadId child) override;
+
+  /// One report per racy address (first detection wins).
+  std::vector<RaceReport> races() const;
+  bool race_detected() const;
+  std::uint64_t accesses_observed() const;
+
+ private:
+  enum class State : std::uint8_t { kVirgin, kExclusive, kShared, kSharedModified, kRacy };
+
+  struct AddrState {
+    State state = State::kVirgin;
+    runtime::ThreadId owner = 0;
+    std::vector<runtime::MutexId> owner_locks;      // lockset of the owner's last exclusive access
+    std::vector<runtime::MutexId> candidate_locks;  // sorted
+  };
+
+  static std::vector<runtime::MutexId> sorted(std::vector<runtime::MutexId> locks);
+  static std::vector<runtime::MutexId> intersect(const std::vector<runtime::MutexId>& a,
+                                                 const std::vector<runtime::MutexId>& b);
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::int64_t, AddrState> addrs_;
+  std::vector<RaceReport> races_;
+  std::uint64_t accesses_ = 0;
+  std::unordered_map<runtime::ThreadId, std::uint64_t> barrier_rounds_;
+  std::uint64_t barrier_epoch_ = 0;
+};
+
+}  // namespace detlock::racedetect

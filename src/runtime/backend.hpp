@@ -1,0 +1,69 @@
+// SyncBackend: the synchronization interface the execution engine targets.
+//
+// Three implementations exist:
+//   * NondetBackend  -- plain mutexes/barriers, clocks ignored.  This is the
+//                       paper's "Original Exec Time" baseline.
+//   * DetBackend     -- Kendo's weak-determinism algorithm driven by
+//                       compiler-inserted logical clocks (DetLock proper),
+//                       or by chunk-published clocks (the Kendo comparison
+//                       configuration), selected by RuntimeConfig.
+// The interpreter calls these hooks for every synchronization instruction
+// and for every clockadd the DetLock pass inserted.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/config.hpp"
+#include "runtime/trace.hpp"
+
+namespace detlock::runtime {
+
+struct BackendStats {
+  std::uint64_t lock_acquires = 0;
+  std::uint64_t lock_wait_spins = 0;   // wait-for-turn iterations
+  std::uint64_t failed_trylocks = 0;   // acquire attempts retried
+  std::uint64_t barrier_waits = 0;
+  std::uint64_t clock_publications = 0;
+};
+
+class SyncBackend {
+ public:
+  virtual ~SyncBackend() = default;
+
+  /// Registers the initial thread; must be called exactly once, first.
+  virtual ThreadId register_main_thread() = 0;
+
+  /// Deterministically allocates an id for a child of `parent` and seeds its
+  /// clock; called by the spawning thread *before* the OS thread starts.
+  virtual ThreadId register_spawn(ThreadId parent) = 0;
+
+  /// Called by a thread when its program function returns.
+  virtual void thread_finish(ThreadId self) = 0;
+
+  /// Blocks until `target` finishes.
+  virtual void join(ThreadId self, ThreadId target) = 0;
+
+  /// Advance the calling thread's logical clock (kClockAdd / kClockAddDyn).
+  virtual void clock_add(ThreadId self, std::uint64_t delta) = 0;
+
+  /// Current logical clock of a thread (test/diagnostic hook).
+  virtual std::uint64_t clock_of(ThreadId thread) const = 0;
+
+  virtual void lock(ThreadId self, MutexId mutex) = 0;
+  virtual void unlock(ThreadId self, MutexId mutex) = 0;
+  virtual void barrier_wait(ThreadId self, BarrierId barrier, std::uint32_t participants) = 0;
+
+  /// Condition variables (paper future work; see det_backend.cpp for the
+  /// determinism argument).  cond_wait must be called holding `mutex`; it
+  /// releases it while waiting and reacquires before returning.  Signalers
+  /// must hold the same mutex the waiters used.  No spurious wakeups are
+  /// generated, but callers should still re-test their predicate in a loop.
+  virtual void cond_wait(ThreadId self, CondVarId condvar, MutexId mutex) = 0;
+  virtual void cond_signal(ThreadId self, CondVarId condvar) = 0;
+  virtual void cond_broadcast(ThreadId self, CondVarId condvar) = 0;
+
+  virtual const RunTrace& trace() const = 0;
+  virtual BackendStats stats() const = 0;
+};
+
+}  // namespace detlock::runtime

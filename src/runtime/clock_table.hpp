@@ -1,0 +1,177 @@
+// Per-thread logical clocks.
+//
+// Each slot's published clock sits on its own cache line: the wait-for-turn
+// loop of every blocked thread polls all published clocks, so sharing lines
+// between slots would turn every clock update into cross-thread traffic.
+//
+// Publication policy (RuntimeConfig::publication):
+//  * kEveryUpdate -- DetLock: the compiler-inserted update code writes the
+//    shared counter immediately, so waiting threads observe progress at
+//    basic-block granularity (and *ahead* of execution when the pass hoisted
+//    the update).
+//  * kChunked -- Kendo: the counter models a hardware performance counter
+//    sampled at overflow interrupts; other threads observe progress only
+//    every chunk_size units, which is exactly the latency disadvantage the
+//    paper exploits in Table II.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "runtime/config.hpp"
+#include "support/cacheline.hpp"
+#include "support/error.hpp"
+
+namespace detlock::runtime {
+
+inline constexpr std::uint64_t kClockInfinity = ~std::uint64_t{0};
+
+enum class ThreadState : std::uint8_t { kUnused = 0, kLive = 1, kFinished = 2 };
+
+class ClockTable {
+ public:
+  explicit ClockTable(const RuntimeConfig& config)
+      : publication_(config.publication), chunk_size_(config.chunk_size), slots_(config.max_threads) {}
+
+  std::uint32_t capacity() const { return static_cast<std::uint32_t>(slots_.size()); }
+
+  /// Activates a slot with an initial clock.  Caller (the registration path
+  /// in the backend) serializes slot allocation.
+  void activate(ThreadId id, std::uint64_t initial_clock) {
+    DETLOCK_CHECK(id < slots_.size(), "thread id exceeds max_threads");
+    Slot& s = slots_[id].value;
+    DETLOCK_CHECK(s.state.load(std::memory_order_relaxed) == ThreadState::kUnused, "thread slot reused");
+    s.local = initial_clock;
+    s.last_published = initial_clock;
+    s.published.store(initial_clock, std::memory_order_release);
+    s.state.store(ThreadState::kLive, std::memory_order_release);
+  }
+
+  /// Owner-thread only: advance the local clock, publishing per policy.
+  /// Returns true when a publication (shared store) happened.
+  bool add(ThreadId id, std::uint64_t delta) {
+    Slot& s = slot(id);
+    s.local += delta;
+    if (publication_ == ClockPublication::kEveryUpdate || s.local - s.last_published >= chunk_size_) {
+      publish(s);
+      return true;
+    }
+    return false;
+  }
+
+  /// Owner-thread only: force the published value up to date (entry to any
+  /// synchronization operation does this in chunked mode -- Kendo reads the
+  /// performance counter when its runtime is entered).
+  void flush(ThreadId id) { publish(slot(id)); }
+
+  /// Owner-thread only: local (exact) clock.
+  std::uint64_t local(ThreadId id) const { return slots_[id].value.local; }
+
+  /// Any thread: last published clock.
+  std::uint64_t published(ThreadId id) const {
+    return slots_[id].value.published.load(std::memory_order_acquire);
+  }
+
+  ThreadState state(ThreadId id) const { return slots_[id].value.state.load(std::memory_order_acquire); }
+
+  /// Final (exact) clock of a finished thread.  Only valid after state(id)
+  /// returned kFinished: the owner wrote `local` before the release stores
+  /// in finish(), so the acquire load in state() orders this read.
+  std::uint64_t finished_clock(ThreadId id) const { return slots_[id].value.local; }
+
+  /// Owner-thread only: park at +infinity (barrier wait / exit).  The local
+  /// clock is preserved by the caller and restored via set_clock.
+  void park(ThreadId id) {
+    slot(id).published.store(kClockInfinity, std::memory_order_release);
+  }
+
+  /// Owner-thread only: hard-set the clock (barrier release, join return).
+  void set_clock(ThreadId id, std::uint64_t value) {
+    Slot& s = slot(id);
+    s.local = value;
+    publish(s);
+  }
+
+  /// ANY thread: overwrite a parked thread's published clock.  Used only by
+  /// the barrier releaser, which republishes every participant's resume
+  /// clock before opening the next round: without this, a participant that
+  /// has logically left the barrier but not yet physically woken still
+  /// shows +infinity, and a faster participant's next lock attempt would
+  /// win a tie it must lose -- the observed value must flip at a *logical*
+  /// point, not at wake-up time.  The owner's own set_clock(value) follows
+  /// and rewrites the same value.
+  void force_publish(ThreadId id, std::uint64_t value) {
+    slot(id).published.store(value, std::memory_order_release);
+  }
+
+  /// Owner-thread only: mark finished; clock stays at +infinity so the turn
+  /// protocol ignores the thread.
+  void finish(ThreadId id) {
+    Slot& s = slot(id);
+    s.published.store(kClockInfinity, std::memory_order_release);
+    s.state.store(ThreadState::kFinished, std::memory_order_release);
+  }
+
+  /// The Kendo turn predicate: `id` holds the turn iff its published clock
+  /// is strictly minimal among live threads, ties broken by smaller id.
+  /// Parked/finished threads sit at +infinity and never block anyone.
+  bool has_turn(ThreadId id) const {
+    const std::uint64_t mine = published(id);
+    for (std::uint32_t u = 0; u < slots_.size(); ++u) {
+      if (u == id) continue;
+      const Slot& s = slots_[u].value;
+      if (s.state.load(std::memory_order_acquire) != ThreadState::kLive) continue;
+      const std::uint64_t theirs = s.published.load(std::memory_order_acquire);
+      if (theirs < mine || (theirs == mine && u < id)) return false;
+    }
+    return true;
+  }
+
+  std::uint32_t live_count() const {
+    std::uint32_t n = 0;
+    for (std::uint32_t u = 0; u < slots_.size(); ++u) {
+      if (slots_[u].value.state.load(std::memory_order_acquire) == ThreadState::kLive) ++n;
+    }
+    return n;
+  }
+
+  std::uint64_t publication_count() const {
+    std::uint64_t n = 0;
+    for (const auto& padded : slots_) n += padded.value.publications;
+    return n;
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> published{0};
+    std::atomic<ThreadState> state{ThreadState::kUnused};
+    // Owner-thread fields (no concurrent access).
+    std::uint64_t local = 0;
+    std::uint64_t last_published = 0;
+    std::uint64_t publications = 0;
+  };
+
+  Slot& slot(ThreadId id) {
+    DETLOCK_CHECK(id < slots_.size(), "bad thread id");
+    return slots_[id].value;
+  }
+
+  void publish(Slot& s) {
+    if (s.published.load(std::memory_order_relaxed) == s.local) {
+      // Already visible (e.g. the barrier releaser force-published our
+      // resume clock); still resynchronize the chunking bookkeeping.
+      s.last_published = s.local;
+      return;
+    }
+    s.published.store(s.local, std::memory_order_release);
+    s.last_published = s.local;
+    ++s.publications;
+  }
+
+  ClockPublication publication_;
+  std::uint64_t chunk_size_;
+  std::vector<Padded<Slot>> slots_;
+};
+
+}  // namespace detlock::runtime

@@ -1,0 +1,58 @@
+// Runtime configuration shared by all synchronization backends.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace detlock::runtime {
+
+using ThreadId = std::uint32_t;
+using MutexId = std::uint64_t;
+using BarrierId = std::uint64_t;
+using CondVarId = std::uint64_t;
+
+/// How a thread's locally accumulated logical clock becomes visible to the
+/// turn protocol.
+enum class ClockPublication {
+  /// Publish on every clock_add: DetLock's compiler-clock model, where the
+  /// inserted update code writes the shared counter directly.
+  kEveryUpdate,
+  /// Publish only when the unpublished residue reaches chunk_size: models
+  /// Kendo's hardware performance counter, whose value other threads observe
+  /// only at overflow-interrupt granularity.  Synchronization operations
+  /// force publication (Kendo reads the counter when entering the runtime).
+  kChunked,
+};
+
+class ScheduleValidator;
+
+struct RuntimeConfig {
+  std::uint32_t max_threads = 64;
+  ClockPublication publication = ClockPublication::kEveryUpdate;
+  /// Chunk size for ClockPublication::kChunked (retired instructions per
+  /// simulated counter interrupt).  Kendo's paper tunes this per benchmark;
+  /// Table II's harness sweeps it.
+  std::uint64_t chunk_size = 4096;
+  /// Record every lock acquisition into the run trace (tests use the trace
+  /// fingerprint to prove determinism; benches disable it to avoid skew).
+  bool record_trace = true;
+  /// Additionally keep the full event list (diagnostics; memory-heavy).
+  bool keep_trace_events = false;
+  /// When true, DetBarrier checks that the participant count equals the
+  /// number of live threads.  The turn protocol's determinism proof assumes
+  /// barriers synchronize all live threads (as every SPLASH-2 barrier does);
+  /// see det_backend.cpp for why subset barriers would break it.
+  bool strict_barriers = true;
+  /// Optional online replica validator (see runtime/schedule.hpp): every
+  /// lock acquisition is checked against a recorded schedule at the moment
+  /// it happens, failing fast on divergence.  Not owned.
+  ScheduleValidator* validator = nullptr;
+  /// Optional cooperative-abort flag.  Every blocking loop in the backends
+  /// polls it and throws when set, so the execution engine can unwind all
+  /// threads cleanly after one of them fails (otherwise survivors could
+  /// wait forever on a dead thread's mutex).  Not owned; must outlive the
+  /// backend.
+  std::atomic<bool>* abort_flag = nullptr;
+};
+
+}  // namespace detlock::runtime

@@ -1,0 +1,71 @@
+#include "runtime/det_allocator.hpp"
+
+#include "support/error.hpp"
+
+namespace detlock::runtime {
+
+DetAllocator::DetAllocator(SyncBackend& backend, MutexId internal_mutex, std::int64_t heap_base,
+                           std::int64_t heap_words)
+    : backend_(backend), mutex_(internal_mutex) {
+  DETLOCK_CHECK(heap_base > 0, "heap base must be positive (0 is the null address)");
+  DETLOCK_CHECK(heap_words > 0, "empty heap");
+  free_by_addr_.emplace(heap_base, heap_words);
+}
+
+std::int64_t DetAllocator::allocate(ThreadId self, std::int64_t words) {
+  DETLOCK_CHECK(words > 0, "allocation of non-positive size");
+  backend_.lock(self, mutex_);
+  ++stats_.alloc_calls;
+  std::int64_t result = 0;
+  for (auto it = free_by_addr_.begin(); it != free_by_addr_.end(); ++it) {
+    if (it->second < words) continue;
+    result = it->first;
+    const std::int64_t remaining = it->second - words;
+    free_by_addr_.erase(it);
+    if (remaining > 0) free_by_addr_.emplace(result + words, remaining);
+    live_.emplace(result, words);
+    stats_.live_words += words;
+    if (stats_.live_words > stats_.peak_live_words) stats_.peak_live_words = stats_.live_words;
+    break;
+  }
+  if (result == 0) ++stats_.failed_allocs;
+  backend_.unlock(self, mutex_);
+  return result;
+}
+
+void DetAllocator::deallocate(ThreadId self, std::int64_t addr) {
+  backend_.lock(self, mutex_);
+  const auto live_it = live_.find(addr);
+  if (live_it == live_.end()) {
+    backend_.unlock(self, mutex_);
+    throw Error("deallocate of unknown or already-freed address " + std::to_string(addr));
+  }
+  std::int64_t base = addr;
+  std::int64_t len = live_it->second;
+  live_.erase(live_it);
+  ++stats_.free_calls;
+  stats_.live_words -= len;
+
+  // Coalesce with the following free range.
+  const auto next = free_by_addr_.find(base + len);
+  if (next != free_by_addr_.end()) {
+    len += next->second;
+    free_by_addr_.erase(next);
+  }
+  // Coalesce with the preceding free range.
+  if (!free_by_addr_.empty()) {
+    auto prev = free_by_addr_.lower_bound(base);
+    if (prev != free_by_addr_.begin()) {
+      --prev;
+      if (prev->first + prev->second == base) {
+        base = prev->first;
+        len += prev->second;
+        free_by_addr_.erase(prev);
+      }
+    }
+  }
+  free_by_addr_.emplace(base, len);
+  backend_.unlock(self, mutex_);
+}
+
+}  // namespace detlock::runtime

@@ -1,0 +1,58 @@
+// Deterministic heap allocator.
+//
+// Paper Sec. III-B: "Another concern are functions which internally use
+// locks, such as malloc.  For such functions, we provide our own
+// implementation which replaces the locks with our own deterministic locks."
+// This allocator is that replacement: a first-fit free-list allocator over a
+// region of SharedMemory whose internal lock is a deterministic mutex, so
+// the address returned by every allocation -- and therefore every
+// pointer-derived value in the program -- is identical across runs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+#include "runtime/backend.hpp"
+
+namespace detlock::runtime {
+
+class DetAllocator {
+ public:
+  /// Manages word addresses in [heap_base, heap_base + heap_words).  All
+  /// internal-lock operations go to `internal_mutex` on `backend`, which
+  /// must not be used by the program for anything else.
+  DetAllocator(SyncBackend& backend, MutexId internal_mutex, std::int64_t heap_base, std::int64_t heap_words);
+
+  /// Returns the base address of a block of `words` words, or 0 when the
+  /// heap is exhausted (0 is never a valid block address).
+  std::int64_t allocate(ThreadId self, std::int64_t words);
+
+  /// Frees a block previously returned by allocate.  Throws on double-free
+  /// or a pointer that was never allocated.
+  void deallocate(ThreadId self, std::int64_t addr);
+
+  struct Stats {
+    std::uint64_t alloc_calls = 0;
+    std::uint64_t free_calls = 0;
+    std::uint64_t failed_allocs = 0;
+    std::int64_t live_words = 0;
+    std::int64_t peak_live_words = 0;
+  };
+  Stats stats() const { return stats_; }
+
+  /// Number of live (unfreed) blocks; 0 after a leak-free run.
+  std::size_t live_blocks() const { return live_.size(); }
+
+ private:
+  SyncBackend& backend_;
+  MutexId mutex_;
+  // Free ranges keyed by base address; adjacent ranges are coalesced on
+  // free.  All fields below are guarded by `mutex_` (a deterministic lock,
+  // so the data structure's evolution is itself deterministic).
+  std::map<std::int64_t, std::int64_t> free_by_addr_;
+  std::unordered_map<std::int64_t, std::int64_t> live_;
+  Stats stats_;
+};
+
+}  // namespace detlock::runtime

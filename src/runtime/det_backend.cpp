@@ -1,0 +1,387 @@
+#include "runtime/det_backend.hpp"
+
+#include "runtime/schedule.hpp"
+
+#include "support/spinwait.hpp"
+
+namespace detlock::runtime {
+
+namespace {
+// Pool sizes.  Program mutex/barrier ids are dense small integers (the IR
+// passes them as immediates or loop indices); the pools are preallocated so
+// lookups never need coordination.
+constexpr std::size_t kMaxMutexes = 4096;
+constexpr std::size_t kMaxBarriers = 256;
+constexpr std::size_t kMaxCondVars = 256;
+}  // namespace
+
+// Mutex state packs (release_time << 1 | held) into one atomic word.  A
+// single word is essential, not a micro-optimization: reading `held` and the
+// release time separately would let an attempt pair a fresh held=0 with a
+// stale release time from one tenure earlier (an intervening acquire+release
+// is possible because unlock does not need the turn), and the attempt's
+// outcome would then depend on physical timing.  With the packed word every
+// attempt's decision and CAS use one consistent snapshot, and the monotonic
+// release time makes ABA impossible.
+struct DetBackend::MutexState {
+  static constexpr std::uint64_t kHeldBit = 1;
+  static constexpr ThreadId kNoHolder = ~ThreadId{0};
+  std::atomic<std::uint64_t> packed{0};        // release_time=0, free
+  std::atomic<ThreadId> holder{kNoHolder};     // diagnostics only
+};
+
+// Condvar state.  The waiter queue is mutated only while holding the
+// condvar's guard mutex (enforced), so plain containers suffice; the queue
+// order -- and therefore the wakeup order -- inherits the mutex's
+// deterministic acquisition order.
+struct DetBackend::CondVarState {
+  static constexpr MutexId kNoGuard = ~MutexId{0};
+  std::atomic<MutexId> guard{kNoGuard};  // set at first wait, then fixed
+  std::vector<ThreadId> queue;
+};
+
+struct DetBackend::BarrierState {
+  static constexpr std::size_t kMaxParticipants = 128;
+  std::atomic<std::uint64_t> generation{0};
+  std::atomic<std::uint32_t> arrived{0};
+  std::atomic<std::uint32_t> arrival_index{0};
+  std::atomic<std::uint64_t> max_clock{0};
+  std::atomic<std::uint64_t> release_clock{0};
+  // Ids of this round's arrivals, written by each arriver before its
+  // arrived increment (so the releaser, which synchronizes via that
+  // counter, sees them all).
+  std::atomic<ThreadId> arrivals[kMaxParticipants];
+};
+
+DetBackend::DetBackend(RuntimeConfig config)
+    : config_(config),
+      clocks_(config),
+      trace_(config.keep_trace_events),
+      thread_stats_(config.max_threads),
+      cond_signal_(config.max_threads) {
+  mutexes_.reserve(kMaxMutexes);
+  for (std::size_t i = 0; i < kMaxMutexes; ++i) mutexes_.push_back(std::make_unique<MutexState>());
+  barriers_.reserve(kMaxBarriers);
+  for (std::size_t i = 0; i < kMaxBarriers; ++i) barriers_.push_back(std::make_unique<BarrierState>());
+  condvars_.reserve(kMaxCondVars);
+  for (std::size_t i = 0; i < kMaxCondVars; ++i) condvars_.push_back(std::make_unique<CondVarState>());
+}
+
+DetBackend::~DetBackend() = default;
+
+DetBackend::MutexState& DetBackend::mutex_state(MutexId id) {
+  DETLOCK_CHECK(id < mutexes_.size(), "mutex id out of range");
+  return *mutexes_[id];
+}
+
+DetBackend::BarrierState& DetBackend::barrier_state(BarrierId id) {
+  DETLOCK_CHECK(id < barriers_.size(), "barrier id out of range");
+  return *barriers_[id];
+}
+
+ThreadId DetBackend::register_main_thread() {
+  const ThreadId id = next_thread_id_.fetch_add(1, std::memory_order_relaxed);
+  DETLOCK_CHECK(id == 0, "register_main_thread must be the first registration");
+  clocks_.activate(id, 0);
+  return id;
+}
+
+ThreadId DetBackend::register_spawn(ThreadId parent) {
+  const ThreadId id = next_thread_id_.fetch_add(1, std::memory_order_relaxed);
+  DETLOCK_CHECK(id < config_.max_threads, "too many threads");
+  // Child ids are allocated in program spawn order and the child's clock is
+  // seeded from the parent's exact (local) clock: both are pure functions of
+  // the parent's deterministic execution, so thread identity is stable
+  // across runs.
+  clocks_.activate(id, clocks_.local(parent) + 1);
+  return id;
+}
+
+void DetBackend::thread_finish(ThreadId self) { clocks_.finish(self); }
+
+void DetBackend::join(ThreadId self, ThreadId target) {
+  DETLOCK_CHECK(target < config_.max_threads && target != self, "bad join target");
+  DETLOCK_CHECK(clocks_.state(target) != ThreadState::kUnused,
+                "join of never-registered thread " + std::to_string(target));
+  // Join is an acquire of a "lock" the child releases at its final clock,
+  // and it uses exactly the mutex discipline: proceed only with the turn,
+  // and only when the child's release time (final clock) is below our
+  // clock.  Holding the turn makes the decision deterministic -- if the
+  // child were still alive, its published clock (<= its final clock) would
+  // deny us the turn, so "turn held && final < mine" cannot be observed in
+  // one run and missed in another.  While waiting we advance our clock so
+  // the rest of the system never stalls on a blocked joiner; the jump to
+  // final+1 is a fast-path for the +1-per-turn climb and lands on the same
+  // deterministic post-join clock, max(entry clock, child final + 1).
+  clocks_.flush(self);
+  while (true) {
+    check_abort();
+    wait_for_turn(self);
+    if (clocks_.state(target) == ThreadState::kFinished) {
+      const std::uint64_t final_clock = clocks_.finished_clock(target);
+      if (final_clock < clocks_.local(self)) break;
+      clocks_.set_clock(self, final_clock + 1);
+    } else {
+      clocks_.add(self, 1);
+    }
+  }
+  clocks_.add(self, 1);
+}
+
+void DetBackend::clock_add(ThreadId self, std::uint64_t delta) {
+  if (clocks_.add(self, delta)) ++thread_stats_[self].value.clock_publications;
+}
+
+std::uint64_t DetBackend::clock_of(ThreadId thread) const { return clocks_.published(thread); }
+
+void DetBackend::wait_for_turn(ThreadId self) {
+  SpinWait waiter;
+  BackendStats& st = thread_stats_[self].value;
+  while (!clocks_.has_turn(self)) {
+    check_abort();
+    waiter.wait();
+    ++st.lock_wait_spins;
+  }
+}
+
+void DetBackend::lock(ThreadId self, MutexId mutex) {
+  MutexState& m = mutex_state(mutex);
+  BackendStats& st = thread_stats_[self].value;
+  // Kendo reads the performance counter on runtime entry; the analogue in
+  // chunked mode is forcing any unpublished residue out so the turn test
+  // uses the thread's true clock.
+  clocks_.flush(self);
+
+  while (true) {
+    wait_for_turn(self);
+    // Only the turn holder reaches this point, so at most one thread probes
+    // the mutex at a time; the CAS below still guards against a concurrent
+    // unlock (which needs no turn).
+    const std::uint64_t my_clock = clocks_.local(self);
+    std::uint64_t snapshot = m.packed.load(std::memory_order_acquire);
+    const bool held = (snapshot & MutexState::kHeldBit) != 0;
+    const std::uint64_t release_time = snapshot >> 1;
+    // Self-deadlock diagnostic.  Reading `holder` relaxed is sound for this
+    // check: a thread always clears holder (in unlock) after setting it, so
+    // per-variable coherence guarantees it can never re-observe its *own*
+    // stale id from a previous tenure -- if it reads `self` here, it really
+    // is the current holder.
+    if (held && m.holder.load(std::memory_order_relaxed) == self) {
+      throw Error("deterministic mutex " + std::to_string(mutex) + " re-locked by holder (self-deadlock)");
+    }
+    if (!held && release_time < my_clock) {
+      if (m.packed.compare_exchange_strong(snapshot, snapshot | MutexState::kHeldBit,
+                                           std::memory_order_acq_rel)) {
+        m.holder.store(self, std::memory_order_relaxed);
+        break;
+      }
+    }
+    // Failed attempt: advance the logical clock so other waiters (and the
+    // holder's eventual release time) can order ahead of us, then re-queue.
+    check_abort();
+    clocks_.add(self, 1);
+    ++st.failed_trylocks;
+  }
+  // Record while this thread still holds the global minimum (before the
+  // bump below releases the turn): acquires are recorded in exactly the
+  // turn-serialized order, so the trace fingerprint is itself a
+  // deterministic witness rather than a racy observation of one.
+  if (config_.record_trace) trace_.record_acquire(self, mutex, clocks_.local(self));
+  // Same reasoning for online replica validation: checking inside the turn
+  // makes the comparison position deterministic.
+  if (config_.validator != nullptr) config_.validator->on_acquire(self, mutex, clocks_.local(self));
+  // Successful acquire costs one tick (Kendo does the same), so back-to-back
+  // acquisitions by one thread never tie.
+  clocks_.add(self, 1);
+  ++st.lock_acquires;
+}
+
+void DetBackend::unlock(ThreadId self, MutexId mutex) {
+  MutexState& m = mutex_state(mutex);
+  clocks_.flush(self);
+  const std::uint64_t snapshot = m.packed.load(std::memory_order_relaxed);
+  DETLOCK_CHECK((snapshot & MutexState::kHeldBit) != 0 &&
+                    m.holder.load(std::memory_order_relaxed) == self,
+                "unlock of mutex " + std::to_string(mutex) + " not held by caller");
+  // Unlock needs no turn: the logical release time recorded here, not the
+  // physical release moment, decides every later acquire.
+  m.holder.store(MutexState::kNoHolder, std::memory_order_relaxed);
+  m.packed.store(clocks_.local(self) << 1, std::memory_order_release);
+  clocks_.add(self, 1);
+}
+
+void DetBackend::barrier_wait(ThreadId self, BarrierId barrier, std::uint32_t participants) {
+  DETLOCK_CHECK(participants > 0 && participants <= BarrierState::kMaxParticipants,
+                "barrier participant count out of range");
+  BarrierState& b = barrier_state(barrier);
+  BackendStats& st = thread_stats_[self].value;
+  clocks_.flush(self);
+  const std::uint64_t my_clock = clocks_.local(self);
+  // Fold my arrival clock into the round maximum.
+  std::uint64_t seen = b.max_clock.load(std::memory_order_relaxed);
+  while (seen < my_clock && !b.max_clock.compare_exchange_weak(seen, my_clock, std::memory_order_relaxed)) {
+  }
+  const std::uint64_t generation = b.generation.load(std::memory_order_acquire);
+  // Register in the round's arrival list *before* the arrived increment the
+  // releaser synchronizes on.
+  const std::uint32_t slot = b.arrival_index.fetch_add(1, std::memory_order_relaxed);
+  DETLOCK_CHECK(slot < BarrierState::kMaxParticipants, "barrier arrival overflow");
+  b.arrivals[slot].store(self, std::memory_order_relaxed);
+  // Park: a barrier-blocked thread must not stall lock acquisitions by
+  // threads still running toward the barrier.
+  clocks_.park(self);
+
+  if (b.arrived.fetch_add(1, std::memory_order_acq_rel) + 1 == participants) {
+    // All participants are now parked here, so this is the moment the
+    // all-live-threads requirement is checkable: a live thread that is NOT
+    // in this barrier could otherwise race the parked/resumed transitions
+    // (see the file header).  Checking at arrival would be too eager --
+    // early arrivers legitimately observe threads that have not been
+    // spawned yet.
+    if (config_.strict_barriers) {
+      DETLOCK_CHECK(participants == clocks_.live_count(),
+                    "deterministic barriers must include every live thread (see det_backend.hpp)");
+    }
+    // Last arriver releases the round.  Round state is reset before the new
+    // generation is published; participants of the *next* round can only
+    // arrive after observing this release, so the reset cannot race.
+    const std::uint64_t resume = b.max_clock.load(std::memory_order_relaxed) + 1;
+    b.release_clock.store(resume, std::memory_order_relaxed);
+    // Republish every participant's resume clock NOW, at the logical
+    // release point.  A participant that is slow to wake must already be
+    // observable at its post-barrier clock -- leaving it at +infinity would
+    // let a faster participant win lock-acquire ties it should lose (the
+    // divergence this fixes showed up as run-to-run swaps of who pops the
+    // first work item after a barrier).
+    for (std::uint32_t i = 0; i < participants; ++i) {
+      clocks_.force_publish(b.arrivals[i].load(std::memory_order_relaxed), resume);
+    }
+    b.max_clock.store(0, std::memory_order_relaxed);
+    b.arrived.store(0, std::memory_order_relaxed);
+    b.arrival_index.store(0, std::memory_order_relaxed);
+    b.generation.store(generation + 1, std::memory_order_release);
+  } else {
+    SpinWait waiter;
+    while (b.generation.load(std::memory_order_acquire) == generation) {
+      check_abort();
+      waiter.wait();
+    }
+  }
+  // Every participant resumes at the same deterministic clock; thread ids
+  // break the resulting ties in the turn protocol.
+  clocks_.set_clock(self, b.release_clock.load(std::memory_order_relaxed));
+  ++st.barrier_waits;
+}
+
+DetBackend::CondVarState& DetBackend::condvar_state(CondVarId id) {
+  DETLOCK_CHECK(id < condvars_.size(), "condvar id out of range");
+  return *condvars_[id];
+}
+
+// Deterministic condition variables -- the paper's named future work
+// ("we have not yet implemented other synchronization operations, such as
+// condition variables"), implemented with the same proof shape as join:
+//
+//   * The wait queue is ordered by the guard mutex's (deterministic)
+//     acquisition order, so WHO gets signaled is deterministic.
+//   * The signal stamps the waiter's mailbox with the signaler's clock s,
+//     taken while holding the guard mutex.
+//   * The waiter treats the stamp exactly like a mutex release time: it
+//     proceeds only while holding the turn AND s < its own clock.  If the
+//     signal had not logically happened at that point in some other run,
+//     the signaler's published clock (<= s) would deny the waiter the
+//     turn, so the decision cannot depend on physical timing.  While
+//     waiting, the waiter advances by +1 per turn (never stalling the
+//     system, never parking -- parking would re-introduce the barrier
+//     tie-break hazard); its climb is bounded by min(live clocks)+1 <= s+1,
+//     so the post-wait clock is exactly max(entry, s+1): deterministic.
+std::uint64_t DetBackend::await_signal(ThreadId self) {
+  std::atomic<std::uint64_t>& slot = cond_signal_[self].value;
+  while (true) {
+    check_abort();
+    wait_for_turn(self);
+    const std::uint64_t stamped = slot.load(std::memory_order_acquire);
+    if (stamped != 0) {
+      const std::uint64_t s = stamped - 1;
+      if (s < clocks_.local(self)) return s;
+      clocks_.set_clock(self, s + 1);
+    } else {
+      clocks_.add(self, 1);
+    }
+  }
+}
+
+// Fairness note (inherited from Kendo's design, applies to locks and to the
+// re-acquisition below): acquisition priority IS the logical clock, so a
+// thread that re-locks a mutex repeatedly while its clock barely moves
+// deterministically beats waiters whose ids are larger -- they chase its
+// clock and lose the tie at the decisive attempt.  Compiled programs do not
+// exhibit this because the inserted clock updates advance every thread's
+// clock between synchronization operations; hand-written backend drivers
+// (tests, native code) must do the same via clock_add/tick.
+void DetBackend::cond_wait(ThreadId self, CondVarId condvar, MutexId mutex) {
+  MutexState& m = mutex_state(mutex);
+  DETLOCK_CHECK(m.holder.load(std::memory_order_relaxed) == self,
+                "cond_wait requires the caller to hold the mutex");
+  CondVarState& cv = condvar_state(condvar);
+  MutexId expected = CondVarState::kNoGuard;
+  if (!cv.guard.compare_exchange_strong(expected, mutex, std::memory_order_relaxed)) {
+    DETLOCK_CHECK(expected == mutex, "condvar used with two different mutexes");
+  }
+  cond_signal_[self].value.store(0, std::memory_order_relaxed);
+  cv.queue.push_back(self);  // guarded by `mutex`
+  unlock(self, mutex);
+
+  await_signal(self);
+  cond_signal_[self].value.store(0, std::memory_order_relaxed);
+  clocks_.add(self, 1);
+  lock(self, mutex);
+}
+
+void DetBackend::cond_signal(ThreadId self, CondVarId condvar) {
+  CondVarState& cv = condvar_state(condvar);
+  const MutexId guard = cv.guard.load(std::memory_order_relaxed);
+  if (guard == CondVarState::kNoGuard) return;  // never waited on: no-op
+  DETLOCK_CHECK(mutex_state(guard).holder.load(std::memory_order_relaxed) == self,
+                "cond_signal requires holding the condvar's mutex");
+  if (cv.queue.empty()) return;
+  clocks_.flush(self);
+  const std::uint64_t stamp = clocks_.local(self);
+  const ThreadId target = cv.queue.front();
+  cv.queue.erase(cv.queue.begin());
+  cond_signal_[target].value.store(stamp + 1, std::memory_order_release);
+  clocks_.add(self, 1);
+}
+
+void DetBackend::cond_broadcast(ThreadId self, CondVarId condvar) {
+  CondVarState& cv = condvar_state(condvar);
+  const MutexId guard = cv.guard.load(std::memory_order_relaxed);
+  if (guard == CondVarState::kNoGuard) return;
+  DETLOCK_CHECK(mutex_state(guard).holder.load(std::memory_order_relaxed) == self,
+                "cond_broadcast requires holding the condvar's mutex");
+  if (cv.queue.empty()) return;
+  clocks_.flush(self);
+  const std::uint64_t stamp = clocks_.local(self);
+  for (const ThreadId target : cv.queue) {
+    cond_signal_[target].value.store(stamp + 1, std::memory_order_release);
+  }
+  cv.queue.clear();
+  clocks_.add(self, 1);
+}
+
+const RunTrace& DetBackend::trace() const { return trace_; }
+
+BackendStats DetBackend::stats() const {
+  BackendStats total;
+  for (const auto& padded : thread_stats_) {
+    const BackendStats& s = padded.value;
+    total.lock_acquires += s.lock_acquires;
+    total.lock_wait_spins += s.lock_wait_spins;
+    total.failed_trylocks += s.failed_trylocks;
+    total.barrier_waits += s.barrier_waits;
+    total.clock_publications += s.clock_publications;
+  }
+  return total;
+}
+
+}  // namespace detlock::runtime

@@ -1,0 +1,92 @@
+// DetBackend: Kendo's weak-determinism algorithm (paper Sec. III-A, Fig. 2),
+// driven by logical clocks that DetLock's compiler pass advances.
+//
+// Determinism argument (all three pieces matter, and the tests exercise
+// each):
+//   1. TURN.  A thread performs a lock-acquire attempt only while its
+//      published clock is the strict minimum over live threads (ties broken
+//      by thread id), so attempts are globally serialized in an order that
+//      depends only on clock values -- which, being compiler-computed from
+//      control flow, are themselves deterministic.
+//   2. LOGICAL RELEASE TIME.  An attempt by a thread at clock c succeeds
+//      only if the mutex is free AND its recorded release time h satisfies
+//      h < c.  If h < c, the releasing thread's clock already passed c
+//      before the attempting thread could obtain the turn, so the release
+//      has *physically* happened in every execution -- the outcome cannot
+//      depend on scheduling.  If h >= c the attempt fails in every
+//      execution (even if the release already physically happened), the
+//      thread bumps its clock by 1 and retries.
+//   3. BARRIER PARKING.  A thread waiting at a barrier publishes +infinity
+//      (it is not competing), and resumes at max(arrival clocks) + 1.
+//      This is deterministic only when every live thread participates in
+//      the barrier: a non-participant could otherwise observe the parked
+//      thread either before parking or after resuming at a *lower* clock,
+//      changing who wins a concurrent acquire.  RuntimeConfig::
+//      strict_barriers enforces the all-threads requirement.
+#pragma once
+
+#include <memory>
+
+#include "runtime/backend.hpp"
+#include "runtime/clock_table.hpp"
+#include "support/cacheline.hpp"
+
+namespace detlock::runtime {
+
+class DetBackend final : public SyncBackend {
+ public:
+  explicit DetBackend(RuntimeConfig config = {});
+  ~DetBackend() override;
+
+  ThreadId register_main_thread() override;
+  ThreadId register_spawn(ThreadId parent) override;
+  void thread_finish(ThreadId self) override;
+  void join(ThreadId self, ThreadId target) override;
+  void clock_add(ThreadId self, std::uint64_t delta) override;
+  std::uint64_t clock_of(ThreadId thread) const override;
+  void lock(ThreadId self, MutexId mutex) override;
+  void unlock(ThreadId self, MutexId mutex) override;
+  void barrier_wait(ThreadId self, BarrierId barrier, std::uint32_t participants) override;
+  void cond_wait(ThreadId self, CondVarId condvar, MutexId mutex) override;
+  void cond_signal(ThreadId self, CondVarId condvar) override;
+  void cond_broadcast(ThreadId self, CondVarId condvar) override;
+  const RunTrace& trace() const override;
+  BackendStats stats() const override;
+
+  const RuntimeConfig& config() const { return config_; }
+
+  /// Blocks until `self` holds the turn (exposed for targeted tests).
+  void wait_for_turn(ThreadId self);
+
+ private:
+  void check_abort() const {
+    if (config_.abort_flag != nullptr && config_.abort_flag->load(std::memory_order_relaxed)) {
+      throw Error("deterministic runtime aborted (another thread failed)");
+    }
+  }
+
+  struct MutexState;
+  struct BarrierState;
+  struct CondVarState;
+
+  MutexState& mutex_state(MutexId id);
+  BarrierState& barrier_state(BarrierId id);
+  CondVarState& condvar_state(CondVarId id);
+  /// Shared wait logic: returns the signal stamp once deterministically
+  /// observable (see cond_wait's comment).
+  std::uint64_t await_signal(ThreadId self);
+
+  RuntimeConfig config_;
+  ClockTable clocks_;
+  RunTrace trace_;
+  std::vector<std::unique_ptr<MutexState>> mutexes_;
+  std::vector<std::unique_ptr<BarrierState>> barriers_;
+  std::vector<std::unique_ptr<CondVarState>> condvars_;
+  std::vector<Padded<BackendStats>> thread_stats_;
+  /// Per-thread signal mailbox: 0 = none, else signaler's clock + 1.  A
+  /// thread waits on at most one condvar at a time, so one slot suffices.
+  std::vector<Padded<std::atomic<std::uint64_t>>> cond_signal_;
+  std::atomic<std::uint32_t> next_thread_id_{0};
+};
+
+}  // namespace detlock::runtime

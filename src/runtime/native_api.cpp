@@ -1,0 +1,65 @@
+#include "runtime/native_api.hpp"
+
+#include "support/error.hpp"
+
+namespace detlock::runtime {
+
+thread_local ThreadId NativeRuntime::tls_self_ = 0;
+thread_local bool NativeRuntime::tls_attached_ = false;
+
+NativeRuntime::NativeRuntime(RuntimeConfig config) : backend_(config) {}
+
+void NativeRuntime::attach_main() {
+  tls_self_ = backend_.register_main_thread();
+  tls_attached_ = true;
+}
+
+ThreadId NativeRuntime::self() const {
+  DETLOCK_CHECK(tls_attached_, "calling thread is not attached to the deterministic runtime");
+  return tls_self_;
+}
+
+void NativeRuntime::tick(std::uint64_t instructions) { backend_.clock_add(self(), instructions); }
+
+void NativeRuntime::mutex_lock(MutexId mutex) { backend_.lock(self(), mutex); }
+
+void NativeRuntime::mutex_unlock(MutexId mutex) { backend_.unlock(self(), mutex); }
+
+void NativeRuntime::barrier_wait(BarrierId barrier, std::uint32_t participants) {
+  backend_.barrier_wait(self(), barrier, participants);
+}
+
+void NativeRuntime::cond_wait(CondVarId condvar, MutexId mutex) {
+  backend_.cond_wait(self(), condvar, mutex);
+}
+
+void NativeRuntime::cond_signal(CondVarId condvar) { backend_.cond_signal(self(), condvar); }
+
+void NativeRuntime::cond_broadcast(CondVarId condvar) { backend_.cond_broadcast(self(), condvar); }
+
+std::thread NativeRuntime::thread_create(std::function<void()> fn) {
+  // Register on the *parent* thread so the child's id and clock seed are a
+  // deterministic function of the parent's progress, not of when the OS
+  // schedules the child.
+  const ThreadId child = backend_.register_spawn(self());
+  next_preview_ = child + 1;
+  return std::thread([this, child, fn = std::move(fn)]() {
+    tls_self_ = child;
+    tls_attached_ = true;
+    fn();
+    backend_.thread_finish(child);
+    tls_attached_ = false;
+  });
+}
+
+void NativeRuntime::thread_join(std::thread& thread, ThreadId child) {
+  backend_.join(self(), child);
+  thread.join();
+}
+
+void NativeRuntime::detach_main() {
+  backend_.thread_finish(self());
+  tls_attached_ = false;
+}
+
+}  // namespace detlock::runtime

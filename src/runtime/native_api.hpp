@@ -1,0 +1,78 @@
+// Native (non-interpreted) API to the deterministic runtime.
+//
+// The paper exposes DetLock to programmers as drop-in replacements for the
+// pthread lock/barrier/thread-creation functions, selected by a header file
+// ("it is not necessary for the programmer to modify the code to use them").
+// NativeRuntime is that surface for C++ programs in this repo: the examples
+// link against it directly.  What the LLVM pass would insert -- the logical
+// clock updates -- native code supplies by calling tick(); the IR pipeline
+// in src/pass shows how a compiler derives those tick values automatically.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <thread>
+
+#include "runtime/det_backend.hpp"
+
+namespace detlock::runtime {
+
+class NativeRuntime {
+ public:
+  explicit NativeRuntime(RuntimeConfig config = {});
+
+  /// Must be called once, by the program's initial thread, before any other
+  /// operation.
+  void attach_main();
+
+  /// Logical clock advance: stands in for the compiler-inserted clock
+  /// update code.  Call with (approximate) instruction counts of the work
+  /// just about to execute -- updating *before* the work, like the DetLock
+  /// pass's ahead-of-time placement, minimizes other threads' waiting.
+  void tick(std::uint64_t instructions);
+
+  /// Deterministic replacements for pthread_mutex_lock / unlock.
+  void mutex_lock(MutexId mutex);
+  void mutex_unlock(MutexId mutex);
+
+  /// Deterministic replacement for pthread_barrier_wait.
+  void barrier_wait(BarrierId barrier, std::uint32_t participants);
+
+  /// Deterministic replacements for pthread_cond_wait / signal / broadcast.
+  /// cond_wait must be called holding `mutex`; signalers must hold the same
+  /// mutex the waiters used.
+  void cond_wait(CondVarId condvar, MutexId mutex);
+  void cond_signal(CondVarId condvar);
+  void cond_broadcast(CondVarId condvar);
+
+  /// Deterministic replacement for pthread_create: registers a child with a
+  /// deterministic id and clock, then runs `fn` on a new OS thread.  Join
+  /// the returned handle with thread_join (not .join()) so the runtime can
+  /// keep clock bookkeeping consistent.
+  std::thread thread_create(std::function<void()> fn);
+
+  /// Deterministic replacement for pthread_join.
+  void thread_join(std::thread& thread, ThreadId child);
+
+  /// Id the calling thread was registered with.
+  ThreadId self() const;
+
+  /// Id that the *next* thread_create call will assign (lets callers pair
+  /// handles with ids).
+  ThreadId peek_next_id() const { return next_preview_; }
+
+  /// Must be called by the main thread when its deterministic section ends
+  /// (other threads' turn checks then ignore it).
+  void detach_main();
+
+  DetBackend& backend() { return backend_; }
+  std::uint64_t trace_fingerprint() const { return backend_.trace().fingerprint(); }
+
+ private:
+  DetBackend backend_;
+  ThreadId next_preview_ = 1;
+  static thread_local ThreadId tls_self_;
+  static thread_local bool tls_attached_;
+};
+
+}  // namespace detlock::runtime

@@ -1,0 +1,145 @@
+#include "runtime/nondet_backend.hpp"
+
+#include "support/error.hpp"
+#include "support/spinwait.hpp"
+
+namespace detlock::runtime {
+
+namespace {
+constexpr std::size_t kMaxMutexes = 4096;
+constexpr std::size_t kMaxBarriers = 256;
+constexpr std::size_t kMaxCondVars = 256;
+}  // namespace
+
+struct NondetBackend::BarrierState {
+  std::atomic<std::uint64_t> generation{0};
+  std::atomic<std::uint32_t> arrived{0};
+};
+
+struct NondetBackend::CondVarState {
+  std::mutex mu;  // internal; guards the queue
+  std::vector<std::pair<ThreadId, std::atomic<bool>*>> queue;
+};
+
+NondetBackend::NondetBackend(RuntimeConfig config)
+    : config_(config), trace_(config.keep_trace_events), slots_(config.max_threads) {
+  mutexes_.reserve(kMaxMutexes);
+  for (std::size_t i = 0; i < kMaxMutexes; ++i) mutexes_.push_back(std::make_unique<std::mutex>());
+  barriers_.reserve(kMaxBarriers);
+  for (std::size_t i = 0; i < kMaxBarriers; ++i) barriers_.push_back(std::make_unique<BarrierState>());
+  condvars_.reserve(kMaxCondVars);
+  for (std::size_t i = 0; i < kMaxCondVars; ++i) condvars_.push_back(std::make_unique<CondVarState>());
+}
+
+NondetBackend::~NondetBackend() = default;
+
+ThreadId NondetBackend::register_main_thread() {
+  const ThreadId id = next_thread_id_.fetch_add(1, std::memory_order_relaxed);
+  DETLOCK_CHECK(id == 0, "register_main_thread must be the first registration");
+  return id;
+}
+
+ThreadId NondetBackend::register_spawn(ThreadId /*parent*/) {
+  const ThreadId id = next_thread_id_.fetch_add(1, std::memory_order_relaxed);
+  DETLOCK_CHECK(id < config_.max_threads, "too many threads");
+  return id;
+}
+
+void NondetBackend::thread_finish(ThreadId self) {
+  slots_[self].value.finished.store(true, std::memory_order_release);
+}
+
+void NondetBackend::join(ThreadId self, ThreadId target) {
+  DETLOCK_CHECK(target < config_.max_threads && target != self, "bad join target");
+  SpinWait waiter;
+  while (!slots_[target].value.finished.load(std::memory_order_acquire)) {
+    check_abort();
+    waiter.wait();
+  }
+}
+
+void NondetBackend::clock_add(ThreadId self, std::uint64_t delta) {
+  // Thread-local accumulation only: models the real cost of the inserted
+  // `add` without any cross-thread publication.
+  slots_[self].value.clock += delta;
+}
+
+std::uint64_t NondetBackend::clock_of(ThreadId thread) const { return slots_[thread].value.clock; }
+
+void NondetBackend::lock(ThreadId self, MutexId mutex) {
+  DETLOCK_CHECK(mutex < mutexes_.size(), "mutex id out of range");
+  mutexes_[mutex]->lock();
+  ++slots_[self].value.acquires;
+  if (config_.record_trace) trace_.record_acquire(self, mutex, slots_[self].value.clock);
+}
+
+void NondetBackend::unlock(ThreadId /*self*/, MutexId mutex) {
+  DETLOCK_CHECK(mutex < mutexes_.size(), "mutex id out of range");
+  mutexes_[mutex]->unlock();
+}
+
+void NondetBackend::barrier_wait(ThreadId self, BarrierId barrier, std::uint32_t participants) {
+  DETLOCK_CHECK(barrier < barriers_.size(), "barrier id out of range");
+  DETLOCK_CHECK(participants > 0, "barrier needs at least one participant");
+  ++slots_[self].value.barrier_waits;
+  BarrierState& b = *barriers_[barrier];
+  const std::uint64_t generation = b.generation.load(std::memory_order_acquire);
+  if (b.arrived.fetch_add(1, std::memory_order_acq_rel) + 1 == participants) {
+    b.arrived.store(0, std::memory_order_relaxed);
+    b.generation.store(generation + 1, std::memory_order_release);
+  } else {
+    SpinWait waiter;
+    while (b.generation.load(std::memory_order_acquire) == generation) {
+      check_abort();
+      waiter.wait();
+    }
+  }
+}
+
+void NondetBackend::cond_wait(ThreadId self, CondVarId condvar, MutexId mutex) {
+  DETLOCK_CHECK(condvar < condvars_.size(), "condvar id out of range");
+  DETLOCK_CHECK(mutex < mutexes_.size(), "mutex id out of range");
+  CondVarState& cv = *condvars_[condvar];
+  std::atomic<bool> signaled{false};
+  {
+    const std::lock_guard<std::mutex> guard(cv.mu);
+    cv.queue.emplace_back(self, &signaled);
+  }
+  mutexes_[mutex]->unlock();
+  SpinWait waiter;
+  while (!signaled.load(std::memory_order_acquire)) {
+    check_abort();
+    waiter.wait();
+  }
+  mutexes_[mutex]->lock();
+}
+
+void NondetBackend::cond_signal(ThreadId /*self*/, CondVarId condvar) {
+  DETLOCK_CHECK(condvar < condvars_.size(), "condvar id out of range");
+  CondVarState& cv = *condvars_[condvar];
+  const std::lock_guard<std::mutex> guard(cv.mu);
+  if (cv.queue.empty()) return;
+  cv.queue.front().second->store(true, std::memory_order_release);
+  cv.queue.erase(cv.queue.begin());
+}
+
+void NondetBackend::cond_broadcast(ThreadId /*self*/, CondVarId condvar) {
+  DETLOCK_CHECK(condvar < condvars_.size(), "condvar id out of range");
+  CondVarState& cv = *condvars_[condvar];
+  const std::lock_guard<std::mutex> guard(cv.mu);
+  for (auto& [tid, flag] : cv.queue) flag->store(true, std::memory_order_release);
+  cv.queue.clear();
+}
+
+const RunTrace& NondetBackend::trace() const { return trace_; }
+
+BackendStats NondetBackend::stats() const {
+  BackendStats total;
+  for (const auto& padded : slots_) {
+    total.lock_acquires += padded.value.acquires;
+    total.barrier_waits += padded.value.barrier_waits;
+  }
+  return total;
+}
+
+}  // namespace detlock::runtime

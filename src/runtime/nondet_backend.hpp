@@ -1,0 +1,66 @@
+// NondetBackend: ordinary pthread-style synchronization.
+//
+// This is the paper's baseline ("Original Exec Time"): plain mutexes, a
+// sense-reversing barrier, no turn protocol.  Logical clocks are still
+// accumulated thread-locally when clock_add is called (the cost of executing
+// the inserted update code is what Table I's first band measures), but they
+// are never published and never consulted.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "runtime/backend.hpp"
+#include "support/cacheline.hpp"
+#include "support/error.hpp"
+
+namespace detlock::runtime {
+
+class NondetBackend final : public SyncBackend {
+ public:
+  explicit NondetBackend(RuntimeConfig config = {});
+  ~NondetBackend() override;
+
+  ThreadId register_main_thread() override;
+  ThreadId register_spawn(ThreadId parent) override;
+  void thread_finish(ThreadId self) override;
+  void join(ThreadId self, ThreadId target) override;
+  void clock_add(ThreadId self, std::uint64_t delta) override;
+  std::uint64_t clock_of(ThreadId thread) const override;
+  void lock(ThreadId self, MutexId mutex) override;
+  void unlock(ThreadId self, MutexId mutex) override;
+  void barrier_wait(ThreadId self, BarrierId barrier, std::uint32_t participants) override;
+  void cond_wait(ThreadId self, CondVarId condvar, MutexId mutex) override;
+  void cond_signal(ThreadId self, CondVarId condvar) override;
+  void cond_broadcast(ThreadId self, CondVarId condvar) override;
+  const RunTrace& trace() const override;
+  BackendStats stats() const override;
+
+ private:
+  struct BarrierState;
+  struct CondVarState;
+
+  void check_abort() const {
+    if (config_.abort_flag != nullptr && config_.abort_flag->load(std::memory_order_relaxed)) {
+      throw Error("runtime aborted (another thread failed)");
+    }
+  }
+
+  RuntimeConfig config_;
+  RunTrace trace_;
+  std::vector<std::unique_ptr<std::mutex>> mutexes_;
+  std::vector<std::unique_ptr<BarrierState>> barriers_;
+  std::vector<std::unique_ptr<CondVarState>> condvars_;
+  struct ThreadSlot {
+    std::uint64_t clock = 0;
+    std::atomic<bool> finished{false};
+    std::uint64_t acquires = 0;
+    std::uint64_t barrier_waits = 0;
+  };
+  std::vector<Padded<ThreadSlot>> slots_;
+  std::atomic<std::uint32_t> next_thread_id_{0};
+};
+
+}  // namespace detlock::runtime

@@ -1,0 +1,110 @@
+#include "runtime/pthread_shim.hpp"
+
+#include <atomic>
+
+#include "support/error.hpp"
+
+namespace detlock::runtime::shim {
+
+namespace {
+
+// Process-wide runtime instance.  The shim mirrors pthreads' global-process
+// model; library users who want multiple isolated runtimes use
+// NativeRuntime directly.
+std::unique_ptr<NativeRuntime> g_runtime;
+std::atomic<std::uint64_t> g_next_mutex{0};
+std::atomic<std::uint64_t> g_next_cond{0};
+std::atomic<std::uint64_t> g_next_barrier{0};
+
+NativeRuntime& runtime() {
+  DETLOCK_CHECK(g_runtime != nullptr, "det_runtime_start() has not been called");
+  return *g_runtime;
+}
+
+}  // namespace
+
+void det_runtime_start(RuntimeConfig config) {
+  g_runtime = std::make_unique<NativeRuntime>(config);
+  g_next_mutex.store(0);
+  g_next_cond.store(0);
+  g_next_barrier.store(0);
+  g_runtime->attach_main();
+}
+
+void det_runtime_stop() {
+  runtime().detach_main();
+  g_runtime.reset();
+}
+
+void det_tick(std::uint64_t instructions) { runtime().tick(instructions); }
+
+std::uint64_t det_runtime_fingerprint() { return runtime().trace_fingerprint(); }
+
+int det_pthread_mutex_init(det_pthread_mutex_t* mutex, const void* /*attr*/) {
+  mutex->id = g_next_mutex.fetch_add(1, std::memory_order_relaxed);
+  return 0;
+}
+
+int det_pthread_mutex_lock(det_pthread_mutex_t* mutex) {
+  runtime().mutex_lock(mutex->id);
+  return 0;
+}
+
+int det_pthread_mutex_unlock(det_pthread_mutex_t* mutex) {
+  runtime().mutex_unlock(mutex->id);
+  return 0;
+}
+
+int det_pthread_mutex_destroy(det_pthread_mutex_t* /*mutex*/) { return 0; }
+
+int det_pthread_cond_init(det_pthread_cond_t* cond, const void* /*attr*/) {
+  cond->id = g_next_cond.fetch_add(1, std::memory_order_relaxed);
+  return 0;
+}
+
+int det_pthread_cond_wait(det_pthread_cond_t* cond, det_pthread_mutex_t* mutex) {
+  runtime().cond_wait(cond->id, mutex->id);
+  return 0;
+}
+
+int det_pthread_cond_signal(det_pthread_cond_t* cond) {
+  runtime().cond_signal(cond->id);
+  return 0;
+}
+
+int det_pthread_cond_broadcast(det_pthread_cond_t* cond) {
+  runtime().cond_broadcast(cond->id);
+  return 0;
+}
+
+int det_pthread_cond_destroy(det_pthread_cond_t* /*cond*/) { return 0; }
+
+int det_pthread_barrier_init(det_pthread_barrier_t* barrier, const void* /*attr*/,
+                             std::uint32_t participants) {
+  barrier->id = g_next_barrier.fetch_add(1, std::memory_order_relaxed);
+  barrier->participants = participants;
+  return 0;
+}
+
+int det_pthread_barrier_wait(det_pthread_barrier_t* barrier) {
+  runtime().barrier_wait(barrier->id, barrier->participants);
+  return 0;
+}
+
+int det_pthread_barrier_destroy(det_pthread_barrier_t* /*barrier*/) { return 0; }
+
+int det_pthread_create(det_pthread_t* thread, const void* /*attr*/, void* (*start_routine)(void*),
+                       void* arg) {
+  thread->id = runtime().peek_next_id();
+  thread->os_thread =
+      std::make_shared<std::thread>(runtime().thread_create([start_routine, arg] { (void)start_routine(arg); }));
+  return 0;
+}
+
+int det_pthread_join(det_pthread_t thread, void** retval) {
+  if (retval != nullptr) *retval = nullptr;  // return values are not plumbed
+  runtime().thread_join(*thread.os_thread, thread.id);
+  return 0;
+}
+
+}  // namespace detlock::runtime::shim

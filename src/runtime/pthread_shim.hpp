@@ -1,0 +1,105 @@
+// pthread-compatible shim (paper Sec. III-B).
+//
+// "We provide our own functions for locks, barriers and thread creation for
+// deterministic execution.  They internally use the pthread library.
+// However, it is not necessary for the programmer to modify the code to use
+// them.  A header file is provided by us that replaces the definition of
+// these functions with ours."
+//
+// This header is that surface: pthreads-shaped types and functions
+// (det_pthread_*) over the deterministic runtime.  A program written against
+// the pthread mutex/cond/barrier/thread subset ports by including this
+// header and prefixing calls with det_ (or by `#define DETLOCK_SHIM_PTHREAD_NAMES`
+// before inclusion, which remaps the plain pthread_* names via macros --
+// usable only in translation units that do not also include <pthread.h>).
+//
+// Differences from POSIX, all inherited from the deterministic model:
+//  * a process-wide runtime must be started first (det_runtime_start) and
+//    every thread carries compiler-style clock updates via det_tick();
+//  * mutexes/condvars/barriers are ids into preallocated pools -- the
+//    *_init functions allocate ids rather than initializing caller memory;
+//  * det_pthread_join takes the det_pthread_t handle (which carries the
+//    deterministic thread id).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+
+#include "runtime/native_api.hpp"
+
+namespace detlock::runtime::shim {
+
+struct det_pthread_mutex_t {
+  MutexId id = 0;
+};
+struct det_pthread_cond_t {
+  CondVarId id = 0;
+};
+struct det_pthread_barrier_t {
+  BarrierId id = 0;
+  std::uint32_t participants = 0;
+};
+struct det_pthread_t {
+  ThreadId id = 0;
+  std::shared_ptr<std::thread> os_thread;
+};
+
+/// Starts (or restarts) the process-wide deterministic runtime and attaches
+/// the calling thread as the main thread.
+void det_runtime_start(RuntimeConfig config = {});
+
+/// Detaches the main thread; call when the deterministic section ends.
+void det_runtime_stop();
+
+/// The clock updates the DetLock compiler pass would insert; call with the
+/// approximate instruction count of the work ahead.
+void det_tick(std::uint64_t instructions);
+
+/// Lock-order fingerprint of the current runtime (determinism witness).
+std::uint64_t det_runtime_fingerprint();
+
+int det_pthread_mutex_init(det_pthread_mutex_t* mutex, const void* attr_ignored);
+int det_pthread_mutex_lock(det_pthread_mutex_t* mutex);
+int det_pthread_mutex_unlock(det_pthread_mutex_t* mutex);
+int det_pthread_mutex_destroy(det_pthread_mutex_t* mutex);
+
+int det_pthread_cond_init(det_pthread_cond_t* cond, const void* attr_ignored);
+int det_pthread_cond_wait(det_pthread_cond_t* cond, det_pthread_mutex_t* mutex);
+int det_pthread_cond_signal(det_pthread_cond_t* cond);
+int det_pthread_cond_broadcast(det_pthread_cond_t* cond);
+int det_pthread_cond_destroy(det_pthread_cond_t* cond);
+
+int det_pthread_barrier_init(det_pthread_barrier_t* barrier, const void* attr_ignored,
+                             std::uint32_t participants);
+int det_pthread_barrier_wait(det_pthread_barrier_t* barrier);
+int det_pthread_barrier_destroy(det_pthread_barrier_t* barrier);
+
+/// start_routine/arg follow pthread_create's shape.
+int det_pthread_create(det_pthread_t* thread, const void* attr_ignored, void* (*start_routine)(void*),
+                       void* arg);
+int det_pthread_join(det_pthread_t thread, void** retval);
+
+}  // namespace detlock::runtime::shim
+
+#ifdef DETLOCK_SHIM_PTHREAD_NAMES
+#define pthread_mutex_t ::detlock::runtime::shim::det_pthread_mutex_t
+#define pthread_mutex_init ::detlock::runtime::shim::det_pthread_mutex_init
+#define pthread_mutex_lock ::detlock::runtime::shim::det_pthread_mutex_lock
+#define pthread_mutex_unlock ::detlock::runtime::shim::det_pthread_mutex_unlock
+#define pthread_mutex_destroy ::detlock::runtime::shim::det_pthread_mutex_destroy
+#define pthread_cond_t ::detlock::runtime::shim::det_pthread_cond_t
+#define pthread_cond_init ::detlock::runtime::shim::det_pthread_cond_init
+#define pthread_cond_wait ::detlock::runtime::shim::det_pthread_cond_wait
+#define pthread_cond_signal ::detlock::runtime::shim::det_pthread_cond_signal
+#define pthread_cond_broadcast ::detlock::runtime::shim::det_pthread_cond_broadcast
+#define pthread_cond_destroy ::detlock::runtime::shim::det_pthread_cond_destroy
+#define pthread_barrier_t ::detlock::runtime::shim::det_pthread_barrier_t
+#define pthread_barrier_init ::detlock::runtime::shim::det_pthread_barrier_init
+#define pthread_barrier_wait ::detlock::runtime::shim::det_pthread_barrier_wait
+#define pthread_barrier_destroy ::detlock::runtime::shim::det_pthread_barrier_destroy
+#define pthread_t ::detlock::runtime::shim::det_pthread_t
+#define pthread_create ::detlock::runtime::shim::det_pthread_create
+#define pthread_join ::detlock::runtime::shim::det_pthread_join
+#endif

@@ -1,0 +1,74 @@
+#include "runtime/schedule.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace detlock::runtime {
+
+std::string serialize_schedule(const std::vector<TraceEvent>& events) {
+  std::ostringstream oss;
+  oss << "# detlock schedule v1: <thread> <mutex> <clock> per acquisition, in global order\n";
+  for (const TraceEvent& e : events) {
+    oss << e.thread << ' ' << e.mutex << ' ' << e.clock << '\n';
+  }
+  return oss.str();
+}
+
+std::vector<TraceEvent> parse_schedule(std::string_view text) {
+  std::vector<TraceEvent> events;
+  std::size_t line_no = 0;
+  for (std::string_view raw : split(text, '\n')) {
+    ++line_no;
+    std::string_view line = raw;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto tokens = split_whitespace(line);
+    if (tokens.size() != 3) {
+      throw Error("schedule line " + std::to_string(line_no) + ": expected 'thread mutex clock'");
+    }
+    const auto thread = parse_int(tokens[0]);
+    const auto mutex = parse_int(tokens[1]);
+    const auto clock = parse_int(tokens[2]);
+    if (!thread || !mutex || !clock || *thread < 0 || *mutex < 0 || *clock < 0) {
+      throw Error("schedule line " + std::to_string(line_no) + ": bad integer field");
+    }
+    events.push_back(TraceEvent{static_cast<ThreadId>(*thread), static_cast<MutexId>(*mutex),
+                                static_cast<std::uint64_t>(*clock)});
+  }
+  return events;
+}
+
+ScheduleValidator::ScheduleValidator(std::vector<TraceEvent> expected) : expected_(std::move(expected)) {}
+
+void ScheduleValidator::on_acquire(ThreadId thread, MutexId mutex, std::uint64_t clock) {
+  const std::lock_guard<std::mutex> guard(mu_);
+  if (next_ >= expected_.size()) {
+    throw Error("replica divergence: acquisition #" + std::to_string(next_) +
+                " (thread " + std::to_string(thread) + ", mutex " + std::to_string(mutex) +
+                ") runs past the end of the recorded schedule");
+  }
+  const TraceEvent& want = expected_[next_];
+  if (want.thread != thread || want.mutex != mutex || want.clock != clock) {
+    throw Error("replica divergence at acquisition #" + std::to_string(next_) + ": recorded (thread " +
+                std::to_string(want.thread) + ", mutex " + std::to_string(want.mutex) + ", clock " +
+                std::to_string(want.clock) + ") but replica performed (thread " + std::to_string(thread) +
+                ", mutex " + std::to_string(mutex) + ", clock " + std::to_string(clock) + ")");
+  }
+  ++next_;
+}
+
+std::uint64_t ScheduleValidator::position() const {
+  const std::lock_guard<std::mutex> guard(mu_);
+  return next_;
+}
+
+bool ScheduleValidator::complete() const {
+  const std::lock_guard<std::mutex> guard(mu_);
+  return next_ == expected_.size();
+}
+
+}  // namespace detlock::runtime

@@ -1,0 +1,59 @@
+// Schedule recording and online replica validation.
+//
+// The paper's introduction motivates deterministic execution with fault
+// tolerance: "fault tolerance systems usually depend upon replicas ... to
+// detect errors", which only works if replicas behave identically.  This
+// module closes that loop: one run records its (deterministic) global lock-
+// acquisition schedule; a replica validates itself against the recording
+// *online*, failing fast at the first divergent acquisition instead of at
+// output comparison.  Because DetLock schedules are deterministic, any
+// divergence indicates a real fault (bit flip, heisenbug outside the weak-
+// determinism contract, differing input) -- not benign scheduling noise,
+// which is exactly what makes replica comparison tractable (cf. the
+// record/replay systems in the paper's related work, which must log every
+// shared access; here the schedule IS reproducible, so the log is only a
+// witness).
+#pragma once
+
+#include <atomic>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "runtime/trace.hpp"
+
+namespace detlock::runtime {
+
+/// Serializes a recorded schedule (one "thread mutex clock" line per
+/// acquisition, '#' comments) -- the inverse of parse_schedule.
+std::string serialize_schedule(const std::vector<TraceEvent>& events);
+
+/// Parses a serialized schedule; throws detlock::Error on malformed input.
+std::vector<TraceEvent> parse_schedule(std::string_view text);
+
+/// Online validator: feed it every acquisition (in global turn order) and
+/// it checks the run against the expected schedule.  Thread-safe in the
+/// same way RunTrace is; validation failures throw detlock::Error from the
+/// acquiring thread, which the engine's abort protocol turns into a clean
+/// whole-program unwind.
+class ScheduleValidator {
+ public:
+  explicit ScheduleValidator(std::vector<TraceEvent> expected);
+
+  /// Throws when the event disagrees with the recording or runs past its
+  /// end.
+  void on_acquire(ThreadId thread, MutexId mutex, std::uint64_t clock);
+
+  /// Number of acquisitions validated so far.
+  std::uint64_t position() const;
+
+  /// True when the run consumed exactly the recorded schedule.
+  bool complete() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> expected_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace detlock::runtime

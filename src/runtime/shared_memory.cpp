@@ -1,0 +1,18 @@
+#include "runtime/shared_memory.hpp"
+
+#include "support/hash.hpp"
+
+namespace detlock::runtime {
+
+std::uint64_t SharedMemory::fingerprint(std::int64_t begin, std::int64_t end) const {
+  if (end < 0) end = static_cast<std::int64_t>(cells_.size());
+  DETLOCK_CHECK(begin >= 0 && begin <= end && static_cast<std::size_t>(end) <= cells_.size(),
+                "bad fingerprint range");
+  Fnv1aHasher hasher;
+  for (std::int64_t a = begin; a < end; ++a) {
+    hasher.update_i64(cells_[static_cast<std::size_t>(a)].load(std::memory_order_relaxed));
+  }
+  return hasher.digest();
+}
+
+}  // namespace detlock::runtime

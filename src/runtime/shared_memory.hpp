@@ -1,0 +1,56 @@
+// Flat shared address space of 64-bit words.
+//
+// All program memory (globals, heap, per-thread scratch) lives here; IR
+// load/store address it by word index.  Cells are relaxed atomics so that
+// even a *racy* program (which weak determinism does not protect -- see
+// paper Sec. I) executes with defined behaviour and the race detector can
+// observe it instead of the process corrupting itself.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace detlock::runtime {
+
+class SharedMemory {
+ public:
+  explicit SharedMemory(std::size_t words) : cells_(words) {}
+
+  std::size_t size() const { return cells_.size(); }
+
+  std::int64_t load(std::int64_t addr) const {
+    return cell(addr).load(std::memory_order_relaxed);
+  }
+
+  void store(std::int64_t addr, std::int64_t value) {
+    cell(addr).store(value, std::memory_order_relaxed);
+  }
+
+  double load_f(std::int64_t addr) const { return std::bit_cast<double>(load(addr)); }
+
+  void store_f(std::int64_t addr, double value) { store(addr, std::bit_cast<std::int64_t>(value)); }
+
+  /// Order-insensitive fingerprint of a memory range (defaults to the whole
+  /// space): determinism tests compare final images across runs.
+  std::uint64_t fingerprint(std::int64_t begin = 0, std::int64_t end = -1) const;
+
+ private:
+  std::atomic<std::int64_t>& cell(std::int64_t addr) {
+    DETLOCK_CHECK(addr >= 0 && static_cast<std::size_t>(addr) < cells_.size(),
+                  "memory access out of bounds: " + std::to_string(addr));
+    return cells_[static_cast<std::size_t>(addr)];
+  }
+  const std::atomic<std::int64_t>& cell(std::int64_t addr) const {
+    DETLOCK_CHECK(addr >= 0 && static_cast<std::size_t>(addr) < cells_.size(),
+                  "memory access out of bounds: " + std::to_string(addr));
+    return cells_[static_cast<std::size_t>(addr)];
+  }
+
+  std::vector<std::atomic<std::int64_t>> cells_;
+};
+
+}  // namespace detlock::runtime

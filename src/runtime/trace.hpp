@@ -1,0 +1,62 @@
+// Run trace: the determinism witness.
+//
+// Kendo's turn protocol serializes lock acquisitions globally (an acquire
+// happens only while its thread holds the turn), so the *sequence* of
+// acquisitions -- not just each mutex's own order -- is deterministic.  The
+// trace folds every acquisition event into an order-sensitive FNV hash; two
+// runs of a race-free program must produce identical fingerprints.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "runtime/config.hpp"
+#include "support/hash.hpp"
+
+namespace detlock::runtime {
+
+struct TraceEvent {
+  ThreadId thread = 0;
+  MutexId mutex = 0;
+  std::uint64_t clock = 0;  // acquiring thread's logical clock at acquire
+};
+
+class RunTrace {
+ public:
+  explicit RunTrace(bool keep_events = false) : keep_events_(keep_events) {}
+
+  void record_acquire(ThreadId thread, MutexId mutex, std::uint64_t clock) {
+    const std::lock_guard<std::mutex> guard(mu_);
+    hasher_.update_u64(thread);
+    hasher_.update_u64(mutex);
+    hasher_.update_u64(clock);
+    ++acquire_count_;
+    if (keep_events_) events_.push_back(TraceEvent{thread, mutex, clock});
+  }
+
+  std::uint64_t fingerprint() const {
+    const std::lock_guard<std::mutex> guard(mu_);
+    return hasher_.digest();
+  }
+
+  std::uint64_t acquire_count() const {
+    const std::lock_guard<std::mutex> guard(mu_);
+    return acquire_count_;
+  }
+
+  /// Only populated when constructed with keep_events=true.
+  std::vector<TraceEvent> events() const {
+    const std::lock_guard<std::mutex> guard(mu_);
+    return events_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  Fnv1aHasher hasher_;
+  std::uint64_t acquire_count_ = 0;
+  bool keep_events_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace detlock::runtime

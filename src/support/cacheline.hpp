@@ -1,0 +1,35 @@
+// Cache-line utilities.
+//
+// Per-thread logical clocks are polled by every other thread on each lock
+// acquisition, so each clock must live on its own cache line to avoid false
+// sharing (Core Guidelines CP.200-ish territory: contended atomics dominate
+// runtime cost if they share lines).
+#pragma once
+
+#include <cstddef>
+
+namespace detlock {
+
+// A fixed 64 bytes rather than std::hardware_destructive_interference_size:
+// the standard constant is an ABI hazard (GCC warns that it varies with
+// -mtune), and 64 is correct for every x86-64 and the common AArch64 parts;
+// the padding is a performance property, not a correctness one.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// Wraps T so that consecutive Padded<T> elements in an array never share a
+/// cache line.  T must be trivially sized <= one line for the padding to be
+/// meaningful, but larger T still works (it simply rounds up).
+template <typename T>
+struct alignas(kCacheLineSize) Padded {
+  T value{};
+
+  Padded() = default;
+  explicit Padded(const T& v) : value(v) {}
+
+  T& operator*() { return value; }
+  const T& operator*() const { return value; }
+  T* operator->() { return &value; }
+  const T* operator->() const { return &value; }
+};
+
+}  // namespace detlock

@@ -1,0 +1,36 @@
+// Error-reporting helpers shared across all DetLock modules.
+//
+// DETLOCK_CHECK is used for programmer-contract violations (IR invariants,
+// pass preconditions).  It throws detlock::Error, which carries the failing
+// expression and location so tests can assert on failures without aborting
+// the whole process.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace detlock {
+
+/// Exception thrown on any internal invariant violation or malformed input
+/// (IR parse errors, verifier failures, bad estimate files, ...).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(std::string message) : std::runtime_error(std::move(message)) {}
+};
+
+[[noreturn]] inline void raise_error(const char* file, int line, const std::string& what) {
+  throw Error(std::string(file) + ":" + std::to_string(line) + ": " + what);
+}
+
+}  // namespace detlock
+
+#define DETLOCK_CHECK(cond, msg)                                     \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::detlock::raise_error(__FILE__, __LINE__,                      \
+                             std::string("check failed: ") + #cond +  \
+                                 " -- " + (msg));                     \
+    }                                                                 \
+  } while (false)
+
+#define DETLOCK_UNREACHABLE(msg) ::detlock::raise_error(__FILE__, __LINE__, std::string("unreachable: ") + (msg))

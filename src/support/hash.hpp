@@ -1,0 +1,40 @@
+// Incremental FNV-1a hashing.
+//
+// Used to fingerprint lock-acquisition orders and final shared-memory images:
+// two runs are "deterministic" iff their fingerprints match.  FNV-1a is not
+// cryptographic, but collisions between two *different* schedules of the same
+// program are vanishingly unlikely for test purposes and the hash is
+// byte-order independent given we feed it fixed-width little-endian words.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace detlock {
+
+class Fnv1aHasher {
+ public:
+  void update_byte(std::uint8_t b) {
+    hash_ ^= b;
+    hash_ *= 0x100000001b3ULL;
+  }
+
+  void update_u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      update_byte(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  void update_i64(std::int64_t v) { update_u64(static_cast<std::uint64_t>(v)); }
+
+  void update_string(std::string_view s) {
+    for (char c : s) update_byte(static_cast<std::uint8_t>(c));
+  }
+
+  std::uint64_t digest() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+}  // namespace detlock

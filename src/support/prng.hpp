@@ -1,0 +1,50 @@
+// Deterministic PRNG (xoshiro256**) used by workload generators.
+//
+// Workloads must be bit-reproducible across runs so that determinism tests
+// can compare lock-order hashes; std::mt19937 would also work but xoshiro is
+// smaller, faster, and its whole state is trivially copyable for snapshotting.
+#pragma once
+
+#include <cstdint>
+
+namespace detlock {
+
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be nonzero.
+  std::uint64_t next_below(std::uint64_t bound) { return next() % bound; }
+
+  /// Uniform double in [0, 1).
+  double next_double() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace detlock

@@ -1,0 +1,60 @@
+// Adaptive spin-wait.
+//
+// The Kendo wait-for-turn loop is a busy poll over other threads' clocks.
+// On a machine with fewer hardware threads than program threads (including
+// this container, which exposes a single hardware thread), hard spinning
+// deadlocks progress: the spinner burns its whole quantum while the thread
+// it waits on is descheduled.  SpinWait therefore escalates from cheap CPU
+// pauses to sched_yield to short sleeps.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace detlock {
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  // Fallback: compiler barrier only.
+  asm volatile("" ::: "memory");
+#endif
+}
+
+/// Escalating waiter: pause x N, then yield x M, then 1us sleeps.
+/// Reset after the awaited condition flips so the next wait starts cheap.
+class SpinWait {
+ public:
+  explicit SpinWait(std::uint32_t pause_limit = 64, std::uint32_t yield_limit = 65536)
+      : pause_limit_(pause_limit), yield_limit_(yield_limit) {}
+
+  void wait() {
+    if (iteration_ < pause_limit_) {
+      cpu_relax();
+    } else if (iteration_ < pause_limit_ + yield_limit_) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(1));
+    }
+    ++iteration_;
+  }
+
+  void reset() { iteration_ = 0; }
+
+  std::uint64_t iterations() const { return iteration_; }
+
+ private:
+  std::uint32_t pause_limit_;
+  std::uint32_t yield_limit_;
+  std::uint64_t iteration_ = 0;
+};
+
+}  // namespace detlock

@@ -1,0 +1,53 @@
+#include "support/stats.hpp"
+
+#include <cmath>
+
+namespace detlock {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ == 0) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+RunningStats stats_of(const std::vector<double>& values) {
+  RunningStats s;
+  for (double v : values) s.add(v);
+  return s;
+}
+
+RunningStats stats_of(const std::vector<std::int64_t>& values) {
+  RunningStats s;
+  for (std::int64_t v : values) s.add(static_cast<double>(v));
+  return s;
+}
+
+bool ClockabilityCriteria::accepts(const RunningStats& s) const {
+  if (s.count() == 0) return false;
+  return accepts(s.mean(), s.stddev(), s.range());
+}
+
+bool ClockabilityCriteria::accepts(double mean, double stddev, double range) const {
+  // A region whose every path costs zero is trivially clockable (clock
+  // contribution 0); with a zero mean the ratio tests below correctly
+  // reject any nonzero spread.
+  if (range > mean / range_divisor) return false;
+  if (stddev > mean / stddev_divisor) return false;
+  return true;
+}
+
+}  // namespace detlock

@@ -1,0 +1,55 @@
+// Small statistics helpers.
+//
+// The DetLock clockability criteria (paper Sec. IV-A / IV-C) are phrased in
+// terms of mean, population standard deviation, and range of per-path clock
+// totals; PathStats computes exactly those.  Welford accumulation keeps the
+// computation single-pass and numerically stable even for millions of paths.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace detlock {
+
+/// Single-pass mean / population-stddev / min / max accumulator.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Population variance (divide by N), matching the paper's `std(clocks)`
+  /// over the full path population rather than a sample estimate.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double range() const { return count_ == 0 ? 0.0 : max_ - min_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Convenience: stats over a materialized vector (used where the path set is
+/// already enumerated).
+RunningStats stats_of(const std::vector<double>& values);
+RunningStats stats_of(const std::vector<std::int64_t>& values);
+
+/// The paper's clockability test (Fig. 4 lines 5-11 and Fig. 11 line 8):
+/// reject when range > mean/range_divisor or stddev > mean/stddev_divisor.
+/// Divisors default to the paper's constants (2.5 and 5).
+struct ClockabilityCriteria {
+  double range_divisor = 2.5;
+  double stddev_divisor = 5.0;
+
+  bool accepts(const RunningStats& s) const;
+  /// Same test on precomputed aggregates (used when path statistics come
+  /// from a DP that never materializes individual paths).
+  bool accepts(double mean, double stddev, double range) const;
+};
+
+}  // namespace detlock

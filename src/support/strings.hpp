@@ -1,0 +1,31 @@
+// String helpers used by the IR parser, estimate-file parser and table
+// printers.  Deliberately minimal: everything operates on string_view and
+// allocates only when producing owned results.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace detlock {
+
+std::string_view trim(std::string_view s);
+std::vector<std::string_view> split(std::string_view s, char delim);
+/// Split on any run of whitespace; no empty tokens.
+std::vector<std::string_view> split_whitespace(std::string_view s);
+bool starts_with(std::string_view s, std::string_view prefix);
+
+std::optional<std::int64_t> parse_int(std::string_view s);
+std::optional<double> parse_double(std::string_view s);
+
+/// printf-style formatting into std::string (type-checked by the compiler
+/// via the format attribute where available).
+#if defined(__GNUC__)
+__attribute__((format(printf, 1, 2)))
+#endif
+std::string
+str_format(const char* fmt, ...);
+
+}  // namespace detlock

@@ -1,0 +1,80 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace detlock {
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(Row{Row::Kind::kCells, std::move(cells)});
+}
+
+void TextTable::add_rule() { rows_.push_back(Row{Row::Kind::kRule, {}}); }
+
+void TextTable::add_section(std::string title) {
+  rows_.push_back(Row{Row::Kind::kSection, {std::move(title)}});
+}
+
+void TextTable::render(std::ostream& os) const {
+  std::vector<std::size_t> widths;
+  for (const Row& row : rows_) {
+    if (row.kind != Row::Kind::kCells) continue;
+    if (widths.size() < row.cells.size()) widths.resize(row.cells.size(), 0);
+    for (std::size_t i = 0; i < row.cells.size(); ++i) {
+      widths[i] = std::max(widths[i], row.cells[i].size());
+    }
+  }
+  std::size_t total = widths.empty() ? 0 : 3 * (widths.size() - 1);
+  for (std::size_t w : widths) total += w;
+
+  for (const Row& row : rows_) {
+    switch (row.kind) {
+      case Row::Kind::kRule:
+        os << std::string(total, '-') << '\n';
+        break;
+      case Row::Kind::kSection: {
+        const std::string& title = row.cells.front();
+        os << "== " << title << " " << std::string(total > title.size() + 4 ? total - title.size() - 4 : 0, '=')
+           << '\n';
+        break;
+      }
+      case Row::Kind::kCells: {
+        for (std::size_t i = 0; i < row.cells.size(); ++i) {
+          if (i > 0) os << " | ";
+          os << row.cells[i];
+          if (i + 1 < row.cells.size() && widths[i] > row.cells[i].size()) {
+            os << std::string(widths[i] - row.cells[i].size(), ' ');
+          }
+        }
+        os << '\n';
+        break;
+      }
+    }
+  }
+}
+
+std::string TextTable::to_string() const {
+  std::ostringstream oss;
+  render(oss);
+  return oss.str();
+}
+
+std::string TextTable::to_csv() const {
+  std::ostringstream oss;
+  for (const Row& row : rows_) {
+    if (row.kind == Row::Kind::kRule) continue;
+    if (row.kind == Row::Kind::kSection) {
+      oss << row.cells.front() << '\n';
+      continue;
+    }
+    for (std::size_t i = 0; i < row.cells.size(); ++i) {
+      if (i > 0) oss << ',';
+      oss << row.cells[i];
+    }
+    oss << '\n';
+  }
+  return oss.str();
+}
+
+}  // namespace detlock

@@ -1,0 +1,39 @@
+// Plain-text table renderer for the benchmark harnesses.
+//
+// Every table/figure harness prints its result in the same aligned layout the
+// paper uses (benchmark columns, configuration rows), so EXPERIMENTS.md can
+// be filled by copy-pasting harness output.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace detlock {
+
+class TextTable {
+ public:
+  /// First row added is treated as the header.
+  void add_row(std::vector<std::string> cells);
+  /// Insert a horizontal rule before the next row.
+  void add_rule();
+  /// A full-width section banner row (like the paper's "After Inserting
+  /// Clocks" band in Table I).
+  void add_section(std::string title);
+
+  void render(std::ostream& os) const;
+  std::string to_string() const;
+
+  /// Comma-separated dump (sections become single-cell rows).
+  std::string to_csv() const;
+
+ private:
+  struct Row {
+    enum class Kind { kCells, kRule, kSection };
+    Kind kind = Kind::kCells;
+    std::vector<std::string> cells;
+  };
+  std::vector<Row> rows_;
+};
+
+}  // namespace detlock

@@ -1,0 +1,107 @@
+#include "workloads/common.hpp"
+
+#include "interp/externs.hpp"
+#include "ir/verifier.hpp"
+
+namespace detlock::workloads {
+
+Workload make_counter_workload(std::uint32_t threads, std::uint32_t iters, std::uint32_t compute) {
+  using namespace ir;
+  Workload w;
+  w.name = "counter";
+  interp::declare_standard_externs(w.module);
+
+  // @mix(a, b): single-block leaf -- a perfect Function Clocking candidate.
+  FunctionBuilder mix(w.module, "mix", 2);
+  {
+    Reg acc = mix.add(mix.param(0), mix.param(1));
+    for (std::uint32_t k = 0; k < compute; ++k) {
+      acc = mix.mul(acc, mix.add(acc, mix.param(1)));
+      acc = mix.binary(Opcode::kXor, acc, mix.param(0));
+    }
+    mix.ret(acc);
+  }
+
+  // @worker(tid): repeat `iters` times { lock 0; mem[0]++; unlock 0;
+  // private compute with a call and an if/else (so every optimization has
+  // applicable structure) }.
+  FunctionBuilder worker(w.module, "worker", 1);
+  {
+    const Reg iters_reg = worker.const_i(iters);
+    const Reg zero = worker.const_i(0);
+    const Reg addr0 = worker.const_i(0);
+    emit_counted_loop(worker, 0, iters_reg, "work", [&](Reg i) {
+      worker.lock(zero);
+      const Reg old = worker.load(addr0);
+      const Reg one = worker.const_i(1);
+      const Reg inc = worker.add(old, one);
+      worker.store(addr0, inc);
+      worker.unlock(zero);
+      // Private compute: clockable call + a diamond.
+      const Reg acc = worker.call(mix.func_id(), {i, worker.param(0)});
+      const Reg two = worker.const_i(2);
+      const Reg parity = worker.rem(i, two);
+      const BlockId then_block = worker.make_block("work.even");
+      const BlockId else_block = worker.make_block("work.odd");
+      const BlockId merge = worker.make_block("work.merge");
+      const Reg out = worker.new_reg();
+      worker.condbr(parity, then_block, else_block);
+      worker.set_insert_point(then_block);
+      worker.emit(Instr::make_binary(Opcode::kAdd, out, acc, i));
+      worker.br(merge);
+      worker.set_insert_point(else_block);
+      worker.emit(Instr::make_binary(Opcode::kSub, out, acc, i));
+      worker.emit(Instr::make_binary(Opcode::kXor, out, out, acc));
+      worker.br(merge);
+      worker.set_insert_point(merge);
+      // Per-thread result slot (8 + tid): no data race.
+      worker.store(worker.add(worker.const_i(8), worker.param(0)), out);
+    });
+    worker.ret();
+  }
+
+  // @main(): SPLASH-2 harness shape -- main spawns threads-1 workers, runs
+  // worker(0) itself (so barrier-style phases cover every live thread),
+  // then joins the children.
+  FunctionBuilder main_fn(w.module, "main", 0);
+  {
+    std::vector<Reg> handles;
+    for (std::uint32_t t = 1; t < threads; ++t) {
+      const Reg tid = main_fn.const_i(t);
+      handles.push_back(main_fn.spawn(worker.func_id(), {tid}));
+    }
+    const Reg self_tid = main_fn.const_i(0);
+    main_fn.call(worker.func_id(), {self_tid});
+    for (const Reg h : handles) main_fn.join(h);
+    const Reg result = main_fn.load(main_fn.const_i(0));
+    main_fn.ret(result);
+  }
+
+  w.main_func = main_fn.func_id();
+  verify_module_or_throw(w.module);
+  return w;
+}
+
+ir::FuncId build_spmd_main(ir::Module& module, ir::FuncId worker_fn, std::uint32_t threads) {
+  using namespace ir;
+  DETLOCK_CHECK(threads >= 1, "need at least one thread");
+  FunctionBuilder main_fn(module, "main", 0);
+  std::vector<Reg> handles;
+  for (std::uint32_t t = 1; t < threads; ++t) {
+    const Reg tid = main_fn.const_i(t);
+    handles.push_back(main_fn.spawn(worker_fn, {tid}));
+  }
+  const Reg self_tid = main_fn.const_i(0);
+  main_fn.call(worker_fn, {self_tid});
+  for (const Reg h : handles) main_fn.join(h);
+
+  Reg sum = main_fn.const_i(0);
+  for (std::uint32_t t = 0; t < threads; ++t) {
+    const Reg slot = main_fn.load(main_fn.const_i(kResultBase + t));
+    sum = main_fn.add(sum, slot);
+  }
+  main_fn.ret(sum);
+  return main_fn.func_id();
+}
+
+}  // namespace detlock::workloads

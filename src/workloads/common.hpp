@@ -1,0 +1,100 @@
+// Shared infrastructure for workload generators.
+//
+// Every workload is an IR program built through FunctionBuilder with a
+// standard shape: @main initializes memory, spawns `threads - 1` workers
+// running @worker(tid), runs @worker(0) itself... no -- main IS a thread in
+// the runtime's eyes, so main spawns `threads` workers and joins them (the
+// SPLASH-2 harness shape), keeping worker thread ids 1..threads.
+//
+// Memory layout conventions (word addresses):
+//   [0 .. 63]         reserved globals (counters, flags)
+//   [64 ..]           workload-specific arrays
+// The heap (dl_malloc) lives in the upper half of engine memory.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ir/builder.hpp"
+#include "ir/module.hpp"
+
+namespace detlock::workloads {
+
+/// Common scaling knobs; each generator interprets them in its own units
+/// but agrees on the contract that work scales ~linearly with `scale` and
+/// the thread count is exact.
+struct WorkloadParams {
+  std::uint32_t threads = 4;
+  /// Outer iteration count multiplier.
+  std::uint32_t scale = 1;
+  /// Deterministic seed for any generator-side randomization (baked into
+  /// the emitted IR, never consulted at run time).
+  std::uint64_t seed = 42;
+};
+
+/// A generated workload: the module plus the entry function and metadata
+/// the harness needs.
+struct Workload {
+  ir::Module module;
+  ir::FuncId main_func = 0;
+  std::string name;
+  /// Approximate shared-memory words the program touches (engine memory
+  /// sizing hint; does not include heap).
+  std::size_t memory_words = 1 << 16;
+};
+
+/// Emits a loop `for (i = init; i < bound; ++i) body` into the builder.
+/// The callback receives the loop induction register.  On return the
+/// builder's insert point is the loop exit block.
+/// `tag` disambiguates block names when a function has several loops.
+template <typename BodyFn>
+void emit_counted_loop(ir::FunctionBuilder& b, std::int64_t init, ir::Reg bound, const std::string& tag,
+                       BodyFn&& body) {
+  using namespace ir;
+  const BlockId header = b.make_block(tag + ".cond");
+  const BlockId body_block = b.make_block(tag + ".body");
+  const BlockId latch = b.make_block(tag + ".inc");
+  const BlockId exit = b.make_block(tag + ".exit");
+
+  // The induction register is re-assigned by entry and latch (the IR is not
+  // SSA; emit() appends hand-built instructions targeting existing regs).
+  // The increment constant is hoisted out of the latch so the latch block
+  // stays minimal, like compiled code.
+  const Reg i = b.new_reg();
+  const Reg one = b.const_i(1);
+  b.emit(Instr::make_const(i, init));
+  b.br(header);
+
+  b.set_insert_point(header);
+  const Reg cond = b.icmp(CmpPred::kLt, i, bound);
+  b.condbr(cond, body_block, exit);
+
+  b.set_insert_point(body_block);
+  body(i);
+  // body() may have moved the insert point; continue from wherever it ended.
+  b.br(latch);
+
+  b.set_insert_point(latch);
+  b.emit(Instr::make_binary(Opcode::kAdd, i, i, one));
+  b.br(header);
+
+  b.set_insert_point(exit);
+}
+
+/// Builds the canonical tiny program used by smoke tests and the
+/// quickstart example: `threads` workers each acquire mutex 0 `iters`
+/// times, incrementing the shared counter at address 0; main joins all and
+/// returns the final counter value.
+Workload make_counter_workload(std::uint32_t threads, std::uint32_t iters, std::uint32_t compute = 8);
+
+/// Result-slot base shared by all workloads: worker t writes its checksum
+/// to word kResultBase + t.
+inline constexpr std::int64_t kResultBase = 32;
+
+/// Builds the SPLASH-2 harness @main: spawn threads-1 children running
+/// @worker(tid) for tid = 1..threads-1, run @worker(0) inline, join all,
+/// then return the sum of the result slots.  Every workload uses this, so
+/// barrier phases inside @worker always cover all live threads.
+ir::FuncId build_spmd_main(ir::Module& module, ir::FuncId worker_fn, std::uint32_t threads);
+
+}  // namespace detlock::workloads

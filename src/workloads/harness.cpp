@@ -1,0 +1,65 @@
+#include "workloads/harness.hpp"
+
+#include <chrono>
+
+#include "support/error.hpp"
+
+namespace detlock::workloads {
+
+const char* mode_name(Mode mode) {
+  switch (mode) {
+    case Mode::kBaseline: return "baseline";
+    case Mode::kClocksOnly: return "clocks-only";
+    case Mode::kDetLock: return "detlock";
+    case Mode::kKendoSim: return "kendo-sim";
+  }
+  DETLOCK_UNREACHABLE("bad mode");
+}
+
+Measurement measure(const WorkloadSpec& spec, const WorkloadParams& params, const MeasureOptions& options) {
+  Measurement best;
+  best.seconds = -1.0;
+
+  for (int rep = 0; rep < options.repetitions; ++rep) {
+    // Fresh module per repetition: instrumentation mutates the IR and an
+    // Engine runs once.
+    Workload w = spec.factory(params);
+
+    pass::PipelineStats pass_stats;
+    if (options.mode != Mode::kBaseline) {
+      pass::PassOptions popts = options.pass_options;
+      if (options.mode == Mode::kKendoSim) {
+        // Kendo's counter counts retired instructions: updates land after
+        // the counted work, never before.
+        popts.placement = pass::ClockPlacement::kEnd;
+      }
+      pass_stats = pass::instrument_module(w.module, popts);
+    }
+
+    interp::EngineConfig config;
+    config.deterministic = options.mode == Mode::kDetLock || options.mode == Mode::kKendoSim;
+    config.memory_words = std::max<std::size_t>(w.memory_words, 1 << 14) * 2;
+    config.runtime.record_trace = options.record_trace;
+    if (options.mode == Mode::kKendoSim) {
+      config.runtime.publication = runtime::ClockPublication::kChunked;
+      config.runtime.chunk_size = options.kendo_chunk_size;
+    }
+
+    interp::Engine engine(w.module, config);
+    const auto start = std::chrono::steady_clock::now();
+    interp::RunResult run = engine.run(w.main_func);
+    const auto stop = std::chrono::steady_clock::now();
+    const double seconds = std::chrono::duration<double>(stop - start).count();
+
+    if (best.seconds < 0.0 || seconds < best.seconds) {
+      best.seconds = seconds;
+      best.pass_stats = pass_stats;
+      best.checksum = run.main_return;
+      best.locks_per_sec = seconds > 0.0 ? static_cast<double>(run.sync.lock_acquires) / seconds : 0.0;
+      best.run = std::move(run);
+    }
+  }
+  return best;
+}
+
+}  // namespace detlock::workloads

@@ -1,0 +1,53 @@
+// Measurement harness: builds, instruments, runs, and times a workload
+// under one of the paper's execution configurations.
+//
+// The three Table I bands map to modes:
+//   kBaseline   -- no instrumentation, plain locks ("Original Exec Time")
+//   kClocksOnly -- clock updates inserted, plain locks ("After Inserting
+//                  Clocks"): measures pure clock-update overhead
+//   kDetLock    -- clock updates + Kendo turn protocol ("... and Performing
+//                  Deterministic Execution")
+// and Table II adds:
+//   kKendoSim   -- deterministic execution with chunk-published clocks and
+//                  end-of-block updates: the Kendo-style runtime that can
+//                  neither publish eagerly nor count ahead of time.
+#pragma once
+
+#include <cstdint>
+
+#include "interp/engine.hpp"
+#include "pass/pipeline.hpp"
+#include "workloads/workloads.hpp"
+
+namespace detlock::workloads {
+
+enum class Mode { kBaseline, kClocksOnly, kDetLock, kKendoSim };
+
+const char* mode_name(Mode mode);
+
+struct Measurement {
+  double seconds = 0.0;
+  interp::RunResult run;
+  pass::PipelineStats pass_stats;
+  double locks_per_sec = 0.0;
+  std::int64_t checksum = 0;
+};
+
+struct MeasureOptions {
+  Mode mode = Mode::kBaseline;
+  pass::PassOptions pass_options;  // ignored for kBaseline
+  /// Chunk size for kKendoSim's simulated performance counter.
+  std::uint64_t kendo_chunk_size = 2048;
+  /// Repetitions; the fastest run is reported (standard practice for
+  /// wall-clock microcomparison on a shared machine).
+  int repetitions = 3;
+  /// Keep the trace hash (adds a global mutex on every acquire; leave off
+  /// for timing runs, on for determinism checks).
+  bool record_trace = false;
+};
+
+/// Builds a fresh workload instance from `spec`, applies the configuration,
+/// runs it `repetitions` times and reports the fastest.
+Measurement measure(const WorkloadSpec& spec, const WorkloadParams& params, const MeasureOptions& options);
+
+}  // namespace detlock::workloads

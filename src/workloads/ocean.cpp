@@ -1,0 +1,179 @@
+// Ocean analog: barrier-dominated strip relaxation.
+//
+// T threads own contiguous strips of a 1-D grid; every timestep each thread
+// rewrites its strip from the previous step's values (double-buffered, so
+// cross-strip neighbor reads are separated from their writes by the
+// per-step barrier) and every 8th step folds a progress marker into a
+// locked global -- giving the near-zero lock rate of the real Ocean (343
+// locks/sec in Table I) with large straight-line floating-point blocks.
+//
+// Memory map (words):
+//   0                  locked progress counter (mutex 0)
+//   kResultBase + t    per-thread checksum slots
+//   kGridA / kGridB    double-buffered f64 grids (threads * width cells)
+#include "workloads/workloads.hpp"
+
+#include "interp/externs.hpp"
+#include "ir/verifier.hpp"
+
+namespace detlock::workloads {
+
+namespace {
+constexpr std::int64_t kGridA = 1024;
+constexpr std::uint32_t kWidth = 384;  // cells per thread strip
+}  // namespace
+
+Workload make_ocean(const WorkloadParams& params) {
+  using namespace ir;
+  Workload w;
+  w.name = "ocean";
+  interp::declare_standard_externs(w.module);
+
+  const std::uint32_t threads = params.threads;
+  const std::int64_t total_cells = static_cast<std::int64_t>(threads) * kWidth;
+  const std::int64_t grid_b = kGridA + total_cells;
+  const std::uint32_t steps = 12 * params.scale;
+  w.memory_words = static_cast<std::size_t>(grid_b + total_cells + 64);
+
+  FunctionBuilder f(w.module, "ocean_worker", 1);
+  const Reg tid = f.param(0);
+  const Reg width = f.const_i(kWidth);
+  const Reg lo = f.mul(tid, width);
+  const Reg hi = f.add(lo, width);
+  const Reg bar_id = f.const_i(0);
+  const Reg nthreads = f.const_i(threads);
+
+  // Initialize own strip of grid A: a[i] = (i % 17) as f64; grid B zeroed.
+  {
+    const Reg seventeen = f.const_i(17);
+    const Reg base_a = f.const_i(kGridA);
+    const Reg base_b = f.const_i(grid_b);
+    const Reg zero_f = f.const_f(0.0);
+    const Reg i = f.new_reg();
+    f.emit(Instr::make_const(i, 0));
+    f.emit(Instr::make_binary(Opcode::kAdd, i, lo, i));  // i = lo
+    const BlockId init_cond = f.make_block("init.cond");
+    const BlockId init_body = f.make_block("init.body");
+    const BlockId init_done = f.make_block("init.done");
+    f.br(init_cond);
+    f.set_insert_point(init_cond);
+    f.condbr(f.icmp(CmpPred::kLt, i, hi), init_body, init_done);
+    f.set_insert_point(init_body);
+    const Reg v = f.itof(f.rem(i, seventeen));
+    f.storef(f.add(base_a, i), v);
+    f.storef(f.add(base_b, i), zero_f);
+    const Reg one = f.const_i(1);
+    f.emit(Instr::make_binary(Opcode::kAdd, i, i, one));
+    f.br(init_cond);
+    f.set_insert_point(init_done);
+  }
+  f.barrier(bar_id, nthreads);
+
+  // Timestep loop.
+  const Reg steps_reg = f.const_i(steps);
+  emit_counted_loop(f, 0, steps_reg, "step", [&](Reg step) {
+    // Double-buffer select: even steps read A write B, odd steps the
+    // reverse.
+    const Reg two = f.const_i(2);
+    const Reg parity = f.rem(step, two);
+    const Reg src = f.new_reg();
+    const Reg dst = f.new_reg();
+    const BlockId even = f.make_block("step.even");
+    const BlockId odd = f.make_block("step.odd");
+    const BlockId go = f.make_block("step.go");
+    f.condbr(parity, odd, even);
+    f.set_insert_point(even);
+    f.emit(Instr::make_const(src, kGridA));
+    f.emit(Instr::make_const(dst, grid_b));
+    f.br(go);
+    f.set_insert_point(odd);
+    f.emit(Instr::make_const(src, grid_b));
+    f.emit(Instr::make_const(dst, kGridA));
+    f.br(go);
+    f.set_insert_point(go);
+
+    // Relax interior cells of the strip (global boundary cells are frozen:
+    // skip index 0 and total-1 via clamped bounds).
+    const Reg one = f.const_i(1);
+    const Reg glo = f.call_extern(w.module.find_extern("imax"), {lo, one});
+    const Reg lim = f.const_i(total_cells - 1);
+    const Reg ghi = f.call_extern(w.module.find_extern("imin"), {hi, lim});
+    const Reg third = f.const_f(1.0 / 3.0);
+
+    const Reg i = f.new_reg();
+    f.emit(Instr::make_binary(Opcode::kAdd, i, glo, f.const_i(0)));
+    const BlockId rc = f.make_block("relax.cond");
+    const BlockId rb = f.make_block("relax.body");
+    const BlockId rd = f.make_block("relax.done");
+    f.br(rc);
+    f.set_insert_point(rc);
+    const Reg ghi3 = f.sub(ghi, f.const_i(3));
+    f.condbr(f.icmp(CmpPred::kLt, i, ghi3), rb, rd);
+    f.set_insert_point(rb);
+    {
+      // 4x unrolled stencil: one large straight-line block per 4 cells, so
+      // clock updates are rare relative to real work (the paper's Ocean
+      // shows only 1% clock overhead).
+      for (int u = 0; u < 4; ++u) {
+        const Reg addr = f.add(src, i);
+        const Reg left = f.loadf(addr, u - 1);
+        const Reg mid = f.loadf(addr, u);
+        const Reg right = f.loadf(addr, u + 1);
+        const Reg sum = f.fadd(f.fadd(left, mid), right);
+        const Reg nv = f.fmul(sum, third);
+        f.storef(f.add(dst, i), nv, u);
+      }
+      const Reg four = f.const_i(4);
+      f.emit(Instr::make_binary(Opcode::kAdd, i, i, four));
+    }
+    f.br(rc);
+    f.set_insert_point(rd);
+
+    // Rare lock: every 8th step bump the global progress counter.
+    const Reg eight = f.const_i(8);
+    const Reg is_eighth = f.icmp(CmpPred::kEq, f.rem(step, eight), f.const_i(0));
+    const BlockId do_lock = f.make_block("prog.lock");
+    const BlockId after = f.make_block("prog.after");
+    f.condbr(is_eighth, do_lock, after);
+    f.set_insert_point(do_lock);
+    const Reg m0 = f.const_i(0);
+    f.lock(m0);
+    const Reg addr0 = f.const_i(0);
+    f.store(addr0, f.add(f.load(addr0), one));
+    f.unlock(m0);
+    f.br(after);
+    f.set_insert_point(after);
+
+    f.barrier(bar_id, nthreads);
+  });
+
+  // Checksum own strip (from grid A -- both buffers are deterministic).
+  {
+    const Reg base_a = f.const_i(kGridA);
+    Reg acc = f.const_i(0);
+    const Reg acc_reg = f.new_reg();
+    f.emit(Instr::make_binary(Opcode::kAdd, acc_reg, acc, f.const_i(0)));
+    const Reg i = f.new_reg();
+    f.emit(Instr::make_binary(Opcode::kAdd, i, lo, f.const_i(0)));
+    const BlockId cc = f.make_block("ck.cond");
+    const BlockId cb = f.make_block("ck.body");
+    const BlockId cd = f.make_block("ck.done");
+    f.br(cc);
+    f.set_insert_point(cc);
+    f.condbr(f.icmp(CmpPred::kLt, i, hi), cb, cd);
+    f.set_insert_point(cb);
+    const Reg cell = f.ftoi(f.fmul(f.loadf(f.add(base_a, i)), f.const_f(1000.0)));
+    f.emit(Instr::make_binary(Opcode::kAdd, acc_reg, acc_reg, cell));
+    f.emit(Instr::make_binary(Opcode::kAdd, i, i, f.const_i(1)));
+    f.br(cc);
+    f.set_insert_point(cd);
+    f.store(f.add(f.const_i(kResultBase), tid), acc_reg);
+  }
+  f.ret();
+
+  w.main_func = build_spmd_main(w.module, f.func_id(), threads);
+  verify_module_or_throw(w.module);
+  return w;
+}
+
+}  // namespace detlock::workloads

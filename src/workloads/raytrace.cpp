@@ -1,0 +1,181 @@
+// Raytrace analog: dynamic ray distribution through one queue lock.
+//
+// Workers pop ray indices from a shared counter (mutex 0) and shade each
+// ray against a fixed set of spheres.  Per-ray work runs ~1-2k instructions
+// -- matching Raytrace's medium lock rate (227k locks/sec, Table I) -- and
+// is built from exactly the material the DetLock optimizations target:
+// a single-block leaf (@dot3, Function Clocking fodder) and an unrolled
+// sphere loop full of hit/miss diamonds (Opt2/Opt3 fodder).
+//
+// Memory map (words):
+//   1                  next-ray counter (mutex 0)
+//   kResultBase + t    per-thread checksums
+//   kSpheres           sphere table: 4 f64 words per sphere (cx, cy, cz, r)
+//   kFrame             per-ray output (disjoint writes)
+#include "workloads/workloads.hpp"
+
+#include "interp/externs.hpp"
+#include "ir/verifier.hpp"
+
+namespace detlock::workloads {
+
+namespace {
+constexpr std::int64_t kQueueAddr = 1;
+constexpr std::int64_t kSpheres = 512;
+constexpr std::int64_t kFrame = 4096;
+constexpr std::uint32_t kNumSpheres = 14;
+}  // namespace
+
+Workload make_raytrace(const WorkloadParams& params) {
+  using namespace ir;
+  Workload w;
+  w.name = "raytrace";
+  interp::declare_standard_externs(w.module);
+
+  const std::uint32_t threads = params.threads;
+  const std::int64_t rays = 700 * static_cast<std::int64_t>(params.scale);
+  w.memory_words = static_cast<std::size_t>(kFrame + rays + 64);
+
+  // @dot3(ax, ay, az, bx, by, bz): one-block leaf returning the f64 dot
+  // product (args/result are f64 bit patterns).
+  FunctionBuilder dot(w.module, "dot3", 6);
+  {
+    const Reg x = dot.fmul(dot.param(0), dot.param(3));
+    const Reg y = dot.fmul(dot.param(1), dot.param(4));
+    const Reg z = dot.fmul(dot.param(2), dot.param(5));
+    dot.ret(dot.fadd(dot.fadd(x, y), z));
+  }
+
+  // @shade(idx): intersect ray `idx` against every sphere, return the
+  // closest hit distance scaled to an integer (0 when everything missed).
+  FunctionBuilder shade(w.module, "shade", 1);
+  {
+    const Reg idx = shade.param(0);
+    // Ray direction derived from the index (deterministic pseudo-camera).
+    const Reg fi = shade.itof(idx);
+    const Reg dx = shade.fadd(shade.fmul(fi, shade.const_f(0.001)), shade.const_f(0.1));
+    const Reg dy = shade.fadd(shade.fmul(fi, shade.const_f(0.0007)), shade.const_f(0.2));
+    const Reg dz = shade.const_f(1.0);
+
+    const Reg best = shade.new_reg();
+    shade.emit([&] {
+      Instr c;
+      c.op = Opcode::kConstF;
+      c.dst = best;
+      c.fimm = 1e30;
+      return c;
+    }());
+
+    for (std::uint32_t s = 0; s < kNumSpheres; ++s) {
+      const std::int64_t sphere_addr = kSpheres + 4 * static_cast<std::int64_t>(s);
+      const Reg base = shade.const_i(sphere_addr);
+      const Reg cx = shade.loadf(base, 0);
+      const Reg cy = shade.loadf(base, 1);
+      const Reg cz = shade.loadf(base, 2);
+      const Reg radius = shade.loadf(base, 3);
+      // b = dot(dir, center); c = dot(center, center) - r^2;
+      // disc = b*b - c  (unit-ish geometry, origin at 0).
+      const Reg b = shade.call(dot.func_id(), {dx, dy, dz, cx, cy, cz});
+      const Reg cc = shade.call(dot.func_id(), {cx, cy, cz, cx, cy, cz});
+      const Reg dd = shade.call(dot.func_id(), {dx, dy, dz, dx, dy, dz});
+      // Full quadratic with direction normalization folded in (keeps the
+      // block large and straight-line, like real intersection code).
+      const Reg b_norm = shade.fdiv(b, shade.fsqrt(dd));
+      const Reg c = shade.fsub(cc, shade.fmul(radius, radius));
+      const Reg c_att = shade.fadd(c, shade.fmul(shade.const_f(1e-6), cc));
+      const Reg disc = shade.fsub(shade.fmul(b_norm, b_norm), c_att);
+
+      const BlockId hit = shade.make_block("hit" + std::to_string(s));
+      const BlockId closer = shade.make_block("closer" + std::to_string(s));
+      const BlockId next = shade.make_block("next" + std::to_string(s));
+      shade.condbr(shade.fcmp(CmpPred::kGt, disc, shade.const_f(0.0)), hit, next);
+
+      shade.set_insert_point(hit);
+      const Reg root = shade.fsqrt(disc);
+      const Reg t_raw = shade.fsub(b_norm, root);
+      // Cheap Phong-ish attenuation to fatten the hit path.
+      const Reg atten = shade.fdiv(shade.const_f(1.0), shade.fadd(shade.const_f(1.0), shade.fmul(t_raw, t_raw)));
+      const Reg t = shade.fmul(t_raw, shade.fadd(shade.const_f(0.75), shade.fmul(atten, shade.const_f(0.25))));
+      shade.condbr(shade.fcmp(CmpPred::kLt, t, best), closer, next);
+
+      shade.set_insert_point(closer);
+      shade.emit([&] {
+        Instr m;
+        m.op = Opcode::kMov;
+        m.dst = best;
+        m.a = t;
+        return m;
+      }());
+      shade.br(next);
+
+      shade.set_insert_point(next);
+    }
+    // Map "no hit" to 0 and hits to a scaled integer.
+    const BlockId miss = shade.make_block("miss");
+    const BlockId done_hit = shade.make_block("done_hit");
+    shade.condbr(shade.fcmp(CmpPred::kGt, best, shade.const_f(1e29)), miss, done_hit);
+    shade.set_insert_point(miss);
+    const Reg z0 = shade.const_i(0);
+    shade.ret(z0);
+    shade.set_insert_point(done_hit);
+    shade.ret(shade.ftoi(shade.fmul(best, shade.const_f(256.0))));
+  }
+
+  // @raytrace_worker(tid).
+  FunctionBuilder f(w.module, "raytrace_worker", 1);
+  const Reg tid = f.param(0);
+  const Reg bar_id = f.const_i(0);
+  const Reg nthreads = f.const_i(threads);
+  const Reg m0 = f.const_i(0);
+
+  // Thread 0 builds the sphere table; everyone then synchronizes.
+  {
+    const BlockId init = f.make_block("init");
+    const BlockId ready = f.make_block("ready");
+    f.condbr(f.icmp(CmpPred::kEq, tid, f.const_i(0)), init, ready);
+    f.set_insert_point(init);
+    for (std::uint32_t s = 0; s < kNumSpheres; ++s) {
+      const std::int64_t addr = kSpheres + 4 * static_cast<std::int64_t>(s);
+      const Reg base = f.const_i(addr);
+      f.storef(base, f.const_f(0.3 + 0.15 * s), 0);
+      f.storef(base, f.const_f(-0.2 + 0.09 * s), 1);
+      f.storef(base, f.const_f(2.0 + 0.5 * s), 2);
+      f.storef(base, f.const_f(0.4 + 0.05 * (s % 3)), 3);
+    }
+    f.store(f.const_i(kQueueAddr), f.const_i(0));
+    f.br(ready);
+    f.set_insert_point(ready);
+  }
+  f.barrier(bar_id, nthreads);
+
+  // Pop-and-shade loop.
+  const Reg acc = f.new_reg();
+  f.emit(Instr::make_const(acc, 0));
+  const BlockId loop = f.make_block("loop");
+  const BlockId work = f.make_block("work");
+  const BlockId done = f.make_block("done");
+  f.br(loop);
+  f.set_insert_point(loop);
+  f.lock(m0);
+  const Reg qaddr = f.const_i(kQueueAddr);
+  const Reg idx = f.load(qaddr);
+  f.store(qaddr, f.add(idx, f.const_i(1)));
+  f.unlock(m0);
+  f.condbr(f.icmp(CmpPred::kLt, idx, f.const_i(rays)), work, done);
+
+  f.set_insert_point(work);
+  const Reg color = f.call(shade.func_id(), {idx});
+  f.store(f.add(f.const_i(kFrame), idx), color);
+  f.emit(Instr::make_binary(Opcode::kAdd, acc, acc, color));
+  f.br(loop);
+
+  f.set_insert_point(done);
+  f.store(f.add(f.const_i(kResultBase), tid), acc);
+  f.ret();
+
+  w.main_func = build_spmd_main(w.module, f.func_id(), threads);
+  verify_module_or_throw(w.module);
+  return w;
+}
+
+}  // namespace detlock::workloads

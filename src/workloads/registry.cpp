@@ -1,0 +1,13 @@
+#include "workloads/workloads.hpp"
+
+namespace detlock::workloads {
+
+const std::vector<WorkloadSpec>& all_workloads() {
+  static const std::vector<WorkloadSpec> specs = {
+      {"ocean", make_ocean},         {"raytrace", make_raytrace}, {"water_nsq", make_water_nsq},
+      {"radiosity", make_radiosity}, {"volrend", make_volrend},
+  };
+  return specs;
+}
+
+}  // namespace detlock::workloads

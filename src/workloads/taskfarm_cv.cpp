@@ -1,0 +1,135 @@
+// Task farm with condition variables: a demo workload for the condvar
+// extension (not part of the paper's Table I set, which only uses locks and
+// barriers -- see workloads.hpp).
+//
+// Worker 0 produces `tasks` work items into an unbounded queue; the other
+// threads consume them, blocking on a not-empty condvar rather than
+// spinning.  Shutdown is a done-flag plus broadcast.  The per-task compute
+// is a clockable leaf so the whole condvar path also runs under Opt1.
+//
+// Memory map (words):
+//   6                  queue head (next write)
+//   7                  queue tail (next read)
+//   8                  done flag
+//   kResultBase + t    per-thread checksums
+//   kQueue ..          task payloads
+#include "workloads/workloads.hpp"
+
+#include "interp/externs.hpp"
+#include "ir/verifier.hpp"
+
+namespace detlock::workloads {
+
+namespace {
+constexpr std::int64_t kHeadAddr = 6;
+constexpr std::int64_t kTailAddr = 7;
+constexpr std::int64_t kDoneAddr = 8;
+constexpr std::int64_t kQueue = 4096;
+}  // namespace
+
+Workload make_taskfarm_cv(const WorkloadParams& params) {
+  using namespace ir;
+  Workload w;
+  w.name = "taskfarm_cv";
+  interp::declare_standard_externs(w.module);
+
+  const std::uint32_t threads = params.threads;
+  const std::int64_t tasks = 600 * static_cast<std::int64_t>(params.scale);
+  w.memory_words = static_cast<std::size_t>(kQueue + tasks + 64);
+
+  // @chew(x): single-block compute leaf (Opt1 candidate).
+  FunctionBuilder chew(w.module, "chew", 1);
+  {
+    Reg v = chew.param(0);
+    for (int k = 0; k < 10; ++k) {
+      v = chew.add(chew.mul(v, chew.const_i(31)), chew.const_i(k + 1));
+      v = chew.binary(Opcode::kXor, v, chew.binary(Opcode::kShr, v, chew.const_i(9)));
+    }
+    chew.ret(chew.binary(Opcode::kAnd, v, chew.const_i(0xffff)));
+  }
+
+  // @farm_worker(tid): tid 0 produces, others consume.
+  FunctionBuilder f(w.module, "farm_worker", 1);
+  const Reg tid = f.param(0);
+  const Reg m0 = f.const_i(0);       // queue mutex
+  const Reg cv_nonempty = f.const_i(0);
+  const Reg one = f.const_i(1);
+
+  const BlockId produce = f.make_block("produce");
+  const BlockId consume = f.make_block("consume");
+  f.condbr(f.icmp(CmpPred::kEq, tid, f.const_i(0)), produce, consume);
+
+  // ---- producer ------------------------------------------------------------
+  f.set_insert_point(produce);
+  {
+    const Reg ntasks = f.const_i(tasks);
+    emit_counted_loop(f, 0, ntasks, "prod", [&](Reg i) {
+      // Generate the payload outside the lock (private compute).
+      const Reg payload = f.call(chew.func_id(), {i});
+      f.lock(m0);
+      const Reg head = f.load(f.const_i(kHeadAddr));
+      f.store(f.add(f.const_i(kQueue), head), payload);
+      f.store(f.const_i(kHeadAddr), f.add(head, one));
+      f.cond_signal(cv_nonempty);
+      f.unlock(m0);
+    });
+    f.lock(m0);
+    f.store(f.const_i(kDoneAddr), one);
+    f.cond_broadcast(cv_nonempty);
+    f.unlock(m0);
+    // Producer's checksum slot stays 0.
+    f.store(f.add(f.const_i(kResultBase), tid), f.const_i(0));
+    f.ret();
+  }
+
+  // ---- consumer ------------------------------------------------------------
+  f.set_insert_point(consume);
+  {
+    const Reg acc = f.new_reg();
+    f.emit(Instr::make_const(acc, 0));
+    const BlockId loop = f.make_block("cons.loop");
+    const BlockId check = f.make_block("cons.check");
+    const BlockId wait = f.make_block("cons.wait");
+    const BlockId take = f.make_block("cons.take");
+    const BlockId drained = f.make_block("cons.drained");
+    const BlockId done = f.make_block("cons.done");
+    f.br(loop);
+
+    f.set_insert_point(loop);
+    f.lock(m0);
+    f.br(check);
+
+    f.set_insert_point(check);
+    const Reg tail = f.load(f.const_i(kTailAddr));
+    const Reg head = f.load(f.const_i(kHeadAddr));
+    f.condbr(f.icmp(CmpPred::kLt, tail, head), take, drained);
+
+    f.set_insert_point(drained);
+    const Reg done_flag = f.load(f.const_i(kDoneAddr));
+    f.condbr(done_flag, done, wait);
+
+    f.set_insert_point(wait);
+    f.cond_wait(cv_nonempty, m0);
+    f.br(check);
+
+    f.set_insert_point(take);
+    const Reg payload = f.load(f.add(f.const_i(kQueue), tail));
+    f.store(f.const_i(kTailAddr), f.add(tail, one));
+    f.unlock(m0);
+    // Compute outside the lock, then loop for more work.
+    const Reg digest = f.call(chew.func_id(), {payload});
+    f.emit(Instr::make_binary(Opcode::kAdd, acc, acc, digest));
+    f.br(loop);
+
+    f.set_insert_point(done);
+    f.unlock(m0);
+    f.store(f.add(f.const_i(kResultBase), tid), acc);
+    f.ret();
+  }
+
+  w.main_func = build_spmd_main(w.module, f.func_id(), threads);
+  verify_module_or_throw(w.module);
+  return w;
+}
+
+}  // namespace detlock::workloads

@@ -1,0 +1,149 @@
+// Volrend analog: tile queue + early-terminating sampling loops.
+//
+// Workers pop image tiles from a queue (mutex 0) and cast one ray per tile
+// through a synthetic volume, accumulating opacity with the classic
+// early-ray-termination break -- so per-tile work varies, conditionals are
+// everywhere, and the lock rate sits between Raytrace and Radiosity
+// (443k locks/sec in Table I).  A shared histogram under a second lock adds
+// the moderate cross-thread write traffic of the real benchmark.
+//
+// Memory map (words):
+//   4                  next-tile counter (mutex 0)
+//   16..31             shared 16-bin histogram (mutex 1)
+//   kResultBase + t    per-thread checksums
+//   kVolume            f64 density field (read-only after init)
+#include "workloads/workloads.hpp"
+
+#include "interp/externs.hpp"
+#include "ir/verifier.hpp"
+
+namespace detlock::workloads {
+
+namespace {
+constexpr std::int64_t kTileAddr = 4;
+constexpr std::int64_t kHistogram = 16;
+constexpr std::int64_t kVolume = 8192;
+constexpr std::uint32_t kVolumeCells = 1024;
+constexpr std::uint32_t kMaxSamples = 80;
+}  // namespace
+
+Workload make_volrend(const WorkloadParams& params) {
+  using namespace ir;
+  Workload w;
+  w.name = "volrend";
+  interp::declare_standard_externs(w.module);
+
+  const std::uint32_t threads = params.threads;
+  const std::int64_t tiles = 400 * static_cast<std::int64_t>(params.scale);
+  w.memory_words = static_cast<std::size_t>(kVolume + kVolumeCells + 64);
+
+  // @volrend_worker(tid).
+  FunctionBuilder f(w.module, "volrend_worker", 1);
+  const Reg tid = f.param(0);
+  const Reg bar_id = f.const_i(0);
+  const Reg nthreads = f.const_i(threads);
+  const Reg m_queue = f.const_i(0);
+  const Reg m_hist = f.const_i(1);
+
+  // Thread 0 fills the density volume and clears shared state.
+  {
+    const BlockId init = f.make_block("init");
+    const BlockId ready = f.make_block("ready");
+    f.condbr(f.icmp(CmpPred::kEq, tid, f.const_i(0)), init, ready);
+    f.set_insert_point(init);
+    const Reg i = f.new_reg();
+    f.emit(Instr::make_const(i, 0));
+    const BlockId ic = f.make_block("init.cond");
+    const BlockId ib = f.make_block("init.body");
+    const BlockId id = f.make_block("init.done");
+    f.br(ic);
+    f.set_insert_point(ic);
+    f.condbr(f.icmp(CmpPred::kLt, i, f.const_i(kVolumeCells)), ib, id);
+    f.set_insert_point(ib);
+    const Reg noise = f.rem(f.mul(i, f.const_i(2654435761LL & 0xffff)), f.const_i(97));
+    f.storef(f.add(f.const_i(kVolume), i), f.fmul(f.itof(noise), f.const_f(0.0015)));
+    f.emit(Instr::make_binary(Opcode::kAdd, i, i, f.const_i(1)));
+    f.br(ic);
+    f.set_insert_point(id);
+    f.store(f.const_i(kTileAddr), f.const_i(0));
+    for (int h = 0; h < 16; ++h) f.store(f.const_i(kHistogram + h), f.const_i(0));
+    f.br(ready);
+    f.set_insert_point(ready);
+  }
+  f.barrier(bar_id, nthreads);
+
+  const Reg acc = f.new_reg();
+  f.emit(Instr::make_const(acc, 0));
+  const BlockId loop = f.make_block("loop");
+  const BlockId work = f.make_block("work");
+  const BlockId done = f.make_block("done");
+  f.br(loop);
+  f.set_insert_point(loop);
+  f.lock(m_queue);
+  const Reg qaddr = f.const_i(kTileAddr);
+  const Reg tile = f.load(qaddr);
+  f.store(qaddr, f.add(tile, f.const_i(1)));
+  f.unlock(m_queue);
+  f.condbr(f.icmp(CmpPred::kLt, tile, f.const_i(tiles)), work, done);
+
+  f.set_insert_point(work);
+  {
+    // Ray march: accumulate opacity along kMaxSamples steps, breaking when
+    // the accumulated opacity saturates (early ray termination).
+    const Reg opacity = f.new_reg();
+    f.emit([&] {
+      Instr c;
+      c.op = Opcode::kConstF;
+      c.dst = opacity;
+      c.fimm = 0.0;
+      return c;
+    }());
+    const Reg s = f.new_reg();
+    f.emit(Instr::make_const(s, 0));
+    const BlockId mc = f.make_block("march.cond");
+    const BlockId mb = f.make_block("march.body");
+    const BlockId minc = f.make_block("march.inc");
+    const BlockId md = f.make_block("march.done");
+    f.br(mc);
+    f.set_insert_point(mc);
+    f.condbr(f.icmp(CmpPred::kLt, s, f.const_i(kMaxSamples)), mb, md);
+    f.set_insert_point(mb);
+    const Reg cell =
+        f.rem(f.add(f.mul(tile, f.const_i(17)), f.mul(s, f.const_i(29))), f.const_i(kVolumeCells));
+    const Reg density = f.loadf(f.add(f.const_i(kVolume), cell));
+    const Reg transparency = f.fsub(f.const_f(1.0), opacity);
+    // Tri-linear-flavored reconstruction: sample two neighbors and blend,
+    // fattening the per-sample block like the real renderer's filtering.
+    const Reg d1 = f.loadf(f.add(f.const_i(kVolume), f.rem(f.add(cell, f.const_i(1)), f.const_i(kVolumeCells))));
+    const Reg d2 = f.loadf(f.add(f.const_i(kVolume), f.rem(f.add(cell, f.const_i(2)), f.const_i(kVolumeCells))));
+    const Reg blended = f.fadd(f.fmul(density, f.const_f(0.5)),
+                               f.fadd(f.fmul(d1, f.const_f(0.3)), f.fmul(d2, f.const_f(0.2))));
+    const Reg delta = f.fmul(blended, transparency);
+    f.emit(Instr::make_binary(Opcode::kFAdd, opacity, opacity, delta));
+    // Early termination: if opacity > 0.94 stop sampling this ray.
+    f.condbr(f.fcmp(CmpPred::kGt, opacity, f.const_f(0.94)), md, minc);
+    f.set_insert_point(minc);
+    f.emit(Instr::make_binary(Opcode::kAdd, s, s, f.const_i(1)));
+    f.br(mc);
+    f.set_insert_point(md);
+
+    const Reg shade = f.ftoi(f.fmul(opacity, f.const_f(255.0)));
+    // Histogram update under the second lock.
+    f.lock(m_hist);
+    const Reg bin = f.add(f.const_i(kHistogram), f.binary(Opcode::kAnd, shade, f.const_i(15)));
+    f.store(bin, f.add(f.load(bin), f.const_i(1)));
+    f.unlock(m_hist);
+    f.emit(Instr::make_binary(Opcode::kAdd, acc, acc, shade));
+  }
+  f.br(loop);
+
+  f.set_insert_point(done);
+  f.store(f.add(f.const_i(kResultBase), tid), acc);
+  f.ret();
+
+  w.main_func = build_spmd_main(w.module, f.func_id(), threads);
+  verify_module_or_throw(w.module);
+  return w;
+}
+
+}  // namespace detlock::workloads

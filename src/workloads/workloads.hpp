@@ -1,0 +1,49 @@
+// The five SPLASH-2-analog workloads (paper Sec. V evaluation set).
+//
+// Each generator emits an IR program whose *structure* matches the feature
+// the paper uses to explain that benchmark's results:
+//
+//   ocean     -- barrier-dominated strip relaxation, large straight-line
+//                compute blocks, a near-zero lock rate (343 locks/sec in
+//                Table I): deterministic execution costs nothing.
+//   raytrace  -- central ray queue under one lock, per-ray compute in
+//                clockable leaf helpers + conditionals (227k locks/sec).
+//   water_nsq -- pair-interaction loop that "frequently executes a loop
+//                with a small body [whose] code contains an if statement"
+//                (Sec. V-C): the worst case for clock-update overhead.
+//   radiosity -- very fine-grained task queue (2.2M locks/sec) where the
+//                per-task work sits in compute-intensive clockable leaf
+//                functions: the case Function Clocking + ahead-of-time
+//                updates win outright.
+//   volrend   -- tile queue with early-termination sampling loops
+//                (443k locks/sec, moderate everything).
+//
+// All programs are race-free by construction (disjoint writes, shared
+// accumulators under locks, all-thread barriers); the race-detector test
+// suite verifies this.
+#pragma once
+
+#include <functional>
+
+#include "workloads/common.hpp"
+
+namespace detlock::workloads {
+
+Workload make_ocean(const WorkloadParams& params);
+/// Condvar demo workload (not in all_workloads(): the paper's Table I only
+/// covers lock/barrier benchmarks; see taskfarm_cv.cpp).
+Workload make_taskfarm_cv(const WorkloadParams& params);
+Workload make_raytrace(const WorkloadParams& params);
+Workload make_water_nsq(const WorkloadParams& params);
+Workload make_radiosity(const WorkloadParams& params);
+Workload make_volrend(const WorkloadParams& params);
+
+struct WorkloadSpec {
+  const char* name;
+  Workload (*factory)(const WorkloadParams&);
+};
+
+/// All five, in the paper's Table I column order.
+const std::vector<WorkloadSpec>& all_workloads();
+
+}  // namespace detlock::workloads

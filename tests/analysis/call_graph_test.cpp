@@ -1,0 +1,125 @@
+#include "analysis/call_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/parser.hpp"
+
+namespace detlock::analysis {
+namespace {
+
+TEST(CallGraph, LeafAndCallerRelations) {
+  const ir::Module m = ir::parse_module(R"(
+func @leaf(0) {
+block entry:
+  %0 = const 1
+  ret %0
+}
+func @mid(0) {
+block entry:
+  %0 = call @leaf()
+  %1 = call @leaf()
+  ret %1
+}
+func @top(0) {
+block entry:
+  %0 = call @mid()
+  ret %0
+}
+)");
+  const CallGraph cg(m);
+  const ir::FuncId leaf = m.find_function("leaf");
+  const ir::FuncId mid = m.find_function("mid");
+  const ir::FuncId top = m.find_function("top");
+
+  EXPECT_TRUE(cg.is_leaf(leaf));
+  EXPECT_FALSE(cg.is_leaf(mid));
+  // Duplicate calls deduped.
+  EXPECT_EQ(cg.callees(mid).size(), 1u);
+  EXPECT_EQ(cg.callers(leaf).size(), 1u);
+  EXPECT_EQ(cg.callers(top).size(), 0u);
+  EXPECT_FALSE(cg.is_recursive(leaf));
+  EXPECT_FALSE(cg.has_sync_ops(leaf));
+}
+
+TEST(CallGraph, DirectRecursion) {
+  const ir::Module m = ir::parse_module(R"(
+func @r(1) {
+block entry:
+  %1 = call @r(%0)
+  ret %1
+}
+)");
+  const CallGraph cg(m);
+  EXPECT_TRUE(cg.is_recursive(0));
+}
+
+TEST(CallGraph, MutualRecursion) {
+  const ir::Module m = ir::parse_module(R"(
+func @a(0) {
+block entry:
+  %0 = call @b()
+  ret %0
+}
+func @b(0) {
+block entry:
+  %0 = call @a()
+  ret %0
+}
+func @c(0) {
+block entry:
+  %0 = call @a()
+  ret %0
+}
+)");
+  const CallGraph cg(m);
+  EXPECT_TRUE(cg.is_recursive(m.find_function("a")));
+  EXPECT_TRUE(cg.is_recursive(m.find_function("b")));
+  EXPECT_FALSE(cg.is_recursive(m.find_function("c")));
+}
+
+TEST(CallGraph, SyncOpsDetected) {
+  const ir::Module m = ir::parse_module(R"(
+func @locker(0) {
+block entry:
+  %0 = const 0
+  lock %0
+  unlock %0
+  ret
+}
+func @spawner(0) {
+block entry:
+  %0 = spawn @locker()
+  join %0
+  ret
+}
+func @pure(0) {
+block entry:
+  ret
+}
+)");
+  const CallGraph cg(m);
+  EXPECT_TRUE(cg.has_sync_ops(m.find_function("locker")));
+  EXPECT_TRUE(cg.has_sync_ops(m.find_function("spawner")));
+  EXPECT_FALSE(cg.has_sync_ops(m.find_function("pure")));
+  // spawn counts as a call edge.
+  EXPECT_EQ(cg.callees(m.find_function("spawner")).size(), 1u);
+}
+
+TEST(CallGraph, ExternCalleesTracked) {
+  const ir::Module m = ir::parse_module(R"(
+extern @sin(1) -> value estimate base=45
+
+func @f(1) {
+block entry:
+  %1 = callx @sin(%0)
+  %2 = callx @sin(%1)
+  ret %2
+}
+)");
+  const CallGraph cg(m);
+  EXPECT_EQ(cg.extern_callees(0).size(), 1u);
+  EXPECT_TRUE(cg.is_leaf(0));  // extern calls do not break leaf-ness
+}
+
+}  // namespace
+}  // namespace detlock::analysis

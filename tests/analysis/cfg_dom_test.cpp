@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "analysis/dominators.hpp"
+#include "ir/parser.hpp"
+
+namespace detlock::analysis {
+namespace {
+
+// Diamond: entry -> {t, e} -> m -> ret
+const char* kDiamond = R"(
+func @f(1) {
+block entry:
+  condbr %0, t, e
+block t:
+  br m
+block e:
+  br m
+block m:
+  ret
+}
+)";
+
+// Loop: entry -> h; h -> {b, x}; b -> h
+const char* kLoop = R"(
+func @f(1) {
+block entry:
+  br h
+block h:
+  condbr %0, b, x
+block b:
+  br h
+block x:
+  ret
+}
+)";
+
+TEST(Cfg, DiamondEdges) {
+  const ir::Module m = ir::parse_module(kDiamond);
+  const Cfg cfg(m.functions()[0]);
+  EXPECT_EQ(cfg.successors(0).size(), 2u);
+  EXPECT_EQ(cfg.predecessors(3).size(), 2u);
+  EXPECT_EQ(cfg.predecessors(0).size(), 0u);
+  for (BlockId b = 0; b < 4; ++b) EXPECT_TRUE(cfg.reachable(b));
+}
+
+TEST(Cfg, RpoStartsAtEntryAndCoversReachable) {
+  const ir::Module m = ir::parse_module(kDiamond);
+  const Cfg cfg(m.functions()[0]);
+  ASSERT_EQ(cfg.rpo().size(), 4u);
+  EXPECT_EQ(cfg.rpo().front(), 0u);
+  // Merge block last in RPO for a diamond.
+  EXPECT_EQ(cfg.rpo().back(), 3u);
+}
+
+TEST(Cfg, UnreachableBlockExcluded) {
+  const ir::Module m = ir::parse_module(R"(
+func @f(0) {
+block entry:
+  ret
+block dead:
+  br dead
+}
+)");
+  const Cfg cfg(m.functions()[0]);
+  EXPECT_TRUE(cfg.reachable(0));
+  EXPECT_FALSE(cfg.reachable(1));
+  EXPECT_EQ(cfg.rpo().size(), 1u);
+}
+
+TEST(Cfg, DedupesParallelEdges) {
+  const ir::Module m = ir::parse_module(R"(
+func @f(1) {
+block entry:
+  condbr %0, next, next
+block next:
+  ret
+}
+)");
+  const Cfg cfg(m.functions()[0]);
+  EXPECT_EQ(cfg.successors(0).size(), 1u);
+  EXPECT_EQ(cfg.predecessors(1).size(), 1u);
+}
+
+TEST(Dominators, DiamondDominance) {
+  const ir::Module m = ir::parse_module(kDiamond);
+  const Cfg cfg(m.functions()[0]);
+  const DominatorTree dom(cfg);
+  // entry dominates everything.
+  for (BlockId b = 0; b < 4; ++b) EXPECT_TRUE(dom.dominates(0, b));
+  // Neither arm dominates the merge.
+  EXPECT_FALSE(dom.dominates(1, 3));
+  EXPECT_FALSE(dom.dominates(2, 3));
+  // idom of merge is entry.
+  EXPECT_EQ(dom.idom(3), 0u);
+  // Reflexive.
+  EXPECT_TRUE(dom.dominates(1, 1));
+}
+
+TEST(Dominators, LoopHeaderDominatesBody) {
+  const ir::Module m = ir::parse_module(kLoop);
+  const Cfg cfg(m.functions()[0]);
+  const DominatorTree dom(cfg);
+  const ir::BlockId h = m.functions()[0].find_block("h");
+  const ir::BlockId b = m.functions()[0].find_block("b");
+  const ir::BlockId x = m.functions()[0].find_block("x");
+  EXPECT_TRUE(dom.dominates(h, b));
+  EXPECT_TRUE(dom.dominates(h, x));
+  EXPECT_FALSE(dom.dominates(b, h));
+}
+
+TEST(Dominators, NestedDiamonds) {
+  const ir::Module m = ir::parse_module(R"(
+func @f(1) {
+block entry:
+  condbr %0, a, b
+block a:
+  condbr %0, a1, a2
+block a1:
+  br am
+block a2:
+  br am
+block am:
+  br m
+block b:
+  br m
+block m:
+  ret
+}
+)");
+  const ir::Function& f = m.functions()[0];
+  const Cfg cfg(f);
+  const DominatorTree dom(cfg);
+  const auto blk = [&](const char* n) { return f.find_block(n); };
+  EXPECT_TRUE(dom.dominates(blk("a"), blk("am")));
+  EXPECT_TRUE(dom.dominates(blk("a"), blk("a1")));
+  EXPECT_FALSE(dom.dominates(blk("a"), blk("m")));
+  EXPECT_EQ(dom.idom(blk("am")), blk("a"));
+  EXPECT_EQ(dom.idom(blk("m")), 0u);
+}
+
+TEST(Dominators, UnreachableBlocksNotDominated) {
+  const ir::Module m = ir::parse_module(R"(
+func @f(0) {
+block entry:
+  ret
+block dead:
+  ret
+}
+)");
+  const Cfg cfg(m.functions()[0]);
+  const DominatorTree dom(cfg);
+  EXPECT_FALSE(dom.dominates(0, 1));
+  EXPECT_EQ(dom.idom(1), ir::kInvalidBlock);
+}
+
+TEST(Dominators, ChildrenListsMatchIdoms) {
+  const ir::Module m = ir::parse_module(kDiamond);
+  const Cfg cfg(m.functions()[0]);
+  const DominatorTree dom(cfg);
+  const auto& kids = dom.children(0);
+  EXPECT_EQ(kids.size(), 3u);  // t, e, m all idom'ed by entry
+}
+
+}  // namespace
+}  // namespace detlock::analysis

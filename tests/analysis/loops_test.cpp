@@ -1,0 +1,142 @@
+#include "analysis/loops.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/parser.hpp"
+
+namespace detlock::analysis {
+namespace {
+
+TEST(Loops, SimpleWhileLoop) {
+  const ir::Module m = ir::parse_module(R"(
+func @f(1) {
+block entry:
+  br h
+block h:
+  condbr %0, b, x
+block b:
+  br h
+block x:
+  ret
+}
+)");
+  const ir::Function& f = m.functions()[0];
+  const Cfg cfg(f);
+  const DominatorTree dom(cfg);
+  const LoopInfo loops(cfg, dom);
+
+  EXPECT_TRUE(loops.has_loops());
+  ASSERT_EQ(loops.back_edges().size(), 1u);
+  EXPECT_EQ(loops.back_edges()[0].from, f.find_block("b"));
+  EXPECT_EQ(loops.back_edges()[0].to, f.find_block("h"));
+  EXPECT_TRUE(loops.is_loop_header(f.find_block("h")));
+  EXPECT_FALSE(loops.is_loop_header(f.find_block("b")));
+  EXPECT_EQ(loops.loop_depth(f.find_block("h")), 1u);
+  EXPECT_EQ(loops.loop_depth(f.find_block("b")), 1u);
+  EXPECT_EQ(loops.loop_depth(f.find_block("x")), 0u);
+  EXPECT_EQ(loops.loop_depth(0), 0u);
+  EXPECT_TRUE(loops.is_back_edge(f.find_block("b"), f.find_block("h")));
+  EXPECT_FALSE(loops.is_back_edge(f.find_block("h"), f.find_block("b")));
+}
+
+TEST(Loops, NestedLoopDepths) {
+  const ir::Module m = ir::parse_module(R"(
+func @f(1) {
+block entry:
+  br oh
+block oh:
+  condbr %0, ih, x
+block ih:
+  condbr %0, ib, ol
+block ib:
+  br ih
+block ol:
+  br oh
+block x:
+  ret
+}
+)");
+  const ir::Function& f = m.functions()[0];
+  const Cfg cfg(f);
+  const DominatorTree dom(cfg);
+  const LoopInfo loops(cfg, dom);
+
+  EXPECT_EQ(loops.back_edges().size(), 2u);
+  EXPECT_EQ(loops.loop_depth(f.find_block("oh")), 1u);
+  EXPECT_EQ(loops.loop_depth(f.find_block("ih")), 2u);
+  EXPECT_EQ(loops.loop_depth(f.find_block("ib")), 2u);
+  EXPECT_EQ(loops.loop_depth(f.find_block("ol")), 1u);
+  EXPECT_EQ(loops.loop_depth(f.find_block("x")), 0u);
+}
+
+TEST(Loops, SelfLoop) {
+  const ir::Module m = ir::parse_module(R"(
+func @f(1) {
+block entry:
+  br s
+block s:
+  condbr %0, s, x
+block x:
+  ret
+}
+)");
+  const ir::Function& f = m.functions()[0];
+  const Cfg cfg(f);
+  const DominatorTree dom(cfg);
+  const LoopInfo loops(cfg, dom);
+  const ir::BlockId s = f.find_block("s");
+  ASSERT_EQ(loops.back_edges().size(), 1u);
+  EXPECT_EQ(loops.back_edges()[0].from, s);
+  EXPECT_EQ(loops.back_edges()[0].to, s);
+  EXPECT_EQ(loops.loop_depth(s), 1u);
+}
+
+TEST(Loops, TwoLatchesOneHeaderIsOneLoop) {
+  const ir::Module m = ir::parse_module(R"(
+func @f(1) {
+block entry:
+  br h
+block h:
+  condbr %0, a, x
+block a:
+  condbr %0, l1, l2
+block l1:
+  br h
+block l2:
+  br h
+block x:
+  ret
+}
+)");
+  const ir::Function& f = m.functions()[0];
+  const Cfg cfg(f);
+  const DominatorTree dom(cfg);
+  const LoopInfo loops(cfg, dom);
+  EXPECT_EQ(loops.back_edges().size(), 2u);
+  // Shared header: depth must still be 1, not 2.
+  EXPECT_EQ(loops.loop_depth(f.find_block("h")), 1u);
+  EXPECT_EQ(loops.loop_depth(f.find_block("a")), 1u);
+}
+
+TEST(Loops, AcyclicHasNoLoops) {
+  const ir::Module m = ir::parse_module(R"(
+func @f(1) {
+block entry:
+  condbr %0, t, e
+block t:
+  br x
+block e:
+  br x
+block x:
+  ret
+}
+)");
+  const Cfg cfg(m.functions()[0]);
+  const DominatorTree dom(cfg);
+  const LoopInfo loops(cfg, dom);
+  EXPECT_FALSE(loops.has_loops());
+  EXPECT_TRUE(loops.back_edges().empty());
+}
+
+}  // namespace
+}  // namespace detlock::analysis

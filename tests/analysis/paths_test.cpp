@@ -1,0 +1,250 @@
+// Path-statistics DP: validated against brute-force path enumeration on
+// small CFGs, plus edge cases (cycles, exits, exponential path counts).
+#include "analysis/paths.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "ir/parser.hpp"
+
+namespace detlock::analysis {
+namespace {
+
+/// Brute-force enumeration matching region_path_stats' documented
+/// semantics, for cross-checking the DP.
+struct BruteForce {
+  const Cfg& cfg;
+  const std::vector<bool>& in_region;
+  const BlockCostFn& cost;
+  std::vector<double> totals;
+
+  void walk(BlockId b, double acc) {
+    acc += static_cast<double>(cost(b));
+    std::size_t in = 0;
+    std::size_t out = 0;
+    for (BlockId s : cfg.successors(b)) {
+      if (in_region[s]) {
+        ++in;
+        walk(s, acc);
+      } else {
+        ++out;
+      }
+    }
+    if (cfg.successors(b).empty()) out = 1;
+    for (std::size_t i = 0; i < out; ++i) totals.push_back(acc);
+  }
+};
+
+void expect_matches_bruteforce(const ir::Function& f, const std::vector<bool>& in_region, BlockId start,
+                               const BlockCostFn& cost) {
+  const Cfg cfg(f);
+  const PathStatsResult dp = region_path_stats(cfg, start, in_region, cost);
+  BruteForce bf{cfg, in_region, cost, {}};
+  bf.walk(start, 0.0);
+  ASSERT_TRUE(dp.valid);
+  ASSERT_EQ(static_cast<std::size_t>(dp.count), bf.totals.size());
+  double sum = 0.0;
+  double mn = bf.totals[0];
+  double mx = bf.totals[0];
+  for (double t : bf.totals) {
+    sum += t;
+    mn = std::min(mn, t);
+    mx = std::max(mx, t);
+  }
+  const double mean = sum / static_cast<double>(bf.totals.size());
+  double sq = 0.0;
+  for (double t : bf.totals) sq += (t - mean) * (t - mean);
+  const double stddev = std::sqrt(sq / static_cast<double>(bf.totals.size()));
+  EXPECT_NEAR(dp.mean, mean, 1e-9);
+  EXPECT_NEAR(dp.stddev, stddev, 1e-9);
+  EXPECT_DOUBLE_EQ(dp.min, mn);
+  EXPECT_DOUBLE_EQ(dp.max, mx);
+}
+
+BlockCostFn index_cost() {
+  return [](BlockId b) { return static_cast<std::int64_t>(b + 1) * 10; };
+}
+
+TEST(Paths, StraightLine) {
+  const ir::Module m = ir::parse_module(R"(
+func @f(0) {
+block entry:
+  br a
+block a:
+  br b
+block b:
+  ret
+}
+)");
+  const Cfg cfg(m.functions()[0]);
+  const PathStatsResult r = function_path_stats(cfg, index_cost());
+  ASSERT_TRUE(r.valid);
+  EXPECT_DOUBLE_EQ(r.count, 1.0);
+  EXPECT_DOUBLE_EQ(r.mean, 10 + 20 + 30);
+  EXPECT_DOUBLE_EQ(r.range(), 0.0);
+}
+
+TEST(Paths, DiamondTwoPaths) {
+  const ir::Module m = ir::parse_module(R"(
+func @f(1) {
+block entry:
+  condbr %0, t, e
+block t:
+  br mg
+block e:
+  br mg
+block mg:
+  ret
+}
+)");
+  const Cfg cfg(m.functions()[0]);
+  const PathStatsResult r = function_path_stats(cfg, index_cost());
+  ASSERT_TRUE(r.valid);
+  EXPECT_DOUBLE_EQ(r.count, 2.0);
+  // Paths: entry(10)+t(20)+mg(40)=70 and entry+e(30)+mg=80.
+  EXPECT_DOUBLE_EQ(r.min, 70.0);
+  EXPECT_DOUBLE_EQ(r.max, 80.0);
+  EXPECT_DOUBLE_EQ(r.mean, 75.0);
+}
+
+TEST(Paths, MultipleRets) {
+  const ir::Module m = ir::parse_module(R"(
+func @f(1) {
+block entry:
+  condbr %0, t, e
+block t:
+  ret
+block e:
+  ret
+}
+)");
+  const Cfg cfg(m.functions()[0]);
+  const PathStatsResult r = function_path_stats(cfg, index_cost());
+  ASSERT_TRUE(r.valid);
+  EXPECT_DOUBLE_EQ(r.count, 2.0);
+}
+
+TEST(Paths, CyclicFunctionInvalid) {
+  const ir::Module m = ir::parse_module(R"(
+func @f(1) {
+block entry:
+  br h
+block h:
+  condbr %0, h, x
+block x:
+  ret
+}
+)");
+  const Cfg cfg(m.functions()[0]);
+  EXPECT_FALSE(function_path_stats(cfg, index_cost()).valid);
+}
+
+TEST(Paths, RegionWithExitEdges) {
+  // Region = {entry, mid}; mid exits to out (not in region): the path
+  // terminates at mid, charging only region blocks.
+  const ir::Module m = ir::parse_module(R"(
+func @f(1) {
+block entry:
+  br mid
+block mid:
+  condbr %0, entry2, out
+block entry2:
+  ret
+block out:
+  ret
+}
+)");
+  const ir::Function& f = m.functions()[0];
+  std::vector<bool> in_region(f.num_blocks(), false);
+  in_region[f.find_block("entry")] = true;
+  in_region[f.find_block("mid")] = true;
+  const Cfg cfg(f);
+  const PathStatsResult r = region_path_stats(cfg, 0, in_region, index_cost());
+  ASSERT_TRUE(r.valid);
+  // Two exiting edges from mid -> two truncated paths, both 10+20.
+  EXPECT_DOUBLE_EQ(r.count, 2.0);
+  EXPECT_DOUBLE_EQ(r.mean, 30.0);
+  EXPECT_DOUBLE_EQ(r.range(), 0.0);
+}
+
+TEST(Paths, EdgeBackIntoStartRejected) {
+  const ir::Module m = ir::parse_module(R"(
+func @f(1) {
+block entry:
+  br h
+block h:
+  condbr %0, b, x
+block b:
+  br h
+block x:
+  ret
+}
+)");
+  const ir::Function& f = m.functions()[0];
+  std::vector<bool> in_region(f.num_blocks(), true);
+  const Cfg cfg(f);
+  // Starting at the loop header with its latch in the region: cycle.
+  EXPECT_FALSE(region_path_stats(cfg, f.find_block("h"), in_region, index_cost()).valid);
+}
+
+TEST(Paths, MatchesBruteForceOnNestedDiamonds) {
+  const ir::Module m = ir::parse_module(R"(
+func @f(1) {
+block entry:
+  condbr %0, a, b
+block a:
+  condbr %0, a1, a2
+block a1:
+  br am
+block a2:
+  br am
+block am:
+  br mg
+block b:
+  br mg
+block mg:
+  condbr %0, x1, x2
+block x1:
+  ret
+block x2:
+  ret
+}
+)");
+  const ir::Function& f = m.functions()[0];
+  std::vector<bool> in_region(f.num_blocks(), true);
+  expect_matches_bruteforce(f, in_region, 0, index_cost());
+}
+
+TEST(Paths, ExponentialPathCountStaysExact) {
+  // 20 sequential diamonds -> 2^20 paths; the DP must report the exact
+  // count without enumeration.
+  std::string text = "func @f(1) {\nblock entry:\n  br c0\n";
+  for (int i = 0; i < 20; ++i) {
+    const std::string c = "c" + std::to_string(i);
+    const std::string n = i == 19 ? "end" : "c" + std::to_string(i + 1);
+    text += "block " + c + ":\n  condbr %0, " + c + "t, " + c + "e\n";
+    text += "block " + c + "t:\n  br " + n + "\n";
+    text += "block " + c + "e:\n  br " + n + "\n";
+  }
+  text += "block end:\n  ret\n}\n";
+  const ir::Module m = ir::parse_module(text);
+  const Cfg cfg(m.functions()[0]);
+  const PathStatsResult r = function_path_stats(cfg, [](BlockId) { return 1; });
+  ASSERT_TRUE(r.valid);
+  EXPECT_DOUBLE_EQ(r.count, static_cast<double>(1 << 20));
+  // Every path has identical cost (all blocks cost 1, same length).
+  EXPECT_DOUBLE_EQ(r.range(), 0.0);
+  EXPECT_NEAR(r.stddev, 0.0, 1e-6);
+}
+
+TEST(Paths, StartOutsideRegionInvalid) {
+  const ir::Module m = ir::parse_module("func @f(0) {\nblock entry:\n  ret\n}\n");
+  const Cfg cfg(m.functions()[0]);
+  std::vector<bool> in_region(1, false);
+  EXPECT_FALSE(region_path_stats(cfg, 0, in_region, index_cost()).valid);
+}
+
+}  // namespace
+}  // namespace detlock::analysis

@@ -1,0 +1,120 @@
+// Replica fault detection end to end (the paper's fault-tolerance
+// motivation): record a workload's schedule, validate replicas against it,
+// and confirm that a genuinely different execution is flagged at the first
+// divergent acquisition.
+#include <gtest/gtest.h>
+
+#include "interp/engine.hpp"
+#include "pass/pipeline.hpp"
+#include "runtime/schedule.hpp"
+#include "workloads/workloads.hpp"
+
+namespace detlock {
+namespace {
+
+using runtime::ScheduleValidator;
+using runtime::TraceEvent;
+
+workloads::Workload build(std::uint32_t scale = 1) {
+  workloads::WorkloadParams params;
+  params.threads = 4;
+  params.scale = scale;
+  return workloads::all_workloads()[3].factory(params);  // radiosity: lock-heavy
+}
+
+std::vector<TraceEvent> record_schedule() {
+  workloads::Workload w = build();
+  pass::instrument_module(w.module, pass::PassOptions::all());
+  interp::EngineConfig config;
+  config.memory_words = 1 << 16;
+  config.runtime.keep_trace_events = true;
+  interp::Engine engine(w.module, config);
+  engine.run(w.main_func);
+  return engine.backend().trace().events();
+}
+
+TEST(Replica, IdenticalReplicaValidates) {
+  const std::vector<TraceEvent> recorded = record_schedule();
+  ASSERT_GT(recorded.size(), 1000u);
+
+  ScheduleValidator validator(recorded);
+  workloads::Workload w = build();
+  pass::instrument_module(w.module, pass::PassOptions::all());
+  interp::EngineConfig config;
+  config.memory_words = 1 << 16;
+  config.runtime.validator = &validator;
+  interp::Engine engine(w.module, config);
+  engine.run(w.main_func);
+  EXPECT_TRUE(validator.complete());
+}
+
+TEST(Replica, LongerExecutionCaughtAtOverrun) {
+  const std::vector<TraceEvent> recorded = record_schedule();
+
+  // A replica with scale 2 performs the recording's acquisitions exactly
+  // and then keeps going (the task loop is a prefix-extension): the
+  // validator flags it at the first acquisition past the recording.
+  ScheduleValidator validator(recorded);
+  workloads::Workload w = build(/*scale=*/2);
+  pass::instrument_module(w.module, pass::PassOptions::all());
+  interp::EngineConfig config;
+  config.memory_words = 1 << 16;
+  config.runtime.validator = &validator;
+  interp::Engine engine(w.module, config);
+  EXPECT_THROW(engine.run(w.main_func), Error);
+  EXPECT_EQ(validator.position(), recorded.size());
+}
+
+TEST(Replica, DifferentThreadCountCaughtEarly) {
+  const std::vector<TraceEvent> recorded = record_schedule();
+
+  // A replica misconfigured to 2 threads diverges almost immediately: the
+  // interleaving after the startup barrier involves different thread ids.
+  ScheduleValidator validator(recorded);
+  workloads::WorkloadParams params;
+  params.threads = 2;
+  params.scale = 1;
+  workloads::Workload w = workloads::all_workloads()[3].factory(params);
+  pass::instrument_module(w.module, pass::PassOptions::all());
+  interp::EngineConfig config;
+  config.memory_words = 1 << 16;
+  config.runtime.validator = &validator;
+  interp::Engine engine(w.module, config);
+  EXPECT_THROW(engine.run(w.main_func), Error);
+  EXPECT_LT(validator.position(), 100u);
+}
+
+TEST(Replica, TamperedScheduleIsRejected) {
+  std::vector<TraceEvent> recorded = record_schedule();
+  ASSERT_GT(recorded.size(), 100u);
+  recorded[100].clock += 1;  // single-bit-flip analogue in the recording
+
+  ScheduleValidator validator(recorded);
+  workloads::Workload w = build();
+  pass::instrument_module(w.module, pass::PassOptions::all());
+  interp::EngineConfig config;
+  config.memory_words = 1 << 16;
+  config.runtime.validator = &validator;
+  interp::Engine engine(w.module, config);
+  EXPECT_THROW(engine.run(w.main_func), Error);
+  EXPECT_EQ(validator.position(), 100u);  // flagged exactly at the tamper point
+}
+
+TEST(Replica, SerializedRoundTripValidates) {
+  const std::vector<TraceEvent> recorded = record_schedule();
+  const std::vector<TraceEvent> reparsed = runtime::parse_schedule(runtime::serialize_schedule(recorded));
+  ASSERT_EQ(reparsed.size(), recorded.size());
+
+  ScheduleValidator validator(reparsed);
+  workloads::Workload w = build();
+  pass::instrument_module(w.module, pass::PassOptions::all());
+  interp::EngineConfig config;
+  config.memory_words = 1 << 16;
+  config.runtime.validator = &validator;
+  interp::Engine engine(w.module, config);
+  engine.run(w.main_func);
+  EXPECT_TRUE(validator.complete());
+}
+
+}  // namespace
+}  // namespace detlock

@@ -1,0 +1,66 @@
+// The condvar task-farm workload: correctness + determinism at scale
+// through the full pipeline.
+#include <gtest/gtest.h>
+
+#include "interp/engine.hpp"
+#include "pass/pipeline.hpp"
+#include "workloads/workloads.hpp"
+
+namespace detlock {
+namespace {
+
+struct FarmRun {
+  std::int64_t checksum = 0;
+  std::uint64_t trace = 0;
+  std::uint64_t memory = 0;
+
+  bool operator==(const FarmRun&) const = default;
+};
+
+FarmRun run_farm(std::uint32_t threads, bool deterministic, const pass::PassOptions& options) {
+  workloads::WorkloadParams params;
+  params.threads = threads;
+  params.scale = 1;
+  workloads::Workload w = workloads::make_taskfarm_cv(params);
+  pass::instrument_module(w.module, options);
+  interp::EngineConfig config;
+  config.deterministic = deterministic;
+  config.memory_words = std::max<std::size_t>(w.memory_words, 1 << 14) * 2;
+  interp::Engine engine(w.module, config);
+  const interp::RunResult r = engine.run(w.main_func);
+  return FarmRun{r.main_return, r.trace_fingerprint, r.memory_fingerprint};
+}
+
+class TaskFarmCv : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(TaskFarmCv, ChecksumIsScheduleInvariant) {
+  const FarmRun det = run_farm(GetParam(), true, pass::PassOptions::all());
+  const FarmRun nondet = run_farm(GetParam(), false, pass::PassOptions::none());
+  EXPECT_EQ(det.checksum, nondet.checksum);
+  EXPECT_NE(det.checksum, 0);
+}
+
+TEST_P(TaskFarmCv, DeterministicAcrossRunsAndOptLevels) {
+  for (const pass::PassOptions& options :
+       {pass::PassOptions::none(), pass::PassOptions::only_opt1(), pass::PassOptions::all()}) {
+    const FarmRun a = run_farm(GetParam(), true, options);
+    const FarmRun b = run_farm(GetParam(), true, options);
+    EXPECT_EQ(a, b) << "threads " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, TaskFarmCv, ::testing::Values(2u, 3u, 4u, 6u),
+                         [](const ::testing::TestParamInfo<std::uint32_t>& info) {
+                           return "t" + std::to_string(info.param);
+                         });
+
+TEST(TaskFarmCv, Opt1ClocksTheChewLeaf) {
+  workloads::WorkloadParams params;
+  params.threads = 4;
+  workloads::Workload w = workloads::make_taskfarm_cv(params);
+  const pass::PipelineStats stats = pass::instrument_module(w.module, pass::PassOptions::only_opt1());
+  EXPECT_GE(stats.clocked_functions, 1u);
+}
+
+}  // namespace
+}  // namespace detlock

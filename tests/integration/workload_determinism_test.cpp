@@ -1,0 +1,128 @@
+// The headline property, end to end: every workload, under every
+// optimization level and both clock-publication models, reproduces the
+// exact global lock-acquisition order, final memory image, and final
+// logical clocks across repeated runs -- and computes the same checksum the
+// nondeterministic baseline computes.
+#include <gtest/gtest.h>
+
+#include "interp/engine.hpp"
+#include "pass/pipeline.hpp"
+#include "workloads/harness.hpp"
+#include "workloads/workloads.hpp"
+
+namespace detlock {
+namespace {
+
+using workloads::all_workloads;
+using workloads::Workload;
+using workloads::WorkloadParams;
+using workloads::WorkloadSpec;
+
+struct RunSignature {
+  std::int64_t checksum = 0;
+  std::uint64_t trace = 0;
+  std::uint64_t memory = 0;
+  std::vector<std::uint64_t> final_clocks;
+
+  bool operator==(const RunSignature&) const = default;
+};
+
+RunSignature run_once(const WorkloadSpec& spec, const WorkloadParams& params, bool deterministic,
+                      const pass::PassOptions& options, bool instrument,
+                      runtime::ClockPublication publication = runtime::ClockPublication::kEveryUpdate) {
+  Workload w = spec.factory(params);
+  if (instrument) pass::instrument_module(w.module, options);
+  interp::EngineConfig config;
+  config.deterministic = deterministic;
+  config.memory_words = std::max<std::size_t>(w.memory_words, 1 << 14) * 2;
+  config.runtime.publication = publication;
+  config.runtime.chunk_size = 512;
+  interp::Engine engine(w.module, config);
+  const interp::RunResult r = engine.run(w.main_func);
+  return RunSignature{r.main_return, r.trace_fingerprint, r.memory_fingerprint, r.final_clocks};
+}
+
+WorkloadParams small_params() {
+  WorkloadParams p;
+  p.threads = 4;
+  p.scale = 1;
+  return p;
+}
+
+class PerWorkload : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  const WorkloadSpec& spec() const { return all_workloads()[GetParam()]; }
+};
+
+TEST_P(PerWorkload, DeterministicRunsAreIdentical) {
+  const RunSignature a = run_once(spec(), small_params(), true, pass::PassOptions::all(), true);
+  const RunSignature b = run_once(spec(), small_params(), true, pass::PassOptions::all(), true);
+  const RunSignature c = run_once(spec(), small_params(), true, pass::PassOptions::all(), true);
+  EXPECT_EQ(a, b) << spec().name;
+  EXPECT_EQ(b, c) << spec().name;
+}
+
+TEST_P(PerWorkload, EveryOptimizationLevelPreservesChecksumAndDeterminism) {
+  const RunSignature baseline = run_once(spec(), small_params(), false, pass::PassOptions::none(), false);
+  for (const pass::PassOptions& options :
+       {pass::PassOptions::none(), pass::PassOptions::only_opt1(), pass::PassOptions::only_opt2(),
+        pass::PassOptions::only_opt3(), pass::PassOptions::only_opt4(), pass::PassOptions::all()}) {
+    const RunSignature a = run_once(spec(), small_params(), true, options, true);
+    const RunSignature b = run_once(spec(), small_params(), true, options, true);
+    EXPECT_EQ(a.checksum, baseline.checksum) << spec().name << ": optimization changed program output";
+    EXPECT_EQ(a.trace, b.trace) << spec().name;
+    EXPECT_EQ(a.memory, b.memory) << spec().name;
+    EXPECT_EQ(a.final_clocks, b.final_clocks) << spec().name;
+  }
+}
+
+TEST_P(PerWorkload, KendoChunkedPublicationIsAlsoDeterministic) {
+  const RunSignature a = run_once(spec(), small_params(), true, pass::PassOptions::none(), true,
+                                  runtime::ClockPublication::kChunked);
+  const RunSignature b = run_once(spec(), small_params(), true, pass::PassOptions::none(), true,
+                                  runtime::ClockPublication::kChunked);
+  EXPECT_EQ(a, b) << spec().name;
+}
+
+TEST_P(PerWorkload, EndOfBlockPlacementIsAlsoDeterministic) {
+  pass::PassOptions options = pass::PassOptions::only_opt1();
+  options.placement = pass::ClockPlacement::kEnd;
+  const RunSignature a = run_once(spec(), small_params(), true, options, true);
+  const RunSignature b = run_once(spec(), small_params(), true, options, true);
+  EXPECT_EQ(a, b) << spec().name;
+}
+
+TEST_P(PerWorkload, TwoThreadConfigurationAlsoDeterministic) {
+  WorkloadParams params = small_params();
+  params.threads = 2;
+  const RunSignature a = run_once(spec(), params, true, pass::PassOptions::all(), true);
+  const RunSignature b = run_once(spec(), params, true, pass::PassOptions::all(), true);
+  EXPECT_EQ(a, b) << spec().name;
+}
+
+TEST_P(PerWorkload, InstrumentationDoesNotChangeNondetChecksum) {
+  const RunSignature plain = run_once(spec(), small_params(), false, pass::PassOptions::none(), false);
+  const RunSignature instrumented = run_once(spec(), small_params(), false, pass::PassOptions::all(), true);
+  EXPECT_EQ(plain.checksum, instrumented.checksum) << spec().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, PerWorkload, ::testing::Range<std::size_t>(0, 5),
+                         [](const ::testing::TestParamInfo<std::size_t>& info) {
+                           return std::string(all_workloads()[info.param].name);
+                         });
+
+TEST(Harness, MeasureReportsPlausibleNumbers) {
+  workloads::MeasureOptions options;
+  options.mode = workloads::Mode::kDetLock;
+  options.pass_options = pass::PassOptions::all();
+  options.repetitions = 1;
+  const workloads::Measurement m =
+      workloads::measure(all_workloads()[3] /* radiosity */, small_params(), options);
+  EXPECT_GT(m.seconds, 0.0);
+  EXPECT_GT(m.run.sync.lock_acquires, 100u);
+  EXPECT_GT(m.locks_per_sec, 0.0);
+  EXPECT_GT(m.pass_stats.clocked_functions, 0u);
+}
+
+}  // namespace
+}  // namespace detlock

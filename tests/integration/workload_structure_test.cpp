@@ -1,0 +1,157 @@
+// Structural checks on the five workloads: do they actually have the
+// features the paper's results hinge on?  (These are the contract between
+// src/workloads and the bench harnesses -- if someone "simplifies" a
+// workload, these fail before the tables silently lose their shape.)
+#include <gtest/gtest.h>
+
+#include "interp/engine.hpp"
+#include "pass/pipeline.hpp"
+#include "workloads/workloads.hpp"
+
+namespace detlock {
+namespace {
+
+using workloads::all_workloads;
+using workloads::Workload;
+using workloads::WorkloadParams;
+
+struct Profile {
+  std::uint64_t instructions = 0;
+  std::uint64_t locks = 0;
+  std::uint64_t barriers = 0;
+  std::uint64_t clock_updates = 0;
+  std::size_t clocked_functions = 0;
+  double locks_per_instruction() const {
+    return instructions == 0 ? 0.0 : static_cast<double>(locks) / static_cast<double>(instructions);
+  }
+  double clock_fraction() const {
+    return instructions == 0 ? 0.0 : static_cast<double>(clock_updates) / static_cast<double>(instructions);
+  }
+};
+
+Profile profile_of(std::size_t index, const pass::PassOptions& options) {
+  WorkloadParams params;
+  params.threads = 4;
+  params.scale = 1;
+  Workload w = all_workloads()[index].factory(params);
+  const pass::PipelineStats stats = pass::instrument_module(w.module, options);
+  interp::EngineConfig config;
+  config.deterministic = false;  // structure only; fastest
+  config.memory_words = std::max<std::size_t>(w.memory_words, 1 << 14) * 2;
+  interp::Engine engine(w.module, config);
+  const interp::RunResult r = engine.run(w.main_func);
+  Profile p;
+  p.instructions = r.instructions;
+  p.locks = r.sync.lock_acquires;
+  p.barriers = r.sync.barrier_waits;
+  p.clock_updates = r.clock_update_instrs;
+  p.clocked_functions = stats.clocked_functions;
+  return p;
+}
+
+enum : std::size_t { kOcean = 0, kRaytrace = 1, kWater = 2, kRadiosity = 3, kVolrend = 4 };
+
+TEST(WorkloadStructure, LockRateOrderingMatchesTableOne) {
+  // Paper Table I locks/sec: radiosity >> volrend > raytrace > water >> ocean.
+  std::vector<double> rate;
+  for (std::size_t i = 0; i < 5; ++i) rate.push_back(profile_of(i, pass::PassOptions::none()).locks_per_instruction());
+  EXPECT_GT(rate[kRadiosity], 2.0 * rate[kVolrend]);
+  EXPECT_GT(rate[kVolrend], rate[kWater]);
+  EXPECT_GT(rate[kRaytrace], rate[kWater]);
+  EXPECT_GT(rate[kWater], 3.0 * rate[kOcean]);
+}
+
+TEST(WorkloadStructure, OceanIsBarrierDominated) {
+  const Profile p = profile_of(kOcean, pass::PassOptions::none());
+  EXPECT_GT(p.barriers, p.locks);
+  EXPECT_LT(p.locks_per_instruction(), 1e-4);
+}
+
+TEST(WorkloadStructure, WaterHasHighestUnoptimizedClockFraction) {
+  // The "small loop with an if" signature: water pays the most clock
+  // updates per instruction without optimizations (paper: 43%).
+  std::vector<double> fraction;
+  for (std::size_t i = 0; i < 5; ++i) {
+    fraction.push_back(profile_of(i, pass::PassOptions::none()).clock_fraction());
+  }
+  for (std::size_t i = 0; i < 5; ++i) {
+    if (i != kWater) {
+      EXPECT_GE(fraction[kWater], fraction[i]) << "workload " << i;
+    }
+  }
+  EXPECT_LT(fraction[kOcean], 0.5 * fraction[kWater]);
+}
+
+TEST(WorkloadStructure, RadiosityHasClockableFunctionsAndO1Removes) {
+  const Profile none = profile_of(kRadiosity, pass::PassOptions::none());
+  const Profile o1 = profile_of(kRadiosity, pass::PassOptions::only_opt1());
+  EXPECT_GE(o1.clocked_functions, 2u);  // intersection_type + patch_value
+  // Function Clocking removes the leaf-body updates: a large executed-count
+  // drop (paper: 41% -> 30% of a much larger base).
+  EXPECT_LT(o1.clock_updates, none.clock_updates / 2);
+}
+
+TEST(WorkloadStructure, RaytraceHasClockableDotProduct) {
+  const Profile o1 = profile_of(kRaytrace, pass::PassOptions::only_opt1());
+  EXPECT_GE(o1.clocked_functions, 1u);  // dot3
+}
+
+TEST(WorkloadStructure, WaterBenefitsFromLoopOptimization) {
+  const Profile none = profile_of(kWater, pass::PassOptions::none());
+  const Profile o4 = profile_of(kWater, pass::PassOptions::only_opt4());
+  // The inner-loop latch merge removes one update per pair iteration.
+  EXPECT_LT(o4.clock_updates, none.clock_updates);
+  EXPECT_GT(none.clock_updates - o4.clock_updates, none.clock_updates / 10);
+}
+
+TEST(WorkloadStructure, AllOptimizationsReduceEveryWorkloadsClockUpdates) {
+  for (std::size_t i = 0; i < 5; ++i) {
+    const Profile none = profile_of(i, pass::PassOptions::none());
+    const Profile all = profile_of(i, pass::PassOptions::all());
+    EXPECT_LE(all.clock_updates, none.clock_updates) << all_workloads()[i].name;
+    EXPECT_LT(all.clock_updates, none.clock_updates) << all_workloads()[i].name;
+  }
+}
+
+TEST(WorkloadStructure, ScaleParameterScalesWork) {
+  WorkloadParams small;
+  small.threads = 2;
+  small.scale = 1;
+  WorkloadParams big = small;
+  big.scale = 3;
+  for (const auto& spec : all_workloads()) {
+    Workload ws = spec.factory(small);
+    Workload wb = spec.factory(big);
+    interp::EngineConfig config;
+    config.deterministic = false;
+    config.memory_words = std::max<std::size_t>(ws.memory_words, 1 << 14) * 2;
+    interp::Engine es(ws.module, config);
+    interp::EngineConfig config_b = config;
+    config_b.memory_words = std::max<std::size_t>(wb.memory_words, 1 << 14) * 2;
+    interp::Engine eb(wb.module, config_b);
+    const std::uint64_t is = es.run(ws.main_func).instructions;
+    const std::uint64_t ib = eb.run(wb.main_func).instructions;
+    EXPECT_GT(ib, 2 * is) << spec.name;  // ~3x work expected, allow slack
+  }
+}
+
+TEST(WorkloadStructure, ThreadCountsDivideCleanly) {
+  // The generators assume threads in {1, 2, 4} at minimum (water partitions
+  // 96 molecules).  Each should run to completion with correct checksums.
+  for (const std::uint32_t threads : {1u, 2u, 4u}) {
+    WorkloadParams params;
+    params.threads = threads;
+    params.scale = 1;
+    for (const auto& spec : all_workloads()) {
+      Workload w = spec.factory(params);
+      interp::EngineConfig config;
+      config.deterministic = false;
+      config.memory_words = std::max<std::size_t>(w.memory_words, 1 << 14) * 2;
+      interp::Engine engine(w.module, config);
+      EXPECT_NO_THROW(engine.run(w.main_func)) << spec.name << " threads=" << threads;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace detlock

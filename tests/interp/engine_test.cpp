@@ -1,0 +1,346 @@
+// Interpreter semantics: arithmetic, control flow, memory, calls, externs.
+#include "interp/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/parser.hpp"
+
+namespace detlock::interp {
+namespace {
+
+std::int64_t run_main(const char* text, std::vector<std::int64_t> args = {}, EngineConfig config = {}) {
+  const ir::Module m = ir::parse_module(text);
+  config.memory_words = std::max<std::size_t>(config.memory_words, 1 << 14);
+  Engine engine(m, config);
+  return engine.run("main", args).main_return;
+}
+
+TEST(Engine, ArithmeticAndComparisons) {
+  EXPECT_EQ(run_main(R"(
+func @main(2) {
+block entry:
+  %2 = add %0, %1
+  %3 = mul %2, %2
+  %4 = sub %3, %0
+  %5 = div %4, %1
+  ret %5
+}
+)",
+                     {3, 4}),
+            ((3 + 4) * (3 + 4) - 3) / 4);
+}
+
+TEST(Engine, SignedDivisionAndRemainder) {
+  EXPECT_EQ(run_main(R"(
+func @main(2) {
+block entry:
+  %2 = rem %0, %1
+  ret %2
+}
+)",
+                     {-7, 3}),
+            -7 % 3);
+}
+
+TEST(Engine, DivisionByZeroThrows) {
+  EXPECT_THROW(run_main(R"(
+func @main(2) {
+block entry:
+  %2 = div %0, %1
+  ret %2
+}
+)",
+                        {1, 0}),
+               Error);
+}
+
+TEST(Engine, BitwiseAndShifts) {
+  EXPECT_EQ(run_main(R"(
+func @main(2) {
+block entry:
+  %2 = and %0, %1
+  %3 = or %2, %1
+  %4 = xor %3, %0
+  %5 = const 3
+  %6 = shl %4, %5
+  %7 = shr %6, %5
+  ret %7
+}
+)",
+                     {0b1100, 0b1010}),
+            ((0b1100 & 0b1010) | 0b1010) ^ 0b1100);
+}
+
+TEST(Engine, FloatingPointPath) {
+  // (sqrt(2.0) * sqrt(2.0) + 1.0) -> 3 (ftoi truncation of 2.9999... or 3).
+  const std::int64_t r = run_main(R"(
+func @main(0) {
+block entry:
+  %0 = constf 2.0
+  %1 = fsqrt %0
+  %2 = fmul %1, %1
+  %3 = constf 1.0
+  %4 = fadd %2, %3
+  %5 = constf 0.5
+  %6 = fadd %4, %5
+  %7 = ftoi %6
+  ret %7
+}
+)");
+  EXPECT_EQ(r, 3);
+}
+
+TEST(Engine, CondBrAndSwitch) {
+  const char* text = R"(
+func @main(1) {
+block entry:
+  switch %0, dflt, [0: zero, 1: one]
+block zero:
+  %1 = const 100
+  ret %1
+block one:
+  %2 = const 200
+  ret %2
+block dflt:
+  %3 = const 300
+  ret %3
+}
+)";
+  EXPECT_EQ(run_main(text, {0}), 100);
+  EXPECT_EQ(run_main(text, {1}), 200);
+  EXPECT_EQ(run_main(text, {7}), 300);
+}
+
+TEST(Engine, LoopComputesSum) {
+  // sum 0..9 = 45.
+  EXPECT_EQ(run_main(R"(
+func @main(0) regs=8 {
+block entry:
+  %0 = const 0
+  %1 = const 0
+  br h
+block h:
+  %2 = const 10
+  %3 = icmp lt %1, %2
+  condbr %3, body, x
+block body:
+  %0 = add %0, %1
+  %4 = const 1
+  %1 = add %1, %4
+  br h
+block x:
+  ret %0
+}
+)"),
+            45);
+}
+
+TEST(Engine, MemoryLoadStore) {
+  EXPECT_EQ(run_main(R"(
+func @main(0) {
+block entry:
+  %0 = const 100
+  %1 = const 42
+  store %0, %1
+  store %0 + 1, %0
+  %2 = load %0
+  %3 = load %0 + 1
+  %4 = add %2, %3
+  ret %4
+}
+)"),
+            142);
+}
+
+TEST(Engine, OutOfBoundsMemoryThrows) {
+  EXPECT_THROW(run_main(R"(
+func @main(0) {
+block entry:
+  %0 = const -5
+  %1 = load %0
+  ret %1
+}
+)"),
+               Error);
+}
+
+TEST(Engine, NestedCallsAndRecursion) {
+  // Recursive factorial through the interpreter's call stack.
+  EXPECT_EQ(run_main(R"(
+func @fact(1) {
+block entry:
+  %1 = const 2
+  %2 = icmp lt %0, %1
+  condbr %2, base, rec
+block base:
+  %3 = const 1
+  ret %3
+block rec:
+  %4 = const 1
+  %5 = sub %0, %4
+  %6 = call @fact(%5)
+  %7 = mul %0, %6
+  ret %7
+}
+func @main(1) {
+block entry:
+  %1 = call @fact(%0)
+  ret %1
+}
+)",
+                     {6}),
+            720);
+}
+
+TEST(Engine, ExternMemsetAndEstimateClock) {
+  const ir::Module m = ir::parse_module(R"(
+extern @memset(3) estimate base=8 per_unit=2 size_arg=2
+
+func @main(0) {
+block entry:
+  clockadd 5
+  %0 = const 200
+  %1 = const 9
+  %2 = const 16
+  clockadddyn 8 + 2 * %2
+  %3 = callx @memset(%0, %1, %2)
+  %4 = load %0 + 15
+  ret %4
+}
+)");
+  Engine engine(m, {});
+  const RunResult r = engine.run("main");
+  EXPECT_EQ(r.main_return, 9);  // memset wrote 9s
+  // Logical clock: 5 + (8 + 2*16) = 45.
+  EXPECT_EQ(r.final_clocks[0], 45u);
+  EXPECT_EQ(r.clock_update_instrs, 2u);
+}
+
+TEST(Engine, MathExterns) {
+  const ir::Module m = ir::parse_module(R"(
+extern @fsin(1) -> value estimate base=45
+extern @fexp(1) -> value estimate base=45
+
+func @main(0) {
+block entry:
+  %0 = constf 0.0
+  %1 = callx @fsin(%0)
+  %2 = callx @fexp(%0)
+  %3 = fadd %1, %2
+  %4 = ftoi %3
+  ret %4
+}
+)");
+  Engine engine(m, {});
+  EXPECT_EQ(engine.run("main").main_return, 1);  // sin(0)+exp(0) = 1
+}
+
+TEST(Engine, MissingExternImplementationThrows) {
+  const ir::Module m = ir::parse_module(R"(
+extern @no_such_impl(0) unclocked
+
+func @main(0) {
+block entry:
+  %0 = callx @no_such_impl()
+  ret
+}
+)");
+  Engine engine(m, {});
+  EXPECT_THROW(engine.run("main"), Error);
+}
+
+TEST(Engine, CustomExternOverride) {
+  const ir::Module m = ir::parse_module(R"(
+extern @magic(1) -> value unclocked
+
+func @main(1) {
+block entry:
+  %1 = callx @magic(%0)
+  ret %1
+}
+)");
+  Engine engine(m, {});
+  engine.externs().register_impl("magic", [](ExternCallContext& c) { return c.args[0] * 3; });
+  EXPECT_EQ(engine.run("main", {14}).main_return, 42);
+}
+
+TEST(Engine, RecordExternIsPerThread) {
+  const ir::Module m = ir::parse_module(R"(
+extern @record(1) estimate base=4
+
+func @main(0) {
+block entry:
+  %0 = const 11
+  %1 = callx @record(%0)
+  %2 = const 22
+  %3 = callx @record(%2)
+  ret
+}
+)");
+  Engine engine(m, {});
+  engine.run("main");
+  ASSERT_EQ(engine.records()[0].size(), 2u);
+  EXPECT_EQ(engine.records()[0][0], 11);
+  EXPECT_EQ(engine.records()[0][1], 22);
+}
+
+TEST(Engine, MaxStepsGuardTrips) {
+  EngineConfig config;
+  config.max_steps_per_thread = 1000;
+  EXPECT_THROW(run_main(R"(
+func @main(0) {
+block entry:
+  br entry2
+block entry2:
+  br entry
+}
+)",
+                        {}, config),
+               Error);
+}
+
+TEST(Engine, RunTwiceRefused) {
+  const ir::Module m = ir::parse_module("func @main(0) {\nblock entry:\n  ret\n}\n");
+  Engine engine(m, {});
+  engine.run("main");
+  EXPECT_THROW(engine.run("main"), Error);
+}
+
+TEST(Engine, DlMallocFreeRoundTrip) {
+  const ir::Module m = ir::parse_module(R"(
+extern @dl_malloc(1) -> value unclocked
+extern @dl_free(1) unclocked
+
+func @main(0) {
+block entry:
+  %0 = const 16
+  %1 = callx @dl_malloc(%0)
+  %2 = const 5
+  store %1, %2
+  %3 = load %1
+  %4 = callx @dl_free(%1)
+  ret %3
+}
+)");
+  Engine engine(m, {});
+  EXPECT_EQ(engine.run("main").main_return, 5);
+  EXPECT_EQ(engine.allocator()->live_blocks(), 0u);
+}
+
+TEST(Engine, InstructionCountsReported) {
+  const ir::Module m = ir::parse_module(R"(
+func @main(0) {
+block entry:
+  %0 = const 1
+  %1 = add %0, %0
+  ret %1
+}
+)");
+  Engine engine(m, {});
+  const RunResult r = engine.run("main");
+  EXPECT_EQ(r.instructions, 3u);
+  EXPECT_EQ(r.threads, 1u);
+}
+
+}  // namespace
+}  // namespace detlock::interp

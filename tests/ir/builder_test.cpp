@@ -1,0 +1,132 @@
+#include "ir/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/verifier.hpp"
+
+namespace detlock::ir {
+namespace {
+
+TEST(Builder, EntryBlockIsBlockZero) {
+  Module m;
+  FunctionBuilder b(m, "f", 2);
+  EXPECT_EQ(b.insert_point(), Function::kEntry);
+  EXPECT_EQ(m.function(b.func_id()).block(0).name(), "entry");
+}
+
+TEST(Builder, ParamsOccupyLowRegisters) {
+  Module m;
+  FunctionBuilder b(m, "f", 3);
+  EXPECT_EQ(b.param(0), 0u);
+  EXPECT_EQ(b.param(2), 2u);
+  EXPECT_EQ(b.new_reg(), 3u);
+  EXPECT_THROW(b.param(3), Error);
+}
+
+TEST(Builder, BinaryOpsProduceFreshRegisters) {
+  Module m;
+  FunctionBuilder b(m, "f", 2);
+  const Reg s = b.add(b.param(0), b.param(1));
+  const Reg t = b.mul(s, s);
+  EXPECT_NE(s, t);
+  b.ret(t);
+  verify_module_or_throw(m);
+}
+
+TEST(Builder, AppendingAfterTerminatorThrows) {
+  Module m;
+  FunctionBuilder b(m, "f", 0);
+  b.ret();
+  EXPECT_THROW(b.const_i(1), Error);
+}
+
+TEST(Builder, CondBrBuildsDiamond) {
+  Module m;
+  FunctionBuilder b(m, "f", 1);
+  const BlockId t = b.make_block("t");
+  const BlockId e = b.make_block("e");
+  const BlockId mrg = b.make_block("m");
+  const Reg c = b.icmp(CmpPred::kLt, b.param(0), b.const_i(10));
+  b.condbr(c, t, e);
+  b.set_insert_point(t);
+  b.br(mrg);
+  b.set_insert_point(e);
+  b.br(mrg);
+  b.set_insert_point(mrg);
+  b.ret();
+  verify_module_or_throw(m);
+
+  const auto succs = m.function(b.func_id()).block(Function::kEntry).successors();
+  ASSERT_EQ(succs.size(), 2u);
+  EXPECT_EQ(succs[0], t);
+  EXPECT_EQ(succs[1], e);
+}
+
+TEST(Builder, SwitchSuccessorsIncludeDefaultFirst) {
+  Module m;
+  FunctionBuilder b(m, "f", 1);
+  const BlockId c0 = b.make_block("c0");
+  const BlockId c1 = b.make_block("c1");
+  const BlockId d = b.make_block("d");
+  b.switch_on(b.param(0), d, {{0, c0}, {5, c1}});
+  for (const BlockId blk : {c0, c1, d}) {
+    b.set_insert_point(blk);
+    b.ret();
+  }
+  verify_module_or_throw(m);
+  const auto succs = m.function(b.func_id()).block(Function::kEntry).successors();
+  ASSERT_EQ(succs.size(), 3u);
+  EXPECT_EQ(succs[0], d);
+}
+
+TEST(Builder, CallArgCountValidatedByVerifier) {
+  Module m;
+  FunctionBuilder callee(m, "callee", 2);
+  callee.ret(callee.add(callee.param(0), callee.param(1)));
+  FunctionBuilder caller(m, "caller", 1);
+  caller.ret(caller.call(callee.func_id(), {caller.param(0)}));  // 1 arg, needs 2
+  const auto issues = verify_module(m);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_NE(issues[0].message.find("expected 2"), std::string::npos);
+}
+
+TEST(Builder, EmitAllowsRegisterReassignment) {
+  Module m;
+  FunctionBuilder b(m, "f", 0);
+  const Reg i = b.new_reg();
+  b.emit(Instr::make_const(i, 5));
+  b.emit(Instr::make_binary(Opcode::kAdd, i, i, i));
+  b.ret(i);
+  verify_module_or_throw(m);
+  EXPECT_EQ(m.function(b.func_id()).block(0).instrs().size(), 3u);
+}
+
+TEST(Builder, SpawnJoinLockBarrierShapes) {
+  Module m;
+  FunctionBuilder worker(m, "worker", 1);
+  const Reg mid = worker.const_i(0);
+  worker.lock(mid);
+  worker.unlock(mid);
+  const Reg bid = worker.const_i(0);
+  const Reg n = worker.const_i(2);
+  worker.barrier(bid, n);
+  worker.ret();
+
+  FunctionBuilder main_fn(m, "main", 0);
+  const Reg tid = main_fn.const_i(1);
+  const Reg h = main_fn.spawn(worker.func_id(), {tid});
+  main_fn.join(h);
+  main_fn.ret();
+  verify_module_or_throw(m);
+}
+
+TEST(Module, FindUnknownFunctionOrExternThrows) {
+  Module m;
+  EXPECT_THROW(m.find_function("nope"), Error);
+  EXPECT_THROW(m.find_extern("nope"), Error);
+  EXPECT_FALSE(m.has_function("nope"));
+  EXPECT_FALSE(m.has_extern("nope"));
+}
+
+}  // namespace
+}  // namespace detlock::ir

@@ -1,0 +1,51 @@
+#include "ir/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace detlock::ir {
+namespace {
+
+Instr of(Opcode op) {
+  Instr i;
+  i.op = op;
+  return i;
+}
+
+TEST(CostModel, SimpleOpsCostOne) {
+  const CostModel m;
+  for (const Opcode op : {Opcode::kAdd, Opcode::kSub, Opcode::kMul, Opcode::kAnd, Opcode::kXor,
+                          Opcode::kICmp, Opcode::kBr, Opcode::kCondBr, Opcode::kRet, Opcode::kMov,
+                          Opcode::kConst, Opcode::kFAdd, Opcode::kFMul}) {
+    EXPECT_EQ(m.cost(of(op)), 1) << opcode_name(op);
+  }
+}
+
+TEST(CostModel, ExpensiveOpsCostMore) {
+  const CostModel m;
+  EXPECT_EQ(m.cost(of(Opcode::kDiv)), m.div_cost);
+  EXPECT_EQ(m.cost(of(Opcode::kRem)), m.div_cost);
+  EXPECT_EQ(m.cost(of(Opcode::kFDiv)), m.fdiv_cost);
+  EXPECT_EQ(m.cost(of(Opcode::kFSqrt)), m.fsqrt_cost);
+  EXPECT_EQ(m.cost(of(Opcode::kLoad)), m.load_cost);
+  EXPECT_EQ(m.cost(of(Opcode::kLoadF)), m.load_cost);
+  EXPECT_EQ(m.cost(of(Opcode::kStore)), m.store_cost);
+  EXPECT_EQ(m.cost(of(Opcode::kCall)), m.call_cost);
+  EXPECT_EQ(m.cost(of(Opcode::kSpawn)), m.call_cost);
+}
+
+TEST(CostModel, InstrumentationIsFree) {
+  const CostModel m;
+  EXPECT_EQ(m.cost(of(Opcode::kClockAdd)), 0);
+  EXPECT_EQ(m.cost(of(Opcode::kClockAddDyn)), 0);
+}
+
+TEST(CostModel, KnobsAreRespected) {
+  CostModel m;
+  m.div_cost = 99;
+  m.load_cost = 7;
+  EXPECT_EQ(m.cost(of(Opcode::kDiv)), 99);
+  EXPECT_EQ(m.cost(of(Opcode::kLoad)), 7);
+}
+
+}  // namespace
+}  // namespace detlock::ir

@@ -1,0 +1,190 @@
+#include "ir/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+#include "support/error.hpp"
+
+namespace detlock::ir {
+namespace {
+
+TEST(Parser, MinimalFunction) {
+  const Module m = parse_module(R"(
+func @main(0) {
+block entry:
+  %0 = const 42
+  ret %0
+}
+)");
+  ASSERT_EQ(m.functions().size(), 1u);
+  EXPECT_EQ(m.functions()[0].name(), "main");
+  EXPECT_EQ(m.functions()[0].block(0).instrs().size(), 2u);
+  EXPECT_TRUE(verify_module(m).empty());
+}
+
+TEST(Parser, CommentsAndBlankLinesIgnored) {
+  const Module m = parse_module(R"(
+# leading comment
+func @f(1) {   # trailing comment
+block entry:
+  ret %0       # returns the parameter
+}
+)");
+  EXPECT_EQ(m.functions().size(), 1u);
+}
+
+TEST(Parser, ForwardBlockReferences) {
+  const Module m = parse_module(R"(
+func @f(1) {
+block entry:
+  condbr %0, later, entry2
+block later:
+  ret
+block entry2:
+  br later
+}
+)");
+  const Function& f = m.functions()[0];
+  const auto succs = f.block(0).successors();
+  ASSERT_EQ(succs.size(), 2u);
+  EXPECT_EQ(f.block(succs[0]).name(), "later");
+  EXPECT_EQ(f.block(succs[1]).name(), "entry2");
+}
+
+TEST(Parser, ForwardFunctionReferences) {
+  const Module m = parse_module(R"(
+func @caller(0) {
+block entry:
+  %0 = call @callee()
+  ret %0
+}
+
+func @callee(0) {
+block entry:
+  %0 = const 7
+  ret %0
+}
+)");
+  EXPECT_EQ(m.functions()[0].block(0).instrs()[0].callee, m.find_function("callee"));
+}
+
+TEST(Parser, ExternDeclarations) {
+  const Module m = parse_module(R"(
+extern @memset(3) estimate base=8 per_unit=2 size_arg=2
+extern @sin(1) -> value estimate base=45
+extern @mystery(2) -> value unclocked
+
+func @main(0) {
+block entry:
+  ret
+}
+)");
+  ASSERT_EQ(m.externs().size(), 3u);
+  EXPECT_TRUE(m.externs()[0].estimate.has_value());
+  EXPECT_TRUE(m.externs()[0].estimate->is_dynamic());
+  EXPECT_EQ(m.externs()[0].estimate->size_arg_index, 2u);
+  EXPECT_TRUE(m.externs()[1].returns_value);
+  EXPECT_FALSE(m.externs()[1].estimate->is_dynamic());
+  EXPECT_FALSE(m.externs()[2].estimate.has_value());
+}
+
+TEST(Parser, AllInstructionForms) {
+  const Module m = parse_module(R"(
+extern @memset(3) estimate base=8 per_unit=2 size_arg=2
+
+func @leaf(2) {
+block entry:
+  %2 = add %0, %1
+  ret %2
+}
+
+func @main(1) regs=40 {
+block entry:
+  %1 = const -5
+  %2 = constf 2.5
+  %3 = mov %1
+  %4 = mul %1, %3
+  %5 = icmp le %4, %1
+  %6 = fcmp gt %2, %2
+  %7 = itof %4
+  %8 = ftoi %7
+  %9 = fsqrt %2
+  %10 = load %1 + 8
+  store %1 + -2, %4
+  %11 = loadf %1
+  storef %1, %9
+  %12 = call @leaf(%1, %4)
+  %13 = callx @memset(%1, %4, %10)
+  lock %1
+  unlock %1
+  barrier %1, %4
+  %14 = spawn @leaf(%1, %4)
+  join %14
+  clockadd 12
+  clockadddyn 8 + 1.5 * %4
+  switch %5, fallthru, [0: case0, 1: fallthru]
+block case0:
+  condbr %5, fallthru, case0
+block fallthru:
+  ret %4
+}
+)");
+  EXPECT_TRUE(verify_module(m).empty());
+  // Spot-check a few encodings.
+  const Function& f = m.functions()[1];
+  const auto& instrs = f.block(0).instrs();
+  EXPECT_EQ(instrs[0].imm, -5);
+  EXPECT_DOUBLE_EQ(instrs[1].fimm, 2.5);
+  EXPECT_EQ(instrs[9].imm, 8);    // load offset
+  EXPECT_EQ(instrs[10].imm, -2);  // store offset
+  EXPECT_EQ(instrs[20].imm, 12);  // clockadd
+  EXPECT_DOUBLE_EQ(instrs[21].fimm, 1.5);
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  try {
+    parse_module("func @f(0) {\nblock entry:\n  bogus %0\n}\n");
+    FAIL() << "expected parse error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("bogus"), std::string::npos);
+  }
+}
+
+TEST(Parser, RejectsDuplicateFunction) {
+  EXPECT_THROW(parse_module("func @f(0) {\nblock entry:\n  ret\n}\nfunc @f(0) {\nblock entry:\n  ret\n}\n"),
+               Error);
+}
+
+TEST(Parser, RejectsDuplicateBlock) {
+  EXPECT_THROW(parse_module("func @f(0) {\nblock a:\n  ret\nblock a:\n  ret\n}\n"), Error);
+}
+
+TEST(Parser, RejectsUnknownBlockReference) {
+  EXPECT_THROW(parse_module("func @f(0) {\nblock entry:\n  br nowhere\n}\n"), Error);
+}
+
+TEST(Parser, RejectsInstructionOutsideBlock) {
+  EXPECT_THROW(parse_module("func @f(0) {\n  ret\n}\n"), Error);
+}
+
+TEST(Parser, RejectsUnterminatedFunction) {
+  EXPECT_THROW(parse_module("func @f(0) {\nblock entry:\n  ret\n"), Error);
+}
+
+TEST(Parser, RejectsDstOnStore) {
+  EXPECT_THROW(parse_module("func @f(2) {\nblock entry:\n  %3 = store %0, %1\n  ret\n}\n"), Error);
+}
+
+TEST(Parser, RejectsMissingDstOnAdd) {
+  EXPECT_THROW(parse_module("func @f(2) {\nblock entry:\n  add %0, %1\n  ret\n}\n"), Error);
+}
+
+TEST(Parser, GrowsRegisterFileForHighRegisters) {
+  const Module m = parse_module("func @f(0) {\nblock entry:\n  %17 = const 1\n  ret %17\n}\n");
+  EXPECT_GE(m.functions()[0].num_regs(), 18u);
+}
+
+}  // namespace
+}  // namespace detlock::ir

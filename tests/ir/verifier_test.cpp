@@ -1,0 +1,161 @@
+#include "ir/verifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+
+namespace detlock::ir {
+namespace {
+
+Module valid_module() {
+  Module m;
+  FunctionBuilder b(m, "f", 1);
+  b.ret(b.param(0));
+  return m;
+}
+
+TEST(Verifier, AcceptsValidModule) {
+  const Module m = valid_module();
+  EXPECT_TRUE(verify_module(m).empty());
+  EXPECT_NO_THROW(verify_module_or_throw(m));
+}
+
+TEST(Verifier, RejectsEmptyBlock) {
+  Module m = valid_module();
+  m.function(0).add_block("empty");
+  const auto issues = verify_module(m);
+  ASSERT_FALSE(issues.empty());
+  EXPECT_NE(issues[0].message.find("terminator"), std::string::npos);
+}
+
+TEST(Verifier, RejectsMissingTerminator) {
+  Module m;
+  m.add_function("f", 0);
+  m.function(0).add_block("entry");
+  m.function(0).set_num_regs(1);
+  m.function(0).block(0).append(Instr::make_const(0, 1));
+  const auto issues = verify_module(m);
+  ASSERT_FALSE(issues.empty());
+}
+
+TEST(Verifier, RejectsTerminatorInMiddle) {
+  Module m;
+  m.add_function("f", 0);
+  m.function(0).add_block("entry");
+  m.function(0).block(0).append(Instr::make_ret());
+  m.function(0).block(0).append(Instr::make_ret());
+  const auto issues = verify_module(m);
+  ASSERT_FALSE(issues.empty());
+  EXPECT_NE(issues[0].message.find("in block middle"), std::string::npos);
+}
+
+TEST(Verifier, RejectsOutOfRangeRegister) {
+  Module m;
+  m.add_function("f", 0);
+  m.function(0).set_num_regs(1);
+  m.function(0).add_block("entry");
+  m.function(0).block(0).append(Instr::make_binary(Opcode::kAdd, 0, 0, 5));
+  m.function(0).block(0).append(Instr::make_ret());
+  const auto issues = verify_module(m);
+  ASSERT_FALSE(issues.empty());
+  EXPECT_NE(issues[0].message.find("%5"), std::string::npos);
+}
+
+TEST(Verifier, RejectsBranchToNonexistentBlock) {
+  Module m;
+  m.add_function("f", 0);
+  m.function(0).add_block("entry");
+  m.function(0).block(0).append(Instr::make_br(7));
+  const auto issues = verify_module(m);
+  ASSERT_FALSE(issues.empty());
+  EXPECT_NE(issues[0].message.find("nonexistent block"), std::string::npos);
+}
+
+TEST(Verifier, RejectsDuplicateFunctionNames) {
+  Module m;
+  for (int i = 0; i < 2; ++i) {
+    const FuncId f = m.add_function("same", 0);
+    m.function(f).add_block("entry");
+    m.function(f).block(0).append(Instr::make_ret());
+  }
+  const auto issues = verify_module(m);
+  ASSERT_FALSE(issues.empty());
+  EXPECT_NE(issues[0].message.find("duplicate function"), std::string::npos);
+}
+
+TEST(Verifier, RejectsDuplicateBlockNames) {
+  Module m;
+  const FuncId f = m.add_function("f", 0);
+  m.function(f).add_block("b");
+  m.function(f).block(0).append(Instr::make_ret());
+  m.function(f).add_block("b");
+  m.function(f).block(1).append(Instr::make_ret());
+  const auto issues = verify_module(m);
+  ASSERT_FALSE(issues.empty());
+}
+
+TEST(Verifier, RejectsDuplicateSwitchCases) {
+  Module m;
+  const FuncId f = m.add_function("f", 1);
+  m.function(f).set_num_regs(1);
+  m.function(f).add_block("entry");
+  m.function(f).add_block("t");
+  Instr sw;
+  sw.op = Opcode::kSwitch;
+  sw.a = 0;
+  sw.imm = 1;
+  sw.args = {3, 1, 3, 1};  // duplicate case value 3
+  m.function(f).block(0).append(std::move(sw));
+  m.function(f).block(1).append(Instr::make_ret());
+  const auto issues = verify_module(m);
+  ASSERT_FALSE(issues.empty());
+  EXPECT_NE(issues[0].message.find("duplicate switch case"), std::string::npos);
+}
+
+TEST(Verifier, RejectsBadCallArity) {
+  Module m;
+  FunctionBuilder callee(m, "callee", 2);
+  callee.ret();
+  Module& mm = m;
+  const FuncId caller = mm.add_function("caller", 0);
+  mm.function(caller).set_num_regs(2);
+  mm.function(caller).add_block("entry");
+  Instr call;
+  call.op = Opcode::kCall;
+  call.dst = 0;
+  call.callee = callee.func_id();
+  call.args = {1};  // needs 2
+  mm.function(caller).block(0).append(std::move(call));
+  mm.function(caller).block(0).append(Instr::make_ret());
+  const auto issues = verify_module(mm);
+  ASSERT_FALSE(issues.empty());
+}
+
+TEST(Verifier, RejectsDynamicEstimateWithBadSizeArg) {
+  Module m;
+  ExternDecl decl;
+  decl.name = "e";
+  decl.num_params = 1;
+  decl.estimate = ExternEstimate{10, 1.0, 5};  // size_arg 5 >= 1 param
+  m.add_extern(std::move(decl));
+  const auto issues = verify_module(m);
+  ASSERT_FALSE(issues.empty());
+  EXPECT_NE(issues[0].message.find("size_arg"), std::string::npos);
+}
+
+TEST(Verifier, ThrowListsAllIssues) {
+  Module m;
+  m.add_function("f", 0);  // no blocks
+  m.add_function("g", 0);  // no blocks
+  try {
+    verify_module_or_throw(m);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("@f"), std::string::npos);
+    EXPECT_NE(what.find("@g"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace detlock::ir

@@ -1,0 +1,171 @@
+#include "pass/block_split.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/parser.hpp"
+#include "ir/verifier.hpp"
+#include "pass/pipeline.hpp"
+
+namespace detlock::pass {
+namespace {
+
+TEST(BlockSplit, UnclockedCallSplitsBlock) {
+  ir::Module m = ir::parse_module(R"(
+func @callee(0) {
+block entry:
+  %0 = const 1
+  ret %0
+}
+func @caller(0) {
+block entry:
+  %0 = const 1
+  %1 = call @callee()
+  %2 = add %0, %1
+  ret %2
+}
+)");
+  ClockAssignment assignment;  // empty clocked set: callee is unclocked
+  const std::size_t splits = split_module_at_boundaries(m, assignment);
+  EXPECT_EQ(splits, 1u);
+  ir::verify_module_or_throw(m);
+
+  const ir::Function& caller = m.function(m.find_function("caller"));
+  ASSERT_EQ(caller.num_blocks(), 2u);
+  // The call now leads the split block.
+  const ir::BasicBlock& tail = caller.block(1);
+  EXPECT_EQ(tail.instrs().front().op, ir::Opcode::kCall);
+  // Entry ends with a branch to the tail.
+  EXPECT_EQ(caller.block(0).terminator().op, ir::Opcode::kBr);
+}
+
+TEST(BlockSplit, CallAlreadyLeadingDoesNotSplit) {
+  ir::Module m = ir::parse_module(R"(
+func @callee(0) {
+block entry:
+  ret
+}
+func @caller(0) {
+block entry:
+  %0 = call @callee()
+  %1 = const 2
+  ret %1
+}
+)");
+  ClockAssignment assignment;
+  EXPECT_EQ(split_module_at_boundaries(m, assignment), 0u);
+}
+
+TEST(BlockSplit, ClockedCalleeDoesNotSplit) {
+  // Paper Fig. 5: a call to a clockable function stays inline.
+  ir::Module m = ir::parse_module(R"(
+func @callee(0) {
+block entry:
+  %0 = const 1
+  ret %0
+}
+func @caller(0) {
+block entry:
+  %0 = const 1
+  %1 = call @callee()
+  %2 = add %0, %1
+  ret %2
+}
+)");
+  ClockAssignment assignment;
+  assignment.clocked_functions.emplace(m.find_function("callee"), 3);
+  EXPECT_EQ(split_module_at_boundaries(m, assignment), 0u);
+}
+
+TEST(BlockSplit, EstimatedExternDoesNotSplitUnclockedExternDoes) {
+  ir::Module m = ir::parse_module(R"(
+extern @sin(1) -> value estimate base=45
+extern @mystery(1) -> value unclocked
+
+func @f(1) {
+block entry:
+  %1 = const 3
+  %2 = callx @sin(%0)
+  %3 = callx @mystery(%0)
+  %4 = add %2, %3
+  ret %4
+}
+)");
+  ClockAssignment assignment;
+  const std::size_t splits = split_module_at_boundaries(m, assignment);
+  EXPECT_EQ(splits, 1u);  // only @mystery forces a boundary
+  const ir::Function& f = m.functions()[0];
+  EXPECT_EQ(f.block(1).instrs().front().op, ir::Opcode::kCallExtern);
+  EXPECT_EQ(f.block(1).instrs().front().callee, m.find_extern("mystery"));
+}
+
+TEST(BlockSplit, SyncOpsAreBoundaries) {
+  ir::Module m = ir::parse_module(R"(
+func @f(0) {
+block entry:
+  %0 = const 0
+  lock %0
+  %1 = const 1
+  unlock %0
+  %2 = add %0, %1
+  ret %2
+}
+)");
+  ClockAssignment assignment;
+  const std::size_t splits = split_module_at_boundaries(m, assignment);
+  EXPECT_EQ(splits, 2u);  // lock and unlock each start a block
+  ir::verify_module_or_throw(m);
+  const ir::Function& f = m.functions()[0];
+  ASSERT_EQ(f.num_blocks(), 3u);
+  EXPECT_EQ(f.block(1).instrs().front().op, ir::Opcode::kLock);
+  EXPECT_EQ(f.block(2).instrs().front().op, ir::Opcode::kUnlock);
+}
+
+TEST(BlockSplit, MultipleCallsChainSplits) {
+  ir::Module m = ir::parse_module(R"(
+func @g(0) {
+block entry:
+  ret
+}
+func @f(0) {
+block entry:
+  %0 = const 1
+  %1 = call @g()
+  %2 = const 2
+  %3 = call @g()
+  %4 = const 3
+  ret %4
+}
+)");
+  ClockAssignment assignment;
+  EXPECT_EQ(split_module_at_boundaries(m, assignment), 2u);
+  const ir::Function& f = m.function(m.find_function("f"));
+  EXPECT_EQ(f.num_blocks(), 3u);
+  ir::verify_module_or_throw(m);
+}
+
+TEST(BlockSplit, SplitPreservesExecutionSemantics) {
+  // After splitting, per-block flag computation marks call-leading blocks.
+  ir::Module m = ir::parse_module(R"(
+func @g(0) {
+block entry:
+  %0 = const 9
+  ret %0
+}
+func @f(0) {
+block entry:
+  %0 = const 1
+  %1 = call @g()
+  %2 = add %0, %1
+  ret %2
+}
+)");
+  PassOptions options;
+  ClockAssignment assignment;
+  compute_assignment(m, options, assignment);
+  const ir::FuncId f = m.find_function("f");
+  EXPECT_FALSE(assignment.funcs[f][0].has_unclocked_call);
+  EXPECT_TRUE(assignment.funcs[f][1].has_unclocked_call);
+}
+
+}  // namespace
+}  // namespace detlock::pass

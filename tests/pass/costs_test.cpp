@@ -1,0 +1,134 @@
+// Direct tests of per-block cost analysis (the bridge between IR and clock
+// values).
+#include "pass/costs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/parser.hpp"
+
+namespace detlock::pass {
+namespace {
+
+BlockClockInfo analyze(const char* text, const ClockAssignment& assignment = {},
+                       const char* func = "f", const char* block = "entry") {
+  static ir::Module module;  // NOLINT: overwritten every call
+  module = ir::parse_module(text);
+  const ir::FuncId f = module.find_function(func);
+  const ir::BlockId b = module.function(f).find_block(block);
+  const ir::CostModel cost_model;
+  return analyze_block(module, assignment, module.function(f).block(b), cost_model);
+}
+
+TEST(Costs, StraightLineSumsInstructionCosts) {
+  const BlockClockInfo info = analyze(R"(
+func @f(1) {
+block entry:
+  %1 = add %0, %0
+  %2 = mul %1, %1
+  %3 = div %2, %1
+  %4 = load %3
+  store %4, %3
+  ret
+}
+)");
+  // add(1) + mul(1) + div(20) + load(3) + store(2) + ret(1) = 28.
+  EXPECT_EQ(info.original_cost, 28);
+  EXPECT_TRUE(info.movable());
+}
+
+TEST(Costs, UnclockedCallPinsBlock) {
+  const BlockClockInfo info = analyze(R"(
+func @g(0) {
+block entry:
+  ret
+}
+func @f(0) {
+block entry:
+  %0 = call @g()
+  ret
+}
+)");
+  EXPECT_TRUE(info.has_unclocked_call);
+  EXPECT_FALSE(info.movable());
+}
+
+TEST(Costs, ClockedCalleeFoldsEstimate) {
+  ir::Module m = ir::parse_module(R"(
+func @g(0) {
+block entry:
+  ret
+}
+func @f(0) {
+block entry:
+  %0 = call @g()
+  ret
+}
+)");
+  ClockAssignment assignment;
+  assignment.clocked_functions.emplace(m.find_function("g"), 17);
+  const ir::CostModel cost_model;
+  const BlockClockInfo info =
+      analyze_block(m, assignment, m.function(m.find_function("f")).block(0), cost_model);
+  EXPECT_FALSE(info.has_unclocked_call);
+  // call(2) + ret(1) + estimate(17) = 20.
+  EXPECT_EQ(info.original_cost, 20);
+}
+
+TEST(Costs, StaticExternEstimateFolds) {
+  const BlockClockInfo info = analyze(R"(
+extern @sin(1) -> value estimate base=45
+
+func @f(1) {
+block entry:
+  %1 = callx @sin(%0)
+  ret %1
+}
+)");
+  EXPECT_EQ(info.original_cost, 2 + 1 + 45);
+  EXPECT_TRUE(info.movable());
+}
+
+TEST(Costs, DynamicExternPinsWithoutStaticBase) {
+  const BlockClockInfo info = analyze(R"(
+extern @memset(3) estimate base=8 per_unit=2 size_arg=2
+
+func @f(1) {
+block entry:
+  %1 = callx @memset(%0, %0, %0)
+  ret
+}
+)");
+  EXPECT_TRUE(info.has_dynamic_estimate);
+  EXPECT_FALSE(info.movable());
+  // Dispatch + ret only: base/per_unit go into the pinned kClockAddDyn.
+  EXPECT_EQ(info.original_cost, 3);
+}
+
+TEST(Costs, UnclockedExternPins) {
+  const BlockClockInfo info = analyze(R"(
+extern @mystery(0) unclocked
+
+func @f(0) {
+block entry:
+  %0 = callx @mystery()
+  ret
+}
+)");
+  EXPECT_TRUE(info.has_unclocked_call);
+}
+
+TEST(Costs, EverySyncOpSetsTheFlag) {
+  for (const char* body : {"  lock %0", "  unlock %0", "  %1 = const 2\n  barrier %0, %1",
+                           "  condsignal %0", "  condbroadcast %0", "  join %0"}) {
+    const std::string text = std::string("func @f(1) {\nblock entry:\n") + body + "\n  ret\n}\n";
+    ir::Module m = ir::parse_module(text);
+    const ClockAssignment assignment;
+    const ir::CostModel cost_model;
+    const BlockClockInfo info = analyze_block(m, assignment, m.functions()[0].block(0), cost_model);
+    EXPECT_TRUE(info.has_sync) << body;
+    EXPECT_FALSE(info.movable()) << body;
+  }
+}
+
+}  // namespace
+}  // namespace detlock::pass

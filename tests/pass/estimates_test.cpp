@@ -1,0 +1,87 @@
+#include "pass/estimates.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/parser.hpp"
+#include "support/error.hpp"
+
+namespace detlock::pass {
+namespace {
+
+ir::Module module_with_externs() {
+  return ir::parse_module(R"(
+extern @memset(3) unclocked
+extern @sin(1) -> value unclocked
+extern @other(1) unclocked
+
+func @main(0) {
+block entry:
+  ret
+}
+)");
+}
+
+TEST(Estimates, AppliesFixedAndDynamicEntries) {
+  ir::Module m = module_with_externs();
+  const std::size_t n = apply_estimate_file(m, R"(
+# math functions
+sin 45
+# size-dependent built-ins: name base per_unit size_arg
+memset 8 2.0 2
+)");
+  EXPECT_EQ(n, 2u);
+  const auto& memset_decl = m.extern_decl(m.find_extern("memset"));
+  ASSERT_TRUE(memset_decl.estimate.has_value());
+  EXPECT_EQ(memset_decl.estimate->base, 8);
+  EXPECT_DOUBLE_EQ(memset_decl.estimate->per_unit, 2.0);
+  EXPECT_EQ(memset_decl.estimate->size_arg_index, 2u);
+  const auto& sin_decl = m.extern_decl(m.find_extern("sin"));
+  ASSERT_TRUE(sin_decl.estimate.has_value());
+  EXPECT_FALSE(sin_decl.estimate->is_dynamic());
+  // @other untouched.
+  EXPECT_FALSE(m.extern_decl(m.find_extern("other")).estimate.has_value());
+}
+
+TEST(Estimates, UnknownNamesIgnored) {
+  ir::Module m = module_with_externs();
+  EXPECT_EQ(apply_estimate_file(m, "not_declared 10\n"), 0u);
+}
+
+TEST(Estimates, BlankAndCommentLinesIgnored) {
+  ir::Module m = module_with_externs();
+  EXPECT_EQ(apply_estimate_file(m, "\n\n# only comments\n   \n"), 0u);
+}
+
+TEST(Estimates, MalformedLineThrowsWithLineNumber) {
+  ir::Module m = module_with_externs();
+  try {
+    apply_estimate_file(m, "sin 45\nmemset eight\n");
+    FAIL() << "expected error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Estimates, WrongTokenCountThrows) {
+  ir::Module m = module_with_externs();
+  EXPECT_THROW(apply_estimate_file(m, "sin 45 1.0\n"), Error);  // 3 tokens invalid
+}
+
+TEST(Estimates, SizeArgOutOfRangeThrows) {
+  ir::Module m = module_with_externs();
+  EXPECT_THROW(apply_estimate_file(m, "sin 45 1.0 3\n"), Error);  // @sin has 1 param
+}
+
+TEST(Estimates, NegativeBaseRejected) {
+  ir::Module m = module_with_externs();
+  EXPECT_THROW(apply_estimate_file(m, "sin -5\n"), Error);
+}
+
+TEST(Estimates, LaterEntryOverridesEarlier) {
+  ir::Module m = module_with_externs();
+  apply_estimate_file(m, "sin 45\nsin 50\n");
+  EXPECT_EQ(m.extern_decl(m.find_extern("sin")).estimate->base, 50);
+}
+
+}  // namespace
+}  // namespace detlock::pass

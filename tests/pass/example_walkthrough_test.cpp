@@ -1,0 +1,198 @@
+// The paper's worked example (Figs. 3 -> 13), as assertions.
+//
+// The example CFG mirrors the paper's Radiosity excerpt: a loop over work
+// items whose body calls a diamond-shaped leaf (@intersection_type), runs a
+// short-circuit conditional (if.end21 / lor.lhs.false23 / if.then28 /
+// for.inc), and increments through a light latch.  Each optimization is
+// applied alone and its characteristic effect checked block-by-block.
+#include <gtest/gtest.h>
+
+#include "pass/conservation.hpp"
+#include "interp/engine.hpp"
+#include "pass/pass_test_util.hpp"
+
+namespace detlock::pass {
+namespace {
+
+using testing::clock_of;
+using testing::prepare;
+using testing::Prepared;
+
+const char* kExample = R"(
+func @intersection_type(2) {
+block entry:
+  %2 = mul %0, %1
+  %3 = add %2, %0
+  %4 = icmp lt %3, %1
+  condbr %4, if.then.i, if.else.i
+block if.then.i:
+  %5 = add %3, %0
+  %6 = mul %5, %1
+  br merge.i
+block if.else.i:
+  %7 = sub %3, %0
+  %8 = mul %7, %1
+  br merge.i
+block merge.i:
+  %9 = and %6, %8
+  ret %9
+}
+
+func @example(2) regs=32 {
+block entry:
+  %2 = const 0
+  %3 = const 0
+  br for.cond
+block for.cond:
+  %4 = const 40
+  %5 = load %4
+  %6 = icmp lt %3, %5
+  condbr %6, if.end21, for.end
+block if.end21:
+  %7 = call @intersection_type(%3, %0)
+  %8 = icmp gt %7, %1
+  condbr %8, lor.lhs.false23, if.then28
+block lor.lhs.false23:
+  %9 = mul %7, %7
+  %10 = add %9, %0
+  %11 = mul %10, %7
+  %12 = add %11, %1
+  %13 = mul %12, %12
+  %14 = add %13, %7
+  %15 = icmp lt %14, %0
+  condbr %15, if.then28, for.inc
+block if.then28:
+  %16 = add %2, %7
+  %2 = and %16, %1
+  br for.inc
+block for.inc:
+  %17 = const 1
+  %3 = add %3, %17
+  br for.cond
+block for.end:
+  ret %2
+}
+
+func @main(2) {
+block entry:
+  %2 = call @example(%0, %1)
+  ret %2
+}
+)";
+
+TEST(ExampleWalkthrough, BaselineEveryBlockCarriesItsCost) {
+  const Prepared p = prepare(kExample, PassOptions::none());
+  // @intersection_type: entry mul+add+icmp+condbr = 4; arms 3; merge 2.
+  EXPECT_EQ(clock_of(p, "intersection_type", "entry"), 4);
+  EXPECT_EQ(clock_of(p, "intersection_type", "if.then.i"), 3);
+  EXPECT_EQ(clock_of(p, "intersection_type", "merge.i"), 2);
+  // @example for.cond: const + load(3) + icmp + condbr = 6.
+  EXPECT_EQ(clock_of(p, "example", "for.cond"), 6);
+  EXPECT_EQ(clock_of(p, "example", "for.inc"), 3);
+  // if.end21 contains a call to a (not yet clocked) function: pinned.
+  const ir::FuncId example = p.module.find_function("example");
+  const ir::BlockId if_end = p.module.function(example).find_block("if.end21");
+  EXPECT_TRUE(p.assignment.funcs[example][if_end].has_unclocked_call);
+}
+
+TEST(ExampleWalkthrough, Opt1ClocksTheLeafAndChargesCallSite) {
+  const Prepared p = prepare(kExample, PassOptions::only_opt1());
+  const ir::FuncId leaf = p.module.find_function("intersection_type");
+  ASSERT_TRUE(p.assignment.is_clocked(leaf));
+  // Both leaf paths cost 4+3+2 = 9.
+  EXPECT_EQ(p.assignment.clocked_functions.at(leaf), 9);
+  // if.end21's clock now includes call(2) + icmp + condbr + estimate(9) = 13
+  // and is no longer pinned.
+  EXPECT_EQ(clock_of(p, "example", "if.end21"), 13);
+  const ir::FuncId example = p.module.find_function("example");
+  const ir::BlockId if_end = p.module.function(example).find_block("if.end21");
+  EXPECT_FALSE(p.assignment.funcs[example][if_end].has_unclocked_call);
+  // @example itself stays unclocked (it has a loop), @main stays pinned
+  // only until the leaf... main calls example which is unclocked: pinned.
+  EXPECT_FALSE(p.assignment.is_clocked(example));
+}
+
+TEST(ExampleWalkthrough, Opt2aCollapsesLeafDiamondUpward) {
+  const Prepared p = prepare(kExample, PassOptions::only_opt2());
+  // Inside the leaf: merge.i pushes its 2 into both arms (their only
+  // successor), then entry absorbs min(5, 5): entry 9, everything else 0.
+  EXPECT_EQ(clock_of(p, "intersection_type", "entry"), 9);
+  EXPECT_EQ(clock_of(p, "intersection_type", "if.then.i"), 0);
+  EXPECT_EQ(clock_of(p, "intersection_type", "if.else.i"), 0);
+  EXPECT_EQ(clock_of(p, "intersection_type", "merge.i"), 0);
+  // Part a is precise.
+  const DivergenceReport r = sample_clock_divergence(
+      p.module, p.assignment, p.module.find_function("intersection_type"), 64, 64, 3);
+  EXPECT_EQ(r.max_absolute, 0);
+}
+
+TEST(ExampleWalkthrough, Opt2bRespectsTheDivergenceBound) {
+  // With O1 folding the call, the Fig. 10 pattern matches at U=if.end21,
+  // M=lor.lhs.false23, L=if.then28.  After Opt2a's precise rearrangement
+  // (for.cond absorbs 1), moving L's clock (3) would diverge by
+  // 3 / (U=12 + M=8) = 14% -- ABOVE the paper's 1/10 bound, so the move is
+  // refused and if.then28 keeps its clock.
+  PassOptions options = PassOptions::only_opt1();
+  options.opt2_conditional = true;
+  const Prepared refused = prepare(kExample, options);
+  EXPECT_EQ(clock_of(refused, "example", "if.then28"), 3);
+  EXPECT_EQ(clock_of(refused, "example", "if.end21"), 12);
+
+  // Relaxing the bound past 14% lets the up-move through: if.then28's
+  // clock lifts into if.end21 (incremented ahead of time).
+  options.opt2b_max_divergence = 0.2;
+  const Prepared applied = prepare(kExample, options);
+  EXPECT_EQ(clock_of(applied, "example", "if.then28"), 0);
+  EXPECT_EQ(clock_of(applied, "example", "if.end21"), 15);
+}
+
+TEST(ExampleWalkthrough, Opt3AveragesTheLeafPaths) {
+  const Prepared p = prepare(kExample, PassOptions::only_opt3());
+  // Both leaf paths cost 9: averaging collapses the leaf body to one site.
+  EXPECT_EQ(clock_of(p, "intersection_type", "entry"), 9);
+  EXPECT_EQ(testing::clock_sites(p, "intersection_type"), 1u);
+}
+
+TEST(ExampleWalkthrough, Opt4MergesForIncIntoForCond) {
+  const Prepared p = prepare(kExample, PassOptions::only_opt4());
+  // for.inc (3) < for.cond (6) and below threshold: merged (paper Fig. 13).
+  EXPECT_EQ(clock_of(p, "example", "for.inc"), 0);
+  EXPECT_EQ(clock_of(p, "example", "for.cond"), 9);
+}
+
+TEST(ExampleWalkthrough, AllOptimizationsMinimizeSitesWithBoundedDivergence) {
+  const Prepared unopt = prepare(kExample, PassOptions::none());
+  const Prepared p = prepare(kExample, PassOptions::all());
+  const ir::FuncId example = p.module.find_function("example");
+
+  // Far fewer update sites overall (leaf body gone entirely).
+  std::size_t total_sites = 0;
+  for (ir::FuncId f = 0; f < p.module.functions().size(); ++f) {
+    if (!p.assignment.is_clocked(f)) total_sites += p.assignment.funcs[f].nonzero_sites();
+  }
+  std::size_t unopt_sites = 0;
+  for (ir::FuncId f = 0; f < unopt.module.functions().size(); ++f) {
+    unopt_sites += unopt.assignment.funcs[f].nonzero_sites();
+  }
+  EXPECT_LT(total_sites, unopt_sites);
+
+  // Divergence stays within the paper's acceptance envelope.
+  const DivergenceReport r = sample_clock_divergence(p.module, p.assignment, example, 128, 2048, 11);
+  EXPECT_LT(r.max_relative, 0.2);
+}
+
+TEST(ExampleWalkthrough, MaterializedExampleRunsDeterministically) {
+  // End-to-end sanity on the walkthrough module itself.
+  auto run = [&] {
+    ir::Module module = ir::parse_module(kExample);
+    instrument_module(module, PassOptions::all());
+    interp::EngineConfig config;
+    interp::Engine engine(module, config);
+    return engine.run("main", {3, 5}).main_return;
+  };
+  const std::int64_t a = run();
+  EXPECT_EQ(a, run());
+}
+
+}  // namespace
+}  // namespace detlock::pass

@@ -1,0 +1,159 @@
+// Materialization: kClockAdd placement and kClockAddDyn pinning.
+#include "pass/materialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/parser.hpp"
+#include "ir/printer.hpp"
+#include "pass/pipeline.hpp"
+#include "support/error.hpp"
+
+namespace detlock::pass {
+namespace {
+
+ir::Module instrumented(const char* text, ClockPlacement placement) {
+  ir::Module m = ir::parse_module(text);
+  PassOptions options;
+  options.placement = placement;
+  instrument_module(m, options);
+  return m;
+}
+
+const char* kSimple = R"(
+func @f(1) {
+block entry:
+  %1 = add %0, %0
+  %2 = mul %1, %1
+  ret %2
+}
+)";
+
+TEST(Materialize, StartPlacementPutsUpdateFirst) {
+  const ir::Module m = instrumented(kSimple, ClockPlacement::kStart);
+  const auto& instrs = m.functions()[0].block(0).instrs();
+  ASSERT_EQ(instrs.size(), 4u);
+  EXPECT_EQ(instrs[0].op, ir::Opcode::kClockAdd);
+  EXPECT_EQ(instrs[0].imm, 3);  // add + mul + ret
+}
+
+TEST(Materialize, EndPlacementPutsUpdateBeforeTerminator) {
+  const ir::Module m = instrumented(kSimple, ClockPlacement::kEnd);
+  const auto& instrs = m.functions()[0].block(0).instrs();
+  ASSERT_EQ(instrs.size(), 4u);
+  EXPECT_EQ(instrs[2].op, ir::Opcode::kClockAdd);
+  EXPECT_EQ(instrs[3].op, ir::Opcode::kRet);
+}
+
+TEST(Materialize, StartPlacementAfterLeadingBoundary) {
+  // After splitting, a lock leads its block; the update goes right after it
+  // (the instructions behind the lock must not be pre-counted before the
+  // lock's turn decision).
+  const ir::Module m = instrumented(R"(
+func @f(1) {
+block entry:
+  %1 = const 0
+  lock %1
+  %2 = add %0, %0
+  unlock %1
+  ret
+}
+)",
+                                    ClockPlacement::kStart);
+  const ir::Function& f = m.functions()[0];
+  ASSERT_EQ(f.num_blocks(), 3u);
+  // Block 1 starts with the lock, then its clock update.
+  const auto& b1 = f.block(1).instrs();
+  EXPECT_EQ(b1[0].op, ir::Opcode::kLock);
+  EXPECT_EQ(b1[1].op, ir::Opcode::kClockAdd);
+}
+
+TEST(Materialize, ZeroClockBlocksGetNoUpdate) {
+  ir::Module m = ir::parse_module(R"(
+func @f(1) {
+block entry:
+  %1 = icmp lt %0, %0
+  condbr %1, t, e
+block t:
+  %2 = add %0, %0
+  br m
+block e:
+  %3 = sub %0, %0
+  br m
+block m:
+  ret
+}
+)");
+  const PipelineStats stats = instrument_module(m, PassOptions::only_opt2());
+  // Opt2 zeroes at least t/e/m; only nonzero blocks carry updates.
+  std::size_t clock_adds = 0;
+  for (const ir::BasicBlock& b : m.functions()[0].blocks()) {
+    for (const ir::Instr& i : b.instrs()) {
+      if (i.op == ir::Opcode::kClockAdd) ++clock_adds;
+    }
+  }
+  EXPECT_EQ(clock_adds, stats.materialized.clock_add_sites);
+  EXPECT_LT(clock_adds, 4u);
+}
+
+TEST(Materialize, DynamicExternEmitsClockAddDynBeforeCall) {
+  const ir::Module m = instrumented(R"(
+extern @memset(3) estimate base=8 per_unit=2 size_arg=2
+
+func @f(1) {
+block entry:
+  %1 = const 7
+  %2 = callx @memset(%0, %0, %1)
+  ret
+}
+)",
+                                    ClockPlacement::kStart);
+  const auto& instrs = m.functions()[0].block(0).instrs();
+  // clockadd (static), const, clockadddyn, callx, ret.
+  ASSERT_EQ(instrs.size(), 5u);
+  EXPECT_EQ(instrs[0].op, ir::Opcode::kClockAdd);
+  EXPECT_EQ(instrs[2].op, ir::Opcode::kClockAddDyn);
+  EXPECT_EQ(instrs[2].imm, 8);
+  EXPECT_DOUBLE_EQ(instrs[2].fimm, 2.0);
+  EXPECT_EQ(instrs[2].a, instrs[3].args[2]);  // size register
+  EXPECT_EQ(instrs[3].op, ir::Opcode::kCallExtern);
+}
+
+TEST(Materialize, ClockedFunctionBodiesCarryNoUpdates) {
+  ir::Module m = ir::parse_module(R"(
+func @leaf(1) {
+block entry:
+  %1 = add %0, %0
+  ret %1
+}
+func @main(1) {
+block entry:
+  %1 = call @leaf(%0)
+  ret %1
+}
+)");
+  instrument_module(m, PassOptions::only_opt1());
+  for (const ir::Instr& i : m.function(m.find_function("leaf")).block(0).instrs()) {
+    EXPECT_FALSE(ir::is_clock_update(i.op));
+  }
+  // Caller's single update covers call + ret + estimate.
+  const auto& main_instrs = m.function(m.find_function("main")).block(0).instrs();
+  EXPECT_EQ(main_instrs[0].op, ir::Opcode::kClockAdd);
+  EXPECT_EQ(main_instrs[0].imm, 5);  // leaf(2) + call(2) + ret(1)
+}
+
+TEST(Materialize, ReinstrumentationRejected) {
+  ir::Module m = ir::parse_module(kSimple);
+  instrument_module(m, PassOptions::none());
+  EXPECT_THROW(instrument_module(m, PassOptions::none()), Error);
+  EXPECT_THROW(instrument_module(m, PassOptions::all()), Error);
+}
+
+TEST(Materialize, StatsCountSites) {
+  ir::Module m = ir::parse_module(kSimple);
+  const PipelineStats stats = instrument_module(m, PassOptions::none());
+  EXPECT_EQ(stats.materialized.clock_add_sites, 1u);
+  EXPECT_EQ(stats.materialized.clock_dyn_sites, 0u);
+}
+
+}  // namespace
+}  // namespace detlock::pass

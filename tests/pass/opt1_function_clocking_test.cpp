@@ -1,0 +1,301 @@
+// Optimization 1 (Function Clocking), paper Fig. 4.
+#include <gtest/gtest.h>
+
+#include "pass/pass_test_util.hpp"
+
+namespace detlock::pass {
+namespace {
+
+using testing::clock_of;
+using testing::prepare;
+using testing::Prepared;
+
+TEST(Opt1, SingleBlockLeafIsClocked) {
+  const Prepared p = prepare(R"(
+func @leaf(1) {
+block entry:
+  %1 = add %0, %0
+  %2 = mul %1, %0
+  ret %2
+}
+func @main(1) {
+block entry:
+  %1 = call @leaf(%0)
+  ret %1
+}
+)",
+                             PassOptions::only_opt1());
+  const ir::FuncId leaf = p.module.find_function("leaf");
+  ASSERT_TRUE(p.assignment.is_clocked(leaf));
+  // add(1) + mul(1) + ret(1) = 3.
+  EXPECT_EQ(p.assignment.clocked_functions.at(leaf), 3);
+  EXPECT_EQ(p.stats.clocked_functions, 1u);
+  // Caller's entry carries its own cost + the callee estimate:
+  // call(2) + ret(1) + estimate(3) = 6.
+  EXPECT_EQ(clock_of(p, "main", "entry"), 6);
+  // The clocked function's body carries no clocks.
+  EXPECT_EQ(testing::total_clock(p, "leaf"), 0);
+}
+
+TEST(Opt1, BalancedDiamondLeafIsClocked) {
+  const Prepared p = prepare(R"(
+func @leaf(1) {
+block entry:
+  %1 = icmp lt %0, %0
+  condbr %1, t, e
+block t:
+  %2 = add %0, %0
+  br m
+block e:
+  %3 = sub %0, %0
+  br m
+block m:
+  ret %0
+}
+func @main(1) {
+block entry:
+  %1 = call @leaf(%0)
+  ret %1
+}
+)",
+                             PassOptions::only_opt1());
+  const ir::FuncId leaf = p.module.find_function("leaf");
+  ASSERT_TRUE(p.assignment.is_clocked(leaf));
+  // Both paths cost icmp+condbr + (add|sub)+br + ret = 2+2+1 = 5.
+  EXPECT_EQ(p.assignment.clocked_functions.at(leaf), 5);
+}
+
+TEST(Opt1, UnbalancedDiamondRejectedByCriteria) {
+  // One arm is ~20x the other: range > mean/2.5.
+  std::string heavy;
+  for (int i = 0; i < 40; ++i) heavy += "  %2 = add %0, %0\n";
+  const Prepared p = prepare(R"(
+func @leaf(1) {
+block entry:
+  %1 = icmp lt %0, %0
+  condbr %1, t, e
+block t:
+)" + heavy + R"(
+  br m
+block e:
+  br m
+block m:
+  ret %0
+}
+func @main(1) {
+block entry:
+  %1 = call @leaf(%0)
+  ret %1
+}
+)",
+                             PassOptions::only_opt1());
+  EXPECT_FALSE(p.assignment.is_clocked(p.module.find_function("leaf")));
+  EXPECT_EQ(p.stats.clocked_functions, 0u);
+}
+
+TEST(Opt1, LoopsRejectClockability) {
+  const Prepared p = prepare(R"(
+func @leaf(1) {
+block entry:
+  br h
+block h:
+  condbr %0, b, x
+block b:
+  br h
+block x:
+  ret %0
+}
+func @main(1) {
+block entry:
+  %1 = call @leaf(%0)
+  ret %1
+}
+)",
+                             PassOptions::only_opt1());
+  EXPECT_FALSE(p.assignment.is_clocked(p.module.find_function("leaf")));
+}
+
+TEST(Opt1, RecursionRejected) {
+  const Prepared p = prepare(R"(
+func @r(1) {
+block entry:
+  %1 = call @r(%0)
+  ret %1
+}
+func @main(1) {
+block entry:
+  %1 = call @r(%0)
+  ret %1
+}
+)",
+                             PassOptions::only_opt1());
+  EXPECT_FALSE(p.assignment.is_clocked(p.module.find_function("r")));
+}
+
+TEST(Opt1, SyncOpsRejectClockability) {
+  const Prepared p = prepare(R"(
+func @locker(1) {
+block entry:
+  lock %0
+  unlock %0
+  ret
+}
+func @main(1) {
+block entry:
+  %1 = call @locker(%0)
+  ret
+}
+)",
+                             PassOptions::only_opt1());
+  EXPECT_FALSE(p.assignment.is_clocked(p.module.find_function("locker")));
+}
+
+TEST(Opt1, SpawnTargetsNeverClocked) {
+  // @child is a perfect leaf, but it runs on another thread: charging its
+  // cost to the spawner would freeze the child's clock.
+  const Prepared p = prepare(R"(
+func @child(1) {
+block entry:
+  %1 = add %0, %0
+  ret %1
+}
+func @main(1) {
+block entry:
+  %1 = spawn @child(%0)
+  join %1
+  %2 = call @child(%0)
+  ret %2
+}
+)",
+                             PassOptions::only_opt1());
+  EXPECT_FALSE(p.assignment.is_clocked(p.module.find_function("child")));
+}
+
+TEST(Opt1, UncalledFunctionNotClocked) {
+  const Prepared p = prepare(R"(
+func @orphan(1) {
+block entry:
+  %1 = add %0, %0
+  ret %1
+}
+func @main(1) {
+block entry:
+  ret %0
+}
+)",
+                             PassOptions::only_opt1());
+  EXPECT_FALSE(p.assignment.is_clocked(p.module.find_function("orphan")));
+}
+
+TEST(Opt1, FixedPointClocksCallersOfClockedFunctions) {
+  // Paper: "it is also possible to clock functions which call only clocked
+  // functions".  @mid is not a leaf but becomes clocked in sweep 2.
+  const Prepared p = prepare(R"(
+func @leaf(1) {
+block entry:
+  %1 = add %0, %0
+  ret %1
+}
+func @mid(1) {
+block entry:
+  %1 = call @leaf(%0)
+  %2 = call @leaf(%1)
+  ret %2
+}
+func @main(1) {
+block entry:
+  %1 = call @mid(%0)
+  ret %1
+}
+)",
+                             PassOptions::only_opt1());
+  const ir::FuncId leaf = p.module.find_function("leaf");
+  const ir::FuncId mid = p.module.find_function("mid");
+  ASSERT_TRUE(p.assignment.is_clocked(leaf));
+  ASSERT_TRUE(p.assignment.is_clocked(mid));
+  // leaf = add+ret = 2; mid = 2*call(2) + ret(1) + 2*leaf(2) = 9.
+  EXPECT_EQ(p.assignment.clocked_functions.at(leaf), 2);
+  EXPECT_EQ(p.assignment.clocked_functions.at(mid), 9);
+  // main: call(2) + ret(1) + mid(9) = 12.
+  EXPECT_EQ(clock_of(p, "main", "entry"), 12);
+}
+
+TEST(Opt1, CalleeWithUnclockedCalleeRejected) {
+  const Prepared p = prepare(R"(
+extern @mystery(1) -> value unclocked
+
+func @tainted(1) {
+block entry:
+  %1 = callx @mystery(%0)
+  ret %1
+}
+func @main(1) {
+block entry:
+  %1 = call @tainted(%0)
+  ret %1
+}
+)",
+                             PassOptions::only_opt1());
+  EXPECT_FALSE(p.assignment.is_clocked(p.module.find_function("tainted")));
+}
+
+TEST(Opt1, EstimatedExternDoesNotBlockClockability) {
+  const Prepared p = prepare(R"(
+extern @sin(1) -> value estimate base=45
+
+func @mathy(1) {
+block entry:
+  %1 = callx @sin(%0)
+  ret %1
+}
+func @main(1) {
+block entry:
+  %1 = call @mathy(%0)
+  ret %1
+}
+)",
+                             PassOptions::only_opt1());
+  const ir::FuncId mathy = p.module.find_function("mathy");
+  ASSERT_TRUE(p.assignment.is_clocked(mathy));
+  // callx(2) + ret(1) + estimate(45) = 48.
+  EXPECT_EQ(p.assignment.clocked_functions.at(mathy), 48);
+}
+
+TEST(Opt1, DynamicEstimateBlocksClockability) {
+  // memset's cost depends on a runtime value: no static summary exists.
+  const Prepared p = prepare(R"(
+extern @memset(3) estimate base=8 per_unit=2 size_arg=2
+
+func @zeroer(1) {
+block entry:
+  %1 = callx @memset(%0, %0, %0)
+  ret
+}
+func @main(1) {
+block entry:
+  %1 = call @zeroer(%0)
+  ret
+}
+)",
+                             PassOptions::only_opt1());
+  EXPECT_FALSE(p.assignment.is_clocked(p.module.find_function("zeroer")));
+}
+
+TEST(Opt1, DisabledWhenOptionOff) {
+  const Prepared p = prepare(R"(
+func @leaf(1) {
+block entry:
+  ret %0
+}
+func @main(1) {
+block entry:
+  %1 = call @leaf(%0)
+  ret %1
+}
+)",
+                             PassOptions::none());
+  EXPECT_TRUE(p.assignment.clocked_functions.empty());
+}
+
+}  // namespace
+}  // namespace detlock::pass

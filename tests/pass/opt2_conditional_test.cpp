@@ -1,0 +1,396 @@
+// Optimization 2 (Conditional Blocks), paper Figs. 6-10.
+#include <gtest/gtest.h>
+
+#include "pass/conservation.hpp"
+#include "pass/opt2_conditional.hpp"
+#include "pass/pass_test_util.hpp"
+
+namespace detlock::pass {
+namespace {
+
+using testing::clock_of;
+using testing::prepare;
+using testing::Prepared;
+using testing::total_clock;
+
+// Diamond where both arms are single-pred / single-succ:
+//   entry(cond) -> {t, e} -> m(ret)
+// entry: icmp+condbr = 2; t: add+br = 2; e: sub+sub+br = 3; m: ret = 1.
+const char* kDiamond = R"(
+func @f(1) {
+block entry:
+  %1 = icmp lt %0, %0
+  condbr %1, t, e
+block t:
+  %2 = add %0, %0
+  br m
+block e:
+  %3 = sub %0, %0
+  %4 = sub %3, %0
+  br m
+block m:
+  ret
+}
+)";
+
+TEST(Opt2a, CondNodeAbsorbsMinimumOfSuccessors) {
+  const Prepared p = prepare(kDiamond, PassOptions::only_opt2());
+  // Merge push-up first moves m's 1 into t and e (m's preds have single
+  // successors): t=3, e=4.  Then the cond rule subtracts min(3,4)=3:
+  // entry = 2+3 = 5, t = 0, e = 1, m = 0.
+  EXPECT_EQ(clock_of(p, "f", "entry"), 5);
+  EXPECT_EQ(clock_of(p, "f", "t"), 0);
+  EXPECT_EQ(clock_of(p, "f", "e"), 1);
+  EXPECT_EQ(clock_of(p, "f", "m"), 0);
+  // Precise: total clock conserved along every path; both paths originally
+  // cost entry+arm+m; after: path-t = 5+0 = 5 = 2+2+1; path-e = 5+1 = 6 =
+  // 2+3+1.
+}
+
+TEST(Opt2a, ReducesClockSites) {
+  const Prepared unopt = prepare(kDiamond, PassOptions::none());
+  const Prepared opt = prepare(kDiamond, PassOptions::only_opt2());
+  EXPECT_EQ(testing::clock_sites(unopt, "f"), 4u);
+  EXPECT_EQ(testing::clock_sites(opt, "f"), 2u);
+}
+
+TEST(Opt2a, PathCostsExactlyPreserved) {
+  // Property stated by the paper: part a "is a precise optimization".
+  const Prepared p = prepare(kDiamond, PassOptions::only_opt2());
+  const ir::FuncId f = p.module.find_function("f");
+  const DivergenceReport report = sample_clock_divergence(p.module, p.assignment, f, 64, 64, 3);
+  EXPECT_EQ(report.max_absolute, 0);
+}
+
+TEST(Opt2a, MergeBlockNotPushedWhenPredHasOtherSuccessors) {
+  // e has two successors (m and x): pushing m's clock up into e would
+  // double-charge paths through e -> x... the merge rule must refuse.
+  const Prepared p = prepare(R"(
+func @f(1) {
+block entry:
+  %1 = icmp lt %0, %0
+  condbr %1, t, e
+block t:
+  br m
+block e:
+  condbr %1, m, x
+block m:
+  %2 = add %0, %0
+  %3 = add %2, %0
+  ret
+block x:
+  ret
+}
+)",
+                             PassOptions::only_opt2());
+  // m keeps its clock (3): its predecessor e branches elsewhere too.
+  EXPECT_EQ(clock_of(p, "f", "m"), 3);
+}
+
+TEST(Opt2a, LoopHeaderAbsorbsSuccessorsButIsNeverPushedUp) {
+  // h (loop header, merge of entry+latch) may still act as a COND node --
+  // absorbing min(b, x) = 1 is precise because every h execution is
+  // followed by exactly one of b/x.  What must NOT happen is h's clock
+  // being pushed up into its predecessors (the latch would change
+  // per-iteration accounting): the latch b must end at 0, not at h's
+  // clock.
+  const Prepared p = prepare(R"(
+func @f(1) {
+block entry:
+  br h
+block h:
+  %1 = icmp lt %0, %0
+  condbr %1, b, x
+block b:
+  br h
+block x:
+  ret
+}
+)",
+                             PassOptions::only_opt2());
+  EXPECT_EQ(clock_of(p, "f", "h"), 3);
+  EXPECT_EQ(clock_of(p, "f", "b"), 0);
+  EXPECT_EQ(clock_of(p, "f", "x"), 0);
+  const DivergenceReport report =
+      sample_clock_divergence(p.module, p.assignment, p.module.find_function("f"), 64, 128, 11);
+  EXPECT_EQ(report.max_absolute, 0);
+}
+
+TEST(Opt2a, BlocksWithSyncOpsNotMoved) {
+  const Prepared p = prepare(R"(
+func @f(1) {
+block entry:
+  %1 = icmp lt %0, %0
+  condbr %1, t, e
+block t:
+  lock %0
+  unlock %0
+  br m
+block e:
+  %2 = add %0, %0
+  br m
+block m:
+  ret
+}
+)",
+                             PassOptions::only_opt2());
+  // t is split at lock/unlock; the cond rule must refuse because the
+  // successor blocks contain sync boundaries.  entry keeps its own clock.
+  EXPECT_EQ(clock_of(p, "f", "entry"), 2);
+}
+
+TEST(Opt2a, FixedPointCascadesThroughNestedDiamonds) {
+  // Inner diamond collapses first, enabling the outer one on the second
+  // sweep (paper: "if it is still possible to apply this optimization once
+  // more ... it is applied", the modified flag).
+  const Prepared p = prepare(R"(
+func @f(1) {
+block entry:
+  %1 = icmp lt %0, %0
+  condbr %1, a, b
+block a:
+  condbr %1, a1, a2
+block a1:
+  %2 = add %0, %0
+  br am
+block a2:
+  %3 = add %0, %0
+  br am
+block am:
+  br m
+block b:
+  %4 = add %0, %0
+  %5 = add %4, %0
+  %6 = add %5, %0
+  br m
+block m:
+  ret
+}
+)",
+                             PassOptions::only_opt2());
+  // All clock mass should migrate to entry (min path) with remainders on
+  // the more expensive sides only.
+  EXPECT_GT(clock_of(p, "f", "entry"), 2);
+  EXPECT_EQ(clock_of(p, "f", "a1"), 0);
+  EXPECT_EQ(clock_of(p, "f", "a2"), 0);
+  EXPECT_EQ(clock_of(p, "f", "m"), 0);
+  // Precision check.
+  const DivergenceReport report =
+      sample_clock_divergence(p.module, p.assignment, p.module.find_function("f"), 64, 64, 5);
+  EXPECT_EQ(report.max_absolute, 0);
+}
+
+TEST(Opt2a, SwitchStatementsAreCondNodes) {
+  // Paper Sec. IV-B: "This optimization deals with if-else and switch
+  // statements."  A switch whose cases are single-predecessor blocks is a
+  // cond node: min(case clocks) migrates into the switch block.
+  const Prepared p = prepare(R"(
+func @f(1) {
+block entry:
+  %1 = rem %0, %0
+  switch %1, dflt, [0: c0, 1: c1]
+block c0:
+  %2 = add %0, %0
+  %3 = add %2, %0
+  br m
+block c1:
+  %4 = add %0, %0
+  br m
+block dflt:
+  %5 = add %0, %0
+  %6 = add %5, %0
+  %7 = add %6, %0
+  br m
+block m:
+  ret
+}
+)",
+                             PassOptions::only_opt2());
+  // m's 1 pushes into the three cases (each has m as its only successor):
+  // c0=4, c1=3, dflt=5.  Then entry absorbs min=3: entry = rem(20)+switch(1)
+  // +3 = 24; c1 zeroed.
+  EXPECT_EQ(clock_of(p, "f", "c1"), 0);
+  EXPECT_EQ(clock_of(p, "f", "c0"), 1);
+  EXPECT_EQ(clock_of(p, "f", "dflt"), 2);
+  EXPECT_EQ(clock_of(p, "f", "m"), 0);
+  EXPECT_EQ(clock_of(p, "f", "entry"), 24);
+  const DivergenceReport report =
+      sample_clock_divergence(p.module, p.assignment, p.module.find_function("f"), 64, 64, 13);
+  EXPECT_EQ(report.max_absolute, 0);
+}
+
+// ---- part b ---------------------------------------------------------------
+
+// The paper's Fig. 10 pattern:
+//   U(if.end21) -> {M(lor.lhs.false23), L(if.then28)}
+//   M -> {L, E(for.inc)}
+// Give M a big clock so moved/(U+M) stays under 1/10.
+const char* kShortCircuit = R"(
+func @f(1) {
+block U:
+  %1 = icmp lt %0, %0
+  condbr %1, M, L
+block M:
+  %2 = add %0, %0
+  %3 = add %2, %0
+  %4 = add %3, %0
+  %5 = add %4, %0
+  %6 = add %5, %0
+  %7 = add %6, %0
+  %8 = add %7, %0
+  %9 = add %8, %0
+  %10 = add %9, %0
+  %11 = add %10, %0
+  %12 = add %11, %0
+  %13 = add %12, %0
+  %14 = add %13, %0
+  %15 = add %14, %0
+  %16 = add %15, %0
+  %17 = add %16, %0
+  %18 = add %17, %0
+  %19 = add %18, %0
+  condbr %1, L, E
+block L:
+  %20 = add %0, %0
+  ret
+block E:
+  ret
+}
+)";
+
+TEST(Opt2b, LiftsLowerClockIntoUpper) {
+  // Defaults: same loop depth, clock(L)=2 <= clock(U)=2 -> up-move.
+  // Divergence = clock(L)/(U+M) = 2/(2+19) < 0.1 -> applied.
+  Prepared p = prepare(kShortCircuit, PassOptions::none());
+  const std::size_t moves = run_opt2b(p.module, p.assignment, p.module.find_function("f"),
+                                      PassOptions::only_opt2());
+  EXPECT_EQ(moves, 1u);
+  EXPECT_EQ(clock_of(p, "f", "U"), 4);  // 2 + L's 2
+  EXPECT_EQ(clock_of(p, "f", "L"), 0);
+}
+
+TEST(Opt2b, RefusedWhenDivergenceTooLarge) {
+  // Shrink M so moved/(U+M) = 2/(2+2) = 0.5 >= 0.1.
+  Prepared p = prepare(R"(
+func @f(1) {
+block U:
+  %1 = icmp lt %0, %0
+  condbr %1, M, L
+block M:
+  condbr %1, L, E
+block L:
+  %2 = add %0, %0
+  ret
+block E:
+  ret
+}
+)",
+                       PassOptions::none());
+  const std::size_t moves = run_opt2b(p.module, p.assignment, p.module.find_function("f"),
+                                      PassOptions::only_opt2());
+  EXPECT_EQ(moves, 0u);
+  EXPECT_EQ(clock_of(p, "f", "L"), 2);
+}
+
+TEST(Opt2b, PreciseWhenMiddleHasSingleSuccessor) {
+  // Paper: "If [M] had no successor other than [L] ... that optimization
+  // ... would have been precise" -- applied regardless of clock sizes.
+  Prepared p = prepare(R"(
+func @f(1) {
+block U:
+  %1 = icmp lt %0, %0
+  condbr %1, M, L
+block M:
+  br L
+block L:
+  %2 = add %0, %0
+  %3 = add %2, %0
+  %4 = add %3, %0
+  ret
+}
+)",
+                       PassOptions::none());
+  const std::size_t moves = run_opt2b(p.module, p.assignment, p.module.find_function("f"),
+                                      PassOptions::only_opt2());
+  EXPECT_EQ(moves, 1u);
+  EXPECT_EQ(clock_of(p, "f", "U"), 6);  // 2 + 4
+  EXPECT_EQ(clock_of(p, "f", "L"), 0);
+  const DivergenceReport report =
+      sample_clock_divergence(p.module, p.assignment, p.module.find_function("f"), 64, 64, 7);
+  EXPECT_EQ(report.max_absolute, 0);
+}
+
+TEST(Opt2b, MovesDownWhenUpperAtHigherLoopDepth) {
+  // The paper's actual Fig. 10 case: U sits inside the loop (higher depth),
+  // L is the loop exit path... here U is in a loop and L outside it, so the
+  // rule removes U's clock and adds it to L.
+  Prepared p = prepare(R"(
+func @f(1) {
+block entry:
+  br U
+block U:
+  %1 = icmp lt %0, %0
+  condbr %1, M, L
+block M:
+  %2 = add %0, %0
+  %3 = add %2, %0
+  %4 = add %3, %0
+  %5 = add %4, %0
+  %6 = add %5, %0
+  %7 = add %6, %0
+  %8 = add %7, %0
+  %9 = add %8, %0
+  %10 = add %9, %0
+  %11 = add %10, %0
+  %12 = add %11, %0
+  %13 = add %12, %0
+  %14 = add %13, %0
+  %15 = add %14, %0
+  %16 = add %15, %0
+  %17 = add %16, %0
+  %18 = add %17, %0
+  %19 = add %18, %0
+  condbr %1, L, E
+block E:
+  br U
+block L:
+  %20 = add %0, %0
+  ret
+}
+)",
+                       PassOptions::none());
+  const std::int64_t u_before = clock_of(p, "f", "U");
+  const std::int64_t l_before = clock_of(p, "f", "L");
+  const std::size_t moves = run_opt2b(p.module, p.assignment, p.module.find_function("f"),
+                                      PassOptions::only_opt2());
+  EXPECT_EQ(moves, 1u);
+  EXPECT_EQ(clock_of(p, "f", "U"), 0);
+  EXPECT_EQ(clock_of(p, "f", "L"), l_before + u_before);
+}
+
+TEST(Opt2b, PatternNotMatchedWhenLowerHasExtraPredecessors) {
+  Prepared p = prepare(R"(
+func @f(1) {
+block U:
+  %1 = icmp lt %0, %0
+  condbr %1, M, L
+block M:
+  %2 = add %0, %0
+  %3 = add %2, %0
+  condbr %1, L, E
+block E:
+  br L
+block L:
+  %4 = add %0, %0
+  ret
+}
+)",
+                       PassOptions::none());
+  // L's preds are {U, M, E}: no move.
+  const std::size_t moves = run_opt2b(p.module, p.assignment, p.module.find_function("f"),
+                                      PassOptions::only_opt2());
+  EXPECT_EQ(moves, 0u);
+}
+
+}  // namespace
+}  // namespace detlock::pass

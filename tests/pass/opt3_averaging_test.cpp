@@ -1,0 +1,210 @@
+// Optimization 3 (Averaging of Clocks), paper Figs. 11-12.
+#include <gtest/gtest.h>
+
+#include "pass/conservation.hpp"
+#include "pass/opt3_averaging.hpp"
+#include "pass/pass_test_util.hpp"
+
+namespace detlock::pass {
+namespace {
+
+using testing::clock_of;
+using testing::prepare;
+using testing::Prepared;
+
+// Balanced double-diamond region rooted at entry:
+// paths entry->t->m->{p,q}->x all cost nearly the same.
+const char* kBalancedRegion = R"(
+func @f(1) {
+block entry:
+  %1 = icmp lt %0, %0
+  condbr %1, t, e
+block t:
+  %2 = add %0, %0
+  %3 = add %2, %0
+  br m
+block e:
+  %4 = sub %0, %0
+  %5 = sub %4, %0
+  br m
+block m:
+  condbr %1, p, q
+block p:
+  %6 = add %0, %0
+  br x
+block q:
+  %7 = sub %0, %0
+  br x
+block x:
+  ret
+}
+)";
+
+TEST(Opt3, CollapsesBalancedRegionToOneUpdate) {
+  const Prepared p = prepare(kBalancedRegion, PassOptions::only_opt3());
+  // All four paths cost: entry(2) + arm(3) + m(1) + leg(2) + x(1) = 9.
+  EXPECT_EQ(clock_of(p, "f", "entry"), 9);
+  for (const char* b : {"t", "e", "m", "p", "q", "x"}) {
+    EXPECT_EQ(clock_of(p, "f", b), 0) << b;
+  }
+  EXPECT_EQ(p.stats.opt3_regions, 1u);
+  EXPECT_EQ(testing::clock_sites(p, "f"), 1u);
+}
+
+TEST(Opt3, DivergenceBoundedByCriteria) {
+  const Prepared p = prepare(kBalancedRegion, PassOptions::only_opt3());
+  const DivergenceReport report =
+      sample_clock_divergence(p.module, p.assignment, p.module.find_function("f"), 128, 64, 17);
+  // All paths equal -> the average is exact here.
+  EXPECT_EQ(report.max_absolute, 0);
+}
+
+TEST(Opt3, RejectsWideSpreadRegion) {
+  std::string heavy;
+  for (int i = 0; i < 40; ++i) heavy += "  %9 = add %0, %0\n";
+  const Prepared p = prepare(R"(
+func @f(1) {
+block entry:
+  %1 = icmp lt %0, %0
+  condbr %1, t, e
+block t:
+)" + heavy + R"(
+  br x
+block e:
+  br x
+block x:
+  ret
+}
+)",
+                             PassOptions::only_opt3());
+  EXPECT_EQ(p.stats.opt3_regions, 0u);
+  EXPECT_GT(clock_of(p, "f", "t"), 0);
+}
+
+TEST(Opt3, StopsAtLoops) {
+  // The region cannot swallow the loop: paths stop at back edges, and the
+  // cycle makes the candidate invalid, so clocks inside the loop stay.
+  const Prepared p = prepare(R"(
+func @f(1) {
+block entry:
+  %1 = icmp lt %0, %0
+  condbr %1, a, b
+block a:
+  br h
+block b:
+  br h
+block h:
+  condbr %1, body, x
+block body:
+  %2 = add %0, %0
+  br h
+block x:
+  ret
+}
+)",
+                             PassOptions::only_opt3());
+  EXPECT_GT(clock_of(p, "f", "body") + clock_of(p, "f", "h"), 0);
+}
+
+TEST(Opt3, RefusesRegionWithUnclockedCall) {
+  const Prepared p = prepare(R"(
+func @opaque_fn(0) {
+block entry:
+  ret
+}
+func @f(1) {
+block entry:
+  %1 = icmp lt %0, %0
+  condbr %1, t, e
+block t:
+  %2 = call @opaque_fn()
+  br x
+block e:
+  br x
+block x:
+  ret
+}
+func @main(1) {
+block entry:
+  %1 = call @f(%0)
+  %2 = call @opaque_fn()
+  ret
+}
+)",
+                             PassOptions::only_opt3());
+  // The t arm contains an unclocked call; region growth stops before it and
+  // no averaging that covers it may happen.  (entry may still keep its own
+  // clock.)
+  EXPECT_EQ(p.stats.opt3_regions, 0u);
+}
+
+TEST(Opt3, ContinuesSearchBelowAveragedRegion) {
+  // Two stacked balanced regions separated by an uneven junction: the first
+  // is averaged, then the DFS resumes at the frontier and averages the
+  // second.
+  const Prepared p = prepare(R"(
+func @f(1) {
+block entry:
+  %1 = icmp lt %0, %0
+  condbr %1, t, e
+block t:
+  br m
+block e:
+  br m
+block m:
+  %2 = add %0, %0
+  condbr %1, p, q
+block p:
+  br y
+block q:
+  br y
+block y:
+  ret
+}
+)",
+                             PassOptions::only_opt3());
+  // The whole function is one closed region from entry (all paths equal
+  // cost), so one region suffices -- or, if growth stopped at m, two.
+  // Either way every block except region roots is zero.
+  EXPECT_GE(p.stats.opt3_regions, 1u);
+  EXPECT_EQ(clock_of(p, "f", "p"), 0);
+  EXPECT_EQ(clock_of(p, "f", "q"), 0);
+  const DivergenceReport report =
+      sample_clock_divergence(p.module, p.assignment, p.module.find_function("f"), 64, 64, 23);
+  EXPECT_EQ(report.max_absolute, 0);
+}
+
+TEST(Opt3, RoundsMeanToNearestInteger) {
+  // Paths cost 9 and 10 -> mean 9.5 -> rounds to 10 (llround half-up).
+  const Prepared p = prepare(R"(
+func @f(1) {
+block entry:
+  %1 = icmp lt %0, %0
+  condbr %1, t, e
+block t:
+  %2 = add %0, %0
+  %3 = add %2, %0
+  %4 = add %3, %0
+  %5 = add %4, %0
+  %6 = add %5, %0
+  %7 = add %6, %0
+  br x
+block e:
+  %8 = add %0, %0
+  %9 = add %8, %0
+  %10 = add %9, %0
+  %11 = add %10, %0
+  %12 = add %11, %0
+  br x
+block x:
+  ret
+}
+)",
+                             PassOptions::only_opt3());
+  ASSERT_EQ(p.stats.opt3_regions, 1u);
+  // Paths: 2+7+1 = 10 and 2+6+1 = 9 -> mean 9.5 -> 10.
+  EXPECT_EQ(clock_of(p, "f", "entry"), 10);
+}
+
+}  // namespace
+}  // namespace detlock::pass

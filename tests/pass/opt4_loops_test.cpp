@@ -1,0 +1,200 @@
+// Optimization 4 (Loops), paper Sec. IV-D.
+#include <gtest/gtest.h>
+
+#include "pass/conservation.hpp"
+#include "pass/opt4_loops.hpp"
+#include "pass/pass_test_util.hpp"
+
+namespace detlock::pass {
+namespace {
+
+using testing::clock_of;
+using testing::prepare;
+using testing::Prepared;
+
+// for-loop shape: header h (heavy: load-based bound check), latch inc
+// (light), body.
+const char* kForLoop = R"(
+func @f(1) {
+block entry:
+  br h
+block h:
+  %1 = load %0
+  %2 = icmp lt %0, %1
+  condbr %2, body, x
+block body:
+  %3 = add %0, %0
+  br inc
+block inc:
+  %4 = add %0, %0
+  br h
+block x:
+  ret
+}
+)";
+
+TEST(Opt4, MergesLightLatchIntoHeavierHeader) {
+  const Prepared p = prepare(kForLoop, PassOptions::only_opt4());
+  // h = load(3)+icmp(1)+condbr(1) = 5; inc = add(1)+br(1) = 2 < 5 and
+  // < threshold -> merged: h = 7, inc = 0.
+  EXPECT_EQ(clock_of(p, "f", "h"), 7);
+  EXPECT_EQ(clock_of(p, "f", "inc"), 0);
+  EXPECT_EQ(p.stats.opt4_merges, 1u);
+}
+
+TEST(Opt4, DivergenceIsAtMostOneLatchCost) {
+  const Prepared p = prepare(kForLoop, PassOptions::only_opt4());
+  // The final header evaluation (loop exit) over-counts by one latch cost.
+  const DivergenceReport report =
+      sample_clock_divergence(p.module, p.assignment, p.module.find_function("f"), 128, 256, 31);
+  EXPECT_LE(report.max_absolute, 2);  // one latch = 2
+}
+
+TEST(Opt4, RefusesLatchHeavierThanHeader) {
+  const Prepared p = prepare(R"(
+func @f(1) {
+block entry:
+  br h
+block h:
+  %1 = icmp lt %0, %0
+  condbr %1, body, x
+block body:
+  br inc
+block inc:
+  %2 = add %0, %0
+  %3 = add %2, %0
+  %4 = add %3, %0
+  br h
+block x:
+  ret
+}
+)",
+                             PassOptions::only_opt4());
+  // latch = 4 >= header = 2: refused.
+  EXPECT_EQ(p.stats.opt4_merges, 0u);
+  EXPECT_EQ(clock_of(p, "f", "inc"), 4);
+}
+
+TEST(Opt4, RefusesLatchAboveThreshold) {
+  std::string fat;
+  for (int i = 0; i < 20; ++i) fat += "  %9 = add %0, %0\n";
+  std::string heavy_header;
+  for (int i = 0; i < 30; ++i) heavy_header += "  %8 = add %0, %0\n";
+  const Prepared p = prepare(R"(
+func @f(1) {
+block entry:
+  br h
+block h:
+)" + heavy_header + R"(
+  %1 = icmp lt %0, %0
+  condbr %1, inc, x
+block inc:
+)" + fat + R"(
+  br h
+block x:
+  ret
+}
+)",
+                             PassOptions::only_opt4());
+  // latch = 21 >= default threshold 16 even though < header: refused.
+  EXPECT_EQ(p.stats.opt4_merges, 0u);
+}
+
+TEST(Opt4, ThresholdIsConfigurable) {
+  PassOptions options = PassOptions::only_opt4();
+  options.opt4_threshold = 100;
+  std::string fat;
+  for (int i = 0; i < 20; ++i) fat += "  %9 = add %0, %0\n";
+  std::string heavy_header;
+  for (int i = 0; i < 30; ++i) heavy_header += "  %8 = add %0, %0\n";
+  const Prepared p = prepare(R"(
+func @f(1) {
+block entry:
+  br h
+block h:
+)" + heavy_header + R"(
+  %1 = icmp lt %0, %0
+  condbr %1, inc, x
+block inc:
+)" + fat + R"(
+  br h
+block x:
+  ret
+}
+)",
+                             options);
+  EXPECT_EQ(p.stats.opt4_merges, 1u);
+}
+
+TEST(Opt4, RefusesLatchWithSyncOp) {
+  const Prepared p = prepare(R"(
+func @f(1) {
+block entry:
+  br h
+block h:
+  %1 = load %0
+  %2 = icmp lt %0, %1
+  condbr %2, inc, x
+block inc:
+  lock %0
+  unlock %0
+  br h
+block x:
+  ret
+}
+)",
+                             PassOptions::only_opt4());
+  EXPECT_EQ(p.stats.opt4_merges, 0u);
+}
+
+TEST(Opt4, SelfLoopNotMerged) {
+  // A self-loop's latch IS its header; merging would be a no-op and the
+  // strict < comparison refuses it.
+  const Prepared p = prepare(R"(
+func @f(1) {
+block entry:
+  br s
+block s:
+  %1 = icmp lt %0, %0
+  condbr %1, s, x
+block x:
+  ret
+}
+)",
+                             PassOptions::only_opt4());
+  EXPECT_EQ(p.stats.opt4_merges, 0u);
+}
+
+TEST(Opt4, NestedLoopsEachMerge) {
+  const Prepared p = prepare(R"(
+func @f(1) {
+block entry:
+  br oh
+block oh:
+  %1 = load %0
+  %2 = icmp lt %0, %1
+  condbr %2, ih, x
+block ih:
+  %3 = load %0
+  %4 = icmp lt %0, %3
+  condbr %4, ib, oinc
+block ib:
+  br iinc
+block iinc:
+  %5 = add %0, %0
+  br ih
+block oinc:
+  %6 = add %0, %0
+  br oh
+block x:
+  ret
+}
+)",
+                             PassOptions::only_opt4());
+  EXPECT_EQ(p.stats.opt4_merges, 2u);
+  EXPECT_EQ(clock_of(p, "f", "iinc"), 0);
+  EXPECT_EQ(clock_of(p, "f", "oinc"), 0);
+}
+
+}  // namespace
+}  // namespace detlock::pass

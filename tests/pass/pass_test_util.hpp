@@ -1,0 +1,50 @@
+// Shared helpers for pass tests.
+#pragma once
+
+#include <string>
+
+#include "ir/parser.hpp"
+#include "ir/printer.hpp"
+#include "pass/pipeline.hpp"
+
+namespace detlock::pass::testing {
+
+struct Prepared {
+  ir::Module module;
+  ClockAssignment assignment;
+  PipelineStats stats;
+};
+
+/// Runs phases 1-4 (no materialization) on textual IR.
+inline Prepared prepare(const std::string& text, const PassOptions& options) {
+  Prepared p;
+  p.module = ir::parse_module(text);
+  p.stats = compute_assignment(p.module, options, p.assignment);
+  return p;
+}
+
+/// Clock of the block named `block` in function `func`.
+inline std::int64_t clock_of(const Prepared& p, const std::string& func, const std::string& block) {
+  const ir::FuncId f = p.module.find_function(func);
+  const ir::BlockId b = p.module.function(f).find_block(block);
+  DETLOCK_CHECK(b != ir::kInvalidBlock, "no block '" + block + "' in @" + func);
+  return p.assignment.funcs[f][b].clock;
+}
+
+inline std::int64_t original_cost_of(const Prepared& p, const std::string& func, const std::string& block) {
+  const ir::FuncId f = p.module.find_function(func);
+  const ir::BlockId b = p.module.function(f).find_block(block);
+  DETLOCK_CHECK(b != ir::kInvalidBlock, "no block '" + block + "' in @" + func);
+  return p.assignment.funcs[f][b].original_cost;
+}
+
+/// Total assigned clock over a function (conservation checks).
+inline std::int64_t total_clock(const Prepared& p, const std::string& func) {
+  return p.assignment.funcs[p.module.find_function(func)].total_assigned();
+}
+
+inline std::size_t clock_sites(const Prepared& p, const std::string& func) {
+  return p.assignment.funcs[p.module.find_function(func)].nonzero_sites();
+}
+
+}  // namespace detlock::pass::testing

@@ -1,0 +1,132 @@
+#include "runtime/clock_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace detlock::runtime {
+namespace {
+
+RuntimeConfig config_every_update() {
+  RuntimeConfig c;
+  c.max_threads = 4;
+  return c;
+}
+
+TEST(ClockTable, ActivateSetsInitialClock) {
+  ClockTable t(config_every_update());
+  t.activate(0, 7);
+  EXPECT_EQ(t.published(0), 7u);
+  EXPECT_EQ(t.local(0), 7u);
+  EXPECT_EQ(t.state(0), ThreadState::kLive);
+  EXPECT_EQ(t.state(1), ThreadState::kUnused);
+}
+
+TEST(ClockTable, ReusingSlotThrows) {
+  ClockTable t(config_every_update());
+  t.activate(0, 0);
+  EXPECT_THROW(t.activate(0, 0), Error);
+}
+
+TEST(ClockTable, EveryUpdatePublishesImmediately) {
+  ClockTable t(config_every_update());
+  t.activate(0, 0);
+  EXPECT_TRUE(t.add(0, 5));
+  EXPECT_EQ(t.published(0), 5u);
+  EXPECT_TRUE(t.add(0, 3));
+  EXPECT_EQ(t.published(0), 8u);
+}
+
+TEST(ClockTable, ChunkedPublishesOnlyAtChunkBoundaries) {
+  RuntimeConfig c = config_every_update();
+  c.publication = ClockPublication::kChunked;
+  c.chunk_size = 100;
+  ClockTable t(c);
+  t.activate(0, 0);
+  EXPECT_FALSE(t.add(0, 40));
+  EXPECT_EQ(t.published(0), 0u);   // stale: the Kendo disadvantage
+  EXPECT_EQ(t.local(0), 40u);
+  EXPECT_FALSE(t.add(0, 59));
+  EXPECT_EQ(t.published(0), 0u);
+  EXPECT_TRUE(t.add(0, 1));        // residue hits 100
+  EXPECT_EQ(t.published(0), 100u);
+}
+
+TEST(ClockTable, FlushForcesPublication) {
+  RuntimeConfig c = config_every_update();
+  c.publication = ClockPublication::kChunked;
+  c.chunk_size = 1000;
+  ClockTable t(c);
+  t.activate(0, 0);
+  t.add(0, 5);
+  EXPECT_EQ(t.published(0), 0u);
+  t.flush(0);
+  EXPECT_EQ(t.published(0), 5u);
+}
+
+TEST(ClockTable, ParkPublishesInfinityPreservingLocal) {
+  ClockTable t(config_every_update());
+  t.activate(0, 10);
+  t.park(0);
+  EXPECT_EQ(t.published(0), kClockInfinity);
+  EXPECT_EQ(t.local(0), 10u);
+  t.set_clock(0, 25);
+  EXPECT_EQ(t.published(0), 25u);
+}
+
+TEST(ClockTable, FinishedThreadsKeepFinalClock) {
+  ClockTable t(config_every_update());
+  t.activate(0, 0);
+  t.add(0, 42);
+  t.finish(0);
+  EXPECT_EQ(t.state(0), ThreadState::kFinished);
+  EXPECT_EQ(t.published(0), kClockInfinity);
+  EXPECT_EQ(t.finished_clock(0), 42u);
+}
+
+TEST(ClockTable, TurnGoesToStrictMinimum) {
+  ClockTable t(config_every_update());
+  t.activate(0, 10);
+  t.activate(1, 5);
+  EXPECT_FALSE(t.has_turn(0));
+  EXPECT_TRUE(t.has_turn(1));
+  t.add(1, 10);  // now 15 > 10
+  EXPECT_TRUE(t.has_turn(0));
+  EXPECT_FALSE(t.has_turn(1));
+}
+
+TEST(ClockTable, TiesBrokenBySmallerThreadId) {
+  ClockTable t(config_every_update());
+  t.activate(0, 7);
+  t.activate(1, 7);
+  EXPECT_TRUE(t.has_turn(0));
+  EXPECT_FALSE(t.has_turn(1));
+}
+
+TEST(ClockTable, ParkedAndFinishedThreadsDoNotBlockTurn) {
+  ClockTable t(config_every_update());
+  t.activate(0, 100);
+  t.activate(1, 5);
+  t.activate(2, 1);
+  EXPECT_FALSE(t.has_turn(0));
+  t.park(1);
+  t.finish(2);
+  EXPECT_TRUE(t.has_turn(0));  // only live competitor left
+}
+
+TEST(ClockTable, LiveCountTracksStates) {
+  ClockTable t(config_every_update());
+  EXPECT_EQ(t.live_count(), 0u);
+  t.activate(0, 0);
+  t.activate(1, 0);
+  EXPECT_EQ(t.live_count(), 2u);
+  t.finish(1);
+  EXPECT_EQ(t.live_count(), 1u);
+}
+
+TEST(ClockTable, SingleThreadAlwaysHasTurn) {
+  ClockTable t(config_every_update());
+  t.activate(0, 12345);
+  EXPECT_TRUE(t.has_turn(0));
+}
+
+}  // namespace
+}  // namespace detlock::runtime

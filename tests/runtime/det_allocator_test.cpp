@@ -1,0 +1,127 @@
+#include "runtime/det_allocator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "runtime/det_backend.hpp"
+#include "runtime/nondet_backend.hpp"
+
+namespace detlock::runtime {
+namespace {
+
+struct Fixture {
+  RuntimeConfig config;
+  DetBackend backend;
+  ThreadId main_t;
+  DetAllocator alloc;
+
+  explicit Fixture(std::int64_t heap_words = 1000)
+      : config([] {
+          RuntimeConfig c;
+          c.max_threads = 8;
+          return c;
+        }()),
+        backend(config),
+        main_t(backend.register_main_thread()),
+        alloc(backend, 4095, /*heap_base=*/16, heap_words) {}
+};
+
+TEST(DetAllocator, FirstFitSequentialAddresses) {
+  Fixture f;
+  const std::int64_t a = f.alloc.allocate(f.main_t, 10);
+  const std::int64_t b = f.alloc.allocate(f.main_t, 20);
+  EXPECT_EQ(a, 16);
+  EXPECT_EQ(b, 26);
+  EXPECT_EQ(f.alloc.live_blocks(), 2u);
+}
+
+TEST(DetAllocator, FreeAndReuse) {
+  Fixture f;
+  const std::int64_t a = f.alloc.allocate(f.main_t, 10);
+  f.alloc.deallocate(f.main_t, a);
+  const std::int64_t b = f.alloc.allocate(f.main_t, 10);
+  EXPECT_EQ(a, b);  // first fit reuses the freed block
+}
+
+TEST(DetAllocator, CoalescesNeighbors) {
+  Fixture f(100);
+  const std::int64_t a = f.alloc.allocate(f.main_t, 30);
+  const std::int64_t b = f.alloc.allocate(f.main_t, 30);
+  const std::int64_t c = f.alloc.allocate(f.main_t, 40);
+  (void)c;
+  // Free a and c, then b: all three must coalesce into one 100-word range.
+  f.alloc.deallocate(f.main_t, a);
+  f.alloc.deallocate(f.main_t, c);
+  f.alloc.deallocate(f.main_t, b);
+  const std::int64_t big = f.alloc.allocate(f.main_t, 100);
+  EXPECT_EQ(big, 16);
+}
+
+TEST(DetAllocator, ExhaustionReturnsZero) {
+  Fixture f(50);
+  EXPECT_NE(f.alloc.allocate(f.main_t, 50), 0);
+  EXPECT_EQ(f.alloc.allocate(f.main_t, 1), 0);
+  EXPECT_EQ(f.alloc.stats().failed_allocs, 1u);
+}
+
+TEST(DetAllocator, DoubleFreeThrows) {
+  Fixture f;
+  const std::int64_t a = f.alloc.allocate(f.main_t, 5);
+  f.alloc.deallocate(f.main_t, a);
+  EXPECT_THROW(f.alloc.deallocate(f.main_t, a), Error);
+}
+
+TEST(DetAllocator, FreeOfUnknownAddressThrows) {
+  Fixture f;
+  EXPECT_THROW(f.alloc.deallocate(f.main_t, 999), Error);
+}
+
+TEST(DetAllocator, NonPositiveSizeRejected) {
+  Fixture f;
+  EXPECT_THROW(f.alloc.allocate(f.main_t, 0), Error);
+  EXPECT_THROW(f.alloc.allocate(f.main_t, -3), Error);
+}
+
+TEST(DetAllocator, StatsTrackPeak) {
+  Fixture f;
+  const std::int64_t a = f.alloc.allocate(f.main_t, 40);
+  const std::int64_t b = f.alloc.allocate(f.main_t, 10);
+  f.alloc.deallocate(f.main_t, a);
+  EXPECT_EQ(f.alloc.stats().peak_live_words, 50);
+  EXPECT_EQ(f.alloc.stats().live_words, 10);
+  f.alloc.deallocate(f.main_t, b);
+  EXPECT_EQ(f.alloc.stats().live_words, 0);
+}
+
+// The paper's point: with a deterministic internal lock, concurrent
+// allocations return the same addresses in every run.
+TEST(DetAllocator, ConcurrentAllocationAddressesAreDeterministic) {
+  auto run = [] {
+    Fixture f(100000);
+    const ThreadId w1 = f.backend.register_spawn(f.main_t);
+    const ThreadId w2 = f.backend.register_spawn(f.main_t);
+    std::vector<std::int64_t> addrs1, addrs2;
+    auto worker = [&](ThreadId self, std::vector<std::int64_t>* out, std::uint64_t work) {
+      for (int i = 0; i < 30; ++i) {
+        f.backend.clock_add(self, work);
+        out->push_back(f.alloc.allocate(self, 8 + (self % 3)));
+      }
+      f.backend.thread_finish(self);
+    };
+    std::thread t1(worker, w1, &addrs1, 13);
+    std::thread t2(worker, w2, &addrs2, 29);
+    f.backend.join(f.main_t, w1);
+    f.backend.join(f.main_t, w2);
+    t1.join();
+    t2.join();
+    f.backend.thread_finish(f.main_t);
+    addrs1.insert(addrs1.end(), addrs2.begin(), addrs2.end());
+    return addrs1;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace detlock::runtime

@@ -1,0 +1,180 @@
+// DetBackend barrier and join semantics.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "runtime/det_backend.hpp"
+
+namespace detlock::runtime {
+namespace {
+
+RuntimeConfig small_config() {
+  RuntimeConfig c;
+  c.max_threads = 8;
+  return c;
+}
+
+TEST(DetBarrier, AllThreadsResumeAtMaxArrivalPlusOne) {
+  DetBackend b(small_config());
+  const ThreadId main_t = b.register_main_thread();
+  const ThreadId w1 = b.register_spawn(main_t);
+  const ThreadId w2 = b.register_spawn(main_t);
+
+  std::vector<std::uint64_t> resume_clock(3, 0);
+  auto participant = [&](ThreadId self, std::uint64_t work) {
+    b.clock_add(self, work);
+    b.barrier_wait(self, 0, 3);
+    resume_clock[self] = b.clock_of(self);
+    b.thread_finish(self);
+  };
+  std::thread t1(participant, w1, 500);
+  std::thread t2(participant, w2, 90);
+  b.clock_add(main_t, 200);
+  b.barrier_wait(main_t, 0, 3);
+  resume_clock[main_t] = b.clock_of(main_t);
+  t1.join();
+  t2.join();
+  b.thread_finish(main_t);
+
+  // Arrivals: main 200, w1 501, w2 91 -> everyone resumes at 502.
+  EXPECT_EQ(resume_clock[0], 502u);
+  EXPECT_EQ(resume_clock[1], 502u);
+  EXPECT_EQ(resume_clock[2], 502u);
+}
+
+TEST(DetBarrier, MultipleRoundsStayBalanced) {
+  DetBackend b(small_config());
+  const ThreadId main_t = b.register_main_thread();
+  const ThreadId w1 = b.register_spawn(main_t);
+
+  std::vector<std::uint64_t> w1_clocks;
+  std::thread t1([&] {
+    for (int round = 0; round < 5; ++round) {
+      b.clock_add(w1, 10 + static_cast<std::uint64_t>(round));
+      b.barrier_wait(w1, 0, 2);
+      w1_clocks.push_back(b.clock_of(w1));
+    }
+    b.thread_finish(w1);
+  });
+  std::vector<std::uint64_t> main_clocks;
+  for (int round = 0; round < 5; ++round) {
+    b.clock_add(main_t, 100);
+    b.barrier_wait(main_t, 0, 2);
+    main_clocks.push_back(b.clock_of(main_t));
+  }
+  t1.join();
+  b.thread_finish(main_t);
+  // After each round both threads share a clock.
+  EXPECT_EQ(w1_clocks, main_clocks);
+  // Clocks strictly increase per round.
+  for (std::size_t i = 1; i < main_clocks.size(); ++i) EXPECT_GT(main_clocks[i], main_clocks[i - 1]);
+}
+
+TEST(DetBarrier, StrictModeRejectsSubsetBarriers) {
+  DetBackend b(small_config());
+  const ThreadId main_t = b.register_main_thread();
+  const ThreadId w1 = b.register_spawn(main_t);
+  (void)w1;  // live but not participating: 1 participant != 2 live
+  EXPECT_THROW(b.barrier_wait(main_t, 0, 1), Error);
+}
+
+TEST(DetBarrier, NonStrictModeAllowsSubset) {
+  RuntimeConfig c = small_config();
+  c.strict_barriers = false;
+  DetBackend b(c);
+  const ThreadId main_t = b.register_main_thread();
+  const ThreadId w1 = b.register_spawn(main_t);
+  (void)w1;
+  b.clock_add(main_t, 3);
+  b.barrier_wait(main_t, 0, 1);  // trivially releases
+  EXPECT_EQ(b.clock_of(main_t), 4u);
+}
+
+TEST(DetBarrier, ZeroParticipantsRejected) {
+  DetBackend b(small_config());
+  const ThreadId main_t = b.register_main_thread();
+  EXPECT_THROW(b.barrier_wait(main_t, 0, 0), Error);
+}
+
+TEST(DetJoin, PostJoinClockIsMaxOfEntryAndChildFinal) {
+  DetBackend b(small_config());
+  const ThreadId main_t = b.register_main_thread();
+  const ThreadId child = b.register_spawn(main_t);  // clock 1
+  std::thread t([&] {
+    b.clock_add(child, 999);  // final clock 1000
+    b.thread_finish(child);
+  });
+  b.clock_add(main_t, 10);
+  b.join(main_t, child);
+  t.join();
+  // Entry clock 10 < child final 1000 -> resume at 1001, +1 join tick.
+  EXPECT_EQ(b.clock_of(main_t), 1002u);
+  b.thread_finish(main_t);
+}
+
+TEST(DetJoin, ChildAlreadyFinishedBelowJoinerKeepsJoinerClock) {
+  DetBackend b(small_config());
+  const ThreadId main_t = b.register_main_thread();
+  const ThreadId child = b.register_spawn(main_t);
+  std::thread t([&] {
+    b.clock_add(child, 3);  // final 4
+    b.thread_finish(child);
+  });
+  t.join();  // physically finished before the join
+  b.clock_add(main_t, 500);
+  b.join(main_t, child);
+  // Child final 4 < joiner 500: only the +1 join tick applies.
+  EXPECT_EQ(b.clock_of(main_t), 501u);
+  b.thread_finish(main_t);
+}
+
+TEST(DetJoin, PostJoinClockIsReproducible) {
+  // The join protocol's promise: max(entry, final+1) regardless of physical
+  // interleaving.  Run with the child artificially delayed vs not.
+  auto run = [&](bool delay_child) {
+    DetBackend b(small_config());
+    const ThreadId main_t = b.register_main_thread();
+    const ThreadId child = b.register_spawn(main_t);
+    std::thread t([&] {
+      if (delay_child) std::this_thread::sleep_for(std::chrono::milliseconds(30));
+      b.clock_add(child, 200);
+      b.thread_finish(child);
+    });
+    b.clock_add(main_t, 50);
+    b.join(main_t, child);
+    t.join();
+    const std::uint64_t clock = b.clock_of(main_t);
+    b.thread_finish(main_t);
+    return clock;
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(DetJoin, BadTargetThrows) {
+  DetBackend b(small_config());
+  const ThreadId main_t = b.register_main_thread();
+  EXPECT_THROW(b.join(main_t, main_t), Error);
+  EXPECT_THROW(b.join(main_t, 99), Error);
+}
+
+TEST(DetSpawn, ChildClockSeededFromParent) {
+  DetBackend b(small_config());
+  const ThreadId main_t = b.register_main_thread();
+  b.clock_add(main_t, 41);
+  const ThreadId child = b.register_spawn(main_t);
+  EXPECT_EQ(child, 1u);
+  EXPECT_EQ(b.clock_of(child), 42u);
+}
+
+TEST(DetSpawn, TooManyThreadsThrows) {
+  RuntimeConfig c = small_config();
+  c.max_threads = 2;
+  DetBackend b(c);
+  const ThreadId main_t = b.register_main_thread();
+  b.register_spawn(main_t);
+  EXPECT_THROW(b.register_spawn(main_t), Error);
+}
+
+}  // namespace
+}  // namespace detlock::runtime

@@ -1,0 +1,155 @@
+// Determinism stress: mixed lock/barrier/join traffic with injected timing
+// perturbation.  The turn protocol must produce the identical acquisition
+// trace no matter how threads are physically delayed -- this is the test
+// family that catches "logical state flips at wake-up time" bugs (e.g. the
+// barrier-republish race fixed in det_backend.cpp).
+#include <gtest/gtest.h>
+
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "runtime/det_backend.hpp"
+
+namespace detlock::runtime {
+namespace {
+
+struct StressResult {
+  std::uint64_t trace = 0;
+  std::vector<std::uint64_t> final_clocks;
+
+  bool operator==(const StressResult&) const = default;
+};
+
+/// Four threads run `rounds` of: compute (clock_add), grab one of 3 locks,
+/// compute, barrier.  `perturb_seed` controls where random microsleeps are
+/// injected; determinism demands the result be independent of it.
+StressResult run_stress(std::uint64_t perturb_seed, int rounds) {
+  RuntimeConfig config;
+  config.max_threads = 8;
+  config.keep_trace_events = false;
+  DetBackend backend(config);
+  const ThreadId main_t = backend.register_main_thread();
+  const ThreadId w1 = backend.register_spawn(main_t);
+  const ThreadId w2 = backend.register_spawn(main_t);
+  const ThreadId w3 = backend.register_spawn(main_t);
+
+  StressResult result;
+  result.final_clocks.resize(4);
+
+  auto body = [&](ThreadId self) {
+    std::mt19937_64 rng(perturb_seed * 97 + self);
+    for (int round = 0; round < rounds; ++round) {
+      if (perturb_seed != 0 && rng() % 3 == 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(rng() % 200));
+      }
+      backend.clock_add(self, 20 + (self * 7 + static_cast<std::uint64_t>(round) * 13) % 40);
+      const MutexId mutex = (self + static_cast<std::uint64_t>(round)) % 3;
+      backend.lock(self, mutex);
+      backend.clock_add(self, 5);
+      backend.unlock(self, mutex);
+      if (perturb_seed != 0 && rng() % 3 == 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(rng() % 200));
+      }
+      backend.barrier_wait(self, 0, 4);
+    }
+    result.final_clocks[self] = backend.clock_of(self);
+  };
+
+  std::thread t1(body, w1);
+  std::thread t2(body, w2);
+  std::thread t3(body, w3);
+  body(main_t);
+  t1.join();
+  t2.join();
+  t3.join();
+  for (ThreadId t : {w1, w2, w3}) backend.thread_finish(t);
+  backend.thread_finish(main_t);
+  result.trace = backend.trace().fingerprint();
+  return result;
+}
+
+TEST(DetStress, PerturbationsNeverChangeTheTrace) {
+  const StressResult reference = run_stress(0, 20);
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    EXPECT_EQ(run_stress(seed, 20), reference) << "perturbation seed " << seed;
+  }
+}
+
+TEST(DetStress, LockOnlyContentionWithPerturbation) {
+  auto run = [](std::uint64_t seed) {
+    RuntimeConfig config;
+    config.max_threads = 4;
+    DetBackend backend(config);
+    const ThreadId main_t = backend.register_main_thread();
+    const ThreadId w1 = backend.register_spawn(main_t);
+    const ThreadId w2 = backend.register_spawn(main_t);
+    auto worker = [&](ThreadId self, std::uint64_t step) {
+      std::mt19937_64 rng(seed * 31 + self);
+      for (int i = 0; i < 60; ++i) {
+        if (seed != 0 && rng() % 4 == 0) {
+          std::this_thread::sleep_for(std::chrono::microseconds(rng() % 100));
+        }
+        backend.clock_add(self, step);
+        backend.lock(self, 0);
+        backend.clock_add(self, 2);
+        backend.unlock(self, 0);
+      }
+      backend.thread_finish(self);
+    };
+    std::thread t1(worker, w1, 11);
+    std::thread t2(worker, w2, 23);
+    backend.join(main_t, w1);
+    backend.join(main_t, w2);
+    t1.join();
+    t2.join();
+    const std::uint64_t main_clock = backend.clock_of(main_t);
+    backend.thread_finish(main_t);
+    return std::make_pair(backend.trace().fingerprint(), main_clock);
+  };
+  const auto reference = run(0);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) EXPECT_EQ(run(seed), reference) << seed;
+}
+
+TEST(DetStress, ChunkedPublicationAlsoStable) {
+  auto run = [](std::uint64_t seed) {
+    RuntimeConfig config;
+    config.max_threads = 4;
+    config.publication = ClockPublication::kChunked;
+    config.chunk_size = 64;
+    DetBackend backend(config);
+    const ThreadId main_t = backend.register_main_thread();
+    const ThreadId w1 = backend.register_spawn(main_t);
+    auto worker = [&](ThreadId self) {
+      std::mt19937_64 rng(seed * 17 + self);
+      for (int i = 0; i < 80; ++i) {
+        if (seed != 0 && rng() % 4 == 0) {
+          std::this_thread::sleep_for(std::chrono::microseconds(rng() % 80));
+        }
+        backend.clock_add(self, 9);  // publishes only every ~7 adds
+        backend.lock(self, 0);
+        backend.unlock(self, 0);
+      }
+      backend.thread_finish(self);
+    };
+    std::thread t1(worker, w1);
+    std::mt19937_64 rng(seed);
+    for (int i = 0; i < 80; ++i) {
+      if (seed != 0 && rng() % 4 == 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(rng() % 80));
+      }
+      backend.clock_add(main_t, 14);
+      backend.lock(main_t, 0);
+      backend.unlock(main_t, 0);
+    }
+    backend.join(main_t, w1);
+    t1.join();
+    backend.thread_finish(main_t);
+    return backend.trace().fingerprint();
+  };
+  const std::uint64_t reference = run(0);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) EXPECT_EQ(run(seed), reference) << seed;
+}
+
+}  // namespace
+}  // namespace detlock::runtime

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "runtime/nondet_backend.hpp"
+#include "runtime/trace.hpp"
+
+namespace detlock::runtime {
+namespace {
+
+TEST(NondetBackend, BasicLockBarrierJoin) {
+  RuntimeConfig c;
+  c.max_threads = 4;
+  NondetBackend b(c);
+  const ThreadId main_t = b.register_main_thread();
+  const ThreadId w = b.register_spawn(main_t);
+  std::thread t([&] {
+    b.lock(w, 1);
+    b.clock_add(w, 10);
+    b.unlock(w, 1);
+    b.barrier_wait(w, 0, 2);
+    b.thread_finish(w);
+  });
+  b.barrier_wait(main_t, 0, 2);
+  b.join(main_t, w);
+  t.join();
+  b.thread_finish(main_t);
+  EXPECT_EQ(b.stats().lock_acquires, 1u);
+  EXPECT_EQ(b.clock_of(w), 10u);  // local accumulation still works
+}
+
+TEST(NondetBackend, UnlockOfBadMutexThrows) {
+  RuntimeConfig c;
+  NondetBackend b(c);
+  b.register_main_thread();
+  EXPECT_THROW(b.unlock(0, 1u << 20), Error);
+}
+
+TEST(RunTrace, FingerprintIsOrderSensitive) {
+  RunTrace a, b;
+  a.record_acquire(0, 1, 10);
+  a.record_acquire(1, 1, 20);
+  b.record_acquire(1, 1, 20);
+  b.record_acquire(0, 1, 10);
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+  EXPECT_EQ(a.acquire_count(), 2u);
+}
+
+TEST(RunTrace, KeepsEventsWhenAsked) {
+  RunTrace t(/*keep_events=*/true);
+  t.record_acquire(2, 7, 99);
+  const auto events = t.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].thread, 2u);
+  EXPECT_EQ(events[0].mutex, 7u);
+  EXPECT_EQ(events[0].clock, 99u);
+}
+
+TEST(RunTrace, EventsEmptyByDefault) {
+  RunTrace t;
+  t.record_acquire(0, 0, 0);
+  EXPECT_TRUE(t.events().empty());
+  EXPECT_EQ(t.acquire_count(), 1u);
+}
+
+}  // namespace
+}  // namespace detlock::runtime

@@ -1,0 +1,111 @@
+// The pthread-compatible shim surface (paper Sec. III-B's header
+// replacement).
+#include "runtime/pthread_shim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace detlock::runtime::shim {
+namespace {
+
+struct WorkerArgs {
+  det_pthread_mutex_t* mutex;
+  long* counter;
+  int iters;
+  int tid;
+};
+
+void* counter_worker(void* arg) {
+  auto* a = static_cast<WorkerArgs*>(arg);
+  for (int i = 0; i < a->iters; ++i) {
+    det_tick(40 + static_cast<std::uint64_t>(a->tid) * 3);
+    det_pthread_mutex_lock(a->mutex);
+    *a->counter += 1;
+    det_pthread_mutex_unlock(a->mutex);
+  }
+  return nullptr;
+}
+
+TEST(PthreadShim, PthreadShapedProgramIsDeterministic) {
+  auto run = [] {
+    det_runtime_start();
+    det_pthread_mutex_t mutex;
+    det_pthread_mutex_init(&mutex, nullptr);
+    long counter = 0;
+
+    det_pthread_t threads[3];
+    WorkerArgs args[3];
+    for (int t = 0; t < 3; ++t) {
+      args[t] = WorkerArgs{&mutex, &counter, 40, t};
+      det_pthread_create(&threads[t], nullptr, counter_worker, &args[t]);
+    }
+    for (int t = 0; t < 3; ++t) det_pthread_join(threads[t], nullptr);
+    const std::uint64_t fingerprint = det_runtime_fingerprint();
+    det_pthread_mutex_destroy(&mutex);
+    det_runtime_stop();
+    return std::make_pair(counter, fingerprint);
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.first, 120);
+  EXPECT_EQ(a, b);
+}
+
+TEST(PthreadShim, BarrierAndCondRoundTrip) {
+  det_runtime_start();
+  det_pthread_mutex_t mutex;
+  det_pthread_cond_t cond;
+  det_pthread_barrier_t barrier;
+  det_pthread_mutex_init(&mutex, nullptr);
+  det_pthread_cond_init(&cond, nullptr);
+  det_pthread_barrier_init(&barrier, nullptr, 2);
+
+  static det_pthread_mutex_t* s_mutex;
+  static det_pthread_cond_t* s_cond;
+  static det_pthread_barrier_t* s_barrier;
+  static int s_stage;
+  s_mutex = &mutex;
+  s_cond = &cond;
+  s_barrier = &barrier;
+  s_stage = 0;
+
+  det_pthread_t child;
+  det_pthread_create(&child, nullptr,
+                     [](void*) -> void* {
+                       det_tick(25);
+                       det_pthread_barrier_wait(s_barrier);
+                       det_tick(25);
+                       det_pthread_mutex_lock(s_mutex);
+                       s_stage = 1;
+                       det_pthread_cond_signal(s_cond);
+                       det_pthread_mutex_unlock(s_mutex);
+                       return nullptr;
+                     },
+                     nullptr);
+
+  det_tick(10);
+  det_pthread_barrier_wait(&barrier);
+  det_tick(10);
+  det_pthread_mutex_lock(&mutex);
+  while (s_stage != 1) det_pthread_cond_wait(&cond, &mutex);
+  det_pthread_mutex_unlock(&mutex);
+  det_pthread_join(child, nullptr);
+  EXPECT_EQ(s_stage, 1);
+  det_runtime_stop();
+}
+
+TEST(PthreadShim, InitAllocatesDistinctIds) {
+  det_runtime_start();
+  det_pthread_mutex_t a, b;
+  det_pthread_mutex_init(&a, nullptr);
+  det_pthread_mutex_init(&b, nullptr);
+  EXPECT_NE(a.id, b.id);
+  det_runtime_stop();
+}
+
+TEST(PthreadShim, UseWithoutStartThrows) {
+  // After stop, the runtime is gone.
+  EXPECT_THROW(det_tick(1), Error);
+}
+
+}  // namespace
+}  // namespace detlock::runtime::shim

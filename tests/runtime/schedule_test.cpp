@@ -1,0 +1,114 @@
+// Schedule serialization + online replica validation.
+#include "runtime/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <thread>
+
+#include "runtime/det_backend.hpp"
+
+namespace detlock::runtime {
+namespace {
+
+TEST(Schedule, SerializeParseRoundTrip) {
+  std::vector<TraceEvent> events = {{0, 3, 100}, {1, 3, 250}, {0, 7, 260}};
+  const std::string text = serialize_schedule(events);
+  const std::vector<TraceEvent> parsed = parse_schedule(text);
+  ASSERT_EQ(parsed.size(), 3u);
+  EXPECT_EQ(parsed[1].thread, 1u);
+  EXPECT_EQ(parsed[1].mutex, 3u);
+  EXPECT_EQ(parsed[1].clock, 250u);
+}
+
+TEST(Schedule, ParseSkipsCommentsAndBlanks) {
+  const auto events = parse_schedule("# header\n\n0 1 2\n  # indented comment\n3 4 5  # trailing\n");
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[1].thread, 3u);
+}
+
+TEST(Schedule, ParseRejectsMalformedLines) {
+  EXPECT_THROW(parse_schedule("0 1\n"), Error);
+  EXPECT_THROW(parse_schedule("a b c\n"), Error);
+  EXPECT_THROW(parse_schedule("-1 0 0\n"), Error);
+}
+
+TEST(ScheduleValidator, AcceptsMatchingSequence) {
+  ScheduleValidator v({{0, 1, 10}, {1, 1, 20}});
+  v.on_acquire(0, 1, 10);
+  v.on_acquire(1, 1, 20);
+  EXPECT_TRUE(v.complete());
+  EXPECT_EQ(v.position(), 2u);
+}
+
+TEST(ScheduleValidator, RejectsWrongThread) {
+  ScheduleValidator v({{0, 1, 10}});
+  EXPECT_THROW(v.on_acquire(1, 1, 10), Error);
+}
+
+TEST(ScheduleValidator, RejectsWrongClock) {
+  ScheduleValidator v({{0, 1, 10}});
+  EXPECT_THROW(v.on_acquire(0, 1, 11), Error);
+}
+
+TEST(ScheduleValidator, RejectsOverrun) {
+  ScheduleValidator v({{0, 1, 10}});
+  v.on_acquire(0, 1, 10);
+  EXPECT_THROW(v.on_acquire(0, 1, 12), Error);
+}
+
+TEST(ScheduleValidator, IncompleteWhenUnderrun) {
+  ScheduleValidator v({{0, 1, 10}, {1, 1, 20}});
+  v.on_acquire(0, 1, 10);
+  EXPECT_FALSE(v.complete());
+}
+
+// End-to-end through the backend: record one run, replay a second run under
+// validation, and confirm a *perturbed* third run still matches (the whole
+// point: determinism makes replica comparison exact).
+TEST(ScheduleValidator, BackendReplicaRoundTrip) {
+  auto run = [](ScheduleValidator* validator, bool keep_events, std::uint64_t sleep_seed) {
+    RuntimeConfig config;
+    config.max_threads = 4;
+    config.keep_trace_events = keep_events;
+    config.validator = validator;
+    DetBackend b(config);
+    const ThreadId main_t = b.register_main_thread();
+    const ThreadId w = b.register_spawn(main_t);
+    std::thread t([&] {
+      std::mt19937_64 rng(sleep_seed);
+      for (int i = 0; i < 20; ++i) {
+        if (sleep_seed != 0 && rng() % 3 == 0) {
+          std::this_thread::sleep_for(std::chrono::microseconds(rng() % 100));
+        }
+        b.clock_add(w, 13);
+        b.lock(w, 0);
+        b.unlock(w, 0);
+      }
+      b.thread_finish(w);
+    });
+    for (int i = 0; i < 20; ++i) {
+      b.clock_add(main_t, 29);
+      b.lock(main_t, 0);
+      b.unlock(main_t, 0);
+    }
+    b.join(main_t, w);
+    t.join();
+    b.thread_finish(main_t);
+    return b.trace().events();
+  };
+
+  const std::vector<TraceEvent> recorded = run(nullptr, true, 0);
+  ASSERT_EQ(recorded.size(), 40u);
+
+  ScheduleValidator replay(recorded);
+  run(&replay, false, 0);
+  EXPECT_TRUE(replay.complete());
+
+  ScheduleValidator perturbed(recorded);
+  run(&perturbed, false, 7);
+  EXPECT_TRUE(perturbed.complete());
+}
+
+}  // namespace
+}  // namespace detlock::runtime

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/hash.hpp"
+#include "support/prng.hpp"
+#include "support/table.hpp"
+
+namespace detlock {
+namespace {
+
+TEST(Fnv1a, DeterministicAndOrderSensitive) {
+  Fnv1aHasher a;
+  a.update_u64(1);
+  a.update_u64(2);
+  Fnv1aHasher b;
+  b.update_u64(2);
+  b.update_u64(1);
+  Fnv1aHasher c;
+  c.update_u64(1);
+  c.update_u64(2);
+  EXPECT_NE(a.digest(), b.digest());
+  EXPECT_EQ(a.digest(), c.digest());
+}
+
+TEST(Fnv1a, EmptyHasKnownOffsetBasis) {
+  Fnv1aHasher h;
+  EXPECT_EQ(h.digest(), 0xcbf29ce484222325ULL);
+}
+
+TEST(Fnv1a, StringAndBytesAgree) {
+  Fnv1aHasher a;
+  a.update_string("hi");
+  Fnv1aHasher b;
+  b.update_byte('h');
+  b.update_byte('i');
+  EXPECT_EQ(a.digest(), b.digest());
+}
+
+TEST(Fnv1a, SignedUnsignedRoundTrip) {
+  Fnv1aHasher a;
+  a.update_i64(-1);
+  Fnv1aHasher b;
+  b.update_u64(~std::uint64_t{0});
+  EXPECT_EQ(a.digest(), b.digest());
+}
+
+TEST(Xoshiro, SameSeedSameSequence) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Xoshiro, BoundedValuesInRange) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+}
+
+TEST(Xoshiro, DoubleInUnitInterval) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Xoshiro, ReasonableSpread) {
+  Xoshiro256 rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 256; ++i) seen.insert(rng.next_below(1024));
+  EXPECT_GT(seen.size(), 180u);  // mostly distinct
+}
+
+TEST(TextTable, AlignsColumnsAndRendersSections) {
+  TextTable t;
+  t.add_row({"name", "value"});
+  t.add_rule();
+  t.add_section("band");
+  t.add_row({"longer-name", "7"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("== band"), std::string::npos);
+  EXPECT_NE(out.find("longer-name | 7"), std::string::npos);
+}
+
+TEST(TextTable, CsvOutput) {
+  TextTable t;
+  t.add_row({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+}  // namespace
+}  // namespace detlock

@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "support/cacheline.hpp"
+#include "support/spinwait.hpp"
+
+namespace detlock {
+namespace {
+
+TEST(Padded, ElementsDoNotShareCacheLines) {
+  std::vector<Padded<std::atomic<std::uint64_t>>> slots(4);
+  for (std::size_t i = 0; i + 1 < slots.size(); ++i) {
+    const auto a = reinterpret_cast<std::uintptr_t>(&slots[i].value);
+    const auto b = reinterpret_cast<std::uintptr_t>(&slots[i + 1].value);
+    EXPECT_GE(b - a, kCacheLineSize);
+  }
+}
+
+TEST(Padded, AlignmentMatchesCacheLine) {
+  Padded<int> p;
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(&p) % kCacheLineSize, 0u);
+  EXPECT_EQ(sizeof(Padded<int>) % kCacheLineSize, 0u);
+}
+
+TEST(Padded, AccessorsReachTheValue) {
+  Padded<int> p(41);
+  EXPECT_EQ(*p, 41);
+  *p = 42;
+  EXPECT_EQ(p.value, 42);
+  Padded<std::pair<int, int>> q;
+  q->first = 7;
+  EXPECT_EQ(q.value.first, 7);
+}
+
+TEST(SpinWait, EscalatesWithoutBlockingForever) {
+  // A waiter must make progress through all tiers and return promptly once
+  // the condition flips.
+  std::atomic<bool> flag{false};
+  std::thread setter([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    flag.store(true, std::memory_order_release);
+  });
+  SpinWait waiter;
+  while (!flag.load(std::memory_order_acquire)) waiter.wait();
+  setter.join();
+  EXPECT_GT(waiter.iterations(), 0u);
+}
+
+TEST(SpinWait, ResetRestartsCheapTier) {
+  SpinWait waiter(4, 4);
+  for (int i = 0; i < 20; ++i) waiter.wait();
+  EXPECT_EQ(waiter.iterations(), 20u);
+  waiter.reset();
+  EXPECT_EQ(waiter.iterations(), 0u);
+}
+
+}  // namespace
+}  // namespace detlock

@@ -1,0 +1,102 @@
+// detlock_sched: inspect and compare recorded lock-acquisition schedules
+// (the files produced by `detlockc --record-schedule=`).
+//
+//   detlock_sched stats FILE          per-thread / per-mutex breakdown
+//   detlock_sched diff  FILE1 FILE2   first divergence between two runs
+//
+// The diff mode is the offline complement of the online ScheduleValidator:
+// given two recordings (e.g. from two replicas that both completed), it
+// pinpoints where their histories split.
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "runtime/schedule.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using namespace detlock;
+
+std::vector<runtime::TraceEvent> load(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "detlock_sched: cannot open %s\n", path);
+    std::exit(1);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return runtime::parse_schedule(ss.str());
+}
+
+int cmd_stats(const char* path) {
+  const auto events = load(path);
+  std::map<runtime::ThreadId, std::uint64_t> per_thread;
+  std::map<runtime::MutexId, std::uint64_t> per_mutex;
+  std::map<runtime::MutexId, std::uint64_t> handoffs;  // consecutive same-mutex, different-thread
+  std::map<runtime::MutexId, runtime::ThreadId> last_holder;
+  std::uint64_t max_clock = 0;
+  for (const auto& e : events) {
+    ++per_thread[e.thread];
+    ++per_mutex[e.mutex];
+    const auto it = last_holder.find(e.mutex);
+    if (it != last_holder.end() && it->second != e.thread) ++handoffs[e.mutex];
+    last_holder[e.mutex] = e.thread;
+    max_clock = std::max(max_clock, e.clock);
+  }
+
+  std::printf("%zu acquisitions, %zu threads, %zu mutexes, final clock %llu\n\n", events.size(),
+              per_thread.size(), per_mutex.size(), static_cast<unsigned long long>(max_clock));
+  std::printf("per thread:\n");
+  for (const auto& [thread, count] : per_thread) {
+    std::printf("  t%-4u %8llu acquisitions (%.1f%%)\n", thread, static_cast<unsigned long long>(count),
+                100.0 * static_cast<double>(count) / static_cast<double>(events.size()));
+  }
+  std::printf("per mutex (handoff = consecutive acquisitions by different threads):\n");
+  for (const auto& [mutex, count] : per_mutex) {
+    std::printf("  m%-4llu %8llu acquisitions, %6llu handoffs (%.1f%%)\n",
+                static_cast<unsigned long long>(mutex), static_cast<unsigned long long>(count),
+                static_cast<unsigned long long>(handoffs[mutex]),
+                count > 0 ? 100.0 * static_cast<double>(handoffs[mutex]) / static_cast<double>(count) : 0.0);
+  }
+  return 0;
+}
+
+int cmd_diff(const char* path_a, const char* path_b) {
+  const auto a = load(path_a);
+  const auto b = load(path_b);
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i].thread != b[i].thread || a[i].mutex != b[i].mutex || a[i].clock != b[i].clock) {
+      std::printf("divergence at acquisition #%zu:\n", i);
+      std::printf("  %s: thread %u, mutex %llu, clock %llu\n", path_a, a[i].thread,
+                  static_cast<unsigned long long>(a[i].mutex), static_cast<unsigned long long>(a[i].clock));
+      std::printf("  %s: thread %u, mutex %llu, clock %llu\n", path_b, b[i].thread,
+                  static_cast<unsigned long long>(b[i].mutex), static_cast<unsigned long long>(b[i].clock));
+      return 1;
+    }
+  }
+  if (a.size() != b.size()) {
+    std::printf("common prefix of %zu acquisitions, then %s has %zu more\n", n,
+                a.size() > b.size() ? path_a : path_b,
+                (a.size() > b.size() ? a.size() : b.size()) - n);
+    return 1;
+  }
+  std::printf("schedules identical (%zu acquisitions)\n", n);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc == 3 && std::string_view(argv[1]) == "stats") return cmd_stats(argv[2]);
+    if (argc == 4 && std::string_view(argv[1]) == "diff") return cmd_diff(argv[2], argv[3]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "detlock_sched: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "usage: %s stats FILE | diff FILE1 FILE2\n", argv[0]);
+  return 2;
+}

@@ -1,0 +1,248 @@
+// detlockc: command-line driver for the DetLock pipeline.
+//
+//   detlockc [options] program.dl
+//
+// Parses a textual-IR program, runs the instrumentation pipeline, executes
+// it, and reports the result plus determinism fingerprints.  Options:
+//
+//   --opt=none|1|2|3|4|all   optimization selection            [all]
+//   --placement=start|end    clock update placement            [start]
+//   --nondet                 plain pthread-style execution
+//   --kendo[=CHUNK]          chunked clock publication         [2048]
+//   --runs=N                 repeat and compare fingerprints   [1]
+//   --threads-max=N          runtime thread-slot budget        [64]
+//   --estimates=FILE         apply an instruction-estimate file
+//   --emit-ir                print the instrumented IR and exit
+//   --stats                  print pass + runtime statistics
+//   --race-check             run the lockset race detector
+//   --record-schedule=FILE   dump the lock-acquisition schedule after run 1
+//   --check-schedule=FILE    validate each run online against a recording
+//                            (the paper's replica fault-detection use-case)
+//   --entry=NAME             entry function                    [main]
+//   --arg=N                  append an i64 argument (repeatable)
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "interp/engine.hpp"
+#include "ir/parser.hpp"
+#include "ir/printer.hpp"
+#include "pass/estimates.hpp"
+#include "runtime/schedule.hpp"
+#include "pass/pipeline.hpp"
+#include "racedetect/lockset.hpp"
+
+namespace {
+
+using namespace detlock;
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--opt=none|1|2|3|4|all] [--placement=start|end] [--nondet]\n"
+               "          [--kendo[=CHUNK]] [--runs=N] [--estimates=FILE] [--emit-ir]\n"
+               "          [--stats] [--race-check] [--entry=NAME] [--arg=N]... program.dl\n",
+               argv0);
+  std::exit(2);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "detlockc: cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+struct Cli {
+  pass::PassOptions options = pass::PassOptions::all();
+  bool deterministic = true;
+  bool kendo = false;
+  std::uint64_t chunk = 2048;
+  int runs = 1;
+  std::uint32_t threads_max = 64;
+  std::string estimates_path;
+  bool emit_ir = false;
+  bool stats = false;
+  bool race_check = false;
+  std::string record_schedule_path;
+  std::string check_schedule_path;
+  std::string entry = "main";
+  std::vector<std::int64_t> args;
+  std::string program_path;
+};
+
+Cli parse_cli(int argc, char** argv) {
+  Cli cli;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&](const char* prefix) { return arg.substr(std::strlen(prefix)); };
+    if (arg.rfind("--opt=", 0) == 0) {
+      const std::string v = value_of("--opt=");
+      if (v == "none") cli.options = pass::PassOptions::none();
+      else if (v == "1") cli.options = pass::PassOptions::only_opt1();
+      else if (v == "2") cli.options = pass::PassOptions::only_opt2();
+      else if (v == "3") cli.options = pass::PassOptions::only_opt3();
+      else if (v == "4") cli.options = pass::PassOptions::only_opt4();
+      else if (v == "all") cli.options = pass::PassOptions::all();
+      else usage(argv[0]);
+    } else if (arg.rfind("--placement=", 0) == 0) {
+      const std::string v = value_of("--placement=");
+      if (v == "start") cli.options.placement = pass::ClockPlacement::kStart;
+      else if (v == "end") cli.options.placement = pass::ClockPlacement::kEnd;
+      else usage(argv[0]);
+    } else if (arg == "--nondet") {
+      cli.deterministic = false;
+    } else if (arg == "--kendo") {
+      cli.kendo = true;
+    } else if (arg.rfind("--kendo=", 0) == 0) {
+      cli.kendo = true;
+      cli.chunk = std::strtoull(value_of("--kendo=").c_str(), nullptr, 10);
+    } else if (arg.rfind("--runs=", 0) == 0) {
+      cli.runs = std::atoi(value_of("--runs=").c_str());
+    } else if (arg.rfind("--threads-max=", 0) == 0) {
+      cli.threads_max = static_cast<std::uint32_t>(std::atoi(value_of("--threads-max=").c_str()));
+    } else if (arg.rfind("--estimates=", 0) == 0) {
+      cli.estimates_path = value_of("--estimates=");
+    } else if (arg == "--emit-ir") {
+      cli.emit_ir = true;
+    } else if (arg == "--stats") {
+      cli.stats = true;
+    } else if (arg == "--race-check") {
+      cli.race_check = true;
+    } else if (arg.rfind("--record-schedule=", 0) == 0) {
+      cli.record_schedule_path = value_of("--record-schedule=");
+    } else if (arg.rfind("--check-schedule=", 0) == 0) {
+      cli.check_schedule_path = value_of("--check-schedule=");
+    } else if (arg.rfind("--entry=", 0) == 0) {
+      cli.entry = value_of("--entry=");
+    } else if (arg.rfind("--arg=", 0) == 0) {
+      cli.args.push_back(std::strtoll(value_of("--arg=").c_str(), nullptr, 10));
+    } else if (arg.rfind("--", 0) == 0) {
+      usage(argv[0]);
+    } else if (cli.program_path.empty()) {
+      cli.program_path = arg;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (cli.program_path.empty() || cli.runs < 1) usage(argv[0]);
+  return cli;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli = parse_cli(argc, argv);
+  try {
+    const std::string text = read_file(cli.program_path);
+
+    if (cli.emit_ir) {
+      ir::Module module = ir::parse_module(text);
+      if (!cli.estimates_path.empty()) {
+        pass::apply_estimate_file(module, read_file(cli.estimates_path));
+      }
+      pass::instrument_module(module, cli.options);
+      std::printf("%s", ir::to_string(module).c_str());
+      return 0;
+    }
+
+    std::uint64_t first_trace = 0;
+    std::uint64_t first_memory = 0;
+    bool identical = true;
+    std::vector<runtime::TraceEvent> expected_schedule;
+    if (!cli.check_schedule_path.empty()) {
+      expected_schedule = runtime::parse_schedule(read_file(cli.check_schedule_path));
+    }
+    for (int run = 0; run < cli.runs; ++run) {
+      ir::Module module = ir::parse_module(text);
+      if (!cli.estimates_path.empty()) {
+        pass::apply_estimate_file(module, read_file(cli.estimates_path));
+      }
+      const pass::PipelineStats pstats = pass::instrument_module(module, cli.options);
+
+      interp::EngineConfig config;
+      config.deterministic = cli.deterministic;
+      config.runtime.max_threads = cli.threads_max;
+      if (!cli.record_schedule_path.empty()) config.runtime.keep_trace_events = true;
+      std::unique_ptr<runtime::ScheduleValidator> validator;
+      if (!cli.check_schedule_path.empty()) {
+        validator = std::make_unique<runtime::ScheduleValidator>(expected_schedule);
+        config.runtime.validator = validator.get();
+      }
+      if (cli.kendo) {
+        config.runtime.publication = runtime::ClockPublication::kChunked;
+        config.runtime.chunk_size = cli.chunk;
+      }
+      racedetect::LocksetRaceDetector detector;
+      if (cli.race_check) config.observer = &detector;
+
+      interp::Engine engine(module, config);
+      const interp::RunResult result = engine.run(cli.entry, cli.args);
+
+      std::printf("run %d: result=%lld  lock-order=%016llx  memory=%016llx  (%llu instrs, %llu locks)\n",
+                  run + 1, static_cast<long long>(result.main_return),
+                  static_cast<unsigned long long>(result.trace_fingerprint),
+                  static_cast<unsigned long long>(result.memory_fingerprint),
+                  static_cast<unsigned long long>(result.instructions),
+                  static_cast<unsigned long long>(result.lock_acquires));
+      if (run == 0) {
+        first_trace = result.trace_fingerprint;
+        first_memory = result.memory_fingerprint;
+      } else if (result.trace_fingerprint != first_trace || result.memory_fingerprint != first_memory) {
+        identical = false;
+      }
+
+      if (cli.stats && run == 0) {
+        std::printf("  pass: %zu clockable functions, %zu block splits, sites %zu -> %zu, "
+                    "%zu static + %zu dynamic updates\n",
+                    pstats.clocked_functions, pstats.block_splits, pstats.clock_sites_initial,
+                    pstats.clock_sites_final, pstats.materialized.clock_add_sites,
+                    pstats.materialized.clock_dyn_sites);
+        std::printf("  runtime: %llu acquires, %llu failed attempts, %llu turn spins, %llu barriers\n",
+                    static_cast<unsigned long long>(result.sync.lock_acquires),
+                    static_cast<unsigned long long>(result.sync.failed_trylocks),
+                    static_cast<unsigned long long>(result.sync.lock_wait_spins),
+                    static_cast<unsigned long long>(result.sync.barrier_waits));
+      }
+      if (validator != nullptr) {
+        if (!validator->complete()) {
+          std::printf("  REPLICA DIVERGENCE: run ended after %llu of %zu recorded acquisitions\n",
+                      static_cast<unsigned long long>(validator->position()), expected_schedule.size());
+          return 4;
+        }
+        std::printf("  replica matched the recorded schedule (%zu acquisitions)\n",
+                    expected_schedule.size());
+      }
+      if (!cli.record_schedule_path.empty() && run == 0) {
+        std::ofstream out(cli.record_schedule_path);
+        out << runtime::serialize_schedule(engine.backend().trace().events());
+        std::printf("  schedule recorded to %s (%llu acquisitions)\n", cli.record_schedule_path.c_str(),
+                    static_cast<unsigned long long>(result.lock_acquires));
+      }
+      if (cli.race_check && run == 0) {
+        if (detector.race_detected()) {
+          std::printf("  RACE detected at address %lld -- weak determinism does not cover this program\n",
+                      static_cast<long long>(detector.races()[0].addr));
+        } else {
+          std::printf("  race-free (%llu accesses checked)\n",
+                      static_cast<unsigned long long>(detector.accesses_observed()));
+        }
+      }
+    }
+    if (cli.runs > 1) {
+      std::printf("%s\n", identical ? "all runs identical" : "RUNS DIVERGED");
+      return identical ? 0 : 3;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "detlockc: %s\n", e.what());
+    return 1;
+  }
+}
