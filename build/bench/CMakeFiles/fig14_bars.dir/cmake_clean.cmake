@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_bars.dir/fig14_bars.cpp.o"
+  "CMakeFiles/fig14_bars.dir/fig14_bars.cpp.o.d"
+  "fig14_bars"
+  "fig14_bars.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_bars.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_ahead_of_time.dir/fig15_ahead_of_time.cpp.o"
+  "CMakeFiles/fig15_ahead_of_time.dir/fig15_ahead_of_time.cpp.o.d"
+  "fig15_ahead_of_time"
+  "fig15_ahead_of_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_ahead_of_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_interp.dir/micro_interp.cpp.o"
+  "CMakeFiles/micro_interp.dir/micro_interp.cpp.o.d"
+  "micro_interp"
+  "micro_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_pass.dir/micro_pass.cpp.o"
+  "CMakeFiles/micro_pass.dir/micro_pass.cpp.o.d"
+  "micro_pass"
+  "micro_pass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_pass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probe_workloads.dir/probe_workloads.cpp.o"
+  "CMakeFiles/probe_workloads.dir/probe_workloads.cpp.o.d"
+  "probe_workloads"
+  "probe_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probe_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

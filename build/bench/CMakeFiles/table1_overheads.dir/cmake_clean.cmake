@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_overheads.dir/table1_overheads.cpp.o"
+  "CMakeFiles/table1_overheads.dir/table1_overheads.cpp.o.d"
+  "table1_overheads"
+  "table1_overheads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

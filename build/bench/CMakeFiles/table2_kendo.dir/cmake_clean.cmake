@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_kendo.dir/table2_kendo.cpp.o"
+  "CMakeFiles/table2_kendo.dir/table2_kendo.cpp.o.d"
+  "table2_kendo"
+  "table2_kendo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_kendo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

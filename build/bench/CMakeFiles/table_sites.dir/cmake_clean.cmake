@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_sites.dir/table_sites.cpp.o"
+  "CMakeFiles/table_sites.dir/table_sites.cpp.o.d"
+  "table_sites"
+  "table_sites.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_sites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

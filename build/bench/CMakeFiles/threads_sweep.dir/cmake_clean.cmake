@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threads_sweep.dir/threads_sweep.cpp.o"
+  "CMakeFiles/threads_sweep.dir/threads_sweep.cpp.o.d"
+  "threads_sweep"
+  "threads_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threads_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

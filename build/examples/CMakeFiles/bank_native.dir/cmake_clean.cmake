@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bank_native.dir/bank_native.cpp.o"
+  "CMakeFiles/bank_native.dir/bank_native.cpp.o.d"
+  "bank_native"
+  "bank_native.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bank_native.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

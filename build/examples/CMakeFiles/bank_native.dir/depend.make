@@ -1,0 +1,2 @@
+# Empty dependencies file for bank_native.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/heisenbug_replay.cpp" "examples/CMakeFiles/heisenbug_replay.dir/heisenbug_replay.cpp.o" "gcc" "examples/CMakeFiles/heisenbug_replay.dir/heisenbug_replay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/detlock_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/detlock_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/detlock_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/pass/CMakeFiles/detlock_pass.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/detlock_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/detlock_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/racedetect/CMakeFiles/detlock_racedetect.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/detlock_workloads.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heisenbug_replay.dir/heisenbug_replay.cpp.o"
+  "CMakeFiles/heisenbug_replay.dir/heisenbug_replay.cpp.o.d"
+  "heisenbug_replay"
+  "heisenbug_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heisenbug_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pass_tour.dir/pass_tour.cpp.o"
+  "CMakeFiles/pass_tour.dir/pass_tour.cpp.o.d"
+  "pass_tour"
+  "pass_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pass_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

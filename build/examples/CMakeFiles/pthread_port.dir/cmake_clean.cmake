@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pthread_port.dir/pthread_port.cpp.o"
+  "CMakeFiles/pthread_port.dir/pthread_port.cpp.o.d"
+  "pthread_port"
+  "pthread_port.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pthread_port.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/call_graph.cpp" "src/analysis/CMakeFiles/detlock_analysis.dir/call_graph.cpp.o" "gcc" "src/analysis/CMakeFiles/detlock_analysis.dir/call_graph.cpp.o.d"
+  "/root/repo/src/analysis/cfg.cpp" "src/analysis/CMakeFiles/detlock_analysis.dir/cfg.cpp.o" "gcc" "src/analysis/CMakeFiles/detlock_analysis.dir/cfg.cpp.o.d"
+  "/root/repo/src/analysis/dominators.cpp" "src/analysis/CMakeFiles/detlock_analysis.dir/dominators.cpp.o" "gcc" "src/analysis/CMakeFiles/detlock_analysis.dir/dominators.cpp.o.d"
+  "/root/repo/src/analysis/loops.cpp" "src/analysis/CMakeFiles/detlock_analysis.dir/loops.cpp.o" "gcc" "src/analysis/CMakeFiles/detlock_analysis.dir/loops.cpp.o.d"
+  "/root/repo/src/analysis/paths.cpp" "src/analysis/CMakeFiles/detlock_analysis.dir/paths.cpp.o" "gcc" "src/analysis/CMakeFiles/detlock_analysis.dir/paths.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/detlock_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/detlock_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

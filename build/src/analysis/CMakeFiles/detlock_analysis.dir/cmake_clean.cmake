@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detlock_analysis.dir/call_graph.cpp.o"
+  "CMakeFiles/detlock_analysis.dir/call_graph.cpp.o.d"
+  "CMakeFiles/detlock_analysis.dir/cfg.cpp.o"
+  "CMakeFiles/detlock_analysis.dir/cfg.cpp.o.d"
+  "CMakeFiles/detlock_analysis.dir/dominators.cpp.o"
+  "CMakeFiles/detlock_analysis.dir/dominators.cpp.o.d"
+  "CMakeFiles/detlock_analysis.dir/loops.cpp.o"
+  "CMakeFiles/detlock_analysis.dir/loops.cpp.o.d"
+  "CMakeFiles/detlock_analysis.dir/paths.cpp.o"
+  "CMakeFiles/detlock_analysis.dir/paths.cpp.o.d"
+  "libdetlock_analysis.a"
+  "libdetlock_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detlock_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

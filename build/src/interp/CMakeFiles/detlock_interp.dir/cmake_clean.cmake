@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detlock_interp.dir/engine.cpp.o"
+  "CMakeFiles/detlock_interp.dir/engine.cpp.o.d"
+  "CMakeFiles/detlock_interp.dir/externs.cpp.o"
+  "CMakeFiles/detlock_interp.dir/externs.cpp.o.d"
+  "libdetlock_interp.a"
+  "libdetlock_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detlock_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

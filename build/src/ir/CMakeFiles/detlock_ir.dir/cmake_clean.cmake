@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detlock_ir.dir/builder.cpp.o"
+  "CMakeFiles/detlock_ir.dir/builder.cpp.o.d"
+  "CMakeFiles/detlock_ir.dir/opcode.cpp.o"
+  "CMakeFiles/detlock_ir.dir/opcode.cpp.o.d"
+  "CMakeFiles/detlock_ir.dir/parser.cpp.o"
+  "CMakeFiles/detlock_ir.dir/parser.cpp.o.d"
+  "CMakeFiles/detlock_ir.dir/printer.cpp.o"
+  "CMakeFiles/detlock_ir.dir/printer.cpp.o.d"
+  "CMakeFiles/detlock_ir.dir/verifier.cpp.o"
+  "CMakeFiles/detlock_ir.dir/verifier.cpp.o.d"
+  "libdetlock_ir.a"
+  "libdetlock_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detlock_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

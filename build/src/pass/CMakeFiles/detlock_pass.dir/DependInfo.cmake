@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pass/block_split.cpp" "src/pass/CMakeFiles/detlock_pass.dir/block_split.cpp.o" "gcc" "src/pass/CMakeFiles/detlock_pass.dir/block_split.cpp.o.d"
+  "/root/repo/src/pass/conservation.cpp" "src/pass/CMakeFiles/detlock_pass.dir/conservation.cpp.o" "gcc" "src/pass/CMakeFiles/detlock_pass.dir/conservation.cpp.o.d"
+  "/root/repo/src/pass/costs.cpp" "src/pass/CMakeFiles/detlock_pass.dir/costs.cpp.o" "gcc" "src/pass/CMakeFiles/detlock_pass.dir/costs.cpp.o.d"
+  "/root/repo/src/pass/estimates.cpp" "src/pass/CMakeFiles/detlock_pass.dir/estimates.cpp.o" "gcc" "src/pass/CMakeFiles/detlock_pass.dir/estimates.cpp.o.d"
+  "/root/repo/src/pass/function_clocking.cpp" "src/pass/CMakeFiles/detlock_pass.dir/function_clocking.cpp.o" "gcc" "src/pass/CMakeFiles/detlock_pass.dir/function_clocking.cpp.o.d"
+  "/root/repo/src/pass/materialize.cpp" "src/pass/CMakeFiles/detlock_pass.dir/materialize.cpp.o" "gcc" "src/pass/CMakeFiles/detlock_pass.dir/materialize.cpp.o.d"
+  "/root/repo/src/pass/opt2_conditional.cpp" "src/pass/CMakeFiles/detlock_pass.dir/opt2_conditional.cpp.o" "gcc" "src/pass/CMakeFiles/detlock_pass.dir/opt2_conditional.cpp.o.d"
+  "/root/repo/src/pass/opt3_averaging.cpp" "src/pass/CMakeFiles/detlock_pass.dir/opt3_averaging.cpp.o" "gcc" "src/pass/CMakeFiles/detlock_pass.dir/opt3_averaging.cpp.o.d"
+  "/root/repo/src/pass/opt4_loops.cpp" "src/pass/CMakeFiles/detlock_pass.dir/opt4_loops.cpp.o" "gcc" "src/pass/CMakeFiles/detlock_pass.dir/opt4_loops.cpp.o.d"
+  "/root/repo/src/pass/pipeline.cpp" "src/pass/CMakeFiles/detlock_pass.dir/pipeline.cpp.o" "gcc" "src/pass/CMakeFiles/detlock_pass.dir/pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/detlock_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/detlock_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/detlock_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

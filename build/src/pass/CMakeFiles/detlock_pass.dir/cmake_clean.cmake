@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detlock_pass.dir/block_split.cpp.o"
+  "CMakeFiles/detlock_pass.dir/block_split.cpp.o.d"
+  "CMakeFiles/detlock_pass.dir/conservation.cpp.o"
+  "CMakeFiles/detlock_pass.dir/conservation.cpp.o.d"
+  "CMakeFiles/detlock_pass.dir/costs.cpp.o"
+  "CMakeFiles/detlock_pass.dir/costs.cpp.o.d"
+  "CMakeFiles/detlock_pass.dir/estimates.cpp.o"
+  "CMakeFiles/detlock_pass.dir/estimates.cpp.o.d"
+  "CMakeFiles/detlock_pass.dir/function_clocking.cpp.o"
+  "CMakeFiles/detlock_pass.dir/function_clocking.cpp.o.d"
+  "CMakeFiles/detlock_pass.dir/materialize.cpp.o"
+  "CMakeFiles/detlock_pass.dir/materialize.cpp.o.d"
+  "CMakeFiles/detlock_pass.dir/opt2_conditional.cpp.o"
+  "CMakeFiles/detlock_pass.dir/opt2_conditional.cpp.o.d"
+  "CMakeFiles/detlock_pass.dir/opt3_averaging.cpp.o"
+  "CMakeFiles/detlock_pass.dir/opt3_averaging.cpp.o.d"
+  "CMakeFiles/detlock_pass.dir/opt4_loops.cpp.o"
+  "CMakeFiles/detlock_pass.dir/opt4_loops.cpp.o.d"
+  "CMakeFiles/detlock_pass.dir/pipeline.cpp.o"
+  "CMakeFiles/detlock_pass.dir/pipeline.cpp.o.d"
+  "libdetlock_pass.a"
+  "libdetlock_pass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detlock_pass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detlock_racedetect.dir/lockset.cpp.o"
+  "CMakeFiles/detlock_racedetect.dir/lockset.cpp.o.d"
+  "libdetlock_racedetect.a"
+  "libdetlock_racedetect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detlock_racedetect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

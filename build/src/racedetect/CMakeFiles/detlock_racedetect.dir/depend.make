@@ -1,0 +1,2 @@
+# Empty dependencies file for detlock_racedetect.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/det_allocator.cpp" "src/runtime/CMakeFiles/detlock_runtime.dir/det_allocator.cpp.o" "gcc" "src/runtime/CMakeFiles/detlock_runtime.dir/det_allocator.cpp.o.d"
+  "/root/repo/src/runtime/det_backend.cpp" "src/runtime/CMakeFiles/detlock_runtime.dir/det_backend.cpp.o" "gcc" "src/runtime/CMakeFiles/detlock_runtime.dir/det_backend.cpp.o.d"
+  "/root/repo/src/runtime/native_api.cpp" "src/runtime/CMakeFiles/detlock_runtime.dir/native_api.cpp.o" "gcc" "src/runtime/CMakeFiles/detlock_runtime.dir/native_api.cpp.o.d"
+  "/root/repo/src/runtime/nondet_backend.cpp" "src/runtime/CMakeFiles/detlock_runtime.dir/nondet_backend.cpp.o" "gcc" "src/runtime/CMakeFiles/detlock_runtime.dir/nondet_backend.cpp.o.d"
+  "/root/repo/src/runtime/pthread_shim.cpp" "src/runtime/CMakeFiles/detlock_runtime.dir/pthread_shim.cpp.o" "gcc" "src/runtime/CMakeFiles/detlock_runtime.dir/pthread_shim.cpp.o.d"
+  "/root/repo/src/runtime/schedule.cpp" "src/runtime/CMakeFiles/detlock_runtime.dir/schedule.cpp.o" "gcc" "src/runtime/CMakeFiles/detlock_runtime.dir/schedule.cpp.o.d"
+  "/root/repo/src/runtime/shared_memory.cpp" "src/runtime/CMakeFiles/detlock_runtime.dir/shared_memory.cpp.o" "gcc" "src/runtime/CMakeFiles/detlock_runtime.dir/shared_memory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/detlock_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

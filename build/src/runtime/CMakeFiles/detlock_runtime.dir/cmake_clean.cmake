@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detlock_runtime.dir/det_allocator.cpp.o"
+  "CMakeFiles/detlock_runtime.dir/det_allocator.cpp.o.d"
+  "CMakeFiles/detlock_runtime.dir/det_backend.cpp.o"
+  "CMakeFiles/detlock_runtime.dir/det_backend.cpp.o.d"
+  "CMakeFiles/detlock_runtime.dir/native_api.cpp.o"
+  "CMakeFiles/detlock_runtime.dir/native_api.cpp.o.d"
+  "CMakeFiles/detlock_runtime.dir/nondet_backend.cpp.o"
+  "CMakeFiles/detlock_runtime.dir/nondet_backend.cpp.o.d"
+  "CMakeFiles/detlock_runtime.dir/pthread_shim.cpp.o"
+  "CMakeFiles/detlock_runtime.dir/pthread_shim.cpp.o.d"
+  "CMakeFiles/detlock_runtime.dir/schedule.cpp.o"
+  "CMakeFiles/detlock_runtime.dir/schedule.cpp.o.d"
+  "CMakeFiles/detlock_runtime.dir/shared_memory.cpp.o"
+  "CMakeFiles/detlock_runtime.dir/shared_memory.cpp.o.d"
+  "libdetlock_runtime.a"
+  "libdetlock_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detlock_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

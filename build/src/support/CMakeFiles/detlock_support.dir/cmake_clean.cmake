@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detlock_support.dir/stats.cpp.o"
+  "CMakeFiles/detlock_support.dir/stats.cpp.o.d"
+  "CMakeFiles/detlock_support.dir/strings.cpp.o"
+  "CMakeFiles/detlock_support.dir/strings.cpp.o.d"
+  "CMakeFiles/detlock_support.dir/table.cpp.o"
+  "CMakeFiles/detlock_support.dir/table.cpp.o.d"
+  "libdetlock_support.a"
+  "libdetlock_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detlock_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdetlock_support.a"
+)

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/common.cpp" "src/workloads/CMakeFiles/detlock_workloads.dir/common.cpp.o" "gcc" "src/workloads/CMakeFiles/detlock_workloads.dir/common.cpp.o.d"
+  "/root/repo/src/workloads/harness.cpp" "src/workloads/CMakeFiles/detlock_workloads.dir/harness.cpp.o" "gcc" "src/workloads/CMakeFiles/detlock_workloads.dir/harness.cpp.o.d"
+  "/root/repo/src/workloads/ocean.cpp" "src/workloads/CMakeFiles/detlock_workloads.dir/ocean.cpp.o" "gcc" "src/workloads/CMakeFiles/detlock_workloads.dir/ocean.cpp.o.d"
+  "/root/repo/src/workloads/radiosity.cpp" "src/workloads/CMakeFiles/detlock_workloads.dir/radiosity.cpp.o" "gcc" "src/workloads/CMakeFiles/detlock_workloads.dir/radiosity.cpp.o.d"
+  "/root/repo/src/workloads/raytrace.cpp" "src/workloads/CMakeFiles/detlock_workloads.dir/raytrace.cpp.o" "gcc" "src/workloads/CMakeFiles/detlock_workloads.dir/raytrace.cpp.o.d"
+  "/root/repo/src/workloads/registry.cpp" "src/workloads/CMakeFiles/detlock_workloads.dir/registry.cpp.o" "gcc" "src/workloads/CMakeFiles/detlock_workloads.dir/registry.cpp.o.d"
+  "/root/repo/src/workloads/taskfarm_cv.cpp" "src/workloads/CMakeFiles/detlock_workloads.dir/taskfarm_cv.cpp.o" "gcc" "src/workloads/CMakeFiles/detlock_workloads.dir/taskfarm_cv.cpp.o.d"
+  "/root/repo/src/workloads/volrend.cpp" "src/workloads/CMakeFiles/detlock_workloads.dir/volrend.cpp.o" "gcc" "src/workloads/CMakeFiles/detlock_workloads.dir/volrend.cpp.o.d"
+  "/root/repo/src/workloads/water_nsq.cpp" "src/workloads/CMakeFiles/detlock_workloads.dir/water_nsq.cpp.o" "gcc" "src/workloads/CMakeFiles/detlock_workloads.dir/water_nsq.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/detlock_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/detlock_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/pass/CMakeFiles/detlock_pass.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/detlock_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/detlock_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/detlock_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detlock_workloads.dir/common.cpp.o"
+  "CMakeFiles/detlock_workloads.dir/common.cpp.o.d"
+  "CMakeFiles/detlock_workloads.dir/harness.cpp.o"
+  "CMakeFiles/detlock_workloads.dir/harness.cpp.o.d"
+  "CMakeFiles/detlock_workloads.dir/ocean.cpp.o"
+  "CMakeFiles/detlock_workloads.dir/ocean.cpp.o.d"
+  "CMakeFiles/detlock_workloads.dir/radiosity.cpp.o"
+  "CMakeFiles/detlock_workloads.dir/radiosity.cpp.o.d"
+  "CMakeFiles/detlock_workloads.dir/raytrace.cpp.o"
+  "CMakeFiles/detlock_workloads.dir/raytrace.cpp.o.d"
+  "CMakeFiles/detlock_workloads.dir/registry.cpp.o"
+  "CMakeFiles/detlock_workloads.dir/registry.cpp.o.d"
+  "CMakeFiles/detlock_workloads.dir/taskfarm_cv.cpp.o"
+  "CMakeFiles/detlock_workloads.dir/taskfarm_cv.cpp.o.d"
+  "CMakeFiles/detlock_workloads.dir/volrend.cpp.o"
+  "CMakeFiles/detlock_workloads.dir/volrend.cpp.o.d"
+  "CMakeFiles/detlock_workloads.dir/water_nsq.cpp.o"
+  "CMakeFiles/detlock_workloads.dir/water_nsq.cpp.o.d"
+  "libdetlock_workloads.a"
+  "libdetlock_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detlock_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

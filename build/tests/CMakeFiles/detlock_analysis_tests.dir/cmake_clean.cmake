@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detlock_analysis_tests.dir/analysis/call_graph_test.cpp.o"
+  "CMakeFiles/detlock_analysis_tests.dir/analysis/call_graph_test.cpp.o.d"
+  "CMakeFiles/detlock_analysis_tests.dir/analysis/cfg_dom_test.cpp.o"
+  "CMakeFiles/detlock_analysis_tests.dir/analysis/cfg_dom_test.cpp.o.d"
+  "CMakeFiles/detlock_analysis_tests.dir/analysis/loops_test.cpp.o"
+  "CMakeFiles/detlock_analysis_tests.dir/analysis/loops_test.cpp.o.d"
+  "CMakeFiles/detlock_analysis_tests.dir/analysis/paths_test.cpp.o"
+  "CMakeFiles/detlock_analysis_tests.dir/analysis/paths_test.cpp.o.d"
+  "detlock_analysis_tests"
+  "detlock_analysis_tests.pdb"
+  "detlock_analysis_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detlock_analysis_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detlock_integration_tests.dir/integration/replica_test.cpp.o"
+  "CMakeFiles/detlock_integration_tests.dir/integration/replica_test.cpp.o.d"
+  "CMakeFiles/detlock_integration_tests.dir/integration/smoke_test.cpp.o"
+  "CMakeFiles/detlock_integration_tests.dir/integration/smoke_test.cpp.o.d"
+  "CMakeFiles/detlock_integration_tests.dir/integration/taskfarm_cv_test.cpp.o"
+  "CMakeFiles/detlock_integration_tests.dir/integration/taskfarm_cv_test.cpp.o.d"
+  "CMakeFiles/detlock_integration_tests.dir/integration/workload_determinism_test.cpp.o"
+  "CMakeFiles/detlock_integration_tests.dir/integration/workload_determinism_test.cpp.o.d"
+  "CMakeFiles/detlock_integration_tests.dir/integration/workload_structure_test.cpp.o"
+  "CMakeFiles/detlock_integration_tests.dir/integration/workload_structure_test.cpp.o.d"
+  "detlock_integration_tests"
+  "detlock_integration_tests.pdb"
+  "detlock_integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detlock_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detlock_interp_tests.dir/interp/engine_condvar_test.cpp.o"
+  "CMakeFiles/detlock_interp_tests.dir/interp/engine_condvar_test.cpp.o.d"
+  "CMakeFiles/detlock_interp_tests.dir/interp/engine_record_test.cpp.o"
+  "CMakeFiles/detlock_interp_tests.dir/interp/engine_record_test.cpp.o.d"
+  "CMakeFiles/detlock_interp_tests.dir/interp/engine_test.cpp.o"
+  "CMakeFiles/detlock_interp_tests.dir/interp/engine_test.cpp.o.d"
+  "CMakeFiles/detlock_interp_tests.dir/interp/engine_threads_test.cpp.o"
+  "CMakeFiles/detlock_interp_tests.dir/interp/engine_threads_test.cpp.o.d"
+  "CMakeFiles/detlock_interp_tests.dir/interp/opcode_semantics_test.cpp.o"
+  "CMakeFiles/detlock_interp_tests.dir/interp/opcode_semantics_test.cpp.o.d"
+  "detlock_interp_tests"
+  "detlock_interp_tests.pdb"
+  "detlock_interp_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detlock_interp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detlock_ir_tests.dir/ir/builder_test.cpp.o"
+  "CMakeFiles/detlock_ir_tests.dir/ir/builder_test.cpp.o.d"
+  "CMakeFiles/detlock_ir_tests.dir/ir/cost_model_test.cpp.o"
+  "CMakeFiles/detlock_ir_tests.dir/ir/cost_model_test.cpp.o.d"
+  "CMakeFiles/detlock_ir_tests.dir/ir/parser_robustness_test.cpp.o"
+  "CMakeFiles/detlock_ir_tests.dir/ir/parser_robustness_test.cpp.o.d"
+  "CMakeFiles/detlock_ir_tests.dir/ir/parser_test.cpp.o"
+  "CMakeFiles/detlock_ir_tests.dir/ir/parser_test.cpp.o.d"
+  "CMakeFiles/detlock_ir_tests.dir/ir/printer_roundtrip_test.cpp.o"
+  "CMakeFiles/detlock_ir_tests.dir/ir/printer_roundtrip_test.cpp.o.d"
+  "CMakeFiles/detlock_ir_tests.dir/ir/verifier_test.cpp.o"
+  "CMakeFiles/detlock_ir_tests.dir/ir/verifier_test.cpp.o.d"
+  "detlock_ir_tests"
+  "detlock_ir_tests.pdb"
+  "detlock_ir_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detlock_ir_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

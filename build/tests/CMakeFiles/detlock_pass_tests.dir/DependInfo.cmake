@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pass/block_split_test.cpp" "tests/CMakeFiles/detlock_pass_tests.dir/pass/block_split_test.cpp.o" "gcc" "tests/CMakeFiles/detlock_pass_tests.dir/pass/block_split_test.cpp.o.d"
+  "/root/repo/tests/pass/costs_test.cpp" "tests/CMakeFiles/detlock_pass_tests.dir/pass/costs_test.cpp.o" "gcc" "tests/CMakeFiles/detlock_pass_tests.dir/pass/costs_test.cpp.o.d"
+  "/root/repo/tests/pass/estimates_test.cpp" "tests/CMakeFiles/detlock_pass_tests.dir/pass/estimates_test.cpp.o" "gcc" "tests/CMakeFiles/detlock_pass_tests.dir/pass/estimates_test.cpp.o.d"
+  "/root/repo/tests/pass/example_walkthrough_test.cpp" "tests/CMakeFiles/detlock_pass_tests.dir/pass/example_walkthrough_test.cpp.o" "gcc" "tests/CMakeFiles/detlock_pass_tests.dir/pass/example_walkthrough_test.cpp.o.d"
+  "/root/repo/tests/pass/materialize_test.cpp" "tests/CMakeFiles/detlock_pass_tests.dir/pass/materialize_test.cpp.o" "gcc" "tests/CMakeFiles/detlock_pass_tests.dir/pass/materialize_test.cpp.o.d"
+  "/root/repo/tests/pass/opt1_function_clocking_test.cpp" "tests/CMakeFiles/detlock_pass_tests.dir/pass/opt1_function_clocking_test.cpp.o" "gcc" "tests/CMakeFiles/detlock_pass_tests.dir/pass/opt1_function_clocking_test.cpp.o.d"
+  "/root/repo/tests/pass/opt2_conditional_test.cpp" "tests/CMakeFiles/detlock_pass_tests.dir/pass/opt2_conditional_test.cpp.o" "gcc" "tests/CMakeFiles/detlock_pass_tests.dir/pass/opt2_conditional_test.cpp.o.d"
+  "/root/repo/tests/pass/opt3_averaging_test.cpp" "tests/CMakeFiles/detlock_pass_tests.dir/pass/opt3_averaging_test.cpp.o" "gcc" "tests/CMakeFiles/detlock_pass_tests.dir/pass/opt3_averaging_test.cpp.o.d"
+  "/root/repo/tests/pass/opt4_loops_test.cpp" "tests/CMakeFiles/detlock_pass_tests.dir/pass/opt4_loops_test.cpp.o" "gcc" "tests/CMakeFiles/detlock_pass_tests.dir/pass/opt4_loops_test.cpp.o.d"
+  "/root/repo/tests/pass/pipeline_property_test.cpp" "tests/CMakeFiles/detlock_pass_tests.dir/pass/pipeline_property_test.cpp.o" "gcc" "tests/CMakeFiles/detlock_pass_tests.dir/pass/pipeline_property_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/detlock_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/detlock_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/detlock_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/pass/CMakeFiles/detlock_pass.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/detlock_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/detlock_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/racedetect/CMakeFiles/detlock_racedetect.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/detlock_workloads.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detlock_pass_tests.dir/pass/block_split_test.cpp.o"
+  "CMakeFiles/detlock_pass_tests.dir/pass/block_split_test.cpp.o.d"
+  "CMakeFiles/detlock_pass_tests.dir/pass/costs_test.cpp.o"
+  "CMakeFiles/detlock_pass_tests.dir/pass/costs_test.cpp.o.d"
+  "CMakeFiles/detlock_pass_tests.dir/pass/estimates_test.cpp.o"
+  "CMakeFiles/detlock_pass_tests.dir/pass/estimates_test.cpp.o.d"
+  "CMakeFiles/detlock_pass_tests.dir/pass/example_walkthrough_test.cpp.o"
+  "CMakeFiles/detlock_pass_tests.dir/pass/example_walkthrough_test.cpp.o.d"
+  "CMakeFiles/detlock_pass_tests.dir/pass/materialize_test.cpp.o"
+  "CMakeFiles/detlock_pass_tests.dir/pass/materialize_test.cpp.o.d"
+  "CMakeFiles/detlock_pass_tests.dir/pass/opt1_function_clocking_test.cpp.o"
+  "CMakeFiles/detlock_pass_tests.dir/pass/opt1_function_clocking_test.cpp.o.d"
+  "CMakeFiles/detlock_pass_tests.dir/pass/opt2_conditional_test.cpp.o"
+  "CMakeFiles/detlock_pass_tests.dir/pass/opt2_conditional_test.cpp.o.d"
+  "CMakeFiles/detlock_pass_tests.dir/pass/opt3_averaging_test.cpp.o"
+  "CMakeFiles/detlock_pass_tests.dir/pass/opt3_averaging_test.cpp.o.d"
+  "CMakeFiles/detlock_pass_tests.dir/pass/opt4_loops_test.cpp.o"
+  "CMakeFiles/detlock_pass_tests.dir/pass/opt4_loops_test.cpp.o.d"
+  "CMakeFiles/detlock_pass_tests.dir/pass/pipeline_property_test.cpp.o"
+  "CMakeFiles/detlock_pass_tests.dir/pass/pipeline_property_test.cpp.o.d"
+  "detlock_pass_tests"
+  "detlock_pass_tests.pdb"
+  "detlock_pass_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detlock_pass_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detlock_racedetect_tests.dir/racedetect/lockset_test.cpp.o"
+  "CMakeFiles/detlock_racedetect_tests.dir/racedetect/lockset_test.cpp.o.d"
+  "detlock_racedetect_tests"
+  "detlock_racedetect_tests.pdb"
+  "detlock_racedetect_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detlock_racedetect_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

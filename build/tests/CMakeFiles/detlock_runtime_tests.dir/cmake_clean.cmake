@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detlock_runtime_tests.dir/runtime/clock_table_test.cpp.o"
+  "CMakeFiles/detlock_runtime_tests.dir/runtime/clock_table_test.cpp.o.d"
+  "CMakeFiles/detlock_runtime_tests.dir/runtime/det_allocator_property_test.cpp.o"
+  "CMakeFiles/detlock_runtime_tests.dir/runtime/det_allocator_property_test.cpp.o.d"
+  "CMakeFiles/detlock_runtime_tests.dir/runtime/det_allocator_test.cpp.o"
+  "CMakeFiles/detlock_runtime_tests.dir/runtime/det_allocator_test.cpp.o.d"
+  "CMakeFiles/detlock_runtime_tests.dir/runtime/det_barrier_join_test.cpp.o"
+  "CMakeFiles/detlock_runtime_tests.dir/runtime/det_barrier_join_test.cpp.o.d"
+  "CMakeFiles/detlock_runtime_tests.dir/runtime/det_condvar_test.cpp.o"
+  "CMakeFiles/detlock_runtime_tests.dir/runtime/det_condvar_test.cpp.o.d"
+  "CMakeFiles/detlock_runtime_tests.dir/runtime/det_mutex_test.cpp.o"
+  "CMakeFiles/detlock_runtime_tests.dir/runtime/det_mutex_test.cpp.o.d"
+  "CMakeFiles/detlock_runtime_tests.dir/runtime/det_stress_test.cpp.o"
+  "CMakeFiles/detlock_runtime_tests.dir/runtime/det_stress_test.cpp.o.d"
+  "CMakeFiles/detlock_runtime_tests.dir/runtime/native_api_test.cpp.o"
+  "CMakeFiles/detlock_runtime_tests.dir/runtime/native_api_test.cpp.o.d"
+  "CMakeFiles/detlock_runtime_tests.dir/runtime/nondet_trace_test.cpp.o"
+  "CMakeFiles/detlock_runtime_tests.dir/runtime/nondet_trace_test.cpp.o.d"
+  "CMakeFiles/detlock_runtime_tests.dir/runtime/pthread_shim_test.cpp.o"
+  "CMakeFiles/detlock_runtime_tests.dir/runtime/pthread_shim_test.cpp.o.d"
+  "CMakeFiles/detlock_runtime_tests.dir/runtime/schedule_test.cpp.o"
+  "CMakeFiles/detlock_runtime_tests.dir/runtime/schedule_test.cpp.o.d"
+  "detlock_runtime_tests"
+  "detlock_runtime_tests.pdb"
+  "detlock_runtime_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detlock_runtime_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

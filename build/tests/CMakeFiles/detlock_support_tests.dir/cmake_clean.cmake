@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detlock_support_tests.dir/support/hash_prng_table_test.cpp.o"
+  "CMakeFiles/detlock_support_tests.dir/support/hash_prng_table_test.cpp.o.d"
+  "CMakeFiles/detlock_support_tests.dir/support/spinwait_cacheline_test.cpp.o"
+  "CMakeFiles/detlock_support_tests.dir/support/spinwait_cacheline_test.cpp.o.d"
+  "CMakeFiles/detlock_support_tests.dir/support/stats_test.cpp.o"
+  "CMakeFiles/detlock_support_tests.dir/support/stats_test.cpp.o.d"
+  "CMakeFiles/detlock_support_tests.dir/support/strings_test.cpp.o"
+  "CMakeFiles/detlock_support_tests.dir/support/strings_test.cpp.o.d"
+  "detlock_support_tests"
+  "detlock_support_tests.pdb"
+  "detlock_support_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detlock_support_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detlock_sched.dir/detlock_sched.cpp.o"
+  "CMakeFiles/detlock_sched.dir/detlock_sched.cpp.o.d"
+  "detlock_sched"
+  "detlock_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detlock_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detlockc.dir/detlockc.cpp.o"
+  "CMakeFiles/detlockc.dir/detlockc.cpp.o.d"
+  "detlockc"
+  "detlockc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detlockc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

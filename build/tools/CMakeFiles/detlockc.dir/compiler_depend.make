@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for detlockc.
+# This may be replaced when dependencies are built.
