@@ -22,7 +22,10 @@ LoopInfo::LoopInfo(const Cfg& cfg, const DominatorTree& domtree) {
   // Collect each natural loop's body (header + all blocks that reach a
   // latch without passing through the header) and bump depths.  Back edges
   // sharing a header describe one loop, so bodies are unioned per header
-  // before the depth bump.
+  // before the depth bump.  Bodies are retained for loop-region consumers
+  // (Opt4 region checks, the static checkers' per-iteration analyses).
+  bodies_.assign(n, {});
+  empty_body_.assign(n, false);
   for (std::size_t h = 0; h < n; ++h) {
     if (!is_header_[h]) continue;
     const BlockId header = static_cast<BlockId>(h);
@@ -48,7 +51,14 @@ LoopInfo::LoopInfo(const Cfg& cfg, const DominatorTree& domtree) {
     for (std::size_t b = 0; b < n; ++b) {
       if (in_loop[b]) ++depth_[b];
     }
+    headers_.push_back(header);
+    bodies_[header] = std::move(in_loop);
   }
+}
+
+const std::vector<bool>& LoopInfo::loop_body(BlockId header) const {
+  if (header >= bodies_.size() || !is_header_[header]) return empty_body_;
+  return bodies_[header];
 }
 
 bool LoopInfo::is_back_edge(BlockId from, BlockId to) const {

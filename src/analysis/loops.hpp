@@ -36,10 +36,21 @@ class LoopInfo {
   /// hasLoops check).
   bool has_loops() const { return !back_edges_.empty(); }
 
+  /// Headers of all natural loops, in block-id order.
+  const std::vector<BlockId>& headers() const { return headers_; }
+
+  /// Body of the natural loop with the given header (header included; back
+  /// edges sharing a header are unioned into one loop).  Empty for
+  /// non-headers.
+  const std::vector<bool>& loop_body(BlockId header) const;
+
  private:
   std::vector<BackEdge> back_edges_;
   std::vector<bool> is_header_;
   std::vector<unsigned> depth_;
+  std::vector<BlockId> headers_;
+  std::vector<std::vector<bool>> bodies_;  // indexed by header BlockId
+  std::vector<bool> empty_body_;           // returned for non-headers
 };
 
 }  // namespace detlock::analysis

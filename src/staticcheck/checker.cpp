@@ -1,0 +1,57 @@
+#include "staticcheck/checker.hpp"
+
+#include "pass/pipeline.hpp"
+#include "staticcheck/conservation.hpp"
+#include "staticcheck/deadlock.hpp"
+#include "staticcheck/lockset.hpp"
+#include "staticcheck/misuse.hpp"
+#include "staticcheck/races.hpp"
+
+namespace detlock::staticcheck {
+
+namespace {
+
+bool is_instrumented(const ir::Module& module) {
+  for (const ir::Function& func : module.functions()) {
+    for (const ir::BasicBlock& block : func.blocks()) {
+      for (const ir::Instr& instr : block.instrs()) {
+        if (ir::is_clock_update(instr.op)) return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<Diagnostic> run_all_checks(const ir::Module& module, const CheckOptions& options) {
+  std::vector<Diagnostic> diags;
+
+  if (module.has_function(options.entry)) {
+    const SyncAnalysis analysis(module, module.find_function(options.entry));
+    check_races(analysis, diags);
+    check_deadlocks(analysis, diags);
+    check_misuse(analysis, diags);
+  } else {
+    Diagnostic diag;
+    diag.severity = Severity::kNote;
+    diag.checker = "sync-misuse";
+    diag.message = "entry function '" + options.entry + "' not found; sync checkers skipped";
+    diags.push_back(std::move(diag));
+  }
+
+  // Conservation runs on an instrumented scratch copy; a module that
+  // already carries clock updates cannot be re-instrumented, so it is
+  // skipped (the pipeline refuses such input anyway).
+  if (options.check_conservation && !is_instrumented(module)) {
+    ir::Module scratch = module;
+    pass::ClockAssignment assignment;
+    pass::instrument_module(scratch, options.pass_options, assignment);
+    check_clock_conservation(scratch, assignment, options.pass_options, diags);
+  }
+
+  sort_diagnostics(diags);
+  return diags;
+}
+
+}  // namespace detlock::staticcheck

@@ -1,0 +1,31 @@
+// One-call driver running every static checker over a module.
+//
+// run_all_checks() analyzes the *uninstrumented* module with the sync
+// checkers (lockset races, lock-order cycles, API misuse) and then, when
+// given pipeline options, instruments a scratch copy and runs the
+// clock-conservation checker on it -- so a single `detlockc --lint`
+// invocation exercises both the program's synchronization discipline and
+// the instrumentation the pipeline would emit for it.
+#pragma once
+
+#include <vector>
+
+#include "ir/module.hpp"
+#include "pass/options.hpp"
+#include "staticcheck/diagnostics.hpp"
+
+namespace detlock::staticcheck {
+
+struct CheckOptions {
+  /// Entry function name (thread root for the concurrency analysis).
+  std::string entry = "main";
+  /// When set, instrument a copy with these options and verify clock
+  /// conservation on the result.
+  bool check_conservation = true;
+  pass::PassOptions pass_options;
+};
+
+/// Runs every checker; returns sorted diagnostics.
+std::vector<Diagnostic> run_all_checks(const ir::Module& module, const CheckOptions& options);
+
+}  // namespace detlock::staticcheck

@@ -1,0 +1,265 @@
+#include "staticcheck/conservation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "analysis/cfg.hpp"
+#include "analysis/dominators.hpp"
+#include "analysis/loops.hpp"
+
+namespace detlock::staticcheck {
+
+using ir::BlockId;
+using ir::FuncId;
+
+namespace {
+
+using pass::BlockClockInfo;
+using pass::ClockAssignment;
+using pass::FunctionClocks;
+
+Diagnostic make_diag(const ir::Function& func, BlockId b, std::string message,
+                     std::vector<std::string> witness = {}) {
+  Diagnostic diag;
+  diag.severity = Severity::kError;
+  diag.checker = "clock-conservation";
+  diag.function = func.name();
+  if (b < func.num_blocks()) diag.block = func.block(b).name();
+  diag.message = std::move(message);
+  diag.witness = std::move(witness);
+  return diag;
+}
+
+// ---------------------------------------------------------------------------
+// Check A: the instrumented instructions agree with the assignment.
+
+void check_materialization(const ir::Module& module, const ClockAssignment& assignment,
+                           std::vector<Diagnostic>& out) {
+  for (FuncId f = 0; f < module.functions().size(); ++f) {
+    const ir::Function& func = module.function(f);
+
+    if (assignment.is_clocked(f)) {
+      // Clocked functions are charged at call sites; a clock update inside
+      // would double-count.
+      for (BlockId b = 0; b < func.num_blocks(); ++b) {
+        for (const ir::Instr& instr : func.block(b).instrs()) {
+          if (ir::is_clock_update(instr.op)) {
+            out.push_back(make_diag(func, b,
+                                    "clocked (Opt1) function contains a clock update; its cost "
+                                    "is already charged at call sites"));
+          }
+        }
+      }
+      continue;
+    }
+
+    const FunctionClocks& clocks = assignment.funcs[f];
+    if (clocks.blocks.size() != func.num_blocks()) {
+      out.push_back(make_diag(func, static_cast<BlockId>(func.num_blocks()),
+                              "assignment has " + std::to_string(clocks.blocks.size()) +
+                                  " block entries but the function has " +
+                                  std::to_string(func.num_blocks()) + " blocks"));
+      continue;
+    }
+
+    for (BlockId b = 0; b < func.num_blocks(); ++b) {
+      std::int64_t materialized = 0;
+      std::size_t dyn_sites = 0;
+      std::size_t dyn_calls = 0;
+      for (std::size_t i = 0; i < func.block(b).instrs().size(); ++i) {
+        const ir::Instr& instr = func.block(b).instrs()[i];
+        if (instr.op == ir::Opcode::kClockAdd) materialized += instr.imm;
+        if (instr.op == ir::Opcode::kClockAddDyn) {
+          ++dyn_sites;
+          // The next instruction must be the estimated extern call whose
+          // declared coefficients this update encodes.
+          const auto& instrs = func.block(b).instrs();
+          const bool next_is_call =
+              i + 1 < instrs.size() && instrs[i + 1].op == ir::Opcode::kCallExtern;
+          if (!next_is_call) {
+            out.push_back(make_diag(func, b,
+                                    "kClockAddDyn is not immediately followed by an extern call"));
+            continue;
+          }
+          const ir::Instr& call = instrs[i + 1];
+          const ir::ExternDecl& decl = module.extern_decl(call.callee);
+          if (!decl.estimate.has_value() || !decl.estimate->is_dynamic()) {
+            out.push_back(make_diag(func, b,
+                                    "kClockAddDyn precedes extern '" + decl.name +
+                                        "' which has no size-dependent estimate"));
+            continue;
+          }
+          const bool coeffs_match = instr.imm == decl.estimate->base &&
+                                    instr.fimm == decl.estimate->per_unit &&
+                                    instr.a == call.args[decl.estimate->size_arg_index];
+          if (!coeffs_match) {
+            out.push_back(make_diag(func, b,
+                                    "kClockAddDyn coefficients disagree with extern '" +
+                                        decl.name + "' declared estimate"));
+          }
+        }
+        if (instr.op == ir::Opcode::kCallExtern) {
+          const ir::ExternDecl& decl = module.extern_decl(instr.callee);
+          if (decl.estimate.has_value() && decl.estimate->is_dynamic()) ++dyn_calls;
+        }
+      }
+      if (materialized != clocks[b].clock) {
+        out.push_back(make_diag(func, b,
+                                "materialized clock adds sum to " + std::to_string(materialized) +
+                                    " but the assignment requires " +
+                                    std::to_string(clocks[b].clock)));
+      }
+      if (dyn_sites != dyn_calls) {
+        out.push_back(make_diag(func, b,
+                                std::to_string(dyn_calls) +
+                                    " size-estimated extern call(s) but " +
+                                    std::to_string(dyn_sites) + " kClockAddDyn site(s)"));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Check B: every-path divergence bound via longest-path DP.
+
+struct PathDp {
+  /// Max over forward-edge paths ending *after* each block of the summed
+  /// weight; kUnset where no path reaches the block.
+  std::vector<double> best;
+  std::vector<BlockId> parent;
+  static constexpr double kUnset = -std::numeric_limits<double>::infinity();
+};
+
+/// Longest entry->block path sums of w(b) over edges that move forward in
+/// RPO (retreating edges are the loop check's job).  `restrict_to` limits
+/// the walk to a loop body; `start` seeds the DP.
+PathDp longest_paths(const analysis::Cfg& cfg, const std::vector<double>& weight, BlockId start,
+                     const std::vector<bool>* restrict_to) {
+  PathDp dp;
+  dp.best.assign(cfg.num_blocks(), PathDp::kUnset);
+  dp.parent.assign(cfg.num_blocks(), ir::kInvalidBlock);
+  dp.best[start] = weight[start];
+  for (const BlockId b : cfg.rpo()) {
+    if (dp.best[b] == PathDp::kUnset) continue;
+    if (restrict_to && (b >= restrict_to->size() || !(*restrict_to)[b])) continue;
+    for (const BlockId succ : cfg.successors(b)) {
+      if (cfg.rpo_index(succ) <= cfg.rpo_index(b)) continue;  // retreating edge
+      if (restrict_to && (succ >= restrict_to->size() || !(*restrict_to)[succ])) continue;
+      const double candidate = dp.best[b] + weight[succ];
+      if (candidate > dp.best[succ]) {
+        dp.best[succ] = candidate;
+        dp.parent[succ] = b;
+      }
+    }
+  }
+  return dp;
+}
+
+std::vector<std::string> dp_witness(const ir::Function& func, const PathDp& dp, BlockId end) {
+  std::vector<std::string> names;
+  for (BlockId b = end; b != ir::kInvalidBlock; b = dp.parent[b]) {
+    names.push_back(func.block(b).name());
+  }
+  std::reverse(names.begin(), names.end());
+  std::ostringstream line;
+  line << "worst path:";
+  for (const std::string& name : names) line << " -> " << name;
+  return {line.str()};
+}
+
+void check_paths(const ir::Module& module, const ClockAssignment& assignment,
+                 const ConservationTolerance& tol, std::vector<Diagnostic>& out) {
+  for (FuncId f = 0; f < module.functions().size(); ++f) {
+    if (assignment.is_clocked(f)) continue;
+    const ir::Function& func = module.function(f);
+    const FunctionClocks& clocks = assignment.funcs[f];
+    if (clocks.blocks.size() != func.num_blocks()) continue;  // Check A reported it
+    const analysis::Cfg cfg(func);
+
+    // Signed weights: positive DP direction catches over-counting, the
+    // mirrored one under-counting; both fold the relative term in linearly.
+    std::vector<double> over(func.num_blocks(), 0.0);
+    std::vector<double> under(func.num_blocks(), 0.0);
+    for (BlockId b = 0; b < func.num_blocks(); ++b) {
+      const double clock = static_cast<double>(clocks[b].clock);
+      const double orig = static_cast<double>(clocks[b].original_cost);
+      over[b] = clock - orig - tol.relative_slack * orig;
+      under[b] = orig - clock - tol.relative_slack * orig;
+    }
+    const double slack = static_cast<double>(tol.absolute_slack) + 0.5;  // int rounding headroom
+
+    auto report = [&](const PathDp& dp, BlockId end, double excess, const char* direction) {
+      std::ostringstream msg;
+      msg << "a path " << direction << " the exact cost beyond tolerance (excess "
+          << std::llround(excess) << ", allowed " << tol.absolute_slack << " + "
+          << tol.relative_slack << " * path cost)";
+      out.push_back(make_diag(func, end, msg.str(), dp_witness(func, dp, end)));
+    };
+
+    // Whole-function acyclic paths: entry to every exit block.
+    const PathDp dp_over = longest_paths(cfg, over, ir::Function::kEntry, nullptr);
+    const PathDp dp_under = longest_paths(cfg, under, ir::Function::kEntry, nullptr);
+    for (const BlockId b : cfg.rpo()) {
+      if (!cfg.successors(b).empty()) continue;  // not an exit
+      if (dp_over.best[b] != PathDp::kUnset && dp_over.best[b] > slack) {
+        report(dp_over, b, dp_over.best[b] - tol.absolute_slack, "over-counts");
+      }
+      if (dp_under.best[b] != PathDp::kUnset && dp_under.best[b] > slack) {
+        report(dp_under, b, dp_under.best[b] - tol.absolute_slack, "under-counts");
+      }
+    }
+
+    // Per-iteration bound for every natural loop: header to each latch over
+    // forward edges inside the body.
+    const analysis::DominatorTree domtree(cfg);
+    const analysis::LoopInfo loops(cfg, domtree);
+    for (const BlockId header : loops.headers()) {
+      const std::vector<bool>& body = loops.loop_body(header);
+      const PathDp loop_over = longest_paths(cfg, over, header, &body);
+      const PathDp loop_under = longest_paths(cfg, under, header, &body);
+      for (const auto& [latch, h] : loops.back_edges()) {
+        if (h != header) continue;
+        if (loop_over.best[latch] != PathDp::kUnset && loop_over.best[latch] > slack) {
+          report(loop_over, latch, loop_over.best[latch] - tol.absolute_slack,
+                 "over-counts (per loop iteration)");
+        }
+        if (loop_under.best[latch] != PathDp::kUnset && loop_under.best[latch] > slack) {
+          report(loop_under, latch, loop_under.best[latch] - tol.absolute_slack,
+                 "under-counts (per loop iteration)");
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ConservationTolerance tolerance_for(const pass::PassOptions& options) {
+  ConservationTolerance tol;
+  if (!options.opt2_conditional && !options.opt3_averaging && !options.opt4_loops) {
+    return tol;  // Opt1/Opt2a alone never change a path's sum
+  }
+  // Matches the dynamic property-test envelope: relative divergence well
+  // under 1/2, plus absolute headroom for Opt4's merged latch clocks and
+  // Opt3's per-region rounding.
+  tol.relative_slack = 0.5;
+  tol.absolute_slack = std::max<std::int64_t>(64, 4 * options.opt4_threshold);
+  return tol;
+}
+
+void check_clock_conservation(const ir::Module& instrumented, const pass::ClockAssignment& assignment,
+                              const pass::PassOptions& options, std::vector<Diagnostic>& out) {
+  check_clock_conservation(instrumented, assignment, options, tolerance_for(options), out);
+}
+
+void check_clock_conservation(const ir::Module& instrumented, const pass::ClockAssignment& assignment,
+                              const pass::PassOptions& options, const ConservationTolerance& tol,
+                              std::vector<Diagnostic>& out) {
+  (void)options;
+  check_materialization(instrumented, assignment, out);
+  check_paths(instrumented, assignment, tol, out);
+}
+
+}  // namespace detlock::staticcheck

@@ -1,0 +1,59 @@
+// Static clock-conservation verification.
+//
+// The dynamic checker (src/pass/conservation.cpp) samples random walks;
+// this one covers *every* acyclic path by dynamic programming over the
+// CFG's forward edges, complementing it with exhaustive (not sampled)
+// guarantees:
+//
+//   Check A -- materialization fidelity: in the instrumented module, each
+//   block's kClockAdd immediates sum to exactly the assignment's clock for
+//   that block, clocked (Opt1) functions contain no clock updates, and
+//   every size-dependent extern call is preceded by a kClockAddDyn whose
+//   coefficients match the extern's declared estimate.
+//
+//   Check B -- path divergence: for every entry->exit path over forward
+//   edges, and for every natural-loop iteration (header to latch over
+//   forward edges), the assigned-clock sum stays within
+//   |assigned - exact| <= absolute_slack + relative_slack * exact.
+//   Maximizing sum(clock - orig - t*orig) and sum(orig - clock - t*orig)
+//   over paths makes this a pair of longest-path DPs, so the bound holds
+//   for every path, not just the sampled ones.  Retreating edges are
+//   dropped from the DP; loop-carried divergence is bounded by the
+//   per-iteration check instead.
+//
+// Configurations without Opt2b/Opt3/Opt4 are checked exactly (zero slack):
+// Opt1 and Opt2a only relocate updates, they never change a path's sum.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pass/clock_assignment.hpp"
+#include "pass/options.hpp"
+#include "staticcheck/diagnostics.hpp"
+
+namespace detlock::staticcheck {
+
+struct ConservationTolerance {
+  double relative_slack = 0.0;
+  std::int64_t absolute_slack = 0;
+};
+
+/// Tolerance implied by the pipeline options: exact for configurations
+/// whose transformations are value-preserving, the Opt2b/Opt3/Opt4
+/// divergence envelope otherwise.
+ConservationTolerance tolerance_for(const pass::PassOptions& options);
+
+/// Checks `instrumented` (output of instrument_module with the same
+/// `assignment` and `options`) and appends diagnostics for violations.
+void check_clock_conservation(const ir::Module& instrumented,
+                              const pass::ClockAssignment& assignment,
+                              const pass::PassOptions& options, std::vector<Diagnostic>& out);
+
+/// As above with an explicit tolerance (tests tighten or loosen it).
+void check_clock_conservation(const ir::Module& instrumented,
+                              const pass::ClockAssignment& assignment,
+                              const pass::PassOptions& options, const ConservationTolerance& tol,
+                              std::vector<Diagnostic>& out);
+
+}  // namespace detlock::staticcheck

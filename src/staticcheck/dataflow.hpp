@@ -1,0 +1,54 @@
+// Generic forward dataflow solver over the CFG analyses in src/analysis.
+//
+// The checkers in this directory (lockset, live-thread counting) are all
+// instances of the same meet-over-paths worklist iteration; this header
+// factors the iteration out so a new analysis only supplies its domain:
+//
+//   struct Domain {
+//     using State = ...;                          // a join-semilattice point
+//     State entry_state() const;                  // state at function entry
+//     State transfer(ir::BlockId b, State in);    // through a whole block
+//     bool merge(State& into, const State& from); // meet; true if `into` changed
+//   };
+//
+// solve_forward() iterates blocks in reverse post-order until a fixed
+// point, which for the finite-height lattices used here terminates in a
+// handful of sweeps even on loop-heavy functions.  Unreachable blocks keep
+// an empty optional so checkers can skip them explicitly.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "analysis/cfg.hpp"
+
+namespace detlock::staticcheck {
+
+template <typename Domain>
+std::vector<std::optional<typename Domain::State>> solve_forward(const analysis::Cfg& cfg,
+                                                                 Domain& domain) {
+  using State = typename Domain::State;
+  std::vector<std::optional<State>> in(cfg.num_blocks());
+  if (cfg.num_blocks() == 0) return in;
+  in[ir::Function::kEntry] = domain.entry_state();
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const ir::BlockId b : cfg.rpo()) {
+      if (!in[b].has_value()) continue;  // no propagated state yet
+      State out = domain.transfer(b, *in[b]);
+      for (const ir::BlockId succ : cfg.successors(b)) {
+        if (!in[succ].has_value()) {
+          in[succ] = out;
+          changed = true;
+        } else if (domain.merge(*in[succ], out)) {
+          changed = true;
+        }
+      }
+    }
+  }
+  return in;
+}
+
+}  // namespace detlock::staticcheck

@@ -1,0 +1,118 @@
+#include "staticcheck/deadlock.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace detlock::staticcheck {
+
+namespace {
+
+struct EdgeSite {
+  FuncId func;
+  BlockId block;
+  std::size_t instr_index;
+};
+
+using LockOrderGraph = std::map<std::int64_t, std::map<std::int64_t, EdgeSite>>;
+
+std::string site_to_string(const ir::Module& module, const EdgeSite& site, std::int64_t held,
+                           std::int64_t acquired) {
+  const ir::Function& func = module.function(site.func);
+  std::ostringstream out;
+  out << "mutex " << acquired << " acquired while holding mutex " << held << " at @"
+      << func.name() << " " << func.block(site.block).name() << "#" << site.instr_index;
+  return out.str();
+}
+
+/// Rotates `cycle` so its smallest element comes first (dedup key).
+std::vector<std::int64_t> canonicalise(std::vector<std::int64_t> cycle) {
+  const auto min_it = std::min_element(cycle.begin(), cycle.end());
+  std::rotate(cycle.begin(), min_it, cycle.end());
+  return cycle;
+}
+
+}  // namespace
+
+void check_deadlocks(const SyncAnalysis& analysis, std::vector<Diagnostic>& out) {
+  const ir::Module& module = analysis.module();
+
+  LockOrderGraph graph;
+  bool module_spawns = false;
+  for (FuncId f = 0; f < module.functions().size(); ++f) {
+    const ir::Function& func = module.function(f);
+    for (BlockId b = 0; b < func.num_blocks(); ++b) {
+      analysis.walk_block(f, b, [&](std::size_t i, const SyncState& state) {
+        const ir::Instr& instr = func.block(b).instrs()[i];
+        if (instr.op == ir::Opcode::kSpawn) module_spawns = true;
+        if (instr.op != ir::Opcode::kLock) return;
+        const AbstractValue value =
+            instr.a < state.regs.size() ? state.regs[instr.a] : AbstractValue::top();
+        if (!value.is_const()) return;
+        for (const LockRef& held : state.may) {
+          if (held.kind != LockRef::Kind::kConst) continue;
+          if (held.id == value.v) continue;  // re-acquisition is misuse, not ordering
+          graph[held.id].emplace(value.v, EdgeSite{f, b, i});
+        }
+      });
+    }
+  }
+
+  // DFS cycle enumeration over the (tiny) lock-order graph.
+  std::set<std::vector<std::int64_t>> reported;
+  std::vector<std::int64_t> path;
+  std::set<std::int64_t> on_path;
+
+  std::function<void(std::int64_t)> dfs = [&](std::int64_t lock) {
+    path.push_back(lock);
+    on_path.insert(lock);
+    const auto it = graph.find(lock);
+    if (it != graph.end()) {
+      for (const auto& [next, site] : it->second) {
+        if (on_path.count(next)) {
+          // Found a cycle: path from `next`'s position to the end, closing
+          // back to `next`.
+          const auto start = std::find(path.begin(), path.end(), next);
+          std::vector<std::int64_t> cycle(start, path.end());
+          const auto canonical = canonicalise(cycle);
+          if (reported.insert(canonical).second) {
+            Diagnostic diag;
+            diag.severity = module_spawns ? Severity::kError : Severity::kWarning;
+            diag.checker = "deadlock";
+            const ir::Function& func = module.function(site.func);
+            diag.function = func.name();
+            diag.block = func.block(site.block).name();
+            diag.instr_index = site.instr_index;
+            std::ostringstream msg;
+            msg << "lock-order cycle:";
+            for (const std::int64_t l : canonical) msg << " " << l << " ->";
+            msg << " " << canonical.front()
+                << (module_spawns ? " (potential ABBA deadlock)"
+                                  : " (inconsistent lock order; no spawn observed)");
+            diag.message = msg.str();
+            for (std::size_t k = 0; k < cycle.size(); ++k) {
+              const std::int64_t held = cycle[k];
+              const std::int64_t acquired = cycle[(k + 1) % cycle.size()];
+              const auto edge = graph.at(held).find(acquired);
+              if (edge != graph.at(held).end()) {
+                diag.witness.push_back(site_to_string(module, edge->second, held, acquired));
+              }
+            }
+            out.push_back(std::move(diag));
+          }
+        } else {
+          dfs(next);
+        }
+      }
+    }
+    on_path.erase(lock);
+    path.pop_back();
+  };
+
+  for (const auto& [lock, _] : graph) dfs(lock);
+}
+
+}  // namespace detlock::staticcheck

@@ -1,0 +1,22 @@
+// Static lock-order (ABBA deadlock) checker.
+//
+// Builds a lock-order graph: an edge A -> B for every kLock of constant
+// mutex B executed while constant mutex A is may-held.  A cycle in this
+// graph is a potential deadlock -- two threads can acquire the cycle's
+// locks in opposing orders.  Each cycle is reported once (canonicalised by
+// rotating its smallest lock first) with a witness naming the acquisition
+// site of every edge.  Cycles are errors when the module actually spawns
+// threads and warnings otherwise (a single-threaded module cannot deadlock
+// on non-recursive acquisition order alone, but the ordering debt remains).
+#pragma once
+
+#include <vector>
+
+#include "staticcheck/diagnostics.hpp"
+#include "staticcheck/lockset.hpp"
+
+namespace detlock::staticcheck {
+
+void check_deadlocks(const SyncAnalysis& analysis, std::vector<Diagnostic>& out);
+
+}  // namespace detlock::staticcheck

@@ -1,0 +1,48 @@
+#include "staticcheck/diagnostics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace detlock::staticcheck {
+
+std::string_view severity_name(Severity s) {
+  switch (s) {
+    case Severity::kError:
+      return "error";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kNote:
+      return "note";
+  }
+  return "?";
+}
+
+std::string Diagnostic::to_string() const {
+  std::ostringstream out;
+  out << severity_name(severity) << " [" << checker << "]";
+  if (!function.empty()) {
+    out << " " << function;
+    if (!block.empty()) out << " " << block << "#" << instr_index;
+  }
+  out << ": " << message;
+  for (const std::string& line : witness) out << "\n    " << line;
+  return out.str();
+}
+
+std::size_t error_count(const std::vector<Diagnostic>& diags) {
+  return static_cast<std::size_t>(
+      std::count_if(diags.begin(), diags.end(),
+                    [](const Diagnostic& d) { return d.severity == Severity::kError; }));
+}
+
+void sort_diagnostics(std::vector<Diagnostic>& diags) {
+  std::stable_sort(diags.begin(), diags.end(), [](const Diagnostic& a, const Diagnostic& b) {
+    if (a.severity != b.severity) return a.severity < b.severity;
+    if (a.checker != b.checker) return a.checker < b.checker;
+    if (a.function != b.function) return a.function < b.function;
+    if (a.block != b.block) return a.block < b.block;
+    return a.instr_index < b.instr_index;
+  });
+}
+
+}  // namespace detlock::staticcheck

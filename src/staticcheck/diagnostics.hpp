@@ -1,0 +1,49 @@
+// Structured diagnostics emitted by the static checkers.
+//
+// Every checker in src/staticcheck reports through this type so tools can
+// print, count and gate on findings uniformly (detlockc --lint exits with a
+// dedicated code when any kError diagnostic is present).  A diagnostic
+// always names the program point it anchors to and carries a human-readable
+// witness: a control-flow path, a lock cycle, or the list of conflicting
+// sites that justify the finding.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace detlock::staticcheck {
+
+enum class Severity : std::uint8_t {
+  kError,    // contract violation / race / deadlock potential: --lint fails
+  kWarning,  // suspicious but not provably wrong on all paths
+  kNote,     // informational (analysis gave up on a construct)
+};
+
+std::string_view severity_name(Severity s);
+
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  /// Checker id: "lockset-race", "deadlock", "sync-misuse",
+  /// "clock-conservation".
+  std::string checker;
+  std::string function;       // "@name"; empty for module-level findings
+  std::string block;          // block name; empty for function-level findings
+  std::size_t instr_index = 0;
+  std::string message;
+  /// Witness: one line per step (a CFG path, a lock-order cycle, or the
+  /// conflicting access sites).  Never empty for kError diagnostics.
+  std::vector<std::string> witness;
+
+  std::string to_string() const;
+};
+
+/// Count of kError-severity entries (the --lint gate).
+std::size_t error_count(const std::vector<Diagnostic>& diags);
+
+/// Stable ordering for output: errors first, then by function/block/index.
+void sort_diagnostics(std::vector<Diagnostic>& diags);
+
+}  // namespace detlock::staticcheck

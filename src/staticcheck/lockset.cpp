@@ -1,0 +1,643 @@
+#include "staticcheck/lockset.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+#include "analysis/dominators.hpp"
+#include "analysis/loops.hpp"
+#include "staticcheck/dataflow.hpp"
+
+namespace detlock::staticcheck {
+
+// ---------------------------------------------------------------------------
+// Value lattice.
+
+AbstractValue AbstractValue::meet(const AbstractValue& a, const AbstractValue& b) {
+  if (a.kind == Kind::kBottom) return b;
+  if (b.kind == Kind::kBottom) return a;
+  if (a == b) return a;
+  return top();
+}
+
+std::optional<LockRef> LockRef::from_value(const AbstractValue& v) {
+  if (v.is_const()) return LockRef{Kind::kConst, v.v};
+  if (v.is_param()) return LockRef{Kind::kParam, v.v};
+  return std::nullopt;
+}
+
+std::string LockRef::to_string() const {
+  if (kind == Kind::kConst) return "mutex " + std::to_string(id);
+  return "mutex(param #" + std::to_string(id) + ")";
+}
+
+// ---------------------------------------------------------------------------
+// Lock-set algebra (sorted-unique vectors; sets stay tiny in practice).
+
+void lockset_insert(LockSet& set, const LockRef& lock) {
+  const auto it = std::lower_bound(set.begin(), set.end(), lock);
+  if (it == set.end() || !(*it == lock)) set.insert(it, lock);
+}
+
+void lockset_erase(LockSet& set, const LockRef& lock) {
+  const auto it = std::lower_bound(set.begin(), set.end(), lock);
+  if (it != set.end() && *it == lock) set.erase(it);
+}
+
+bool lockset_contains(const LockSet& set, const LockRef& lock) {
+  return std::binary_search(set.begin(), set.end(), lock);
+}
+
+LockSet lockset_intersect(const LockSet& a, const LockSet& b) {
+  LockSet out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  return out;
+}
+
+LockSet lockset_union(const LockSet& a, const LockSet& b) {
+  LockSet out;
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  return out;
+}
+
+std::string lockset_to_string(const LockSet& set) {
+  if (set.empty()) return "{}";
+  std::ostringstream out;
+  out << "{";
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << set[i].to_string();
+  }
+  out << "}";
+  return out.str();
+}
+
+namespace {
+
+/// Sorted-unique Reg set helpers for joined_must.
+void regset_insert(std::vector<Reg>& set, Reg r) {
+  const auto it = std::lower_bound(set.begin(), set.end(), r);
+  if (it == set.end() || *it != r) set.insert(it, r);
+}
+
+void regset_erase(std::vector<Reg>& set, Reg r) {
+  const auto it = std::lower_bound(set.begin(), set.end(), r);
+  if (it != set.end() && *it == r) set.erase(it);
+}
+
+std::vector<Reg> regset_intersect(const std::vector<Reg>& a, const std::vector<Reg>& b) {
+  std::vector<Reg> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  return out;
+}
+
+std::optional<std::int64_t> fold_binary(ir::Opcode op, std::int64_t a, std::int64_t b) {
+  using ir::Opcode;
+  switch (op) {
+    case Opcode::kAdd:
+      return a + b;
+    case Opcode::kSub:
+      return a - b;
+    case Opcode::kMul:
+      return a * b;
+    case Opcode::kDiv:
+      if (b == 0) return std::nullopt;
+      return a / b;
+    case Opcode::kRem:
+      if (b == 0) return std::nullopt;
+      return a % b;
+    case Opcode::kAnd:
+      return a & b;
+    case Opcode::kOr:
+      return a | b;
+    case Opcode::kXor:
+      return a ^ b;
+    case Opcode::kShl:
+      return (b < 0 || b >= 64) ? std::nullopt : std::optional<std::int64_t>(a << b);
+    case Opcode::kShr:
+      return (b < 0 || b >= 64) ? std::nullopt
+                                : std::optional<std::int64_t>(static_cast<std::int64_t>(
+                                      static_cast<std::uint64_t>(a) >> b));
+    default:
+      return std::nullopt;
+  }
+}
+
+/// Substitutes a callee-term lock by the call site's argument values.
+std::optional<LockRef> substitute(const LockRef& lock, const ir::Instr& call, const SyncState& state) {
+  if (lock.kind == LockRef::Kind::kConst) return lock;
+  const std::size_t index = static_cast<std::size_t>(lock.id);
+  if (index >= call.args.size()) return std::nullopt;
+  const Reg arg = call.args[index];
+  if (arg >= state.regs.size()) return std::nullopt;
+  return LockRef::from_value(state.regs[arg]);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Transfer function.
+
+void SyncAnalysis::apply_instr(FuncId /*f*/, const ir::Instr& instr, SyncState& state) const {
+  using ir::Opcode;
+  auto value_of = [&](Reg r) -> AbstractValue {
+    return r < state.regs.size() ? state.regs[r] : AbstractValue::top();
+  };
+  auto set_reg = [&](Reg r, AbstractValue v) {
+    if (r >= state.regs.size()) state.regs.resize(r + 1, AbstractValue::top());
+    state.regs[r] = v;
+    regset_erase(state.joined_must, r);  // redefinition invalidates join tracking
+  };
+  auto resolve = [&](Reg r) { return LockRef::from_value(value_of(r)); };
+
+  switch (instr.op) {
+    case Opcode::kConst:
+      set_reg(instr.dst, AbstractValue::constant(instr.imm));
+      return;
+    case Opcode::kMov:
+      set_reg(instr.dst, value_of(instr.a));
+      return;
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kMul:
+    case Opcode::kDiv:
+    case Opcode::kRem:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kShl:
+    case Opcode::kShr: {
+      const AbstractValue a = value_of(instr.a);
+      const AbstractValue b = value_of(instr.b);
+      if (a.is_const() && b.is_const()) {
+        if (const auto folded = fold_binary(instr.op, a.v, b.v)) {
+          set_reg(instr.dst, AbstractValue::constant(*folded));
+          return;
+        }
+      }
+      set_reg(instr.dst, AbstractValue::top());
+      return;
+    }
+    case Opcode::kICmp: {
+      const AbstractValue a = value_of(instr.a);
+      const AbstractValue b = value_of(instr.b);
+      if (a.is_const() && b.is_const()) {
+        bool r = false;
+        switch (instr.pred) {
+          case ir::CmpPred::kEq: r = a.v == b.v; break;
+          case ir::CmpPred::kNe: r = a.v != b.v; break;
+          case ir::CmpPred::kLt: r = a.v < b.v; break;
+          case ir::CmpPred::kLe: r = a.v <= b.v; break;
+          case ir::CmpPred::kGt: r = a.v > b.v; break;
+          case ir::CmpPred::kGe: r = a.v >= b.v; break;
+        }
+        set_reg(instr.dst, AbstractValue::constant(r ? 1 : 0));
+        return;
+      }
+      set_reg(instr.dst, AbstractValue::top());
+      return;
+    }
+    case Opcode::kLock:
+      if (const auto lock = resolve(instr.a)) {
+        lockset_insert(state.must, *lock);
+        lockset_insert(state.may, *lock);
+      }
+      return;
+    case Opcode::kUnlock:
+      if (const auto lock = resolve(instr.a)) {
+        lockset_erase(state.must, *lock);
+        lockset_erase(state.may, *lock);
+      }
+      return;
+    case Opcode::kCondWait:
+    case Opcode::kCondSignal:
+    case Opcode::kCondBroadcast:
+    case Opcode::kBarrier:
+      // cond_wait releases and reacquires its mutex internally: the lockset
+      // on return is unchanged.  Barriers never touch mutexes.
+      return;
+    case Opcode::kCall: {
+      // Apply the callee's net lock effect, substituting its parameters.
+      const LockSummary& summary = funcs_[instr.callee].summary;
+      for (const LockRef& lock : summary.released) {
+        if (const auto sub = substitute(lock, instr, state)) {
+          lockset_erase(state.must, *sub);
+          lockset_erase(state.may, *sub);
+        }
+      }
+      for (const LockRef& lock : summary.acquired) {
+        if (const auto sub = substitute(lock, instr, state)) {
+          lockset_insert(state.must, *sub);
+          lockset_insert(state.may, *sub);
+        }
+      }
+      set_reg(instr.dst, AbstractValue::top());
+      return;
+    }
+    case Opcode::kSpawn:
+      // The child runs the callee; the spawner's lockset is unaffected.
+      set_reg(instr.dst, AbstractValue::top());
+      return;
+    case Opcode::kJoin:
+      regset_insert(state.joined_must, instr.a);
+      return;
+    default:
+      if (ir::has_dst(instr.op)) set_reg(instr.dst, AbstractValue::top());
+      return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Per-function solve.
+
+namespace {
+
+struct SyncDomain {
+  using State = SyncState;
+
+  const SyncAnalysis& analysis;
+  const ir::Function& func;
+  FuncId func_id;
+  SyncState entry;
+
+  State entry_state() const { return entry; }
+
+  State transfer(BlockId b, State in) const {
+    for (const ir::Instr& instr : func.block(b).instrs()) {
+      analysis.apply_instr(func_id, instr, in);
+    }
+    return in;
+  }
+
+  bool merge(State& into, const State& from) const {
+    bool changed = false;
+    const std::size_t n = std::max(into.regs.size(), from.regs.size());
+    into.regs.resize(n, AbstractValue::bottom());
+    for (std::size_t i = 0; i < n; ++i) {
+      const AbstractValue other = i < from.regs.size() ? from.regs[i] : AbstractValue::bottom();
+      const AbstractValue met = AbstractValue::meet(into.regs[i], other);
+      if (!(met == into.regs[i])) {
+        into.regs[i] = met;
+        changed = true;
+      }
+    }
+    LockSet must = lockset_intersect(into.must, from.must);
+    if (must != into.must) {
+      into.must = std::move(must);
+      changed = true;
+    }
+    LockSet may = lockset_union(into.may, from.may);
+    if (may != into.may) {
+      into.may = std::move(may);
+      changed = true;
+    }
+    std::vector<Reg> joined = regset_intersect(into.joined_must, from.joined_must);
+    if (joined != into.joined_must) {
+      into.joined_must = std::move(joined);
+      changed = true;
+    }
+    return changed;
+  }
+};
+
+}  // namespace
+
+SyncState SyncAnalysis::function_entry_state(FuncId f, const LockSet& context) const {
+  const ir::Function& func = module_.function(f);
+  SyncState state;
+  state.regs.assign(func.num_regs(), AbstractValue::bottom());
+  for (std::uint32_t p = 0; p < func.num_params() && p < state.regs.size(); ++p) {
+    state.regs[p] = AbstractValue::param(p);
+  }
+  state.must = context;
+  state.may = context;
+  return state;
+}
+
+void SyncAnalysis::analyze_function(FuncId f, const LockSet& context, FunctionSyncInfo& out) const {
+  const ir::Function& func = module_.function(f);
+  const analysis::Cfg cfg(func);
+  SyncDomain domain{*this, func, f, function_entry_state(f, context)};
+  out.block_in = solve_forward(cfg, domain);
+}
+
+// ---------------------------------------------------------------------------
+// Module driver.
+
+SyncAnalysis::SyncAnalysis(const ir::Module& module, FuncId entry)
+    : module_(module), entry_(entry), call_graph_(module) {
+  const std::size_t n = module.functions().size();
+  funcs_.assign(n, {});
+  is_spawn_target_.assign(n, false);
+  for (const ir::Function& func : module.functions()) {
+    for (const ir::BasicBlock& block : func.blocks()) {
+      for (const ir::Instr& instr : block.instrs()) {
+        if (instr.op == ir::Opcode::kSpawn) is_spawn_target_[instr.callee] = true;
+      }
+    }
+  }
+
+  // Call-graph post-order (iterative DFS over callees from every function).
+  {
+    std::vector<std::uint8_t> mark(n, 0);  // 0 new, 1 on stack, 2 done
+    for (FuncId root = 0; root < n; ++root) {
+      if (mark[root] != 0) continue;
+      std::vector<std::pair<FuncId, std::size_t>> stack{{root, 0}};
+      mark[root] = 1;
+      while (!stack.empty()) {
+        auto& [f, next] = stack.back();
+        const auto& callees = call_graph_.callees(f);
+        if (next < callees.size()) {
+          const FuncId callee = callees[next++];
+          if (mark[callee] == 0) {
+            mark[callee] = 1;
+            stack.push_back({callee, 0});
+          }
+        } else {
+          mark[f] = 2;
+          post_order_.push_back(f);
+          stack.pop_back();
+        }
+      }
+    }
+  }
+
+  compute_summaries();
+  compute_contexts();
+  compute_concurrency();
+}
+
+void SyncAnalysis::compute_summaries() {
+  // Bottom-up: callees have summaries before callers need them.  Functions
+  // in call-graph cycles see a default (lock-neutral) summary for the part
+  // of the cycle not yet processed -- the documented conservative choice.
+  for (const FuncId f : post_order_) {
+    const ir::Function& func = module_.function(f);
+    FunctionSyncInfo scratch;
+    analyze_function(f, LockSet{}, scratch);
+
+    LockSummary summary;
+    summary.unknown_sync_ops = call_graph_.is_recursive(f);
+    bool first_ret = true;
+    for (BlockId b = 0; b < func.num_blocks(); ++b) {
+      if (!scratch.block_in[b].has_value()) continue;
+      SyncState state = *scratch.block_in[b];
+      for (const ir::Instr& instr : func.block(b).instrs()) {
+        switch (instr.op) {
+          case ir::Opcode::kLock:
+          case ir::Opcode::kUnlock: {
+            const auto lock = LockRef::from_value(
+                instr.a < state.regs.size() ? state.regs[instr.a] : AbstractValue::top());
+            if (!lock.has_value()) summary.unknown_sync_ops = true;
+            // An unlock of a mutex not even may-held here releases a lock
+            // the *caller* holds: part of the net summary.
+            if (instr.op == ir::Opcode::kUnlock && lock.has_value() &&
+                !lockset_contains(state.may, *lock)) {
+              lockset_insert(summary.released, *lock);
+            }
+            break;
+          }
+          case ir::Opcode::kCondWait:
+            if (instr.b >= state.regs.size() ||
+                !LockRef::from_value(state.regs[instr.b]).has_value()) {
+              summary.unknown_sync_ops = true;
+            }
+            break;
+          case ir::Opcode::kCall:
+            if (funcs_[instr.callee].summary.unknown_sync_ops) summary.unknown_sync_ops = true;
+            break;
+          case ir::Opcode::kRet:
+            // Ret is always the terminator; `state` is the exit state.
+            break;
+          default:
+            break;
+        }
+        apply_instr(f, instr, state);
+      }
+      if (func.block(b).has_terminator() && func.block(b).terminator().op == ir::Opcode::kRet) {
+        summary.acquired =
+            first_ret ? state.must : lockset_intersect(summary.acquired, state.must);
+        first_ret = false;
+      }
+    }
+    funcs_[f].summary = std::move(summary);
+  }
+}
+
+void SyncAnalysis::compute_contexts() {
+  const std::size_t n = module_.functions().size();
+  // Accumulated context per callee; nullopt until the first call site is
+  // seen.  Spawn targets and the entry function pin to the empty context.
+  std::vector<std::optional<LockSet>> accum(n);
+  auto pinned_empty = [&](FuncId f) { return f == entry_ || is_spawn_target_[f]; };
+
+  // Reverse post-order: callers are analyzed (with their final context)
+  // before their callees, except through cycles, which fall back to the
+  // empty context.
+  for (auto it = post_order_.rbegin(); it != post_order_.rend(); ++it) {
+    const FuncId f = *it;
+    LockSet context;
+    if (!pinned_empty(f) && accum[f].has_value()) context = *accum[f];
+    funcs_[f].context_must = context;
+    analyze_function(f, context, funcs_[f]);
+
+    // Fold this function's call-site locksets into its callees' contexts.
+    const ir::Function& func = module_.function(f);
+    for (BlockId b = 0; b < func.num_blocks(); ++b) {
+      if (!funcs_[f].block_in[b].has_value()) continue;
+      SyncState state = *funcs_[f].block_in[b];
+      for (const ir::Instr& instr : func.block(b).instrs()) {
+        if (instr.op == ir::Opcode::kCall) {
+          // Only constant locks survive into a callee context: a caller's
+          // param-relative lock has no stable name in the callee.
+          LockSet site;
+          for (const LockRef& lock : state.must) {
+            if (lock.kind == LockRef::Kind::kConst) lockset_insert(site, lock);
+          }
+          const FuncId callee = instr.callee;
+          if (!accum[callee].has_value()) {
+            accum[callee] = site;
+          } else {
+            accum[callee] = lockset_intersect(*accum[callee], site);
+          }
+        }
+        apply_instr(f, instr, state);
+      }
+    }
+  }
+}
+
+void SyncAnalysis::compute_concurrency() {
+  const std::size_t n = module_.functions().size();
+  ConcurrencyInfo& info = concurrency_;
+
+  info.roots.push_back(entry_);
+  for (FuncId f = 0; f < n; ++f) {
+    if (is_spawn_target_[f]) info.roots.push_back(f);
+  }
+
+  // Barrier reachability: contains a barrier, closed over callees.
+  info.reaches_barrier.assign(n, false);
+  for (FuncId f = 0; f < n; ++f) {
+    for (const ir::BasicBlock& block : module_.function(f).blocks()) {
+      for (const ir::Instr& instr : block.instrs()) {
+        if (instr.op == ir::Opcode::kBarrier) info.reaches_barrier[f] = true;
+      }
+    }
+  }
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (FuncId f = 0; f < n; ++f) {
+      if (info.reaches_barrier[f]) continue;
+      for (const FuncId callee : call_graph_.callees(f)) {
+        if (info.reaches_barrier[callee]) {
+          info.reaches_barrier[f] = true;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+
+  // Live-spawned-thread upper bound through the entry function.  A may
+  // analysis (merge = max): spawn increments, join decrements, saturating
+  // at a small cap so spawn loops converge.
+  constexpr std::uint32_t kLiveCap = 64;
+  const ir::Function& entry_func = module_.function(entry_);
+  entry_live_.assign(entry_func.num_blocks(), {});
+  {
+    struct LiveDomain {
+      const ir::Function& func;
+      using State = std::uint32_t;
+      State entry_state() const { return 0; }
+      State transfer(BlockId b, State in) const {
+        for (const ir::Instr& instr : func.block(b).instrs()) {
+          if (instr.op == ir::Opcode::kSpawn && in < kLiveCap) ++in;
+          if (instr.op == ir::Opcode::kJoin && in > 0) --in;
+        }
+        return in;
+      }
+      bool merge(State& into, const State& from) const {
+        if (from > into) {
+          into = from;
+          return true;
+        }
+        return false;
+      }
+    };
+    const analysis::Cfg cfg(entry_func);
+    LiveDomain domain{entry_func};
+    const auto in = solve_forward(cfg, domain);
+    for (BlockId b = 0; b < entry_func.num_blocks(); ++b) {
+      const auto& instrs = entry_func.block(b).instrs();
+      entry_live_[b].assign(instrs.size(), 0);
+      if (!in[b].has_value()) continue;
+      std::uint32_t live = *in[b];
+      for (std::size_t i = 0; i < instrs.size(); ++i) {
+        entry_live_[b][i] = live;
+        if (instrs[i].op == ir::Opcode::kSpawn && live < kLiveCap) ++live;
+        if (instrs[i].op == ir::Opcode::kJoin && live > 0) --live;
+      }
+    }
+  }
+
+  // Root attribution: roots_of[f] = roots whose thread can execute f.
+  info.roots_of.assign(n, std::vector<bool>(info.roots.size(), false));
+  auto mark_closure = [&](FuncId root, std::size_t root_index) {
+    std::deque<FuncId> queue{root};
+    while (!queue.empty()) {
+      const FuncId f = queue.front();
+      queue.pop_front();
+      if (info.roots_of[f][root_index]) continue;
+      info.roots_of[f][root_index] = true;
+      for (const FuncId callee : call_graph_.callees(f)) queue.push_back(callee);
+    }
+  };
+  for (std::size_t r = 0; r < info.roots.size(); ++r) mark_closure(info.roots[r], r);
+
+  // Concurrent functions: every spawn-target closure, everything the entry
+  // function calls while a spawned thread may be live, and the entry
+  // function itself when any such window exists.
+  info.concurrent.assign(n, false);
+  std::deque<FuncId> queue;
+  for (FuncId f = 0; f < n; ++f) {
+    if (is_spawn_target_[f]) queue.push_back(f);
+  }
+  bool entry_has_live_window = false;
+  for (BlockId b = 0; b < entry_func.num_blocks(); ++b) {
+    const auto& instrs = entry_func.block(b).instrs();
+    for (std::size_t i = 0; i < instrs.size(); ++i) {
+      if (b < entry_live_.size() && i < entry_live_[b].size() && entry_live_[b][i] > 0) {
+        entry_has_live_window = true;
+        if (instrs[i].op == ir::Opcode::kCall) queue.push_back(instrs[i].callee);
+      }
+    }
+  }
+  info.concurrent[entry_] = entry_has_live_window;
+  while (!queue.empty()) {
+    const FuncId f = queue.front();
+    queue.pop_front();
+    if (info.concurrent[f] && f != entry_) continue;
+    if (f != entry_) info.concurrent[f] = true;
+    for (const FuncId callee : call_graph_.callees(f)) {
+      if (!info.concurrent[callee]) queue.push_back(callee);
+    }
+  }
+
+  // Self-parallelism: a root spawned twice (or from a loop) can overlap
+  // with another instance of itself.
+  info.root_self_parallel.assign(info.roots.size(), false);
+  for (FuncId f = 0; f < n; ++f) {
+    const ir::Function& func = module_.function(f);
+    const analysis::Cfg cfg(func);
+    const analysis::DominatorTree domtree(cfg);
+    const analysis::LoopInfo loops(cfg, domtree);
+    std::vector<std::uint32_t> spawn_sites(n, 0);
+    for (BlockId b = 0; b < func.num_blocks(); ++b) {
+      for (const ir::Instr& instr : func.block(b).instrs()) {
+        if (instr.op != ir::Opcode::kSpawn) continue;
+        spawn_sites[instr.callee] += loops.loop_depth(b) > 0 ? 2 : 1;
+      }
+    }
+    for (std::size_t r = 0; r < info.roots.size(); ++r) {
+      if (spawn_sites[info.roots[r]] >= 2) info.root_self_parallel[r] = true;
+    }
+  }
+}
+
+bool SyncAnalysis::entry_concurrent_at(BlockId b, std::size_t instr_index) const {
+  if (b >= entry_live_.size() || instr_index >= entry_live_[b].size()) return false;
+  return entry_live_[b][instr_index] > 0;
+}
+
+std::vector<std::string> SyncAnalysis::witness_path(FuncId f, BlockId target) const {
+  const ir::Function& func = module_.function(f);
+  // BFS from entry over successor edges; reconstruct the first shortest
+  // path.
+  std::vector<BlockId> parent(func.num_blocks(), ir::kInvalidBlock);
+  std::vector<bool> seen(func.num_blocks(), false);
+  std::deque<BlockId> queue{ir::Function::kEntry};
+  seen[ir::Function::kEntry] = true;
+  while (!queue.empty()) {
+    const BlockId b = queue.front();
+    queue.pop_front();
+    if (b == target) break;
+    for (const BlockId succ : func.block(b).successors()) {
+      if (!seen[succ]) {
+        seen[succ] = true;
+        parent[succ] = b;
+        queue.push_back(succ);
+      }
+    }
+  }
+  std::vector<std::string> path;
+  if (!seen[target]) return path;
+  for (BlockId b = target;; b = parent[b]) {
+    path.push_back(func.block(b).name());
+    if (b == ir::Function::kEntry || parent[b] == ir::kInvalidBlock) break;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace detlock::staticcheck

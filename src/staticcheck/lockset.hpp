@@ -1,0 +1,218 @@
+// Static lockset analysis over detir.
+//
+// Computes, for every instruction of every function, the set of mutexes
+// that are *must*-held (held on every path reaching the instruction) and
+// *may*-held (held on at least one path).  The analysis is an instance of
+// the forward dataflow framework (dataflow.hpp) whose state combines
+//
+//   * a flow-sensitive constant/parameter propagation over the register
+//     file (mutex ids are register values in this IR, so lock identity is
+//     only as precise as the value analysis), and
+//   * the two locksets, met with intersection (must) and union (may) at
+//     control-flow joins.
+//
+// Interprocedural treatment (three phases over the call graph):
+//   1. bottom-up: per-function *lock summaries* -- the net set of locks a
+//      call provably leaves acquired or released, with callee parameters
+//      substituted by call-site values;
+//   2. top-down: per-function *context locksets* -- the intersection of the
+//      locksets callers hold around every call site (spawn targets and the
+//      entry function start from the empty context, like a fresh thread);
+//   3. a final intra pass seeded with the context, giving the
+//      caller-inclusive locksets every checker consumes.
+//
+// Soundness caveats (documented in docs/static-analysis.md): lock ids that
+// do not resolve to a constant or a parameter are ignored (no lockset
+// effect, flagged via `unknown_sync_ops`); calls through cycles in the call
+// graph are assumed lock-neutral; and must-locksets assume callees do not
+// release locks they did not acquire -- all three err toward *missing*
+// findings, never inventing them, except for the race checker where a
+// too-large must-set can hide a race (the dynamic detector remains the
+// backstop, exactly as the paper keeps Valgrind as its backstop).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/call_graph.hpp"
+#include "analysis/cfg.hpp"
+#include "ir/module.hpp"
+
+namespace detlock::staticcheck {
+
+using ir::BlockId;
+using ir::FuncId;
+using ir::Reg;
+
+// ---------------------------------------------------------------------------
+// Abstract register values.
+
+struct AbstractValue {
+  enum class Kind : std::uint8_t { kBottom, kConst, kParam, kTop };
+  Kind kind = Kind::kBottom;
+  std::int64_t v = 0;  // constant value (kConst) or parameter index (kParam)
+
+  static AbstractValue bottom() { return {}; }
+  static AbstractValue top() { return {Kind::kTop, 0}; }
+  static AbstractValue constant(std::int64_t c) { return {Kind::kConst, c}; }
+  static AbstractValue param(std::int64_t index) { return {Kind::kParam, index}; }
+
+  bool is_const() const { return kind == Kind::kConst; }
+  bool is_param() const { return kind == Kind::kParam; }
+
+  bool operator==(const AbstractValue& o) const { return kind == o.kind && v == o.v; }
+
+  /// Lattice meet used at CFG joins (bottom is the identity).
+  static AbstractValue meet(const AbstractValue& a, const AbstractValue& b);
+};
+
+// ---------------------------------------------------------------------------
+// Abstract lock identities.
+
+struct LockRef {
+  enum class Kind : std::uint8_t { kConst, kParam };
+  Kind kind = Kind::kConst;
+  std::int64_t id = 0;  // mutex id (kConst) or parameter index (kParam)
+
+  static std::optional<LockRef> from_value(const AbstractValue& v);
+
+  bool operator==(const LockRef& o) const { return kind == o.kind && id == o.id; }
+  bool operator<(const LockRef& o) const {
+    if (kind != o.kind) return kind < o.kind;
+    return id < o.id;
+  }
+
+  std::string to_string() const;
+};
+
+/// Sorted-unique lock sets with the set algebra the analysis needs.
+using LockSet = std::vector<LockRef>;
+
+void lockset_insert(LockSet& set, const LockRef& lock);
+void lockset_erase(LockSet& set, const LockRef& lock);
+bool lockset_contains(const LockSet& set, const LockRef& lock);
+LockSet lockset_intersect(const LockSet& a, const LockSet& b);
+LockSet lockset_union(const LockSet& a, const LockSet& b);
+std::string lockset_to_string(const LockSet& set);
+
+// ---------------------------------------------------------------------------
+// Per-instruction analysis state.
+
+struct SyncState {
+  std::vector<AbstractValue> regs;
+  LockSet must;  // held on every path to here
+  LockSet may;   // held on some path to here
+  /// Spawn-handle registers already consumed by a join on every path.
+  std::vector<Reg> joined_must;
+
+  bool operator==(const SyncState& o) const {
+    return regs == o.regs && must == o.must && may == o.may && joined_must == o.joined_must;
+  }
+};
+
+/// Net effect of calling a function, in *callee* terms (parameters appear
+/// as LockRef::kParam entries and are substituted at each call site).
+struct LockSummary {
+  /// Locks held at every return but not at entry.
+  LockSet acquired;
+  /// Locks released at some return that the callee never acquired itself
+  /// (i.e. it released a caller's lock).
+  LockSet released;
+  /// The function (or something it calls) performs a sync op whose mutex id
+  /// the analysis could not resolve.
+  bool unknown_sync_ops = false;
+};
+
+struct FunctionSyncInfo {
+  /// Entry state of each block under the function's calling context;
+  /// nullopt for unreachable blocks.
+  std::vector<std::optional<SyncState>> block_in;
+  /// Intersection of caller locksets around call sites (constant locks
+  /// only); empty for the entry function and spawn targets.
+  LockSet context_must;
+  LockSummary summary;
+};
+
+// ---------------------------------------------------------------------------
+// Concurrency structure (who can run in parallel with whom).
+
+struct ConcurrencyInfo {
+  /// Thread roots: the entry function plus every spawn target.
+  std::vector<FuncId> roots;
+  /// roots_of[f]: which roots can reach f through calls (bitset over
+  /// `roots` indices).
+  std::vector<std::vector<bool>> roots_of;
+  /// Root spawned from >= 2 sites, from a loop, or spawned while also
+  /// executed inline: two instances of it can overlap.
+  std::vector<bool> root_self_parallel;
+  /// Function executes (directly or via callees) a barrier: its unlocked
+  /// sharing is assumed barrier-phased and excluded from the race check.
+  std::vector<bool> reaches_barrier;
+  /// Function's memory accesses can overlap with another thread.
+  std::vector<bool> concurrent;
+};
+
+// ---------------------------------------------------------------------------
+// Module-level driver.
+
+class SyncAnalysis {
+ public:
+  SyncAnalysis(const ir::Module& module, FuncId entry);
+
+  const ir::Module& module() const { return module_; }
+  FuncId entry() const { return entry_; }
+  const analysis::CallGraph& call_graph() const { return call_graph_; }
+  const FunctionSyncInfo& func(FuncId f) const { return funcs_[f]; }
+  const ConcurrencyInfo& concurrency() const { return concurrency_; }
+
+  /// Replays `block` from its analyzed entry state, invoking
+  /// fn(instr_index, state-before-instr) for each instruction.  No-op for
+  /// unreachable blocks.
+  template <typename Fn>
+  void walk_block(FuncId f, BlockId b, Fn&& fn) const {
+    const FunctionSyncInfo& info = funcs_[f];
+    if (b >= info.block_in.size() || !info.block_in[b].has_value()) return;
+    SyncState state = *info.block_in[b];
+    const ir::BasicBlock& block = module_.function(f).block(b);
+    for (std::size_t i = 0; i < block.instrs().size(); ++i) {
+      fn(i, const_cast<const SyncState&>(state));
+      apply_instr(f, block.instrs()[i], state);
+    }
+  }
+
+  /// True when the *entry* function's instruction at (b, instr_index) can
+  /// execute while a spawned thread is still live.  Always true for
+  /// non-entry concurrent functions; meaningless for others.
+  bool entry_concurrent_at(BlockId b, std::size_t instr_index) const;
+
+  /// Shortest entry->block path (block names), used as diagnostic witness.
+  std::vector<std::string> witness_path(FuncId f, BlockId target) const;
+
+  /// Applies one instruction's transfer function to `state` (public so
+  /// checkers and tests can replay custom prefixes).
+  void apply_instr(FuncId f, const ir::Instr& instr, SyncState& state) const;
+
+ private:
+  SyncState function_entry_state(FuncId f, const LockSet& context) const;
+  void analyze_function(FuncId f, const LockSet& context, FunctionSyncInfo& out) const;
+  void compute_summaries();
+  void compute_contexts();
+  void compute_concurrency();
+
+  const ir::Module& module_;
+  FuncId entry_;
+  analysis::CallGraph call_graph_;
+  std::vector<FunctionSyncInfo> funcs_;
+  /// Call-graph post-order (callees before callers, cycles broken at the
+  /// DFS frontier): summary order; reversed for context propagation.
+  std::vector<FuncId> post_order_;
+  std::vector<bool> is_spawn_target_;
+  ConcurrencyInfo concurrency_;
+  /// Max live spawned threads before each instruction of the entry
+  /// function; indexed [block][instr].
+  std::vector<std::vector<std::uint32_t>> entry_live_;
+};
+
+}  // namespace detlock::staticcheck

@@ -1,0 +1,217 @@
+#include "staticcheck/misuse.hpp"
+
+#include <cstdint>
+#include <map>
+#include <sstream>
+
+#include "analysis/dominators.hpp"
+#include "analysis/loops.hpp"
+
+namespace detlock::staticcheck {
+
+namespace {
+
+struct Site {
+  FuncId func;
+  BlockId block;
+  std::size_t instr_index;
+};
+
+Diagnostic make_diag(const ir::Module& module, const SyncAnalysis& analysis, Severity severity,
+                     const Site& site, std::string message) {
+  Diagnostic diag;
+  diag.severity = severity;
+  diag.checker = "sync-misuse";
+  const ir::Function& func = module.function(site.func);
+  diag.function = func.name();
+  diag.block = func.block(site.block).name();
+  diag.instr_index = site.instr_index;
+  diag.message = std::move(message);
+  std::ostringstream path;
+  path << "path:";
+  for (const std::string& name : analysis.witness_path(site.func, site.block)) {
+    path << " -> " << name;
+  }
+  diag.witness.push_back(path.str());
+  return diag;
+}
+
+}  // namespace
+
+void check_misuse(const SyncAnalysis& analysis, std::vector<Diagnostic>& out) {
+  const ir::Module& module = analysis.module();
+
+  // Condvar (constant id) -> (bound mutex, first wait site); built in a
+  // first sweep so signal sites in other functions can consult it.
+  struct Binding {
+    std::int64_t mutex;
+    Site site;
+  };
+  std::map<std::int64_t, Binding> cv_binding;
+  std::map<std::int64_t, bool> cv_waited;
+
+  auto abstract = [&](const SyncState& state, Reg r) {
+    return r < state.regs.size() ? state.regs[r] : AbstractValue::top();
+  };
+
+  for (FuncId f = 0; f < module.functions().size(); ++f) {
+    const ir::Function& func = module.function(f);
+    for (BlockId b = 0; b < func.num_blocks(); ++b) {
+      analysis.walk_block(f, b, [&](std::size_t i, const SyncState& state) {
+        const ir::Instr& instr = func.block(b).instrs()[i];
+        if (instr.op != ir::Opcode::kCondWait) return;
+        const AbstractValue cv = abstract(state, instr.a);
+        const AbstractValue mutex = abstract(state, instr.b);
+        if (!cv.is_const()) return;
+        cv_waited[cv.v] = true;
+        if (!mutex.is_const()) return;
+        const Site site{f, b, i};
+        const auto it = cv_binding.find(cv.v);
+        if (it == cv_binding.end()) {
+          cv_binding.emplace(cv.v, Binding{mutex.v, site});
+        } else if (it->second.mutex != mutex.v) {
+          std::ostringstream msg;
+          msg << "condvar " << cv.v << " waited on with mutex " << mutex.v
+              << " but already bound to mutex " << it->second.mutex
+              << " (condvars bind permanently to their first mutex)";
+          out.push_back(make_diag(module, analysis, Severity::kError, site, msg.str()));
+        }
+      });
+    }
+  }
+
+  for (FuncId f = 0; f < module.functions().size(); ++f) {
+    const ir::Function& func = module.function(f);
+    const analysis::Cfg cfg(func);
+    const analysis::DominatorTree domtree(cfg);
+    const analysis::LoopInfo loops(cfg, domtree);
+
+    for (BlockId b = 0; b < func.num_blocks(); ++b) {
+      analysis.walk_block(f, b, [&](std::size_t i, const SyncState& state) {
+        const ir::Instr& instr = func.block(b).instrs()[i];
+        const Site site{f, b, i};
+        switch (instr.op) {
+          case ir::Opcode::kLock: {
+            const auto lock = LockRef::from_value(abstract(state, instr.a));
+            if (!lock.has_value()) return;
+            if (lockset_contains(state.must, *lock)) {
+              out.push_back(make_diag(
+                  module, analysis, Severity::kError, site,
+                  "double lock of " + lock->to_string() +
+                      " (already held on every path; detir mutexes are non-recursive)"));
+            } else if (lockset_contains(state.may, *lock)) {
+              out.push_back(make_diag(module, analysis, Severity::kWarning, site,
+                                      "lock of " + lock->to_string() +
+                                          " which may already be held on some path"));
+            }
+            return;
+          }
+          case ir::Opcode::kUnlock: {
+            const auto lock = LockRef::from_value(abstract(state, instr.a));
+            if (!lock.has_value()) return;
+            if (!lockset_contains(state.may, *lock)) {
+              out.push_back(make_diag(module, analysis, Severity::kError, site,
+                                      "unlock of " + lock->to_string() +
+                                          " which is not held on any path"));
+            } else if (!lockset_contains(state.must, *lock)) {
+              out.push_back(make_diag(module, analysis, Severity::kWarning, site,
+                                      "unlock of " + lock->to_string() +
+                                          " which is held on only some paths"));
+            }
+            return;
+          }
+          case ir::Opcode::kCondWait: {
+            const auto mutex = LockRef::from_value(abstract(state, instr.b));
+            if (!mutex.has_value()) return;
+            if (!lockset_contains(state.must, *mutex)) {
+              out.push_back(make_diag(module, analysis, Severity::kError, site,
+                                      "cond_wait without holding its " + mutex->to_string()));
+            }
+            return;
+          }
+          case ir::Opcode::kCondSignal:
+          case ir::Opcode::kCondBroadcast: {
+            const AbstractValue cv = abstract(state, instr.a);
+            if (!cv.is_const()) return;
+            const char* what =
+                instr.op == ir::Opcode::kCondSignal ? "cond_signal" : "cond_broadcast";
+            const auto bound = cv_binding.find(cv.v);
+            if (bound == cv_binding.end()) {
+              if (!cv_waited.count(cv.v)) {
+                std::ostringstream msg;
+                msg << what << " of condvar " << cv.v << " that is never waited on";
+                out.push_back(
+                    make_diag(module, analysis, Severity::kWarning, site, msg.str()));
+              }
+              return;
+            }
+            const LockRef mutex{LockRef::Kind::kConst, bound->second.mutex};
+            if (!lockset_contains(state.must, mutex)) {
+              std::ostringstream msg;
+              msg << what << " of condvar " << cv.v << " without holding its bound "
+                  << mutex.to_string() << " (DESIGN.md section 8 contract)";
+              out.push_back(make_diag(module, analysis, Severity::kError, site, msg.str()));
+            }
+            return;
+          }
+          case ir::Opcode::kJoin: {
+            // Double join: the handle register was already joined on every
+            // path and not re-defined since.
+            bool already_joined = false;
+            for (const Reg r : state.joined_must) {
+              if (r == instr.a) already_joined = true;
+            }
+            if (already_joined) {
+              std::ostringstream msg;
+              msg << "join of handle %r" << instr.a << " which was already joined on every path";
+              out.push_back(make_diag(module, analysis, Severity::kError, site, msg.str()));
+              return;
+            }
+            // Join in a loop of a handle that the loop never re-defines:
+            // the second iteration joins an already-joined thread.
+            if (loops.loop_depth(b) == 0) return;
+            for (const BlockId header : loops.headers()) {
+              const std::vector<bool>& body = loops.loop_body(header);
+              if (b >= body.size() || !body[b]) continue;
+              bool redefined_in_loop = false;
+              for (BlockId lb = 0; lb < func.num_blocks(); ++lb) {
+                if (lb >= body.size() || !body[lb]) continue;
+                for (const ir::Instr& li : func.block(lb).instrs()) {
+                  if (ir::has_dst(li.op) && li.dst == instr.a) redefined_in_loop = true;
+                }
+              }
+              if (!redefined_in_loop) {
+                std::ostringstream msg;
+                msg << "join of handle %r" << instr.a << " inside loop headed by '"
+                    << func.block(header).name()
+                    << "' but the handle is never re-spawned in the loop";
+                out.push_back(make_diag(module, analysis, Severity::kError, site, msg.str()));
+                return;  // one report even when nested in several loops
+              }
+            }
+            return;
+          }
+          default:
+            return;
+        }
+      });
+    }
+  }
+
+  // Unresolvable sync ops: note-level, so they surface without failing the
+  // build (the dynamic detector still covers them).
+  for (FuncId f = 0; f < module.functions().size(); ++f) {
+    if (analysis.func(f).summary.unknown_sync_ops) {
+      Diagnostic diag;
+      diag.severity = Severity::kNote;
+      diag.checker = "sync-misuse";
+      diag.function = module.function(f).name();
+      diag.message =
+          "function performs sync operations whose mutex id the static analysis "
+          "cannot resolve (checked dynamically only)";
+      out.push_back(std::move(diag));
+    }
+  }
+}
+
+}  // namespace detlock::staticcheck

@@ -1,0 +1,27 @@
+// Sync-API misuse lints, enforcing the runtime contracts of DESIGN.md §8
+// statically:
+//
+//   * double-lock: kLock of a mutex already must-held (error) or only
+//     may-held (warning) -- detir mutexes are non-recursive;
+//   * unlock-of-unheld: kUnlock of a mutex not even may-held (error) or
+//     held on only some paths (warning);
+//   * cond_wait without its mutex must-held (error);
+//   * a condvar used with two different mutexes (error) -- the runtime
+//     binds a condvar permanently to the first mutex it waits with;
+//   * signal/broadcast without holding the condvar's bound mutex (error),
+//     or of a condvar nothing ever waits on (warning);
+//   * join of a handle register already joined on every path (error), and
+//     join inside a loop of a handle not re-defined in that loop (error) --
+//     the second join of the same handle deadlocks or aborts at runtime.
+#pragma once
+
+#include <vector>
+
+#include "staticcheck/diagnostics.hpp"
+#include "staticcheck/lockset.hpp"
+
+namespace detlock::staticcheck {
+
+void check_misuse(const SyncAnalysis& analysis, std::vector<Diagnostic>& out);
+
+}  // namespace detlock::staticcheck

@@ -1,0 +1,127 @@
+#include "staticcheck/races.hpp"
+
+#include <cstdint>
+#include <map>
+#include <sstream>
+
+namespace detlock::staticcheck {
+
+namespace {
+
+struct Access {
+  FuncId func;
+  BlockId block;
+  std::size_t instr_index;
+  bool is_write;
+  LockSet must;
+  /// Which thread roots can perform this access.
+  std::vector<bool> roots;
+  /// For entry-function accesses: can a spawned thread be live here?
+  bool entry_parallel_window = false;
+};
+
+std::string site_to_string(const ir::Module& module, const Access& a) {
+  const ir::Function& func = module.function(a.func);
+  std::ostringstream out;
+  out << (a.is_write ? "write" : "read") << " at @" << func.name() << " "
+      << func.block(a.block).name() << "#" << a.instr_index
+      << " holding " << lockset_to_string(a.must);
+  return out.str();
+}
+
+/// Two accesses can overlap in time.
+bool can_be_parallel(const ConcurrencyInfo& info, FuncId entry, const Access& a, const Access& b) {
+  for (std::size_t r = 0; r < info.roots.size(); ++r) {
+    if (!a.roots[r]) continue;
+    for (std::size_t s = 0; s < info.roots.size(); ++s) {
+      if (!b.roots[s]) continue;
+      if (r == s) {
+        if (info.root_self_parallel[r]) return true;
+        continue;
+      }
+      // Distinct roots.  The entry root only overlaps others while one of
+      // its spawned threads is live.
+      const bool a_entry = info.roots[r] == entry && a.func == entry;
+      const bool b_entry = info.roots[s] == entry && b.func == entry;
+      if (a_entry && !a.entry_parallel_window) continue;
+      if (b_entry && !b.entry_parallel_window) continue;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void check_races(const SyncAnalysis& analysis, std::vector<Diagnostic>& out) {
+  const ir::Module& module = analysis.module();
+  const ConcurrencyInfo& info = analysis.concurrency();
+
+  // Cell -> accesses; a cell is a constant-resolved address (base + offset).
+  std::map<std::int64_t, std::vector<Access>> cells;
+
+  for (FuncId f = 0; f < module.functions().size(); ++f) {
+    if (!info.concurrent[f]) continue;
+    if (info.reaches_barrier[f]) continue;  // barrier-phased sharing: skip
+    const ir::Function& func = module.function(f);
+    for (BlockId b = 0; b < func.num_blocks(); ++b) {
+      analysis.walk_block(f, b, [&](std::size_t i, const SyncState& state) {
+        const ir::Instr& instr = func.block(b).instrs()[i];
+        if (!ir::is_memory_access(instr.op)) return;
+        const bool is_write =
+            instr.op == ir::Opcode::kStore || instr.op == ir::Opcode::kStoreF;
+        const AbstractValue base =
+            instr.a < state.regs.size() ? state.regs[instr.a] : AbstractValue::top();
+        if (!base.is_const()) return;  // only constant addresses are tracked
+        Access access;
+        access.func = f;
+        access.block = b;
+        access.instr_index = i;
+        access.is_write = is_write;
+        access.must = state.must;
+        access.roots = info.roots_of[f];
+        if (f == analysis.entry()) {
+          access.entry_parallel_window = analysis.entry_concurrent_at(b, i);
+        }
+        cells[base.v + instr.imm].push_back(std::move(access));
+      });
+    }
+  }
+
+  for (const auto& [addr, accesses] : cells) {
+    bool reported = false;
+    for (std::size_t i = 0; i < accesses.size() && !reported; ++i) {
+      for (std::size_t j = i + 1; j < accesses.size() && !reported; ++j) {
+        const Access& a = accesses[i];
+        const Access& b = accesses[j];
+        if (!a.is_write && !b.is_write) continue;
+        if (!can_be_parallel(info, analysis.entry(), a, b)) continue;
+        if (!lockset_intersect(a.must, b.must).empty()) continue;
+
+        Diagnostic diag;
+        diag.severity = Severity::kError;
+        diag.checker = "lockset-race";
+        const ir::Function& func = module.function(a.func);
+        diag.function = func.name();
+        diag.block = func.block(a.block).name();
+        diag.instr_index = a.instr_index;
+        std::ostringstream msg;
+        msg << "possible data race on address " << addr
+            << ": concurrent accesses share no common lock";
+        diag.message = msg.str();
+        diag.witness.push_back(site_to_string(module, a));
+        diag.witness.push_back(site_to_string(module, b));
+        std::ostringstream path;
+        path << "path to first access:";
+        for (const std::string& name : analysis.witness_path(a.func, a.block)) {
+          path << " -> " << name;
+        }
+        diag.witness.push_back(path.str());
+        out.push_back(std::move(diag));
+        reported = true;  // one report per cell keeps output readable
+      }
+    }
+  }
+}
+
+}  // namespace detlock::staticcheck

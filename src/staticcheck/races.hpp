@@ -1,0 +1,24 @@
+// Static lockset race checker (the compile-time sibling of the Eraser-style
+// dynamic detector in src/racedetect).
+//
+// Flags memory cells that (a) resolve to a constant address, (b) are
+// written at least once, (c) can be touched by two threads at the same
+// time, and (d) have an empty intersection of must-locksets across their
+// accesses.  Functions that (transitively) execute a barrier are excluded:
+// their sharing is assumed barrier-phased, mirroring the dynamic detector's
+// lockset reset at barriers.  These heuristics make the checker quiet on
+// the repo's correct programs while still catching the classic unlocked
+// shared counter; the dynamic detector remains the precise backstop.
+#pragma once
+
+#include <vector>
+
+#include "staticcheck/diagnostics.hpp"
+#include "staticcheck/lockset.hpp"
+
+namespace detlock::staticcheck {
+
+/// Appends one diagnostic per racy cell to `out`.
+void check_races(const SyncAnalysis& analysis, std::vector<Diagnostic>& out);
+
+}  // namespace detlock::staticcheck

@@ -1,0 +1,426 @@
+// Unit tests for the race, deadlock and sync-misuse checkers over
+// hand-built modules (one clean and one violating variant per checker).
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "ir/verifier.hpp"
+#include "staticcheck/deadlock.hpp"
+#include "staticcheck/lockset.hpp"
+#include "staticcheck/misuse.hpp"
+#include "staticcheck/races.hpp"
+
+namespace detlock::staticcheck {
+namespace {
+
+/// Worker that loads/increments/stores address 100, locking mutex 0 around
+/// the access when `locked`.
+ir::FuncId build_counter_worker(ir::Module& m, bool locked) {
+  ir::FunctionBuilder b(m, locked ? "locked_worker" : "racy_worker", 1);
+  const ir::Reg addr = b.const_i(100);
+  ir::Reg mu = 0;
+  if (locked) {
+    mu = b.const_i(0);
+    b.lock(mu);
+  }
+  const ir::Reg v = b.load(addr);
+  const ir::Reg one = b.const_i(1);
+  b.store(addr, b.add(v, one));
+  if (locked) b.unlock(mu);
+  b.ret();
+  return b.func_id();
+}
+
+ir::FuncId build_spawning_main(ir::Module& m, ir::FuncId worker) {
+  ir::FunctionBuilder b(m, "main", 0);
+  const ir::Reg a0 = b.const_i(1);
+  const ir::Reg h0 = b.spawn(worker, {a0});
+  const ir::Reg a1 = b.const_i(2);
+  const ir::Reg h1 = b.spawn(worker, {a1});
+  b.join(h0);
+  b.join(h1);
+  b.ret();
+  return b.func_id();
+}
+
+std::size_t count_checker(const std::vector<Diagnostic>& diags, std::string_view checker,
+                          Severity severity) {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diags) {
+    if (d.checker == checker && d.severity == severity) ++n;
+  }
+  return n;
+}
+
+TEST(Races, UnlockedSharedCounterIsFlagged) {
+  ir::Module m;
+  const ir::FuncId worker = build_counter_worker(m, /*locked=*/false);
+  const ir::FuncId main_fn = build_spawning_main(m, worker);
+  ir::verify_module_or_throw(m);
+
+  const SyncAnalysis analysis(m, main_fn);
+  std::vector<Diagnostic> diags;
+  check_races(analysis, diags);
+  ASSERT_EQ(count_checker(diags, "lockset-race", Severity::kError), 1u);
+  EXPECT_FALSE(diags[0].witness.empty());
+}
+
+TEST(Races, LockedSharedCounterIsClean) {
+  ir::Module m;
+  const ir::FuncId worker = build_counter_worker(m, /*locked=*/true);
+  const ir::FuncId main_fn = build_spawning_main(m, worker);
+  ir::verify_module_or_throw(m);
+
+  const SyncAnalysis analysis(m, main_fn);
+  std::vector<Diagnostic> diags;
+  check_races(analysis, diags);
+  EXPECT_EQ(diags.size(), 0u);
+}
+
+TEST(Races, SequentialAccessesAreNotConcurrent) {
+  // main touches the cell before the spawn and after the join: never in
+  // parallel with the single worker.
+  ir::Module m;
+  ir::FunctionBuilder worker(m, "worker", 1);
+  const ir::Reg waddr = worker.const_i(100);
+  worker.store(waddr, worker.param(0));
+  worker.ret();
+
+  ir::FunctionBuilder b(m, "main", 0);
+  const ir::Reg addr = b.const_i(100);
+  const ir::Reg zero = b.const_i(0);
+  b.store(addr, zero);
+  const ir::Reg h = b.spawn(worker.func_id(), {zero});
+  b.join(h);
+  const ir::Reg v = b.load(addr);
+  b.ret(v);
+  ir::verify_module_or_throw(m);
+
+  const SyncAnalysis analysis(m, b.func_id());
+  std::vector<Diagnostic> diags;
+  check_races(analysis, diags);
+  EXPECT_EQ(diags.size(), 0u);
+}
+
+TEST(Races, InterproceduralLockIsRespected) {
+  // The worker's access is guarded by a lock taken in a helper: the
+  // summary-based lockset must suppress the report.
+  ir::Module m;
+  ir::FunctionBuilder acquire(m, "acquire", 0);
+  const ir::Reg amu = acquire.const_i(0);
+  acquire.lock(amu);
+  acquire.ret();
+
+  ir::FunctionBuilder worker(m, "worker", 1);
+  worker.call(acquire.func_id(), {});
+  const ir::Reg addr = worker.const_i(100);
+  worker.store(addr, worker.param(0));
+  const ir::Reg mu = worker.const_i(0);
+  worker.unlock(mu);
+  worker.ret();
+
+  const ir::FuncId main_fn = build_spawning_main(m, worker.func_id());
+  ir::verify_module_or_throw(m);
+
+  const SyncAnalysis analysis(m, main_fn);
+  std::vector<Diagnostic> diags;
+  check_races(analysis, diags);
+  EXPECT_EQ(count_checker(diags, "lockset-race", Severity::kError), 0u);
+}
+
+TEST(Deadlock, AbbaCycleIsFlaggedOnce) {
+  ir::Module m;
+  ir::FunctionBuilder ab(m, "ab", 1);
+  {
+    const ir::Reg m0 = ab.const_i(0);
+    const ir::Reg m1 = ab.const_i(1);
+    ab.lock(m0);
+    ab.lock(m1);
+    ab.unlock(m1);
+    ab.unlock(m0);
+    ab.ret();
+  }
+  ir::FunctionBuilder ba(m, "ba", 1);
+  {
+    const ir::Reg m0 = ba.const_i(0);
+    const ir::Reg m1 = ba.const_i(1);
+    ba.lock(m1);
+    ba.lock(m0);
+    ba.unlock(m0);
+    ba.unlock(m1);
+    ba.ret();
+  }
+  ir::FunctionBuilder main_fn(m, "main", 0);
+  const ir::Reg a0 = main_fn.const_i(1);
+  const ir::Reg h0 = main_fn.spawn(ab.func_id(), {a0});
+  const ir::Reg h1 = main_fn.spawn(ba.func_id(), {a0});
+  main_fn.join(h0);
+  main_fn.join(h1);
+  main_fn.ret();
+  ir::verify_module_or_throw(m);
+
+  const SyncAnalysis analysis(m, main_fn.func_id());
+  std::vector<Diagnostic> diags;
+  check_deadlocks(analysis, diags);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].severity, Severity::kError);
+  EXPECT_EQ(diags[0].witness.size(), 2u);  // one acquisition site per edge
+}
+
+TEST(Deadlock, ConsistentOrderIsClean) {
+  // Both workers acquire 0 then 1: no cycle.
+  ir::Module m;
+  for (const char* name : {"w1", "w2"}) {
+    ir::FunctionBuilder w(m, name, 1);
+    const ir::Reg m0 = w.const_i(0);
+    const ir::Reg m1 = w.const_i(1);
+    w.lock(m0);
+    w.lock(m1);
+    w.unlock(m1);
+    w.unlock(m0);
+    w.ret();
+  }
+  ir::FunctionBuilder main_fn(m, "main", 0);
+  const ir::Reg a0 = main_fn.const_i(1);
+  const ir::Reg h0 = main_fn.spawn(0, {a0});
+  const ir::Reg h1 = main_fn.spawn(1, {a0});
+  main_fn.join(h0);
+  main_fn.join(h1);
+  main_fn.ret();
+  ir::verify_module_or_throw(m);
+
+  const SyncAnalysis analysis(m, main_fn.func_id());
+  std::vector<Diagnostic> diags;
+  check_deadlocks(analysis, diags);
+  EXPECT_EQ(diags.size(), 0u);
+}
+
+TEST(Deadlock, CycleWithoutSpawnIsOnlyWarning) {
+  ir::Module m;
+  ir::FunctionBuilder b(m, "main", 0);
+  const ir::Reg m0 = b.const_i(0);
+  const ir::Reg m1 = b.const_i(1);
+  b.lock(m0);
+  b.lock(m1);
+  b.unlock(m1);
+  b.unlock(m0);
+  b.lock(m1);
+  b.lock(m0);
+  b.unlock(m0);
+  b.unlock(m1);
+  b.ret();
+  ir::verify_module_or_throw(m);
+
+  const SyncAnalysis analysis(m, 0);
+  std::vector<Diagnostic> diags;
+  check_deadlocks(analysis, diags);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].severity, Severity::kWarning);
+}
+
+TEST(Misuse, DoubleLockIsError) {
+  ir::Module m;
+  ir::FunctionBuilder b(m, "main", 0);
+  const ir::Reg mu = b.const_i(4);
+  b.lock(mu);
+  b.lock(mu);
+  b.unlock(mu);
+  b.ret();
+  ir::verify_module_or_throw(m);
+
+  const SyncAnalysis analysis(m, 0);
+  std::vector<Diagnostic> diags;
+  check_misuse(analysis, diags);
+  EXPECT_EQ(count_checker(diags, "sync-misuse", Severity::kError), 1u);
+}
+
+TEST(Misuse, UnlockOfUnheldIsError) {
+  ir::Module m;
+  ir::FunctionBuilder b(m, "main", 0);
+  const ir::Reg mu = b.const_i(4);
+  b.unlock(mu);
+  b.ret();
+  ir::verify_module_or_throw(m);
+
+  const SyncAnalysis analysis(m, 0);
+  std::vector<Diagnostic> diags;
+  check_misuse(analysis, diags);
+  EXPECT_EQ(count_checker(diags, "sync-misuse", Severity::kError), 1u);
+}
+
+TEST(Misuse, PartiallyHeldUnlockIsWarning) {
+  ir::Module m;
+  ir::FunctionBuilder b(m, "main", 1);
+  const BlockId then_bb = b.make_block("then");
+  const BlockId merge_bb = b.make_block("merge");
+  b.condbr(b.param(0), then_bb, merge_bb);
+  b.set_insert_point(then_bb);
+  const ir::Reg mu = b.const_i(4);
+  b.lock(mu);
+  b.br(merge_bb);
+  b.set_insert_point(merge_bb);
+  const ir::Reg mu2 = b.const_i(4);
+  b.unlock(mu2);
+  b.ret();
+  ir::verify_module_or_throw(m);
+
+  const SyncAnalysis analysis(m, 0);
+  std::vector<Diagnostic> diags;
+  check_misuse(analysis, diags);
+  EXPECT_EQ(count_checker(diags, "sync-misuse", Severity::kError), 0u);
+  EXPECT_EQ(count_checker(diags, "sync-misuse", Severity::kWarning), 1u);
+}
+
+TEST(Misuse, CondWaitWithoutMutexIsError) {
+  ir::Module m;
+  ir::FunctionBuilder b(m, "main", 0);
+  const ir::Reg cv = b.const_i(1);
+  const ir::Reg mu = b.const_i(2);
+  b.cond_wait(cv, mu);  // mutex 2 never locked
+  b.ret();
+  ir::verify_module_or_throw(m);
+
+  const SyncAnalysis analysis(m, 0);
+  std::vector<Diagnostic> diags;
+  check_misuse(analysis, diags);
+  EXPECT_GE(count_checker(diags, "sync-misuse", Severity::kError), 1u);
+}
+
+TEST(Misuse, SignalWithoutBoundMutexIsError) {
+  ir::Module m;
+  // waiter binds condvar 1 to mutex 2.
+  ir::FunctionBuilder waiter(m, "waiter", 1);
+  {
+    const ir::Reg cv = waiter.const_i(1);
+    const ir::Reg mu = waiter.const_i(2);
+    waiter.lock(mu);
+    waiter.cond_wait(cv, mu);
+    waiter.unlock(mu);
+    waiter.ret();
+  }
+  // signaler signals without holding mutex 2.
+  ir::FunctionBuilder b(m, "main", 0);
+  const ir::Reg cv = b.const_i(1);
+  b.cond_signal(cv);
+  const ir::Reg a0 = b.const_i(0);
+  const ir::Reg h = b.spawn(waiter.func_id(), {a0});
+  b.join(h);
+  b.ret();
+  ir::verify_module_or_throw(m);
+
+  const SyncAnalysis analysis(m, b.func_id());
+  std::vector<Diagnostic> diags;
+  check_misuse(analysis, diags);
+  EXPECT_GE(count_checker(diags, "sync-misuse", Severity::kError), 1u);
+}
+
+TEST(Misuse, WellFormedCondvarUseIsClean) {
+  ir::Module m;
+  ir::FunctionBuilder waiter(m, "waiter", 1);
+  {
+    const ir::Reg cv = waiter.const_i(1);
+    const ir::Reg mu = waiter.const_i(2);
+    waiter.lock(mu);
+    waiter.cond_wait(cv, mu);
+    waiter.unlock(mu);
+    waiter.ret();
+  }
+  ir::FunctionBuilder b(m, "main", 0);
+  const ir::Reg a0 = b.const_i(0);
+  const ir::Reg h = b.spawn(waiter.func_id(), {a0});
+  const ir::Reg cv = b.const_i(1);
+  const ir::Reg mu = b.const_i(2);
+  b.lock(mu);
+  b.cond_signal(cv);
+  b.unlock(mu);
+  b.join(h);
+  b.ret();
+  ir::verify_module_or_throw(m);
+
+  const SyncAnalysis analysis(m, b.func_id());
+  std::vector<Diagnostic> diags;
+  check_misuse(analysis, diags);
+  EXPECT_EQ(count_checker(diags, "sync-misuse", Severity::kError), 0u);
+  EXPECT_EQ(count_checker(diags, "sync-misuse", Severity::kWarning), 0u);
+}
+
+TEST(Misuse, DoubleJoinIsError) {
+  ir::Module m;
+  ir::FunctionBuilder worker(m, "worker", 1);
+  worker.ret();
+  ir::FunctionBuilder b(m, "main", 0);
+  const ir::Reg a0 = b.const_i(0);
+  const ir::Reg h = b.spawn(worker.func_id(), {a0});
+  b.join(h);
+  b.join(h);
+  b.ret();
+  ir::verify_module_or_throw(m);
+
+  const SyncAnalysis analysis(m, b.func_id());
+  std::vector<Diagnostic> diags;
+  check_misuse(analysis, diags);
+  EXPECT_EQ(count_checker(diags, "sync-misuse", Severity::kError), 1u);
+}
+
+TEST(Misuse, JoinInLoopWithoutRespawnIsError) {
+  ir::Module m;
+  ir::FunctionBuilder worker(m, "worker", 1);
+  worker.ret();
+  ir::FunctionBuilder b(m, "main", 0);
+  const BlockId loop_bb = b.make_block("loop");
+  const BlockId body_bb = b.make_block("body");
+  const BlockId done_bb = b.make_block("done");
+  const ir::Reg a0 = b.const_i(0);
+  const ir::Reg h = b.spawn(worker.func_id(), {a0});
+  const ir::Reg i = b.const_i(0);
+  const ir::Reg n = b.const_i(3);
+  const ir::Reg one = b.const_i(1);
+  b.br(loop_bb);
+  b.set_insert_point(loop_bb);
+  const ir::Reg c = b.icmp(ir::CmpPred::kLt, i, n);
+  b.condbr(c, body_bb, done_bb);
+  b.set_insert_point(body_bb);
+  b.join(h);  // joins the same handle every iteration
+  b.emit(ir::Instr::make_binary(ir::Opcode::kAdd, i, i, one));
+  b.br(loop_bb);
+  b.set_insert_point(done_bb);
+  b.ret();
+  ir::verify_module_or_throw(m);
+
+  const SyncAnalysis analysis(m, b.func_id());
+  std::vector<Diagnostic> diags;
+  check_misuse(analysis, diags);
+  EXPECT_GE(count_checker(diags, "sync-misuse", Severity::kError), 1u);
+}
+
+TEST(Misuse, SpawnJoinPerIterationIsClean) {
+  ir::Module m;
+  ir::FunctionBuilder worker(m, "worker", 1);
+  worker.ret();
+  ir::FunctionBuilder b(m, "main", 0);
+  const BlockId loop_bb = b.make_block("loop");
+  const BlockId body_bb = b.make_block("body");
+  const BlockId done_bb = b.make_block("done");
+  const ir::Reg i = b.const_i(0);
+  const ir::Reg n = b.const_i(3);
+  const ir::Reg one = b.const_i(1);
+  b.br(loop_bb);
+  b.set_insert_point(loop_bb);
+  const ir::Reg c = b.icmp(ir::CmpPred::kLt, i, n);
+  b.condbr(c, body_bb, done_bb);
+  b.set_insert_point(body_bb);
+  const ir::Reg h = b.spawn(worker.func_id(), {i});  // fresh handle per iteration
+  b.join(h);
+  b.emit(ir::Instr::make_binary(ir::Opcode::kAdd, i, i, one));
+  b.br(loop_bb);
+  b.set_insert_point(done_bb);
+  b.ret();
+  ir::verify_module_or_throw(m);
+
+  const SyncAnalysis analysis(m, b.func_id());
+  std::vector<Diagnostic> diags;
+  check_misuse(analysis, diags);
+  EXPECT_EQ(count_checker(diags, "sync-misuse", Severity::kError), 0u);
+}
+
+}  // namespace
+}  // namespace detlock::staticcheck

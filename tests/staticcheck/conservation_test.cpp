@@ -1,0 +1,145 @@
+// Static clock-conservation checker: every workload under every Table I
+// optimization row must pass, and deliberately corrupted instrumentation
+// must fail.
+#include "staticcheck/conservation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/verifier.hpp"
+#include "pass/pipeline.hpp"
+#include "workloads/workloads.hpp"
+
+namespace detlock::staticcheck {
+namespace {
+
+std::vector<std::pair<const char*, pass::PassOptions>> table1_rows() {
+  return {{"none", pass::PassOptions::none()},   {"opt1", pass::PassOptions::only_opt1()},
+          {"opt2", pass::PassOptions::only_opt2()}, {"opt3", pass::PassOptions::only_opt3()},
+          {"opt4", pass::PassOptions::only_opt4()}, {"all", pass::PassOptions::all()}};
+}
+
+TEST(Conservation, AllWorkloadsPassEveryOptimizationRow) {
+  workloads::WorkloadParams params;
+  params.threads = 2;
+  params.scale = 1;
+  for (const workloads::WorkloadSpec& spec : workloads::all_workloads()) {
+    for (const auto& [row, options] : table1_rows()) {
+      workloads::Workload w = spec.factory(params);
+      pass::ClockAssignment assignment;
+      pass::instrument_module(w.module, options, assignment);
+      std::vector<Diagnostic> diags;
+      check_clock_conservation(w.module, assignment, options, diags);
+      EXPECT_EQ(diags.size(), 0u) << spec.name << " x " << row
+                                  << (diags.empty() ? "" : ": " + diags[0].to_string());
+    }
+  }
+}
+
+TEST(Conservation, PreciseConfigurationsAreExact) {
+  // none and Opt1-only must conserve clocks with zero slack on every path.
+  workloads::WorkloadParams params;
+  params.threads = 2;
+  for (const workloads::WorkloadSpec& spec : workloads::all_workloads()) {
+    for (const pass::PassOptions& options :
+         {pass::PassOptions::none(), pass::PassOptions::only_opt1()}) {
+      const ConservationTolerance tol = tolerance_for(options);
+      EXPECT_EQ(tol.relative_slack, 0.0);
+      EXPECT_EQ(tol.absolute_slack, 0);
+      workloads::Workload w = spec.factory(params);
+      pass::ClockAssignment assignment;
+      pass::instrument_module(w.module, options, assignment);
+      std::vector<Diagnostic> diags;
+      check_clock_conservation(w.module, assignment, options, tol, diags);
+      EXPECT_EQ(diags.size(), 0u) << spec.name;
+    }
+  }
+}
+
+TEST(Conservation, CorruptedClockAddFailsCheckA) {
+  workloads::WorkloadParams params;
+  params.threads = 2;
+  workloads::Workload w = workloads::all_workloads().front().factory(params);
+  const pass::PassOptions options = pass::PassOptions::all();
+  pass::ClockAssignment assignment;
+  pass::instrument_module(w.module, options, assignment);
+
+  // Bump the first materialized kClockAdd: the module no longer matches
+  // the assignment.
+  bool corrupted = false;
+  for (ir::Function& func : w.module.functions()) {
+    for (ir::BasicBlock& block : func.blocks()) {
+      for (ir::Instr& instr : block.instrs()) {
+        if (instr.op == ir::Opcode::kClockAdd && !corrupted) {
+          instr.imm += 10000;
+          corrupted = true;
+        }
+      }
+    }
+  }
+  ASSERT_TRUE(corrupted);
+
+  std::vector<Diagnostic> diags;
+  check_clock_conservation(w.module, assignment, options, diags);
+  ASSERT_GE(diags.size(), 1u);
+  EXPECT_EQ(diags[0].checker, "clock-conservation");
+  EXPECT_EQ(diags[0].severity, Severity::kError);
+}
+
+TEST(Conservation, InflatedAssignmentFailsCheckB) {
+  workloads::WorkloadParams params;
+  params.threads = 2;
+  workloads::Workload w = workloads::all_workloads().front().factory(params);
+  const pass::PassOptions options = pass::PassOptions::none();
+  pass::ClockAssignment assignment;
+  pass::instrument_module(w.module, options, assignment);
+
+  // Pretend the pass assigned far more clock than the block costs, and
+  // patch the materialized instruction to match so Check A stays quiet:
+  // only the every-path divergence bound can catch it.
+  bool corrupted = false;
+  for (ir::FuncId f = 0; f < w.module.functions().size() && !corrupted; ++f) {
+    if (assignment.is_clocked(f)) continue;
+    ir::Function& func = w.module.function(f);
+    for (ir::BlockId b = 0; b < func.num_blocks() && !corrupted; ++b) {
+      if (assignment.funcs[f][b].clock == 0) continue;
+      for (ir::Instr& instr : func.block(b).instrs()) {
+        if (instr.op == ir::Opcode::kClockAdd) {
+          instr.imm += 5000;
+          assignment.funcs[f][b].clock += 5000;
+          corrupted = true;
+          break;
+        }
+      }
+    }
+  }
+  ASSERT_TRUE(corrupted);
+
+  std::vector<Diagnostic> diags;
+  check_clock_conservation(w.module, assignment, options, diags);
+  ASSERT_GE(diags.size(), 1u);
+  EXPECT_EQ(diags[0].checker, "clock-conservation");
+  EXPECT_FALSE(diags[0].witness.empty());  // worst path is named
+}
+
+TEST(Conservation, ClockedFunctionWithClockUpdateFails) {
+  workloads::WorkloadParams params;
+  params.threads = 2;
+  // radiosity has clockable leaf functions under Opt1.
+  workloads::Workload w = workloads::make_radiosity(params);
+  const pass::PassOptions options = pass::PassOptions::only_opt1();
+  pass::ClockAssignment assignment;
+  pass::instrument_module(w.module, options, assignment);
+  ASSERT_FALSE(assignment.clocked_functions.empty());
+
+  const ir::FuncId clocked = assignment.clocked_functions.begin()->first;
+  w.module.function(clocked).block(0).instrs().insert(
+      w.module.function(clocked).block(0).instrs().begin(), ir::Instr::make_clock_add(1));
+
+  std::vector<Diagnostic> diags;
+  check_clock_conservation(w.module, assignment, options, diags);
+  ASSERT_GE(diags.size(), 1u);
+  EXPECT_NE(diags[0].message.find("clocked"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace detlock::staticcheck

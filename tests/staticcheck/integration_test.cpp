@@ -1,0 +1,106 @@
+// Whole-corpus lint integration: every workload generator and every clean
+// share/programs module must produce zero diagnostics, and the two
+// deliberately broken fixtures must each produce at least one error with a
+// witness.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "ir/parser.hpp"
+#include "staticcheck/checker.hpp"
+#include "workloads/workloads.hpp"
+
+#ifndef DETLOCK_SOURCE_DIR
+#define DETLOCK_SOURCE_DIR "."
+#endif
+
+namespace detlock::staticcheck {
+namespace {
+
+ir::Module parse_program(const std::string& relative) {
+  const std::string path = std::string(DETLOCK_SOURCE_DIR) + "/" + relative;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << "missing " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ir::parse_module(ss.str());
+}
+
+std::string render(const std::vector<Diagnostic>& diags) {
+  std::string out;
+  for (const Diagnostic& d : diags) out += d.to_string() + "\n";
+  return out;
+}
+
+TEST(LintCorpus, AllWorkloadsLintClean) {
+  workloads::WorkloadParams params;
+  params.threads = 4;
+  params.scale = 1;
+  for (const workloads::WorkloadSpec& spec : workloads::all_workloads()) {
+    workloads::Workload w = spec.factory(params);
+    CheckOptions check;
+    check.entry = w.module.function(w.main_func).name();
+    const std::vector<Diagnostic> diags = run_all_checks(w.module, check);
+    EXPECT_EQ(error_count(diags), 0u) << spec.name << ":\n" << render(diags);
+  }
+}
+
+TEST(LintCorpus, TaskfarmCvLintsClean) {
+  workloads::WorkloadParams params;
+  params.threads = 4;
+  workloads::Workload w = workloads::make_taskfarm_cv(params);
+  CheckOptions check;
+  check.entry = w.module.function(w.main_func).name();
+  const std::vector<Diagnostic> diags = run_all_checks(w.module, check);
+  EXPECT_EQ(error_count(diags), 0u) << render(diags);
+}
+
+TEST(LintCorpus, CleanSharePrograms) {
+  for (const char* program :
+       {"share/programs/hello_locks.dl", "share/programs/producer_consumer.dl",
+        "share/programs/bounded_queue_cv.dl", "share/programs/stencil_barrier.dl"}) {
+    const ir::Module module = parse_program(program);
+    const std::vector<Diagnostic> diags = run_all_checks(module, CheckOptions{});
+    EXPECT_EQ(error_count(diags), 0u) << program << ":\n" << render(diags);
+  }
+}
+
+TEST(LintCorpus, RacyCounterFixtureIsFlagged) {
+  const ir::Module module = parse_program("share/programs/racy_counter.dl");
+  const std::vector<Diagnostic> diags = run_all_checks(module, CheckOptions{});
+  ASSERT_GE(error_count(diags), 1u);
+  EXPECT_EQ(diags[0].checker, "lockset-race");
+  EXPECT_FALSE(diags[0].witness.empty());
+}
+
+TEST(LintCorpus, AbbaDeadlockFixtureIsFlagged) {
+  const ir::Module module = parse_program("share/programs/abba_deadlock.dl");
+  const std::vector<Diagnostic> diags = run_all_checks(module, CheckOptions{});
+  ASSERT_GE(error_count(diags), 1u);
+  EXPECT_EQ(diags[0].checker, "deadlock");
+  EXPECT_FALSE(diags[0].witness.empty());
+}
+
+TEST(LintCorpus, WorkloadsLintCleanUnderEveryOptRow) {
+  // The conservation stage of run_all_checks instruments with the given
+  // options; every Table I row must stay clean.
+  workloads::WorkloadParams params;
+  params.threads = 2;
+  for (const workloads::WorkloadSpec& spec : workloads::all_workloads()) {
+    for (const pass::PassOptions& options :
+         {pass::PassOptions::none(), pass::PassOptions::only_opt1(),
+          pass::PassOptions::only_opt2(), pass::PassOptions::only_opt3(),
+          pass::PassOptions::only_opt4(), pass::PassOptions::all()}) {
+      workloads::Workload w = spec.factory(params);
+      CheckOptions check;
+      check.entry = w.module.function(w.main_func).name();
+      check.pass_options = options;
+      const std::vector<Diagnostic> diags = run_all_checks(w.module, check);
+      EXPECT_EQ(error_count(diags), 0u) << spec.name << ":\n" << render(diags);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace detlock::staticcheck

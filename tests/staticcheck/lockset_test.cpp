@@ -1,0 +1,224 @@
+// Unit tests for the static lockset / sync analysis core.
+#include "staticcheck/lockset.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "ir/verifier.hpp"
+
+namespace detlock::staticcheck {
+namespace {
+
+/// State right before instruction `index` of `block` (must be reachable).
+SyncState state_at(const SyncAnalysis& analysis, FuncId f, BlockId block, std::size_t index) {
+  SyncState result;
+  bool found = false;
+  analysis.walk_block(f, block, [&](std::size_t i, const SyncState& state) {
+    if (i == index) {
+      result = state;
+      found = true;
+    }
+  });
+  EXPECT_TRUE(found) << "unreachable block or bad index";
+  return result;
+}
+
+TEST(Lockset, MustHeldBetweenLockAndUnlock) {
+  ir::Module m;
+  ir::FunctionBuilder b(m, "main", 0);
+  const ir::Reg mu = b.const_i(7);
+  b.lock(mu);
+  const ir::Reg addr = b.const_i(100);
+  const ir::Reg v = b.load(addr);
+  b.store(addr, v);
+  b.unlock(mu);
+  b.ret();
+  ir::verify_module_or_throw(m);
+
+  const SyncAnalysis analysis(m, 0);
+  const LockRef lock{LockRef::Kind::kConst, 7};
+  // Before the load (index 3): held.
+  EXPECT_TRUE(lockset_contains(state_at(analysis, 0, 0, 3).must, lock));
+  // Before the lock (index 1): not held.
+  EXPECT_FALSE(lockset_contains(state_at(analysis, 0, 0, 1).may, lock));
+  // After the unlock, before ret (index 6): released again.
+  EXPECT_FALSE(lockset_contains(state_at(analysis, 0, 0, 6).may, lock));
+}
+
+TEST(Lockset, BranchMergeIntersectsMustAndUnionsMay) {
+  // One arm locks, the other does not: at the join the lock is may-held but
+  // not must-held.
+  ir::Module m;
+  ir::FunctionBuilder b(m, "main", 1);
+  const BlockId then_bb = b.make_block("then");
+  const BlockId else_bb = b.make_block("else");
+  const BlockId merge_bb = b.make_block("merge");
+  b.condbr(b.param(0), then_bb, else_bb);
+  b.set_insert_point(then_bb);
+  const ir::Reg mu = b.const_i(1);
+  b.lock(mu);
+  b.br(merge_bb);
+  b.set_insert_point(else_bb);
+  b.br(merge_bb);
+  b.set_insert_point(merge_bb);
+  const ir::Reg addr = b.const_i(100);
+  b.store(addr, b.param(0));
+  b.ret();
+  ir::verify_module_or_throw(m);
+
+  const SyncAnalysis analysis(m, 0);
+  const LockRef lock{LockRef::Kind::kConst, 1};
+  const SyncState merge_state = state_at(analysis, 0, merge_bb, 0);
+  EXPECT_FALSE(lockset_contains(merge_state.must, lock));
+  EXPECT_TRUE(lockset_contains(merge_state.may, lock));
+}
+
+TEST(Lockset, LoopCarriedLocksetSurvivesBackEdge) {
+  // Lock acquired before the loop stays must-held inside it across
+  // iterations.
+  ir::Module m;
+  ir::FunctionBuilder b(m, "main", 0);
+  const BlockId loop_bb = b.make_block("loop");
+  const BlockId body_bb = b.make_block("body");
+  const BlockId done_bb = b.make_block("done");
+  const ir::Reg mu = b.const_i(3);
+  b.lock(mu);
+  const ir::Reg i = b.const_i(0);
+  const ir::Reg n = b.const_i(10);
+  const ir::Reg one = b.const_i(1);
+  b.br(loop_bb);
+  b.set_insert_point(loop_bb);
+  const ir::Reg c = b.icmp(ir::CmpPred::kLt, i, n);
+  b.condbr(c, body_bb, done_bb);
+  b.set_insert_point(body_bb);
+  const ir::Reg addr = b.const_i(100);
+  b.store(addr, i);
+  b.emit(ir::Instr::make_binary(ir::Opcode::kAdd, i, i, one));
+  b.br(loop_bb);
+  b.set_insert_point(done_bb);
+  b.unlock(mu);
+  b.ret();
+  ir::verify_module_or_throw(m);
+
+  const SyncAnalysis analysis(m, 0);
+  const LockRef lock{LockRef::Kind::kConst, 3};
+  EXPECT_TRUE(lockset_contains(state_at(analysis, 0, body_bb, 0).must, lock));
+  EXPECT_TRUE(lockset_contains(state_at(analysis, 0, loop_bb, 0).must, lock));
+}
+
+TEST(Lockset, ParamLockResolvedThroughSummary) {
+  // helper(mu) locks its parameter; the caller's lockset gains the call
+  // site's constant after the call.
+  ir::Module m;
+  ir::FunctionBuilder helper(m, "helper", 1);
+  helper.lock(helper.param(0));
+  helper.ret();
+
+  ir::FunctionBuilder main_fn(m, "main", 0);
+  const ir::Reg mu = main_fn.const_i(9);
+  main_fn.call(helper.func_id(), {mu});
+  const ir::Reg addr = main_fn.const_i(100);
+  main_fn.store(addr, mu);
+  main_fn.unlock(mu);
+  main_fn.ret();
+  ir::verify_module_or_throw(m);
+
+  const SyncAnalysis analysis(m, main_fn.func_id());
+  // helper's summary acquires its parameter #0.
+  const LockSummary& summary = analysis.func(helper.func_id()).summary;
+  ASSERT_EQ(summary.acquired.size(), 1u);
+  EXPECT_EQ(summary.acquired[0].kind, LockRef::Kind::kParam);
+  EXPECT_EQ(summary.acquired[0].id, 0);
+  // After the call (store at index 3) mutex 9 is must-held in main.
+  const LockRef lock{LockRef::Kind::kConst, 9};
+  EXPECT_TRUE(lockset_contains(state_at(analysis, main_fn.func_id(), 0, 3).must, lock));
+}
+
+TEST(Lockset, CalleeInheritsCallerContext) {
+  // main locks 5 around every call of leaf(): leaf's accesses see mutex 5
+  // must-held via its context.
+  ir::Module m;
+  ir::FunctionBuilder leaf(m, "leaf", 0);
+  const ir::Reg addr = leaf.const_i(100);
+  const ir::Reg v = leaf.load(addr);
+  leaf.store(addr, v);
+  leaf.ret();
+
+  ir::FunctionBuilder main_fn(m, "main", 0);
+  const ir::Reg mu = main_fn.const_i(5);
+  main_fn.lock(mu);
+  main_fn.call(leaf.func_id(), {});
+  main_fn.unlock(mu);
+  main_fn.ret();
+  ir::verify_module_or_throw(m);
+
+  const SyncAnalysis analysis(m, main_fn.func_id());
+  const LockRef lock{LockRef::Kind::kConst, 5};
+  EXPECT_TRUE(lockset_contains(analysis.func(leaf.func_id()).context_must, lock));
+  EXPECT_TRUE(lockset_contains(state_at(analysis, leaf.func_id(), 0, 1).must, lock));
+}
+
+TEST(Lockset, SpawnTargetGetsEmptyContext) {
+  // Even when the spawner holds a lock at the spawn site, the child thread
+  // starts with nothing held.
+  ir::Module m;
+  ir::FunctionBuilder worker(m, "worker", 1);
+  worker.ret();
+
+  ir::FunctionBuilder main_fn(m, "main", 0);
+  const ir::Reg mu = main_fn.const_i(2);
+  main_fn.lock(mu);
+  const ir::Reg arg = main_fn.const_i(0);
+  const ir::Reg h = main_fn.spawn(worker.func_id(), {arg});
+  main_fn.unlock(mu);
+  main_fn.join(h);
+  main_fn.ret();
+  ir::verify_module_or_throw(m);
+
+  const SyncAnalysis analysis(m, main_fn.func_id());
+  EXPECT_TRUE(analysis.func(worker.func_id()).context_must.empty());
+}
+
+TEST(Lockset, EntryLiveWindowTracksSpawnsAndJoins) {
+  ir::Module m;
+  ir::FunctionBuilder worker(m, "worker", 1);
+  worker.ret();
+
+  ir::FunctionBuilder main_fn(m, "main", 0);
+  const ir::Reg arg = main_fn.const_i(0);
+  const ir::Reg addr = main_fn.const_i(100);
+  main_fn.store(addr, arg);                            // index 2: before spawn
+  const ir::Reg h = main_fn.spawn(worker.func_id(), {arg});
+  main_fn.store(addr, arg);                            // index 4: child live
+  main_fn.join(h);
+  main_fn.store(addr, arg);                            // index 6: child joined
+  main_fn.ret();
+  ir::verify_module_or_throw(m);
+
+  const SyncAnalysis analysis(m, main_fn.func_id());
+  EXPECT_FALSE(analysis.entry_concurrent_at(0, 2));
+  EXPECT_TRUE(analysis.entry_concurrent_at(0, 4));
+  EXPECT_FALSE(analysis.entry_concurrent_at(0, 6));
+}
+
+TEST(Lockset, WitnessPathReachesNestedBlock) {
+  ir::Module m;
+  ir::FunctionBuilder b(m, "main", 1);
+  const BlockId mid = b.make_block("mid");
+  const BlockId tail = b.make_block("tail");
+  b.br(mid);
+  b.set_insert_point(mid);
+  b.br(tail);
+  b.set_insert_point(tail);
+  b.ret();
+  ir::verify_module_or_throw(m);
+
+  const SyncAnalysis analysis(m, 0);
+  const std::vector<std::string> path = analysis.witness_path(0, tail);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path.front(), "entry");
+  EXPECT_EQ(path.back(), "tail");
+}
+
+}  // namespace
+}  // namespace detlock::staticcheck

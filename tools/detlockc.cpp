@@ -14,12 +14,24 @@
 //   --estimates=FILE         apply an instruction-estimate file
 //   --emit-ir                print the instrumented IR and exit
 //   --stats                  print pass + runtime statistics
-//   --race-check             run the lockset race detector
+//   --race-check             run the lockset race detector (lints first)
+//   --lint                   run the static checkers and exit
+//   --no-lint                skip the automatic lint before --race-check
 //   --record-schedule=FILE   dump the lock-acquisition schedule after run 1
 //   --check-schedule=FILE    validate each run online against a recording
 //                            (the paper's replica fault-detection use-case)
 //   --entry=NAME             entry function                    [main]
 //   --arg=N                  append an i64 argument (repeatable)
+//
+// Exit codes (documented in docs/static-analysis.md):
+//   0  success
+//   1  I/O or internal error
+//   2  usage error
+//   3  repeated runs produced different fingerprints
+//   4  replica diverged from the recorded schedule
+//   5  parse error in the .dl program
+//   6  IR verifier rejected the module
+//   7  static checkers reported at least one error
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -31,10 +43,12 @@
 #include "interp/engine.hpp"
 #include "ir/parser.hpp"
 #include "ir/printer.hpp"
+#include "ir/verifier.hpp"
 #include "pass/estimates.hpp"
 #include "runtime/schedule.hpp"
 #include "pass/pipeline.hpp"
 #include "racedetect/lockset.hpp"
+#include "staticcheck/checker.hpp"
 
 namespace {
 
@@ -44,7 +58,8 @@ using namespace detlock;
   std::fprintf(stderr,
                "usage: %s [--opt=none|1|2|3|4|all] [--placement=start|end] [--nondet]\n"
                "          [--kendo[=CHUNK]] [--runs=N] [--estimates=FILE] [--emit-ir]\n"
-               "          [--stats] [--race-check] [--entry=NAME] [--arg=N]... program.dl\n",
+               "          [--stats] [--race-check] [--lint] [--no-lint] [--entry=NAME]\n"
+               "          [--arg=N]... program.dl\n",
                argv0);
   std::exit(2);
 }
@@ -71,6 +86,8 @@ struct Cli {
   bool emit_ir = false;
   bool stats = false;
   bool race_check = false;
+  bool lint = false;
+  bool auto_lint = true;
   std::string record_schedule_path;
   std::string check_schedule_path;
   std::string entry = "main";
@@ -116,6 +133,10 @@ Cli parse_cli(int argc, char** argv) {
       cli.stats = true;
     } else if (arg == "--race-check") {
       cli.race_check = true;
+    } else if (arg == "--lint") {
+      cli.lint = true;
+    } else if (arg == "--no-lint") {
+      cli.auto_lint = false;
     } else if (arg.rfind("--record-schedule=", 0) == 0) {
       cli.record_schedule_path = value_of("--record-schedule=");
     } else if (arg.rfind("--check-schedule=", 0) == 0) {
@@ -136,6 +157,43 @@ Cli parse_cli(int argc, char** argv) {
   return cli;
 }
 
+/// Parses and verifies the program, mapping failures to the documented
+/// stage exit codes (5 parse, 6 verifier).
+ir::Module load_module(const Cli& cli, const std::string& text) {
+  ir::Module module;
+  try {
+    module = ir::parse_module(text);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "detlockc: parse error: %s\n", e.what());
+    std::exit(5);
+  }
+  try {
+    if (!cli.estimates_path.empty()) {
+      pass::apply_estimate_file(module, read_file(cli.estimates_path));
+    }
+    ir::verify_module_or_throw(module);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "detlockc: verifier error: %s\n", e.what());
+    std::exit(6);
+  }
+  return module;
+}
+
+/// Runs the static checkers; prints every diagnostic and a summary line.
+/// Returns the number of error-severity findings (nonzero fails --lint).
+std::size_t run_lint(const Cli& cli, const ir::Module& module) {
+  staticcheck::CheckOptions check;
+  check.entry = cli.entry;
+  check.pass_options = cli.options;
+  const std::vector<staticcheck::Diagnostic> diags = staticcheck::run_all_checks(module, check);
+  for (const staticcheck::Diagnostic& d : diags) {
+    std::printf("%s\n", d.to_string().c_str());
+  }
+  const std::size_t errors = staticcheck::error_count(diags);
+  std::printf("lint: %zu diagnostic(s), %zu error(s)\n", diags.size(), errors);
+  return errors;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -143,14 +201,27 @@ int main(int argc, char** argv) {
   try {
     const std::string text = read_file(cli.program_path);
 
+    if (cli.lint) {
+      const ir::Module module = load_module(cli, text);
+      return run_lint(cli, module) > 0 ? 7 : 0;
+    }
+
     if (cli.emit_ir) {
-      ir::Module module = ir::parse_module(text);
-      if (!cli.estimates_path.empty()) {
-        pass::apply_estimate_file(module, read_file(cli.estimates_path));
-      }
+      ir::Module module = load_module(cli, text);
       pass::instrument_module(module, cli.options);
       std::printf("%s", ir::to_string(module).c_str());
       return 0;
+    }
+
+    // The dynamic race detector assumes the program's synchronization is at
+    // least statically plausible; lint first so broken programs fail fast
+    // with a witness instead of a nondeterministic execution.
+    if (cli.race_check && cli.auto_lint) {
+      const ir::Module module = load_module(cli, text);
+      if (run_lint(cli, module) > 0) {
+        std::printf("lint errors; not executing (use --no-lint to force)\n");
+        return 7;
+      }
     }
 
     std::uint64_t first_trace = 0;
@@ -161,10 +232,7 @@ int main(int argc, char** argv) {
       expected_schedule = runtime::parse_schedule(read_file(cli.check_schedule_path));
     }
     for (int run = 0; run < cli.runs; ++run) {
-      ir::Module module = ir::parse_module(text);
-      if (!cli.estimates_path.empty()) {
-        pass::apply_estimate_file(module, read_file(cli.estimates_path));
-      }
+      ir::Module module = load_module(cli, text);
       const pass::PipelineStats pstats = pass::instrument_module(module, cli.options);
 
       interp::EngineConfig config;
