@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "runtime/profile.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
 #include "workloads/harness.hpp"
@@ -129,6 +130,49 @@ int main(int argc, char** argv) {
   };
   emit_band("After Inserting Clocks", clocks_sec);
   emit_band("After Inserting Clocks and Performing Deterministic Execution", det_sec);
+
+  // Wait-time attribution band: decomposes the det-exec overhead column
+  // above into where the threads' waiting time actually went (separate
+  // profiled runs with all optimizations; profiling is determinism-neutral
+  // but adds clock reads, so the timed runs above stay unprofiled).
+  {
+    std::vector<runtime::ProfileSummary> summaries(specs.size());
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+      workloads::MeasureOptions mo;
+      mo.mode = workloads::Mode::kDetLock;
+      mo.pass_options = pass::PassOptions::all();
+      mo.repetitions = 1;
+      mo.profile = true;
+      summaries[s] = workloads::measure(specs[s], params, mo).profile;
+      std::fprintf(stderr, "[table1] %s wait-attribution run done\n", specs[s].name);
+    }
+    table.add_section("Wait-Time Attribution, % of thread wall time (All Optimizations, Det Exec)");
+    for (std::size_t c = 0; c < runtime::kNumWaitCategories; ++c) {
+      std::vector<std::string> row{runtime::wait_category_name(static_cast<runtime::WaitCategory>(c))};
+      double sum = 0.0;
+      for (const runtime::ProfileSummary& ps : summaries) {
+        const double p = ps.total_wall_ns > 0
+                             ? 100.0 * static_cast<double>(ps.totals[c].ns) /
+                                   static_cast<double>(ps.total_wall_ns)
+                             : 0.0;
+        row.push_back(str_format("%.1f%%", p));
+        sum += p;
+      }
+      row.push_back(str_format("%.1f%%", sum / static_cast<double>(specs.size())));
+      table.add_row(std::move(row));
+    }
+    std::vector<std::string> useful_row{"useful execution"};
+    double useful_sum = 0.0;
+    for (const runtime::ProfileSummary& ps : summaries) {
+      const double p = ps.total_wall_ns > 0 ? 100.0 * static_cast<double>(ps.total_useful_ns) /
+                                                  static_cast<double>(ps.total_wall_ns)
+                                            : 0.0;
+      useful_row.push_back(str_format("%.1f%%", p));
+      useful_sum += p;
+    }
+    useful_row.push_back(str_format("%.1f%%", useful_sum / static_cast<double>(specs.size())));
+    table.add_row(std::move(useful_row));
+  }
 
   std::printf("Table I -- DetLock overheads (scale=%u, threads=%u, reps=%d)\n\n", params.scale,
               params.threads, reps);

@@ -63,6 +63,11 @@ Engine::Engine(const ir::Module& module, EngineConfig config)
       instr_counts_(config.runtime.max_threads, 0),
       clock_instr_counts_(config.runtime.max_threads, 0) {
   config_.runtime.abort_flag = &abort_flag_;
+  if (config_.runtime.profile && config_.runtime.profiler == nullptr) {
+    profiler_ = std::make_unique<runtime::Profiler>(config_.runtime.max_threads,
+                                                    config_.runtime.profile_spans);
+    config_.runtime.profiler = profiler_.get();
+  }
   if (config_.deterministic) {
     backend_ = std::make_unique<runtime::DetBackend>(config_.runtime);
   } else {
@@ -148,9 +153,13 @@ std::uint64_t Engine::exec_function(ThreadCtx& ctx, ir::FuncId func_id, std::vec
       case ir::Opcode::kConst: regs[in.dst] = from_i64(in.imm); break;
       case ir::Opcode::kConstF: regs[in.dst] = from_f64(in.fimm); break;
       case ir::Opcode::kMov: regs[in.dst] = regs[in.a]; break;
-      case ir::Opcode::kAdd: regs[in.dst] = from_i64(as_i64(regs[in.a]) + as_i64(regs[in.b])); break;
-      case ir::Opcode::kSub: regs[in.dst] = from_i64(as_i64(regs[in.a]) - as_i64(regs[in.b])); break;
-      case ir::Opcode::kMul: regs[in.dst] = from_i64(as_i64(regs[in.a]) * as_i64(regs[in.b])); break;
+      // add/sub/mul wrap on overflow (two's complement): computed on the
+      // unsigned representation, which is bit-identical to wrapping signed
+      // arithmetic but defined behaviour.  Workload checksum chains rely on
+      // the wraparound.
+      case ir::Opcode::kAdd: regs[in.dst] = regs[in.a] + regs[in.b]; break;
+      case ir::Opcode::kSub: regs[in.dst] = regs[in.a] - regs[in.b]; break;
+      case ir::Opcode::kMul: regs[in.dst] = regs[in.a] * regs[in.b]; break;
       case ir::Opcode::kDiv: {
         const std::int64_t d = as_i64(regs[in.b]);
         DETLOCK_CHECK(d != 0, "division by zero in @" + func.name());
@@ -302,6 +311,8 @@ std::uint64_t Engine::exec_function(ThreadCtx& ctx, ir::FuncId func_id, std::vec
 void Engine::thread_main(runtime::ThreadId tid, ir::FuncId func, std::vector<std::uint64_t> args) {
   ThreadCtx ctx;
   ctx.tid = tid;
+  runtime::Profiler* const prof = config_.runtime.profiler;
+  if (prof != nullptr) prof->thread_begin(tid);
   try {
     exec_function(ctx, func, std::move(args));
     DETLOCK_CHECK(ctx.held.empty(), "thread finished while holding a mutex");
@@ -309,6 +320,7 @@ void Engine::thread_main(runtime::ThreadId tid, ir::FuncId func, std::vector<std
     thread_errors_[tid] = std::current_exception();
     abort_flag_.store(true, std::memory_order_relaxed);
   }
+  if (prof != nullptr) prof->thread_end(tid, ctx.instrs, ctx.clock_instrs);
   instr_counts_[tid] = ctx.instrs;
   clock_instr_counts_[tid] = ctx.clock_instrs;
   final_clocks_[tid] = backend_->clock_of(tid);
@@ -332,6 +344,8 @@ RunResult Engine::run(ir::FuncId entry, const std::vector<std::int64_t>& args) {
   main_args.reserve(args.size());
   for (std::int64_t a : args) main_args.push_back(from_i64(a));
 
+  runtime::Profiler* const prof = config_.runtime.profiler;
+  if (prof != nullptr) prof->thread_begin(main_tid);
   std::exception_ptr main_error;
   try {
     result.main_return = as_i64(exec_function(ctx, entry, std::move(main_args)));
@@ -340,6 +354,7 @@ RunResult Engine::run(ir::FuncId entry, const std::vector<std::int64_t>& args) {
     main_error = std::current_exception();
     abort_flag_.store(true, std::memory_order_relaxed);
   }
+  if (prof != nullptr) prof->thread_end(main_tid, ctx.instrs, ctx.clock_instrs);
   instr_counts_[main_tid] = ctx.instrs;
   clock_instr_counts_[main_tid] = ctx.clock_instrs;
   final_clocks_[main_tid] = backend_->clock_of(main_tid);

@@ -23,6 +23,7 @@
 #include "ir/module.hpp"
 #include "runtime/backend.hpp"
 #include "runtime/det_allocator.hpp"
+#include "runtime/profile.hpp"
 #include "runtime/shared_memory.hpp"
 
 namespace detlock::interp {
@@ -91,6 +92,9 @@ class Engine {
   runtime::SyncBackend& backend() { return *backend_; }
   ExternTable& externs() { return externs_; }
   runtime::DetAllocator* allocator() { return allocator_.get(); }
+  /// Wait-time attribution profiler; non-null iff EngineConfig::runtime
+  /// requested profiling (profile flag or an externally wired profiler).
+  runtime::Profiler* profiler() { return config_.runtime.profiler; }
 
   /// Per-thread output of the `record` extern -- deterministic per thread,
   /// used by tests as an application-visible determinism witness.
@@ -106,6 +110,7 @@ class Engine {
   const ir::Module& module_;
   EngineConfig config_;
   runtime::SharedMemory memory_;
+  std::unique_ptr<runtime::Profiler> profiler_;  // owned iff runtime.profile was set
   std::unique_ptr<runtime::SyncBackend> backend_;
   std::unique_ptr<runtime::DetAllocator> allocator_;
   ExternTable externs_;

@@ -51,6 +51,9 @@ bool is_clockable(const ir::Module& module, const ClockAssignment& assignment,
 
   const analysis::PathStatsResult stats =
       analysis::function_path_stats(cfg, [&](ir::BlockId b) { return block_cost[b]; });
+  // The valid-check must precede any mean/range query: an empty path set has
+  // no defined extrema (see RunningStats::min() in support/stats.hpp for the
+  // same contract).
   if (!stats.valid) return false;
   if (!options.criteria.accepts(stats.mean, stats.stddev, stats.range())) return false;
   *avg = static_cast<std::int64_t>(std::llround(stats.mean));

@@ -106,6 +106,8 @@ std::size_t run_opt3(const ir::Module& module, ClockAssignment& assignment, ir::
       if (region_size(in_region) >= 2 && region_is_closed(ctx, bb, in_region)) {
         const analysis::PathStatsResult stats = analysis::region_path_stats(
             ctx.cfg, bb, in_region, [&](BlockId b) { return ctx.clocks[b].clock; });
+        // stats.valid gates the extremum queries below: empty path sets have
+        // no defined range (same contract as RunningStats in support/stats.hpp).
         if (stats.valid && stats.count >= 2.0 &&
             options.criteria.accepts(stats.mean, stats.stddev, stats.range())) {
           // setClock(bb, avg); removeClock from every other touched block.

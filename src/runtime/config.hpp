@@ -25,6 +25,7 @@ enum class ClockPublication {
 };
 
 class ScheduleValidator;
+class Profiler;
 
 struct RuntimeConfig {
   std::uint32_t max_threads = 64;
@@ -53,6 +54,19 @@ struct RuntimeConfig {
   /// wait forever on a dead thread's mutex).  Not owned; must outlive the
   /// backend.
   std::atomic<bool>* abort_flag = nullptr;
+  /// Enable the wait-time attribution profiler (runtime/profile.hpp).  The
+  /// engine constructs a Profiler and wires `profiler` when set; profiling
+  /// never perturbs determinism (hooks read the monotonic clock and write
+  /// owner-thread counters only) and is zero-cost when off (every hook is
+  /// an inlined null-pointer test).
+  bool profile = false;
+  /// Additionally keep per-wait spans and per-acquire wall-clock markers
+  /// for the Chrome-trace/Perfetto export (memory proportional to the
+  /// number of blocking calls; implied by detlockc --trace-out).
+  bool profile_spans = false;
+  /// Profiler instance the backends report into; not owned.  Drivers that
+  /// construct backends directly may set this instead of `profile`.
+  Profiler* profiler = nullptr;
 };
 
 }  // namespace detlock::runtime

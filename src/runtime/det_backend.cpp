@@ -1,5 +1,6 @@
 #include "runtime/det_backend.hpp"
 
+#include "runtime/profile.hpp"
 #include "runtime/schedule.hpp"
 
 #include "support/spinwait.hpp"
@@ -57,6 +58,7 @@ DetBackend::DetBackend(RuntimeConfig config)
     : config_(config),
       clocks_(config),
       trace_(config.keep_trace_events),
+      prof_(config.profiler),
       thread_stats_(config.max_threads),
       cond_signal_(config.max_threads) {
   mutexes_.reserve(kMaxMutexes);
@@ -114,6 +116,8 @@ void DetBackend::join(ThreadId self, ThreadId target) {
   // final+1 is a fast-path for the +1-per-turn climb and lands on the same
   // deterministic post-join clock, max(entry clock, child final + 1).
   clocks_.flush(self);
+  const std::uint64_t prof_t0 = prof_ != nullptr ? prof_->now() : 0;
+  std::uint64_t climbs = 0;
   while (true) {
     check_abort();
     wait_for_turn(self);
@@ -124,7 +128,9 @@ void DetBackend::join(ThreadId self, ThreadId target) {
     } else {
       clocks_.add(self, 1);
     }
+    ++climbs;
   }
+  if (prof_ != nullptr) prof_->add_wait(self, WaitCategory::kJoinWait, prof_t0, prof_->now(), climbs);
   clocks_.add(self, 1);
 }
 
@@ -151,6 +157,13 @@ void DetBackend::lock(ThreadId self, MutexId mutex) {
   // chunked mode is forcing any unpublished residue out so the turn test
   // uses the thread's true clock.
   clocks_.flush(self);
+
+  // Wait attribution: an acquire that succeeds on its first attempt spent
+  // the whole call waiting for the turn (kTurnWait); one that needed
+  // retries is a failed-try_lock climb (kLockRetry), turn waits included.
+  const std::uint64_t prof_t0 = prof_ != nullptr ? prof_->now() : 0;
+  const std::uint64_t prof_spins0 = st.lock_wait_spins;
+  std::uint64_t failed_attempts = 0;
 
   while (true) {
     wait_for_turn(self);
@@ -181,6 +194,14 @@ void DetBackend::lock(ThreadId self, MutexId mutex) {
     check_abort();
     clocks_.add(self, 1);
     ++st.failed_trylocks;
+    ++failed_attempts;
+  }
+  if (prof_ != nullptr) {
+    const std::uint64_t prof_t1 = prof_->now();
+    const bool contended = failed_attempts > 0;
+    prof_->add_wait(self, contended ? WaitCategory::kLockRetry : WaitCategory::kTurnWait, prof_t0,
+                    prof_t1, contended ? failed_attempts : st.lock_wait_spins - prof_spins0);
+    prof_->on_acquire(self, mutex, prof_t1 - prof_t0, contended, clocks_.local(self), prof_t1);
   }
   // Record while this thread still holds the global minimum (before the
   // bump below releases the turn): acquires are recorded in exactly the
@@ -231,6 +252,9 @@ void DetBackend::barrier_wait(ThreadId self, BarrierId barrier, std::uint32_t pa
   // threads still running toward the barrier.
   clocks_.park(self);
 
+  const std::uint64_t prof_t0 = prof_ != nullptr ? prof_->now() : 0;
+  std::uint64_t park_spins = 0;
+
   if (b.arrived.fetch_add(1, std::memory_order_acq_rel) + 1 == participants) {
     // All participants are now parked here, so this is the moment the
     // all-live-threads requirement is checkable: a live thread that is NOT
@@ -265,7 +289,11 @@ void DetBackend::barrier_wait(ThreadId self, BarrierId barrier, std::uint32_t pa
     while (b.generation.load(std::memory_order_acquire) == generation) {
       check_abort();
       waiter.wait();
+      ++park_spins;
     }
+  }
+  if (prof_ != nullptr) {
+    prof_->add_wait(self, WaitCategory::kBarrierWait, prof_t0, prof_->now(), park_spins);
   }
   // Every participant resumes at the same deterministic clock; thread ids
   // break the resulting ties in the turn protocol.
@@ -297,17 +325,25 @@ DetBackend::CondVarState& DetBackend::condvar_state(CondVarId id) {
 //     so the post-wait clock is exactly max(entry, s+1): deterministic.
 std::uint64_t DetBackend::await_signal(ThreadId self) {
   std::atomic<std::uint64_t>& slot = cond_signal_[self].value;
+  const std::uint64_t prof_t0 = prof_ != nullptr ? prof_->now() : 0;
+  std::uint64_t climbs = 0;
   while (true) {
     check_abort();
     wait_for_turn(self);
     const std::uint64_t stamped = slot.load(std::memory_order_acquire);
     if (stamped != 0) {
       const std::uint64_t s = stamped - 1;
-      if (s < clocks_.local(self)) return s;
+      if (s < clocks_.local(self)) {
+        if (prof_ != nullptr) {
+          prof_->add_wait(self, WaitCategory::kCondVarWait, prof_t0, prof_->now(), climbs);
+        }
+        return s;
+      }
       clocks_.set_clock(self, s + 1);
     } else {
       clocks_.add(self, 1);
     }
+    ++climbs;
   }
 }
 

@@ -79,6 +79,9 @@ class DetBackend final : public SyncBackend {
   RuntimeConfig config_;
   ClockTable clocks_;
   RunTrace trace_;
+  /// Wait-time attribution (runtime/profile.hpp); null = profiling off and
+  /// every hook below reduces to an inlined null test.  Not owned.
+  Profiler* prof_ = nullptr;
   std::vector<std::unique_ptr<MutexState>> mutexes_;
   std::vector<std::unique_ptr<BarrierState>> barriers_;
   std::vector<std::unique_ptr<CondVarState>> condvars_;

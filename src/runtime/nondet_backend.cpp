@@ -1,5 +1,6 @@
 #include "runtime/nondet_backend.hpp"
 
+#include "runtime/profile.hpp"
 #include "support/error.hpp"
 #include "support/spinwait.hpp"
 
@@ -22,7 +23,7 @@ struct NondetBackend::CondVarState {
 };
 
 NondetBackend::NondetBackend(RuntimeConfig config)
-    : config_(config), trace_(config.keep_trace_events), slots_(config.max_threads) {
+    : config_(config), trace_(config.keep_trace_events), prof_(config.profiler), slots_(config.max_threads) {
   mutexes_.reserve(kMaxMutexes);
   for (std::size_t i = 0; i < kMaxMutexes; ++i) mutexes_.push_back(std::make_unique<std::mutex>());
   barriers_.reserve(kMaxBarriers);
@@ -51,11 +52,15 @@ void NondetBackend::thread_finish(ThreadId self) {
 
 void NondetBackend::join(ThreadId self, ThreadId target) {
   DETLOCK_CHECK(target < config_.max_threads && target != self, "bad join target");
+  const std::uint64_t prof_t0 = prof_ != nullptr ? prof_->now() : 0;
+  std::uint64_t spins = 0;
   SpinWait waiter;
   while (!slots_[target].value.finished.load(std::memory_order_acquire)) {
     check_abort();
     waiter.wait();
+    ++spins;
   }
+  if (prof_ != nullptr) prof_->add_wait(self, WaitCategory::kJoinWait, prof_t0, prof_->now(), spins);
 }
 
 void NondetBackend::clock_add(ThreadId self, std::uint64_t delta) {
@@ -68,7 +73,18 @@ std::uint64_t NondetBackend::clock_of(ThreadId thread) const { return slots_[thr
 
 void NondetBackend::lock(ThreadId self, MutexId mutex) {
   DETLOCK_CHECK(mutex < mutexes_.size(), "mutex id out of range");
-  mutexes_[mutex]->lock();
+  if (prof_ != nullptr) {
+    // try_lock-first so an uncontended acquire is classified as such; the
+    // fallback blocking path is what kMutexWait measures.
+    const std::uint64_t t0 = prof_->now();
+    const bool contended = !mutexes_[mutex]->try_lock();
+    if (contended) mutexes_[mutex]->lock();
+    const std::uint64_t t1 = prof_->now();
+    prof_->add_wait(self, WaitCategory::kMutexWait, t0, t1, contended ? 1 : 0);
+    prof_->on_acquire(self, mutex, t1 - t0, contended, slots_[self].value.clock, t1);
+  } else {
+    mutexes_[mutex]->lock();
+  }
   ++slots_[self].value.acquires;
   if (config_.record_trace) trace_.record_acquire(self, mutex, slots_[self].value.clock);
 }
@@ -83,6 +99,8 @@ void NondetBackend::barrier_wait(ThreadId self, BarrierId barrier, std::uint32_t
   DETLOCK_CHECK(participants > 0, "barrier needs at least one participant");
   ++slots_[self].value.barrier_waits;
   BarrierState& b = *barriers_[barrier];
+  const std::uint64_t prof_t0 = prof_ != nullptr ? prof_->now() : 0;
+  std::uint64_t spins = 0;
   const std::uint64_t generation = b.generation.load(std::memory_order_acquire);
   if (b.arrived.fetch_add(1, std::memory_order_acq_rel) + 1 == participants) {
     b.arrived.store(0, std::memory_order_relaxed);
@@ -92,8 +110,10 @@ void NondetBackend::barrier_wait(ThreadId self, BarrierId barrier, std::uint32_t
     while (b.generation.load(std::memory_order_acquire) == generation) {
       check_abort();
       waiter.wait();
+      ++spins;
     }
   }
+  if (prof_ != nullptr) prof_->add_wait(self, WaitCategory::kBarrierWait, prof_t0, prof_->now(), spins);
 }
 
 void NondetBackend::cond_wait(ThreadId self, CondVarId condvar, MutexId mutex) {
@@ -106,11 +126,15 @@ void NondetBackend::cond_wait(ThreadId self, CondVarId condvar, MutexId mutex) {
     cv.queue.emplace_back(self, &signaled);
   }
   mutexes_[mutex]->unlock();
+  const std::uint64_t prof_t0 = prof_ != nullptr ? prof_->now() : 0;
+  std::uint64_t spins = 0;
   SpinWait waiter;
   while (!signaled.load(std::memory_order_acquire)) {
     check_abort();
     waiter.wait();
+    ++spins;
   }
+  if (prof_ != nullptr) prof_->add_wait(self, WaitCategory::kCondVarWait, prof_t0, prof_->now(), spins);
   mutexes_[mutex]->lock();
 }
 

@@ -50,6 +50,8 @@ class NondetBackend final : public SyncBackend {
 
   RuntimeConfig config_;
   RunTrace trace_;
+  /// Wait-time attribution (runtime/profile.hpp); null = off.  Not owned.
+  Profiler* prof_ = nullptr;
   std::vector<std::unique_ptr<std::mutex>> mutexes_;
   std::vector<std::unique_ptr<BarrierState>> barriers_;
   std::vector<std::unique_ptr<CondVarState>> condvars_;

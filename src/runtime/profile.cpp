@@ -1,0 +1,271 @@
+#include "runtime/profile.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace detlock::runtime {
+
+const char* wait_category_name(WaitCategory c) {
+  switch (c) {
+    case WaitCategory::kTurnWait: return "turn-wait";
+    case WaitCategory::kLockRetry: return "lock-retry";
+    case WaitCategory::kMutexWait: return "mutex-wait";
+    case WaitCategory::kBarrierWait: return "barrier-wait";
+    case WaitCategory::kJoinWait: return "join-wait";
+    case WaitCategory::kCondVarWait: return "condvar-wait";
+  }
+  DETLOCK_UNREACHABLE("bad wait category");
+}
+
+Profiler::Profiler(std::uint32_t max_threads, bool keep_spans)
+    : epoch_(std::chrono::steady_clock::now()), keep_spans_(keep_spans), threads_(max_threads) {}
+
+Profiler::ThreadData& Profiler::slot(ThreadId t) {
+  DETLOCK_CHECK(t < threads_.size(), "profiler thread id out of range");
+  return threads_[t].value;
+}
+
+void Profiler::thread_begin(ThreadId t) {
+  ThreadData& d = slot(t);
+  d.used = true;
+  d.begin_ns = now();
+}
+
+void Profiler::thread_end(ThreadId t, std::uint64_t instructions, std::uint64_t clock_instructions) {
+  ThreadData& d = slot(t);
+  d.end_ns = now();
+  d.instructions = instructions;
+  d.clock_instructions = clock_instructions;
+}
+
+void Profiler::add_wait(ThreadId t, WaitCategory category, std::uint64_t begin_ns, std::uint64_t end_ns,
+                        std::uint64_t iters) {
+  ThreadData& d = slot(t);
+  CategoryStat& c = d.categories[static_cast<std::size_t>(category)];
+  c.ns += end_ns > begin_ns ? end_ns - begin_ns : 0;
+  c.events += 1;
+  c.iters += iters;
+  if (keep_spans_) d.spans.push_back(ProfileSpan{t, category, begin_ns, end_ns});
+}
+
+void Profiler::on_acquire(ThreadId t, MutexId mutex, std::uint64_t wait_ns, bool contended,
+                          std::uint64_t clock, std::uint64_t at_ns) {
+  ThreadData& d = slot(t);
+  MutexProfile* entry = nullptr;
+  for (MutexProfile& m : d.mutexes) {
+    if (m.mutex == mutex) {
+      entry = &m;
+      break;
+    }
+  }
+  if (entry == nullptr) {
+    d.mutexes.push_back(MutexProfile{mutex, 0, 0, 0, 0});
+    entry = &d.mutexes.back();
+  }
+  entry->acquires += 1;
+  entry->contended += contended ? 1 : 0;
+  entry->wait_ns += wait_ns;
+  entry->max_wait_ns = std::max(entry->max_wait_ns, wait_ns);
+  if (keep_spans_) d.acquires.push_back(AcquireMark{t, mutex, clock, at_ns});
+}
+
+ProfileSummary Profiler::summary() const {
+  ProfileSummary s;
+  std::vector<MutexProfile> merged;
+  for (std::uint32_t t = 0; t < threads_.size(); ++t) {
+    const ThreadData& d = threads_[t].value;
+    if (!d.used) continue;
+    ThreadProfile tp;
+    tp.thread = t;
+    // A thread that never reached thread_end (engine unwound) still gets a
+    // well-formed lifetime: clamp to the last observed instant.
+    const std::uint64_t end = d.end_ns >= d.begin_ns ? d.end_ns : d.begin_ns;
+    tp.wall_ns = end - d.begin_ns;
+    tp.instructions = d.instructions;
+    tp.clock_instructions = d.clock_instructions;
+    for (std::size_t c = 0; c < kNumWaitCategories; ++c) {
+      tp.categories[c] = d.categories[c];
+      s.totals[c].ns += d.categories[c].ns;
+      s.totals[c].events += d.categories[c].events;
+      s.totals[c].iters += d.categories[c].iters;
+    }
+    s.total_wall_ns += tp.wall_ns;
+    s.total_instructions += tp.instructions;
+    s.total_clock_instructions += tp.clock_instructions;
+    s.total_wait_ns += tp.wait_ns();
+    s.total_useful_ns += tp.useful_ns();
+    for (const MutexProfile& m : d.mutexes) {
+      auto it = std::find_if(merged.begin(), merged.end(),
+                             [&](const MutexProfile& e) { return e.mutex == m.mutex; });
+      if (it == merged.end()) {
+        merged.push_back(m);
+      } else {
+        it->acquires += m.acquires;
+        it->contended += m.contended;
+        it->wait_ns += m.wait_ns;
+        it->max_wait_ns = std::max(it->max_wait_ns, m.max_wait_ns);
+      }
+    }
+    s.threads.push_back(tp);
+  }
+  std::sort(merged.begin(), merged.end(), [](const MutexProfile& a, const MutexProfile& b) {
+    return a.wait_ns != b.wait_ns ? a.wait_ns > b.wait_ns : a.mutex < b.mutex;
+  });
+  s.mutexes = std::move(merged);
+  return s;
+}
+
+std::vector<ProfileSpan> Profiler::spans() const {
+  std::vector<ProfileSpan> out;
+  for (const auto& padded : threads_) {
+    const ThreadData& d = padded.value;
+    out.insert(out.end(), d.spans.begin(), d.spans.end());
+  }
+  std::sort(out.begin(), out.end(), [](const ProfileSpan& a, const ProfileSpan& b) {
+    return a.begin_ns != b.begin_ns ? a.begin_ns < b.begin_ns : a.thread < b.thread;
+  });
+  return out;
+}
+
+std::vector<AcquireMark> Profiler::acquire_marks() const {
+  std::vector<AcquireMark> out;
+  for (const auto& padded : threads_) {
+    const ThreadData& d = padded.value;
+    out.insert(out.end(), d.acquires.begin(), d.acquires.end());
+  }
+  std::sort(out.begin(), out.end(), [](const AcquireMark& a, const AcquireMark& b) {
+    return a.at_ns != b.at_ns ? a.at_ns < b.at_ns : a.thread < b.thread;
+  });
+  return out;
+}
+
+namespace {
+
+double ms(std::uint64_t ns) { return static_cast<double>(ns) / 1e6; }
+
+double pct(std::uint64_t part, std::uint64_t whole) {
+  return whole == 0 ? 0.0 : 100.0 * static_cast<double>(part) / static_cast<double>(whole);
+}
+
+}  // namespace
+
+std::string profile_breakdown(const ProfileSummary& s) {
+  TextTable table;
+  table.add_row({"Category", "Events", "Iterations", "Time (ms)", "% of wall"});
+  table.add_rule();
+  for (std::size_t c = 0; c < kNumWaitCategories; ++c) {
+    const CategoryStat& cat = s.totals[c];
+    table.add_row({wait_category_name(static_cast<WaitCategory>(c)), std::to_string(cat.events),
+                   std::to_string(cat.iters), str_format("%.3f", ms(cat.ns)),
+                   str_format("%.1f%%", pct(cat.ns, s.total_wall_ns))});
+  }
+  table.add_rule();
+  table.add_row({"waiting (total)", "-", "-", str_format("%.3f", ms(s.total_wait_ns)),
+                 str_format("%.1f%%", pct(s.total_wait_ns, s.total_wall_ns))});
+  table.add_row({"useful execution", "-", std::to_string(s.total_instructions) + " instrs",
+                 str_format("%.3f", ms(s.total_useful_ns)),
+                 str_format("%.1f%%", pct(s.total_useful_ns, s.total_wall_ns))});
+  table.add_row({str_format("wall (%zu threads)", s.threads.size()), "-", "-",
+                 str_format("%.3f", ms(s.total_wall_ns)), "100.0%"});
+
+  if (!s.mutexes.empty()) {
+    table.add_section("Most contended mutexes");
+    table.add_row({"Mutex", "Acquires", "Contended", "Wait (ms)", "Max wait (ms)"});
+    const std::size_t top = std::min<std::size_t>(s.mutexes.size(), 8);
+    for (std::size_t i = 0; i < top; ++i) {
+      const MutexProfile& m = s.mutexes[i];
+      table.add_row({"m" + std::to_string(m.mutex), std::to_string(m.acquires),
+                     std::to_string(m.contended), str_format("%.3f", ms(m.wait_ns)),
+                     str_format("%.3f", ms(m.max_wait_ns))});
+    }
+  }
+  return table.to_string();
+}
+
+namespace {
+
+/// Appends one JSON trace event object (Chrome trace-event "JSON Array
+/// Format" entries; ts/dur are microseconds as doubles).
+void append_event(std::ostringstream& os, bool& first, const std::string& body) {
+  if (!first) os << ",\n";
+  first = false;
+  os << "    " << body;
+}
+
+double us(std::uint64_t ns) { return static_cast<double>(ns) / 1e3; }
+
+}  // namespace
+
+std::string profile_to_chrome_trace(const Profiler& prof, const std::vector<TraceEvent>& schedule) {
+  const ProfileSummary s = prof.summary();
+  std::ostringstream os;
+  os << "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n";
+  bool first = true;
+
+  // Process/thread metadata: pid 1 = wall-clock view, pid 2 = logical order.
+  append_event(os, first,
+               "{\"ph\": \"M\", \"pid\": 1, \"name\": \"process_name\", "
+               "\"args\": {\"name\": \"detlock run (wall clock)\"}}");
+  for (const ThreadProfile& t : s.threads) {
+    append_event(os, first,
+                 str_format("{\"ph\": \"M\", \"pid\": 1, \"tid\": %u, \"name\": \"thread_name\", "
+                            "\"args\": {\"name\": \"thread %u\"}}",
+                            t.thread, t.thread));
+    // A whole-lifetime span per thread gives the waits a visual baseline.
+    append_event(os, first,
+                 str_format("{\"name\": \"thread %u lifetime\", \"cat\": \"thread\", \"ph\": \"X\", "
+                            "\"pid\": 1, \"tid\": %u, \"ts\": %.3f, \"dur\": %.3f, "
+                            "\"args\": {\"instructions\": %llu, \"clock_instructions\": %llu}}",
+                            t.thread, t.thread, 0.0, us(t.wall_ns),
+                            static_cast<unsigned long long>(t.instructions),
+                            static_cast<unsigned long long>(t.clock_instructions)));
+  }
+
+  for (const ProfileSpan& span : prof.spans()) {
+    append_event(os, first,
+                 str_format("{\"name\": \"%s\", \"cat\": \"wait\", \"ph\": \"X\", \"pid\": 1, "
+                            "\"tid\": %u, \"ts\": %.3f, \"dur\": %.3f}",
+                            wait_category_name(span.category), span.thread, us(span.begin_ns),
+                            us(span.end_ns > span.begin_ns ? span.end_ns - span.begin_ns : 0)));
+  }
+
+  for (const AcquireMark& mark : prof.acquire_marks()) {
+    append_event(os, first,
+                 str_format("{\"name\": \"acquire m%llu\", \"cat\": \"lock\", \"ph\": \"i\", "
+                            "\"s\": \"t\", \"pid\": 1, \"tid\": %u, \"ts\": %.3f, "
+                            "\"args\": {\"mutex\": %llu, \"clock\": %llu}}",
+                            static_cast<unsigned long long>(mark.mutex), mark.thread, us(mark.at_ns),
+                            static_cast<unsigned long long>(mark.mutex),
+                            static_cast<unsigned long long>(mark.clock)));
+  }
+
+  if (!schedule.empty()) {
+    append_event(os, first,
+                 "{\"ph\": \"M\", \"pid\": 2, \"name\": \"process_name\", "
+                 "\"args\": {\"name\": \"deterministic schedule (logical order)\"}}");
+    // Timestamp = position in the global acquisition order: this track is a
+    // schedule witness, not a wall-clock measurement.
+    std::size_t index = 0;
+    for (const TraceEvent& e : schedule) {
+      append_event(os, first,
+                   str_format("{\"name\": \"m%llu @ clock %llu\", \"cat\": \"schedule\", "
+                              "\"ph\": \"X\", \"pid\": 2, \"tid\": %u, \"ts\": %zu.0, "
+                              "\"dur\": 0.9, \"args\": {\"mutex\": %llu, \"clock\": %llu, "
+                              "\"order\": %zu}}",
+                              static_cast<unsigned long long>(e.mutex),
+                              static_cast<unsigned long long>(e.clock), e.thread, index,
+                              static_cast<unsigned long long>(e.mutex),
+                              static_cast<unsigned long long>(e.clock), index));
+      ++index;
+    }
+  }
+
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
+}  // namespace detlock::runtime

@@ -1,0 +1,197 @@
+// Wait-time attribution profiler: the observability substrate for the
+// paper's overhead decomposition (Table I/II, Fig. 14).
+//
+// The runtime's end-to-end time mixes several very different kinds of
+// waiting -- spinning for the turn, climbing the clock after failed
+// try_lock attempts, parking at a barrier, chasing a child's final clock in
+// join, waiting for a deterministic condvar signal -- and Kendo-style
+// systems are tuned by looking at exactly this split (Kendo's per-benchmark
+// chunk-size tuning is driven by it).  The profiler attributes every
+// blocking call in the backends to one WaitCategory, accumulates per-mutex
+// contention counters, and exposes two views:
+//   * a human-readable breakdown table (profile_breakdown), and
+//   * a Chrome trace-event / Perfetto JSON timeline (profile_to_chrome_trace)
+//     built from the recorded spans plus the RunTrace's deterministic
+//     lock-acquisition schedule.
+//
+// Design constraints (asserted by tests/integration/profile_determinism
+// and tests/runtime/profile_test):
+//   * DETERMINISM-NEUTRAL.  Hooks only read the monotonic clock and write
+//     owner-thread counters; they never touch logical clocks, published
+//     state, or any value that feeds a scheduling decision, so trace and
+//     memory fingerprints are bit-identical with profiling on or off.
+//   * ZERO-COST WHEN DISABLED.  Backends hold a Profiler* that is null
+//     unless RuntimeConfig::profile was set; every hook is an inlined
+//     null-pointer test on the hot path and nothing else.
+//   * CONSERVATION.  Per thread, attributed spans are disjoint intervals
+//     inside the thread's lifetime, so sum(categories) <= wall time and
+//     "useful execution" is the residual wall - waits.
+//
+// All per-thread state lives in cache-line-padded slots written only by the
+// owning thread; aggregation happens after every thread has finished, so the
+// summary needs no atomics.  Per-mutex counters are kept per thread (small
+// linear-probed vectors -- programs touch few distinct mutexes) and merged
+// at summary time, keeping the hot path free of shared writes.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/config.hpp"
+#include "runtime/trace.hpp"
+#include "support/cacheline.hpp"
+
+namespace detlock::runtime {
+
+/// Why a thread was waiting.  Categories are disjoint: a blocking call
+/// attributes its whole duration to exactly one of them.
+enum class WaitCategory : std::uint8_t {
+  /// Deterministic lock() that succeeded on the first attempt: the entire
+  /// wait was spent acquiring the turn.
+  kTurnWait = 0,
+  /// Deterministic lock() that needed >= 1 retry: the failed-try_lock climb
+  /// (paper Sec. III-A), including the turn waits between attempts.
+  kLockRetry,
+  /// Nondeterministic (baseline) blocking mutex acquisition.
+  kMutexWait,
+  /// Barrier park until the round's release.
+  kBarrierWait,
+  /// Join loop until the target's final clock is deterministically visible.
+  kJoinWait,
+  /// Deterministic condvar wait (unlock -> signal stamp -> relock excluded;
+  /// the relock attributes to kTurnWait/kLockRetry like any acquire).
+  kCondVarWait,
+};
+
+inline constexpr std::size_t kNumWaitCategories = 6;
+
+const char* wait_category_name(WaitCategory c);
+
+struct CategoryStat {
+  std::uint64_t ns = 0;      ///< wall time attributed to this category
+  std::uint64_t events = 0;  ///< blocking calls
+  std::uint64_t iters = 0;   ///< protocol iterations (spins, failed attempts, clock climbs)
+};
+
+/// Per-mutex contention counters (merged across threads in the summary).
+struct MutexProfile {
+  MutexId mutex = 0;
+  std::uint64_t acquires = 0;
+  std::uint64_t contended = 0;  ///< acquires that needed >= 1 failed attempt
+  std::uint64_t wait_ns = 0;    ///< total wall time spent inside lock()
+  std::uint64_t max_wait_ns = 0;
+};
+
+struct ThreadProfile {
+  ThreadId thread = 0;
+  std::uint64_t wall_ns = 0;  ///< lifetime between thread_begin and thread_end
+  std::uint64_t instructions = 0;
+  std::uint64_t clock_instructions = 0;
+  CategoryStat categories[kNumWaitCategories];
+
+  std::uint64_t wait_ns() const {
+    std::uint64_t total = 0;
+    for (const CategoryStat& c : categories) total += c.ns;
+    return total;
+  }
+  /// Residual: execution + engine bookkeeping (saturates at zero).
+  std::uint64_t useful_ns() const {
+    const std::uint64_t w = wait_ns();
+    return wall_ns > w ? wall_ns - w : 0;
+  }
+};
+
+/// One attributed blocking interval (kept only when span recording is on).
+struct ProfileSpan {
+  ThreadId thread = 0;
+  WaitCategory category = WaitCategory::kTurnWait;
+  std::uint64_t begin_ns = 0;
+  std::uint64_t end_ns = 0;
+};
+
+/// Wall-clock marker for one lock acquisition (pairs the deterministic
+/// logical clock with the physical acquire moment; trace export only).
+struct AcquireMark {
+  ThreadId thread = 0;
+  MutexId mutex = 0;
+  std::uint64_t clock = 0;  ///< acquiring thread's logical clock
+  std::uint64_t at_ns = 0;
+};
+
+/// Aggregated view over all threads; produced once after the run.
+struct ProfileSummary {
+  std::vector<ThreadProfile> threads;  ///< registered threads only
+  CategoryStat totals[kNumWaitCategories];
+  std::uint64_t total_wall_ns = 0;
+  std::uint64_t total_instructions = 0;
+  std::uint64_t total_clock_instructions = 0;
+  std::uint64_t total_wait_ns = 0;
+  std::uint64_t total_useful_ns = 0;
+  std::vector<MutexProfile> mutexes;  ///< nonzero acquires, descending wait_ns
+};
+
+class Profiler {
+ public:
+  explicit Profiler(std::uint32_t max_threads, bool keep_spans = false);
+
+  /// Monotonic nanoseconds since profiler construction (small values keep
+  /// the exported trace timestamps readable).
+  std::uint64_t now() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+  bool keep_spans() const { return keep_spans_; }
+
+  /// Owner-thread hooks (called by the engine around a thread's lifetime).
+  void thread_begin(ThreadId t);
+  void thread_end(ThreadId t, std::uint64_t instructions, std::uint64_t clock_instructions);
+
+  /// Attribute [begin_ns, end_ns) to `category` (owner thread only).
+  void add_wait(ThreadId t, WaitCategory category, std::uint64_t begin_ns, std::uint64_t end_ns,
+                std::uint64_t iters);
+
+  /// Record one completed mutex acquisition (owner thread only).
+  void on_acquire(ThreadId t, MutexId mutex, std::uint64_t wait_ns, bool contended, std::uint64_t clock,
+                  std::uint64_t at_ns);
+
+  /// Aggregation; call only after every instrumented thread has finished.
+  ProfileSummary summary() const;
+  std::vector<ProfileSpan> spans() const;      ///< all threads, sorted by begin
+  std::vector<AcquireMark> acquire_marks() const;
+
+ private:
+  struct ThreadData {
+    bool used = false;
+    std::uint64_t begin_ns = 0;
+    std::uint64_t end_ns = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t clock_instructions = 0;
+    CategoryStat categories[kNumWaitCategories];
+    std::vector<MutexProfile> mutexes;  // small; linear find-or-add
+    std::vector<ProfileSpan> spans;
+    std::vector<AcquireMark> acquires;
+  };
+
+  ThreadData& slot(ThreadId t);
+
+  std::chrono::steady_clock::time_point epoch_;
+  bool keep_spans_;
+  std::vector<Padded<ThreadData>> threads_;
+};
+
+/// Human-readable per-category breakdown plus the most contended mutexes
+/// (support/table layout, same style as the bench harness tables).
+std::string profile_breakdown(const ProfileSummary& s);
+
+/// Chrome trace-event JSON (load in Perfetto / chrome://tracing).  Emits the
+/// profiler's wait spans and acquire markers on real wall-clock tracks, and
+/// -- when `schedule` is non-empty -- the deterministic global acquisition
+/// order as a synthetic "logical order" track (timestamp = position in the
+/// schedule).  Schema documented in docs/observability.md.
+std::string profile_to_chrome_trace(const Profiler& prof, const std::vector<TraceEvent>& schedule);
+
+}  // namespace detlock::runtime

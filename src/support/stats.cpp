@@ -37,6 +37,9 @@ RunningStats stats_of(const std::vector<std::int64_t>& values) {
 }
 
 bool ClockabilityCriteria::accepts(const RunningStats& s) const {
+  // Must reject before querying range(): on an empty accumulator range() is
+  // NaN, and NaN's all-false comparisons would otherwise slip through the
+  // `>` rejection tests below and accept a region with no paths at all.
   if (s.count() == 0) return false;
   return accepts(s.mean(), s.stddev(), s.range());
 }

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 namespace detlock {
@@ -22,9 +23,16 @@ class RunningStats {
   /// over the full path population rather than a sample estimate.
   double variance() const;
   double stddev() const;
-  double min() const { return min_; }
-  double max() const { return max_; }
-  double range() const { return count_ == 0 ? 0.0 : max_ - min_; }
+  /// Extremum queries on an EMPTY accumulator return quiet NaN (min, max,
+  /// and range alike).  A 0.0 here used to masquerade as a real zero-cost
+  /// path in clockability decisions; NaN instead poisons every ordered
+  /// comparison (all compare false), so forgetting the count() guard can
+  /// only make a criterion *fail* closed at its comparison site, never
+  /// fabricate a plausible value.  Callers that need a defined answer must
+  /// check count() first -- as ClockabilityCriteria::accepts does.
+  double min() const { return count_ == 0 ? std::numeric_limits<double>::quiet_NaN() : min_; }
+  double max() const { return count_ == 0 ? std::numeric_limits<double>::quiet_NaN() : max_; }
+  double range() const { return count_ == 0 ? std::numeric_limits<double>::quiet_NaN() : max_ - min_; }
 
  private:
   std::uint64_t count_ = 0;

@@ -40,6 +40,7 @@ Measurement measure(const WorkloadSpec& spec, const WorkloadParams& params, cons
     config.deterministic = options.mode == Mode::kDetLock || options.mode == Mode::kKendoSim;
     config.memory_words = std::max<std::size_t>(w.memory_words, 1 << 14) * 2;
     config.runtime.record_trace = options.record_trace;
+    config.runtime.profile = options.profile;
     if (options.mode == Mode::kKendoSim) {
       config.runtime.publication = runtime::ClockPublication::kChunked;
       config.runtime.chunk_size = options.kendo_chunk_size;
@@ -56,6 +57,7 @@ Measurement measure(const WorkloadSpec& spec, const WorkloadParams& params, cons
       best.pass_stats = pass_stats;
       best.checksum = run.main_return;
       best.locks_per_sec = seconds > 0.0 ? static_cast<double>(run.sync.lock_acquires) / seconds : 0.0;
+      if (options.profile && engine.profiler() != nullptr) best.profile = engine.profiler()->summary();
       best.run = std::move(run);
     }
   }

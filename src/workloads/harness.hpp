@@ -17,6 +17,7 @@
 
 #include "interp/engine.hpp"
 #include "pass/pipeline.hpp"
+#include "runtime/profile.hpp"
 #include "workloads/workloads.hpp"
 
 namespace detlock::workloads {
@@ -31,6 +32,9 @@ struct Measurement {
   pass::PipelineStats pass_stats;
   double locks_per_sec = 0.0;
   std::int64_t checksum = 0;
+  /// Wait-time attribution of the reported run (only populated when
+  /// MeasureOptions::profile is set; empty otherwise).
+  runtime::ProfileSummary profile;
 };
 
 struct MeasureOptions {
@@ -44,6 +48,10 @@ struct MeasureOptions {
   /// Keep the trace hash (adds a global mutex on every acquire; leave off
   /// for timing runs, on for determinism checks).
   bool record_trace = false;
+  /// Attribute wait time per category/mutex (runtime/profile.hpp).  Adds
+  /// two monotonic-clock reads per blocking call; leave off for pure
+  /// timing runs, on for the wait-breakdown bands.
+  bool profile = false;
 };
 
 /// Builds a fresh workload instance from `spec`, applies the configuration,

@@ -1,0 +1,99 @@
+// Profiling must be a pure observer: with the wait-time profiler enabled
+// (including span recording for trace export), every workload produces
+// bit-identical trace and memory fingerprints to the unprofiled run, and the
+// collected summary satisfies the conservation invariants.
+#include <gtest/gtest.h>
+
+#include "interp/engine.hpp"
+#include "pass/pipeline.hpp"
+#include "runtime/profile.hpp"
+#include "workloads/workloads.hpp"
+
+namespace detlock {
+namespace {
+
+using workloads::all_workloads;
+using workloads::Workload;
+using workloads::WorkloadParams;
+using workloads::WorkloadSpec;
+
+struct ProfiledRun {
+  std::int64_t checksum = 0;
+  std::uint64_t trace = 0;
+  std::uint64_t memory = 0;
+  std::vector<std::uint64_t> final_clocks;
+  runtime::ProfileSummary profile;  // empty unless profiling was on
+};
+
+ProfiledRun run_once(const WorkloadSpec& spec, const WorkloadParams& params, bool profile) {
+  Workload w = spec.factory(params);
+  pass::instrument_module(w.module, pass::PassOptions::all());
+  interp::EngineConfig config;
+  config.deterministic = true;
+  config.memory_words = std::max<std::size_t>(w.memory_words, 1 << 14) * 2;
+  config.runtime.profile = profile;
+  config.runtime.profile_spans = profile;  // the trace-export path, too
+  interp::Engine engine(w.module, config);
+  const interp::RunResult r = engine.run(w.main_func);
+  ProfiledRun out{r.main_return, r.trace_fingerprint, r.memory_fingerprint, r.final_clocks, {}};
+  if (profile && engine.profiler() != nullptr) out.profile = engine.profiler()->summary();
+  return out;
+}
+
+WorkloadParams small_params() {
+  WorkloadParams p;
+  p.threads = 4;
+  p.scale = 1;
+  return p;
+}
+
+class ProfiledWorkload : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  const WorkloadSpec& spec() const { return all_workloads()[GetParam()]; }
+};
+
+TEST_P(ProfiledWorkload, FingerprintsIdenticalWithProfilingOnOrOff) {
+  const ProfiledRun off = run_once(spec(), small_params(), false);
+  const ProfiledRun on = run_once(spec(), small_params(), true);
+  EXPECT_EQ(on.checksum, off.checksum) << spec().name;
+  EXPECT_EQ(on.trace, off.trace) << spec().name << ": profiling perturbed the lock schedule";
+  EXPECT_EQ(on.memory, off.memory) << spec().name << ": profiling perturbed the memory image";
+  EXPECT_EQ(on.final_clocks, off.final_clocks) << spec().name;
+}
+
+TEST_P(ProfiledWorkload, SummarySatisfiesConservation) {
+  const ProfiledRun r = run_once(spec(), small_params(), true);
+  const runtime::ProfileSummary& s = r.profile;
+  ASSERT_FALSE(s.threads.empty()) << spec().name;
+
+  // Per thread: attributed waits fit inside the lifetime; useful is the
+  // residual.  Globally: totals are the per-thread sums.
+  std::uint64_t wall = 0, wait = 0;
+  for (const runtime::ThreadProfile& t : s.threads) {
+    EXPECT_LE(t.wait_ns(), t.wall_ns) << spec().name << " thread " << t.thread;
+    EXPECT_EQ(t.useful_ns(), t.wall_ns - t.wait_ns());
+    wall += t.wall_ns;
+    wait += t.wait_ns();
+  }
+  EXPECT_EQ(s.total_wall_ns, wall) << spec().name;
+  EXPECT_EQ(s.total_wait_ns, wait) << spec().name;
+  EXPECT_LE(s.total_wait_ns, s.total_wall_ns) << spec().name;
+  EXPECT_EQ(s.total_useful_ns, s.total_wall_ns - s.total_wait_ns) << spec().name;
+
+  // Per mutex: contended acquires are a subset of acquires, and the worst
+  // single wait cannot exceed the total.
+  EXPECT_FALSE(s.mutexes.empty()) << spec().name;
+  for (const runtime::MutexProfile& m : s.mutexes) {
+    EXPECT_LE(m.contended, m.acquires) << spec().name << " mutex " << m.mutex;
+    EXPECT_LE(m.max_wait_ns, m.wait_ns) << spec().name << " mutex " << m.mutex;
+    EXPECT_GT(m.acquires, 0u) << spec().name << " mutex " << m.mutex;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, ProfiledWorkload, ::testing::Range<std::size_t>(0, 5),
+                         [](const ::testing::TestParamInfo<std::size_t>& info) {
+                           return std::string(all_workloads()[info.param].name);
+                         });
+
+}  // namespace
+}  // namespace detlock

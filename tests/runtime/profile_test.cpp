@@ -1,0 +1,143 @@
+// Profiler unit accounting: category bookkeeping, conservation invariants,
+// per-mutex counters, breakdown rendering, and the Chrome-trace export.
+#include "runtime/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+namespace detlock::runtime {
+namespace {
+
+TEST(Profiler, AttributesWaitsToCategories) {
+  Profiler p(4);
+  p.thread_begin(0);
+  p.add_wait(0, WaitCategory::kTurnWait, 100, 250, 3);
+  p.add_wait(0, WaitCategory::kTurnWait, 300, 400, 1);
+  p.add_wait(0, WaitCategory::kLockRetry, 500, 900, 7);
+  p.thread_end(0, /*instructions=*/1000, /*clock_instructions=*/40);
+
+  const ProfileSummary s = p.summary();
+  ASSERT_EQ(s.threads.size(), 1u);
+  const ThreadProfile& t = s.threads[0];
+  EXPECT_EQ(t.thread, 0u);
+  EXPECT_EQ(t.instructions, 1000u);
+  EXPECT_EQ(t.clock_instructions, 40u);
+
+  const CategoryStat& turn = t.categories[static_cast<std::size_t>(WaitCategory::kTurnWait)];
+  EXPECT_EQ(turn.ns, 250u);  // 150 + 100
+  EXPECT_EQ(turn.events, 2u);
+  EXPECT_EQ(turn.iters, 4u);
+  const CategoryStat& retry = t.categories[static_cast<std::size_t>(WaitCategory::kLockRetry)];
+  EXPECT_EQ(retry.ns, 400u);
+  EXPECT_EQ(retry.events, 1u);
+  EXPECT_EQ(retry.iters, 7u);
+  EXPECT_EQ(t.wait_ns(), 650u);
+}
+
+TEST(Profiler, ConservationSumOfCategoriesWithinWall) {
+  // Real-clock lifetime: whatever happens, attributed waits never exceed
+  // the thread's measured wall time, and useful is the exact residual.
+  Profiler p(2);
+  p.thread_begin(0);
+  const std::uint64_t a = p.now();
+  const std::uint64_t b = p.now();
+  p.add_wait(0, WaitCategory::kBarrierWait, a, b, 1);
+  p.thread_end(0, 10, 1);
+
+  const ProfileSummary s = p.summary();
+  ASSERT_EQ(s.threads.size(), 1u);
+  EXPECT_LE(s.threads[0].wait_ns(), s.threads[0].wall_ns);
+  EXPECT_EQ(s.threads[0].useful_ns(), s.threads[0].wall_ns - s.threads[0].wait_ns());
+  EXPECT_LE(s.total_wait_ns, s.total_wall_ns);
+  EXPECT_EQ(s.total_useful_ns + s.total_wait_ns, s.total_wall_ns);
+}
+
+TEST(Profiler, MergesPerMutexCountersAcrossThreads) {
+  Profiler p(4);
+  p.thread_begin(0);
+  p.thread_begin(1);
+  p.on_acquire(0, /*mutex=*/5, /*wait_ns=*/100, /*contended=*/false, /*clock=*/10, /*at_ns=*/100);
+  p.on_acquire(0, 5, 300, true, 20, 500);
+  p.on_acquire(1, 5, 50, false, 15, 200);
+  p.on_acquire(1, 9, 40, true, 30, 700);
+  p.thread_end(0, 1, 0);
+  p.thread_end(1, 1, 0);
+
+  const ProfileSummary s = p.summary();
+  ASSERT_EQ(s.mutexes.size(), 2u);
+  // Sorted by total wait, descending: mutex 5 (450ns) before mutex 9 (40ns).
+  EXPECT_EQ(s.mutexes[0].mutex, 5u);
+  EXPECT_EQ(s.mutexes[0].acquires, 3u);
+  EXPECT_EQ(s.mutexes[0].contended, 1u);
+  EXPECT_EQ(s.mutexes[0].wait_ns, 450u);
+  EXPECT_EQ(s.mutexes[0].max_wait_ns, 300u);
+  EXPECT_EQ(s.mutexes[1].mutex, 9u);
+  EXPECT_EQ(s.mutexes[1].contended, 1u);
+  for (const MutexProfile& m : s.mutexes) {
+    EXPECT_LE(m.contended, m.acquires);
+    EXPECT_LE(m.max_wait_ns, m.wait_ns);
+  }
+}
+
+TEST(Profiler, SpansKeptOnlyWhenRequested) {
+  Profiler off(2, /*keep_spans=*/false);
+  off.thread_begin(0);
+  off.add_wait(0, WaitCategory::kJoinWait, 10, 20, 1);
+  off.on_acquire(0, 1, 5, false, 1, 20);
+  off.thread_end(0, 1, 0);
+  EXPECT_TRUE(off.spans().empty());
+  EXPECT_TRUE(off.acquire_marks().empty());
+
+  Profiler on(2, /*keep_spans=*/true);
+  on.thread_begin(0);
+  on.add_wait(0, WaitCategory::kJoinWait, 10, 20, 1);
+  on.on_acquire(0, 1, 5, false, 1, 20);
+  on.thread_end(0, 1, 0);
+  ASSERT_EQ(on.spans().size(), 1u);
+  EXPECT_EQ(on.spans()[0].category, WaitCategory::kJoinWait);
+  ASSERT_EQ(on.acquire_marks().size(), 1u);
+  EXPECT_EQ(on.acquire_marks()[0].mutex, 1u);
+}
+
+TEST(Profiler, BreakdownListsEveryCategoryAndTopMutexes) {
+  Profiler p(2);
+  p.thread_begin(0);
+  p.add_wait(0, WaitCategory::kTurnWait, 0, 1000, 5);
+  p.on_acquire(0, 3, 1000, false, 1, 1000);
+  p.thread_end(0, 100, 10);
+  const std::string text = profile_breakdown(p.summary());
+  for (std::size_t c = 0; c < kNumWaitCategories; ++c) {
+    EXPECT_NE(text.find(wait_category_name(static_cast<WaitCategory>(c))), std::string::npos)
+        << "missing category: " << wait_category_name(static_cast<WaitCategory>(c));
+  }
+  EXPECT_NE(text.find("useful execution"), std::string::npos);
+  EXPECT_NE(text.find("m3"), std::string::npos);  // the contention table row
+}
+
+TEST(Profiler, ChromeTraceIsStructurallySoundJson) {
+  Profiler p(2, /*keep_spans=*/true);
+  p.thread_begin(0);
+  p.thread_begin(1);
+  p.add_wait(0, WaitCategory::kTurnWait, 100, 400, 2);
+  p.on_acquire(0, 7, 300, false, 42, 400);
+  p.thread_end(0, 10, 1);
+  p.thread_end(1, 10, 1);
+
+  const std::vector<TraceEvent> schedule = {{0, 7, 42}, {1, 7, 60}};
+  const std::string json = profile_to_chrome_trace(p, schedule);
+
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(json.find(wait_category_name(WaitCategory::kTurnWait)), std::string::npos);
+  EXPECT_NE(json.find("logical order"), std::string::npos);
+  // Balanced delimiters (the emitter writes no strings containing braces, so
+  // a straight count is a valid structural check).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'), std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['), std::count(json.begin(), json.end(), ']'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '"') % 2, 0);
+}
+
+}  // namespace
+}  // namespace detlock::runtime

@@ -27,6 +27,45 @@ TEST(Schedule, ParseSkipsCommentsAndBlanks) {
   EXPECT_EQ(events[1].thread, 3u);
 }
 
+TEST(Schedule, ParseHandlesCrlfLineEndings) {
+  // Schedule files that round-tripped through a Windows editor or a git
+  // checkout with autocrlf arrive with \r\n terminators; the \r must not
+  // become part of the last field or turn a blank line non-blank.
+  const auto events = parse_schedule("# header\r\n\r\n0 1 2\r\n3 4 5\r\n");
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].thread, 0u);
+  EXPECT_EQ(events[0].mutex, 1u);
+  EXPECT_EQ(events[0].clock, 2u);
+  EXPECT_EQ(events[1].thread, 3u);
+  EXPECT_EQ(events[1].mutex, 4u);
+  EXPECT_EQ(events[1].clock, 5u);
+}
+
+TEST(Schedule, RoundTripSurvivesCommentsBlanksAndCrlf) {
+  const std::vector<TraceEvent> events = {{0, 3, 100}, {1, 3, 250}, {0, 7, 260}};
+  // Decorate the serialized form the way a human-edited file might look.
+  std::string text = "# edited by hand\r\n\r\n" + serialize_schedule(events) + "\n# trailing note\r\n";
+  // Convert the serializer's \n endings to \r\n wholesale.
+  std::string crlf;
+  for (char c : text) {
+    if (c == '\n' && (crlf.empty() || crlf.back() != '\r')) crlf += '\r';
+    crlf += c;
+  }
+  const std::vector<TraceEvent> parsed = parse_schedule(crlf);
+  ASSERT_EQ(parsed.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(parsed[i].thread, events[i].thread);
+    EXPECT_EQ(parsed[i].mutex, events[i].mutex);
+    EXPECT_EQ(parsed[i].clock, events[i].clock);
+  }
+  // And the parse -> serialize -> parse fixpoint holds.
+  const std::vector<TraceEvent> again = parse_schedule(serialize_schedule(parsed));
+  ASSERT_EQ(again.size(), parsed.size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(again[i].clock, parsed[i].clock);
+  }
+}
+
 TEST(Schedule, ParseRejectsMalformedLines) {
   EXPECT_THROW(parse_schedule("0 1\n"), Error);
   EXPECT_THROW(parse_schedule("a b c\n"), Error);

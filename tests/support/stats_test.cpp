@@ -8,12 +8,26 @@
 namespace detlock {
 namespace {
 
-TEST(RunningStats, EmptyIsZero) {
+TEST(RunningStats, EmptyMomentsAreZero) {
   RunningStats s;
   EXPECT_EQ(s.count(), 0u);
   EXPECT_EQ(s.mean(), 0.0);
   EXPECT_EQ(s.stddev(), 0.0);
-  EXPECT_EQ(s.range(), 0.0);
+}
+
+TEST(RunningStats, EmptyExtremaAreNaN) {
+  // min/max/range of an empty population are undefined; the accumulator
+  // reports quiet NaN rather than a fake 0.0 so that a missing count()
+  // guard can never pass a threshold comparison by accident.
+  RunningStats s;
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
+  EXPECT_TRUE(std::isnan(s.range()));
+  // One sample makes them all well-defined again.
+  s.add(-7.0);
+  EXPECT_DOUBLE_EQ(s.min(), -7.0);
+  EXPECT_DOUBLE_EQ(s.max(), -7.0);
+  EXPECT_DOUBLE_EQ(s.range(), 0.0);
 }
 
 TEST(RunningStats, SingleValue) {

@@ -14,6 +14,9 @@
 //   --estimates=FILE         apply an instruction-estimate file
 //   --emit-ir                print the instrumented IR and exit
 //   --stats                  print pass + runtime statistics
+//   --profile                wait-time attribution breakdown (run 1)
+//   --trace-out=FILE         Chrome-trace/Perfetto JSON timeline (run 1;
+//                            implies --profile; see docs/observability.md)
 //   --race-check             run the lockset race detector (lints first)
 //   --lint                   run the static checkers and exit
 //   --no-lint                skip the automatic lint before --race-check
@@ -34,8 +37,10 @@
 //   7  static checkers reported at least one error
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <memory>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -45,10 +50,12 @@
 #include "ir/printer.hpp"
 #include "ir/verifier.hpp"
 #include "pass/estimates.hpp"
+#include "runtime/profile.hpp"
 #include "runtime/schedule.hpp"
 #include "pass/pipeline.hpp"
 #include "racedetect/lockset.hpp"
 #include "staticcheck/checker.hpp"
+#include "support/strings.hpp"
 
 namespace {
 
@@ -58,10 +65,25 @@ using namespace detlock;
   std::fprintf(stderr,
                "usage: %s [--opt=none|1|2|3|4|all] [--placement=start|end] [--nondet]\n"
                "          [--kendo[=CHUNK]] [--runs=N] [--estimates=FILE] [--emit-ir]\n"
-               "          [--stats] [--race-check] [--lint] [--no-lint] [--entry=NAME]\n"
-               "          [--arg=N]... program.dl\n",
+               "          [--stats] [--profile] [--trace-out=FILE] [--race-check]\n"
+               "          [--lint] [--no-lint] [--entry=NAME] [--arg=N]... program.dl\n",
                argv0);
   std::exit(2);
+}
+
+/// Checked numeric-flag parsing.  std::atoi silently accepted '--runs=4x'
+/// as 4 and '--threads-max=abc' as 0; every numeric flag now routes through
+/// support/strings parse_int, and malformed or out-of-range values exit
+/// with the usage code (2).
+std::int64_t parse_int_flag(const char* argv0, const char* flag, std::string_view value,
+                            std::int64_t min_value, std::int64_t max_value) {
+  const std::optional<std::int64_t> v = parse_int(value);
+  if (!v.has_value() || *v < min_value || *v > max_value) {
+    std::fprintf(stderr, "detlockc: bad value '%.*s' for %s\n", static_cast<int>(value.size()),
+                 value.data(), flag);
+    usage(argv0);
+  }
+  return *v;
 }
 
 std::string read_file(const std::string& path) {
@@ -85,6 +107,8 @@ struct Cli {
   std::string estimates_path;
   bool emit_ir = false;
   bool stats = false;
+  bool profile = false;
+  std::string trace_out_path;
   bool race_check = false;
   bool lint = false;
   bool auto_lint = true;
@@ -120,17 +144,28 @@ Cli parse_cli(int argc, char** argv) {
       cli.kendo = true;
     } else if (arg.rfind("--kendo=", 0) == 0) {
       cli.kendo = true;
-      cli.chunk = std::strtoull(value_of("--kendo=").c_str(), nullptr, 10);
+      cli.chunk = static_cast<std::uint64_t>(parse_int_flag(
+          argv[0], "--kendo", value_of("--kendo="), 1, std::numeric_limits<std::int64_t>::max()));
     } else if (arg.rfind("--runs=", 0) == 0) {
-      cli.runs = std::atoi(value_of("--runs=").c_str());
+      cli.runs = static_cast<int>(parse_int_flag(argv[0], "--runs", value_of("--runs="), 1, 1'000'000));
     } else if (arg.rfind("--threads-max=", 0) == 0) {
-      cli.threads_max = static_cast<std::uint32_t>(std::atoi(value_of("--threads-max=").c_str()));
+      cli.threads_max = static_cast<std::uint32_t>(
+          parse_int_flag(argv[0], "--threads-max", value_of("--threads-max="), 1, 1 << 16));
     } else if (arg.rfind("--estimates=", 0) == 0) {
       cli.estimates_path = value_of("--estimates=");
     } else if (arg == "--emit-ir") {
       cli.emit_ir = true;
     } else if (arg == "--stats") {
       cli.stats = true;
+    } else if (arg == "--profile") {
+      cli.profile = true;
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      cli.trace_out_path = value_of("--trace-out=");
+      if (cli.trace_out_path.empty()) {
+        std::fprintf(stderr, "detlockc: --trace-out needs a file name\n");
+        usage(argv[0]);
+      }
+      cli.profile = true;  // the trace is built from profiler spans
     } else if (arg == "--race-check") {
       cli.race_check = true;
     } else if (arg == "--lint") {
@@ -144,7 +179,9 @@ Cli parse_cli(int argc, char** argv) {
     } else if (arg.rfind("--entry=", 0) == 0) {
       cli.entry = value_of("--entry=");
     } else if (arg.rfind("--arg=", 0) == 0) {
-      cli.args.push_back(std::strtoll(value_of("--arg=").c_str(), nullptr, 10));
+      cli.args.push_back(parse_int_flag(argv[0], "--arg", value_of("--arg="),
+                                        std::numeric_limits<std::int64_t>::min(),
+                                        std::numeric_limits<std::int64_t>::max()));
     } else if (arg.rfind("--", 0) == 0) {
       usage(argv[0]);
     } else if (cli.program_path.empty()) {
@@ -239,6 +276,13 @@ int main(int argc, char** argv) {
       config.deterministic = cli.deterministic;
       config.runtime.max_threads = cli.threads_max;
       if (!cli.record_schedule_path.empty()) config.runtime.keep_trace_events = true;
+      if (cli.profile) {
+        config.runtime.profile = true;
+        config.runtime.profile_spans = !cli.trace_out_path.empty();
+        // The exported timeline pairs wall-clock spans with the
+        // deterministic schedule track, which needs the full event list.
+        if (!cli.trace_out_path.empty()) config.runtime.keep_trace_events = true;
+      }
       std::unique_ptr<runtime::ScheduleValidator> validator;
       if (!cli.check_schedule_path.empty()) {
         validator = std::make_unique<runtime::ScheduleValidator>(expected_schedule);
@@ -278,6 +322,23 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(result.sync.failed_trylocks),
                     static_cast<unsigned long long>(result.sync.lock_wait_spins),
                     static_cast<unsigned long long>(result.sync.barrier_waits));
+      }
+      if (cli.profile && run == 0) {
+        const runtime::Profiler* prof = engine.profiler();
+        if (prof != nullptr) {
+          std::printf("\nwait-time attribution (run 1):\n%s\n",
+                      runtime::profile_breakdown(prof->summary()).c_str());
+        }
+        if (!cli.trace_out_path.empty() && prof != nullptr) {
+          std::ofstream out(cli.trace_out_path);
+          if (!out) {
+            std::fprintf(stderr, "detlockc: cannot write %s\n", cli.trace_out_path.c_str());
+            return 1;
+          }
+          out << runtime::profile_to_chrome_trace(*prof, engine.backend().trace().events());
+          std::printf("  trace written to %s (load in Perfetto / chrome://tracing)\n",
+                      cli.trace_out_path.c_str());
+        }
       }
       if (validator != nullptr) {
         if (!validator->complete()) {
