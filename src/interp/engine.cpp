@@ -68,10 +68,23 @@ Engine::Engine(const ir::Module& module, EngineConfig config)
                                                     config_.runtime.profile_spans);
     config_.runtime.profiler = profiler_.get();
   }
+  // Wire the progress counter before the backend is constructed: backends
+  // capture RuntimeConfig::progress at construction.
+  if (config_.runtime.watchdog_ms > 0 && config_.runtime.progress == nullptr) {
+    config_.runtime.progress = &progress_counter_;
+  }
   if (config_.deterministic) {
     backend_ = std::make_unique<runtime::DetBackend>(config_.runtime);
   } else {
     backend_ = std::make_unique<runtime::NondetBackend>(config_.runtime);
+  }
+  if (config_.runtime.watchdog_ms > 0) {
+    runtime::WatchdogConfig wc;
+    wc.window_ms = config_.runtime.watchdog_ms;
+    wc.abort_on_stall = config_.runtime.watchdog_abort;
+    wc.abort_flag = &abort_flag_;
+    wc.progress = config_.runtime.progress;
+    watchdog_ = std::make_unique<runtime::Watchdog>(wc, *backend_);
   }
 
   if (config_.heap_base < 0) config_.heap_base = static_cast<std::int64_t>(config_.memory_words / 2);
@@ -335,6 +348,7 @@ RunResult Engine::run(ir::FuncId entry, const std::vector<std::int64_t>& args) {
   DETLOCK_CHECK(!ran_, "an Engine can only run once");
   ran_ = true;
 
+  if (watchdog_ != nullptr) watchdog_->start();
   const runtime::ThreadId main_tid = backend_->register_main_thread();
   ThreadCtx ctx;
   ctx.tid = main_tid;
@@ -365,6 +379,7 @@ RunResult Engine::run(ir::FuncId entry, const std::vector<std::int64_t>& args) {
   for (std::thread& t : os_threads_) {
     if (t.joinable()) t.join();
   }
+  if (watchdog_ != nullptr) watchdog_->stop();
 
   if (main_error) std::rethrow_exception(main_error);
   for (const std::exception_ptr& e : thread_errors_) {

@@ -95,6 +95,10 @@ class Engine {
   /// Wait-time attribution profiler; non-null iff EngineConfig::runtime
   /// requested profiling (profile flag or an externally wired profiler).
   runtime::Profiler* profiler() { return config_.runtime.profiler; }
+  /// Stall watchdog; non-null iff EngineConfig::runtime.watchdog_ms > 0.
+  /// After run() throws, fired() + report() distinguish a watchdog abort
+  /// (deadlock/stall diagnosis attached) from an ordinary guest error.
+  const runtime::Watchdog* watchdog() const { return watchdog_.get(); }
 
   /// Per-thread output of the `record` extern -- deterministic per thread,
   /// used by tests as an application-visible determinism witness.
@@ -124,6 +128,12 @@ class Engine {
   std::vector<std::uint64_t> instr_counts_;
   std::vector<std::uint64_t> clock_instr_counts_;
   std::atomic<std::uint32_t> spawned_count_{0};
+  /// Watchdog progress counter the backends bump (wired into
+  /// RuntimeConfig::progress before the backend is constructed).
+  std::atomic<std::uint64_t> progress_counter_{0};
+  /// Declared after backend_: destroyed first, so the monitor thread is
+  /// always joined before the backend it snapshots goes away.
+  std::unique_ptr<runtime::Watchdog> watchdog_;
   bool ran_ = false;
 };
 

@@ -15,6 +15,7 @@
 
 #include "runtime/config.hpp"
 #include "runtime/trace.hpp"
+#include "runtime/watchdog.hpp"
 
 namespace detlock::runtime {
 
@@ -26,9 +27,12 @@ struct BackendStats {
   std::uint64_t clock_publications = 0;
 };
 
-class SyncBackend {
+/// Backends are also StallSources: the watchdog samples their per-thread
+/// wait state and per-mutex ownership when the progress counter freezes.
+/// The StallSource default (empty snapshot) keeps minimal backends valid.
+class SyncBackend : public StallSource {
  public:
-  virtual ~SyncBackend() = default;
+  ~SyncBackend() override = default;
 
   /// Registers the initial thread; must be called exactly once, first.
   virtual ThreadId register_main_thread() = 0;

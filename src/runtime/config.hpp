@@ -26,6 +26,7 @@ enum class ClockPublication {
 
 class ScheduleValidator;
 class Profiler;
+class FaultInjector;
 
 struct RuntimeConfig {
   std::uint32_t max_threads = 64;
@@ -67,6 +68,23 @@ struct RuntimeConfig {
   /// Profiler instance the backends report into; not owned.  Drivers that
   /// construct backends directly may set this instead of `profile`.
   Profiler* profiler = nullptr;
+  /// Deterministic fault injector (runtime/faultinject.hpp) consulted at
+  /// every sync-op boundary; null = no injection (zero cost, same
+  /// null-pointer-test discipline as `profiler`).  Not owned.
+  FaultInjector* fault = nullptr;
+  /// Progress counter for the stall watchdog (runtime/watchdog.hpp):
+  /// backends bump it whenever a synchronization operation *completes*.
+  /// Null = no watchdog = zero cost.  Deliberately not the logical clock:
+  /// deadlocked threads climb their clocks forever under the turn
+  /// protocol's failed-acquire retry, so clock motion is not progress.
+  /// Not owned.
+  std::atomic<std::uint64_t>* progress = nullptr;
+  /// Stall-watchdog window in wall-clock milliseconds; 0 disables.  The
+  /// engine constructs a Watchdog and wires `progress` when nonzero.
+  std::uint64_t watchdog_ms = 0;
+  /// Watchdog policy: true sets `abort_flag` when it fires (graceful
+  /// abort), false records the report and keeps waiting.
+  bool watchdog_abort = true;
 };
 
 }  // namespace detlock::runtime

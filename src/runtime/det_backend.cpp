@@ -1,5 +1,8 @@
 #include "runtime/det_backend.hpp"
 
+#include <algorithm>
+
+#include "runtime/faultinject.hpp"
 #include "runtime/profile.hpp"
 #include "runtime/schedule.hpp"
 
@@ -59,6 +62,9 @@ DetBackend::DetBackend(RuntimeConfig config)
       clocks_(config),
       trace_(config.keep_trace_events),
       prof_(config.profiler),
+      fault_(config.fault),
+      progress_(config.progress),
+      wait_state_(config.max_threads),
       thread_stats_(config.max_threads),
       cond_signal_(config.max_threads) {
   mutexes_.reserve(kMaxMutexes);
@@ -99,7 +105,10 @@ ThreadId DetBackend::register_spawn(ThreadId parent) {
   return id;
 }
 
-void DetBackend::thread_finish(ThreadId self) { clocks_.finish(self); }
+void DetBackend::thread_finish(ThreadId self) {
+  clocks_.finish(self);
+  note_progress(self);  // a finish is progress for any joiner
+}
 
 void DetBackend::join(ThreadId self, ThreadId target) {
   DETLOCK_CHECK(target < config_.max_threads && target != self, "bad join target");
@@ -115,7 +124,9 @@ void DetBackend::join(ThreadId self, ThreadId target) {
   // the rest of the system never stalls on a blocked joiner; the jump to
   // final+1 is a fast-path for the +1-per-turn climb and lands on the same
   // deterministic post-join clock, max(entry clock, child final + 1).
+  if (fault_ != nullptr) fault_->on_sync(self, SyncPoint::kJoin);
   clocks_.flush(self);
+  note_wait(self, WaitReason::kJoin, target);
   const std::uint64_t prof_t0 = prof_ != nullptr ? prof_->now() : 0;
   std::uint64_t climbs = 0;
   while (true) {
@@ -132,15 +143,35 @@ void DetBackend::join(ThreadId self, ThreadId target) {
   }
   if (prof_ != nullptr) prof_->add_wait(self, WaitCategory::kJoinWait, prof_t0, prof_->now(), climbs);
   clocks_.add(self, 1);
+  note_progress(self);
 }
 
 void DetBackend::clock_add(ThreadId self, std::uint64_t delta) {
-  if (clocks_.add(self, delta)) ++thread_stats_[self].value.clock_publications;
+  // Delayed-clock-publication perturbation: the sleep/yield happens before
+  // the publishing store, so other threads keep seeing the stale clock for
+  // the duration -- exactly the hazard a racy turn test would expose.
+  if (fault_ != nullptr) fault_->on_sync(self, SyncPoint::kClockPublish);
+  if (clocks_.add(self, delta)) {
+    BackendStats& st = thread_stats_[self].value;
+    ++st.clock_publications;
+    // Publications count as (subsampled) progress: a thread grinding
+    // through compute still moves the system, because its published clock
+    // is what everyone else's turn test waits on.
+    if (progress_ != nullptr && (st.clock_publications & 63) == 0) {
+      progress_->fetch_add(1, std::memory_order_relaxed);
+    }
+  }
 }
 
 std::uint64_t DetBackend::clock_of(ThreadId thread) const { return clocks_.published(thread); }
 
 void DetBackend::wait_for_turn(ThreadId self) {
+  // Callers inside an operation already published their wait reason; tag a
+  // bare turn wait (direct test drivers) so the watchdog never samples
+  // "running" from a blocked thread.
+  if (progress_ != nullptr && wait_state_[self].value.load(std::memory_order_relaxed) == 0) {
+    note_wait(self, WaitReason::kTurn, 0);
+  }
   SpinWait waiter;
   BackendStats& st = thread_stats_[self].value;
   while (!clocks_.has_turn(self)) {
@@ -148,15 +179,21 @@ void DetBackend::wait_for_turn(ThreadId self) {
     waiter.wait();
     ++st.lock_wait_spins;
   }
+  // Re-check after the wake: the turn can be obtained *because* every other
+  // thread died/parked, in which case the abort flag, not the turn, is the
+  // truth about what to do next.
+  check_abort();
 }
 
 void DetBackend::lock(ThreadId self, MutexId mutex) {
   MutexState& m = mutex_state(mutex);
   BackendStats& st = thread_stats_[self].value;
+  if (fault_ != nullptr) fault_->on_sync(self, SyncPoint::kLock);
   // Kendo reads the performance counter on runtime entry; the analogue in
   // chunked mode is forcing any unpublished residue out so the turn test
   // uses the thread's true clock.
   clocks_.flush(self);
+  note_wait(self, WaitReason::kMutex, mutex);
 
   // Wait attribution: an acquire that succeeds on its first attempt spent
   // the whole call waiting for the turn (kTurnWait); one that needed
@@ -196,6 +233,9 @@ void DetBackend::lock(ThreadId self, MutexId mutex) {
     ++st.failed_trylocks;
     ++failed_attempts;
   }
+  // A death here is mid-critical-section: the mutex is held and will never
+  // be unlocked, so every later waiter depends on the abort path.
+  if (fault_ != nullptr) fault_->on_sync(self, SyncPoint::kLockAcquired);
   if (prof_ != nullptr) {
     const std::uint64_t prof_t1 = prof_->now();
     const bool contended = failed_attempts > 0;
@@ -215,10 +255,12 @@ void DetBackend::lock(ThreadId self, MutexId mutex) {
   // acquisitions by one thread never tie.
   clocks_.add(self, 1);
   ++st.lock_acquires;
+  note_progress(self);
 }
 
 void DetBackend::unlock(ThreadId self, MutexId mutex) {
   MutexState& m = mutex_state(mutex);
+  if (fault_ != nullptr) fault_->on_sync(self, SyncPoint::kUnlock);
   clocks_.flush(self);
   const std::uint64_t snapshot = m.packed.load(std::memory_order_relaxed);
   DETLOCK_CHECK((snapshot & MutexState::kHeldBit) != 0 &&
@@ -229,6 +271,7 @@ void DetBackend::unlock(ThreadId self, MutexId mutex) {
   m.holder.store(MutexState::kNoHolder, std::memory_order_relaxed);
   m.packed.store(clocks_.local(self) << 1, std::memory_order_release);
   clocks_.add(self, 1);
+  note_progress(self);
 }
 
 void DetBackend::barrier_wait(ThreadId self, BarrierId barrier, std::uint32_t participants) {
@@ -236,7 +279,12 @@ void DetBackend::barrier_wait(ThreadId self, BarrierId barrier, std::uint32_t pa
                 "barrier participant count out of range");
   BarrierState& b = barrier_state(barrier);
   BackendStats& st = thread_stats_[self].value;
+  // A death here is an abandoned barrier: it fires before this thread's
+  // arrival registers, so the round never completes and every other
+  // participant parks until the abort flag (or watchdog) unwinds it.
+  if (fault_ != nullptr) fault_->on_sync(self, SyncPoint::kBarrierArrive);
   clocks_.flush(self);
+  note_wait(self, WaitReason::kBarrier, barrier);
   const std::uint64_t my_clock = clocks_.local(self);
   // Fold my arrival clock into the round maximum.
   std::uint64_t seen = b.max_clock.load(std::memory_order_relaxed);
@@ -291,6 +339,10 @@ void DetBackend::barrier_wait(ThreadId self, BarrierId barrier, std::uint32_t pa
       waiter.wait();
       ++park_spins;
     }
+    // Post-wake re-check: the generation bump and the abort flag can race,
+    // and a parker released into an aborting run must unwind, not return to
+    // the interpreter as if the round completed.
+    check_abort();
   }
   if (prof_ != nullptr) {
     prof_->add_wait(self, WaitCategory::kBarrierWait, prof_t0, prof_->now(), park_spins);
@@ -299,6 +351,7 @@ void DetBackend::barrier_wait(ThreadId self, BarrierId barrier, std::uint32_t pa
   // break the resulting ties in the turn protocol.
   clocks_.set_clock(self, b.release_clock.load(std::memory_order_relaxed));
   ++st.barrier_waits;
+  note_progress(self);
 }
 
 DetBackend::CondVarState& DetBackend::condvar_state(CondVarId id) {
@@ -357,6 +410,7 @@ std::uint64_t DetBackend::await_signal(ThreadId self) {
 // (tests, native code) must do the same via clock_add/tick.
 void DetBackend::cond_wait(ThreadId self, CondVarId condvar, MutexId mutex) {
   MutexState& m = mutex_state(mutex);
+  if (fault_ != nullptr) fault_->on_sync(self, SyncPoint::kCondWait);
   DETLOCK_CHECK(m.holder.load(std::memory_order_relaxed) == self,
                 "cond_wait requires the caller to hold the mutex");
   CondVarState& cv = condvar_state(condvar);
@@ -368,34 +422,43 @@ void DetBackend::cond_wait(ThreadId self, CondVarId condvar, MutexId mutex) {
   cv.queue.push_back(self);  // guarded by `mutex`
   unlock(self, mutex);
 
+  note_wait(self, WaitReason::kCondVar, condvar);
   await_signal(self);
   cond_signal_[self].value.store(0, std::memory_order_relaxed);
   clocks_.add(self, 1);
   lock(self, mutex);
+  note_progress(self);
 }
 
 void DetBackend::cond_signal(ThreadId self, CondVarId condvar) {
   CondVarState& cv = condvar_state(condvar);
+  if (fault_ != nullptr) fault_->on_sync(self, SyncPoint::kCondSignal);
   const MutexId guard = cv.guard.load(std::memory_order_relaxed);
   if (guard == CondVarState::kNoGuard) return;  // never waited on: no-op
   DETLOCK_CHECK(mutex_state(guard).holder.load(std::memory_order_relaxed) == self,
                 "cond_signal requires holding the condvar's mutex");
   if (cv.queue.empty()) return;
+  // Lost-wakeup fault: swallow the delivery while leaving the waiter
+  // queued, exactly as if the signal never happened.
+  if (fault_ != nullptr && fault_->drop_signal(self)) return;
   clocks_.flush(self);
   const std::uint64_t stamp = clocks_.local(self);
   const ThreadId target = cv.queue.front();
   cv.queue.erase(cv.queue.begin());
   cond_signal_[target].value.store(stamp + 1, std::memory_order_release);
   clocks_.add(self, 1);
+  note_progress(self);
 }
 
 void DetBackend::cond_broadcast(ThreadId self, CondVarId condvar) {
   CondVarState& cv = condvar_state(condvar);
+  if (fault_ != nullptr) fault_->on_sync(self, SyncPoint::kCondSignal);
   const MutexId guard = cv.guard.load(std::memory_order_relaxed);
   if (guard == CondVarState::kNoGuard) return;
   DETLOCK_CHECK(mutex_state(guard).holder.load(std::memory_order_relaxed) == self,
                 "cond_broadcast requires holding the condvar's mutex");
   if (cv.queue.empty()) return;
+  if (fault_ != nullptr && fault_->drop_signal(self)) return;
   clocks_.flush(self);
   const std::uint64_t stamp = clocks_.local(self);
   for (const ThreadId target : cv.queue) {
@@ -403,6 +466,40 @@ void DetBackend::cond_broadcast(ThreadId self, CondVarId condvar) {
   }
   cv.queue.clear();
   clocks_.add(self, 1);
+  note_progress(self);
+}
+
+StallSnapshot DetBackend::stall_snapshot() const {
+  StallSnapshot snap;
+  const std::uint32_t registered =
+      std::min(next_thread_id_.load(std::memory_order_relaxed), config_.max_threads);
+  for (ThreadId t = 0; t < registered; ++t) {
+    ThreadSnapshot ts;
+    ts.thread = t;
+    switch (clocks_.state(t)) {
+      case ThreadState::kUnused: ts.phase = ThreadPhase::kUnregistered; break;
+      case ThreadState::kLive: ts.phase = ThreadPhase::kLive; break;
+      case ThreadState::kFinished: ts.phase = ThreadPhase::kFinished; break;
+    }
+    ts.published_clock = clocks_.published(t);
+    const std::uint64_t packed = wait_state_[t].value.load(std::memory_order_relaxed);
+    ts.reason = static_cast<WaitReason>(packed >> 56);
+    ts.target = packed & kWaitTargetMask;
+    snap.threads.push_back(ts);
+  }
+  for (MutexId id = 0; id < mutexes_.size(); ++id) {
+    // packed == 0 means never acquired: a release always stores a nonzero
+    // logical time (any tenure costs at least one tick).
+    const std::uint64_t packed = mutexes_[id]->packed.load(std::memory_order_relaxed);
+    if (packed == 0) continue;
+    MutexSnapshot ms;
+    ms.mutex = id;
+    ms.held = (packed & MutexState::kHeldBit) != 0;
+    ms.release_time = packed >> 1;
+    ms.holder = mutexes_[id]->holder.load(std::memory_order_relaxed);
+    snap.mutexes.push_back(ms);
+  }
+  return snap;
 }
 
 const RunTrace& DetBackend::trace() const { return trace_; }

@@ -53,12 +53,38 @@ class DetBackend final : public SyncBackend {
   const RunTrace& trace() const override;
   BackendStats stats() const override;
 
+  /// Watchdog snapshot: per-thread phase/clock/wait-state plus every mutex
+  /// that has ever been touched (packed word nonzero).  Samples existing
+  /// atomics racily; safe to call from the monitor thread at any time.
+  StallSnapshot stall_snapshot() const override;
+
   const RuntimeConfig& config() const { return config_; }
 
   /// Blocks until `self` holds the turn (exposed for targeted tests).
   void wait_for_turn(ThreadId self);
 
  private:
+  static constexpr std::uint64_t kWaitTargetMask = (std::uint64_t{1} << 56) - 1;
+
+  /// Publish what `self` is blocked on, packed into one owner-written
+  /// atomic so the watchdog can sample it.  Gated on progress_ (watchdog
+  /// wired), keeping the fast path a single null test.
+  void note_wait(ThreadId self, WaitReason reason, std::uint64_t target) {
+    if (progress_ != nullptr) {
+      wait_state_[self].value.store(
+          (static_cast<std::uint64_t>(reason) << 56) | (target & kWaitTargetMask),
+          std::memory_order_relaxed);
+    }
+  }
+
+  /// A synchronization operation *completed*: this, not clock motion, is
+  /// what the watchdog calls progress (deadlocked threads climb forever).
+  void note_progress(ThreadId self) {
+    if (progress_ != nullptr) {
+      progress_->fetch_add(1, std::memory_order_relaxed);
+      wait_state_[self].value.store(0, std::memory_order_relaxed);
+    }
+  }
   void check_abort() const {
     if (config_.abort_flag != nullptr && config_.abort_flag->load(std::memory_order_relaxed)) {
       throw Error("deterministic runtime aborted (another thread failed)");
@@ -82,6 +108,14 @@ class DetBackend final : public SyncBackend {
   /// Wait-time attribution (runtime/profile.hpp); null = profiling off and
   /// every hook below reduces to an inlined null test.  Not owned.
   Profiler* prof_ = nullptr;
+  /// Deterministic fault injection (runtime/faultinject.hpp); null = off,
+  /// same discipline.  Not owned.
+  FaultInjector* fault_ = nullptr;
+  /// Watchdog progress counter; null = watchdog off (and wait_state_ is
+  /// never written).  Not owned.
+  std::atomic<std::uint64_t>* progress_ = nullptr;
+  /// Per-thread packed wait state: (WaitReason << 56) | target.
+  std::vector<Padded<std::atomic<std::uint64_t>>> wait_state_;
   std::vector<std::unique_ptr<MutexState>> mutexes_;
   std::vector<std::unique_ptr<BarrierState>> barriers_;
   std::vector<std::unique_ptr<CondVarState>> condvars_;

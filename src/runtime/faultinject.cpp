@@ -1,0 +1,112 @@
+#include "runtime/faultinject.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "support/error.hpp"
+#include "support/spinwait.hpp"
+
+namespace detlock::runtime {
+
+const char* sync_point_name(SyncPoint p) {
+  switch (p) {
+    case SyncPoint::kLock: return "lock";
+    case SyncPoint::kLockAcquired: return "lock-acquired";
+    case SyncPoint::kUnlock: return "unlock";
+    case SyncPoint::kBarrierArrive: return "barrier-arrive";
+    case SyncPoint::kCondWait: return "cond-wait";
+    case SyncPoint::kCondSignal: return "cond-signal";
+    case SyncPoint::kJoin: return "join";
+    case SyncPoint::kClockPublish: return "clock-publish";
+  }
+  DETLOCK_UNREACHABLE("bad sync point");
+}
+
+FaultPlan FaultPlan::timing_chaos(std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.perturb_permille = 40;        // ~4% of lock/barrier/join/condvar boundaries
+  plan.publish_perturb_permille = 4; // clock publications fire per basic block
+  plan.max_sleep_us = 50;
+  plan.max_yield_burst = 16;
+  plan.max_spin_burst = 512;
+  return plan;
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan, std::uint32_t max_threads)
+    : plan_(plan), threads_(max_threads) {
+  // Per-thread streams: seed each slot from (plan seed, thread id) so the
+  // decision a thread takes at its Nth boundary is a pure function of the
+  // plan, independent of how the OS interleaves the threads.
+  for (std::uint32_t t = 0; t < max_threads; ++t) {
+    threads_[t].value.prng = Xoshiro256(plan.seed * 0x100000001b3ULL + t);
+  }
+}
+
+void FaultInjector::perturb(ThreadData& d, std::uint32_t permille) {
+  if (permille == 0 || d.prng.next_below(1000) >= permille) return;
+  ++d.stats.perturbed;
+  // Weighted menu: yield storms dominate (they reshuffle the scheduler,
+  // which is what shakes out turn-protocol timing bugs), spin bursts model
+  // spurious extra wait iterations, sleeps are rare but move wall time the
+  // most.
+  const std::uint64_t kind = d.prng.next_below(10);
+  if (kind < 6) {
+    const std::uint64_t n = 1 + d.prng.next_below(std::max<std::uint32_t>(plan_.max_yield_burst, 1));
+    for (std::uint64_t i = 0; i < n; ++i) std::this_thread::yield();
+    ++d.stats.yield_bursts;
+  } else if (kind < 9) {
+    const std::uint64_t n = 1 + d.prng.next_below(std::max<std::uint32_t>(plan_.max_spin_burst, 1));
+    for (std::uint64_t i = 0; i < n; ++i) cpu_relax();
+    ++d.stats.spin_bursts;
+  } else {
+    const std::uint64_t us = 1 + d.prng.next_below(std::max<std::uint32_t>(plan_.max_sleep_us, 1));
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+    ++d.stats.sleeps;
+    d.stats.slept_us += us;
+  }
+}
+
+void FaultInjector::on_sync(ThreadId self, SyncPoint point) {
+  ThreadData& d = threads_[self].value;
+  ++d.ops;
+  ++d.stats.sync_ops;
+  if (plan_.injects_death() && self == plan_.die_thread && !d.dead && d.ops > plan_.die_after_ops &&
+      (plan_.die_point == FaultPlan::kAnyPoint ||
+       static_cast<int>(point) == plan_.die_point)) {
+    d.dead = true;  // one death per thread; the unwind path may sync again
+    ++d.stats.deaths;
+    throw Error("fault injected: thread " + std::to_string(self) + " died at " +
+                sync_point_name(point) + " (sync op " + std::to_string(d.ops) + ")");
+  }
+  perturb(d, point == SyncPoint::kClockPublish ? plan_.publish_perturb_permille
+                                               : plan_.perturb_permille);
+}
+
+bool FaultInjector::drop_signal(ThreadId self) {
+  if (plan_.drop_signal_index == FaultPlan::kNever) return false;
+  const std::uint64_t index = signal_index_.fetch_add(1, std::memory_order_relaxed);
+  if (index != plan_.drop_signal_index) return false;
+  ++threads_[self].value.stats.dropped_signals;
+  return true;
+}
+
+FaultStats FaultInjector::stats() const {
+  FaultStats total;
+  for (const auto& padded : threads_) {
+    const FaultStats& s = padded.value.stats;
+    total.sync_ops += s.sync_ops;
+    total.perturbed += s.perturbed;
+    total.yield_bursts += s.yield_bursts;
+    total.spin_bursts += s.spin_bursts;
+    total.sleeps += s.sleeps;
+    total.slept_us += s.slept_us;
+    total.deaths += s.deaths;
+    total.dropped_signals += s.dropped_signals;
+  }
+  return total;
+}
+
+}  // namespace detlock::runtime

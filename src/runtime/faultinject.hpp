@@ -1,0 +1,150 @@
+// Deterministic fault injection: adversarially perturbs *physical* timing
+// around every synchronization operation, and optionally injects real
+// faults, to prove (or break) the runtime's two headline claims:
+//
+//   1. DETERMINISM UNDER CHAOS.  The lock-acquisition order depends only on
+//      compiler-computed logical clocks (paper Sec. III-A), never on
+//      physical timing.  Timing perturbations -- random sleeps, sched_yield
+//      storms, busy-spin bursts, delayed clock publication -- therefore
+//      must leave the RunTrace fingerprint and the memory fingerprint
+//      bit-identical (tests/integration/chaos_determinism_test.cpp enforces
+//      this for every workload across a matrix of seeds and both clock
+//      publication modes).
+//   2. HANG-FREEDOM UNDER REAL FAULTS.  Thread death mid-critical-section,
+//      abandoned barriers, and lost condvar signals must end in a clean
+//      cooperative abort (RuntimeConfig::abort_flag) or a watchdog report
+//      (runtime/watchdog.hpp) -- never an unbounded hang.
+//
+// Integration follows the profiler's zero-cost discipline: backends hold a
+// FaultInjector* that is null unless a plan was wired, and every hook site
+// is an inlined null-pointer test.  Each thread's perturbation stream is a
+// pure function of (plan seed, thread id, per-thread op index), so a chaos
+// trial is itself reproducible given its seed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "runtime/config.hpp"
+#include "support/cacheline.hpp"
+#include "support/prng.hpp"
+
+namespace detlock::runtime {
+
+/// Synchronization-operation boundaries the backends report.  kLock fires
+/// before the acquire protocol runs, kLockAcquired after the mutex is held
+/// (so a death there dies mid-critical-section), kBarrierArrive before the
+/// arrival is registered (so a death there abandons the round for every
+/// other participant), kClockPublish on the clock-update path.
+enum class SyncPoint : std::uint8_t {
+  kLock = 0,
+  kLockAcquired,
+  kUnlock,
+  kBarrierArrive,
+  kCondWait,
+  kCondSignal,
+  kJoin,
+  kClockPublish,
+};
+
+inline constexpr std::size_t kNumSyncPoints = 8;
+
+const char* sync_point_name(SyncPoint p);
+
+/// What a FaultInjector does, seeded and fully declarative so trials can be
+/// replayed.  Defaults inject nothing; timing_chaos() is the standard
+/// adversarial-timing preset used by --chaos, the chaos matrix bench, and
+/// the determinism-under-chaos tests.
+struct FaultPlan {
+  static constexpr std::uint64_t kNever = ~std::uint64_t{0};
+  static constexpr ThreadId kNoThread = ~ThreadId{0};
+  static constexpr int kAnyPoint = -1;
+
+  std::uint64_t seed = 1;
+
+  // -- Timing perturbations (determinism-neutral by the paper's claim) --
+  /// Per-mille probability that a sync-op boundary is perturbed at all.
+  std::uint32_t perturb_permille = 0;
+  /// kClockPublish fires far more often than the other points (once per
+  /// clock-update instruction), so it gets its own, typically much smaller,
+  /// probability: this models delayed clock publication without turning
+  /// every basic block into a sleep.
+  std::uint32_t publish_perturb_permille = 0;
+  /// Perturbation menu bounds.  A perturbed op draws one of: a sched_yield
+  /// storm (most likely), a busy-spin burst (models spurious extra
+  /// turn-wait spins), or a microsecond sleep (least likely, most brutal).
+  std::uint32_t max_sleep_us = 50;
+  std::uint32_t max_yield_burst = 16;
+  std::uint32_t max_spin_burst = 512;
+
+  // -- Real faults (must abort cleanly, never hang) --
+  /// Thread that dies by throwing detlock::Error from a sync-op boundary.
+  ThreadId die_thread = kNoThread;
+  /// The death fires at the first matching boundary once the thread's own
+  /// sync-op count reaches this value.
+  std::uint64_t die_after_ops = kNever;
+  /// Restrict the death to one SyncPoint (e.g. kLockAcquired for a death
+  /// mid-critical-section, kBarrierArrive for an abandoned barrier);
+  /// kAnyPoint matches every boundary.
+  int die_point = kAnyPoint;
+  /// Swallow the Nth signal/broadcast that would have woken a waiter
+  /// (0-based, counted across all threads); kNever disables.
+  std::uint64_t drop_signal_index = kNever;
+
+  /// Standard adversarial-timing preset: no real faults, moderate
+  /// perturbation rate, short sleeps (tests run hundreds of trials).
+  static FaultPlan timing_chaos(std::uint64_t seed);
+
+  bool injects_timing() const { return perturb_permille > 0 || publish_perturb_permille > 0; }
+  bool injects_death() const { return die_thread != kNoThread && die_after_ops != kNever; }
+};
+
+/// Aggregate of what actually got injected (merged across threads; read
+/// after the run like BackendStats).
+struct FaultStats {
+  std::uint64_t sync_ops = 0;        ///< boundaries observed
+  std::uint64_t perturbed = 0;       ///< boundaries perturbed
+  std::uint64_t yield_bursts = 0;
+  std::uint64_t spin_bursts = 0;
+  std::uint64_t sleeps = 0;
+  std::uint64_t slept_us = 0;        ///< total requested sleep time
+  std::uint64_t deaths = 0;
+  std::uint64_t dropped_signals = 0;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(const FaultPlan& plan, std::uint32_t max_threads);
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Called by backends at every sync-op boundary.  May sleep, yield, or
+  /// busy-spin (timing perturbation), and throws detlock::Error when the
+  /// plan's death matches this boundary.
+  void on_sync(ThreadId self, SyncPoint point);
+
+  /// Returns true when this signal/broadcast delivery should be swallowed
+  /// (a lost-wakeup fault).  Called only for signals that would have woken
+  /// at least one waiter.
+  bool drop_signal(ThreadId self);
+
+  /// Merged per-thread tallies; call after every instrumented thread quiesced.
+  FaultStats stats() const;
+
+ private:
+  struct ThreadData {
+    Xoshiro256 prng{1};  // reseeded per thread in the constructor
+    std::uint64_t ops = 0;
+    bool dead = false;
+    FaultStats stats;
+  };
+
+  void perturb(ThreadData& d, std::uint32_t permille);
+
+  FaultPlan plan_;
+  std::vector<Padded<ThreadData>> threads_;
+  std::atomic<std::uint64_t> signal_index_{0};
+};
+
+}  // namespace detlock::runtime

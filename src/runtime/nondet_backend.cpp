@@ -1,5 +1,8 @@
 #include "runtime/nondet_backend.hpp"
 
+#include <algorithm>
+
+#include "runtime/faultinject.hpp"
 #include "runtime/profile.hpp"
 #include "support/error.hpp"
 #include "support/spinwait.hpp"
@@ -23,7 +26,15 @@ struct NondetBackend::CondVarState {
 };
 
 NondetBackend::NondetBackend(RuntimeConfig config)
-    : config_(config), trace_(config.keep_trace_events), prof_(config.profiler), slots_(config.max_threads) {
+    : config_(config),
+      trace_(config.keep_trace_events),
+      prof_(config.profiler),
+      fault_(config.fault),
+      progress_(config.progress),
+      wait_state_(config.max_threads),
+      holders_(kMaxMutexes),
+      slots_(config.max_threads) {
+  for (auto& padded : holders_) padded.value.store(kNoHolder, std::memory_order_relaxed);
   mutexes_.reserve(kMaxMutexes);
   for (std::size_t i = 0; i < kMaxMutexes; ++i) mutexes_.push_back(std::make_unique<std::mutex>());
   barriers_.reserve(kMaxBarriers);
@@ -48,10 +59,13 @@ ThreadId NondetBackend::register_spawn(ThreadId /*parent*/) {
 
 void NondetBackend::thread_finish(ThreadId self) {
   slots_[self].value.finished.store(true, std::memory_order_release);
+  note_progress(self);
 }
 
 void NondetBackend::join(ThreadId self, ThreadId target) {
   DETLOCK_CHECK(target < config_.max_threads && target != self, "bad join target");
+  if (fault_ != nullptr) fault_->on_sync(self, SyncPoint::kJoin);
+  note_wait(self, WaitReason::kJoin, target);
   const std::uint64_t prof_t0 = prof_ != nullptr ? prof_->now() : 0;
   std::uint64_t spins = 0;
   SpinWait waiter;
@@ -60,43 +74,72 @@ void NondetBackend::join(ThreadId self, ThreadId target) {
     waiter.wait();
     ++spins;
   }
+  // Post-wake re-check: the target may have "finished" by unwinding from an
+  // abort, in which case this thread must unwind too, not keep running.
+  check_abort();
   if (prof_ != nullptr) prof_->add_wait(self, WaitCategory::kJoinWait, prof_t0, prof_->now(), spins);
+  note_progress(self);
 }
 
 void NondetBackend::clock_add(ThreadId self, std::uint64_t delta) {
   // Thread-local accumulation only: models the real cost of the inserted
   // `add` without any cross-thread publication.
-  slots_[self].value.clock += delta;
+  ThreadSlot& slot = slots_[self].value;
+  slot.clock += delta;
+  // Subsampled watchdog progress: a thread grinding through compute is
+  // still alive even if it performs no sync ops for a while.
+  if (progress_ != nullptr && (++slot.clock_ops & 1023) == 0) {
+    progress_->fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 std::uint64_t NondetBackend::clock_of(ThreadId thread) const { return slots_[thread].value.clock; }
 
 void NondetBackend::lock(ThreadId self, MutexId mutex) {
   DETLOCK_CHECK(mutex < mutexes_.size(), "mutex id out of range");
-  if (prof_ != nullptr) {
-    // try_lock-first so an uncontended acquire is classified as such; the
-    // fallback blocking path is what kMutexWait measures.
-    const std::uint64_t t0 = prof_->now();
-    const bool contended = !mutexes_[mutex]->try_lock();
-    if (contended) mutexes_[mutex]->lock();
-    const std::uint64_t t1 = prof_->now();
-    prof_->add_wait(self, WaitCategory::kMutexWait, t0, t1, contended ? 1 : 0);
-    prof_->on_acquire(self, mutex, t1 - t0, contended, slots_[self].value.clock, t1);
-  } else {
-    mutexes_[mutex]->lock();
+  if (fault_ != nullptr) fault_->on_sync(self, SyncPoint::kLock);
+  note_wait(self, WaitReason::kMutex, mutex);
+  // try_lock-first, then an abortable retry loop.  std::mutex::lock blocks
+  // uncancellably, so a thread waiting on a mutex whose holder died would
+  // hang past any abort flag; the try_lock loop polls the flag between
+  // attempts (and the first try_lock still gives the profiler its
+  // contended/uncontended classification).
+  const std::uint64_t prof_t0 = prof_ != nullptr ? prof_->now() : 0;
+  bool contended = false;
+  SpinWait waiter;
+  while (!mutexes_[mutex]->try_lock()) {
+    contended = true;
+    check_abort();
+    waiter.wait();
   }
+  if (prof_ != nullptr) {
+    const std::uint64_t t1 = prof_->now();
+    prof_->add_wait(self, WaitCategory::kMutexWait, prof_t0, t1, contended ? 1 : 0);
+    prof_->on_acquire(self, mutex, t1 - prof_t0, contended, slots_[self].value.clock, t1);
+  }
+  // A death here is mid-critical-section: the mutex stays locked forever,
+  // and the try_lock loop above is what keeps the survivors abortable.
+  if (fault_ != nullptr) fault_->on_sync(self, SyncPoint::kLockAcquired);
+  if (progress_ != nullptr) holders_[mutex].value.store(self, std::memory_order_relaxed);
   ++slots_[self].value.acquires;
   if (config_.record_trace) trace_.record_acquire(self, mutex, slots_[self].value.clock);
+  note_progress(self);
 }
 
-void NondetBackend::unlock(ThreadId /*self*/, MutexId mutex) {
+void NondetBackend::unlock(ThreadId self, MutexId mutex) {
   DETLOCK_CHECK(mutex < mutexes_.size(), "mutex id out of range");
+  if (fault_ != nullptr) fault_->on_sync(self, SyncPoint::kUnlock);
+  if (progress_ != nullptr) holders_[mutex].value.store(kNoHolder, std::memory_order_relaxed);
   mutexes_[mutex]->unlock();
+  note_progress(self);
 }
 
 void NondetBackend::barrier_wait(ThreadId self, BarrierId barrier, std::uint32_t participants) {
   DETLOCK_CHECK(barrier < barriers_.size(), "barrier id out of range");
   DETLOCK_CHECK(participants > 0, "barrier needs at least one participant");
+  // Death before the arrival registers = abandoned barrier (see DetBackend).
+  if (fault_ != nullptr) fault_->on_sync(self, SyncPoint::kBarrierArrive);
+  note_wait(self, WaitReason::kBarrier, barrier);
   ++slots_[self].value.barrier_waits;
   BarrierState& b = *barriers_[barrier];
   const std::uint64_t prof_t0 = prof_ != nullptr ? prof_->now() : 0;
@@ -112,20 +155,26 @@ void NondetBackend::barrier_wait(ThreadId self, BarrierId barrier, std::uint32_t
       waiter.wait();
       ++spins;
     }
+    // Post-wake re-check (see DetBackend::barrier_wait).
+    check_abort();
   }
   if (prof_ != nullptr) prof_->add_wait(self, WaitCategory::kBarrierWait, prof_t0, prof_->now(), spins);
+  note_progress(self);
 }
 
 void NondetBackend::cond_wait(ThreadId self, CondVarId condvar, MutexId mutex) {
   DETLOCK_CHECK(condvar < condvars_.size(), "condvar id out of range");
   DETLOCK_CHECK(mutex < mutexes_.size(), "mutex id out of range");
+  if (fault_ != nullptr) fault_->on_sync(self, SyncPoint::kCondWait);
   CondVarState& cv = *condvars_[condvar];
   std::atomic<bool> signaled{false};
   {
     const std::lock_guard<std::mutex> guard(cv.mu);
     cv.queue.emplace_back(self, &signaled);
   }
+  if (progress_ != nullptr) holders_[mutex].value.store(kNoHolder, std::memory_order_relaxed);
   mutexes_[mutex]->unlock();
+  note_wait(self, WaitReason::kCondVar, condvar);
   const std::uint64_t prof_t0 = prof_ != nullptr ? prof_->now() : 0;
   std::uint64_t spins = 0;
   SpinWait waiter;
@@ -134,25 +183,72 @@ void NondetBackend::cond_wait(ThreadId self, CondVarId condvar, MutexId mutex) {
     waiter.wait();
     ++spins;
   }
+  check_abort();  // post-wake re-check: signal and abort can race
   if (prof_ != nullptr) prof_->add_wait(self, WaitCategory::kCondVarWait, prof_t0, prof_->now(), spins);
-  mutexes_[mutex]->lock();
+  // Abortable reacquire, for the same reason as lock().
+  note_wait(self, WaitReason::kMutex, mutex);
+  waiter.reset();
+  while (!mutexes_[mutex]->try_lock()) {
+    check_abort();
+    waiter.wait();
+  }
+  if (progress_ != nullptr) holders_[mutex].value.store(self, std::memory_order_relaxed);
+  note_progress(self);
 }
 
-void NondetBackend::cond_signal(ThreadId /*self*/, CondVarId condvar) {
+void NondetBackend::cond_signal(ThreadId self, CondVarId condvar) {
   DETLOCK_CHECK(condvar < condvars_.size(), "condvar id out of range");
+  if (fault_ != nullptr) fault_->on_sync(self, SyncPoint::kCondSignal);
   CondVarState& cv = *condvars_[condvar];
   const std::lock_guard<std::mutex> guard(cv.mu);
   if (cv.queue.empty()) return;
+  // Lost-wakeup fault: the waiter stays queued, as if never signaled.
+  if (fault_ != nullptr && fault_->drop_signal(self)) return;
   cv.queue.front().second->store(true, std::memory_order_release);
   cv.queue.erase(cv.queue.begin());
+  note_progress(self);
 }
 
-void NondetBackend::cond_broadcast(ThreadId /*self*/, CondVarId condvar) {
+void NondetBackend::cond_broadcast(ThreadId self, CondVarId condvar) {
   DETLOCK_CHECK(condvar < condvars_.size(), "condvar id out of range");
+  if (fault_ != nullptr) fault_->on_sync(self, SyncPoint::kCondSignal);
   CondVarState& cv = *condvars_[condvar];
   const std::lock_guard<std::mutex> guard(cv.mu);
+  if (cv.queue.empty()) return;
+  if (fault_ != nullptr && fault_->drop_signal(self)) return;
   for (auto& [tid, flag] : cv.queue) flag->store(true, std::memory_order_release);
   cv.queue.clear();
+  note_progress(self);
+}
+
+StallSnapshot NondetBackend::stall_snapshot() const {
+  StallSnapshot snap;
+  const std::uint32_t registered =
+      std::min(next_thread_id_.load(std::memory_order_relaxed), config_.max_threads);
+  for (ThreadId t = 0; t < registered; ++t) {
+    ThreadSnapshot ts;
+    ts.thread = t;
+    ts.phase = slots_[t].value.finished.load(std::memory_order_acquire) ? ThreadPhase::kFinished
+                                                                        : ThreadPhase::kLive;
+    // Clocks are thread-local and never published here; 0 keeps the report
+    // honest rather than racily reading another thread's accumulator.
+    ts.published_clock = 0;
+    const std::uint64_t packed = wait_state_[t].value.load(std::memory_order_relaxed);
+    ts.reason = static_cast<WaitReason>(packed >> 56);
+    ts.target = packed & kWaitTargetMask;
+    snap.threads.push_back(ts);
+  }
+  for (MutexId id = 0; id < holders_.size(); ++id) {
+    const ThreadId holder = holders_[id].value.load(std::memory_order_relaxed);
+    if (holder == kNoHolder) continue;
+    MutexSnapshot ms;
+    ms.mutex = id;
+    ms.held = true;
+    ms.holder = holder;
+    ms.release_time = 0;
+    snap.mutexes.push_back(ms);
+  }
+  return snap;
 }
 
 const RunTrace& NondetBackend::trace() const { return trace_; }

@@ -38,9 +38,17 @@ class NondetBackend final : public SyncBackend {
   const RunTrace& trace() const override;
   BackendStats stats() const override;
 
+  /// Watchdog snapshot: thread phases and wait reasons plus mutex ownership
+  /// (tracked only while a watchdog is wired).  Clocks are never published
+  /// in this backend, so published_clock is reported as 0.
+  StallSnapshot stall_snapshot() const override;
+
  private:
   struct BarrierState;
   struct CondVarState;
+
+  static constexpr std::uint64_t kWaitTargetMask = (std::uint64_t{1} << 56) - 1;
+  static constexpr ThreadId kNoHolder = ~ThreadId{0};
 
   void check_abort() const {
     if (config_.abort_flag != nullptr && config_.abort_flag->load(std::memory_order_relaxed)) {
@@ -48,10 +56,34 @@ class NondetBackend final : public SyncBackend {
     }
   }
 
+  /// See DetBackend::note_wait / note_progress: watchdog bookkeeping, gated
+  /// on progress_ so the fast path stays a single null test.
+  void note_wait(ThreadId self, WaitReason reason, std::uint64_t target) {
+    if (progress_ != nullptr) {
+      wait_state_[self].value.store(
+          (static_cast<std::uint64_t>(reason) << 56) | (target & kWaitTargetMask),
+          std::memory_order_relaxed);
+    }
+  }
+  void note_progress(ThreadId self) {
+    if (progress_ != nullptr) {
+      progress_->fetch_add(1, std::memory_order_relaxed);
+      wait_state_[self].value.store(0, std::memory_order_relaxed);
+    }
+  }
+
   RuntimeConfig config_;
   RunTrace trace_;
   /// Wait-time attribution (runtime/profile.hpp); null = off.  Not owned.
   Profiler* prof_ = nullptr;
+  /// Deterministic fault injection; null = off.  Not owned.
+  FaultInjector* fault_ = nullptr;
+  /// Watchdog progress counter; null = watchdog off.  Not owned.
+  std::atomic<std::uint64_t>* progress_ = nullptr;
+  std::vector<Padded<std::atomic<std::uint64_t>>> wait_state_;
+  /// Mutex ownership for stall diagnosis (std::mutex does not expose its
+  /// owner); written only while a watchdog is wired.
+  std::vector<Padded<std::atomic<ThreadId>>> holders_;
   std::vector<std::unique_ptr<std::mutex>> mutexes_;
   std::vector<std::unique_ptr<BarrierState>> barriers_;
   std::vector<std::unique_ptr<CondVarState>> condvars_;
@@ -60,6 +92,7 @@ class NondetBackend final : public SyncBackend {
     std::atomic<bool> finished{false};
     std::uint64_t acquires = 0;
     std::uint64_t barrier_waits = 0;
+    std::uint64_t clock_ops = 0;  // subsampling counter for watchdog progress
   };
   std::vector<Padded<ThreadSlot>> slots_;
   std::atomic<std::uint32_t> next_thread_id_{0};

@@ -1,0 +1,297 @@
+#include "runtime/watchdog.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+#include "runtime/clock_table.hpp"  // kClockInfinity
+#include "support/error.hpp"
+
+namespace detlock::runtime {
+
+const char* wait_reason_name(WaitReason r) {
+  switch (r) {
+    case WaitReason::kNone: return "none";
+    case WaitReason::kTurn: return "turn";
+    case WaitReason::kMutex: return "mutex";
+    case WaitReason::kBarrier: return "barrier";
+    case WaitReason::kCondVar: return "condvar";
+    case WaitReason::kJoin: return "join";
+  }
+  DETLOCK_UNREACHABLE("bad wait reason");
+}
+
+namespace {
+
+const char* phase_name(ThreadPhase p) {
+  switch (p) {
+    case ThreadPhase::kUnregistered: return "unregistered";
+    case ThreadPhase::kLive: return "live";
+    case ThreadPhase::kFinished: return "finished";
+  }
+  DETLOCK_UNREACHABLE("bad thread phase");
+}
+
+const MutexSnapshot* find_mutex(const StallSnapshot& snap, MutexId id) {
+  for (const MutexSnapshot& m : snap.mutexes) {
+    if (m.mutex == id) return &m;
+  }
+  return nullptr;
+}
+
+const ThreadSnapshot* find_thread(const StallSnapshot& snap, ThreadId id) {
+  for (const ThreadSnapshot& t : snap.threads) {
+    if (t.thread == id) return &t;
+  }
+  return nullptr;
+}
+
+/// The thread `t` transitively waits on, or nullptr.  Each thread waits on
+/// at most one resource, so the wait-for graph is functional.
+const ThreadSnapshot* wait_successor(const StallSnapshot& snap, const ThreadSnapshot& t) {
+  if (t.phase != ThreadPhase::kLive) return nullptr;
+  if (t.reason == WaitReason::kMutex) {
+    const MutexSnapshot* m = find_mutex(snap, t.target);
+    if (m == nullptr || !m->held) return nullptr;
+    const ThreadSnapshot* holder = find_thread(snap, m->holder);
+    return (holder != nullptr && holder->phase == ThreadPhase::kLive && holder->thread != t.thread)
+               ? holder
+               : nullptr;
+  }
+  if (t.reason == WaitReason::kJoin) {
+    const ThreadSnapshot* target = find_thread(snap, static_cast<ThreadId>(t.target));
+    return (target != nullptr && target->phase == ThreadPhase::kLive) ? target : nullptr;
+  }
+  // Turn/barrier/condvar waits have no single owner: they cannot close a
+  // wait-for cycle and classify as stall when progress is frozen.
+  return nullptr;
+}
+
+std::string clock_to_string(std::uint64_t clock) {
+  return clock == kClockInfinity ? std::string("inf") : std::to_string(clock);
+}
+
+std::string describe_wait(const StallSnapshot& snap, const ThreadSnapshot& t) {
+  std::ostringstream os;
+  switch (t.reason) {
+    case WaitReason::kNone: os << "running (no blocked sync op)"; break;
+    case WaitReason::kTurn: os << "waiting for the turn"; break;
+    case WaitReason::kMutex: {
+      os << "waiting on mutex " << t.target;
+      const MutexSnapshot* m = find_mutex(snap, t.target);
+      if (m != nullptr && m->held) {
+        os << " -- held by thread " << m->holder << " (logical release time " << m->release_time << ")";
+      } else if (m != nullptr) {
+        os << " -- free, last released at logical time " << m->release_time
+           << " (climbing to pass it)";
+      }
+      break;
+    }
+    case WaitReason::kBarrier: os << "parked at barrier " << t.target; break;
+    case WaitReason::kCondVar: os << "waiting on condvar " << t.target << " (no signal stamped)"; break;
+    case WaitReason::kJoin: os << "joining thread " << t.target; break;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+StallReport diagnose_stall(StallSnapshot snapshot, std::uint64_t window_ms) {
+  StallReport report;
+  report.window_ms = window_ms;
+  report.snapshot = std::move(snapshot);
+  const StallSnapshot& snap = report.snapshot;
+
+  // Functional-graph cycle detection: follow each thread's single wait-for
+  // edge, marking the current walk; revisiting a node of the same walk
+  // closes a cycle.
+  enum : std::uint8_t { kWhite = 0, kOnPath, kDone };
+  std::vector<std::uint8_t> state(snap.threads.size(), kWhite);
+  auto index_of = [&](const ThreadSnapshot* t) {
+    return static_cast<std::size_t>(t - snap.threads.data());
+  };
+  for (std::size_t start = 0; start < snap.threads.size() && report.cycle.empty(); ++start) {
+    if (state[start] != kWhite) continue;
+    std::vector<std::size_t> path;
+    const ThreadSnapshot* cur = &snap.threads[start];
+    while (cur != nullptr && state[index_of(cur)] == kWhite) {
+      state[index_of(cur)] = kOnPath;
+      path.push_back(index_of(cur));
+      cur = wait_successor(snap, *cur);
+    }
+    if (cur != nullptr && state[index_of(cur)] == kOnPath) {
+      const std::size_t entry = index_of(cur);
+      const auto pos = std::find(path.begin(), path.end(), entry);
+      for (auto it = pos; it != path.end(); ++it) report.cycle.push_back(snap.threads[*it].thread);
+    }
+    for (const std::size_t i : path) state[i] = kDone;
+  }
+  report.deadlock = !report.cycle.empty();
+  if (report.deadlock) {
+    // Deterministic presentation: rotate the cycle to start at its
+    // smallest thread id.
+    const auto min_it = std::min_element(report.cycle.begin(), report.cycle.end());
+    std::rotate(report.cycle.begin(), min_it, report.cycle.end());
+  } else {
+    // Stall: the slowest live waiter is the best lead -- everyone else's
+    // turn test is stuck behind its published clock.
+    std::uint64_t best = kClockInfinity;
+    for (const ThreadSnapshot& t : snap.threads) {
+      if (t.phase != ThreadPhase::kLive || t.reason == WaitReason::kNone) continue;
+      if (report.slowest == ~ThreadId{0} || t.published_clock < best) {
+        best = t.published_clock;
+        report.slowest = t.thread;
+      }
+    }
+  }
+  return report;
+}
+
+std::string StallReport::text() const {
+  std::ostringstream os;
+  os << "watchdog: no sync progress for " << window_ms << " ms (progress counter frozen at "
+     << progress_value << ")\n";
+  if (deadlock) {
+    os << "verdict: DEADLOCK -- wait-for cycle of " << cycle.size() << " thread(s)\n";
+    for (const ThreadId tid : cycle) {
+      const ThreadSnapshot* t = find_thread(snapshot, tid);
+      if (t == nullptr) continue;
+      os << "  thread " << tid << " [clock " << clock_to_string(t->published_clock) << "] "
+         << describe_wait(snapshot, *t) << "\n";
+    }
+  } else {
+    os << "verdict: STALL/LIVELOCK -- no wait-for cycle\n";
+    const ThreadSnapshot* s = find_thread(snapshot, slowest);
+    if (s != nullptr) {
+      os << "  slowest: thread " << s->thread << " [clock " << clock_to_string(s->published_clock)
+         << "] " << describe_wait(snapshot, *s) << "\n";
+    }
+  }
+  bool header = false;
+  for (const ThreadSnapshot& t : snapshot.threads) {
+    if (t.phase != ThreadPhase::kLive) continue;
+    if (deadlock && std::find(cycle.begin(), cycle.end(), t.thread) != cycle.end()) continue;
+    if (!deadlock && t.thread == slowest) continue;
+    if (!header) {
+      os << "other live threads:\n";
+      header = true;
+    }
+    os << "  thread " << t.thread << " [clock " << clock_to_string(t.published_clock) << "] "
+       << describe_wait(snapshot, t) << "\n";
+  }
+  return os.str();
+}
+
+std::string StallReport::json() const {
+  std::ostringstream os;
+  os << "{\"type\":\"" << (deadlock ? "deadlock" : "stall") << "\",\"window_ms\":" << window_ms
+     << ",\"progress\":" << progress_value;
+  if (deadlock) {
+    os << ",\"cycle\":[";
+    for (std::size_t i = 0; i < cycle.size(); ++i) os << (i != 0 ? "," : "") << cycle[i];
+    os << "]";
+  } else if (slowest != ~ThreadId{0}) {
+    os << ",\"slowest\":" << slowest;
+  }
+  os << ",\"threads\":[";
+  bool first = true;
+  for (const ThreadSnapshot& t : snapshot.threads) {
+    if (t.phase == ThreadPhase::kUnregistered) continue;
+    if (!first) os << ",";
+    first = false;
+    os << "{\"thread\":" << t.thread << ",\"phase\":\"" << phase_name(t.phase) << "\",\"clock\":";
+    if (t.published_clock == kClockInfinity) {
+      os << "null";
+    } else {
+      os << t.published_clock;
+    }
+    os << ",\"reason\":\"" << wait_reason_name(t.reason) << "\",\"target\":" << t.target << "}";
+  }
+  os << "],\"mutexes\":[";
+  first = true;
+  for (const MutexSnapshot& m : snapshot.mutexes) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"mutex\":" << m.mutex << ",\"held\":" << (m.held ? "true" : "false");
+    if (m.held) os << ",\"holder\":" << m.holder;
+    os << ",\"release_time\":" << m.release_time << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+Watchdog::Watchdog(WatchdogConfig config, const StallSource& source)
+    : config_(config), source_(source) {}
+
+Watchdog::~Watchdog() { stop(); }
+
+void Watchdog::start() {
+  if (config_.window_ms == 0 || thread_.joinable()) return;
+  {
+    const std::lock_guard<std::mutex> guard(mu_);
+    stop_requested_ = false;
+  }
+  thread_ = std::thread(&Watchdog::monitor, this);
+}
+
+void Watchdog::stop() {
+  {
+    const std::lock_guard<std::mutex> guard(mu_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+std::optional<StallReport> Watchdog::report() const {
+  const std::lock_guard<std::mutex> guard(mu_);
+  return report_;
+}
+
+void Watchdog::monitor() {
+  using Clock = std::chrono::steady_clock;
+  const auto window = std::chrono::milliseconds(config_.window_ms);
+  const auto poll = std::clamp(window / 8, std::chrono::milliseconds(1), std::chrono::milliseconds(50));
+
+  auto progress_now = [&]() {
+    return config_.progress != nullptr ? config_.progress->load(std::memory_order_relaxed)
+                                       : std::uint64_t{0};
+  };
+  std::uint64_t last = progress_now();
+  Clock::time_point last_change = Clock::now();
+
+  std::unique_lock<std::mutex> lk(mu_);
+  while (!stop_requested_) {
+    cv_.wait_for(lk, poll, [&] { return stop_requested_; });
+    if (stop_requested_) return;
+    lk.unlock();
+
+    const std::uint64_t current = progress_now();
+    const Clock::time_point now = Clock::now();
+    if (current != last) {
+      last = current;
+      last_change = now;
+      lk.lock();
+      continue;
+    }
+    if (now - last_change < window) {
+      lk.lock();
+      continue;
+    }
+
+    // Frozen for a full window: diagnose once, then (per policy) abort.
+    StallReport rep = diagnose_stall(source_.stall_snapshot(), config_.window_ms);
+    rep.progress_value = current;
+    {
+      const std::lock_guard<std::mutex> guard(mu_);
+      report_ = std::move(rep);
+    }
+    fired_.store(true, std::memory_order_release);
+    if (config_.abort_on_stall && config_.abort_flag != nullptr) {
+      config_.abort_flag->store(true, std::memory_order_release);
+    }
+    return;
+  }
+}
+
+}  // namespace detlock::runtime

@@ -1,0 +1,153 @@
+// Stall watchdog: detects that the runtime has stopped making *useful*
+// progress, diagnoses why, and (per policy) aborts gracefully.
+//
+// "Progress" is deliberately NOT clock progress: a deadlocked pair of
+// threads under the turn protocol climbs its logical clocks forever (each
+// failed acquire attempt bumps the clock by one, paper Sec. III-A), so a
+// min-clock monitor would never fire.  Progress is instead a counter of
+// *completed* synchronization operations -- acquires, barrier releases,
+// joins, delivered signals, clock publications, thread finishes -- bumped
+// by the backends whenever RuntimeConfig::progress is wired (null =
+// watchdog off = zero cost, the profiler discipline).
+//
+// When the counter freezes for the configured wall-time window, the monitor
+// thread takes a snapshot (per-thread published clock + wait reason,
+// per-mutex owner and logical release time) from the backend's StallSource
+// interface and runs wait-for-cycle detection over it:
+//
+//   * cycle found  -> DEADLOCK: reported thread by thread around the cycle.
+//     Each thread waits on at most one resource (a mutex's holder or a join
+//     target), so the wait-for graph is functional and cycle detection is
+//     plain pointer chasing.
+//   * no cycle     -> STALL/LIVELOCK: the slowest live waiter (minimum
+//     published clock) and what it waits on are reported -- the signature
+//     of a lost wakeup, an abandoned barrier, or a peer that stopped
+//     publishing.
+//
+// The report is available in both human-readable and JSON form; the abort
+// policy sets RuntimeConfig::abort_flag so every thread unwinds through
+// check_abort with a detlock::Error instead of spinning forever.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/config.hpp"
+
+namespace detlock::runtime {
+
+/// Why a thread is blocked, published by the backends (only while a
+/// watchdog is wired) and sampled racily-but-atomically by the monitor.
+enum class WaitReason : std::uint8_t {
+  kNone = 0,   ///< running (or the backend is not tracking)
+  kTurn,       ///< waiting to hold the turn outside any specific operation
+  kMutex,      ///< inside lock(): turn waits + failed-acquire climb
+  kBarrier,    ///< parked at a barrier awaiting the round's release
+  kCondVar,    ///< awaiting a condvar signal stamp
+  kJoin,       ///< awaiting a join target's final clock
+};
+
+const char* wait_reason_name(WaitReason r);
+
+enum class ThreadPhase : std::uint8_t { kUnregistered = 0, kLive, kFinished };
+
+struct ThreadSnapshot {
+  ThreadId thread = 0;
+  ThreadPhase phase = ThreadPhase::kUnregistered;
+  /// Published logical clock (kClockInfinity while parked/finished); 0 for
+  /// backends without published clocks.
+  std::uint64_t published_clock = 0;
+  WaitReason reason = WaitReason::kNone;
+  /// Meaning depends on `reason`: mutex id, barrier id, condvar id, or the
+  /// join target's thread id.
+  std::uint64_t target = 0;
+};
+
+struct MutexSnapshot {
+  MutexId mutex = 0;
+  bool held = false;
+  ThreadId holder = ~ThreadId{0};
+  std::uint64_t release_time = 0;  ///< logical release time (det backend)
+};
+
+struct StallSnapshot {
+  std::vector<ThreadSnapshot> threads;
+  std::vector<MutexSnapshot> mutexes;
+};
+
+/// Implemented by the backends; the default produces an empty snapshot so
+/// backend implementations without diagnostics still link.
+class StallSource {
+ public:
+  virtual ~StallSource() = default;
+  virtual StallSnapshot stall_snapshot() const { return {}; }
+};
+
+struct StallReport {
+  bool deadlock = false;
+  /// Nonempty iff deadlock: the wait-for cycle, starting from its smallest
+  /// thread id (deterministic presentation).
+  std::vector<ThreadId> cycle;
+  /// Stall only: the slowest live waiter (minimum published clock).
+  ThreadId slowest = ~ThreadId{0};
+  std::uint64_t window_ms = 0;
+  std::uint64_t progress_value = 0;  ///< the frozen progress-counter value
+  StallSnapshot snapshot;
+
+  std::string text() const;  ///< multi-line human-readable report
+  std::string json() const;  ///< single-object JSON (schema: docs/fault-model.md)
+};
+
+/// Pure diagnosis over a snapshot: builds the wait-for graph (mutex waiter
+/// -> holder, joiner -> target) and classifies deadlock vs. stall.
+/// Separated from the monitor thread so tests can feed synthetic snapshots.
+StallReport diagnose_stall(StallSnapshot snapshot, std::uint64_t window_ms);
+
+struct WatchdogConfig {
+  /// Wall-time window with zero progress before the watchdog fires;
+  /// 0 disables (start() becomes a no-op).
+  std::uint64_t window_ms = 0;
+  /// true: set `abort_flag` when firing so every thread unwinds through
+  /// check_abort (graceful abort).  false: record the report and keep
+  /// waiting (report-only policy).
+  bool abort_on_stall = true;
+  std::atomic<bool>* abort_flag = nullptr;          ///< not owned
+  std::atomic<std::uint64_t>* progress = nullptr;   ///< not owned
+};
+
+class Watchdog {
+ public:
+  Watchdog(WatchdogConfig config, const StallSource& source);
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  void start();
+  /// Stops and joins the monitor thread (idempotent).
+  void stop();
+
+  bool fired() const { return fired_.load(std::memory_order_acquire); }
+  /// The first report produced (empty until fired).
+  std::optional<StallReport> report() const;
+
+ private:
+  void monitor();
+
+  WatchdogConfig config_;
+  const StallSource& source_;
+  std::thread thread_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  std::atomic<bool> fired_{false};
+  std::optional<StallReport> report_;
+};
+
+}  // namespace detlock::runtime

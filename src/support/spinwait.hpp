@@ -29,12 +29,18 @@ inline void cpu_relax() {
 #endif
 }
 
-/// Escalating waiter: pause x N, then yield x M, then 1us sleeps.
+/// Escalating waiter: pause x N, then yield x M, then exponentially growing
+/// sleeps (1us doubling to max_sleep_us).  The capped doubling matters on
+/// oversubscribed machines: a fixed 1us sleep still wakes ~1M times/sec per
+/// parked thread, which starves the thread everyone is waiting on; backing
+/// off to ~100us cuts that three orders of magnitude while keeping worst
+/// -case wakeup latency far below any watchdog window.
 /// Reset after the awaited condition flips so the next wait starts cheap.
 class SpinWait {
  public:
-  explicit SpinWait(std::uint32_t pause_limit = 64, std::uint32_t yield_limit = 65536)
-      : pause_limit_(pause_limit), yield_limit_(yield_limit) {}
+  explicit SpinWait(std::uint32_t pause_limit = 64, std::uint32_t yield_limit = 65536,
+                    std::uint32_t max_sleep_us = 100)
+      : pause_limit_(pause_limit), yield_limit_(yield_limit), max_sleep_us_(max_sleep_us) {}
 
   void wait() {
     if (iteration_ < pause_limit_) {
@@ -42,18 +48,34 @@ class SpinWait {
     } else if (iteration_ < pause_limit_ + yield_limit_) {
       std::this_thread::yield();
     } else {
-      std::this_thread::sleep_for(std::chrono::microseconds(1));
+      std::this_thread::sleep_for(std::chrono::microseconds(sleep_us_));
+      sleep_us_ = next_sleep(sleep_us_);
     }
     ++iteration_;
   }
 
-  void reset() { iteration_ = 0; }
+  void reset() {
+    iteration_ = 0;
+    sleep_us_ = 1;
+  }
 
   std::uint64_t iterations() const { return iteration_; }
 
+  /// The duration the *next* sleep-tier wait() would request (schedule is
+  /// pinned by tests/support/spinwait_cacheline_test.cpp).
+  std::uint32_t next_sleep_us() const { return sleep_us_; }
+
  private:
+  std::uint32_t next_sleep(std::uint32_t current) const {
+    const std::uint32_t cap = max_sleep_us_ == 0 ? 1 : max_sleep_us_;
+    if (current >= cap / 2 + cap % 2) return cap;  // doubling would overshoot
+    return current * 2;
+  }
+
   std::uint32_t pause_limit_;
   std::uint32_t yield_limit_;
+  std::uint32_t max_sleep_us_;
+  std::uint32_t sleep_us_ = 1;
   std::uint64_t iteration_ = 0;
 };
 

@@ -1,7 +1,9 @@
 #include "workloads/harness.hpp"
 
 #include <chrono>
+#include <memory>
 
+#include "runtime/faultinject.hpp"
 #include "support/error.hpp"
 
 namespace detlock::workloads {
@@ -44,6 +46,14 @@ Measurement measure(const WorkloadSpec& spec, const WorkloadParams& params, cons
     if (options.mode == Mode::kKendoSim) {
       config.runtime.publication = runtime::ClockPublication::kChunked;
       config.runtime.chunk_size = options.kendo_chunk_size;
+    }
+    config.runtime.watchdog_ms = options.watchdog_ms;
+    std::unique_ptr<runtime::FaultInjector> injector;
+    if (options.chaos) {
+      injector = std::make_unique<runtime::FaultInjector>(
+          runtime::FaultPlan::timing_chaos(options.chaos_seed + static_cast<std::uint64_t>(rep)),
+          config.runtime.max_threads);
+      config.runtime.fault = injector.get();
     }
 
     interp::Engine engine(w.module, config);

@@ -52,6 +52,14 @@ struct MeasureOptions {
   /// two monotonic-clock reads per blocking call; leave off for pure
   /// timing runs, on for the wait-breakdown bands.
   bool profile = false;
+  /// Adversarial timing perturbation (runtime/faultinject.hpp): each
+  /// repetition runs under FaultPlan::timing_chaos(chaos_seed + rep).  Used
+  /// with record_trace to verify determinism under chaos; meaningless for
+  /// timing comparisons (the injected sleeps skew wall time).
+  bool chaos = false;
+  std::uint64_t chaos_seed = 1;
+  /// Stall watchdog window (RuntimeConfig::watchdog_ms); 0 disables.
+  std::uint64_t watchdog_ms = 0;
 };
 
 /// Builds a fresh workload instance from `spec`, applies the configuration,

@@ -1,0 +1,110 @@
+// Determinism under chaos, the fault-injection layer's headline claim:
+// adversarial physical-timing perturbation (random sleeps, yield storms,
+// spin bursts, delayed clock publication) at every sync-op boundary must
+// leave the lock-acquisition trace, the final memory image, the final
+// logical clocks, and the checksum bit-identical to an unperturbed run --
+// for every workload, across a matrix of seeds, in both clock-publication
+// models.  See docs/fault-model.md.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "interp/engine.hpp"
+#include "pass/pipeline.hpp"
+#include "runtime/faultinject.hpp"
+#include "workloads/workloads.hpp"
+
+namespace detlock {
+namespace {
+
+using workloads::all_workloads;
+using workloads::Workload;
+using workloads::WorkloadParams;
+using workloads::WorkloadSpec;
+
+struct RunSignature {
+  std::int64_t checksum = 0;
+  std::uint64_t trace = 0;
+  std::uint64_t memory = 0;
+  std::vector<std::uint64_t> final_clocks;
+
+  bool operator==(const RunSignature&) const = default;
+};
+
+RunSignature run_once(const WorkloadSpec& spec, const WorkloadParams& params,
+                      const pass::PassOptions& options, runtime::ClockPublication publication,
+                      runtime::FaultInjector* fault) {
+  Workload w = spec.factory(params);
+  pass::instrument_module(w.module, options);
+  interp::EngineConfig config;
+  config.deterministic = true;
+  config.memory_words = std::max<std::size_t>(w.memory_words, 1 << 14) * 2;
+  config.runtime.publication = publication;
+  config.runtime.chunk_size = 512;
+  config.runtime.fault = fault;
+  interp::Engine engine(w.module, config);
+  const interp::RunResult r = engine.run(w.main_func);
+  return RunSignature{r.main_return, r.trace_fingerprint, r.memory_fingerprint, r.final_clocks};
+}
+
+WorkloadParams small_params() {
+  WorkloadParams p;
+  p.threads = 4;
+  p.scale = 1;
+  return p;
+}
+
+// Short sleeps keep the whole seed matrix fast; the yield storms and spin
+// bursts are unaffected and remain the scheduler-reshuffling workhorse.
+runtime::FaultPlan fast_chaos(std::uint64_t seed) {
+  runtime::FaultPlan plan = runtime::FaultPlan::timing_chaos(seed);
+  plan.max_sleep_us = 5;
+  return plan;
+}
+
+constexpr std::uint64_t kSeeds[] = {1, 2, 3, 5, 8, 13, 21, 34};
+
+class ChaosPerWorkload : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  const WorkloadSpec& spec() const { return all_workloads()[GetParam()]; }
+};
+
+TEST_P(ChaosPerWorkload, TimingChaosCannotChangeTheOutcome) {
+  const RunSignature clean =
+      run_once(spec(), small_params(), pass::PassOptions::all(),
+               runtime::ClockPublication::kEveryUpdate, nullptr);
+  for (const std::uint64_t seed : kSeeds) {
+    runtime::FaultInjector injector(fast_chaos(seed), runtime::RuntimeConfig{}.max_threads);
+    const RunSignature chaotic =
+        run_once(spec(), small_params(), pass::PassOptions::all(),
+                 runtime::ClockPublication::kEveryUpdate, &injector);
+    EXPECT_EQ(chaotic, clean) << spec().name << " diverged under chaos seed " << seed;
+    EXPECT_GT(injector.stats().sync_ops, 0u) << spec().name;
+  }
+}
+
+TEST_P(ChaosPerWorkload, TimingChaosCannotChangeChunkedPublicationEither) {
+  // kChunked is the timing-sensitive configuration (clocks published late,
+  // in chunks): exactly where a delayed-publication perturbation would bite
+  // if the turn protocol ever read a stale clock unsoundly.
+  const RunSignature clean =
+      run_once(spec(), small_params(), pass::PassOptions::none(),
+               runtime::ClockPublication::kChunked, nullptr);
+  for (const std::uint64_t seed : kSeeds) {
+    runtime::FaultInjector injector(fast_chaos(seed), runtime::RuntimeConfig{}.max_threads);
+    const RunSignature chaotic =
+        run_once(spec(), small_params(), pass::PassOptions::none(),
+                 runtime::ClockPublication::kChunked, &injector);
+    EXPECT_EQ(chaotic, clean) << spec().name << " (kChunked) diverged under chaos seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, ChaosPerWorkload, ::testing::Range<std::size_t>(0, 5),
+                         [](const ::testing::TestParamInfo<std::size_t>& info) {
+                           return std::string(all_workloads()[info.param].name);
+                         });
+
+}  // namespace
+}  // namespace detlock

@@ -1,0 +1,240 @@
+// Engine-level fault and watchdog integration: a guest deadlock is caught,
+// classified, and reported with the exact wait-for cycle; an injected
+// thread death aborts the whole run instead of hanging it; a lost condvar
+// signal is classified as a stall, not a deadlock.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "interp/engine.hpp"
+#include "ir/parser.hpp"
+#include "pass/pipeline.hpp"
+#include "runtime/faultinject.hpp"
+#include "support/error.hpp"
+
+namespace detlock {
+namespace {
+
+// The share/programs/abba_deadlock.dl shape: the compute stretch between
+// each worker's two acquisitions is what lets the deterministic turn
+// protocol interleave the first acquisitions into the deadlock.
+constexpr const char* kAbbaProgram = R"(
+func @worker_ab(1) regs=16 {
+block entry:
+  %1 = const 0
+  %2 = const 1
+  lock %1
+  %4 = const 0
+  %5 = const 64
+  %6 = const 1
+  br spin
+block spin:
+  %4 = add %4, %6
+  %7 = icmp lt %4, %5
+  condbr %7, spin, rest
+block rest:
+  lock %2
+  %3 = const 200
+  store %3, %0
+  unlock %2
+  unlock %1
+  ret
+}
+
+func @worker_ba(1) regs=16 {
+block entry:
+  %1 = const 0
+  %2 = const 1
+  lock %2
+  %4 = const 0
+  %5 = const 64
+  %6 = const 1
+  br spin
+block spin:
+  %4 = add %4, %6
+  %7 = icmp lt %4, %5
+  condbr %7, spin, rest
+block rest:
+  lock %1
+  %3 = const 201
+  store %3, %0
+  unlock %1
+  unlock %2
+  ret
+}
+
+func @main(0) regs=16 {
+block entry:
+  %0 = const 1
+  %1 = spawn @worker_ab(%0)
+  %2 = const 2
+  %3 = spawn @worker_ba(%2)
+  join %1
+  join %3
+  %4 = const 0
+  ret %4
+}
+)";
+
+// Two workers pounding the same mutex; one of them will be killed by the
+// fault plan while holding it.
+constexpr const char* kPounderProgram = R"(
+func @pounder(1) regs=16 {
+block entry:
+  %1 = const 0
+  %2 = const 0
+  %3 = const 40
+  %4 = const 1
+  br loop
+block loop:
+  lock %1
+  store %1, %2
+  unlock %1
+  %2 = add %2, %4
+  %5 = icmp lt %2, %3
+  condbr %5, loop, done
+block done:
+  ret
+}
+
+func @main(0) regs=16 {
+block entry:
+  %0 = const 1
+  %1 = spawn @pounder(%0)
+  %2 = const 2
+  %3 = spawn @pounder(%2)
+  join %1
+  join %3
+  %4 = const 0
+  ret %4
+}
+)";
+
+// One waiter, one signal -- and the fault plan swallows it.  Main's spin
+// stretch pushes its instrumented clock past the waiter's, so the waiter
+// deterministically takes the mutex first and is queued on the condvar
+// before main signals.
+constexpr const char* kLostSignalProgram = R"(
+func @waiter(1) regs=16 {
+block entry:
+  %1 = const 0
+  %2 = const 5
+  lock %1
+  br check
+block check:
+  %3 = load %2
+  %4 = const 0
+  %5 = icmp eq %3, %4
+  condbr %5, wait, done
+block wait:
+  condwait %1, %1
+  br check
+block done:
+  unlock %1
+  ret
+}
+
+func @main(0) regs=16 {
+block entry:
+  %0 = const 0
+  %1 = spawn @waiter(%0)
+  %2 = const 0
+  %3 = const 64
+  %4 = const 1
+  %5 = const 0
+  br spin
+block spin:
+  %5 = add %5, %4
+  %6 = icmp lt %5, %3
+  condbr %6, spin, work
+block work:
+  lock %2
+  %7 = const 5
+  %8 = const 1
+  store %7, %8
+  condsignal %2
+  unlock %2
+  join %1
+  %9 = const 0
+  ret %9
+}
+)";
+
+interp::Engine make_engine(const char* text, ir::Module& module, interp::EngineConfig config) {
+  module = ir::parse_module(text);
+  pass::instrument_module(module, pass::PassOptions::all());
+  config.deterministic = true;
+  return interp::Engine(module, config);
+}
+
+TEST(FaultWatchdog, GuestDeadlockIsDiagnosedWithTheExactCycle) {
+  ir::Module module;
+  interp::EngineConfig config;
+  config.runtime.watchdog_ms = 300;
+  interp::Engine engine = make_engine(kAbbaProgram, module, config);
+  EXPECT_THROW(engine.run("main"), Error);
+
+  ASSERT_NE(engine.watchdog(), nullptr);
+  EXPECT_TRUE(engine.watchdog()->fired());
+  const auto report = engine.watchdog()->report();
+  ASSERT_TRUE(report.has_value());
+  EXPECT_TRUE(report->deadlock);
+  EXPECT_EQ(report->cycle, (std::vector<runtime::ThreadId>{1, 2}));
+  EXPECT_NE(report->text().find("DEADLOCK"), std::string::npos) << report->text();
+  EXPECT_NE(report->json().find("\"cycle\":[1,2]"), std::string::npos) << report->json();
+}
+
+TEST(FaultWatchdog, DisabledWatchdogConstructsNoMonitorAndRunsClean) {
+  // Zero-cost-when-disabled at the engine layer: watchdog_ms = 0 means no
+  // monitor thread, no progress counter, and an untouched fast path.
+  ir::Module module;
+  interp::EngineConfig config;  // watchdog_ms = 0
+  interp::Engine engine = make_engine(kPounderProgram, module, config);
+  EXPECT_EQ(engine.watchdog(), nullptr);
+  (void)engine.run("main");  // terminates normally without any monitor
+}
+
+TEST(FaultWatchdog, InjectedThreadDeathAbortsTheRunInsteadOfHanging) {
+  runtime::FaultPlan plan;
+  plan.die_thread = 1;
+  plan.die_after_ops = 5;
+  plan.die_point = static_cast<int>(runtime::SyncPoint::kLockAcquired);
+  runtime::FaultInjector injector(plan, runtime::RuntimeConfig{}.max_threads);
+
+  ir::Module module;
+  interp::EngineConfig config;
+  config.runtime.fault = &injector;
+  // Watchdog as a backstop only: the cooperative abort must win long before
+  // the window elapses.
+  config.runtime.watchdog_ms = 10'000;
+  interp::Engine engine = make_engine(kPounderProgram, module, config);
+  EXPECT_THROW(engine.run("main"), Error);
+  EXPECT_EQ(injector.stats().deaths, 1u);
+  EXPECT_FALSE(engine.watchdog()->fired()) << "abort should beat the watchdog backstop";
+}
+
+TEST(FaultWatchdog, LostSignalIsClassifiedAsStallNotDeadlock) {
+  runtime::FaultPlan plan;
+  plan.drop_signal_index = 0;  // swallow the only wakeup
+  runtime::FaultInjector injector(plan, runtime::RuntimeConfig{}.max_threads);
+
+  ir::Module module;
+  interp::EngineConfig config;
+  config.runtime.fault = &injector;
+  config.runtime.watchdog_ms = 300;
+  interp::Engine engine = make_engine(kLostSignalProgram, module, config);
+  EXPECT_THROW(engine.run("main"), Error);
+
+  EXPECT_EQ(injector.stats().dropped_signals, 1u) << "the signal must have been swallowed";
+  ASSERT_NE(engine.watchdog(), nullptr);
+  EXPECT_TRUE(engine.watchdog()->fired());
+  const auto report = engine.watchdog()->report();
+  ASSERT_TRUE(report.has_value());
+  EXPECT_FALSE(report->deadlock) << report->text();
+  EXPECT_NE(report->text().find("STALL"), std::string::npos) << report->text();
+  EXPECT_NE(report->json().find("\"type\":\"stall\""), std::string::npos) << report->json();
+}
+
+}  // namespace
+}  // namespace detlock

@@ -1,0 +1,206 @@
+// Hang-freedom under aborts and injected faults: when the abort flag goes
+// up -- externally, from a watchdog, or from a fault-killed thread -- every
+// live thread must unwind with detlock::Error no matter which blocking
+// operation it sits in (turn wait, mutex wait, barrier park, condvar wait,
+// join), and the backend must stay inspectable (stats/trace) afterwards.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "runtime/det_backend.hpp"
+#include "runtime/faultinject.hpp"
+#include "runtime/nondet_backend.hpp"
+
+namespace detlock::runtime {
+namespace {
+
+TEST(Abort, DetExternalAbortUnwindsEveryLiveWaiter) {
+  RuntimeConfig c;
+  c.max_threads = 8;
+  std::atomic<bool> abort_flag{false};
+  c.abort_flag = &abort_flag;
+  DetBackend b(c);
+
+  const ThreadId main_t = b.register_main_thread();
+  // Main takes mutex 0 while it is still alone (the turn is trivially its)
+  // and keeps it for the whole test: the lock waiter below can never win.
+  b.lock(main_t, 0);
+  const ThreadId w_lock = b.register_spawn(main_t);
+  const ThreadId w_join = b.register_spawn(main_t);
+  const ThreadId w_barrier = b.register_spawn(main_t);
+  const ThreadId w_cv = b.register_spawn(main_t);
+  // Push main's clock far above the workers': an idle minimum-clock thread
+  // would otherwise hold the turn forever and the waiters under test would
+  // all be stuck in the same turn wait instead of their own operations.
+  b.clock_add(main_t, 1'000'000);
+
+  std::atomic<int> unwound{0};
+  auto run_guarded = [&](auto body) {
+    return std::thread([&unwound, body] {
+      try {
+        body();
+        ADD_FAILURE() << "worker returned instead of aborting";
+      } catch (const Error&) {
+        unwound.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  };
+  std::thread t_lock = run_guarded([&] { b.lock(w_lock, 0); });
+  std::thread t_join = run_guarded([&] { b.join(w_join, w_lock); });
+  std::thread t_barrier = run_guarded([&] { b.barrier_wait(w_barrier, 0, 5); });
+  std::thread t_cv = run_guarded([&] {
+    b.lock(w_cv, 1);
+    b.cond_wait(w_cv, 0, 1);  // no signal ever comes
+  });
+
+  // Let everyone sink into their blocking operation, then pull the flag.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  abort_flag.store(true, std::memory_order_release);
+  t_lock.join();
+  t_join.join();
+  t_barrier.join();
+  t_cv.join();
+  EXPECT_EQ(unwound.load(), 4);
+
+  // Post-abort the backend is still inspectable -- and still aborting.
+  EXPECT_THROW(b.join(main_t, w_lock), Error);
+  EXPECT_GE(b.stats().lock_acquires, 1u);
+  (void)b.trace().fingerprint();
+}
+
+TEST(Abort, DetFaultDeathUnwindsAllSurvivors) {
+  RuntimeConfig c;
+  c.max_threads = 8;
+  std::atomic<bool> abort_flag{false};
+  c.abort_flag = &abort_flag;
+
+  // Thread 2 dies at its first lock-acquired boundary: mid-critical-section
+  // on mutex 0, which then stays held forever.
+  FaultPlan plan;
+  plan.die_thread = 2;
+  plan.die_after_ops = 0;
+  plan.die_point = static_cast<int>(SyncPoint::kLockAcquired);
+  FaultInjector injector(plan, c.max_threads);
+  c.fault = &injector;
+  DetBackend b(c);
+
+  const ThreadId main_t = b.register_main_thread();
+  // Registration order fixes both thread ids and turn-tie priority: the
+  // condvar waiter goes first so it is parked in its wait before the death.
+  const ThreadId w_cv = b.register_spawn(main_t);
+  const ThreadId w_dies = b.register_spawn(main_t);
+  ASSERT_EQ(w_dies, plan.die_thread);
+  const ThreadId w_join = b.register_spawn(main_t);
+  const ThreadId w_barrier = b.register_spawn(main_t);
+  const ThreadId w_lock = b.register_spawn(main_t);
+  b.clock_add(main_t, 1'000'000);
+
+  std::atomic<int> unwound{0};
+  std::string death_message;
+  std::thread t_cv([&] {
+    try {
+      b.lock(w_cv, 2);
+      b.cond_wait(w_cv, 0, 2);
+      ADD_FAILURE() << "condvar waiter returned";
+    } catch (const Error&) {
+      unwound.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  std::thread t_dies([&] {
+    try {
+      b.lock(w_dies, 0);
+      ADD_FAILURE() << "the doomed thread survived its lock";
+    } catch (const Error& e) {
+      death_message = e.what();
+      // The engine's thread wrapper does exactly this on an escaped
+      // exception; backend-level drivers must mimic it.
+      abort_flag.store(true, std::memory_order_release);
+    }
+  });
+  std::thread t_join([&] {
+    try {
+      b.join(w_join, w_dies);
+      ADD_FAILURE() << "joiner returned";
+    } catch (const Error&) {
+      unwound.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  std::thread t_barrier([&] {
+    try {
+      b.barrier_wait(w_barrier, 0, 6);
+      ADD_FAILURE() << "barrier parker returned";
+    } catch (const Error&) {
+      unwound.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  std::thread t_lock([&] {
+    try {
+      b.lock(w_lock, 0);  // the mutex the dead thread holds
+      ADD_FAILURE() << "lock waiter returned";
+    } catch (const Error&) {
+      unwound.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  t_cv.join();
+  t_dies.join();
+  t_join.join();
+  t_barrier.join();
+  t_lock.join();
+
+  EXPECT_EQ(unwound.load(), 4) << "every survivor must unwind";
+  EXPECT_NE(death_message.find("fault injected"), std::string::npos) << death_message;
+  EXPECT_NE(death_message.find("thread 2"), std::string::npos) << death_message;
+  EXPECT_EQ(injector.stats().deaths, 1u);
+  EXPECT_GE(b.stats().lock_acquires, 1u);
+  (void)b.trace().fingerprint();
+}
+
+TEST(Abort, NondetExternalAbortUnwindsEveryLiveWaiter) {
+  RuntimeConfig c;
+  c.max_threads = 8;
+  std::atomic<bool> abort_flag{false};
+  c.abort_flag = &abort_flag;
+  NondetBackend b(c);
+
+  const ThreadId main_t = b.register_main_thread();
+  b.lock(main_t, 0);  // held for the whole test
+  const ThreadId w_lock = b.register_spawn(main_t);
+  const ThreadId w_join = b.register_spawn(main_t);
+  const ThreadId w_barrier = b.register_spawn(main_t);
+  const ThreadId w_cv = b.register_spawn(main_t);
+
+  std::atomic<int> unwound{0};
+  auto run_guarded = [&](auto body) {
+    return std::thread([&unwound, body] {
+      try {
+        body();
+        ADD_FAILURE() << "worker returned instead of aborting";
+      } catch (const Error&) {
+        unwound.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  };
+  std::thread t_lock = run_guarded([&] { b.lock(w_lock, 0); });
+  std::thread t_join = run_guarded([&] { b.join(w_join, w_lock); });
+  std::thread t_barrier = run_guarded([&] { b.barrier_wait(w_barrier, 0, 5); });
+  std::thread t_cv = run_guarded([&] {
+    b.lock(w_cv, 1);
+    b.cond_wait(w_cv, 0, 1);
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  abort_flag.store(true, std::memory_order_release);
+  t_lock.join();
+  t_join.join();
+  t_barrier.join();
+  t_cv.join();
+  EXPECT_EQ(unwound.load(), 4);
+  EXPECT_GE(b.stats().lock_acquires, 1u);
+}
+
+}  // namespace
+}  // namespace detlock::runtime

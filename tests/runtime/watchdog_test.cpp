@@ -1,0 +1,258 @@
+// Watchdog tests in two halves: pure diagnosis over synthetic snapshots
+// (deadlock vs. stall classification, report rendering), and the live
+// monitor thread (fires on a frozen counter, stays quiet on a moving one,
+// honors the report-only policy).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/clock_table.hpp"
+#include "runtime/watchdog.hpp"
+
+namespace detlock::runtime {
+namespace {
+
+ThreadSnapshot live_thread(ThreadId id, std::uint64_t clock, WaitReason reason,
+                           std::uint64_t target) {
+  ThreadSnapshot t;
+  t.thread = id;
+  t.phase = ThreadPhase::kLive;
+  t.published_clock = clock;
+  t.reason = reason;
+  t.target = target;
+  return t;
+}
+
+MutexSnapshot held_mutex(MutexId id, ThreadId holder, std::uint64_t release_time) {
+  MutexSnapshot m;
+  m.mutex = id;
+  m.held = true;
+  m.holder = holder;
+  m.release_time = release_time;
+  return m;
+}
+
+// The ABBA shape share/programs/abba_deadlock.dl produces: main joins
+// thread 1; threads 1 and 2 each hold one mutex and wait on the other's.
+StallSnapshot abba_snapshot() {
+  StallSnapshot snap;
+  snap.threads.push_back(live_thread(0, 10, WaitReason::kJoin, 1));
+  snap.threads.push_back(live_thread(1, 120, WaitReason::kMutex, 1));
+  snap.threads.push_back(live_thread(2, 95, WaitReason::kMutex, 0));
+  snap.mutexes.push_back(held_mutex(0, 1, 4));
+  snap.mutexes.push_back(held_mutex(1, 2, 0));
+  return snap;
+}
+
+TEST(DiagnoseStall, AbbaCycleIsDeadlock) {
+  const StallReport report = diagnose_stall(abba_snapshot(), 500);
+  ASSERT_TRUE(report.deadlock);
+  ASSERT_EQ(report.cycle.size(), 2u);
+  // Deterministic presentation: the cycle starts at its smallest thread id.
+  EXPECT_EQ(report.cycle[0], 1u);
+  EXPECT_EQ(report.cycle[1], 2u);
+}
+
+TEST(DiagnoseStall, JoinCycleIsDeadlock) {
+  StallSnapshot snap;
+  snap.threads.push_back(live_thread(1, 5, WaitReason::kJoin, 2));
+  snap.threads.push_back(live_thread(2, 6, WaitReason::kJoin, 1));
+  const StallReport report = diagnose_stall(std::move(snap), 100);
+  ASSERT_TRUE(report.deadlock);
+  EXPECT_EQ(report.cycle, (std::vector<ThreadId>{1, 2}));
+}
+
+TEST(DiagnoseStall, TailIntoCycleReportsOnlyTheCycle) {
+  // Thread 0 joins into the cycle but is not part of it.
+  const StallReport report = diagnose_stall(abba_snapshot(), 500);
+  ASSERT_TRUE(report.deadlock);
+  EXPECT_EQ(std::count(report.cycle.begin(), report.cycle.end(), 0u), 0);
+  // The joiner still shows up in the "other live threads" section.
+  EXPECT_NE(report.text().find("joining thread 1"), std::string::npos) << report.text();
+}
+
+TEST(DiagnoseStall, CondvarWaitIsStallNotDeadlock) {
+  // A lost wakeup: the waiter sits on a condvar, nobody holds anything.
+  StallSnapshot snap;
+  snap.threads.push_back(live_thread(0, 40, WaitReason::kJoin, 1));
+  snap.threads.push_back(live_thread(1, 12, WaitReason::kCondVar, 3));
+  const StallReport report = diagnose_stall(std::move(snap), 250);
+  EXPECT_FALSE(report.deadlock);
+  // Slowest live waiter = minimum published clock.
+  EXPECT_EQ(report.slowest, 1u);
+}
+
+TEST(DiagnoseStall, MutexHeldByFinishedThreadIsStall) {
+  // An abandoned mutex (holder died) cannot close a cycle.
+  StallSnapshot snap;
+  snap.threads.push_back(live_thread(1, 30, WaitReason::kMutex, 0));
+  ThreadSnapshot dead;
+  dead.thread = 2;
+  dead.phase = ThreadPhase::kFinished;
+  dead.published_clock = kClockInfinity;
+  snap.threads.push_back(dead);
+  snap.mutexes.push_back(held_mutex(0, 2, 7));
+  const StallReport report = diagnose_stall(std::move(snap), 250);
+  EXPECT_FALSE(report.deadlock);
+  EXPECT_EQ(report.slowest, 1u);
+}
+
+TEST(DiagnoseStall, ParkedClockDoesNotWinSlowest) {
+  // kClockInfinity (parked at a barrier) must lose the minimum-clock race
+  // to any thread with a real published clock.
+  StallSnapshot snap;
+  snap.threads.push_back(live_thread(1, kClockInfinity, WaitReason::kBarrier, 0));
+  snap.threads.push_back(live_thread(2, 77, WaitReason::kTurn, 0));
+  const StallReport report = diagnose_stall(std::move(snap), 100);
+  EXPECT_FALSE(report.deadlock);
+  EXPECT_EQ(report.slowest, 2u);
+}
+
+TEST(StallReport, TextNamesVerdictAndCycleMembers) {
+  StallReport report = diagnose_stall(abba_snapshot(), 500);
+  report.progress_value = 42;
+  const std::string text = report.text();
+  EXPECT_NE(text.find("no sync progress for 500 ms"), std::string::npos) << text;
+  EXPECT_NE(text.find("frozen at 42"), std::string::npos) << text;
+  EXPECT_NE(text.find("DEADLOCK"), std::string::npos) << text;
+  EXPECT_NE(text.find("thread 1 [clock 120] waiting on mutex 1 -- held by thread 2"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("thread 2 [clock 95] waiting on mutex 0 -- held by thread 1"
+                      " (logical release time 4)"),
+            std::string::npos)
+      << text;
+}
+
+TEST(StallReport, JsonCarriesVerdictCycleThreadsAndMutexes) {
+  StallReport report = diagnose_stall(abba_snapshot(), 500);
+  report.progress_value = 42;
+  const std::string json = report.json();
+  EXPECT_NE(json.find("\"type\":\"deadlock\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"cycle\":[1,2]"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"progress\":42"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"mutex\":0,\"held\":true,\"holder\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"reason\":\"join\""), std::string::npos) << json;
+}
+
+TEST(StallReport, StallJsonReportsSlowest) {
+  StallSnapshot snap;
+  snap.threads.push_back(live_thread(1, 12, WaitReason::kCondVar, 3));
+  StallReport report = diagnose_stall(std::move(snap), 250);
+  const std::string json = report.json();
+  EXPECT_NE(json.find("\"type\":\"stall\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"slowest\":1"), std::string::npos) << json;
+  EXPECT_NE(report.text().find("STALL/LIVELOCK"), std::string::npos);
+}
+
+// A StallSource returning a canned snapshot, standing in for a backend.
+class FixedSource : public StallSource {
+ public:
+  explicit FixedSource(StallSnapshot snap) : snap_(std::move(snap)) {}
+  StallSnapshot stall_snapshot() const override { return snap_; }
+
+ private:
+  StallSnapshot snap_;
+};
+
+bool wait_until_fired(const Watchdog& dog, std::chrono::milliseconds deadline) {
+  const auto stop = std::chrono::steady_clock::now() + deadline;
+  while (std::chrono::steady_clock::now() < stop) {
+    if (dog.fired()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return dog.fired();
+}
+
+TEST(Watchdog, FiresOnFrozenCounterAndSetsAbortFlag) {
+  std::atomic<bool> abort_flag{false};
+  std::atomic<std::uint64_t> progress{7};
+  WatchdogConfig config;
+  config.window_ms = 60;
+  config.abort_flag = &abort_flag;
+  config.progress = &progress;
+  FixedSource source(abba_snapshot());
+  Watchdog dog(config, source);
+  dog.start();
+  ASSERT_TRUE(wait_until_fired(dog, std::chrono::seconds(10)));
+  EXPECT_TRUE(abort_flag.load());
+  const auto report = dog.report();
+  ASSERT_TRUE(report.has_value());
+  EXPECT_TRUE(report->deadlock);
+  EXPECT_EQ(report->cycle, (std::vector<ThreadId>{1, 2}));
+  EXPECT_EQ(report->progress_value, 7u);
+  dog.stop();
+}
+
+TEST(Watchdog, ReportOnlyPolicyLeavesAbortFlagClear) {
+  std::atomic<bool> abort_flag{false};
+  std::atomic<std::uint64_t> progress{0};
+  WatchdogConfig config;
+  config.window_ms = 60;
+  config.abort_on_stall = false;
+  config.abort_flag = &abort_flag;
+  config.progress = &progress;
+  FixedSource source(abba_snapshot());
+  Watchdog dog(config, source);
+  dog.start();
+  ASSERT_TRUE(wait_until_fired(dog, std::chrono::seconds(10)));
+  EXPECT_FALSE(abort_flag.load());
+  dog.stop();
+}
+
+TEST(Watchdog, ProgressMotionHoldsFire) {
+  std::atomic<bool> abort_flag{false};
+  std::atomic<std::uint64_t> progress{0};
+  WatchdogConfig config;
+  config.window_ms = 80;
+  config.abort_flag = &abort_flag;
+  config.progress = &progress;
+  FixedSource source(abba_snapshot());
+  Watchdog dog(config, source);
+  dog.start();
+  // Keep bumping the counter for several windows: the watchdog must not fire.
+  const auto stop_at = std::chrono::steady_clock::now() + std::chrono::milliseconds(400);
+  while (std::chrono::steady_clock::now() < stop_at) {
+    progress.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_FALSE(dog.fired());
+  dog.stop();
+  EXPECT_FALSE(dog.fired());
+  EXPECT_FALSE(dog.report().has_value());
+}
+
+TEST(Watchdog, ZeroWindowDisablesStart) {
+  std::atomic<std::uint64_t> progress{0};
+  WatchdogConfig config;
+  config.window_ms = 0;
+  config.progress = &progress;
+  FixedSource source({});
+  Watchdog dog(config, source);
+  dog.start();  // no-op
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(dog.fired());
+  dog.stop();
+}
+
+TEST(Watchdog, StopIsIdempotentAndDestructorSafe) {
+  std::atomic<std::uint64_t> progress{0};
+  WatchdogConfig config;
+  config.window_ms = 10'000;  // will never elapse within the test
+  config.progress = &progress;
+  FixedSource source({});
+  Watchdog dog(config, source);
+  dog.start();
+  dog.stop();
+  dog.stop();
+  EXPECT_FALSE(dog.fired());
+  // Destructor runs stop() again.
+}
+
+}  // namespace
+}  // namespace detlock::runtime

@@ -56,5 +56,51 @@ TEST(SpinWait, ResetRestartsCheapTier) {
   EXPECT_EQ(waiter.iterations(), 0u);
 }
 
+TEST(SpinWait, SleepBackoffFollowsCappedDoublingSchedule) {
+  // pause_limit = yield_limit = 0 puts every wait() in the sleep tier, so
+  // the requested durations are observable through next_sleep_us().
+  SpinWait waiter(0, 0, 100);
+  const std::uint32_t expected[] = {1, 2, 4, 8, 16, 32, 64, 100, 100, 100};
+  for (const std::uint32_t us : expected) {
+    EXPECT_EQ(waiter.next_sleep_us(), us);
+    waiter.wait();
+  }
+  EXPECT_EQ(waiter.next_sleep_us(), 100u);
+}
+
+TEST(SpinWait, SleepBackoffHoldsAtCustomCap) {
+  // A doubling step that would overshoot the cap lands exactly on it and
+  // stays there: 1, 2, 4, 8, 8, 8, ...
+  SpinWait waiter(0, 0, 8);
+  const std::uint32_t expected[] = {1, 2, 4, 8, 8, 8};
+  for (const std::uint32_t us : expected) {
+    EXPECT_EQ(waiter.next_sleep_us(), us);
+    waiter.wait();
+  }
+}
+
+TEST(SpinWait, ResetRestartsSleepBackoff) {
+  SpinWait waiter(0, 0, 100);
+  for (int i = 0; i < 12; ++i) waiter.wait();
+  EXPECT_EQ(waiter.next_sleep_us(), 100u);
+  waiter.reset();
+  EXPECT_EQ(waiter.next_sleep_us(), 1u);
+  waiter.wait();
+  EXPECT_EQ(waiter.next_sleep_us(), 2u);
+}
+
+TEST(SpinWait, DegenerateCapNeverSleepsLongerThanOneMicrosecond) {
+  SpinWait one(0, 0, 1);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(one.next_sleep_us(), 1u);
+    one.wait();
+  }
+  // max_sleep_us = 0 is clamped to 1 rather than sleeping for zero (which
+  // would degrade the tier back into a hard spin).
+  SpinWait zero(0, 0, 0);
+  zero.wait();
+  EXPECT_EQ(zero.next_sleep_us(), 1u);
+}
+
 }  // namespace
 }  // namespace detlock

@@ -23,6 +23,12 @@
 //   --record-schedule=FILE   dump the lock-acquisition schedule after run 1
 //   --check-schedule=FILE    validate each run online against a recording
 //                            (the paper's replica fault-detection use-case)
+//   --watchdog-ms=N          stall watchdog: abort + diagnose after N ms
+//                            without sync progress (see docs/fault-model.md)
+//   --chaos=SEED             determinism-under-chaos mode: one clean run
+//                            plus --chaos-trials timing-perturbed runs,
+//                            fingerprints compared across all of them
+//   --chaos-trials=K         perturbed trials for --chaos           [4]
 //   --entry=NAME             entry function                    [main]
 //   --arg=N                  append an i64 argument (repeatable)
 //
@@ -30,11 +36,13 @@
 //   0  success
 //   1  I/O or internal error
 //   2  usage error
-//   3  repeated runs produced different fingerprints
+//   3  repeated runs (or chaos trials) produced different fingerprints
 //   4  replica diverged from the recorded schedule
 //   5  parse error in the .dl program
 //   6  IR verifier rejected the module
 //   7  static checkers reported at least one error
+//   8  watchdog fired: deadlock (wait-for cycle reported)
+//   9  watchdog fired: stall/livelock (no cycle; slowest waiter reported)
 #include <cstdio>
 #include <cstring>
 #include <limits>
@@ -50,6 +58,7 @@
 #include "ir/printer.hpp"
 #include "ir/verifier.hpp"
 #include "pass/estimates.hpp"
+#include "runtime/faultinject.hpp"
 #include "runtime/profile.hpp"
 #include "runtime/schedule.hpp"
 #include "pass/pipeline.hpp"
@@ -66,6 +75,7 @@ using namespace detlock;
                "usage: %s [--opt=none|1|2|3|4|all] [--placement=start|end] [--nondet]\n"
                "          [--kendo[=CHUNK]] [--runs=N] [--estimates=FILE] [--emit-ir]\n"
                "          [--stats] [--profile] [--trace-out=FILE] [--race-check]\n"
+               "          [--watchdog-ms=N] [--chaos=SEED] [--chaos-trials=K]\n"
                "          [--lint] [--no-lint] [--entry=NAME] [--arg=N]... program.dl\n",
                argv0);
   std::exit(2);
@@ -114,6 +124,10 @@ struct Cli {
   bool auto_lint = true;
   std::string record_schedule_path;
   std::string check_schedule_path;
+  std::uint64_t watchdog_ms = 0;
+  bool chaos = false;
+  std::uint64_t chaos_seed = 1;
+  int chaos_trials = 4;
   std::string entry = "main";
   std::vector<std::int64_t> args;
   std::string program_path;
@@ -172,6 +186,16 @@ Cli parse_cli(int argc, char** argv) {
       cli.lint = true;
     } else if (arg == "--no-lint") {
       cli.auto_lint = false;
+    } else if (arg.rfind("--watchdog-ms=", 0) == 0) {
+      cli.watchdog_ms = static_cast<std::uint64_t>(parse_int_flag(
+          argv[0], "--watchdog-ms", value_of("--watchdog-ms="), 1, 86'400'000));
+    } else if (arg.rfind("--chaos=", 0) == 0) {
+      cli.chaos = true;
+      cli.chaos_seed = static_cast<std::uint64_t>(parse_int_flag(
+          argv[0], "--chaos", value_of("--chaos="), 0, std::numeric_limits<std::int64_t>::max()));
+    } else if (arg.rfind("--chaos-trials=", 0) == 0) {
+      cli.chaos_trials = static_cast<int>(
+          parse_int_flag(argv[0], "--chaos-trials", value_of("--chaos-trials="), 1, 10'000));
     } else if (arg.rfind("--record-schedule=", 0) == 0) {
       cli.record_schedule_path = value_of("--record-schedule=");
     } else if (arg.rfind("--check-schedule=", 0) == 0) {
@@ -268,7 +292,11 @@ int main(int argc, char** argv) {
     if (!cli.check_schedule_path.empty()) {
       expected_schedule = runtime::parse_schedule(read_file(cli.check_schedule_path));
     }
-    for (int run = 0; run < cli.runs; ++run) {
+    // Chaos mode: run 0 is the clean reference, runs 1..K are perturbed by
+    // FaultPlan::timing_chaos with per-trial seeds; determinism demands
+    // every fingerprint matches the reference.
+    const int total_runs = cli.chaos ? 1 + cli.chaos_trials : cli.runs;
+    for (int run = 0; run < total_runs; ++run) {
       ir::Module module = load_module(cli, text);
       const pass::PipelineStats pstats = pass::instrument_module(module, cli.options);
 
@@ -295,8 +323,30 @@ int main(int argc, char** argv) {
       racedetect::LocksetRaceDetector detector;
       if (cli.race_check) config.observer = &detector;
 
+      config.runtime.watchdog_ms = cli.watchdog_ms;
+      std::unique_ptr<runtime::FaultInjector> injector;
+      if (cli.chaos && run > 0) {
+        injector = std::make_unique<runtime::FaultInjector>(
+            runtime::FaultPlan::timing_chaos(cli.chaos_seed + static_cast<std::uint64_t>(run) - 1),
+            cli.threads_max);
+        config.runtime.fault = injector.get();
+      }
+
       interp::Engine engine(module, config);
-      const interp::RunResult result = engine.run(cli.entry, cli.args);
+      interp::RunResult result;
+      try {
+        result = engine.run(cli.entry, cli.args);
+      } catch (const std::exception&) {
+        // A watchdog abort is a diagnosis, not an internal error: print the
+        // report (text + JSON) and exit with the staged code.
+        const runtime::Watchdog* wd = engine.watchdog();
+        if (wd != nullptr && wd->fired()) {
+          const std::optional<runtime::StallReport> report = wd->report();
+          std::printf("%s%s\n", report->text().c_str(), report->json().c_str());
+          return report->deadlock ? 8 : 9;
+        }
+        throw;
+      }
 
       std::printf("run %d: result=%lld  lock-order=%016llx  memory=%016llx  (%llu instrs, %llu locks)\n",
                   run + 1, static_cast<long long>(result.main_return),
@@ -364,6 +414,11 @@ int main(int argc, char** argv) {
                       static_cast<unsigned long long>(detector.accesses_observed()));
         }
       }
+    }
+    if (cli.chaos) {
+      std::printf("%s\n", identical ? "chaos: all perturbed trials bit-identical"
+                                    : "CHAOS DIVERGENCE: timing perturbation changed the outcome");
+      return identical ? 0 : 3;
     }
     if (cli.runs > 1) {
       std::printf("%s\n", identical ? "all runs identical" : "RUNS DIVERGED");
