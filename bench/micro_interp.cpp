@@ -1,14 +1,31 @@
-// Interpreter throughput microbenchmarks (google-benchmark): instructions
-// per second for representative instruction mixes, and the marginal cost of
+// Interpreter throughput microbenchmarks: instructions per second for
+// representative instruction mixes under BOTH execution engines (predecoded
+// direct-threaded vs block-walking reference), and the marginal cost of
 // instrumentation instructions -- the quantity Table I's "After Inserting
 // Clocks" band is made of.
+//
+// Two modes:
+//   (default)   google-benchmark suite, each kernel x each engine.
+//   --compare   self-contained engine comparison: best-of-N wall clock per
+//               kernel per engine, instr/s table on stdout, machine-readable
+//               JSON via --json=FILE (BENCH_interp.json), nonzero exit when
+//               the decoded engine fails --min-ratio=R (default 2.0) on the
+//               arithmetic kernel.  CI runs this as a perf regression gate.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "interp/engine.hpp"
 #include "ir/parser.hpp"
 
 namespace {
 using namespace detlock;
+using interp::EngineKind;
 
 ir::Module arith_loop(int clockadds_per_iter) {
   std::string body;
@@ -37,42 +54,8 @@ block x:
 )");
 }
 
-void BM_InterpreterArithLoop(benchmark::State& state) {
-  const ir::Module m = arith_loop(0);
-  const std::int64_t iters = 50000;
-  std::uint64_t instructions = 0;
-  for (auto _ : state) {
-    interp::EngineConfig config;
-    config.runtime.record_trace = false;
-    config.yield_interval = 0;  // single thread: no need to time-slice
-    interp::Engine engine(m, config);
-    const interp::RunResult r = engine.run("main", {iters});
-    instructions += r.instructions;
-    benchmark::DoNotOptimize(r.main_return);
-  }
-  state.counters["instr/s"] =
-      benchmark::Counter(static_cast<double>(instructions), benchmark::Counter::kIsRate);
-}
-BENCHMARK(BM_InterpreterArithLoop)->Unit(benchmark::kMillisecond);
-
-void BM_InterpreterClockAddOverhead(benchmark::State& state) {
-  // Same loop with N clockadds injected per iteration: measures exactly the
-  // instrumentation cost the DetLock optimizations remove.
-  const ir::Module m = arith_loop(static_cast<int>(state.range(0)));
-  const std::int64_t iters = 50000;
-  for (auto _ : state) {
-    interp::EngineConfig config;
-    config.runtime.record_trace = false;
-    config.yield_interval = 0;
-    interp::Engine engine(m, config);
-    benchmark::DoNotOptimize(engine.run("main", {iters}).main_return);
-  }
-  state.SetLabel(std::to_string(state.range(0)) + " clockadds/iter");
-}
-BENCHMARK(BM_InterpreterClockAddOverhead)->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
-
-void BM_InterpreterCallHeavy(benchmark::State& state) {
-  const ir::Module m = ir::parse_module(R"(
+ir::Module call_heavy() {
+  return ir::parse_module(R"(
 func @leaf(2) {
 block entry:
   %2 = add %0, %1
@@ -97,15 +80,125 @@ block x:
   ret %1
 }
 )");
+}
+
+ir::Module switch_heavy() {
+  // Every iteration dispatches through an 8-case switch: exercises the
+  // sorted-case binary search in both engines.
+  return ir::parse_module(R"(
+func @main(1) regs=16 {
+block entry:
+  %1 = const 0
+  %2 = const 0
+  br h
+block h:
+  %3 = icmp lt %2, %0
+  condbr %3, body, x
+block body:
+  %4 = const 7
+  %5 = and %2, %4
+  switch %5, d, [6: c6, 0: c0, 4: c4, 2: c2, 7: c7, 1: c1, 5: c5, 3: c3]
+block c0:
+  %6 = const 11
+  br j
+block c1:
+  %6 = const 13
+  br j
+block c2:
+  %6 = const 17
+  br j
+block c3:
+  %6 = const 19
+  br j
+block c4:
+  %6 = const 23
+  br j
+block c5:
+  %6 = const 29
+  br j
+block c6:
+  %6 = const 31
+  br j
+block c7:
+  %6 = const 37
+  br j
+block d:
+  %6 = const 1
+  br j
+block j:
+  %1 = add %1, %6
+  %7 = const 1
+  %2 = add %2, %7
+  br h
+block x:
+  ret %1
+}
+)");
+}
+
+interp::EngineConfig bench_config(EngineKind kind) {
+  interp::EngineConfig config;
+  config.engine = kind;
+  config.runtime.record_trace = false;
+  config.yield_interval = 0;  // single thread: no need to time-slice
+  // The kernels are register-only (memset excepted, and it touches <8K
+  // words).  run() fingerprints every memory word inside the timed region,
+  // so the default 1M-word memory would add a multi-millisecond constant
+  // to BOTH engines and mask the interpreter speed being measured.
+  config.memory_words = 1 << 14;
+  return config;
+}
+
+// ---------------------------------------------------------------- gbench --
+
+void BM_InterpreterArithLoop(benchmark::State& state, EngineKind kind) {
+  const ir::Module m = arith_loop(0);
+  const std::int64_t iters = 50000;
+  std::uint64_t instructions = 0;
   for (auto _ : state) {
-    interp::EngineConfig config;
-    config.runtime.record_trace = false;
-    config.yield_interval = 0;
-    interp::Engine engine(m, config);
+    interp::Engine engine(m, bench_config(kind));
+    const interp::RunResult r = engine.run("main", {iters});
+    instructions += r.instructions;
+    benchmark::DoNotOptimize(r.main_return);
+  }
+  state.counters["instr/s"] =
+      benchmark::Counter(static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK_CAPTURE(BM_InterpreterArithLoop, decoded, EngineKind::kDecoded)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_InterpreterArithLoop, reference, EngineKind::kReference)->Unit(benchmark::kMillisecond);
+
+void BM_InterpreterClockAddOverhead(benchmark::State& state) {
+  // Same loop with N clockadds injected per iteration: measures exactly the
+  // instrumentation cost the DetLock optimizations remove.
+  const ir::Module m = arith_loop(static_cast<int>(state.range(0)));
+  const std::int64_t iters = 50000;
+  for (auto _ : state) {
+    interp::Engine engine(m, bench_config(EngineKind::kDecoded));
+    benchmark::DoNotOptimize(engine.run("main", {iters}).main_return);
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " clockadds/iter");
+}
+BENCHMARK(BM_InterpreterClockAddOverhead)->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_InterpreterCallHeavy(benchmark::State& state, EngineKind kind) {
+  const ir::Module m = call_heavy();
+  for (auto _ : state) {
+    interp::Engine engine(m, bench_config(kind));
     benchmark::DoNotOptimize(engine.run("main", {20000}).main_return);
   }
 }
-BENCHMARK(BM_InterpreterCallHeavy)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_InterpreterCallHeavy, decoded, EngineKind::kDecoded)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_InterpreterCallHeavy, reference, EngineKind::kReference)->Unit(benchmark::kMillisecond);
+
+void BM_InterpreterSwitchHeavy(benchmark::State& state, EngineKind kind) {
+  const ir::Module m = switch_heavy();
+  for (auto _ : state) {
+    interp::Engine engine(m, bench_config(kind));
+    benchmark::DoNotOptimize(engine.run("main", {20000}).main_return);
+  }
+}
+BENCHMARK_CAPTURE(BM_InterpreterSwitchHeavy, decoded, EngineKind::kDecoded)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_InterpreterSwitchHeavy, reference, EngineKind::kReference)->Unit(benchmark::kMillisecond);
 
 void BM_InterpreterMemset(benchmark::State& state) {
   const ir::Module m = ir::parse_module(R"(
@@ -121,15 +214,115 @@ block entry:
 }
 )");
   for (auto _ : state) {
-    interp::EngineConfig config;
-    config.runtime.record_trace = false;
-    config.yield_interval = 0;
-    interp::Engine engine(m, config);
+    interp::Engine engine(m, bench_config(EngineKind::kDecoded));
     benchmark::DoNotOptimize(engine.run("main", {state.range(0)}).main_return);
   }
 }
 BENCHMARK(BM_InterpreterMemset)->Arg(256)->Arg(4096)->Unit(benchmark::kMicrosecond);
 
+// --------------------------------------------------------- --compare mode --
+
+struct EngineScore {
+  double instr_per_s = 0.0;
+  std::uint64_t instructions = 0;
+};
+
+EngineScore best_of(const ir::Module& m, EngineKind kind, std::int64_t arg, int reps) {
+  EngineScore best;
+  for (int rep = 0; rep < reps; ++rep) {
+    interp::Engine engine(m, bench_config(kind));
+    const auto start = std::chrono::steady_clock::now();
+    const interp::RunResult r = engine.run("main", {arg});
+    const double seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    const double rate = static_cast<double>(r.instructions) / seconds;
+    if (rate > best.instr_per_s) best = EngineScore{rate, r.instructions};
+  }
+  return best;
+}
+
+int run_compare(const std::string& json_path, double min_ratio, int reps) {
+  struct Kernel {
+    const char* name;
+    ir::Module module;
+    std::int64_t arg;
+  };
+  Kernel kernels[] = {
+      {"arith", arith_loop(0), 400000},
+      {"call", call_heavy(), 200000},
+      {"switch", switch_heavy(), 200000},
+      {"clocked_arith", arith_loop(2), 200000},
+  };
+
+  std::printf("interpreter engine comparison (best of %d, instr/s)\n", reps);
+  std::printf("%-14s %15s %15s %9s\n", "kernel", "reference", "decoded", "speedup");
+  std::string json = "{\n  \"bench\": \"micro_interp\",\n  \"metric\": \"instr_per_s\",\n  \"kernels\": [\n";
+  bool gate_failed = false;
+  bool first = true;
+  for (Kernel& k : kernels) {
+    const EngineScore ref = best_of(k.module, EngineKind::kReference, k.arg, reps);
+    const EngineScore dec = best_of(k.module, EngineKind::kDecoded, k.arg, reps);
+    const double speedup = dec.instr_per_s / ref.instr_per_s;
+    std::printf("%-14s %15.0f %15.0f %8.2fx\n", k.name, ref.instr_per_s, dec.instr_per_s, speedup);
+    if (std::strcmp(k.name, "arith") == 0 && speedup < min_ratio) gate_failed = true;
+    char entry[512];
+    std::snprintf(entry, sizeof entry,
+                  "%s    {\"name\": \"%s\", \"instructions\": %llu, "
+                  "\"reference_instr_per_s\": %.0f, \"decoded_instr_per_s\": %.0f, "
+                  "\"speedup\": %.3f}",
+                  first ? "" : ",\n", k.name,
+                  static_cast<unsigned long long>(dec.instructions), ref.instr_per_s,
+                  dec.instr_per_s, speedup);
+    json += entry;
+    first = false;
+  }
+  json += "\n  ],\n  \"min_ratio\": " + std::to_string(min_ratio) +
+          ",\n  \"gate\": \"" + (gate_failed ? "fail" : "pass") + "\"\n}\n";
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "micro_interp: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    out << json;
+  }
+  if (gate_failed) {
+    std::fprintf(stderr,
+                 "micro_interp: FAIL: decoded engine below %.2fx reference on the arith kernel\n",
+                 min_ratio);
+    return 2;
+  }
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool compare = false;
+  std::string json_path;
+  double min_ratio = 2.0;
+  int reps = 5;
+  std::vector<char*> gbench_args = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--compare") {
+      compare = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg.rfind("--min-ratio=", 0) == 0) {
+      min_ratio = std::stod(arg.substr(12));
+    } else if (arg.rfind("--reps=", 0) == 0) {
+      reps = std::stoi(arg.substr(7));
+    } else {
+      gbench_args.push_back(argv[i]);
+    }
+  }
+  if (compare) return run_compare(json_path, min_ratio, reps);
+
+  int gbench_argc = static_cast<int>(gbench_args.size());
+  benchmark::Initialize(&gbench_argc, gbench_args.data());
+  if (benchmark::ReportUnrecognizedArguments(gbench_argc, gbench_args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,219 @@
+#include "interp/decode.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace detlock::interp {
+
+void build_sorted_cases(const std::vector<ir::Reg>& pairs, std::vector<std::int64_t>& values,
+                        std::vector<std::uint32_t>& targets) {
+  values.clear();
+  targets.clear();
+  values.reserve(pairs.size() / 2);
+  targets.reserve(pairs.size() / 2);
+  // Dedup keeping the FIRST occurrence: the reference linear scan stops at
+  // the first matching pair, so a duplicated case value's later entries are
+  // unreachable and must stay unreachable after sorting.
+  for (std::size_t i = 0; i + 1 < pairs.size(); i += 2) {
+    const std::int64_t value = static_cast<std::int64_t>(pairs[i]);
+    if (std::find(values.begin(), values.end(), value) != values.end()) continue;
+    values.push_back(value);
+    targets.push_back(pairs[i + 1]);
+  }
+  // Insertion-sort both arrays by value (case tables are small; this also
+  // avoids materializing a pair vector).
+  for (std::size_t i = 1; i < values.size(); ++i) {
+    const std::int64_t v = values[i];
+    const std::uint32_t t = targets[i];
+    std::size_t j = i;
+    for (; j > 0 && values[j - 1] > v; --j) {
+      values[j] = values[j - 1];
+      targets[j] = targets[j - 1];
+    }
+    values[j] = v;
+    targets[j] = t;
+  }
+}
+
+namespace {
+
+/// Per-function translation context: flat offset of each block.
+std::vector<std::uint32_t> block_offsets(const ir::Function& func) {
+  std::vector<std::uint32_t> offsets(func.num_blocks(), 0);
+  std::uint32_t offset = 0;
+  for (ir::BlockId b = 0; b < func.num_blocks(); ++b) {
+    offsets[b] = offset;
+    const ir::BasicBlock& block = func.block(b);
+    DETLOCK_CHECK(block.has_terminator(),
+                  "decode: block '" + block.name() + "' in @" + func.name() + " has no terminator");
+    offset += static_cast<std::uint32_t>(block.instrs().size());
+  }
+  return offsets;
+}
+
+/// Decode-time superinstruction fusion over one function's flat code
+/// [begin, end): rewrite the FIRST slot of frequent fall-through pairs to a
+/// fused opcode whose handler executes both slots with a single dispatch.
+/// The second slot is left untouched, so a branch landing on it still
+/// executes the original instruction; and because fusion is in place, no
+/// offset in the already-resolved branch targets changes.  Pairs are
+/// matched greedily and non-overlapping, so a slot is part of at most one
+/// fused pair and every second slot keeps its plain opcode.
+///
+/// The chosen pairs are the compare-and-branch loop header (kICmp +
+/// kCondBr) and the accumulate idioms (constant/multiply/mask feeding an
+/// add) that dominate the instruction mix of arithmetic kernels; every
+/// first op is a non-terminator, so the next flat slot is guaranteed to be
+/// the fall-through successor in the same block.
+/// True if `add` (a plain kAdd slot) consumes `dst`, canonicalizing the
+/// commutative operands so that add.a == dst.  The swap is safe even when a
+/// branch lands on the add directly: wrapping addition is commutative, so
+/// the standalone instruction is unchanged semantically.  Fused handlers
+/// rely on the canonical form to forward the first op's result in a
+/// machine register instead of storing and reloading it.
+bool canonicalize_add_consumer(DecodedInstr& add, std::uint32_t dst) {
+  if (add.a == dst) return true;
+  if (add.b == dst) {
+    std::swap(add.a, add.b);
+    return true;
+  }
+  return false;
+}
+
+void fuse_pairs(DecodedInstr* begin, DecodedInstr* end) {
+  for (DecodedInstr* in = begin; in + 1 < end; ++in) {
+    const std::uint8_t first = in->op;
+    const std::uint8_t second = in[1].op;
+    // Fusion requires the second slot to consume the first slot's result:
+    // the fused handlers forward that value in a register, skipping the
+    // arena round trip.  Longest match first: the loop-closing triple
+    // (bump an induction variable by a constant and branch back to the
+    // header) beats the plain const+add pair.
+    if (first == dop(ir::Opcode::kConst) && second == dop(ir::Opcode::kAdd) && in + 2 < end &&
+        in[2].op == dop(ir::Opcode::kBr) && canonicalize_add_consumer(in[1], in->dst)) {
+      in->op = kFusedConstAddBr;
+      in += 2;  // non-overlapping: the trailing slots stay plain
+      continue;
+    }
+    std::uint8_t fused = first;
+    if (first == dop(ir::Opcode::kICmp) && second == dop(ir::Opcode::kCondBr) &&
+        in[1].a == in->dst) {
+      fused = kFusedICmpBr;
+    } else if (second == dop(ir::Opcode::kAdd) &&
+               (first == dop(ir::Opcode::kConst) || first == dop(ir::Opcode::kMul) ||
+                first == dop(ir::Opcode::kAnd)) &&
+               canonicalize_add_consumer(in[1], in->dst)) {
+      if (first == dop(ir::Opcode::kConst)) fused = kFusedConstAdd;
+      if (first == dop(ir::Opcode::kMul)) fused = kFusedMulAdd;
+      if (first == dop(ir::Opcode::kAnd)) fused = kFusedAndAdd;
+    }
+    if (fused != first) {
+      in->op = fused;
+      ++in;  // non-overlapping: the second slot stays plain
+    }
+  }
+}
+
+}  // namespace
+
+DecodedModule decode_module(const ir::Module& module) {
+  DecodedModule dm;
+  dm.functions.resize(module.functions().size());
+  dm.code.reserve(module.total_instr_count());
+
+  std::vector<std::uint32_t> func_base(module.functions().size(), 0);
+
+  for (ir::FuncId fid = 0; fid < module.functions().size(); ++fid) {
+    const ir::Function& func = module.function(fid);
+    DecodedFunction& df = dm.functions[fid];
+    df.num_params = func.num_params();
+    df.num_regs = std::max(func.num_regs(), func.num_params());
+    df.source = &func;
+    func_base[fid] = static_cast<std::uint32_t>(dm.code.size());
+    if (func.num_blocks() == 0) continue;  // never callable; entry stays null
+
+    const std::vector<std::uint32_t> offsets = block_offsets(func);
+    std::vector<std::int64_t> case_values;
+    std::vector<std::uint32_t> case_targets;
+
+    auto block_target = [&](std::uint64_t block) -> std::uint32_t {
+      DETLOCK_CHECK(block < offsets.size(), "decode: bad branch target in @" + func.name());
+      return offsets[block];
+    };
+
+    for (ir::BlockId b = 0; b < func.num_blocks(); ++b) {
+      for (const ir::Instr& in : func.block(b).instrs()) {
+        DecodedInstr d;
+        d.op = dop(in.op);
+        d.pred = in.pred;
+        d.has_value = in.has_value;
+        d.dst = in.dst;
+        d.a = in.a;
+        d.b = in.b;
+        d.imm = in.imm;
+        d.fimm = in.fimm;
+        switch (in.op) {
+          case ir::Opcode::kBr:
+            d.target = block_target(static_cast<std::uint64_t>(in.imm));
+            break;
+          case ir::Opcode::kCondBr:
+            d.target = block_target(static_cast<std::uint64_t>(in.imm));
+            d.target2 = block_target(in.target2);
+            break;
+          case ir::Opcode::kSwitch: {
+            d.target2 = block_target(static_cast<std::uint64_t>(in.imm));  // default
+            build_sorted_cases(in.args, case_values, case_targets);
+            d.pool = static_cast<std::uint32_t>(dm.case_values.size());
+            d.count = static_cast<std::uint32_t>(case_values.size());
+            for (std::size_t i = 0; i < case_values.size(); ++i) {
+              dm.case_values.push_back(case_values[i]);
+              dm.case_targets.push_back(block_target(case_targets[i]));
+            }
+            break;
+          }
+          case ir::Opcode::kCall:
+          case ir::Opcode::kSpawn: {
+            DETLOCK_CHECK(in.callee < module.functions().size(),
+                          "decode: bad callee in @" + func.name());
+            const ir::Function& callee = module.function(in.callee);
+            DETLOCK_CHECK(in.args.size() == callee.num_params(),
+                          "argument count mismatch calling @" + callee.name());
+            d.callee_id = in.callee;
+            d.pool = static_cast<std::uint32_t>(dm.reg_pool.size());
+            d.count = static_cast<std::uint32_t>(in.args.size());
+            dm.reg_pool.insert(dm.reg_pool.end(), in.args.begin(), in.args.end());
+            break;
+          }
+          case ir::Opcode::kCallExtern: {
+            DETLOCK_CHECK(in.callee < module.externs().size(),
+                          "decode: bad extern callee in @" + func.name());
+            d.callee = nullptr;  // select the union's pointer member
+            d.callee_id = in.callee;
+            d.pool = static_cast<std::uint32_t>(dm.reg_pool.size());
+            d.count = static_cast<std::uint32_t>(in.args.size());
+            dm.reg_pool.insert(dm.reg_pool.end(), in.args.begin(), in.args.end());
+            break;
+          }
+          default:
+            break;
+        }
+        dm.code.push_back(d);
+      }
+    }
+    df.code_size = static_cast<std::uint32_t>(dm.code.size()) - func_base[fid];
+    fuse_pairs(dm.code.data() + func_base[fid], dm.code.data() + dm.code.size());
+  }
+
+  // Pointer fixup after all appends: vector addresses are now stable.
+  for (ir::FuncId fid = 0; fid < dm.functions.size(); ++fid) {
+    DecodedFunction& df = dm.functions[fid];
+    if (df.code_size > 0) df.entry = dm.code.data() + func_base[fid];
+  }
+  for (DecodedInstr& d : dm.code) {
+    if (d.op == dop(ir::Opcode::kCall)) d.callee = &dm.functions[d.callee_id];
+  }
+  return dm;
+}
+
+}  // namespace detlock::interp

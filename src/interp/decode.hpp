@@ -1,0 +1,131 @@
+// Predecode: one-time translation from ir::Function (blocks of variable-
+// size instructions, branch targets as block ids) to a flat, cache-dense
+// representation the direct-threaded execution loop can walk with a single
+// instruction pointer.
+//
+// What decoding buys the hot loop (docs/interp-performance.md):
+//   * One contiguous DecodedInstr array per module: no per-block vector
+//     indirection, no bounds check per instruction, `ip++` instead of
+//     (block, index) bookkeeping.
+//   * kBr/kCondBr/kSwitch targets resolved to flat instruction offsets at
+//     decode time, so taken branches are one pointer assignment.
+//   * kSwitch case tables flattened into shared pools, sorted by case value
+//     and deduplicated (first occurrence wins, matching the reference
+//     engine's first-match linear scan), so dispatch is a binary search.
+//   * kCall callees resolved to DecodedFunction pointers, kCallExtern
+//     callees to ExternImpl pointers (Engine fills these in at run() entry,
+//     once test-registered externs exist), so calls never look anything up.
+//   * Call argument registers flattened into a shared pool: the executor
+//     copies caller registers straight into the callee's arena frame with
+//     no intermediate std::vector.
+//
+// Decoding validates what the reference engine only discovers at run time:
+// every block must end in a terminator and every call's argument count must
+// match the callee, so the flat code cannot "fall off" a block.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/module.hpp"
+
+namespace detlock::interp {
+
+/// Decoded opcodes are a superset of ir::Opcode: values below
+/// ir::kNumOpcodes are exactly the IR opcode; the values after are fused
+/// superinstructions created by the decode-time peephole (fuse_pairs in
+/// decode.cpp).  A fused opcode means "execute this slot's original
+/// operation, then the following slot(s)' operations, with one dispatch" --
+/// the trailing slots keep their original instructions, so branches into
+/// them still execute correctly.
+enum DecodedOp : std::uint8_t {
+  kFusedICmpBr = static_cast<std::uint8_t>(ir::kNumOpcodes),  // kICmp + kCondBr
+  kFusedConstAdd,                                             // kConst + kAdd
+  kFusedMulAdd,                                               // kMul + kAdd
+  kFusedAndAdd,                                               // kAnd + kAdd
+  kFusedConstAddBr,  // kConst + kAdd + kBr: the bump-and-loop-back idiom
+  kNumDecodedOps,
+};
+
+/// ir::Opcode -> decoded opcode value.
+constexpr std::uint8_t dop(ir::Opcode op) { return static_cast<std::uint8_t>(op); }
+
+/// Fixed-size decoded instruction (64 bytes).  Meaning of the slots varies
+/// by opcode exactly as in ir::Instr; control flow and calls use the
+/// decoded fields below instead of block ids / callee ids.
+struct DecodedInstr {
+  std::uint8_t op = 0;  // decoded opcode space (ir::Opcode + fused pairs)
+  ir::CmpPred pred{};
+  bool has_value = false;       // kRet: returns a?
+  std::uint32_t dst = 0;
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  std::int64_t imm = 0;         // constant / mem offset / clock delta
+  /// fimm (kConstF/kFAdd.../kClockAddDyn) and callee (kCall/kCallExtern)
+  /// share a slot: no opcode uses both.  kCall: const DecodedFunction*.
+  /// kCallExtern: const ExternImpl* (null until Engine resolves it; null at
+  /// execution = unimplemented extern, reported through the reference
+  /// engine's lazy-lookup path).
+  union {
+    double fimm = 0.0;
+    const void* callee;
+  };
+  std::uint32_t target = 0;     // kBr target / kCondBr then-target (flat, function-relative)
+  std::uint32_t target2 = 0;    // kCondBr else-target / kSwitch default (flat)
+  std::uint32_t pool = 0;       // first index into the module pools (args / cases)
+  std::uint32_t count = 0;      // number of call args / switch cases
+  std::uint32_t callee_id = 0;  // original FuncId (kCall/kSpawn) or ExternId (kCallExtern)
+  /// Direct-threading: the computed-goto label of this op's handler inside
+  /// Engine::exec_decoded, patched by the Engine at run() entry (the label
+  /// addresses are local to that function).  Dispatch is then one load and
+  /// one indirect jump, with no opcode-to-label table in between.  Null in
+  /// switch-dispatch builds, which dispatch on `op` instead.
+  const void* handler = nullptr;
+};
+static_assert(sizeof(DecodedInstr) == 64, "decoded instructions are cache-line sized");
+
+struct DecodedFunction {
+  /// First instruction; branch targets are offsets from here.  Null only
+  /// for a function with no blocks (calling it is an error).
+  const DecodedInstr* entry = nullptr;
+  std::uint32_t code_size = 0;
+  std::uint32_t num_params = 0;
+  /// Arena frame size in registers (>= num_params).
+  std::uint32_t num_regs = 0;
+  /// Source function (names for error messages, spawn bookkeeping).
+  const ir::Function* source = nullptr;
+};
+
+/// The decoded module: flat code plus the shared operand pools.  Owned by
+/// the Engine; immutable after Engine::run() resolves extern pointers.
+struct DecodedModule {
+  std::vector<DecodedFunction> functions;   // indexed by ir::FuncId
+  std::vector<DecodedInstr> code;           // all functions, concatenated
+  std::vector<std::uint32_t> reg_pool;      // kCall/kCallExtern/kSpawn argument registers
+  std::vector<std::int64_t> case_values;    // kSwitch cases, sorted per switch
+  std::vector<std::uint32_t> case_targets;  // parallel flat targets
+
+  const DecodedFunction& function(ir::FuncId id) const {
+    DETLOCK_CHECK(id < functions.size(), "bad function id (decoded)");
+    return functions[id];
+  }
+};
+
+/// Sentinel frame_base passed to Engine::exec_decoded to request the
+/// computed-goto handler-label table (written into ctx.arena) instead of
+/// executing anything; see resolve_decoded_handlers().
+inline constexpr std::size_t kDecodedLabelQuery = static_cast<std::size_t>(-1);
+
+/// Translates every function of `module`.  Throws detlock::Error on
+/// structural problems (unterminated block, call arity mismatch, bad
+/// target) that the reference engine would only hit at execution time.
+DecodedModule decode_module(const ir::Module& module);
+
+/// A sorted, deduplicated switch-case table (shared helper: the decoded
+/// engine builds them into its pools; the reference engine precomputes one
+/// per kSwitch at Engine construction).  Targets are whatever unit the
+/// caller supplies (flat offsets or block ids).
+void build_sorted_cases(const std::vector<ir::Reg>& pairs, std::vector<std::int64_t>& values,
+                        std::vector<std::uint32_t>& targets);
+
+}  // namespace detlock::interp

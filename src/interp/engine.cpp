@@ -1,56 +1,16 @@
 #include "interp/engine.hpp"
 
-#include <bit>
-#include <cmath>
 #include <thread>
 
+#include "interp/engine_internal.hpp"
 #include "runtime/det_backend.hpp"
 #include "runtime/nondet_backend.hpp"
 #include "support/error.hpp"
 
 namespace detlock::interp {
 
-namespace {
-
-std::int64_t as_i64(std::uint64_t bits) { return static_cast<std::int64_t>(bits); }
-std::uint64_t from_i64(std::int64_t v) { return static_cast<std::uint64_t>(v); }
-double as_f64(std::uint64_t bits) { return std::bit_cast<double>(bits); }
-std::uint64_t from_f64(double v) { return std::bit_cast<std::uint64_t>(v); }
-
-bool eval_cmp(ir::CmpPred pred, std::int64_t a, std::int64_t b) {
-  switch (pred) {
-    case ir::CmpPred::kEq: return a == b;
-    case ir::CmpPred::kNe: return a != b;
-    case ir::CmpPred::kLt: return a < b;
-    case ir::CmpPred::kLe: return a <= b;
-    case ir::CmpPred::kGt: return a > b;
-    case ir::CmpPred::kGe: return a >= b;
-  }
-  DETLOCK_UNREACHABLE("bad predicate");
-}
-
-bool eval_fcmp(ir::CmpPred pred, double a, double b) {
-  switch (pred) {
-    case ir::CmpPred::kEq: return a == b;
-    case ir::CmpPred::kNe: return a != b;
-    case ir::CmpPred::kLt: return a < b;
-    case ir::CmpPred::kLe: return a <= b;
-    case ir::CmpPred::kGt: return a > b;
-    case ir::CmpPred::kGe: return a >= b;
-  }
-  DETLOCK_UNREACHABLE("bad predicate");
-}
-
-}  // namespace
-
-struct Engine::ThreadCtx {
-  runtime::ThreadId tid = 0;
-  std::uint64_t steps = 0;
-  std::uint64_t instrs = 0;
-  std::uint64_t clock_instrs = 0;
-  std::uint32_t since_yield = 0;
-  std::vector<runtime::MutexId> held;
-};
+using engine_detail::as_i64;
+using engine_detail::from_i64;
 
 Engine::Engine(const ir::Module& module, EngineConfig config)
     : module_(module),
@@ -112,6 +72,23 @@ Engine::Engine(const ir::Module& module, EngineConfig config)
   });
 
   extern_impls_.assign(module_.externs().size(), nullptr);
+
+  if (config_.engine == EngineKind::kDecoded) {
+    decoded_ = std::make_unique<DecodedModule>(decode_module(module_));
+  } else {
+    // Reference engine: precompute a sorted case table per kSwitch so the
+    // dispatch is a binary search instead of an O(cases) linear scan.
+    for (const ir::Function& func : module_.functions()) {
+      for (const ir::BasicBlock& block : func.blocks()) {
+        for (const ir::Instr& in : block.instrs()) {
+          if (in.op != ir::Opcode::kSwitch) continue;
+          SwitchTable table;
+          build_sorted_cases(in.args, table.values, table.targets);
+          switch_tables_.emplace(&in, std::move(table));
+        }
+      }
+    }
+  }
 }
 
 Engine::~Engine() {
@@ -137,188 +114,30 @@ std::uint64_t Engine::call_extern(ThreadCtx& ctx, ir::ExternId id, std::vector<s
   return (*impl)(call);
 }
 
-std::uint64_t Engine::exec_function(ThreadCtx& ctx, ir::FuncId func_id, std::vector<std::uint64_t> args) {
-  const ir::Function& func = module_.function(func_id);
-  DETLOCK_CHECK(args.size() == func.num_params(), "argument count mismatch calling @" + func.name());
-  std::vector<std::uint64_t> regs(func.num_regs(), 0);
-  std::copy(args.begin(), args.end(), regs.begin());
-
-  ir::BlockId block = ir::Function::kEntry;
-  std::size_t index = 0;
-  while (true) {
-    const std::vector<ir::Instr>& instrs = func.block(block).instrs();
-    DETLOCK_CHECK(index < instrs.size(), "fell off block '" + func.block(block).name() + "' in @" + func.name());
-    const ir::Instr& in = instrs[index];
-    ++index;
-    ++ctx.instrs;
-    if (++ctx.steps > config_.max_steps_per_thread) {
-      throw Error("thread " + std::to_string(ctx.tid) + " exceeded max_steps_per_thread");
-    }
-    if ((ctx.steps & 0xffff) == 0 && abort_flag_.load(std::memory_order_relaxed)) {
-      throw Error("execution aborted (another thread failed)");
-    }
-    if (config_.yield_interval != 0 && ++ctx.since_yield >= config_.yield_interval) {
-      ctx.since_yield = 0;
-      std::this_thread::yield();
-    }
-
-    switch (in.op) {
-      case ir::Opcode::kConst: regs[in.dst] = from_i64(in.imm); break;
-      case ir::Opcode::kConstF: regs[in.dst] = from_f64(in.fimm); break;
-      case ir::Opcode::kMov: regs[in.dst] = regs[in.a]; break;
-      // add/sub/mul wrap on overflow (two's complement): computed on the
-      // unsigned representation, which is bit-identical to wrapping signed
-      // arithmetic but defined behaviour.  Workload checksum chains rely on
-      // the wraparound.
-      case ir::Opcode::kAdd: regs[in.dst] = regs[in.a] + regs[in.b]; break;
-      case ir::Opcode::kSub: regs[in.dst] = regs[in.a] - regs[in.b]; break;
-      case ir::Opcode::kMul: regs[in.dst] = regs[in.a] * regs[in.b]; break;
-      case ir::Opcode::kDiv: {
-        const std::int64_t d = as_i64(regs[in.b]);
-        DETLOCK_CHECK(d != 0, "division by zero in @" + func.name());
-        regs[in.dst] = from_i64(as_i64(regs[in.a]) / d);
-        break;
-      }
-      case ir::Opcode::kRem: {
-        const std::int64_t d = as_i64(regs[in.b]);
-        DETLOCK_CHECK(d != 0, "remainder by zero in @" + func.name());
-        regs[in.dst] = from_i64(as_i64(regs[in.a]) % d);
-        break;
-      }
-      case ir::Opcode::kAnd: regs[in.dst] = regs[in.a] & regs[in.b]; break;
-      case ir::Opcode::kOr: regs[in.dst] = regs[in.a] | regs[in.b]; break;
-      case ir::Opcode::kXor: regs[in.dst] = regs[in.a] ^ regs[in.b]; break;
-      case ir::Opcode::kShl: regs[in.dst] = regs[in.a] << (regs[in.b] & 63); break;
-      case ir::Opcode::kShr: regs[in.dst] = from_i64(as_i64(regs[in.a]) >> (regs[in.b] & 63)); break;
-      case ir::Opcode::kFAdd: regs[in.dst] = from_f64(as_f64(regs[in.a]) + as_f64(regs[in.b])); break;
-      case ir::Opcode::kFSub: regs[in.dst] = from_f64(as_f64(regs[in.a]) - as_f64(regs[in.b])); break;
-      case ir::Opcode::kFMul: regs[in.dst] = from_f64(as_f64(regs[in.a]) * as_f64(regs[in.b])); break;
-      case ir::Opcode::kFDiv: regs[in.dst] = from_f64(as_f64(regs[in.a]) / as_f64(regs[in.b])); break;
-      case ir::Opcode::kFSqrt: regs[in.dst] = from_f64(std::sqrt(as_f64(regs[in.a]))); break;
-      case ir::Opcode::kICmp:
-        regs[in.dst] = eval_cmp(in.pred, as_i64(regs[in.a]), as_i64(regs[in.b])) ? 1 : 0;
-        break;
-      case ir::Opcode::kFCmp:
-        regs[in.dst] = eval_fcmp(in.pred, as_f64(regs[in.a]), as_f64(regs[in.b])) ? 1 : 0;
-        break;
-      case ir::Opcode::kItoF: regs[in.dst] = from_f64(static_cast<double>(as_i64(regs[in.a]))); break;
-      case ir::Opcode::kFtoI: regs[in.dst] = from_i64(static_cast<std::int64_t>(as_f64(regs[in.a]))); break;
-      case ir::Opcode::kLoad:
-      case ir::Opcode::kLoadF: {
-        const std::int64_t addr = as_i64(regs[in.a]) + in.imm;
-        if (config_.observer != nullptr) config_.observer->on_access(ctx.tid, addr, false, ctx.held);
-        regs[in.dst] = from_i64(memory_.load(addr));
-        break;
-      }
-      case ir::Opcode::kStore:
-      case ir::Opcode::kStoreF: {
-        const std::int64_t addr = as_i64(regs[in.a]) + in.imm;
-        if (config_.observer != nullptr) config_.observer->on_access(ctx.tid, addr, true, ctx.held);
-        memory_.store(addr, as_i64(regs[in.b]));
-        break;
-      }
-      case ir::Opcode::kBr:
-        block = static_cast<ir::BlockId>(in.imm);
-        index = 0;
-        break;
-      case ir::Opcode::kCondBr:
-        block = regs[in.a] != 0 ? static_cast<ir::BlockId>(in.imm) : in.target2;
-        index = 0;
-        break;
-      case ir::Opcode::kSwitch: {
-        ir::BlockId target = static_cast<ir::BlockId>(in.imm);
-        const std::int64_t value = as_i64(regs[in.a]);
-        for (std::size_t i = 0; i + 1 < in.args.size(); i += 2) {
-          if (static_cast<std::int64_t>(in.args[i]) == value) {
-            target = static_cast<ir::BlockId>(in.args[i + 1]);
-            break;
-          }
-        }
-        block = target;
-        index = 0;
-        break;
-      }
-      case ir::Opcode::kRet:
-        return in.has_value ? regs[in.a] : 0;
-      case ir::Opcode::kCall: {
-        std::vector<std::uint64_t> call_args;
-        call_args.reserve(in.args.size());
-        for (ir::Reg r : in.args) call_args.push_back(regs[r]);
-        regs[in.dst] = exec_function(ctx, in.callee, std::move(call_args));
-        break;
-      }
-      case ir::Opcode::kCallExtern: {
-        std::vector<std::uint64_t> call_args;
-        call_args.reserve(in.args.size());
-        for (ir::Reg r : in.args) call_args.push_back(regs[r]);
-        regs[in.dst] = call_extern(ctx, in.callee, std::move(call_args));
-        break;
-      }
-      case ir::Opcode::kLock: {
-        const runtime::MutexId mutex = static_cast<runtime::MutexId>(as_i64(regs[in.a]));
-        backend_->lock(ctx.tid, mutex);
-        ctx.held.push_back(mutex);
-        break;
-      }
-      case ir::Opcode::kUnlock: {
-        const runtime::MutexId mutex = static_cast<runtime::MutexId>(as_i64(regs[in.a]));
-        backend_->unlock(ctx.tid, mutex);
-        auto it = std::find(ctx.held.begin(), ctx.held.end(), mutex);
-        if (it != ctx.held.end()) ctx.held.erase(it);
-        break;
-      }
-      case ir::Opcode::kBarrier:
-        backend_->barrier_wait(ctx.tid, static_cast<runtime::BarrierId>(as_i64(regs[in.a])),
-                               static_cast<std::uint32_t>(as_i64(regs[in.b])));
-        if (config_.observer != nullptr) config_.observer->on_barrier(ctx.tid);
-        break;
-      case ir::Opcode::kCondWait:
-        // The mutex is released for the duration of the wait and reacquired
-        // before return, so the engine-side lockset is unchanged on exit.
-        backend_->cond_wait(ctx.tid, static_cast<runtime::CondVarId>(as_i64(regs[in.a])),
-                            static_cast<runtime::MutexId>(as_i64(regs[in.b])));
-        break;
-      case ir::Opcode::kCondSignal:
-        backend_->cond_signal(ctx.tid, static_cast<runtime::CondVarId>(as_i64(regs[in.a])));
-        break;
-      case ir::Opcode::kCondBroadcast:
-        backend_->cond_broadcast(ctx.tid, static_cast<runtime::CondVarId>(as_i64(regs[in.a])));
-        break;
-      case ir::Opcode::kSpawn: {
-        std::vector<std::uint64_t> call_args;
-        call_args.reserve(in.args.size());
-        for (ir::Reg r : in.args) call_args.push_back(regs[r]);
-        const runtime::ThreadId child = backend_->register_spawn(ctx.tid);
-        spawned_count_.fetch_add(1, std::memory_order_relaxed);
-        os_threads_[child] =
-            std::thread(&Engine::thread_main, this, child, in.callee, std::move(call_args));
-        regs[in.dst] = from_i64(child);
-        break;
-      }
-      case ir::Opcode::kJoin: {
-        const std::int64_t handle = as_i64(regs[in.a]);
-        DETLOCK_CHECK(handle >= 0 && static_cast<std::size_t>(handle) < os_threads_.size() &&
-                          os_threads_[static_cast<std::size_t>(handle)].joinable(),
-                      "join of never-spawned or already-joined thread " + std::to_string(handle));
-        const runtime::ThreadId target = static_cast<runtime::ThreadId>(handle);
-        backend_->join(ctx.tid, target);
-        os_threads_[target].join();
-        if (config_.observer != nullptr) config_.observer->on_join(ctx.tid, target);
-        break;
-      }
-      case ir::Opcode::kClockAdd:
-        ++ctx.clock_instrs;
-        backend_->clock_add(ctx.tid, static_cast<std::uint64_t>(in.imm));
-        break;
-      case ir::Opcode::kClockAddDyn: {
-        ++ctx.clock_instrs;
-        const double scaled = in.fimm * static_cast<double>(as_i64(regs[in.a]));
-        const std::int64_t delta = in.imm + static_cast<std::int64_t>(std::llround(std::max(0.0, scaled)));
-        backend_->clock_add(ctx.tid, static_cast<std::uint64_t>(std::max<std::int64_t>(delta, 0)));
-        break;
-      }
-    }
+void Engine::resolve_decoded_externs() {
+  for (DecodedInstr& in : decoded_->code) {
+    if (in.op != dop(ir::Opcode::kCallExtern) || in.callee != nullptr) continue;
+    const std::string& name = module_.extern_decl(in.callee_id).name;
+    // Unregistered externs stay null: executing one routes through
+    // call_extern's lazy path, which throws the canonical error message.
+    if (externs_.has(name)) in.callee = &externs_.lookup(name);
   }
+}
+
+std::uint64_t Engine::exec_function(ThreadCtx& ctx, ir::FuncId func_id, std::vector<std::uint64_t> args) {
+  if (decoded_ != nullptr) {
+    const DecodedFunction& func = decoded_->function(func_id);
+    DETLOCK_CHECK(args.size() == func.num_params,
+                  "argument count mismatch calling @" + module_.function(func_id).name());
+    if (ctx.arena.size() < func.num_regs) ctx.arena.resize(std::max<std::size_t>(func.num_regs, 64));
+    std::uint64_t* regs = ctx.arena.data();
+    std::copy(args.begin(), args.end(), regs);
+    std::fill(regs + args.size(), regs + func.num_regs, 0);
+    if (config_.observer != nullptr) return exec_decoded<true>(ctx, func, 0);
+    return exec_decoded<false>(ctx, func, 0);
+  }
+  if (config_.observer != nullptr) return exec_reference<true>(ctx, func_id, std::move(args));
+  return exec_reference<false>(ctx, func_id, std::move(args));
 }
 
 void Engine::thread_main(runtime::ThreadId tid, ir::FuncId func, std::vector<std::uint64_t> args) {
@@ -347,6 +166,10 @@ RunResult Engine::run(std::string_view entry_name, const std::vector<std::int64_
 RunResult Engine::run(ir::FuncId entry, const std::vector<std::int64_t>& args) {
   DETLOCK_CHECK(!ran_, "an Engine can only run once");
   ran_ = true;
+  if (decoded_ != nullptr) {
+    resolve_decoded_externs();
+    resolve_decoded_handlers();
+  }
 
   if (watchdog_ != nullptr) watchdog_->start();
   const runtime::ThreadId main_tid = backend_->register_main_thread();
@@ -394,6 +217,7 @@ RunResult Engine::run(ir::FuncId entry, const std::vector<std::int64_t>& args) {
   result.memory_fingerprint = memory_.fingerprint();
   result.sync = backend_->stats();
   result.final_clocks.assign(final_clocks_.begin(), final_clocks_.begin() + result.threads);
+  result.per_thread_instructions.assign(instr_counts_.begin(), instr_counts_.begin() + result.threads);
   return result;
 }
 

@@ -16,8 +16,10 @@
 #include <atomic>
 #include <memory>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
+#include "interp/decode.hpp"
 #include "interp/externs.hpp"
 #include "interp/observer.hpp"
 #include "ir/module.hpp"
@@ -28,9 +30,22 @@
 
 namespace detlock::interp {
 
+/// Which execution engine runs the IR.
+///
+///   kDecoded   -- predecoded direct-threaded engine (interp/decode.hpp):
+///                 flat code, computed-goto dispatch, arena register frames.
+///                 The default: every mode (det/nondet/kendo), the observer
+///                 hook, and all sync opcodes behave identically to the
+///                 reference engine (proven by tests/interp/
+///                 decoded_equivalence_test.cpp).
+///   kReference -- the original block-walking switch interpreter, kept as
+///                 the executable specification and differential baseline.
+enum class EngineKind { kDecoded, kReference };
+
 struct EngineConfig {
   /// true: DetBackend (configured by `runtime`); false: NondetBackend.
   bool deterministic = true;
+  EngineKind engine = EngineKind::kDecoded;
   runtime::RuntimeConfig runtime;
 
   std::size_t memory_words = 1 << 20;
@@ -71,6 +86,10 @@ struct RunResult {
   runtime::BackendStats sync;
   /// Published logical clock of each thread just before it finished.
   std::vector<std::uint64_t> final_clocks;
+  /// Executed IR instructions per thread (indexed by ThreadId; same length
+  /// as final_clocks).  The differential tests assert these match across
+  /// engines thread by thread, not just in total.
+  std::vector<std::uint64_t> per_thread_instructions;
 };
 
 class Engine {
@@ -107,12 +126,44 @@ class Engine {
  private:
   struct ThreadCtx;
 
+  /// Sorted switch-case table for the reference engine (decoded switches
+  /// live in DecodedModule's pools instead).
+  struct SwitchTable {
+    std::vector<std::int64_t> values;    // sorted, deduplicated
+    std::vector<std::uint32_t> targets;  // parallel block ids
+  };
+
+  /// Entry point per thread: dispatches on EngineConfig::engine and the
+  /// observer variant, then runs the whole call tree in that variant.
   std::uint64_t exec_function(ThreadCtx& ctx, ir::FuncId func, std::vector<std::uint64_t> args);
+  /// Reference block-walking loop (engine_reference.cpp); recurses into
+  /// itself for kCall so the observer test happens once per thread, not
+  /// once per load/store.
+  template <bool kObserve>
+  std::uint64_t exec_reference(ThreadCtx& ctx, ir::FuncId func, std::vector<std::uint64_t> args);
+  /// Direct-threaded loop over decoded code (engine_decoded.cpp).  The
+  /// frame occupies ctx.arena[frame_base, frame_base + func.num_regs);
+  /// parameters are already in place when called.
+  template <bool kObserve>
+  std::uint64_t exec_decoded(ThreadCtx& ctx, const DecodedFunction& func, std::size_t frame_base);
   std::uint64_t call_extern(ThreadCtx& ctx, ir::ExternId id, std::vector<std::uint64_t> args);
   void thread_main(runtime::ThreadId tid, ir::FuncId func, std::vector<std::uint64_t> args);
+  /// Fills DecodedInstr::callee for every kCallExtern whose implementation
+  /// is registered (run() entry: after test-registered externs exist).
+  void resolve_decoded_externs();
+  /// Direct-threading (run() entry): patches DecodedInstr::handler with the
+  /// computed-goto label of each opcode's handler in the exec_decoded
+  /// instantiation this run will use.  No-op in switch-dispatch builds.
+  void resolve_decoded_handlers();
 
   const ir::Module& module_;
   EngineConfig config_;
+  /// Present iff config_.engine == kDecoded (built at construction).
+  std::unique_ptr<DecodedModule> decoded_;
+  /// Reference engine only: per-kSwitch sorted case tables, keyed by
+  /// instruction address (stable: the engine holds the module by const
+  /// reference and nothing mutates it after construction).
+  std::unordered_map<const ir::Instr*, SwitchTable> switch_tables_;
   runtime::SharedMemory memory_;
   std::unique_ptr<runtime::Profiler> profiler_;  // owned iff runtime.profile was set
   std::unique_ptr<runtime::SyncBackend> backend_;

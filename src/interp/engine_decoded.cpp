@@ -1,0 +1,556 @@
+// The predecoded direct-threaded execution engine.
+//
+// Runs the flat DecodedInstr code produced by interp/decode.cpp with a
+// single instruction pointer and (on GCC/Clang) computed-goto dispatch:
+// every opcode body ends by loading the next instruction and jumping
+// straight to its label, giving each opcode its own indirect branch for the
+// hardware predictor instead of funnelling every instruction through one
+// shared switch branch.  Define DETLOCK_DISPATCH_SWITCH to force the
+// portable switch loop (used to verify both dispatch strategies behave
+// identically).
+//
+// Register frames live in ThreadCtx::arena, caller below callee; calls are
+// handled with an explicit frame stack (no C++ recursion), so a guest call
+// is two pointer copies, a zero-fill, and a frame push -- no allocation on
+// the hot path.
+//
+// Instruction counting is anchor-based: straight-line opcodes do no
+// counting at all, and the exact executed count is recovered as
+// anchor_count + (ip - anchor_ip) whenever it is needed.  Control
+// transfers (branch, switch, call, ret) fold the pointer distance into
+// anchor_count and run the step-limit / abort-poll / yield checks there,
+// batched behind a single compare against `next_check`.  The counts
+// everything outside this loop observes -- per-thread instruction totals,
+// profiler numbers, counts at observer callbacks and throw sites -- are
+// exactly reference-identical (the differential tests require it); only
+// the cadence of the checks batches up to one basic block, which no
+// observable result depends on.  See docs/interp-performance.md.
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+#include "interp/engine_internal.hpp"
+
+#if defined(__GNUC__) && !defined(DETLOCK_DISPATCH_SWITCH)
+#define DL_CGOTO 1
+#else
+#define DL_CGOTO 0
+#endif
+
+#if defined(__GNUC__)
+#define DL_UNLIKELY(x) __builtin_expect(!!(x), 0)
+#define DL_NOINLINE __attribute__((noinline))
+#else
+#define DL_UNLIKELY(x) (x)
+#define DL_NOINLINE
+#endif
+
+namespace detlock::interp {
+
+using namespace engine_detail;
+
+// The computed-goto label table is written in enum order; anchor that order
+// so an opcode insertion fails loudly here instead of dispatching wrong.
+static_assert(static_cast<int>(ir::Opcode::kConst) == 0);
+static_assert(static_cast<int>(ir::Opcode::kShr) == 12);
+static_assert(static_cast<int>(ir::Opcode::kFtoI) == 21);
+static_assert(static_cast<int>(ir::Opcode::kStoreF) == 25);
+static_assert(static_cast<int>(ir::Opcode::kRet) == 29);
+static_assert(static_cast<int>(ir::Opcode::kClockAddDyn) == 41);
+static_assert(ir::kNumOpcodes == 42);
+static_assert(kNumDecodedOps == 47);
+
+/// Updated hot-loop counters returned by the out-of-line bookkeeping slow
+/// path (returned by value so the loop locals are never address-taken).
+struct BookkeepState {
+  std::uint64_t last_yield;
+  std::uint64_t next_abort_at;
+  std::uint64_t next_check;
+};
+
+template <bool kObserve>
+std::uint64_t Engine::exec_decoded(ThreadCtx& ctx, const DecodedFunction& func,
+                                   std::size_t frame_base) {
+#if DL_CGOTO
+  // One entry per opcode, decoded-opcode order (ir enum order, then the
+  // fused superinstructions).  kLoadF/kStoreF share the kLoad/kStore
+  // bodies (same untyped 64-bit slots), so their entries alias.  The table
+  // is only consulted by resolve_decoded_handlers(), which copies each
+  // label into DecodedInstr::handler; dispatch then jumps through the
+  // instruction directly (direct threading) and never indexes this table.
+  static const void* const kLabels[kNumDecodedOps] = {
+      &&lbl_kConst, &&lbl_kConstF, &&lbl_kMov,
+      &&lbl_kAdd, &&lbl_kSub, &&lbl_kMul, &&lbl_kDiv, &&lbl_kRem,
+      &&lbl_kAnd, &&lbl_kOr, &&lbl_kXor, &&lbl_kShl, &&lbl_kShr,
+      &&lbl_kFAdd, &&lbl_kFSub, &&lbl_kFMul, &&lbl_kFDiv, &&lbl_kFSqrt,
+      &&lbl_kICmp, &&lbl_kFCmp, &&lbl_kItoF, &&lbl_kFtoI,
+      &&lbl_kLoad, &&lbl_kStore, &&lbl_kLoad /* kLoadF */, &&lbl_kStore /* kStoreF */,
+      &&lbl_kBr, &&lbl_kCondBr, &&lbl_kSwitch, &&lbl_kRet,
+      &&lbl_kCall, &&lbl_kCallExtern,
+      &&lbl_kLock, &&lbl_kUnlock, &&lbl_kBarrier, &&lbl_kSpawn, &&lbl_kJoin,
+      &&lbl_kCondWait, &&lbl_kCondSignal, &&lbl_kCondBroadcast,
+      &&lbl_kClockAdd, &&lbl_kClockAddDyn,
+      &&lbl_kFusedICmpBr, &&lbl_kFusedConstAdd, &&lbl_kFusedMulAdd, &&lbl_kFusedAndAdd,
+      &&lbl_kFusedConstAddBr,
+  };
+  if (DL_UNLIKELY(frame_base == kDecodedLabelQuery)) {
+    // Label-address query from resolve_decoded_handlers(): report the
+    // handler table through ctx.arena instead of executing anything.
+    ctx.arena.resize(kNumDecodedOps);
+    for (std::size_t i = 0; i < kNumDecodedOps; ++i) {
+      ctx.arena[i] = reinterpret_cast<std::uintptr_t>(kLabels[i]);
+    }
+    return 0;
+  }
+#endif
+  DETLOCK_CHECK(func.entry != nullptr, "call of empty function @" + func.source->name());
+  const DecodedModule& dm = *decoded_;
+  const DecodedFunction* cur = &func;
+  const DecodedInstr* base = func.entry;
+  const DecodedInstr* ip = base;
+  const DecodedInstr* in = nullptr;
+  std::uint64_t* regs = ctx.arena.data() + frame_base;
+
+  /// One entry per in-flight guest call: where to resume in the caller.
+  struct Frame {
+    const DecodedInstr* ret_ip;
+    const DecodedInstr* ret_base;
+    const DecodedFunction* func;
+    std::size_t frame_base;
+    std::uint32_t ret_dst;
+  };
+  std::vector<Frame> frames;
+
+  // Hot-loop locals: loaded once, held in registers across the dispatch.
+  const std::uint64_t max_steps = config_.max_steps_per_thread;
+  const std::uint32_t yield_interval = config_.yield_interval;
+  const std::uint64_t mem_words = memory_.size();
+  // Anchor-based instruction counting: straight-line execution does no
+  // counting at all.  The exact executed count is always recoverable as
+  //   anchor_count + (ip - anchor_ip)
+  // because flat code between control transfers is sequential; every
+  // non-sequential ip change (branch, switch, call, ret) folds the pointer
+  // distance into anchor_count and re-anchors.  The step-limit / abort /
+  // yield checks run at those fold points instead of per instruction --
+  // the COUNTS everything outside the loop sees stay exactly reference-
+  // identical (they are synced before every blocking call, observer
+  // callback, throw site, and at return), while the check cadence batches
+  // up to one basic block, which no observable result depends on.
+  std::uint64_t anchor_count = ctx.instrs;
+  const DecodedInstr* anchor_ip = ip;
+  // Count value at the most recent yield; (count - last_yield) is the
+  // reference engine's since_yield counter.
+  std::uint64_t last_yield = anchor_count - ctx.since_yield;
+  // The reference engine throws when the count EXCEEDS max_steps, i.e. at
+  // count max_steps + 1 (saturated against overflow).
+  const std::uint64_t limit_at = max_steps + 1 == 0 ? max_steps : max_steps + 1;
+  // The reference engine polls the abort flag every 0x10000 instructions;
+  // batched counting can step past a boundary, so track the next poll
+  // point explicitly.
+  std::uint64_t next_abort_at = (anchor_count | 0xffff) + 1;
+  // Next count at which the step limit, an abort poll, or a cooperative
+  // yield is due.  Checkpoints only compare against this; the slow path
+  // below recomputes it with the same formula.
+  std::uint64_t next_check = next_abort_at;
+  if (yield_interval != 0) {
+    next_check = std::min<std::uint64_t>(next_check, last_yield + yield_interval);
+  }
+  next_check = std::min(next_check, limit_at);
+
+  // Slow half of the checkpoint.  Deliberately takes the hot counters BY
+  // VALUE and returns the updated triple: if the loop locals were captured
+  // by reference they would be address-taken and the compiler would have
+  // to keep them in stack slots across every opcode body.  noinline keeps
+  // the throw/yield machinery out of the opcode bodies.
+  const auto bookkeep_slow = [this, &ctx, max_steps, yield_interval, limit_at](
+                                 std::uint64_t now, std::uint64_t yielded_at,
+                                 std::uint64_t abort_at)
+                                 DL_NOINLINE -> BookkeepState {
+    if (now > max_steps) {
+      ctx.instrs = now;
+      ctx.since_yield = static_cast<std::uint32_t>(now - yielded_at);
+      throw Error("thread " + std::to_string(ctx.tid) + " exceeded max_steps_per_thread");
+    }
+    if (now >= abort_at) {
+      abort_at = (now | 0xffff) + 1;
+      if (abort_flag_.load(std::memory_order_relaxed)) {
+        ctx.instrs = now;
+        ctx.since_yield = static_cast<std::uint32_t>(now - yielded_at);
+        throw Error("execution aborted (another thread failed)");
+      }
+    }
+    if (yield_interval != 0 && now - yielded_at >= yield_interval) {
+      yielded_at = now;
+      std::this_thread::yield();
+    }
+    std::uint64_t next = abort_at;
+    if (yield_interval != 0) next = std::min<std::uint64_t>(next, yielded_at + yield_interval);
+    return BookkeepState{yielded_at, abort_at, std::min(next, limit_at)};
+  };
+
+// Fold the straight-line run since the last anchor into the exact count
+// and run the step-limit / abort / yield checks.  Placed at every
+// non-sequential ip change; the handler must re-anchor (anchor_ip = ip)
+// after redirecting ip.
+#define DL_CHECKPOINT()                                                        \
+  do {                                                                         \
+    anchor_count += static_cast<std::uint64_t>(ip - anchor_ip);                \
+    anchor_ip = ip;                                                            \
+    if (DL_UNLIKELY(anchor_count >= next_check)) {                             \
+      const BookkeepState s_ = bookkeep_slow(anchor_count, last_yield, next_abort_at); \
+      last_yield = s_.last_yield;                                              \
+      next_abort_at = s_.next_abort_at;                                        \
+      next_check = s_.next_check;                                              \
+    }                                                                          \
+  } while (0)
+// Publish the exact executed count before anything that can block, call
+// out, or throw, so code outside the loop (profiler, RunResult totals,
+// error reporting) sees reference-identical counts.
+#define DL_SYNC()                                                              \
+  do {                                                                         \
+    const std::uint64_t n_ = anchor_count + static_cast<std::uint64_t>(ip - anchor_ip); \
+    ctx.instrs = n_;                                                           \
+    ctx.since_yield = static_cast<std::uint32_t>(n_ - last_yield);             \
+  } while (0)
+
+#if DL_CGOTO
+#define DL_CASE(name) lbl_##name:
+#define DL_FCASE(name) lbl_##name:
+#define DL_ALIAS(name) /* aliased in the label table */
+// Direct-threaded dispatch: the handler label is IN the instruction
+// (patched by resolve_decoded_handlers at run() entry), so dispatch is one
+// load and one indirect jump -- no opcode byte, no label-table indexing.
+#define DL_NEXT()                                        \
+  do {                                                   \
+    in = ip++;                                           \
+    goto* in->handler;                                   \
+  } while (0)
+
+  DL_NEXT();  // dispatch the first instruction
+#else
+#define DL_CASE(name) case dop(ir::Opcode::name):
+#define DL_FCASE(name) case name:
+#define DL_ALIAS(name) case dop(ir::Opcode::name):
+#define DL_NEXT() continue
+
+  for (;;) {
+    in = ip++;
+    switch (in->op) {
+#endif
+
+  DL_CASE(kConst) regs[in->dst] = from_i64(in->imm); DL_NEXT();
+  DL_CASE(kConstF) regs[in->dst] = from_f64(in->fimm); DL_NEXT();
+  DL_CASE(kMov) regs[in->dst] = regs[in->a]; DL_NEXT();
+  // add/sub/mul wrap on overflow, computed on the unsigned representation
+  // (same rationale as the reference engine).
+  DL_CASE(kAdd) regs[in->dst] = regs[in->a] + regs[in->b]; DL_NEXT();
+  DL_CASE(kSub) regs[in->dst] = regs[in->a] - regs[in->b]; DL_NEXT();
+  DL_CASE(kMul) regs[in->dst] = regs[in->a] * regs[in->b]; DL_NEXT();
+  DL_CASE(kDiv) {
+    const std::int64_t d = as_i64(regs[in->b]);
+    if (DL_UNLIKELY(d == 0)) DL_SYNC();
+    DETLOCK_CHECK(d != 0, "division by zero in @" + cur->source->name());
+    regs[in->dst] = from_i64(as_i64(regs[in->a]) / d);
+  }
+  DL_NEXT();
+  DL_CASE(kRem) {
+    const std::int64_t d = as_i64(regs[in->b]);
+    if (DL_UNLIKELY(d == 0)) DL_SYNC();
+    DETLOCK_CHECK(d != 0, "remainder by zero in @" + cur->source->name());
+    regs[in->dst] = from_i64(as_i64(regs[in->a]) % d);
+  }
+  DL_NEXT();
+  DL_CASE(kAnd) regs[in->dst] = regs[in->a] & regs[in->b]; DL_NEXT();
+  DL_CASE(kOr) regs[in->dst] = regs[in->a] | regs[in->b]; DL_NEXT();
+  DL_CASE(kXor) regs[in->dst] = regs[in->a] ^ regs[in->b]; DL_NEXT();
+  DL_CASE(kShl) regs[in->dst] = regs[in->a] << (regs[in->b] & 63); DL_NEXT();
+  DL_CASE(kShr) regs[in->dst] = from_i64(as_i64(regs[in->a]) >> (regs[in->b] & 63)); DL_NEXT();
+  DL_CASE(kFAdd) regs[in->dst] = from_f64(as_f64(regs[in->a]) + as_f64(regs[in->b])); DL_NEXT();
+  DL_CASE(kFSub) regs[in->dst] = from_f64(as_f64(regs[in->a]) - as_f64(regs[in->b])); DL_NEXT();
+  DL_CASE(kFMul) regs[in->dst] = from_f64(as_f64(regs[in->a]) * as_f64(regs[in->b])); DL_NEXT();
+  DL_CASE(kFDiv) regs[in->dst] = from_f64(as_f64(regs[in->a]) / as_f64(regs[in->b])); DL_NEXT();
+  DL_CASE(kFSqrt) regs[in->dst] = from_f64(std::sqrt(as_f64(regs[in->a]))); DL_NEXT();
+  DL_CASE(kICmp)
+  regs[in->dst] = eval_cmp(in->pred, as_i64(regs[in->a]), as_i64(regs[in->b])) ? 1 : 0;
+  DL_NEXT();
+  DL_CASE(kFCmp)
+  regs[in->dst] = eval_fcmp(in->pred, as_f64(regs[in->a]), as_f64(regs[in->b])) ? 1 : 0;
+  DL_NEXT();
+  DL_CASE(kItoF) regs[in->dst] = from_f64(static_cast<double>(as_i64(regs[in->a]))); DL_NEXT();
+  DL_CASE(kFtoI) regs[in->dst] = from_i64(static_cast<std::int64_t>(as_f64(regs[in->a]))); DL_NEXT();
+  DL_CASE(kLoad) DL_ALIAS(kLoadF) {
+    const std::int64_t addr = as_i64(regs[in->a]) + in->imm;
+    if constexpr (kObserve) {
+      DL_SYNC();  // the observer (e.g. the race detector) may throw
+      config_.observer->on_access(ctx.tid, addr, false, ctx.held);
+    }
+    if (DL_UNLIKELY(static_cast<std::uint64_t>(addr) >= mem_words)) DL_SYNC();
+    regs[in->dst] = from_i64(memory_.load(addr));
+  }
+  DL_NEXT();
+  DL_CASE(kStore) DL_ALIAS(kStoreF) {
+    const std::int64_t addr = as_i64(regs[in->a]) + in->imm;
+    if constexpr (kObserve) {
+      DL_SYNC();
+      config_.observer->on_access(ctx.tid, addr, true, ctx.held);
+    }
+    if (DL_UNLIKELY(static_cast<std::uint64_t>(addr) >= mem_words)) DL_SYNC();
+    memory_.store(addr, as_i64(regs[in->b]));
+  }
+  DL_NEXT();
+  DL_CASE(kBr) {
+    DL_CHECKPOINT();
+    ip = base + in->target;
+    anchor_ip = ip;
+  }
+  DL_NEXT();
+  DL_CASE(kCondBr) {
+    DL_CHECKPOINT();
+    ip = base + (regs[in->a] != 0 ? in->target : in->target2);
+    anchor_ip = ip;
+  }
+  DL_NEXT();
+  DL_CASE(kSwitch) {
+    DL_CHECKPOINT();
+    // Binary search of the sorted case pool; in->target2 is the default.
+    const std::int64_t value = as_i64(regs[in->a]);
+    const std::int64_t* vals = dm.case_values.data() + in->pool;
+    std::uint32_t lo = 0;
+    std::uint32_t hi = in->count;
+    while (lo < hi) {
+      const std::uint32_t mid = lo + (hi - lo) / 2;
+      if (vals[mid] < value) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    ip = base + (lo < in->count && vals[lo] == value ? dm.case_targets[in->pool + lo]
+                                                     : in->target2);
+    anchor_ip = ip;
+  }
+  DL_NEXT();
+  DL_CASE(kRet) {
+    DL_CHECKPOINT();
+    const std::uint64_t value = in->has_value ? regs[in->a] : 0;
+    if (frames.empty()) {
+      DL_SYNC();
+      return value;
+    }
+    const Frame f = frames.back();
+    frames.pop_back();
+    cur = f.func;
+    base = f.ret_base;
+    ip = f.ret_ip;
+    anchor_ip = ip;
+    frame_base = f.frame_base;
+    regs = ctx.arena.data() + frame_base;
+    regs[f.ret_dst] = value;
+  }
+  DL_NEXT();
+  DL_CASE(kCall) {
+    DL_CHECKPOINT();
+    const DecodedFunction* const callee = static_cast<const DecodedFunction*>(in->callee);
+    if (DL_UNLIKELY(callee->entry == nullptr)) DL_SYNC();
+    DETLOCK_CHECK(callee->entry != nullptr, "call of empty function @" + callee->source->name());
+    const std::size_t callee_base = frame_base + cur->num_regs;
+    if (ctx.arena.size() < callee_base + callee->num_regs) {
+      ctx.arena.resize(std::max<std::size_t>(ctx.arena.size() * 2, callee_base + callee->num_regs));
+    }
+    std::uint64_t* const callee_regs = ctx.arena.data() + callee_base;
+    const std::uint32_t* const arg_regs = dm.reg_pool.data() + in->pool;
+    regs = ctx.arena.data() + frame_base;  // resize may have moved the arena
+    for (std::uint32_t i = 0; i < in->count; ++i) callee_regs[i] = regs[arg_regs[i]];
+    std::fill(callee_regs + in->count, callee_regs + callee->num_regs, 0);
+    frames.push_back(Frame{ip, base, cur, frame_base, in->dst});
+    cur = callee;
+    base = callee->entry;
+    ip = base;
+    anchor_ip = ip;
+    frame_base = callee_base;
+    regs = callee_regs;
+  }
+  DL_NEXT();
+  DL_CASE(kCallExtern) {
+    DL_SYNC();
+    std::vector<std::uint64_t>& eargs = ctx.extern_args;
+    eargs.clear();
+    const std::uint32_t* const arg_regs = dm.reg_pool.data() + in->pool;
+    for (std::uint32_t i = 0; i < in->count; ++i) eargs.push_back(regs[arg_regs[i]]);
+    if (in->callee != nullptr) {
+      const ExternImpl& impl = *static_cast<const ExternImpl*>(in->callee);
+      ExternCallContext call{memory_, ctx.tid, eargs};
+      regs[in->dst] = impl(call);
+    } else {
+      // Unresolved at run() entry: route through the lazy path so an
+      // unimplemented extern throws the canonical error.
+      regs[in->dst] = call_extern(ctx, in->callee_id, {eargs.begin(), eargs.end()});
+    }
+  }
+  DL_NEXT();
+  DL_CASE(kLock) {
+    DL_SYNC();
+    const runtime::MutexId mutex = static_cast<runtime::MutexId>(as_i64(regs[in->a]));
+    backend_->lock(ctx.tid, mutex);
+    ctx.held.push_back(mutex);
+  }
+  DL_NEXT();
+  DL_CASE(kUnlock) {
+    DL_SYNC();
+    const runtime::MutexId mutex = static_cast<runtime::MutexId>(as_i64(regs[in->a]));
+    backend_->unlock(ctx.tid, mutex);
+    auto it = std::find(ctx.held.begin(), ctx.held.end(), mutex);
+    if (it != ctx.held.end()) ctx.held.erase(it);
+  }
+  DL_NEXT();
+  DL_CASE(kBarrier) {
+    DL_SYNC();
+    backend_->barrier_wait(ctx.tid, static_cast<runtime::BarrierId>(as_i64(regs[in->a])),
+                           static_cast<std::uint32_t>(as_i64(regs[in->b])));
+    if constexpr (kObserve) config_.observer->on_barrier(ctx.tid);
+  }
+  DL_NEXT();
+  DL_CASE(kSpawn) {
+    DL_SYNC();
+    std::vector<std::uint64_t> call_args;
+    call_args.reserve(in->count);
+    const std::uint32_t* const arg_regs = dm.reg_pool.data() + in->pool;
+    for (std::uint32_t i = 0; i < in->count; ++i) call_args.push_back(regs[arg_regs[i]]);
+    const runtime::ThreadId child = backend_->register_spawn(ctx.tid);
+    spawned_count_.fetch_add(1, std::memory_order_relaxed);
+    os_threads_[child] = std::thread(&Engine::thread_main, this, child,
+                                     static_cast<ir::FuncId>(in->callee_id), std::move(call_args));
+    regs[in->dst] = from_i64(child);
+  }
+  DL_NEXT();
+  DL_CASE(kJoin) {
+    DL_SYNC();
+    const std::int64_t handle = as_i64(regs[in->a]);
+    DETLOCK_CHECK(handle >= 0 && static_cast<std::size_t>(handle) < os_threads_.size() &&
+                      os_threads_[static_cast<std::size_t>(handle)].joinable(),
+                  "join of never-spawned or already-joined thread " + std::to_string(handle));
+    const runtime::ThreadId target = static_cast<runtime::ThreadId>(handle);
+    backend_->join(ctx.tid, target);
+    os_threads_[target].join();
+    if constexpr (kObserve) config_.observer->on_join(ctx.tid, target);
+  }
+  DL_NEXT();
+  DL_CASE(kCondWait)
+  // Mutex released for the wait's duration and reacquired before return;
+  // the engine-side lockset is unchanged on exit.
+  DL_SYNC();
+  backend_->cond_wait(ctx.tid, static_cast<runtime::CondVarId>(as_i64(regs[in->a])),
+                      static_cast<runtime::MutexId>(as_i64(regs[in->b])));
+  DL_NEXT();
+  DL_CASE(kCondSignal)
+  DL_SYNC();
+  backend_->cond_signal(ctx.tid, static_cast<runtime::CondVarId>(as_i64(regs[in->a])));
+  DL_NEXT();
+  DL_CASE(kCondBroadcast)
+  DL_SYNC();
+  backend_->cond_broadcast(ctx.tid, static_cast<runtime::CondVarId>(as_i64(regs[in->a])));
+  DL_NEXT();
+  DL_CASE(kClockAdd)
+  DL_SYNC();
+  ++ctx.clock_instrs;
+  backend_->clock_add(ctx.tid, static_cast<std::uint64_t>(in->imm));
+  DL_NEXT();
+  DL_CASE(kClockAddDyn) {
+    DL_SYNC();
+    ++ctx.clock_instrs;
+    const double scaled = in->fimm * static_cast<double>(as_i64(regs[in->a]));
+    const std::int64_t delta =
+        in->imm + static_cast<std::int64_t>(std::llround(std::max(0.0, scaled)));
+    backend_->clock_add(ctx.tid, static_cast<std::uint64_t>(std::max<std::int64_t>(delta, 0)));
+  }
+  DL_NEXT();
+
+  // Fused superinstructions (decode-time pair fusion): execute this slot's
+  // original operation, advance ip over the consumed slot(s) -- the anchor
+  // distance counts them automatically -- then execute their operations
+  // with the first result forwarded in a machine register.  The decoder
+  // only fuses when the second slot consumes the first slot's destination
+  // (canonicalized to its `a` operand), so the forwarded value is always
+  // the right operand and the arena store-then-reload round trip vanishes
+  // from the dependency chain.
+  DL_FCASE(kFusedICmpBr) {
+    const std::uint64_t t = eval_cmp(in->pred, as_i64(regs[in->a]), as_i64(regs[in->b])) ? 1 : 0;
+    regs[in->dst] = t;
+    in = ip++;
+    DL_CHECKPOINT();
+    ip = base + (t != 0 ? in->target : in->target2);
+    anchor_ip = ip;
+  }
+  DL_NEXT();
+  DL_FCASE(kFusedConstAdd) {
+    const std::uint64_t t = from_i64(in->imm);
+    regs[in->dst] = t;
+    in = ip++;
+    regs[in->dst] = t + regs[in->b];
+  }
+  DL_NEXT();
+  DL_FCASE(kFusedMulAdd) {
+    const std::uint64_t t = regs[in->a] * regs[in->b];
+    regs[in->dst] = t;
+    in = ip++;
+    regs[in->dst] = t + regs[in->b];
+  }
+  DL_NEXT();
+  DL_FCASE(kFusedAndAdd) {
+    const std::uint64_t t = regs[in->a] & regs[in->b];
+    regs[in->dst] = t;
+    in = ip++;
+    regs[in->dst] = t + regs[in->b];
+  }
+  DL_NEXT();
+  DL_FCASE(kFusedConstAddBr) {
+    const std::uint64_t t = from_i64(in->imm);
+    regs[in->dst] = t;
+    in = ip++;
+    regs[in->dst] = t + regs[in->b];
+    in = ip++;
+    DL_CHECKPOINT();
+    ip = base + in->target;
+    anchor_ip = ip;
+  }
+  DL_NEXT();
+
+#if !DL_CGOTO
+    }
+    DETLOCK_UNREACHABLE("bad opcode");
+  }
+#else
+  DETLOCK_UNREACHABLE("decoded dispatch fell through");
+#endif
+
+#undef DL_CASE
+#undef DL_FCASE
+#undef DL_ALIAS
+#undef DL_NEXT
+#undef DL_SYNC
+#undef DL_CHECKPOINT
+}
+
+template std::uint64_t Engine::exec_decoded<true>(ThreadCtx&, const DecodedFunction&, std::size_t);
+template std::uint64_t Engine::exec_decoded<false>(ThreadCtx&, const DecodedFunction&, std::size_t);
+
+void Engine::resolve_decoded_handlers() {
+#if DL_CGOTO
+  if (decoded_->functions.empty()) return;
+  // Ask the exec_decoded instantiation this run will use (they have
+  // distinct label addresses) for its handler table, then thread every
+  // instruction.  Runs before any guest thread exists, so the patching is
+  // race-free; the module is private to this Engine.
+  ThreadCtx tmp;
+  if (config_.observer != nullptr) {
+    exec_decoded<true>(tmp, decoded_->functions[0], kDecodedLabelQuery);
+  } else {
+    exec_decoded<false>(tmp, decoded_->functions[0], kDecodedLabelQuery);
+  }
+  for (DecodedInstr& in : decoded_->code) {
+    in.handler = reinterpret_cast<const void*>(static_cast<std::uintptr_t>(tmp.arena[in.op]));
+  }
+#endif
+}
+
+}  // namespace detlock::interp

@@ -1,0 +1,74 @@
+// Internals shared by the engine's translation units (engine.cpp,
+// engine_reference.cpp, engine_decoded.cpp).  Not installed API.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "interp/engine.hpp"
+#include "support/error.hpp"
+
+namespace detlock::interp {
+
+/// Per-OS-thread interpreter state.  One ThreadCtx lives on each thread's
+/// stack for the whole run; the arenas below are why the decoded engine
+/// performs no per-call allocation after warm-up.
+struct Engine::ThreadCtx {
+  runtime::ThreadId tid = 0;
+  /// Executed IR instructions; doubles as the max_steps_per_thread budget
+  /// and the abort-poll cadence counter.  The decoded engine keeps a local
+  /// copy inside its dispatch loop and syncs it here at every blocking
+  /// operation, call-stack transition, and throw site.
+  std::uint64_t instrs = 0;
+  std::uint64_t clock_instrs = 0;
+  std::uint32_t since_yield = 0;
+  std::vector<runtime::MutexId> held;
+  /// Decoded engine: register frames of the active call stack, caller
+  /// below callee.  Grows geometrically; never shrinks during a run.
+  std::vector<std::uint64_t> arena;
+  /// Decoded engine: reusable argument buffer for extern calls (externs
+  /// take a vector reference; guest code cannot re-enter the interpreter
+  /// from inside an extern, so one buffer per thread suffices).
+  std::vector<std::uint64_t> extern_args;
+};
+
+namespace engine_detail {
+
+inline std::int64_t as_i64(std::uint64_t bits) { return static_cast<std::int64_t>(bits); }
+inline std::uint64_t from_i64(std::int64_t v) { return static_cast<std::uint64_t>(v); }
+inline double as_f64(std::uint64_t bits) { return std::bit_cast<double>(bits); }
+inline std::uint64_t from_f64(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+inline bool eval_cmp(ir::CmpPred pred, std::int64_t a, std::int64_t b) {
+  // Branchless: classify the operand pair once as a lt/eq/gt one-hot, then
+  // test it against the predicate's acceptance mask.  A switch here
+  // compiles to a data-dependent jump table inside the interpreter hot
+  // loops -- a second indirect branch per executed compare.
+  const unsigned rel = (a < b ? 1u : 0u) | (a == b ? 2u : 0u) | (a > b ? 4u : 0u);
+  constexpr std::uint8_t kAccept[6] = {
+      2u,       // kEq
+      1u | 4u,  // kNe
+      1u,       // kLt
+      1u | 2u,  // kLe
+      4u,       // kGt
+      2u | 4u,  // kGe
+  };
+  static_assert(static_cast<int>(ir::CmpPred::kEq) == 0 && static_cast<int>(ir::CmpPred::kGe) == 5);
+  return (kAccept[static_cast<std::uint8_t>(pred)] & rel) != 0;
+}
+
+inline bool eval_fcmp(ir::CmpPred pred, double a, double b) {
+  switch (pred) {
+    case ir::CmpPred::kEq: return a == b;
+    case ir::CmpPred::kNe: return a != b;
+    case ir::CmpPred::kLt: return a < b;
+    case ir::CmpPred::kLe: return a <= b;
+    case ir::CmpPred::kGt: return a > b;
+    case ir::CmpPred::kGe: return a >= b;
+  }
+  DETLOCK_UNREACHABLE("bad predicate");
+}
+
+}  // namespace engine_detail
+}  // namespace detlock::interp

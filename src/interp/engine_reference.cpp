@@ -1,0 +1,215 @@
+// The reference execution engine: walks ir::Function blocks instruction by
+// instruction.  Kept as the executable specification -- the decoded engine
+// (engine_decoded.cpp) must match it bit for bit on fingerprints, per-thread
+// instruction counts, and lock-acquisition schedules
+// (tests/interp/decoded_equivalence_test.cpp).
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+#include "interp/engine_internal.hpp"
+
+namespace detlock::interp {
+
+using namespace engine_detail;
+
+template <bool kObserve>
+std::uint64_t Engine::exec_reference(ThreadCtx& ctx, ir::FuncId func_id,
+                                     std::vector<std::uint64_t> args) {
+  const ir::Function& func = module_.function(func_id);
+  DETLOCK_CHECK(args.size() == func.num_params(), "argument count mismatch calling @" + func.name());
+  std::vector<std::uint64_t> regs(func.num_regs(), 0);
+  std::copy(args.begin(), args.end(), regs.begin());
+
+  ir::BlockId block = ir::Function::kEntry;
+  std::size_t index = 0;
+  while (true) {
+    const std::vector<ir::Instr>& instrs = func.block(block).instrs();
+    DETLOCK_CHECK(index < instrs.size(), "fell off block '" + func.block(block).name() + "' in @" + func.name());
+    const ir::Instr& in = instrs[index];
+    ++index;
+    if (++ctx.instrs > config_.max_steps_per_thread) {
+      throw Error("thread " + std::to_string(ctx.tid) + " exceeded max_steps_per_thread");
+    }
+    if ((ctx.instrs & 0xffff) == 0 && abort_flag_.load(std::memory_order_relaxed)) {
+      throw Error("execution aborted (another thread failed)");
+    }
+    if (config_.yield_interval != 0 && ++ctx.since_yield >= config_.yield_interval) {
+      ctx.since_yield = 0;
+      std::this_thread::yield();
+    }
+
+    switch (in.op) {
+      case ir::Opcode::kConst: regs[in.dst] = from_i64(in.imm); break;
+      case ir::Opcode::kConstF: regs[in.dst] = from_f64(in.fimm); break;
+      case ir::Opcode::kMov: regs[in.dst] = regs[in.a]; break;
+      // add/sub/mul wrap on overflow (two's complement): computed on the
+      // unsigned representation, which is bit-identical to wrapping signed
+      // arithmetic but defined behaviour.  Workload checksum chains rely on
+      // the wraparound.
+      case ir::Opcode::kAdd: regs[in.dst] = regs[in.a] + regs[in.b]; break;
+      case ir::Opcode::kSub: regs[in.dst] = regs[in.a] - regs[in.b]; break;
+      case ir::Opcode::kMul: regs[in.dst] = regs[in.a] * regs[in.b]; break;
+      case ir::Opcode::kDiv: {
+        const std::int64_t d = as_i64(regs[in.b]);
+        DETLOCK_CHECK(d != 0, "division by zero in @" + func.name());
+        regs[in.dst] = from_i64(as_i64(regs[in.a]) / d);
+        break;
+      }
+      case ir::Opcode::kRem: {
+        const std::int64_t d = as_i64(regs[in.b]);
+        DETLOCK_CHECK(d != 0, "remainder by zero in @" + func.name());
+        regs[in.dst] = from_i64(as_i64(regs[in.a]) % d);
+        break;
+      }
+      case ir::Opcode::kAnd: regs[in.dst] = regs[in.a] & regs[in.b]; break;
+      case ir::Opcode::kOr: regs[in.dst] = regs[in.a] | regs[in.b]; break;
+      case ir::Opcode::kXor: regs[in.dst] = regs[in.a] ^ regs[in.b]; break;
+      case ir::Opcode::kShl: regs[in.dst] = regs[in.a] << (regs[in.b] & 63); break;
+      case ir::Opcode::kShr: regs[in.dst] = from_i64(as_i64(regs[in.a]) >> (regs[in.b] & 63)); break;
+      case ir::Opcode::kFAdd: regs[in.dst] = from_f64(as_f64(regs[in.a]) + as_f64(regs[in.b])); break;
+      case ir::Opcode::kFSub: regs[in.dst] = from_f64(as_f64(regs[in.a]) - as_f64(regs[in.b])); break;
+      case ir::Opcode::kFMul: regs[in.dst] = from_f64(as_f64(regs[in.a]) * as_f64(regs[in.b])); break;
+      case ir::Opcode::kFDiv: regs[in.dst] = from_f64(as_f64(regs[in.a]) / as_f64(regs[in.b])); break;
+      case ir::Opcode::kFSqrt: regs[in.dst] = from_f64(std::sqrt(as_f64(regs[in.a]))); break;
+      case ir::Opcode::kICmp:
+        regs[in.dst] = eval_cmp(in.pred, as_i64(regs[in.a]), as_i64(regs[in.b])) ? 1 : 0;
+        break;
+      case ir::Opcode::kFCmp:
+        regs[in.dst] = eval_fcmp(in.pred, as_f64(regs[in.a]), as_f64(regs[in.b])) ? 1 : 0;
+        break;
+      case ir::Opcode::kItoF: regs[in.dst] = from_f64(static_cast<double>(as_i64(regs[in.a]))); break;
+      case ir::Opcode::kFtoI: regs[in.dst] = from_i64(static_cast<std::int64_t>(as_f64(regs[in.a]))); break;
+      case ir::Opcode::kLoad:
+      case ir::Opcode::kLoadF: {
+        const std::int64_t addr = as_i64(regs[in.a]) + in.imm;
+        if constexpr (kObserve) config_.observer->on_access(ctx.tid, addr, false, ctx.held);
+        regs[in.dst] = from_i64(memory_.load(addr));
+        break;
+      }
+      case ir::Opcode::kStore:
+      case ir::Opcode::kStoreF: {
+        const std::int64_t addr = as_i64(regs[in.a]) + in.imm;
+        if constexpr (kObserve) config_.observer->on_access(ctx.tid, addr, true, ctx.held);
+        memory_.store(addr, as_i64(regs[in.b]));
+        break;
+      }
+      case ir::Opcode::kBr:
+        block = static_cast<ir::BlockId>(in.imm);
+        index = 0;
+        break;
+      case ir::Opcode::kCondBr:
+        block = regs[in.a] != 0 ? static_cast<ir::BlockId>(in.imm) : in.target2;
+        index = 0;
+        break;
+      case ir::Opcode::kSwitch: {
+        ir::BlockId target = static_cast<ir::BlockId>(in.imm);
+        const std::int64_t value = as_i64(regs[in.a]);
+        const auto table_it = switch_tables_.find(&in);
+        if (table_it != switch_tables_.end()) {
+          const SwitchTable& table = table_it->second;
+          const auto it = std::lower_bound(table.values.begin(), table.values.end(), value);
+          if (it != table.values.end() && *it == value) {
+            target = static_cast<ir::BlockId>(table.targets[it - table.values.begin()]);
+          }
+        } else {
+          // No precomputed table (defensive only; the constructor indexes
+          // every kSwitch): first-match linear scan, the original semantics.
+          for (std::size_t i = 0; i + 1 < in.args.size(); i += 2) {
+            if (static_cast<std::int64_t>(in.args[i]) == value) {
+              target = static_cast<ir::BlockId>(in.args[i + 1]);
+              break;
+            }
+          }
+        }
+        block = target;
+        index = 0;
+        break;
+      }
+      case ir::Opcode::kRet:
+        return in.has_value ? regs[in.a] : 0;
+      case ir::Opcode::kCall: {
+        std::vector<std::uint64_t> call_args;
+        call_args.reserve(in.args.size());
+        for (ir::Reg r : in.args) call_args.push_back(regs[r]);
+        regs[in.dst] = exec_reference<kObserve>(ctx, in.callee, std::move(call_args));
+        break;
+      }
+      case ir::Opcode::kCallExtern: {
+        std::vector<std::uint64_t> call_args;
+        call_args.reserve(in.args.size());
+        for (ir::Reg r : in.args) call_args.push_back(regs[r]);
+        regs[in.dst] = call_extern(ctx, in.callee, std::move(call_args));
+        break;
+      }
+      case ir::Opcode::kLock: {
+        const runtime::MutexId mutex = static_cast<runtime::MutexId>(as_i64(regs[in.a]));
+        backend_->lock(ctx.tid, mutex);
+        ctx.held.push_back(mutex);
+        break;
+      }
+      case ir::Opcode::kUnlock: {
+        const runtime::MutexId mutex = static_cast<runtime::MutexId>(as_i64(regs[in.a]));
+        backend_->unlock(ctx.tid, mutex);
+        auto it = std::find(ctx.held.begin(), ctx.held.end(), mutex);
+        if (it != ctx.held.end()) ctx.held.erase(it);
+        break;
+      }
+      case ir::Opcode::kBarrier:
+        backend_->barrier_wait(ctx.tid, static_cast<runtime::BarrierId>(as_i64(regs[in.a])),
+                               static_cast<std::uint32_t>(as_i64(regs[in.b])));
+        if constexpr (kObserve) config_.observer->on_barrier(ctx.tid);
+        break;
+      case ir::Opcode::kCondWait:
+        // The mutex is released for the duration of the wait and reacquired
+        // before return, so the engine-side lockset is unchanged on exit.
+        backend_->cond_wait(ctx.tid, static_cast<runtime::CondVarId>(as_i64(regs[in.a])),
+                            static_cast<runtime::MutexId>(as_i64(regs[in.b])));
+        break;
+      case ir::Opcode::kCondSignal:
+        backend_->cond_signal(ctx.tid, static_cast<runtime::CondVarId>(as_i64(regs[in.a])));
+        break;
+      case ir::Opcode::kCondBroadcast:
+        backend_->cond_broadcast(ctx.tid, static_cast<runtime::CondVarId>(as_i64(regs[in.a])));
+        break;
+      case ir::Opcode::kSpawn: {
+        std::vector<std::uint64_t> call_args;
+        call_args.reserve(in.args.size());
+        for (ir::Reg r : in.args) call_args.push_back(regs[r]);
+        const runtime::ThreadId child = backend_->register_spawn(ctx.tid);
+        spawned_count_.fetch_add(1, std::memory_order_relaxed);
+        os_threads_[child] =
+            std::thread(&Engine::thread_main, this, child, in.callee, std::move(call_args));
+        regs[in.dst] = from_i64(child);
+        break;
+      }
+      case ir::Opcode::kJoin: {
+        const std::int64_t handle = as_i64(regs[in.a]);
+        DETLOCK_CHECK(handle >= 0 && static_cast<std::size_t>(handle) < os_threads_.size() &&
+                          os_threads_[static_cast<std::size_t>(handle)].joinable(),
+                      "join of never-spawned or already-joined thread " + std::to_string(handle));
+        const runtime::ThreadId target = static_cast<runtime::ThreadId>(handle);
+        backend_->join(ctx.tid, target);
+        os_threads_[target].join();
+        if constexpr (kObserve) config_.observer->on_join(ctx.tid, target);
+        break;
+      }
+      case ir::Opcode::kClockAdd:
+        ++ctx.clock_instrs;
+        backend_->clock_add(ctx.tid, static_cast<std::uint64_t>(in.imm));
+        break;
+      case ir::Opcode::kClockAddDyn: {
+        ++ctx.clock_instrs;
+        const double scaled = in.fimm * static_cast<double>(as_i64(regs[in.a]));
+        const std::int64_t delta = in.imm + static_cast<std::int64_t>(std::llround(std::max(0.0, scaled)));
+        backend_->clock_add(ctx.tid, static_cast<std::uint64_t>(std::max<std::int64_t>(delta, 0)));
+        break;
+      }
+    }
+  }
+}
+
+template std::uint64_t Engine::exec_reference<true>(ThreadCtx&, ir::FuncId, std::vector<std::uint64_t>);
+template std::uint64_t Engine::exec_reference<false>(ThreadCtx&, ir::FuncId, std::vector<std::uint64_t>);
+
+}  // namespace detlock::interp

@@ -8,6 +8,7 @@
 // and per-block instruction *costs*, never about dataflow.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string_view>
 
@@ -74,6 +75,10 @@ enum class Opcode : std::uint8_t {
   kClockAdd,     // logical_clock += imm
   kClockAddDyn,  // logical_clock += imm + fimm * reg[a]   (size-dependent extern estimates)
 };
+
+/// Number of opcodes; sizes the decoded interpreter's dispatch table.  Keep
+/// in sync with the last enumerator above.
+inline constexpr std::size_t kNumOpcodes = static_cast<std::size_t>(Opcode::kClockAddDyn) + 1;
 
 /// Signed comparison predicates shared by kICmp/kFCmp.
 enum class CmpPred : std::uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };

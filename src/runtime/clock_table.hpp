@@ -116,14 +116,28 @@ class ClockTable {
   /// The Kendo turn predicate: `id` holds the turn iff its published clock
   /// is strictly minimal among live threads, ties broken by smaller id.
   /// Parked/finished threads sit at +infinity and never block anyone.
+  ///
+  /// "Remember the blocker" fast path: a waiter typically loses the turn to
+  /// the SAME thread for many consecutive polls (that thread is grinding
+  /// through the compute that keeps its clock minimal), so each slot caches
+  /// the last thread that denied it and re-polls only that slot -- one
+  /// acquire load instead of an O(T) scan.  The full scan runs only when
+  /// the cached blocker stops denying, and it is the sole source of `true`,
+  /// so the decision is always exactly the full-scan predicate evaluated at
+  /// this poll.  The cache is an owner-thread field (only thread `id` calls
+  /// has_turn(id) under the turn protocol); it lives on the slot's own
+  /// cache line, so updating it causes no cross-thread traffic.
   bool has_turn(ThreadId id) const {
     const std::uint64_t mine = published(id);
+    const Slot& me = slots_[id].value;
+    const std::uint32_t cached = me.cached_blocker;
+    if (cached < slots_.size() && cached != id && denies_turn(cached, id, mine)) return false;
     for (std::uint32_t u = 0; u < slots_.size(); ++u) {
       if (u == id) continue;
-      const Slot& s = slots_[u].value;
-      if (s.state.load(std::memory_order_acquire) != ThreadState::kLive) continue;
-      const std::uint64_t theirs = s.published.load(std::memory_order_acquire);
-      if (theirs < mine || (theirs == mine && u < id)) return false;
+      if (denies_turn(u, id, mine)) {
+        me.cached_blocker = u;
+        return false;
+      }
     }
     return true;
   }
@@ -150,7 +164,20 @@ class ClockTable {
     std::uint64_t local = 0;
     std::uint64_t last_published = 0;
     std::uint64_t publications = 0;
+    /// Last thread observed denying this slot the turn (has_turn fast
+    /// path).  Owner-thread only; mutable because the turn predicate is
+    /// logically const.  ~0u = no blocker cached yet.
+    mutable std::uint32_t cached_blocker = ~0u;
   };
+
+  /// True when live thread `u` denies `id` (published clock `mine`) the
+  /// turn: strictly smaller clock, or equal clock with a smaller id.
+  bool denies_turn(std::uint32_t u, ThreadId id, std::uint64_t mine) const {
+    const Slot& s = slots_[u].value;
+    if (s.state.load(std::memory_order_acquire) != ThreadState::kLive) return false;
+    const std::uint64_t theirs = s.published.load(std::memory_order_acquire);
+    return theirs < mine || (theirs == mine && u < id);
+  }
 
   Slot& slot(ThreadId id) {
     DETLOCK_CHECK(id < slots_.size(), "bad thread id");

@@ -40,6 +40,7 @@ Measurement measure(const WorkloadSpec& spec, const WorkloadParams& params, cons
 
     interp::EngineConfig config;
     config.deterministic = options.mode == Mode::kDetLock || options.mode == Mode::kKendoSim;
+    config.engine = options.engine;
     config.memory_words = std::max<std::size_t>(w.memory_words, 1 << 14) * 2;
     config.runtime.record_trace = options.record_trace;
     config.runtime.profile = options.profile;

@@ -39,6 +39,9 @@ struct Measurement {
 
 struct MeasureOptions {
   Mode mode = Mode::kBaseline;
+  /// Execution engine (interp/engine.hpp); the decoded engine is the
+  /// default everywhere, the reference engine is the differential baseline.
+  interp::EngineKind engine = interp::EngineKind::kDecoded;
   pass::PassOptions pass_options;  // ignored for kBaseline
   /// Chunk size for kKendoSim's simulated performance counter.
   std::uint64_t kendo_chunk_size = 2048;

@@ -1,0 +1,211 @@
+// Structural tests of the predecoder (interp/decode.hpp): flat branch
+// targets, sorted/deduplicated switch pools, resolved call pointers, and
+// decode-time validation of problems the reference engine only discovers
+// while executing.
+#include "interp/decode.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "interp/engine.hpp"
+#include "ir/parser.hpp"
+
+namespace detlock::interp {
+namespace {
+
+TEST(Decode, FlatCodeCoversEveryInstruction) {
+  const ir::Module m = ir::parse_module(R"(
+func @helper(1) {
+block entry:
+  %1 = const 2
+  %2 = mul %0, %1
+  ret %2
+}
+func @main(0) {
+block entry:
+  %0 = const 21
+  %1 = call @helper(%0)
+  ret %1
+}
+)");
+  const DecodedModule dm = decode_module(m);
+  ASSERT_EQ(dm.functions.size(), 2u);
+  EXPECT_EQ(dm.code.size(), m.total_instr_count());
+  // Functions are laid out contiguously, helper first.
+  EXPECT_EQ(dm.functions[0].entry, dm.code.data());
+  EXPECT_EQ(dm.functions[0].code_size, 3u);
+  EXPECT_EQ(dm.functions[1].entry, dm.code.data() + 3);
+  EXPECT_GE(dm.functions[0].num_regs, dm.functions[0].num_params);
+}
+
+TEST(Decode, BranchTargetsAreFlatOffsets) {
+  const ir::Module m = ir::parse_module(R"(
+func @main(1) {
+block entry:
+  condbr %0, then, else
+block then:
+  %1 = const 1
+  ret %1
+block else:
+  %2 = const 2
+  ret %2
+}
+)");
+  const DecodedModule dm = decode_module(m);
+  const DecodedInstr& br = dm.functions[0].entry[0];
+  ASSERT_EQ(br.op, dop(ir::Opcode::kCondBr));
+  // Block `then` starts at flat offset 1, `else` at 3.
+  EXPECT_EQ(br.target, 1u);
+  EXPECT_EQ(br.target2, 3u);
+  EXPECT_EQ(dm.functions[0].entry[br.target].op, dop(ir::Opcode::kConst));
+  EXPECT_EQ(dm.functions[0].entry[br.target].imm, 1);
+  EXPECT_EQ(dm.functions[0].entry[br.target2].imm, 2);
+}
+
+TEST(Decode, SwitchCasesSortedAndFirstDuplicateWins) {
+  // Cases deliberately unsorted with a duplicated value (30): the reference
+  // engine's linear scan takes the FIRST match, so after sorting the kept
+  // target for 30 must be block `a`.
+  const ir::Module m = ir::parse_module(R"(
+func @main(1) {
+block entry:
+  switch %0, dflt, [30: a, 10: b, 30: b, 20: a]
+block a:
+  %1 = const 1
+  ret %1
+block b:
+  %2 = const 2
+  ret %2
+block dflt:
+  %3 = const 3
+  ret %3
+}
+)");
+  const DecodedModule dm = decode_module(m);
+  const DecodedInstr& sw = dm.functions[0].entry[0];
+  ASSERT_EQ(sw.op, dop(ir::Opcode::kSwitch));
+  ASSERT_EQ(sw.count, 3u);  // duplicate 30 removed
+  const auto begin = dm.case_values.begin() + sw.pool;
+  EXPECT_TRUE(std::is_sorted(begin, begin + sw.count));
+  EXPECT_EQ(dm.case_values[sw.pool + 0], 10);
+  EXPECT_EQ(dm.case_values[sw.pool + 1], 20);
+  EXPECT_EQ(dm.case_values[sw.pool + 2], 30);
+  const std::uint32_t a_offset = 1;  // block a starts after the switch
+  EXPECT_EQ(dm.case_targets[sw.pool + 2], a_offset) << "first duplicate must win";
+
+  // And the executed semantics agree between engines for the duplicate.
+  for (EngineKind kind : {EngineKind::kDecoded, EngineKind::kReference}) {
+    EngineConfig config;
+    config.engine = kind;
+    config.memory_words = 1 << 14;
+    Engine engine(m, config);
+    EXPECT_EQ(engine.run("main", {30}).main_return, 1);
+  }
+}
+
+TEST(Decode, FusesPairsInPlaceKeepingSecondSlot) {
+  // `icmp` + `condbr` and `const` + `add` fall-through pairs are fused into
+  // superinstructions IN PLACE: the first slot's opcode changes and nothing
+  // moves, so the already-resolved flat branch targets stay valid; the
+  // second slot keeps its original instruction (defense in depth -- IR
+  // branches can only target block starts, and a second slot is never a
+  // block start because fused first ops are non-terminators).
+  const ir::Module m = ir::parse_module(R"(
+func @main(1) regs=8 {
+block entry:
+  %1 = const 0
+  br h
+block h:
+  %2 = icmp lt %1, %0
+  condbr %2, bump, x
+block bump:
+  %3 = const 1
+  %1 = add %1, %3
+  br h
+block x:
+  ret %1
+}
+)");
+  const DecodedModule dm = decode_module(m);
+  const DecodedInstr* code = dm.functions[0].entry;
+  // Block h: icmp at flat offset 2 fused with the condbr at 3.
+  EXPECT_EQ(code[2].op, kFusedICmpBr);
+  EXPECT_EQ(code[3].op, dop(ir::Opcode::kCondBr)) << "second slot must stay plain";
+  // Block bump: const at 4 + add + br fused into the loop-closing triple.
+  EXPECT_EQ(code[4].op, kFusedConstAddBr);
+  EXPECT_EQ(code[5].op, dop(ir::Opcode::kAdd));
+  EXPECT_EQ(code[6].op, dop(ir::Opcode::kBr));
+  // Both engines agree on the executed semantics (counts the loop).
+  for (EngineKind kind : {EngineKind::kDecoded, EngineKind::kReference}) {
+    EngineConfig config;
+    config.engine = kind;
+    config.memory_words = 1 << 14;
+    Engine engine(m, config);
+    const RunResult r = engine.run("main", {25});
+    EXPECT_EQ(r.main_return, 25u);
+    EXPECT_EQ(r.instructions, 2 + 25 * 5 + 2 + 1u) << "fused pairs still count as two";
+  }
+}
+
+TEST(Decode, CallCalleeResolvedToFunctionPointer) {
+  const ir::Module m = ir::parse_module(R"(
+func @callee(0) {
+block entry:
+  %0 = const 7
+  ret %0
+}
+func @main(0) {
+block entry:
+  %0 = call @callee()
+  ret %0
+}
+)");
+  const DecodedModule dm = decode_module(m);
+  const DecodedInstr& call = dm.functions[1].entry[0];
+  ASSERT_EQ(call.op, dop(ir::Opcode::kCall));
+  EXPECT_EQ(call.callee, &dm.functions[call.callee_id]);
+  EXPECT_EQ(call.callee_id, 0u);
+}
+
+TEST(Decode, CallArityMismatchFailsAtDecodeTime) {
+  ir::Module m;
+  const ir::FuncId callee = m.add_function("two_params", 2);
+  {
+    ir::Function& f = m.function(callee);
+    f.set_num_regs(2);
+    const ir::BlockId entry = f.add_block("entry");
+    ir::Instr ret;
+    ret.op = ir::Opcode::kRet;
+    f.block(entry).instrs().push_back(ret);
+  }
+  const ir::FuncId main_id = m.add_function("main", 0);
+  {
+    ir::Function& f = m.function(main_id);
+    f.set_num_regs(1);
+    const ir::BlockId entry = f.add_block("entry");
+    ir::Instr call;
+    call.op = ir::Opcode::kCall;
+    call.dst = 0;
+    call.callee = callee;
+    call.args = {};  // wrong: callee takes 2
+    f.block(entry).instrs().push_back(call);
+    ir::Instr ret;
+    ret.op = ir::Opcode::kRet;
+    f.block(entry).instrs().push_back(ret);
+  }
+  EXPECT_THROW(decode_module(m), Error);
+}
+
+TEST(Decode, UnterminatedBlockFailsAtDecodeTime) {
+  ir::Module m;
+  const ir::FuncId main_id = m.add_function("main", 0);
+  ir::Function& f = m.function(main_id);
+  f.set_num_regs(1);
+  const ir::BlockId entry = f.add_block("entry");
+  f.block(entry).instrs().push_back(ir::Instr::make_const(0, 1));  // no terminator
+  EXPECT_THROW(decode_module(m), Error);
+}
+
+}  // namespace
+}  // namespace detlock::interp

@@ -1,0 +1,175 @@
+// Differential suite: the decoded direct-threaded engine must be
+// observationally identical to the reference engine -- equal memory and
+// trace fingerprints, equal final logical clocks, equal per-thread executed
+// instruction counts, and byte-identical serialized lock-acquisition
+// schedules -- across every workload x optimization row and every example
+// program.  Any divergence means the decoded engine changed semantics, not
+// just speed.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "interp/engine.hpp"
+#include "ir/parser.hpp"
+#include "pass/pipeline.hpp"
+#include "runtime/schedule.hpp"
+#include "workloads/workloads.hpp"
+
+namespace detlock::interp {
+namespace {
+
+using workloads::all_workloads;
+using workloads::Workload;
+using workloads::WorkloadParams;
+using workloads::WorkloadSpec;
+
+/// Everything an engine run exposes; operator== drives the comparison.
+struct RunObservation {
+  std::int64_t checksum = 0;
+  std::uint64_t trace = 0;
+  std::uint64_t memory = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t clock_update_instrs = 0;
+  std::uint64_t lock_acquires = 0;
+  std::vector<std::uint64_t> final_clocks;
+  std::vector<std::uint64_t> per_thread_instructions;
+  std::string schedule;
+
+  bool operator==(const RunObservation&) const = default;
+};
+
+RunObservation run_engine(const ir::Module& module, EngineKind kind, ir::FuncId entry,
+                          std::size_t memory_words = 1 << 15) {
+  EngineConfig config;
+  config.engine = kind;
+  config.memory_words = memory_words;
+  config.runtime.keep_trace_events = true;
+  Engine engine(module, config);
+  const RunResult r = engine.run(entry, {});
+  return RunObservation{r.main_return,
+                        r.trace_fingerprint,
+                        r.memory_fingerprint,
+                        r.instructions,
+                        r.clock_update_instrs,
+                        r.lock_acquires,
+                        r.final_clocks,
+                        r.per_thread_instructions,
+                        runtime::serialize_schedule(engine.backend().trace().events())};
+}
+
+void expect_equivalent(const RunObservation& decoded, const RunObservation& reference,
+                       const std::string& label) {
+  EXPECT_EQ(decoded.checksum, reference.checksum) << label;
+  EXPECT_EQ(decoded.trace, reference.trace) << label;
+  EXPECT_EQ(decoded.memory, reference.memory) << label;
+  EXPECT_EQ(decoded.instructions, reference.instructions) << label;
+  EXPECT_EQ(decoded.clock_update_instrs, reference.clock_update_instrs) << label;
+  EXPECT_EQ(decoded.lock_acquires, reference.lock_acquires) << label;
+  EXPECT_EQ(decoded.final_clocks, reference.final_clocks) << label;
+  EXPECT_EQ(decoded.per_thread_instructions, reference.per_thread_instructions) << label;
+  EXPECT_EQ(decoded.schedule, reference.schedule) << label;
+}
+
+WorkloadParams small_params() {
+  WorkloadParams p;
+  p.threads = 4;
+  p.scale = 1;
+  return p;
+}
+
+class PerWorkload : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  const WorkloadSpec& spec() const { return all_workloads()[GetParam()]; }
+};
+
+TEST_P(PerWorkload, DecodedMatchesReferenceAcrossOptRows) {
+  const std::pair<const char*, pass::PassOptions> rows[] = {
+      {"none", pass::PassOptions::none()},   {"opt1", pass::PassOptions::only_opt1()},
+      {"opt2", pass::PassOptions::only_opt2()}, {"opt3", pass::PassOptions::only_opt3()},
+      {"opt4", pass::PassOptions::only_opt4()}, {"all", pass::PassOptions::all()},
+  };
+  for (const auto& [row, options] : rows) {
+    Workload wd = spec().factory(small_params());
+    pass::instrument_module(wd.module, options);
+    const std::size_t mem = std::max<std::size_t>(wd.memory_words, 1 << 14) * 2;
+    const RunObservation decoded = run_engine(wd.module, EngineKind::kDecoded, wd.main_func, mem);
+
+    Workload wr = spec().factory(small_params());
+    pass::instrument_module(wr.module, options);
+    const RunObservation reference =
+        run_engine(wr.module, EngineKind::kReference, wr.main_func, mem);
+
+    expect_equivalent(decoded, reference, std::string(spec().name) + "/" + row);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, PerWorkload, ::testing::Range<std::size_t>(0, 5),
+                         [](const ::testing::TestParamInfo<std::size_t>& info) {
+                           return std::string(all_workloads()[info.param].name);
+                         });
+
+// Every checked-in example program, instrumented with the full pipeline.
+// Excluded by construction:
+//   abba_deadlock.dl -- deadlocks by design (watchdog fixture);
+//   racy_counter.dl  -- intentionally racy, so its schedule is
+//                       nondeterministic under both engines.
+TEST(DecodedEquivalence, EveryExampleProgramMatches) {
+  const std::filesystem::path dir = std::filesystem::path(DETLOCK_SOURCE_DIR) / "share" / "programs";
+  std::size_t checked = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".dl") continue;
+    const std::string stem = entry.path().stem().string();
+    if (stem == "abba_deadlock" || stem == "racy_counter") continue;
+    std::ifstream in(entry.path());
+    ASSERT_TRUE(in) << entry.path();
+    std::ostringstream ss;
+    ss << in.rdbuf();
+
+    ir::Module decoded_module = ir::parse_module(ss.str());
+    pass::instrument_module(decoded_module, pass::PassOptions::all());
+    const RunObservation decoded =
+        run_engine(decoded_module, EngineKind::kDecoded, decoded_module.find_function("main"));
+
+    ir::Module reference_module = ir::parse_module(ss.str());
+    pass::instrument_module(reference_module, pass::PassOptions::all());
+    const RunObservation reference = run_engine(reference_module, EngineKind::kReference,
+                                                reference_module.find_function("main"));
+
+    expect_equivalent(decoded, reference, stem);
+    ++checked;
+  }
+  EXPECT_GE(checked, 4u) << "program sweep found suspiciously few .dl files";
+}
+
+// Chunked clock publication (the Kendo comparison runtime) must also agree
+// engine to engine: the chunk counter advances per clock update, so any
+// drift in instruction accounting would surface as a different schedule.
+TEST(DecodedEquivalence, KendoChunkedPublicationMatches) {
+  auto run_kendo = [](EngineKind kind) {
+    Workload w = all_workloads()[0].factory(small_params());
+    pass::instrument_module(w.module, pass::PassOptions::all());
+    EngineConfig config;
+    config.engine = kind;
+    config.memory_words = std::max<std::size_t>(w.memory_words, 1 << 14) * 2;
+    config.runtime.publication = runtime::ClockPublication::kChunked;
+    config.runtime.chunk_size = 512;
+    config.runtime.keep_trace_events = true;
+    Engine engine(w.module, config);
+    const RunResult r = engine.run(w.main_func);
+    return RunObservation{r.main_return,
+                          r.trace_fingerprint,
+                          r.memory_fingerprint,
+                          r.instructions,
+                          r.clock_update_instrs,
+                          r.lock_acquires,
+                          r.final_clocks,
+                          r.per_thread_instructions,
+                          runtime::serialize_schedule(engine.backend().trace().events())};
+  };
+  expect_equivalent(run_kendo(EngineKind::kDecoded), run_kendo(EngineKind::kReference), "kendo");
+}
+
+}  // namespace
+}  // namespace detlock::interp

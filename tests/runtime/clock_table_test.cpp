@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "support/prng.hpp"
+
 namespace detlock::runtime {
 namespace {
 
@@ -126,6 +130,90 @@ TEST(ClockTable, SingleThreadAlwaysHasTurn) {
   ClockTable t(config_every_update());
   t.activate(0, 12345);
   EXPECT_TRUE(t.has_turn(0));
+}
+
+// -- "remember the blocker" fast path (has_turn) --------------------------
+
+/// Independent full-scan oracle over the public API: `id` holds the turn
+/// iff no live thread has a strictly smaller published clock, or an equal
+/// clock with a smaller id.
+bool has_turn_oracle(const ClockTable& t, ThreadId id) {
+  const std::uint64_t mine = t.published(id);
+  for (std::uint32_t u = 0; u < t.capacity(); ++u) {
+    if (u == id || t.state(u) != ThreadState::kLive) continue;
+    const std::uint64_t theirs = t.published(u);
+    if (theirs < mine || (theirs == mine && u < id)) return false;
+  }
+  return true;
+}
+
+TEST(ClockTable, BlockerCacheRetargetsWhenTheBlockerMovesOn) {
+  RuntimeConfig c;
+  c.max_threads = 3;
+  ClockTable t(c);
+  t.activate(0, 0);
+  t.activate(1, 5);
+  t.activate(2, 10);
+  EXPECT_FALSE(t.has_turn(2));  // blocked by thread 0 (cached)
+  EXPECT_FALSE(t.has_turn(2));  // served from the cache
+  t.set_clock(0, 20);           // cached blocker no longer denies...
+  EXPECT_FALSE(t.has_turn(2));  // ...full scan retargets to thread 1
+  t.set_clock(1, 30);
+  EXPECT_TRUE(t.has_turn(2));   // strict minimum now
+  t.set_clock(2, 40);
+  EXPECT_FALSE(t.has_turn(2));  // thread 0 (clock 20) denies again
+}
+
+TEST(ClockTable, BlockerCacheTieBreakByIdMatchesOracle) {
+  RuntimeConfig c;
+  c.max_threads = 4;
+  ClockTable t(c);
+  for (ThreadId id = 0; id < 4; ++id) t.activate(id, 7);  // four-way tie
+  for (ThreadId id = 0; id < 4; ++id) {
+    EXPECT_EQ(t.has_turn(id), has_turn_oracle(t, id)) << "thread " << id;
+    EXPECT_EQ(t.has_turn(id), id == 0) << "smallest id must win the tie";
+  }
+}
+
+TEST(ClockTable, BlockerCacheMatchesOracleOnRandomizedClockSequences) {
+  constexpr std::uint32_t kThreads = 8;
+  constexpr int kIterations = 4000;
+  Xoshiro256 rng(0xDE710CC5u);
+  RuntimeConfig c;
+  c.max_threads = kThreads;
+  ClockTable t(c);
+  for (ThreadId id = 0; id < kThreads; ++id) t.activate(id, rng.next_below(4));
+
+  std::vector<bool> parked(kThreads, false);
+  std::vector<std::uint64_t> saved_clock(kThreads, 0);
+  for (int iter = 0; iter < kIterations; ++iter) {
+    const ThreadId id = static_cast<ThreadId>(rng.next_below(kThreads));
+    switch (rng.next_below(8)) {
+      case 0:  // park, remembering the clock the owner would keep locally
+        if (!parked[id]) {
+          saved_clock[id] = t.local(id);
+          t.park(id);
+          parked[id] = true;
+        }
+        break;
+      case 1:  // unpark (barrier release path)
+        if (parked[id]) {
+          t.set_clock(id, saved_clock[id] + rng.next_below(3));
+          parked[id] = false;
+        }
+        break;
+      default:  // ordinary clock advance; small deltas keep ties frequent
+        if (!parked[id]) t.add(id, rng.next_below(3));
+        break;
+    }
+    // Every thread's fast-path answer must equal the full-scan oracle at
+    // every step, no matter how stale its cached blocker is.
+    for (ThreadId u = 0; u < kThreads; ++u) {
+      if (parked[u]) continue;
+      ASSERT_EQ(t.has_turn(u), has_turn_oracle(t, u))
+          << "iteration " << iter << ", thread " << u;
+    }
+  }
 }
 
 }  // namespace

@@ -7,6 +7,9 @@
 //
 //   --opt=none|1|2|3|4|all   optimization selection            [all]
 //   --placement=start|end    clock update placement            [start]
+//   --interp=decoded|reference
+//                            execution engine: predecoded direct-threaded
+//                            loop or the block-walking reference [decoded]
 //   --nondet                 plain pthread-style execution
 //   --kendo[=CHUNK]          chunked clock publication         [2048]
 //   --runs=N                 repeat and compare fingerprints   [1]
@@ -73,6 +76,7 @@ using namespace detlock;
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--opt=none|1|2|3|4|all] [--placement=start|end] [--nondet]\n"
+               "          [--interp=decoded|reference]\n"
                "          [--kendo[=CHUNK]] [--runs=N] [--estimates=FILE] [--emit-ir]\n"
                "          [--stats] [--profile] [--trace-out=FILE] [--race-check]\n"
                "          [--watchdog-ms=N] [--chaos=SEED] [--chaos-trials=K]\n"
@@ -110,6 +114,7 @@ std::string read_file(const std::string& path) {
 struct Cli {
   pass::PassOptions options = pass::PassOptions::all();
   bool deterministic = true;
+  interp::EngineKind engine = interp::EngineKind::kDecoded;
   bool kendo = false;
   std::uint64_t chunk = 2048;
   int runs = 1;
@@ -151,6 +156,11 @@ Cli parse_cli(int argc, char** argv) {
       const std::string v = value_of("--placement=");
       if (v == "start") cli.options.placement = pass::ClockPlacement::kStart;
       else if (v == "end") cli.options.placement = pass::ClockPlacement::kEnd;
+      else usage(argv[0]);
+    } else if (arg.rfind("--interp=", 0) == 0) {
+      const std::string v = value_of("--interp=");
+      if (v == "decoded") cli.engine = interp::EngineKind::kDecoded;
+      else if (v == "reference") cli.engine = interp::EngineKind::kReference;
       else usage(argv[0]);
     } else if (arg == "--nondet") {
       cli.deterministic = false;
@@ -302,6 +312,7 @@ int main(int argc, char** argv) {
 
       interp::EngineConfig config;
       config.deterministic = cli.deterministic;
+      config.engine = cli.engine;
       config.runtime.max_threads = cli.threads_max;
       if (!cli.record_schedule_path.empty()) config.runtime.keep_trace_events = true;
       if (cli.profile) {
