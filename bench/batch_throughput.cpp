@@ -1,0 +1,330 @@
+// Batch execution service throughput: the two claims the service layer
+// makes, measured.
+//
+// Band A -- compile-once amortization: jobs/sec for R repetitions of a
+// compile-heavy program when every repetition recompiles (the pre-service
+// detlockc behavior) vs when all repetitions share one ModuleCache artifact.
+// The program is deliberately compile-dominated (hundreds of functions, a
+// trivial entry), the shape the cache exists for.
+//
+// Band B -- concurrency scaling: jobs/sec through a BatchExecutor at 1, 2,
+// and 4 workers over a batch of wait-heavy jobs (watchdog-bounded deadlock
+// diagnoses: each job's threads park in escalating sleep-waits until the
+// per-job watchdog fires, so jobs overlap even on a single hardware
+// thread).  This is the service's isolation story: one stalled job costs
+// its watchdog window, not the batch's.
+//
+// Modes:
+//   (default)   print both bands
+//   --compare   gate mode for CI: nonzero exit when band A's speedup falls
+//               below --min-ratio (default 5.0) or band B's jobs/sec is not
+//               monotonically nondecreasing from 1 -> 2 -> 4 workers.
+//               Machine-readable JSON via --json=FILE (BENCH_batch.json).
+//   --runs=R    band A repetitions                    [12]
+//   --jobs=J    band B batch size                     [8]
+//   --watchdog-ms=N  band B per-job watchdog window   [250]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "api/run_config.hpp"
+#include "service/batch_executor.hpp"
+#include "service/compiled_module.hpp"
+#include "service/execution_context.hpp"
+#include "service/module_cache.hpp"
+#include "support/json.hpp"
+
+namespace {
+
+using namespace detlock;
+
+double now_seconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch()).count();
+}
+
+// ------------------------------------------------------------- band A ----
+
+/// A compile-dominated program: `functions` loop functions for the pass
+/// pipeline and decoder to chew through, and an entry that touches one lock
+/// and returns.  Run time is microseconds; compile time is the product.
+std::string compile_heavy_program(int functions) {
+  std::string text;
+  for (int f = 0; f < functions; ++f) {
+    char head[64];
+    std::snprintf(head, sizeof head, "func @f%d(1) regs=16 {\n", f);
+    text += head;
+    text +=
+        "block entry:\n"
+        "  %1 = const 0\n"
+        "  %2 = const 8\n"
+        "  br h\n"
+        "block h:\n"
+        "  %3 = icmp lt %1, %2\n"
+        "  condbr %3, body, x\n"
+        "block body:\n"
+        "  %4 = mul %1, %1\n"
+        "  %5 = add %4, %0\n"
+        "  %6 = and %5, %2\n"
+        "  %7 = xor %6, %1\n"
+        "  %8 = const 1\n"
+        "  %1 = add %1, %8\n"
+        "  br h\n"
+        "block x:\n"
+        "  ret %1\n"
+        "}\n";
+  }
+  text +=
+      "func @main(0) regs=16 {\n"
+      "block entry:\n"
+      "  %0 = const 0\n"
+      "  lock %0\n"
+      "  %1 = const 100\n"
+      "  %2 = const 42\n"
+      "  store %1, %2\n"
+      "  unlock %0\n"
+      "  %3 = load %1\n"
+      "  ret %3\n"
+      "}\n";
+  return text;
+}
+
+api::RunConfig band_a_config() {
+  api::RunConfig config;  // kDetLock, decoded engine, all optimizations
+  config.memory_words = 1 << 10;  // trivial entry: don't fingerprint 1M words
+  return config;
+}
+
+struct BandA {
+  double cold_jobs_per_s = 0.0;
+  double warm_jobs_per_s = 0.0;
+  double speedup = 0.0;
+};
+
+BandA run_band_a(int runs) {
+  const std::string text = compile_heavy_program(1200);
+  const api::RunConfig config = band_a_config();
+  const service::CompileOptions copts = service::compile_options(config);
+
+  // Cold: recompile per repetition, the pre-service behavior.
+  const double cold_start = now_seconds();
+  for (int r = 0; r < runs; ++r) {
+    service::ExecutionContext ctx(service::CompiledModule::compile(text, copts), config);
+    ctx.run("main");
+  }
+  const double cold_seconds = now_seconds() - cold_start;
+
+  // Warm: every repetition goes through one shared cache (first call
+  // compiles, the rest hit), the detserve path.
+  service::ModuleCache cache(4);
+  const double warm_start = now_seconds();
+  for (int r = 0; r < runs; ++r) {
+    service::ExecutionContext ctx(cache.get_or_compile(text, copts), config);
+    ctx.run("main");
+  }
+  const double warm_seconds = now_seconds() - warm_start;
+
+  BandA result;
+  result.cold_jobs_per_s = runs / cold_seconds;
+  result.warm_jobs_per_s = runs / warm_seconds;
+  result.speedup = cold_seconds / warm_seconds;
+  return result;
+}
+
+// ------------------------------------------------------------- band B ----
+
+/// The textbook ABBA deadlock (share/programs/abba_deadlock.dl, inlined so
+/// the bench is path-independent).  Under the turn protocol both workers
+/// deterministically block on each other; the job then sleeps in escalating
+/// turn-wait backoff until the per-job watchdog diagnoses the cycle.
+const char* kAbbaProgram = R"(
+func @worker_ab(1) regs=16 {
+block entry:
+  %1 = const 0
+  %2 = const 1
+  lock %1
+  %4 = const 0
+  %5 = const 64
+  %6 = const 1
+  br spin
+block spin:
+  %4 = add %4, %6
+  %7 = icmp lt %4, %5
+  condbr %7, spin, rest
+block rest:
+  lock %2
+  %3 = const 200
+  store %3, %0
+  unlock %2
+  unlock %1
+  ret
+}
+func @worker_ba(1) regs=16 {
+block entry:
+  %1 = const 0
+  %2 = const 1
+  lock %2
+  %4 = const 0
+  %5 = const 64
+  %6 = const 1
+  br spin
+block spin:
+  %4 = add %4, %6
+  %7 = icmp lt %4, %5
+  condbr %7, spin, rest
+block rest:
+  lock %1
+  %3 = const 201
+  store %3, %0
+  unlock %1
+  unlock %2
+  ret
+}
+func @main(0) regs=16 {
+block entry:
+  %0 = const 1
+  %1 = spawn @worker_ab(%0)
+  %2 = const 2
+  %3 = spawn @worker_ba(%2)
+  join %1
+  join %3
+  %4 = const 0
+  ret %4
+}
+)";
+
+struct BandB {
+  std::size_t workers = 0;
+  double jobs_per_s = 0.0;
+  double wall_seconds = 0.0;
+};
+
+BandB run_band_b(std::size_t workers, int jobs, std::uint64_t watchdog_ms,
+                 service::ModuleCache& cache) {
+  service::BatchExecutor::Options options;
+  options.workers = workers;
+  options.queue_capacity = static_cast<std::size_t>(jobs);
+  service::BatchExecutor executor(cache, options);
+
+  const double start = now_seconds();
+  for (int j = 0; j < jobs; ++j) {
+    service::JobSpec spec;
+    spec.name = "stall" + std::to_string(j);
+    spec.ir_text = kAbbaProgram;
+    spec.config.watchdog_ms = watchdog_ms;
+    spec.config.memory_words = 1 << 10;
+    executor.submit(std::move(spec));
+  }
+  const std::vector<service::JobResult>& results = executor.wait();
+
+  BandB result;
+  result.workers = workers;
+  result.wall_seconds = now_seconds() - start;
+  result.jobs_per_s = jobs / result.wall_seconds;
+  for (const service::JobResult& r : results) {
+    if (r.status != service::JobStatus::kDeadlock) {
+      std::fprintf(stderr, "batch_throughput: job %s was %s, expected deadlock diagnosis\n",
+                   r.name.c_str(), service::job_status_name(r.status));
+      std::exit(1);
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool compare = false;
+  std::string json_path;
+  double min_ratio = 5.0;
+  int runs = 12;
+  int jobs = 8;
+  std::uint64_t watchdog_ms = 250;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--compare") compare = true;
+    else if (arg.rfind("--json=", 0) == 0) json_path = arg.substr(7);
+    else if (arg.rfind("--min-ratio=", 0) == 0) min_ratio = std::stod(arg.substr(12));
+    else if (arg.rfind("--runs=", 0) == 0) runs = std::stoi(arg.substr(7));
+    else if (arg.rfind("--jobs=", 0) == 0) jobs = std::stoi(arg.substr(7));
+    else if (arg.rfind("--watchdog-ms=", 0) == 0) watchdog_ms = std::stoull(arg.substr(14));
+    else {
+      std::fprintf(stderr,
+                   "usage: %s [--compare] [--json=FILE] [--min-ratio=R] [--runs=R] [--jobs=J]\n"
+                   "          [--watchdog-ms=N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  const BandA a = run_band_a(runs);
+  std::printf("band A: compile-once amortization (%d repetitions, compile-heavy program)\n", runs);
+  std::printf("  recompile-per-run: %8.1f jobs/s\n", a.cold_jobs_per_s);
+  std::printf("  module-cache:      %8.1f jobs/s\n", a.warm_jobs_per_s);
+  std::printf("  speedup:           %8.2fx (gate: >= %.1fx)\n\n", a.speedup, min_ratio);
+
+  service::ModuleCache cache(4);
+  std::vector<BandB> b;
+  std::printf("band B: batch concurrency over %d wait-heavy jobs (watchdog %llu ms each)\n", jobs,
+              static_cast<unsigned long long>(watchdog_ms));
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    b.push_back(run_band_b(workers, jobs, watchdog_ms, cache));
+    std::printf("  workers=%zu: %6.2f jobs/s (%.2fs wall)\n", workers, b.back().jobs_per_s,
+                b.back().wall_seconds);
+  }
+
+  const bool band_a_ok = a.speedup >= min_ratio;
+  const bool band_b_ok = b[1].jobs_per_s >= b[0].jobs_per_s && b[2].jobs_per_s >= b[1].jobs_per_s;
+
+  if (!json_path.empty()) {
+    JsonWriter w;
+    w.begin_object();
+    w.field("schema_version", kReportSchemaVersion);
+    w.field("bench", "batch_throughput");
+    w.key("compile_once");
+    w.begin_object();
+    w.field("runs", runs);
+    w.field("recompile_jobs_per_s", a.cold_jobs_per_s);
+    w.field("cached_jobs_per_s", a.warm_jobs_per_s);
+    w.field("speedup", a.speedup);
+    w.field("min_ratio", min_ratio);
+    w.end();
+    w.key("concurrency");
+    w.begin_array();
+    for (const BandB& r : b) {
+      w.begin_object();
+      w.field("workers", static_cast<std::uint64_t>(r.workers));
+      w.field("jobs_per_s", r.jobs_per_s);
+      w.field("wall_seconds", r.wall_seconds);
+      w.end();
+    }
+    w.end();
+    w.field("gate", band_a_ok && band_b_ok ? "pass" : "fail");
+    w.end();
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "batch_throughput: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    out << w.str() << "\n";
+  }
+
+  if (compare) {
+    if (!band_a_ok) {
+      std::fprintf(stderr, "batch_throughput: FAIL: compile-once speedup %.2fx below %.2fx\n",
+                   a.speedup, min_ratio);
+      return 2;
+    }
+    if (!band_b_ok) {
+      std::fprintf(stderr,
+                   "batch_throughput: FAIL: jobs/sec not monotonic over workers 1->2->4 "
+                   "(%.2f, %.2f, %.2f)\n",
+                   b[0].jobs_per_s, b[1].jobs_per_s, b[2].jobs_per_s);
+      return 2;
+    }
+    std::printf("gate: pass\n");
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+#include "api/run_config.hpp"
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace detlock::api {
+
+const char* mode_name(Mode mode) {
+  switch (mode) {
+    case Mode::kBaseline: return "baseline";
+    case Mode::kClocksOnly: return "clocks-only";
+    case Mode::kDetLock: return "detlock";
+    case Mode::kKendoSim: return "kendo-sim";
+  }
+  DETLOCK_UNREACHABLE("bad mode");
+}
+
+std::optional<Mode> mode_from_name(std::string_view name) {
+  if (name == "baseline") return Mode::kBaseline;
+  if (name == "clocks-only" || name == "nondet") return Mode::kClocksOnly;
+  if (name == "detlock") return Mode::kDetLock;
+  if (name == "kendo-sim" || name == "kendo") return Mode::kKendoSim;
+  return std::nullopt;
+}
+
+std::optional<std::string> RunConfig::validate() const {
+  if (kendo_chunk_size < 1) return "kendo chunk size must be >= 1";
+  if (threads_max < 1 || threads_max > (1u << 16)) {
+    return "threads-max must be between 1 and 65536";
+  }
+  if (runs < 1) return "runs must be >= 1";
+  if (watchdog_ms > 86'400'000) return "watchdog-ms must be at most 86400000 (one day)";
+  if (chaos_trials < 1 || chaos_trials > 10'000) {
+    return "chaos-trials must be between 1 and 10000";
+  }
+  if (memory_words != 0 && memory_words < (1u << 8)) {
+    return "memory-words must be 0 (auto) or at least 256";
+  }
+  return std::nullopt;
+}
+
+interp::EngineConfig RunConfig::engine_config(std::size_t memory_hint) const {
+  interp::EngineConfig config;
+  config.deterministic = deterministic();
+  config.engine = engine;
+  if (memory_words != 0) {
+    config.memory_words = memory_words;
+  } else if (memory_hint != 0) {
+    config.memory_words = memory_hint;
+  }
+  config.runtime.max_threads = threads_max;
+  config.runtime.record_trace = record_trace;
+  config.runtime.keep_trace_events = keep_trace_events;
+  config.runtime.profile = profile || profile_spans;
+  config.runtime.profile_spans = profile_spans;
+  config.runtime.watchdog_ms = watchdog_ms;
+  if (mode == Mode::kKendoSim) {
+    config.runtime.publication = runtime::ClockPublication::kChunked;
+    config.runtime.chunk_size = kendo_chunk_size;
+  }
+  return config;
+}
+
+}  // namespace detlock::api

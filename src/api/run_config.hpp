@@ -1,0 +1,93 @@
+// The consolidated public run API.
+//
+// One RunConfig describes everything about "run this program under DetLock"
+// that used to be spread (with drifting defaults) across three structs:
+// detlockc's private CLI struct, workloads::MeasureOptions, and the raw
+// runtime::RuntimeConfig.  Every driver -- detlockc, the measurement
+// harness, and the detserve batch service -- now builds a RunConfig, calls
+// validate() once, and derives the engine wiring from engine_config(), so a
+// knob combination is either legal everywhere or rejected everywhere with
+// the same message.
+//
+// The split matters for the service layer (src/service/): the fields that
+// affect the *compiled artifact* (mode, engine, pass options) are separated
+// out by compile_options(), so a CompiledModule can be shared by many
+// concurrent executions whose per-run knobs (watchdog, chaos seed, trace
+// recording) differ.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "interp/engine.hpp"
+#include "pass/options.hpp"
+
+namespace detlock::api {
+
+/// The paper's execution configurations (Table I bands + Table II's Kendo
+/// comparison).  Moved here from workloads/harness.hpp so every driver
+/// names modes identically; workloads::Mode remains as an alias.
+enum class Mode { kBaseline, kClocksOnly, kDetLock, kKendoSim };
+
+const char* mode_name(Mode mode);
+/// Inverse of mode_name, plus the CLI shorthands "nondet" (== clocks-only:
+/// instrumented code on plain locks) and "kendo" (== kendo-sim).
+std::optional<Mode> mode_from_name(std::string_view name);
+
+struct RunConfig {
+  Mode mode = Mode::kDetLock;
+  /// Execution engine; the predecoded direct-threaded engine is the default
+  /// everywhere, the reference engine is the differential baseline.
+  interp::EngineKind engine = interp::EngineKind::kDecoded;
+  pass::PassOptions pass_options = pass::PassOptions::all();
+  /// Chunk size for kKendoSim's simulated performance counter.
+  std::uint64_t kendo_chunk_size = 2048;
+  /// Runtime thread-slot budget (guest threads, not host workers).
+  std::uint32_t threads_max = 64;
+  /// Guest memory in 64-bit words; 0 picks the engine default (or the
+  /// workload's sizing hint in measure()).
+  std::size_t memory_words = 0;
+  /// Fingerprint-compare repetitions for drivers that re-run (detlockc
+  /// --runs, detserve manifest runs=).
+  int runs = 1;
+
+  /// Keep the trace hash (adds a global mutex on every acquire; off for
+  /// timing runs, on for determinism checks).
+  bool record_trace = true;
+  /// Additionally keep the full acquisition list (schedule export/compare).
+  bool keep_trace_events = false;
+  /// Wait-time attribution (runtime/profile.hpp).
+  bool profile = false;
+  /// Per-wait spans for the Chrome-trace export (implies profile).
+  bool profile_spans = false;
+
+  /// Stall watchdog window in ms (runtime/watchdog.hpp); 0 disables.
+  std::uint64_t watchdog_ms = 0;
+  /// Adversarial timing perturbation (runtime/faultinject.hpp).
+  bool chaos = false;
+  std::uint64_t chaos_seed = 1;
+  /// Perturbed trials for chaos comparison drivers.
+  int chaos_trials = 4;
+
+  /// Checks every cross-field contract the drivers used to enforce ad hoc.
+  /// Returns std::nullopt when legal, else a one-line human-readable
+  /// message ("kendo chunk size must be >= 1").  detlockc maps a message to
+  /// usage exit 2, measure() and the service layer throw detlock::Error.
+  std::optional<std::string> validate() const;
+
+  /// Engine wiring for this configuration: backend choice, clock
+  /// publication, trace/profile/watchdog flags.  Chaos injection is wired
+  /// separately (the FaultInjector is per-run state; see
+  /// service::ExecutionContext).  `memory_hint` overrides memory_words when
+  /// the latter is 0 (workload sizing); 0 keeps the engine default.
+  interp::EngineConfig engine_config(std::size_t memory_hint = 0) const;
+
+  /// True when this mode instruments the module (everything but baseline).
+  bool instrumented() const { return mode != Mode::kBaseline; }
+  /// True when this mode runs on the deterministic backend.
+  bool deterministic() const { return mode == Mode::kDetLock || mode == Mode::kKendoSim; }
+};
+
+}  // namespace detlock::api

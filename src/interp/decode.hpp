@@ -121,6 +121,12 @@ inline constexpr std::size_t kDecodedLabelQuery = static_cast<std::size_t>(-1);
 /// target) that the reference engine would only hit at execution time.
 DecodedModule decode_module(const ir::Module& module);
 
+/// True when `module` is executable by the direct-threaded loop as-is: in
+/// computed-goto builds, handler pointers have been patched (by
+/// Engine::prepare_decoded_module or a private resolve at run() entry);
+/// always true in switch-dispatch builds, which never consult handlers.
+bool decoded_handlers_resolved(const DecodedModule& module);
+
 /// A sorted, deduplicated switch-case table (shared helper: the decoded
 /// engine builds them into its pools; the reference engine precomputes one
 /// per kSwitch at Engine construction).  Targets are whatever unit the

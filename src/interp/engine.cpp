@@ -74,7 +74,21 @@ Engine::Engine(const ir::Module& module, EngineConfig config)
   extern_impls_.assign(module_.externs().size(), nullptr);
 
   if (config_.engine == EngineKind::kDecoded) {
-    decoded_ = std::make_unique<DecodedModule>(decode_module(module_));
+    if (config_.shared_decoded != nullptr) {
+      // Shared immutable code: decoding, extern resolution, and handler
+      // patching all happened at compile time (prepare_decoded_module), so
+      // this engine performs no writes whatsoever to the module and any
+      // number of sibling engines may execute it concurrently.  The
+      // observing dispatch loop has its own handler labels, so shared
+      // modules cannot carry an observer (race checking decodes privately).
+      DETLOCK_CHECK(config_.observer == nullptr,
+                    "shared decoded modules are prepared for observer-free dispatch; "
+                    "drop EngineConfig::shared_decoded to attach an observer");
+      decoded_ = config_.shared_decoded;
+    } else {
+      decoded_owned_ = std::make_unique<DecodedModule>(decode_module(module_));
+      decoded_ = decoded_owned_.get();
+    }
   } else {
     // Reference engine: precompute a sorted case table per kSwitch so the
     // dispatch is a binary search instead of an O(cases) linear scan.
@@ -114,8 +128,8 @@ std::uint64_t Engine::call_extern(ThreadCtx& ctx, ir::ExternId id, std::vector<s
   return (*impl)(call);
 }
 
-void Engine::resolve_decoded_externs() {
-  for (DecodedInstr& in : decoded_->code) {
+void Engine::resolve_decoded_externs(DecodedModule& decoded) {
+  for (DecodedInstr& in : decoded.code) {
     if (in.op != dop(ir::Opcode::kCallExtern) || in.callee != nullptr) continue;
     const std::string& name = module_.extern_decl(in.callee_id).name;
     // Unregistered externs stay null: executing one routes through
@@ -166,9 +180,23 @@ RunResult Engine::run(std::string_view entry_name, const std::vector<std::int64_
 RunResult Engine::run(ir::FuncId entry, const std::vector<std::int64_t>& args) {
   DETLOCK_CHECK(!ran_, "an Engine can only run once");
   ran_ = true;
-  if (decoded_ != nullptr) {
-    resolve_decoded_externs();
-    resolve_decoded_handlers();
+  if (decoded_owned_ != nullptr) {
+    resolve_decoded_externs(*decoded_owned_);
+    resolve_decoded_handlers(*decoded_owned_);
+  } else if (decoded_ != nullptr) {
+    // Shared module: read-only from here on.  Handler patching must have
+    // happened at compile time (prepare_decoded_module) or the dispatch
+    // loop would jump through null.
+    DETLOCK_CHECK(decoded_handlers_resolved(*decoded_),
+                  "shared decoded module was not finalized by Engine::prepare_decoded_module");
+  }
+  // Pre-resolve the per-engine extern cache while still single-threaded.
+  // Shared modules keep DecodedInstr::callee null (impls close over this
+  // engine), so every extern call takes call_extern's cached path; filling
+  // the cache here keeps guest threads strictly read-only on it.
+  for (ir::ExternId id = 0; id < module_.externs().size(); ++id) {
+    const std::string& name = module_.extern_decl(id).name;
+    if (externs_.has(name)) extern_impls_[id] = &externs_.lookup(name);
   }
 
   if (watchdog_ != nullptr) watchdog_->start();

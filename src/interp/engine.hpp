@@ -73,6 +73,15 @@ struct EngineConfig {
   /// Reserved mutex backing the allocator's internal lock (paper: malloc's
   /// lock replaced with a deterministic lock).
   runtime::MutexId allocator_mutex = 4095;
+
+  /// Pre-decoded, immutable code to execute instead of decoding the module
+  /// privately (engine == kDecoded only).  The module must have been
+  /// finalized by Engine::prepare_decoded_module (handler pointers patched
+  /// at compile time) and must outlive the engine; any number of engines on
+  /// any number of threads may share one.  Incompatible with `observer`:
+  /// the observing dispatch loop uses its own handler labels, so observed
+  /// runs decode privately (see service::ExecutionContext).  Not owned.
+  const DecodedModule* shared_decoded = nullptr;
 };
 
 struct RunResult {
@@ -123,6 +132,17 @@ class Engine {
   /// used by tests as an application-visible determinism witness.
   const std::vector<std::vector<std::int64_t>>& records() const { return records_; }
 
+  /// Finalizes a freshly decoded module for cross-engine, cross-thread
+  /// sharing: patches every DecodedInstr::handler with the observer-free
+  /// dispatch loop's computed-goto labels (a no-op in switch-dispatch
+  /// builds).  Label addresses are properties of the compiled binary, so
+  /// the patch is identical no matter which engine would have applied it --
+  /// hoisting it here (compile time) is what lets run() treat a shared
+  /// module as strictly read-only.  kCallExtern callees deliberately stay
+  /// null in shared modules: extern implementations close over per-engine
+  /// state, so each engine resolves them through its private lazy path.
+  static void prepare_decoded_module(const ir::Module& module, DecodedModule& decoded);
+
  private:
   struct ThreadCtx;
 
@@ -150,16 +170,25 @@ class Engine {
   void thread_main(runtime::ThreadId tid, ir::FuncId func, std::vector<std::uint64_t> args);
   /// Fills DecodedInstr::callee for every kCallExtern whose implementation
   /// is registered (run() entry: after test-registered externs exist).
-  void resolve_decoded_externs();
-  /// Direct-threading (run() entry): patches DecodedInstr::handler with the
-  /// computed-goto label of each opcode's handler in the exec_decoded
-  /// instantiation this run will use.  No-op in switch-dispatch builds.
-  void resolve_decoded_handlers();
+  /// Privately owned modules only; shared modules keep callees null and use
+  /// the lazy per-engine path.
+  void resolve_decoded_externs(DecodedModule& decoded);
+  /// Direct-threading: patches DecodedInstr::handler with the computed-goto
+  /// label of each opcode's handler in the exec_decoded instantiation this
+  /// engine will use.  Called at run() entry for privately owned modules
+  /// and from prepare_decoded_module for shared ones.  No-op in
+  /// switch-dispatch builds.
+  void resolve_decoded_handlers(DecodedModule& decoded);
 
   const ir::Module& module_;
   EngineConfig config_;
-  /// Present iff config_.engine == kDecoded (built at construction).
-  std::unique_ptr<DecodedModule> decoded_;
+  /// Decoded code this engine executes: &*decoded_owned_ normally, the
+  /// caller's immutable shared module when EngineConfig::shared_decoded is
+  /// set, null for the reference engine.
+  const DecodedModule* decoded_ = nullptr;
+  /// Present iff this engine decoded privately (kDecoded without a shared
+  /// module); mutated by the resolve_* steps at run() entry.
+  std::unique_ptr<DecodedModule> decoded_owned_;
   /// Reference engine only: per-kSwitch sorted case tables, keyed by
   /// instruction address (stable: the engine holds the module by const
   /// reference and nothing mutates it after construction).

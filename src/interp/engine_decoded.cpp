@@ -218,8 +218,10 @@ std::uint64_t Engine::exec_decoded(ThreadCtx& ctx, const DecodedFunction& func,
 #define DL_FCASE(name) lbl_##name:
 #define DL_ALIAS(name) /* aliased in the label table */
 // Direct-threaded dispatch: the handler label is IN the instruction
-// (patched by resolve_decoded_handlers at run() entry), so dispatch is one
-// load and one indirect jump -- no opcode byte, no label-table indexing.
+// (patched by prepare_decoded_module at compile time for shared modules,
+// or by resolve_decoded_handlers at run() entry for private decodes), so
+// dispatch is one load and one indirect jump -- no opcode byte, no
+// label-table indexing.
 #define DL_NEXT()                                        \
   do {                                                   \
     in = ip++;                                           \
@@ -534,23 +536,53 @@ std::uint64_t Engine::exec_decoded(ThreadCtx& ctx, const DecodedFunction& func,
 template std::uint64_t Engine::exec_decoded<true>(ThreadCtx&, const DecodedFunction&, std::size_t);
 template std::uint64_t Engine::exec_decoded<false>(ThreadCtx&, const DecodedFunction&, std::size_t);
 
-void Engine::resolve_decoded_handlers() {
+void Engine::resolve_decoded_handlers(DecodedModule& decoded) {
 #if DL_CGOTO
-  if (decoded_->functions.empty()) return;
+  if (decoded.functions.empty()) return;
   // Ask the exec_decoded instantiation this run will use (they have
   // distinct label addresses) for its handler table, then thread every
   // instruction.  Runs before any guest thread exists, so the patching is
-  // race-free; the module is private to this Engine.
+  // race-free; the module is private to this Engine (or, via
+  // prepare_decoded_module, still under construction at compile time).
   ThreadCtx tmp;
   if (config_.observer != nullptr) {
-    exec_decoded<true>(tmp, decoded_->functions[0], kDecodedLabelQuery);
+    exec_decoded<true>(tmp, decoded.functions[0], kDecodedLabelQuery);
   } else {
-    exec_decoded<false>(tmp, decoded_->functions[0], kDecodedLabelQuery);
+    exec_decoded<false>(tmp, decoded.functions[0], kDecodedLabelQuery);
   }
-  for (DecodedInstr& in : decoded_->code) {
+  for (DecodedInstr& in : decoded.code) {
     in.handler = reinterpret_cast<const void*>(static_cast<std::uintptr_t>(tmp.arena[in.op]));
   }
+#else
+  (void)decoded;
 #endif
+}
+
+bool decoded_handlers_resolved(const DecodedModule& module) {
+#if DL_CGOTO
+  return module.code.empty() || module.code[0].handler != nullptr;
+#else
+  (void)module;
+  return true;
+#endif
+}
+
+void Engine::prepare_decoded_module(const ir::Module& module, DecodedModule& decoded) {
+  // Handler labels are fixed addresses inside the observer-free
+  // exec_decoded<false> instantiation -- a property of the compiled binary,
+  // not of any engine instance -- but they are only nameable from within
+  // that function, so a throwaway engine performs the label query.  The
+  // engine is configured as small as possible (tiny memory, no heap, no
+  // trace) and never runs; only resolve_decoded_handlers touches it.
+  EngineConfig cfg;
+  cfg.deterministic = false;
+  cfg.engine = EngineKind::kDecoded;
+  cfg.shared_decoded = &decoded;  // suppress the private re-decode
+  cfg.memory_words = 1 << 10;
+  cfg.heap_words = 0;
+  cfg.runtime.record_trace = false;
+  Engine prep(module, cfg);
+  prep.resolve_decoded_handlers(decoded);
 }
 
 }  // namespace detlock::interp

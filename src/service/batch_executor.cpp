@@ -1,0 +1,190 @@
+#include "service/batch_executor.hpp"
+
+#include <chrono>
+
+#include "runtime/schedule.hpp"
+#include "runtime/watchdog.hpp"
+#include "service/execution_context.hpp"
+#include "support/error.hpp"
+
+namespace detlock::service {
+
+const char* job_status_name(JobStatus status) {
+  switch (status) {
+    case JobStatus::kOk: return "ok";
+    case JobStatus::kRunError: return "run-error";
+    case JobStatus::kInvalidConfig: return "invalid-config";
+    case JobStatus::kDivergent: return "divergent";
+    case JobStatus::kParseError: return "parse-error";
+    case JobStatus::kVerifyError: return "verify-error";
+    case JobStatus::kDeadlock: return "deadlock";
+    case JobStatus::kStall: return "stall";
+  }
+  DETLOCK_UNREACHABLE("bad job status");
+}
+
+BatchExecutor::BatchExecutor(ModuleCache& cache, Options options)
+    : cache_(cache), options_(options) {
+  DETLOCK_CHECK(options_.workers >= 1, "BatchExecutor needs at least one worker");
+  DETLOCK_CHECK(options_.queue_capacity >= 1, "BatchExecutor needs a nonzero queue bound");
+  workers_.reserve(options_.workers);
+  for (std::size_t i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { worker_main(); });
+  }
+}
+
+BatchExecutor::~BatchExecutor() { wait(); }
+
+std::size_t BatchExecutor::submit(JobSpec job) {
+  std::size_t index;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    DETLOCK_CHECK(!closed_, "BatchExecutor: submit after wait()");
+    space_cv_.wait(lock, [&] { return queue_.size() < options_.queue_capacity; });
+    index = results_.size();
+    results_.emplace_back();
+    results_.back().name = job.name;
+    queue_.push_back(Pending{index, std::move(job)});
+    peak_queue_depth_ = std::max(peak_queue_depth_, queue_.size());
+  }
+  queue_cv_.notify_one();
+  return index;
+}
+
+const std::vector<JobResult>& BatchExecutor::wait() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  queue_cv_.notify_all();
+  if (!waited_) {
+    for (std::thread& t : workers_) {
+      if (t.joinable()) t.join();
+    }
+    waited_ = true;
+  }
+  return results_;
+}
+
+BatchExecutor::Stats BatchExecutor::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats s;
+  s.jobs_submitted = results_.size();
+  s.jobs_completed = jobs_completed_;
+  s.peak_queue_depth = peak_queue_depth_;
+  return s;
+}
+
+void BatchExecutor::worker_main() {
+  for (;;) {
+    Pending pending;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      queue_cv_.wait(lock, [&] { return !queue_.empty() || closed_; });
+      if (queue_.empty()) return;
+      pending = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    space_cv_.notify_one();
+
+    JobResult result = execute(pending.spec);
+    result.name = pending.spec.name;
+
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      results_[pending.index] = std::move(result);
+      ++jobs_completed_;
+    }
+  }
+}
+
+JobResult BatchExecutor::execute(const JobSpec& spec) const {
+  JobResult result;
+
+  if (const std::optional<std::string> err = spec.config.validate()) {
+    result.status = JobStatus::kInvalidConfig;
+    result.exit_code = 2;
+    result.error = *err;
+    return result;
+  }
+
+  std::shared_ptr<const CompiledModule> module;
+  try {
+    module = cache_.get_or_compile(spec.ir_text, compile_options(spec.config), &result.cache_hit);
+  } catch (const ParseError& e) {
+    result.status = JobStatus::kParseError;
+    result.exit_code = 5;
+    result.error = e.what();
+    return result;
+  } catch (const VerifyError& e) {
+    result.status = JobStatus::kVerifyError;
+    result.exit_code = 6;
+    result.error = e.what();
+    return result;
+  } catch (const std::exception& e) {
+    result.status = JobStatus::kRunError;
+    result.exit_code = 1;
+    result.error = e.what();
+    return result;
+  }
+
+  // Chaos jobs: one clean run plus chaos_trials perturbed ones, exactly
+  // like detlockc --chaos; otherwise config.runs fingerprint-compared runs.
+  const bool chaos = spec.config.chaos;
+  const int total_runs = chaos ? 1 + spec.config.chaos_trials : spec.config.runs;
+
+  api::RunConfig run_config = spec.config;
+  run_config.chaos = false;  // per-run injection is decided below
+  if (spec.collect_schedule) run_config.keep_trace_events = true;
+
+  const auto start = std::chrono::steady_clock::now();
+  for (int run = 0; run < total_runs; ++run) {
+    api::RunConfig this_run = run_config;
+    this_run.chaos = chaos && run > 0;
+    this_run.chaos_seed = spec.config.chaos_seed + static_cast<std::uint64_t>(run > 0 ? run - 1 : 0);
+    ExecutionContext ctx(module, this_run);
+    interp::RunResult rr;
+    try {
+      rr = ctx.run(spec.entry, spec.args);
+    } catch (const std::exception& e) {
+      const runtime::Watchdog* wd = ctx.engine() != nullptr ? ctx.engine()->watchdog() : nullptr;
+      if (wd != nullptr && wd->fired()) {
+        const std::optional<runtime::StallReport> report = wd->report();
+        result.status = report->deadlock ? JobStatus::kDeadlock : JobStatus::kStall;
+        result.exit_code = report->deadlock ? 8 : 9;
+        result.error = report->text();
+      } else {
+        result.status = JobStatus::kRunError;
+        result.exit_code = 1;
+        result.error = e.what();
+      }
+      result.run_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+      return result;
+    }
+
+    if (run == 0) {
+      result.main_return = rr.main_return;
+      result.trace_fingerprint = rr.trace_fingerprint;
+      result.memory_fingerprint = rr.memory_fingerprint;
+      result.instructions = rr.instructions;
+      result.lock_acquires = rr.lock_acquires;
+      result.threads = rr.threads;
+      if (spec.collect_schedule && ctx.engine() != nullptr) {
+        result.schedule = runtime::serialize_schedule(ctx.engine()->backend().trace().events());
+      }
+    } else if (rr.trace_fingerprint != result.trace_fingerprint ||
+               rr.memory_fingerprint != result.memory_fingerprint) {
+      result.status = JobStatus::kDivergent;
+      result.exit_code = 3;
+      result.error = chaos ? "chaos trial diverged from the clean run" : "repeated runs diverged";
+      result.runs_completed = run + 1;
+      result.run_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+      return result;
+    }
+    result.runs_completed = run + 1;
+  }
+  result.run_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return result;
+}
+
+}  // namespace detlock::service

@@ -1,0 +1,139 @@
+// BatchExecutor: bounded job queue + worker pool for concurrent
+// deterministic execution.
+//
+// Many jobs run at once, each with fully isolated per-run state
+// (ExecutionContext), optionally sharing CompiledModules through a
+// ModuleCache so identical programs compile exactly once across the whole
+// batch.  Per job the executor collects exit status, fingerprints,
+// instruction counts, and (optionally) the serialized lock-acquisition
+// schedule; watchdog and chaos wiring reuse runtime/watchdog +
+// runtime/faultinject per job, so one deadlocked job diagnoses and aborts
+// itself without touching its neighbors.
+//
+// Backpressure: submit() blocks while `queue_capacity` jobs are already
+// pending, bounding memory for producers faster than the workers.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/run_config.hpp"
+#include "service/module_cache.hpp"
+
+namespace detlock::service {
+
+struct JobSpec {
+  std::string name;
+  /// Program source (textual IR).  Keyed into the ModuleCache together with
+  /// the compile-affecting fields of `config`.
+  std::string ir_text;
+  std::string entry = "main";
+  std::vector<std::int64_t> args;
+  /// Fingerprint-compared repetitions (config.runs is ignored in batch
+  /// mode; chaos jobs run 1 clean + config.chaos_trials perturbed runs).
+  api::RunConfig config;
+  /// Keep each run's serialized schedule in the result (memory-heavy).
+  bool collect_schedule = false;
+};
+
+/// Job outcomes, with exit codes matching detlockc's documented stages so
+/// operators read one table (docs/cli-reference.md).
+enum class JobStatus {
+  kOk = 0,            // exit 0
+  kRunError = 1,      // exit 1: guest/internal error
+  kInvalidConfig = 2, // exit 2: RunConfig::validate rejected the job
+  kDivergent = 3,     // exit 3: repeated runs disagreed
+  kParseError = 5,    // exit 5
+  kVerifyError = 6,   // exit 6
+  kDeadlock = 8,      // exit 8: per-job watchdog, cycle found
+  kStall = 9,         // exit 9: per-job watchdog, no cycle
+};
+
+const char* job_status_name(JobStatus status);
+
+struct JobResult {
+  std::string name;
+  JobStatus status = JobStatus::kOk;
+  int exit_code = 0;
+  std::string error;  // human-readable failure detail ("" on success)
+
+  int runs_completed = 0;
+  std::int64_t main_return = 0;
+  std::uint64_t trace_fingerprint = 0;
+  std::uint64_t memory_fingerprint = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t lock_acquires = 0;
+  std::uint64_t threads = 0;
+  /// Wall-clock seconds this job spent executing (all runs, excluding
+  /// queue wait and compile time).
+  double run_seconds = 0.0;
+  /// True when the module came out of the cache already compiled.
+  bool cache_hit = false;
+  /// Serialized schedule of run 1 when JobSpec::collect_schedule.
+  std::string schedule;
+};
+
+class BatchExecutor {
+ public:
+  struct Options {
+    std::size_t workers = 4;
+    std::size_t queue_capacity = 64;
+  };
+
+  /// `cache` is shared across jobs (and possibly other executors); must
+  /// outlive this object.
+  BatchExecutor(ModuleCache& cache, Options options);
+  /// Drains the queue (as if wait() had been called) before joining.
+  ~BatchExecutor();
+
+  BatchExecutor(const BatchExecutor&) = delete;
+  BatchExecutor& operator=(const BatchExecutor&) = delete;
+
+  /// Enqueues a job; returns its index in the results vector.  Blocks while
+  /// the pending queue is at capacity (backpressure).  Illegal after
+  /// wait().
+  std::size_t submit(JobSpec job);
+
+  /// Closes the queue, runs everything to completion, joins the workers,
+  /// and returns all results in submit order.  Idempotent.
+  const std::vector<JobResult>& wait();
+
+  struct Stats {
+    std::uint64_t jobs_submitted = 0;
+    std::uint64_t jobs_completed = 0;
+    std::size_t peak_queue_depth = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Pending {
+    std::size_t index;
+    JobSpec spec;
+  };
+
+  void worker_main();
+  JobResult execute(const JobSpec& spec) const;
+
+  ModuleCache& cache_;
+  const Options options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable queue_cv_;   // workers: queue non-empty or closed
+  std::condition_variable space_cv_;   // producers: queue below capacity
+  std::deque<Pending> queue_;
+  bool closed_ = false;
+  std::vector<JobResult> results_;
+  std::uint64_t jobs_completed_ = 0;
+  std::size_t peak_queue_depth_ = 0;
+  bool waited_ = false;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace detlock::service

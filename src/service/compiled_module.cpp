@@ -1,0 +1,64 @@
+#include "service/compiled_module.hpp"
+
+#include "interp/engine.hpp"
+#include "ir/parser.hpp"
+#include "ir/verifier.hpp"
+#include "pass/estimates.hpp"
+
+namespace detlock::service {
+
+CompileOptions compile_options(const api::RunConfig& config) {
+  CompileOptions options;
+  options.mode = config.mode;
+  options.engine = config.engine;
+  options.pass_options = config.pass_options;
+  return options;
+}
+
+std::shared_ptr<const CompiledModule> CompiledModule::compile(std::string_view ir_text,
+                                                              const CompileOptions& options) {
+  ir::Module module;
+  try {
+    module = ir::parse_module(std::string(ir_text));
+  } catch (const std::exception& e) {
+    throw ParseError(e.what());
+  }
+  return compile(std::move(module), options);
+}
+
+std::shared_ptr<const CompiledModule> CompiledModule::compile(ir::Module module,
+                                                              const CompileOptions& options) {
+  // shared_ptr pins the artifact on the heap before decoding: the decoded
+  // arrays keep interior pointers into module_, which a later move would
+  // invalidate.
+  std::shared_ptr<CompiledModule> cm(new CompiledModule());
+  cm->module_ = std::move(module);
+  cm->options_ = options;
+
+  try {
+    if (!options.estimates_text.empty()) {
+      pass::apply_estimate_file(cm->module_, options.estimates_text);
+    }
+    ir::verify_module_or_throw(cm->module_);
+  } catch (const std::exception& e) {
+    throw VerifyError(e.what());
+  }
+
+  if (options.mode != api::Mode::kBaseline) {
+    pass::PassOptions popts = options.pass_options;
+    if (options.mode == api::Mode::kKendoSim) {
+      // Kendo's counter counts retired instructions: updates land after the
+      // counted work, never before (same forcing as the harness).
+      popts.placement = pass::ClockPlacement::kEnd;
+    }
+    cm->pass_stats_ = pass::instrument_module(cm->module_, popts);
+  }
+
+  if (options.engine == interp::EngineKind::kDecoded) {
+    cm->decoded_ = std::make_unique<interp::DecodedModule>(interp::decode_module(cm->module_));
+    interp::Engine::prepare_decoded_module(cm->module_, *cm->decoded_);
+  }
+  return cm;
+}
+
+}  // namespace detlock::service

@@ -1,0 +1,105 @@
+// CompiledModule: the immutable, thread-shareable compiled artifact.
+//
+// DetLock's amortization story (paper Sec. III: instrumentation is a
+// compile-time cost paid once) only materializes if the stack actually
+// compiles once.  CompiledModule bundles everything derivable from
+// (IR text, CompileOptions) alone:
+//
+//   * the parsed + verified module, with estimates applied and -- for
+//     instrumented modes -- the pass pipeline already run for one
+//     PassOptions row,
+//   * the pipeline statistics of that run,
+//   * for the decoded engine, the predecoded DecodedInstr code arrays with
+//     branch targets, switch pools, callee pointers, AND computed-goto
+//     handler pointers finalized (Engine::prepare_decoded_module), so no
+//     engine ever writes to them again.
+//
+// IMMUTABILITY INVARIANTS (docs/serving.md):
+//   1. After compile() returns, no byte of the CompiledModule ever changes.
+//   2. All per-run state -- guest memory, register arenas, clock table,
+//      backend, trace, profiler, fault plan -- lives in the per-job
+//      ExecutionContext / Engine, never in the artifact.
+//   3. kCallExtern callee pointers stay null: extern implementations close
+//      over per-engine state, so each engine resolves them privately.
+//   4. Observed (race-checked) runs do not share: the observing dispatch
+//      loop uses different handler labels, so ExecutionContext falls back
+//      to a private decode when an observer is attached.
+// Together these make `compile once, run anywhere, any number at a time`
+// sound: tests/service/concurrent_determinism_test.cpp runs one artifact on
+// K threads x R runs and demands byte-identical fingerprints.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "api/run_config.hpp"
+#include "interp/decode.hpp"
+#include "ir/module.hpp"
+#include "pass/pipeline.hpp"
+#include "support/error.hpp"
+
+namespace detlock::service {
+
+/// Compile-time inputs only: the subset of api::RunConfig that affects the
+/// artifact.  Two RunConfigs that agree on these share one CompiledModule
+/// no matter how their per-run knobs differ.
+struct CompileOptions {
+  api::Mode mode = api::Mode::kDetLock;
+  interp::EngineKind engine = interp::EngineKind::kDecoded;
+  pass::PassOptions pass_options = pass::PassOptions::all();
+  /// Optional estimate-file text (pass/estimates.hpp), applied before
+  /// verification exactly like detlockc --estimates=.
+  std::string estimates_text;
+};
+
+/// CompileOptions for a RunConfig (the artifact-affecting projection).
+CompileOptions compile_options(const api::RunConfig& config);
+
+/// Staged compilation failures, so every driver maps them to the documented
+/// exit codes (5 parse, 6 verifier) identically.
+class ParseError : public Error {
+ public:
+  using Error::Error;
+};
+class VerifyError : public Error {
+ public:
+  using Error::Error;
+};
+
+class CompiledModule {
+ public:
+  /// Parses, verifies, (for instrumented modes) instruments, and -- for the
+  /// decoded engine -- predecodes + finalizes `ir_text`.  Throws ParseError
+  /// / VerifyError / detlock::Error.  The result is immutable and safe to
+  /// share across any number of threads; keep it alive via the shared_ptr.
+  static std::shared_ptr<const CompiledModule> compile(std::string_view ir_text,
+                                                       const CompileOptions& options);
+  /// Same, from an already-built module (workload generators).  The module
+  /// is taken by value; it must parse-verify clean.
+  static std::shared_ptr<const CompiledModule> compile(ir::Module module,
+                                                       const CompileOptions& options);
+
+  const ir::Module& module() const { return module_; }
+  const CompileOptions& options() const { return options_; }
+  const pass::PipelineStats& pass_stats() const { return pass_stats_; }
+  /// Non-null iff options().engine == kDecoded.
+  const interp::DecodedModule* decoded() const { return decoded_.get(); }
+
+  CompiledModule(const CompiledModule&) = delete;
+  CompiledModule& operator=(const CompiledModule&) = delete;
+
+ private:
+  CompiledModule() = default;
+
+  // Declaration order is destruction-safety order: decoded_ holds pointers
+  // into module_ (DecodedFunction::source) and into its own vectors, and
+  // module_ must outlive it.  The artifact is heap-pinned by the factory
+  // (never moved), so those interior pointers stay valid for its lifetime.
+  ir::Module module_;
+  CompileOptions options_;
+  pass::PipelineStats pass_stats_;
+  std::unique_ptr<interp::DecodedModule> decoded_;
+};
+
+}  // namespace detlock::service

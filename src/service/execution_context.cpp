@@ -1,0 +1,56 @@
+#include "service/execution_context.hpp"
+
+#include "support/error.hpp"
+
+namespace detlock::service {
+
+ExecutionContext::ExecutionContext(std::shared_ptr<const CompiledModule> module,
+                                   api::RunConfig config)
+    : module_(std::move(module)), config_(std::move(config)), chaos_seed_(config_.chaos_seed) {
+  DETLOCK_CHECK(module_ != nullptr, "ExecutionContext needs a compiled module");
+  const CompileOptions& built = module_->options();
+  DETLOCK_CHECK(built.mode == config_.mode,
+                "RunConfig mode does not match the CompiledModule's mode");
+  DETLOCK_CHECK(built.engine == config_.engine,
+                "RunConfig engine does not match the CompiledModule's engine");
+  if (const std::optional<std::string> err = config_.validate()) {
+    DETLOCK_CHECK(false, "invalid RunConfig: " + *err);
+  }
+}
+
+ExecutionContext::~ExecutionContext() = default;
+
+interp::RunResult ExecutionContext::run(std::string_view entry,
+                                        const std::vector<std::int64_t>& args) {
+  return make_engine().run(entry, args);
+}
+
+interp::RunResult ExecutionContext::run(ir::FuncId entry, const std::vector<std::int64_t>& args) {
+  return make_engine().run(entry, args);
+}
+
+interp::Engine& ExecutionContext::make_engine() {
+  // Engine first, then the injector it borrows: destroy in reverse order.
+  engine_.reset();
+  injector_.reset();
+
+  interp::EngineConfig config = config_.engine_config(memory_hint_);
+  config.observer = observer_;
+  config.runtime.validator = validator_;
+  if (config_.chaos) {
+    injector_ = std::make_unique<runtime::FaultInjector>(
+        runtime::FaultPlan::timing_chaos(chaos_seed_), config.runtime.max_threads);
+    config.runtime.fault = injector_.get();
+  }
+  // Share the immutable decoded code whenever this run's dispatch variant
+  // matches what the artifact was finalized for; an attached observer
+  // selects the observing loop (different handler labels), so that run
+  // decodes privately inside its own Engine.
+  if (config_.engine == interp::EngineKind::kDecoded && observer_ == nullptr) {
+    config.shared_decoded = module_->decoded();
+  }
+  engine_ = std::make_unique<interp::Engine>(module_->module(), config);
+  return *engine_;
+}
+
+}  // namespace detlock::service

@@ -1,0 +1,73 @@
+// ExecutionContext: all per-job state for executing a shared CompiledModule.
+//
+// The Determinator/Pot split: the deterministic artifact is immutable and
+// shared, the execution state is private.  One ExecutionContext = one job's
+// state -- guest memory, register arenas, clock table, sync backend, trace,
+// profiler, watchdog, fault plan -- so any number of contexts over the same
+// CompiledModule run concurrently without synchronizing on anything but the
+// (read-only) code.  An Engine runs exactly once, so run() constructs a
+// fresh one per call; what it never does again is parse, verify,
+// instrument, or decode.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "api/run_config.hpp"
+#include "interp/engine.hpp"
+#include "interp/observer.hpp"
+#include "runtime/faultinject.hpp"
+#include "runtime/schedule.hpp"
+#include "service/compiled_module.hpp"
+
+namespace detlock::service {
+
+class ExecutionContext {
+ public:
+  /// `config`'s compile-affecting fields (mode, engine, pass options) must
+  /// match the module's CompileOptions; enforced at construction.  `config`
+  /// is honored per-run: record_trace/keep_trace_events, profile flags,
+  /// watchdog_ms, chaos (a deterministic FaultPlan::timing_chaos seeded
+  /// with `chaos_seed`, overridable per run below).
+  ExecutionContext(std::shared_ptr<const CompiledModule> module, api::RunConfig config);
+  ~ExecutionContext();
+
+  /// Optional per-run hooks, set before run().  An observer forces a
+  /// private decode (the shared code is finalized for observer-free
+  /// dispatch); a validator checks each acquisition online.  Not owned.
+  void set_observer(interp::MemoryAccessObserver* observer) { observer_ = observer; }
+  void set_validator(runtime::ScheduleValidator* validator) { validator_ = validator; }
+  /// Overrides RunConfig::chaos_seed for the next run() (chaos reps).
+  void set_chaos_seed(std::uint64_t seed) { chaos_seed_ = seed; }
+  /// Guest memory sizing hint used when RunConfig::memory_words == 0.
+  void set_memory_hint(std::size_t words) { memory_hint_ = words; }
+
+  /// Executes entry(args...) on a fresh Engine over the shared artifact.
+  /// Callable repeatedly; each call is an independent deterministic run.
+  interp::RunResult run(std::string_view entry, const std::vector<std::int64_t>& args = {});
+  interp::RunResult run(ir::FuncId entry, const std::vector<std::int64_t>& args = {});
+
+  /// The engine of the most recent run() (null before the first): watchdog
+  /// report, profiler summary, trace events, records.
+  const interp::Engine* engine() const { return engine_.get(); }
+  interp::Engine* engine() { return engine_.get(); }
+
+  const CompiledModule& module() const { return *module_; }
+
+ private:
+  /// Builds the fresh per-run Engine (and fault injector) for this config.
+  interp::Engine& make_engine();
+
+  std::shared_ptr<const CompiledModule> module_;
+  api::RunConfig config_;
+  interp::MemoryAccessObserver* observer_ = nullptr;
+  runtime::ScheduleValidator* validator_ = nullptr;
+  std::uint64_t chaos_seed_;
+  std::size_t memory_hint_ = 0;
+  std::unique_ptr<runtime::FaultInjector> injector_;  // outlives engine_
+  std::unique_ptr<interp::Engine> engine_;
+};
+
+}  // namespace detlock::service

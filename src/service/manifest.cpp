@@ -1,0 +1,191 @@
+#include "service/manifest.hpp"
+
+#include <unordered_set>
+
+#include "support/strings.hpp"
+
+namespace detlock::service {
+
+namespace {
+
+bool parse_bool(std::string_view value, bool& out) {
+  if (value == "1" || value == "true" || value == "on") {
+    out = true;
+    return true;
+  }
+  if (value == "0" || value == "false" || value == "off") {
+    out = false;
+    return true;
+  }
+  return false;
+}
+
+bool apply_option(std::string_view key, std::string_view value, JobSpec& job, std::string& error) {
+  api::RunConfig& config = job.config;
+  if (key == "entry") {
+    job.entry = std::string(value);
+    return true;
+  }
+  if (key == "args") {
+    for (std::string_view part : split(value, ',')) {
+      const std::optional<std::int64_t> v = parse_int(trim(part));
+      if (!v) {
+        error = "bad integer in args list: '" + std::string(part) + "'";
+        return false;
+      }
+      job.args.push_back(*v);
+    }
+    return true;
+  }
+  if (key == "mode") {
+    const std::optional<api::Mode> mode = api::mode_from_name(value);
+    if (!mode) {
+      error = "unknown mode '" + std::string(value) + "'";
+      return false;
+    }
+    config.mode = *mode;
+    return true;
+  }
+  if (key == "engine") {
+    if (value == "decoded") {
+      config.engine = interp::EngineKind::kDecoded;
+    } else if (value == "reference") {
+      config.engine = interp::EngineKind::kReference;
+    } else {
+      error = "unknown engine '" + std::string(value) + "' (decoded|reference)";
+      return false;
+    }
+    return true;
+  }
+  if (key == "opt") {
+    if (value == "none") {
+      config.pass_options = pass::PassOptions::none();
+    } else if (value == "all") {
+      config.pass_options = pass::PassOptions::all();
+    } else if (value == "o1") {
+      config.pass_options = pass::PassOptions::only_opt1();
+    } else if (value == "o2") {
+      config.pass_options = pass::PassOptions::only_opt2();
+    } else if (value == "o3") {
+      config.pass_options = pass::PassOptions::only_opt3();
+    } else if (value == "o4") {
+      config.pass_options = pass::PassOptions::only_opt4();
+    } else {
+      error = "unknown opt preset '" + std::string(value) + "' (none|all|o1|o2|o3|o4)";
+      return false;
+    }
+    return true;
+  }
+  if (key == "placement") {
+    if (value == "start") {
+      config.pass_options.placement = pass::ClockPlacement::kStart;
+    } else if (value == "end") {
+      config.pass_options.placement = pass::ClockPlacement::kEnd;
+    } else {
+      error = "unknown placement '" + std::string(value) + "' (start|end)";
+      return false;
+    }
+    return true;
+  }
+  if (key == "schedule") {
+    if (!parse_bool(value, job.collect_schedule)) {
+      error = "bad boolean for schedule: '" + std::string(value) + "'";
+      return false;
+    }
+    return true;
+  }
+  if (key == "chaos") {
+    if (!parse_bool(value, config.chaos)) {
+      error = "bad boolean for chaos: '" + std::string(value) + "'";
+      return false;
+    }
+    return true;
+  }
+
+  // Remaining keys are integers.
+  const std::optional<std::int64_t> v = parse_int(value);
+  if (!v || *v < 0) {
+    error = "bad value '" + std::string(value) + "' for " + std::string(key);
+    return false;
+  }
+  if (key == "runs") {
+    config.runs = static_cast<int>(*v);
+  } else if (key == "kendo-chunk") {
+    config.kendo_chunk_size = static_cast<std::uint64_t>(*v);
+  } else if (key == "threads-max") {
+    config.threads_max = static_cast<std::uint32_t>(*v);
+  } else if (key == "memory-words") {
+    config.memory_words = static_cast<std::size_t>(*v);
+  } else if (key == "watchdog-ms") {
+    config.watchdog_ms = static_cast<std::uint64_t>(*v);
+  } else if (key == "chaos-seed") {
+    config.chaos_seed = static_cast<std::uint64_t>(*v);
+  } else if (key == "chaos-trials") {
+    config.chaos_trials = static_cast<int>(*v);
+  } else {
+    error = "unknown option '" + std::string(key) + "'";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<Manifest> parse_manifest(std::string_view text, std::string& error) {
+  Manifest manifest;
+  std::unordered_set<std::string> names;
+  std::size_t line_no = 0;
+  for (std::string_view raw : split(text, '\n')) {
+    ++line_no;
+    const std::string_view line = trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+
+    const std::vector<std::string_view> tokens = split_whitespace(line);
+    if (tokens[0] != "job") {
+      error = str_format("manifest line %zu: expected 'job', got '%.*s'", line_no,
+                         static_cast<int>(tokens[0].size()), tokens[0].data());
+      return std::nullopt;
+    }
+    if (tokens.size() < 3) {
+      error = str_format("manifest line %zu: usage: job NAME PROGRAM [key=value ...]", line_no);
+      return std::nullopt;
+    }
+
+    ManifestJob job;
+    job.spec.name = std::string(tokens[1]);
+    job.program_path = std::string(tokens[2]);
+    // Manifest jobs default to no trace-event retention; schedule=1 opts in.
+    job.spec.config.keep_trace_events = false;
+    if (!names.insert(job.spec.name).second) {
+      error = str_format("manifest line %zu: duplicate job name '%s'", line_no,
+                         job.spec.name.c_str());
+      return std::nullopt;
+    }
+
+    for (std::size_t i = 3; i < tokens.size(); ++i) {
+      const std::size_t eq = tokens[i].find('=');
+      if (eq == std::string_view::npos || eq == 0) {
+        error = str_format("manifest line %zu: options are key=value, got '%.*s'", line_no,
+                           static_cast<int>(tokens[i].size()), tokens[i].data());
+        return std::nullopt;
+      }
+      std::string opt_error;
+      if (!apply_option(tokens[i].substr(0, eq), tokens[i].substr(eq + 1), job.spec, opt_error)) {
+        error = str_format("manifest line %zu: %s", line_no, opt_error.c_str());
+        return std::nullopt;
+      }
+    }
+    if (const std::optional<std::string> err = job.spec.config.validate()) {
+      error = str_format("manifest line %zu: %s", line_no, err->c_str());
+      return std::nullopt;
+    }
+    manifest.jobs.push_back(std::move(job));
+  }
+  if (manifest.jobs.empty()) {
+    error = "manifest declares no jobs";
+    return std::nullopt;
+  }
+  return manifest;
+}
+
+}  // namespace detlock::service

@@ -1,0 +1,39 @@
+// Jobs-manifest parser for detserve (format documented in docs/serving.md).
+//
+// A manifest is line-oriented text: '#' comments and blank lines are
+// skipped, every other line declares one job:
+//
+//   job NAME PROGRAM.ir [key=value ...]
+//
+// where NAME is a unique label for the report, PROGRAM.ir is a path
+// (resolved by the caller, usually relative to the manifest file), and the
+// key=value options select the RunConfig knobs.  Parsing is pure (no
+// filesystem access) so the grammar is unit-testable; detserve loads each
+// program's text afterwards.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "service/batch_executor.hpp"
+
+namespace detlock::service {
+
+/// One parsed `job` line.  `spec.ir_text` is left empty -- the caller reads
+/// `program_path` and fills it in.
+struct ManifestJob {
+  std::string program_path;
+  JobSpec spec;
+};
+
+struct Manifest {
+  std::vector<ManifestJob> jobs;
+};
+
+/// Parses manifest text.  On error returns std::nullopt and sets `error` to
+/// a one-line message naming the offending line number.
+std::optional<Manifest> parse_manifest(std::string_view text, std::string& error);
+
+}  // namespace detlock::service

@@ -1,0 +1,153 @@
+#include "service/module_cache.hpp"
+
+#include <bit>
+
+#include "support/error.hpp"
+#include "support/hash.hpp"
+
+namespace detlock::service {
+
+namespace {
+
+void hash_options(Fnv1aHasher& h, const CompileOptions& options) {
+  h.update_byte(static_cast<std::uint8_t>(options.mode));
+  h.update_byte(static_cast<std::uint8_t>(options.engine));
+  const pass::PassOptions& p = options.pass_options;
+  h.update_byte(static_cast<std::uint8_t>(p.opt1_function_clocking));
+  h.update_byte(static_cast<std::uint8_t>(p.opt2_conditional));
+  h.update_byte(static_cast<std::uint8_t>(p.opt3_averaging));
+  h.update_byte(static_cast<std::uint8_t>(p.opt4_loops));
+  h.update_byte(static_cast<std::uint8_t>(p.placement));
+  h.update_u64(std::bit_cast<std::uint64_t>(p.criteria.range_divisor));
+  h.update_u64(std::bit_cast<std::uint64_t>(p.criteria.stddev_divisor));
+  h.update_u64(std::bit_cast<std::uint64_t>(p.opt2b_max_divergence));
+  h.update_i64(p.opt4_threshold);
+  const ir::CostModel& c = p.cost_model;
+  h.update_i64(c.div_cost);
+  h.update_i64(c.fdiv_cost);
+  h.update_i64(c.fsqrt_cost);
+  h.update_i64(c.load_cost);
+  h.update_i64(c.store_cost);
+  h.update_i64(c.call_cost);
+  h.update_string(options.estimates_text);
+  // Length-delimit the text against concatenation ambiguity.
+  h.update_u64(options.estimates_text.size());
+}
+
+}  // namespace
+
+ModuleKey module_key(std::string_view ir_text, const CompileOptions& options) {
+  ModuleKey key;
+  Fnv1aHasher lo;
+  lo.update_string(ir_text);
+  lo.update_u64(ir_text.size());
+  hash_options(lo, options);
+  key.lo = lo.digest();
+  // Second stream: same inputs, different seed (fold a constant in first),
+  // so a collision needs to defeat two independent 64-bit states.
+  Fnv1aHasher hi;
+  hi.update_u64(0x5bd1e9955bd1e995ULL);
+  hi.update_string(ir_text);
+  hi.update_u64(ir_text.size());
+  hash_options(hi, options);
+  key.hi = hi.digest();
+  return key;
+}
+
+ModuleCache::ModuleCache(std::size_t capacity, CompileFn compile_fn)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      compile_fn_(compile_fn ? std::move(compile_fn)
+                             : [](std::string_view text, const CompileOptions& options) {
+                                 return CompiledModule::compile(text, options);
+                               }) {}
+
+void ModuleCache::touch_locked(Entry& entry, const ModuleKey& key) {
+  if (entry.lru_pos != lru_.end()) lru_.erase(entry.lru_pos);
+  lru_.push_front(key);
+  entry.lru_pos = lru_.begin();
+}
+
+void ModuleCache::evict_locked() {
+  while (lru_.size() > capacity_) {
+    const ModuleKey victim = lru_.back();
+    lru_.pop_back();
+    entries_.erase(victim);
+    ++stats_.evictions;
+  }
+}
+
+std::shared_ptr<const CompiledModule> ModuleCache::get_or_compile(std::string_view ir_text,
+                                                                 const CompileOptions& options,
+                                                                 bool* was_hit) {
+  const ModuleKey key = module_key(ir_text, options);
+
+  std::shared_ptr<Entry> entry;
+  bool owner = false;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      entry = std::make_shared<Entry>();
+      entry->lru_pos = lru_.end();
+      entries_.emplace(key, entry);
+      owner = true;
+      ++stats_.misses;
+      if (was_hit != nullptr) *was_hit = false;
+    } else {
+      entry = it->second;
+      if (was_hit != nullptr) *was_hit = true;
+      if (entry->done) {
+        ++stats_.hits;
+        touch_locked(*entry, key);
+        return entry->value;
+      }
+      // Another thread's compile is in flight: wait for it below.
+      ++stats_.hits;
+      ++stats_.inflight_waits;
+    }
+  }
+
+  if (owner) {
+    std::shared_ptr<const CompiledModule> value;
+    std::exception_ptr error;
+    try {
+      value = compile_fn_(ir_text, options);
+      DETLOCK_CHECK(value != nullptr, "ModuleCache compile function returned null");
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      entry->value = value;
+      entry->error = error;
+      entry->done = true;
+      if (error) {
+        // Failures are not cached: drop the slot so the next request
+        // retries, but only after every current waiter has been released
+        // (they hold their own shared_ptr to the entry).
+        ++stats_.compile_errors;
+        entries_.erase(key);
+      } else {
+        touch_locked(*entry, key);
+        evict_locked();
+      }
+    }
+    ready_cv_.notify_all();
+    if (error) std::rethrow_exception(error);
+    return value;
+  }
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  ready_cv_.wait(lock, [&] { return entry->done; });
+  if (entry->error) std::rethrow_exception(entry->error);
+  return entry->value;
+}
+
+ModuleCache::Stats ModuleCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats s = stats_;
+  s.entries = lru_.size();
+  return s;
+}
+
+}  // namespace detlock::service

@@ -1,0 +1,103 @@
+// ModuleCache: content-addressed, bounded cache of CompiledModules.
+//
+// Keyed on hash(IR text, CompileOptions fields, engine kind) -- the exact
+// inputs of CompiledModule::compile -- so two requests share an artifact
+// iff compile() would have produced identical ones.  Guarantees:
+//
+//   * SINGLE-FLIGHT: N concurrent get_or_compile() calls for one key run
+//     the compiler exactly once; the others block on the in-flight slot
+//     and receive the same shared_ptr (or the same propagated exception).
+//   * LRU BOUND: at most `capacity` ready artifacts are retained; the least
+//     recently used is dropped first.  Eviction only severs the cache's
+//     reference -- executions already holding the shared_ptr keep running.
+//   * COUNTERS: hits / misses / evictions / compile_errors / inflight_waits
+//     for the detserve report and capacity tuning.
+//
+// The compile function is injectable so tests can count invocations and
+// inject failures; the default is CompiledModule::compile.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <unordered_map>
+
+#include "service/compiled_module.hpp"
+
+namespace detlock::service {
+
+/// 128-bit content key (two independently seeded FNV-1a streams over the IR
+/// text and every CompileOptions field); collisions are out of scope at
+/// this width for test/serving purposes.
+struct ModuleKey {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  bool operator==(const ModuleKey&) const = default;
+};
+
+ModuleKey module_key(std::string_view ir_text, const CompileOptions& options);
+
+class ModuleCache {
+ public:
+  using CompileFn =
+      std::function<std::shared_ptr<const CompiledModule>(std::string_view, const CompileOptions&)>;
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t compile_errors = 0;
+    /// get_or_compile calls that found another caller's compile in flight
+    /// and waited for it (they count as hits, not misses).
+    std::uint64_t inflight_waits = 0;
+    std::size_t entries = 0;
+  };
+
+  explicit ModuleCache(std::size_t capacity = 64, CompileFn compile_fn = nullptr);
+
+  /// Returns the cached artifact for (ir_text, options), compiling at most
+  /// once per key across all threads.  Compilation failures propagate to
+  /// every waiter of that flight and are not cached (the next request
+  /// retries).  `was_hit`, when non-null, reports whether THIS call hit
+  /// (including joining an in-flight compile) -- the aggregate counters
+  /// can't answer that racelessly.
+  std::shared_ptr<const CompiledModule> get_or_compile(std::string_view ir_text,
+                                                       const CompileOptions& options,
+                                                       bool* was_hit = nullptr);
+
+  Stats stats() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const CompiledModule> value;  // null while in flight
+    std::exception_ptr error;
+    bool done = false;
+    /// Position in lru_ once ready; lru_.end() while in flight.
+    std::list<ModuleKey>::iterator lru_pos;
+  };
+
+  struct KeyHash {
+    std::size_t operator()(const ModuleKey& k) const {
+      return static_cast<std::size_t>(k.lo ^ (k.hi * 0x9e3779b97f4a7c15ULL));
+    }
+  };
+
+  void touch_locked(Entry& entry, const ModuleKey& key);
+  void evict_locked();
+
+  const std::size_t capacity_;
+  const CompileFn compile_fn_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_cv_;
+  std::unordered_map<ModuleKey, std::shared_ptr<Entry>, KeyHash> entries_;
+  /// Most recent at the front; ready entries only.
+  std::list<ModuleKey> lru_;
+  Stats stats_;
+};
+
+}  // namespace detlock::service

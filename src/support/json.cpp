@@ -1,0 +1,137 @@
+#include "support/json.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace detlock {
+
+std::string JsonWriter::escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += str_format("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::prefix() {
+  if (!pending_.empty()) {
+    out_ += pending_;
+    pending_.clear();
+    keyed_ = false;
+    return;
+  }
+  DETLOCK_CHECK(scopes_.empty() || scopes_.back() != 'o' || keyed_,
+                "JsonWriter: value in object context requires key()");
+  if (!scopes_.empty()) {
+    if (has_items_.back()) out_ += ',';
+    has_items_.back() = true;
+    out_ += '\n';
+    out_.append(2 * scopes_.size(), ' ');
+  }
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  DETLOCK_CHECK(!scopes_.empty() && scopes_.back() == 'o', "JsonWriter: key() outside an object");
+  DETLOCK_CHECK(pending_.empty(), "JsonWriter: key() twice without a value");
+  if (has_items_.back()) out_ += ',';
+  has_items_.back() = true;
+  out_ += '\n';
+  out_.append(2 * scopes_.size(), ' ');
+  pending_ = "\"" + escape(k) + "\": ";
+  keyed_ = true;
+  return *this;
+}
+
+void JsonWriter::begin_object() {
+  prefix();
+  out_ += '{';
+  scopes_ += 'o';
+  has_items_.push_back(false);
+}
+
+void JsonWriter::begin_array() {
+  prefix();
+  out_ += '[';
+  scopes_ += 'a';
+  has_items_.push_back(false);
+}
+
+void JsonWriter::end() {
+  DETLOCK_CHECK(!scopes_.empty(), "JsonWriter: end() with nothing open");
+  DETLOCK_CHECK(pending_.empty(), "JsonWriter: end() with a dangling key");
+  const char scope = scopes_.back();
+  const bool had_items = has_items_.back();
+  scopes_.pop_back();
+  has_items_.pop_back();
+  if (had_items) {
+    out_ += '\n';
+    out_.append(2 * scopes_.size(), ' ');
+  }
+  out_ += scope == 'o' ? '}' : ']';
+}
+
+void JsonWriter::value(std::string_view s) {
+  prefix();
+  out_ += '"';
+  out_ += escape(s);
+  out_ += '"';
+}
+
+void JsonWriter::value(std::int64_t v) {
+  prefix();
+  out_ += str_format("%lld", static_cast<long long>(v));
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  prefix();
+  out_ += str_format("%llu", static_cast<unsigned long long>(v));
+}
+
+void JsonWriter::value(double v) {
+  prefix();
+  if (!std::isfinite(v)) {
+    out_ += "null";  // JSON has no Inf/NaN; null is the conventional stand-in
+    return;
+  }
+  std::string s = str_format("%.17g", v);
+  // Guarantee the token reads back as a double, not an integer.
+  if (s.find_first_of(".eE") == std::string::npos) s += ".0";
+  out_ += s;
+}
+
+void JsonWriter::value(bool v) {
+  prefix();
+  out_ += v ? "true" : "false";
+}
+
+void JsonWriter::value_null() {
+  prefix();
+  out_ += "null";
+}
+
+void JsonWriter::value_hex(std::uint64_t v) {
+  prefix();
+  out_ += str_format("\"%016llx\"", static_cast<unsigned long long>(v));
+}
+
+std::string JsonWriter::str() const {
+  DETLOCK_CHECK(scopes_.empty(), "JsonWriter: str() with open scopes");
+  return out_ + "\n";
+}
+
+}  // namespace detlock

@@ -1,0 +1,77 @@
+// Minimal streaming JSON writer shared by every machine-readable report
+// (detlockc --json, the detserve batch report, bench gate outputs).
+//
+// Versioning contract (docs/cli-reference.md): every top-level report
+// object starts with "schema_version": kReportSchemaVersion.  Consumers
+// must check the version before reading any other field; producers bump the
+// constant whenever a field is removed or changes meaning (additions are
+// backward compatible and do not bump it).
+//
+// The writer emits keys in call order with deterministic formatting (two-
+// space indent, '.'-decimal doubles via %.17g, lowercase hex helpers), so
+// report output is stable enough for golden-file tests once wall-clock
+// fields are normalized away.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace detlock {
+
+inline constexpr int kReportSchemaVersion = 1;
+
+class JsonWriter {
+ public:
+  /// Begins an object or array.  The top-level call must be exactly one of
+  /// these; nesting is tracked so end() knows which delimiter to emit.
+  void begin_object();
+  void begin_array();
+  void end();  // closes the innermost object/array
+
+  /// Object context only: emit the key for the next value.
+  JsonWriter& key(std::string_view k);
+
+  /// Scalars (valid as array elements or after key()).
+  void value(std::string_view s);
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(std::int64_t v);
+  void value(std::uint64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(double v);
+  void value(bool v);
+  void value_null();
+  /// 16-digit lowercase hex string (fingerprints; matches detlockc's text
+  /// output format).
+  void value_hex(std::uint64_t v);
+
+  /// Convenience: key + scalar in one call.
+  template <typename T>
+  void field(std::string_view k, T v) {
+    key(k);
+    value(v);
+  }
+  void field_hex(std::string_view k, std::uint64_t v) {
+    key(k);
+    value_hex(v);
+  }
+
+  /// The finished document; every begin_* must have been end()ed.
+  std::string str() const;
+
+  static std::string escape(std::string_view s);
+
+ private:
+  void prefix();  // indentation + comma bookkeeping before a value/key
+
+  std::string out_;
+  /// One char per open scope: 'o' object, 'a' array; parallel "needs comma"
+  /// flags packed into counts_.
+  std::string scopes_;
+  std::string pending_;  // set by key(); consumed by the next value
+  std::vector<bool> has_items_;
+  bool keyed_ = false;
+};
+
+}  // namespace detlock

@@ -1,74 +1,47 @@
 #include "workloads/harness.hpp"
 
+#include <algorithm>
 #include <chrono>
-#include <memory>
 
-#include "runtime/faultinject.hpp"
+#include "service/compiled_module.hpp"
+#include "service/execution_context.hpp"
 #include "support/error.hpp"
 
 namespace detlock::workloads {
 
-const char* mode_name(Mode mode) {
-  switch (mode) {
-    case Mode::kBaseline: return "baseline";
-    case Mode::kClocksOnly: return "clocks-only";
-    case Mode::kDetLock: return "detlock";
-    case Mode::kKendoSim: return "kendo-sim";
-  }
-  DETLOCK_UNREACHABLE("bad mode");
-}
-
 Measurement measure(const WorkloadSpec& spec, const WorkloadParams& params, const MeasureOptions& options) {
+  if (const std::optional<std::string> err = options.validate()) {
+    throw Error("measure: invalid options: " + *err);
+  }
+
+  // Build + instrument + decode exactly once; repetitions reuse the shared
+  // artifact through fresh per-run ExecutionContexts.
+  Workload w = spec.factory(params);
+  const std::size_t memory_hint = std::max<std::size_t>(w.memory_words, 1 << 14) * 2;
+  const std::shared_ptr<const service::CompiledModule> compiled =
+      service::CompiledModule::compile(std::move(w.module), service::compile_options(options));
+
   Measurement best;
   best.seconds = -1.0;
+  best.pass_stats = compiled->pass_stats();
 
   for (int rep = 0; rep < options.repetitions; ++rep) {
-    // Fresh module per repetition: instrumentation mutates the IR and an
-    // Engine runs once.
-    Workload w = spec.factory(params);
+    service::ExecutionContext ctx(compiled, options);
+    ctx.set_memory_hint(memory_hint);
+    if (options.chaos) ctx.set_chaos_seed(options.chaos_seed + static_cast<std::uint64_t>(rep));
 
-    pass::PipelineStats pass_stats;
-    if (options.mode != Mode::kBaseline) {
-      pass::PassOptions popts = options.pass_options;
-      if (options.mode == Mode::kKendoSim) {
-        // Kendo's counter counts retired instructions: updates land after
-        // the counted work, never before.
-        popts.placement = pass::ClockPlacement::kEnd;
-      }
-      pass_stats = pass::instrument_module(w.module, popts);
-    }
-
-    interp::EngineConfig config;
-    config.deterministic = options.mode == Mode::kDetLock || options.mode == Mode::kKendoSim;
-    config.engine = options.engine;
-    config.memory_words = std::max<std::size_t>(w.memory_words, 1 << 14) * 2;
-    config.runtime.record_trace = options.record_trace;
-    config.runtime.profile = options.profile;
-    if (options.mode == Mode::kKendoSim) {
-      config.runtime.publication = runtime::ClockPublication::kChunked;
-      config.runtime.chunk_size = options.kendo_chunk_size;
-    }
-    config.runtime.watchdog_ms = options.watchdog_ms;
-    std::unique_ptr<runtime::FaultInjector> injector;
-    if (options.chaos) {
-      injector = std::make_unique<runtime::FaultInjector>(
-          runtime::FaultPlan::timing_chaos(options.chaos_seed + static_cast<std::uint64_t>(rep)),
-          config.runtime.max_threads);
-      config.runtime.fault = injector.get();
-    }
-
-    interp::Engine engine(w.module, config);
     const auto start = std::chrono::steady_clock::now();
-    interp::RunResult run = engine.run(w.main_func);
+    interp::RunResult run = ctx.run(w.main_func);
     const auto stop = std::chrono::steady_clock::now();
     const double seconds = std::chrono::duration<double>(stop - start).count();
 
     if (best.seconds < 0.0 || seconds < best.seconds) {
       best.seconds = seconds;
-      best.pass_stats = pass_stats;
       best.checksum = run.main_return;
       best.locks_per_sec = seconds > 0.0 ? static_cast<double>(run.sync.lock_acquires) / seconds : 0.0;
-      if (options.profile && engine.profiler() != nullptr) best.profile = engine.profiler()->summary();
+      if (options.profile && ctx.engine()->profiler() != nullptr) {
+        best.profile = ctx.engine()->profiler()->summary();
+      }
       best.run = std::move(run);
     }
   }

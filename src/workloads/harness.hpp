@@ -11,10 +11,18 @@
 //   kKendoSim   -- deterministic execution with chunk-published clocks and
 //                  end-of-block updates: the Kendo-style runtime that can
 //                  neither publish eagerly nor count ahead of time.
+//
+// Since the api::RunConfig consolidation, the mode enum and every knob live
+// in api/run_config.hpp; MeasureOptions is RunConfig plus the one
+// harness-only knob (repetitions), with measurement-friendly defaults.
+// measure() compiles the workload ONCE (service::CompiledModule) and runs
+// each repetition on a fresh service::ExecutionContext, so repeated timing
+// no longer re-instruments and re-decodes per repetition.
 #pragma once
 
 #include <cstdint>
 
+#include "api/run_config.hpp"
 #include "interp/engine.hpp"
 #include "pass/pipeline.hpp"
 #include "runtime/profile.hpp"
@@ -22,9 +30,8 @@
 
 namespace detlock::workloads {
 
-enum class Mode { kBaseline, kClocksOnly, kDetLock, kKendoSim };
-
-const char* mode_name(Mode mode);
+using Mode = api::Mode;
+using api::mode_name;
 
 struct Measurement {
   double seconds = 0.0;
@@ -37,32 +44,18 @@ struct Measurement {
   runtime::ProfileSummary profile;
 };
 
-struct MeasureOptions {
-  Mode mode = Mode::kBaseline;
-  /// Execution engine (interp/engine.hpp); the decoded engine is the
-  /// default everywhere, the reference engine is the differential baseline.
-  interp::EngineKind engine = interp::EngineKind::kDecoded;
-  pass::PassOptions pass_options;  // ignored for kBaseline
-  /// Chunk size for kKendoSim's simulated performance counter.
-  std::uint64_t kendo_chunk_size = 2048;
+/// api::RunConfig with measurement defaults: kBaseline, no pass options, no
+/// trace hashing (timing runs want zero per-acquire overhead).  Chaos reps
+/// run under FaultPlan::timing_chaos(chaos_seed + rep).
+struct MeasureOptions : api::RunConfig {
+  MeasureOptions() {
+    mode = Mode::kBaseline;
+    pass_options = pass::PassOptions::none();
+    record_trace = false;
+  }
   /// Repetitions; the fastest run is reported (standard practice for
   /// wall-clock microcomparison on a shared machine).
   int repetitions = 3;
-  /// Keep the trace hash (adds a global mutex on every acquire; leave off
-  /// for timing runs, on for determinism checks).
-  bool record_trace = false;
-  /// Attribute wait time per category/mutex (runtime/profile.hpp).  Adds
-  /// two monotonic-clock reads per blocking call; leave off for pure
-  /// timing runs, on for the wait-breakdown bands.
-  bool profile = false;
-  /// Adversarial timing perturbation (runtime/faultinject.hpp): each
-  /// repetition runs under FaultPlan::timing_chaos(chaos_seed + rep).  Used
-  /// with record_trace to verify determinism under chaos; meaningless for
-  /// timing comparisons (the injected sleeps skew wall time).
-  bool chaos = false;
-  std::uint64_t chaos_seed = 1;
-  /// Stall watchdog window (RuntimeConfig::watchdog_ms); 0 disables.
-  std::uint64_t watchdog_ms = 0;
 };
 
 /// Builds a fresh workload instance from `spec`, applies the configuration,

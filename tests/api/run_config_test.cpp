@@ -1,0 +1,114 @@
+// RunConfig is the one place every driver's knob validation lives; these
+// tests pin the cross-field contracts and the engine_config() mapping so
+// detlockc, measure(), and detserve stay behaviorally identical.
+#include <gtest/gtest.h>
+
+#include "api/run_config.hpp"
+
+namespace detlock {
+namespace {
+
+TEST(RunConfigTest, DefaultsValidate) {
+  api::RunConfig config;
+  EXPECT_EQ(config.validate(), std::nullopt);
+}
+
+TEST(RunConfigTest, ModeNamesRoundTrip) {
+  for (const api::Mode mode : {api::Mode::kBaseline, api::Mode::kClocksOnly, api::Mode::kDetLock,
+                               api::Mode::kKendoSim}) {
+    const auto parsed = api::mode_from_name(api::mode_name(mode));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, mode);
+  }
+}
+
+TEST(RunConfigTest, ModeShorthands) {
+  EXPECT_EQ(api::mode_from_name("nondet"), api::Mode::kClocksOnly);
+  EXPECT_EQ(api::mode_from_name("kendo"), api::Mode::kKendoSim);
+  EXPECT_EQ(api::mode_from_name("no-such-mode"), std::nullopt);
+}
+
+TEST(RunConfigTest, RejectsIllegalValues) {
+  api::RunConfig config;
+  config.kendo_chunk_size = 0;
+  EXPECT_NE(config.validate(), std::nullopt);
+
+  config = {};
+  config.runs = 0;
+  EXPECT_NE(config.validate(), std::nullopt);
+
+  config = {};
+  config.threads_max = 0;
+  EXPECT_NE(config.validate(), std::nullopt);
+
+  config = {};
+  config.chaos_trials = 0;
+  EXPECT_NE(config.validate(), std::nullopt);
+
+  config = {};
+  config.memory_words = 100;  // nonzero but below the engine minimum
+  EXPECT_NE(config.validate(), std::nullopt);
+  config.memory_words = 0;  // 0 = engine default, always legal
+  EXPECT_EQ(config.validate(), std::nullopt);
+}
+
+TEST(RunConfigTest, ModePredicates) {
+  api::RunConfig config;
+  config.mode = api::Mode::kBaseline;
+  EXPECT_FALSE(config.instrumented());
+  EXPECT_FALSE(config.deterministic());
+  config.mode = api::Mode::kClocksOnly;
+  EXPECT_TRUE(config.instrumented());
+  EXPECT_FALSE(config.deterministic());
+  config.mode = api::Mode::kDetLock;
+  EXPECT_TRUE(config.instrumented());
+  EXPECT_TRUE(config.deterministic());
+  config.mode = api::Mode::kKendoSim;
+  EXPECT_TRUE(config.instrumented());
+  EXPECT_TRUE(config.deterministic());
+}
+
+TEST(RunConfigTest, EngineConfigMapsModeToBackend) {
+  api::RunConfig config;
+  config.mode = api::Mode::kClocksOnly;
+  EXPECT_FALSE(config.engine_config().deterministic);
+
+  config.mode = api::Mode::kDetLock;
+  EXPECT_TRUE(config.engine_config().deterministic);
+  EXPECT_EQ(config.engine_config().runtime.publication, runtime::ClockPublication::kEveryUpdate);
+
+  config.mode = api::Mode::kKendoSim;
+  config.kendo_chunk_size = 512;
+  const interp::EngineConfig kendo = config.engine_config();
+  EXPECT_TRUE(kendo.deterministic);
+  EXPECT_EQ(kendo.runtime.publication, runtime::ClockPublication::kChunked);
+  EXPECT_EQ(kendo.runtime.chunk_size, 512u);
+}
+
+TEST(RunConfigTest, EngineConfigWiresPerRunKnobs) {
+  api::RunConfig config;
+  config.record_trace = true;
+  config.keep_trace_events = true;
+  config.profile = true;
+  config.profile_spans = true;
+  config.watchdog_ms = 123;
+  config.threads_max = 7;
+  const interp::EngineConfig ec = config.engine_config();
+  EXPECT_TRUE(ec.runtime.record_trace);
+  EXPECT_TRUE(ec.runtime.keep_trace_events);
+  EXPECT_TRUE(ec.runtime.profile);
+  EXPECT_TRUE(ec.runtime.profile_spans);
+  EXPECT_EQ(ec.runtime.watchdog_ms, 123u);
+  EXPECT_EQ(ec.runtime.max_threads, 7u);
+}
+
+TEST(RunConfigTest, MemoryHintOnlyFillsDefault) {
+  api::RunConfig config;
+  config.memory_words = 0;
+  EXPECT_EQ(config.engine_config(1 << 15).memory_words, static_cast<std::size_t>(1 << 15));
+  config.memory_words = 1 << 12;
+  EXPECT_EQ(config.engine_config(1 << 15).memory_words, static_cast<std::size_t>(1 << 12));
+}
+
+}  // namespace
+}  // namespace detlock

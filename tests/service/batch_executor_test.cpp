@@ -1,0 +1,264 @@
+// BatchExecutor: result ordering, the full status/exit-code surface, cache
+// sharing across a batch, schedule capture, and watchdog isolation.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "service/batch_executor.hpp"
+
+namespace detlock {
+namespace {
+
+constexpr const char* kOkProgram = R"(
+func @main(0) regs=16 {
+block entry:
+  %0 = const 0
+  lock %0
+  %1 = const 100
+  %2 = const 7
+  store %1, %2
+  unlock %0
+  %3 = load %1
+  ret %3
+}
+)";
+
+// share/programs/hello_locks.dl, inlined: three workers contending on one
+// lock -- enough acquisitions that nondeterministic chaos runs diverge.
+constexpr const char* kContendedProgram = R"(
+func @worker(1) regs=16 {
+block entry:
+  %1 = const 0
+  %2 = const 20
+  br loop
+block loop:
+  %3 = icmp lt %1, %2
+  condbr %3, body, done
+block body:
+  %4 = const 0
+  lock %4
+  %5 = const 100
+  %6 = load %5
+  %7 = add %6, %0
+  store %5, %7
+  %8 = const 101
+  store %8, %0
+  unlock %4
+  %9 = const 1
+  %1 = add %1, %9
+  br loop
+block done:
+  ret
+}
+func @main(0) regs=16 {
+block entry:
+  %0 = const 1
+  %1 = spawn @worker(%0)
+  %2 = const 2
+  %3 = spawn @worker(%2)
+  %4 = const 3
+  %5 = call @worker(%4)
+  join %1
+  join %3
+  %6 = const 101
+  %7 = load %6
+  ret %7
+}
+)";
+
+// share/programs/abba_deadlock.dl, inlined: deterministically deadlocks
+// under the turn protocol (see that file's header comment).
+constexpr const char* kAbbaProgram = R"(
+func @worker_ab(1) regs=16 {
+block entry:
+  %1 = const 0
+  %2 = const 1
+  lock %1
+  %4 = const 0
+  %5 = const 64
+  %6 = const 1
+  br spin
+block spin:
+  %4 = add %4, %6
+  %7 = icmp lt %4, %5
+  condbr %7, spin, rest
+block rest:
+  lock %2
+  %3 = const 200
+  store %3, %0
+  unlock %2
+  unlock %1
+  ret
+}
+func @worker_ba(1) regs=16 {
+block entry:
+  %1 = const 0
+  %2 = const 1
+  lock %2
+  %4 = const 0
+  %5 = const 64
+  %6 = const 1
+  br spin
+block spin:
+  %4 = add %4, %6
+  %7 = icmp lt %4, %5
+  condbr %7, spin, rest
+block rest:
+  lock %1
+  %3 = const 201
+  store %3, %0
+  unlock %1
+  unlock %2
+  ret
+}
+func @main(0) regs=16 {
+block entry:
+  %0 = const 1
+  %1 = spawn @worker_ab(%0)
+  %2 = const 2
+  %3 = spawn @worker_ba(%2)
+  join %1
+  join %3
+  %4 = const 0
+  ret %4
+}
+)";
+
+service::JobSpec ok_job(const std::string& name) {
+  service::JobSpec spec;
+  spec.name = name;
+  spec.ir_text = kOkProgram;
+  spec.config.memory_words = 1 << 10;
+  return spec;
+}
+
+TEST(BatchExecutorTest, ResultsComeBackInSubmitOrder) {
+  service::ModuleCache cache(8);
+  service::BatchExecutor executor(cache, {.workers = 4, .queue_capacity = 8});
+  for (int j = 0; j < 6; ++j) {
+    EXPECT_EQ(executor.submit(ok_job("job" + std::to_string(j))), static_cast<std::size_t>(j));
+  }
+  const std::vector<service::JobResult>& results = executor.wait();
+  ASSERT_EQ(results.size(), 6u);
+  for (int j = 0; j < 6; ++j) {
+    EXPECT_EQ(results[j].name, "job" + std::to_string(j));
+    EXPECT_EQ(results[j].status, service::JobStatus::kOk);
+    EXPECT_EQ(results[j].exit_code, 0);
+    EXPECT_EQ(results[j].main_return, 7);
+    EXPECT_EQ(results[j].runs_completed, 1);
+  }
+  EXPECT_EQ(executor.stats().jobs_completed, 6u);
+}
+
+TEST(BatchExecutorTest, IdenticalJobsShareOneCompile) {
+  service::ModuleCache cache(8);
+  service::BatchExecutor executor(cache, {.workers = 2, .queue_capacity = 8});
+  for (int j = 0; j < 5; ++j) executor.submit(ok_job("job" + std::to_string(j)));
+  const auto& results = executor.wait();
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits + cache.stats().misses, 5u);
+  int hits = 0;
+  for (const auto& r : results) hits += r.cache_hit ? 1 : 0;
+  EXPECT_EQ(hits, 4);  // exactly one job carried the compile
+}
+
+TEST(BatchExecutorTest, StatusSurface) {
+  service::ModuleCache cache(8);
+  service::BatchExecutor executor(cache, {.workers = 2, .queue_capacity = 8});
+
+  service::JobSpec bad_config = ok_job("bad-config");
+  bad_config.config.runs = 0;
+  executor.submit(std::move(bad_config));
+
+  service::JobSpec parse = ok_job("parse");
+  parse.ir_text = "func @broken(";
+  executor.submit(std::move(parse));
+
+  service::JobSpec verify = ok_job("verify");
+  verify.ir_text =
+      "func @callee(2) regs=4 {\nblock entry:\n  ret\n}\n"
+      "func @main(0) regs=4 {\nblock entry:\n  %0 = const 1\n  %1 = call @callee(%0)\n  ret %1\n}\n";
+  executor.submit(std::move(verify));
+
+  service::JobSpec deadlock = ok_job("deadlock");
+  deadlock.ir_text = kAbbaProgram;
+  deadlock.config.watchdog_ms = 2000;
+  executor.submit(std::move(deadlock));
+
+  executor.submit(ok_job("fine"));
+
+  const auto& results = executor.wait();
+  ASSERT_EQ(results.size(), 5u);
+  EXPECT_EQ(results[0].status, service::JobStatus::kInvalidConfig);
+  EXPECT_EQ(results[0].exit_code, 2);
+  EXPECT_FALSE(results[0].error.empty());
+  EXPECT_EQ(results[1].status, service::JobStatus::kParseError);
+  EXPECT_EQ(results[1].exit_code, 5);
+  EXPECT_EQ(results[2].status, service::JobStatus::kVerifyError);
+  EXPECT_EQ(results[2].exit_code, 6);
+  EXPECT_EQ(results[3].status, service::JobStatus::kDeadlock);
+  EXPECT_EQ(results[3].exit_code, 8);
+  EXPECT_NE(results[3].error.find("DEADLOCK"), std::string::npos);
+  // The stalled neighbor never leaks into a healthy job:
+  EXPECT_EQ(results[4].status, service::JobStatus::kOk);
+}
+
+TEST(BatchExecutorTest, DeterministicRepeatsAgreeAndScheduleIsCaptured) {
+  service::ModuleCache cache(8);
+  service::BatchExecutor executor(cache, {.workers = 2, .queue_capacity = 8});
+  service::JobSpec spec = ok_job("repeat");
+  spec.ir_text = kContendedProgram;
+  spec.config.runs = 3;
+  spec.collect_schedule = true;
+  executor.submit(std::move(spec));
+  const auto& results = executor.wait();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status, service::JobStatus::kOk);
+  EXPECT_EQ(results[0].runs_completed, 3);
+  EXPECT_GT(results[0].lock_acquires, 0u);
+  EXPECT_FALSE(results[0].schedule.empty());
+}
+
+TEST(BatchExecutorTest, ChaosDivergenceIsDetectedInNondetMode) {
+  // Under kClocksOnly the turn protocol is off, so timing chaos reorders the
+  // 60+ contended acquisitions and the fingerprints disagree.  (Under
+  // kDetLock the same job is bit-identical -- that is the concurrent
+  // determinism test's job to prove.)
+  service::ModuleCache cache(8);
+  service::BatchExecutor executor(cache, {.workers = 1, .queue_capacity = 4});
+  service::JobSpec spec = ok_job("nondet-chaos");
+  spec.ir_text = kContendedProgram;
+  spec.config.mode = api::Mode::kClocksOnly;
+  spec.config.chaos = true;
+  spec.config.chaos_trials = 3;
+  spec.config.chaos_seed = 17;
+  executor.submit(std::move(spec));
+  const auto& results = executor.wait();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status, service::JobStatus::kDivergent);
+  EXPECT_EQ(results[0].exit_code, 3);
+}
+
+TEST(BatchExecutorTest, BackpressureBoundsTheQueueButLosesNothing) {
+  service::ModuleCache cache(8);
+  service::BatchExecutor executor(cache, {.workers = 1, .queue_capacity = 2});
+  constexpr int kJobs = 10;
+  for (int j = 0; j < kJobs; ++j) executor.submit(ok_job("job" + std::to_string(j)));
+  const auto& results = executor.wait();
+  ASSERT_EQ(results.size(), static_cast<std::size_t>(kJobs));
+  for (const auto& r : results) EXPECT_EQ(r.status, service::JobStatus::kOk);
+  EXPECT_LE(executor.stats().peak_queue_depth, 2u);
+}
+
+TEST(BatchExecutorTest, WaitIsIdempotent) {
+  service::ModuleCache cache(8);
+  service::BatchExecutor executor(cache, {.workers = 2, .queue_capacity = 4});
+  executor.submit(ok_job("one"));
+  const auto& first = executor.wait();
+  const auto& second = executor.wait();
+  EXPECT_EQ(&first, &second);
+  EXPECT_EQ(first.size(), 1u);
+}
+
+}  // namespace
+}  // namespace detlock

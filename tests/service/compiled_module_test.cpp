@@ -1,0 +1,118 @@
+// CompiledModule: the immutable artifact's construction contract -- staged
+// errors, per-mode instrumentation, decoded-code finalization, and the
+// ExecutionContext compatibility checks.
+#include <gtest/gtest.h>
+
+#include "interp/decode.hpp"
+#include "service/compiled_module.hpp"
+#include "service/execution_context.hpp"
+
+namespace detlock {
+namespace {
+
+constexpr const char* kCounterProgram = R"(
+func @main(0) regs=16 {
+block entry:
+  %0 = const 0
+  lock %0
+  %1 = const 100
+  %2 = const 7
+  store %1, %2
+  unlock %0
+  %3 = load %1
+  ret %3
+}
+)";
+
+service::CompileOptions options_for(api::Mode mode,
+                                    interp::EngineKind engine = interp::EngineKind::kDecoded) {
+  api::RunConfig config;
+  config.mode = mode;
+  config.engine = engine;
+  return service::compile_options(config);
+}
+
+TEST(CompiledModuleTest, ParseFailureThrowsParseError) {
+  EXPECT_THROW(service::CompiledModule::compile("func @broken(", options_for(api::Mode::kDetLock)),
+               service::ParseError);
+}
+
+TEST(CompiledModuleTest, VerifyFailureThrowsVerifyError) {
+  // Parses fine, but calls @callee with the wrong arity.
+  constexpr const char* bad = R"(
+func @callee(2) regs=4 {
+block entry:
+  ret
+}
+func @main(0) regs=4 {
+block entry:
+  %0 = const 1
+  %1 = call @callee(%0)
+  ret %1
+}
+)";
+  EXPECT_THROW(service::CompiledModule::compile(bad, options_for(api::Mode::kDetLock)),
+               service::VerifyError);
+}
+
+TEST(CompiledModuleTest, BaselineSkipsInstrumentation) {
+  const auto cm = service::CompiledModule::compile(kCounterProgram, options_for(api::Mode::kBaseline));
+  EXPECT_EQ(cm->pass_stats().materialized.clock_add_sites, 0u);
+}
+
+TEST(CompiledModuleTest, DetLockInstruments) {
+  const auto cm = service::CompiledModule::compile(kCounterProgram, options_for(api::Mode::kDetLock));
+  EXPECT_GT(cm->pass_stats().materialized.clock_add_sites, 0u);
+}
+
+TEST(CompiledModuleTest, DecodedEngineGetsFinalizedCode) {
+  const auto cm = service::CompiledModule::compile(kCounterProgram, options_for(api::Mode::kDetLock));
+  ASSERT_NE(cm->decoded(), nullptr);
+  // Finalized = handler pointers patched at compile time (computed-goto
+  // builds) so engines can share the arrays read-only.
+  EXPECT_TRUE(interp::decoded_handlers_resolved(*cm->decoded()));
+}
+
+TEST(CompiledModuleTest, ReferenceEngineHasNoDecodedCode) {
+  const auto cm = service::CompiledModule::compile(
+      kCounterProgram, options_for(api::Mode::kDetLock, interp::EngineKind::kReference));
+  EXPECT_EQ(cm->decoded(), nullptr);
+}
+
+TEST(CompiledModuleTest, ExecutionContextRunsArtifact) {
+  const auto cm = service::CompiledModule::compile(kCounterProgram, options_for(api::Mode::kDetLock));
+  api::RunConfig config;
+  config.memory_words = 1 << 10;
+  service::ExecutionContext ctx(cm, config);
+  EXPECT_EQ(ctx.run("main").main_return, 7);
+  // The context is reusable: each run() is an independent engine.
+  EXPECT_EQ(ctx.run("main").main_return, 7);
+}
+
+TEST(CompiledModuleTest, ExecutionContextRejectsMismatchedConfig) {
+  const auto cm = service::CompiledModule::compile(kCounterProgram, options_for(api::Mode::kDetLock));
+  api::RunConfig config;
+  config.mode = api::Mode::kBaseline;  // artifact was compiled for kDetLock
+  EXPECT_THROW(service::ExecutionContext(cm, config), Error);
+}
+
+TEST(CompiledModuleTest, EstimatesTextIsApplied) {
+  constexpr const char* with_extern = R"(
+extern @helper(1)
+
+func @main(0) regs=8 {
+block entry:
+  %0 = const 5
+  ret %0
+}
+)";
+  service::CompileOptions options = options_for(api::Mode::kDetLock);
+  options.estimates_text = "helper 12\n";
+  const auto cm = service::CompiledModule::compile(with_extern, options);
+  ASSERT_EQ(cm->module().externs().size(), 1u);
+  ASSERT_TRUE(cm->module().extern_decl(0).estimate.has_value());
+  EXPECT_EQ(cm->module().extern_decl(0).estimate->base, 12);
+}
+
+}  // namespace
+}  // namespace detlock

@@ -1,0 +1,157 @@
+// The acceptance property of the whole service layer: one CompiledModule
+// executed from K OS threads, R runs each, produces results byte-identical
+// to a serial reference run -- fingerprints, counts, and the serialized
+// lock-acquisition schedule -- including when every concurrent run has its
+// own timing-chaos plan.  Concurrent engines sharing the artifact must not
+// be able to observe each other.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/schedule.hpp"
+#include "service/compiled_module.hpp"
+#include "service/execution_context.hpp"
+
+namespace detlock {
+namespace {
+
+// share/programs/hello_locks.dl inlined: three guest threads, 60+ contended
+// acquisitions, a last-writer cell -- the schedule-sensitive shape.
+constexpr const char* kContendedProgram = R"(
+func @worker(1) regs=16 {
+block entry:
+  %1 = const 0
+  %2 = const 20
+  br loop
+block loop:
+  %3 = icmp lt %1, %2
+  condbr %3, body, done
+block body:
+  %4 = const 0
+  lock %4
+  %5 = const 100
+  %6 = load %5
+  %7 = add %6, %0
+  store %5, %7
+  %8 = const 101
+  store %8, %0
+  unlock %4
+  %9 = const 1
+  %1 = add %1, %9
+  br loop
+block done:
+  ret
+}
+func @main(0) regs=16 {
+block entry:
+  %0 = const 1
+  %1 = spawn @worker(%0)
+  %2 = const 2
+  %3 = spawn @worker(%2)
+  %4 = const 3
+  %5 = call @worker(%4)
+  join %1
+  join %3
+  %6 = const 101
+  %7 = load %6
+  ret %7
+}
+)";
+
+struct RunSnapshot {
+  std::int64_t main_return = 0;
+  std::uint64_t trace_fingerprint = 0;
+  std::uint64_t memory_fingerprint = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t lock_acquires = 0;
+  std::uint64_t threads = 0;
+  std::string schedule;
+
+  bool operator==(const RunSnapshot&) const = default;
+};
+
+api::RunConfig snapshot_config() {
+  api::RunConfig config;  // kDetLock, decoded engine
+  config.memory_words = 1 << 12;
+  config.keep_trace_events = true;  // so the schedule can be serialized
+  return config;
+}
+
+RunSnapshot snapshot_run(const std::shared_ptr<const service::CompiledModule>& module,
+                         bool chaos, std::uint64_t chaos_seed) {
+  api::RunConfig config = snapshot_config();
+  config.chaos = chaos;
+  config.chaos_seed = chaos_seed;
+  service::ExecutionContext ctx(module, config);
+  const interp::RunResult rr = ctx.run("main");
+  RunSnapshot snap;
+  snap.main_return = rr.main_return;
+  snap.trace_fingerprint = rr.trace_fingerprint;
+  snap.memory_fingerprint = rr.memory_fingerprint;
+  snap.instructions = rr.instructions;
+  snap.lock_acquires = rr.lock_acquires;
+  snap.threads = rr.threads;
+  snap.schedule = runtime::serialize_schedule(ctx.engine()->backend().trace().events());
+  return snap;
+}
+
+class ConcurrentDeterminismTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    module_ = service::CompiledModule::compile(kContendedProgram,
+                                               service::compile_options(snapshot_config()));
+    reference_ = snapshot_run(module_, /*chaos=*/false, /*chaos_seed=*/0);
+    ASSERT_GT(reference_.lock_acquires, 0u);
+    ASSERT_FALSE(reference_.schedule.empty());
+  }
+
+  /// K threads x R runs over the shared artifact; every snapshot must be
+  /// byte-identical to the serial reference.
+  void run_concurrently(bool chaos) {
+    constexpr int kThreads = 4;
+    constexpr int kRunsPerThread = 3;
+    std::vector<std::vector<RunSnapshot>> snaps(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (int r = 0; r < kRunsPerThread; ++r) {
+          // Distinct chaos plan per (thread, run): determinism must hold
+          // across plans, not just for one lucky seed.
+          snaps[t].push_back(
+              snapshot_run(module_, chaos, static_cast<std::uint64_t>(t * 101 + r)));
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    for (int t = 0; t < kThreads; ++t) {
+      for (int r = 0; r < kRunsPerThread; ++r) {
+        SCOPED_TRACE("thread " + std::to_string(t) + " run " + std::to_string(r));
+        EXPECT_EQ(snaps[t][r], reference_);
+      }
+    }
+  }
+
+  std::shared_ptr<const service::CompiledModule> module_;
+  RunSnapshot reference_;
+};
+
+TEST_F(ConcurrentDeterminismTest, SharedModuleIsByteIdenticalAcrossThreads) {
+  run_concurrently(/*chaos=*/false);
+}
+
+TEST_F(ConcurrentDeterminismTest, HoldsUnderPerRunTimingChaos) {
+  run_concurrently(/*chaos=*/true);
+}
+
+TEST_F(ConcurrentDeterminismTest, SerialRerunsMatchToo) {
+  // Baseline sanity for the comparison itself: repeated serial runs equal
+  // the reference (if this fails, the concurrent variants are meaningless).
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_EQ(snapshot_run(module_, /*chaos=*/false, 0), reference_);
+  }
+}
+
+}  // namespace
+}  // namespace detlock

@@ -1,0 +1,110 @@
+// Jobs-manifest grammar: happy-path key coverage, the error taxonomy (each
+// with the offending line number in the message), and job-name uniqueness.
+#include <gtest/gtest.h>
+
+#include "service/manifest.hpp"
+
+namespace detlock {
+namespace {
+
+std::optional<service::Manifest> parse(std::string_view text, std::string* error_out = nullptr) {
+  std::string error;
+  auto m = service::parse_manifest(text, error);
+  if (error_out != nullptr) *error_out = error;
+  return m;
+}
+
+TEST(ManifestTest, ParsesJobsWithCommentsAndBlankLines) {
+  const auto m = parse(
+      "# smoke manifest\n"
+      "\n"
+      "job hello programs/hello.dl runs=2 schedule=1\n"
+      "  # indented comment\n"
+      "job chaos programs/pc.dl chaos=1 chaos-trials=2 chaos-seed=11 mode=detlock\n"
+      "job stall programs/abba.dl watchdog-ms=400 engine=reference\n");
+  ASSERT_TRUE(m.has_value());
+  ASSERT_EQ(m->jobs.size(), 3u);
+
+  EXPECT_EQ(m->jobs[0].spec.name, "hello");
+  EXPECT_EQ(m->jobs[0].program_path, "programs/hello.dl");
+  EXPECT_EQ(m->jobs[0].spec.config.runs, 2);
+  EXPECT_TRUE(m->jobs[0].spec.collect_schedule);
+  EXPECT_TRUE(m->jobs[0].spec.ir_text.empty());  // caller loads the file
+
+  EXPECT_TRUE(m->jobs[1].spec.config.chaos);
+  EXPECT_EQ(m->jobs[1].spec.config.chaos_trials, 2);
+  EXPECT_EQ(m->jobs[1].spec.config.chaos_seed, 11u);
+  EXPECT_EQ(m->jobs[1].spec.config.mode, api::Mode::kDetLock);
+
+  EXPECT_EQ(m->jobs[2].spec.config.watchdog_ms, 400u);
+  EXPECT_EQ(m->jobs[2].spec.config.engine, interp::EngineKind::kReference);
+}
+
+TEST(ManifestTest, ParsesEntryArgsAndPresets) {
+  const auto m = parse(
+      "job custom p.dl entry=bench args=3,-1,42 opt=o2 placement=end mode=kendo "
+      "kendo-chunk=128 threads-max=8 memory-words=4096\n");
+  ASSERT_TRUE(m.has_value());
+  const service::JobSpec& spec = m->jobs[0].spec;
+  EXPECT_EQ(spec.entry, "bench");
+  EXPECT_EQ(spec.args, (std::vector<std::int64_t>{3, -1, 42}));
+  EXPECT_TRUE(spec.config.pass_options.opt2_conditional);
+  EXPECT_FALSE(spec.config.pass_options.opt1_function_clocking);
+  EXPECT_EQ(spec.config.pass_options.placement, pass::ClockPlacement::kEnd);
+  EXPECT_EQ(spec.config.mode, api::Mode::kKendoSim);
+  EXPECT_EQ(spec.config.kendo_chunk_size, 128u);
+  EXPECT_EQ(spec.config.threads_max, 8u);
+  EXPECT_EQ(spec.config.memory_words, 4096u);
+}
+
+TEST(ManifestTest, ErrorsNameTheLine) {
+  std::string error;
+
+  EXPECT_FALSE(parse("job a a.dl\nfrob b b.dl\n", &error).has_value());
+  EXPECT_NE(error.find("line 2"), std::string::npos);
+  EXPECT_NE(error.find("expected 'job'"), std::string::npos);
+
+  EXPECT_FALSE(parse("job only_name\n", &error).has_value());
+  EXPECT_NE(error.find("line 1"), std::string::npos);
+
+  EXPECT_FALSE(parse("job a a.dl\njob b b.dl runs\n", &error).has_value());
+  EXPECT_NE(error.find("line 2"), std::string::npos);
+  EXPECT_NE(error.find("key=value"), std::string::npos);
+
+  EXPECT_FALSE(parse("job a a.dl frobnicate=1\n", &error).has_value());
+  EXPECT_NE(error.find("unknown option 'frobnicate'"), std::string::npos);
+
+  EXPECT_FALSE(parse("job a a.dl mode=warp\n", &error).has_value());
+  EXPECT_NE(error.find("unknown mode 'warp'"), std::string::npos);
+
+  EXPECT_FALSE(parse("job a a.dl runs=ten\n", &error).has_value());
+  EXPECT_NE(error.find("bad value 'ten'"), std::string::npos);
+
+  EXPECT_FALSE(parse("job a a.dl chaos=maybe\n", &error).has_value());
+  EXPECT_NE(error.find("bad boolean"), std::string::npos);
+
+  EXPECT_FALSE(parse("job a a.dl args=1,x\n", &error).has_value());
+  EXPECT_NE(error.find("bad integer in args list"), std::string::npos);
+}
+
+TEST(ManifestTest, RejectsDuplicateNames) {
+  std::string error;
+  EXPECT_FALSE(parse("job a a.dl\njob a b.dl\n", &error).has_value());
+  EXPECT_NE(error.find("line 2"), std::string::npos);
+  EXPECT_NE(error.find("duplicate job name 'a'"), std::string::npos);
+}
+
+TEST(ManifestTest, ValidatesEachJobConfigAtParseTime) {
+  std::string error;
+  EXPECT_FALSE(parse("job a a.dl\njob b b.dl runs=0\n", &error).has_value());
+  EXPECT_NE(error.find("line 2"), std::string::npos);
+}
+
+TEST(ManifestTest, EmptyManifestIsAnError) {
+  std::string error;
+  EXPECT_FALSE(parse("# nothing but comments\n\n", &error).has_value());
+  EXPECT_NE(error.find("no jobs"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace detlock

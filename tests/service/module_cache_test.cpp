@@ -1,0 +1,147 @@
+// ModuleCache: content addressing, single-flight compilation, LRU bounds,
+// and failure propagation -- with an injected compile function so the tests
+// count real compiler invocations.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "service/module_cache.hpp"
+
+namespace detlock {
+namespace {
+
+constexpr const char* kProgramA = R"(
+func @main(0) regs=8 {
+block entry:
+  %0 = const 1
+  ret %0
+}
+)";
+
+constexpr const char* kProgramB = R"(
+func @main(0) regs=8 {
+block entry:
+  %0 = const 2
+  ret %0
+}
+)";
+
+service::CompileOptions default_options() { return service::compile_options(api::RunConfig{}); }
+
+TEST(ModuleKeyTest, DistinguishesTextAndOptions) {
+  const service::CompileOptions options = default_options();
+  EXPECT_EQ(service::module_key(kProgramA, options), service::module_key(kProgramA, options));
+  EXPECT_NE(service::module_key(kProgramA, options), service::module_key(kProgramB, options));
+
+  service::CompileOptions other = options;
+  other.pass_options.opt4_loops = !other.pass_options.opt4_loops;
+  EXPECT_NE(service::module_key(kProgramA, options), service::module_key(kProgramA, other));
+
+  other = options;
+  other.engine = interp::EngineKind::kReference;
+  EXPECT_NE(service::module_key(kProgramA, options), service::module_key(kProgramA, other));
+
+  other = options;
+  other.mode = api::Mode::kBaseline;
+  EXPECT_NE(service::module_key(kProgramA, options), service::module_key(kProgramA, other));
+
+  other = options;
+  other.estimates_text = "helper 3\n";
+  EXPECT_NE(service::module_key(kProgramA, options), service::module_key(kProgramA, other));
+}
+
+TEST(ModuleCacheTest, CompilesOncePerKey) {
+  std::atomic<int> compiles{0};
+  service::ModuleCache cache(8, [&](std::string_view text, const service::CompileOptions& options) {
+    ++compiles;
+    return service::CompiledModule::compile(text, options);
+  });
+  const service::CompileOptions options = default_options();
+
+  bool hit = true;
+  const auto first = cache.get_or_compile(kProgramA, options, &hit);
+  EXPECT_FALSE(hit);
+  const auto second = cache.get_or_compile(kProgramA, options, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(first.get(), second.get());  // the same shared artifact
+  EXPECT_EQ(compiles.load(), 1);
+
+  cache.get_or_compile(kProgramB, options);
+  EXPECT_EQ(compiles.load(), 2);
+
+  const service::ModuleCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.entries, 2u);
+}
+
+TEST(ModuleCacheTest, LruEvictsLeastRecentlyUsed) {
+  std::atomic<int> compiles{0};
+  service::ModuleCache cache(2, [&](std::string_view text, const service::CompileOptions& options) {
+    ++compiles;
+    return service::CompiledModule::compile(text, options);
+  });
+  service::CompileOptions a = default_options();
+  service::CompileOptions b = a;
+  b.pass_options.opt1_function_clocking = !b.pass_options.opt1_function_clocking;
+  service::CompileOptions c = a;
+  c.pass_options.opt3_averaging = !c.pass_options.opt3_averaging;
+
+  cache.get_or_compile(kProgramA, a);
+  cache.get_or_compile(kProgramA, b);
+  cache.get_or_compile(kProgramA, a);  // touch a: b is now the LRU victim
+  cache.get_or_compile(kProgramA, c);  // evicts b
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().entries, 2u);
+
+  bool hit = false;
+  cache.get_or_compile(kProgramA, a, &hit);
+  EXPECT_TRUE(hit);  // a survived
+  cache.get_or_compile(kProgramA, b, &hit);
+  EXPECT_FALSE(hit);  // b was evicted and recompiled
+  EXPECT_EQ(compiles.load(), 4);
+}
+
+TEST(ModuleCacheTest, FailuresPropagateAndAreNotCached) {
+  std::atomic<int> compiles{0};
+  service::ModuleCache cache(8, [&](std::string_view text, const service::CompileOptions& options) {
+    ++compiles;
+    return service::CompiledModule::compile(text, options);
+  });
+  const service::CompileOptions options = default_options();
+  EXPECT_THROW(cache.get_or_compile("func @broken(", options), service::ParseError);
+  EXPECT_THROW(cache.get_or_compile("func @broken(", options), service::ParseError);
+  EXPECT_EQ(compiles.load(), 2);  // the failure was not cached: retried
+  EXPECT_EQ(cache.stats().compile_errors, 2u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(ModuleCacheTest, SingleFlightAcrossThreads) {
+  std::atomic<int> compiles{0};
+  service::ModuleCache cache(8, [&](std::string_view text, const service::CompileOptions& options) {
+    ++compiles;
+    // Widen the race window: every thread should pile onto this flight.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    return service::CompiledModule::compile(text, options);
+  });
+  const service::CompileOptions options = default_options();
+
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const service::CompiledModule>> results(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] { results[t] = cache.get_or_compile(kProgramA, options); });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(compiles.load(), 1);  // single flight
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(results[t].get(), results[0].get());
+  const service::ModuleCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, static_cast<std::uint64_t>(kThreads - 1));
+}
+
+}  // namespace
+}  // namespace detlock

@@ -1,0 +1,90 @@
+// JsonWriter: the formatting contract every machine-readable report relies
+// on (detlockc --json, detserve, bench gates) -- deterministic indentation,
+// escaping, hex fingerprints, and the schema_version convention.
+#include <gtest/gtest.h>
+
+#include "support/json.hpp"
+
+namespace detlock {
+namespace {
+
+TEST(JsonWriterTest, EmptyObjectAndArray) {
+  JsonWriter o;
+  o.begin_object();
+  o.end();
+  EXPECT_EQ(o.str(), "{}\n");  // str() terminates the document with '\n'
+
+  JsonWriter a;
+  a.begin_array();
+  a.end();
+  EXPECT_EQ(a.str(), "[]\n");
+}
+
+TEST(JsonWriterTest, DeterministicIndentAndOrdering) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("schema_version", kReportSchemaVersion);
+  w.field("tool", "test");
+  w.key("runs");
+  w.begin_array();
+  w.begin_object();
+  w.field("run", 1);
+  w.field("ok", true);
+  w.end();
+  w.end();
+  w.end();
+  EXPECT_EQ(w.str(),
+            "{\n"
+            "  \"schema_version\": 1,\n"
+            "  \"tool\": \"test\",\n"
+            "  \"runs\": [\n"
+            "    {\n"
+            "      \"run\": 1,\n"
+            "      \"ok\": true\n"
+            "    }\n"
+            "  ]\n"
+            "}\n");
+}
+
+TEST(JsonWriterTest, ScalarFormats) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(std::int64_t{-42});
+  w.value(std::uint64_t{18446744073709551615ull});
+  w.value(0.5);
+  w.value(false);
+  w.value_null();
+  w.value_hex(0xdeadbeefull);
+  w.end();
+  EXPECT_EQ(w.str(),
+            "[\n"
+            "  -42,\n"
+            "  18446744073709551615,\n"
+            "  0.5,\n"
+            "  false,\n"
+            "  null,\n"
+            "  \"00000000deadbeef\"\n"
+            "]\n");
+}
+
+TEST(JsonWriterTest, EscapesStrings) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("msg", "line1\nline2\t\"quoted\" \\ \x01");
+  w.end();
+  EXPECT_EQ(w.str(),
+            "{\n"
+            "  \"msg\": \"line1\\nline2\\t\\\"quoted\\\" \\\\ \\u0001\"\n"
+            "}\n");
+}
+
+TEST(JsonWriterTest, HexIsSixteenLowercaseDigits) {
+  JsonWriter w;
+  w.begin_object();
+  w.field_hex("fingerprint", 0xABCDULL);
+  w.end();
+  EXPECT_NE(w.str().find("\"fingerprint\": \"000000000000abcd\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace detlock

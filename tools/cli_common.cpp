@@ -1,0 +1,40 @@
+#include "cli_common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "support/strings.hpp"
+
+namespace detlock::cli {
+
+std::int64_t parse_int_flag(const char* tool, const char* flag, std::string_view value,
+                            std::int64_t min_value, std::int64_t max_value, const UsageFn& usage) {
+  const std::optional<std::int64_t> v = parse_int(value);
+  if (!v.has_value() || *v < min_value || *v > max_value) {
+    std::fprintf(stderr, "%s: bad value '%.*s' for %s\n", tool, static_cast<int>(value.size()),
+                 value.data(), flag);
+    usage();
+    std::exit(kUsageExit);  // not reached: usage exits
+  }
+  return *v;
+}
+
+std::optional<std::string_view> flag_value(std::string_view arg, std::string_view prefix) {
+  if (!starts_with(arg, prefix)) return std::nullopt;
+  return arg.substr(prefix.size());
+}
+
+std::string read_file_or_exit(const char* tool, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "%s: cannot open %s\n", tool, path.c_str());
+    std::exit(1);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace detlock::cli

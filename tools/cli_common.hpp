@@ -1,0 +1,41 @@
+// Flag-parsing and file helpers shared by the detlock command-line tools
+// (detlockc, detlock_sched, detserve).
+//
+// Every tool used to hand-roll these with subtly different failure
+// behavior; now a malformed numeric flag prints the same one-line
+// diagnostic ("TOOL: bad value 'X' for FLAG"), shows the tool's usage, and
+// exits with the shared usage code 2 -- asserted by
+// tests/tools/cli_flags_test (one test, three binaries).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace detlock::cli {
+
+/// Exit code for usage errors, shared by all tools.
+inline constexpr int kUsageExit = 2;
+
+/// A [[noreturn]] callback printing the tool's usage and exiting with
+/// kUsageExit (std::function can't spell noreturn; the callee relies on it).
+using UsageFn = std::function<void()>;
+
+/// Checked numeric-flag parsing.  std::atoi silently accepted '--runs=4x'
+/// as 4 and '--threads-max=abc' as 0; every numeric flag routes through
+/// support/strings parse_int, and malformed or out-of-range values print
+///   TOOL: bad value 'VALUE' for FLAG
+/// and invoke `usage` (which must not return).
+std::int64_t parse_int_flag(const char* tool, const char* flag, std::string_view value,
+                            std::int64_t min_value, std::int64_t max_value, const UsageFn& usage);
+
+/// If `arg` starts with `prefix` (e.g. "--runs="), returns the remainder.
+std::optional<std::string_view> flag_value(std::string_view arg, std::string_view prefix);
+
+/// Reads a whole file; on failure prints "TOOL: cannot open PATH" and exits
+/// with code 1 (I/O error).
+std::string read_file_or_exit(const char* tool, const std::string& path);
+
+}  // namespace detlock::cli

@@ -1,17 +1,18 @@
 // detlock_sched: inspect and compare recorded lock-acquisition schedules
 // (the files produced by `detlockc --record-schedule=`).
 //
-//   detlock_sched stats FILE          per-thread / per-mutex breakdown
-//   detlock_sched diff  FILE1 FILE2   first divergence between two runs
+//   detlock_sched stats [--limit=N] FILE   per-thread / per-mutex breakdown
+//   detlock_sched diff  FILE1 FILE2        first divergence between two runs
 //
-// The diff mode is the offline complement of the online ScheduleValidator:
-// given two recordings (e.g. from two replicas that both completed), it
-// pinpoints where their histories split.
+// --limit=N caps each breakdown table at its N busiest rows (large runs
+// touch thousands of mutexes).  The diff mode is the offline complement of
+// the online ScheduleValidator: given two recordings (e.g. from two
+// replicas that both completed), it pinpoints where their histories split.
 #include <cstdio>
-#include <fstream>
 #include <map>
-#include <sstream>
+#include <string>
 
+#include "cli_common.hpp"
 #include "runtime/schedule.hpp"
 #include "support/error.hpp"
 
@@ -19,18 +20,16 @@ namespace {
 
 using namespace detlock;
 
-std::vector<runtime::TraceEvent> load(const char* path) {
-  std::ifstream in(path);
-  if (!in) {
-    std::fprintf(stderr, "detlock_sched: cannot open %s\n", path);
-    std::exit(1);
-  }
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  return runtime::parse_schedule(ss.str());
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr, "usage: %s stats [--limit=N] FILE | diff FILE1 FILE2\n", argv0);
+  std::exit(cli::kUsageExit);
 }
 
-int cmd_stats(const char* path) {
+std::vector<runtime::TraceEvent> load(const char* path) {
+  return runtime::parse_schedule(cli::read_file_or_exit("detlock_sched", path));
+}
+
+int cmd_stats(const char* path, std::size_t limit) {
   const auto events = load(path);
   std::map<runtime::ThreadId, std::uint64_t> per_thread;
   std::map<runtime::MutexId, std::uint64_t> per_mutex;
@@ -49,12 +48,22 @@ int cmd_stats(const char* path) {
   std::printf("%zu acquisitions, %zu threads, %zu mutexes, final clock %llu\n\n", events.size(),
               per_thread.size(), per_mutex.size(), static_cast<unsigned long long>(max_clock));
   std::printf("per thread:\n");
+  std::size_t shown = 0;
   for (const auto& [thread, count] : per_thread) {
+    if (shown++ >= limit) {
+      std::printf("  ... %zu more thread(s) (raise --limit)\n", per_thread.size() - limit);
+      break;
+    }
     std::printf("  t%-4u %8llu acquisitions (%.1f%%)\n", thread, static_cast<unsigned long long>(count),
                 100.0 * static_cast<double>(count) / static_cast<double>(events.size()));
   }
   std::printf("per mutex (handoff = consecutive acquisitions by different threads):\n");
+  shown = 0;
   for (const auto& [mutex, count] : per_mutex) {
+    if (shown++ >= limit) {
+      std::printf("  ... %zu more mutex(es) (raise --limit)\n", per_mutex.size() - limit);
+      break;
+    }
     std::printf("  m%-4llu %8llu acquisitions, %6llu handoffs (%.1f%%)\n",
                 static_cast<unsigned long long>(mutex), static_cast<unsigned long long>(count),
                 static_cast<unsigned long long>(handoffs[mutex]),
@@ -91,12 +100,26 @@ int cmd_diff(const char* path_a, const char* path_b) {
 
 int main(int argc, char** argv) {
   try {
-    if (argc == 3 && std::string_view(argv[1]) == "stats") return cmd_stats(argv[2]);
+    if (argc >= 2 && std::string_view(argv[1]) == "stats") {
+      std::size_t limit = 1 << 20;  // effectively unlimited by default
+      const char* file = nullptr;
+      for (int i = 2; i < argc; ++i) {
+        if (const auto v = cli::flag_value(argv[i], "--limit=")) {
+          limit = static_cast<std::size_t>(cli::parse_int_flag(
+              "detlock_sched", "--limit", *v, 1, 1 << 20, [&] { usage(argv[0]); }));
+        } else if (file == nullptr) {
+          file = argv[i];
+        } else {
+          usage(argv[0]);
+        }
+      }
+      if (file == nullptr) usage(argv[0]);
+      return cmd_stats(file, limit);
+    }
     if (argc == 4 && std::string_view(argv[1]) == "diff") return cmd_diff(argv[2], argv[3]);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "detlock_sched: %s\n", e.what());
     return 1;
   }
-  std::fprintf(stderr, "usage: %s stats FILE | diff FILE1 FILE2\n", argv[0]);
-  return 2;
+  usage(argv[0]);
 }

@@ -3,7 +3,12 @@
 //   detlockc [options] program.dl
 //
 // Parses a textual-IR program, runs the instrumentation pipeline, executes
-// it, and reports the result plus determinism fingerprints.  Options:
+// it, and reports the result plus determinism fingerprints.  Since the
+// api::RunConfig consolidation the driver is a thin shell over the service
+// layer: it builds one RunConfig, compiles the program ONCE
+// (service::CompiledModule), and executes every repetition on a fresh
+// service::ExecutionContext -- `--runs=1000` parses, instruments, and
+// decodes exactly once.  Options:
 //
 //   --opt=none|1|2|3|4|all   optimization selection            [all]
 //   --placement=start|end    clock update placement            [start]
@@ -12,12 +17,16 @@
 //                            loop or the block-walking reference [decoded]
 //   --nondet                 plain pthread-style execution
 //   --kendo[=CHUNK]          chunked clock publication         [2048]
+//                            (implies end-of-block clock placement, like
+//                            the harness's kendo-sim mode)
 //   --runs=N                 repeat and compare fingerprints   [1]
 //   --threads-max=N          runtime thread-slot budget        [64]
 //   --estimates=FILE         apply an instruction-estimate file
 //   --emit-ir                print the instrumented IR and exit
 //   --stats                  print pass + runtime statistics
 //   --profile                wait-time attribution breakdown (run 1)
+//   --json=FILE              write a versioned machine-readable report
+//                            (docs/cli-reference.md; schema_version 1)
 //   --trace-out=FILE         Chrome-trace/Perfetto JSON timeline (run 1;
 //                            implies --profile; see docs/observability.md)
 //   --race-check             run the lockset race detector (lints first)
@@ -35,7 +44,7 @@
 //   --entry=NAME             entry function                    [main]
 //   --arg=N                  append an i64 argument (repeatable)
 //
-// Exit codes (documented in docs/static-analysis.md):
+// Exit codes (documented in docs/cli-reference.md):
 //   0  success
 //   1  I/O or internal error
 //   2  usage error
@@ -52,21 +61,24 @@
 #include <memory>
 #include <fstream>
 #include <optional>
-#include <sstream>
 #include <string>
 #include <vector>
 
+#include "api/run_config.hpp"
+#include "cli_common.hpp"
 #include "interp/engine.hpp"
 #include "ir/parser.hpp"
 #include "ir/printer.hpp"
 #include "ir/verifier.hpp"
 #include "pass/estimates.hpp"
-#include "runtime/faultinject.hpp"
 #include "runtime/profile.hpp"
 #include "runtime/schedule.hpp"
 #include "pass/pipeline.hpp"
 #include "racedetect/lockset.hpp"
+#include "service/compiled_module.hpp"
+#include "service/execution_context.hpp"
 #include "staticcheck/checker.hpp"
+#include "support/json.hpp"
 #include "support/strings.hpp"
 
 namespace {
@@ -78,61 +90,33 @@ using namespace detlock;
                "usage: %s [--opt=none|1|2|3|4|all] [--placement=start|end] [--nondet]\n"
                "          [--interp=decoded|reference]\n"
                "          [--kendo[=CHUNK]] [--runs=N] [--estimates=FILE] [--emit-ir]\n"
-               "          [--stats] [--profile] [--trace-out=FILE] [--race-check]\n"
-               "          [--watchdog-ms=N] [--chaos=SEED] [--chaos-trials=K]\n"
+               "          [--stats] [--profile] [--json=FILE] [--trace-out=FILE]\n"
+               "          [--race-check] [--watchdog-ms=N] [--chaos=SEED] [--chaos-trials=K]\n"
                "          [--lint] [--no-lint] [--entry=NAME] [--arg=N]... program.dl\n",
                argv0);
-  std::exit(2);
+  std::exit(cli::kUsageExit);
 }
 
-/// Checked numeric-flag parsing.  std::atoi silently accepted '--runs=4x'
-/// as 4 and '--threads-max=abc' as 0; every numeric flag now routes through
-/// support/strings parse_int, and malformed or out-of-range values exit
-/// with the usage code (2).
 std::int64_t parse_int_flag(const char* argv0, const char* flag, std::string_view value,
                             std::int64_t min_value, std::int64_t max_value) {
-  const std::optional<std::int64_t> v = parse_int(value);
-  if (!v.has_value() || *v < min_value || *v > max_value) {
-    std::fprintf(stderr, "detlockc: bad value '%.*s' for %s\n", static_cast<int>(value.size()),
-                 value.data(), flag);
-    usage(argv0);
-  }
-  return *v;
+  return cli::parse_int_flag("detlockc", flag, value, min_value, max_value,
+                             [argv0] { usage(argv0); });
 }
 
-std::string read_file(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) {
-    std::fprintf(stderr, "detlockc: cannot open %s\n", path.c_str());
-    std::exit(1);
-  }
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  return ss.str();
-}
+std::string read_file(const std::string& path) { return cli::read_file_or_exit("detlockc", path); }
 
 struct Cli {
-  pass::PassOptions options = pass::PassOptions::all();
-  bool deterministic = true;
-  interp::EngineKind engine = interp::EngineKind::kDecoded;
-  bool kendo = false;
-  std::uint64_t chunk = 2048;
-  int runs = 1;
-  std::uint32_t threads_max = 64;
+  api::RunConfig config;
   std::string estimates_path;
   bool emit_ir = false;
   bool stats = false;
-  bool profile = false;
+  std::string json_path;
   std::string trace_out_path;
   bool race_check = false;
   bool lint = false;
   bool auto_lint = true;
   std::string record_schedule_path;
   std::string check_schedule_path;
-  std::uint64_t watchdog_ms = 0;
-  bool chaos = false;
-  std::uint64_t chaos_seed = 1;
-  int chaos_trials = 4;
   std::string entry = "main";
   std::vector<std::int64_t> args;
   std::string program_path;
@@ -140,40 +124,45 @@ struct Cli {
 
 Cli parse_cli(int argc, char** argv) {
   Cli cli;
+  api::RunConfig& cfg = cli.config;
+  // detlockc's historical defaults: deterministic execution, all
+  // optimizations, trace hashing on (it prints fingerprints every run).
+  cfg.mode = api::Mode::kDetLock;
+  cfg.record_trace = true;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value_of = [&](const char* prefix) { return arg.substr(std::strlen(prefix)); };
     if (arg.rfind("--opt=", 0) == 0) {
       const std::string v = value_of("--opt=");
-      if (v == "none") cli.options = pass::PassOptions::none();
-      else if (v == "1") cli.options = pass::PassOptions::only_opt1();
-      else if (v == "2") cli.options = pass::PassOptions::only_opt2();
-      else if (v == "3") cli.options = pass::PassOptions::only_opt3();
-      else if (v == "4") cli.options = pass::PassOptions::only_opt4();
-      else if (v == "all") cli.options = pass::PassOptions::all();
+      if (v == "none") cfg.pass_options = pass::PassOptions::none();
+      else if (v == "1") cfg.pass_options = pass::PassOptions::only_opt1();
+      else if (v == "2") cfg.pass_options = pass::PassOptions::only_opt2();
+      else if (v == "3") cfg.pass_options = pass::PassOptions::only_opt3();
+      else if (v == "4") cfg.pass_options = pass::PassOptions::only_opt4();
+      else if (v == "all") cfg.pass_options = pass::PassOptions::all();
       else usage(argv[0]);
     } else if (arg.rfind("--placement=", 0) == 0) {
       const std::string v = value_of("--placement=");
-      if (v == "start") cli.options.placement = pass::ClockPlacement::kStart;
-      else if (v == "end") cli.options.placement = pass::ClockPlacement::kEnd;
+      if (v == "start") cfg.pass_options.placement = pass::ClockPlacement::kStart;
+      else if (v == "end") cfg.pass_options.placement = pass::ClockPlacement::kEnd;
       else usage(argv[0]);
     } else if (arg.rfind("--interp=", 0) == 0) {
       const std::string v = value_of("--interp=");
-      if (v == "decoded") cli.engine = interp::EngineKind::kDecoded;
-      else if (v == "reference") cli.engine = interp::EngineKind::kReference;
+      if (v == "decoded") cfg.engine = interp::EngineKind::kDecoded;
+      else if (v == "reference") cfg.engine = interp::EngineKind::kReference;
       else usage(argv[0]);
     } else if (arg == "--nondet") {
-      cli.deterministic = false;
+      cfg.mode = api::Mode::kClocksOnly;
     } else if (arg == "--kendo") {
-      cli.kendo = true;
+      cfg.mode = api::Mode::kKendoSim;
     } else if (arg.rfind("--kendo=", 0) == 0) {
-      cli.kendo = true;
-      cli.chunk = static_cast<std::uint64_t>(parse_int_flag(
+      cfg.mode = api::Mode::kKendoSim;
+      cfg.kendo_chunk_size = static_cast<std::uint64_t>(parse_int_flag(
           argv[0], "--kendo", value_of("--kendo="), 1, std::numeric_limits<std::int64_t>::max()));
     } else if (arg.rfind("--runs=", 0) == 0) {
-      cli.runs = static_cast<int>(parse_int_flag(argv[0], "--runs", value_of("--runs="), 1, 1'000'000));
+      cfg.runs = static_cast<int>(parse_int_flag(argv[0], "--runs", value_of("--runs="), 1, 1'000'000));
     } else if (arg.rfind("--threads-max=", 0) == 0) {
-      cli.threads_max = static_cast<std::uint32_t>(
+      cfg.threads_max = static_cast<std::uint32_t>(
           parse_int_flag(argv[0], "--threads-max", value_of("--threads-max="), 1, 1 << 16));
     } else if (arg.rfind("--estimates=", 0) == 0) {
       cli.estimates_path = value_of("--estimates=");
@@ -182,14 +171,24 @@ Cli parse_cli(int argc, char** argv) {
     } else if (arg == "--stats") {
       cli.stats = true;
     } else if (arg == "--profile") {
-      cli.profile = true;
+      cfg.profile = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      cli.json_path = value_of("--json=");
+      if (cli.json_path.empty()) {
+        std::fprintf(stderr, "detlockc: --json needs a file name\n");
+        usage(argv[0]);
+      }
     } else if (arg.rfind("--trace-out=", 0) == 0) {
       cli.trace_out_path = value_of("--trace-out=");
       if (cli.trace_out_path.empty()) {
         std::fprintf(stderr, "detlockc: --trace-out needs a file name\n");
         usage(argv[0]);
       }
-      cli.profile = true;  // the trace is built from profiler spans
+      cfg.profile = true;  // the trace is built from profiler spans
+      cfg.profile_spans = true;
+      // The exported timeline pairs wall-clock spans with the deterministic
+      // schedule track, which needs the full event list.
+      cfg.keep_trace_events = true;
     } else if (arg == "--race-check") {
       cli.race_check = true;
     } else if (arg == "--lint") {
@@ -197,17 +196,18 @@ Cli parse_cli(int argc, char** argv) {
     } else if (arg == "--no-lint") {
       cli.auto_lint = false;
     } else if (arg.rfind("--watchdog-ms=", 0) == 0) {
-      cli.watchdog_ms = static_cast<std::uint64_t>(parse_int_flag(
+      cfg.watchdog_ms = static_cast<std::uint64_t>(parse_int_flag(
           argv[0], "--watchdog-ms", value_of("--watchdog-ms="), 1, 86'400'000));
     } else if (arg.rfind("--chaos=", 0) == 0) {
-      cli.chaos = true;
-      cli.chaos_seed = static_cast<std::uint64_t>(parse_int_flag(
+      cfg.chaos = true;
+      cfg.chaos_seed = static_cast<std::uint64_t>(parse_int_flag(
           argv[0], "--chaos", value_of("--chaos="), 0, std::numeric_limits<std::int64_t>::max()));
     } else if (arg.rfind("--chaos-trials=", 0) == 0) {
-      cli.chaos_trials = static_cast<int>(
+      cfg.chaos_trials = static_cast<int>(
           parse_int_flag(argv[0], "--chaos-trials", value_of("--chaos-trials="), 1, 10'000));
     } else if (arg.rfind("--record-schedule=", 0) == 0) {
       cli.record_schedule_path = value_of("--record-schedule=");
+      cfg.keep_trace_events = true;
     } else if (arg.rfind("--check-schedule=", 0) == 0) {
       cli.check_schedule_path = value_of("--check-schedule=");
     } else if (arg.rfind("--entry=", 0) == 0) {
@@ -224,30 +224,38 @@ Cli parse_cli(int argc, char** argv) {
       usage(argv[0]);
     }
   }
-  if (cli.program_path.empty() || cli.runs < 1) usage(argv[0]);
+  if (cli.program_path.empty()) usage(argv[0]);
+  if (const std::optional<std::string> err = cli.config.validate()) {
+    std::fprintf(stderr, "detlockc: %s\n", err->c_str());
+    usage(argv[0]);
+  }
   return cli;
 }
 
-/// Parses and verifies the program, mapping failures to the documented
-/// stage exit codes (5 parse, 6 verifier).
-ir::Module load_module(const Cli& cli, const std::string& text) {
-  ir::Module module;
+/// Compiles through the service layer, mapping staged failures to the
+/// documented exit codes (5 parse, 6 verifier).
+std::shared_ptr<const service::CompiledModule> compile_or_exit(const Cli& cli,
+                                                               const std::string& text) {
+  service::CompileOptions options = service::compile_options(cli.config);
+  if (!cli.estimates_path.empty()) options.estimates_text = read_file(cli.estimates_path);
   try {
-    module = ir::parse_module(text);
-  } catch (const std::exception& e) {
+    return service::CompiledModule::compile(text, options);
+  } catch (const service::ParseError& e) {
     std::fprintf(stderr, "detlockc: parse error: %s\n", e.what());
     std::exit(5);
-  }
-  try {
-    if (!cli.estimates_path.empty()) {
-      pass::apply_estimate_file(module, read_file(cli.estimates_path));
-    }
-    ir::verify_module_or_throw(module);
-  } catch (const std::exception& e) {
+  } catch (const service::VerifyError& e) {
     std::fprintf(stderr, "detlockc: verifier error: %s\n", e.what());
     std::exit(6);
   }
-  return module;
+}
+
+/// Parses and verifies without instrumenting (for --lint and the pre-race
+/// lint, which inspect the original program).
+ir::Module load_module(const Cli& cli, const std::string& text) {
+  Cli baseline = cli;
+  baseline.config.mode = api::Mode::kBaseline;
+  // The artifact is copied out: lint doesn't need the decoded arrays.
+  return compile_or_exit(baseline, text)->module();
 }
 
 /// Runs the static checkers; prints every diagnostic and a summary line.
@@ -255,7 +263,7 @@ ir::Module load_module(const Cli& cli, const std::string& text) {
 std::size_t run_lint(const Cli& cli, const ir::Module& module) {
   staticcheck::CheckOptions check;
   check.entry = cli.entry;
-  check.pass_options = cli.options;
+  check.pass_options = cli.config.pass_options;
   const std::vector<staticcheck::Diagnostic> diags = staticcheck::run_all_checks(module, check);
   for (const staticcheck::Diagnostic& d : diags) {
     std::printf("%s\n", d.to_string().c_str());
@@ -264,6 +272,86 @@ std::size_t run_lint(const Cli& cli, const ir::Module& module) {
   std::printf("lint: %zu diagnostic(s), %zu error(s)\n", diags.size(), errors);
   return errors;
 }
+
+/// Accumulates the --json report (docs/cli-reference.md, schema_version 1).
+struct JsonReport {
+  JsonWriter w;
+  bool runs_open = false;
+
+  void begin(const Cli& cli) {
+    w.begin_object();
+    w.field("schema_version", kReportSchemaVersion);
+    w.field("tool", "detlockc");
+    w.field("program", cli.program_path);
+    w.field("mode", api::mode_name(cli.config.mode));
+    w.field("engine", cli.config.engine == interp::EngineKind::kDecoded ? "decoded" : "reference");
+    w.key("runs");
+    w.begin_array();
+    runs_open = true;
+  }
+
+  void add_run(int run, const interp::RunResult& r) {
+    w.begin_object();
+    w.field("run", run + 1);
+    w.field("result", r.main_return);
+    w.field_hex("lock_order_fingerprint", r.trace_fingerprint);
+    w.field_hex("memory_fingerprint", r.memory_fingerprint);
+    w.field("instructions", r.instructions);
+    w.field("lock_acquires", r.lock_acquires);
+    w.field("threads", r.threads);
+    w.end();
+  }
+
+  void finish(const Cli& cli, bool identical, const pass::PipelineStats& pstats,
+              const interp::RunResult& first, const runtime::ProfileSummary* profile,
+              const std::string& path) {
+    w.end();  // runs
+    runs_open = false;
+    w.field("identical", identical);
+    w.key("pass");
+    w.begin_object();
+    w.field("clocked_functions", static_cast<std::uint64_t>(pstats.clocked_functions));
+    w.field("block_splits", static_cast<std::uint64_t>(pstats.block_splits));
+    w.field("clock_sites_initial", static_cast<std::uint64_t>(pstats.clock_sites_initial));
+    w.field("clock_sites_final", static_cast<std::uint64_t>(pstats.clock_sites_final));
+    w.field("clock_add_sites", static_cast<std::uint64_t>(pstats.materialized.clock_add_sites));
+    w.field("clock_dyn_sites", static_cast<std::uint64_t>(pstats.materialized.clock_dyn_sites));
+    w.end();
+    w.key("runtime");
+    w.begin_object();
+    w.field("lock_acquires", first.sync.lock_acquires);
+    w.field("failed_trylocks", first.sync.failed_trylocks);
+    w.field("lock_wait_spins", first.sync.lock_wait_spins);
+    w.field("barrier_waits", first.sync.barrier_waits);
+    w.end();
+    if (profile != nullptr) {
+      w.key("profile");
+      w.begin_object();
+      w.field("total_wall_ns", profile->total_wall_ns);
+      w.field("total_wait_ns", profile->total_wait_ns);
+      w.field("total_useful_ns", profile->total_useful_ns);
+      w.field("total_instructions", profile->total_instructions);
+      w.key("categories");
+      w.begin_object();
+      for (std::size_t c = 0; c < runtime::kNumWaitCategories; ++c) {
+        w.key(runtime::wait_category_name(static_cast<runtime::WaitCategory>(c)));
+        w.begin_object();
+        w.field("ns", profile->totals[c].ns);
+        w.field("events", profile->totals[c].events);
+        w.end();
+      }
+      w.end();
+      w.end();
+    }
+    w.end();  // top-level object
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "detlockc: cannot write %s\n", path.c_str());
+      std::exit(1);
+    }
+    out << w.str() << "\n";
+  }
+};
 
 }  // namespace
 
@@ -278,9 +366,8 @@ int main(int argc, char** argv) {
     }
 
     if (cli.emit_ir) {
-      ir::Module module = load_module(cli, text);
-      pass::instrument_module(module, cli.options);
-      std::printf("%s", ir::to_string(module).c_str());
+      const std::shared_ptr<const service::CompiledModule> compiled = compile_or_exit(cli, text);
+      std::printf("%s", ir::to_string(compiled->module()).c_str());
       return 0;
     }
 
@@ -295,66 +382,55 @@ int main(int argc, char** argv) {
       }
     }
 
+    // Compile once: parse + estimates + verify + instrument + predecode.
+    // Every repetition below reuses this immutable artifact.
+    const std::shared_ptr<const service::CompiledModule> compiled = compile_or_exit(cli, text);
+    const pass::PipelineStats& pstats = compiled->pass_stats();
+
     std::uint64_t first_trace = 0;
     std::uint64_t first_memory = 0;
+    interp::RunResult first_result;
+    runtime::ProfileSummary first_profile;
+    bool have_profile = false;
     bool identical = true;
     std::vector<runtime::TraceEvent> expected_schedule;
     if (!cli.check_schedule_path.empty()) {
       expected_schedule = runtime::parse_schedule(read_file(cli.check_schedule_path));
     }
+    JsonReport report;
+    if (!cli.json_path.empty()) report.begin(cli);
+
     // Chaos mode: run 0 is the clean reference, runs 1..K are perturbed by
     // FaultPlan::timing_chaos with per-trial seeds; determinism demands
     // every fingerprint matches the reference.
-    const int total_runs = cli.chaos ? 1 + cli.chaos_trials : cli.runs;
+    const int total_runs = cli.config.chaos ? 1 + cli.config.chaos_trials : cli.config.runs;
     for (int run = 0; run < total_runs; ++run) {
-      ir::Module module = load_module(cli, text);
-      const pass::PipelineStats pstats = pass::instrument_module(module, cli.options);
+      api::RunConfig run_config = cli.config;
+      run_config.chaos = cli.config.chaos && run > 0;
 
-      interp::EngineConfig config;
-      config.deterministic = cli.deterministic;
-      config.engine = cli.engine;
-      config.runtime.max_threads = cli.threads_max;
-      if (!cli.record_schedule_path.empty()) config.runtime.keep_trace_events = true;
-      if (cli.profile) {
-        config.runtime.profile = true;
-        config.runtime.profile_spans = !cli.trace_out_path.empty();
-        // The exported timeline pairs wall-clock spans with the
-        // deterministic schedule track, which needs the full event list.
-        if (!cli.trace_out_path.empty()) config.runtime.keep_trace_events = true;
+      service::ExecutionContext ctx(compiled, run_config);
+      if (run_config.chaos) {
+        ctx.set_chaos_seed(cli.config.chaos_seed + static_cast<std::uint64_t>(run) - 1);
       }
       std::unique_ptr<runtime::ScheduleValidator> validator;
       if (!cli.check_schedule_path.empty()) {
         validator = std::make_unique<runtime::ScheduleValidator>(expected_schedule);
-        config.runtime.validator = validator.get();
-      }
-      if (cli.kendo) {
-        config.runtime.publication = runtime::ClockPublication::kChunked;
-        config.runtime.chunk_size = cli.chunk;
+        ctx.set_validator(validator.get());
       }
       racedetect::LocksetRaceDetector detector;
-      if (cli.race_check) config.observer = &detector;
+      if (cli.race_check) ctx.set_observer(&detector);
 
-      config.runtime.watchdog_ms = cli.watchdog_ms;
-      std::unique_ptr<runtime::FaultInjector> injector;
-      if (cli.chaos && run > 0) {
-        injector = std::make_unique<runtime::FaultInjector>(
-            runtime::FaultPlan::timing_chaos(cli.chaos_seed + static_cast<std::uint64_t>(run) - 1),
-            cli.threads_max);
-        config.runtime.fault = injector.get();
-      }
-
-      interp::Engine engine(module, config);
       interp::RunResult result;
       try {
-        result = engine.run(cli.entry, cli.args);
+        result = ctx.run(cli.entry, cli.args);
       } catch (const std::exception&) {
         // A watchdog abort is a diagnosis, not an internal error: print the
         // report (text + JSON) and exit with the staged code.
-        const runtime::Watchdog* wd = engine.watchdog();
+        const runtime::Watchdog* wd = ctx.engine() != nullptr ? ctx.engine()->watchdog() : nullptr;
         if (wd != nullptr && wd->fired()) {
-          const std::optional<runtime::StallReport> report = wd->report();
-          std::printf("%s%s\n", report->text().c_str(), report->json().c_str());
-          return report->deadlock ? 8 : 9;
+          const std::optional<runtime::StallReport> report_text = wd->report();
+          std::printf("%s%s\n", report_text->text().c_str(), report_text->json().c_str());
+          return report_text->deadlock ? 8 : 9;
         }
         throw;
       }
@@ -365,6 +441,7 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(result.memory_fingerprint),
                   static_cast<unsigned long long>(result.instructions),
                   static_cast<unsigned long long>(result.lock_acquires));
+      if (!cli.json_path.empty()) report.add_run(run, result);
       if (run == 0) {
         first_trace = result.trace_fingerprint;
         first_memory = result.memory_fingerprint;
@@ -384,21 +461,24 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(result.sync.lock_wait_spins),
                     static_cast<unsigned long long>(result.sync.barrier_waits));
       }
-      if (cli.profile && run == 0) {
-        const runtime::Profiler* prof = engine.profiler();
-        if (prof != nullptr) {
+      if (run == 0) {
+        first_result = result;
+        const runtime::Profiler* prof = ctx.engine()->profiler();
+        if (cli.config.profile && prof != nullptr) {
+          first_profile = prof->summary();
+          have_profile = true;
           std::printf("\nwait-time attribution (run 1):\n%s\n",
-                      runtime::profile_breakdown(prof->summary()).c_str());
-        }
-        if (!cli.trace_out_path.empty() && prof != nullptr) {
-          std::ofstream out(cli.trace_out_path);
-          if (!out) {
-            std::fprintf(stderr, "detlockc: cannot write %s\n", cli.trace_out_path.c_str());
-            return 1;
+                      runtime::profile_breakdown(first_profile).c_str());
+          if (!cli.trace_out_path.empty()) {
+            std::ofstream out(cli.trace_out_path);
+            if (!out) {
+              std::fprintf(stderr, "detlockc: cannot write %s\n", cli.trace_out_path.c_str());
+              return 1;
+            }
+            out << runtime::profile_to_chrome_trace(*prof, ctx.engine()->backend().trace().events());
+            std::printf("  trace written to %s (load in Perfetto / chrome://tracing)\n",
+                        cli.trace_out_path.c_str());
           }
-          out << runtime::profile_to_chrome_trace(*prof, engine.backend().trace().events());
-          std::printf("  trace written to %s (load in Perfetto / chrome://tracing)\n",
-                      cli.trace_out_path.c_str());
         }
       }
       if (validator != nullptr) {
@@ -412,7 +492,7 @@ int main(int argc, char** argv) {
       }
       if (!cli.record_schedule_path.empty() && run == 0) {
         std::ofstream out(cli.record_schedule_path);
-        out << runtime::serialize_schedule(engine.backend().trace().events());
+        out << runtime::serialize_schedule(ctx.engine()->backend().trace().events());
         std::printf("  schedule recorded to %s (%llu acquisitions)\n", cli.record_schedule_path.c_str(),
                     static_cast<unsigned long long>(result.lock_acquires));
       }
@@ -426,12 +506,16 @@ int main(int argc, char** argv) {
         }
       }
     }
-    if (cli.chaos) {
+    if (!cli.json_path.empty()) {
+      report.finish(cli, identical, pstats, first_result, have_profile ? &first_profile : nullptr,
+                    cli.json_path);
+    }
+    if (cli.config.chaos) {
       std::printf("%s\n", identical ? "chaos: all perturbed trials bit-identical"
                                     : "CHAOS DIVERGENCE: timing perturbation changed the outcome");
       return identical ? 0 : 3;
     }
-    if (cli.runs > 1) {
+    if (cli.config.runs > 1) {
       std::printf("%s\n", identical ? "all runs identical" : "RUNS DIVERGED");
       return identical ? 0 : 3;
     }

@@ -1,0 +1,198 @@
+// detserve: concurrent batch execution service for DetLock programs.
+//
+//   detserve [options] manifest.jobs
+//
+// Reads a jobs manifest (format: docs/serving.md), compiles every distinct
+// (program, compile options) pair exactly once through a shared
+// service::ModuleCache, executes all jobs on a BatchExecutor worker pool,
+// and prints one versioned JSON report (docs/cli-reference.md,
+// schema_version 1).  Per-job failures -- parse/verify errors, divergence,
+// watchdog deadlock/stall -- are isolated: they mark that job's entry with
+// the documented staged exit code and leave the rest of the batch running.
+//
+//   --workers=N          concurrent worker threads               [4]
+//   --queue-capacity=N   pending-job bound (submit backpressure) [64]
+//   --cache-capacity=N   compiled-module LRU capacity            [64]
+//   --out=FILE           write the JSON report to FILE, print a
+//                        one-line-per-job summary to stdout
+//
+// Exit codes: 0 all jobs ok; 1 at least one job failed (or I/O error);
+// 2 usage or manifest error.
+#include <cstdio>
+#include <chrono>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "cli_common.hpp"
+#include "service/batch_executor.hpp"
+#include "service/manifest.hpp"
+#include "service/module_cache.hpp"
+#include "support/json.hpp"
+
+namespace {
+
+using namespace detlock;
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--workers=N] [--queue-capacity=N] [--cache-capacity=N]\n"
+               "          [--out=FILE] manifest.jobs\n",
+               argv0);
+  std::exit(cli::kUsageExit);
+}
+
+/// PROGRAM paths in a manifest resolve relative to the manifest file, so a
+/// manifest works from any cwd.
+std::string resolve_path(const std::string& manifest_path, const std::string& program) {
+  if (!program.empty() && program.front() == '/') return program;
+  const std::size_t slash = manifest_path.rfind('/');
+  if (slash == std::string::npos) return program;
+  return manifest_path.substr(0, slash + 1) + program;
+}
+
+void write_report(JsonWriter& w, const std::vector<service::JobResult>& results,
+                  const service::ModuleCache::Stats& cache, std::size_t workers,
+                  double wall_seconds) {
+  std::size_t ok = 0;
+  for (const service::JobResult& r : results) {
+    if (r.status == service::JobStatus::kOk) ++ok;
+  }
+
+  w.begin_object();
+  w.field("schema_version", kReportSchemaVersion);
+  w.field("tool", "detserve");
+  w.field("workers", static_cast<std::uint64_t>(workers));
+  w.key("jobs");
+  w.begin_array();
+  for (const service::JobResult& r : results) {
+    w.begin_object();
+    w.field("name", r.name);
+    w.field("status", service::job_status_name(r.status));
+    w.field("exit_code", r.exit_code);
+    if (!r.error.empty()) w.field("error", r.error);
+    w.field("cache_hit", r.cache_hit);
+    w.field("runs_completed", r.runs_completed);
+    if (r.runs_completed > 0) {
+      w.field("result", r.main_return);
+      w.field_hex("lock_order_fingerprint", r.trace_fingerprint);
+      w.field_hex("memory_fingerprint", r.memory_fingerprint);
+      w.field("instructions", r.instructions);
+      w.field("lock_acquires", r.lock_acquires);
+      w.field("threads", r.threads);
+    }
+    w.field("run_seconds", r.run_seconds);
+    if (!r.schedule.empty()) w.field("schedule", r.schedule);
+    w.end();
+  }
+  w.end();
+  w.key("cache");
+  w.begin_object();
+  w.field("hits", cache.hits);
+  w.field("misses", cache.misses);
+  w.field("evictions", cache.evictions);
+  w.field("compile_errors", cache.compile_errors);
+  w.field("inflight_waits", cache.inflight_waits);
+  w.field("entries", static_cast<std::uint64_t>(cache.entries));
+  w.end();
+  w.key("summary");
+  w.begin_object();
+  w.field("jobs", static_cast<std::uint64_t>(results.size()));
+  w.field("ok", static_cast<std::uint64_t>(ok));
+  w.field("failed", static_cast<std::uint64_t>(results.size() - ok));
+  w.field("wall_seconds", wall_seconds);
+  w.end();
+  w.end();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t workers = 4;
+  std::size_t queue_capacity = 64;
+  std::size_t cache_capacity = 64;
+  std::string out_path;
+  std::string manifest_path;
+
+  const cli::UsageFn usage_fn = [argv] { usage(argv[0]); };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (const auto v = cli::flag_value(arg, "--workers=")) {
+      workers = static_cast<std::size_t>(
+          cli::parse_int_flag("detserve", "--workers", *v, 1, 256, usage_fn));
+    } else if (const auto v = cli::flag_value(arg, "--queue-capacity=")) {
+      queue_capacity = static_cast<std::size_t>(
+          cli::parse_int_flag("detserve", "--queue-capacity", *v, 1, 1 << 20, usage_fn));
+    } else if (const auto v = cli::flag_value(arg, "--cache-capacity=")) {
+      cache_capacity = static_cast<std::size_t>(
+          cli::parse_int_flag("detserve", "--cache-capacity", *v, 1, 1 << 20, usage_fn));
+    } else if (const auto v = cli::flag_value(arg, "--out=")) {
+      out_path = std::string(*v);
+      if (out_path.empty()) {
+        std::fprintf(stderr, "detserve: --out needs a file name\n");
+        usage(argv[0]);
+      }
+    } else if (arg.rfind("--", 0) == 0) {
+      usage(argv[0]);
+    } else if (manifest_path.empty()) {
+      manifest_path = arg;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (manifest_path.empty()) usage(argv[0]);
+
+  try {
+    std::string error;
+    std::optional<service::Manifest> manifest =
+        service::parse_manifest(cli::read_file_or_exit("detserve", manifest_path), error);
+    if (!manifest) {
+      std::fprintf(stderr, "detserve: %s: %s\n", manifest_path.c_str(), error.c_str());
+      return cli::kUsageExit;
+    }
+
+    service::ModuleCache cache(cache_capacity);
+    service::BatchExecutor::Options options;
+    options.workers = workers;
+    options.queue_capacity = queue_capacity;
+    service::BatchExecutor executor(cache, options);
+
+    const auto start = std::chrono::steady_clock::now();
+    for (service::ManifestJob& job : manifest->jobs) {
+      job.spec.ir_text =
+          cli::read_file_or_exit("detserve", resolve_path(manifest_path, job.program_path));
+      executor.submit(std::move(job.spec));
+    }
+    const std::vector<service::JobResult>& results = executor.wait();
+    const double wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+    JsonWriter w;
+    write_report(w, results, cache.stats(), workers, wall_seconds);
+
+    int exit_code = 0;
+    for (const service::JobResult& r : results) {
+      if (r.status != service::JobStatus::kOk) exit_code = 1;
+    }
+
+    if (out_path.empty()) {
+      std::printf("%s\n", w.str().c_str());
+    } else {
+      std::ofstream out(out_path);
+      if (!out) {
+        std::fprintf(stderr, "detserve: cannot write %s\n", out_path.c_str());
+        return 1;
+      }
+      out << w.str() << "\n";
+      for (const service::JobResult& r : results) {
+        std::printf("%-24s %-14s exit=%d%s\n", r.name.c_str(), service::job_status_name(r.status),
+                    r.exit_code, r.cache_hit ? "  (cache hit)" : "");
+      }
+      std::printf("report written to %s\n", out_path.c_str());
+    }
+    return exit_code;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "detserve: %s\n", e.what());
+    return 1;
+  }
+}
