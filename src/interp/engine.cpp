@@ -33,6 +33,28 @@ Engine::Engine(const ir::Module& module, EngineConfig config)
   if (config_.runtime.watchdog_ms > 0 && config_.runtime.progress == nullptr) {
     config_.runtime.progress = &progress_counter_;
   }
+  // Same for the synchronization observer: an engine-level observer sees
+  // both memory accesses (engine hook) and sync edges (backend hooks).
+  if (config_.observer != nullptr && config_.runtime.sync_observer == nullptr) {
+    config_.runtime.sync_observer = config_.observer;
+  }
+  if (config_.observer != nullptr) {
+    // Canonical AccessSite indices: flat position -> index among the
+    // non-clock-update instructions only, so reported sites are identical
+    // across clock placements / publication modes (see engine.hpp).
+    canon_site_index_.reserve(module_.functions().size());
+    for (const ir::Function& func : module_.functions()) {
+      std::vector<std::uint32_t> map;
+      std::uint32_t canon = 0;
+      for (const ir::BasicBlock& block : func.blocks()) {
+        for (const ir::Instr& in : block.instrs()) {
+          map.push_back(canon);
+          if (!ir::is_clock_update(in.op)) ++canon;
+        }
+      }
+      canon_site_index_.push_back(std::move(map));
+    }
+  }
   if (config_.deterministic) {
     backend_ = std::make_unique<runtime::DetBackend>(config_.runtime);
   } else {
@@ -91,9 +113,17 @@ Engine::Engine(const ir::Module& module, EngineConfig config)
     }
   } else {
     // Reference engine: precompute a sorted case table per kSwitch so the
-    // dispatch is a binary search instead of an O(cases) linear scan.
+    // dispatch is a binary search instead of an O(cases) linear scan, plus
+    // each block's flat instruction offset (blocks concatenated in block-id
+    // order, the decoded engine's layout) so observer AccessSites are
+    // engine-independent.
     for (const ir::Function& func : module_.functions()) {
+      std::vector<std::uint32_t> offsets;
+      offsets.reserve(func.num_blocks());
+      std::uint32_t flat = 0;
       for (const ir::BasicBlock& block : func.blocks()) {
+        offsets.push_back(flat);
+        flat += static_cast<std::uint32_t>(block.instrs().size());
         for (const ir::Instr& in : block.instrs()) {
           if (in.op != ir::Opcode::kSwitch) continue;
           SwitchTable table;
@@ -101,6 +131,7 @@ Engine::Engine(const ir::Module& module, EngineConfig config)
           switch_tables_.emplace(&in, std::move(table));
         }
       }
+      ref_block_offsets_.push_back(std::move(offsets));
     }
   }
 }

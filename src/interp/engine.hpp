@@ -193,6 +193,17 @@ class Engine {
   /// instruction address (stable: the engine holds the module by const
   /// reference and nothing mutates it after construction).
   std::unordered_map<const ir::Instr*, SwitchTable> switch_tables_;
+  /// Reference engine only: per-function flat instruction offset of each
+  /// block (blocks concatenated in block-id order), so observer AccessSites
+  /// match the decoded engine's `instr - code_base` exactly.
+  std::vector<std::vector<std::uint32_t>> ref_block_offsets_;
+  /// Observer runs only: per-function map from flat instruction position
+  /// (blocks concatenated in block-id order, every instruction) to the
+  /// canonical site index, which counts only non-instrumentation
+  /// instructions.  Clock updates move between publication modes (placement
+  /// start vs end), so skipping them makes reported AccessSites
+  /// publication-mode-independent.
+  std::vector<std::vector<std::uint32_t>> canon_site_index_;
   runtime::SharedMemory memory_;
   std::unique_ptr<runtime::Profiler> profiler_;  // owned iff runtime.profile was set
   std::unique_ptr<runtime::SyncBackend> backend_;

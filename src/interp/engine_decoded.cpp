@@ -284,7 +284,13 @@ std::uint64_t Engine::exec_decoded(ThreadCtx& ctx, const DecodedFunction& func,
     const std::int64_t addr = as_i64(regs[in->a]) + in->imm;
     if constexpr (kObserve) {
       DL_SYNC();  // the observer (e.g. the race detector) may throw
-      config_.observer->on_access(ctx.tid, addr, false, ctx.held);
+      // Site: function id + flat instruction index (in already points at
+      // this instruction; fusion never covers loads/stores).  ctx.instrs
+      // includes this access after DL_SYNC, matching the reference engine.
+      const auto func_idx = static_cast<std::uint32_t>(cur - dm.functions.data());
+      const AccessSite site{
+          func_idx, canon_site_index_[func_idx][static_cast<std::uint32_t>(in - cur->entry)]};
+      config_.observer->on_access(ctx.tid, addr, false, ctx.held, site);
     }
     if (DL_UNLIKELY(static_cast<std::uint64_t>(addr) >= mem_words)) DL_SYNC();
     regs[in->dst] = from_i64(memory_.load(addr));
@@ -294,7 +300,10 @@ std::uint64_t Engine::exec_decoded(ThreadCtx& ctx, const DecodedFunction& func,
     const std::int64_t addr = as_i64(regs[in->a]) + in->imm;
     if constexpr (kObserve) {
       DL_SYNC();
-      config_.observer->on_access(ctx.tid, addr, true, ctx.held);
+      const auto func_idx = static_cast<std::uint32_t>(cur - dm.functions.data());
+      const AccessSite site{
+          func_idx, canon_site_index_[func_idx][static_cast<std::uint32_t>(in - cur->entry)]};
+      config_.observer->on_access(ctx.tid, addr, true, ctx.held, site);
     }
     if (DL_UNLIKELY(static_cast<std::uint64_t>(addr) >= mem_words)) DL_SYNC();
     memory_.store(addr, as_i64(regs[in->b]));
@@ -407,9 +416,10 @@ std::uint64_t Engine::exec_decoded(ThreadCtx& ctx, const DecodedFunction& func,
   DL_NEXT();
   DL_CASE(kBarrier) {
     DL_SYNC();
+    // Barrier/join observation lives in the backends now (runtime::
+    // SyncObserver hooks at the exact edge-establishing points).
     backend_->barrier_wait(ctx.tid, static_cast<runtime::BarrierId>(as_i64(regs[in->a])),
                            static_cast<std::uint32_t>(as_i64(regs[in->b])));
-    if constexpr (kObserve) config_.observer->on_barrier(ctx.tid);
   }
   DL_NEXT();
   DL_CASE(kSpawn) {
@@ -434,7 +444,6 @@ std::uint64_t Engine::exec_decoded(ThreadCtx& ctx, const DecodedFunction& func,
     const runtime::ThreadId target = static_cast<runtime::ThreadId>(handle);
     backend_->join(ctx.tid, target);
     os_threads_[target].join();
-    if constexpr (kObserve) config_.observer->on_join(ctx.tid, target);
   }
   DL_NEXT();
   DL_CASE(kCondWait)

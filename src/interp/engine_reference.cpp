@@ -83,14 +83,26 @@ std::uint64_t Engine::exec_reference(ThreadCtx& ctx, ir::FuncId func_id,
       case ir::Opcode::kLoad:
       case ir::Opcode::kLoadF: {
         const std::int64_t addr = as_i64(regs[in.a]) + in.imm;
-        if constexpr (kObserve) config_.observer->on_access(ctx.tid, addr, false, ctx.held);
+        if constexpr (kObserve) {
+          // `index` was already advanced past this instruction; the flat
+          // site index matches the decoded engine's `in - base`.
+          const std::uint32_t flat =
+              ref_block_offsets_[func_id][block] + static_cast<std::uint32_t>(index - 1);
+          const AccessSite site{func_id, canon_site_index_[func_id][flat]};
+          config_.observer->on_access(ctx.tid, addr, false, ctx.held, site);
+        }
         regs[in.dst] = from_i64(memory_.load(addr));
         break;
       }
       case ir::Opcode::kStore:
       case ir::Opcode::kStoreF: {
         const std::int64_t addr = as_i64(regs[in.a]) + in.imm;
-        if constexpr (kObserve) config_.observer->on_access(ctx.tid, addr, true, ctx.held);
+        if constexpr (kObserve) {
+          const std::uint32_t flat =
+              ref_block_offsets_[func_id][block] + static_cast<std::uint32_t>(index - 1);
+          const AccessSite site{func_id, canon_site_index_[func_id][flat]};
+          config_.observer->on_access(ctx.tid, addr, true, ctx.held, site);
+        }
         memory_.store(addr, as_i64(regs[in.b]));
         break;
       }
@@ -156,9 +168,10 @@ std::uint64_t Engine::exec_reference(ThreadCtx& ctx, ir::FuncId func_id,
         break;
       }
       case ir::Opcode::kBarrier:
+        // Barrier (and join) observation moved into the backends, which fire
+        // runtime::SyncObserver hooks at the exact edge-establishing points.
         backend_->barrier_wait(ctx.tid, static_cast<runtime::BarrierId>(as_i64(regs[in.a])),
                                static_cast<std::uint32_t>(as_i64(regs[in.b])));
-        if constexpr (kObserve) config_.observer->on_barrier(ctx.tid);
         break;
       case ir::Opcode::kCondWait:
         // The mutex is released for the duration of the wait and reacquired
@@ -191,7 +204,6 @@ std::uint64_t Engine::exec_reference(ThreadCtx& ctx, ir::FuncId func_id,
         const runtime::ThreadId target = static_cast<runtime::ThreadId>(handle);
         backend_->join(ctx.tid, target);
         os_threads_[target].join();
-        if constexpr (kObserve) config_.observer->on_join(ctx.tid, target);
         break;
       }
       case ir::Opcode::kClockAdd:

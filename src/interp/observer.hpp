@@ -1,35 +1,48 @@
-// Memory-access observation hook (consumed by the race detector).
+// Engine-level observation surface (consumed by the race detectors).
+//
+// interp::SyncObserver = runtime::SyncObserver (every backend
+// synchronization hook: acquire/release, barrier rounds, signal/wake,
+// create/finish/join -- see runtime/sync_observer.hpp for the edge-ordering
+// guarantee) + the engine's per-access hook carrying the IR source
+// location.  An engine given an observer wires it into RuntimeConfig::
+// sync_observer, so one object sees both the memory traffic and the
+// synchronization schedule.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "runtime/config.hpp"
+#include "runtime/sync_observer.hpp"
 
 namespace detlock::interp {
 
-class MemoryAccessObserver {
- public:
-  virtual ~MemoryAccessObserver() = default;
-
-  /// Called for every program load/store.  `held` is the calling thread's
-  /// current lockset (mutex ids, unordered).  Called concurrently from
-  /// multiple threads; implementations synchronize internally.
-  virtual void on_access(runtime::ThreadId thread, std::int64_t addr, bool is_write,
-                         const std::vector<runtime::MutexId>& held) = 0;
-
-  /// Called after a thread returns from a barrier.  Barriers establish
-  /// happens-before between all participants; lockset detectors use this to
-  /// avoid the classic Eraser false positive on barrier-phased programs.
-  virtual void on_barrier(runtime::ThreadId thread) { (void)thread; }
-
-  /// Called after `joiner` joined `child`.  Join orders every access of the
-  /// finished child before the joiner's subsequent accesses (the other
-  /// classic Eraser false-positive source: reading results after join).
-  virtual void on_join(runtime::ThreadId joiner, runtime::ThreadId child) {
-    (void)joiner;
-    (void)child;
-  }
+/// IR source location of a memory access: function id plus the canonical
+/// flat instruction index within the function (blocks concatenated in
+/// block-id order, counting only non-instrumentation instructions --
+/// identical for the reference and decoded engines and across clock
+/// publication modes; instruction fusion never covers loads/stores and
+/// rewrites in place).
+struct AccessSite {
+  std::uint32_t func = 0;
+  std::uint32_t instr = 0;
 };
+
+class SyncObserver : public runtime::SyncObserver {
+ public:
+  /// Called for every program load/store.  `held` is the calling thread's
+  /// current lockset (mutex ids, unordered); `site` the IR location.
+  /// Detectors that need a deterministic per-thread timestamp count their
+  /// own access ordinals (raw instruction counts would be publication-mode-
+  /// dependent because clock instrumentation differs between placements).
+  /// Called concurrently from multiple threads; implementations synchronize
+  /// internally.
+  virtual void on_access(runtime::ThreadId thread, std::int64_t addr, bool is_write,
+                         const std::vector<runtime::MutexId>& held, AccessSite site) = 0;
+};
+
+/// Historical name, kept for existing call sites (EngineConfig::observer,
+/// ExecutionContext::set_observer).
+using MemoryAccessObserver = SyncObserver;
 
 }  // namespace detlock::interp

@@ -1,0 +1,243 @@
+#include "racedetect/hb_detector.hpp"
+
+#include <algorithm>
+
+namespace detlock::racedetect {
+
+using runtime::BarrierId;
+using runtime::CondVarId;
+using runtime::MutexId;
+using runtime::ThreadId;
+
+HbRaceDetector::HbRaceDetector() : focus_mode_(false) {}
+
+HbRaceDetector::HbRaceDetector(const std::vector<std::int64_t>& focus_addrs) : focus_mode_(true) {
+  for (const std::int64_t a : focus_addrs) focus_.emplace(a, FocusAddr{});
+}
+
+HbRaceDetector::ThreadState& HbRaceDetector::thread_state(ThreadId t) {
+  if (t >= threads_.size()) threads_.resize(t + 1);
+  ThreadState& ts = threads_[t];
+  if (!ts.init) {
+    // FastTrack initialization: each thread starts knowing one event of its
+    // own (clock 1), so fresh epochs are never mistaken for "none" (0).
+    ts.vc.set(t, 1);
+    ts.init = true;
+  }
+  return ts;
+}
+
+// ---- synchronization edges -------------------------------------------------
+//
+// Every hook below mutates at most the states named in its comment and
+// bumps `version` whenever a thread's clock changes, maintaining the
+// segment invariant finalize() relies on: within one (thread, version) the
+// vector clock is constant.
+
+void HbRaceDetector::on_thread_start(ThreadId child, ThreadId parent) {
+  const std::lock_guard<std::mutex> g(mu_);
+  // Grow threads_ once up front: thread_state() can reallocate the vector,
+  // so taking two references requires the larger id to be resident first.
+  thread_state(std::max(child, parent));
+  ThreadState& p = thread_state(parent);
+  ThreadState& c = thread_state(child);
+  c.vc.join(p.vc);  // fork edge: child begins knowing everything the parent did
+  ++c.version;
+  p.vc.bump(parent);  // the spawn ends the parent's segment
+  ++p.version;
+}
+
+void HbRaceDetector::on_join(ThreadId joiner, ThreadId child) {
+  const std::lock_guard<std::mutex> g(mu_);
+  thread_state(std::max(joiner, child));  // see on_thread_start
+  // The child's clock is frozen by now (its last event preceded the finish
+  // the joiner observed), so reading it here is exact.
+  ThreadState& j = thread_state(joiner);
+  j.vc.join(thread_state(child).vc);
+  ++j.version;
+}
+
+void HbRaceDetector::on_acquire(ThreadId self, MutexId mutex, std::uint64_t /*clock*/) {
+  const std::lock_guard<std::mutex> g(mu_);
+  ThreadState& ts = thread_state(self);
+  const auto it = locks_.find(mutex);
+  if (it != locks_.end()) ts.vc.join(it->second);
+  ++ts.version;
+}
+
+void HbRaceDetector::on_release(ThreadId self, MutexId mutex, std::uint64_t /*clock*/) {
+  const std::lock_guard<std::mutex> g(mu_);
+  ThreadState& ts = thread_state(self);
+  locks_[mutex] = ts.vc;  // L_m := C_t
+  ts.vc.bump(self);       // the release ends the segment
+  ++ts.version;
+}
+
+void HbRaceDetector::on_barrier_arrive(ThreadId self, BarrierId barrier,
+                                       std::uint64_t generation) {
+  const std::lock_guard<std::mutex> g(mu_);
+  rounds_[{barrier, generation}].vc.join(thread_state(self).vc);
+  ++rounds_[{barrier, generation}].arrivals;
+}
+
+void HbRaceDetector::on_barrier_depart(ThreadId self, BarrierId barrier,
+                                       std::uint64_t generation) {
+  const std::lock_guard<std::mutex> g(mu_);
+  const auto key = std::make_pair(barrier, generation);
+  const auto it = rounds_.find(key);
+  ThreadState& ts = thread_state(self);
+  if (it != rounds_.end()) {
+    ts.vc.join(it->second.vc);  // every arrival happens-before every departure
+    if (++it->second.departs == it->second.arrivals) rounds_.erase(it);
+  }
+  ts.vc.bump(self);
+  ++ts.version;
+}
+
+void HbRaceDetector::on_cond_signal(ThreadId self, CondVarId /*condvar*/, ThreadId target,
+                                    std::uint64_t /*clock*/) {
+  const std::lock_guard<std::mutex> g(mu_);
+  ThreadState& ts = thread_state(self);
+  if (target >= mailbox_.size()) mailbox_.resize(target + 1);
+  mailbox_[target] = ts.vc;  // delivered to exactly this waiter at its wake
+  ts.vc.bump(self);
+  ++ts.version;
+}
+
+void HbRaceDetector::on_cond_wake(ThreadId waiter, CondVarId /*condvar*/) {
+  const std::lock_guard<std::mutex> g(mu_);
+  ThreadState& ts = thread_state(waiter);
+  if (waiter < mailbox_.size()) {
+    ts.vc.join(mailbox_[waiter]);
+    mailbox_[waiter] = VectorClock{};
+  }
+  ++ts.version;
+}
+
+// ---- memory accesses -------------------------------------------------------
+
+void HbRaceDetector::on_access(ThreadId thread, std::int64_t addr, bool is_write,
+                               const std::vector<MutexId>& /*held*/, interp::AccessSite site) {
+  const std::lock_guard<std::mutex> g(mu_);
+  ++accesses_;
+  if (thread >= ordinals_.size()) ordinals_.resize(thread + 1, 0);
+  const std::uint64_t ordinal = ++ordinals_[thread];
+  ThreadState& ts = thread_state(thread);
+
+  if (focus_mode_) {
+    const auto it = focus_.find(addr);
+    if (it == focus_.end()) return;
+    FocusAddr& f = it->second;
+    if (thread >= f.logged_read.size()) {
+      f.logged_read.resize(thread + 1, 0);
+      f.logged_write.resize(thread + 1, 0);
+    }
+    std::uint64_t& logged = is_write ? f.logged_write[thread] : f.logged_read[thread];
+    if (logged == ts.version + 1) return;  // this segment already has its first
+    logged = ts.version + 1;
+    f.entries.push_back(FocusEntry{thread, is_write, site, ordinal, ts.vc.get(thread), ts.vc});
+    return;
+  }
+
+  AddrMeta& m = meta_[addr];
+  if (m.racy) return;  // one race per address; the focus pass refines it
+  const VectorClock& C = ts.vc;
+  if (is_write) {
+    bool race = m.write.some() && !epoch_leq(m.write, C);
+    if (!race) {
+      race = m.read_shared ? !m.read_vc.leq(C) : (m.read.some() && !epoch_leq(m.read, C));
+    }
+    if (race) {
+      m.racy = true;
+      racy_.insert(addr);
+      return;
+    }
+    m.write = Epoch{thread, C.get(thread)};
+    // All prior reads are ordered before this write; later conflicts with
+    // them are covered transitively through the write epoch.
+    m.read = Epoch{};
+    m.read_vc = VectorClock{};
+    m.read_shared = false;
+  } else {
+    if (m.write.some() && !epoch_leq(m.write, C)) {
+      m.racy = true;
+      racy_.insert(addr);
+      return;
+    }
+    const Epoch mine{thread, C.get(thread)};
+    if (m.read_shared) {
+      m.read_vc.set(thread, mine.clock);
+    } else if (!m.read.some() || m.read.tid == thread || epoch_leq(m.read, C)) {
+      m.read = mine;  // still totally ordered: stay in the epoch fast path
+    } else {
+      // Two concurrent reads: promote to a full read vector clock.
+      m.read_vc = VectorClock{};
+      m.read_vc.set(m.read.tid, m.read.clock);
+      m.read_vc.set(thread, mine.clock);
+      m.read = Epoch{};
+      m.read_shared = true;
+    }
+  }
+}
+
+// ---- results ---------------------------------------------------------------
+
+bool HbRaceDetector::race_detected() const {
+  const std::lock_guard<std::mutex> g(mu_);
+  return !racy_.empty();
+}
+
+std::vector<std::int64_t> HbRaceDetector::racy_addresses() const {
+  const std::lock_guard<std::mutex> g(mu_);
+  return {racy_.begin(), racy_.end()};
+}
+
+std::uint64_t HbRaceDetector::accesses_observed() const {
+  const std::lock_guard<std::mutex> g(mu_);
+  return accesses_;
+}
+
+std::vector<Race> HbRaceDetector::finalize(const ir::Module* module) const {
+  const std::lock_guard<std::mutex> g(mu_);
+  std::vector<Race> out;
+  for (const auto& [addr, f] : focus_) {
+    std::vector<FocusEntry> entries = f.entries;
+    std::sort(entries.begin(), entries.end(), [](const FocusEntry& a, const FocusEntry& b) {
+      if (a.thread != b.thread) return a.thread < b.thread;
+      if (a.ordinal != b.ordinal) return a.ordinal < b.ordinal;
+      return a.is_write < b.is_write;
+    });
+    const auto happens_before = [](const FocusEntry& a, const FocusEntry& b) {
+      return a.thread_clock <= b.vc.get(a.thread);
+    };
+    bool found = false;
+    for (std::size_t i = 0; i < entries.size() && !found; ++i) {
+      for (std::size_t j = i + 1; j < entries.size() && !found; ++j) {
+        const FocusEntry& a = entries[i];
+        const FocusEntry& b = entries[j];
+        if (a.thread == b.thread) continue;
+        if (!a.is_write && !b.is_write) continue;
+        if (happens_before(a, b) || happens_before(b, a)) continue;
+        Race r;
+        r.addr = addr;
+        r.detector = "hb";
+        const auto fill = [&](Access& acc, const FocusEntry& e) {
+          acc.thread = e.thread;
+          acc.is_write = e.is_write;
+          acc.function = function_name(module, e.site.func);
+          acc.instr_index = e.site.instr;
+          acc.ordinal = e.ordinal;
+          acc.thread_clock = e.thread_clock;
+          acc.vc = e.vc.components();
+        };
+        fill(r.first, a);
+        fill(r.second, b);
+        out.push_back(std::move(r));
+        found = true;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace detlock::racedetect

@@ -1,0 +1,149 @@
+// FastTrack-style happens-before race detector with exactly-reproducible
+// reports (ROADMAP open item 4).
+//
+// Precision: pure happens-before -- mutex release->acquire, barrier
+// rounds, condvar signal->wake, thread create/finish/join all create
+// edges, so the fork/join and signal/wait idioms that are Eraser-lockset
+// false positives are correctly race-free here, and unsynchronized
+// publication that lockset's state machine misses (write-then-read with no
+// later write stays in Eraser's Shared state) is correctly reported.
+//
+// Representation (FastTrack): one vector clock per thread and per lock;
+// per address, the last write as an epoch (thread@clock) and reads as an
+// epoch until two concurrent reads force promotion to a full read vector
+// clock.
+//
+// Exact reproducibility -- the two-pass design
+// --------------------------------------------
+// DetLock's weak determinism covers race-free programs only: for a racy
+// address, WHICH two accesses a single online FastTrack pass happens to
+// flag depends on the physical interleaving.  What IS deterministic is the
+// happens-before partial order itself (the sync schedule is deterministic,
+// and each thread's access sequence is deterministic whenever racy values
+// do not steer control flow -- the same caveat any replay system carries),
+// and FastTrack detects at least one race per racy address in ANY
+// linearization.  Therefore:
+//
+//   Pass 1 (detect): online FastTrack.  Output: the SET of racy addresses
+//     -- a property of the deterministic partial order, hence stable.
+//   Pass 2 (focus): deterministic re-run observing only the racy
+//     addresses.  Per (address, thread, vector-clock segment) it logs the
+//     first read and first write -- each log entry is a function of one
+//     thread's own deterministic execution plus the deterministic sync
+//     schedule, so the log is interleaving-independent.
+//   finalize(): offline, picks the lexicographically minimal concurrent
+//     conflicting pair per address (endpoints ordered by (thread,
+//     ordinal)).  Minimality over first-of-segment entries equals
+//     minimality over all accesses: an earlier same-segment access has the
+//     same vector clock, so it is concurrent with exactly the same events.
+//
+// The result: byte-identical reports across engines, repeated runs, chaos
+// perturbations, and clock publication modes.  Report content never uses
+// backend clocks or raw instruction counts (both publication-mode-
+// dependent); timestamps are the detector's own vector clocks and
+// per-thread access ordinals.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "interp/observer.hpp"
+#include "racedetect/report.hpp"
+#include "racedetect/vector_clock.hpp"
+
+namespace detlock::racedetect {
+
+class HbRaceDetector final : public interp::SyncObserver {
+ public:
+  /// Detect mode: FastTrack over every address; result = racy_addresses().
+  HbRaceDetector();
+  /// Focus mode: segment-log only the given addresses (pass 2); result =
+  /// finalize().
+  explicit HbRaceDetector(const std::vector<std::int64_t>& focus_addrs);
+
+  // Engine hook.  The default argument keeps direct unit-test calls terse.
+  void on_access(runtime::ThreadId thread, std::int64_t addr, bool is_write,
+                 const std::vector<runtime::MutexId>& held,
+                 interp::AccessSite site = {}) override;
+
+  // Backend hooks.
+  void on_thread_start(runtime::ThreadId child, runtime::ThreadId parent) override;
+  void on_join(runtime::ThreadId joiner, runtime::ThreadId child) override;
+  void on_acquire(runtime::ThreadId self, runtime::MutexId mutex, std::uint64_t clock) override;
+  void on_release(runtime::ThreadId self, runtime::MutexId mutex, std::uint64_t clock) override;
+  void on_barrier_arrive(runtime::ThreadId self, runtime::BarrierId barrier,
+                         std::uint64_t generation) override;
+  void on_barrier_depart(runtime::ThreadId self, runtime::BarrierId barrier,
+                         std::uint64_t generation) override;
+  void on_cond_signal(runtime::ThreadId self, runtime::CondVarId condvar,
+                      runtime::ThreadId target, std::uint64_t clock) override;
+  void on_cond_wake(runtime::ThreadId waiter, runtime::CondVarId condvar) override;
+
+  /// Detect mode: true iff any address had concurrent conflicting accesses.
+  bool race_detected() const;
+  /// Detect mode: the deterministic racy-address set, sorted.
+  std::vector<std::int64_t> racy_addresses() const;
+  std::uint64_t accesses_observed() const;
+
+  /// Focus mode: the canonical minimal racing pair per focus address (in
+  /// address order; an address with no concurrent pair in this execution
+  /// is skipped).  `module` resolves function names; null prints "@#id".
+  std::vector<Race> finalize(const ir::Module* module) const;
+
+ private:
+  struct ThreadState {
+    VectorClock vc;
+    /// Segment id: bumped on every vector-clock mutation, so within one
+    /// (thread, version) the clock is constant.
+    std::uint64_t version = 0;
+    bool init = false;
+  };
+  struct AddrMeta {  // detect mode, per address
+    Epoch write;
+    Epoch read;           // valid while !read_shared
+    VectorClock read_vc;  // valid while read_shared
+    bool read_shared = false;
+    bool racy = false;
+  };
+  struct FocusEntry {
+    runtime::ThreadId thread;
+    bool is_write;
+    interp::AccessSite site;
+    std::uint64_t ordinal;  // detector-counted per-thread access number
+    std::uint64_t thread_clock;
+    VectorClock vc;
+  };
+  struct FocusAddr {
+    /// Per-thread version+1 of the last logged read/write (0 = none).
+    std::vector<std::uint64_t> logged_read, logged_write;
+    std::vector<FocusEntry> entries;
+  };
+  struct Round {
+    VectorClock vc;
+    std::uint32_t arrivals = 0;
+    std::uint32_t departs = 0;
+  };
+
+  ThreadState& thread_state(runtime::ThreadId t);
+
+  mutable std::mutex mu_;
+  const bool focus_mode_;
+  std::vector<ThreadState> threads_;
+  std::unordered_map<runtime::MutexId, VectorClock> locks_;
+  std::map<std::pair<runtime::BarrierId, std::uint64_t>, Round> rounds_;
+  /// Per-waiter signal mailbox (a thread waits on one condvar at a time,
+  /// and only re-queues after its wake hook ran -- see det_backend.cpp).
+  std::vector<VectorClock> mailbox_;
+  std::unordered_map<std::int64_t, AddrMeta> meta_;  // detect mode
+  std::map<std::int64_t, FocusAddr> focus_;          // focus mode (sorted)
+  std::set<std::int64_t> racy_;
+  /// Per-thread count of accesses seen so far (report timestamps).
+  std::vector<std::uint64_t> ordinals_;
+  std::uint64_t accesses_ = 0;
+};
+
+}  // namespace detlock::racedetect

@@ -17,10 +17,32 @@ std::vector<runtime::MutexId> LocksetRaceDetector::intersect(const std::vector<r
 }
 
 void LocksetRaceDetector::on_access(runtime::ThreadId thread, std::int64_t addr, bool is_write,
-                                    const std::vector<runtime::MutexId>& held) {
+                                    const std::vector<runtime::MutexId>& held,
+                                    interp::AccessSite site) {
   const std::lock_guard<std::mutex> guard(mu_);
   ++accesses_;
   AddrState& st = addrs_[addr];
+  Access current;
+  current.thread = thread;
+  current.is_write = is_write;
+  current.function = function_name(module_, site.func);
+  current.instr_index = site.instr;
+  current.ordinal = ++ordinals_[thread];
+  // Update the access history on exit no matter which transition ran below
+  // (but not after a report: `last` then stays as the racing pair).
+  struct LastUpdater {
+    AddrState& st;
+    Access& current;
+    ~LastUpdater() {
+      if (st.state == State::kRacy) return;
+      if (st.has_last && st.last.thread != current.thread) {
+        st.prev_other = st.last;
+        st.has_prev_other = true;
+      }
+      st.last = std::move(current);
+      st.has_last = true;
+    }
+  } update{st, current};
   switch (st.state) {
     case State::kVirgin:
       st.state = State::kExclusive;
@@ -49,8 +71,22 @@ void LocksetRaceDetector::on_access(runtime::ThreadId thread, std::int64_t addr,
   }
   if (st.state == State::kSharedModified && st.candidate_locks.empty()) {
     st.state = State::kRacy;
-    races_.push_back(RaceReport{addr, thread, is_write});
+    Race r;
+    r.addr = addr;
+    r.detector = "lockset";
+    // Pair the trigger with the latest access from another thread (one
+    // exists: Shared* states require a second thread).
+    r.first = (st.has_last && st.last.thread != current.thread) ? st.last : st.prev_other;
+    r.second = current;
+    races_.push_back(std::move(r));
   }
+}
+
+void LocksetRaceDetector::on_barrier_depart(runtime::ThreadId self, runtime::BarrierId /*barrier*/,
+                                            std::uint64_t /*generation*/) {
+  // The backend fires one departure per thread per round; the per-thread
+  // round counter below turns that into one reset per round.
+  on_barrier(self);
 }
 
 void LocksetRaceDetector::on_barrier(runtime::ThreadId thread) {
@@ -91,7 +127,7 @@ void LocksetRaceDetector::on_join(runtime::ThreadId /*joiner*/, runtime::ThreadI
   }
 }
 
-std::vector<RaceReport> LocksetRaceDetector::races() const {
+std::vector<Race> LocksetRaceDetector::races() const {
   const std::lock_guard<std::mutex> guard(mu_);
   return races_;
 }

@@ -30,25 +30,40 @@
 #include <vector>
 
 #include "interp/observer.hpp"
+#include "racedetect/report.hpp"
+
+namespace detlock::ir {
+class Module;
+}
 
 namespace detlock::racedetect {
 
-struct RaceReport {
-  std::int64_t addr = 0;
-  runtime::ThreadId thread = 0;  // thread whose access emptied the lockset
-  bool is_write = false;
-};
-
 class LocksetRaceDetector final : public interp::MemoryAccessObserver {
  public:
-  void on_access(runtime::ThreadId thread, std::int64_t addr, bool is_write,
-                 const std::vector<runtime::MutexId>& held) override;
+  /// `module` resolves report function names; null prints "@#id" (unit
+  /// tests drive the hooks directly and do not need names).
+  explicit LocksetRaceDetector(const ir::Module* module = nullptr) : module_(module) {}
 
-  void on_barrier(runtime::ThreadId thread) override;
+  // The default argument keeps direct unit-test calls terse.
+  void on_access(runtime::ThreadId thread, std::int64_t addr, bool is_write,
+                 const std::vector<runtime::MutexId>& held,
+                 interp::AccessSite site = {}) override;
+
+  /// Legacy per-round entry point (also unit-test surface); the backend
+  /// hook below forwards here once per thread per round.
+  void on_barrier(runtime::ThreadId thread);
+  void on_barrier_depart(runtime::ThreadId self, runtime::BarrierId barrier,
+                         std::uint64_t generation) override;
   void on_join(runtime::ThreadId joiner, runtime::ThreadId child) override;
 
-  /// One report per racy address (first detection wins).
-  std::vector<RaceReport> races() const;
+  /// One report per racy address (first detection wins), in shared
+  /// racedetect::Race form: `second` is the access that emptied the
+  /// lockset, `first` the most recent access by a different thread.  Unlike
+  /// the HB detector's, these pairs are interleaving-dependent even under
+  /// deterministic execution (the state machine observes one linearization
+  /// of racy accesses) -- which is exactly why the HB detector owns the
+  /// reproducibility guarantee and lockset is the differential cross-check.
+  std::vector<Race> races() const;
   bool race_detected() const;
   std::uint64_t accesses_observed() const;
 
@@ -60,15 +75,23 @@ class LocksetRaceDetector final : public interp::MemoryAccessObserver {
     runtime::ThreadId owner = 0;
     std::vector<runtime::MutexId> owner_locks;      // lockset of the owner's last exclusive access
     std::vector<runtime::MutexId> candidate_locks;  // sorted
+    Access last;        // most recent access
+    Access prev_other;  // most recent access by a thread other than last's
+    bool has_last = false;
+    bool has_prev_other = false;
   };
 
   static std::vector<runtime::MutexId> sorted(std::vector<runtime::MutexId> locks);
   static std::vector<runtime::MutexId> intersect(const std::vector<runtime::MutexId>& a,
                                                  const std::vector<runtime::MutexId>& b);
 
+  const ir::Module* module_ = nullptr;
   mutable std::mutex mu_;
   std::unordered_map<std::int64_t, AddrState> addrs_;
-  std::vector<RaceReport> races_;
+  std::vector<Race> races_;
+  /// Per-thread count of accesses seen so far (report timestamps, matching
+  /// the HB detector's ordinals).
+  std::unordered_map<runtime::ThreadId, std::uint64_t> ordinals_;
   std::uint64_t accesses_ = 0;
   std::unordered_map<runtime::ThreadId, std::uint64_t> barrier_rounds_;
   std::uint64_t barrier_epoch_ = 0;

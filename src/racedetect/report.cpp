@@ -1,0 +1,95 @@
+#include "racedetect/report.hpp"
+
+#include <sstream>
+
+#include "ir/module.hpp"
+
+namespace detlock::racedetect {
+
+std::string function_name(const ir::Module* module, std::uint32_t func_id) {
+  if (module != nullptr && func_id < module->functions().size()) {
+    return "@" + module->function(func_id).name();
+  }
+  return "@#" + std::to_string(func_id);
+}
+
+std::string to_text(const Access& a) {
+  std::ostringstream os;
+  os << (a.is_write ? "write " : "read  ") << a.function << '+' << a.instr_index << " thread "
+     << a.thread << " access " << a.ordinal;
+  if (!a.vc.empty()) {
+    os << " clock " << a.thread_clock << " vc [";
+    for (std::size_t i = 0; i < a.vc.size(); ++i) {
+      if (i != 0) os << ',';
+      os << a.vc[i];
+    }
+    os << ']';
+  }
+  return os.str();
+}
+
+std::string to_text(const Race& r) {
+  std::ostringstream os;
+  os << "race [" << r.detector << "] addr " << r.addr << '\n';
+  os << "  first:  " << to_text(r.first) << '\n';
+  os << "  second: " << to_text(r.second) << '\n';
+  os << "  static-lint: " << (r.static_hit ? "flagged" : "silent") << '\n';
+  return os.str();
+}
+
+std::string serialize_races(const std::vector<Race>& races) {
+  std::string out;
+  for (const Race& r : races) out += to_text(r);
+  return out;
+}
+
+std::string to_text(const RunRecipe& r) {
+  std::ostringstream os;
+  os << "reproduce: mode=" << r.mode << " engine=" << r.engine << " publication=" << r.publication
+     << " chaos-seed=" << r.chaos_seed;
+  if (!r.entry.empty()) os << " entry=@" << r.entry;
+  if (!r.program.empty()) os << " program=" << r.program;
+  return os.str();
+}
+
+void write_access(JsonWriter& w, const Access& a) {
+  w.begin_object();
+  w.field("kind", a.is_write ? "write" : "read");
+  w.field("function", a.function);
+  w.field("instr_index", static_cast<std::uint64_t>(a.instr_index));
+  w.field("thread", static_cast<std::uint64_t>(a.thread));
+  w.field("access_ordinal", a.ordinal);
+  if (!a.vc.empty()) {
+    w.field("thread_clock", a.thread_clock);
+    w.key("vector_clock");
+    w.begin_array();
+    for (const std::uint64_t c : a.vc) w.value(c);
+    w.end();
+  }
+  w.end();
+}
+
+void write_race(JsonWriter& w, const Race& r) {
+  w.begin_object();
+  w.field("addr", r.addr);
+  w.field("detector", r.detector);
+  w.key("first");
+  write_access(w, r.first);
+  w.key("second");
+  write_access(w, r.second);
+  w.field("static_lint_hit", r.static_hit);
+  w.end();
+}
+
+void write_recipe(JsonWriter& w, const RunRecipe& r) {
+  w.begin_object();
+  if (!r.program.empty()) w.field("program", r.program);
+  w.field("mode", r.mode);
+  w.field("engine", r.engine);
+  w.field("publication", r.publication);
+  w.field("chaos_seed", r.chaos_seed);
+  if (!r.entry.empty()) w.field("entry", r.entry);
+  w.end();
+}
+
+}  // namespace detlock::racedetect

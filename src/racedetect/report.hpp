@@ -1,0 +1,90 @@
+// Shared race-report types: both detectors (Eraser lockset, FastTrack HB)
+// describe findings with the same Access/Race structures and print /
+// serialize them identically.
+//
+// Canonical-form contract: serialize_races() is the byte-comparison target
+// of the reproducibility tests.  For the HB detector its output is
+// byte-identical across engines, repeated runs, and clock publication
+// modes, because every field is a deterministic function of the program's
+// happens-before order: IR source locations, per-thread executed-
+// instruction counts, and the detector's own vector clocks (counts of sync
+// events per thread).  Backend logical clocks never appear here -- they
+// differ between publication modes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/config.hpp"
+#include "support/json.hpp"
+
+namespace detlock::ir {
+class Module;
+}
+
+namespace detlock::racedetect {
+
+/// One endpoint of a race: what executed, where, and when (in deterministic
+/// logical time).
+struct Access {
+  runtime::ThreadId thread = 0;
+  bool is_write = false;
+  /// IR source location: "@function" plus the flat instruction index within
+  /// it (blocks concatenated in block-id order; engine-independent).
+  std::string function;
+  std::uint32_t instr_index = 0;
+  /// 1-based position of this access in its thread's sequence of shared-
+  /// memory accesses.  Counted by the detector itself, so it is independent
+  /// of engine, clock placement, and publication mode (raw instruction
+  /// counts are not: clock instrumentation differs between placements).
+  std::uint64_t ordinal = 0;
+  /// HB detector only: the thread's own vector-clock component (its count
+  /// of segment-ending sync events) at the access; 0 for lockset.
+  std::uint64_t thread_clock = 0;
+  /// HB detector only: full vector-clock snapshot at the access -- the
+  /// logical-clock schedule that reproduces the race.  Empty for lockset.
+  std::vector<std::uint64_t> vc;
+};
+
+struct Race {
+  std::int64_t addr = 0;
+  std::string detector;  // "hb" or "lockset"
+  Access first;          // canonical order: smaller (thread, ordinal)
+  Access second;
+  /// A static --lint "lockset-race" diagnostic anchors in the function of
+  /// one of the endpoints (the static-vs-dynamic cross-check).
+  bool static_hit = false;
+};
+
+/// Everything needed to reproduce the run that produced a report.  Kept
+/// OUT of serialize_races(): the findings are engine-independent, the
+/// recipe names the run they came from.
+struct RunRecipe {
+  std::string program;      // input file / module name (may be empty)
+  std::string mode;         // detlock / kendo-sim / baseline / clocks-only
+  std::string engine;       // decoded / reference
+  std::string publication;  // every-update / chunked
+  std::uint64_t chaos_seed = 0;  // 0 = chaos off
+  std::string entry;        // entry function
+};
+
+/// "write @worker+4 thread 1 access 23 clock 2 vc [3,2]".
+std::string to_text(const Access& a);
+/// One canonical multi-line block per race.
+std::string to_text(const Race& r);
+/// The canonical report body: one to_text(Race) block per race, in input
+/// order.  Empty input yields "".
+std::string serialize_races(const std::vector<Race>& races);
+std::string to_text(const RunRecipe& r);
+
+/// JSON mirrors of the above (object values; callers manage keys/arrays).
+void write_access(JsonWriter& w, const Access& a);
+void write_race(JsonWriter& w, const Race& r);
+void write_recipe(JsonWriter& w, const RunRecipe& r);
+
+/// "@name" for a function id, via the module when available, "@#<id>"
+/// otherwise (unit tests without a module).
+std::string function_name(const ir::Module* module, std::uint32_t func_id);
+
+}  // namespace detlock::racedetect

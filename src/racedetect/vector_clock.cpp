@@ -1,0 +1,24 @@
+#include "racedetect/vector_clock.hpp"
+
+#include <algorithm>
+
+namespace detlock::racedetect {
+
+void VectorClock::set(runtime::ThreadId t, std::uint64_t v) {
+  if (t >= c_.size()) c_.resize(t + 1, 0);
+  c_[t] = v;
+}
+
+void VectorClock::join(const VectorClock& other) {
+  if (other.c_.size() > c_.size()) c_.resize(other.c_.size(), 0);
+  for (std::size_t i = 0; i < other.c_.size(); ++i) c_[i] = std::max(c_[i], other.c_[i]);
+}
+
+bool VectorClock::leq(const VectorClock& other) const {
+  for (std::size_t i = 0; i < c_.size(); ++i) {
+    if (c_[i] > other.get(static_cast<runtime::ThreadId>(i))) return false;
+  }
+  return true;
+}
+
+}  // namespace detlock::racedetect

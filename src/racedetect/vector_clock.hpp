@@ -1,0 +1,50 @@
+// Vector clocks and epochs for the happens-before race detector
+// (FastTrack's representation: full clocks per thread and per lock, an
+// epoch -- one (thread, clock) pair -- per last write and, in the common
+// case, per last read).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/config.hpp"
+
+namespace detlock::racedetect {
+
+/// Grow-on-demand vector clock over thread ids.  Components default to 0;
+/// reading past the stored size is 0, writing grows the vector.
+class VectorClock {
+ public:
+  std::uint64_t get(runtime::ThreadId t) const {
+    return t < c_.size() ? c_[t] : 0;
+  }
+  void set(runtime::ThreadId t, std::uint64_t v);
+  void bump(runtime::ThreadId t) { set(t, get(t) + 1); }
+  /// Componentwise max (this := this ⊔ other).
+  void join(const VectorClock& other);
+  /// Componentwise <=: "every event this clock knows, other knows too".
+  bool leq(const VectorClock& other) const;
+  std::size_t size() const { return c_.size(); }
+  const std::vector<std::uint64_t>& components() const { return c_; }
+
+ private:
+  std::vector<std::uint64_t> c_;
+};
+
+/// One (thread, clock) pair: FastTrack's compressed "last access" when all
+/// previous accesses of a kind are totally ordered.  clock == 0 means
+/// "none yet" (thread clocks start at 1).
+struct Epoch {
+  runtime::ThreadId tid = 0;
+  std::uint64_t clock = 0;
+
+  bool some() const { return clock != 0; }
+};
+
+/// e happens-before (or equals) the point described by vc:
+/// the vc's owner has seen e.tid's clock reach at least e.clock.
+inline bool epoch_leq(const Epoch& e, const VectorClock& vc) {
+  return e.clock <= vc.get(e.tid);
+}
+
+}  // namespace detlock::racedetect

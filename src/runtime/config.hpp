@@ -27,6 +27,7 @@ enum class ClockPublication {
 class ScheduleValidator;
 class Profiler;
 class FaultInjector;
+class SyncObserver;
 
 struct RuntimeConfig {
   std::uint32_t max_threads = 64;
@@ -72,6 +73,11 @@ struct RuntimeConfig {
   /// every sync-op boundary; null = no injection (zero cost, same
   /// null-pointer-test discipline as `profiler`).  Not owned.
   FaultInjector* fault = nullptr;
+  /// Synchronization-event observer (runtime/sync_observer.hpp) the
+  /// backends notify at every happens-before edge endpoint; null = off
+  /// (zero cost, same null-pointer-test discipline as `profiler`).  Not
+  /// owned.  The engine wires this from EngineConfig::observer.
+  SyncObserver* sync_observer = nullptr;
   /// Progress counter for the stall watchdog (runtime/watchdog.hpp):
   /// backends bump it whenever a synchronization operation *completes*.
   /// Null = no watchdog = zero cost.  Deliberately not the logical clock:

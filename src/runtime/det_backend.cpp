@@ -5,6 +5,7 @@
 #include "runtime/faultinject.hpp"
 #include "runtime/profile.hpp"
 #include "runtime/schedule.hpp"
+#include "runtime/sync_observer.hpp"
 
 #include "support/spinwait.hpp"
 
@@ -64,6 +65,7 @@ DetBackend::DetBackend(RuntimeConfig config)
       prof_(config.profiler),
       fault_(config.fault),
       progress_(config.progress),
+      obs_(config.sync_observer),
       wait_state_(config.max_threads),
       thread_stats_(config.max_threads),
       cond_signal_(config.max_threads) {
@@ -102,10 +104,16 @@ ThreadId DetBackend::register_spawn(ThreadId parent) {
   // the parent's deterministic execution, so thread identity is stable
   // across runs.
   clocks_.activate(id, clocks_.local(parent) + 1);
+  // Fork edge: fired on the parent before the child's OS thread exists, so
+  // the child's first hook strictly follows this one.
+  if (obs_ != nullptr) obs_->on_thread_start(id, parent);
   return id;
 }
 
 void DetBackend::thread_finish(ThreadId self) {
+  // Before clocks_.finish: a joiner can only observe kFinished after this
+  // hook returned, preserving the finish -> join hook order.
+  if (obs_ != nullptr) obs_->on_thread_finish(self);
   clocks_.finish(self);
   note_progress(self);  // a finish is progress for any joiner
 }
@@ -142,6 +150,7 @@ void DetBackend::join(ThreadId self, ThreadId target) {
     ++climbs;
   }
   if (prof_ != nullptr) prof_->add_wait(self, WaitCategory::kJoinWait, prof_t0, prof_->now(), climbs);
+  if (obs_ != nullptr) obs_->on_join(self, target);
   clocks_.add(self, 1);
   note_progress(self);
 }
@@ -236,6 +245,9 @@ void DetBackend::lock(ThreadId self, MutexId mutex) {
   // A death here is mid-critical-section: the mutex is held and will never
   // be unlocked, so every later waiter depends on the abort path.
   if (fault_ != nullptr) fault_->on_sync(self, SyncPoint::kLockAcquired);
+  // Acquire hook after the CAS won: the previous holder's release hook ran
+  // before its packed store, which this CAS observed.
+  if (obs_ != nullptr) obs_->on_acquire(self, mutex, clocks_.local(self));
   if (prof_ != nullptr) {
     const std::uint64_t prof_t1 = prof_->now();
     const bool contended = failed_attempts > 0;
@@ -266,6 +278,9 @@ void DetBackend::unlock(ThreadId self, MutexId mutex) {
   DETLOCK_CHECK((snapshot & MutexState::kHeldBit) != 0 &&
                     m.holder.load(std::memory_order_relaxed) == self,
                 "unlock of mutex " + std::to_string(mutex) + " not held by caller");
+  // Release hook before the packed store: no later acquirer can win the
+  // mutex (and fire its acquire hook) until that store lands.
+  if (obs_ != nullptr) obs_->on_release(self, mutex, clocks_.local(self));
   // Unlock needs no turn: the logical release time recorded here, not the
   // physical release moment, decides every later acquire.
   m.holder.store(MutexState::kNoHolder, std::memory_order_relaxed);
@@ -291,6 +306,11 @@ void DetBackend::barrier_wait(ThreadId self, BarrierId barrier, std::uint32_t pa
   while (seen < my_clock && !b.max_clock.compare_exchange_weak(seen, my_clock, std::memory_order_relaxed)) {
   }
   const std::uint64_t generation = b.generation.load(std::memory_order_acquire);
+  // Arrive hook before the arrived increment: the releaser only sees the
+  // full count after every participant's increment, so all round-G arrive
+  // hooks return before any round-G depart hook runs.  Keyed by generation
+  // so a fast re-arriver lands in the next round's bucket.
+  if (obs_ != nullptr) obs_->on_barrier_arrive(self, barrier, generation);
   // Register in the round's arrival list *before* the arrived increment the
   // releaser synchronizes on.
   const std::uint32_t slot = b.arrival_index.fetch_add(1, std::memory_order_relaxed);
@@ -347,6 +367,7 @@ void DetBackend::barrier_wait(ThreadId self, BarrierId barrier, std::uint32_t pa
   if (prof_ != nullptr) {
     prof_->add_wait(self, WaitCategory::kBarrierWait, prof_t0, prof_->now(), park_spins);
   }
+  if (obs_ != nullptr) obs_->on_barrier_depart(self, barrier, generation);
   // Every participant resumes at the same deterministic clock; thread ids
   // break the resulting ties in the turn protocol.
   clocks_.set_clock(self, b.release_clock.load(std::memory_order_relaxed));
@@ -424,6 +445,10 @@ void DetBackend::cond_wait(ThreadId self, CondVarId condvar, MutexId mutex) {
 
   note_wait(self, WaitReason::kCondVar, condvar);
   await_signal(self);
+  // Wake hook after the signal was observed (the signaler's hook ran before
+  // its mailbox store) and before the guard-mutex reacquire below fires its
+  // own acquire hook.
+  if (obs_ != nullptr) obs_->on_cond_wake(self, condvar);
   cond_signal_[self].value.store(0, std::memory_order_relaxed);
   clocks_.add(self, 1);
   lock(self, mutex);
@@ -445,6 +470,10 @@ void DetBackend::cond_signal(ThreadId self, CondVarId condvar) {
   const std::uint64_t stamp = clocks_.local(self);
   const ThreadId target = cv.queue.front();
   cv.queue.erase(cv.queue.begin());
+  // Signal hook before the mailbox store: the waiter cannot observe its
+  // wakeup (and fire on_cond_wake) until the store lands.  The waiter only
+  // re-queues after waking, so one mailbox per waiter never overlaps.
+  if (obs_ != nullptr) obs_->on_cond_signal(self, condvar, target, stamp);
   cond_signal_[target].value.store(stamp + 1, std::memory_order_release);
   clocks_.add(self, 1);
   note_progress(self);
@@ -462,6 +491,7 @@ void DetBackend::cond_broadcast(ThreadId self, CondVarId condvar) {
   clocks_.flush(self);
   const std::uint64_t stamp = clocks_.local(self);
   for (const ThreadId target : cv.queue) {
+    if (obs_ != nullptr) obs_->on_cond_signal(self, condvar, target, stamp);
     cond_signal_[target].value.store(stamp + 1, std::memory_order_release);
   }
   cv.queue.clear();

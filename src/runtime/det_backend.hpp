@@ -114,6 +114,9 @@ class DetBackend final : public SyncBackend {
   /// Watchdog progress counter; null = watchdog off (and wait_state_ is
   /// never written).  Not owned.
   std::atomic<std::uint64_t>* progress_ = nullptr;
+  /// Synchronization-event observer (runtime/sync_observer.hpp); null = off,
+  /// same null-test discipline.  Not owned.
+  SyncObserver* obs_ = nullptr;
   /// Per-thread packed wait state: (WaitReason << 56) | target.
   std::vector<Padded<std::atomic<std::uint64_t>>> wait_state_;
   std::vector<std::unique_ptr<MutexState>> mutexes_;

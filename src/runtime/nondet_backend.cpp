@@ -4,6 +4,7 @@
 
 #include "runtime/faultinject.hpp"
 #include "runtime/profile.hpp"
+#include "runtime/sync_observer.hpp"
 #include "support/error.hpp"
 #include "support/spinwait.hpp"
 
@@ -31,6 +32,7 @@ NondetBackend::NondetBackend(RuntimeConfig config)
       prof_(config.profiler),
       fault_(config.fault),
       progress_(config.progress),
+      obs_(config.sync_observer),
       wait_state_(config.max_threads),
       holders_(kMaxMutexes),
       slots_(config.max_threads) {
@@ -51,13 +53,16 @@ ThreadId NondetBackend::register_main_thread() {
   return id;
 }
 
-ThreadId NondetBackend::register_spawn(ThreadId /*parent*/) {
+ThreadId NondetBackend::register_spawn(ThreadId parent) {
   const ThreadId id = next_thread_id_.fetch_add(1, std::memory_order_relaxed);
   DETLOCK_CHECK(id < config_.max_threads, "too many threads");
+  if (obs_ != nullptr) obs_->on_thread_start(id, parent);
   return id;
 }
 
 void NondetBackend::thread_finish(ThreadId self) {
+  // Before the finished store: a joiner observes it only afterwards.
+  if (obs_ != nullptr) obs_->on_thread_finish(self);
   slots_[self].value.finished.store(true, std::memory_order_release);
   note_progress(self);
 }
@@ -78,6 +83,7 @@ void NondetBackend::join(ThreadId self, ThreadId target) {
   // abort, in which case this thread must unwind too, not keep running.
   check_abort();
   if (prof_ != nullptr) prof_->add_wait(self, WaitCategory::kJoinWait, prof_t0, prof_->now(), spins);
+  if (obs_ != nullptr) obs_->on_join(self, target);
   note_progress(self);
 }
 
@@ -120,6 +126,9 @@ void NondetBackend::lock(ThreadId self, MutexId mutex) {
   // A death here is mid-critical-section: the mutex stays locked forever,
   // and the try_lock loop above is what keeps the survivors abortable.
   if (fault_ != nullptr) fault_->on_sync(self, SyncPoint::kLockAcquired);
+  // After try_lock succeeded: the previous holder's release hook ran before
+  // its unlock, which this acquisition observed.
+  if (obs_ != nullptr) obs_->on_acquire(self, mutex, slots_[self].value.clock);
   if (progress_ != nullptr) holders_[mutex].value.store(self, std::memory_order_relaxed);
   ++slots_[self].value.acquires;
   if (config_.record_trace) trace_.record_acquire(self, mutex, slots_[self].value.clock);
@@ -129,6 +138,8 @@ void NondetBackend::lock(ThreadId self, MutexId mutex) {
 void NondetBackend::unlock(ThreadId self, MutexId mutex) {
   DETLOCK_CHECK(mutex < mutexes_.size(), "mutex id out of range");
   if (fault_ != nullptr) fault_->on_sync(self, SyncPoint::kUnlock);
+  // Release hook before the unlock that makes the edge observable.
+  if (obs_ != nullptr) obs_->on_release(self, mutex, slots_[self].value.clock);
   if (progress_ != nullptr) holders_[mutex].value.store(kNoHolder, std::memory_order_relaxed);
   mutexes_[mutex]->unlock();
   note_progress(self);
@@ -145,6 +156,9 @@ void NondetBackend::barrier_wait(ThreadId self, BarrierId barrier, std::uint32_t
   const std::uint64_t prof_t0 = prof_ != nullptr ? prof_->now() : 0;
   std::uint64_t spins = 0;
   const std::uint64_t generation = b.generation.load(std::memory_order_acquire);
+  // Arrive before the increment, depart after the round opens (see
+  // DetBackend::barrier_wait for the ordering argument).
+  if (obs_ != nullptr) obs_->on_barrier_arrive(self, barrier, generation);
   if (b.arrived.fetch_add(1, std::memory_order_acq_rel) + 1 == participants) {
     b.arrived.store(0, std::memory_order_relaxed);
     b.generation.store(generation + 1, std::memory_order_release);
@@ -159,6 +173,7 @@ void NondetBackend::barrier_wait(ThreadId self, BarrierId barrier, std::uint32_t
     check_abort();
   }
   if (prof_ != nullptr) prof_->add_wait(self, WaitCategory::kBarrierWait, prof_t0, prof_->now(), spins);
+  if (obs_ != nullptr) obs_->on_barrier_depart(self, barrier, generation);
   note_progress(self);
 }
 
@@ -172,6 +187,9 @@ void NondetBackend::cond_wait(ThreadId self, CondVarId condvar, MutexId mutex) {
     const std::lock_guard<std::mutex> guard(cv.mu);
     cv.queue.emplace_back(self, &signaled);
   }
+  // cond_wait releases and reacquires the guard mutex with raw std::mutex
+  // calls (not unlock()/lock()), so the mutex-edge hooks fire manually here.
+  if (obs_ != nullptr) obs_->on_release(self, mutex, slots_[self].value.clock);
   if (progress_ != nullptr) holders_[mutex].value.store(kNoHolder, std::memory_order_relaxed);
   mutexes_[mutex]->unlock();
   note_wait(self, WaitReason::kCondVar, condvar);
@@ -184,6 +202,7 @@ void NondetBackend::cond_wait(ThreadId self, CondVarId condvar, MutexId mutex) {
     ++spins;
   }
   check_abort();  // post-wake re-check: signal and abort can race
+  if (obs_ != nullptr) obs_->on_cond_wake(self, condvar);
   if (prof_ != nullptr) prof_->add_wait(self, WaitCategory::kCondVarWait, prof_t0, prof_->now(), spins);
   // Abortable reacquire, for the same reason as lock().
   note_wait(self, WaitReason::kMutex, mutex);
@@ -192,6 +211,7 @@ void NondetBackend::cond_wait(ThreadId self, CondVarId condvar, MutexId mutex) {
     check_abort();
     waiter.wait();
   }
+  if (obs_ != nullptr) obs_->on_acquire(self, mutex, slots_[self].value.clock);
   if (progress_ != nullptr) holders_[mutex].value.store(self, std::memory_order_relaxed);
   note_progress(self);
 }
@@ -204,6 +224,10 @@ void NondetBackend::cond_signal(ThreadId self, CondVarId condvar) {
   if (cv.queue.empty()) return;
   // Lost-wakeup fault: the waiter stays queued, as if never signaled.
   if (fault_ != nullptr && fault_->drop_signal(self)) return;
+  // Signal hook before the flag store the waiter wakes on.  This edge is
+  // essential here: NondetBackend does not require the signaler to hold the
+  // guard mutex, so signal -> wake can be the only HB path to the waiter.
+  if (obs_ != nullptr) obs_->on_cond_signal(self, condvar, cv.queue.front().first, slots_[self].value.clock);
   cv.queue.front().second->store(true, std::memory_order_release);
   cv.queue.erase(cv.queue.begin());
   note_progress(self);
@@ -216,7 +240,10 @@ void NondetBackend::cond_broadcast(ThreadId self, CondVarId condvar) {
   const std::lock_guard<std::mutex> guard(cv.mu);
   if (cv.queue.empty()) return;
   if (fault_ != nullptr && fault_->drop_signal(self)) return;
-  for (auto& [tid, flag] : cv.queue) flag->store(true, std::memory_order_release);
+  for (auto& [tid, flag] : cv.queue) {
+    if (obs_ != nullptr) obs_->on_cond_signal(self, condvar, tid, slots_[self].value.clock);
+    flag->store(true, std::memory_order_release);
+  }
   cv.queue.clear();
   note_progress(self);
 }

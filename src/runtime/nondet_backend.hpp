@@ -80,6 +80,9 @@ class NondetBackend final : public SyncBackend {
   FaultInjector* fault_ = nullptr;
   /// Watchdog progress counter; null = watchdog off.  Not owned.
   std::atomic<std::uint64_t>* progress_ = nullptr;
+  /// Synchronization-event observer (runtime/sync_observer.hpp); null = off.
+  /// Not owned.
+  SyncObserver* obs_ = nullptr;
   std::vector<Padded<std::atomic<std::uint64_t>>> wait_state_;
   /// Mutex ownership for stall diagnosis (std::mutex does not expose its
   /// owner); written only while a watchdog is wired.

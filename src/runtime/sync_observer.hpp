@@ -1,0 +1,67 @@
+// SyncObserver: backend-level synchronization event hooks.
+//
+// Both backends invoke these callbacks at the points where happens-before
+// edges are *established*, with an ordering guarantee the race detectors
+// rely on: for any edge source -> sink (release -> acquire of the same
+// mutex, signal -> wake of the same waiter, all barrier arrivals -> any
+// departure of the same round, child finish -> join, spawn -> child start),
+// the source hook returns before the sink hook is entered.  The backends
+// achieve this by firing the source hook *before* the store that makes the
+// edge observable and the sink hook *after* the load that observed it.
+//
+// Null observer = zero cost: backends keep a raw pointer and every hook
+// site is an inlined null test, the same discipline as RuntimeConfig::
+// profiler / fault / progress.
+//
+// The `clock` arguments carry the backend's logical clock for diagnostics
+// only.  They are NOT deterministic across clock publication modes (chunked
+// publication changes failed-acquire clock climbs), so detectors that
+// promise byte-identical reports must never let them reach report content;
+// racedetect::HbRaceDetector keeps its own event counts instead.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/config.hpp"
+
+namespace detlock::runtime {
+
+class SyncObserver {
+ public:
+  virtual ~SyncObserver() = default;
+
+  /// Fork edge: fires on the parent after `child`'s id is allocated, before
+  /// the child's OS thread starts executing.
+  virtual void on_thread_start(ThreadId /*child*/, ThreadId /*parent*/) {}
+  /// Fires on the finishing thread before its exit becomes observable to a
+  /// joiner (before the backend publishes the finished state).
+  virtual void on_thread_finish(ThreadId /*self*/) {}
+  /// Join edge: fires on the joiner after it observed `child` finished.
+  virtual void on_join(ThreadId /*joiner*/, ThreadId /*child*/) {}
+
+  /// Fires after the acquiring thread won the mutex (acquires of one mutex
+  /// are serialized, so per-mutex hook order equals acquisition order).
+  virtual void on_acquire(ThreadId /*self*/, MutexId /*mutex*/, std::uint64_t /*clock*/) {}
+  /// Fires before the release becomes observable to the next acquirer.
+  virtual void on_release(ThreadId /*self*/, MutexId /*mutex*/, std::uint64_t /*clock*/) {}
+
+  /// Barrier round edges, keyed by the round's generation counter: every
+  /// round-G arrive hook returns before any round-G depart hook is entered
+  /// (the generation advances only after all arrivals are registered, and a
+  /// thread re-arriving quickly carries the *next* generation).
+  virtual void on_barrier_arrive(ThreadId /*self*/, BarrierId /*barrier*/,
+                                 std::uint64_t /*generation*/) {}
+  virtual void on_barrier_depart(ThreadId /*self*/, BarrierId /*barrier*/,
+                                 std::uint64_t /*generation*/) {}
+
+  /// Signal edge: fires on the signaler after the woken waiter (`target`)
+  /// is chosen, before the wakeup becomes observable to it.  A dropped
+  /// signal (fault injection) fires no hook -- no edge is created.
+  virtual void on_cond_signal(ThreadId /*self*/, CondVarId /*condvar*/, ThreadId /*target*/,
+                              std::uint64_t /*clock*/) {}
+  /// Fires on the waiter after it observed its wakeup, before it
+  /// reacquires the guard mutex.
+  virtual void on_cond_wake(ThreadId /*waiter*/, CondVarId /*condvar*/) {}
+};
+
+}  // namespace detlock::runtime

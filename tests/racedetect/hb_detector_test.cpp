@@ -1,0 +1,307 @@
+// FastTrack happens-before detector: unit tests drive the observer hooks
+// directly (each sync edge type orders accesses; missing edges race),
+// focus-mode finalize() picks the canonical pair, and end-to-end runs
+// through the engine check detection, cleanliness, and that observation
+// does not perturb execution.
+#include "racedetect/hb_detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "interp/engine.hpp"
+#include "ir/parser.hpp"
+#include "runtime/config.hpp"
+#include "workloads/workloads.hpp"
+
+namespace detlock::racedetect {
+namespace {
+
+using runtime::ThreadId;
+
+TEST(HbDetector, SameThreadAccessesNeverRace) {
+  HbRaceDetector d;
+  d.on_access(0, 5, true, {});
+  d.on_access(0, 5, false, {});
+  d.on_access(0, 5, true, {});
+  EXPECT_FALSE(d.race_detected());
+  EXPECT_EQ(d.accesses_observed(), 3u);
+}
+
+TEST(HbDetector, UnsynchronizedWritesRace) {
+  HbRaceDetector d;
+  d.on_access(0, 5, true, {});
+  d.on_access(1, 5, true, {});
+  EXPECT_TRUE(d.race_detected());
+  EXPECT_EQ(d.racy_addresses(), (std::vector<std::int64_t>{5}));
+}
+
+TEST(HbDetector, RacyAddressSetIsDeduplicatedAndSorted) {
+  HbRaceDetector d;
+  d.on_access(0, 9, true, {});
+  d.on_access(1, 9, true, {});
+  d.on_access(0, 9, true, {});  // further conflicts on 9 add nothing
+  d.on_access(0, 5, true, {});
+  d.on_access(1, 5, false, {});
+  EXPECT_EQ(d.racy_addresses(), (std::vector<std::int64_t>{5, 9}));
+}
+
+TEST(HbDetector, ForkAndJoinEdgesOrderAccesses) {
+  HbRaceDetector d;
+  d.on_access(0, 5, true, {});  // parent seeds before spawn
+  d.on_thread_start(1, 0);
+  d.on_access(1, 5, true, {});  // child sees the fork edge
+  d.on_join(0, 1);
+  d.on_access(0, 5, false, {});  // parent reads back after join
+  EXPECT_FALSE(d.race_detected());
+}
+
+TEST(HbDetector, ForkEdgeIsOneDirectional) {
+  // The child is ordered after the spawn, but the parent's post-spawn
+  // accesses are concurrent with the child's.
+  HbRaceDetector d;
+  d.on_thread_start(1, 0);
+  d.on_access(1, 5, true, {});
+  d.on_access(0, 5, true, {});
+  EXPECT_TRUE(d.race_detected());
+}
+
+TEST(HbDetector, ReleaseAcquireOrdersAccesses) {
+  HbRaceDetector d;
+  d.on_access(0, 5, true, {});
+  d.on_release(0, 7, 0);
+  d.on_acquire(1, 7, 0);
+  d.on_access(1, 5, true, {7});
+  EXPECT_FALSE(d.race_detected());
+}
+
+TEST(HbDetector, DistinctMutexesCreateNoEdge) {
+  HbRaceDetector d;
+  d.on_access(0, 5, true, {});
+  d.on_release(0, 7, 0);
+  d.on_acquire(1, 8, 0);
+  d.on_access(1, 5, true, {8});
+  EXPECT_TRUE(d.race_detected());
+}
+
+TEST(HbDetector, SignalWakeOrdersAccesses) {
+  HbRaceDetector d;
+  d.on_access(0, 5, true, {});
+  d.on_cond_signal(0, 3, /*target=*/1, 0);
+  d.on_cond_wake(1, 3);
+  d.on_access(1, 5, true, {});
+  EXPECT_FALSE(d.race_detected());
+}
+
+TEST(HbDetector, BarrierRoundOrdersAccesses) {
+  HbRaceDetector d;
+  d.on_access(0, 5, true, {});
+  d.on_barrier_arrive(0, 2, 0);
+  d.on_barrier_arrive(1, 2, 0);
+  d.on_barrier_depart(0, 2, 0);
+  d.on_barrier_depart(1, 2, 0);
+  d.on_access(1, 5, true, {});
+  EXPECT_FALSE(d.race_detected());
+}
+
+TEST(HbDetector, ConcurrentReadsAreCleanUntilAWrite) {
+  // Two concurrent reads promote the read epoch to a full vector clock;
+  // only the later conflicting write turns that into a race.
+  HbRaceDetector d;
+  d.on_access(0, 5, false, {});
+  d.on_access(1, 5, false, {});
+  EXPECT_FALSE(d.race_detected());
+  d.on_access(0, 5, true, {});
+  EXPECT_TRUE(d.race_detected());
+}
+
+TEST(HbDetector, OrderedReadsStayInEpochFastPath) {
+  // A read ordered after the previous read replaces the epoch (no
+  // promotion), and the ordering keeps a subsequent write clean.
+  HbRaceDetector d;
+  d.on_access(0, 5, false, {});
+  d.on_release(0, 7, 0);
+  d.on_acquire(1, 7, 0);
+  d.on_access(1, 5, false, {7});
+  d.on_access(1, 5, true, {7});
+  EXPECT_FALSE(d.race_detected());
+}
+
+// ---- focus mode / finalize -------------------------------------------------
+
+TEST(HbFocus, FinalizeReportsCanonicalMinimalPair) {
+  HbRaceDetector focus({5});
+  focus.on_access(0, 5, true, {}, {0, 3});
+  focus.on_access(0, 5, true, {}, {0, 7});  // same segment: not logged again
+  focus.on_access(1, 5, true, {}, {1, 2});
+  const std::vector<Race> races = focus.finalize(nullptr);
+  ASSERT_EQ(races.size(), 1u);
+  const Race& r = races[0];
+  EXPECT_EQ(r.addr, 5);
+  EXPECT_EQ(r.detector, "hb");
+  EXPECT_EQ(r.first.thread, 0u);
+  EXPECT_EQ(r.first.ordinal, 1u);  // the segment's FIRST write, not the later one
+  EXPECT_EQ(r.first.function, "@#0");
+  EXPECT_EQ(r.first.instr_index, 3u);
+  EXPECT_TRUE(r.first.is_write);
+  EXPECT_EQ(r.second.thread, 1u);
+  EXPECT_EQ(r.second.function, "@#1");
+  EXPECT_EQ(r.second.instr_index, 2u);
+  EXPECT_GT(r.first.thread_clock, 0u);  // thread clocks start at 1
+  EXPECT_FALSE(r.first.vc.empty());
+}
+
+TEST(HbFocus, NonFocusAddressesAreIgnored) {
+  HbRaceDetector focus({5});
+  focus.on_access(0, 6, true, {});
+  focus.on_access(1, 6, true, {});
+  EXPECT_TRUE(focus.finalize(nullptr).empty());
+}
+
+TEST(HbFocus, OrderedPairYieldsNoRace) {
+  HbRaceDetector focus({5});
+  focus.on_access(0, 5, true, {});
+  focus.on_release(0, 7, 0);
+  focus.on_acquire(1, 7, 0);
+  focus.on_access(1, 5, true, {7});
+  EXPECT_TRUE(focus.finalize(nullptr).empty());
+}
+
+// ---- end-to-end through the engine ----------------------------------------
+
+const char* kRacyProgram = R"(
+func @worker(1) {
+block entry:
+  %1 = const 64
+  %2 = load %1
+  %3 = add %2, %0
+  store %1, %3
+  ret
+}
+func @main(0) {
+block entry:
+  %0 = const 1
+  %1 = spawn @worker(%0)
+  %2 = const 2
+  %3 = call @worker(%2)
+  join %1
+  ret
+}
+)";
+
+const char* kLockedProgram = R"(
+func @worker(1) {
+block entry:
+  %1 = const 0
+  lock %1
+  %2 = const 64
+  %3 = load %2
+  %4 = add %3, %0
+  store %2, %4
+  unlock %1
+  ret
+}
+func @main(0) {
+block entry:
+  %0 = const 1
+  %1 = spawn @worker(%0)
+  %2 = const 2
+  %3 = call @worker(%2)
+  join %1
+  ret
+}
+)";
+
+TEST(HbEndToEnd, TwoPassDetectsRacyCounter) {
+  const ir::Module m = ir::parse_module(kRacyProgram);
+  // Pass 1: detect the racy-address set.
+  HbRaceDetector detect;
+  {
+    interp::EngineConfig config;
+    config.observer = &detect;
+    interp::Engine engine(m, config);
+    engine.run("main");
+  }
+  ASSERT_TRUE(detect.race_detected());
+  const std::vector<std::int64_t> addrs = detect.racy_addresses();
+  ASSERT_TRUE(std::find(addrs.begin(), addrs.end(), 64) != addrs.end());
+  // Pass 2: focused replay, then the canonical report.
+  HbRaceDetector focus(addrs);
+  {
+    interp::EngineConfig config;
+    config.observer = &focus;
+    interp::Engine engine(m, config);
+    engine.run("main");
+  }
+  const std::vector<Race> races = focus.finalize(&m);
+  ASSERT_EQ(races.size(), 1u);
+  EXPECT_EQ(races[0].addr, 64);
+  EXPECT_EQ(races[0].first.function, "@worker");
+  EXPECT_EQ(races[0].second.function, "@worker");
+  EXPECT_NE(races[0].first.thread, races[0].second.thread);
+}
+
+TEST(HbEndToEnd, LockedCounterIsClean) {
+  const ir::Module m = ir::parse_module(kLockedProgram);
+  HbRaceDetector detector;
+  interp::EngineConfig config;
+  config.observer = &detector;
+  interp::Engine engine(m, config);
+  engine.run("main");
+  EXPECT_FALSE(detector.race_detected());
+  EXPECT_GT(detector.accesses_observed(), 0u);
+}
+
+TEST(HbEndToEnd, AllWorkloadsAreRaceFree) {
+  // Weak determinism's precondition, now verified with full happens-before
+  // precision (the lockset test covers the same corpus more coarsely).
+  using namespace workloads;
+  for (const WorkloadSpec& spec : all_workloads()) {
+    WorkloadParams params;
+    params.threads = 2;
+    params.scale = 1;
+    Workload w = spec.factory(params);
+    HbRaceDetector detector;
+    interp::EngineConfig config;
+    config.observer = &detector;
+    config.memory_words = std::max<std::size_t>(w.memory_words, 1 << 14) * 2;
+    interp::Engine engine(w.module, config);
+    engine.run(w.main_func);
+    EXPECT_FALSE(detector.race_detected())
+        << spec.name << " addr "
+        << (detector.racy_addresses().empty() ? 0 : detector.racy_addresses()[0]);
+  }
+}
+
+// ---- determinism neutrality and zero cost when off -------------------------
+
+TEST(HbNeutrality, ObserverDoesNotPerturbExecution) {
+  const ir::Module m = ir::parse_module(kLockedProgram);
+  const auto run = [&m](interp::SyncObserver* obs) {
+    interp::EngineConfig config;
+    config.observer = obs;
+    interp::Engine engine(m, config);
+    return engine.run("main");
+  };
+  const interp::RunResult base = run(nullptr);
+  HbRaceDetector detector;
+  const interp::RunResult observed = run(&detector);
+  EXPECT_EQ(observed.main_return, base.main_return);
+  EXPECT_EQ(observed.instructions, base.instructions);
+  EXPECT_EQ(observed.trace_fingerprint, base.trace_fingerprint);
+  EXPECT_EQ(observed.memory_fingerprint, base.memory_fingerprint);
+  EXPECT_EQ(observed.lock_acquires, base.lock_acquires);
+  EXPECT_EQ(observed.final_clocks, base.final_clocks);
+  EXPECT_EQ(observed.per_thread_instructions, base.per_thread_instructions);
+}
+
+TEST(HbZeroCost, ObserverDefaultsOff) {
+  // Detection is opt-in: no hook is installed unless a detector is set.
+  const interp::EngineConfig engine_defaults;
+  EXPECT_EQ(engine_defaults.observer, nullptr);
+  const runtime::RuntimeConfig runtime_defaults;
+  EXPECT_EQ(runtime_defaults.sync_observer, nullptr);
+}
+
+}  // namespace
+}  // namespace detlock::racedetect

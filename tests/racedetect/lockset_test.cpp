@@ -35,7 +35,7 @@ TEST(Lockset, UnprotectedWriteWriteRaces) {
   d.on_access(1, 100, true, {});
   ASSERT_TRUE(d.race_detected());
   EXPECT_EQ(d.races()[0].addr, 100);
-  EXPECT_EQ(d.races()[0].thread, 1u);
+  EXPECT_EQ(d.races()[0].second.thread, 1u);
 }
 
 TEST(Lockset, ReadSharedDataWithoutLocksIsClean) {
@@ -192,7 +192,7 @@ TEST(LocksetEndToEnd, DetectsRacyCounter) {
   engine.run("main");
   EXPECT_TRUE(detector.race_detected());
   bool found64 = false;
-  for (const RaceReport& r : detector.races()) {
+  for (const Race& r : detector.races()) {
     if (r.addr == 64) found64 = true;
   }
   EXPECT_TRUE(found64);

@@ -1,0 +1,103 @@
+// Vector-clock algebra: the join-semilattice laws and the epoch ordering
+// test FastTrack's correctness rests on.
+#include "racedetect/vector_clock.hpp"
+
+#include <gtest/gtest.h>
+
+namespace detlock::racedetect {
+namespace {
+
+TEST(VectorClock, DefaultIsBottom) {
+  const VectorClock vc;
+  EXPECT_EQ(vc.size(), 0u);
+  EXPECT_EQ(vc.get(0), 0u);
+  EXPECT_EQ(vc.get(1000), 0u);  // reading past the end is 0, not UB
+}
+
+TEST(VectorClock, SetGrowsOnDemand) {
+  VectorClock vc;
+  vc.set(3, 7);
+  EXPECT_EQ(vc.size(), 4u);
+  EXPECT_EQ(vc.get(3), 7u);
+  EXPECT_EQ(vc.get(0), 0u);  // components below stay zero
+  EXPECT_EQ(vc.get(4), 0u);
+}
+
+TEST(VectorClock, BumpIncrements) {
+  VectorClock vc;
+  vc.bump(2);
+  vc.bump(2);
+  EXPECT_EQ(vc.get(2), 2u);
+  EXPECT_EQ(vc.get(1), 0u);
+}
+
+TEST(VectorClock, JoinIsComponentwiseMax) {
+  VectorClock a;
+  a.set(0, 5);
+  a.set(1, 1);
+  VectorClock b;
+  b.set(1, 3);
+  b.set(2, 2);
+  a.join(b);
+  EXPECT_EQ(a.get(0), 5u);
+  EXPECT_EQ(a.get(1), 3u);
+  EXPECT_EQ(a.get(2), 2u);
+}
+
+TEST(VectorClock, JoinWithSmallerDoesNotShrink) {
+  VectorClock a;
+  a.set(2, 9);
+  VectorClock b;
+  b.set(0, 1);
+  a.join(b);
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(a.get(0), 1u);
+  EXPECT_EQ(a.get(2), 9u);
+}
+
+TEST(VectorClock, LeqIsPartialOrder) {
+  VectorClock a;
+  a.set(0, 1);
+  VectorClock b;
+  b.set(0, 2);
+  b.set(1, 1);
+  EXPECT_TRUE(a.leq(b));
+  EXPECT_FALSE(b.leq(a));
+  EXPECT_TRUE(a.leq(a));  // reflexive
+
+  // Incomparable pair: concurrent in both directions.
+  VectorClock c;
+  c.set(1, 5);
+  EXPECT_FALSE(b.leq(c));
+  EXPECT_FALSE(c.leq(b));
+}
+
+TEST(VectorClock, LeqHandlesLengthMismatch) {
+  VectorClock a;
+  a.set(4, 1);  // longer, trailing nonzero
+  VectorClock b;
+  b.set(0, 9);
+  EXPECT_FALSE(a.leq(b));
+  VectorClock z;
+  z.set(4, 0);  // longer but all-zero tail
+  EXPECT_TRUE(z.leq(b));
+}
+
+TEST(Epoch, NoneIsClockZero) {
+  const Epoch none;
+  EXPECT_FALSE(none.some());
+  const Epoch e{3, 1};
+  EXPECT_TRUE(e.some());
+}
+
+TEST(Epoch, EpochLeqReadsOwnerComponent) {
+  VectorClock vc;
+  vc.set(1, 4);
+  EXPECT_TRUE(epoch_leq(Epoch{1, 4}, vc));
+  EXPECT_TRUE(epoch_leq(Epoch{1, 3}, vc));
+  EXPECT_FALSE(epoch_leq(Epoch{1, 5}, vc));
+  EXPECT_FALSE(epoch_leq(Epoch{0, 1}, vc));  // other component is 0
+}
+
+}  // namespace
+}  // namespace detlock::racedetect

@@ -29,7 +29,14 @@
 //                            (docs/cli-reference.md; schema_version 1)
 //   --trace-out=FILE         Chrome-trace/Perfetto JSON timeline (run 1;
 //                            implies --profile; see docs/observability.md)
-//   --race-check             run the lockset race detector (lints first)
+//   --race-check[=hb|lockset|both]
+//                            dynamic race detection passes after the
+//                            fingerprint runs (lints first)       [both]
+//                            hb: FastTrack happens-before detector with
+//                            exactly-reproducible reports (two passes:
+//                            detect, then focus-replay; see
+//                            docs/race-detection.md); lockset: Eraser
+//                            state machine (differential cross-check)
 //   --lint                   run the static checkers and exit
 //   --no-lint                skip the automatic lint before --race-check
 //   --record-schedule=FILE   dump the lock-acquisition schedule after run 1
@@ -55,6 +62,8 @@
 //   7  static checkers reported at least one error
 //   8  watchdog fired: deadlock (wait-for cycle reported)
 //   9  watchdog fired: stall/livelock (no cycle; slowest waiter reported)
+//  10  --race-check: a dynamic race detector reported at least one race
+//      (divergence, code 3, takes precedence when both occur)
 #include <cstdio>
 #include <cstring>
 #include <limits>
@@ -74,7 +83,9 @@
 #include "runtime/profile.hpp"
 #include "runtime/schedule.hpp"
 #include "pass/pipeline.hpp"
+#include "racedetect/hb_detector.hpp"
 #include "racedetect/lockset.hpp"
+#include "racedetect/report.hpp"
 #include "service/compiled_module.hpp"
 #include "service/execution_context.hpp"
 #include "staticcheck/checker.hpp"
@@ -91,7 +102,8 @@ using namespace detlock;
                "          [--interp=decoded|reference]\n"
                "          [--kendo[=CHUNK]] [--runs=N] [--estimates=FILE] [--emit-ir]\n"
                "          [--stats] [--profile] [--json=FILE] [--trace-out=FILE]\n"
-               "          [--race-check] [--watchdog-ms=N] [--chaos=SEED] [--chaos-trials=K]\n"
+               "          [--race-check[=hb|lockset|both]] [--watchdog-ms=N]\n"
+               "          [--chaos=SEED] [--chaos-trials=K]\n"
                "          [--lint] [--no-lint] [--entry=NAME] [--arg=N]... program.dl\n",
                argv0);
   std::exit(cli::kUsageExit);
@@ -113,6 +125,8 @@ struct Cli {
   std::string json_path;
   std::string trace_out_path;
   bool race_check = false;
+  bool race_hb = false;
+  bool race_lockset = false;
   bool lint = false;
   bool auto_lint = true;
   std::string record_schedule_path;
@@ -190,7 +204,14 @@ Cli parse_cli(int argc, char** argv) {
       // schedule track, which needs the full event list.
       cfg.keep_trace_events = true;
     } else if (arg == "--race-check") {
+      cli.race_check = cli.race_hb = cli.race_lockset = true;
+    } else if (arg.rfind("--race-check=", 0) == 0) {
+      const std::string v = value_of("--race-check=");
       cli.race_check = true;
+      if (v == "hb") cli.race_hb = true;
+      else if (v == "lockset") cli.race_lockset = true;
+      else if (v == "both") cli.race_hb = cli.race_lockset = true;
+      else usage(argv[0]);
     } else if (arg == "--lint") {
       cli.lint = true;
     } else if (arg == "--no-lint") {
@@ -273,6 +294,133 @@ std::size_t run_lint(const Cli& cli, const ir::Module& module) {
   return errors;
 }
 
+/// Executes one run, translating a watchdog abort into the staged exit
+/// codes (8 deadlock, 9 stall); rethrows anything else.
+interp::RunResult run_once_or_exit(service::ExecutionContext& ctx, const Cli& cli) {
+  try {
+    return ctx.run(cli.entry, cli.args);
+  } catch (const std::exception&) {
+    const runtime::Watchdog* wd = ctx.engine() != nullptr ? ctx.engine()->watchdog() : nullptr;
+    if (wd != nullptr && wd->fired()) {
+      const std::optional<runtime::StallReport> report_text = wd->report();
+      std::printf("%s%s\n", report_text->text().c_str(), report_text->json().c_str());
+      std::exit(report_text->deadlock ? 8 : 9);
+    }
+    throw;
+  }
+}
+
+/// Everything the dedicated race-detection passes produced.
+struct RaceCheckOutput {
+  bool ran_hb = false;
+  bool ran_lockset = false;
+  racedetect::RunRecipe recipe;
+  std::vector<std::int64_t> hb_racy_addrs;       // deterministic, sorted
+  std::vector<racedetect::Race> hb_races;        // canonical minimal pairs
+  std::vector<racedetect::Race> lockset_races;   // interleaving-dependent
+  std::uint64_t hb_accesses = 0;
+  std::uint64_t lockset_accesses = 0;
+
+  bool any_race() const { return !hb_racy_addrs.empty() || !lockset_races.empty(); }
+};
+
+/// Runs the requested detectors, each over a fresh deterministic execution
+/// of the already-compiled program.  The HB detector is two passes: detect
+/// (racy-address set) then, if nonempty, a focus replay whose finalize()
+/// yields the canonical reproducible report (see src/racedetect/
+/// hb_detector.hpp).  Finally correlates every dynamic finding against the
+/// static lockset-race checker (the static-vs-dynamic cross-check).
+RaceCheckOutput run_race_check(const Cli& cli,
+                               const std::shared_ptr<const service::CompiledModule>& compiled) {
+  RaceCheckOutput out;
+  out.ran_hb = cli.race_hb;
+  out.ran_lockset = cli.race_lockset;
+  out.recipe.program = cli.program_path;
+  out.recipe.mode = api::mode_name(cli.config.mode);
+  out.recipe.engine = cli.config.engine == interp::EngineKind::kDecoded ? "decoded" : "reference";
+  out.recipe.publication = cli.config.mode == api::Mode::kKendoSim ? "chunked" : "every-update";
+  out.recipe.chaos_seed = cli.config.chaos ? cli.config.chaos_seed : 0;
+  out.recipe.entry = cli.entry;
+
+  const ir::Module& module = compiled->module();
+  const auto fresh_run = [&](interp::MemoryAccessObserver* observer) {
+    service::ExecutionContext ctx(compiled, cli.config);
+    if (cli.config.chaos) ctx.set_chaos_seed(cli.config.chaos_seed);
+    ctx.set_observer(observer);
+    run_once_or_exit(ctx, cli);
+  };
+
+  if (cli.race_lockset) {
+    racedetect::LocksetRaceDetector lockset(&module);
+    fresh_run(&lockset);
+    out.lockset_races = lockset.races();
+    out.lockset_accesses = lockset.accesses_observed();
+  }
+  if (cli.race_hb) {
+    racedetect::HbRaceDetector detect;
+    fresh_run(&detect);
+    out.hb_racy_addrs = detect.racy_addresses();
+    out.hb_accesses = detect.accesses_observed();
+    if (!out.hb_racy_addrs.empty()) {
+      racedetect::HbRaceDetector focus(out.hb_racy_addrs);
+      fresh_run(&focus);
+      out.hb_races = focus.finalize(&module);
+    }
+  }
+
+  // Quiet static pass: a dynamic race whose function the static
+  // "lockset-race" checker also flags is marked static-lint:flagged.
+  staticcheck::CheckOptions check;
+  check.entry = cli.entry;
+  check.pass_options = cli.config.pass_options;
+  const std::vector<staticcheck::Diagnostic> diags = staticcheck::run_all_checks(module, check);
+  const auto correlate = [&](std::vector<racedetect::Race>& races) {
+    for (racedetect::Race& r : races) {
+      for (const staticcheck::Diagnostic& d : diags) {
+        // Diagnostics carry bare function names; reports prefix "@".
+        const std::string fn = "@" + d.function;
+        if (d.checker == "lockset-race" && (fn == r.first.function || fn == r.second.function)) {
+          r.static_hit = true;
+          break;
+        }
+      }
+    }
+  };
+  correlate(out.hb_races);
+  correlate(out.lockset_races);
+  return out;
+}
+
+void print_race_check(const RaceCheckOutput& rc) {
+  std::printf("\nrace check\n%s\n", racedetect::to_text(rc.recipe).c_str());
+  if (rc.ran_hb) {
+    if (rc.hb_racy_addrs.empty()) {
+      std::printf("hb: race-free (%llu accesses checked)\n",
+                  static_cast<unsigned long long>(rc.hb_accesses));
+    } else {
+      std::string addrs;
+      for (const std::int64_t a : rc.hb_racy_addrs) {
+        if (!addrs.empty()) addrs += ' ';
+        addrs += std::to_string(a);
+      }
+      std::printf("hb: %zu racy address(es): %s\n%s", rc.hb_racy_addrs.size(), addrs.c_str(),
+                  racedetect::serialize_races(rc.hb_races).c_str());
+    }
+  }
+  if (rc.ran_lockset) {
+    if (rc.lockset_races.empty()) {
+      std::printf("lockset: race-free (%llu accesses checked)\n",
+                  static_cast<unsigned long long>(rc.lockset_accesses));
+    } else {
+      std::printf("lockset: %zu racy address(es)\n%s", rc.lockset_races.size(),
+                  racedetect::serialize_races(rc.lockset_races).c_str());
+    }
+  }
+  if (rc.any_race()) {
+    std::printf("RACE detected -- weak determinism does not cover this program\n");
+  }
+}
+
 /// Accumulates the --json report (docs/cli-reference.md, schema_version 1).
 struct JsonReport {
   JsonWriter w;
@@ -302,9 +450,9 @@ struct JsonReport {
     w.end();
   }
 
-  void finish(const Cli& cli, bool identical, const pass::PipelineStats& pstats,
+  void finish(bool identical, const pass::PipelineStats& pstats,
               const interp::RunResult& first, const runtime::ProfileSummary* profile,
-              const std::string& path) {
+              const RaceCheckOutput* race, const std::string& path) {
     w.end();  // runs
     runs_open = false;
     w.field("identical", identical);
@@ -324,6 +472,37 @@ struct JsonReport {
     w.field("lock_wait_spins", first.sync.lock_wait_spins);
     w.field("barrier_waits", first.sync.barrier_waits);
     w.end();
+    if (race != nullptr) {
+      w.key("race_check");
+      w.begin_object();
+      w.key("recipe");
+      racedetect::write_recipe(w, race->recipe);
+      if (race->ran_hb) {
+        w.key("hb");
+        w.begin_object();
+        w.field("accesses", race->hb_accesses);
+        w.key("racy_addresses");
+        w.begin_array();
+        for (const std::int64_t a : race->hb_racy_addrs) w.value(a);
+        w.end();
+        w.key("races");
+        w.begin_array();
+        for (const racedetect::Race& r : race->hb_races) racedetect::write_race(w, r);
+        w.end();
+        w.end();
+      }
+      if (race->ran_lockset) {
+        w.key("lockset");
+        w.begin_object();
+        w.field("accesses", race->lockset_accesses);
+        w.key("races");
+        w.begin_array();
+        for (const racedetect::Race& r : race->lockset_races) racedetect::write_race(w, r);
+        w.end();
+        w.end();
+      }
+      w.end();
+    }
     if (profile != nullptr) {
       w.key("profile");
       w.begin_object();
@@ -417,23 +596,7 @@ int main(int argc, char** argv) {
         validator = std::make_unique<runtime::ScheduleValidator>(expected_schedule);
         ctx.set_validator(validator.get());
       }
-      racedetect::LocksetRaceDetector detector;
-      if (cli.race_check) ctx.set_observer(&detector);
-
-      interp::RunResult result;
-      try {
-        result = ctx.run(cli.entry, cli.args);
-      } catch (const std::exception&) {
-        // A watchdog abort is a diagnosis, not an internal error: print the
-        // report (text + JSON) and exit with the staged code.
-        const runtime::Watchdog* wd = ctx.engine() != nullptr ? ctx.engine()->watchdog() : nullptr;
-        if (wd != nullptr && wd->fired()) {
-          const std::optional<runtime::StallReport> report_text = wd->report();
-          std::printf("%s%s\n", report_text->text().c_str(), report_text->json().c_str());
-          return report_text->deadlock ? 8 : 9;
-        }
-        throw;
-      }
+      const interp::RunResult result = run_once_or_exit(ctx, cli);
 
       std::printf("run %d: result=%lld  lock-order=%016llx  memory=%016llx  (%llu instrs, %llu locks)\n",
                   run + 1, static_cast<long long>(result.main_return),
@@ -496,30 +659,30 @@ int main(int argc, char** argv) {
         std::printf("  schedule recorded to %s (%llu acquisitions)\n", cli.record_schedule_path.c_str(),
                     static_cast<unsigned long long>(result.lock_acquires));
       }
-      if (cli.race_check && run == 0) {
-        if (detector.race_detected()) {
-          std::printf("  RACE detected at address %lld -- weak determinism does not cover this program\n",
-                      static_cast<long long>(detector.races()[0].addr));
-        } else {
-          std::printf("  race-free (%llu accesses checked)\n",
-                      static_cast<unsigned long long>(detector.accesses_observed()));
-        }
-      }
+    }
+
+    // Dedicated race-detection passes: each detector observes its own fresh
+    // deterministic execution, after the fingerprint runs so detection
+    // cannot perturb what it certifies (and the neutrality tests verify the
+    // observer changes nothing anyway).
+    std::optional<RaceCheckOutput> race;
+    if (cli.race_check) {
+      race = run_race_check(cli, compiled);
+      print_race_check(*race);
     }
     if (!cli.json_path.empty()) {
-      report.finish(cli, identical, pstats, first_result, have_profile ? &first_profile : nullptr,
-                    cli.json_path);
+      report.finish(identical, pstats, first_result, have_profile ? &first_profile : nullptr,
+                    race.has_value() ? &*race : nullptr, cli.json_path);
     }
     if (cli.config.chaos) {
       std::printf("%s\n", identical ? "chaos: all perturbed trials bit-identical"
                                     : "CHAOS DIVERGENCE: timing perturbation changed the outcome");
-      return identical ? 0 : 3;
-    }
-    if (cli.config.runs > 1) {
+      if (!identical) return 3;
+    } else if (cli.config.runs > 1) {
       std::printf("%s\n", identical ? "all runs identical" : "RUNS DIVERGED");
-      return identical ? 0 : 3;
+      if (!identical) return 3;
     }
-    return 0;
+    return race.has_value() && race->any_race() ? 10 : 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "detlockc: %s\n", e.what());
     return 1;
