@@ -15,6 +15,7 @@
 #include <cstdlib>
 
 #include "pass/conservation.hpp"
+#include "cli_common.hpp"
 #include "workloads/harness.hpp"
 
 namespace {
@@ -58,8 +59,10 @@ void sweep(const char* title, const workloads::WorkloadSpec& spec, const workloa
 
 int main(int argc, char** argv) {
   workloads::WorkloadParams params;
-  params.scale = argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 4;
-  params.threads = argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 4;
+  params.scale = static_cast<std::uint32_t>(
+      cli::parse_positional("ablation_thresholds", "scale", argc, argv, 1, 4, 1, 1000000, "[scale] [threads]"));
+  params.threads = static_cast<std::uint32_t>(
+      cli::parse_positional("ablation_thresholds", "threads", argc, argv, 2, 4, 1, 64, "[scale] [threads]"));
 
   const auto& radiosity = workloads::all_workloads()[3];
   const auto& water = workloads::all_workloads()[2];

@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "cli_common.hpp"
 #include "api/run_config.hpp"
 #include "service/batch_executor.hpp"
 #include "service/compiled_module.hpp"
@@ -236,6 +237,13 @@ BandB run_band_b(std::size_t workers, int jobs, std::uint64_t watchdog_ms,
 }  // namespace
 
 int main(int argc, char** argv) {
+  const auto usage = [argv] {
+    std::fprintf(stderr,
+                 "usage: %s [--compare] [--json=FILE] [--min-ratio=R] [--runs=R] [--jobs=J]\n"
+                 "          [--watchdog-ms=N]\n",
+                 argv[0]);
+    std::exit(detlock::cli::kUsageExit);
+  };
   bool compare = false;
   std::string json_path;
   double min_ratio = 5.0;
@@ -246,17 +254,19 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--compare") compare = true;
     else if (arg.rfind("--json=", 0) == 0) json_path = arg.substr(7);
-    else if (arg.rfind("--min-ratio=", 0) == 0) min_ratio = std::stod(arg.substr(12));
-    else if (arg.rfind("--runs=", 0) == 0) runs = std::stoi(arg.substr(7));
-    else if (arg.rfind("--jobs=", 0) == 0) jobs = std::stoi(arg.substr(7));
-    else if (arg.rfind("--watchdog-ms=", 0) == 0) watchdog_ms = std::stoull(arg.substr(14));
-    else {
-      std::fprintf(stderr,
-                   "usage: %s [--compare] [--json=FILE] [--min-ratio=R] [--runs=R] [--jobs=J]\n"
-                   "          [--watchdog-ms=N]\n",
-                   argv[0]);
-      return 2;
-    }
+    else if (arg.rfind("--min-ratio=", 0) == 0)
+      min_ratio = detlock::cli::parse_double_flag("batch_throughput", "--min-ratio",
+                                                  arg.substr(12), 0.0, 1e6, usage);
+    else if (arg.rfind("--runs=", 0) == 0)
+      runs = static_cast<int>(detlock::cli::parse_int_flag("batch_throughput", "--runs",
+                                                           arg.substr(7), 1, 1'000'000, usage));
+    else if (arg.rfind("--jobs=", 0) == 0)
+      jobs = static_cast<int>(detlock::cli::parse_int_flag("batch_throughput", "--jobs",
+                                                           arg.substr(7), 1, 1'000'000, usage));
+    else if (arg.rfind("--watchdog-ms=", 0) == 0)
+      watchdog_ms = static_cast<std::uint64_t>(detlock::cli::parse_int_flag(
+          "batch_throughput", "--watchdog-ms", arg.substr(14), 1, 86'400'000, usage));
+    else usage();
   }
 
   const BandA a = run_band_a(runs);

@@ -17,6 +17,7 @@
 
 #include "support/strings.hpp"
 #include "support/table.hpp"
+#include "cli_common.hpp"
 #include "workloads/harness.hpp"
 
 namespace {
@@ -46,9 +47,12 @@ workloads::MeasureOptions mode_options(workloads::Mode mode) {
 
 int main(int argc, char** argv) {
   workloads::WorkloadParams params;
-  params.scale = argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 1;
-  params.threads = argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 4;
-  const std::uint64_t seeds = argc > 3 ? static_cast<std::uint64_t>(std::atoll(argv[3])) : 8;
+  params.scale = static_cast<std::uint32_t>(
+      cli::parse_positional("chaos_matrix", "scale", argc, argv, 1, 1, 1, 1000000, "[scale] [threads] [seeds]"));
+  params.threads = static_cast<std::uint32_t>(
+      cli::parse_positional("chaos_matrix", "threads", argc, argv, 2, 4, 1, 64, "[scale] [threads] [seeds]"));
+  const std::uint64_t seeds = static_cast<std::uint64_t>(
+      cli::parse_positional("chaos_matrix", "seeds", argc, argv, 3, 8, 1, 1000000, "[scale] [threads] [seeds]"));
 
   const auto& specs = workloads::all_workloads();
   const workloads::Mode modes[] = {workloads::Mode::kDetLock, workloads::Mode::kKendoSim};

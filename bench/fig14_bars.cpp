@@ -9,6 +9,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "cli_common.hpp"
 #include "workloads/harness.hpp"
 
 namespace {
@@ -25,9 +26,12 @@ std::string bar(double percent, char fill) {
 
 int main(int argc, char** argv) {
   workloads::WorkloadParams params;
-  params.scale = argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 8;
-  params.threads = argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 4;
-  const int reps = argc > 3 ? std::atoi(argv[3]) : 3;
+  params.scale = static_cast<std::uint32_t>(
+      cli::parse_positional("fig14_bars", "scale", argc, argv, 1, 8, 1, 1000000, "[scale] [threads] [reps]"));
+  params.threads = static_cast<std::uint32_t>(
+      cli::parse_positional("fig14_bars", "threads", argc, argv, 2, 4, 1, 64, "[scale] [threads] [reps]"));
+  const int reps = static_cast<int>(
+      cli::parse_positional("fig14_bars", "reps", argc, argv, 3, 3, 1, 10000, "[scale] [threads] [reps]"));
 
   std::printf("Figure 14 -- clock-insertion ('#') + deterministic-execution ('+') overhead\n");
   std::printf("Left bar: no optimizations.  Right bar: all optimizations.  1 char = 4%%.\n\n");

@@ -15,14 +15,18 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "cli_common.hpp"
 #include "workloads/harness.hpp"
 
 int main(int argc, char** argv) {
   using namespace detlock;
   workloads::WorkloadParams params;
-  params.scale = argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 8;
-  params.threads = argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 4;
-  const int reps = argc > 3 ? std::atoi(argv[3]) : 5;
+  params.scale = static_cast<std::uint32_t>(
+      cli::parse_positional("fig15_ahead_of_time", "scale", argc, argv, 1, 8, 1, 1000000, "[scale] [threads] [reps]"));
+  params.threads = static_cast<std::uint32_t>(
+      cli::parse_positional("fig15_ahead_of_time", "threads", argc, argv, 2, 4, 1, 64, "[scale] [threads] [reps]"));
+  const int reps = static_cast<int>(
+      cli::parse_positional("fig15_ahead_of_time", "reps", argc, argv, 3, 5, 1, 10000, "[scale] [threads] [reps]"));
 
   const workloads::WorkloadSpec& radiosity = workloads::all_workloads()[3];
 

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "cli_common.hpp"
 #include "interp/engine.hpp"
 #include "ir/parser.hpp"
 
@@ -298,6 +299,11 @@ int run_compare(const std::string& json_path, double min_ratio, int reps) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const auto usage = [argv] {
+    std::fprintf(stderr, "usage: %s [--compare] [--json=FILE] [--min-ratio=R] [--reps=N]\n"
+                         "          [google-benchmark args]\n", argv[0]);
+    std::exit(detlock::cli::kUsageExit);
+  };
   bool compare = false;
   std::string json_path;
   double min_ratio = 2.0;
@@ -310,9 +316,11 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(7);
     } else if (arg.rfind("--min-ratio=", 0) == 0) {
-      min_ratio = std::stod(arg.substr(12));
+      min_ratio = detlock::cli::parse_double_flag("micro_interp", "--min-ratio", arg.substr(12),
+                                                  0.0, 1e6, usage);
     } else if (arg.rfind("--reps=", 0) == 0) {
-      reps = std::stoi(arg.substr(7));
+      reps = static_cast<int>(
+          detlock::cli::parse_int_flag("micro_interp", "--reps", arg.substr(7), 1, 10'000, usage));
     } else {
       gbench_args.push_back(argv[i]);
     }

@@ -4,13 +4,15 @@
 // synchronization regimes before running the real table harnesses.
 #include <cstdio>
 
+#include "cli_common.hpp"
 #include "workloads/harness.hpp"
 
 int main(int argc, char** argv) {
   using namespace detlock;
   workloads::WorkloadParams params;
   params.threads = 4;
-  params.scale = argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 1;
+  params.scale = static_cast<std::uint32_t>(
+      cli::parse_positional("probe_workloads", "scale", argc, argv, 1, 1, 1, 1'000'000, "[scale]"));
 
   std::printf("%-10s %-12s %8s %12s %10s %12s %10s\n", "workload", "mode", "sec", "instrs", "locks",
               "locks/sec", "clockups");

@@ -15,6 +15,7 @@
 #include "runtime/profile.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
+#include "cli_common.hpp"
 #include "workloads/harness.hpp"
 
 namespace {
@@ -46,9 +47,12 @@ std::string cell(double seconds, double baseline) {
 
 int main(int argc, char** argv) {
   workloads::WorkloadParams params;
-  params.scale = argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 8;
-  params.threads = argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 4;
-  const int reps = argc > 3 ? std::atoi(argv[3]) : 3;
+  params.scale = static_cast<std::uint32_t>(
+      cli::parse_positional("table1_overheads", "scale", argc, argv, 1, 8, 1, 1000000, "[scale] [threads] [repetitions]"));
+  params.threads = static_cast<std::uint32_t>(
+      cli::parse_positional("table1_overheads", "threads", argc, argv, 2, 4, 1, 64, "[scale] [threads] [repetitions]"));
+  const int reps = static_cast<int>(
+      cli::parse_positional("table1_overheads", "reps", argc, argv, 3, 3, 1, 10000, "[scale] [threads] [repetitions]"));
 
   const auto& specs = workloads::all_workloads();
   const auto rows = opt_rows();

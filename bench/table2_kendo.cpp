@@ -21,6 +21,7 @@
 
 #include "support/strings.hpp"
 #include "support/table.hpp"
+#include "cli_common.hpp"
 #include "workloads/harness.hpp"
 
 namespace {
@@ -33,9 +34,12 @@ constexpr double kPaperDetLockOverhead[] = {0, 11, 21, 38, 4};
 
 int main(int argc, char** argv) {
   workloads::WorkloadParams params;
-  params.scale = argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 8;
-  params.threads = argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 4;
-  const int reps = argc > 3 ? std::atoi(argv[3]) : 3;
+  params.scale = static_cast<std::uint32_t>(
+      cli::parse_positional("table2_kendo", "scale", argc, argv, 1, 8, 1, 1000000, "[scale] [threads] [reps]"));
+  params.threads = static_cast<std::uint32_t>(
+      cli::parse_positional("table2_kendo", "threads", argc, argv, 2, 4, 1, 64, "[scale] [threads] [reps]"));
+  const int reps = static_cast<int>(
+      cli::parse_positional("table2_kendo", "reps", argc, argv, 3, 3, 1, 10000, "[scale] [threads] [reps]"));
 
   const auto& specs = workloads::all_workloads();
   const std::vector<std::uint64_t> chunk_sweep = {256, 1024, 4096};

@@ -15,13 +15,16 @@
 
 #include "support/strings.hpp"
 #include "support/table.hpp"
+#include "cli_common.hpp"
 #include "workloads/harness.hpp"
 
 int main(int argc, char** argv) {
   using namespace detlock;
   workloads::WorkloadParams params;
-  params.scale = argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 2;
-  params.threads = argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 4;
+  params.scale = static_cast<std::uint32_t>(
+      cli::parse_positional("table_sites", "scale", argc, argv, 1, 2, 1, 1000000, "[scale] [threads]"));
+  params.threads = static_cast<std::uint32_t>(
+      cli::parse_positional("table_sites", "threads", argc, argv, 2, 4, 1, 64, "[scale] [threads]"));
 
   struct Row {
     const char* label;

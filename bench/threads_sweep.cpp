@@ -1,31 +1,120 @@
-// Thread-count scaling sweep (beyond the paper, which fixes 4 cores).
+// Thread-count scaling sweep (beyond the paper, which fixes 4 cores), plus
+// the clock-table equivalence and turn-wait scaling gate.
 //
 // Deterministic-execution overhead grows with thread count for two reasons:
-// the wait-for-turn scan is O(threads), and every lock acquisition must
-// order against more peers' clocks.  This harness reports baseline /
-// clocks-only / DetLock times for 1, 2, 4, and 8 program threads on each
-// workload (water_nsq is skipped at non-divisor counts of its 96 molecules).
+// the flat wait-for-turn scan is O(threads), and every lock acquisition
+// must order against more peers' clocks.  The min-clock tree
+// (runtime/clock_tree.hpp, --clock-table=tree, the default) removes the
+// first term; this harness both reports the human-readable sweep and gates
+// the tree's two contracts:
 //
-// Usage: threads_sweep [scale] [reps]
+//   * identity  -- for every workload x thread count x publication mode x
+//                  chaos seed (and both engines), the tree run's
+//                  fingerprints, instruction counts, lock schedules, and
+//                  per-thread final clocks are byte-identical to the flat
+//                  table's;
+//   * scaling   -- the turn predicate's cost per poll (slots examined per
+//                  has_turn: BackendStats turn_scan_slots / turn_polls)
+//                  stays bounded by a constant for the tree at EVERY
+//                  thread count -- i.e. sublinear in threads -- while the
+//                  flat scan's grows with the count.  The counter ratio is
+//                  the gate because it is machine-independent; wall-clock
+//                  turn-wait time (profiler categories kTurnWait +
+//                  kLockRetry) is recorded alongside as evidence.
+//
+// water_nsq partitions its 96 molecules evenly across threads, so it is
+// skipped (and the skip surfaced in the table) at thread counts that do
+// not divide 96 -- of the sweep's counts, only 64.
+//
+// Usage:
+//   threads_sweep [scale] [reps]        human table, counts 1..64
+//   threads_sweep --compare [--json=FILE] [--scale=N] [--reps=N]
+//                 [--max-scan-ratio=R]  CI gate (exit 2 on failure);
+//                 BENCH_threads.json is the checked-in reference output
 #include <cstdio>
-#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
+#include "cli_common.hpp"
+#include "runtime/profile.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
 #include "workloads/harness.hpp"
 
-int main(int argc, char** argv) {
-  using namespace detlock;
-  const std::uint32_t scale = argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 8;
-  const int reps = argc > 2 ? std::atoi(argv[2]) : 3;
-  const std::uint32_t thread_counts[] = {1, 2, 4, 8};
+namespace {
+
+using namespace detlock;
+
+bool water_skip(const workloads::WorkloadSpec& spec, std::uint32_t threads) {
+  return std::strcmp(spec.name, "water_nsq") == 0 && workloads::kWaterMolecules % threads != 0;
+}
+
+std::uint64_t turn_wait_ns(const runtime::ProfileSummary& p) {
+  return p.totals[static_cast<std::size_t>(runtime::WaitCategory::kTurnWait)].ns +
+         p.totals[static_cast<std::size_t>(runtime::WaitCategory::kLockRetry)].ns;
+}
+
+struct RunSpec {
+  api::Mode mode = api::Mode::kDetLock;
+  interp::EngineKind engine = interp::EngineKind::kDecoded;
+  bool chaos = false;
+  std::uint64_t chaos_seed = 1;
+  bool profile = false;
+};
+
+workloads::Measurement run_once(const workloads::WorkloadSpec& spec, std::uint32_t threads,
+                                std::uint32_t scale, runtime::ClockTableKind kind,
+                                const RunSpec& rs) {
+  workloads::WorkloadParams params;
+  params.threads = threads;
+  params.scale = scale;
+  workloads::MeasureOptions mo;
+  mo.mode = rs.mode;
+  mo.engine = rs.engine;
+  mo.pass_options = pass::PassOptions::all();
+  mo.clock_table = kind;
+  mo.record_trace = true;  // fingerprints are the point of the comparison
+  mo.repetitions = 1;
+  mo.profile = rs.profile;
+  mo.chaos = rs.chaos;
+  mo.chaos_seed = rs.chaos_seed;
+  return workloads::measure(spec, params, mo);
+}
+
+/// Everything the determinism contract promises to keep identical across
+/// clock-table kinds.
+bool same_run(const interp::RunResult& a, const interp::RunResult& b) {
+  return a.main_return == b.main_return && a.trace_fingerprint == b.trace_fingerprint &&
+         a.memory_fingerprint == b.memory_fingerprint && a.instructions == b.instructions &&
+         a.lock_acquires == b.lock_acquires && a.threads == b.threads &&
+         a.final_clocks == b.final_clocks &&
+         a.per_thread_instructions == b.per_thread_instructions;
+}
+
+double scan_per_poll(const runtime::BackendStats& s) {
+  return s.turn_polls == 0
+             ? 0.0
+             : static_cast<double>(s.turn_scan_slots) / static_cast<double>(s.turn_polls);
+}
+
+// ------------------------------------------------------------ table mode --
+
+int run_table(std::uint32_t scale, int reps) {
+  const std::uint32_t counts[] = {1, 2, 4, 8, 16, 32, 64};
 
   TextTable table;
   table.add_row({"workload", "threads", "baseline (ms)", "clocks (ms)", "detlock (ms)", "det overhead"});
   table.add_rule();
 
   for (const auto& spec : workloads::all_workloads()) {
-    for (const std::uint32_t threads : thread_counts) {
+    for (const std::uint32_t threads : counts) {
+      if (water_skip(spec, threads)) {
+        table.add_row({spec.name, std::to_string(threads), "--", "--", "--",
+                       str_format("skip (%u %% %u != 0)", workloads::kWaterMolecules, threads)});
+        continue;
+      }
       workloads::WorkloadParams params;
       params.threads = threads;
       params.scale = scale;
@@ -53,4 +142,193 @@ int main(int argc, char** argv) {
   std::printf("\nExpected: det overhead grows with thread count (more peers to order against);\n"
               "single-threaded runs pay only the clock-update code.\n");
   return 0;
+}
+
+// ---------------------------------------------------------- compare mode --
+
+int run_compare(const std::string& json_path, std::uint32_t scale, int reps,
+                double max_scan_ratio) {
+  const std::uint32_t gate_counts[] = {8, 16, 32, 64};
+  bool identity_failed = false;
+  bool scaling_failed = false;
+  std::string rows_json;
+
+  const auto note_mismatch = [&identity_failed](const char* what, const char* workload,
+                                                std::uint32_t threads) {
+    identity_failed = true;
+    std::fprintf(stderr, "threads_sweep: FAIL: flat vs tree diverge (%s, %s, %u threads)\n", what,
+                 workload, threads);
+  };
+
+  // Band 1: the scaling band.  DetLock mode, decoded engine, every-update
+  // publication, profiled; this is where the scan-per-poll gate applies.
+  std::printf("clock-table comparison, detlock mode (scale=%u, best of %d)\n", scale, reps);
+  std::printf("%-10s %7s | %9s %12s %11s | %9s %12s %11s | %s\n", "workload", "threads",
+              "flat s/p", "flat wait us", "flat ms", "tree s/p", "tree wait us", "tree ms", "same");
+  for (const std::uint32_t threads : gate_counts) {
+    for (const auto& spec : workloads::all_workloads()) {
+      if (water_skip(spec, threads)) {
+        std::printf("%-10s %7u | skip (%u %% %u != 0)\n", spec.name, threads,
+                    workloads::kWaterMolecules, threads);
+        continue;
+      }
+      RunSpec rs;
+      rs.profile = true;
+      workloads::Measurement flat;
+      workloads::Measurement tree;
+      // Best-of-reps for the wall-clock numbers; identity must hold for
+      // every rep, so compare inside the loop.
+      for (int rep = 0; rep < reps; ++rep) {
+        workloads::Measurement f = run_once(spec, threads, scale, runtime::ClockTableKind::kFlat, rs);
+        workloads::Measurement t = run_once(spec, threads, scale, runtime::ClockTableKind::kTree, rs);
+        if (!same_run(f.run, t.run)) note_mismatch("detlock/every-update", spec.name, threads);
+        if (rep == 0 || f.seconds < flat.seconds) flat = std::move(f);
+        if (rep == 0 || t.seconds < tree.seconds) tree = std::move(t);
+      }
+      const double flat_spp = scan_per_poll(flat.run.sync);
+      const double tree_spp = scan_per_poll(tree.run.sync);
+      // The sublinearity gate: a constant per-poll bound independent of the
+      // thread count.  (The flat scan's ratio is reported for contrast and
+      // deliberately ungated -- it is the O(threads) baseline.)
+      if (tree_spp > max_scan_ratio) {
+        scaling_failed = true;
+        std::fprintf(stderr,
+                     "threads_sweep: FAIL: tree scan/poll %.2f exceeds %.2f (%s, %u threads)\n",
+                     tree_spp, max_scan_ratio, spec.name, threads);
+      }
+      const bool same = same_run(flat.run, tree.run);
+      std::printf("%-10s %7u | %9.2f %12.0f %11.1f | %9.2f %12.0f %11.1f | %s\n", spec.name,
+                  threads, flat_spp, turn_wait_ns(flat.profile) / 1e3, flat.seconds * 1e3, tree_spp,
+                  turn_wait_ns(tree.profile) / 1e3, tree.seconds * 1e3, same ? "yes" : "NO");
+      char row[512];
+      std::snprintf(row, sizeof row,
+                    "%s    {\"workload\": \"%s\", \"threads\": %u, "
+                    "\"flat_scan_per_poll\": %.3f, \"tree_scan_per_poll\": %.3f, "
+                    "\"flat_turn_wait_ns\": %llu, \"tree_turn_wait_ns\": %llu, "
+                    "\"turn_polls\": %llu, \"identical\": %s}",
+                    rows_json.empty() ? "" : ",\n", spec.name, threads, flat_spp, tree_spp,
+                    static_cast<unsigned long long>(turn_wait_ns(flat.profile)),
+                    static_cast<unsigned long long>(turn_wait_ns(tree.profile)),
+                    static_cast<unsigned long long>(tree.run.sync.turn_polls),
+                    same ? "true" : "false");
+      rows_json += row;
+    }
+  }
+
+  // Band 2: identity across the rest of the matrix -- chunked publication
+  // (kendo-sim), the reference engine, and chaos seeds.  Unprofiled and at
+  // a reduced count set: these runs exist to pin byte-identity, not to
+  // measure.
+  struct IdentityBand {
+    const char* label;
+    RunSpec rs;
+    std::vector<std::uint32_t> counts;
+  };
+  const IdentityBand bands[] = {
+      {"kendo-sim/chunked",
+       {api::Mode::kKendoSim, interp::EngineKind::kDecoded, false, 0, false},
+       {8, 32}},
+      {"detlock/reference-engine",
+       {api::Mode::kDetLock, interp::EngineKind::kReference, false, 0, false},
+       {16}},
+      {"detlock/chaos-seed-1",
+       {api::Mode::kDetLock, interp::EngineKind::kDecoded, true, 1, false},
+       {32}},
+      {"detlock/chaos-seed-7",
+       {api::Mode::kDetLock, interp::EngineKind::kDecoded, true, 7, false},
+       {32}},
+  };
+  for (const IdentityBand& band : bands) {
+    for (const std::uint32_t threads : band.counts) {
+      for (const auto& spec : workloads::all_workloads()) {
+        if (water_skip(spec, threads)) continue;
+        const workloads::Measurement f =
+            run_once(spec, threads, scale, runtime::ClockTableKind::kFlat, band.rs);
+        const workloads::Measurement t =
+            run_once(spec, threads, scale, runtime::ClockTableKind::kTree, band.rs);
+        if (!same_run(f.run, t.run)) note_mismatch(band.label, spec.name, threads);
+      }
+    }
+    std::printf("identity band %-26s %s\n", band.label,
+                identity_failed ? "checked (failures above)" : "identical");
+  }
+
+  const bool failed = identity_failed || scaling_failed;
+  std::string json =
+      "{\n  \"bench\": \"threads_sweep\",\n  \"metric\": \"turn_scan_slots_per_poll\",\n";
+  json += "  \"rows\": [\n" + rows_json + "\n  ],\n";
+  json += "  \"max_scan_ratio\": " + str_format("%.2f", max_scan_ratio) + ",\n";
+  json += std::string("  \"identity\": \"") + (identity_failed ? "fail" : "pass") + "\",\n";
+  json += std::string("  \"gate\": \"") + (failed ? "fail" : "pass") + "\"\n}\n";
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "threads_sweep: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    out << json;
+  }
+  if (failed) {
+    std::fprintf(stderr, "threads_sweep: FAIL: %s\n",
+                 identity_failed ? "clock-table kinds are not byte-identical"
+                                 : "tree turn-predicate cost is not O(1) per poll");
+    return 2;
+  }
+  std::printf("gate: pass (tree scan/poll <= %.2f at every thread count, all runs identical)\n",
+              max_scan_ratio);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto usage = [argv] {
+    std::fprintf(stderr,
+                 "usage: %s [scale] [reps]\n"
+                 "       %s --compare [--json=FILE] [--scale=N] [--reps=N] [--max-scan-ratio=R]\n",
+                 argv[0], argv[0]);
+    std::exit(cli::kUsageExit);
+  };
+
+  bool compare = false;
+  std::string json_path;
+  std::uint32_t scale = 0;  // 0 = mode default (8 table, 1 compare)
+  int reps = 0;             // 0 = mode default (3 table, 2 compare)
+  double max_scan_ratio = 3.0;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--compare") {
+      compare = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg.rfind("--scale=", 0) == 0) {
+      scale = static_cast<std::uint32_t>(
+          cli::parse_int_flag("threads_sweep", "--scale", arg.substr(8), 1, 1'000'000, usage));
+    } else if (arg.rfind("--reps=", 0) == 0) {
+      reps = static_cast<int>(
+          cli::parse_int_flag("threads_sweep", "--reps", arg.substr(7), 1, 10'000, usage));
+    } else if (arg.rfind("--max-scan-ratio=", 0) == 0) {
+      max_scan_ratio = cli::parse_double_flag("threads_sweep", "--max-scan-ratio", arg.substr(17),
+                                              0.1, 1e6, usage);
+    } else if (arg.rfind("--", 0) == 0) {
+      usage();
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (!positional.empty()) {
+    scale = static_cast<std::uint32_t>(
+        cli::parse_int_flag("threads_sweep", "scale", positional[0], 1, 1'000'000, usage));
+  }
+  if (positional.size() > 1) {
+    reps = static_cast<int>(
+        cli::parse_int_flag("threads_sweep", "reps", positional[1], 1, 10'000, usage));
+  }
+  if (positional.size() > 2) usage();
+
+  if (compare) {
+    return run_compare(json_path, scale ? scale : 1, reps ? reps : 2, max_scan_ratio);
+  }
+  return run_table(scale ? scale : 8, reps ? reps : 3);
 }

@@ -23,6 +23,20 @@ std::optional<Mode> mode_from_name(std::string_view name) {
   return std::nullopt;
 }
 
+const char* clock_table_name(runtime::ClockTableKind kind) {
+  switch (kind) {
+    case runtime::ClockTableKind::kFlat: return "flat";
+    case runtime::ClockTableKind::kTree: return "tree";
+  }
+  DETLOCK_UNREACHABLE("bad clock-table kind");
+}
+
+std::optional<runtime::ClockTableKind> clock_table_from_name(std::string_view name) {
+  if (name == "flat") return runtime::ClockTableKind::kFlat;
+  if (name == "tree") return runtime::ClockTableKind::kTree;
+  return std::nullopt;
+}
+
 std::optional<std::string> RunConfig::validate() const {
   if (kendo_chunk_size < 1) return "kendo chunk size must be >= 1";
   if (threads_max < 1 || threads_max > (1u << 16)) {
@@ -49,6 +63,7 @@ interp::EngineConfig RunConfig::engine_config(std::size_t memory_hint) const {
     config.memory_words = memory_hint;
   }
   config.runtime.max_threads = threads_max;
+  config.runtime.clock_table = clock_table;
   config.runtime.record_trace = record_trace;
   config.runtime.keep_trace_events = keep_trace_events;
   config.runtime.profile = profile || profile_spans;

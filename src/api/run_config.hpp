@@ -36,6 +36,10 @@ const char* mode_name(Mode mode);
 /// instrumented code on plain locks) and "kendo" (== kendo-sim).
 std::optional<Mode> mode_from_name(std::string_view name);
 
+/// "flat" / "tree" for --clock-table= and report output.
+const char* clock_table_name(runtime::ClockTableKind kind);
+std::optional<runtime::ClockTableKind> clock_table_from_name(std::string_view name);
+
 struct RunConfig {
   Mode mode = Mode::kDetLock;
   /// Execution engine; the predecoded direct-threaded engine is the default
@@ -46,6 +50,11 @@ struct RunConfig {
   std::uint64_t kendo_chunk_size = 2048;
   /// Runtime thread-slot budget (guest threads, not host workers).
   std::uint32_t threads_max = 64;
+  /// Turn-predicate structure for the deterministic backend: the min-clock
+  /// tree (default) or the flat scan oracle.  Never changes observable
+  /// behavior, only the cost of a turn check (see
+  /// docs/turn-protocol-scaling.md).
+  runtime::ClockTableKind clock_table = runtime::ClockTableKind::kTree;
   /// Guest memory in 64-bit words; 0 picks the engine default (or the
   /// workload's sizing hint in measure()).
   std::size_t memory_words = 0;

@@ -25,6 +25,13 @@ struct BackendStats {
   std::uint64_t failed_trylocks = 0;   // acquire attempts retried
   std::uint64_t barrier_waits = 0;
   std::uint64_t clock_publications = 0;
+  /// Turn-predicate cost counters (DetBackend only; zero elsewhere).
+  /// turn_polls counts has_turn evaluations; turn_scan_slots counts slots
+  /// examined across them -- ~1/poll for the min-clock tree vs up to
+  /// O(registered)/poll for the flat scan.  The scan/poll ratio is
+  /// bench/threads_sweep's machine-independent turn-wait scaling signal.
+  std::uint64_t turn_polls = 0;
+  std::uint64_t turn_scan_slots = 0;
 };
 
 /// Backends are also StallSources: the watchdog samples their per-thread

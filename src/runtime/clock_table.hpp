@@ -13,12 +13,25 @@
 //    sampled at overflow interrupts; other threads observe progress only
 //    every chunk_size units, which is exactly the latency disadvantage the
 //    paper exploits in Table II.
+//
+// Turn-predicate layout (RuntimeConfig::clock_table):
+//  * kFlat -- has_turn scans every registered slot (softened by the
+//    cached-blocker fast path).  The original layout; kept as the
+//    differential oracle for the tree.
+//  * kTree -- a MinClockTree (runtime/clock_tree.hpp) mirrors every
+//    published clock as a packed (clock, id) leaf; has_turn is one root
+//    read.  Every publication path (activate / publish / park /
+//    force_publish / finish) also updates the tree, so the two structures
+//    answer identically poll-for-poll; docs/turn-protocol-scaling.md has
+//    the full argument.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "runtime/clock_tree.hpp"
 #include "runtime/config.hpp"
 #include "support/cacheline.hpp"
 #include "support/error.hpp"
@@ -32,9 +45,18 @@ enum class ThreadState : std::uint8_t { kUnused = 0, kLive = 1, kFinished = 2 };
 class ClockTable {
  public:
   explicit ClockTable(const RuntimeConfig& config)
-      : publication_(config.publication), chunk_size_(config.chunk_size), slots_(config.max_threads) {}
+      : publication_(config.publication),
+        chunk_size_(config.chunk_size),
+        slots_(config.max_threads),
+        tree_(config.clock_table == ClockTableKind::kTree
+                  ? std::make_unique<MinClockTree>(config.max_threads)
+                  : nullptr) {}
 
   std::uint32_t capacity() const { return static_cast<std::uint32_t>(slots_.size()); }
+
+  ClockTableKind kind() const {
+    return tree_ ? ClockTableKind::kTree : ClockTableKind::kFlat;
+  }
 
   /// Activates a slot with an initial clock.  Caller (the registration path
   /// in the backend) serializes slot allocation.
@@ -46,6 +68,17 @@ class ClockTable {
     s.last_published = initial_clock;
     s.published.store(initial_clock, std::memory_order_release);
     s.state.store(ThreadState::kLive, std::memory_order_release);
+    if (tree_) tree_->update(id, initial_clock);
+    // Registered-slot high-water mark: scans (and the cached-blocker reuse
+    // check) only ever look at [0, registered).  Monotone -- finish keeps
+    // the slot counted so finished threads' final clocks stay readable.
+    // Missing a concurrently activating slot is safe for the same reason
+    // flat staleness is: the child's initial clock exceeds the (already
+    // registered) parent's published clock, so the child could not have
+    // denied any turn the parent's clock did not already deny.
+    if (id + 1 > registered_.load(std::memory_order_relaxed)) {
+      registered_.store(id + 1, std::memory_order_release);
+    }
   }
 
   /// Owner-thread only: advance the local clock, publishing per policy.
@@ -54,7 +87,7 @@ class ClockTable {
     Slot& s = slot(id);
     s.local += delta;
     if (publication_ == ClockPublication::kEveryUpdate || s.local - s.last_published >= chunk_size_) {
-      publish(s);
+      publish(id, s);
       return true;
     }
     return false;
@@ -63,7 +96,7 @@ class ClockTable {
   /// Owner-thread only: force the published value up to date (entry to any
   /// synchronization operation does this in chunked mode -- Kendo reads the
   /// performance counter when its runtime is entered).
-  void flush(ThreadId id) { publish(slot(id)); }
+  void flush(ThreadId id) { publish(id, slot(id)); }
 
   /// Owner-thread only: local (exact) clock.
   std::uint64_t local(ThreadId id) const { return slots_[id].value.local; }
@@ -84,13 +117,14 @@ class ClockTable {
   /// clock is preserved by the caller and restored via set_clock.
   void park(ThreadId id) {
     slot(id).published.store(kClockInfinity, std::memory_order_release);
+    if (tree_) tree_->update(id, kClockInfinity);
   }
 
   /// Owner-thread only: hard-set the clock (barrier release, join return).
   void set_clock(ThreadId id, std::uint64_t value) {
     Slot& s = slot(id);
     s.local = value;
-    publish(s);
+    publish(id, s);
   }
 
   /// ANY thread: overwrite a parked thread's published clock.  Used only by
@@ -103,6 +137,7 @@ class ClockTable {
   /// and rewrites the same value.
   void force_publish(ThreadId id, std::uint64_t value) {
     slot(id).published.store(value, std::memory_order_release);
+    if (tree_) tree_->update(id, value);
   }
 
   /// Owner-thread only: mark finished; clock stays at +infinity so the turn
@@ -111,29 +146,48 @@ class ClockTable {
     Slot& s = slot(id);
     s.published.store(kClockInfinity, std::memory_order_release);
     s.state.store(ThreadState::kFinished, std::memory_order_release);
+    if (tree_) tree_->update(id, kClockInfinity);
   }
 
   /// The Kendo turn predicate: `id` holds the turn iff its published clock
   /// is strictly minimal among live threads, ties broken by smaller id.
   /// Parked/finished threads sit at +infinity and never block anyone.
   ///
-  /// "Remember the blocker" fast path: a waiter typically loses the turn to
-  /// the SAME thread for many consecutive polls (that thread is grinding
-  /// through the compute that keeps its clock minimal), so each slot caches
-  /// the last thread that denied it and re-polls only that slot -- one
-  /// acquire load instead of an O(T) scan.  The full scan runs only when
-  /// the cached blocker stops denying, and it is the sole source of `true`,
-  /// so the decision is always exactly the full-scan predicate evaluated at
-  /// this poll.  The cache is an owner-thread field (only thread `id` calls
-  /// has_turn(id) under the turn protocol); it lives on the slot's own
-  /// cache line, so updating it causes no cross-thread traffic.
+  /// Tree mode answers with one root read (MinClockTree::min_is); packed
+  /// (clock, id) order makes the root's value the flat predicate's winner,
+  /// so the answer is identical poll-for-poll (the differential oracle in
+  /// tests/runtime/clock_tree_test.cpp holds the two modes to that).
+  ///
+  /// Flat mode, "remember the blocker" fast path: a waiter typically loses
+  /// the turn to the SAME thread for many consecutive polls (that thread is
+  /// grinding through the compute that keeps its clock minimal), so each
+  /// slot caches the last thread that denied it and re-polls only that
+  /// slot -- one acquire load instead of an O(T) scan.  The full scan runs
+  /// only when the cached blocker stops denying, and it is the sole source
+  /// of `true`, so the decision is always exactly the full-scan predicate
+  /// evaluated at this poll.  The cache is an owner-thread field (only
+  /// thread `id` calls has_turn(id) under the turn protocol); it lives on
+  /// the slot's own cache line, so updating it causes no cross-thread
+  /// traffic.
   bool has_turn(ThreadId id) const {
     const std::uint64_t mine = published(id);
     const Slot& me = slots_[id].value;
+    ++me.turn_polls;
+    if (tree_ && mine != kClockInfinity) {
+      ++me.turn_scan_slots;
+      return tree_->min_is(id, mine);
+    }
+    // Flat scan (also the degenerate parked-poller case in tree mode,
+    // where `mine` does not fit the packed representation).
+    const std::uint32_t n = registered_.load(std::memory_order_acquire);
     const std::uint32_t cached = me.cached_blocker;
-    if (cached < slots_.size() && cached != id && denies_turn(cached, id, mine)) return false;
-    for (std::uint32_t u = 0; u < slots_.size(); ++u) {
+    if (cached < n && cached != id) {
+      ++me.turn_scan_slots;
+      if (denies_turn(cached, id, mine)) return false;
+    }
+    for (std::uint32_t u = 0; u < n; ++u) {
       if (u == id) continue;
+      ++me.turn_scan_slots;
       if (denies_turn(u, id, mine)) {
         me.cached_blocker = u;
         return false;
@@ -143,16 +197,43 @@ class ClockTable {
   }
 
   std::uint32_t live_count() const {
-    std::uint32_t n = 0;
-    for (std::uint32_t u = 0; u < slots_.size(); ++u) {
-      if (slots_[u].value.state.load(std::memory_order_acquire) == ThreadState::kLive) ++n;
+    const std::uint32_t n = registered_.load(std::memory_order_acquire);
+    std::uint32_t count = 0;
+    for (std::uint32_t u = 0; u < n; ++u) {
+      if (slots_[u].value.state.load(std::memory_order_acquire) == ThreadState::kLive) ++count;
     }
-    return n;
+    return count;
   }
+
+  /// High-water mark of activated slots: scans cover [0, registered) only.
+  std::uint32_t registered_count() const { return registered_.load(std::memory_order_acquire); }
 
   std::uint64_t publication_count() const {
     std::uint64_t n = 0;
-    for (const auto& padded : slots_) n += padded.value.publications;
+    const std::uint32_t r = registered_.load(std::memory_order_acquire);
+    for (std::uint32_t u = 0; u < r; ++u) n += slots_[u].value.publications;
+    return n;
+  }
+
+  /// Total has_turn evaluations (all slots).  Owner-thread counters summed
+  /// without synchronization: exact once the owning threads have joined
+  /// (the same discipline as publication_count), which is when
+  /// BackendStats reads them.
+  std::uint64_t turn_poll_count() const {
+    std::uint64_t n = 0;
+    const std::uint32_t r = registered_.load(std::memory_order_acquire);
+    for (std::uint32_t u = 0; u < r; ++u) n += slots_[u].value.turn_polls;
+    return n;
+  }
+
+  /// Total slots examined across all has_turn evaluations: ~1/poll in tree
+  /// mode (the root read) vs up to O(registered)/poll in flat mode.  The
+  /// scan-per-poll ratio is bench/threads_sweep's machine-independent
+  /// sublinearity signal.
+  std::uint64_t turn_scan_slot_count() const {
+    std::uint64_t n = 0;
+    const std::uint32_t r = registered_.load(std::memory_order_acquire);
+    for (std::uint32_t u = 0; u < r; ++u) n += slots_[u].value.turn_scan_slots;
     return n;
   }
 
@@ -164,10 +245,14 @@ class ClockTable {
     std::uint64_t local = 0;
     std::uint64_t last_published = 0;
     std::uint64_t publications = 0;
-    /// Last thread observed denying this slot the turn (has_turn fast
+    /// Last thread observed denying this slot the turn (flat has_turn fast
     /// path).  Owner-thread only; mutable because the turn predicate is
     /// logically const.  ~0u = no blocker cached yet.
     mutable std::uint32_t cached_blocker = ~0u;
+    /// has_turn evaluations by this slot, and slots examined across them
+    /// (owner-thread profiling counters; see turn_scan_slot_count).
+    mutable std::uint64_t turn_polls = 0;
+    mutable std::uint64_t turn_scan_slots = 0;
   };
 
   /// True when live thread `u` denies `id` (published clock `mine`) the
@@ -184,21 +269,27 @@ class ClockTable {
     return slots_[id].value;
   }
 
-  void publish(Slot& s) {
+  void publish(ThreadId id, Slot& s) {
     if (s.published.load(std::memory_order_relaxed) == s.local) {
       // Already visible (e.g. the barrier releaser force-published our
-      // resume clock); still resynchronize the chunking bookkeeping.
+      // resume clock, updating the tree too); still resynchronize the
+      // chunking bookkeeping.
       s.last_published = s.local;
       return;
     }
     s.published.store(s.local, std::memory_order_release);
     s.last_published = s.local;
     ++s.publications;
+    if (tree_) tree_->update(id, s.local);
   }
 
   ClockPublication publication_;
   std::uint64_t chunk_size_;
   std::vector<Padded<Slot>> slots_;
+  /// One-past-the-highest activated slot id; see activate().
+  std::atomic<std::uint32_t> registered_{0};
+  /// Hierarchical min mirror (kTree mode); null in kFlat mode.
+  std::unique_ptr<MinClockTree> tree_;
 };
 
 }  // namespace detlock::runtime

@@ -1,0 +1,103 @@
+#include "runtime/clock_tree.hpp"
+
+#include <algorithm>
+
+namespace detlock::runtime {
+
+namespace {
+
+std::uint32_t round_up_div(std::uint32_t n, std::uint32_t d) { return (n + d - 1) / d; }
+
+}  // namespace
+
+MinClockTree::MinClockTree(std::uint32_t capacity) : capacity_(capacity) {
+  DETLOCK_CHECK(capacity >= 1, "MinClockTree needs at least one slot");
+  DETLOCK_CHECK(capacity <= kIdMask + 1, "MinClockTree slot ids must fit in 16 packed bits");
+  // Leaves, then successively smaller combining levels down to a single
+  // root.  A capacity that already fits one node still gets a root level so
+  // root() always reads a combining node (one settled word).
+  std::uint32_t width = capacity;
+  levels_.emplace_back(width);
+  do {
+    width = round_up_div(width, kArity);
+    levels_.emplace_back(width);
+  } while (width > 1);
+}
+
+void MinClockTree::refresh(std::size_t level, std::uint32_t index) {
+  Node& node = levels_[level][index].value;
+  while (node.busy.exchange(true, std::memory_order_seq_cst)) {
+    // Tiny critical section (<= kArity loads + one store); spin.
+  }
+  const auto& children = levels_[level - 1];
+  const std::uint32_t first = index * kArity;
+  const std::uint32_t last =
+      std::min<std::uint32_t>(first + kArity, static_cast<std::uint32_t>(children.size()));
+  std::uint64_t min = kPackedInfinity;
+  for (std::uint32_t c = first; c < last; ++c) {
+    const std::uint64_t v = children[c].value.min.load(std::memory_order_seq_cst);
+    if (v < min) min = v;
+  }
+  node.min.store(min, std::memory_order_seq_cst);
+  node.busy.store(false, std::memory_order_seq_cst);
+}
+
+std::uint32_t MinClockTree::update(std::uint32_t id, std::uint64_t clock) {
+  DETLOCK_CHECK(id < capacity_, "MinClockTree slot id out of range");
+  const std::uint64_t packed =
+      clock == ~std::uint64_t{0} ? kPackedInfinity : pack(clock, id);
+  levels_[0][id].value.min.store(packed, std::memory_order_seq_cst);
+
+  std::uint32_t refreshed = 0;
+  std::uint32_t index = id;
+  // Leaf-slot span covered by the CHILD we ascend from (1 at level 1: the
+  // leaf itself); a node must be recomputed when its value quotes a leaf in
+  // that span, because the value we are pushing up from there has changed.
+  std::uint64_t span = 1;
+  for (std::size_t level = 1; level < levels_.size(); ++level, span *= kArity) {
+    index /= kArity;
+    Node& node = levels_[level][index].value;
+    for (;;) {
+      const std::uint64_t cur = node.min.load(std::memory_order_seq_cst);
+      const bool improves = packed < cur;
+      // The node quotes a value from this subtree (possibly a stale one):
+      // it must be recomputed even when we only raised our leaf, or the
+      // old value would linger at this level forever.
+      const bool quotes_ours = cur != kPackedInfinity &&
+                               packed_id(cur) / span == static_cast<std::uint64_t>(id) / span;
+      if (improves || quotes_ours) {
+        refresh(level, index);
+        ++refreshed;
+        break;
+      }
+      // Prune candidate: the node's minimum comes from a sibling subtree
+      // and is <= ours, so our change cannot alter this level or any
+      // above.  That conclusion is only sound if no concurrent refresh is
+      // mid-flight with a snapshot of our OLD leaf (it would write a value
+      // quoting us back AFTER we walked away, and -- if we never publish
+      // again, e.g. this update parks or finishes the slot -- nobody would
+      // ever clear it, wedging every waiter).  Triple-check under seq_cst:
+      // observing busy == false here means any later refresher's child
+      // loads are ordered after our leaf store above (it sees the new
+      // value), and re-reading an unchanged `min` rules out a refresh that
+      // completed between the two reads.  A changed value or a busy
+      // refresher sends us around the loop to re-decide.
+      if (!node.busy.load(std::memory_order_seq_cst) &&
+          node.min.load(std::memory_order_seq_cst) == cur) {
+        return refreshed;
+      }
+    }
+  }
+  return refreshed;
+}
+
+void MinClockTree::repair(std::uint32_t id) {
+  DETLOCK_CHECK(id < capacity_, "MinClockTree slot id out of range");
+  std::uint32_t index = id;
+  for (std::size_t level = 1; level < levels_.size(); ++level) {
+    index /= kArity;
+    refresh(level, index);
+  }
+}
+
+}  // namespace detlock::runtime

@@ -1,0 +1,155 @@
+// Hierarchical min-clock structure for the turn predicate.
+//
+// The Kendo turn test asks "is my published clock the strict minimum over
+// all live threads (ties broken by smaller id)?".  The flat ClockTable
+// answers it with an O(threads) scan per poll; this tree answers it with
+// ONE atomic load of a combining root, moving the cost to the (much rarer)
+// publications that actually change a subtree minimum:
+//
+//   leaves    one packed (clock, id) word per thread slot, cache-line
+//             padded (written on every publication; padding keeps a
+//             publication from invalidating a neighbor's line)
+//   shards    every kArity leaves combine into a padded summary node
+//   ...       summaries combine kArity-at-a-time up to
+//   root      a single word whose value IS the global minimum
+//
+// Packing: (clock << 16) | id.  Unsigned comparison of packed words is
+// exactly the turn order -- smaller clock first, then smaller id -- so a
+// node's minimum is a plain min over child words and the tie-break
+// invariant needs no separate code path.  Parked / finished / unregistered
+// slots hold kPackedInfinity (all ones) and never win a minimum.
+//
+// Propagation (update) is performed by the PUBLISHING thread,
+// synchronously, before it returns from the clock-table operation.  At
+// each level the updater refreshes the node -- under a tiny per-node
+// spinlock: read all children, store the min -- when its change can affect
+// the node's value:
+//
+//   * the new leaf value is smaller than the node's current value
+//     (a new minimum is arriving), or
+//   * the node's current value carries an id from the updater's own
+//     subtree (the node quotes this subtree, so a raise here must be
+//     re-propagated or the old value would linger).
+//
+// Otherwise the node's minimum comes from a sibling subtree and is no
+// larger than ours: our change cannot alter it, and the walk stops -- but
+// only after the triple-check documented at update() rules out an
+// in-flight refresh still holding a snapshot of our OLD leaf.  A thread
+// that is not the current minimum therefore pays one leaf store plus three
+// root-shard loads per publication; only the front-runner -- whose clock
+// everyone else is waiting on -- walks its full O(arity * log threads)
+// path.
+//
+// Why staleness is safe (the same argument the flat scan relies on): a
+// thread's published clock only ever *rises* while it competes for turns.
+// The three lowering transitions are all shielded:
+//   * activate (spawn): the child's initial clock exceeds the parent's
+//     published clock, and the parent's own leaf is already settled in the
+//     tree, so the root stays below the child's clock throughout;
+//   * barrier release (force_publish): every live thread is parked in the
+//     barrier while the releaser republishes resume clocks, and the
+//     propagation completes before the generation word opens the round;
+//   * post-park set_clock: the releaser already force-published the same
+//     value, so the owner's store is a no-op for the tree.
+// A stale node value is therefore always <= the live value of the thread
+// it quotes: reading it can only deny a turn (one extra poll), never grant
+// one early.  Every lingering stale value is eventually repaired -- by the
+// quoted thread's next publication (the own-subtree rule), or by the
+// poller-side repair in min_is when the root quotes the poller itself.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "support/cacheline.hpp"
+#include "support/error.hpp"
+
+namespace detlock::runtime {
+
+class MinClockTree {
+ public:
+  /// Packed id width: 16 bits (65536 slots), leaving 48 bits of clock.
+  static constexpr std::uint32_t kIdBits = 16;
+  static constexpr std::uint64_t kIdMask = (std::uint64_t{1} << kIdBits) - 1;
+  /// Clocks above this are unrepresentable; pack() checks (a run would need
+  /// ~2.8e14 retired guest instructions to get there).
+  static constexpr std::uint64_t kMaxPackedClock = (std::uint64_t{1} << (64 - kIdBits)) - 2;
+  /// All-ones: parked / finished / unregistered.  Compares greater than
+  /// every real (clock, id) pair, so it never wins a minimum.
+  static constexpr std::uint64_t kPackedInfinity = ~std::uint64_t{0};
+  /// Fan-in per combining node: 8 leaves -> 1 summary keeps the tree two
+  /// levels deep up to 64 threads and three up to 512.
+  static constexpr std::uint32_t kArity = 8;
+
+  static std::uint64_t pack(std::uint64_t clock, std::uint32_t id) {
+    DETLOCK_CHECK(clock <= kMaxPackedClock, "logical clock exceeds the packable range (2^48)");
+    return (clock << kIdBits) | id;
+  }
+  static std::uint32_t packed_id(std::uint64_t packed) {
+    return static_cast<std::uint32_t>(packed & kIdMask);
+  }
+  static std::uint64_t packed_clock(std::uint64_t packed) { return packed >> kIdBits; }
+
+  explicit MinClockTree(std::uint32_t capacity);
+
+  /// Publishes `clock` (kClockInfinity = ~0 parks the slot) as slot `id`'s
+  /// leaf and propagates as far up as the change can matter.  Called by the
+  /// slot owner on every publication, and by the barrier releaser on behalf
+  /// of parked participants (force_publish).  Returns the number of
+  /// combining nodes refreshed (0 on the pruned fast path; profiling
+  /// signal only).
+  std::uint32_t update(std::uint32_t id, std::uint64_t clock);
+
+  /// The current global minimum as a packed (clock, id) word.
+  std::uint64_t root() const { return levels_.back()[0].value.min.load(std::memory_order_acquire); }
+
+  /// The turn predicate: true iff (clock, id) IS the global minimum.
+  /// Exactly the flat scan's answer in quiescent states: the root is the
+  /// min over live packed values, unsigned packed order is the turn order,
+  /// and the poller's own leaf (settled: the owner propagated it) bounds
+  /// the root from above, so root == mine <=> nobody smaller exists.
+  /// The repair branch fires only when the root quotes a stale value of
+  /// the POLLER's own (racy-staleness case in the header); it is
+  /// unreachable in single-threaded use, keeping the predicate
+  /// poll-for-poll identical to the flat scan for the differential oracle.
+  bool min_is(std::uint32_t id, std::uint64_t clock) {
+    const std::uint64_t mine = pack(clock, id);
+    const std::uint64_t top = root();
+    if (top == mine) return true;
+    if (top < mine && packed_id(top) != id) return false;
+    // top quotes a stale value of OURS (or, defensively, sits above our
+    // settled leaf): re-propagate and re-read.
+    repair(id);
+    return root() == mine;
+  }
+
+  /// Unconditional leaf-to-root refresh of `id`'s path (poller-side
+  /// staleness repair).
+  void repair(std::uint32_t id);
+
+  std::uint32_t capacity() const { return capacity_; }
+  std::uint32_t depth() const { return static_cast<std::uint32_t>(levels_.size()) - 1; }
+
+ private:
+  struct Node {
+    std::atomic<std::uint64_t> min{kPackedInfinity};
+    /// Serializes refresh(): read children, store min.  Concurrent
+    /// refreshes of one node would otherwise race a stale child snapshot
+    /// over a fresher store (the classic lost-update on combining trees).
+    /// Never nested: refresh reads children's `min` words without locks.
+    std::atomic<bool> busy{false};
+  };
+
+  /// Recomputes node (level, index) from its children under its lock.
+  void refresh(std::size_t level, std::uint32_t index);
+
+  /// levels_[0] = leaves (one per slot); levels_.back() = the single root
+  /// node.  Every element is padded to a cache line: leaves are written
+  /// per-publication by their owner, nodes by whoever propagates through
+  /// them.
+  std::vector<std::vector<Padded<Node>>> levels_;
+  std::uint32_t capacity_;
+};
+
+}  // namespace detlock::runtime

@@ -11,6 +11,20 @@ using MutexId = std::uint64_t;
 using BarrierId = std::uint64_t;
 using CondVarId = std::uint64_t;
 
+/// How the turn predicate (ClockTable::has_turn) finds the global minimum
+/// over published clocks.
+enum class ClockTableKind {
+  /// O(threads) scan over all published clocks per poll (softened by the
+  /// cached-blocker fast path).  The original layout; kept as the
+  /// differential oracle for the tree.
+  kFlat,
+  /// Hierarchical min-clock tournament tree (runtime/clock_tree.hpp):
+  /// cache-line-padded sharded (clock, id) mins with a combining root, so a
+  /// turn check is one root read -- O(1) amortized -- and a publication
+  /// updates at most the O(log threads) path that its value affects.
+  kTree,
+};
+
 /// How a thread's locally accumulated logical clock becomes visible to the
 /// turn protocol.
 enum class ClockPublication {
@@ -31,6 +45,13 @@ class SyncObserver;
 
 struct RuntimeConfig {
   std::uint32_t max_threads = 64;
+  /// Turn-predicate data structure (see ClockTableKind).  The tree is the
+  /// default; the flat scan is the differential oracle and the fallback.
+  /// Selecting a kind never changes observable behavior -- fingerprints,
+  /// instruction counts, and lock schedules are byte-identical across kinds
+  /// (tests/runtime/clock_tree_test.cpp, tests/integration/
+  /// clock_table_modes_test.cpp) -- only the cost of a turn check.
+  ClockTableKind clock_table = ClockTableKind::kTree;
   ClockPublication publication = ClockPublication::kEveryUpdate;
   /// Chunk size for ClockPublication::kChunked (retired instructions per
   /// simulated counter interrupt).  Kendo's paper tunes this per benchmark;

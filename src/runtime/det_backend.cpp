@@ -544,6 +544,8 @@ BackendStats DetBackend::stats() const {
     total.barrier_waits += s.barrier_waits;
     total.clock_publications += s.clock_publications;
   }
+  total.turn_polls = clocks_.turn_poll_count();
+  total.turn_scan_slots = clocks_.turn_scan_slot_count();
   return total;
 }
 

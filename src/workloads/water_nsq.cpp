@@ -25,7 +25,7 @@ namespace {
 constexpr std::int64_t kNmolAddr = 5;  // molecule count global (loaded in loop headers)
 constexpr std::int64_t kPositions = 2048;
 constexpr std::int64_t kForces = 3072;
-constexpr std::uint32_t kMolecules = 96;
+constexpr std::uint32_t kMolecules = kWaterMolecules;  // see workloads.hpp
 constexpr std::uint32_t kLockBank = 8;   // force-bank mutexes 8..15
 constexpr std::int64_t kBankMutexBase = 8;
 }  // namespace

@@ -29,6 +29,11 @@
 
 namespace detlock::workloads {
 
+/// water_nsq's fixed molecule count: the pair loop partitions rows evenly,
+/// so the workload is only well-formed at thread counts dividing this
+/// (bench/threads_sweep skips the others and says so in its table).
+inline constexpr std::uint32_t kWaterMolecules = 96;
+
 Workload make_ocean(const WorkloadParams& params);
 /// Condvar demo workload (not in all_workloads(): the paper's Table I only
 /// covers lock/barrier benchmarks; see taskfarm_cv.cpp).

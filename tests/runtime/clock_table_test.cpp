@@ -9,6 +9,10 @@
 namespace detlock::runtime {
 namespace {
 
+// Default config: tree-mode turn predicate (the RuntimeConfig default), so
+// the generic tests below cover the production layout.  The blocker-cache
+// section pins kFlat explicitly -- the cache is a flat-scan fast path the
+// tree never consults.
 RuntimeConfig config_every_update() {
   RuntimeConfig c;
   c.max_threads = 4;
@@ -150,6 +154,7 @@ bool has_turn_oracle(const ClockTable& t, ThreadId id) {
 TEST(ClockTable, BlockerCacheRetargetsWhenTheBlockerMovesOn) {
   RuntimeConfig c;
   c.max_threads = 3;
+  c.clock_table = ClockTableKind::kFlat;
   ClockTable t(c);
   t.activate(0, 0);
   t.activate(1, 5);
@@ -167,6 +172,7 @@ TEST(ClockTable, BlockerCacheRetargetsWhenTheBlockerMovesOn) {
 TEST(ClockTable, BlockerCacheTieBreakByIdMatchesOracle) {
   RuntimeConfig c;
   c.max_threads = 4;
+  c.clock_table = ClockTableKind::kFlat;
   ClockTable t(c);
   for (ThreadId id = 0; id < 4; ++id) t.activate(id, 7);  // four-way tie
   for (ThreadId id = 0; id < 4; ++id) {
@@ -181,6 +187,7 @@ TEST(ClockTable, BlockerCacheMatchesOracleOnRandomizedClockSequences) {
   Xoshiro256 rng(0xDE710CC5u);
   RuntimeConfig c;
   c.max_threads = kThreads;
+  c.clock_table = ClockTableKind::kFlat;
   ClockTable t(c);
   for (ThreadId id = 0; id < kThreads; ++id) t.activate(id, rng.next_below(4));
 

@@ -1,0 +1,386 @@
+// MinClockTree unit tests plus the flat-vs-tree differential oracle.
+//
+// The tree replaces the flat O(threads) turn scan with one root read, and
+// the repo's determinism claims now rest on the two layouts answering the
+// turn predicate IDENTICALLY, poll for poll.  The oracle tests here drive a
+// kFlat and a kTree ClockTable through the same randomized interleavings of
+// every publication edge the runtime has -- add / flush / park / set_clock /
+// force_publish / finish / late activate -- and assert the answers (and the
+// published clocks they derive from) never diverge.  See
+// docs/turn-protocol-scaling.md for why the packed (clock, id) order makes
+// this equivalence hold.
+#include "runtime/clock_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "runtime/clock_table.hpp"
+#include "support/prng.hpp"
+
+namespace detlock::runtime {
+namespace {
+
+// -- packed representation ------------------------------------------------
+
+TEST(MinClockTree, PackedOrderIsTheTurnOrder) {
+  // Smaller clock wins regardless of id...
+  EXPECT_LT(MinClockTree::pack(3, 500), MinClockTree::pack(4, 0));
+  // ...and equal clocks break the tie by smaller id.
+  EXPECT_LT(MinClockTree::pack(7, 1), MinClockTree::pack(7, 2));
+  // Infinity loses to the largest representable pair.
+  EXPECT_LT(MinClockTree::pack(MinClockTree::kMaxPackedClock,
+                               static_cast<std::uint32_t>(MinClockTree::kIdMask)),
+            MinClockTree::kPackedInfinity);
+  // Round trip.
+  const std::uint64_t p = MinClockTree::pack(123456789, 42);
+  EXPECT_EQ(MinClockTree::packed_clock(p), 123456789u);
+  EXPECT_EQ(MinClockTree::packed_id(p), 42u);
+}
+
+TEST(MinClockTree, UnpackableClockThrows) {
+  EXPECT_THROW(MinClockTree::pack(MinClockTree::kMaxPackedClock + 1, 0), Error);
+}
+
+// -- propagation ----------------------------------------------------------
+
+TEST(MinClockTree, RootTracksTheMinimum) {
+  MinClockTree tree(16);
+  EXPECT_EQ(tree.root(), MinClockTree::kPackedInfinity);
+  tree.update(3, 10);
+  EXPECT_EQ(tree.root(), MinClockTree::pack(10, 3));
+  tree.update(9, 5);  // new minimum from a different shard
+  EXPECT_EQ(tree.root(), MinClockTree::pack(5, 9));
+  tree.update(1, 5);  // tie: smaller id must win
+  EXPECT_EQ(tree.root(), MinClockTree::pack(5, 1));
+}
+
+TEST(MinClockTree, RaisingTheMinimumRepropagates) {
+  MinClockTree tree(16);
+  tree.update(2, 1);
+  tree.update(11, 4);
+  EXPECT_EQ(tree.root(), MinClockTree::pack(1, 2));
+  tree.update(2, 9);  // the front-runner moves on; the quote must not linger
+  EXPECT_EQ(tree.root(), MinClockTree::pack(4, 11));
+  tree.update(11, kClockInfinity);  // park the new minimum
+  EXPECT_EQ(tree.root(), MinClockTree::pack(9, 2));
+  tree.update(2, kClockInfinity);
+  EXPECT_EQ(tree.root(), MinClockTree::kPackedInfinity);
+}
+
+TEST(MinClockTree, MinIsAnswersTheTurnPredicate) {
+  MinClockTree tree(8);
+  tree.update(0, 7);
+  tree.update(1, 7);
+  tree.update(2, 3);
+  EXPECT_TRUE(tree.min_is(2, 3));
+  EXPECT_FALSE(tree.min_is(0, 7));
+  tree.update(2, 8);
+  EXPECT_TRUE(tree.min_is(0, 7));   // tie with 1, smaller id
+  EXPECT_FALSE(tree.min_is(1, 7));
+}
+
+TEST(MinClockTree, CapacityOneStillBuildsARoot) {
+  MinClockTree tree(1);
+  EXPECT_EQ(tree.depth(), 1u);
+  EXPECT_EQ(tree.root(), MinClockTree::kPackedInfinity);
+  tree.update(0, 5);
+  EXPECT_TRUE(tree.min_is(0, 5));
+}
+
+TEST(MinClockTree, NonMinimumUpdatesPruneEarly) {
+  MinClockTree tree(64);  // two combining levels above the leaves
+  EXPECT_EQ(tree.depth(), 2u);
+  EXPECT_EQ(tree.update(0, 1), 2u);    // first publication refreshes the path
+  EXPECT_EQ(tree.update(63, 100), 1u); // own shard quotes it, pruned at the root
+  EXPECT_EQ(tree.update(62, 200), 0u); // sibling 63 holds the shard min: leaf store only
+  EXPECT_EQ(tree.update(0, 2), 2u);    // root quotes us: full re-propagation
+}
+
+TEST(MinClockTree, RepairRebuildsAStalePath) {
+  MinClockTree tree(8);
+  tree.update(4, 6);
+  tree.repair(4);  // idempotent on a settled path
+  EXPECT_EQ(tree.root(), MinClockTree::pack(6, 4));
+  EXPECT_TRUE(tree.min_is(4, 6));
+}
+
+// Randomized single-structure check against a straight array-min model:
+// after every operation the root must be exactly the min over the model,
+// and min_is must agree with the model's predicate for every live slot.
+TEST(MinClockTree, RootMatchesArrayModelOnRandomizedSequences) {
+  constexpr std::uint32_t kSlots = 24;  // not a power of the arity: ragged top level
+  constexpr int kIterations = 4000;
+  Xoshiro256 rng(0x7EE0C10Cu);
+  MinClockTree tree(kSlots);
+  std::vector<std::uint64_t> model(kSlots, kClockInfinity);
+
+  for (int iter = 0; iter < kIterations; ++iter) {
+    const std::uint32_t id = static_cast<std::uint32_t>(rng.next_below(kSlots));
+    switch (rng.next_below(8)) {
+      case 0:  // park
+        model[id] = kClockInfinity;
+        tree.update(id, kClockInfinity);
+        break;
+      default: {  // publish; small deltas keep ties frequent
+        const std::uint64_t base = model[id] == kClockInfinity ? rng.next_below(4) : model[id];
+        model[id] = base + rng.next_below(3);
+        tree.update(id, model[id]);
+        break;
+      }
+    }
+    std::uint64_t expect = MinClockTree::kPackedInfinity;
+    for (std::uint32_t u = 0; u < kSlots; ++u) {
+      if (model[u] == kClockInfinity) continue;
+      const std::uint64_t packed = MinClockTree::pack(model[u], u);
+      if (packed < expect) expect = packed;
+    }
+    ASSERT_EQ(tree.root(), expect) << "iteration " << iter;
+    for (std::uint32_t u = 0; u < kSlots; ++u) {
+      if (model[u] == kClockInfinity) continue;
+      ASSERT_EQ(tree.min_is(u, model[u]), MinClockTree::pack(model[u], u) == expect)
+          << "iteration " << iter << ", slot " << u;
+    }
+  }
+}
+
+// Concurrent hammering must settle to the true minimum: each host thread
+// owns a disjoint band of slots and publishes monotonically rising clocks
+// (with parks and unparks) while polling min_is.  After the join, the root
+// must equal the min over the final leaf values -- any stale quote left
+// behind would mean the prune raced a refresh, which is exactly what the
+// triple-check in update() exists to prevent.
+TEST(MinClockTree, ConcurrentUpdatesSettleToTheTrueMinimum) {
+  constexpr std::uint32_t kHostThreads = 4;
+  constexpr std::uint32_t kSlotsPerThread = 4;
+  constexpr std::uint32_t kSlots = kHostThreads * kSlotsPerThread;
+  constexpr int kOpsPerThread = 3000;
+  MinClockTree tree(kSlots);
+
+  std::vector<std::uint64_t> final_clock(kSlots, kClockInfinity);
+  std::vector<std::thread> hosts;
+  for (std::uint32_t h = 0; h < kHostThreads; ++h) {
+    hosts.emplace_back([h, &tree, &final_clock] {
+      Xoshiro256 rng(0xC0C0A000u + h);
+      const std::uint32_t base = h * kSlotsPerThread;
+      std::vector<std::uint64_t> clock(kSlotsPerThread, 0);
+      std::vector<bool> parked(kSlotsPerThread, true);
+      for (int iter = 0; iter < kOpsPerThread; ++iter) {
+        const std::uint32_t i = static_cast<std::uint32_t>(rng.next_below(kSlotsPerThread));
+        const std::uint32_t id = base + i;
+        switch (rng.next_below(8)) {
+          case 0:
+            if (!parked[i]) {
+              tree.update(id, kClockInfinity);
+              parked[i] = true;
+            }
+            break;
+          case 1:
+            if (parked[i]) {
+              tree.update(id, clock[i]);
+              parked[i] = false;
+            }
+            break;
+          case 2:
+            if (!parked[i]) tree.min_is(id, clock[i]);  // result is timing-dependent
+            break;
+          default:
+            if (!parked[i]) {
+              clock[i] += 1 + rng.next_below(3);
+              tree.update(id, clock[i]);
+            }
+            break;
+        }
+      }
+      for (std::uint32_t i = 0; i < kSlotsPerThread; ++i) {
+        final_clock[base + i] = parked[i] ? kClockInfinity : clock[i];
+      }
+    });
+  }
+  for (std::thread& h : hosts) h.join();
+
+  std::uint64_t expect = MinClockTree::kPackedInfinity;
+  for (std::uint32_t u = 0; u < kSlots; ++u) {
+    if (final_clock[u] == kClockInfinity) continue;
+    const std::uint64_t packed = MinClockTree::pack(final_clock[u], u);
+    if (packed < expect) expect = packed;
+  }
+  EXPECT_EQ(tree.root(), expect);
+  if (expect != MinClockTree::kPackedInfinity) {
+    const std::uint32_t winner = MinClockTree::packed_id(expect);
+    EXPECT_TRUE(tree.min_is(winner, final_clock[winner]));
+  }
+}
+
+// -- flat-vs-tree differential oracle -------------------------------------
+
+ClockTable make_table(ClockTableKind kind, ClockPublication publication,
+                      std::uint32_t max_threads, std::uint64_t chunk_size = 64) {
+  RuntimeConfig c;
+  c.max_threads = max_threads;
+  c.publication = publication;
+  c.chunk_size = chunk_size;
+  c.clock_table = kind;
+  return ClockTable(c);
+}
+
+// Drives a kFlat and a kTree table through one randomized interleaving of
+// every publication edge and asserts poll-for-poll agreement.  Late
+// activation keeps the registered high-water mark moving; the
+// force_publish-then-set_clock pair is the barrier-release edge (the
+// owner's set_clock must hit the publish() early-return, already-visible
+// path); finished threads are still polled so the tree's parked-poller
+// fallback scan is exercised too.
+void run_differential(ClockPublication publication, std::uint64_t seed) {
+  constexpr std::uint32_t kThreads = 24;  // ragged tree shard at the top
+  constexpr int kIterations = 4000;
+  Xoshiro256 rng(seed);
+  ClockTable flat = make_table(ClockTableKind::kFlat, publication, kThreads);
+  ClockTable tree = make_table(ClockTableKind::kTree, publication, kThreads);
+  ASSERT_EQ(flat.kind(), ClockTableKind::kFlat);
+  ASSERT_EQ(tree.kind(), ClockTableKind::kTree);
+
+  std::vector<bool> active(kThreads, false);
+  std::vector<bool> parked(kThreads, false);
+  std::vector<bool> finished(kThreads, false);
+  std::vector<std::uint64_t> saved_clock(kThreads, 0);
+  std::uint32_t activated = 0;
+
+  const auto activate_next = [&](std::uint64_t initial) {
+    if (activated >= kThreads) return;
+    flat.activate(activated, initial);
+    tree.activate(activated, initial);
+    active[activated] = true;
+    ++activated;
+  };
+  activate_next(1);
+  activate_next(1);  // immediate tie
+
+  for (int iter = 0; iter < kIterations; ++iter) {
+    const ThreadId id = static_cast<ThreadId>(rng.next_below(kThreads));
+    const bool live = id < activated && active[id] && !finished[id];
+    switch (rng.next_below(12)) {
+      case 0:  // park (barrier entry / pre-exit)
+        if (live && !parked[id]) {
+          saved_clock[id] = flat.local(id);
+          flat.park(id);
+          tree.park(id);
+          parked[id] = true;
+        }
+        break;
+      case 1:  // plain unpark (join return)
+        if (live && parked[id]) {
+          const std::uint64_t resume = saved_clock[id] + rng.next_below(3);
+          flat.set_clock(id, resume);
+          tree.set_clock(id, resume);
+          parked[id] = false;
+        }
+        break;
+      case 2:  // barrier release: releaser force-publishes, owner re-sets
+        if (live && parked[id]) {
+          const std::uint64_t resume = saved_clock[id] + 1 + rng.next_below(3);
+          flat.force_publish(id, resume);
+          tree.force_publish(id, resume);
+          flat.set_clock(id, resume);  // publish() early-return path
+          tree.set_clock(id, resume);
+          parked[id] = false;
+        }
+        break;
+      case 3:  // finish
+        if (live && !parked[id]) {
+          flat.finish(id);
+          tree.finish(id);
+          finished[id] = true;
+        }
+        break;
+      case 4:  // late spawn: high-water mark advances mid-run
+        activate_next(rng.next_below(8));
+        break;
+      case 5:  // sync-op entry flush (chunked-mode publication edge)
+        if (live && !parked[id]) {
+          flat.flush(id);
+          tree.flush(id);
+        }
+        break;
+      default:  // ordinary clock advance; small deltas keep ties frequent
+        if (live && !parked[id]) {
+          const std::uint64_t delta = rng.next_below(3);
+          ASSERT_EQ(flat.add(id, delta), tree.add(id, delta));
+        }
+        break;
+    }
+
+    ASSERT_EQ(flat.registered_count(), tree.registered_count()) << "iteration " << iter;
+    ASSERT_EQ(flat.live_count(), tree.live_count()) << "iteration " << iter;
+    // Poll EVERY activated slot -- live, parked, and finished alike: the
+    // two layouts must agree on all of them, at every step.
+    for (ThreadId u = 0; u < activated; ++u) {
+      ASSERT_EQ(flat.published(u), tree.published(u)) << "iteration " << iter << ", thread " << u;
+      ASSERT_EQ(flat.has_turn(u), tree.has_turn(u)) << "iteration " << iter << ", thread " << u;
+    }
+  }
+  // Same calls -> same poll counts; scan counts differ by design (that gap
+  // is bench/threads_sweep's sublinearity signal).
+  EXPECT_EQ(flat.turn_poll_count(), tree.turn_poll_count());
+}
+
+TEST(ClockTableDifferential, TreeMatchesFlatEveryUpdate) {
+  run_differential(ClockPublication::kEveryUpdate, 0xD1FF0001u);
+}
+
+TEST(ClockTableDifferential, TreeMatchesFlatChunked) {
+  run_differential(ClockPublication::kChunked, 0xD1FF0002u);
+}
+
+// -- registered-slot high-water mark --------------------------------------
+
+TEST(ClockTable, RegisteredCountIsAHighWaterMark) {
+  RuntimeConfig c;
+  c.max_threads = 64;
+  c.clock_table = ClockTableKind::kFlat;
+  ClockTable t(c);
+  EXPECT_EQ(t.registered_count(), 0u);
+  t.activate(0, 0);
+  t.activate(1, 0);
+  t.activate(2, 0);
+  EXPECT_EQ(t.registered_count(), 3u);
+  t.activate(7, 0);  // sparse activation still raises the mark past the gap
+  EXPECT_EQ(t.registered_count(), 8u);
+  t.finish(1);  // finishing never lowers it: final clocks stay readable
+  EXPECT_EQ(t.registered_count(), 8u);
+}
+
+TEST(ClockTable, FlatScansCoverOnlyRegisteredSlots) {
+  RuntimeConfig c;
+  c.max_threads = 64;
+  c.clock_table = ClockTableKind::kFlat;
+  ClockTable t(c);
+  t.activate(0, 10);
+  t.activate(1, 11);
+  t.activate(2, 12);
+  t.activate(3, 13);
+  EXPECT_TRUE(t.has_turn(0));
+  // The winner's full scan examined the three other registered slots --
+  // not the 63 the capacity would allow.
+  EXPECT_EQ(t.turn_poll_count(), 1u);
+  EXPECT_EQ(t.turn_scan_slot_count(), 3u);
+}
+
+TEST(ClockTable, TreePollsExamineOneSlotEquivalent) {
+  RuntimeConfig c;
+  c.max_threads = 64;
+  c.clock_table = ClockTableKind::kTree;
+  ClockTable t(c);
+  for (ThreadId id = 0; id < 16; ++id) t.activate(id, 5 + id);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(t.has_turn(0));
+    EXPECT_FALSE(t.has_turn(9));
+  }
+  EXPECT_EQ(t.turn_poll_count(), 20u);
+  EXPECT_EQ(t.turn_scan_slot_count(), 20u);  // one root read per poll
+}
+
+}  // namespace
+}  // namespace detlock::runtime

@@ -21,6 +21,29 @@ std::int64_t parse_int_flag(const char* tool, const char* flag, std::string_view
   return *v;
 }
 
+double parse_double_flag(const char* tool, const char* flag, std::string_view value,
+                         double min_value, double max_value, const UsageFn& usage) {
+  const std::optional<double> v = parse_double(value);
+  // NaN fails both range comparisons, so it falls into the error path.
+  if (!v.has_value() || !(*v >= min_value && *v <= max_value)) {
+    std::fprintf(stderr, "%s: bad value '%.*s' for %s\n", tool, static_cast<int>(value.size()),
+                 value.data(), flag);
+    usage();
+    std::exit(kUsageExit);  // not reached: usage exits
+  }
+  return *v;
+}
+
+std::int64_t parse_positional(const char* tool, const char* name, int argc, char** argv, int index,
+                              std::int64_t fallback, std::int64_t min_value,
+                              std::int64_t max_value, const char* usage_tail) {
+  if (argc <= index) return fallback;
+  return parse_int_flag(tool, name, argv[index], min_value, max_value, [tool, usage_tail] {
+    std::fprintf(stderr, "usage: %s %s\n", tool, usage_tail);
+    std::exit(kUsageExit);
+  });
+}
+
 std::optional<std::string_view> flag_value(std::string_view arg, std::string_view prefix) {
   if (!starts_with(arg, prefix)) return std::nullopt;
   return arg.substr(prefix.size());

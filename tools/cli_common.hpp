@@ -31,6 +31,22 @@ using UsageFn = std::function<void()>;
 std::int64_t parse_int_flag(const char* tool, const char* flag, std::string_view value,
                             std::int64_t min_value, std::int64_t max_value, const UsageFn& usage);
 
+/// parse_int_flag for real-valued flags (bench --min-ratio=).  Same
+/// diagnostic and exit discipline; rejects NaN and values outside
+/// [min_value, max_value].
+double parse_double_flag(const char* tool, const char* flag, std::string_view value,
+                         double min_value, double max_value, const UsageFn& usage);
+
+/// Positional-argument variant for the bench harnesses: parses argv[index]
+/// when present, else returns `fallback`.  std::atoi silently turned
+/// './bench 4x' into 4 and './bench abc' into 0; this prints
+///   TOOL: bad value 'X' for NAME
+///   usage: TOOL USAGE_TAIL
+/// and exits kUsageExit instead.
+std::int64_t parse_positional(const char* tool, const char* name, int argc, char** argv, int index,
+                              std::int64_t fallback, std::int64_t min_value,
+                              std::int64_t max_value, const char* usage_tail);
+
 /// If `arg` starts with `prefix` (e.g. "--runs="), returns the remainder.
 std::optional<std::string_view> flag_value(std::string_view arg, std::string_view prefix);
 

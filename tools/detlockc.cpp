@@ -21,6 +21,9 @@
 //                            the harness's kendo-sim mode)
 //   --runs=N                 repeat and compare fingerprints   [1]
 //   --threads-max=N          runtime thread-slot budget        [64]
+//   --clock-table=flat|tree  turn-predicate structure: flat O(threads)
+//                            scan or hierarchical min-clock tree
+//                            (docs/turn-protocol-scaling.md)   [tree]
 //   --estimates=FILE         apply an instruction-estimate file
 //   --emit-ir                print the instrumented IR and exit
 //   --stats                  print pass + runtime statistics
@@ -100,7 +103,8 @@ using namespace detlock;
   std::fprintf(stderr,
                "usage: %s [--opt=none|1|2|3|4|all] [--placement=start|end] [--nondet]\n"
                "          [--interp=decoded|reference]\n"
-               "          [--kendo[=CHUNK]] [--runs=N] [--estimates=FILE] [--emit-ir]\n"
+               "          [--kendo[=CHUNK]] [--runs=N] [--clock-table=flat|tree]\n"
+               "          [--threads-max=N] [--estimates=FILE] [--emit-ir]\n"
                "          [--stats] [--profile] [--json=FILE] [--trace-out=FILE]\n"
                "          [--race-check[=hb|lockset|both]] [--watchdog-ms=N]\n"
                "          [--chaos=SEED] [--chaos-trials=K]\n"
@@ -178,6 +182,10 @@ Cli parse_cli(int argc, char** argv) {
     } else if (arg.rfind("--threads-max=", 0) == 0) {
       cfg.threads_max = static_cast<std::uint32_t>(
           parse_int_flag(argv[0], "--threads-max", value_of("--threads-max="), 1, 1 << 16));
+    } else if (arg.rfind("--clock-table=", 0) == 0) {
+      const std::string v = value_of("--clock-table=");
+      if (const auto kind = api::clock_table_from_name(v)) cfg.clock_table = *kind;
+      else usage(argv[0]);
     } else if (arg.rfind("--estimates=", 0) == 0) {
       cli.estimates_path = value_of("--estimates=");
     } else if (arg == "--emit-ir") {
@@ -433,6 +441,7 @@ struct JsonReport {
     w.field("program", cli.program_path);
     w.field("mode", api::mode_name(cli.config.mode));
     w.field("engine", cli.config.engine == interp::EngineKind::kDecoded ? "decoded" : "reference");
+    w.field("clock_table", api::clock_table_name(cli.config.clock_table));
     w.key("runs");
     w.begin_array();
     runs_open = true;
