@@ -1,0 +1,337 @@
+// detserved serving latency under queue saturation: p50/p99 job latency
+// (submit -> result frame) and the admission rejection rate at 1x/2x/4x of
+// the server's nominal concurrency (workers + queue capacity).
+//
+// The server runs in-process (same Server class detserved wraps); clients
+// are real TCP connections driven by threads, each submitting fast
+// contended-lock jobs one at a time and honoring RETRY_AFTER bounces.  The
+// claim measured: under overload the server sheds load with structured
+// retry hints instead of queueing unboundedly, so the latency of the jobs
+// it does accept stays flat while the rejection rate absorbs the excess.
+//
+// Modes:
+//   (default)            print the three bands
+//   --compare            gate mode for CI: nonzero exit when any job fails,
+//                        when the 4x band saw no rejections (back-pressure
+//                        not engaging), or when accepted-job p99 degrades
+//                        by more than --max-p99-ratio from 1x to 4x.
+//   --json=FILE          machine-readable results (BENCH_serve.json)
+//   --clients=N          client threads at 1x saturation        [6]
+//   --jobs-per-client=J  jobs each client completes             [8]
+//   --max-p99-ratio=R    gate threshold for p99(4x)/p99(1x)     [25.0]
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "cli_common.hpp"
+#include "service/server.hpp"
+#include "support/json.hpp"
+
+namespace {
+
+using namespace detlock;
+
+const char* kContendedProgram = R"(
+func @worker(1) regs=16 {
+block entry:
+  %1 = const 0
+  %2 = const 20
+  br loop
+block loop:
+  %3 = icmp lt %1, %2
+  condbr %3, body, done
+block body:
+  %4 = const 0
+  lock %4
+  %5 = const 100
+  %6 = load %5
+  %7 = add %6, %0
+  store %5, %7
+  unlock %4
+  %8 = const 1
+  %1 = add %1, %8
+  br loop
+block done:
+  ret
+}
+func @main(0) regs=16 {
+block entry:
+  %0 = const 1
+  %1 = spawn @worker(%0)
+  %2 = const 2
+  %3 = spawn @worker(%2)
+  %4 = const 3
+  %5 = call @worker(%4)
+  join %1
+  join %3
+  %6 = const 100
+  %7 = load %6
+  ret %7
+}
+)";
+
+double now_seconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch()).count();
+}
+
+/// Blocking line-framed TCP client (the python smoke client, in C++).
+class BenchClient {
+ public:
+  explicit BenchClient(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return;
+    sockaddr_in sa{};
+    sa.sin_family = AF_INET;
+    sa.sin_port = htons(static_cast<std::uint16_t>(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &sa.sin_addr);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&sa), sizeof sa) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~BenchClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  bool ok() const { return fd_ >= 0; }
+
+  bool send_all(const std::string& data) {
+    std::size_t off = 0;
+    while (off < data.size()) {
+      const ssize_t n = ::send(fd_, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  /// One frame, or "" on error.
+  std::string read_frame() {
+    for (;;) {
+      const std::size_t nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        const std::string frame = buf_.substr(0, nl);
+        buf_.erase(0, nl + 1);
+        return frame;
+      }
+      char tmp[4096];
+      const ssize_t n = ::recv(fd_, tmp, sizeof tmp, 0);
+      if (n <= 0) return "";
+      buf_.append(tmp, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buf_;
+};
+
+bool frame_is(const std::string& frame, const char* type) {
+  return frame.find(std::string("\"type\": \"") + type + "\"") != std::string::npos;
+}
+
+struct Band {
+  int saturation = 0;       ///< multiple of nominal concurrency
+  std::size_t clients = 0;
+  std::size_t jobs = 0;     ///< accepted-and-resolved jobs
+  std::size_t failed = 0;   ///< jobs that did not come back "ok"
+  std::uint64_t rejections = 0;
+  double rejection_rate = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t idx = std::min(
+      sorted.size() - 1, static_cast<std::size_t>(p * static_cast<double>(sorted.size())));
+  return sorted[idx];
+}
+
+Band run_band(int saturation, std::size_t clients, std::size_t jobs_per_client) {
+  service::ServerOptions options;
+  options.listen = "tcp:127.0.0.1:0";
+  options.workers = 2;
+  options.queue_capacity = 4;
+  options.admission.total_backlog_cap = 8;
+  options.deadline_ms = 30'000;
+  service::Server server(options);
+  server.start();
+
+  std::atomic<std::uint64_t> rejections{0};
+  std::atomic<std::size_t> failed{0};
+  std::vector<std::vector<double>> latencies(clients);
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  const std::string body = kContendedProgram;
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      BenchClient client(server.port());
+      if (!client.ok()) {
+        failed += jobs_per_client;
+        return;
+      }
+      for (std::size_t j = 0; j < jobs_per_client; ++j) {
+        const std::string header =
+            "JOB j" + std::to_string(c) + "_" + std::to_string(j) + " " +
+            std::to_string(body.size()) + "\n";
+        const double start = now_seconds();
+        bool accepted = false;
+        for (int attempt = 0; attempt < 10'000 && !accepted; ++attempt) {
+          if (!client.send_all(header + body)) {
+            ++failed;
+            return;
+          }
+          const std::string frame = client.read_frame();
+          if (frame_is(frame, "accepted")) {
+            accepted = true;
+          } else if (frame_is(frame, "retry_after")) {
+            ++rejections;
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+          } else {
+            ++failed;
+            return;
+          }
+        }
+        const std::string result = client.read_frame();
+        if (!frame_is(result, "result") ||
+            result.find("\"status\": \"ok\"") == std::string::npos) {
+          ++failed;
+          continue;
+        }
+        latencies[c].push_back((now_seconds() - start) * 1e3);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  server.request_drain();
+  if (server.run_until_drained() != 0) {
+    std::fprintf(stderr, "serve_latency: unclean drain at %dx\n", saturation);
+    std::exit(1);
+  }
+
+  std::vector<double> all;
+  for (const std::vector<double>& per_client : latencies) {
+    all.insert(all.end(), per_client.begin(), per_client.end());
+  }
+  std::sort(all.begin(), all.end());
+
+  Band band;
+  band.saturation = saturation;
+  band.clients = clients;
+  band.jobs = all.size();
+  band.failed = failed.load();
+  band.rejections = rejections.load();
+  const double attempts = static_cast<double>(all.size()) + static_cast<double>(band.rejections);
+  band.rejection_rate = attempts > 0 ? static_cast<double>(band.rejections) / attempts : 0.0;
+  band.p50_ms = percentile(all, 0.50);
+  band.p99_ms = percentile(all, 0.99);
+  return band;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto usage = [argv] {
+    std::fprintf(stderr,
+                 "usage: %s [--compare] [--json=FILE] [--clients=N] [--jobs-per-client=J]\n"
+                 "          [--max-p99-ratio=R]\n",
+                 argv[0]);
+    std::exit(detlock::cli::kUsageExit);
+  };
+  bool compare = false;
+  std::string json_path;
+  std::size_t clients = 6;  // nominal concurrency: workers(2) + queue(4)
+  std::size_t jobs_per_client = 8;
+  double max_p99_ratio = 25.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--compare") compare = true;
+    else if (arg.rfind("--json=", 0) == 0) json_path = arg.substr(7);
+    else if (arg.rfind("--clients=", 0) == 0)
+      clients = static_cast<std::size_t>(detlock::cli::parse_int_flag(
+          "serve_latency", "--clients", arg.substr(10), 1, 256, usage));
+    else if (arg.rfind("--jobs-per-client=", 0) == 0)
+      jobs_per_client = static_cast<std::size_t>(detlock::cli::parse_int_flag(
+          "serve_latency", "--jobs-per-client", arg.substr(18), 1, 10'000, usage));
+    else if (arg.rfind("--max-p99-ratio=", 0) == 0)
+      max_p99_ratio = detlock::cli::parse_double_flag(
+          "serve_latency", "--max-p99-ratio", arg.substr(16), 1.0, 1e6, usage);
+    else usage();
+  }
+
+  std::vector<Band> bands;
+  for (const int saturation : {1, 2, 4}) {
+    bands.push_back(run_band(saturation, clients * static_cast<std::size_t>(saturation),
+                             jobs_per_client));
+  }
+
+  std::printf("serve_latency: workers=2 queue=4 total-backlog=8, %zu jobs/client\n",
+              jobs_per_client);
+  std::printf("%-6s %-8s %-8s %-10s %-10s %-12s %s\n", "load", "clients", "jobs", "p50(ms)",
+              "p99(ms)", "rejections", "rej-rate");
+  for (const Band& band : bands) {
+    std::printf("%-6s %-8zu %-8zu %-10.2f %-10.2f %-12llu %.3f\n",
+                (std::to_string(band.saturation) + "x").c_str(), band.clients, band.jobs,
+                band.p50_ms, band.p99_ms,
+                static_cast<unsigned long long>(band.rejections), band.rejection_rate);
+  }
+
+  bool gate_pass = true;
+  std::string gate_reason;
+  std::size_t total_failed = 0;
+  for (const Band& band : bands) total_failed += band.failed;
+  if (total_failed > 0) {
+    gate_pass = false;
+    gate_reason = "jobs failed: " + std::to_string(total_failed);
+  } else if (bands.back().rejections == 0) {
+    gate_pass = false;
+    gate_reason = "no rejections at 4x: back-pressure not engaging";
+  } else if (bands.front().p99_ms > 0.0 &&
+             bands.back().p99_ms / bands.front().p99_ms > max_p99_ratio) {
+    gate_pass = false;
+    gate_reason = "accepted-job p99 degraded beyond --max-p99-ratio under overload";
+  }
+
+  if (!json_path.empty()) {
+    JsonWriter json;
+    json.begin_object();
+    json.field("schema_version", std::uint64_t{1});
+    json.field("bench", "serve_latency");
+    json.field("jobs_per_client", static_cast<std::uint64_t>(jobs_per_client));
+    json.key("bands");
+    json.begin_array();
+    for (const Band& band : bands) {
+      json.begin_object();
+      json.field("saturation", static_cast<std::uint64_t>(band.saturation));
+      json.field("clients", static_cast<std::uint64_t>(band.clients));
+      json.field("jobs", static_cast<std::uint64_t>(band.jobs));
+      json.field("p50_ms", band.p50_ms);
+      json.field("p99_ms", band.p99_ms);
+      json.field("rejections", band.rejections);
+      json.field("rejection_rate", band.rejection_rate);
+      json.end();
+    }
+    json.end();
+    json.field("gate", gate_pass ? "pass" : gate_reason);
+    json.end();
+    std::ofstream out(json_path);
+    out << json.str();
+  }
+
+  if (compare && !gate_pass) {
+    std::fprintf(stderr, "serve_latency: GATE FAILED: %s\n", gate_reason.c_str());
+    return 1;
+  }
+  return 0;
+}

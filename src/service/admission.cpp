@@ -1,0 +1,210 @@
+#include "service/admission.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace detlock::service {
+
+const char* admit_status_name(AdmitStatus status) {
+  switch (status) {
+    case AdmitStatus::kAdmitted: return "admitted";
+    case AdmitStatus::kRetryQuota: return "quota";
+    case AdmitStatus::kRetryBacklog: return "queue-full";
+    case AdmitStatus::kDraining: return "draining";
+  }
+  DETLOCK_UNREACHABLE("bad admit status");
+}
+
+AdmissionController::AdmissionController(AdmissionOptions options) : options_(options) {
+  DETLOCK_CHECK(options_.quota_rate >= 0.0, "admission quota rate must be >= 0");
+  DETLOCK_CHECK(options_.quota_burst >= 1.0, "admission quota burst must be >= 1");
+  DETLOCK_CHECK(options_.client_backlog_cap >= 1, "admission client backlog cap must be >= 1");
+  DETLOCK_CHECK(options_.drr_quantum >= 1, "admission DRR quantum must be >= 1");
+}
+
+AdmissionController::ClientLane& AdmissionController::lane_locked(ClientId client,
+                                                                  Clock::time_point now) {
+  ClientLane& lane = lanes_[client];
+  if (!lane.bucket_started) {
+    lane.bucket_started = true;
+    lane.tokens = options_.quota_burst;  // buckets start full (burst headroom)
+    lane.refill_at = now;
+  }
+  return lane;
+}
+
+void AdmissionController::refill_locked(ClientLane& lane, Clock::time_point now) {
+  if (options_.quota_rate <= 0.0) return;
+  if (now <= lane.refill_at) return;
+  const double elapsed = std::chrono::duration<double>(now - lane.refill_at).count();
+  lane.tokens = std::min(options_.quota_burst, lane.tokens + elapsed * options_.quota_rate);
+  lane.refill_at = now;
+}
+
+void AdmissionController::enqueue_locked(ClientId client, ClientLane& lane, AdmittedJob job,
+                                         bool front) {
+  if (front) {
+    lane.jobs.push_front(std::move(job));
+  } else {
+    lane.jobs.push_back(std::move(job));
+  }
+  ++backlog_;
+  if (!lane.in_round) {
+    lane.in_round = true;
+    round_.push_back(client);
+  }
+}
+
+AdmitResult AdmissionController::offer(ClientId client, JobSpec spec, Clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (draining_) {
+    ++stats_.draining_rejections;
+    return {AdmitStatus::kDraining, options_.draining_retry_ms};
+  }
+  ClientLane& lane = lane_locked(client, now);
+  refill_locked(lane, now);
+
+  if (options_.quota_rate > 0.0 && lane.tokens < 1.0) {
+    ++stats_.quota_rejections;
+    const double deficit_tokens = 1.0 - lane.tokens;
+    const double wait_s = deficit_tokens / options_.quota_rate;
+    return {AdmitStatus::kRetryQuota,
+            static_cast<std::uint64_t>(std::ceil(wait_s * 1000.0))};
+  }
+  if (lane.jobs.size() >= options_.client_backlog_cap || backlog_ >= options_.total_backlog_cap) {
+    ++stats_.backlog_rejections;
+    return {AdmitStatus::kRetryBacklog, options_.backlog_retry_ms};
+  }
+
+  if (options_.quota_rate > 0.0) lane.tokens -= 1.0;
+  AdmittedJob job;
+  job.client = client;
+  job.spec = std::move(spec);
+  enqueue_locked(client, lane, std::move(job), /*front=*/false);
+  ++stats_.admitted;
+  return {AdmitStatus::kAdmitted, 0};
+}
+
+std::optional<AdmittedJob> AdmissionController::next() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // One full sweep of the ring is enough: a client in the ring always has
+  // parked jobs (empty lanes are unlinked on the spot), so the first client
+  // with remaining deficit dispatches.  Clients whose deficit is exhausted
+  // are re-granted a quantum and rotated to the back -- the DRR round.
+  for (std::size_t sweep = 0; sweep < round_.size() + 1 && !round_.empty(); ++sweep) {
+    const ClientId client = round_.front();
+    auto it = lanes_.find(client);
+    if (it == lanes_.end()) {
+      // Lane erased by client_gone while still ringed.
+      round_.pop_front();
+      continue;
+    }
+    ClientLane& lane = it->second;
+    if (lane.jobs.empty()) {
+      // Lane emptied by client_gone/flush while ringed: unlink and move on.
+      lane.in_round = false;
+      lane.deficit = 0.0;
+      round_.pop_front();
+      continue;
+    }
+    if (lane.deficit < 1.0) {
+      lane.deficit += options_.drr_quantum;
+      if (lane.deficit < 1.0) {
+        // Quantum too small to dispatch this visit; rotate and keep going.
+        round_.pop_front();
+        round_.push_back(client);
+        continue;
+      }
+    }
+    lane.deficit -= 1.0;
+    AdmittedJob job = std::move(lane.jobs.front());
+    lane.jobs.pop_front();
+    --backlog_;
+    if (lane.jobs.empty()) {
+      lane.in_round = false;
+      lane.deficit = 0.0;
+      round_.pop_front();
+    } else if (lane.deficit < 1.0) {
+      round_.pop_front();
+      round_.push_back(client);
+    }
+    return job;
+  }
+  return std::nullopt;
+}
+
+void AdmissionController::requeue_front(AdmittedJob job) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const ClientId client = job.client;
+  ClientLane& lane = lanes_[client];
+  enqueue_locked(client, lane, std::move(job), /*front=*/true);
+}
+
+std::vector<AdmittedJob> AdmissionController::client_gone(ClientId client) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<AdmittedJob> dropped;
+  auto it = lanes_.find(client);
+  if (it == lanes_.end()) return dropped;
+  ClientLane& lane = it->second;
+  backlog_ -= lane.jobs.size();
+  dropped.reserve(lane.jobs.size());
+  for (AdmittedJob& job : lane.jobs) dropped.push_back(std::move(job));
+  lane.jobs.clear();
+  // Leave the (now-empty) lane ringed if it was; next() unlinks it lazily.
+  // The bucket state is erased with the lane: a reconnecting client gets a
+  // fresh identity (new ClientId) anyway.
+  lanes_.erase(it);
+  return dropped;
+}
+
+void AdmissionController::start_draining() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  draining_ = true;
+}
+
+bool AdmissionController::draining() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return draining_;
+}
+
+std::vector<AdmittedJob> AdmissionController::flush_backlog() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<AdmittedJob> flushed;
+  flushed.reserve(backlog_);
+  // Flush in ring order, client by client, so the ABORTED frames a client
+  // receives preserve its own submission order.
+  while (!round_.empty()) {
+    const ClientId client = round_.front();
+    round_.pop_front();
+    auto it = lanes_.find(client);
+    if (it == lanes_.end()) continue;
+    ClientLane& lane = it->second;
+    for (AdmittedJob& job : lane.jobs) flushed.push_back(std::move(job));
+    backlog_ -= lane.jobs.size();
+    lane.jobs.clear();
+    lane.in_round = false;
+    lane.deficit = 0.0;
+  }
+  return flushed;
+}
+
+std::size_t AdmissionController::backlog() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return backlog_;
+}
+
+AdmissionController::Stats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats s = stats_;
+  s.backlog = backlog_;
+  std::size_t active = 0;
+  for (const auto& [id, lane] : lanes_) {
+    if (!lane.jobs.empty()) ++active;
+  }
+  s.active_clients = active;
+  return s;
+}
+
+}  // namespace detlock::service

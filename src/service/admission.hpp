@@ -1,0 +1,159 @@
+// Admission control for the persistent serving layer (detserved).
+//
+// Two gates stand between a client's JOB line and the BatchExecutor queue,
+// both answering with a structured RETRY_AFTER instead of blocking:
+//
+//   1. TOKEN-BUCKET QUOTA, per client.  Each client owns a bucket refilled
+//      at `quota_rate` tokens/sec up to `quota_burst`; a job costs one
+//      token.  An empty bucket rejects with the exact wait until the next
+//      token -- the retry_after_ms the client is told.
+//   2. BACKLOG BOUND, per client and total.  Admitted jobs park in a
+//      per-client FIFO until the dispatcher moves them into the executor;
+//      a client at its backlog cap (or a full total backlog) rejects with
+//      reason "queue-full".  Because the bound is per client, one flooding
+//      client exhausts its own lane and starts eating RETRY_AFTERs while
+//      everyone else keeps being admitted -- starvation-freedom half one.
+//
+// Half two is DEFICIT ROUND ROBIN on the way out: next() visits clients in
+// a circular order, granting each `drr_quantum` job-credits per visit and
+// dispatching while credits last, so the executor's worker slots divide
+// fairly among active clients regardless of how deep any one backlog is
+// (a job's cost is 1 -- jobs are the unit of fairness here; the classic
+// byte-cost DRR generalization would hang off JobSpec if ever needed).
+//
+// All time is injected (callers pass `now`), so every quota decision is
+// unit-testable without sleeping.  Thread safety: all public methods are
+// mutex-protected; sessions offer() concurrently while one dispatcher
+// drains next().
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "service/batch_executor.hpp"
+
+namespace detlock::service {
+
+using ClientId = std::uint64_t;
+
+/// Why (or that) a job was admitted.  Every non-admit maps onto one wire
+/// RETRY_AFTER response with machine-readable `reason`.
+enum class AdmitStatus {
+  kAdmitted,
+  kRetryQuota,    ///< token bucket empty; retry_after_ms = time to a token
+  kRetryBacklog,  ///< per-client or total backlog cap reached
+  kDraining,      ///< server drain in progress; no new work accepted
+};
+
+const char* admit_status_name(AdmitStatus status);
+
+struct AdmitResult {
+  AdmitStatus status = AdmitStatus::kAdmitted;
+  /// Suggested client wait before retrying (rejections only).
+  std::uint64_t retry_after_ms = 0;
+};
+
+/// A job the controller is holding (or handing to the dispatcher).
+struct AdmittedJob {
+  ClientId client = 0;
+  JobSpec spec;
+  /// 0 on first admission; the server bumps it when re-queueing a crashed
+  /// job for its one retry.
+  int attempt = 0;
+};
+
+struct AdmissionOptions {
+  /// Token-bucket refill per client in tokens/second; 0 disables the quota
+  /// gate entirely (backlog bound still applies).
+  double quota_rate = 0.0;
+  /// Bucket capacity (burst allowance); buckets start full.
+  double quota_burst = 16.0;
+  /// Parked jobs allowed per client before RETRY_AFTER "queue-full".
+  std::size_t client_backlog_cap = 16;
+  /// Parked jobs allowed across all clients.
+  std::size_t total_backlog_cap = 1024;
+  /// Job-credits granted per client per DRR round.
+  std::uint32_t drr_quantum = 2;
+  /// retry_after_ms hint for backlog rejections (quota rejections compute
+  /// the exact token wait instead).
+  std::uint64_t backlog_retry_ms = 25;
+  /// retry_after_ms hint while draining (clients should reconnect later).
+  std::uint64_t draining_retry_ms = 1000;
+};
+
+class AdmissionController {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit AdmissionController(AdmissionOptions options);
+
+  /// The quota + backlog gates.  On kAdmitted the job is parked in the
+  /// client's lane for the dispatcher; otherwise nothing is retained.
+  AdmitResult offer(ClientId client, JobSpec spec, Clock::time_point now);
+
+  /// DRR pick: the next job to hand to the executor, or nullopt when every
+  /// lane is empty.  Consumes one job-credit of the owning client.
+  std::optional<AdmittedJob> next();
+
+  /// Returns a job to the FRONT of its client's lane without charging
+  /// quota -- the dispatcher's put-back when try_submit hit a full executor
+  /// queue, and the server's crash-retry requeue (attempt already bumped).
+  void requeue_front(AdmittedJob job);
+
+  /// Forgets every parked job of a vanished client and returns them (the
+  /// server resolves bookkeeping; nothing is executed or answered -- the
+  /// socket is gone).
+  std::vector<AdmittedJob> client_gone(ClientId client);
+
+  /// Drain support: after this every offer() answers kDraining.
+  void start_draining();
+  bool draining() const;
+
+  /// Removes and returns every parked job (drain-deadline flush: the server
+  /// resolves them to ABORTED).
+  std::vector<AdmittedJob> flush_backlog();
+
+  std::size_t backlog() const;
+
+  struct Stats {
+    std::uint64_t admitted = 0;
+    std::uint64_t quota_rejections = 0;
+    std::uint64_t backlog_rejections = 0;
+    std::uint64_t draining_rejections = 0;
+    std::size_t backlog = 0;
+    std::size_t active_clients = 0;  ///< clients with parked jobs
+  };
+  Stats stats() const;
+
+ private:
+  struct ClientLane {
+    double tokens = 0.0;
+    bool bucket_started = false;
+    Clock::time_point refill_at{};
+    double deficit = 0.0;
+    std::deque<AdmittedJob> jobs;
+    bool in_round = false;  ///< linked into round_ (has parked jobs)
+  };
+
+  ClientLane& lane_locked(ClientId client, Clock::time_point now);
+  void refill_locked(ClientLane& lane, Clock::time_point now);
+  void enqueue_locked(ClientId client, ClientLane& lane, AdmittedJob job, bool front);
+
+  const AdmissionOptions options_;
+  mutable std::mutex mutex_;
+  std::unordered_map<ClientId, ClientLane> lanes_;
+  /// Active-client round-robin ring (clients with nonempty lanes), in
+  /// first-became-active order.
+  std::deque<ClientId> round_;
+  std::size_t backlog_ = 0;
+  bool draining_ = false;
+  Stats stats_;
+};
+
+}  // namespace detlock::service

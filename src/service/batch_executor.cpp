@@ -4,6 +4,7 @@
 
 #include "runtime/schedule.hpp"
 #include "runtime/watchdog.hpp"
+#include "service/context_pool.hpp"
 #include "service/execution_context.hpp"
 #include "support/error.hpp"
 
@@ -15,16 +16,26 @@ const char* job_status_name(JobStatus status) {
     case JobStatus::kRunError: return "run-error";
     case JobStatus::kInvalidConfig: return "invalid-config";
     case JobStatus::kDivergent: return "divergent";
+    case JobStatus::kAborted: return "aborted";
     case JobStatus::kParseError: return "parse-error";
     case JobStatus::kVerifyError: return "verify-error";
     case JobStatus::kDeadlock: return "deadlock";
     case JobStatus::kStall: return "stall";
+    case JobStatus::kCrashed: return "crashed";
   }
   DETLOCK_UNREACHABLE("bad job status");
 }
 
+const char* submit_rejection_name(SubmitRejection r) {
+  switch (r) {
+    case SubmitRejection::kQueueFull: return "queue-full";
+    case SubmitRejection::kClosed: return "closed";
+  }
+  DETLOCK_UNREACHABLE("bad submit rejection");
+}
+
 BatchExecutor::BatchExecutor(ModuleCache& cache, Options options)
-    : cache_(cache), options_(options) {
+    : cache_(cache), options_(std::move(options)) {
   DETLOCK_CHECK(options_.workers >= 1, "BatchExecutor needs at least one worker");
   DETLOCK_CHECK(options_.queue_capacity >= 1, "BatchExecutor needs a nonzero queue bound");
   workers_.reserve(options_.workers);
@@ -35,20 +46,71 @@ BatchExecutor::BatchExecutor(ModuleCache& cache, Options options)
 
 BatchExecutor::~BatchExecutor() { wait(); }
 
+std::size_t BatchExecutor::enqueue_locked(JobSpec job) {
+  const std::size_t index = jobs_submitted_++;
+  if (options_.retain_results) {
+    results_.emplace_back();
+    results_.back().name = job.name;
+  }
+  queue_.push_back(Pending{index, std::move(job)});
+  peak_queue_depth_ = std::max(peak_queue_depth_, queue_.size());
+  return index;
+}
+
 std::size_t BatchExecutor::submit(JobSpec job) {
   std::size_t index;
   {
     std::unique_lock<std::mutex> lock(mutex_);
     DETLOCK_CHECK(!closed_, "BatchExecutor: submit after wait()");
     space_cv_.wait(lock, [&] { return queue_.size() < options_.queue_capacity; });
-    index = results_.size();
-    results_.emplace_back();
-    results_.back().name = job.name;
-    queue_.push_back(Pending{index, std::move(job)});
-    peak_queue_depth_ = std::max(peak_queue_depth_, queue_.size());
+    index = enqueue_locked(std::move(job));
   }
   queue_cv_.notify_one();
   return index;
+}
+
+std::variant<std::size_t, SubmitRejection> BatchExecutor::try_submit(JobSpec job) {
+  std::size_t index;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return SubmitRejection::kClosed;
+    if (queue_.size() >= options_.queue_capacity) {
+      ++rejected_full_;
+      return SubmitRejection::kQueueFull;
+    }
+    index = enqueue_locked(std::move(job));
+  }
+  queue_cv_.notify_one();
+  return index;
+}
+
+std::size_t BatchExecutor::cancel_pending() {
+  std::deque<Pending> cancelled;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    cancelled.swap(queue_);
+    cancelled_ += cancelled.size();
+  }
+  space_cv_.notify_all();
+  for (Pending& p : cancelled) {
+    JobResult result;
+    result.name = p.spec.name;
+    result.status = JobStatus::kAborted;
+    result.exit_code = 4;
+    result.error = "cancelled before execution (drain)";
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (options_.retain_results) results_[p.index] = result;
+      ++jobs_completed_;
+    }
+    deliver(p.spec, result);
+  }
+  return cancelled.size();
+}
+
+std::size_t BatchExecutor::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
 }
 
 const std::vector<JobResult>& BatchExecutor::wait() {
@@ -69,10 +131,18 @@ const std::vector<JobResult>& BatchExecutor::wait() {
 BatchExecutor::Stats BatchExecutor::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   Stats s;
-  s.jobs_submitted = results_.size();
+  s.jobs_submitted = jobs_submitted_;
   s.jobs_completed = jobs_completed_;
+  s.rejected_full = rejected_full_;
+  s.cancelled = cancelled_;
+  s.crashed = crashed_;
+  s.queue_depth = queue_.size();
   s.peak_queue_depth = peak_queue_depth_;
   return s;
+}
+
+void BatchExecutor::deliver(const JobSpec& spec, const JobResult& result) {
+  if (options_.on_complete) options_.on_complete(spec, result);
 }
 
 void BatchExecutor::worker_main() {
@@ -87,16 +157,55 @@ void BatchExecutor::worker_main() {
     }
     space_cv_.notify_one();
 
-    JobResult result = execute(pending.spec);
+    // A worker thread must survive anything one job does to it: an
+    // exception escaping the job (the execute() paths classify everything
+    // they anticipate; the chaos hook models the rest) resolves that job to
+    // kCrashed instead of silently killing the worker -- the server layer
+    // decides whether to retry.
+    JobResult result;
+    try {
+      if (options_.pre_execute_hook) options_.pre_execute_hook(pending.spec);
+      result = execute(pending.spec);
+    } catch (const std::exception& e) {
+      result = JobResult{};
+      result.status = JobStatus::kCrashed;
+      result.exit_code = 11;
+      result.error = std::string("worker crashed: ") + e.what();
+    } catch (...) {
+      result = JobResult{};
+      result.status = JobStatus::kCrashed;
+      result.exit_code = 11;
+      result.error = "worker crashed: unknown exception";
+    }
     result.name = pending.spec.name;
 
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      results_[pending.index] = std::move(result);
+      if (options_.retain_results) results_[pending.index] = result;
       ++jobs_completed_;
+      if (result.status == JobStatus::kCrashed) ++crashed_;
     }
+    deliver(pending.spec, result);
   }
 }
+
+namespace {
+
+/// Accumulates the run's per-category wait attribution into the result.
+void accumulate_profile(JobResult& result, ExecutionContext& ctx) {
+  interp::Engine* engine = ctx.engine();
+  if (engine == nullptr) return;
+  const runtime::Profiler* prof = engine->profiler();
+  if (prof == nullptr) return;
+  const runtime::ProfileSummary summary = prof->summary();
+  for (std::size_t c = 0; c < runtime::kNumWaitCategories; ++c) {
+    result.wait_ns[c] += summary.totals[c].ns;
+    result.wait_events[c] += summary.totals[c].events;
+  }
+  result.profiled = true;
+}
+
+}  // namespace
 
 JobResult BatchExecutor::execute(const JobSpec& spec) const {
   JobResult result;
@@ -142,7 +251,15 @@ JobResult BatchExecutor::execute(const JobSpec& spec) const {
     api::RunConfig this_run = run_config;
     this_run.chaos = chaos && run > 0;
     this_run.chaos_seed = spec.config.chaos_seed + static_cast<std::uint64_t>(run > 0 ? run - 1 : 0);
-    ExecutionContext ctx(module, this_run);
+    // Warm context reuse: for cache hits the pool hands back an already
+    // constructed context reset to this run's config; fingerprints must be
+    // indistinguishable from a fresh context (context_pool_test proves it).
+    ContextPool::Lease lease =
+        options_.context_pool != nullptr
+            ? options_.context_pool->acquire(module, this_run)
+            : ContextPool::Lease(std::make_unique<ExecutionContext>(module, this_run));
+    ExecutionContext& ctx = *lease;
+    if (lease.reused()) result.context_reused = true;
     interp::RunResult rr;
     try {
       rr = ctx.run(spec.entry, spec.args);
@@ -161,6 +278,8 @@ JobResult BatchExecutor::execute(const JobSpec& spec) const {
       result.run_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
       return result;
     }
+
+    if (this_run.profile) accumulate_profile(result, ctx);
 
     if (run == 0) {
       result.main_return = rr.main_return;

@@ -10,23 +10,34 @@
 // runtime/faultinject per job, so one deadlocked job diagnoses and aborts
 // itself without touching its neighbors.
 //
-// Backpressure: submit() blocks while `queue_capacity` jobs are already
-// pending, bounding memory for producers faster than the workers.
+// Backpressure comes in two flavors:
+//   * submit() blocks while `queue_capacity` jobs are already pending --
+//     right for one-shot batch drivers (detserve) whose producers can wait;
+//   * try_submit() never blocks and returns a typed rejection instead --
+//     the admission-control primitive detserved needs, where a full queue
+//     must become a structured RETRY_AFTER response, not a stalled accept
+//     loop.
 #pragma once
 
+#include <array>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <variant>
 #include <vector>
 
 #include "api/run_config.hpp"
+#include "runtime/profile.hpp"
 #include "service/module_cache.hpp"
 
 namespace detlock::service {
+
+class ContextPool;
 
 struct JobSpec {
   std::string name;
@@ -40,6 +51,11 @@ struct JobSpec {
   api::RunConfig config;
   /// Keep each run's serialized schedule in the result (memory-heavy).
   bool collect_schedule = false;
+  /// Opaque caller cookie, threaded through to the completion callback and
+  /// cancellation results untouched.  detserved keys result routing (which
+  /// session gets this frame, which attempt this is) on it; never feeds the
+  /// ModuleCache key or any execution decision.
+  std::uint64_t ticket = 0;
 };
 
 /// Job outcomes, with exit codes matching detlockc's documented stages so
@@ -49,10 +65,12 @@ enum class JobStatus {
   kRunError = 1,      // exit 1: guest/internal error
   kInvalidConfig = 2, // exit 2: RunConfig::validate rejected the job
   kDivergent = 3,     // exit 3: repeated runs disagreed
+  kAborted = 4,       // exit 4: cancelled before execution (drain)
   kParseError = 5,    // exit 5
   kVerifyError = 6,   // exit 6
   kDeadlock = 8,      // exit 8: per-job watchdog, cycle found
   kStall = 9,         // exit 9: per-job watchdog, no cycle
+  kCrashed = 11,      // exit 11: worker-thread crash escaped the job itself
 };
 
 const char* job_status_name(JobStatus status);
@@ -75,15 +93,49 @@ struct JobResult {
   double run_seconds = 0.0;
   /// True when the module came out of the cache already compiled.
   bool cache_hit = false;
+  /// True when the run reused a warm pooled ExecutionContext.
+  bool context_reused = false;
   /// Serialized schedule of run 1 when JobSpec::collect_schedule.
   std::string schedule;
+
+  /// Per-category wait-time attribution summed over this job's runs
+  /// (populated iff config.profile; runtime/profile.hpp categories).
+  bool profiled = false;
+  std::array<std::uint64_t, runtime::kNumWaitCategories> wait_ns{};
+  std::array<std::uint64_t, runtime::kNumWaitCategories> wait_events{};
 };
+
+/// Why try_submit() refused a job (the typed rejection admission control
+/// turns into a RETRY_AFTER response).
+enum class SubmitRejection {
+  kQueueFull,  ///< `queue_capacity` jobs already pending; retry after drain
+  kClosed,     ///< wait() already closed the queue
+};
+
+const char* submit_rejection_name(SubmitRejection r);
 
 class BatchExecutor {
  public:
   struct Options {
     std::size_t workers = 4;
     std::size_t queue_capacity = 64;
+    /// Keep every JobResult for wait() (batch mode).  Long-running servers
+    /// set false: results are delivered solely through `on_complete` and
+    /// wait() returns an empty vector, so memory stays bounded by the
+    /// queue, not by the server's lifetime job count.
+    bool retain_results = true;
+    /// Warm ExecutionContext pool (service/context_pool.hpp); null runs
+    /// every job on a fresh context.  Not owned; must outlive the executor.
+    ContextPool* context_pool = nullptr;
+    /// Invoked by the worker thread after a job reaches its terminal
+    /// result -- including kAborted results synthesized by
+    /// cancel_pending().  Called outside the executor lock; submissions
+    /// from inside the callback are legal.
+    std::function<void(const JobSpec&, const JobResult&)> on_complete;
+    /// Test/chaos hook run by the worker just before execution; an
+    /// exception thrown here models a worker-thread crash (the job resolves
+    /// to kCrashed and the worker survives).
+    std::function<void(const JobSpec&)> pre_execute_hook;
   };
 
   /// `cache` is shared across jobs (and possibly other executors); must
@@ -100,13 +152,33 @@ class BatchExecutor {
   /// wait().
   std::size_t submit(JobSpec job);
 
+  /// Non-blocking submit: enqueues and returns the job index, or returns a
+  /// typed rejection when the queue is at capacity / already closed.  Never
+  /// waits -- the primitive admission control needs.
+  std::variant<std::size_t, SubmitRejection> try_submit(JobSpec job);
+
+  /// Removes every job still waiting in the queue and resolves each to a
+  /// kAborted (exit 4) result, delivered through on_complete like any other
+  /// completion.  Jobs already executing are unaffected.  Returns the
+  /// number aborted.  The drain primitive: close admission first, then
+  /// cancel whatever the drain deadline did not leave time for.
+  std::size_t cancel_pending();
+
+  /// Current number of queued-but-not-started jobs.
+  std::size_t queue_depth() const;
+
   /// Closes the queue, runs everything to completion, joins the workers,
-  /// and returns all results in submit order.  Idempotent.
+  /// and returns all results in submit order (empty when
+  /// Options::retain_results is false).  Idempotent.
   const std::vector<JobResult>& wait();
 
   struct Stats {
     std::uint64_t jobs_submitted = 0;
     std::uint64_t jobs_completed = 0;
+    std::uint64_t rejected_full = 0;   ///< try_submit kQueueFull rejections
+    std::uint64_t cancelled = 0;       ///< cancel_pending kAborted results
+    std::uint64_t crashed = 0;         ///< kCrashed results (worker survived)
+    std::size_t queue_depth = 0;
     std::size_t peak_queue_depth = 0;
   };
   Stats stats() const;
@@ -117,6 +189,8 @@ class BatchExecutor {
     JobSpec spec;
   };
 
+  std::size_t enqueue_locked(JobSpec job);
+  void deliver(const JobSpec& spec, const JobResult& result);
   void worker_main();
   JobResult execute(const JobSpec& spec) const;
 
@@ -129,7 +203,11 @@ class BatchExecutor {
   std::deque<Pending> queue_;
   bool closed_ = false;
   std::vector<JobResult> results_;
+  std::uint64_t jobs_submitted_ = 0;
   std::uint64_t jobs_completed_ = 0;
+  std::uint64_t rejected_full_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::uint64_t crashed_ = 0;
   std::size_t peak_queue_depth_ = 0;
   bool waited_ = false;
 

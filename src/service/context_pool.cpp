@@ -1,0 +1,66 @@
+#include "service/context_pool.hpp"
+
+namespace detlock::service {
+
+ContextPool::Lease::~Lease() {
+  if (pool_ != nullptr && ctx_ != nullptr) {
+    pool_->release(std::move(ctx_));
+  }
+  // No pool: ctx_ destroys normally (the unpooled adapter path).
+}
+
+ContextPool::ContextPool(Options options) : options_(options) {}
+
+ContextPool::Lease ContextPool::acquire(std::shared_ptr<const CompiledModule> module,
+                                        const api::RunConfig& config) {
+  std::unique_ptr<ExecutionContext> ctx;
+  bool reused = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = idle_.find(module.get());
+    if (it != idle_.end() && !it->second.empty()) {
+      ctx = std::move(it->second.back());
+      it->second.pop_back();
+      if (it->second.empty()) idle_.erase(it);
+      --idle_count_;
+      ++reused_;
+      reused = true;
+    } else {
+      ++created_;
+    }
+    ++in_use_;
+  }
+  if (ctx != nullptr) {
+    ctx->reset(config);
+  } else {
+    ctx = std::make_unique<ExecutionContext>(std::move(module), config);
+  }
+  return Lease(std::move(ctx), this, reused);
+}
+
+void ContextPool::release(std::unique_ptr<ExecutionContext> ctx) {
+  const CompiledModule* key = &ctx->module();
+  std::lock_guard<std::mutex> lock(mutex_);
+  --in_use_;
+  std::vector<std::unique_ptr<ExecutionContext>>& slot = idle_[key];
+  if (slot.size() >= options_.max_idle_per_module || idle_count_ >= options_.max_idle_total) {
+    if (slot.empty()) idle_.erase(key);
+    ++dropped_;
+    return;  // ctx destroys here, outside any hot path
+  }
+  slot.push_back(std::move(ctx));
+  ++idle_count_;
+}
+
+ContextPool::Stats ContextPool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats s;
+  s.created = created_;
+  s.reused = reused_;
+  s.dropped = dropped_;
+  s.idle = idle_count_;
+  s.in_use = in_use_;
+  return s;
+}
+
+}  // namespace detlock::service

@@ -1,0 +1,106 @@
+// ContextPool: warm ExecutionContext reuse across jobs.
+//
+// Compile-once (ModuleCache) removed parse/verify/instrument/decode from
+// the per-request path; what remains is context setup -- constructing an
+// ExecutionContext and validating its config against the module.  For
+// ModuleCache hits the pool short-circuits that too: contexts parked by a
+// finished job are handed to the next job over the same CompiledModule
+// after a reset() that clears every per-job knob (observer, validator,
+// chaos seed, memory hint) and drops the previous run's Engine.
+//
+// Correctness bar (tests/service/context_pool_test.cpp): a job executed on
+// a reused context must produce fingerprints, counts, and schedules
+// byte-identical to the same job on a fresh context -- no state may leak
+// between jobs.  That holds by construction: all mutable run state lives in
+// the per-run Engine, which reset() discards; the pool only preserves the
+// (immutable, shared) module reference.
+//
+// Thread safety: acquire/release are mutex-protected; leases themselves are
+// single-owner objects used by exactly one worker thread.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "api/run_config.hpp"
+#include "service/execution_context.hpp"
+
+namespace detlock::service {
+
+class ContextPool {
+ public:
+  struct Options {
+    /// Idle contexts retained per distinct CompiledModule.
+    std::size_t max_idle_per_module = 8;
+    /// Idle contexts retained across all modules (total warm memory bound).
+    std::size_t max_idle_total = 64;
+  };
+
+  /// RAII lease: returns the context to the pool on destruction.  Also the
+  /// unpooled adapter -- a lease constructed directly from a context (no
+  /// pool) simply owns and destroys it, so BatchExecutor::execute has one
+  /// code path.
+  class Lease {
+   public:
+    explicit Lease(std::unique_ptr<ExecutionContext> ctx)
+        : ctx_(std::move(ctx)), pool_(nullptr), reused_(false) {}
+    Lease(std::unique_ptr<ExecutionContext> ctx, ContextPool* pool, bool reused)
+        : ctx_(std::move(ctx)), pool_(pool), reused_(reused) {}
+    ~Lease();
+
+    Lease(Lease&& other) noexcept
+        : ctx_(std::move(other.ctx_)), pool_(other.pool_), reused_(other.reused_) {
+      other.pool_ = nullptr;
+    }
+    Lease& operator=(Lease&&) = delete;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    ExecutionContext& operator*() { return *ctx_; }
+    ExecutionContext* operator->() { return ctx_.get(); }
+    /// True when this lease handed back a warm (reset) context rather than
+    /// constructing a fresh one.
+    bool reused() const { return reused_; }
+
+   private:
+    std::unique_ptr<ExecutionContext> ctx_;
+    ContextPool* pool_;
+    bool reused_;
+  };
+
+  ContextPool() : ContextPool(Options{}) {}
+  explicit ContextPool(Options options);
+
+  /// A context over `module`, reset to `config`: warm if one is parked for
+  /// this module, freshly constructed otherwise.
+  Lease acquire(std::shared_ptr<const CompiledModule> module, const api::RunConfig& config);
+
+  struct Stats {
+    std::uint64_t created = 0;   ///< fresh constructions (pool misses)
+    std::uint64_t reused = 0;    ///< warm acquisitions (pool hits)
+    std::uint64_t dropped = 0;   ///< releases discarded by the idle bounds
+    std::size_t idle = 0;        ///< contexts parked right now
+    std::size_t in_use = 0;      ///< leases outstanding right now
+  };
+  Stats stats() const;
+
+ private:
+  friend class Lease;
+  void release(std::unique_ptr<ExecutionContext> ctx);
+
+  const Options options_;
+  mutable std::mutex mutex_;
+  /// Idle contexts keyed by module identity (the shared_ptr the context
+  /// itself holds keeps the artifact alive while parked).
+  std::unordered_map<const CompiledModule*, std::vector<std::unique_ptr<ExecutionContext>>> idle_;
+  std::size_t idle_count_ = 0;
+  std::size_t in_use_ = 0;
+  std::uint64_t created_ = 0;
+  std::uint64_t reused_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace detlock::service

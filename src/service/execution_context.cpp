@@ -20,6 +20,27 @@ ExecutionContext::ExecutionContext(std::shared_ptr<const CompiledModule> module,
 
 ExecutionContext::~ExecutionContext() = default;
 
+void ExecutionContext::reset(api::RunConfig config) {
+  const CompileOptions& built = module_->options();
+  DETLOCK_CHECK(built.mode == config.mode,
+                "ExecutionContext::reset: RunConfig mode does not match the CompiledModule's mode");
+  DETLOCK_CHECK(built.engine == config.engine,
+                "ExecutionContext::reset: RunConfig engine does not match the CompiledModule's engine");
+  if (const std::optional<std::string> err = config.validate()) {
+    DETLOCK_CHECK(false, "invalid RunConfig: " + *err);
+  }
+  // Destroy the old engine before its injector (same ordering discipline as
+  // make_engine), then clear every per-job knob so nothing can leak into
+  // the next job's runs.
+  engine_.reset();
+  injector_.reset();
+  config_ = std::move(config);
+  chaos_seed_ = config_.chaos_seed;
+  observer_ = nullptr;
+  validator_ = nullptr;
+  memory_hint_ = 0;
+}
+
 interp::RunResult ExecutionContext::run(std::string_view entry,
                                         const std::vector<std::int64_t>& args) {
   return make_engine().run(entry, args);

@@ -44,6 +44,15 @@ class ExecutionContext {
   /// Guest memory sizing hint used when RunConfig::memory_words == 0.
   void set_memory_hint(std::size_t words) { memory_hint_ = words; }
 
+  /// Re-arms this context for a new job over the SAME module: adopts
+  /// `config` (validated like the constructor), clears the observer,
+  /// validator, chaos-seed override, and memory hint, and discards the
+  /// previous job's Engine and fault injector.  After reset() the context
+  /// is indistinguishable from a freshly constructed one -- the warm-pool
+  /// reuse contract (service/context_pool.hpp); context_pool_test proves
+  /// fingerprints match fresh-context runs byte for byte.
+  void reset(api::RunConfig config);
+
   /// Executes entry(args...) on a fresh Engine over the shared artifact.
   /// Callable repeatedly; each call is an independent deterministic run.
   interp::RunResult run(std::string_view entry, const std::vector<std::int64_t>& args = {});

@@ -20,7 +20,10 @@ bool parse_bool(std::string_view value, bool& out) {
   return false;
 }
 
-bool apply_option(std::string_view key, std::string_view value, JobSpec& job, std::string& error) {
+}  // namespace
+
+bool apply_job_option(std::string_view key, std::string_view value, JobSpec& job,
+                      std::string& error) {
   api::RunConfig& config = job.config;
   if (key == "entry") {
     job.entry = std::string(value);
@@ -101,6 +104,13 @@ bool apply_option(std::string_view key, std::string_view value, JobSpec& job, st
     }
     return true;
   }
+  if (key == "profile") {
+    if (!parse_bool(value, config.profile)) {
+      error = "bad boolean for profile: '" + std::string(value) + "'";
+      return false;
+    }
+    return true;
+  }
 
   // Remaining keys are integers.
   const std::optional<std::int64_t> v = parse_int(value);
@@ -128,8 +138,6 @@ bool apply_option(std::string_view key, std::string_view value, JobSpec& job, st
   }
   return true;
 }
-
-}  // namespace
 
 std::optional<Manifest> parse_manifest(std::string_view text, std::string& error) {
   Manifest manifest;
@@ -170,7 +178,8 @@ std::optional<Manifest> parse_manifest(std::string_view text, std::string& error
         return std::nullopt;
       }
       std::string opt_error;
-      if (!apply_option(tokens[i].substr(0, eq), tokens[i].substr(eq + 1), job.spec, opt_error)) {
+      if (!apply_job_option(tokens[i].substr(0, eq), tokens[i].substr(eq + 1), job.spec,
+                            opt_error)) {
         error = str_format("manifest line %zu: %s", line_no, opt_error.c_str());
         return std::nullopt;
       }

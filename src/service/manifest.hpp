@@ -36,4 +36,12 @@ struct Manifest {
 /// a one-line message naming the offending line number.
 std::optional<Manifest> parse_manifest(std::string_view text, std::string& error);
 
+/// Applies one key=value option of the shared job grammar to `job`.  The
+/// single source of truth for job options: manifest lines (detserve) and
+/// the detserved JOB verb parse through the same function, so a knob is
+/// either legal in both or rejected in both with the same message.  Returns
+/// false and sets `error` on unknown keys or bad values.
+bool apply_job_option(std::string_view key, std::string_view value, JobSpec& job,
+                      std::string& error);
+
 }  // namespace detlock::service

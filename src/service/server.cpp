@@ -1,0 +1,607 @@
+#include "service/server.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "service/session.hpp"
+#include "support/error.hpp"
+#include "support/json.hpp"
+#include "support/strings.hpp"
+
+namespace detlock::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string refused_frame(std::string_view message) {
+  JsonWriter w(/*compact=*/true);
+  w.begin_object();
+  w.field("type", "error");
+  w.field("message", message);
+  w.end();
+  return w.str();
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      cache_(options_.cache_capacity),
+      pool_(),
+      admission_(options_.admission) {
+  BatchExecutor::Options exec;
+  exec.workers = options_.workers;
+  exec.queue_capacity = options_.queue_capacity;
+  // The server lives indefinitely: results stream through on_complete only,
+  // never accumulate inside the executor.
+  exec.retain_results = false;
+  exec.context_pool = options_.context_pool ? &pool_ : nullptr;
+  exec.on_complete = [this](const JobSpec& spec, const JobResult& result) {
+    on_complete(spec, result);
+  };
+  if (options_.chaos_crash_every > 0) {
+    exec.pre_execute_hook = [this](const JobSpec& spec) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = routes_.find(spec.ticket);
+      // Only first attempts crash: the chaos validates the retry path, and
+      // making the retry immune keeps the final outcome deterministic.
+      if (it == routes_.end() || it->second.attempt != 0) return;
+      if (++chaos_counter_ % options_.chaos_crash_every == 0) {
+        throw Error("chaos: injected worker crash before execution");
+      }
+    };
+  }
+  executor_ = std::make_unique<BatchExecutor>(cache_, std::move(exec));
+}
+
+Server::~Server() {
+  if (started_ && !finished_) {
+    request_drain();
+    run_until_drained();
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (!unix_path_.empty()) ::unlink(unix_path_.c_str());
+}
+
+void Server::bind_listener() {
+  const std::string& addr = options_.listen;
+  if (starts_with(addr, "unix:")) {
+    unix_path_ = addr.substr(5);
+    if (unix_path_.empty()) throw Error("listen: unix socket path is empty");
+    sockaddr_un sa{};
+    sa.sun_family = AF_UNIX;
+    if (unix_path_.size() >= sizeof(sa.sun_path)) {
+      throw Error("listen: unix socket path too long: " + unix_path_);
+    }
+    std::memcpy(sa.sun_path, unix_path_.c_str(), unix_path_.size() + 1);
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) throw Error(std::string("socket: ") + std::strerror(errno));
+    ::unlink(unix_path_.c_str());  // stale socket from a previous run
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&sa), sizeof sa) != 0) {
+      throw Error("bind " + unix_path_ + ": " + std::strerror(errno));
+    }
+    listen_address_ = addr;
+  } else if (starts_with(addr, "tcp:")) {
+    const std::string rest = addr.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    const std::string host = colon == std::string::npos ? "127.0.0.1" : rest.substr(0, colon);
+    const std::string port_str = colon == std::string::npos ? rest : rest.substr(colon + 1);
+    const std::optional<std::int64_t> port = parse_int(port_str);
+    if (!port || *port < 0 || *port > 65535) {
+      throw Error("listen: bad tcp port '" + port_str + "'");
+    }
+    sockaddr_in sa{};
+    sa.sin_family = AF_INET;
+    sa.sin_port = htons(static_cast<std::uint16_t>(*port));
+    if (::inet_pton(AF_INET, host.c_str(), &sa.sin_addr) != 1) {
+      throw Error("listen: bad tcp host '" + host + "' (dotted quad required)");
+    }
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) throw Error(std::string("socket: ") + std::strerror(errno));
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&sa), sizeof sa) != 0) {
+      throw Error("bind " + addr + ": " + std::strerror(errno));
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+    port_ = static_cast<int>(ntohs(bound.sin_port));
+    listen_address_ = "tcp:" + host + ":" + std::to_string(port_);
+  } else {
+    throw Error("listen: expected tcp:HOST:PORT or unix:PATH, got '" + addr + "'");
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    const std::string err = std::strerror(errno);
+    throw Error("listen " + addr + ": " + err);
+  }
+}
+
+void Server::start() {
+  DETLOCK_CHECK(!started_, "Server::start called twice");
+  // Broken client pipes must surface as send() errors, not process death.
+  std::signal(SIGPIPE, SIG_IGN);
+  bind_listener();
+  started_ = true;
+  started_at_ = Clock::now();
+  accept_thread_ = std::thread([this] { accept_main(); });
+  dispatcher_thread_ = std::thread([this] { dispatcher_main(); });
+}
+
+// ---- accept loop -----------------------------------------------------------
+
+void Server::reap_sessions() {
+  // Destroying a Session joins its reader thread, which must never happen
+  // on the reader thread itself (session_closed is called FROM it) -- so
+  // closed sessions are collected here, on the accept thread.
+  std::vector<std::shared_ptr<Session>> dead;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = sessions_.begin(); it != sessions_.end();) {
+      if (it->second->closed()) {
+        dead.push_back(std::move(it->second));
+        it = sessions_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  dead.clear();  // joins + destroys outside the lock
+}
+
+void Server::accept_main() {
+  while (!stop_.load(std::memory_order_acquire) && !draining()) {
+    reap_sessions();
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int rc = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (rc == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNABORTED) {
+        continue;
+      }
+      break;
+    }
+    std::shared_ptr<Session> session;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (sessions_.size() >= options_.max_sessions) {
+        ++sessions_refused_;
+      } else {
+        const ClientId id = ++next_client_;
+        session = std::make_shared<Session>(*this, fd, id);
+        sessions_.emplace(id, session);
+        ++sessions_accepted_;
+      }
+    }
+    if (!session) {
+      const std::string frame = refused_frame("session limit reached; retry later");
+      (void)::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL);
+      ::close(fd);
+      continue;
+    }
+    session->start();
+  }
+}
+
+// ---- admission + dispatch --------------------------------------------------
+
+Server::JobAck Server::submit_job(ClientId client, JobSpec spec) {
+  JobAck ack;
+  if (spec.name.empty()) {
+    ack.error = "job name required";
+    return ack;
+  }
+  if (spec.ir_text.empty()) {
+    ack.error = "empty job body";
+    return ack;
+  }
+  // Server-side deadline: every job gets a watchdog so no job -- and no
+  // drain -- can outlive the configured bound.
+  if (spec.config.watchdog_ms == 0 && options_.deadline_ms > 0) {
+    spec.config.watchdog_ms = options_.deadline_ms;
+  }
+  if (const std::optional<std::string> err = spec.config.validate()) {
+    ack.error = *err;
+    return ack;
+  }
+
+  std::uint64_t ticket = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ticket = ++next_ticket_;
+    // Route registered before offer(): the dispatcher may hand the job to a
+    // worker the instant it is parked.
+    routes_.emplace(ticket, Route{client, spec.name, 0});
+    ++outstanding_;
+  }
+  spec.ticket = ticket;
+  ack.admit = admission_.offer(client, std::move(spec), AdmissionController::Clock::now());
+  if (ack.admit.status != AdmitStatus::kAdmitted) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    routes_.erase(ticket);
+    --outstanding_;
+    return ack;
+  }
+  ack.ticket = ticket;
+  cv_.notify_all();
+  return ack;
+}
+
+void Server::dispatcher_main() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_.load(std::memory_order_acquire)) {
+    // Crash retries whose backoff has elapsed rejoin the front of their
+    // client's lane.
+    const auto now = Clock::now();
+    while (!retries_.empty() && retries_.front().ready_at <= now) {
+      AdmittedJob job = std::move(retries_.front().job);
+      retries_.pop_front();
+      lock.unlock();
+      admission_.requeue_front(std::move(job));
+      lock.lock();
+    }
+    const bool feeding = !flushing_;
+    lock.unlock();
+    if (feeding) {
+      // This thread is the executor's only producer, so depth < capacity
+      // here guarantees try_submit succeeds (workers only shrink the
+      // queue).
+      while (executor_->queue_depth() < options_.queue_capacity) {
+        std::optional<AdmittedJob> job = admission_.next();
+        if (!job) break;
+        const auto outcome = executor_->try_submit(std::move(job->spec));
+        DETLOCK_CHECK(std::holds_alternative<std::size_t>(outcome),
+                      "dispatcher is the sole producer; try_submit cannot see a full queue");
+      }
+    }
+    lock.lock();
+    cv_.wait_for(lock, std::chrono::milliseconds(50));
+  }
+}
+
+// ---- result routing --------------------------------------------------------
+
+void Server::on_complete(const JobSpec& spec, const JobResult& result) {
+  Route route;
+  bool retry = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = routes_.find(spec.ticket);
+    if (it == routes_.end()) return;  // already resolved (drain raced us)
+    if (result.status == JobStatus::kCrashed && it->second.attempt == 0 && !flushing_) {
+      // One deterministic retry after a backoff: transient infrastructure
+      // crashes recover, persistent ones fail identically on attempt 2.
+      it->second.attempt = 1;
+      ++jobs_retried_;
+      PendingRetry retry_entry;
+      retry_entry.ready_at =
+          Clock::now() + std::chrono::milliseconds(options_.crash_retry_backoff_ms);
+      retry_entry.job.client = it->second.client;
+      retry_entry.job.spec = spec;
+      retry_entry.job.attempt = 1;
+      retries_.push_back(std::move(retry_entry));
+      retry = true;
+    } else {
+      route = it->second;
+      routes_.erase(it);
+      ++jobs_resolved_;
+      if (result.status == JobStatus::kAborted) ++jobs_aborted_;
+      if (result.profiled) {
+        ++profiled_jobs_;
+        for (std::size_t c = 0; c < runtime::kNumWaitCategories; ++c) {
+          wait_ns_[c] += result.wait_ns[c];
+          wait_events_[c] += result.wait_events[c];
+        }
+      }
+      --outstanding_;
+    }
+  }
+  cv_.notify_all();
+  if (retry) return;
+  deliver_frame(route.client, result_frame(route, spec.ticket, result));
+}
+
+void Server::resolve_aborted(const AdmittedJob& job, const char* why) {
+  JobResult result;
+  result.name = job.spec.name;
+  result.status = JobStatus::kAborted;
+  result.exit_code = 4;
+  result.error = why;
+  Route route;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = routes_.find(job.spec.ticket);
+    if (it == routes_.end()) return;
+    route = it->second;
+    routes_.erase(it);
+    ++jobs_resolved_;
+    ++jobs_aborted_;
+    --outstanding_;
+  }
+  cv_.notify_all();
+  deliver_frame(route.client, result_frame(route, job.spec.ticket, result));
+}
+
+void Server::deliver_frame(ClientId client, const std::string& frame) {
+  std::shared_ptr<Session> session;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = sessions_.find(client);
+    if (it != sessions_.end()) session = it->second;
+  }
+  if (session == nullptr || !session->send_frame(frame)) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++frames_dropped_;
+  }
+}
+
+void Server::session_closed(ClientId client) {
+  const std::vector<AdmittedJob> dropped = admission_.client_gone(client);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const AdmittedJob& job : dropped) {
+      if (routes_.erase(job.spec.ticket) > 0) {
+        ++jobs_resolved_;
+        ++frames_dropped_;  // nobody left to answer
+        --outstanding_;
+      }
+    }
+  }
+  cv_.notify_all();
+}
+
+// ---- drain -----------------------------------------------------------------
+
+int Server::run_until_drained() {
+  DETLOCK_CHECK(started_, "Server::run_until_drained before start()");
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!draining()) cv_.wait_for(lock, std::chrono::milliseconds(100));
+  }
+
+  // 1. Stop admitting: new offers answer kDraining; the accept loop exits
+  //    on its own once it observes the drain flag.
+  admission_.start_draining();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (!unix_path_.empty()) ::unlink(unix_path_.c_str());
+
+  // 2. Let in-flight and queued work finish until the drain deadline (the
+  //    dispatcher keeps feeding; every job is watchdog-bounded).
+  const auto deadline = Clock::now() + std::chrono::milliseconds(options_.drain_timeout_ms);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (outstanding_ > 0 && Clock::now() < deadline) {
+      cv_.wait_for(lock, std::chrono::milliseconds(20));
+    }
+  }
+
+  // 3. Deadline: stop feeding and abort everything not yet running --
+  //    parked backlog, scheduled crash retries, executor queue.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    flushing_ = true;
+  }
+  for (const AdmittedJob& job : admission_.flush_backlog()) {
+    resolve_aborted(job, "aborted: server drained before dispatch");
+  }
+  std::deque<PendingRetry> stale_retries;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stale_retries.swap(retries_);
+  }
+  for (const PendingRetry& r : stale_retries) {
+    resolve_aborted(r.job, "aborted: server drained before crash retry");
+  }
+  executor_->cancel_pending();  // resolves queued jobs via on_complete
+
+  // 4. Only running jobs remain; their watchdogs bound this wait.  The
+  //    extra slack past the worst-case deadline is a hang backstop.
+  const auto hard_stop = Clock::now() + std::chrono::milliseconds(2 * options_.deadline_ms +
+                                                                  options_.drain_timeout_ms +
+                                                                  30'000);
+  bool clean = true;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (outstanding_ > 0) {
+      if (Clock::now() >= hard_stop) {
+        clean = false;
+        break;
+      }
+      cv_.wait_for(lock, std::chrono::milliseconds(20));
+    }
+  }
+
+  // 5. Stop the dispatcher and the workers.
+  stop_.store(true, std::memory_order_release);
+  cv_.notify_all();
+  if (dispatcher_thread_.joinable()) dispatcher_thread_.join();
+  if (clean) executor_->wait();  // unclean: a job is wedged; joining would hang
+
+  // 6. Tell every surviving client the drain completed, then close.
+  std::vector<std::shared_ptr<Session>> sessions;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    sessions.reserve(sessions_.size());
+    for (auto& [id, session] : sessions_) sessions.push_back(std::move(session));
+    sessions_.clear();
+  }
+  std::string drained;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    JsonWriter w(/*compact=*/true);
+    w.begin_object();
+    w.field("type", "drained");
+    w.field("clean", clean);
+    w.field("jobs_resolved", jobs_resolved_);
+    w.field("jobs_aborted", jobs_aborted_);
+    w.end();
+    drained = w.str();
+  }
+  for (const std::shared_ptr<Session>& session : sessions) {
+    session->send_frame(drained);
+    session->shutdown();
+  }
+  for (const std::shared_ptr<Session>& session : sessions) session->join();
+  sessions.clear();
+
+  finished_ = true;
+  return clean ? 0 : 1;
+}
+
+// ---- frames ----------------------------------------------------------------
+
+std::string Server::result_frame(const Route& route, std::uint64_t ticket,
+                                 const JobResult& result) const {
+  JsonWriter w(/*compact=*/true);
+  w.begin_object();
+  w.field("type", "result");
+  w.field("name", result.name);
+  w.field("ticket", ticket);
+  w.field("status", job_status_name(result.status));
+  w.field("exit_code", result.exit_code);
+  if (!result.error.empty()) w.field("error", result.error);
+  w.field("attempts", result.status == JobStatus::kAborted ? route.attempt
+                                                           : route.attempt + 1);
+  w.field("cache_hit", result.cache_hit);
+  w.field("context_reused", result.context_reused);
+  w.field("runs_completed", result.runs_completed);
+  if (result.runs_completed > 0) {
+    w.field("result", result.main_return);
+    w.field_hex("lock_order_fingerprint", result.trace_fingerprint);
+    w.field_hex("memory_fingerprint", result.memory_fingerprint);
+    w.field("instructions", result.instructions);
+    w.field("lock_acquires", result.lock_acquires);
+    w.field("threads", result.threads);
+  }
+  w.field("run_seconds", result.run_seconds);
+  if (result.profiled) {
+    w.key("wait_profile");
+    w.begin_object();
+    for (std::size_t c = 0; c < runtime::kNumWaitCategories; ++c) {
+      w.key(runtime::wait_category_name(static_cast<runtime::WaitCategory>(c)));
+      w.begin_object();
+      w.field("ns", result.wait_ns[c]);
+      w.field("events", result.wait_events[c]);
+      w.end();
+    }
+    w.end();
+  }
+  if (!result.schedule.empty()) w.field("schedule", result.schedule);
+  w.end();
+  return w.str();
+}
+
+std::string Server::stats_frame() const {
+  const BatchExecutor::Stats exec = executor_->stats();
+  const ModuleCache::Stats cache = cache_.stats();
+  const ContextPool::Stats pool = pool_.stats();
+  const AdmissionController::Stats adm = admission_.stats();
+
+  JsonWriter w(/*compact=*/true);
+  w.begin_object();
+  w.field("type", "stats");
+  w.field("schema_version", kReportSchemaVersion);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  w.field("uptime_seconds",
+          std::chrono::duration<double>(Clock::now() - started_at_).count());
+  w.field("draining", draining());
+
+  w.key("sessions");
+  w.begin_object();
+  w.field("open", static_cast<std::uint64_t>(sessions_.size()));
+  w.field("accepted", sessions_accepted_);
+  w.field("refused", sessions_refused_);
+  w.end();
+
+  w.key("admission");
+  w.begin_object();
+  w.field("admitted", adm.admitted);
+  w.field("quota_rejections", adm.quota_rejections);
+  w.field("backlog_rejections", adm.backlog_rejections);
+  w.field("draining_rejections", adm.draining_rejections);
+  w.field("backlog", static_cast<std::uint64_t>(adm.backlog));
+  w.field("active_clients", static_cast<std::uint64_t>(adm.active_clients));
+  w.end();
+
+  w.key("executor");
+  w.begin_object();
+  w.field("workers", static_cast<std::uint64_t>(options_.workers));
+  w.field("queue_capacity", static_cast<std::uint64_t>(options_.queue_capacity));
+  w.field("submitted", exec.jobs_submitted);
+  w.field("completed", exec.jobs_completed);
+  w.field("rejected_full", exec.rejected_full);
+  w.field("cancelled", exec.cancelled);
+  w.field("crashed", exec.crashed);
+  w.field("queue_depth", static_cast<std::uint64_t>(exec.queue_depth));
+  w.field("peak_queue_depth", static_cast<std::uint64_t>(exec.peak_queue_depth));
+  w.end();
+
+  w.key("cache");
+  w.begin_object();
+  w.field("hits", cache.hits);
+  w.field("misses", cache.misses);
+  w.field("evictions", cache.evictions);
+  w.field("compile_errors", cache.compile_errors);
+  w.field("inflight_waits", cache.inflight_waits);
+  w.field("entries", static_cast<std::uint64_t>(cache.entries));
+  w.field("capacity", static_cast<std::uint64_t>(cache_.capacity()));
+  w.end();
+
+  w.key("context_pool");
+  w.begin_object();
+  w.field("enabled", options_.context_pool);
+  w.field("created", pool.created);
+  w.field("reused", pool.reused);
+  w.field("dropped", pool.dropped);
+  w.field("idle", static_cast<std::uint64_t>(pool.idle));
+  w.field("in_use", static_cast<std::uint64_t>(pool.in_use));
+  w.end();
+
+  w.key("jobs");
+  w.begin_object();
+  w.field("resolved", jobs_resolved_);
+  w.field("outstanding", static_cast<std::uint64_t>(outstanding_));
+  w.field("retried", jobs_retried_);
+  w.field("aborted", jobs_aborted_);
+  w.field("frames_dropped", frames_dropped_);
+  w.end();
+
+  w.key("wait_profile");
+  w.begin_object();
+  w.field("profiled_jobs", profiled_jobs_);
+  for (std::size_t c = 0; c < runtime::kNumWaitCategories; ++c) {
+    w.key(runtime::wait_category_name(static_cast<runtime::WaitCategory>(c)));
+    w.begin_object();
+    w.field("ns", wait_ns_[c]);
+    w.field("events", wait_events_[c]);
+    w.end();
+  }
+  w.end();
+
+  w.end();
+  return w.str();
+}
+
+}  // namespace detlock::service

@@ -1,0 +1,215 @@
+// Server: the long-running detserved core -- sockets, admission, dispatch,
+// result routing, and graceful drain, assembled from the service-layer
+// building blocks (ModuleCache, ContextPool, BatchExecutor,
+// AdmissionController).
+//
+// Data path of one JOB line:
+//
+//   Session reader ──offer()──► AdmissionController (quota + backlog gates,
+//        │                      RETRY_AFTER on rejection)
+//        │ accepted frame
+//   dispatcher thread ──next()──► DRR-fair pick ──try_submit()──► executor
+//        │ kQueueFull → requeue_front + wait for space (the bounded queue
+//        │ never blocks a session reader; only the dispatcher waits)
+//   worker thread ──on_complete()──► route by JobSpec::ticket ──► result
+//        frame on the owning session (dropped if the client vanished)
+//
+// Robustness properties, each tested in tests/service/server_test.cpp:
+//
+//   * ADMISSION, not blocking: a full executor queue surfaces to clients as
+//     RETRY_AFTER "queue-full" while the accept loop keeps accepting.
+//   * DEADLINES: jobs without a watchdog_ms get the server default, so no
+//     job -- and therefore no drain -- can hang forever; deadlocked jobs
+//     resolve to the documented exit 8/9.
+//   * CRASH CONTAINMENT: a worker-thread crash (modeled by
+//     pre_execute_hook throwing; induced by --chaos-crash-every) resolves
+//     the job to kCrashed, the worker survives, and the server re-queues
+//     the job exactly once after a backoff before failing it
+//     deterministically (exit 11 with attempts=2).
+//   * GRACEFUL DRAIN: request_drain() stops admission (kDraining
+//     rejections), lets in-flight work finish until the drain deadline,
+//     then aborts the remaining backlog (exit 4 ABORTED frames), sends
+//     every session a final "drained" frame, and run_until_drained()
+//     returns 0 iff every accepted job reached a terminal status.
+//
+// Determinism invariant (the reason this server is worth trusting): the
+// execution path below the queue is exactly detserve's, so the same job
+// payload yields byte-identical fingerprints whether it arrived via
+// detlockc, a one-shot detserve batch, or a detserved socket under load.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/profile.hpp"
+#include "service/admission.hpp"
+#include "service/batch_executor.hpp"
+#include "service/context_pool.hpp"
+#include "service/module_cache.hpp"
+
+namespace detlock::service {
+
+class Session;
+
+struct ServerOptions {
+  /// "tcp:HOST:PORT", "tcp:PORT" (host 127.0.0.1), or "unix:PATH".
+  /// tcp port 0 binds an ephemeral port; see Server::port().
+  std::string listen = "tcp:127.0.0.1:0";
+  std::size_t workers = 4;
+  /// Executor pending-queue bound; beyond it admission answers
+  /// RETRY_AFTER rather than blocking.
+  std::size_t queue_capacity = 16;
+  std::size_t cache_capacity = 64;
+  AdmissionOptions admission;
+  /// Warm ExecutionContext reuse; off forces a fresh context per job.
+  bool context_pool = true;
+  /// Default watchdog for jobs that do not set watchdog-ms themselves; the
+  /// bound that keeps drain finite.  0 leaves jobs unbounded (not
+  /// recommended; detserved's flag default is 10s).
+  std::uint64_t deadline_ms = 10'000;
+  /// How long drain waits for in-flight + queued work before aborting the
+  /// remainder.
+  std::uint64_t drain_timeout_ms = 5'000;
+  /// Pause before re-queueing a crashed job for its single retry.
+  std::uint64_t crash_retry_backoff_ms = 10;
+  /// Chaos: every Nth first-attempt job crashes its worker just before
+  /// execution (0 = off).  Exercises the crash-retry path end to end.
+  std::uint64_t chaos_crash_every = 0;
+  /// Hard cap on a JOB body.
+  std::size_t max_ir_bytes = 4u << 20;
+  std::size_t max_sessions = 256;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  /// Force-drains (zero timeout) if run_until_drained was never reached.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and starts the accept + dispatcher threads.  Throws
+  /// Error on bind failure.
+  void start();
+
+  /// The bound TCP port (after start(); meaningful for tcp listeners --
+  /// resolves port 0 to the kernel-assigned ephemeral port).
+  int port() const { return port_; }
+  /// The resolved listen address, e.g. "tcp:127.0.0.1:43187".
+  const std::string& listen_address() const { return listen_address_; }
+
+  /// Begins graceful drain: stop admitting, finish what's in flight.
+  /// Async-signal-safe (atomic store only); the drain work happens on the
+  /// thread inside run_until_drained().
+  void request_drain() { drain_requested_.store(true, std::memory_order_release); }
+
+  /// Blocks until request_drain() is observed, then executes the drain
+  /// procedure.  Returns 0 when every accepted job reached a terminal
+  /// status (including ABORTED ones -- drain aborts are a *clean* outcome).
+  int run_until_drained();
+
+  // ---- Session upcalls (used by service::Session) --------------------------
+
+  /// Admission verdict for one parsed JOB line.  On kAdmitted the job is
+  /// owned by the server until its result frame.  `error` non-empty means
+  /// the job was structurally invalid (never offered to admission).
+  struct JobAck {
+    AdmitResult admit;
+    std::string error;
+    /// Server-assigned ticket echoed in the accepted and result frames.
+    std::uint64_t ticket = 0;
+  };
+  JobAck submit_job(ClientId client, JobSpec spec);
+
+  /// One-line JSON document for the STATS verb.
+  std::string stats_frame() const;
+
+  /// Reader hung up / QUIT / write error: forget the client's backlog
+  /// (in-flight jobs still run; their frames are dropped).
+  void session_closed(ClientId client);
+
+  const ServerOptions& options() const { return options_; }
+  bool draining() const { return drain_requested_.load(std::memory_order_acquire); }
+
+ private:
+  struct Route {
+    ClientId client = 0;
+    std::string name;
+    int attempt = 0;
+  };
+  struct PendingRetry {
+    std::chrono::steady_clock::time_point ready_at;
+    AdmittedJob job;
+  };
+
+  void accept_main();
+  void dispatcher_main();
+  void on_complete(const JobSpec& spec, const JobResult& result);
+  void resolve_aborted(const AdmittedJob& job, const char* why);
+  void deliver_frame(ClientId client, const std::string& frame);
+  std::string result_frame(const Route& route, std::uint64_t ticket,
+                           const JobResult& result) const;
+  void reap_sessions();
+  void bind_listener();
+
+  const ServerOptions options_;
+
+  ModuleCache cache_;
+  ContextPool pool_;
+  AdmissionController admission_;
+  std::unique_ptr<BatchExecutor> executor_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::string listen_address_;
+  std::string unix_path_;  // unlinked on shutdown when set
+
+  std::atomic<bool> drain_requested_{false};
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+  bool finished_ = false;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;  // dispatcher + drain wait here
+  std::unordered_map<std::uint64_t, Route> routes_;  // ticket -> owner
+  std::deque<PendingRetry> retries_;
+  std::uint64_t next_ticket_ = 0;
+  ClientId next_client_ = 0;
+  /// Admitted jobs not yet resolved by a terminal frame; drain completes
+  /// when this hits zero.
+  std::size_t outstanding_ = 0;
+  /// Dispatcher stops feeding the executor once the drain deadline passed
+  /// (remaining backlog gets aborted instead).
+  bool flushing_ = false;
+
+  std::unordered_map<ClientId, std::shared_ptr<Session>> sessions_;
+  std::uint64_t sessions_accepted_ = 0;
+  std::uint64_t sessions_refused_ = 0;
+
+  // STATS aggregates (guarded by mutex_).
+  std::uint64_t jobs_resolved_ = 0;
+  std::uint64_t jobs_retried_ = 0;
+  std::uint64_t jobs_aborted_ = 0;
+  std::uint64_t frames_dropped_ = 0;
+  std::uint64_t chaos_counter_ = 0;
+  std::uint64_t profiled_jobs_ = 0;
+  std::array<std::uint64_t, runtime::kNumWaitCategories> wait_ns_{};
+  std::array<std::uint64_t, runtime::kNumWaitCategories> wait_events_{};
+
+  std::chrono::steady_clock::time_point started_at_{};
+
+  std::thread accept_thread_;
+  std::thread dispatcher_thread_;
+};
+
+}  // namespace detlock::service

@@ -1,0 +1,255 @@
+#include "service/session.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <optional>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include "service/manifest.hpp"
+#include "service/server.hpp"
+#include "support/json.hpp"
+#include "support/strings.hpp"
+
+namespace detlock::service {
+
+namespace {
+
+std::string simple_frame(std::string_view type) {
+  JsonWriter w(/*compact=*/true);
+  w.begin_object();
+  w.field("type", type);
+  w.end();
+  return w.str();
+}
+
+std::string error_frame(std::string_view name, std::string_view message) {
+  JsonWriter w(/*compact=*/true);
+  w.begin_object();
+  w.field("type", "error");
+  if (!name.empty()) w.field("name", name);
+  w.field("message", message);
+  w.end();
+  return w.str();
+}
+
+std::string retry_after_frame(std::string_view name, const AdmitResult& admit) {
+  JsonWriter w(/*compact=*/true);
+  w.begin_object();
+  w.field("type", "retry_after");
+  if (!name.empty()) w.field("name", name);
+  w.field("reason", admit_status_name(admit.status));
+  w.field("retry_after_ms", admit.retry_after_ms);
+  w.end();
+  return w.str();
+}
+
+std::string accepted_frame(std::string_view name, std::uint64_t ticket) {
+  JsonWriter w(/*compact=*/true);
+  w.begin_object();
+  w.field("type", "accepted");
+  w.field("name", name);
+  w.field("ticket", ticket);
+  w.end();
+  return w.str();
+}
+
+}  // namespace
+
+Session::Session(Server& server, int fd, ClientId id) : server_(server), fd_(fd), id_(id) {
+  // Bound result writes so a client that stops reading cannot park a worker
+  // thread forever inside on_complete; a timed-out send closes the session.
+  timeval tv{};
+  tv.tv_sec = 5;
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+}
+
+Session::~Session() {
+  shutdown();
+  join();
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  close_fd();
+}
+
+void Session::start() { thread_ = std::thread([this] { reader_main(); }); }
+
+void Session::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void Session::shutdown() {
+  stop_.store(true, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);  // wakes the reader's poll
+}
+
+void Session::close_fd() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Session::send_frame(const std::string& frame) {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  if (fd_ < 0 || closed_.load(std::memory_order_acquire) ||
+      stop_.load(std::memory_order_acquire)) {
+    return false;
+  }
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n = ::send(fd_, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      closed_.store(true, std::memory_order_release);
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool Session::fill() {
+  // Compact the consumed prefix so rbuf_ stays bounded by what is pending.
+  if (rpos_ == rbuf_.size()) {
+    rbuf_.clear();
+    rpos_ = 0;
+  } else if (rpos_ > 64 * 1024) {
+    rbuf_.erase(0, rpos_);
+    rpos_ = 0;
+  }
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{};
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    const int rc = ::poll(&pfd, 1, /*timeout_ms=*/200);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (rc == 0) continue;  // timeout: re-check stop_ and poll again
+    char buf[4096];
+    const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+    if (n == 0) return false;  // orderly EOF
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return false;
+    }
+    rbuf_.append(buf, static_cast<std::size_t>(n));
+    return true;
+  }
+  return false;
+}
+
+bool Session::read_line(std::string& line) {
+  for (;;) {
+    const std::size_t nl = rbuf_.find('\n', rpos_);
+    if (nl != std::string::npos) {
+      line.assign(rbuf_, rpos_, nl - rpos_);
+      rpos_ = nl + 1;
+      return true;
+    }
+    if (!fill()) return false;
+  }
+}
+
+bool Session::read_exact(std::string& out, std::size_t n) {
+  while (rbuf_.size() - rpos_ < n) {
+    if (!fill()) return false;
+  }
+  out.assign(rbuf_, rpos_, n);
+  rpos_ += n;
+  return true;
+}
+
+void Session::reader_main() {
+  std::string line;
+  bool quit = false;
+  while (!quit && !stop_.load(std::memory_order_acquire) && read_line(line)) {
+    handle_line(trim(line), quit);
+  }
+  closed_.store(true, std::memory_order_release);
+  server_.session_closed(id_);
+}
+
+void Session::handle_line(std::string_view line, bool& quit) {
+  if (line.empty() || line.front() == '#') return;
+  const std::vector<std::string_view> tokens = split_whitespace(line);
+  const std::string_view verb = tokens[0];
+  if (verb == "JOB") {
+    handle_job(tokens);
+  } else if (verb == "STATS") {
+    send_frame(server_.stats_frame());
+  } else if (verb == "PING") {
+    send_frame(simple_frame("pong"));
+  } else if (verb == "QUIT") {
+    send_frame(simple_frame("bye"));
+    quit = true;
+  } else {
+    send_frame(error_frame("", "unknown verb '" + std::string(verb) +
+                                   "' (expected JOB, STATS, PING, or QUIT)"));
+  }
+}
+
+void Session::handle_job(const std::vector<std::string_view>& tokens) {
+  // JOB <name> <nbytes> [key=value ...], then exactly <nbytes> of IR.
+  const std::string name = tokens.size() > 1 ? std::string(tokens[1]) : std::string();
+  std::optional<std::int64_t> nbytes;
+  if (tokens.size() >= 3) nbytes = parse_int(tokens[2]);
+  if (tokens.size() < 3 || !nbytes || *nbytes < 0) {
+    // Without a parseable byte count the stream cannot be re-framed.
+    send_frame(error_frame(name, "usage: JOB NAME NBYTES [key=value ...] (desync; closing)"));
+    stop_.store(true, std::memory_order_release);
+    return;
+  }
+  const std::size_t body_bytes = static_cast<std::size_t>(*nbytes);
+  if (body_bytes > server_.options().max_ir_bytes) {
+    send_frame(error_frame(
+        name, str_format("job body of %zu bytes exceeds the %zu-byte limit (closing)",
+                         body_bytes, server_.options().max_ir_bytes)));
+    stop_.store(true, std::memory_order_release);
+    return;
+  }
+
+  JobSpec spec;
+  spec.name = name;
+  // Server jobs, like manifest jobs, default to no trace-event retention;
+  // schedule=1 opts in per job.
+  spec.config.keep_trace_events = false;
+  std::string option_error;
+  for (std::size_t i = 3; i < tokens.size() && option_error.empty(); ++i) {
+    const std::size_t eq = tokens[i].find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      option_error = "options are key=value, got '" + std::string(tokens[i]) + "'";
+      break;
+    }
+    apply_job_option(tokens[i].substr(0, eq), tokens[i].substr(eq + 1), spec, option_error);
+  }
+
+  // Consume the body even when the header was bad -- the byte count is
+  // trustworthy, so the connection stays framed for the next request.
+  std::string body;
+  if (!read_exact(body, body_bytes)) {
+    stop_.store(true, std::memory_order_release);
+    return;
+  }
+  if (!option_error.empty()) {
+    send_frame(error_frame(name, option_error));
+    return;
+  }
+  spec.ir_text = std::move(body);
+
+  const Server::JobAck ack = server_.submit_job(id_, std::move(spec));
+  if (!ack.error.empty()) {
+    send_frame(error_frame(name, ack.error));
+  } else if (ack.admit.status == AdmitStatus::kAdmitted) {
+    send_frame(accepted_frame(name, ack.ticket));
+  } else {
+    send_frame(retry_after_frame(name, ack.admit));
+  }
+}
+
+}  // namespace detlock::service

@@ -1,0 +1,84 @@
+// Session: one connected detserved client, one reader thread.
+//
+// Wire protocol (docs/serving.md).  Requests are lines; JOB carries a raw
+// body of exactly `nbytes` after its header line:
+//
+//   JOB <name> <nbytes> [key=value ...]\n<nbytes of textual IR>
+//   STATS\n        PING\n        QUIT\n
+//
+// Every response is one newline-terminated JSON object (a frame), written
+// under a per-session mutex so frames from concurrent worker threads never
+// interleave.  Result frames stream per job as they finish -- there is no
+// batch barrier and no ordering guarantee across jobs (clients correlate by
+// "name"/"ticket").
+//
+// The reader polls with a short timeout instead of blocking in recv so it
+// can notice server shutdown promptly; malformed JOB headers with a
+// parseable byte count consume and discard the body to stay framed, while
+// an unparseable byte count is unrecoverable (desync) and closes the
+// connection after an error frame.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "service/admission.hpp"
+
+namespace detlock::service {
+
+class Server;
+
+class Session {
+ public:
+  /// Takes ownership of `fd`.
+  Session(Server& server, int fd, ClientId id);
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  void start();  ///< spawns the reader thread
+  void join();   ///< joins it (after shutdown() or reader exit)
+
+  ClientId id() const { return id_; }
+
+  /// Writes one frame (newline-terminated JSON line) to the socket.
+  /// Thread-safe; returns false once the peer is gone (frame dropped).
+  bool send_frame(const std::string& frame);
+
+  /// Wakes the reader out of its poll and stops further I/O; send_frame
+  /// becomes a no-op.  Idempotent.
+  void shutdown();
+
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+ private:
+  void reader_main();
+  /// Next '\n'-terminated line (terminator stripped); false on EOF, error,
+  /// or shutdown.
+  bool read_line(std::string& line);
+  /// Exactly `n` more payload bytes; same failure conditions.
+  bool read_exact(std::string& out, std::size_t n);
+  /// Refills rbuf_ from the socket (one poll + recv); false when done.
+  bool fill();
+  void handle_line(std::string_view line, bool& quit);
+  void handle_job(const std::vector<std::string_view>& tokens);
+  void close_fd();
+
+  Server& server_;
+  int fd_;
+  const ClientId id_;
+  std::thread thread_;
+  std::mutex write_mutex_;
+  std::atomic<bool> closed_{false};
+  std::atomic<bool> stop_{false};
+  std::string rbuf_;         // received, unconsumed bytes
+  std::size_t rpos_ = 0;     // consumed prefix of rbuf_
+};
+
+}  // namespace detlock::service

@@ -28,6 +28,12 @@ std::string JsonWriter::escape(std::string_view s) {
   return out;
 }
 
+void JsonWriter::newline_indent() {
+  if (compact_) return;
+  out_ += '\n';
+  out_.append(2 * scopes_.size(), ' ');
+}
+
 void JsonWriter::prefix() {
   if (!pending_.empty()) {
     out_ += pending_;
@@ -40,8 +46,7 @@ void JsonWriter::prefix() {
   if (!scopes_.empty()) {
     if (has_items_.back()) out_ += ',';
     has_items_.back() = true;
-    out_ += '\n';
-    out_.append(2 * scopes_.size(), ' ');
+    newline_indent();
   }
 }
 
@@ -50,8 +55,7 @@ JsonWriter& JsonWriter::key(std::string_view k) {
   DETLOCK_CHECK(pending_.empty(), "JsonWriter: key() twice without a value");
   if (has_items_.back()) out_ += ',';
   has_items_.back() = true;
-  out_ += '\n';
-  out_.append(2 * scopes_.size(), ' ');
+  newline_indent();
   pending_ = "\"" + escape(k) + "\": ";
   keyed_ = true;
   return *this;
@@ -78,10 +82,7 @@ void JsonWriter::end() {
   const bool had_items = has_items_.back();
   scopes_.pop_back();
   has_items_.pop_back();
-  if (had_items) {
-    out_ += '\n';
-    out_.append(2 * scopes_.size(), ' ');
-  }
+  if (had_items) newline_indent();
   out_ += scope == 'o' ? '}' : ']';
 }
 

@@ -24,6 +24,12 @@ inline constexpr int kReportSchemaVersion = 1;
 
 class JsonWriter {
  public:
+  /// `compact` suppresses all newlines and indentation, producing the whole
+  /// document on one line -- the framing detserved's wire protocol needs
+  /// (one JSON frame per line).  str() still appends the trailing '\n', so
+  /// a compact document IS a complete frame.
+  explicit JsonWriter(bool compact = false) : compact_(compact) {}
+
   /// Begins an object or array.  The top-level call must be exactly one of
   /// these; nesting is tracked so end() knows which delimiter to emit.
   void begin_object();
@@ -64,7 +70,9 @@ class JsonWriter {
 
  private:
   void prefix();  // indentation + comma bookkeeping before a value/key
+  void newline_indent();  // layout between items; nothing in compact mode
 
+  bool compact_ = false;
   std::string out_;
   /// One char per open scope: 'o' object, 'a' array; parallel "needs comma"
   /// flags packed into counts_.

@@ -1,0 +1,98 @@
+#!/bin/sh
+# detserved end-to-end smoke: boots the server on a private Unix socket,
+# drives it with three CONCURRENT python clients (healthy jobs, a chaos
+# job, and an intentional ABBA deadlock that must classify as exit 8
+# without disturbing its neighbors), then SIGTERMs the server mid-batch
+# while slow jobs are parked and requires a clean drain: running work
+# resolved, backlog answered with ABORTED frames, exit status 0.
+#
+# Usage: detserved_smoke.sh DETSERVED SERVE_CLIENT_PY PROGRAMS_DIR
+set -eu
+
+DETSERVED="$1"
+CLIENT="$2"
+PROGRAMS="$3"
+
+WORKDIR=$(mktemp -d detserved_smoke.XXXXXX)
+SOCK="$WORKDIR/detserved.sock"
+SERVER_PID=""
+
+cleanup() {
+  if [ -n "$SERVER_PID" ] && kill -0 "$SERVER_PID" 2>/dev/null; then
+    kill -9 "$SERVER_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+"$DETSERVED" --listen="unix:$SOCK" --workers=2 --queue-cap=4 \
+  --deadline-ms=5000 --drain-timeout-ms=500 > "$WORKDIR/server.log" 2>&1 &
+SERVER_PID=$!
+
+# Wait for the socket to appear (the server prints its address once bound).
+i=0
+while [ ! -S "$SOCK" ]; do
+  i=$((i + 1))
+  if [ "$i" -gt 100 ]; then
+    echo "detserved_smoke: server never bound $SOCK" >&2
+    cat "$WORKDIR/server.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+
+# Phase 1: three concurrent clients with mixed expectations.
+python3 "$CLIENT" --connect "unix:$SOCK" \
+  "hello;$PROGRAMS/hello_locks.dl;0;runs=2" \
+  "producer;$PROGRAMS/producer_consumer.dl;0;chaos=1 chaos-trials=2 chaos-seed=11" \
+  > "$WORKDIR/c1.log" 2>&1 &
+C1=$!
+python3 "$CLIENT" --connect "unix:$SOCK" \
+  "abba;$PROGRAMS/abba_deadlock.dl;8;watchdog-ms=400" \
+  "hello2;$PROGRAMS/hello_locks.dl;0" \
+  > "$WORKDIR/c2.log" 2>&1 &
+C2=$!
+python3 "$CLIENT" --connect "unix:$SOCK" \
+  "queue;$PROGRAMS/bounded_queue_cv.dl;0;runs=2" \
+  "hello3;$PROGRAMS/hello_locks.dl;0;profile=1" \
+  > "$WORKDIR/c3.log" 2>&1 &
+C3=$!
+
+rc=0
+for pid in $C1 $C2 $C3; do
+  wait "$pid" || rc=1
+done
+if [ "$rc" -ne 0 ]; then
+  echo "detserved_smoke: a phase-1 client failed" >&2
+  cat "$WORKDIR"/c*.log >&2
+  exit 1
+fi
+
+# Phase 2: park slow deadlock jobs, SIGTERM mid-batch, require a clean
+# drain -- every accepted job answered (deadlock 8 or aborted 4), a
+# clean drained frame on the wire, and server exit status 0.
+python3 "$CLIENT" --connect "unix:$SOCK" --drain \
+  "slow0;$PROGRAMS/abba_deadlock.dl;4|8;watchdog-ms=3000" \
+  "slow1;$PROGRAMS/abba_deadlock.dl;4|8;watchdog-ms=3000" \
+  "slow2;$PROGRAMS/abba_deadlock.dl;4|8;watchdog-ms=3000" \
+  > "$WORKDIR/drain.log" 2>&1 &
+DRAIN_CLIENT=$!
+
+sleep 1  # let the batch land: one running, the rest parked
+kill -TERM "$SERVER_PID"
+SERVER_RC=0
+wait "$SERVER_PID" || SERVER_RC=$?
+SERVER_PID=""
+if [ "$SERVER_RC" -ne 0 ]; then
+  echo "detserved_smoke: drain exited $SERVER_RC, want 0" >&2
+  cat "$WORKDIR/server.log" "$WORKDIR/drain.log" >&2
+  exit 1
+fi
+if ! wait "$DRAIN_CLIENT"; then
+  echo "detserved_smoke: drain client failed" >&2
+  cat "$WORKDIR/drain.log" >&2
+  exit 1
+fi
+
+grep -q "drained clean" "$WORKDIR/server.log"
+echo "detserved_smoke: OK"

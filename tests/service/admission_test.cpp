@@ -1,0 +1,177 @@
+// AdmissionController: token-bucket quota with exact retry hints, per-client
+// and total backlog bounds, DRR fairness, drain rejection, and the
+// requeue/flush/client-gone bookkeeping the server drain relies on.
+// All time is injected -- no sleeps anywhere.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "service/admission.hpp"
+
+namespace detlock {
+namespace {
+
+using service::AdmissionController;
+using service::AdmissionOptions;
+using service::AdmitStatus;
+using service::AdmittedJob;
+using Clock = AdmissionController::Clock;
+
+service::JobSpec job(const std::string& name) {
+  service::JobSpec spec;
+  spec.name = name;
+  spec.ir_text = "func @main(0) regs=4 {\nblock entry:\n  %0 = const 0\n  ret %0\n}\n";
+  return spec;
+}
+
+TEST(AdmissionTest, TokenBucketRejectsWithExactRetryHint) {
+  AdmissionOptions options;
+  options.quota_rate = 2.0;  // 2 jobs/sec
+  options.quota_burst = 2.0;
+  AdmissionController admission(options);
+  const Clock::time_point t0 = Clock::now();
+
+  // The bucket starts full at burst: two admits, then an empty bucket.
+  EXPECT_EQ(admission.offer(1, job("a"), t0).status, AdmitStatus::kAdmitted);
+  EXPECT_EQ(admission.offer(1, job("b"), t0).status, AdmitStatus::kAdmitted);
+  const service::AdmitResult rejected = admission.offer(1, job("c"), t0);
+  EXPECT_EQ(rejected.status, AdmitStatus::kRetryQuota);
+  // One whole token at 2 tokens/sec = 500ms, computed, not configured.
+  EXPECT_EQ(rejected.retry_after_ms, 500u);
+
+  // Waiting the suggested time really does yield a token.
+  const Clock::time_point t1 = t0 + std::chrono::milliseconds(500);
+  EXPECT_EQ(admission.offer(1, job("c"), t1).status, AdmitStatus::kAdmitted);
+  EXPECT_EQ(admission.stats().quota_rejections, 1u);
+}
+
+TEST(AdmissionTest, QuotaIsPerClient) {
+  AdmissionOptions options;
+  options.quota_rate = 1.0;
+  options.quota_burst = 1.0;
+  AdmissionController admission(options);
+  const Clock::time_point t0 = Clock::now();
+  EXPECT_EQ(admission.offer(1, job("a"), t0).status, AdmitStatus::kAdmitted);
+  EXPECT_EQ(admission.offer(1, job("b"), t0).status, AdmitStatus::kRetryQuota);
+  // A different client has its own (full) bucket.
+  EXPECT_EQ(admission.offer(2, job("c"), t0).status, AdmitStatus::kAdmitted);
+}
+
+TEST(AdmissionTest, BacklogCapIsPerClientSoFloodersOnlyStarveThemselves) {
+  AdmissionOptions options;
+  options.client_backlog_cap = 2;
+  AdmissionController admission(options);
+  const Clock::time_point t0 = Clock::now();
+  EXPECT_EQ(admission.offer(1, job("f1"), t0).status, AdmitStatus::kAdmitted);
+  EXPECT_EQ(admission.offer(1, job("f2"), t0).status, AdmitStatus::kAdmitted);
+  const service::AdmitResult rejected = admission.offer(1, job("f3"), t0);
+  EXPECT_EQ(rejected.status, AdmitStatus::kRetryBacklog);
+  EXPECT_EQ(rejected.retry_after_ms, options.backlog_retry_ms);
+  // The flooding client is full; a quiet client still gets in.
+  EXPECT_EQ(admission.offer(2, job("q1"), t0).status, AdmitStatus::kAdmitted);
+  EXPECT_EQ(admission.stats().backlog_rejections, 1u);
+  EXPECT_EQ(admission.backlog(), 3u);
+}
+
+TEST(AdmissionTest, TotalBacklogCapBoundsEveryone) {
+  AdmissionOptions options;
+  options.client_backlog_cap = 100;
+  options.total_backlog_cap = 2;
+  AdmissionController admission(options);
+  const Clock::time_point t0 = Clock::now();
+  EXPECT_EQ(admission.offer(1, job("a"), t0).status, AdmitStatus::kAdmitted);
+  EXPECT_EQ(admission.offer(2, job("b"), t0).status, AdmitStatus::kAdmitted);
+  EXPECT_EQ(admission.offer(3, job("c"), t0).status, AdmitStatus::kRetryBacklog);
+}
+
+TEST(AdmissionTest, DeficitRoundRobinInterleavesClients) {
+  AdmissionOptions options;
+  options.drr_quantum = 2;
+  AdmissionController admission(options);
+  const Clock::time_point t0 = Clock::now();
+  // Client 1 floods six jobs, client 2 parks two.
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(admission.offer(1, job("a" + std::to_string(i)), t0).status,
+              AdmitStatus::kAdmitted);
+  }
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_EQ(admission.offer(2, job("b" + std::to_string(i)), t0).status,
+              AdmitStatus::kAdmitted);
+  }
+  std::vector<std::string> order;
+  while (const std::optional<AdmittedJob> next = admission.next()) {
+    order.push_back(next->spec.name);
+  }
+  // Quantum 2: the flooder dispatches two, then the quiet client gets its
+  // two, then the flooder finishes -- not six-then-two.
+  const std::vector<std::string> expected = {"a0", "a1", "b0", "b1", "a2", "a3", "a4", "a5"};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(AdmissionTest, RequeueFrontPreservesDispatchOrder) {
+  AdmissionController admission(AdmissionOptions{});
+  const Clock::time_point t0 = Clock::now();
+  admission.offer(1, job("first"), t0);
+  admission.offer(1, job("second"), t0);
+  std::optional<AdmittedJob> picked = admission.next();
+  ASSERT_TRUE(picked.has_value());
+  EXPECT_EQ(picked->spec.name, "first");
+  // The dispatcher hit a full executor queue: put it back at the FRONT.
+  admission.requeue_front(std::move(*picked));
+  picked = admission.next();
+  ASSERT_TRUE(picked.has_value());
+  EXPECT_EQ(picked->spec.name, "first");  // not "second"
+}
+
+TEST(AdmissionTest, DrainingRejectsEverythingNew) {
+  AdmissionController admission(AdmissionOptions{});
+  const Clock::time_point t0 = Clock::now();
+  EXPECT_EQ(admission.offer(1, job("before"), t0).status, AdmitStatus::kAdmitted);
+  admission.start_draining();
+  const service::AdmitResult rejected = admission.offer(1, job("after"), t0);
+  EXPECT_EQ(rejected.status, AdmitStatus::kDraining);
+  EXPECT_GT(rejected.retry_after_ms, 0u);
+  // Already-parked work is still dispatchable (the drain grace period).
+  EXPECT_TRUE(admission.next().has_value());
+}
+
+TEST(AdmissionTest, FlushBacklogReturnsEverythingInClientOrder) {
+  AdmissionController admission(AdmissionOptions{});
+  const Clock::time_point t0 = Clock::now();
+  admission.offer(1, job("a0"), t0);
+  admission.offer(2, job("b0"), t0);
+  admission.offer(1, job("a1"), t0);
+  const std::vector<AdmittedJob> flushed = admission.flush_backlog();
+  ASSERT_EQ(flushed.size(), 3u);
+  // Per-client submission order survives the flush (a client's ABORTED
+  // frames arrive in the order it submitted).
+  std::vector<std::string> client1;
+  for (const AdmittedJob& j : flushed) {
+    if (j.client == 1) client1.push_back(j.spec.name);
+  }
+  EXPECT_EQ(client1, (std::vector<std::string>{"a0", "a1"}));
+  EXPECT_EQ(admission.backlog(), 0u);
+  EXPECT_FALSE(admission.next().has_value());
+}
+
+TEST(AdmissionTest, ClientGoneDropsItsLaneOnly) {
+  AdmissionController admission(AdmissionOptions{});
+  const Clock::time_point t0 = Clock::now();
+  admission.offer(1, job("dead0"), t0);
+  admission.offer(1, job("dead1"), t0);
+  admission.offer(2, job("alive"), t0);
+  const std::vector<AdmittedJob> dropped = admission.client_gone(1);
+  EXPECT_EQ(dropped.size(), 2u);
+  EXPECT_EQ(admission.backlog(), 1u);
+  // next() skips the vanished client's stale ring entry and dispatches the
+  // survivor.
+  const std::optional<AdmittedJob> next = admission.next();
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->spec.name, "alive");
+  EXPECT_FALSE(admission.next().has_value());
+}
+
+}  // namespace
+}  // namespace detlock

@@ -1,10 +1,20 @@
 // BatchExecutor: result ordering, the full status/exit-code surface, cache
-// sharing across a batch, schedule capture, and watchdog isolation.
+// sharing across a batch, schedule capture, watchdog isolation, and the
+// serving-layer surface -- non-blocking try_submit with typed rejections,
+// cancel_pending drain aborts, worker-crash containment, and warm-context
+// reuse.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <variant>
 
 #include "service/batch_executor.hpp"
+#include "service/context_pool.hpp"
+#include "support/error.hpp"
 
 namespace detlock {
 namespace {
@@ -248,6 +258,185 @@ TEST(BatchExecutorTest, BackpressureBoundsTheQueueButLosesNothing) {
   ASSERT_EQ(results.size(), static_cast<std::size_t>(kJobs));
   for (const auto& r : results) EXPECT_EQ(r.status, service::JobStatus::kOk);
   EXPECT_LE(executor.stats().peak_queue_depth, 2u);
+}
+
+/// Blocks every job in the pre-execute hook until opened -- the tests'
+/// handle on worker occupancy (no sleeps, no timing assumptions).
+class Gate {
+ public:
+  void block(service::BatchExecutor::Options& options) {
+    options.pre_execute_hook = [this](const service::JobSpec&) {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return open_; });
+    };
+  }
+  void open() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool open_ = false;
+};
+
+bool poll_until(const std::function<bool()>& done) {
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (done()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return false;
+}
+
+TEST(BatchExecutorTest, TrySubmitRejectsWhenFullAndReacceptsAfterDrain) {
+  service::ModuleCache cache(8);
+  Gate gate;
+  service::BatchExecutor::Options options;
+  options.workers = 1;
+  options.queue_capacity = 2;
+  gate.block(options);
+  service::BatchExecutor executor(cache, options);
+
+  executor.submit(ok_job("blocker"));
+  // The single worker parks in the hook; wait for it to have dequeued.
+  ASSERT_TRUE(poll_until([&] { return executor.queue_depth() == 0; }));
+
+  // Fill the queue, then hit the bound: a typed rejection, never a block.
+  EXPECT_TRUE(std::holds_alternative<std::size_t>(executor.try_submit(ok_job("q1"))));
+  EXPECT_TRUE(std::holds_alternative<std::size_t>(executor.try_submit(ok_job("q2"))));
+  const auto rejected = executor.try_submit(ok_job("rejected"));
+  ASSERT_TRUE(std::holds_alternative<service::SubmitRejection>(rejected));
+  EXPECT_EQ(std::get<service::SubmitRejection>(rejected), service::SubmitRejection::kQueueFull);
+  EXPECT_EQ(executor.stats().rejected_full, 1u);
+  EXPECT_EQ(executor.queue_depth(), 2u);
+
+  // Post-drain re-acceptance: once the worker drains the queue, the same
+  // submission goes through.
+  gate.open();
+  ASSERT_TRUE(poll_until([&] { return executor.queue_depth() < 2; }));
+  EXPECT_TRUE(std::holds_alternative<std::size_t>(executor.try_submit(ok_job("after-drain"))));
+
+  const auto& results = executor.wait();
+  ASSERT_EQ(results.size(), 4u);
+  for (const auto& r : results) EXPECT_EQ(r.status, service::JobStatus::kOk) << r.name;
+
+  // After wait() the queue is closed: a different typed rejection.
+  const auto closed = executor.try_submit(ok_job("late"));
+  ASSERT_TRUE(std::holds_alternative<service::SubmitRejection>(closed));
+  EXPECT_EQ(std::get<service::SubmitRejection>(closed), service::SubmitRejection::kClosed);
+}
+
+TEST(BatchExecutorTest, CancelPendingAbortsQueuedJobsAndDeliversResults) {
+  service::ModuleCache cache(8);
+  Gate gate;
+  std::mutex seen_mutex;
+  std::vector<std::string> completions;
+  service::BatchExecutor::Options options;
+  options.workers = 1;
+  options.queue_capacity = 8;
+  gate.block(options);
+  options.on_complete = [&](const service::JobSpec&, const service::JobResult& r) {
+    std::lock_guard<std::mutex> lock(seen_mutex);
+    completions.push_back(r.name);
+  };
+  service::BatchExecutor executor(cache, options);
+
+  executor.submit(ok_job("blocker"));
+  ASSERT_TRUE(poll_until([&] { return executor.queue_depth() == 0; }));
+  executor.submit(ok_job("q1"));
+  executor.submit(ok_job("q2"));
+  executor.submit(ok_job("q3"));
+
+  EXPECT_EQ(executor.cancel_pending(), 3u);
+  EXPECT_EQ(executor.queue_depth(), 0u);
+  gate.open();
+
+  const auto& results = executor.wait();
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_EQ(results[0].status, service::JobStatus::kOk);  // already running
+  for (int j = 1; j <= 3; ++j) {
+    EXPECT_EQ(results[j].status, service::JobStatus::kAborted);
+    EXPECT_EQ(results[j].exit_code, 4);
+    EXPECT_NE(results[j].error.find("cancelled"), std::string::npos);
+  }
+  EXPECT_EQ(executor.stats().cancelled, 3u);
+  // Aborts flow through on_complete exactly like real completions.
+  std::lock_guard<std::mutex> lock(seen_mutex);
+  EXPECT_EQ(completions.size(), 4u);
+}
+
+TEST(BatchExecutorTest, WorkerCrashIsContainedAndTyped) {
+  service::ModuleCache cache(8);
+  service::BatchExecutor::Options options;
+  options.workers = 1;
+  options.queue_capacity = 8;
+  options.pre_execute_hook = [](const service::JobSpec& spec) {
+    if (spec.name == "crash") throw Error("simulated worker crash");
+  };
+  service::BatchExecutor executor(cache, options);
+  executor.submit(ok_job("crash"));
+  executor.submit(ok_job("survivor"));
+
+  const auto& results = executor.wait();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].status, service::JobStatus::kCrashed);
+  EXPECT_EQ(results[0].exit_code, 11);
+  EXPECT_NE(results[0].error.find("worker crashed"), std::string::npos);
+  // The worker thread survived its job's crash and ran the next one.
+  EXPECT_EQ(results[1].status, service::JobStatus::kOk);
+  EXPECT_EQ(executor.stats().crashed, 1u);
+}
+
+TEST(BatchExecutorTest, WarmContextReuseKeepsResultsIdentical) {
+  service::ModuleCache cache(8);
+  service::ContextPool pool;
+  service::BatchExecutor::Options options;
+  options.workers = 1;  // sequential: job 2 must see job 1's parked context
+  options.queue_capacity = 8;
+  options.context_pool = &pool;
+  service::BatchExecutor executor(cache, options);
+  service::JobSpec first = ok_job("first");
+  first.ir_text = kContendedProgram;
+  service::JobSpec second = ok_job("second");
+  second.ir_text = kContendedProgram;
+  executor.submit(std::move(first));
+  executor.submit(std::move(second));
+
+  const auto& results = executor.wait();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].status, service::JobStatus::kOk);
+  EXPECT_EQ(results[1].status, service::JobStatus::kOk);
+  EXPECT_FALSE(results[0].context_reused);
+  EXPECT_TRUE(results[1].context_reused);
+  EXPECT_EQ(results[0].trace_fingerprint, results[1].trace_fingerprint);
+  EXPECT_EQ(results[0].memory_fingerprint, results[1].memory_fingerprint);
+  EXPECT_EQ(results[0].instructions, results[1].instructions);
+  EXPECT_GE(pool.stats().reused, 1u);
+}
+
+TEST(BatchExecutorTest, ProfiledJobCarriesWaitAttribution) {
+  service::ModuleCache cache(8);
+  service::BatchExecutor executor(cache, {.workers = 1, .queue_capacity = 4});
+  service::JobSpec spec = ok_job("profiled");
+  spec.ir_text = kContendedProgram;
+  spec.config.profile = true;
+  executor.submit(std::move(spec));
+  const auto& results = executor.wait();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status, service::JobStatus::kOk);
+  EXPECT_TRUE(results[0].profiled);
+  std::uint64_t events = 0;
+  for (std::size_t c = 0; c < runtime::kNumWaitCategories; ++c) {
+    events += results[0].wait_events[c];
+  }
+  // Three contending workers cannot all proceed without waiting at least
+  // once under the turn protocol.
+  EXPECT_GT(events, 0u);
 }
 
 TEST(BatchExecutorTest, WaitIsIdempotent) {

@@ -1,0 +1,132 @@
+// ContextPool: the warm-context reuse contract.  A job on a reused
+// (reset) context must be indistinguishable from the same job on a fresh
+// one -- fingerprints, counts, schedules -- and the idle bounds must hold.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "service/compiled_module.hpp"
+#include "service/context_pool.hpp"
+#include "service/execution_context.hpp"
+#include "support/error.hpp"
+
+namespace detlock {
+namespace {
+
+// Three workers contending on one lock: enough scheduling surface that any
+// state leaking across reuse would disturb the trace fingerprint.
+constexpr const char* kContendedProgram = R"(
+func @worker(1) regs=16 {
+block entry:
+  %1 = const 0
+  %2 = const 20
+  br loop
+block loop:
+  %3 = icmp lt %1, %2
+  condbr %3, body, done
+block body:
+  %4 = const 0
+  lock %4
+  %5 = const 100
+  %6 = load %5
+  %7 = add %6, %0
+  store %5, %7
+  unlock %4
+  %8 = const 1
+  %1 = add %1, %8
+  br loop
+block done:
+  ret
+}
+func @main(0) regs=16 {
+block entry:
+  %0 = const 1
+  %1 = spawn @worker(%0)
+  %2 = const 2
+  %3 = spawn @worker(%2)
+  %4 = const 3
+  %5 = call @worker(%4)
+  join %1
+  join %3
+  %6 = const 100
+  %7 = load %6
+  ret %7
+}
+)";
+
+api::RunConfig base_config() {
+  api::RunConfig config;
+  config.memory_words = 1 << 10;
+  return config;
+}
+
+std::shared_ptr<const service::CompiledModule> compile_contended() {
+  service::CompileOptions options;
+  return service::CompiledModule::compile(kContendedProgram, options);
+}
+
+TEST(ContextPoolTest, ReusedContextMatchesFreshContextExactly) {
+  const auto module = compile_contended();
+  const api::RunConfig config = base_config();
+
+  // Reference: a run on a context that has never been pooled.
+  service::ExecutionContext fresh(module, config);
+  const interp::RunResult reference = fresh.run("main");
+
+  service::ContextPool pool;
+  interp::RunResult warm_first;
+  {
+    service::ContextPool::Lease lease = pool.acquire(module, config);
+    EXPECT_FALSE(lease.reused());
+    // Dirty every per-job knob the reset contract must clear.
+    lease->set_chaos_seed(12345);
+    lease->set_memory_hint(1 << 8);
+    warm_first = lease->run("main");
+  }  // released -> parked
+  {
+    service::ContextPool::Lease lease = pool.acquire(module, config);
+    EXPECT_TRUE(lease.reused());
+    const interp::RunResult reused = lease->run("main");
+    EXPECT_EQ(reused.trace_fingerprint, reference.trace_fingerprint);
+    EXPECT_EQ(reused.memory_fingerprint, reference.memory_fingerprint);
+    EXPECT_EQ(reused.instructions, reference.instructions);
+    EXPECT_EQ(reused.lock_acquires, reference.lock_acquires);
+    EXPECT_EQ(reused.main_return, reference.main_return);
+    EXPECT_EQ(reused.final_clocks, reference.final_clocks);
+    EXPECT_EQ(reused.per_thread_instructions, reference.per_thread_instructions);
+  }
+  EXPECT_EQ(warm_first.trace_fingerprint, reference.trace_fingerprint);
+  EXPECT_EQ(pool.stats().created, 1u);
+  EXPECT_EQ(pool.stats().reused, 1u);
+}
+
+TEST(ContextPoolTest, ResetRejectsMismatchedCompileConfig) {
+  const auto module = compile_contended();  // compiled kDetLock/decoded
+  service::ExecutionContext ctx(module, base_config());
+  api::RunConfig nondet = base_config();
+  nondet.mode = api::Mode::kClocksOnly;
+  EXPECT_THROW(ctx.reset(nondet), Error);
+}
+
+TEST(ContextPoolTest, IdleBoundsDropExcessContexts) {
+  const auto module = compile_contended();
+  service::ContextPool::Options options;
+  options.max_idle_per_module = 2;
+  options.max_idle_total = 2;
+  service::ContextPool pool(options);
+
+  {
+    // Three concurrent leases; only two fit the idle bound on release.
+    std::vector<service::ContextPool::Lease> leases;
+    for (int i = 0; i < 3; ++i) leases.push_back(pool.acquire(module, base_config()));
+    EXPECT_EQ(pool.stats().in_use, 3u);
+  }
+  const service::ContextPool::Stats stats = pool.stats();
+  EXPECT_EQ(stats.created, 3u);
+  EXPECT_EQ(stats.idle, 2u);
+  EXPECT_EQ(stats.dropped, 1u);
+  EXPECT_EQ(stats.in_use, 0u);
+}
+
+}  // namespace
+}  // namespace detlock

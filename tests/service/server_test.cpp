@@ -1,0 +1,611 @@
+// Server/Session end to end over real sockets: the wire protocol, the
+// determinism invariant (frames match a serial BatchExecutor reference
+// byte for byte), admission RETRY_AFTER under saturation, server-side
+// deadlines, crash retry, kill-a-client-mid-stream, and graceful drain.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "service/batch_executor.hpp"
+#include "service/server.hpp"
+#include "support/strings.hpp"
+
+namespace detlock {
+namespace {
+
+constexpr const char* kOkProgram = R"(
+func @main(0) regs=16 {
+block entry:
+  %0 = const 0
+  lock %0
+  %1 = const 100
+  %2 = const 7
+  store %1, %2
+  unlock %0
+  %3 = load %1
+  ret %3
+}
+)";
+
+constexpr const char* kContendedProgram = R"(
+func @worker(1) regs=16 {
+block entry:
+  %1 = const 0
+  %2 = const 20
+  br loop
+block loop:
+  %3 = icmp lt %1, %2
+  condbr %3, body, done
+block body:
+  %4 = const 0
+  lock %4
+  %5 = const 100
+  %6 = load %5
+  %7 = add %6, %0
+  store %5, %7
+  unlock %4
+  %8 = const 1
+  %1 = add %1, %8
+  br loop
+block done:
+  ret
+}
+func @main(0) regs=16 {
+block entry:
+  %0 = const 1
+  %1 = spawn @worker(%0)
+  %2 = const 2
+  %3 = spawn @worker(%2)
+  %4 = const 3
+  %5 = call @worker(%4)
+  join %1
+  join %3
+  %6 = const 100
+  %7 = load %6
+  ret %7
+}
+)";
+
+// ABBA deadlock under the turn protocol: the guaranteed-slow job (runs to
+// its watchdog) and the deadline-classification fixture.
+constexpr const char* kAbbaProgram = R"(
+func @worker_ab(1) regs=16 {
+block entry:
+  %1 = const 0
+  %2 = const 1
+  lock %1
+  %4 = const 0
+  %5 = const 64
+  %6 = const 1
+  br spin
+block spin:
+  %4 = add %4, %6
+  %7 = icmp lt %4, %5
+  condbr %7, spin, rest
+block rest:
+  lock %2
+  %3 = const 200
+  store %3, %0
+  unlock %2
+  unlock %1
+  ret
+}
+func @worker_ba(1) regs=16 {
+block entry:
+  %1 = const 0
+  %2 = const 1
+  lock %2
+  %4 = const 0
+  %5 = const 64
+  %6 = const 1
+  br spin
+block spin:
+  %4 = add %4, %6
+  %7 = icmp lt %4, %5
+  condbr %7, spin, rest
+block rest:
+  lock %1
+  %3 = const 201
+  store %3, %0
+  unlock %1
+  unlock %2
+  ret
+}
+func @main(0) regs=16 {
+block entry:
+  %0 = const 1
+  %1 = spawn @worker_ab(%0)
+  %2 = const 2
+  %3 = spawn @worker_ba(%2)
+  join %1
+  join %3
+  %4 = const 0
+  ret %4
+}
+)";
+
+/// Minimal line-framed client over TCP or Unix sockets.
+class TestClient {
+ public:
+  explicit TestClient(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in sa{};
+    sa.sin_family = AF_INET;
+    sa.sin_port = htons(static_cast<std::uint16_t>(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &sa.sin_addr);
+    connect_and_arm(reinterpret_cast<sockaddr*>(&sa), sizeof sa);
+  }
+  explicit TestClient(const std::string& unix_path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    sockaddr_un sa{};
+    sa.sun_family = AF_UNIX;
+    std::memcpy(sa.sun_path, unix_path.c_str(), unix_path.size() + 1);
+    connect_and_arm(reinterpret_cast<sockaddr*>(&sa), sizeof sa);
+  }
+  ~TestClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Simulates a vanished client: socket gone, no QUIT, no draining reads.
+  void close_abruptly() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+  void send_line(const std::string& line) { send_raw(line + "\n"); }
+
+  void send_job(const std::string& name, const std::string& ir, const std::string& options = "") {
+    std::string header = "JOB " + name + " " + std::to_string(ir.size());
+    if (!options.empty()) header += " " + options;
+    send_raw(header + "\n" + ir);
+  }
+
+  /// One newline-terminated frame, or "" on EOF/error/timeout.
+  std::string read_frame() {
+    for (;;) {
+      const std::size_t nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        const std::string frame = buf_.substr(0, nl);
+        buf_.erase(0, nl + 1);
+        return frame;
+      }
+      char tmp[4096];
+      const ssize_t n = ::recv(fd_, tmp, sizeof tmp, 0);
+      if (n <= 0) return "";
+      buf_.append(tmp, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  void connect_and_arm(sockaddr* sa, socklen_t len) {
+    ASSERT_GE(fd_, 0);
+    ASSERT_EQ(::connect(fd_, sa, len), 0) << std::strerror(errno);
+    timeval tv{};
+    tv.tv_sec = 60;  // generous: sanitizer builds on loaded machines
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  }
+
+  void send_raw(const std::string& data) {
+    std::size_t off = 0;
+    while (off < data.size()) {
+      const ssize_t n = ::send(fd_, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+      ASSERT_GT(n, 0) << std::strerror(errno);
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+  int fd_ = -1;
+  std::string buf_;
+};
+
+bool frame_has(const std::string& frame, const std::string& key, const std::string& json_value) {
+  return frame.find("\"" + key + "\": " + json_value) != std::string::npos;
+}
+
+bool frame_is(const std::string& frame, const std::string& type) {
+  return frame_has(frame, "type", "\"" + type + "\"");
+}
+
+/// Extracts a JSON string field ("key": "value") or "" when absent.
+std::string frame_str(const std::string& frame, const std::string& key) {
+  const std::string needle = "\"" + key + "\": \"";
+  const std::size_t pos = frame.find(needle);
+  if (pos == std::string::npos) return "";
+  const std::size_t start = pos + needle.size();
+  const std::size_t end = frame.find('"', start);
+  return frame.substr(start, end - start);
+}
+
+service::ServerOptions base_options() {
+  service::ServerOptions options;
+  options.listen = "tcp:127.0.0.1:0";
+  options.workers = 2;
+  options.queue_capacity = 4;
+  options.deadline_ms = 20'000;
+  options.drain_timeout_ms = 2'000;
+  return options;
+}
+
+/// Drains the server from a helper thread and returns its exit code.
+int drain(service::Server& server) {
+  server.request_drain();
+  return server.run_until_drained();
+}
+
+TEST(ServerTest, PingStatsQuitRoundTrip) {
+  service::Server server(base_options());
+  server.start();
+  ASSERT_GT(server.port(), 0);
+  {
+    TestClient client(server.port());
+    ASSERT_TRUE(client.connected());
+    client.send_line("PING");
+    EXPECT_TRUE(frame_is(client.read_frame(), "pong"));
+    client.send_line("STATS");
+    const std::string stats = client.read_frame();
+    EXPECT_TRUE(frame_is(stats, "stats"));
+    EXPECT_TRUE(frame_has(stats, "queue_capacity", "4"));
+    EXPECT_TRUE(frame_has(stats, "draining", "false"));
+    client.send_line("FROB");
+    EXPECT_TRUE(frame_is(client.read_frame(), "error"));
+    client.send_line("QUIT");
+    EXPECT_TRUE(frame_is(client.read_frame(), "bye"));
+  }
+  EXPECT_EQ(drain(server), 0);
+}
+
+TEST(ServerTest, UnixSocketListenerWorks) {
+  const std::string path = "/tmp/detserved_test_" + std::to_string(::getpid()) + ".sock";
+  service::ServerOptions options = base_options();
+  options.listen = "unix:" + path;
+  service::Server server(options);
+  server.start();
+  {
+    TestClient client(path);
+    ASSERT_TRUE(client.connected());
+    client.send_line("PING");
+    EXPECT_TRUE(frame_is(client.read_frame(), "pong"));
+  }
+  EXPECT_EQ(drain(server), 0);
+  EXPECT_NE(::access(path.c_str(), F_OK), 0);  // socket file cleaned up
+}
+
+TEST(ServerTest, ResultMatchesSerialReferenceByteForByte) {
+  // Serial reference: the exact same payload through a plain BatchExecutor.
+  service::ModuleCache cache(4);
+  service::BatchExecutor reference_exec(cache, {.workers = 1, .queue_capacity = 4});
+  service::JobSpec ref_spec;
+  ref_spec.name = "contended";
+  ref_spec.ir_text = kContendedProgram;
+  ref_spec.config.runs = 2;
+  ref_spec.config.keep_trace_events = false;
+  reference_exec.submit(std::move(ref_spec));
+  const service::JobResult& reference = reference_exec.wait()[0];
+  ASSERT_EQ(reference.status, service::JobStatus::kOk);
+
+  service::Server server(base_options());
+  server.start();
+  {
+    TestClient client(server.port());
+    ASSERT_TRUE(client.connected());
+    client.send_job("contended", kContendedProgram, "runs=2");
+    const std::string accepted = client.read_frame();
+    ASSERT_TRUE(frame_is(accepted, "accepted")) << accepted;
+    const std::string result = client.read_frame();
+    ASSERT_TRUE(frame_is(result, "result")) << result;
+    EXPECT_TRUE(frame_has(result, "status", "\"ok\"")) << result;
+    EXPECT_TRUE(frame_has(result, "attempts", "1"));
+    EXPECT_TRUE(frame_has(result, "runs_completed", "2"));
+    EXPECT_EQ(frame_str(result, "lock_order_fingerprint"),
+              str_format("%016llx", static_cast<unsigned long long>(reference.trace_fingerprint)));
+    EXPECT_EQ(frame_str(result, "memory_fingerprint"),
+              str_format("%016llx", static_cast<unsigned long long>(reference.memory_fingerprint)));
+  }
+  EXPECT_EQ(drain(server), 0);
+}
+
+TEST(ServerTest, ServerSideDeadlineClassifiesDeadlock) {
+  service::ServerOptions options = base_options();
+  options.deadline_ms = 1'500;  // the job itself sets no watchdog
+  service::Server server(options);
+  server.start();
+  {
+    TestClient client(server.port());
+    ASSERT_TRUE(client.connected());
+    client.send_job("abba", kAbbaProgram);
+    ASSERT_TRUE(frame_is(client.read_frame(), "accepted"));
+    const std::string result = client.read_frame();
+    ASSERT_TRUE(frame_is(result, "result")) << result;
+    EXPECT_TRUE(frame_has(result, "status", "\"deadlock\"")) << result;
+    EXPECT_TRUE(frame_has(result, "exit_code", "8"));
+  }
+  EXPECT_EQ(drain(server), 0);
+}
+
+TEST(ServerTest, SaturationAnswersRetryAfterInsteadOfBlocking) {
+  service::ServerOptions options = base_options();
+  options.workers = 1;
+  options.queue_capacity = 1;
+  options.admission.client_backlog_cap = 2;
+  options.deadline_ms = 800;  // keeps the slow jobs bounded
+  service::Server server(options);
+  server.start();
+  int accepted = 0;
+  int retry_after = 0;
+  {
+    TestClient client(server.port());
+    ASSERT_TRUE(client.connected());
+    // Back-to-back slow jobs: the burst lands before the dispatcher can
+    // drain the 2-deep lane, so the overflow must bounce with a
+    // structured retry hint instead of blocking the connection.
+    constexpr int kJobs = 6;
+    for (int j = 0; j < kJobs; ++j) {
+      client.send_job("slow" + std::to_string(j), kAbbaProgram);
+    }
+    int results = 0;
+    // Every admitted job resolves; every rejection names its reason.
+    while (results < accepted || accepted + retry_after < kJobs) {
+      const std::string frame = client.read_frame();
+      ASSERT_FALSE(frame.empty()) << "connection died mid-stream";
+      if (frame_is(frame, "accepted")) {
+        ++accepted;
+      } else if (frame_is(frame, "retry_after")) {
+        ++retry_after;
+        EXPECT_TRUE(frame_has(frame, "reason", "\"queue-full\"")) << frame;
+        EXPECT_FALSE(frame_str(frame, "reason").empty());
+      } else if (frame_is(frame, "result")) {
+        ++results;
+        EXPECT_TRUE(frame_has(frame, "exit_code", "8")) << frame;
+      } else {
+        FAIL() << "unexpected frame: " << frame;
+      }
+    }
+    EXPECT_GE(retry_after, 1);
+    EXPECT_GE(accepted, 2);
+    client.send_line("STATS");
+    std::string stats = client.read_frame();
+    while (!stats.empty() && !frame_is(stats, "stats")) stats = client.read_frame();
+    EXPECT_TRUE(frame_has(stats, "draining", "false"));
+  }
+  EXPECT_EQ(drain(server), 0);
+}
+
+TEST(ServerTest, CrashRetryRecoversWithAttemptsTwo) {
+  service::ServerOptions options = base_options();
+  options.workers = 1;
+  options.chaos_crash_every = 1;  // every first attempt crashes its worker
+  options.crash_retry_backoff_ms = 5;
+  service::Server server(options);
+  server.start();
+  {
+    TestClient client(server.port());
+    ASSERT_TRUE(client.connected());
+    client.send_job("crashy", kOkProgram);
+    ASSERT_TRUE(frame_is(client.read_frame(), "accepted"));
+    const std::string result = client.read_frame();
+    ASSERT_TRUE(frame_is(result, "result")) << result;
+    // The crash was absorbed: one retry, deterministic final answer.
+    EXPECT_TRUE(frame_has(result, "status", "\"ok\"")) << result;
+    EXPECT_TRUE(frame_has(result, "attempts", "2")) << result;
+    EXPECT_TRUE(frame_has(result, "result", "7"));
+    client.send_line("STATS");
+    const std::string stats = client.read_frame();
+    EXPECT_TRUE(frame_has(stats, "retried", "1")) << stats;
+  }
+  EXPECT_EQ(drain(server), 0);
+}
+
+TEST(ServerTest, KilledClientMidStreamDoesNotPoisonTheServer) {
+  service::ServerOptions options = base_options();
+  options.workers = 1;
+  service::Server server(options);
+  server.start();
+  {
+    TestClient victim(server.port());
+    ASSERT_TRUE(victim.connected());
+    for (int j = 0; j < 4; ++j) {
+      victim.send_job("doomed" + std::to_string(j), kContendedProgram, "runs=2");
+    }
+    // Vanish without reading a single frame.
+    victim.close_abruptly();
+  }
+  {
+    TestClient survivor(server.port());
+    ASSERT_TRUE(survivor.connected());
+    survivor.send_job("healthy", kOkProgram);
+    ASSERT_TRUE(frame_is(survivor.read_frame(), "accepted"));
+    const std::string result = survivor.read_frame();
+    EXPECT_TRUE(frame_has(result, "status", "\"ok\"")) << result;
+    EXPECT_TRUE(frame_has(result, "result", "7"));
+  }
+  // Drain still converges: the victim's jobs were resolved or dropped.
+  EXPECT_EQ(drain(server), 0);
+}
+
+TEST(ServerTest, GracefulDrainAbortsBacklogAndReportsDrained) {
+  service::ServerOptions options = base_options();
+  options.workers = 1;
+  options.queue_capacity = 1;
+  options.admission.client_backlog_cap = 8;
+  options.deadline_ms = 1'000;
+  options.drain_timeout_ms = 150;  // expires long before the slow jobs
+  service::Server server(options);
+  server.start();
+
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  constexpr int kJobs = 5;
+  for (int j = 0; j < kJobs; ++j) {
+    client.send_job("drainme" + std::to_string(j), kAbbaProgram);
+  }
+  for (int j = 0; j < kJobs; ++j) {
+    ASSERT_TRUE(frame_is(client.read_frame(), "accepted"));
+  }
+
+  std::thread drainer([&] { EXPECT_EQ(drain(server), 0); });
+  int deadlocked = 0;
+  int aborted = 0;
+  bool drained = false;
+  for (;;) {
+    const std::string frame = client.read_frame();
+    ASSERT_FALSE(frame.empty()) << "connection died before the drained frame";
+    if (frame_is(frame, "result")) {
+      if (frame_has(frame, "exit_code", "8")) ++deadlocked;
+      if (frame_has(frame, "exit_code", "4")) {
+        ++aborted;
+        EXPECT_TRUE(frame_has(frame, "status", "\"aborted\"")) << frame;
+      }
+    } else if (frame_is(frame, "drained")) {
+      drained = true;
+      EXPECT_TRUE(frame_has(frame, "clean", "true")) << frame;
+      break;
+    }
+  }
+  drainer.join();
+  EXPECT_TRUE(drained);
+  EXPECT_EQ(deadlocked + aborted, kJobs);  // every accepted job resolved
+  EXPECT_GE(deadlocked, 1);                // the in-flight one ran to its watchdog
+  EXPECT_GE(aborted, 1);                   // the backlog was aborted, not dropped
+}
+
+// The acceptance gate: concurrent clients, mixed workloads, chaos crashes,
+// queue pressure -- every fingerprint must equal the serial reference.
+TEST(ServerTest, ChaosUnderLoadStaysByteIdenticalToSerialReference) {
+  struct Payload {
+    std::string ir;
+    std::string options;
+    service::JobSpec spec;
+  };
+  std::map<std::string, Payload> payloads;
+  {
+    Payload ok;
+    ok.ir = kOkProgram;
+    payloads["ok"] = ok;
+
+    Payload contended;
+    contended.ir = kContendedProgram;
+    contended.options = "runs=2";
+    contended.spec.config.runs = 2;
+    payloads["contended"] = contended;
+
+    Payload chaos;
+    chaos.ir = kContendedProgram;
+    chaos.options = "chaos=1 chaos-trials=2 chaos-seed=17";
+    chaos.spec.config.chaos = true;
+    chaos.spec.config.chaos_trials = 2;
+    chaos.spec.config.chaos_seed = 17;
+    payloads["chaos"] = chaos;
+
+    Payload profiled;
+    profiled.ir = kContendedProgram;
+    profiled.options = "profile=1";
+    profiled.spec.config.profile = true;
+    payloads["profiled"] = profiled;
+  }
+
+  // Serial reference fingerprints, one BatchExecutor worker, no server.
+  std::map<std::string, std::pair<std::string, std::string>> reference;
+  {
+    service::ModuleCache cache(8);
+    service::BatchExecutor exec(cache, {.workers = 1, .queue_capacity = 8});
+    for (auto& [name, payload] : payloads) {
+      service::JobSpec spec = payload.spec;
+      spec.name = name;
+      spec.ir_text = payload.ir;
+      spec.config.keep_trace_events = false;
+      exec.submit(std::move(spec));
+    }
+    for (const service::JobResult& r : exec.wait()) {
+      ASSERT_EQ(r.status, service::JobStatus::kOk) << r.name << ": " << r.error;
+      reference[r.name] = {
+          str_format("%016llx", static_cast<unsigned long long>(r.trace_fingerprint)),
+          str_format("%016llx", static_cast<unsigned long long>(r.memory_fingerprint))};
+    }
+  }
+
+  service::ServerOptions options = base_options();
+  options.workers = 3;
+  options.queue_capacity = 2;
+  options.chaos_crash_every = 5;  // periodic worker crashes under load
+  options.crash_retry_backoff_ms = 5;
+  service::Server server(options);
+  server.start();
+
+  constexpr int kClients = 3;
+  constexpr int kRounds = 2;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> results_seen{0};
+  std::atomic<int> retries_seen{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      TestClient client(server.port());
+      if (!client.connected()) {
+        ++mismatches;
+        return;
+      }
+      for (int round = 0; round < kRounds; ++round) {
+        for (const auto& [base_name, payload] : payloads) {
+          const std::string name =
+              base_name + "-c" + std::to_string(c) + "-r" + std::to_string(round);
+          // Submit, honoring RETRY_AFTER (briefly) on saturation.
+          std::string result;
+          for (;;) {
+            client.send_job(name, payload.ir, payload.options);
+            std::string frame = client.read_frame();
+            if (frame_is(frame, "retry_after")) {
+              ++retries_seen;
+              std::this_thread::sleep_for(std::chrono::milliseconds(10));
+              continue;
+            }
+            if (!frame_is(frame, "accepted")) {
+              ++mismatches;
+              return;
+            }
+            result = client.read_frame();
+            break;
+          }
+          ++results_seen;
+          if (!frame_is(result, "result") || !frame_has(result, "status", "\"ok\"") ||
+              frame_str(result, "lock_order_fingerprint") != reference[base_name].first ||
+              frame_str(result, "memory_fingerprint") != reference[base_name].second) {
+            ADD_FAILURE() << "divergent or failed frame for " << name << ": " << result;
+            ++mismatches;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(results_seen.load(), kClients * kRounds * static_cast<int>(payloads.size()));
+
+  // The chaos really fired: at least one crash got retried.
+  TestClient stats_client(server.port());
+  ASSERT_TRUE(stats_client.connected());
+  stats_client.send_line("STATS");
+  const std::string stats = stats_client.read_frame();
+  EXPECT_TRUE(frame_is(stats, "stats"));
+  EXPECT_FALSE(frame_has(stats, "retried", "0")) << stats;
+  EXPECT_FALSE(frame_has(stats, "crashed", "0")) << stats;
+
+  EXPECT_EQ(drain(server), 0);
+}
+
+}  // namespace
+}  // namespace detlock

@@ -1,0 +1,129 @@
+// detserved: persistent deterministic-execution server.
+//
+//   detserved [options]
+//
+// Listens on a Unix or TCP socket, accepts JOB requests over the
+// line-oriented wire protocol (docs/serving.md), executes them on a shared
+// ModuleCache + warm-context BatchExecutor pool, and streams one JSON
+// result frame per job as it finishes.  Overload answers structured
+// RETRY_AFTER frames (admission control) instead of blocking; SIGTERM or
+// SIGINT begins a graceful drain: stop admitting, finish in-flight work
+// until --drain-timeout-ms, abort the rest with ABORTED frames, then exit.
+//
+//   --listen=ADDR          tcp:HOST:PORT, tcp:PORT, or unix:PATH
+//                          (tcp port 0 = kernel-assigned) [tcp:127.0.0.1:0]
+//   --workers=N            executor worker threads                       [4]
+//   --queue-cap=N          executor pending-queue bound                 [16]
+//   --client-quota=R[:B]   per-client token bucket: R jobs/sec refill,
+//                          optional burst B (0 disables the quota)    [0:16]
+//   --client-backlog=N     parked jobs allowed per client              [16]
+//   --drain-timeout-ms=N   drain grace for in-flight + queued work   [5000]
+//   --deadline-ms=N        default per-job watchdog (0 = unbounded) [10000]
+//   --cache-capacity=N     compiled-module LRU capacity                [64]
+//   --no-context-pool      run every job on a fresh ExecutionContext
+//   --chaos-crash-every=N  crash the worker on every Nth first-attempt
+//                          job (tests the crash-retry path; 0 = off)    [0]
+//
+// Prints exactly one "detserved: listening on ADDR" line to stdout once
+// ready (scripts parse it for the resolved ephemeral port).  Exit codes:
+// 0 clean drain (every accepted job reached a terminal status), 1 unclean
+// drain or runtime error, 2 usage error.
+#include <csignal>
+#include <cstdio>
+#include <string>
+
+#include "cli_common.hpp"
+#include "service/server.hpp"
+#include "support/strings.hpp"
+
+namespace {
+
+using namespace detlock;
+
+service::Server* g_server = nullptr;
+
+// Only async-signal-safe work here: request_drain is a single atomic store;
+// the drain itself runs on the main thread inside run_until_drained().
+void handle_signal(int) {
+  if (g_server != nullptr) g_server->request_drain();
+}
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--listen=ADDR] [--workers=N] [--queue-cap=N]\n"
+               "          [--client-quota=R[:B]] [--client-backlog=N]\n"
+               "          [--drain-timeout-ms=N] [--deadline-ms=N]\n"
+               "          [--cache-capacity=N] [--no-context-pool]\n"
+               "          [--chaos-crash-every=N]\n",
+               argv0);
+  std::exit(cli::kUsageExit);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  service::ServerOptions options;
+  const cli::UsageFn usage_fn = [argv] { usage(argv[0]); };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (const auto v = cli::flag_value(arg, "--listen=")) {
+      options.listen = std::string(*v);
+    } else if (const auto v = cli::flag_value(arg, "--workers=")) {
+      options.workers = static_cast<std::size_t>(
+          cli::parse_int_flag("detserved", "--workers", *v, 1, 256, usage_fn));
+    } else if (const auto v = cli::flag_value(arg, "--queue-cap=")) {
+      options.queue_capacity = static_cast<std::size_t>(
+          cli::parse_int_flag("detserved", "--queue-cap", *v, 1, 1 << 20, usage_fn));
+    } else if (const auto v = cli::flag_value(arg, "--client-quota=")) {
+      // R[:B] -- refill rate in jobs/sec, optional bucket burst.
+      const std::size_t colon = v->find(':');
+      const std::string_view rate = colon == std::string_view::npos ? *v : v->substr(0, colon);
+      options.admission.quota_rate =
+          cli::parse_double_flag("detserved", "--client-quota", rate, 0.0, 1e9, usage_fn);
+      if (colon != std::string_view::npos) {
+        options.admission.quota_burst = cli::parse_double_flag(
+            "detserved", "--client-quota", v->substr(colon + 1), 1.0, 1e9, usage_fn);
+      }
+    } else if (const auto v = cli::flag_value(arg, "--client-backlog=")) {
+      options.admission.client_backlog_cap = static_cast<std::size_t>(
+          cli::parse_int_flag("detserved", "--client-backlog", *v, 1, 1 << 20, usage_fn));
+    } else if (const auto v = cli::flag_value(arg, "--drain-timeout-ms=")) {
+      options.drain_timeout_ms = static_cast<std::uint64_t>(
+          cli::parse_int_flag("detserved", "--drain-timeout-ms", *v, 0, 3'600'000, usage_fn));
+    } else if (const auto v = cli::flag_value(arg, "--deadline-ms=")) {
+      options.deadline_ms = static_cast<std::uint64_t>(
+          cli::parse_int_flag("detserved", "--deadline-ms", *v, 0, 3'600'000, usage_fn));
+    } else if (const auto v = cli::flag_value(arg, "--cache-capacity=")) {
+      options.cache_capacity = static_cast<std::size_t>(
+          cli::parse_int_flag("detserved", "--cache-capacity", *v, 1, 1 << 20, usage_fn));
+    } else if (arg == "--no-context-pool") {
+      options.context_pool = false;
+    } else if (const auto v = cli::flag_value(arg, "--chaos-crash-every=")) {
+      options.chaos_crash_every = static_cast<std::uint64_t>(
+          cli::parse_int_flag("detserved", "--chaos-crash-every", *v, 0, 1 << 20, usage_fn));
+    } else {
+      usage(argv[0]);
+    }
+  }
+
+  try {
+    service::Server server(options);
+    server.start();
+    g_server = &server;
+    std::signal(SIGTERM, handle_signal);
+    std::signal(SIGINT, handle_signal);
+
+    std::printf("detserved: listening on %s (workers=%zu queue-cap=%zu)\n",
+                server.listen_address().c_str(), options.workers, options.queue_capacity);
+    std::fflush(stdout);
+
+    const int rc = server.run_until_drained();
+    g_server = nullptr;
+    std::printf("detserved: drained %s\n", rc == 0 ? "clean" : "UNCLEAN");
+    return rc;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "detserved: %s\n", e.what());
+    return 1;
+  }
+}

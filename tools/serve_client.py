@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Line-framed detserved client for smoke tests and CI.
+
+Connects to a running detserved instance, submits the given jobs (honoring
+RETRY_AFTER back-pressure), waits for every result frame, and checks each
+job's exit_code against its expectation.  Stdlib only.
+
+Usage:
+  serve_client.py --connect tcp:PORT|unix:PATH [--drain] JOB...
+
+Each JOB is one argument of the form
+  NAME;IR_PATH;EXPECT;OPTIONS
+where EXPECT is an exit code or a |-separated set ("4|8" accepts either),
+and OPTIONS is an optional space-separated manifest option string
+("runs=2 watchdog-ms=400").
+
+With --drain the client keeps reading after the last result until the
+server's shutdown broadcast arrives, and requires it to report a clean
+drain -- the SIGTERM half of the smoke test.
+
+Exit status: 0 all expectations met (and drain clean, when requested),
+1 otherwise, 2 usage.
+"""
+
+import json
+import socket
+import sys
+import time
+
+
+def fail(msg):
+    print("serve_client: " + msg, file=sys.stderr)
+    sys.exit(1)
+
+
+def connect(spec):
+    if spec.startswith("tcp:"):
+        sock = socket.create_connection(("127.0.0.1", int(spec[4:])), timeout=60)
+    elif spec.startswith("unix:"):
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(60)
+        sock.connect(spec[5:])
+    else:
+        print("serve_client: bad --connect spec: " + spec, file=sys.stderr)
+        sys.exit(2)
+    return sock
+
+
+class FrameReader:
+    def __init__(self, sock):
+        self.sock = sock
+        self.buf = b""
+
+    def read_frame(self):
+        while b"\n" not in self.buf:
+            chunk = self.sock.recv(4096)
+            if not chunk:
+                fail("connection closed by server")
+            self.buf += chunk
+        line, self.buf = self.buf.split(b"\n", 1)
+        return json.loads(line)
+
+
+def main(argv):
+    connect_spec = None
+    want_drain = False
+    jobs = []
+    i = 1
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--connect":
+            i += 1
+            connect_spec = argv[i]
+        elif arg.startswith("--connect="):
+            connect_spec = arg[len("--connect="):]
+        elif arg == "--drain":
+            want_drain = True
+        else:
+            parts = arg.split(";")
+            if len(parts) not in (3, 4):
+                print("serve_client: bad job spec: " + arg, file=sys.stderr)
+                sys.exit(2)
+            name, path, expect = parts[0], parts[1], parts[2]
+            options = parts[3] if len(parts) == 4 else ""
+            with open(path, "rb") as f:
+                body = f.read()
+            jobs.append({
+                "name": name,
+                "body": body,
+                "expect": {int(e) for e in expect.split("|")},
+                "options": options,
+            })
+        i += 1
+    if connect_spec is None or not jobs:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+
+    sock = connect(connect_spec)
+    reader = FrameReader(sock)
+    results = {}
+
+    def submit(job):
+        header = "JOB %s %d" % (job["name"], len(job["body"]))
+        if job["options"]:
+            header += " " + job["options"]
+        sock.sendall(header.encode() + b"\n" + job["body"])
+
+    # Submit jobs one at a time (next submission goes out as soon as the
+    # previous one is accepted); results stream back interleaved.
+    pending = list(jobs)
+    submit(pending[0])
+    inflight = pending.pop(0)
+    retries = 0
+    while inflight is not None or len(results) < len(jobs):
+        frame = reader.read_frame()
+        ftype = frame.get("type")
+        if ftype == "retry_after":
+            retries += 1
+            if retries > 500:
+                fail("gave up after 500 RETRY_AFTER bounces")
+            time.sleep(min(frame.get("retry_after_ms", 10), 50) / 1000.0)
+            submit(inflight)
+        elif ftype == "accepted":
+            inflight = pending.pop(0) if pending else None
+            if inflight is not None:
+                submit(inflight)
+        elif ftype == "result":
+            results[frame["name"]] = frame
+        elif ftype == "drained":
+            fail("server drained before all results arrived")
+        else:
+            fail("unexpected frame: " + json.dumps(frame))
+
+    ok = True
+    for job in jobs:
+        frame = results.get(job["name"])
+        if frame is None:
+            print("serve_client: no result for %s" % job["name"], file=sys.stderr)
+            ok = False
+            continue
+        if frame.get("exit_code") not in job["expect"]:
+            print("serve_client: %s: exit_code %s not in %s (status %s: %s)" % (
+                job["name"], frame.get("exit_code"), sorted(job["expect"]),
+                frame.get("status"), frame.get("error", "")), file=sys.stderr)
+            ok = False
+
+    if want_drain:
+        frame = reader.read_frame()
+        while frame.get("type") != "drained":
+            frame = reader.read_frame()
+        if not frame.get("clean"):
+            print("serve_client: drain reported unclean", file=sys.stderr)
+            ok = False
+
+    sock.close()
+    if not ok:
+        sys.exit(1)
+    for job in jobs:
+        frame = results[job["name"]]
+        print("serve_client: %s -> %s (exit %d)" % (
+            job["name"], frame.get("status"), frame.get("exit_code")))
+
+
+if __name__ == "__main__":
+    main(sys.argv)
