@@ -1,16 +1,21 @@
 // Interpreter throughput microbenchmarks: instructions per second for
-// representative instruction mixes under BOTH execution engines (predecoded
-// direct-threaded vs block-walking reference), and the marginal cost of
-// instrumentation instructions -- the quantity Table I's "After Inserting
-// Clocks" band is made of.
+// representative instruction mixes under ALL THREE execution engines
+// (template JIT, predecoded direct-threaded, block-walking reference), and
+// the marginal cost of instrumentation instructions -- the quantity
+// Table I's "After Inserting Clocks" band is made of.
 //
 // Two modes:
 //   (default)   google-benchmark suite, each kernel x each engine.
 //   --compare   self-contained engine comparison: best-of-N wall clock per
 //               kernel per engine, instr/s table on stdout, machine-readable
-//               JSON via --json=FILE (BENCH_interp.json), nonzero exit when
-//               the decoded engine fails --min-ratio=R (default 2.0) on the
-//               arithmetic kernel.  CI runs this as a perf regression gate.
+//               JSON via --json=FILE (BENCH_interp.json / BENCH_jit.json),
+//               nonzero exit when the decoded engine fails --min-ratio=R
+//               (default 2.0) over reference on the arithmetic kernel, or
+//               when the JIT fails --min-jit-ratio=R (default 2.0) over
+//               decoded on the same kernel.  The jit gate is skipped (and
+//               recorded as "unavailable") on hosts where the JIT falls
+//               back to decoded execution.  CI runs both gates as perf
+//               regression gates.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -165,6 +170,7 @@ void BM_InterpreterArithLoop(benchmark::State& state, EngineKind kind) {
   state.counters["instr/s"] =
       benchmark::Counter(static_cast<double>(instructions), benchmark::Counter::kIsRate);
 }
+BENCHMARK_CAPTURE(BM_InterpreterArithLoop, jit, EngineKind::kJit)->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_InterpreterArithLoop, decoded, EngineKind::kDecoded)->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_InterpreterArithLoop, reference, EngineKind::kReference)->Unit(benchmark::kMillisecond);
 
@@ -188,6 +194,7 @@ void BM_InterpreterCallHeavy(benchmark::State& state, EngineKind kind) {
     benchmark::DoNotOptimize(engine.run("main", {20000}).main_return);
   }
 }
+BENCHMARK_CAPTURE(BM_InterpreterCallHeavy, jit, EngineKind::kJit)->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_InterpreterCallHeavy, decoded, EngineKind::kDecoded)->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_InterpreterCallHeavy, reference, EngineKind::kReference)->Unit(benchmark::kMillisecond);
 
@@ -198,6 +205,7 @@ void BM_InterpreterSwitchHeavy(benchmark::State& state, EngineKind kind) {
     benchmark::DoNotOptimize(engine.run("main", {20000}).main_return);
   }
 }
+BENCHMARK_CAPTURE(BM_InterpreterSwitchHeavy, jit, EngineKind::kJit)->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_InterpreterSwitchHeavy, decoded, EngineKind::kDecoded)->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_InterpreterSwitchHeavy, reference, EngineKind::kReference)->Unit(benchmark::kMillisecond);
 
@@ -241,7 +249,15 @@ EngineScore best_of(const ir::Module& m, EngineKind kind, std::int64_t arg, int 
   return best;
 }
 
-int run_compare(const std::string& json_path, double min_ratio, int reps) {
+/// True when kJit actually executes native code on this host (false means
+/// it would run the decoded fallback, making a jit-vs-decoded gate vacuous).
+bool jit_available() {
+  const ir::Module probe = arith_loop(0);
+  interp::Engine engine(probe, bench_config(EngineKind::kJit));
+  return engine.jit_active();
+}
+
+int run_compare(const std::string& json_path, double min_ratio, double min_jit_ratio, int reps) {
   struct Kernel {
     const char* name;
     ir::Module module;
@@ -254,30 +270,45 @@ int run_compare(const std::string& json_path, double min_ratio, int reps) {
       {"clocked_arith", arith_loop(2), 200000},
   };
 
+  const bool have_jit = jit_available();
+  if (!have_jit) {
+    std::printf("note: template JIT unavailable on this host; jit column measures the decoded fallback\n");
+  }
   std::printf("interpreter engine comparison (best of %d, instr/s)\n", reps);
-  std::printf("%-14s %15s %15s %9s\n", "kernel", "reference", "decoded", "speedup");
+  std::printf("%-14s %15s %15s %15s %9s %9s\n", "kernel", "reference", "decoded", "jit",
+              "dec/ref", "jit/dec");
   std::string json = "{\n  \"bench\": \"micro_interp\",\n  \"metric\": \"instr_per_s\",\n  \"kernels\": [\n";
   bool gate_failed = false;
+  bool jit_gate_failed = false;
   bool first = true;
   for (Kernel& k : kernels) {
     const EngineScore ref = best_of(k.module, EngineKind::kReference, k.arg, reps);
     const EngineScore dec = best_of(k.module, EngineKind::kDecoded, k.arg, reps);
+    const EngineScore jit = best_of(k.module, EngineKind::kJit, k.arg, reps);
     const double speedup = dec.instr_per_s / ref.instr_per_s;
-    std::printf("%-14s %15.0f %15.0f %8.2fx\n", k.name, ref.instr_per_s, dec.instr_per_s, speedup);
-    if (std::strcmp(k.name, "arith") == 0 && speedup < min_ratio) gate_failed = true;
+    const double jit_speedup = jit.instr_per_s / dec.instr_per_s;
+    std::printf("%-14s %15.0f %15.0f %15.0f %8.2fx %8.2fx\n", k.name, ref.instr_per_s,
+                dec.instr_per_s, jit.instr_per_s, speedup, jit_speedup);
+    if (std::strcmp(k.name, "arith") == 0) {
+      if (speedup < min_ratio) gate_failed = true;
+      if (have_jit && jit_speedup < min_jit_ratio) jit_gate_failed = true;
+    }
     char entry[512];
     std::snprintf(entry, sizeof entry,
                   "%s    {\"name\": \"%s\", \"instructions\": %llu, "
                   "\"reference_instr_per_s\": %.0f, \"decoded_instr_per_s\": %.0f, "
-                  "\"speedup\": %.3f}",
+                  "\"jit_instr_per_s\": %.0f, \"speedup\": %.3f, \"jit_speedup\": %.3f}",
                   first ? "" : ",\n", k.name,
                   static_cast<unsigned long long>(dec.instructions), ref.instr_per_s,
-                  dec.instr_per_s, speedup);
+                  dec.instr_per_s, jit.instr_per_s, speedup, jit_speedup);
     json += entry;
     first = false;
   }
   json += "\n  ],\n  \"min_ratio\": " + std::to_string(min_ratio) +
-          ",\n  \"gate\": \"" + (gate_failed ? "fail" : "pass") + "\"\n}\n";
+          ",\n  \"gate\": \"" + (gate_failed ? "fail" : "pass") + "\"" +
+          ",\n  \"min_jit_ratio\": " + std::to_string(min_jit_ratio) +
+          ",\n  \"jit_gate\": \"" +
+          (have_jit ? (jit_gate_failed ? "fail" : "pass") : "unavailable") + "\"\n}\n";
 
   if (!json_path.empty()) {
     std::ofstream out(json_path);
@@ -293,6 +324,12 @@ int run_compare(const std::string& json_path, double min_ratio, int reps) {
                  min_ratio);
     return 2;
   }
+  if (jit_gate_failed) {
+    std::fprintf(stderr,
+                 "micro_interp: FAIL: jit engine below %.2fx decoded on the arith kernel\n",
+                 min_jit_ratio);
+    return 2;
+  }
   return 0;
 }
 
@@ -300,13 +337,15 @@ int run_compare(const std::string& json_path, double min_ratio, int reps) {
 
 int main(int argc, char** argv) {
   const auto usage = [argv] {
-    std::fprintf(stderr, "usage: %s [--compare] [--json=FILE] [--min-ratio=R] [--reps=N]\n"
-                         "          [google-benchmark args]\n", argv[0]);
+    std::fprintf(stderr, "usage: %s [--compare] [--json=FILE] [--min-ratio=R]\n"
+                         "          [--min-jit-ratio=R] [--reps=N] [google-benchmark args]\n",
+                 argv[0]);
     std::exit(detlock::cli::kUsageExit);
   };
   bool compare = false;
   std::string json_path;
   double min_ratio = 2.0;
+  double min_jit_ratio = 2.0;
   int reps = 5;
   std::vector<char*> gbench_args = {argv[0]};
   for (int i = 1; i < argc; ++i) {
@@ -318,6 +357,9 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--min-ratio=", 0) == 0) {
       min_ratio = detlock::cli::parse_double_flag("micro_interp", "--min-ratio", arg.substr(12),
                                                   0.0, 1e6, usage);
+    } else if (arg.rfind("--min-jit-ratio=", 0) == 0) {
+      min_jit_ratio = detlock::cli::parse_double_flag("micro_interp", "--min-jit-ratio",
+                                                      arg.substr(16), 0.0, 1e6, usage);
     } else if (arg.rfind("--reps=", 0) == 0) {
       reps = static_cast<int>(
           detlock::cli::parse_int_flag("micro_interp", "--reps", arg.substr(7), 1, 10'000, usage));
@@ -325,7 +367,7 @@ int main(int argc, char** argv) {
       gbench_args.push_back(argv[i]);
     }
   }
-  if (compare) return run_compare(json_path, min_ratio, reps);
+  if (compare) return run_compare(json_path, min_ratio, min_jit_ratio, reps);
 
   int gbench_argc = static_cast<int>(gbench_args.size());
   benchmark::Initialize(&gbench_argc, gbench_args.data());

@@ -37,6 +37,22 @@ std::optional<runtime::ClockTableKind> clock_table_from_name(std::string_view na
   return std::nullopt;
 }
 
+const char* engine_name(interp::EngineKind kind) {
+  switch (kind) {
+    case interp::EngineKind::kReference: return "reference";
+    case interp::EngineKind::kDecoded: return "decoded";
+    case interp::EngineKind::kJit: return "jit";
+  }
+  DETLOCK_UNREACHABLE("bad engine kind");
+}
+
+std::optional<interp::EngineKind> engine_from_name(std::string_view name) {
+  if (name == "decoded") return interp::EngineKind::kDecoded;
+  if (name == "reference") return interp::EngineKind::kReference;
+  if (name == "jit") return interp::EngineKind::kJit;
+  return std::nullopt;
+}
+
 std::optional<std::string> RunConfig::validate() const {
   if (kendo_chunk_size < 1) return "kendo chunk size must be >= 1";
   if (threads_max < 1 || threads_max > (1u << 16)) {

@@ -40,6 +40,15 @@ std::optional<Mode> mode_from_name(std::string_view name);
 const char* clock_table_name(runtime::ClockTableKind kind);
 std::optional<runtime::ClockTableKind> clock_table_from_name(std::string_view name);
 
+/// "decoded" / "reference" / "jit" for --interp=, the manifest engine= key,
+/// and report output.  Note the report names the *requested* engine: when
+/// the JIT is unavailable on a host the engine falls back to decoded
+/// execution with identical observable results (see
+/// docs/interp-performance.md), and the fingerprints it reports are
+/// byte-identical by construction.
+const char* engine_name(interp::EngineKind kind);
+std::optional<interp::EngineKind> engine_from_name(std::string_view name);
+
 struct RunConfig {
   Mode mode = Mode::kDetLock;
   /// Execution engine; the predecoded direct-threaded engine is the default

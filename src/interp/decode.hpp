@@ -96,6 +96,20 @@ struct DecodedFunction {
   const ir::Function* source = nullptr;
 };
 
+/// Which dispatch loop a DecodedModule's handler resolution targeted.  The
+/// computed-goto label addresses are private to one exec_decoded
+/// instantiation, so a module threaded for the observer-free loop would
+/// jump through the wrong labels in the observing loop (and vice versa);
+/// this tag turns that caller-discipline contract into a checked one
+/// (Engine::run / decoded_handlers_resolved).  Switch-dispatch builds never
+/// consult handler pointers but carry the tag anyway, so "was this module
+/// finalized for sharing?" is answerable uniformly.
+enum class PreparedFor : std::uint8_t {
+  kUnresolved,        // fresh decode_module output; not executable as shared
+  kPlainDispatch,     // resolved for exec_decoded<false> (observer-free)
+  kObservedDispatch,  // resolved for exec_decoded<true> (observer attached)
+};
+
 /// The decoded module: flat code plus the shared operand pools.  Owned by
 /// the Engine; immutable after Engine::run() resolves extern pointers.
 struct DecodedModule {
@@ -104,6 +118,8 @@ struct DecodedModule {
   std::vector<std::uint32_t> reg_pool;      // kCall/kCallExtern/kSpawn argument registers
   std::vector<std::int64_t> case_values;    // kSwitch cases, sorted per switch
   std::vector<std::uint32_t> case_targets;  // parallel flat targets
+  /// Set by Engine::resolve_decoded_handlers; see PreparedFor.
+  PreparedFor prepared_for = PreparedFor::kUnresolved;
 
   const DecodedFunction& function(ir::FuncId id) const {
     DETLOCK_CHECK(id < functions.size(), "bad function id (decoded)");
@@ -121,10 +137,11 @@ inline constexpr std::size_t kDecodedLabelQuery = static_cast<std::size_t>(-1);
 /// target) that the reference engine would only hit at execution time.
 DecodedModule decode_module(const ir::Module& module);
 
-/// True when `module` is executable by the direct-threaded loop as-is: in
-/// computed-goto builds, handler pointers have been patched (by
-/// Engine::prepare_decoded_module or a private resolve at run() entry);
-/// always true in switch-dispatch builds, which never consult handlers.
+/// True when `module` is executable by the observer-free direct-threaded
+/// loop as-is, i.e. it was finalized for exactly that dispatch variant (by
+/// Engine::prepare_decoded_module or a private resolve at run() entry).
+/// False for a fresh decode AND for a module resolved for the observing
+/// loop -- the handler labels would be the wrong function's.
 bool decoded_handlers_resolved(const DecodedModule& module);
 
 /// A sorted, deduplicated switch-case table (shared helper: the decoded

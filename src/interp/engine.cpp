@@ -1,8 +1,11 @@
 #include "interp/engine.hpp"
 
+#include <atomic>
+#include <cstdio>
 #include <thread>
 
 #include "interp/engine_internal.hpp"
+#include "interp/jit/jit.hpp"
 #include "runtime/det_backend.hpp"
 #include "runtime/nondet_backend.hpp"
 #include "support/error.hpp"
@@ -11,6 +14,21 @@ namespace detlock::interp {
 
 using engine_detail::as_i64;
 using engine_detail::from_i64;
+
+namespace {
+
+/// The graceful --interp=jit degradation is a config-level event, not a
+/// per-engine one: warn once per process, not once per BatchExecutor worker.
+void warn_jit_unavailable() {
+  static std::atomic<bool> warned{false};
+  if (!warned.exchange(true, std::memory_order_relaxed)) {
+    std::fprintf(stderr,
+                 "detlock: --interp=jit unavailable on this host/build; "
+                 "falling back to the decoded engine\n");
+  }
+}
+
+}  // namespace
 
 Engine::Engine(const ir::Module& module, EngineConfig config)
     : module_(module),
@@ -95,7 +113,7 @@ Engine::Engine(const ir::Module& module, EngineConfig config)
 
   extern_impls_.assign(module_.externs().size(), nullptr);
 
-  if (config_.engine == EngineKind::kDecoded) {
+  if (config_.engine == EngineKind::kDecoded || config_.engine == EngineKind::kJit) {
     if (config_.shared_decoded != nullptr) {
       // Shared immutable code: decoding, extern resolution, and handler
       // patching all happened at compile time (prepare_decoded_module), so
@@ -111,7 +129,29 @@ Engine::Engine(const ir::Module& module, EngineConfig config)
       decoded_owned_ = std::make_unique<DecodedModule>(decode_module(module_));
       decoded_ = decoded_owned_.get();
     }
+    if (config_.engine == EngineKind::kJit) {
+      DETLOCK_CHECK(config_.shared_jit == nullptr || config_.shared_jit->decoded() == decoded_,
+                    "EngineConfig::shared_jit was compiled from a different decoded module; "
+                    "pass the matching shared_decoded alongside it");
+      if (config_.observer == nullptr) {
+        if (config_.shared_jit != nullptr) {
+          jit_ = config_.shared_jit;
+        } else {
+          jit_owned_ = jit::compile_module(*decoded_);
+          jit_ = jit_owned_.get();
+        }
+        if (jit_ == nullptr) warn_jit_unavailable();
+      }
+      // Observer runs stay on the decoded loop silently: the access hook
+      // lives inside exec_decoded<true>, and the equivalence suite proves
+      // the engines observationally identical, so nothing is lost.
+    } else {
+      DETLOCK_CHECK(config_.shared_jit == nullptr,
+                    "EngineConfig::shared_jit requires engine == kJit");
+    }
   } else {
+    DETLOCK_CHECK(config_.shared_decoded == nullptr && config_.shared_jit == nullptr,
+                  "shared modules require the decoded or jit engine");
     // Reference engine: precompute a sorted case table per kSwitch so the
     // dispatch is a binary search instead of an O(cases) linear scan, plus
     // each block's flat instruction offset (blocks concatenated in block-id
@@ -174,6 +214,7 @@ std::uint64_t Engine::exec_function(ThreadCtx& ctx, ir::FuncId func_id, std::vec
     const DecodedFunction& func = decoded_->function(func_id);
     DETLOCK_CHECK(args.size() == func.num_params,
                   "argument count mismatch calling @" + module_.function(func_id).name());
+    if (jit_ != nullptr) return exec_jit(ctx, func_id, args);
     if (ctx.arena.size() < func.num_regs) ctx.arena.resize(std::max<std::size_t>(func.num_regs, 64));
     std::uint64_t* regs = ctx.arena.data();
     std::copy(args.begin(), args.end(), regs);

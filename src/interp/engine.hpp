@@ -40,7 +40,19 @@ namespace detlock::interp {
 ///                 decoded_equivalence_test.cpp).
 ///   kReference -- the original block-walking switch interpreter, kept as
 ///                 the executable specification and differential baseline.
-enum class EngineKind { kDecoded, kReference };
+///   kJit       -- template JIT over the decoded code (interp/jit/): the
+///                 arithmetic/branch/memory core runs as native x86-64 with
+///                 the decoded engine's anchor-based counting preserved at
+///                 every control transfer; sync/extern/clock opcodes
+///                 trampoline into the decoded handlers.  Degrades to
+///                 kDecoded (with a one-time warning) on hosts that cannot
+///                 run native code, and silently for observer runs, so
+///                 results are engine-independent either way.
+enum class EngineKind { kDecoded, kReference, kJit };
+
+namespace jit {
+class JitModule;
+}  // namespace jit
 
 struct EngineConfig {
   /// true: DetBackend (configured by `runtime`); false: NondetBackend.
@@ -82,6 +94,12 @@ struct EngineConfig {
   /// the observing dispatch loop uses its own handler labels, so observed
   /// runs decode privately (see service::ExecutionContext).  Not owned.
   const DecodedModule* shared_decoded = nullptr;
+
+  /// Pre-compiled native code to execute instead of JIT-compiling privately
+  /// (engine == kJit only).  Must have been compiled from exactly the
+  /// decoded module this engine executes (`shared_decoded`); read-only and
+  /// shareable across engines/threads like the decoded module.  Not owned.
+  const jit::JitModule* shared_jit = nullptr;
 };
 
 struct RunResult {
@@ -132,6 +150,11 @@ class Engine {
   /// used by tests as an application-visible determinism witness.
   const std::vector<std::vector<std::int64_t>>& records() const { return records_; }
 
+  /// True iff guest code will actually run as native JIT code (engine ==
+  /// kJit, compilation succeeded, no observer forced the decoded loop).
+  /// False under kJit means the graceful decoded fallback is in effect.
+  bool jit_active() const { return jit_ != nullptr; }
+
   /// Finalizes a freshly decoded module for cross-engine, cross-thread
   /// sharing: patches every DecodedInstr::handler with the observer-free
   /// dispatch loop's computed-goto labels (a no-op in switch-dispatch
@@ -145,6 +168,8 @@ class Engine {
 
  private:
   struct ThreadCtx;
+  /// The JIT helpers' window into engine internals (engine_jit.cpp).
+  friend struct JitRuntime;
 
   /// Sorted switch-case table for the reference engine (decoded switches
   /// live in DecodedModule's pools instead).
@@ -166,6 +191,9 @@ class Engine {
   /// parameters are already in place when called.
   template <bool kObserve>
   std::uint64_t exec_decoded(ThreadCtx& ctx, const DecodedFunction& func, std::size_t frame_base);
+  /// Native execution of one call tree via jit_ (engine_jit.cpp); arity is
+  /// checked by exec_function before dispatch.
+  std::uint64_t exec_jit(ThreadCtx& ctx, ir::FuncId func, const std::vector<std::uint64_t>& args);
   std::uint64_t call_extern(ThreadCtx& ctx, ir::ExternId id, std::vector<std::uint64_t> args);
   void thread_main(runtime::ThreadId tid, ir::FuncId func, std::vector<std::uint64_t> args);
   /// Fills DecodedInstr::callee for every kCallExtern whose implementation
@@ -189,6 +217,12 @@ class Engine {
   /// Present iff this engine decoded privately (kDecoded without a shared
   /// module); mutated by the resolve_* steps at run() entry.
   std::unique_ptr<DecodedModule> decoded_owned_;
+  /// Native code this engine executes: non-null iff jit_active().  Either
+  /// the caller's shared module or &*jit_owned_.
+  const jit::JitModule* jit_ = nullptr;
+  /// Present iff this engine JIT-compiled privately (kJit without a shared
+  /// jit module, on a capable host).
+  std::unique_ptr<const jit::JitModule> jit_owned_;
   /// Reference engine only: per-kSwitch sorted case tables, keyed by
   /// instruction address (stable: the engine holds the module by const
   /// reference and nothing mutates it after construction).

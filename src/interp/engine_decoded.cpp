@@ -547,33 +547,36 @@ template std::uint64_t Engine::exec_decoded<false>(ThreadCtx&, const DecodedFunc
 
 void Engine::resolve_decoded_handlers(DecodedModule& decoded) {
 #if DL_CGOTO
-  if (decoded.functions.empty()) return;
-  // Ask the exec_decoded instantiation this run will use (they have
-  // distinct label addresses) for its handler table, then thread every
-  // instruction.  Runs before any guest thread exists, so the patching is
-  // race-free; the module is private to this Engine (or, via
-  // prepare_decoded_module, still under construction at compile time).
-  ThreadCtx tmp;
-  if (config_.observer != nullptr) {
-    exec_decoded<true>(tmp, decoded.functions[0], kDecodedLabelQuery);
-  } else {
-    exec_decoded<false>(tmp, decoded.functions[0], kDecodedLabelQuery);
+  if (!decoded.functions.empty()) {
+    // Ask the exec_decoded instantiation this run will use (they have
+    // distinct label addresses) for its handler table, then thread every
+    // instruction.  Runs before any guest thread exists, so the patching is
+    // race-free; the module is private to this Engine (or, via
+    // prepare_decoded_module, still under construction at compile time).
+    ThreadCtx tmp;
+    if (config_.observer != nullptr) {
+      exec_decoded<true>(tmp, decoded.functions[0], kDecodedLabelQuery);
+    } else {
+      exec_decoded<false>(tmp, decoded.functions[0], kDecodedLabelQuery);
+    }
+    for (DecodedInstr& in : decoded.code) {
+      in.handler = reinterpret_cast<const void*>(static_cast<std::uintptr_t>(tmp.arena[in.op]));
+    }
   }
-  for (DecodedInstr& in : decoded.code) {
-    in.handler = reinterpret_cast<const void*>(static_cast<std::uintptr_t>(tmp.arena[in.op]));
-  }
-#else
-  (void)decoded;
 #endif
+  // Record which variant the module is now executable by -- in every build,
+  // so "finalized for sharing?" has one answer regardless of dispatch
+  // strategy (the tag is also what decoded_handlers_resolved checks).
+  decoded.prepared_for = config_.observer != nullptr ? PreparedFor::kObservedDispatch
+                                                     : PreparedFor::kPlainDispatch;
 }
 
 bool decoded_handlers_resolved(const DecodedModule& module) {
-#if DL_CGOTO
-  return module.code.empty() || module.code[0].handler != nullptr;
-#else
-  (void)module;
-  return true;
-#endif
+  // A pointer-null check would accept a module resolved for the WRONG
+  // dispatch variant (observing vs observer-free labels) and, in
+  // switch-dispatch builds, any unfinalized module at all; the typed tag
+  // rejects both.
+  return module.prepared_for == PreparedFor::kPlainDispatch;
 }
 
 void Engine::prepare_decoded_module(const ir::Module& module, DecodedModule& decoded) {

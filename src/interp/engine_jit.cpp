@@ -1,0 +1,278 @@
+// Runtime half of the template JIT: the C-ABI helpers generated code calls
+// (bookkeeping, the slow-opcode trampoline, guest-error raising, switch
+// dispatch) and Engine::exec_jit, which runs one guest call tree natively.
+//
+// Every helper body is a line-for-line replica of the corresponding decoded
+// handler in engine_decoded.cpp -- that is the byte-identity argument: the
+// JIT only ever diverges from the decoded engine in how fast the fast path
+// runs, never in what any observable (counts, clocks, fingerprints, sync
+// order) sees.  Helpers never let a C++ exception unwind into JIT frames;
+// guest errors are captured into JitState and re-raised by exec_jit once
+// the generated code has bailed out of its native frames.
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+#include "interp/engine_internal.hpp"
+#include "interp/jit/jit.hpp"
+
+namespace detlock::interp {
+
+using engine_detail::as_i64;
+using engine_detail::from_i64;
+
+/// The helpers' window into Engine/ThreadCtx internals (a friend of Engine;
+/// JitState carries both as type-erased pointers to stay standard-layout).
+struct JitRuntime {
+  static Engine& engine(jit::JitState& st) { return *static_cast<Engine*>(st.engine); }
+  static Engine::ThreadCtx& thread_ctx(jit::JitState& st) {
+    return *static_cast<Engine::ThreadCtx*>(st.ctx);
+  }
+
+  /// DL_SYNC: publish the exact executed count before anything that can
+  /// block, call out, or throw.
+  static void sync(jit::JitState& st, std::uint64_t now) {
+    Engine::ThreadCtx& ctx = thread_ctx(st);
+    ctx.instrs = now;
+    ctx.since_yield = static_cast<std::uint32_t>(now - st.last_yield);
+  }
+
+  /// Captures the in-flight exception for exec_jit to rethrow and flips the
+  /// flag generated code tests after every call.
+  static void capture(jit::JitState& st) noexcept {
+    *static_cast<std::exception_ptr*>(st.exception) = std::current_exception();
+    st.unwinding = 1;
+  }
+
+  // bookkeep_slow (engine_decoded.cpp): step limit, abort poll, cooperative
+  // yield, next_check recomputation -- on JitState fields instead of the
+  // interpreter's loop locals.
+  static void bookkeep(jit::JitState& st, std::uint64_t now) noexcept {
+    try {
+      if (now > st.max_steps) {
+        sync(st, now);
+        throw Error("thread " + std::to_string(thread_ctx(st).tid) +
+                    " exceeded max_steps_per_thread");
+      }
+      if (now >= st.next_abort_at) {
+        st.next_abort_at = (now | 0xffff) + 1;
+        if (engine(st).abort_flag_.load(std::memory_order_relaxed)) {
+          sync(st, now);
+          throw Error("execution aborted (another thread failed)");
+        }
+      }
+      if (st.yield_interval != 0 && now - st.last_yield >= st.yield_interval) {
+        st.last_yield = now;
+        std::this_thread::yield();
+      }
+      std::uint64_t next = st.next_abort_at;
+      if (st.yield_interval != 0) {
+        next = std::min<std::uint64_t>(next, st.last_yield + st.yield_interval);
+      }
+      st.next_check = std::min(next, st.limit_at);
+    } catch (...) {
+      capture(st);
+    }
+  }
+
+  // The decoded engine's slow-opcode handler bodies, verbatim, against the
+  // caller's native register frame.  `in` is never a fused head: fusion
+  // only covers the arithmetic/branch core, which the JIT inlines.
+  static void slow(jit::JitState& st, const DecodedInstr& in, std::uint64_t now,
+                   std::uint64_t* regs) noexcept {
+    try {
+      Engine& e = engine(st);
+      Engine::ThreadCtx& ctx = thread_ctx(st);
+      const DecodedModule& dm = *e.decoded_;
+      sync(st, now);
+      switch (static_cast<ir::Opcode>(in.op)) {
+        case ir::Opcode::kCallExtern: {
+          std::vector<std::uint64_t>& eargs = ctx.extern_args;
+          eargs.clear();
+          const std::uint32_t* const arg_regs = dm.reg_pool.data() + in.pool;
+          for (std::uint32_t i = 0; i < in.count; ++i) eargs.push_back(regs[arg_regs[i]]);
+          if (in.callee != nullptr) {
+            const ExternImpl& impl = *static_cast<const ExternImpl*>(in.callee);
+            ExternCallContext call{e.memory_, ctx.tid, eargs};
+            regs[in.dst] = impl(call);
+          } else {
+            regs[in.dst] = e.call_extern(ctx, in.callee_id, {eargs.begin(), eargs.end()});
+          }
+          break;
+        }
+        case ir::Opcode::kLock: {
+          const auto mutex = static_cast<runtime::MutexId>(as_i64(regs[in.a]));
+          e.backend_->lock(ctx.tid, mutex);
+          ctx.held.push_back(mutex);
+          break;
+        }
+        case ir::Opcode::kUnlock: {
+          const auto mutex = static_cast<runtime::MutexId>(as_i64(regs[in.a]));
+          e.backend_->unlock(ctx.tid, mutex);
+          auto it = std::find(ctx.held.begin(), ctx.held.end(), mutex);
+          if (it != ctx.held.end()) ctx.held.erase(it);
+          break;
+        }
+        case ir::Opcode::kBarrier:
+          e.backend_->barrier_wait(ctx.tid, static_cast<runtime::BarrierId>(as_i64(regs[in.a])),
+                                   static_cast<std::uint32_t>(as_i64(regs[in.b])));
+          break;
+        case ir::Opcode::kSpawn: {
+          std::vector<std::uint64_t> call_args;
+          call_args.reserve(in.count);
+          const std::uint32_t* const arg_regs = dm.reg_pool.data() + in.pool;
+          for (std::uint32_t i = 0; i < in.count; ++i) call_args.push_back(regs[arg_regs[i]]);
+          const runtime::ThreadId child = e.backend_->register_spawn(ctx.tid);
+          e.spawned_count_.fetch_add(1, std::memory_order_relaxed);
+          e.os_threads_[child] =
+              std::thread(&Engine::thread_main, &e, child, static_cast<ir::FuncId>(in.callee_id),
+                          std::move(call_args));
+          regs[in.dst] = from_i64(child);
+          break;
+        }
+        case ir::Opcode::kJoin: {
+          const std::int64_t handle = as_i64(regs[in.a]);
+          DETLOCK_CHECK(handle >= 0 && static_cast<std::size_t>(handle) < e.os_threads_.size() &&
+                            e.os_threads_[static_cast<std::size_t>(handle)].joinable(),
+                        "join of never-spawned or already-joined thread " + std::to_string(handle));
+          const auto target = static_cast<runtime::ThreadId>(handle);
+          e.backend_->join(ctx.tid, target);
+          e.os_threads_[target].join();
+          break;
+        }
+        case ir::Opcode::kCondWait:
+          e.backend_->cond_wait(ctx.tid, static_cast<runtime::CondVarId>(as_i64(regs[in.a])),
+                                static_cast<runtime::MutexId>(as_i64(regs[in.b])));
+          break;
+        case ir::Opcode::kCondSignal:
+          e.backend_->cond_signal(ctx.tid, static_cast<runtime::CondVarId>(as_i64(regs[in.a])));
+          break;
+        case ir::Opcode::kCondBroadcast:
+          e.backend_->cond_broadcast(ctx.tid, static_cast<runtime::CondVarId>(as_i64(regs[in.a])));
+          break;
+        case ir::Opcode::kClockAdd:
+          ++ctx.clock_instrs;
+          e.backend_->clock_add(ctx.tid, static_cast<std::uint64_t>(in.imm));
+          break;
+        case ir::Opcode::kClockAddDyn: {
+          ++ctx.clock_instrs;
+          const double scaled = in.fimm * static_cast<double>(as_i64(regs[in.a]));
+          const std::int64_t delta =
+              in.imm + static_cast<std::int64_t>(std::llround(std::max(0.0, scaled)));
+          e.backend_->clock_add(ctx.tid, static_cast<std::uint64_t>(std::max<std::int64_t>(delta, 0)));
+          break;
+        }
+        default:
+          DETLOCK_UNREACHABLE("non-slow opcode reached the jit trampoline");
+      }
+    } catch (...) {
+      capture(st);
+    }
+  }
+
+  // Guest errors raised from generated code, with the interpreters'
+  // canonical message content (the reference/decoded engines wrap some of
+  // these in DETLOCK_CHECK's location prefix; no test compares guest error
+  // text across engines, only that the same programs fail).
+  static void fail(jit::JitState& st, const void* where, std::uint64_t now, std::int64_t extra,
+                   std::uint32_t kind) noexcept {
+    try {
+      sync(st, now);
+      switch (kind) {
+        case jit::kJitFailDivZero:
+          throw Error("division by zero in @" +
+                      static_cast<const DecodedFunction*>(where)->source->name());
+        case jit::kJitFailRemZero:
+          throw Error("remainder by zero in @" +
+                      static_cast<const DecodedFunction*>(where)->source->name());
+        case jit::kJitFailOutOfBounds:
+          throw Error("memory access out of bounds: " + std::to_string(extra));
+        case jit::kJitFailEmptyCall:
+          throw Error("call of empty function @" +
+                      static_cast<const DecodedFunction*>(
+                          static_cast<const DecodedInstr*>(where)->callee)
+                          ->source->name());
+        case jit::kJitFailDepthLimit:
+          // JIT-only bound: native frames live on the OS thread stack, so
+          // runaway recursion becomes a clean guest error here where the
+          // interpreters' heap arena would just keep growing.
+          throw Error("call depth limit exceeded calling @" +
+                      static_cast<const DecodedFunction*>(
+                          static_cast<const DecodedInstr*>(where)->callee)
+                          ->source->name() +
+                      " (recursion too deep for native execution; use --interp=decoded)");
+        default:
+          DETLOCK_UNREACHABLE("bad jit failure kind");
+      }
+    } catch (...) {
+      capture(st);
+    }
+  }
+};
+
+extern "C" void detlock_jit_bookkeep(jit::JitState* state, std::uint64_t now) noexcept {
+  JitRuntime::bookkeep(*state, now);
+}
+
+extern "C" void detlock_jit_slow(jit::JitState* state, const DecodedInstr* in, std::uint64_t now,
+                                 std::uint64_t* regs) noexcept {
+  JitRuntime::slow(*state, *in, now, regs);
+}
+
+extern "C" void detlock_jit_fail(jit::JitState* state, const void* where, std::uint64_t now,
+                                 std::int64_t extra, std::uint32_t kind) noexcept {
+  JitRuntime::fail(*state, where, now, extra, kind);
+}
+
+extern "C" std::uint32_t detlock_jit_switch(const std::int64_t* values,
+                                            const std::uint32_t* targets, std::uint32_t count,
+                                            std::uint32_t default_target,
+                                            std::int64_t value) noexcept {
+  // The decoded engine's binary search over the sorted case pool.
+  std::uint32_t lo = 0;
+  std::uint32_t hi = count;
+  while (lo < hi) {
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    if (values[mid] < value) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo < count && values[lo] == value ? targets[lo] : default_target;
+}
+
+std::uint64_t Engine::exec_jit(ThreadCtx& ctx, ir::FuncId func,
+                               const std::vector<std::uint64_t>& args) {
+  const DecodedFunction& f = decoded_->functions[func];
+  DETLOCK_CHECK(f.entry != nullptr, "call of empty function @" + f.source->name());
+  jit::JitState st;
+  // The decoded engine's hot-loop initialization, field for field
+  // (engine_decoded.cpp anchor_count/last_yield/limit_at/next_* formulas).
+  st.depth_limit = jit_->depth_limit();
+  st.max_steps = config_.max_steps_per_thread;
+  st.yield_interval = config_.yield_interval;
+  st.limit_at = st.max_steps + 1 == 0 ? st.max_steps : st.max_steps + 1;
+  st.instrs_out = ctx.instrs;
+  st.last_yield = ctx.instrs - ctx.since_yield;
+  st.next_abort_at = (ctx.instrs | 0xffff) + 1;
+  st.next_check = st.next_abort_at;
+  if (st.yield_interval != 0) {
+    st.next_check = std::min<std::uint64_t>(st.next_check, st.last_yield + st.yield_interval);
+  }
+  st.next_check = std::min(st.next_check, st.limit_at);
+  st.mem_base = reinterpret_cast<std::uint64_t>(memory_.data());
+  st.mem_words = memory_.size();
+  st.engine = this;
+  st.ctx = &ctx;
+  std::exception_ptr error;  // outlives the native frames that may fill it
+  st.exception = &error;
+  for (std::size_t i = 0; i < args.size(); ++i) st.args[i] = args[i];  // arity pre-checked
+  const std::uint64_t result = jit_->invoke(func, &st);
+  if (st.unwinding != 0) std::rethrow_exception(error);
+  ctx.instrs = st.instrs_out;
+  ctx.since_yield = static_cast<std::uint32_t>(st.instrs_out - st.last_yield);
+  return result;
+}
+
+}  // namespace detlock::interp

@@ -1,0 +1,49 @@
+#include "interp/jit/code_buffer.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define DETLOCK_JIT_HAVE_MMAP 1
+#include <sys/mman.h>
+#include <unistd.h>
+#else
+#define DETLOCK_JIT_HAVE_MMAP 0
+#endif
+
+namespace detlock::interp::jit {
+
+#if DETLOCK_JIT_HAVE_MMAP
+
+namespace {
+
+std::size_t round_to_pages(std::size_t size) {
+  const auto page = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  return (size + page - 1) / page * page;
+}
+
+}  // namespace
+
+std::unique_ptr<CodeBuffer> CodeBuffer::allocate(std::size_t size) {
+  if (size == 0) return nullptr;
+  const std::size_t mapped = round_to_pages(size);
+  void* const p =
+      ::mmap(nullptr, mapped, PROT_READ | PROT_WRITE, MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (p == MAP_FAILED) return nullptr;
+  return std::unique_ptr<CodeBuffer>(new CodeBuffer(static_cast<std::uint8_t*>(p), mapped));
+}
+
+CodeBuffer::~CodeBuffer() {
+  if (data_ != nullptr) ::munmap(data_, size_);
+}
+
+bool CodeBuffer::make_executable() {
+  return ::mprotect(data_, size_, PROT_READ | PROT_EXEC) == 0;
+}
+
+#else  // !DETLOCK_JIT_HAVE_MMAP
+
+std::unique_ptr<CodeBuffer> CodeBuffer::allocate(std::size_t) { return nullptr; }
+CodeBuffer::~CodeBuffer() = default;
+bool CodeBuffer::make_executable() { return false; }
+
+#endif
+
+}  // namespace detlock::interp::jit

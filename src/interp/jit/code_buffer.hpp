@@ -1,0 +1,43 @@
+// Executable code pages for the template JIT, with a W^X lifecycle: the
+// buffer is mapped read-write for emission, then flipped to read-execute
+// (never both) before any guest thread can jump into it.  Allocation and
+// the protection flip both report failure by value instead of throwing --
+// the JIT treats either as "this platform can't run native code" and falls
+// back to the decoded engine (docs/interp-performance.md, fallback rules).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace detlock::interp::jit {
+
+class CodeBuffer {
+ public:
+  /// Maps `size` bytes read-write.  Returns null when the platform has no
+  /// anonymous-mmap support or the mapping is refused (e.g. a hardened
+  /// kernel or sanitizer policy); callers degrade to the interpreter.
+  static std::unique_ptr<CodeBuffer> allocate(std::size_t size);
+
+  ~CodeBuffer();
+  CodeBuffer(const CodeBuffer&) = delete;
+  CodeBuffer& operator=(const CodeBuffer&) = delete;
+
+  /// Flips the pages from RW to RX.  After this the buffer is immutable
+  /// and any number of threads may execute from it concurrently.  False
+  /// when mprotect refuses executable pages (W^X still holds: the buffer
+  /// simply stays non-executable and the caller discards it).
+  bool make_executable();
+
+  std::uint8_t* rw_data() { return data_; }
+  const std::uint8_t* data() const { return data_; }
+  std::size_t size() const { return size_; }
+
+ private:
+  CodeBuffer(std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+
+  std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace detlock::interp::jit

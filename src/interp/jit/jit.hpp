@@ -1,0 +1,160 @@
+// Baseline template JIT: lowers the flat DecodedInstr arrays produced by
+// interp/decode.cpp into executable x86-64 code, one hand-written stanza
+// per opcode (jit_compiler.cpp).  The contract is byte-identity with the
+// interpreters: anchor-based instruction counting is preserved at every
+// control transfer, the bookkeeping cadence (step limit, abort poll,
+// cooperative yield) matches the decoded engine's checkpoint formula
+// exactly, and every slow-path opcode (sync ops, spawns, extern calls,
+// clock updates) trampolines back into the engine through the helpers
+// below, which replicate the decoded handlers verbatim.  Fingerprints,
+// observable counts, and clock schedules therefore cannot diverge
+// (tests/interp/decoded_equivalence_test.cpp proves it differentially).
+//
+// Compilation is whole-module and happens once (service::CompiledModule,
+// mirroring prepare_decoded_module); the resulting read-only code pages
+// are shared by any number of engines on any number of threads.  On
+// non-x86-64 hosts, when executable pages are refused, or when a function
+// exceeds the compile limits below, compile_module returns null and the
+// caller falls back to the decoded engine (see docs/interp-performance.md
+// for the fallback rules).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "interp/decode.hpp"
+
+namespace detlock::interp::jit {
+
+/// Calls with more arguments than this (equivalently: callees with more
+/// parameters) make the module uncompilable -- the caller falls back to
+/// the decoded engine, which has no such limit.
+inline constexpr std::uint32_t kJitMaxArgs = 64;
+/// Same fallback rule for pathologically wide register frames (native
+/// frames live on the OS thread stack, not in the arena).
+inline constexpr std::uint32_t kJitMaxRegs = 4096;
+
+/// Per-invocation state block shared between generated code and the C++
+/// helpers.  Generated code addresses fields by compile-time offsetof, so
+/// this must stay standard-layout POD; `engine`/`ctx`/`exception` are
+/// type-erased for the same reason (ThreadCtx is private to Engine -- the
+/// helpers cast back through interp::JitRuntime, a friend).
+///
+/// Register convention inside generated code:
+///   rbx = JitState*          r13 = exact instruction count at the anchor
+///   r14 = guest memory base  r15 = guest memory size in words
+///   rbp = current frame's register base ([rbp + 8*reg])
+/// All five are C-ABI callee-saved, so helper calls preserve them.
+struct JitState {
+  /// Set by a helper that caught a guest error; generated code tests it
+  /// after every helper/guest call and unwinds its native frames without
+  /// any C++ exception crossing JIT frames.
+  std::uint32_t unwinding = 0;
+  /// Native guest-call depth and its bound: the interpreters place frames
+  /// in a heap arena, the JIT on the OS thread stack, so runaway recursion
+  /// must become a clean guest error instead of a stack overflow.
+  std::uint32_t depth = 0;
+  std::uint64_t depth_limit = 0;
+  // Bookkeeping mirror of the decoded engine's hot-loop locals; helper
+  // detlock_jit_bookkeep updates them with the exact bookkeep_slow formula.
+  std::uint64_t next_check = 0;
+  std::uint64_t last_yield = 0;
+  std::uint64_t next_abort_at = 0;
+  std::uint64_t limit_at = 0;
+  /// In: ThreadCtx::instrs at entry (the anchor seed).  Out: the exact
+  /// executed count, stored by the entry thunk on clean return.
+  std::uint64_t instrs_out = 0;
+  std::uint64_t mem_base = 0;   // guest memory word array
+  std::uint64_t mem_words = 0;
+  std::uint64_t max_steps = 0;
+  std::uint64_t yield_interval = 0;
+  void* engine = nullptr;     // interp::Engine*
+  void* ctx = nullptr;        // Engine::ThreadCtx*
+  void* exception = nullptr;  // std::exception_ptr* (owned by exec_jit's stack)
+  /// Guest call arguments: the caller stores, the callee prologue copies
+  /// into its frame (the uniform call protocol keeps stanzas tiny).
+  std::uint64_t args[kJitMaxArgs] = {};
+};
+
+/// Guest-error kinds raised from generated code via detlock_jit_fail.
+enum JitFailKind : std::uint32_t {
+  kJitFailDivZero = 0,   // where = DecodedFunction* (current function)
+  kJitFailRemZero = 1,   // where = DecodedFunction*
+  kJitFailOutOfBounds = 2,  // where = DecodedFunction*, extra = address
+  kJitFailEmptyCall = 3,    // where = DecodedInstr* (the kCall)
+  kJitFailDepthLimit = 4,   // where = DecodedInstr* (the kCall)
+};
+
+// Helpers the generated code calls (C ABI, implemented in
+// src/interp/engine_jit.cpp).  None may let an exception escape into JIT
+// frames: guest errors are captured into JitState::exception + unwinding.
+extern "C" {
+/// DL_CHECKPOINT slow path: step limit, abort poll, cooperative yield,
+/// next_check recomputation -- the decoded engine's bookkeep_slow.
+void detlock_jit_bookkeep(JitState* state, std::uint64_t now) noexcept;
+/// Uniform trampoline for slow opcodes (kLock..kClockAddDyn, kCallExtern):
+/// syncs the exact count into ThreadCtx (DL_SYNC), then executes the
+/// decoded handler's body against the caller's register frame.
+void detlock_jit_slow(JitState* state, const DecodedInstr* in, std::uint64_t now,
+                      std::uint64_t* regs) noexcept;
+/// Raises a guest error with the interpreter's canonical message.
+void detlock_jit_fail(JitState* state, const void* where, std::uint64_t now, std::int64_t extra,
+                      std::uint32_t kind) noexcept;
+/// kSwitch dispatch: the decoded engine's binary search over the sorted
+/// case pool; returns the flat target slot.  Pure, never throws.
+std::uint32_t detlock_jit_switch(const std::int64_t* values, const std::uint32_t* targets,
+                                 std::uint32_t count, std::uint32_t default_target,
+                                 std::int64_t value) noexcept;
+}
+
+class CodeBuffer;
+
+/// Immutable compiled module: one RX code buffer holding the entry thunk
+/// and every non-empty function, plus the per-function switch dispatch
+/// tables.  Thread-safe to share exactly like a prepared DecodedModule.
+class JitModule {
+ public:
+  ~JitModule();
+  JitModule(const JitModule&) = delete;
+  JitModule& operator=(const JitModule&) = delete;
+
+  /// The decoded module this was compiled from.  Engines must execute the
+  /// jit module only alongside this exact decoded module: the generated
+  /// code embeds pointers into its code/pool arrays for the slow-path
+  /// trampoline.
+  const DecodedModule* decoded() const { return decoded_; }
+
+  bool has_function(std::size_t func_id) const;
+  /// Runs `func_id` to completion on the current thread via the entry
+  /// thunk.  The caller owns JitState setup/teardown (see Engine::exec_jit).
+  std::uint64_t invoke(std::size_t func_id, JitState* state) const;
+
+  std::uint64_t depth_limit() const { return depth_limit_; }
+  std::size_t code_bytes() const;
+
+ private:
+  friend class JitCompiler;  // jit_compiler.cpp: the only producer
+  JitModule();
+
+  const DecodedModule* decoded_ = nullptr;
+  std::unique_ptr<CodeBuffer> buffer_;
+  std::uint32_t thunk_offset_ = 0;
+  /// Buffer offset per FuncId; kNoCode for block-less functions.
+  std::vector<std::uint32_t> func_offsets_;
+  /// Per-function slot -> native-address tables (null unless the function
+  /// contains a kSwitch); generated switch code jumps through these.
+  std::vector<std::unique_ptr<std::uint64_t[]>> switch_tables_;
+  std::uint64_t depth_limit_ = 0;
+};
+
+/// Compiles every function of `decoded` (which must already be decoded
+/// from the module the engines will run; handler resolution is NOT
+/// required -- the JIT never consults DecodedInstr::handler).  Returns
+/// null when native execution is unavailable: non-x86-64 host, executable
+/// pages refused, a function exceeding kJitMaxArgs/kJitMaxRegs, or the
+/// DETLOCK_JIT_DISABLE=1 environment kill-switch.  Callers treat null as
+/// "use the decoded engine".
+std::unique_ptr<const JitModule> compile_module(const DecodedModule& decoded);
+
+}  // namespace detlock::interp::jit

@@ -1,0 +1,732 @@
+// x86-64 template JIT compiler: one hand-written stanza per opcode, emitted
+// into a byte vector with buffer-relative fixups, then copied into an
+// mmap'd CodeBuffer (RW), switch tables filled with absolute native
+// addresses, and flipped RX (W^X).
+//
+// Semantics contract (byte-identity with the decoded engine):
+//   * Counting is anchor-based, exactly like exec_decoded: r13 holds the
+//     exact executed count at the current anchor slot; straight-line code
+//     does no counting.  Every control transfer at slot s folds
+//     (s - anchor + 1) into r13 -- the same quantity DL_CHECKPOINT folds,
+//     since the decoded ip has already been advanced past the transfer --
+//     and compares against JitState::next_check, calling the bookkeeping
+//     helper on the same cadence the interpreter would.
+//   * Slots that are branch targets get a forced anchor: the fall-through
+//     path folds its pending distance first (count-neutral, no check), so
+//     branched-to and fallen-into executions agree on r13's meaning.
+//   * Slow-path slots (sync ops, spawns, extern calls, clock updates) pass
+//     the exact count now = r13 + (s - anchor + 1) to the trampoline --
+//     the DL_SYNC value -- without re-anchoring, exactly like the decoded
+//     handlers.
+//   * Fused superinstructions need no stanzas at all: fusion only rewrites
+//     the head slot's op byte (decode.cpp), the trailing slots keep their
+//     original instructions, and the decoded fused bodies are semantically
+//     the unfused sequence (operand canonicalization guarantees the
+//     forwarded temporary equals the re-loaded register).  The JIT lowers
+//     each slot's ORIGINAL opcode; the check cadence still matches because
+//     the fused interpreter checkpoints at the trailing branch slot with
+//     the same folded distance.
+//   * Guest errors never unwind through JIT frames: helpers capture the
+//     exception into JitState and set `unwinding`; generated code tests it
+//     after every call and cascades out through per-function bail blocks.
+//
+// Division intentionally uses idiv after an explicit zero check: the
+// INT64_MIN / -1 overflow case traps exactly like the compiled C++ of both
+// interpreters (same hardware instruction), so behaviour cannot diverge.
+// Shift counts rely on the hardware's cl & 63 masking, which is the
+// interpreters' explicit `& 63`.
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+#include "interp/jit/code_buffer.hpp"
+#include "interp/jit/jit.hpp"
+#include "support/error.hpp"
+
+namespace detlock::interp::jit {
+
+namespace {
+constexpr std::uint32_t kNoCode = 0xffffffffu;
+}  // namespace
+
+JitModule::JitModule() = default;
+JitModule::~JitModule() = default;
+
+bool JitModule::has_function(std::size_t func_id) const {
+  return func_id < func_offsets_.size() && func_offsets_[func_id] != kNoCode;
+}
+
+std::size_t JitModule::code_bytes() const { return buffer_ != nullptr ? buffer_->size() : 0; }
+
+std::uint64_t JitModule::invoke(std::size_t func_id, JitState* state) const {
+  DETLOCK_CHECK(has_function(func_id), "jit invoke of uncompiled function");
+  using EntryFn = std::uint64_t (*)(JitState*, const void*);
+  const std::uint8_t* const base = buffer_->data();
+  // Data-pointer -> function-pointer conversion is only reachable on
+  // platforms where CodeBuffer::allocate succeeded (POSIX), where it is
+  // well-defined for mmap'd code.
+  EntryFn thunk;
+  const std::uintptr_t addr = reinterpret_cast<std::uintptr_t>(base + thunk_offset_);
+  std::memcpy(&thunk, &addr, sizeof(thunk));
+  return thunk(state, base + func_offsets_[func_id]);
+}
+
+#if defined(__x86_64__) && (defined(__unix__) || defined(__APPLE__))
+
+namespace {
+
+enum JitReg : int {
+  RAX = 0, RCX = 1, RDX = 2, RBX = 3, RSP = 4, RBP = 5, RSI = 6, RDI = 7,
+  R8 = 8, R13 = 13, R14 = 14, R15 = 15,
+};
+
+static_assert(std::is_standard_layout_v<JitState>,
+              "generated code addresses JitState by compile-time offsets");
+constexpr auto off_unwinding = static_cast<std::int32_t>(offsetof(JitState, unwinding));
+constexpr auto off_depth = static_cast<std::int32_t>(offsetof(JitState, depth));
+constexpr auto off_depth_limit = static_cast<std::int32_t>(offsetof(JitState, depth_limit));
+constexpr auto off_next_check = static_cast<std::int32_t>(offsetof(JitState, next_check));
+constexpr auto off_instrs_out = static_cast<std::int32_t>(offsetof(JitState, instrs_out));
+constexpr auto off_mem_base = static_cast<std::int32_t>(offsetof(JitState, mem_base));
+constexpr auto off_mem_words = static_cast<std::int32_t>(offsetof(JitState, mem_words));
+constexpr auto off_args = static_cast<std::int32_t>(offsetof(JitState, args));
+
+/// The slot's pre-fusion opcode: fused heads map to their first
+/// constituent, everything else is already an ir::Opcode.
+ir::Opcode original_op(std::uint8_t op) {
+  switch (op) {
+    case kFusedICmpBr: return ir::Opcode::kICmp;
+    case kFusedConstAdd:
+    case kFusedConstAddBr: return ir::Opcode::kConst;
+    case kFusedMulAdd: return ir::Opcode::kMul;
+    case kFusedAndAdd: return ir::Opcode::kAnd;
+    default: return static_cast<ir::Opcode>(op);
+  }
+}
+
+}  // namespace
+
+/// The emitter.  Named (not in the anonymous namespace) solely so
+/// JitModule can befriend its only producer.
+class JitCompiler {
+ public:
+  explicit JitCompiler(const DecodedModule& dm) : dm_(dm) {}
+
+  std::unique_ptr<const JitModule> run() {
+    std::unique_ptr<JitModule> module(new JitModule());
+    module->decoded_ = &dm_;
+    module->func_offsets_.assign(dm_.functions.size(), kNoCode);
+    module->switch_tables_.resize(dm_.functions.size());
+    saved_slot_offs_.resize(dm_.functions.size());
+
+    module->thunk_offset_ = 0;
+    emit_entry_thunk();
+
+    std::uint64_t max_frame_bytes = 128;
+    for (std::size_t fid = 0; fid < dm_.functions.size(); ++fid) {
+      const DecodedFunction& f = dm_.functions[fid];
+      if (f.entry == nullptr) continue;  // calling it is a guest error (cold path)
+      if (f.num_params > kJitMaxArgs || f.num_regs > kJitMaxRegs) return nullptr;
+      bool has_switch = false;
+      for (std::uint32_t s = 0; s < f.code_size; ++s) {
+        if (original_op(f.entry[s].op) == ir::Opcode::kSwitch) has_switch = true;
+      }
+      // Switch tables are plain heap arrays so their (stable) address can
+      // be an immediate before final code placement is known.
+      if (has_switch) {
+        module->switch_tables_[fid] = std::make_unique<std::uint64_t[]>(f.code_size);
+      }
+      module->func_offsets_[fid] = static_cast<std::uint32_t>(buf_.size());
+      if (!emit_function(fid, f, module->switch_tables_[fid].get())) return nullptr;
+      max_frame_bytes = std::max<std::uint64_t>(max_frame_bytes, frame_bytes(f) + 48);
+    }
+
+    for (const CallFixup& fix : call_fixups_) {
+      const std::uint32_t target = module->func_offsets_[fix.callee];
+      if (target == kNoCode) return nullptr;  // unreachable: empty callees take the cold path
+      patch32(fix.pos, static_cast<std::int64_t>(target) - static_cast<std::int64_t>(fix.pos + 4));
+    }
+
+    auto buffer = CodeBuffer::allocate(buf_.size());
+    if (buffer == nullptr) return nullptr;
+    std::memcpy(buffer->rw_data(), buf_.data(), buf_.size());
+    for (std::size_t fid = 0; fid < dm_.functions.size(); ++fid) {
+      std::uint64_t* const table = module->switch_tables_[fid].get();
+      if (table == nullptr) continue;
+      const std::vector<std::uint32_t>& offs = saved_slot_offs_[fid];
+      for (std::size_t s = 0; s < offs.size(); ++s) {
+        table[s] = reinterpret_cast<std::uint64_t>(buffer->data() + offs[s]);
+      }
+    }
+    if (!buffer->make_executable()) return nullptr;
+    module->buffer_ = std::move(buffer);
+    // Native frames live on the (default ~8 MiB) thread stack; bound guest
+    // recursion so half of it can never be exceeded, leaving room for the
+    // helpers' own C++ frames.
+    module->depth_limit_ =
+        std::min<std::uint64_t>(16384, (std::uint64_t{4} << 20) / max_frame_bytes);
+    return module;
+  }
+
+ private:
+  struct SlotFixup {
+    std::size_t pos;      // rel32 location (buffer-absolute)
+    std::uint32_t slot;   // flat target slot in the current function
+  };
+  struct CallFixup {
+    std::size_t pos;
+    std::uint32_t callee;  // FuncId
+  };
+  struct Cold {
+    std::size_t pos;  // rel32 of the conditional jump into the stub
+    std::uint32_t kind;
+    const void* where;
+    std::uint32_t delta;  // count still to fold when the stub runs
+    bool addr_in_rax;     // OOB: the faulting address rides in rax
+  };
+
+  // ---- byte emission primitives -------------------------------------
+  void u8(std::uint8_t b) { buf_.push_back(b); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void emit(std::initializer_list<std::uint8_t> bytes) {
+    for (std::uint8_t b : bytes) u8(b);
+  }
+  void patch32(std::size_t pos, std::int64_t value) {
+    const auto v = static_cast<std::uint32_t>(static_cast<std::int32_t>(value));
+    for (int i = 0; i < 4; ++i) buf_[pos + i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+
+  /// REX.W <opcode> /r with a [base + disp32] memory operand (base is
+  /// never rsp, so no SIB byte).
+  void op_rm(std::initializer_list<std::uint8_t> opcode, int reg, int base, std::int32_t disp) {
+    u8(static_cast<std::uint8_t>(0x48 | ((reg >> 3) << 2) | (base >> 3)));
+    for (std::uint8_t b : opcode) u8(b);
+    u8(static_cast<std::uint8_t>(0x80 | ((reg & 7) << 3) | (base & 7)));
+    u32(static_cast<std::uint32_t>(disp));
+  }
+  void ld(int reg, std::uint32_t slot) { op_rm({0x8B}, reg, RBP, static_cast<std::int32_t>(8 * slot)); }
+  void st(std::uint32_t slot, int reg) { op_rm({0x89}, reg, RBP, static_cast<std::int32_t>(8 * slot)); }
+  void ld_state(int reg, std::int32_t off) { op_rm({0x8B}, reg, RBX, off); }
+  void st_state(std::int32_t off, int reg) { op_rm({0x89}, reg, RBX, off); }
+  void mov_imm64(int reg, std::uint64_t v) {
+    u8(static_cast<std::uint8_t>(0x48 | (reg >> 3)));
+    u8(static_cast<std::uint8_t>(0xB8 + (reg & 7)));
+    u64(v);
+  }
+  void mov_rr(int dst, int src) {  // mov dst, src (64-bit)
+    u8(static_cast<std::uint8_t>(0x48 | ((src >> 3) << 2) | (dst >> 3)));
+    u8(0x89);
+    u8(static_cast<std::uint8_t>(0xC0 | ((src & 7) << 3) | (dst & 7)));
+  }
+  void movsd_load(int xmm, std::uint32_t slot) {  // movsd xmmN, [rbp + 8*slot]
+    emit({0xF2, 0x0F, 0x10});
+    u8(static_cast<std::uint8_t>(0x80 | (xmm << 3) | RBP));
+    u32(8 * slot);
+  }
+  void movsd_store(std::uint32_t slot, int xmm) {
+    emit({0xF2, 0x0F, 0x11});
+    u8(static_cast<std::uint8_t>(0x80 | (xmm << 3) | RBP));
+    u32(8 * slot);
+  }
+  void call_helper(const void* fn) {
+    mov_imm64(RAX, reinterpret_cast<std::uint64_t>(fn));
+    emit({0xFF, 0xD0});  // call rax
+  }
+  void add_r13(std::uint64_t delta) {
+    if (delta == 0) return;
+    if (delta <= 127) {
+      emit({0x49, 0x83, 0xC5});
+      u8(static_cast<std::uint8_t>(delta));
+    } else {
+      emit({0x49, 0x81, 0xC5});
+      u32(static_cast<std::uint32_t>(delta));
+    }
+  }
+  void jmp_slot(std::uint32_t target) {
+    u8(0xE9);
+    slot_fixups_.push_back({buf_.size(), target});
+    u32(0);
+  }
+  void jcc_slot(std::uint8_t cc, std::uint32_t target) {  // cc: 0F 8x near form
+    emit({0x0F, cc});
+    slot_fixups_.push_back({buf_.size(), target});
+    u32(0);
+  }
+  void jcc_cold(std::uint8_t cc, std::uint32_t kind, const void* where, std::uint32_t delta,
+                bool addr_in_rax) {
+    emit({0x0F, cc});
+    colds_.push_back({buf_.size(), kind, where, delta, addr_in_rax});
+    u32(0);
+  }
+  /// cmp byte [rbx+unwinding], 0; jnz bail -- after every call that could
+  /// have captured a guest error.
+  void unwind_check() {
+    emit({0x80, 0xBB});
+    u32(static_cast<std::uint32_t>(off_unwinding));
+    u8(0x00);
+    emit({0x0F, 0x85});
+    bail_fixups_.push_back(buf_.size());
+    u32(0);
+  }
+  /// DL_CHECKPOINT: fold the straight-line distance, run the batched
+  /// bookkeeping when the count reaches next_check.
+  void fold_and_check(std::uint32_t delta) {
+    add_r13(delta);
+    op_rm({0x3B}, R13, RBX, off_next_check);  // cmp r13, [rbx+next_check]
+    const std::size_t jb = buf_.size();
+    emit({0x72, 0x00});  // jb skip (patched below)
+    mov_rr(RDI, RBX);
+    mov_rr(RSI, R13);
+    call_helper(reinterpret_cast<const void*>(&detlock_jit_bookkeep));
+    unwind_check();
+    buf_[jb + 1] = static_cast<std::uint8_t>(buf_.size() - (jb + 2));
+  }
+
+  static std::uint32_t frame_bytes(const DecodedFunction& f) {
+    return (f.num_regs * 8 + 15) & ~15u;  // keeps rsp 16-aligned in the body
+  }
+
+  void emit_epilogue() {
+    if (frame_ != 0) {
+      emit({0x48, 0x81, 0xC4});  // add rsp, frame
+      u32(frame_);
+    }
+    emit({0x5D, 0xC3});  // pop rbp; ret
+  }
+
+  void emit_prologue(const DecodedFunction& f) {
+    u8(0x55);  // push rbp
+    if (frame_ != 0) {
+      emit({0x48, 0x81, 0xEC});  // sub rsp, frame
+      u32(frame_);
+    }
+    emit({0x48, 0x89, 0xE5});  // mov rbp, rsp
+    // Uniform call protocol: copy parameters from JitState::args, zero the
+    // remaining registers (the decoded engine's frame setup).
+    for (std::uint32_t i = 0; i < f.num_params; ++i) {
+      ld_state(RAX, off_args + static_cast<std::int32_t>(8 * i));
+      st(i, RAX);
+    }
+    const std::uint32_t zero = f.num_regs - f.num_params;
+    if (zero > 0) {
+      emit({0x31, 0xC0});  // xor eax, eax
+      if (zero <= 8) {
+        for (std::uint32_t i = f.num_params; i < f.num_regs; ++i) st(i, RAX);
+      } else {
+        emit({0x48, 0x8D, 0xBD});  // lea rdi, [rbp + 8*num_params]
+        u32(8 * f.num_params);
+        u8(0xB9);  // mov ecx, zero
+        u32(zero);
+        emit({0xF3, 0x48, 0xAB});  // rep stosq (DF clear per ABI)
+      }
+    }
+  }
+
+  /// uint64_t thunk(JitState* rdi, const void* fn rsi): establishes the
+  /// JIT register convention from JitState, runs the guest function, and
+  /// publishes the exact final count on clean return (throwing helpers
+  /// already synced ThreadCtx themselves).
+  void emit_entry_thunk() {
+    emit({0x53, 0x41, 0x55, 0x41, 0x56, 0x41, 0x57});  // push rbx/r13/r14/r15
+    mov_rr(RBX, RDI);
+    mov_rr(RAX, RSI);
+    ld_state(R13, off_instrs_out);  // anchor seed = ThreadCtx::instrs
+    ld_state(R14, off_mem_base);
+    ld_state(R15, off_mem_words);
+    emit({0x48, 0x83, 0xEC, 0x08});  // sub rsp, 8 (16-align for the call)
+    emit({0xFF, 0xD0});              // call rax
+    emit({0x48, 0x83, 0xC4, 0x08});  // add rsp, 8
+    emit({0x80, 0xBB});              // cmp byte [rbx+unwinding], 0
+    u32(static_cast<std::uint32_t>(off_unwinding));
+    u8(0x00);
+    emit({0x75, 0x07});              // jnz over the 7-byte store
+    st_state(off_instrs_out, R13);
+    emit({0x41, 0x5F, 0x41, 0x5E, 0x41, 0x5D, 0x5B, 0xC3});  // pops; ret
+  }
+
+  bool emit_function(std::size_t fid, const DecodedFunction& f, const std::uint64_t* table) {
+    const DecodedInstr* const code = f.entry;
+    const std::uint32_t n = f.code_size;
+    switch_table_ = table;
+    slot_off_.assign(n, 0);
+    slot_fixups_.clear();
+    bail_fixups_.clear();
+    colds_.clear();
+    frame_ = frame_bytes(f);
+
+    // Slots any branch can land on need a compile-time-known anchor (the
+    // decoded engine re-anchors on every taken branch).  Block starts are
+    // anchors already via the preceding terminator; this map makes it
+    // explicit and safe for any control-flow shape.
+    std::vector<bool> is_target(n, false);
+    for (std::uint32_t s = 0; s < n; ++s) {
+      const DecodedInstr& in = code[s];
+      switch (original_op(in.op)) {
+        case ir::Opcode::kBr:
+          is_target[in.target] = true;
+          break;
+        case ir::Opcode::kCondBr:
+          is_target[in.target] = true;
+          is_target[in.target2] = true;
+          break;
+        case ir::Opcode::kSwitch:
+          is_target[in.target2] = true;
+          for (std::uint32_t i = 0; i < in.count; ++i) {
+            is_target[dm_.case_targets[in.pool + i]] = true;
+          }
+          break;
+        default:
+          break;
+      }
+    }
+
+    emit_prologue(f);
+
+    std::uint32_t anchor = 0;
+    for (std::uint32_t s = 0; s < n; ++s) {
+      if (is_target[s] && s != anchor) {
+        // Fall-through into a branch target: fold the pending distance so
+        // both entry paths agree on the anchor (count-neutral, no check --
+        // the next transfer compares the same exact value either way).
+        // Emitted BEFORE the slot's recorded offset: branches land past it,
+        // only the fall-through path executes the fold.  (Dead code with
+        // the current decoder -- targets are block starts, which always
+        // follow a terminator -- but correct for any control-flow shape.)
+        add_r13(s - anchor);
+        anchor = s;
+      }
+      slot_off_[s] = static_cast<std::uint32_t>(buf_.size());
+      const DecodedInstr& in = code[s];
+      const std::uint32_t delta = s - anchor + 1;  // exact count incl. this slot
+      switch (original_op(in.op)) {
+        case ir::Opcode::kConst:
+          mov_imm64(RAX, static_cast<std::uint64_t>(in.imm));
+          st(in.dst, RAX);
+          break;
+        case ir::Opcode::kConstF: {
+          std::uint64_t bits;
+          std::memcpy(&bits, &in.fimm, sizeof(bits));
+          mov_imm64(RAX, bits);
+          st(in.dst, RAX);
+          break;
+        }
+        case ir::Opcode::kMov:
+          ld(RAX, in.a);
+          st(in.dst, RAX);
+          break;
+        case ir::Opcode::kAdd:
+          ld(RAX, in.a);
+          op_rm({0x03}, RAX, RBP, static_cast<std::int32_t>(8 * in.b));
+          st(in.dst, RAX);
+          break;
+        case ir::Opcode::kSub:
+          ld(RAX, in.a);
+          op_rm({0x2B}, RAX, RBP, static_cast<std::int32_t>(8 * in.b));
+          st(in.dst, RAX);
+          break;
+        case ir::Opcode::kMul:
+          ld(RAX, in.a);
+          op_rm({0x0F, 0xAF}, RAX, RBP, static_cast<std::int32_t>(8 * in.b));
+          st(in.dst, RAX);
+          break;
+        case ir::Opcode::kAnd:
+          ld(RAX, in.a);
+          op_rm({0x23}, RAX, RBP, static_cast<std::int32_t>(8 * in.b));
+          st(in.dst, RAX);
+          break;
+        case ir::Opcode::kOr:
+          ld(RAX, in.a);
+          op_rm({0x0B}, RAX, RBP, static_cast<std::int32_t>(8 * in.b));
+          st(in.dst, RAX);
+          break;
+        case ir::Opcode::kXor:
+          ld(RAX, in.a);
+          op_rm({0x33}, RAX, RBP, static_cast<std::int32_t>(8 * in.b));
+          st(in.dst, RAX);
+          break;
+        case ir::Opcode::kDiv:
+        case ir::Opcode::kRem: {
+          const bool rem = original_op(in.op) == ir::Opcode::kRem;
+          ld(RAX, in.a);
+          ld(RCX, in.b);
+          emit({0x48, 0x85, 0xC9});  // test rcx, rcx
+          jcc_cold(0x84, rem ? kJitFailRemZero : kJitFailDivZero, &f, delta, false);  // jz
+          emit({0x48, 0x99, 0x48, 0xF7, 0xF9});  // cqo; idiv rcx
+          st(in.dst, rem ? RDX : RAX);
+          break;
+        }
+        case ir::Opcode::kShl:
+          ld(RAX, in.a);
+          ld(RCX, in.b);
+          emit({0x48, 0xD3, 0xE0});  // shl rax, cl (hardware masks cl & 63)
+          st(in.dst, RAX);
+          break;
+        case ir::Opcode::kShr:
+          ld(RAX, in.a);
+          ld(RCX, in.b);
+          emit({0x48, 0xD3, 0xF8});  // sar rax, cl
+          st(in.dst, RAX);
+          break;
+        case ir::Opcode::kFAdd:
+        case ir::Opcode::kFSub:
+        case ir::Opcode::kFMul:
+        case ir::Opcode::kFDiv: {
+          static constexpr std::uint8_t kSse[4] = {0x58, 0x5C, 0x59, 0x5E};
+          movsd_load(0, in.a);
+          movsd_load(1, in.b);
+          emit({0xF2, 0x0F,
+                kSse[static_cast<int>(original_op(in.op)) - static_cast<int>(ir::Opcode::kFAdd)],
+                0xC1});
+          movsd_store(in.dst, 0);
+          break;
+        }
+        case ir::Opcode::kFSqrt:
+          movsd_load(0, in.a);
+          emit({0xF2, 0x0F, 0x51, 0xC0});  // sqrtsd xmm0, xmm0
+          movsd_store(in.dst, 0);
+          break;
+        case ir::Opcode::kItoF:
+          ld(RAX, in.a);
+          emit({0xF2, 0x48, 0x0F, 0x2A, 0xC0});  // cvtsi2sd xmm0, rax
+          movsd_store(in.dst, 0);
+          break;
+        case ir::Opcode::kFtoI:
+          movsd_load(0, in.a);
+          emit({0xF2, 0x48, 0x0F, 0x2C, 0xC0});  // cvttsd2si rax, xmm0
+          st(in.dst, RAX);
+          break;
+        case ir::Opcode::kICmp: {
+          // eval_cmp on the signed representations -> 1/0.
+          static constexpr std::uint8_t kCc[6] = {0x94, 0x95, 0x9C, 0x9E, 0x9F, 0x9D};
+          ld(RAX, in.a);
+          op_rm({0x3B}, RAX, RBP, static_cast<std::int32_t>(8 * in.b));  // cmp rax, [b]
+          emit({0x0F, kCc[static_cast<int>(in.pred)], 0xC0});            // setcc al
+          emit({0x0F, 0xB6, 0xC0});                                      // movzx eax, al
+          st(in.dst, RAX);
+          break;
+        }
+        case ir::Opcode::kFCmp: {
+          // eval_fcmp's ordered IEEE comparisons, NaN-correct via ucomisd:
+          // lt/le compare reversed so CF=1 (unordered) rejects.
+          movsd_load(0, in.a);
+          movsd_load(1, in.b);
+          const bool swapped = in.pred == ir::CmpPred::kLt || in.pred == ir::CmpPred::kLe;
+          emit({0x66, 0x0F, 0x2E, static_cast<std::uint8_t>(swapped ? 0xC8 : 0xC1)});
+          switch (in.pred) {
+            case ir::CmpPred::kEq:  // ZF=1 && PF=0
+              emit({0x0F, 0x94, 0xC0, 0x0F, 0x9B, 0xC1, 0x20, 0xC8});
+              break;
+            case ir::CmpPred::kNe:  // ZF=0 || PF=1
+              emit({0x0F, 0x95, 0xC0, 0x0F, 0x9A, 0xC1, 0x08, 0xC8});
+              break;
+            case ir::CmpPred::kLt:
+            case ir::CmpPred::kGt:
+              emit({0x0F, 0x97, 0xC0});  // seta al
+              break;
+            case ir::CmpPred::kLe:
+            case ir::CmpPred::kGe:
+              emit({0x0F, 0x93, 0xC0});  // setae al
+              break;
+          }
+          emit({0x0F, 0xB6, 0xC0});  // movzx eax, al
+          st(in.dst, RAX);
+          break;
+        }
+        case ir::Opcode::kLoad:
+        case ir::Opcode::kLoadF:
+        case ir::Opcode::kStore:
+        case ir::Opcode::kStoreF: {
+          const bool is_store = original_op(in.op) == ir::Opcode::kStore ||
+                                original_op(in.op) == ir::Opcode::kStoreF;
+          ld(RAX, in.a);
+          if (in.imm != 0) {
+            mov_imm64(RCX, static_cast<std::uint64_t>(in.imm));
+            emit({0x48, 0x01, 0xC8});  // add rax, rcx
+          }
+          // Unsigned compare catches negative addresses too, exactly like
+          // the interpreters' (uint64_t)addr >= mem_words.
+          emit({0x4C, 0x39, 0xF8});  // cmp rax, r15
+          jcc_cold(0x83, kJitFailOutOfBounds, &f, delta, /*addr_in_rax=*/true);  // jae
+          if (is_store) {
+            ld(RDX, in.b);
+            emit({0x49, 0x89, 0x14, 0xC6});  // mov [r14 + rax*8], rdx
+          } else {
+            emit({0x49, 0x8B, 0x04, 0xC6});  // mov rax, [r14 + rax*8]
+            st(in.dst, RAX);
+          }
+          break;
+        }
+        case ir::Opcode::kBr:
+          fold_and_check(delta);
+          jmp_slot(in.target);
+          anchor = s + 1;
+          break;
+        case ir::Opcode::kCondBr:
+          fold_and_check(delta);
+          ld(RAX, in.a);
+          emit({0x48, 0x85, 0xC0});  // test rax, rax
+          jcc_slot(0x85, in.target);
+          jmp_slot(in.target2);
+          anchor = s + 1;
+          break;
+        case ir::Opcode::kSwitch: {
+          fold_and_check(delta);
+          mov_imm64(RDI, reinterpret_cast<std::uint64_t>(dm_.case_values.data() + in.pool));
+          mov_imm64(RSI, reinterpret_cast<std::uint64_t>(dm_.case_targets.data() + in.pool));
+          u8(0xBA);  // mov edx, count
+          u32(in.count);
+          u8(0xB9);  // mov ecx, default target
+          u32(in.target2);
+          ld(R8, in.a);
+          call_helper(reinterpret_cast<const void*>(&detlock_jit_switch));
+          emit({0x89, 0xC0});  // mov eax, eax (the ABI leaves the top half undefined)
+          mov_imm64(RDX, reinterpret_cast<std::uint64_t>(switch_table_));
+          emit({0x48, 0x8B, 0x04, 0xC2});  // mov rax, [rdx + rax*8]
+          emit({0xFF, 0xE0});              // jmp rax
+          anchor = s + 1;
+          break;
+        }
+        case ir::Opcode::kRet:
+          fold_and_check(delta);
+          if (in.has_value) {
+            ld(RAX, in.a);
+          } else {
+            emit({0x31, 0xC0});  // xor eax, eax
+          }
+          emit_epilogue();
+          anchor = s + 1;
+          break;
+        case ir::Opcode::kCall: {
+          fold_and_check(delta);
+          const auto* const callee = static_cast<const DecodedFunction*>(in.callee);
+          if (callee->entry == nullptr) {
+            u8(0xE9);  // jmp cold (the fold above already ran, so delta = 0)
+            colds_.push_back({buf_.size(), kJitFailEmptyCall, &in, 0, false});
+            u32(0);
+            anchor = s + 1;
+            break;
+          }
+          // Depth guard: native frames would smash the OS stack where the
+          // interpreters' arena just grows.
+          emit({0xFF, 0x83});  // inc dword [rbx+depth]
+          u32(static_cast<std::uint32_t>(off_depth));
+          emit({0x8B, 0x83});  // mov eax, [rbx+depth]
+          u32(static_cast<std::uint32_t>(off_depth));
+          emit({0x3B, 0x83});  // cmp eax, dword [rbx+depth_limit]
+          u32(static_cast<std::uint32_t>(off_depth_limit));
+          jcc_cold(0x87, kJitFailDepthLimit, &in, 0, false);  // ja
+          for (std::uint32_t i = 0; i < in.count; ++i) {
+            ld(RAX, dm_.reg_pool[in.pool + i]);
+            st_state(off_args + static_cast<std::int32_t>(8 * i), RAX);
+          }
+          u8(0xE8);  // call rel32 (fixed up once all functions are placed)
+          call_fixups_.push_back({buf_.size(), in.callee_id});
+          u32(0);
+          unwind_check();
+          emit({0xFF, 0x8B});  // dec dword [rbx+depth]
+          u32(static_cast<std::uint32_t>(off_depth));
+          st(in.dst, RAX);
+          anchor = s + 1;
+          break;
+        }
+        case ir::Opcode::kCallExtern:
+        case ir::Opcode::kLock:
+        case ir::Opcode::kUnlock:
+        case ir::Opcode::kBarrier:
+        case ir::Opcode::kSpawn:
+        case ir::Opcode::kJoin:
+        case ir::Opcode::kCondWait:
+        case ir::Opcode::kCondSignal:
+        case ir::Opcode::kCondBroadcast:
+        case ir::Opcode::kClockAdd:
+        case ir::Opcode::kClockAddDyn:
+          // Uniform trampoline into the decoded handler bodies; passes the
+          // DL_SYNC count without re-anchoring, like the interpreter.
+          mov_rr(RDI, RBX);
+          mov_imm64(RSI, reinterpret_cast<std::uint64_t>(&in));
+          emit({0x49, 0x8D, 0x95});  // lea rdx, [r13 + delta]
+          u32(delta);
+          mov_rr(RCX, RBP);
+          call_helper(reinterpret_cast<const void*>(&detlock_jit_slow));
+          unwind_check();
+          break;
+        default:
+          return false;  // unknown opcode: refuse to compile, fall back
+      }
+    }
+
+    // Cold stubs: raise the canonical guest error, then bail.
+    for (const Cold& c : colds_) {
+      patch32(c.pos, static_cast<std::int64_t>(buf_.size()) - static_cast<std::int64_t>(c.pos + 4));
+      if (c.addr_in_rax) {
+        emit({0x48, 0x89, 0xC1});  // mov rcx, rax (extra = faulting address)
+      } else {
+        emit({0x31, 0xC9});  // xor ecx, ecx
+      }
+      mov_rr(RDI, RBX);
+      emit({0x49, 0x8D, 0x95});  // lea rdx, [r13 + delta]
+      u32(c.delta);
+      mov_imm64(RSI, reinterpret_cast<std::uint64_t>(c.where));
+      emit({0x41, 0xB8});  // mov r8d, kind
+      u32(c.kind);
+      call_helper(reinterpret_cast<const void*>(&detlock_jit_fail));
+      u8(0xE9);  // jmp bail
+      bail_fixups_.push_back(buf_.size());
+      u32(0);
+    }
+
+    // Bail: unwind this native frame with a dummy return value; the caller
+    // repeats the unwinding check and cascades to the entry thunk.
+    const std::size_t bail = buf_.size();
+    emit({0x31, 0xC0});  // xor eax, eax
+    emit_epilogue();
+
+    for (const std::size_t pos : bail_fixups_) {
+      patch32(pos, static_cast<std::int64_t>(bail) - static_cast<std::int64_t>(pos + 4));
+    }
+    for (const SlotFixup& fix : slot_fixups_) {
+      patch32(fix.pos, static_cast<std::int64_t>(slot_off_[fix.slot]) -
+                           static_cast<std::int64_t>(fix.pos + 4));
+    }
+    if (table != nullptr) saved_slot_offs_[fid] = slot_off_;
+    return true;
+  }
+
+  const DecodedModule& dm_;
+  std::vector<std::uint8_t> buf_;
+  std::vector<CallFixup> call_fixups_;
+  std::vector<std::vector<std::uint32_t>> saved_slot_offs_;
+  // Per-function emission state.
+  std::vector<std::uint32_t> slot_off_;
+  std::vector<SlotFixup> slot_fixups_;
+  std::vector<std::size_t> bail_fixups_;
+  std::vector<Cold> colds_;
+  std::uint32_t frame_ = 0;
+  const std::uint64_t* switch_table_ = nullptr;
+};
+
+std::unique_ptr<const JitModule> compile_module(const DecodedModule& decoded) {
+  // Kill-switch for exercising the decoded fallback on capable hosts.
+  if (const char* kill = std::getenv("DETLOCK_JIT_DISABLE");
+      kill != nullptr && kill[0] != '\0' && kill[0] != '0') {
+    return nullptr;
+  }
+  if (decoded.functions.empty()) return nullptr;
+  JitCompiler compiler(decoded);
+  return compiler.run();
+}
+
+#else  // non-x86-64 or no mmap: native execution unavailable.
+
+std::unique_ptr<const JitModule> compile_module(const DecodedModule&) { return nullptr; }
+
+#endif
+
+}  // namespace detlock::interp::jit

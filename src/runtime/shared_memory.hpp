@@ -38,6 +38,18 @@ class SharedMemory {
   /// space): determinism tests compare final images across runs.
   std::uint64_t fingerprint(std::int64_t begin = 0, std::int64_t end = -1) const;
 
+  /// Raw cell array for the JIT's inline load/store stanzas.  On every
+  /// target the JIT supports, a relaxed load/store of a lock-free 8-byte
+  /// atomic is an ordinary aligned mov, so generated code may address the
+  /// words directly after its own bounds check (same check as cell()).
+  std::atomic<std::int64_t>* data() {
+    static_assert(std::atomic<std::int64_t>::is_always_lock_free,
+                  "JIT loads/stores assume plain-mov atomic cells");
+    static_assert(sizeof(std::atomic<std::int64_t>) == sizeof(std::int64_t),
+                  "JIT addresses cells as a packed word array");
+    return cells_.data();
+  }
+
  private:
   std::atomic<std::int64_t>& cell(std::int64_t addr) {
     DETLOCK_CHECK(addr >= 0 && static_cast<std::size_t>(addr) < cells_.size(),

@@ -54,9 +54,15 @@ std::shared_ptr<const CompiledModule> CompiledModule::compile(ir::Module module,
     cm->pass_stats_ = pass::instrument_module(cm->module_, popts);
   }
 
-  if (options.engine == interp::EngineKind::kDecoded) {
+  if (options.engine == interp::EngineKind::kDecoded ||
+      options.engine == interp::EngineKind::kJit) {
     cm->decoded_ = std::make_unique<interp::DecodedModule>(interp::decode_module(cm->module_));
     interp::Engine::prepare_decoded_module(cm->module_, *cm->decoded_);
+    if (options.engine == interp::EngineKind::kJit) {
+      // Null on unsupported hosts: the artifact stays valid and every
+      // engine degrades to the decoded arrays above.
+      cm->jit_ = interp::jit::compile_module(*cm->decoded_);
+    }
   }
   return cm;
 }

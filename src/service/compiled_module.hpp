@@ -12,7 +12,12 @@
 //   * for the decoded engine, the predecoded DecodedInstr code arrays with
 //     branch targets, switch pools, callee pointers, AND computed-goto
 //     handler pointers finalized (Engine::prepare_decoded_module), so no
-//     engine ever writes to them again.
+//     engine ever writes to them again,
+//   * for the jit engine, additionally the native code pages compiled from
+//     those arrays (interp::jit::compile_module): one RX mapping shared by
+//     every worker and session, exactly like the decoded arrays.  When the
+//     host can't run the JIT, jit() stays null and each engine takes the
+//     decoded fallback on its own.
 //
 // IMMUTABILITY INVARIANTS (docs/serving.md):
 //   1. After compile() returns, no byte of the CompiledModule ever changes.
@@ -35,6 +40,7 @@
 
 #include "api/run_config.hpp"
 #include "interp/decode.hpp"
+#include "interp/jit/jit.hpp"
 #include "ir/module.hpp"
 #include "pass/pipeline.hpp"
 #include "support/error.hpp"
@@ -83,8 +89,12 @@ class CompiledModule {
   const ir::Module& module() const { return module_; }
   const CompileOptions& options() const { return options_; }
   const pass::PipelineStats& pass_stats() const { return pass_stats_; }
-  /// Non-null iff options().engine == kDecoded.
+  /// Non-null iff options().engine == kDecoded or kJit (the jit engine
+  /// executes alongside -- and can fall back to -- the decoded arrays).
   const interp::DecodedModule* decoded() const { return decoded_.get(); }
+  /// Non-null iff options().engine == kJit AND native compilation succeeded
+  /// on this host; null means every engine takes the decoded fallback.
+  const interp::jit::JitModule* jit() const { return jit_.get(); }
 
   CompiledModule(const CompiledModule&) = delete;
   CompiledModule& operator=(const CompiledModule&) = delete;
@@ -100,6 +110,8 @@ class CompiledModule {
   CompileOptions options_;
   pass::PipelineStats pass_stats_;
   std::unique_ptr<interp::DecodedModule> decoded_;
+  // After decoded_: the code pages embed pointers into the decoded arrays.
+  std::unique_ptr<const interp::jit::JitModule> jit_;
 };
 
 }  // namespace detlock::service

@@ -67,8 +67,14 @@ interp::Engine& ExecutionContext::make_engine() {
   // matches what the artifact was finalized for; an attached observer
   // selects the observing loop (different handler labels), so that run
   // decodes privately inside its own Engine.
-  if (config_.engine == interp::EngineKind::kDecoded && observer_ == nullptr) {
+  if ((config_.engine == interp::EngineKind::kDecoded ||
+       config_.engine == interp::EngineKind::kJit) &&
+      observer_ == nullptr) {
     config.shared_decoded = module_->decoded();
+    // For kJit additionally share the native pages; null (host can't run
+    // the JIT) keeps shared_jit unset and the Engine compiles privately --
+    // which also fails on such hosts -- then warns once and runs decoded.
+    if (config_.engine == interp::EngineKind::kJit) config.shared_jit = module_->jit();
   }
   engine_ = std::make_unique<interp::Engine>(module_->module(), config);
   return *engine_;

@@ -2,6 +2,7 @@
 
 #include <unordered_set>
 
+#include "api/run_config.hpp"
 #include "support/strings.hpp"
 
 namespace detlock::service {
@@ -49,15 +50,15 @@ bool apply_job_option(std::string_view key, std::string_view value, JobSpec& job
     config.mode = *mode;
     return true;
   }
-  if (key == "engine") {
-    if (value == "decoded") {
-      config.engine = interp::EngineKind::kDecoded;
-    } else if (value == "reference") {
-      config.engine = interp::EngineKind::kReference;
-    } else {
-      error = "unknown engine '" + std::string(value) + "' (decoded|reference)";
+  if (key == "engine" || key == "interp") {
+    // "interp" mirrors detlockc's --interp= flag name; both accept the
+    // full engine vocabulary including the template JIT.
+    const std::optional<interp::EngineKind> kind = api::engine_from_name(value);
+    if (!kind) {
+      error = "unknown engine '" + std::string(value) + "' (decoded|reference|jit)";
       return false;
     }
+    config.engine = *kind;
     return true;
   }
   if (key == "opt") {

@@ -1,10 +1,14 @@
-// Differential suite: the decoded direct-threaded engine must be
-// observationally identical to the reference engine -- equal memory and
-// trace fingerprints, equal final logical clocks, equal per-thread executed
-// instruction counts, and byte-identical serialized lock-acquisition
-// schedules -- across every workload x optimization row and every example
-// program.  Any divergence means the decoded engine changed semantics, not
-// just speed.
+// Differential suite: every execution engine must be observationally
+// identical to every other -- equal memory and trace fingerprints, equal
+// final logical clocks, equal per-thread executed instruction counts, and
+// byte-identical serialized lock-acquisition schedules -- across every
+// workload x optimization row x clock publication mode and every example
+// program.  The decoded direct-threaded engine is the oracle; the
+// reference tree-walker and the template JIT are each checked against it.
+// Any divergence means an engine changed semantics, not just speed.
+// (When the JIT is unavailable on a host, kJit runs the decoded fallback
+// and these checks hold vacuously for it; tests/interp/jit_test.cpp pins
+// down that the JIT actually compiles on supported hosts.)
 #include <gtest/gtest.h>
 
 #include <filesystem>
@@ -40,12 +44,30 @@ struct RunObservation {
   bool operator==(const RunObservation&) const = default;
 };
 
+/// Clock publication policy under test; kEveryUpdate is the default engine
+/// configuration, kChunked is the Kendo comparison runtime.
+struct Publication {
+  const char* name;
+  runtime::ClockPublication mode;
+  std::uint64_t chunk_size;
+};
+
+constexpr Publication kPublications[] = {
+    {"every", runtime::ClockPublication::kEveryUpdate, 0},
+    {"chunked", runtime::ClockPublication::kChunked, 512},
+};
+
 RunObservation run_engine(const ir::Module& module, EngineKind kind, ir::FuncId entry,
-                          std::size_t memory_words = 1 << 15) {
+                          std::size_t memory_words = 1 << 15,
+                          const Publication* pub = nullptr) {
   EngineConfig config;
   config.engine = kind;
   config.memory_words = memory_words;
   config.runtime.keep_trace_events = true;
+  if (pub != nullptr) {
+    config.runtime.publication = pub->mode;
+    if (pub->chunk_size != 0) config.runtime.chunk_size = pub->chunk_size;
+  }
   Engine engine(module, config);
   const RunResult r = engine.run(entry, {});
   return RunObservation{r.main_return,
@@ -59,17 +81,17 @@ RunObservation run_engine(const ir::Module& module, EngineKind kind, ir::FuncId 
                         runtime::serialize_schedule(engine.backend().trace().events())};
 }
 
-void expect_equivalent(const RunObservation& decoded, const RunObservation& reference,
+void expect_equivalent(const RunObservation& candidate, const RunObservation& oracle,
                        const std::string& label) {
-  EXPECT_EQ(decoded.checksum, reference.checksum) << label;
-  EXPECT_EQ(decoded.trace, reference.trace) << label;
-  EXPECT_EQ(decoded.memory, reference.memory) << label;
-  EXPECT_EQ(decoded.instructions, reference.instructions) << label;
-  EXPECT_EQ(decoded.clock_update_instrs, reference.clock_update_instrs) << label;
-  EXPECT_EQ(decoded.lock_acquires, reference.lock_acquires) << label;
-  EXPECT_EQ(decoded.final_clocks, reference.final_clocks) << label;
-  EXPECT_EQ(decoded.per_thread_instructions, reference.per_thread_instructions) << label;
-  EXPECT_EQ(decoded.schedule, reference.schedule) << label;
+  EXPECT_EQ(candidate.checksum, oracle.checksum) << label;
+  EXPECT_EQ(candidate.trace, oracle.trace) << label;
+  EXPECT_EQ(candidate.memory, oracle.memory) << label;
+  EXPECT_EQ(candidate.instructions, oracle.instructions) << label;
+  EXPECT_EQ(candidate.clock_update_instrs, oracle.clock_update_instrs) << label;
+  EXPECT_EQ(candidate.lock_acquires, oracle.lock_acquires) << label;
+  EXPECT_EQ(candidate.final_clocks, oracle.final_clocks) << label;
+  EXPECT_EQ(candidate.per_thread_instructions, oracle.per_thread_instructions) << label;
+  EXPECT_EQ(candidate.schedule, oracle.schedule) << label;
 }
 
 WorkloadParams small_params() {
@@ -84,24 +106,29 @@ class PerWorkload : public ::testing::TestWithParam<std::size_t> {
   const WorkloadSpec& spec() const { return all_workloads()[GetParam()]; }
 };
 
-TEST_P(PerWorkload, DecodedMatchesReferenceAcrossOptRows) {
+// The full matrix: {reference, jit} x opt rows x publication modes, each
+// cell diffed against a decoded run of an identically instrumented fresh
+// module (engines mutate nothing shared, but instrumentation decisions must
+// not leak between builds either).
+TEST_P(PerWorkload, EnginesMatchDecodedAcrossOptRowsAndPublication) {
   const std::pair<const char*, pass::PassOptions> rows[] = {
       {"none", pass::PassOptions::none()},   {"opt1", pass::PassOptions::only_opt1()},
       {"opt2", pass::PassOptions::only_opt2()}, {"opt3", pass::PassOptions::only_opt3()},
       {"opt4", pass::PassOptions::only_opt4()}, {"all", pass::PassOptions::all()},
   };
   for (const auto& [row, options] : rows) {
-    Workload wd = spec().factory(small_params());
-    pass::instrument_module(wd.module, options);
-    const std::size_t mem = std::max<std::size_t>(wd.memory_words, 1 << 14) * 2;
-    const RunObservation decoded = run_engine(wd.module, EngineKind::kDecoded, wd.main_func, mem);
-
-    Workload wr = spec().factory(small_params());
-    pass::instrument_module(wr.module, options);
-    const RunObservation reference =
-        run_engine(wr.module, EngineKind::kReference, wr.main_func, mem);
-
-    expect_equivalent(decoded, reference, std::string(spec().name) + "/" + row);
+    for (const Publication& pub : kPublications) {
+      auto observe = [&](EngineKind kind) {
+        Workload w = spec().factory(small_params());
+        pass::instrument_module(w.module, options);
+        const std::size_t mem = std::max<std::size_t>(w.memory_words, 1 << 14) * 2;
+        return run_engine(w.module, kind, w.main_func, mem, &pub);
+      };
+      const RunObservation decoded = observe(EngineKind::kDecoded);
+      const std::string label = std::string(spec().name) + "/" + row + "/" + pub.name;
+      expect_equivalent(observe(EngineKind::kReference), decoded, label + "/reference");
+      expect_equivalent(observe(EngineKind::kJit), decoded, label + "/jit");
+    }
   }
 }
 
@@ -110,11 +137,11 @@ INSTANTIATE_TEST_SUITE_P(AllWorkloads, PerWorkload, ::testing::Range<std::size_t
                            return std::string(all_workloads()[info.param].name);
                          });
 
-// Every checked-in example program, instrumented with the full pipeline.
-// Excluded by construction:
+// Every checked-in example program, instrumented with the full pipeline,
+// under all three engines.  Excluded by construction:
 //   abba_deadlock.dl -- deadlocks by design (watchdog fixture);
 //   racy_counter.dl  -- intentionally racy, so its schedule is
-//                       nondeterministic under both engines.
+//                       nondeterministic under every engine.
 TEST(DecodedEquivalence, EveryExampleProgramMatches) {
   const std::filesystem::path dir = std::filesystem::path(DETLOCK_SOURCE_DIR) / "share" / "programs";
   std::size_t checked = 0;
@@ -127,17 +154,14 @@ TEST(DecodedEquivalence, EveryExampleProgramMatches) {
     std::ostringstream ss;
     ss << in.rdbuf();
 
-    ir::Module decoded_module = ir::parse_module(ss.str());
-    pass::instrument_module(decoded_module, pass::PassOptions::all());
-    const RunObservation decoded =
-        run_engine(decoded_module, EngineKind::kDecoded, decoded_module.find_function("main"));
-
-    ir::Module reference_module = ir::parse_module(ss.str());
-    pass::instrument_module(reference_module, pass::PassOptions::all());
-    const RunObservation reference = run_engine(reference_module, EngineKind::kReference,
-                                                reference_module.find_function("main"));
-
-    expect_equivalent(decoded, reference, stem);
+    auto observe = [&](EngineKind kind) {
+      ir::Module module = ir::parse_module(ss.str());
+      pass::instrument_module(module, pass::PassOptions::all());
+      return run_engine(module, kind, module.find_function("main"));
+    };
+    const RunObservation decoded = observe(EngineKind::kDecoded);
+    expect_equivalent(observe(EngineKind::kReference), decoded, stem + "/reference");
+    expect_equivalent(observe(EngineKind::kJit), decoded, stem + "/jit");
     ++checked;
   }
   EXPECT_GE(checked, 4u) << "program sweep found suspiciously few .dl files";
@@ -146,29 +170,17 @@ TEST(DecodedEquivalence, EveryExampleProgramMatches) {
 // Chunked clock publication (the Kendo comparison runtime) must also agree
 // engine to engine: the chunk counter advances per clock update, so any
 // drift in instruction accounting would surface as a different schedule.
+// (Also covered inside the matrix above; kept as a fast named smoke.)
 TEST(DecodedEquivalence, KendoChunkedPublicationMatches) {
   auto run_kendo = [](EngineKind kind) {
     Workload w = all_workloads()[0].factory(small_params());
     pass::instrument_module(w.module, pass::PassOptions::all());
-    EngineConfig config;
-    config.engine = kind;
-    config.memory_words = std::max<std::size_t>(w.memory_words, 1 << 14) * 2;
-    config.runtime.publication = runtime::ClockPublication::kChunked;
-    config.runtime.chunk_size = 512;
-    config.runtime.keep_trace_events = true;
-    Engine engine(w.module, config);
-    const RunResult r = engine.run(w.main_func);
-    return RunObservation{r.main_return,
-                          r.trace_fingerprint,
-                          r.memory_fingerprint,
-                          r.instructions,
-                          r.clock_update_instrs,
-                          r.lock_acquires,
-                          r.final_clocks,
-                          r.per_thread_instructions,
-                          runtime::serialize_schedule(engine.backend().trace().events())};
+    const std::size_t mem = std::max<std::size_t>(w.memory_words, 1 << 14) * 2;
+    return run_engine(w.module, kind, w.main_func, mem, &kPublications[1]);
   };
-  expect_equivalent(run_kendo(EngineKind::kDecoded), run_kendo(EngineKind::kReference), "kendo");
+  const RunObservation decoded = run_kendo(EngineKind::kDecoded);
+  expect_equivalent(run_kendo(EngineKind::kReference), decoded, "kendo/reference");
+  expect_equivalent(run_kendo(EngineKind::kJit), decoded, "kendo/jit");
 }
 
 }  // namespace

@@ -1,0 +1,296 @@
+// Unit tests for the template JIT (interp/jit/): compilation gates, the
+// graceful decoded fallback, guest-error paths in generated code, the
+// native-recursion depth guard, and the typed PreparedFor guard on shared
+// decoded modules.  Cross-engine byte-identity over the full workload
+// matrix lives in decoded_equivalence_test.cpp; this file covers what the
+// sweep can't see.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "interp/engine.hpp"
+#include "interp/jit/jit.hpp"
+#include "ir/parser.hpp"
+#include "support/error.hpp"
+
+namespace detlock::interp {
+namespace {
+
+constexpr const char* kFib = R"(
+func @fib(1) regs=16 {
+block entry:
+  %1 = const 2
+  %2 = icmp lt %0, %1
+  condbr %2, base, rec
+block base:
+  ret %0
+block rec:
+  %3 = const 1
+  %4 = sub %0, %3
+  %5 = call @fib(%4)
+  %6 = const 2
+  %7 = sub %0, %6
+  %8 = call @fib(%7)
+  %9 = add %5, %8
+  ret %9
+}
+func @main(0) regs=8 {
+block entry:
+  %0 = const 15
+  %1 = call @fib(%0)
+  ret %1
+}
+)";
+
+struct Outcome {
+  std::int64_t result = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t memory = 0;
+  bool threw = false;
+  std::string error;
+};
+
+Outcome run_with(const ir::Module& module, EngineKind kind, bool* jit_active = nullptr) {
+  EngineConfig config;
+  config.engine = kind;
+  config.memory_words = 1 << 14;
+  Engine engine(module, config);
+  if (jit_active != nullptr) *jit_active = engine.jit_active();
+  Outcome out;
+  try {
+    const RunResult r = engine.run("main");
+    out.result = r.main_return;
+    out.instructions = r.instructions;
+    out.memory = r.memory_fingerprint;
+  } catch (const Error& e) {
+    out.threw = true;
+    out.error = e.what();
+  }
+  return out;
+}
+
+// The equivalence sweep is only meaningful if kJit actually runs native
+// code on the platforms CI tests on; pin that down here.  (The decoded
+// fallback keeps results identical either way, so without this assertion a
+// silently-dead JIT would pass every other test.)
+TEST(JitTest, CompilesRealCodeOnX86_64) {
+  const ir::Module module = ir::parse_module(kFib);
+  const DecodedModule decoded = decode_module(module);
+  const auto jit = jit::compile_module(decoded);
+#if defined(__x86_64__) && (defined(__unix__) || defined(__APPLE__))
+  const char* kill = std::getenv("DETLOCK_JIT_DISABLE");
+  if (kill == nullptr || kill[0] == '\0' || kill[0] == '0') {
+    ASSERT_NE(jit, nullptr) << "template JIT failed to compile on a supported host";
+    EXPECT_EQ(jit->decoded(), &decoded);
+    EXPECT_TRUE(jit->has_function(module.find_function("fib")));
+    EXPECT_GT(jit->code_bytes(), 0u);
+    EXPECT_GT(jit->depth_limit(), 64u);
+  }
+#else
+  EXPECT_EQ(jit, nullptr) << "unsupported host must take the decoded fallback";
+#endif
+}
+
+TEST(JitTest, RecursionMatchesDecodedExactly) {
+  const ir::Module module = ir::parse_module(kFib);
+  const Outcome decoded = run_with(module, EngineKind::kDecoded);
+  const Outcome jit = run_with(module, EngineKind::kJit);
+  ASSERT_FALSE(decoded.threw) << decoded.error;
+  ASSERT_FALSE(jit.threw) << jit.error;
+  EXPECT_EQ(jit.result, decoded.result);
+  EXPECT_EQ(jit.result, 610);  // fib(15)
+  EXPECT_EQ(jit.instructions, decoded.instructions);
+  EXPECT_EQ(jit.memory, decoded.memory);
+}
+
+// DETLOCK_JIT_DISABLE is the documented kill-switch (docs/
+// interp-performance.md): --interp=jit must degrade to the decoded engine,
+// not fail, and still produce identical results.
+TEST(JitTest, KillSwitchFallsBackToDecoded) {
+  ::setenv("DETLOCK_JIT_DISABLE", "1", 1);
+  const ir::Module module = ir::parse_module(kFib);
+  bool active = true;
+  const Outcome jit = run_with(module, EngineKind::kJit, &active);
+  ::unsetenv("DETLOCK_JIT_DISABLE");
+  EXPECT_FALSE(active);
+  ASSERT_FALSE(jit.threw) << jit.error;
+  EXPECT_EQ(jit.result, 610);
+  const Outcome decoded = run_with(module, EngineKind::kDecoded);
+  EXPECT_EQ(jit.instructions, decoded.instructions);
+}
+
+// Functions wider than the uniform call protocol's argument block make the
+// whole module uncompilable -- by contract the caller falls back rather
+// than miscompiling.
+TEST(JitTest, TooManyParamsRefusesToCompile) {
+  std::string text = "func @wide(" + std::to_string(jit::kJitMaxArgs + 1) +
+                     ") regs=" + std::to_string(jit::kJitMaxArgs + 8) + " {\nblock entry:\n  ret %0\n}\n";
+  text += "func @main(0) regs=4 {\nblock entry:\n  %0 = const 7\n  ret %0\n}\n";
+  const ir::Module module = ir::parse_module(text);
+  const DecodedModule decoded = decode_module(module);
+  EXPECT_EQ(jit::compile_module(decoded), nullptr);
+  bool active = true;
+  const Outcome out = run_with(module, EngineKind::kJit, &active);
+  EXPECT_FALSE(active);
+  ASSERT_FALSE(out.threw) << out.error;
+  EXPECT_EQ(out.result, 7);
+}
+
+// Native frames live on the OS thread stack: runaway recursion must become
+// a clean guest error under the JIT (the interpreters' heap arena just
+// grows, so this is a documented, intentional divergence).
+TEST(JitTest, DeepRecursionRaisesDepthLimit) {
+  constexpr const char* kDeep = R"(
+func @deep(1) regs=8 {
+block entry:
+  %1 = const 0
+  %2 = icmp eq %0, %1
+  condbr %2, base, rec
+block base:
+  ret %0
+block rec:
+  %3 = const 1
+  %4 = sub %0, %3
+  %5 = call @deep(%4)
+  ret %5
+}
+func @main(0) regs=4 {
+block entry:
+  %0 = const 100000
+  %1 = call @deep(%0)
+  ret %1
+}
+)";
+  const ir::Module module = ir::parse_module(kDeep);
+  bool active = false;
+  const Outcome jit = run_with(module, EngineKind::kJit, &active);
+  if (!active) GTEST_SKIP() << "decoded fallback in effect; no native depth bound";
+  ASSERT_TRUE(jit.threw);
+  EXPECT_NE(jit.error.find("call depth limit"), std::string::npos) << jit.error;
+  // The decoded engine completes the same program (arena frames).
+  const Outcome decoded = run_with(module, EngineKind::kDecoded);
+  ASSERT_FALSE(decoded.threw) << decoded.error;
+  EXPECT_EQ(decoded.result, 0);
+}
+
+// Guest-error cold paths in generated code: division by zero and an
+// out-of-bounds store must raise clean errors, same as the interpreters.
+TEST(JitTest, GuestErrorsRaiseCleanly) {
+  constexpr const char* kDivZero = R"(
+func @main(0) regs=8 {
+block entry:
+  %0 = const 10
+  %1 = const 0
+  %2 = div %0, %1
+  ret %2
+}
+)";
+  constexpr const char* kOob = R"(
+func @main(0) regs=8 {
+block entry:
+  %0 = const 123456789
+  %1 = const 1
+  store %0, %1
+  ret %1
+}
+)";
+  for (const char* text : {kDivZero, kOob}) {
+    const ir::Module module = ir::parse_module(text);
+    const Outcome jit = run_with(module, EngineKind::kJit);
+    const Outcome decoded = run_with(module, EngineKind::kDecoded);
+    EXPECT_TRUE(jit.threw) << text;
+    EXPECT_TRUE(decoded.threw) << text;
+  }
+}
+
+// kSwitch goes through the dispatch-table path in generated code; sweep a
+// few values across hit/miss/default cases against the decoded engine.
+TEST(JitTest, SwitchDispatchMatchesDecoded) {
+  constexpr const char* kSwitch = R"(
+func @classify(1) regs=8 {
+block entry:
+  switch %0, other [0: zero, 3: three, 7: seven]
+block zero:
+  %1 = const 100
+  ret %1
+block three:
+  %2 = const 300
+  ret %2
+block seven:
+  %3 = const 700
+  ret %3
+block other:
+  %4 = const -1
+  ret %4
+}
+func @main(0) regs=16 {
+block entry:
+  %0 = const 0
+  %1 = call @classify(%0)
+  %2 = const 3
+  %3 = call @classify(%2)
+  %4 = const 7
+  %5 = call @classify(%4)
+  %6 = const 5
+  %7 = call @classify(%6)
+  %8 = add %1, %3
+  %9 = add %8, %5
+  %10 = add %9, %7
+  ret %10
+}
+)";
+  const ir::Module module = ir::parse_module(kSwitch);
+  const Outcome jit = run_with(module, EngineKind::kJit);
+  const Outcome decoded = run_with(module, EngineKind::kDecoded);
+  ASSERT_FALSE(jit.threw) << jit.error;
+  EXPECT_EQ(jit.result, decoded.result);
+  EXPECT_EQ(jit.result, 100 + 300 + 700 - 1);
+  EXPECT_EQ(jit.instructions, decoded.instructions);
+}
+
+// --- PreparedFor: the typed guard on shared decoded modules -------------
+
+TEST(PreparedForGuard, FreshDecodeIsNotExecutableAsShared) {
+  const ir::Module module = ir::parse_module(kFib);
+  const DecodedModule decoded = decode_module(module);
+  EXPECT_EQ(decoded.prepared_for, PreparedFor::kUnresolved);
+  EXPECT_FALSE(decoded_handlers_resolved(decoded));
+}
+
+TEST(PreparedForGuard, PreparedModuleIsExecutableAsShared) {
+  const ir::Module module = ir::parse_module(kFib);
+  DecodedModule decoded = decode_module(module);
+  Engine::prepare_decoded_module(module, decoded);
+  EXPECT_EQ(decoded.prepared_for, PreparedFor::kPlainDispatch);
+  EXPECT_TRUE(decoded_handlers_resolved(decoded));
+
+  EngineConfig config;
+  config.engine = EngineKind::kDecoded;
+  config.memory_words = 1 << 12;
+  config.shared_decoded = &decoded;
+  Engine engine(module, config);
+  EXPECT_EQ(engine.run("main").main_return, 610);
+}
+
+// The hole the tag closes: before, a shared module that was never finalized
+// passed the run() guard in switch-dispatch builds (and only tripped a null
+// handler in computed-goto builds); now every build rejects it up front.
+TEST(PreparedForGuard, UnpreparedSharedModuleIsRejectedAtRun) {
+  const ir::Module module = ir::parse_module(kFib);
+  DecodedModule decoded = decode_module(module);  // deliberately not prepared
+  EngineConfig config;
+  config.engine = EngineKind::kDecoded;
+  config.memory_words = 1 << 12;
+  config.shared_decoded = &decoded;
+  Engine engine(module, config);
+  try {
+    engine.run("main");
+    FAIL() << "run() accepted an unfinalized shared module";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("prepare_decoded_module"), std::string::npos) << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace detlock::interp

@@ -40,6 +40,23 @@ TEST(ManifestTest, ParsesJobsWithCommentsAndBlankLines) {
   EXPECT_EQ(m->jobs[2].spec.config.engine, interp::EngineKind::kReference);
 }
 
+TEST(ManifestTest, ParsesJitEngineAndInterpAlias) {
+  const auto m = parse(
+      "job native p.dl engine=jit runs=2\n"
+      "job alias q.dl interp=jit\n"
+      "job plain r.dl interp=decoded\n");
+  ASSERT_TRUE(m.has_value());
+  ASSERT_EQ(m->jobs.size(), 3u);
+  EXPECT_EQ(m->jobs[0].spec.config.engine, interp::EngineKind::kJit);
+  EXPECT_EQ(m->jobs[1].spec.config.engine, interp::EngineKind::kJit);
+  EXPECT_EQ(m->jobs[2].spec.config.engine, interp::EngineKind::kDecoded);
+
+  std::string error;
+  EXPECT_FALSE(parse("job a a.dl engine=turbo\n", &error).has_value());
+  EXPECT_NE(error.find("unknown engine 'turbo'"), std::string::npos);
+  EXPECT_NE(error.find("decoded|reference|jit"), std::string::npos);
+}
+
 TEST(ManifestTest, ParsesEntryArgsAndPresets) {
   const auto m = parse(
       "job custom p.dl entry=bench args=3,-1,42 opt=o2 placement=end mode=kendo "

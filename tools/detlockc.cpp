@@ -12,9 +12,11 @@
 //
 //   --opt=none|1|2|3|4|all   optimization selection            [all]
 //   --placement=start|end    clock update placement            [start]
-//   --interp=decoded|reference
+//   --interp=decoded|reference|jit
 //                            execution engine: predecoded direct-threaded
-//                            loop or the block-walking reference [decoded]
+//                            loop, the block-walking reference, or the
+//                            template JIT (native x86-64; falls back to
+//                            decoded where unavailable)         [decoded]
 //   --nondet                 plain pthread-style execution
 //   --kendo[=CHUNK]          chunked clock publication         [2048]
 //                            (implies end-of-block clock placement, like
@@ -102,7 +104,7 @@ using namespace detlock;
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--opt=none|1|2|3|4|all] [--placement=start|end] [--nondet]\n"
-               "          [--interp=decoded|reference]\n"
+               "          [--interp=decoded|reference|jit]\n"
                "          [--kendo[=CHUNK]] [--runs=N] [--clock-table=flat|tree]\n"
                "          [--threads-max=N] [--estimates=FILE] [--emit-ir]\n"
                "          [--stats] [--profile] [--json=FILE] [--trace-out=FILE]\n"
@@ -165,10 +167,9 @@ Cli parse_cli(int argc, char** argv) {
       else if (v == "end") cfg.pass_options.placement = pass::ClockPlacement::kEnd;
       else usage(argv[0]);
     } else if (arg.rfind("--interp=", 0) == 0) {
-      const std::string v = value_of("--interp=");
-      if (v == "decoded") cfg.engine = interp::EngineKind::kDecoded;
-      else if (v == "reference") cfg.engine = interp::EngineKind::kReference;
-      else usage(argv[0]);
+      const auto kind = api::engine_from_name(value_of("--interp="));
+      if (!kind) usage(argv[0]);
+      cfg.engine = *kind;
     } else if (arg == "--nondet") {
       cfg.mode = api::Mode::kClocksOnly;
     } else if (arg == "--kendo") {
@@ -345,7 +346,7 @@ RaceCheckOutput run_race_check(const Cli& cli,
   out.ran_lockset = cli.race_lockset;
   out.recipe.program = cli.program_path;
   out.recipe.mode = api::mode_name(cli.config.mode);
-  out.recipe.engine = cli.config.engine == interp::EngineKind::kDecoded ? "decoded" : "reference";
+  out.recipe.engine = api::engine_name(cli.config.engine);
   out.recipe.publication = cli.config.mode == api::Mode::kKendoSim ? "chunked" : "every-update";
   out.recipe.chaos_seed = cli.config.chaos ? cli.config.chaos_seed : 0;
   out.recipe.entry = cli.entry;
@@ -440,7 +441,7 @@ struct JsonReport {
     w.field("tool", "detlockc");
     w.field("program", cli.program_path);
     w.field("mode", api::mode_name(cli.config.mode));
-    w.field("engine", cli.config.engine == interp::EngineKind::kDecoded ? "decoded" : "reference");
+    w.field("engine", api::engine_name(cli.config.engine));
     w.field("clock_table", api::clock_table_name(cli.config.clock_table));
     w.key("runs");
     w.begin_array();
