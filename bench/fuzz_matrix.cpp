@@ -1,0 +1,131 @@
+// Differential fuzzer throughput: how much coverage a CI minute buys.
+//
+// Band A -- generation: programs/sec through fuzz::generate alone (the
+// seed-expansion cost an engineer pays per `detfuzz --seed=N` reproduction
+// is this plus exactly one matrix).
+//
+// Band B -- the differential matrix: seeds/sec and engine-runs/sec through
+// fuzz::check_seed over a fixed seed range -- every seed is 3 engines x 2
+// publication modes x (1 + chaos) schedules, so this band is the honest
+// price of the detfuzz_gate_64 ctest row and the CI smoke.  Every checked
+// seed must also PASS: a divergence fails the bench regardless of mode,
+// because a throughput number over broken runs measures nothing.
+//
+// Modes:
+//   (default)      print both bands
+//   --compare      gate mode for CI: nonzero exit when any checked seed
+//                  diverges.  Machine-readable JSON via --json=FILE
+//                  (BENCH_fuzz.json).
+//   --gen-seeds=N  band A seed count                  [2048]
+//   --seeds=N      band B seed count                  [16]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "cli_common.hpp"
+#include "fuzz/differ.hpp"
+#include "fuzz/generator.hpp"
+#include "support/json.hpp"
+
+namespace {
+
+using namespace detlock;
+
+double now_seconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch()).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto usage = [argv] {
+    std::fprintf(stderr, "usage: %s [--compare] [--json=FILE] [--gen-seeds=N] [--seeds=N]\n",
+                 argv[0]);
+    std::exit(cli::kUsageExit);
+  };
+  bool compare = false;
+  std::string json_path;
+  int gen_seeds = 2048;
+  int seeds = 16;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--compare") compare = true;
+    else if (arg.rfind("--json=", 0) == 0) json_path = arg.substr(7);
+    else if (arg.rfind("--gen-seeds=", 0) == 0)
+      gen_seeds = static_cast<int>(cli::parse_int_flag("fuzz_matrix", "--gen-seeds",
+                                                       arg.substr(12), 1, 1 << 24, usage));
+    else if (arg.rfind("--seeds=", 0) == 0)
+      seeds = static_cast<int>(cli::parse_int_flag("fuzz_matrix", "--seeds",
+                                                   arg.substr(8), 1, 1 << 20, usage));
+    else usage();
+  }
+  (void)compare;  // the seed-pass gate below applies in both modes
+
+  // Band A: pure generation.  Consume a byte of each program so the
+  // expansion cannot be optimized away.
+  std::uint64_t sink = 0;
+  const double gen_start = now_seconds();
+  for (int s = 0; s < gen_seeds; ++s) {
+    const fuzz::GeneratedProgram p = fuzz::generate(static_cast<std::uint64_t>(s));
+    sink += p.ir_text.size() + static_cast<std::uint64_t>(p.actions);
+  }
+  const double gen_seconds = now_seconds() - gen_start;
+  const double gen_per_s = gen_seeds / gen_seconds;
+  std::printf("band A: generation (%d seeds, %llu bytes of IR)\n", gen_seeds,
+              static_cast<unsigned long long>(sink));
+  std::printf("  %10.0f programs/s\n\n", gen_per_s);
+
+  // Band B: the full differential matrix, default DiffOptions -- identical
+  // to one detfuzz fleet seed.
+  const fuzz::DiffOptions options;
+  int failed = 0, total_runs = 0;
+  const double check_start = now_seconds();
+  for (int s = 0; s < seeds; ++s) {
+    const fuzz::SeedReport report = fuzz::check_seed(static_cast<std::uint64_t>(s), options);
+    total_runs += report.runs_executed;
+    if (!report.ok) {
+      ++failed;
+      std::fprintf(stderr, "fuzz_matrix: FAIL %s\n", report.failure.c_str());
+    }
+  }
+  const double check_seconds = now_seconds() - check_start;
+  const double seeds_per_s = seeds / check_seconds;
+  const double runs_per_s = total_runs / check_seconds;
+  std::printf("band B: differential matrix (%d seeds, %d engine runs)\n", seeds, total_runs);
+  std::printf("  %10.2f seeds/s\n", seeds_per_s);
+  std::printf("  %10.1f runs/s\n", runs_per_s);
+  std::printf("  gate: %d/%d seeds deterministic\n", seeds - failed, seeds);
+
+  const bool gate_ok = failed == 0;
+  if (!json_path.empty()) {
+    JsonWriter w;
+    w.begin_object();
+    w.field("schema_version", kReportSchemaVersion);
+    w.field("bench", "fuzz_matrix");
+    w.key("generation");
+    w.begin_object();
+    w.field("seeds", gen_seeds);
+    w.field("programs_per_s", gen_per_s);
+    w.end();
+    w.key("matrix");
+    w.begin_object();
+    w.field("seeds", seeds);
+    w.field("engine_runs", total_runs);
+    w.field("seeds_per_s", seeds_per_s);
+    w.field("runs_per_s", runs_per_s);
+    w.field("seeds_failed", failed);
+    w.end();
+    w.field("gate", gate_ok ? "pass" : "fail");
+    w.end();
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "fuzz_matrix: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    out << w.str() << "\n";
+  }
+  return gate_ok ? 0 : 1;
+}

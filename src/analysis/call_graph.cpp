@@ -32,16 +32,11 @@ CallGraph::CallGraph(const ir::Module& module) {
             }
             break;
           }
-          case ir::Opcode::kLock:
-          case ir::Opcode::kUnlock:
-          case ir::Opcode::kBarrier:
-          case ir::Opcode::kJoin:
-          case ir::Opcode::kCondWait:
-          case ir::Opcode::kCondSignal:
-          case ir::Opcode::kCondBroadcast:
-            has_sync_[f] = true;
-            break;
           default:
+            // Registry-driven: any sync primitive (locks, condvars, joins,
+            // atomics, fences) marks the function as synchronizing.  kSpawn
+            // is handled in the call case above and also sets the flag.
+            if (ir::is_sync_op(instr.op)) has_sync_[f] = true;
             break;
         }
       }

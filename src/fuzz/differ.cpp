@@ -1,0 +1,163 @@
+#include "fuzz/differ.hpp"
+
+#include <cstdio>
+#include <exception>
+#include <memory>
+
+#include "api/run_config.hpp"
+#include "service/compiled_module.hpp"
+#include "service/execution_context.hpp"
+
+namespace detlock::fuzz {
+
+namespace {
+
+std::string hex(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Field-by-field full comparison (within one publication mode).
+std::string diff_full(const ConfigFingerprint& a, const ConfigFingerprint& b) {
+  std::string out;
+  const auto mismatch = [&](const char* field, const std::string& va, const std::string& vb) {
+    out += std::string(out.empty() ? "" : "; ") + field + " " + va + " vs " + vb;
+  };
+  if (a.result != b.result)
+    mismatch("result", std::to_string(a.result), std::to_string(b.result));
+  if (a.trace != b.trace) mismatch("lock-order", hex(a.trace), hex(b.trace));
+  if (a.memory != b.memory) mismatch("memory", hex(a.memory), hex(b.memory));
+  if (a.instructions != b.instructions)
+    mismatch("instrs", std::to_string(a.instructions), std::to_string(b.instructions));
+  if (a.clock_instrs != b.clock_instrs)
+    mismatch("clock-instrs", std::to_string(a.clock_instrs), std::to_string(b.clock_instrs));
+  if (a.threads != b.threads)
+    mismatch("threads", std::to_string(a.threads), std::to_string(b.threads));
+  if (a.per_thread_instructions != b.per_thread_instructions)
+    mismatch("per-thread-instrs", "..", "..");
+  if (!out.empty()) out = a.config + " vs " + b.config + ": " + out;
+  return out;
+}
+
+}  // namespace
+
+SeedReport check_text(std::string_view name, std::string_view ir_text,
+                      const DiffOptions& options) {
+  SeedReport report;
+  report.program.ir_text = std::string(ir_text);
+
+  struct EngineLeg {
+    interp::EngineKind kind;
+    const char* name;
+  };
+  constexpr EngineLeg kEngines[] = {
+      {interp::EngineKind::kReference, "reference"},
+      {interp::EngineKind::kDecoded, "decoded"},
+      {interp::EngineKind::kJit, "jit"},
+  };
+  struct ModeLeg {
+    api::Mode mode;
+    const char* name;
+  };
+  const ModeLeg kModes[] = {
+      {api::Mode::kDetLock, "detlock"},
+      {api::Mode::kKendoSim, "kendo-sim"},
+  };
+
+  // Index (into report.fingerprints) of each publication mode's first
+  // fingerprint: the within-mode comparison anchor.  There is deliberately
+  // no cross-mode comparison: the two publication modes are two different
+  // (each internally deterministic) schedules, and an order-sensitive
+  // program may legitimately compute a different result under each --
+  // weak determinism promises reproducibility per configuration, not
+  // schedule-independence of the outcome.
+  std::vector<int> anchor_index(2, -1);
+
+  for (int mi = 0; mi < 2; ++mi) {
+    const ModeLeg& mode = kModes[mi];
+    for (const EngineLeg& engine : kEngines) {
+      api::RunConfig config;
+      config.mode = mode.mode;
+      config.engine = engine.kind;
+      config.kendo_chunk_size = options.kendo_chunk;
+      config.record_trace = true;
+      config.watchdog_ms = options.watchdog_ms;
+      if (const auto msg = config.validate()) {
+        report.failure = std::string(name) + ": invalid RunConfig: " + *msg;
+        return report;
+      }
+
+      std::shared_ptr<const service::CompiledModule> compiled;
+      try {
+        compiled = service::CompiledModule::compile(ir_text, service::compile_options(config));
+      } catch (const std::exception& e) {
+        report.failure = std::string(name) + " [" + mode.name + "/" + engine.name +
+                         "]: compile failed: " + e.what();
+        return report;
+      }
+
+      // Chaos seed 0 = unperturbed; the rest are timing-perturbed trials.
+      std::vector<std::uint64_t> chaos_legs = {0};
+      chaos_legs.insert(chaos_legs.end(), options.chaos_seeds.begin(), options.chaos_seeds.end());
+      for (const std::uint64_t chaos : chaos_legs) {
+        for (int rep = 0; rep < (options.runs > 0 ? options.runs : 1); ++rep) {
+          api::RunConfig run_config = config;
+          run_config.chaos = chaos != 0;
+          run_config.chaos_seed = chaos;
+          service::ExecutionContext ctx(compiled, run_config);
+          ConfigFingerprint fp;
+          fp.config = std::string(mode.name) + "/" + engine.name +
+                      (chaos != 0 ? "/chaos=" + std::to_string(chaos) : "") +
+                      (rep > 0 ? "/rep=" + std::to_string(rep) : "");
+          try {
+            const interp::RunResult r = ctx.run("main");
+            fp.result = r.main_return;
+            fp.trace = r.trace_fingerprint;
+            fp.memory = r.memory_fingerprint;
+            fp.instructions = r.instructions;
+            fp.clock_instrs = r.clock_update_instrs;
+            fp.threads = r.threads;
+            fp.per_thread_instructions = r.per_thread_instructions;
+          } catch (const std::exception& e) {
+            // A watchdog trip lands here too: generated programs are
+            // deadlock-free by construction, so any stall is a finding.
+            report.failure =
+                std::string(name) + " [" + fp.config + "]: run failed: " + e.what();
+            return report;
+          }
+          ++report.runs_executed;
+          report.fingerprints.push_back(std::move(fp));
+          const ConfigFingerprint& current = report.fingerprints.back();
+
+          if (anchor_index[mi] < 0) {
+            anchor_index[mi] = static_cast<int>(report.fingerprints.size()) - 1;
+          } else {
+            const std::string d = diff_full(report.fingerprints[anchor_index[mi]], current);
+            if (!d.empty()) {
+              report.failure = std::string(name) + ": " + d;
+              return report;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  report.ok = true;
+  return report;
+}
+
+SeedReport check_seed(std::uint64_t seed, const DiffOptions& options) {
+  GeneratedProgram program = generate(seed);
+  SeedReport report =
+      check_text("seed " + std::to_string(seed), program.ir_text, options);
+  report.seed = seed;
+  report.program = std::move(program);
+  if (!report.ok && !report.failure.empty()) {
+    report.failure += "  (reproduce: detfuzz --seed=" + std::to_string(seed) + ")";
+  }
+  return report;
+}
+
+}  // namespace detlock::fuzz

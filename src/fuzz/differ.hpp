@@ -1,0 +1,80 @@
+// Differential checker: one generated (or replayed) program, every
+// configuration the determinism claim covers, one verdict.
+//
+// The oracle encodes exactly what weak determinism promises, no more:
+//
+//   * WITHIN one publication mode (detlock every-update, or kendo-sim
+//     chunked), every engine (reference / decoded / jit), every chaos
+//     schedule, and every repetition must agree on the FULL fingerprint:
+//     result, lock-order (trace) hash, memory hash, instruction counts
+//     (total and per thread), and thread count.
+//   * ACROSS publication modes NOTHING is compared.  The two modes are two
+//     different -- each internally deterministic -- schedules: chunked
+//     clocks change which thread wins each lock tie, so an order-sensitive
+//     program (every generated program salts its cells with non-commutative
+//     updates precisely to be order-sensitive) may compute a different
+//     result, memory image, lock order, and instruction count under each.
+//     Weak determinism promises reproducibility per configuration, not
+//     schedule-independence of the outcome (compare
+//     docs/determinism-proofs.md; the algo programs show the same split).
+//
+// A deadlock or watchdog trip in a generated program is always a failure:
+// the generator emits deadlock-free programs by construction
+// (generator.hpp), so a stall means the runtime broke, not the workload.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fuzz/generator.hpp"
+
+namespace detlock::fuzz {
+
+struct DiffOptions {
+  /// kendo-sim chunk size for the chunked-publication leg.
+  std::uint64_t kendo_chunk = 4;
+  /// Chaos seeds run IN ADDITION to the unperturbed run of each config.
+  std::vector<std::uint64_t> chaos_seeds = {5, 9};
+  /// Repetitions per configuration (internal-determinism check).
+  int runs = 1;
+  /// Stall watchdog per run; generated programs are deadlock-free, so a
+  /// trip is reported as a finding.  0 disables.
+  std::uint64_t watchdog_ms = 10000;
+};
+
+/// Everything compared, per executed configuration (kept for -v output and
+/// failure messages).
+struct ConfigFingerprint {
+  std::string config;  // e.g. "kendo-sim/jit/chaos=5"
+  std::int64_t result = 0;
+  std::uint64_t trace = 0;
+  std::uint64_t memory = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t clock_instrs = 0;
+  std::uint64_t threads = 0;
+  std::vector<std::uint64_t> per_thread_instructions;
+};
+
+struct SeedReport {
+  std::uint64_t seed = 0;
+  bool ok = false;
+  /// Empty when ok; otherwise the first divergence (or compile/run error),
+  /// naming both configurations and every field that differs.
+  std::string failure;
+  GeneratedProgram program;
+  std::vector<ConfigFingerprint> fingerprints;
+  /// Total engine runs executed (throughput accounting for bench/CI).
+  int runs_executed = 0;
+};
+
+/// generate(seed) + check_text on the result.
+SeedReport check_seed(std::uint64_t seed, const DiffOptions& options);
+
+/// Runs the full differential matrix over an existing program (corpus
+/// replay).  `name` only labels failure messages.
+SeedReport check_text(std::string_view name, std::string_view ir_text,
+                      const DiffOptions& options);
+
+}  // namespace detlock::fuzz

@@ -1,0 +1,341 @@
+#include "fuzz/generator.hpp"
+
+#include <array>
+#include <vector>
+
+#include "support/prng.hpp"
+
+namespace detlock::fuzz {
+
+namespace {
+
+// Orderings the verifier admits per operation (ir/verifier.cpp): loads
+// cannot release, stores cannot acquire, RMWs may do anything, fences must
+// order something.
+constexpr std::array<const char*, 3> kLoadOrders = {"relaxed", "acq", "seq_cst"};
+constexpr std::array<const char*, 3> kStoreOrders = {"relaxed", "rel", "seq_cst"};
+constexpr std::array<const char*, 5> kRmwOrders = {"relaxed", "acq", "rel", "acq_rel", "seq_cst"};
+constexpr std::array<const char*, 4> kFenceOrders = {"acq", "rel", "acq_rel", "seq_cst"};
+
+/// Emits one worker function.  Registers are never reused (monotone
+/// counter), so the only SSA discipline the generator needs is "allocate,
+/// then use"; `regs=` is patched in at the end.
+class WorkerBuilder {
+ public:
+  WorkerBuilder(int worker, const GeneratedProgram& shape, Xoshiro256& rng)
+      : worker_(worker), shape_(shape), rng_(rng) {}
+
+  std::string build(int* actions_out) {
+    append_line("block entry:");
+    const int phase_actions_min = 2, phase_actions_max = 5;
+    for (int phase = 0; phase < shape_.phases; ++phase) {
+      const int actions =
+          phase_actions_min +
+          static_cast<int>(rng_.next_below(phase_actions_max - phase_actions_min + 1));
+      for (int a = 0; a < actions; ++a) {
+        emit_action(phase);
+        ++actions_;
+        // Occasional block break: exercises the clock-instrumentation and
+        // block-split passes on sync-adjacent block boundaries.
+        if (rng_.next_below(4) == 0) {
+          const int b = next_block_++;
+          append_line("  br a" + std::to_string(b));
+          append_line("block a" + std::to_string(b) + ":");
+        }
+      }
+      if (shape_.barriers) emit_barrier();
+    }
+    append_line("  ret");
+    *actions_out = actions_;
+    return "func @w" + std::to_string(worker_) + "(0) regs=" + std::to_string(next_reg_ + 2) +
+           " {\n" + body_ + "}\n";
+  }
+
+ private:
+  void append_line(const std::string& s) { body_ += s + "\n"; }
+
+  int fresh() { return next_reg_++; }
+
+  int emit_const(std::int64_t v) {
+    const int r = fresh();
+    append_line("  %" + std::to_string(r) + " = const " + std::to_string(v));
+    return r;
+  }
+
+  /// Next private scratch cell (16 per worker, round-robin).
+  std::int64_t scratch_addr() { return 400 + 16 * worker_ + (scratch_slot_++ % 16); }
+
+  /// Stores register `r` into a fresh private scratch cell: the memory
+  /// fingerprint then witnesses the recorded value.
+  void record(int r) {
+    const int addr = emit_const(scratch_addr());
+    append_line("  store %" + std::to_string(addr) + ", %" + std::to_string(r));
+  }
+
+  std::int64_t atomic_cell() { return 50 + static_cast<std::int64_t>(rng_.next_below(shape_.atomic_cells)); }
+
+  template <std::size_t N>
+  const char* pick(const std::array<const char*, N>& options) {
+    return options[rng_.next_below(N)];
+  }
+
+  /// Small distinguishing constant: different per worker/phase/step so
+  /// non-commutative updates produce schedule-revealing values.
+  std::int64_t salt(int phase) { return 1 + worker_ + 7 * phase + static_cast<std::int64_t>(rng_.next_below(5)); }
+
+  void emit_action(int phase) {
+    switch (rng_.next_below(12)) {
+      case 0: case 1: case 2:
+        emit_critical_section(phase);
+        break;
+      case 3: case 4:
+        emit_atomic_load();
+        break;
+      case 5:
+        emit_atomic_store(phase);
+        break;
+      case 6: case 7: case 8:
+        emit_atomic_rmw(phase);
+        break;
+      case 9:
+        append_line(std::string("  fence ") + pick(kFenceOrders));
+        break;
+      case 10:
+        emit_compute(phase);
+        break;
+      default:
+        emit_bounded_loop(phase);
+        break;
+    }
+  }
+
+  /// One non-commutative update of a mutex-guarded cell: x := 3x + salt.
+  /// Must be called with mutex m held.
+  void emit_guarded_update(int mutex, int phase) {
+    const int addr = emit_const(100 + 2 * mutex + static_cast<std::int64_t>(rng_.next_below(2)));
+    const int cur = fresh();
+    append_line("  %" + std::to_string(cur) + " = load %" + std::to_string(addr));
+    const int three = emit_const(3);
+    const int scaled = fresh();
+    append_line("  %" + std::to_string(scaled) + " = mul %" + std::to_string(cur) + ", %" +
+                std::to_string(three));
+    const int add = emit_const(salt(phase));
+    const int next = fresh();
+    append_line("  %" + std::to_string(next) + " = add %" + std::to_string(scaled) + ", %" +
+                std::to_string(add));
+    append_line("  store %" + std::to_string(addr) + ", %" + std::to_string(next));
+  }
+
+  /// Lock one mutex -- or a nested ascending pair, the classic deadlock-free
+  /// discipline -- update the guarded cells, unlock in LIFO order.
+  void emit_critical_section(int phase) {
+    int first = static_cast<int>(rng_.next_below(shape_.mutexes));
+    const bool nest = shape_.mutexes > 1 && rng_.next_below(3) == 0;
+    int second = -1;
+    if (nest) {
+      if (first == shape_.mutexes - 1) first -= 1;
+      second = first + 1 + static_cast<int>(rng_.next_below(shape_.mutexes - first - 1));
+    }
+    const int m1 = emit_const(first);
+    append_line("  lock %" + std::to_string(m1));
+    emit_guarded_update(first, phase);
+    if (nest) {
+      const int m2 = emit_const(second);
+      append_line("  lock %" + std::to_string(m2));
+      emit_guarded_update(second, phase);
+      append_line("  unlock %" + std::to_string(m2));
+    }
+    append_line("  unlock %" + std::to_string(m1));
+  }
+
+  void emit_atomic_load() {
+    const int addr = emit_const(atomic_cell());
+    const int dst = fresh();
+    append_line("  %" + std::to_string(dst) + " = atomload " + pick(kLoadOrders) + " %" +
+                std::to_string(addr));
+    record(dst);
+  }
+
+  void emit_atomic_store(int phase) {
+    const int addr = emit_const(atomic_cell());
+    const int val = emit_const(salt(phase));
+    append_line("  atomstore " + std::string(pick(kStoreOrders)) + " %" + std::to_string(addr) +
+                ", %" + std::to_string(val));
+  }
+
+  void emit_atomic_rmw(int phase) {
+    const int addr = emit_const(atomic_cell());
+    const int dst = fresh();
+    const char* order = pick(kRmwOrders);
+    switch (rng_.next_below(3)) {
+      case 0: {
+        const int operand = emit_const(salt(phase));
+        append_line("  %" + std::to_string(dst) + " = atomrmw add " + order + " %" +
+                    std::to_string(addr) + ", %" + std::to_string(operand));
+        break;
+      }
+      case 1: {
+        const int operand = emit_const(salt(phase));
+        append_line("  %" + std::to_string(dst) + " = atomrmw xchg " + order + " %" +
+                    std::to_string(addr) + ", %" + std::to_string(operand));
+        break;
+      }
+      default: {
+        // Bounded CAS, no retry loop: a failed attempt is itself a useful
+        // schedule probe (acquire-only edge, recorded old value).  Small
+        // expected values collide with stored salts often enough that both
+        // outcomes appear across seeds.
+        const int expected = emit_const(static_cast<std::int64_t>(rng_.next_below(6)));
+        const int desired = emit_const(salt(phase));
+        append_line("  %" + std::to_string(dst) + " = atomrmw cas " + order + " %" +
+                    std::to_string(addr) + ", %" + std::to_string(expected) + ", %" +
+                    std::to_string(desired));
+        break;
+      }
+    }
+    record(dst);
+  }
+
+  /// Private arithmetic chained through a scratch cell (x := 5x + salt):
+  /// pure thread-local work between sync points.
+  void emit_compute(int phase) {
+    const int addr = emit_const(400 + 16 * worker_ + (scratch_slot_++ % 16));
+    const int cur = fresh();
+    append_line("  %" + std::to_string(cur) + " = load %" + std::to_string(addr));
+    const int five = emit_const(5);
+    const int scaled = fresh();
+    append_line("  %" + std::to_string(scaled) + " = mul %" + std::to_string(cur) + ", %" +
+                std::to_string(five));
+    const int add = emit_const(salt(phase));
+    const int next = fresh();
+    append_line("  %" + std::to_string(next) + " = add %" + std::to_string(scaled) + ", %" +
+                std::to_string(add));
+    append_line("  store %" + std::to_string(addr) + ", %" + std::to_string(next));
+  }
+
+  /// Constant-trip-count loop (2..4 iterations) around an atomic fetch-add:
+  /// exercises condbr/backedge decoding and repeated turn consumption
+  /// without any possibility of spinning forever.
+  void emit_bounded_loop(int phase) {
+    const int id = next_block_++;
+    const std::string head = "l" + std::to_string(id) + ".head";
+    const std::string body = "l" + std::to_string(id) + ".body";
+    const std::string done = "l" + std::to_string(id) + ".done";
+    const int i = emit_const(0);
+    const int n = emit_const(2 + static_cast<std::int64_t>(rng_.next_below(3)));
+    const int one = emit_const(1);
+    const int addr = emit_const(atomic_cell());
+    const int operand = emit_const(salt(phase));
+    append_line("  br " + head);
+    append_line("block " + head + ":");
+    const int cmp = fresh();
+    append_line("  %" + std::to_string(cmp) + " = icmp lt %" + std::to_string(i) + ", %" +
+                std::to_string(n));
+    append_line("  condbr %" + std::to_string(cmp) + ", " + body + ", " + done);
+    append_line("block " + body + ":");
+    const int old = fresh();
+    append_line("  %" + std::to_string(old) + " = atomrmw add " + pick(kRmwOrders) + " %" +
+                std::to_string(addr) + ", %" + std::to_string(operand));
+    record(old);
+    append_line("  %" + std::to_string(i) + " = add %" + std::to_string(i) + ", %" +
+                std::to_string(one));
+    append_line("  br " + head);
+    append_line("block " + done + ":");
+  }
+
+  void emit_barrier() {
+    const int id = emit_const(0);
+    const int participants = emit_const(shape_.threads);
+    append_line("  barrier %" + std::to_string(id) + ", %" + std::to_string(participants));
+  }
+
+  int worker_;
+  const GeneratedProgram& shape_;
+  Xoshiro256& rng_;
+  std::string body_;
+  int next_reg_ = 0;
+  int next_block_ = 0;
+  int scratch_slot_ = 0;
+  int actions_ = 0;
+};
+
+/// Main: spawn workers 1..T-1, run worker 0 inline (so the main thread
+/// contends too, like the algo programs), join, then fold every shared cell
+/// into the return value -- the result is a second, coarser fingerprint
+/// that survives into exit-code-only harnesses.
+std::string build_main(const GeneratedProgram& shape) {
+  std::string body;
+  int reg = 0;
+  const auto emit = [&](const std::string& s) { body += s + "\n"; };
+  const auto fresh = [&]() { return reg++; };
+  const auto emit_const = [&](std::int64_t v) {
+    const int r = fresh();
+    emit("  %" + std::to_string(r) + " = const " + std::to_string(v));
+    return r;
+  };
+  emit("block entry:");
+  std::vector<int> handles;
+  for (int w = 1; w < shape.threads; ++w) {
+    const int h = fresh();
+    emit("  %" + std::to_string(h) + " = spawn @w" + std::to_string(w) + "()");
+    handles.push_back(h);
+  }
+  const int r0 = fresh();
+  emit("  %" + std::to_string(r0) + " = call @w0()");
+  for (const int h : handles) emit("  join %" + std::to_string(h));
+  // Reduction: guarded cells + atomic cells (the scratch cells are covered
+  // by the memory fingerprint; the result stays a compact digest).
+  int acc = emit_const(0);
+  for (int m = 0; m < shape.mutexes; ++m) {
+    for (int k = 0; k < 2; ++k) {
+      const int addr = emit_const(100 + 2 * m + k);
+      const int val = fresh();
+      emit("  %" + std::to_string(val) + " = load %" + std::to_string(addr));
+      const int next = fresh();
+      emit("  %" + std::to_string(next) + " = add %" + std::to_string(acc) + ", %" +
+           std::to_string(val));
+      acc = next;
+    }
+  }
+  for (int a = 0; a < shape.atomic_cells; ++a) {
+    const int addr = emit_const(50 + a);
+    const int val = fresh();
+    emit("  %" + std::to_string(val) + " = atomload seq_cst %" + std::to_string(addr));
+    const int next = fresh();
+    emit("  %" + std::to_string(next) + " = add %" + std::to_string(acc) + ", %" +
+         std::to_string(val));
+    acc = next;
+  }
+  emit("  ret %" + std::to_string(acc));
+  return "func @main(0) regs=" + std::to_string(reg + 2) + " {\n" + body + "}\n";
+}
+
+}  // namespace
+
+GeneratedProgram generate(std::uint64_t seed) {
+  // Decorrelate adjacent seeds: seed 0 and seed 1 should share nothing.
+  Xoshiro256 rng(seed * 0x9e3779b97f4a7c15ULL + 0xde7b0c5ULL);
+  GeneratedProgram p;
+  p.seed = seed;
+  p.threads = 2 + static_cast<int>(rng.next_below(3));       // 2..4
+  p.phases = 1 + static_cast<int>(rng.next_below(3));        // 1..3
+  p.mutexes = 1 + static_cast<int>(rng.next_below(3));       // 1..3
+  p.atomic_cells = 1 + static_cast<int>(rng.next_below(3));  // 1..3
+  p.barriers = rng.next_below(4) != 0;                       // 75%
+
+  std::string text =
+      "# Generated by detfuzz --seed=" + std::to_string(seed) + " -- do not edit.\n" +
+      "# threads=" + std::to_string(p.threads) + " phases=" + std::to_string(p.phases) +
+      " mutexes=" + std::to_string(p.mutexes) + " atomics=" + std::to_string(p.atomic_cells) +
+      " barriers=" + (p.barriers ? "yes" : "no") + "\n\n";
+  for (int w = 0; w < p.threads; ++w) {
+    int actions = 0;
+    text += WorkerBuilder(w, p, rng).build(&actions) + "\n";
+    p.actions += actions;
+  }
+  text += build_main(p);
+  p.ir_text = std::move(text);
+  return p;
+}
+
+}  // namespace detlock::fuzz

@@ -1,0 +1,57 @@
+// Seeded generator of random synchronization workloads (fuzz programs).
+//
+// generate(seed) deterministically expands a 64-bit seed into a complete,
+// parse-and-verify-clean IR program exercising the whole synchronization
+// surface: deterministic mutexes (including nested critical sections),
+// phase barriers, every atomic opcode x ordering the verifier admits, and
+// fences.  The differential checker (differ.hpp) then demands that every
+// engine, publication mode, and chaos schedule agrees on the outcome, so
+// one integer reproduces any failure end to end: the program IS the seed.
+//
+// Generated programs are correct by construction, because the checker must
+// attribute every divergence to the system under test, never to the
+// workload:
+//
+//   * deadlock-free: no condvars, no unbounded guest loops (spin loops are
+//     never emitted; bounded loops have constant trip counts), nested locks
+//     are always acquired in ascending mutex-id order, and barrier arrivals
+//     are phase-aligned -- every thread (main included) passes the single
+//     barrier exactly once per phase;
+//   * race-free: plain shared cells are touched only inside the critical
+//     section of the one mutex that owns them, per-thread scratch cells are
+//     touched only by their owner (and by main after the joins), and
+//     everything else is atomic -- so weak determinism covers the program
+//     and fingerprints must be byte-identical;
+//   * order-sensitive: critical sections apply non-commutative updates
+//     (x := 3x + salt) and every atomic load/RMW result is recorded into a
+//     scratch cell, so the memory fingerprint witnesses the exact global
+//     synchronization order, not just commutative sums.
+//
+// Memory map (all below the default heap base):
+//   50 + a            atomic cells (only ever touched by atomic ops)
+//   100 + 2m, +1      cells guarded by mutex m
+//   400 + 16w + s     scratch cells private to worker w (s < 16)
+// Barrier id 0; mutex ids 0..mutexes-1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace detlock::fuzz {
+
+/// One generated workload plus the shape parameters the seed expanded to
+/// (surfaced in detfuzz -v and the generator tests).
+struct GeneratedProgram {
+  std::uint64_t seed = 0;
+  std::string ir_text;
+  int threads = 0;   // worker functions; main runs worker 0 inline
+  int phases = 0;    // barrier-aligned phases per worker
+  int mutexes = 0;
+  int atomic_cells = 0;
+  bool barriers = false;
+  int actions = 0;   // total generated actions across all workers
+};
+
+GeneratedProgram generate(std::uint64_t seed);
+
+}  // namespace detlock::fuzz

@@ -195,6 +195,13 @@ DecodedModule decode_module(const ir::Module& module) {
             dm.reg_pool.insert(dm.reg_pool.end(), in.args.begin(), in.args.end());
             break;
           }
+          case ir::Opcode::kAtomicLoad:
+          case ir::Opcode::kAtomicStore:
+          case ir::Opcode::kAtomicRmw:
+          case ir::Opcode::kFence:
+            d.aux = pack_atomic_aux(in.order, in.rmw);
+            d.target = in.c;  // CAS desired-value register; atomics never branch
+            break;
           default:
             break;
         }

@@ -50,6 +50,16 @@ enum DecodedOp : std::uint8_t {
 /// ir::Opcode -> decoded opcode value.
 constexpr std::uint8_t dop(ir::Opcode op) { return static_cast<std::uint8_t>(op); }
 
+/// DecodedInstr::aux packing for atomics (see the field comment).
+constexpr std::uint8_t pack_atomic_aux(ir::MemOrder order, ir::AtomicRmwKind rmw) {
+  return static_cast<std::uint8_t>((static_cast<std::uint8_t>(order) << 4) |
+                                   static_cast<std::uint8_t>(rmw));
+}
+constexpr ir::MemOrder aux_order(std::uint8_t aux) { return static_cast<ir::MemOrder>(aux >> 4); }
+constexpr ir::AtomicRmwKind aux_rmw(std::uint8_t aux) {
+  return static_cast<ir::AtomicRmwKind>(aux & 0x0f);
+}
+
 /// Fixed-size decoded instruction (64 bytes).  Meaning of the slots varies
 /// by opcode exactly as in ir::Instr; control flow and calls use the
 /// decoded fields below instead of block ids / callee ids.
@@ -57,6 +67,10 @@ struct DecodedInstr {
   std::uint8_t op = 0;  // decoded opcode space (ir::Opcode + fused pairs)
   ir::CmpPred pred{};
   bool has_value = false;       // kRet: returns a?
+  /// Atomics: (MemOrder << 4) | AtomicRmwKind, packed into the byte the old
+  /// layout left as padding so DecodedInstr stays one cache line.  The CAS
+  /// desired-value register rides in `target` (atomics never branch).
+  std::uint8_t aux = 0;
   std::uint32_t dst = 0;
   std::uint32_t a = 0;
   std::uint32_t b = 0;

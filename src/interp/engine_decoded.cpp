@@ -56,9 +56,9 @@ static_assert(static_cast<int>(ir::Opcode::kShr) == 12);
 static_assert(static_cast<int>(ir::Opcode::kFtoI) == 21);
 static_assert(static_cast<int>(ir::Opcode::kStoreF) == 25);
 static_assert(static_cast<int>(ir::Opcode::kRet) == 29);
-static_assert(static_cast<int>(ir::Opcode::kClockAddDyn) == 41);
-static_assert(ir::kNumOpcodes == 42);
-static_assert(kNumDecodedOps == 47);
+static_assert(static_cast<int>(ir::Opcode::kClockAddDyn) == 45);
+static_assert(ir::kNumOpcodes == 46);
+static_assert(kNumDecodedOps == 51);
 
 /// Updated hot-loop counters returned by the out-of-line bookkeeping slow
 /// path (returned by value so the loop locals are never address-taken).
@@ -89,6 +89,7 @@ std::uint64_t Engine::exec_decoded(ThreadCtx& ctx, const DecodedFunction& func,
       &&lbl_kCall, &&lbl_kCallExtern,
       &&lbl_kLock, &&lbl_kUnlock, &&lbl_kBarrier, &&lbl_kSpawn, &&lbl_kJoin,
       &&lbl_kCondWait, &&lbl_kCondSignal, &&lbl_kCondBroadcast,
+      &&lbl_kAtomicLoad, &&lbl_kAtomicStore, &&lbl_kAtomicRmw, &&lbl_kFence,
       &&lbl_kClockAdd, &&lbl_kClockAddDyn,
       &&lbl_kFusedICmpBr, &&lbl_kFusedConstAdd, &&lbl_kFusedMulAdd, &&lbl_kFusedAndAdd,
       &&lbl_kFusedConstAddBr,
@@ -460,6 +461,52 @@ std::uint64_t Engine::exec_decoded(ThreadCtx& ctx, const DecodedFunction& func,
   DL_CASE(kCondBroadcast)
   DL_SYNC();
   backend_->cond_broadcast(ctx.tid, static_cast<runtime::CondVarId>(as_i64(regs[in->a])));
+  DL_NEXT();
+  // Atomics are sync points: the backend takes a turn (deterministic mode)
+  // around the memory effect, so the global order of atomic operations is
+  // the turn order.  The guest-declared ordering rides in `aux` and only
+  // matters to observers (happens-before edges) and the static lint.
+  DL_CASE(kAtomicLoad) {
+    DL_SYNC();
+    runtime::AtomicOp op;
+    op.kind = runtime::AtomicOp::Kind::kLoad;
+    op.order = static_cast<runtime::AtomicOp::Order>(aux_order(in->aux));
+    op.addr = as_i64(regs[in->a]) + in->imm;
+    regs[in->dst] = from_i64(backend_->atomic_op(ctx.tid, op, memory_));
+  }
+  DL_NEXT();
+  DL_CASE(kAtomicStore) {
+    DL_SYNC();
+    runtime::AtomicOp op;
+    op.kind = runtime::AtomicOp::Kind::kStore;
+    op.order = static_cast<runtime::AtomicOp::Order>(aux_order(in->aux));
+    op.addr = as_i64(regs[in->a]) + in->imm;
+    op.operand = as_i64(regs[in->b]);
+    backend_->atomic_op(ctx.tid, op, memory_);
+  }
+  DL_NEXT();
+  DL_CASE(kAtomicRmw) {
+    DL_SYNC();
+    runtime::AtomicOp op;
+    switch (aux_rmw(in->aux)) {
+      case ir::AtomicRmwKind::kAdd: op.kind = runtime::AtomicOp::Kind::kAdd; break;
+      case ir::AtomicRmwKind::kExchange: op.kind = runtime::AtomicOp::Kind::kExchange; break;
+      case ir::AtomicRmwKind::kCas: op.kind = runtime::AtomicOp::Kind::kCas; break;
+    }
+    op.order = static_cast<runtime::AtomicOp::Order>(aux_order(in->aux));
+    op.addr = as_i64(regs[in->a]) + in->imm;
+    op.operand = as_i64(regs[in->b]);
+    if (aux_rmw(in->aux) == ir::AtomicRmwKind::kCas) op.desired = as_i64(regs[in->target]);
+    regs[in->dst] = from_i64(backend_->atomic_op(ctx.tid, op, memory_));
+  }
+  DL_NEXT();
+  DL_CASE(kFence) {
+    DL_SYNC();
+    runtime::AtomicOp op;
+    op.kind = runtime::AtomicOp::Kind::kFence;
+    op.order = static_cast<runtime::AtomicOp::Order>(aux_order(in->aux));
+    backend_->atomic_op(ctx.tid, op, memory_);
+  }
   DL_NEXT();
   DL_CASE(kClockAdd)
   DL_SYNC();

@@ -40,6 +40,21 @@ inline std::uint64_t from_i64(std::int64_t v) { return static_cast<std::uint64_t
 inline double as_f64(std::uint64_t bits) { return std::bit_cast<double>(bits); }
 inline std::uint64_t from_f64(double v) { return std::bit_cast<std::uint64_t>(v); }
 
+// Engines cast ir::MemOrder straight into the runtime's mirror enum; pin the
+// layouts together so a drift in either enum is a compile error here, not a
+// silently wrong happens-before edge.
+static_assert(static_cast<int>(ir::MemOrder::kRelaxed) ==
+                  static_cast<int>(runtime::AtomicOp::Order::kRelaxed) &&
+              static_cast<int>(ir::MemOrder::kAcquire) ==
+                  static_cast<int>(runtime::AtomicOp::Order::kAcquire) &&
+              static_cast<int>(ir::MemOrder::kRelease) ==
+                  static_cast<int>(runtime::AtomicOp::Order::kRelease) &&
+              static_cast<int>(ir::MemOrder::kAcqRel) ==
+                  static_cast<int>(runtime::AtomicOp::Order::kAcqRel) &&
+              static_cast<int>(ir::MemOrder::kSeqCst) ==
+                  static_cast<int>(runtime::AtomicOp::Order::kSeqCst),
+              "ir::MemOrder and runtime::AtomicOp::Order must stay value-identical");
+
 inline bool eval_cmp(ir::CmpPred pred, std::int64_t a, std::int64_t b) {
   // Branchless: classify the operand pair once as a lt/eq/gt one-hot, then
   // test it against the predicate's acceptance mask.  A switch here

@@ -150,6 +150,44 @@ struct JitRuntime {
         case ir::Opcode::kCondBroadcast:
           e.backend_->cond_broadcast(ctx.tid, static_cast<runtime::CondVarId>(as_i64(regs[in.a])));
           break;
+        case ir::Opcode::kAtomicLoad: {
+          runtime::AtomicOp op;
+          op.kind = runtime::AtomicOp::Kind::kLoad;
+          op.order = static_cast<runtime::AtomicOp::Order>(aux_order(in.aux));
+          op.addr = as_i64(regs[in.a]) + in.imm;
+          regs[in.dst] = from_i64(e.backend_->atomic_op(ctx.tid, op, e.memory_));
+          break;
+        }
+        case ir::Opcode::kAtomicStore: {
+          runtime::AtomicOp op;
+          op.kind = runtime::AtomicOp::Kind::kStore;
+          op.order = static_cast<runtime::AtomicOp::Order>(aux_order(in.aux));
+          op.addr = as_i64(regs[in.a]) + in.imm;
+          op.operand = as_i64(regs[in.b]);
+          e.backend_->atomic_op(ctx.tid, op, e.memory_);
+          break;
+        }
+        case ir::Opcode::kAtomicRmw: {
+          runtime::AtomicOp op;
+          switch (aux_rmw(in.aux)) {
+            case ir::AtomicRmwKind::kAdd: op.kind = runtime::AtomicOp::Kind::kAdd; break;
+            case ir::AtomicRmwKind::kExchange: op.kind = runtime::AtomicOp::Kind::kExchange; break;
+            case ir::AtomicRmwKind::kCas: op.kind = runtime::AtomicOp::Kind::kCas; break;
+          }
+          op.order = static_cast<runtime::AtomicOp::Order>(aux_order(in.aux));
+          op.addr = as_i64(regs[in.a]) + in.imm;
+          op.operand = as_i64(regs[in.b]);
+          if (aux_rmw(in.aux) == ir::AtomicRmwKind::kCas) op.desired = as_i64(regs[in.target]);
+          regs[in.dst] = from_i64(e.backend_->atomic_op(ctx.tid, op, e.memory_));
+          break;
+        }
+        case ir::Opcode::kFence: {
+          runtime::AtomicOp op;
+          op.kind = runtime::AtomicOp::Kind::kFence;
+          op.order = static_cast<runtime::AtomicOp::Order>(aux_order(in.aux));
+          e.backend_->atomic_op(ctx.tid, op, e.memory_);
+          break;
+        }
         case ir::Opcode::kClockAdd:
           ++ctx.clock_instrs;
           e.backend_->clock_add(ctx.tid, static_cast<std::uint64_t>(in.imm));

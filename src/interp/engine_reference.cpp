@@ -206,6 +206,42 @@ std::uint64_t Engine::exec_reference(ThreadCtx& ctx, ir::FuncId func_id,
         os_threads_[target].join();
         break;
       }
+      case ir::Opcode::kAtomicLoad: {
+        runtime::AtomicOp op;
+        op.kind = runtime::AtomicOp::Kind::kLoad;
+        op.order = static_cast<runtime::AtomicOp::Order>(in.order);
+        op.addr = as_i64(regs[in.a]) + in.imm;
+        regs[in.dst] = from_i64(backend_->atomic_op(ctx.tid, op, memory_));
+        break;
+      }
+      case ir::Opcode::kAtomicStore: {
+        runtime::AtomicOp op;
+        op.kind = runtime::AtomicOp::Kind::kStore;
+        op.order = static_cast<runtime::AtomicOp::Order>(in.order);
+        op.addr = as_i64(regs[in.a]) + in.imm;
+        op.operand = as_i64(regs[in.b]);
+        backend_->atomic_op(ctx.tid, op, memory_);
+        break;
+      }
+      case ir::Opcode::kAtomicRmw: {
+        runtime::AtomicOp op;
+        op.kind = in.rmw == ir::AtomicRmwKind::kAdd        ? runtime::AtomicOp::Kind::kAdd
+                  : in.rmw == ir::AtomicRmwKind::kExchange ? runtime::AtomicOp::Kind::kExchange
+                                                           : runtime::AtomicOp::Kind::kCas;
+        op.order = static_cast<runtime::AtomicOp::Order>(in.order);
+        op.addr = as_i64(regs[in.a]) + in.imm;
+        op.operand = as_i64(regs[in.b]);
+        if (in.rmw == ir::AtomicRmwKind::kCas) op.desired = as_i64(regs[in.c]);
+        regs[in.dst] = from_i64(backend_->atomic_op(ctx.tid, op, memory_));
+        break;
+      }
+      case ir::Opcode::kFence: {
+        runtime::AtomicOp op;
+        op.kind = runtime::AtomicOp::Kind::kFence;
+        op.order = static_cast<runtime::AtomicOp::Order>(in.order);
+        backend_->atomic_op(ctx.tid, op, memory_);
+        break;
+      }
       case ir::Opcode::kClockAdd:
         ++ctx.clock_instrs;
         backend_->clock_add(ctx.tid, static_cast<std::uint64_t>(in.imm));

@@ -645,6 +645,10 @@ class JitCompiler {
         case ir::Opcode::kCondWait:
         case ir::Opcode::kCondSignal:
         case ir::Opcode::kCondBroadcast:
+        case ir::Opcode::kAtomicLoad:
+        case ir::Opcode::kAtomicStore:
+        case ir::Opcode::kAtomicRmw:
+        case ir::Opcode::kFence:
         case ir::Opcode::kClockAdd:
         case ir::Opcode::kClockAddDyn:
           // Uniform trampoline into the decoded handler bodies; passes the

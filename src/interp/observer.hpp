@@ -45,4 +45,88 @@ class SyncObserver : public runtime::SyncObserver {
 /// ExecutionContext::set_observer).
 using MemoryAccessObserver = SyncObserver;
 
+/// Composable observer fan-out: forwards every hook -- the engine's
+/// per-access hook and all backend synchronization hooks -- to each attached
+/// observer in attachment order.  This is how a profiler, a race detector,
+/// and a fuzzer oracle stack onto one run without the engine special-casing
+/// any of them: the engine still sees exactly one SyncObserver*.
+///
+/// The chain preserves the backend's edge-ordering guarantee per attached
+/// observer (each hook call completes for the whole chain before the
+/// backend proceeds), but makes no ordering promise BETWEEN observers other
+/// than attachment order.  An observer that throws aborts the run exactly
+/// as if it were attached alone; later observers in the chain do not see
+/// the throwing event.
+///
+/// Attached observers are borrowed, not owned, and must outlive every run
+/// the chain is wired into.  Use reduce() when handing the chain to an
+/// engine: it collapses the empty chain to nullptr and a one-element chain
+/// to the observer itself, keeping the engine's null-test fast path and
+/// avoiding a pointless double indirection in the single-observer case.
+class ObserverChain final : public SyncObserver {
+ public:
+  /// Appends an observer; null is ignored so call sites can pass optional
+  /// hooks unconditionally.
+  void attach(SyncObserver* observer) {
+    if (observer != nullptr) chain_.push_back(observer);
+  }
+  void clear() { chain_.clear(); }
+  bool empty() const { return chain_.empty(); }
+  std::size_t size() const { return chain_.size(); }
+
+  /// The pointer to wire into EngineConfig::observer: nullptr when nothing
+  /// is attached, the sole observer when one is, this chain otherwise.
+  SyncObserver* reduce() {
+    if (chain_.empty()) return nullptr;
+    if (chain_.size() == 1) return chain_.front();
+    return this;
+  }
+
+  void on_access(runtime::ThreadId thread, std::int64_t addr, bool is_write,
+                 const std::vector<runtime::MutexId>& held, AccessSite site) override {
+    for (SyncObserver* o : chain_) o->on_access(thread, addr, is_write, held, site);
+  }
+  void on_thread_start(runtime::ThreadId child, runtime::ThreadId parent) override {
+    for (SyncObserver* o : chain_) o->on_thread_start(child, parent);
+  }
+  void on_thread_finish(runtime::ThreadId self) override {
+    for (SyncObserver* o : chain_) o->on_thread_finish(self);
+  }
+  void on_join(runtime::ThreadId joiner, runtime::ThreadId child) override {
+    for (SyncObserver* o : chain_) o->on_join(joiner, child);
+  }
+  void on_acquire(runtime::ThreadId self, runtime::MutexId mutex, std::uint64_t clock) override {
+    for (SyncObserver* o : chain_) o->on_acquire(self, mutex, clock);
+  }
+  void on_release(runtime::ThreadId self, runtime::MutexId mutex, std::uint64_t clock) override {
+    for (SyncObserver* o : chain_) o->on_release(self, mutex, clock);
+  }
+  void on_barrier_arrive(runtime::ThreadId self, runtime::BarrierId barrier,
+                         std::uint64_t generation) override {
+    for (SyncObserver* o : chain_) o->on_barrier_arrive(self, barrier, generation);
+  }
+  void on_barrier_depart(runtime::ThreadId self, runtime::BarrierId barrier,
+                         std::uint64_t generation) override {
+    for (SyncObserver* o : chain_) o->on_barrier_depart(self, barrier, generation);
+  }
+  void on_cond_signal(runtime::ThreadId self, runtime::CondVarId condvar, runtime::ThreadId target,
+                      std::uint64_t clock) override {
+    for (SyncObserver* o : chain_) o->on_cond_signal(self, condvar, target, clock);
+  }
+  void on_cond_wake(runtime::ThreadId waiter, runtime::CondVarId condvar) override {
+    for (SyncObserver* o : chain_) o->on_cond_wake(waiter, condvar);
+  }
+  void on_atomic(runtime::ThreadId self, const runtime::AtomicOp& op, std::int64_t observed,
+                 std::uint64_t clock) override {
+    for (SyncObserver* o : chain_) o->on_atomic(self, op, observed, clock);
+  }
+  void on_fence(runtime::ThreadId self, runtime::AtomicOp::Order order,
+                std::uint64_t clock) override {
+    for (SyncObserver* o : chain_) o->on_fence(self, order, clock);
+  }
+
+ private:
+  std::vector<SyncObserver*> chain_;
+};
+
 }  // namespace detlock::interp

@@ -42,6 +42,12 @@ class CostModel {
       case Opcode::kClockAddDyn:
         return 0;
       default:
+        // Sync primitives take their cost from the SyncOpDesc registry (the
+        // pre-atomics primitives all declare 1 there, so existing clock
+        // schedules are unchanged); everything else is a 1-cycle ALU op.
+        if (const SyncOpDesc* desc = sync_op_desc(instr.op)) {
+          return static_cast<std::int64_t>(desc->cost);
+        }
         return 1;
     }
   }

@@ -23,9 +23,12 @@ struct Instr {
   Opcode op{};
   CmpPred pred{};          // kICmp / kFCmp only
   bool has_value = false;  // kRet: returns a?
+  MemOrder order{};        // kAtomicLoad/kAtomicStore/kAtomicRmw/kFence only
+  AtomicRmwKind rmw{};     // kAtomicRmw only
   Reg dst = 0;
   Reg a = 0;
   Reg b = 0;
+  Reg c = 0;               // kAtomicRmw cas only: the desired (swap-in) value
   std::int64_t imm = 0;    // constant / mem offset / branch target / clock delta
   double fimm = 0.0;       // float constant / dynamic-clock scale
   BlockId target2 = kInvalidBlock;  // kCondBr else-target
@@ -85,6 +88,62 @@ struct Instr {
     Instr i;
     i.op = Opcode::kClockAdd;
     i.imm = delta;
+    return i;
+  }
+
+  static Instr make_atomic_load(Reg dst, Reg addr, std::int64_t offset, MemOrder order) {
+    Instr i;
+    i.op = Opcode::kAtomicLoad;
+    i.order = order;
+    i.dst = dst;
+    i.a = addr;
+    i.imm = offset;
+    return i;
+  }
+
+  static Instr make_atomic_store(Reg addr, std::int64_t offset, Reg value, MemOrder order) {
+    Instr i;
+    i.op = Opcode::kAtomicStore;
+    i.order = order;
+    i.a = addr;
+    i.b = value;
+    i.imm = offset;
+    return i;
+  }
+
+  /// kAdd / kExchange: `operand` is the addend / new value.
+  static Instr make_atomic_rmw(AtomicRmwKind kind, Reg dst, Reg addr, std::int64_t offset,
+                               Reg operand, MemOrder order) {
+    Instr i;
+    i.op = Opcode::kAtomicRmw;
+    i.order = order;
+    i.rmw = kind;
+    i.dst = dst;
+    i.a = addr;
+    i.b = operand;
+    i.imm = offset;
+    return i;
+  }
+
+  /// kCas: dst = old; store `desired` iff old == expected.
+  static Instr make_atomic_cas(Reg dst, Reg addr, std::int64_t offset, Reg expected, Reg desired,
+                               MemOrder order) {
+    Instr i;
+    i.op = Opcode::kAtomicRmw;
+    i.order = order;
+    i.rmw = AtomicRmwKind::kCas;
+    i.dst = dst;
+    i.a = addr;
+    i.b = expected;
+    i.c = desired;
+    i.imm = offset;
+    return i;
+  }
+
+  static Instr make_fence(MemOrder order) {
+    Instr i;
+    i.op = Opcode::kFence;
+    i.order = order;
     return i;
   }
 };

@@ -46,10 +46,87 @@ std::string_view opcode_name(Opcode op) {
     case Opcode::kCondWait: return "condwait";
     case Opcode::kCondSignal: return "condsignal";
     case Opcode::kCondBroadcast: return "condbroadcast";
+    case Opcode::kAtomicLoad: return "atomload";
+    case Opcode::kAtomicStore: return "atomstore";
+    case Opcode::kAtomicRmw: return "atomrmw";
+    case Opcode::kFence: return "fence";
     case Opcode::kClockAdd: return "clockadd";
     case Opcode::kClockAddDyn: return "clockadddyn";
   }
   DETLOCK_UNREACHABLE("bad opcode");
+}
+
+std::string_view mem_order_name(MemOrder order) {
+  switch (order) {
+    case MemOrder::kRelaxed: return "relaxed";
+    case MemOrder::kAcquire: return "acq";
+    case MemOrder::kRelease: return "rel";
+    case MemOrder::kAcqRel: return "acq_rel";
+    case MemOrder::kSeqCst: return "seq_cst";
+  }
+  DETLOCK_UNREACHABLE("bad memory order");
+}
+
+std::string_view rmw_kind_name(AtomicRmwKind kind) {
+  switch (kind) {
+    case AtomicRmwKind::kAdd: return "add";
+    case AtomicRmwKind::kExchange: return "xchg";
+    case AtomicRmwKind::kCas: return "cas";
+  }
+  DETLOCK_UNREACHABLE("bad rmw kind");
+}
+
+namespace {
+
+constexpr std::uint8_t kNoOrders = 0;
+constexpr std::uint8_t kAllOrders =
+    order_bit(MemOrder::kRelaxed) | order_bit(MemOrder::kAcquire) | order_bit(MemOrder::kRelease) |
+    order_bit(MemOrder::kAcqRel) | order_bit(MemOrder::kSeqCst);
+constexpr std::uint8_t kLoadOrders =  // a load cannot release
+    order_bit(MemOrder::kRelaxed) | order_bit(MemOrder::kAcquire) | order_bit(MemOrder::kSeqCst);
+constexpr std::uint8_t kStoreOrders =  // a store cannot acquire
+    order_bit(MemOrder::kRelaxed) | order_bit(MemOrder::kRelease) | order_bit(MemOrder::kSeqCst);
+constexpr std::uint8_t kFenceOrders =  // a relaxed fence is meaningless
+    order_bit(MemOrder::kAcquire) | order_bit(MemOrder::kRelease) | order_bit(MemOrder::kAcqRel) |
+    order_bit(MemOrder::kSeqCst);
+
+// The registry.  Row order is irrelevant (lookup is by opcode), but keeping
+// it in enum order makes review against the Opcode table trivial.
+constexpr SyncOpDesc kSyncOps[] = {
+    // op, name, regs, result, order?, orders, cas_c, turn, event, lint, cost
+    {Opcode::kLock, "lock", 1, false, false, kNoOrders, false,
+     TurnClass::kConsumesTurn, SyncEventKind::kLock, SyncLintCategory::kLockset, 1},
+    {Opcode::kUnlock, "unlock", 1, false, false, kNoOrders, false,
+     TurnClass::kTurnFree, SyncEventKind::kUnlock, SyncLintCategory::kLockset, 1},
+    {Opcode::kBarrier, "barrier", 2, false, false, kNoOrders, false,
+     TurnClass::kRendezvous, SyncEventKind::kBarrier, SyncLintCategory::kBarrier, 1},
+    {Opcode::kSpawn, "spawn", 0, true, false, kNoOrders, false,
+     TurnClass::kRendezvous, SyncEventKind::kSpawn, SyncLintCategory::kThread, 1},
+    {Opcode::kJoin, "join", 1, false, false, kNoOrders, false,
+     TurnClass::kRendezvous, SyncEventKind::kJoin, SyncLintCategory::kThread, 1},
+    {Opcode::kCondWait, "condwait", 2, false, false, kNoOrders, false,
+     TurnClass::kRendezvous, SyncEventKind::kCondWait, SyncLintCategory::kCondvar, 1},
+    {Opcode::kCondSignal, "condsignal", 1, false, false, kNoOrders, false,
+     TurnClass::kTurnFree, SyncEventKind::kCondSignal, SyncLintCategory::kCondvar, 1},
+    {Opcode::kCondBroadcast, "condbroadcast", 1, false, false, kNoOrders, false,
+     TurnClass::kTurnFree, SyncEventKind::kCondBroadcast, SyncLintCategory::kCondvar, 1},
+    {Opcode::kAtomicLoad, "atomload", 1, true, true, kLoadOrders, false,
+     TurnClass::kConsumesTurn, SyncEventKind::kAtomic, SyncLintCategory::kAtomic, 3},
+    {Opcode::kAtomicStore, "atomstore", 2, false, true, kStoreOrders, false,
+     TurnClass::kConsumesTurn, SyncEventKind::kAtomic, SyncLintCategory::kAtomic, 3},
+    {Opcode::kAtomicRmw, "atomrmw", 2, true, true, kAllOrders, true,
+     TurnClass::kConsumesTurn, SyncEventKind::kAtomic, SyncLintCategory::kAtomic, 5},
+    {Opcode::kFence, "fence", 0, false, true, kFenceOrders, false,
+     TurnClass::kConsumesTurn, SyncEventKind::kFence, SyncLintCategory::kAtomic, 1},
+};
+
+}  // namespace
+
+const SyncOpDesc* sync_op_desc(Opcode op) {
+  for (const SyncOpDesc& desc : kSyncOps) {
+    if (desc.op == op) return &desc;
+  }
+  return nullptr;
 }
 
 std::string_view cmp_pred_name(CmpPred pred) {

@@ -71,6 +71,18 @@ enum class Opcode : std::uint8_t {
   kCondSignal,    // condsignal cv[a]          (associated mutex must be held)
   kCondBroadcast, // condbroadcast cv[a]       (associated mutex must be held)
 
+  // Memory-model atomics.  Each atomic op (and fence) is a synchronization
+  // point under the deterministic turn protocol: it executes inside the
+  // thread's turn and consumes it, exactly like a lock acquire, so the
+  // global order of atomic operations IS the turn order.  The guest-visible
+  // ordering annotation affects happens-before edges (race detection) and
+  // static lint only -- the host always performs the memory operation with
+  // sequentially consistent semantics inside the turn.
+  kAtomicLoad,   // dst = atomload ORDER mem[a + imm]
+  kAtomicStore,  // atomstore ORDER mem[a + imm], b
+  kAtomicRmw,    // dst = atomrmw KIND ORDER mem[a + imm], b[, c]; dst = old value
+  kFence,        // fence ORDER (no memory operand)
+
   // Instrumentation (inserted by the DetLock pass; never written by hand).
   kClockAdd,     // logical_clock += imm
   kClockAddDyn,  // logical_clock += imm + fimm * reg[a]   (size-dependent extern estimates)
@@ -83,8 +95,100 @@ inline constexpr std::size_t kNumOpcodes = static_cast<std::size_t>(Opcode::kClo
 /// Signed comparison predicates shared by kICmp/kFCmp.
 enum class CmpPred : std::uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
 
+/// Guest-visible memory orderings for kAtomicLoad/kAtomicStore/kAtomicRmw/
+/// kFence.  The values double as bit positions in SyncOpDesc::allowed_orders.
+enum class MemOrder : std::uint8_t { kRelaxed, kAcquire, kRelease, kAcqRel, kSeqCst };
+inline constexpr std::size_t kNumMemOrders = static_cast<std::size_t>(MemOrder::kSeqCst) + 1;
+
+/// Read-modify-write flavors of kAtomicRmw.
+enum class AtomicRmwKind : std::uint8_t {
+  kAdd,       // dst = old; mem += b
+  kExchange,  // dst = old; mem = b
+  kCas,       // dst = old; if (old == b) mem = c
+};
+
 std::string_view opcode_name(Opcode op);
 std::string_view cmp_pred_name(CmpPred pred);
+std::string_view mem_order_name(MemOrder order);
+std::string_view rmw_kind_name(AtomicRmwKind kind);
+
+/// True when the ordering has acquire semantics (an acquiring edge endpoint
+/// in the happens-before model).
+constexpr bool order_is_acquire(MemOrder o) {
+  return o == MemOrder::kAcquire || o == MemOrder::kAcqRel || o == MemOrder::kSeqCst;
+}
+
+/// True when the ordering has release semantics.
+constexpr bool order_is_release(MemOrder o) {
+  return o == MemOrder::kRelease || o == MemOrder::kAcqRel || o == MemOrder::kSeqCst;
+}
+
+// ---------------------------------------------------------------------------
+// SyncOpDesc: the single registry describing every synchronization primitive.
+//
+// One table row per sync opcode declares its operand arity, whether it
+// produces a result, which memory orderings it accepts, how it interacts
+// with the deterministic turn protocol, which observer event it fires, and
+// which lint family owns it.  The verifier, cost model, clock passes, call
+// graph, both backends, and the static checker all consult this table, so
+// adding a primitive is one row plus its handlers -- not six scattered
+// switch statements.
+// ---------------------------------------------------------------------------
+
+/// How the primitive interacts with the Kendo turn protocol.
+enum class TurnClass : std::uint8_t {
+  kConsumesTurn,  // waits for the logical-clock minimum, then bumps the clock
+                  // (lock, atomics, fence)
+  kTurnFree,      // never waits for a turn (unlock, condsignal, condbroadcast)
+  kRendezvous,    // parks at +inf and resumes at a folded clock
+                  // (barrier, join, condwait); spawn is classed here too
+                  // (it registers the child inside the parent's turn)
+};
+
+/// Which runtime::SyncObserver hook the backend fires for the primitive.
+enum class SyncEventKind : std::uint8_t {
+  kLock, kUnlock, kBarrier, kSpawn, kJoin, kCondWait, kCondSignal, kCondBroadcast,
+  kAtomic, kFence,
+};
+
+/// Which static-lint family reasons about the primitive.
+enum class SyncLintCategory : std::uint8_t {
+  kLockset,  // participates in lockset transfer (lock/unlock)
+  kCondvar,  // condvar binding discipline
+  kThread,   // spawn/join lifecycle
+  kBarrier,  // barrier participation
+  kAtomic,   // atomics + fences (ordering lint, no lockset effect)
+};
+
+struct SyncOpDesc {
+  Opcode op;
+  std::string_view name;
+  std::uint8_t num_reg_operands;  // register operands in a/b (0..2); kAtomicRmw
+                                  // cas additionally reads its desired value
+                                  // from Instr::c (see cas_uses_c)
+  bool has_result;                // writes Instr::dst
+  bool takes_order;               // carries a MemOrder annotation
+  std::uint8_t allowed_orders;    // bitmask (1 << MemOrder) when takes_order
+  bool cas_uses_c;                // kAtomicRmw only: cas reads Instr::c
+  TurnClass turn;
+  SyncEventKind event;
+  SyncLintCategory lint;
+  std::uint8_t cost;              // CostModel units (kept at 1 for the
+                                  // pre-atomics primitives so existing clock
+                                  // schedules are unchanged)
+};
+
+/// Registry lookup: the descriptor for a sync primitive, or nullptr when
+/// `op` is not a synchronization opcode.
+const SyncOpDesc* sync_op_desc(Opcode op);
+
+/// True for every opcode with a SyncOpDesc row (lock/unlock/barrier/spawn/
+/// join/condvars/atomics/fence).
+inline bool is_sync_op(Opcode op) { return sync_op_desc(op) != nullptr; }
+
+constexpr std::uint8_t order_bit(MemOrder o) {
+  return static_cast<std::uint8_t>(1u << static_cast<std::uint8_t>(o));
+}
 
 constexpr bool is_terminator(Opcode op) {
   return op == Opcode::kBr || op == Opcode::kCondBr || op == Opcode::kSwitch || op == Opcode::kRet;
@@ -133,6 +237,8 @@ constexpr bool has_dst(Opcode op) {
     case Opcode::kCall:
     case Opcode::kCallExtern:
     case Opcode::kSpawn:
+    case Opcode::kAtomicLoad:
+    case Opcode::kAtomicRmw:
       return true;
     default:
       return false;

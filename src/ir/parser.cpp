@@ -213,6 +213,25 @@ class Parser {
     return {std::move(name), std::move(args)};
   }
 
+  MemOrder parse_order(std::size_t li, std::string_view token) {
+    token = trim(token);
+    if (token == "relaxed") return MemOrder::kRelaxed;
+    if (token == "acq") return MemOrder::kAcquire;
+    if (token == "rel") return MemOrder::kRelease;
+    if (token == "acq_rel") return MemOrder::kAcqRel;
+    if (token == "seq_cst") return MemOrder::kSeqCst;
+    fail(li, "bad memory order '" + std::string(token) +
+                 "' (want relaxed|acq|rel|acq_rel|seq_cst)");
+  }
+
+  AtomicRmwKind parse_rmw_kind(std::size_t li, std::string_view token) {
+    token = trim(token);
+    if (token == "add") return AtomicRmwKind::kAdd;
+    if (token == "xchg") return AtomicRmwKind::kExchange;
+    if (token == "cas") return AtomicRmwKind::kCas;
+    fail(li, "bad atomrmw kind '" + std::string(token) + "' (want add|xchg|cas)");
+  }
+
   /// Parses "%a" or "%a + OFF" used by load/store address syntax.
   std::pair<Reg, std::int64_t> parse_addr(std::size_t li, std::string_view text) {
     const std::size_t plus = text.find('+');
@@ -381,6 +400,52 @@ class Parser {
       if (parts.size() != 2) fail(li, "barrier needs id and participant-count registers");
       instr.a = parse_reg(li, parts[0]);
       instr.b = parse_reg(li, parts[1]);
+    } else if (op_name == "atomload") {
+      require_dst();
+      instr.op = Opcode::kAtomicLoad;
+      const std::size_t osp = operands.find_first_of(" \t");
+      if (osp == std::string_view::npos) fail(li, "atomload needs an ordering and an address");
+      instr.order = parse_order(li, operands.substr(0, osp));
+      const auto [addr, off] = parse_addr(li, trim(operands.substr(osp + 1)));
+      instr.a = addr;
+      instr.imm = off;
+    } else if (op_name == "atomstore") {
+      forbid_dst();
+      instr.op = Opcode::kAtomicStore;
+      const std::size_t osp = operands.find_first_of(" \t");
+      if (osp == std::string_view::npos) fail(li, "atomstore needs an ordering, address, value");
+      instr.order = parse_order(li, operands.substr(0, osp));
+      const auto parts = split(trim(operands.substr(osp + 1)), ',');
+      if (parts.size() != 2) fail(li, "atomstore needs address and value");
+      const auto [addr, off] = parse_addr(li, parts[0]);
+      instr.a = addr;
+      instr.imm = off;
+      instr.b = parse_reg(li, parts[1]);
+    } else if (op_name == "atomrmw") {
+      require_dst();
+      instr.op = Opcode::kAtomicRmw;
+      // Syntax: %d = atomrmw KIND ORDER %addr [+ OFF], %operand[, %desired]
+      const std::vector<std::string_view> toks = split_whitespace(operands);
+      if (toks.size() < 3) fail(li, "atomrmw needs a kind, an ordering, and operands");
+      instr.rmw = parse_rmw_kind(li, toks[0]);
+      instr.order = parse_order(li, toks[1]);
+      const std::size_t tail_at = operands.find(toks[1]) + toks[1].size();
+      const auto parts = split(trim(operands.substr(tail_at)), ',');
+      const std::size_t want = instr.rmw == AtomicRmwKind::kCas ? 3 : 2;
+      if (parts.size() != want) {
+        fail(li, instr.rmw == AtomicRmwKind::kCas
+                     ? "atomrmw cas needs address, expected, desired"
+                     : "atomrmw needs address and operand");
+      }
+      const auto [addr, off] = parse_addr(li, parts[0]);
+      instr.a = addr;
+      instr.imm = off;
+      instr.b = parse_reg(li, parts[1]);
+      if (instr.rmw == AtomicRmwKind::kCas) instr.c = parse_reg(li, parts[2]);
+    } else if (op_name == "fence") {
+      forbid_dst();
+      instr.op = Opcode::kFence;
+      instr.order = parse_order(li, operands);
     } else if (op_name == "clockadd") {
       forbid_dst();
       instr.op = Opcode::kClockAdd;
@@ -411,7 +476,7 @@ class Parser {
     // them so hand-written snippets stay terse.
     Reg max_used = 0;
     if (has_dst(instr.op)) max_used = std::max(max_used, instr.dst);
-    max_used = std::max({max_used, instr.a, instr.b});
+    max_used = std::max({max_used, instr.a, instr.b, instr.c});
     if (instr.op == Opcode::kCall || instr.op == Opcode::kCallExtern || instr.op == Opcode::kSpawn) {
       for (Reg r : instr.args) max_used = std::max(max_used, r);
     }

@@ -118,6 +118,25 @@ void print_instr(std::ostream& os, const Module& module, const Function& func, c
     case Opcode::kBarrier:
       os << "barrier " << reg(instr.a) << ", " << reg(instr.b);
       return;
+    case Opcode::kAtomicLoad:
+      os << reg(instr.dst) << " = atomload " << mem_order_name(instr.order) << ' ' << reg(instr.a);
+      if (instr.imm != 0) os << " + " << instr.imm;
+      return;
+    case Opcode::kAtomicStore:
+      os << "atomstore " << mem_order_name(instr.order) << ' ' << reg(instr.a);
+      if (instr.imm != 0) os << " + " << instr.imm;
+      os << ", " << reg(instr.b);
+      return;
+    case Opcode::kAtomicRmw:
+      os << reg(instr.dst) << " = atomrmw " << rmw_kind_name(instr.rmw) << ' '
+         << mem_order_name(instr.order) << ' ' << reg(instr.a);
+      if (instr.imm != 0) os << " + " << instr.imm;
+      os << ", " << reg(instr.b);
+      if (instr.rmw == AtomicRmwKind::kCas) os << ", " << reg(instr.c);
+      return;
+    case Opcode::kFence:
+      os << "fence " << mem_order_name(instr.order);
+      return;
     case Opcode::kClockAdd:
       os << "clockadd " << instr.imm;
       return;

@@ -181,6 +181,25 @@ class Verifier {
         for (Reg r : instr.args) check_reg(f, b, r, "arg");
         break;
       }
+      case Opcode::kAtomicLoad:
+      case Opcode::kAtomicStore:
+      case Opcode::kAtomicRmw:
+      case Opcode::kFence: {
+        // Registry-driven: SyncOpDesc declares operand arity and which
+        // orderings the primitive accepts.
+        const SyncOpDesc& desc = *sync_op_desc(instr.op);
+        if (desc.num_reg_operands >= 1) check_reg(f, b, instr.a, "addr");
+        if (desc.num_reg_operands >= 2) check_reg(f, b, instr.b, "src");
+        if (desc.cas_uses_c && instr.rmw == AtomicRmwKind::kCas) {
+          check_reg(f, b, instr.c, "desired");
+        }
+        if ((desc.allowed_orders & order_bit(instr.order)) == 0) {
+          issue(f.name(), b.name(),
+                std::string(opcode_name(instr.op)) + " does not accept ordering '" +
+                    std::string(mem_order_name(instr.order)) + "'");
+        }
+        break;
+      }
       case Opcode::kCallExtern: {
         if (instr.callee >= module_.externs().size()) {
           issue(f.name(), b.name(), "call to nonexistent extern id " + std::to_string(instr.callee));

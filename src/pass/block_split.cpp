@@ -11,17 +11,11 @@ bool is_region_boundary(const ir::Module& module, const ClockAssignment& assignm
       // handled by a pinned kClockAddDyn and do not split.  Only unclocked
       // externs are opaque.
       return !module.extern_decl(instr.callee).estimate.has_value();
-    case ir::Opcode::kLock:
-    case ir::Opcode::kUnlock:
-    case ir::Opcode::kBarrier:
-    case ir::Opcode::kSpawn:
-    case ir::Opcode::kJoin:
-    case ir::Opcode::kCondWait:
-    case ir::Opcode::kCondSignal:
-    case ir::Opcode::kCondBroadcast:
-      return true;
     default:
-      return false;
+      // Registry-driven: every sync primitive is a region boundary -- that
+      // includes the atomics and fences, which consume a turn and therefore
+      // end the clocked region exactly like a lock does.
+      return ir::is_sync_op(instr.op);
   }
 }
 

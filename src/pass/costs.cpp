@@ -28,17 +28,12 @@ BlockClockInfo analyze_block(const ir::Module& module, const ClockAssignment& as
         }
         break;
       }
-      case ir::Opcode::kLock:
-      case ir::Opcode::kUnlock:
-      case ir::Opcode::kBarrier:
-      case ir::Opcode::kSpawn:
-      case ir::Opcode::kJoin:
-      case ir::Opcode::kCondWait:
-      case ir::Opcode::kCondSignal:
-      case ir::Opcode::kCondBroadcast:
-        info.has_sync = true;
-        break;
       default:
+        // Registry-driven: every sync primitive (including the atomics and
+        // fences) ends a clocked region.  kSpawn is a sync op AND a call,
+        // but its callee body is clocked independently, so the call cases
+        // above need not see it.
+        if (ir::is_sync_op(instr.op)) info.has_sync = true;
         break;
     }
   }

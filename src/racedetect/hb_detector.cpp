@@ -114,6 +114,66 @@ void HbRaceDetector::on_cond_wake(ThreadId waiter, CondVarId /*condvar*/) {
   ++ts.version;
 }
 
+namespace {
+
+constexpr bool order_acquires(runtime::AtomicOp::Order o) {
+  return o == runtime::AtomicOp::Order::kAcquire || o == runtime::AtomicOp::Order::kAcqRel ||
+         o == runtime::AtomicOp::Order::kSeqCst;
+}
+constexpr bool order_releases(runtime::AtomicOp::Order o) {
+  return o == runtime::AtomicOp::Order::kRelease || o == runtime::AtomicOp::Order::kAcqRel ||
+         o == runtime::AtomicOp::Order::kSeqCst;
+}
+
+}  // namespace
+
+void HbRaceDetector::on_atomic(ThreadId self, const runtime::AtomicOp& op, std::int64_t observed,
+                               std::uint64_t /*clock*/) {
+  using Kind = runtime::AtomicOp::Kind;
+  const std::lock_guard<std::mutex> g(mu_);
+  ThreadState& ts = thread_state(self);
+  // What the operation does to the cell (model in the header comment).  A
+  // CAS writes only when the observed old value matched its expected
+  // operand; everything except a plain store reads.
+  const bool reads = op.kind != Kind::kStore;
+  const bool writes = op.kind == Kind::kStore || op.kind == Kind::kAdd ||
+                      op.kind == Kind::kExchange ||
+                      (op.kind == Kind::kCas && observed == op.operand);
+  if (reads && order_acquires(op.order)) {
+    const auto it = atomic_rel_.find(op.addr);
+    if (it != atomic_rel_.end()) {
+      ts.vc.join(it->second);
+      ++ts.version;
+    }
+  }
+  if (writes) {
+    if (order_releases(op.order)) {
+      atomic_rel_[op.addr] = ts.vc;  // publish: later acquires of addr join this
+      ts.vc.bump(self);              // the release ends the segment
+      ++ts.version;
+    } else {
+      // Relaxed write: breaks the release chain -- a later acquire read
+      // observes this store, which synchronizes with nothing.
+      atomic_rel_.erase(op.addr);
+    }
+  }
+}
+
+void HbRaceDetector::on_fence(ThreadId self, runtime::AtomicOp::Order order,
+                              std::uint64_t /*clock*/) {
+  const std::lock_guard<std::mutex> g(mu_);
+  ThreadState& ts = thread_state(self);
+  if (order_acquires(order)) {
+    ts.vc.join(fence_vc_);
+    ++ts.version;
+  }
+  if (order_releases(order)) {
+    fence_vc_.join(ts.vc);
+    ts.vc.bump(self);
+    ++ts.version;
+  }
+}
+
 // ---- memory accesses -------------------------------------------------------
 
 void HbRaceDetector::on_access(ThreadId thread, std::int64_t addr, bool is_write,

@@ -82,6 +82,29 @@ class HbRaceDetector final : public interp::SyncObserver {
   void on_cond_signal(runtime::ThreadId self, runtime::CondVarId condvar,
                       runtime::ThreadId target, std::uint64_t clock) override;
   void on_cond_wake(runtime::ThreadId waiter, runtime::CondVarId condvar) override;
+  /// Atomic edges (both hooks fire in global turn order -- see
+  /// runtime/sync_observer.hpp -- so the per-address release state below is
+  /// deterministic).  Model:
+  ///   * a release-flavored write (rel/acq_rel/seq_cst store, RMW, or
+  ///     SUCCESSFUL CAS) publishes the thread's clock to the address;
+  ///   * an acquire-flavored read (acq/acq_rel/seq_cst load or RMW -- a
+  ///     failed CAS is acquire-only) joins the address's published clock;
+  ///   * a non-release write clears the published clock (release-sequence
+  ///     breaking);
+  ///   * relaxed operations create no edges -- which is exactly what makes
+  ///     an under-fenced Peterson's plain accesses racy.
+  /// Atomic cells themselves are never race candidates: every atomic op is
+  /// turn-serialized, so only PLAIN accesses reach the FastTrack state.
+  void on_atomic(runtime::ThreadId self, const runtime::AtomicOp& op, std::int64_t observed,
+                 std::uint64_t clock) override;
+  /// Fence edges: a single global fence chain.  A release-flavored fence
+  /// publishes into it, an acquire-flavored fence joins it.  Fences consume
+  /// a turn and execute a host seq_cst fence inside the serialized turn
+  /// window, so this is the implementation's real ordering -- stronger than
+  /// the C++ abstract machine's fence rules, hence the detector never
+  /// reports a race DetLock execution cannot exhibit.
+  void on_fence(runtime::ThreadId self, runtime::AtomicOp::Order order,
+                std::uint64_t clock) override;
 
   /// Detect mode: true iff any address had concurrent conflicting accesses.
   bool race_detected() const;
@@ -134,6 +157,10 @@ class HbRaceDetector final : public interp::SyncObserver {
   const bool focus_mode_;
   std::vector<ThreadState> threads_;
   std::unordered_map<runtime::MutexId, VectorClock> locks_;
+  /// Per-address release clock of atomic cells (see on_atomic).
+  std::unordered_map<std::int64_t, VectorClock> atomic_rel_;
+  /// Global fence chain (see on_fence).
+  VectorClock fence_vc_;
   std::map<std::pair<runtime::BarrierId, std::uint64_t>, Round> rounds_;
   /// Per-waiter signal mailbox (a thread waits on one condvar at a time,
   /// and only re-queues after its wake hook ran -- see det_backend.cpp).

@@ -19,12 +19,15 @@
 
 namespace detlock::runtime {
 
+class SharedMemory;
+
 struct BackendStats {
   std::uint64_t lock_acquires = 0;
   std::uint64_t lock_wait_spins = 0;   // wait-for-turn iterations
   std::uint64_t failed_trylocks = 0;   // acquire attempts retried
   std::uint64_t barrier_waits = 0;
   std::uint64_t clock_publications = 0;
+  std::uint64_t atomic_ops = 0;        // atomic loads/stores/rmws + fences
   /// Turn-predicate cost counters (DetBackend only; zero elsewhere).
   /// turn_polls counts has_turn evaluations; turn_scan_slots counts slots
   /// examined across them -- ~1/poll for the min-clock tree vs up to
@@ -72,6 +75,18 @@ class SyncBackend : public StallSource {
   virtual void cond_wait(ThreadId self, CondVarId condvar, MutexId mutex) = 0;
   virtual void cond_signal(ThreadId self, CondVarId condvar) = 0;
   virtual void cond_broadcast(ThreadId self, CondVarId condvar) = 0;
+
+  /// Performs one guest atomic operation (or fence) as a synchronization
+  /// point and returns the observed (old) value.  Under the deterministic
+  /// backend this consumes a turn exactly like a lock acquire: the thread
+  /// waits until its published clock is the strict minimum, performs the
+  /// memory side effect via `memory.atomic_apply` inside the turn, then
+  /// bumps its clock to release the turn -- so the global order of atomic
+  /// operations is the turn order and is byte-reproducible.  A failed
+  /// spinlock CAS therefore costs its spinner one clock tick per attempt,
+  /// which is exactly what keeps guest spin loops live (the lock holder's
+  /// clock eventually becomes the minimum).
+  virtual std::int64_t atomic_op(ThreadId self, const AtomicOp& op, SharedMemory& memory) = 0;
 
   virtual const RunTrace& trace() const = 0;
   virtual BackendStats stats() const = 0;

@@ -43,6 +43,24 @@ class Profiler;
 class FaultInjector;
 class SyncObserver;
 
+/// One guest atomic operation (or fence) as seen by a SyncBackend.  The
+/// engine fills this from the IR instruction with register values already
+/// resolved; the backend serializes it under the turn protocol and performs
+/// the memory side effect via SharedMemory::atomic_apply *inside* the turn,
+/// so the global order of atomic operations IS the deterministic turn order.
+struct AtomicOp {
+  enum class Kind : std::uint8_t { kLoad, kStore, kAdd, kExchange, kCas, kFence };
+  /// Mirrors ir::MemOrder values (kept as a plain byte so runtime/ stays
+  /// independent of ir/).  Diagnostics + happens-before edges only: the host
+  /// memory operation is always sequentially consistent inside the turn.
+  enum class Order : std::uint8_t { kRelaxed, kAcquire, kRelease, kAcqRel, kSeqCst };
+  Kind kind = Kind::kFence;
+  Order order = Order::kSeqCst;
+  std::int64_t addr = 0;      // word address; unused for kFence
+  std::int64_t operand = 0;   // store value / addend / exchange value / cas expected
+  std::int64_t desired = 0;   // cas swap-in value
+};
+
 struct RuntimeConfig {
   std::uint32_t max_threads = 64;
   /// Turn-predicate data structure (see ClockTableKind).  The tree is the

@@ -5,6 +5,7 @@
 #include "runtime/faultinject.hpp"
 #include "runtime/profile.hpp"
 #include "runtime/schedule.hpp"
+#include "runtime/shared_memory.hpp"
 #include "runtime/sync_observer.hpp"
 
 #include "support/spinwait.hpp"
@@ -145,7 +146,11 @@ void DetBackend::join(ThreadId self, ThreadId target) {
       if (final_clock < clocks_.local(self)) break;
       clocks_.set_clock(self, final_clock + 1);
     } else {
+      // Published climb (see lock()): an unpublished +1 under chunked
+      // publication would retain the turn while the "is the child finished
+      // yet" probe repeats in real time.
       clocks_.add(self, 1);
+      clocks_.flush(self);
     }
     ++climbs;
   }
@@ -237,8 +242,18 @@ void DetBackend::lock(ThreadId self, MutexId mutex) {
     }
     // Failed attempt: advance the logical clock so other waiters (and the
     // holder's eventual release time) can order ahead of us, then re-queue.
+    // The climb must be *published*, not just local: the turn test compares
+    // published clocks while the acquire predicate above reads the local
+    // clock.  Under chunked publication an unpublished climb would let this
+    // thread keep the turn (stale published clock stays the strict min)
+    // while its decision clock rises with every real-time probe of `held` --
+    // whether the holder has physically released when we look would then
+    // decide the acquire clock, and the schedule would depend on timing.
+    // Publishing makes the climb visible, so we lose the turn once our clock
+    // passes the holder's and can only re-probe at deterministic points.
     check_abort();
     clocks_.add(self, 1);
+    clocks_.flush(self);
     ++st.failed_trylocks;
     ++failed_attempts;
   }
@@ -415,7 +430,10 @@ std::uint64_t DetBackend::await_signal(ThreadId self) {
       }
       clocks_.set_clock(self, s + 1);
     } else {
+      // Published climb (see lock()): the "has the signal landed yet" probe
+      // must not repeat under a retained turn with a rising local clock.
       clocks_.add(self, 1);
+      clocks_.flush(self);
     }
     ++climbs;
   }
@@ -499,6 +517,52 @@ void DetBackend::cond_broadcast(ThreadId self, CondVarId condvar) {
   note_progress(self);
 }
 
+// An atomic operation (or fence) is a synchronization point with the same
+// proof shape as a lock acquire, minus the availability test: the thread
+// proceeds exactly when its published clock is the strict minimum (the
+// turn), performs the memory side effect inside the turn, then releases the
+// turn by bumping its clock.  Because only the turn holder ever reaches
+// atomic_apply, the global interleaving of guest atomics IS the turn order
+// -- a pure function of the compiler-computed clocks -- and every engine
+// observes the same values.  The +1 bump is also the liveness argument for
+// guest spin loops: a spinner's failed CAS costs it one tick per attempt, so
+// the thread it is waiting on deterministically overtakes it and makes
+// progress.  The guest-visible ordering annotation never reaches this file's
+// logic; it only feeds the observer (happens-before edges) and static lint.
+std::int64_t DetBackend::atomic_op(ThreadId self, const AtomicOp& op, SharedMemory& memory) {
+  BackendStats& st = thread_stats_[self].value;
+  if (fault_ != nullptr) fault_->on_sync(self, SyncPoint::kAtomic);
+  clocks_.flush(self);
+  note_wait(self, WaitReason::kTurn, 0);
+  const std::uint64_t prof_t0 = prof_ != nullptr ? prof_->now() : 0;
+  const std::uint64_t prof_spins0 = st.lock_wait_spins;
+  wait_for_turn(self);
+  const std::int64_t observed = memory.atomic_apply(op);
+  // Observer inside the turn: turn serialization is what delivers the
+  // source-before-sink hook ordering (a release-flavored atomic's hook
+  // returns before any later acquire of the same address runs at all).
+  if (obs_ != nullptr) {
+    if (op.kind == AtomicOp::Kind::kFence) {
+      obs_->on_fence(self, op.order, clocks_.local(self));
+    } else {
+      obs_->on_atomic(self, op, observed, clocks_.local(self));
+    }
+  }
+  // Record inside the turn, like record_acquire: the fingerprint then
+  // witnesses the turn-serialized atomic order AND the observed values.
+  if (config_.record_trace) {
+    trace_.record_atomic(self, static_cast<std::uint8_t>(op.kind), op.addr, observed);
+  }
+  if (prof_ != nullptr) {
+    prof_->add_wait(self, WaitCategory::kTurnWait, prof_t0, prof_->now(),
+                    st.lock_wait_spins - prof_spins0);
+  }
+  clocks_.add(self, 1);
+  ++st.atomic_ops;
+  note_progress(self);
+  return observed;
+}
+
 StallSnapshot DetBackend::stall_snapshot() const {
   StallSnapshot snap;
   const std::uint32_t registered =
@@ -543,6 +607,7 @@ BackendStats DetBackend::stats() const {
     total.failed_trylocks += s.failed_trylocks;
     total.barrier_waits += s.barrier_waits;
     total.clock_publications += s.clock_publications;
+    total.atomic_ops += s.atomic_ops;
   }
   total.turn_polls = clocks_.turn_poll_count();
   total.turn_scan_slots = clocks_.turn_scan_slot_count();

@@ -50,6 +50,7 @@ class DetBackend final : public SyncBackend {
   void cond_wait(ThreadId self, CondVarId condvar, MutexId mutex) override;
   void cond_signal(ThreadId self, CondVarId condvar) override;
   void cond_broadcast(ThreadId self, CondVarId condvar) override;
+  std::int64_t atomic_op(ThreadId self, const AtomicOp& op, SharedMemory& memory) override;
   const RunTrace& trace() const override;
   BackendStats stats() const override;
 

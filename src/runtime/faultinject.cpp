@@ -20,6 +20,7 @@ const char* sync_point_name(SyncPoint p) {
     case SyncPoint::kCondSignal: return "cond-signal";
     case SyncPoint::kJoin: return "join";
     case SyncPoint::kClockPublish: return "clock-publish";
+    case SyncPoint::kAtomic: return "atomic";
   }
   DETLOCK_UNREACHABLE("bad sync point");
 }

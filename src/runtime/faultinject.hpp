@@ -46,9 +46,10 @@ enum class SyncPoint : std::uint8_t {
   kCondSignal,
   kJoin,
   kClockPublish,
+  kAtomic,  // before an atomic op / fence enters its turn wait
 };
 
-inline constexpr std::size_t kNumSyncPoints = 8;
+inline constexpr std::size_t kNumSyncPoints = 9;
 
 const char* sync_point_name(SyncPoint p);
 

@@ -4,6 +4,7 @@
 
 #include "runtime/faultinject.hpp"
 #include "runtime/profile.hpp"
+#include "runtime/shared_memory.hpp"
 #include "runtime/sync_observer.hpp"
 #include "support/error.hpp"
 #include "support/spinwait.hpp"
@@ -248,6 +249,32 @@ void NondetBackend::cond_broadcast(ThreadId self, CondVarId condvar) {
   note_progress(self);
 }
 
+std::int64_t NondetBackend::atomic_op(ThreadId self, const AtomicOp& op, SharedMemory& memory) {
+  if (fault_ != nullptr) fault_->on_sync(self, SyncPoint::kAtomic);
+  check_abort();
+  std::int64_t observed;
+  {
+    // One mutex for all guest atomics: the baseline makes no determinism
+    // claim, but the observer hook must still fire in the order the memory
+    // effects actually landed (see atomics_mu_ in the header).
+    const std::lock_guard<std::mutex> guard(atomics_mu_);
+    observed = memory.atomic_apply(op);
+    if (obs_ != nullptr) {
+      if (op.kind == AtomicOp::Kind::kFence) {
+        obs_->on_fence(self, op.order, slots_[self].value.clock);
+      } else {
+        obs_->on_atomic(self, op, observed, slots_[self].value.clock);
+      }
+    }
+    if (config_.record_trace) {
+      trace_.record_atomic(self, static_cast<std::uint8_t>(op.kind), op.addr, observed);
+    }
+  }
+  ++slots_[self].value.atomic_ops;
+  note_progress(self);
+  return observed;
+}
+
 StallSnapshot NondetBackend::stall_snapshot() const {
   StallSnapshot snap;
   const std::uint32_t registered =
@@ -285,6 +312,7 @@ BackendStats NondetBackend::stats() const {
   for (const auto& padded : slots_) {
     total.lock_acquires += padded.value.acquires;
     total.barrier_waits += padded.value.barrier_waits;
+    total.atomic_ops += padded.value.atomic_ops;
   }
   return total;
 }

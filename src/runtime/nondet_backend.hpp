@@ -35,6 +35,7 @@ class NondetBackend final : public SyncBackend {
   void cond_wait(ThreadId self, CondVarId condvar, MutexId mutex) override;
   void cond_signal(ThreadId self, CondVarId condvar) override;
   void cond_broadcast(ThreadId self, CondVarId condvar) override;
+  std::int64_t atomic_op(ThreadId self, const AtomicOp& op, SharedMemory& memory) override;
   const RunTrace& trace() const override;
   BackendStats stats() const override;
 
@@ -95,9 +96,15 @@ class NondetBackend final : public SyncBackend {
     std::atomic<bool> finished{false};
     std::uint64_t acquires = 0;
     std::uint64_t barrier_waits = 0;
+    std::uint64_t atomic_ops = 0;
     std::uint64_t clock_ops = 0;  // subsampling counter for watchdog progress
   };
   std::vector<Padded<ThreadSlot>> slots_;
+  /// Serializes guest atomic ops so the observer's source-before-sink hook
+  /// contract holds here too (the memory side effect and its hook happen as
+  /// one unit).  The deterministic backend gets the same guarantee from turn
+  /// serialization instead.
+  std::mutex atomics_mu_;
   std::atomic<std::uint32_t> next_thread_id_{0};
 };
 

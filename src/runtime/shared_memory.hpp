@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "runtime/config.hpp"
 #include "support/error.hpp"
 
 namespace detlock::runtime {
@@ -33,6 +34,36 @@ class SharedMemory {
   double load_f(std::int64_t addr) const { return std::bit_cast<double>(load(addr)); }
 
   void store_f(std::int64_t addr, double value) { store(addr, std::bit_cast<std::int64_t>(value)); }
+
+  /// Performs one guest atomic operation and returns the value it observed
+  /// (the old cell value; a fence returns 0).  Always sequentially
+  /// consistent on the host regardless of the guest-visible ordering: the
+  /// backend executes this inside the caller's turn, so the guest ordering
+  /// annotation is a happens-before/lint concept only and seq_cst here can
+  /// never weaken determinism.
+  std::int64_t atomic_apply(const AtomicOp& op) {
+    switch (op.kind) {
+      case AtomicOp::Kind::kLoad:
+        return cell(op.addr).load(std::memory_order_seq_cst);
+      case AtomicOp::Kind::kStore:
+        cell(op.addr).store(op.operand, std::memory_order_seq_cst);
+        return op.operand;
+      case AtomicOp::Kind::kAdd:
+        return cell(op.addr).fetch_add(op.operand, std::memory_order_seq_cst);
+      case AtomicOp::Kind::kExchange:
+        return cell(op.addr).exchange(op.operand, std::memory_order_seq_cst);
+      case AtomicOp::Kind::kCas: {
+        std::int64_t expected = op.operand;
+        cell(op.addr).compare_exchange_strong(expected, op.desired, std::memory_order_seq_cst,
+                                              std::memory_order_seq_cst);
+        return expected;  // the old value whether or not the swap happened
+      }
+      case AtomicOp::Kind::kFence:
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        return 0;
+    }
+    DETLOCK_UNREACHABLE("bad atomic op kind");
+  }
 
   /// Order-insensitive fingerprint of a memory range (defaults to the whole
   /// space): determinism tests compare final images across runs.

@@ -62,6 +62,17 @@ class SyncObserver {
   /// Fires on the waiter after it observed its wakeup, before it
   /// reacquires the guard mutex.
   virtual void on_cond_wake(ThreadId /*waiter*/, CondVarId /*condvar*/) {}
+
+  /// Atomic-operation edge endpoint: fires inside the thread's turn, after
+  /// the memory side effect, before the clock bump releases the turn.  Turn
+  /// serialization gives the source-before-sink guarantee for free: a
+  /// release-flavored atomic's hook returns before any later acquire-
+  /// flavored atomic's hook on the same address is entered.  `observed` is
+  /// the old cell value (what a CAS compared against).
+  virtual void on_atomic(ThreadId /*self*/, const AtomicOp& /*op*/, std::int64_t /*observed*/,
+                         std::uint64_t /*clock*/) {}
+  /// Fence edge endpoint, same turn-serialized placement as on_atomic.
+  virtual void on_fence(ThreadId /*self*/, AtomicOp::Order /*order*/, std::uint64_t /*clock*/) {}
 };
 
 }  // namespace detlock::runtime

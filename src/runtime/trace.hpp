@@ -35,6 +35,22 @@ class RunTrace {
     if (keep_events_) events_.push_back(TraceEvent{thread, mutex, clock});
   }
 
+  /// Folds one turn-serialized atomic operation (or fence) into the
+  /// fingerprint.  The tag constant separates the event space from
+  /// record_acquire's (thread, mutex, clock) triples so an atomic can never
+  /// alias a lock acquisition; kind/addr/observed make the hash sensitive to
+  /// both the schedule AND the value each atomic observed.
+  void record_atomic(ThreadId thread, std::uint8_t kind, std::int64_t addr,
+                     std::int64_t observed) {
+    const std::lock_guard<std::mutex> guard(mu_);
+    hasher_.update_u64(kAtomicEventTag);
+    hasher_.update_u64(thread);
+    hasher_.update_u64(kind);
+    hasher_.update_u64(static_cast<std::uint64_t>(addr));
+    hasher_.update_u64(static_cast<std::uint64_t>(observed));
+    ++atomic_count_;
+  }
+
   std::uint64_t fingerprint() const {
     const std::lock_guard<std::mutex> guard(mu_);
     return hasher_.digest();
@@ -45,6 +61,11 @@ class RunTrace {
     return acquire_count_;
   }
 
+  std::uint64_t atomic_count() const {
+    const std::lock_guard<std::mutex> guard(mu_);
+    return atomic_count_;
+  }
+
   /// Only populated when constructed with keep_events=true.
   std::vector<TraceEvent> events() const {
     const std::lock_guard<std::mutex> guard(mu_);
@@ -52,9 +73,13 @@ class RunTrace {
   }
 
  private:
+  /// Domain separator for record_atomic events (arbitrary odd constant).
+  static constexpr std::uint64_t kAtomicEventTag = 0xA70317C0FEED5EEDULL;
+
   mutable std::mutex mu_;
   Fnv1aHasher hasher_;
   std::uint64_t acquire_count_ = 0;
+  std::uint64_t atomic_count_ = 0;
   bool keep_events_;
   std::vector<TraceEvent> events_;
 };

@@ -36,7 +36,7 @@ void ExecutionContext::reset(api::RunConfig config) {
   injector_.reset();
   config_ = std::move(config);
   chaos_seed_ = config_.chaos_seed;
-  observer_ = nullptr;
+  observers_.clear();
   validator_ = nullptr;
   memory_hint_ = 0;
 }
@@ -56,7 +56,9 @@ interp::Engine& ExecutionContext::make_engine() {
   injector_.reset();
 
   interp::EngineConfig config = config_.engine_config(memory_hint_);
-  config.observer = observer_;
+  // reduce(): null chain keeps the engine's observer-free fast path, a
+  // single observer skips the chain's extra indirection entirely.
+  config.observer = observers_.reduce();
   config.runtime.validator = validator_;
   if (config_.chaos) {
     injector_ = std::make_unique<runtime::FaultInjector>(
@@ -69,7 +71,7 @@ interp::Engine& ExecutionContext::make_engine() {
   // decodes privately inside its own Engine.
   if ((config_.engine == interp::EngineKind::kDecoded ||
        config_.engine == interp::EngineKind::kJit) &&
-      observer_ == nullptr) {
+      observers_.empty()) {
     config.shared_decoded = module_->decoded();
     // For kJit additionally share the native pages; null (host can't run
     // the JIT) keeps shared_jit unset and the Engine compiles privately --

@@ -34,10 +34,19 @@ class ExecutionContext {
   ExecutionContext(std::shared_ptr<const CompiledModule> module, api::RunConfig config);
   ~ExecutionContext();
 
-  /// Optional per-run hooks, set before run().  An observer forces a
-  /// private decode (the shared code is finalized for observer-free
-  /// dispatch); a validator checks each acquisition online.  Not owned.
-  void set_observer(interp::MemoryAccessObserver* observer) { observer_ = observer; }
+  /// Optional per-run hooks, set before run().  Any number of observers
+  /// stack via add_observer (profiler + race detector + fuzzer oracle on
+  /// one run); they fire in attachment order through an ObserverChain.  Any
+  /// attached observer forces a private decode (the shared code is
+  /// finalized for observer-free dispatch); a validator checks each
+  /// acquisition online.  Not owned; must outlive run().
+  void add_observer(interp::SyncObserver* observer) { observers_.attach(observer); }
+  /// Deprecated single-observer shim: REPLACES all attached observers with
+  /// `observer` (null clears).  Prefer add_observer.
+  void set_observer(interp::MemoryAccessObserver* observer) {
+    observers_.clear();
+    observers_.attach(observer);
+  }
   void set_validator(runtime::ScheduleValidator* validator) { validator_ = validator; }
   /// Overrides RunConfig::chaos_seed for the next run() (chaos reps).
   void set_chaos_seed(std::uint64_t seed) { chaos_seed_ = seed; }
@@ -71,7 +80,7 @@ class ExecutionContext {
 
   std::shared_ptr<const CompiledModule> module_;
   api::RunConfig config_;
-  interp::MemoryAccessObserver* observer_ = nullptr;
+  interp::ObserverChain observers_;
   runtime::ScheduleValidator* validator_ = nullptr;
   std::uint64_t chaos_seed_;
   std::size_t memory_hint_ = 0;

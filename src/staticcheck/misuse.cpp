@@ -191,8 +191,29 @@ void check_misuse(const SyncAnalysis& analysis, std::vector<Diagnostic>& out) {
             }
             return;
           }
-          default:
+          default: {
+            // Registry-routed atomic lints: any primitive the SyncOpDesc
+            // table files under the atomic lint category lands here, so a
+            // future atomic op picks these checks up with no edit.
+            const ir::SyncOpDesc* desc = ir::sync_op_desc(instr.op);
+            if (desc == nullptr || desc->lint != ir::SyncLintCategory::kAtomic) return;
+            if (instr.op == ir::Opcode::kAtomicRmw && instr.rmw == ir::AtomicRmwKind::kCas &&
+                instr.order == ir::MemOrder::kRelaxed) {
+              out.push_back(make_diag(
+                  module, analysis, Severity::kWarning, site,
+                  "relaxed compare-and-swap establishes no happens-before edge; a CAS "
+                  "that guards other memory needs acq_rel or seq_cst ordering"));
+              return;
+            }
+            if (instr.op == ir::Opcode::kAtomicLoad && instr.order == ir::MemOrder::kRelaxed &&
+                loops.loop_depth(b) > 0) {
+              out.push_back(make_diag(
+                  module, analysis, Severity::kNote, site,
+                  "relaxed atomic load inside a loop: if this is a spin-wait, the load "
+                  "synchronizes-with nothing (use acq to pair with the writer's rel)"));
+            }
             return;
+          }
         }
       });
     }

@@ -127,6 +127,128 @@ TEST(HbDetector, OrderedReadsStayInEpochFastPath) {
   EXPECT_FALSE(d.race_detected());
 }
 
+// ---- atomic and fence edges -------------------------------------------------
+
+using AtomicOp = runtime::AtomicOp;
+
+AtomicOp atomic_op(AtomicOp::Kind kind, AtomicOp::Order order, std::int64_t addr,
+                   std::int64_t operand = 0, std::int64_t desired = 0) {
+  AtomicOp op;
+  op.kind = kind;
+  op.order = order;
+  op.addr = addr;
+  op.operand = operand;
+  op.desired = desired;
+  return op;
+}
+
+TEST(HbAtomic, ReleaseAcquireMessagePassingIsClean) {
+  // The MP idiom: plain payload write, release store of the flag, acquire
+  // load of the flag, plain payload read.
+  HbRaceDetector d;
+  d.on_access(0, 5, true, {});
+  d.on_atomic(0, atomic_op(AtomicOp::Kind::kStore, AtomicOp::Order::kRelease, 9, 1), 0, 0);
+  d.on_atomic(1, atomic_op(AtomicOp::Kind::kLoad, AtomicOp::Order::kAcquire, 9), 1, 0);
+  d.on_access(1, 5, true, {});
+  EXPECT_FALSE(d.race_detected());
+}
+
+TEST(HbAtomic, RelaxedAtomicsCreateNoEdge) {
+  // Same shape with relaxed flag operations: the payload accesses stay
+  // concurrent -- exactly what makes an under-fenced Peterson racy.
+  HbRaceDetector d;
+  d.on_access(0, 5, true, {});
+  d.on_atomic(0, atomic_op(AtomicOp::Kind::kStore, AtomicOp::Order::kRelaxed, 9, 1), 0, 0);
+  d.on_atomic(1, atomic_op(AtomicOp::Kind::kLoad, AtomicOp::Order::kAcquire, 9), 1, 0);
+  d.on_access(1, 5, true, {});
+  EXPECT_TRUE(d.race_detected());
+  EXPECT_EQ(d.racy_addresses(), (std::vector<std::int64_t>{5}));
+}
+
+TEST(HbAtomic, FailedCasDoesNotRelease) {
+  // A failed CAS reads but does not write, so even at acq_rel it publishes
+  // nothing for a later acquire to join.
+  HbRaceDetector d;
+  d.on_access(0, 5, true, {});
+  // expected (operand) 1, observed 0: the CAS failed.
+  d.on_atomic(0, atomic_op(AtomicOp::Kind::kCas, AtomicOp::Order::kAcqRel, 9, 1, 2), 0, 0);
+  d.on_atomic(1, atomic_op(AtomicOp::Kind::kLoad, AtomicOp::Order::kAcquire, 9), 0, 0);
+  d.on_access(1, 5, true, {});
+  EXPECT_TRUE(d.race_detected());
+}
+
+TEST(HbAtomic, FailedCasStillAcquires) {
+  // The acquire half survives the failure: a failed CAS after a release
+  // store joins the published clock.
+  HbRaceDetector d;
+  d.on_access(0, 5, true, {});
+  d.on_atomic(0, atomic_op(AtomicOp::Kind::kStore, AtomicOp::Order::kRelease, 9, 7), 0, 0);
+  d.on_atomic(1, atomic_op(AtomicOp::Kind::kCas, AtomicOp::Order::kAcqRel, 9, 1, 2), 7, 0);
+  d.on_access(1, 5, true, {});
+  EXPECT_FALSE(d.race_detected());
+}
+
+TEST(HbAtomic, SuccessfulCasReleasesLikeAStore) {
+  HbRaceDetector d;
+  d.on_access(0, 5, true, {});
+  // expected (operand) 0, observed 0: the CAS succeeded.
+  d.on_atomic(0, atomic_op(AtomicOp::Kind::kCas, AtomicOp::Order::kAcqRel, 9, 0, 1), 0, 0);
+  d.on_atomic(1, atomic_op(AtomicOp::Kind::kLoad, AtomicOp::Order::kAcquire, 9), 1, 0);
+  d.on_access(1, 5, true, {});
+  EXPECT_FALSE(d.race_detected());
+}
+
+TEST(HbAtomic, RelaxedStoreBreaksTheReleaseChain) {
+  // A relaxed write between the release and the acquire clears the
+  // published clock: the acquire observes a store that synchronizes with
+  // nothing.
+  HbRaceDetector d;
+  d.on_access(0, 5, true, {});
+  d.on_atomic(0, atomic_op(AtomicOp::Kind::kStore, AtomicOp::Order::kRelease, 9, 1), 0, 0);
+  d.on_atomic(2, atomic_op(AtomicOp::Kind::kStore, AtomicOp::Order::kRelaxed, 9, 2), 0, 0);
+  d.on_atomic(1, atomic_op(AtomicOp::Kind::kLoad, AtomicOp::Order::kAcquire, 9), 2, 0);
+  d.on_access(1, 5, true, {});
+  EXPECT_TRUE(d.race_detected());
+}
+
+TEST(HbAtomic, AtomicCellsAreNotRaceCandidates) {
+  // Turn-serialized atomic operations on the same cell from two threads are
+  // never themselves a race, at any ordering.
+  HbRaceDetector d;
+  d.on_atomic(0, atomic_op(AtomicOp::Kind::kStore, AtomicOp::Order::kRelaxed, 9, 1), 0, 0);
+  d.on_atomic(1, atomic_op(AtomicOp::Kind::kAdd, AtomicOp::Order::kRelaxed, 9, 1), 1, 0);
+  EXPECT_FALSE(d.race_detected());
+}
+
+TEST(HbFence, ReleaseAcquireFenceChainOrdersAccesses) {
+  HbRaceDetector d;
+  d.on_access(0, 5, true, {});
+  d.on_fence(0, AtomicOp::Order::kRelease, 0);
+  d.on_fence(1, AtomicOp::Order::kAcquire, 0);
+  d.on_access(1, 5, true, {});
+  EXPECT_FALSE(d.race_detected());
+}
+
+TEST(HbFence, AcquireFenceAloneCreatesNoEdge) {
+  // Nothing was published into the chain, so the join is a no-op.
+  HbRaceDetector d;
+  d.on_access(0, 5, true, {});
+  d.on_fence(1, AtomicOp::Order::kAcquire, 0);
+  d.on_access(1, 5, true, {});
+  EXPECT_TRUE(d.race_detected());
+}
+
+TEST(HbFence, SeqCstFencesChainTransitively) {
+  // seq_cst is acquire+release: a middle thread's fence relays the edge.
+  HbRaceDetector d;
+  d.on_access(0, 5, true, {});
+  d.on_fence(0, AtomicOp::Order::kSeqCst, 0);
+  d.on_fence(2, AtomicOp::Order::kSeqCst, 0);
+  d.on_fence(1, AtomicOp::Order::kSeqCst, 0);
+  d.on_access(1, 5, true, {});
+  EXPECT_FALSE(d.race_detected());
+}
+
 // ---- focus mode / finalize -------------------------------------------------
 
 TEST(HbFocus, FinalizeReportsCanonicalMinimalPair) {

@@ -1,0 +1,205 @@
+// detfuzz: the differential workload fuzzer.
+//
+//   detfuzz [--seeds=N] [--start=S]      check seeds S..S+N-1
+//   detfuzz --seed=N [--dump=FILE]       one seed, verbose; reproduces any
+//                                        fleet failure from the integer alone
+//   detfuzz --replay=FILE                run the differential matrix over an
+//                                        existing program (corpus replay)
+//
+// Each seed expands (src/fuzz/generator.hpp) into a deadlock-free,
+// race-free random synchronization workload -- mutexes with nesting, phase
+// barriers, every atomic opcode x ordering, fences -- and is executed under
+// every configuration the determinism claim covers: 3 engines x 2 clock
+// publication modes x (1 + chaos-seed) schedules.  Within a publication
+// mode every fingerprint field must be byte-identical; across modes nothing
+// is compared -- the modes are two different, each internally
+// deterministic, schedules (see src/fuzz/differ.hpp for why).
+//
+// Flags:
+//   --seeds=N         number of sequential seeds (default 16)
+//   --start=S         first seed (default 0)
+//   --seed=N          exactly one seed, verbose fingerprint table
+//   --replay=FILE     check an IR file instead of generating
+//   --dump=FILE       write the generated program (with --seed)
+//   --kendo-chunk=N   chunk size of the chunked-publication leg (default 4)
+//   --chaos=A,B,...   chaos seeds per config (default 5,9; "none" disables)
+//   --runs=N          repetitions per config (default 1)
+//   --watchdog-ms=N   per-run stall watchdog (default 10000; 0 off)
+//   --budget-ms=N     stop starting new seeds after this much wall time
+//                     (CI smoke; checked seeds still all count)
+//   -v                per-seed progress lines
+//
+// Exit codes: 0 all checked seeds deterministic; 1 any divergence, stall,
+// or compile failure (message ends with the reproducing command); 2 usage.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "cli_common.hpp"
+#include "fuzz/differ.hpp"
+#include "fuzz/generator.hpp"
+
+namespace {
+
+using namespace detlock;
+
+[[noreturn]] void usage_exit() {
+  std::fprintf(stderr,
+               "usage: detfuzz [--seeds=N] [--start=S] [--seed=N] [--replay=FILE]\n"
+               "               [--dump=FILE] [--kendo-chunk=N] [--chaos=A,B|none]\n"
+               "               [--runs=N] [--watchdog-ms=N] [--budget-ms=N] [-v]\n");
+  std::exit(cli::kUsageExit);
+}
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
+}
+
+void print_fingerprints(const fuzz::SeedReport& report) {
+  for (const fuzz::ConfigFingerprint& fp : report.fingerprints) {
+    std::printf("  %-28s result=%-6lld lock-order=%016llx memory=%016llx (%llu instrs)\n",
+                fp.config.c_str(), static_cast<long long>(fp.result),
+                static_cast<unsigned long long>(fp.trace),
+                static_cast<unsigned long long>(fp.memory),
+                static_cast<unsigned long long>(fp.instructions));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const cli::UsageFn usage = [] { usage_exit(); };
+  std::int64_t seeds = 16;
+  std::int64_t start = 0;
+  std::int64_t single_seed = -1;
+  std::string replay_path;
+  std::string dump_path;
+  std::int64_t budget_ms = 0;
+  bool verbose = false;
+  fuzz::DiffOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (const auto v = cli::flag_value(arg, "--seeds=")) {
+      seeds = cli::parse_int_flag("detfuzz", "--seeds=", *v, 1, 1 << 20, usage);
+    } else if (const auto v = cli::flag_value(arg, "--start=")) {
+      start = cli::parse_int_flag("detfuzz", "--start=", *v, 0, INT64_MAX / 2, usage);
+    } else if (const auto v = cli::flag_value(arg, "--seed=")) {
+      single_seed = cli::parse_int_flag("detfuzz", "--seed=", *v, 0, INT64_MAX / 2, usage);
+    } else if (const auto v = cli::flag_value(arg, "--replay=")) {
+      replay_path = std::string(*v);
+    } else if (const auto v = cli::flag_value(arg, "--dump=")) {
+      dump_path = std::string(*v);
+    } else if (const auto v = cli::flag_value(arg, "--kendo-chunk=")) {
+      options.kendo_chunk = static_cast<std::uint64_t>(
+          cli::parse_int_flag("detfuzz", "--kendo-chunk=", *v, 1, 1 << 24, usage));
+    } else if (const auto v = cli::flag_value(arg, "--chaos=")) {
+      options.chaos_seeds.clear();
+      if (*v != "none") {
+        std::string list(*v);
+        std::size_t pos = 0;
+        while (pos < list.size()) {
+          const std::size_t comma = list.find(',', pos);
+          const std::string item = list.substr(pos, comma == std::string::npos ? std::string::npos
+                                                                               : comma - pos);
+          options.chaos_seeds.push_back(static_cast<std::uint64_t>(
+              cli::parse_int_flag("detfuzz", "--chaos=", item, 1, INT64_MAX / 2, usage)));
+          if (comma == std::string::npos) break;
+          pos = comma + 1;
+        }
+      }
+    } else if (const auto v = cli::flag_value(arg, "--runs=")) {
+      options.runs = static_cast<int>(cli::parse_int_flag("detfuzz", "--runs=", *v, 1, 64, usage));
+    } else if (const auto v = cli::flag_value(arg, "--watchdog-ms=")) {
+      options.watchdog_ms = static_cast<std::uint64_t>(
+          cli::parse_int_flag("detfuzz", "--watchdog-ms=", *v, 0, INT64_MAX / 2, usage));
+    } else if (const auto v = cli::flag_value(arg, "--budget-ms=")) {
+      budget_ms = cli::parse_int_flag("detfuzz", "--budget-ms=", *v, 1, INT64_MAX / 2, usage);
+    } else if (arg == "-v" || arg == "--verbose") {
+      verbose = true;
+    } else {
+      std::fprintf(stderr, "detfuzz: unknown argument '%s'\n", argv[i]);
+      usage_exit();
+    }
+  }
+  if (single_seed >= 0 && !replay_path.empty()) {
+    std::fprintf(stderr, "detfuzz: --seed and --replay are mutually exclusive\n");
+    usage_exit();
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Corpus replay: one file, full matrix.
+  if (!replay_path.empty()) {
+    const std::string text = cli::read_file_or_exit("detfuzz", replay_path);
+    const fuzz::SeedReport report = fuzz::check_text(replay_path, text, options);
+    if (report.ok) {
+      std::printf("detfuzz: %s deterministic across %d runs (%.0f ms)\n", replay_path.c_str(),
+                  report.runs_executed, ms_since(t0));
+      if (verbose) print_fingerprints(report);
+      return 0;
+    }
+    std::fprintf(stderr, "detfuzz: FAIL %s\n", report.failure.c_str());
+    return 1;
+  }
+
+  // Single-seed mode: verbose by default (this is the reproduction path).
+  if (single_seed >= 0) {
+    const fuzz::SeedReport report =
+        fuzz::check_seed(static_cast<std::uint64_t>(single_seed), options);
+    const fuzz::GeneratedProgram& p = report.program;
+    std::printf("seed %lld: threads=%d phases=%d mutexes=%d atomics=%d barriers=%s actions=%d\n",
+                static_cast<long long>(single_seed), p.threads, p.phases, p.mutexes,
+                p.atomic_cells, p.barriers ? "yes" : "no", p.actions);
+    if (!dump_path.empty()) {
+      std::ofstream out(dump_path);
+      if (!out) {
+        std::fprintf(stderr, "detfuzz: cannot write %s\n", dump_path.c_str());
+        return 1;
+      }
+      out << p.ir_text;
+      std::printf("wrote %s\n", dump_path.c_str());
+    }
+    print_fingerprints(report);
+    if (report.ok) {
+      std::printf("detfuzz: seed %lld deterministic across %d runs (%.0f ms)\n",
+                  static_cast<long long>(single_seed), report.runs_executed, ms_since(t0));
+      return 0;
+    }
+    std::fprintf(stderr, "detfuzz: FAIL %s\n", report.failure.c_str());
+    if (dump_path.empty()) {
+      std::fprintf(stderr, "(rerun with --dump=FILE to capture the program)\n");
+    }
+    return 1;
+  }
+
+  // Fleet mode: sequential seeds, optional wall-clock budget.
+  int checked = 0, failed = 0, total_runs = 0;
+  for (std::int64_t s = start; s < start + seeds; ++s) {
+    if (budget_ms > 0 && checked > 0 && ms_since(t0) >= static_cast<double>(budget_ms)) {
+      std::printf("detfuzz: budget reached after %d of %lld seeds\n", checked,
+                  static_cast<long long>(seeds));
+      break;
+    }
+    const fuzz::SeedReport report = fuzz::check_seed(static_cast<std::uint64_t>(s), options);
+    ++checked;
+    total_runs += report.runs_executed;
+    if (!report.ok) {
+      ++failed;
+      std::fprintf(stderr, "detfuzz: FAIL %s\n", report.failure.c_str());
+    } else if (verbose) {
+      std::printf("seed %lld ok (%d runs, threads=%d phases=%d actions=%d)\n",
+                  static_cast<long long>(s), report.runs_executed, report.program.threads,
+                  report.program.phases, report.program.actions);
+    }
+  }
+  const double elapsed = ms_since(t0);
+  std::printf("detfuzz: %d seed(s), %d ok, %d failed, %d runs, %.0f ms (%.1f runs/s)\n", checked,
+              checked - failed, failed, total_runs, elapsed,
+              elapsed > 0 ? total_runs * 1000.0 / elapsed : 0.0);
+  return failed == 0 ? 0 : 1;
+}

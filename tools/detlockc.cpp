@@ -352,10 +352,10 @@ RaceCheckOutput run_race_check(const Cli& cli,
   out.recipe.entry = cli.entry;
 
   const ir::Module& module = compiled->module();
-  const auto fresh_run = [&](interp::MemoryAccessObserver* observer) {
+  const auto fresh_run = [&](interp::SyncObserver* observer) {
     service::ExecutionContext ctx(compiled, cli.config);
     if (cli.config.chaos) ctx.set_chaos_seed(cli.config.chaos_seed);
-    ctx.set_observer(observer);
+    ctx.add_observer(observer);
     run_once_or_exit(ctx, cli);
   };
 
